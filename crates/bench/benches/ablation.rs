@@ -1,0 +1,18 @@
+//! Bench for the **selector ablation** (extension of §IV-C): all four
+//! critical-link selectors through the identical pipeline.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use dtr_eval::experiments::ablation;
+use dtr_eval::{ExpConfig, Scale};
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("ablation");
+    g.sample_size(10);
+    g.bench_function("four_selectors_smoke", |b| {
+        b.iter(|| ablation::run(&ExpConfig::new(Scale::Smoke, 17)))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,18 @@
+//! Bench for the **path-diversity sweep** extension: NearTopo → Waxman
+//! (two α values) → RandTopo, robust benefit vs ECMP diversity.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use dtr_eval::experiments::diversity;
+use dtr_eval::{ExpConfig, Scale};
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("diversity");
+    g.sample_size(10);
+    g.bench_function("four_topologies_smoke", |b| {
+        b.iter(|| diversity::run(&ExpConfig::new(Scale::Smoke, 41)))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,19 @@
+//! Bench for **Fig. 2(b)**: empirical conditional failure-cost
+//! distributions of the most vs least critical link (Phase 1 + 1b +
+//! criticality estimate + distribution extraction).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use dtr_eval::experiments::fig2;
+use dtr_eval::{ExpConfig, Scale};
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig2");
+    g.sample_size(10);
+    g.bench_function("distributions_smoke", |b| {
+        b.iter(|| fig2::run(&ExpConfig::new(Scale::Smoke, 43)))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,18 @@
+//! Bench for **Figure 3** (§V-B): the full per-failure-link series
+//! experiment at smoke scale.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use dtr_eval::experiments::fig3;
+use dtr_eval::{ExpConfig, Scale};
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig3");
+    g.sample_size(10);
+    g.bench_function("series_smoke", |b| {
+        b.iter(|| fig3::run(&ExpConfig::new(Scale::Smoke, 11)))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,18 @@
+//! Bench for **Figure 4** (§V-B): load-redistribution analysis
+//! (RandTopo vs NearTopo) at smoke scale.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use dtr_eval::experiments::fig4;
+use dtr_eval::{ExpConfig, Scale};
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig4");
+    g.sample_size(10);
+    g.bench_function("redistribution_smoke", |b| {
+        b.iter(|| fig4::run(&ExpConfig::new(Scale::Smoke, 12)))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

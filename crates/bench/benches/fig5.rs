@@ -1,0 +1,22 @@
+//! Bench for **Figure 5** (§V-D/§V-E): the two kernels — a load-level
+//! panel (a) and one delay-distribution curve (b/c).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use dtr_eval::experiments::fig5;
+use dtr_eval::{ExpConfig, Scale};
+use dtr_topogen::TopoKind;
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig5");
+    g.sample_size(10);
+    g.bench_function("panel_a_load_level", |b| {
+        b.iter(|| fig5::panel_a_curves(&ExpConfig::new(Scale::Smoke, 13), 0.74, 0.25))
+    });
+    g.bench_function("delay_distribution_curve", |b| {
+        b.iter(|| fig5::delay_distribution(&ExpConfig::new(Scale::Smoke, 13), TopoKind::Rand, 45.0))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,18 @@
+//! Bench for **Figure 6** (§V-F): the full traffic-uncertainty experiment
+//! (both models) at smoke scale.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use dtr_eval::experiments::fig6;
+use dtr_eval::{ExpConfig, Scale};
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig6");
+    g.sample_size(10);
+    g.bench_function("uncertainty_smoke", |b| {
+        b.iter(|| fig6::run(&ExpConfig::new(Scale::Smoke, 14)))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

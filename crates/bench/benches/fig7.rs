@@ -1,0 +1,18 @@
+//! Bench for **Figure 7** (§V-F): the node-vs-link failure robustness
+//! experiment (three routings) at smoke scale.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use dtr_eval::experiments::fig7;
+use dtr_eval::{ExpConfig, Scale};
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig7");
+    g.sample_size(10);
+    g.bench_function("node_vs_link_smoke", |b| {
+        b.iter(|| fig7::run(&ExpConfig::new(Scale::Smoke, 15)))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

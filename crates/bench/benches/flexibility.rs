@@ -1,0 +1,18 @@
+//! Bench for the **flexibility study** (DTR vs single-topology routing):
+//! two matched-budget Phase-1 searches at smoke scale.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use dtr_eval::experiments::flexibility;
+use dtr_eval::{ExpConfig, Scale};
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("flexibility");
+    g.sample_size(10);
+    g.bench_function("dtr_vs_str_smoke", |b| {
+        b.iter(|| flexibility::run(&ExpConfig::new(Scale::Smoke, 19)))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

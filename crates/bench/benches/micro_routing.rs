@@ -1,0 +1,78 @@
+//! Micro-benchmarks of the hot paths: SPF, ECMP load accumulation, full
+//! two-class cost evaluation (normal and under failure). These are the
+//! kernels every optimization step pays for; the paper's wall-clock claims
+//! (§IV-E2) decompose into multiples of exactly these.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use dtr_cost::{CostParams, Evaluator};
+use dtr_net::{Network, NodeId};
+use dtr_routing::{route_class, spf, Class, Scenario, WeightSetting};
+use dtr_topogen::{rand_topo, SynthConfig};
+use dtr_traffic::{gravity, ClassMatrices};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn testbed() -> (Network, ClassMatrices, WeightSetting) {
+    // Paper-sized: 30 nodes, 180 directed links.
+    let net = rand_topo::generate(&SynthConfig {
+        nodes: 30,
+        duplex_links: 90,
+        seed: 7,
+    })
+    .unwrap()
+    .scaled_to_diameter(25e-3)
+    .build(500e6)
+    .unwrap();
+    let mut tm = gravity::generate(&gravity::GravityConfig {
+        total_volume: 1.0,
+        ..gravity::GravityConfig::paper_default(30, 3)
+    });
+    tm.scale(3e10);
+    let mut rng = StdRng::seed_from_u64(11);
+    let w = WeightSetting::random(net.num_links(), 20, &mut rng);
+    (net, tm, w)
+}
+
+fn bench_micro(c: &mut Criterion) {
+    let (net, tm, w) = testbed();
+    let mask = net.fresh_mask();
+
+    let mut g = c.benchmark_group("micro");
+    g.sample_size(30);
+
+    g.bench_function("spf_single_destination_30n", |b| {
+        b.iter(|| spf::dist_to(&net, NodeId::new(0), w.weights(Class::Delay), &mask))
+    });
+
+    g.bench_function("route_class_30n", |b| {
+        b.iter(|| route_class(&net, w.weights(Class::Delay), &tm.delay, &mask))
+    });
+
+    let ev = Evaluator::new(&net, &tm, CostParams::default());
+    g.bench_function("evaluate_normal_30n", |b| {
+        b.iter(|| ev.evaluate(&w, Scenario::Normal))
+    });
+
+    let failure = Scenario::Link(net.duplex_representatives()[0]);
+    g.bench_function("evaluate_failure_30n", |b| {
+        b.iter(|| ev.evaluate(&w, failure))
+    });
+
+    // One full local-search sweep unit: perturb a link, evaluate, revert.
+    g.bench_function("perturb_eval_revert_30n", |b| {
+        let rep = net.duplex_representatives()[3];
+        b.iter_batched(
+            || w.clone(),
+            |mut cand| {
+                dtr_core::search::set_duplex_weights(&mut cand, &net, rep, 19, 19);
+                ev.cost(&cand, Scenario::Normal)
+            },
+            BatchSize::SmallInput,
+        )
+    });
+
+    g.finish();
+}
+
+criterion_group!(benches, bench_micro);
+criterion_main!(benches);

@@ -1,0 +1,18 @@
+//! Bench for the **three-class MTR** extension: the generalized k-class
+//! pipeline end-to-end (regular + robust) on a three-class instance.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use dtr_eval::experiments::mtr3;
+use dtr_eval::{ExpConfig, Scale};
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("mtr3");
+    g.sample_size(10);
+    g.bench_function("three_class_pipeline_smoke", |b| {
+        b.iter(|| mtr3::run(&ExpConfig::new(Scale::Smoke, 37)))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

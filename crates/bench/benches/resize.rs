@@ -1,0 +1,18 @@
+//! Bench for the **§V-B NearTopo resize** experiment: two full
+//! optimizations (before/after capacity upgrades) at smoke scale.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use dtr_eval::experiments::resize;
+use dtr_eval::{ExpConfig, Scale};
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("resize");
+    g.sample_size(10);
+    g.bench_function("neartopo_resize_smoke", |b| {
+        b.iter(|| resize::run(&ExpConfig::new(Scale::Smoke, 18)))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,18 @@
+//! Bench for the **search-strategy ablation** extension: hill-climb vs
+//! simulated annealing vs tabu at matched budgets.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use dtr_eval::experiments::search_ablation;
+use dtr_eval::{ExpConfig, Scale};
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("search_ablation");
+    g.sample_size(10);
+    g.bench_function("three_strategies_smoke", |b| {
+        b.iter(|| search_ablation::run(&ExpConfig::new(Scale::Smoke, 31)))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,18 @@
+//! Bench for the **SRLG robustness** extension: regular vs link-robust vs
+//! SRLG-robust routing over a geographically derived conduit catalog.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use dtr_eval::experiments::srlg;
+use dtr_eval::{ExpConfig, Scale};
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("srlg");
+    g.sample_size(10);
+    g.bench_function("three_routings_smoke", |b| {
+        b.iter(|| srlg::run(&ExpConfig::new(Scale::Smoke, 23)))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

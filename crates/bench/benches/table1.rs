@@ -1,0 +1,31 @@
+//! Bench for **Table I** (§IV-E1): one critical-vs-full-search cell on a
+//! smoke-scale RandTopo. The printed table rows come from the `repro`
+//! binary; this bench tracks the cost of regenerating one cell.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use dtr_eval::experiments::table1;
+use dtr_eval::{ExpConfig, LoadSpec, Scale, TopoSpec};
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("table1");
+    g.sample_size(10);
+    g.bench_function("one_cell_smoke", |b| {
+        b.iter(|| {
+            let cfg = ExpConfig::new(Scale::Smoke, 42);
+            table1::run_on(
+                &cfg,
+                vec![(
+                    "RandTopo [8,32]".into(),
+                    TopoSpec::Synth(dtr_topogen::TopoKind::Rand, 8, 16),
+                )],
+                LoadSpec::AvgUtil(0.43),
+                &[0.25],
+                "bench",
+            )
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

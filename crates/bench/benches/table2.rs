@@ -1,0 +1,29 @@
+//! Bench for **Table II** (§V-B): robust-vs-regular on one topology
+//! (the full four-topology sweep is the `repro` binary's job).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use dtr_cost::CostParams;
+use dtr_eval::experiments::common::OptimizedPair;
+use dtr_eval::{ExpConfig, Instance, LoadSpec, Scale, TopoSpec};
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("table2");
+    g.sample_size(10);
+    g.bench_function("randtopo_pair_smoke", |b| {
+        b.iter(|| {
+            let cfg = ExpConfig::new(Scale::Smoke, 7);
+            let inst = Instance::build(
+                "RandTopo",
+                TopoSpec::Synth(dtr_topogen::TopoKind::Rand, 10, 30),
+                LoadSpec::AvgUtil(0.43),
+                CostParams::default(),
+                cfg.run_seed(0),
+            );
+            OptimizedPair::compute(&inst, cfg.scale.params(1))
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,32 @@
+//! Bench for **Table IV** (§V-C, mean-degree sweep): one degree point
+//! (degree 4, the sparsest) of the robust-vs-regular comparison.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use dtr_cost::CostParams;
+use dtr_eval::experiments::common::OptimizedPair;
+use dtr_eval::{ExpConfig, Instance, LoadSpec, Scale, TopoSpec};
+use dtr_topogen::SynthConfig;
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("table4");
+    g.sample_size(10);
+    let n = 10usize;
+    let duplex = SynthConfig::with_mean_degree(n, 4.0, 0).duplex_links;
+    g.bench_function("degree_point_smoke", |b| {
+        b.iter(|| {
+            let cfg = ExpConfig::new(Scale::Smoke, 6);
+            let inst = Instance::build(
+                "RandTopo degree 4",
+                TopoSpec::Synth(dtr_topogen::TopoKind::Rand, n, duplex),
+                LoadSpec::AvgUtil(0.43),
+                CostParams::default(),
+                cfg.run_seed(0),
+            );
+            OptimizedPair::compute(&inst, cfg.scale.params(3))
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

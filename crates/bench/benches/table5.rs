@@ -1,0 +1,34 @@
+//! Bench for **Table V** (§V-E, SLA-bound sweep): one θ point including
+//! the avg-util / avg-max-util metrics.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use dtr_cost::CostParams;
+use dtr_eval::experiments::common::OptimizedPair;
+use dtr_eval::{ExpConfig, Instance, LoadSpec, Scale, TopoSpec};
+use dtr_routing::Scenario;
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("table5");
+    g.sample_size(10);
+    g.bench_function("theta_point_smoke", |b| {
+        b.iter(|| {
+            let cfg = ExpConfig::new(Scale::Smoke, 8);
+            let inst = Instance::build(
+                "RandTopo theta 45ms",
+                TopoSpec::Synth(dtr_topogen::TopoKind::Rand, 10, 30),
+                LoadSpec::AvgUtil(0.43),
+                CostParams::with_theta(45e-3),
+                cfg.run_seed(0),
+            );
+            let pair = OptimizedPair::compute(&inst, cfg.scale.params(4));
+            let ev = inst.evaluator();
+            // The extra Table-V metrics.
+            let mbu = ev.mean_bottleneck_utilization(&pair.report.regular, Scenario::Normal);
+            (pair.beta_regular(), pair.beta_robust(), mbu)
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,19 @@
+//! Bench for the **§IV-E2 timing study**: critical vs full search on one
+//! instance. The bench measures the combined pipeline; the experiment's
+//! own table reports the phase-level ratio.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use dtr_eval::experiments::timing;
+use dtr_eval::{ExpConfig, Scale};
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("timing");
+    g.sample_size(10);
+    g.bench_function("critical_vs_full_smoke", |b| {
+        b.iter(|| timing::run(&ExpConfig::new(Scale::Smoke, 16)))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,18 @@
+//! Bench for the **joint routing + topology design** extension: greedy
+//! link augmentation on NearTopo plus before/after robust optimization.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use dtr_eval::experiments::topo_design;
+use dtr_eval::{ExpConfig, Scale};
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("topo_design");
+    g.sample_size(10);
+    g.bench_function("greedy_augmentation_smoke", |b| {
+        b.iter(|| topo_design::run(&ExpConfig::new(Scale::Smoke, 29)))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

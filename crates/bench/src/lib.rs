@@ -1,0 +1,4 @@
+//! # dtr-bench — benchmark-only crate
+//!
+//! All content lives in `benches/`: one Criterion benchmark per paper table
+//! and figure, plus micro-benchmarks of the routing/cost hot paths.

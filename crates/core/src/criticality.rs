@@ -1,0 +1,191 @@
+//! Link criticality — the paper's central concept (§IV-C).
+//!
+//! The criticality of link `l` is *the difference between the mean of the
+//! conditional failure-cost distribution of `l` and its left-tail mean*
+//! (Eqs. 8–9): if `l` is ignored by robust optimization, the final routing
+//! behaves like a random draw from the distribution (expected cost ≈ mean);
+//! if `l` is included, the optimizer steers towards the distribution's
+//! favorable left tail. The gap is exactly the cost of ignoring the link.
+//!
+//! For Phase-1c selection, per-class criticalities are **normalized** by
+//! the summed left-tail means of all links (lower-bound estimate of the
+//! best achievable compound failure cost), so the two classes become
+//! comparable relative deviations (§IV-D2).
+
+use crate::samples::SampleStore;
+
+/// Per-link criticality estimates (indexed by failure index).
+#[derive(Clone, Debug, PartialEq)]
+pub struct Criticality {
+    /// Raw `ρ_Λ,l = Λ̂ − Λ̃` (Eq. 8); 0 for links without samples.
+    pub rho_lambda: Vec<f64>,
+    /// Raw `ρ_Φ,l = Φ̂ − Φ̃` (Eq. 9).
+    pub rho_phi: Vec<f64>,
+    /// Normalized `ρ̄_Λ,l = ρ_Λ,l / Σ_j Λ̃_fail,j` (0 if the denominator
+    /// vanishes — e.g. no SLA violation ever observed).
+    pub norm_lambda: Vec<f64>,
+    /// Normalized `ρ̄_Φ,l`.
+    pub norm_phi: Vec<f64>,
+}
+
+impl Criticality {
+    /// Estimate criticalities from the sample store.
+    pub fn estimate(store: &SampleStore, tail_fraction: f64) -> Self {
+        let m = store.num_links();
+        let mut rho_lambda = vec![0.0; m];
+        let mut rho_phi = vec![0.0; m];
+        let mut sum_tail_lambda = 0.0;
+        let mut sum_tail_phi = 0.0;
+        for i in 0..m {
+            if let Some(st) = store.lambda_stats(i, tail_fraction) {
+                rho_lambda[i] = st.rho();
+                sum_tail_lambda += st.tail_mean;
+            }
+            if let Some(st) = store.phi_stats(i, tail_fraction) {
+                rho_phi[i] = st.rho();
+                sum_tail_phi += st.tail_mean;
+            }
+        }
+        let norm = |rho: &[f64], denom: f64| -> Vec<f64> {
+            if denom > 0.0 {
+                rho.iter().map(|&r| r / denom).collect()
+            } else {
+                vec![0.0; rho.len()]
+            }
+        };
+        Criticality {
+            norm_lambda: norm(&rho_lambda, sum_tail_lambda),
+            norm_phi: norm(&rho_phi, sum_tail_phi),
+            rho_lambda,
+            rho_phi,
+        }
+    }
+
+    /// Number of links covered.
+    pub fn len(&self) -> usize {
+        self.rho_lambda.len()
+    }
+
+    /// `true` when covering zero links.
+    pub fn is_empty(&self) -> bool {
+        self.rho_lambda.is_empty()
+    }
+
+    /// Failure indices sorted by descending normalized Λ-criticality
+    /// (the paper's list `E_Λ`). Ties break by index for determinism.
+    pub fn ranking_lambda(&self) -> Vec<usize> {
+        rank_desc(&self.norm_lambda)
+    }
+
+    /// Failure indices sorted by descending normalized Φ-criticality
+    /// (`E_Φ`).
+    pub fn ranking_phi(&self) -> Vec<usize> {
+        rank_desc(&self.norm_phi)
+    }
+}
+
+/// Indices sorted by descending value; ties by ascending index
+/// (deterministic).
+pub fn rank_desc(values: &[f64]) -> Vec<usize> {
+    let mut idx: Vec<usize> = (0..values.len()).collect();
+    idx.sort_by(|&a, &b| {
+        values[b]
+            .partial_cmp(&values[a])
+            .expect("finite criticality")
+            .then(a.cmp(&b))
+    });
+    idx
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn store_with(widths: &[(f64, f64)]) -> SampleStore {
+        // Each link gets 20 lambda samples centered at 100 with the given
+        // half-width, and phi samples centered at 10 with the second width.
+        let mut s = SampleStore::new(widths.len());
+        for (i, &(wl, wp)) in widths.iter().enumerate() {
+            for k in 0..20 {
+                let t = (k as f64 / 19.0) * 2.0 - 1.0; // -1..1
+                s.record(i, 100.0 + wl * t, 10.0 + wp * t);
+            }
+        }
+        s
+    }
+
+    #[test]
+    fn wider_distribution_is_more_critical() {
+        let s = store_with(&[(50.0, 0.0), (5.0, 0.0), (0.0, 0.0)]);
+        let c = Criticality::estimate(&s, 0.10);
+        assert!(c.rho_lambda[0] > c.rho_lambda[1]);
+        assert!(c.rho_lambda[1] > c.rho_lambda[2]);
+        assert_eq!(c.rho_lambda[2], 0.0);
+        assert_eq!(c.ranking_lambda(), vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn classes_ranked_independently() {
+        // Link 0 is Λ-critical only; link 1 is Φ-critical only.
+        let s = store_with(&[(50.0, 0.0), (0.0, 5.0)]);
+        let c = Criticality::estimate(&s, 0.10);
+        assert_eq!(c.ranking_lambda(), vec![0, 1]);
+        assert_eq!(c.ranking_phi(), vec![1, 0]);
+    }
+
+    #[test]
+    fn normalization_divides_by_tail_sum() {
+        let s = store_with(&[(50.0, 0.0), (0.0, 0.0)]);
+        let c = Criticality::estimate(&s, 0.10);
+        // Tail means: link0 tail of 100±50 over 20 samples, k=2 lowest
+        // (50, 55.26..); link1 exactly 100. Denominator = their sum.
+        let denom = {
+            let t0 = s.lambda_stats(0, 0.10).unwrap().tail_mean;
+            let t1 = s.lambda_stats(1, 0.10).unwrap().tail_mean;
+            t0 + t1
+        };
+        assert!((c.norm_lambda[0] - c.rho_lambda[0] / denom).abs() < 1e-12);
+    }
+
+    #[test]
+    fn zero_costs_normalize_to_zero() {
+        // All-zero lambda samples: denominator is 0; normalized must be 0.
+        let mut s = SampleStore::new(2);
+        for i in 0..2 {
+            for _ in 0..10 {
+                s.record(i, 0.0, 1.0);
+            }
+        }
+        let c = Criticality::estimate(&s, 0.10);
+        assert!(c.norm_lambda.iter().all(|&x| x == 0.0));
+    }
+
+    #[test]
+    fn unsampled_links_have_zero_criticality() {
+        let mut s = SampleStore::new(3);
+        for _ in 0..10 {
+            s.record(1, 50.0, 5.0);
+            s.record(1, 150.0, 15.0);
+        }
+        let c = Criticality::estimate(&s, 0.10);
+        assert_eq!(c.rho_lambda[0], 0.0);
+        assert!(c.rho_lambda[1] > 0.0);
+        assert_eq!(c.rho_lambda[2], 0.0);
+        // Sampled link ranks first.
+        assert_eq!(c.ranking_lambda()[0], 1);
+    }
+
+    #[test]
+    fn rho_is_never_negative() {
+        let s = store_with(&[(50.0, 3.0), (1.0, 1.0), (0.0, 0.0)]);
+        let c = Criticality::estimate(&s, 0.10);
+        assert!(c.rho_lambda.iter().all(|&x| x >= 0.0));
+        assert!(c.rho_phi.iter().all(|&x| x >= 0.0));
+        assert!(c.norm_lambda.iter().all(|&x| x >= 0.0));
+    }
+
+    #[test]
+    fn rank_desc_tie_break_is_by_index() {
+        assert_eq!(rank_desc(&[1.0, 2.0, 1.0]), vec![1, 0, 2]);
+    }
+}

@@ -1,0 +1,301 @@
+//! SLA-availability analysis (extension).
+//!
+//! The paper scores routings by *violation counts* summed over an
+//! equal-weight failure ensemble. An operator negotiating SLAs wants the
+//! complementary, per-customer view: *what fraction of time does the pair
+//! (s, t) meet its delay bound*, given how often each link actually
+//! fails? This module combines a routing, the failure universe and a
+//! [`FailureModel`] into exactly that report:
+//!
+//! * each single-link failure scenario `l` occurs with probability
+//!   `p_l · f`, where `f` is the total fraction of time the network
+//!   spends in (any) failure and `p_l ∝` the model's per-link rates;
+//! * the remaining `1 − f` of the time the network is failure-free;
+//! * a pair's **availability** is the probability-weighted fraction of
+//!   those states in which its end-to-end delay meets the SLA bound.
+//!
+//! The ensemble is the paper's single-failure universe (simultaneous
+//! failures are second-order at backbone failure rates — and §V-F's
+//! result that single-link robustness degrades gracefully for other
+//! patterns bounds the error).
+
+use dtr_cost::Evaluator;
+use dtr_routing::{Scenario, WeightSetting};
+
+use crate::ext::probabilistic::FailureModel;
+use crate::universe::FailureUniverse;
+
+/// Availability of one SD pair.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct PairAvailability {
+    /// Source node index.
+    pub src: usize,
+    /// Destination node index.
+    pub dst: usize,
+    /// Probability that the pair meets its SLA bound (in `[0, 1]`).
+    pub availability: f64,
+}
+
+/// The full availability report of one routing.
+#[derive(Clone, Debug)]
+pub struct AvailabilityReport {
+    /// Per-pair availabilities, every delay-class pair with demand,
+    /// ascending by availability (worst first).
+    pub pairs: Vec<PairAvailability>,
+    /// Expected number of violating pairs per unit time (the
+    /// probability-weighted β).
+    pub expected_violations: f64,
+    /// Probability that *no* pair violates (network-wide SLA
+    /// availability).
+    pub network_availability: f64,
+    /// Fraction of time spent in some failure state (input echo).
+    pub failure_fraction: f64,
+}
+
+impl AvailabilityReport {
+    /// The `k` worst pairs (lowest availability).
+    pub fn worst(&self, k: usize) -> &[PairAvailability] {
+        &self.pairs[..k.min(self.pairs.len())]
+    }
+
+    /// Mean availability over all pairs (1.0 when there are none).
+    pub fn mean_availability(&self) -> f64 {
+        if self.pairs.is_empty() {
+            1.0
+        } else {
+            self.pairs.iter().map(|p| p.availability).sum::<f64>() / self.pairs.len() as f64
+        }
+    }
+}
+
+/// Compute the availability report of routing `w`.
+///
+/// `failure_fraction` is the share of time the network spends in *some*
+/// single-link failure state (e.g. 0.01 for "1 % of the time a link is
+/// down"); it is split across links proportionally to
+/// `model.probabilities`.
+///
+/// # Panics
+/// Panics if `failure_fraction` is outside `[0, 1)`, or the model
+/// mismatches the universe.
+pub fn analyze(
+    ev: &Evaluator<'_>,
+    universe: &FailureUniverse,
+    w: &WeightSetting,
+    model: &FailureModel,
+    failure_fraction: f64,
+) -> AvailabilityReport {
+    assert!(
+        (0.0..1.0).contains(&failure_fraction),
+        "failure fraction must be in [0, 1)"
+    );
+    model.validate(universe);
+    let total_rate: f64 = model.probabilities.iter().sum();
+
+    // State probabilities: normal + one per failable link.
+    let mut states: Vec<(Scenario, f64)> = Vec::with_capacity(universe.len() + 1);
+    states.push((Scenario::Normal, 1.0 - failure_fraction));
+    for (i, &l) in universe.failable.iter().enumerate() {
+        let share = if total_rate > 0.0 {
+            model.probabilities[i] / total_rate
+        } else {
+            1.0 / universe.len().max(1) as f64
+        };
+        states.push((Scenario::Link(l), failure_fraction * share));
+    }
+
+    // Accumulate per-pair violation probability.
+    use std::collections::HashMap;
+    let mut violation_prob: HashMap<(usize, usize), f64> = HashMap::new();
+    let mut expected_violations = 0.0;
+    let mut network_availability = 0.0;
+    let params = ev.params();
+    for &(sc, prob) in &states {
+        let b = ev.evaluate(w, sc);
+        let mut any = false;
+        for &(s, t, xi) in &b.pair_delays {
+            let entry = violation_prob.entry((s, t)).or_insert(0.0);
+            if dtr_cost::sla::violates(xi, params) {
+                *entry += prob;
+                expected_violations += prob;
+                any = true;
+            }
+        }
+        if !any {
+            network_availability += prob;
+        }
+    }
+
+    let mut pairs: Vec<PairAvailability> = violation_prob
+        .into_iter()
+        .map(|((src, dst), v)| PairAvailability {
+            src,
+            dst,
+            availability: (1.0 - v).clamp(0.0, 1.0),
+        })
+        .collect();
+    pairs.sort_by(|a, b| {
+        a.availability
+            .partial_cmp(&b.availability)
+            .expect("finite availabilities")
+            .then((a.src, a.dst).cmp(&(b.src, b.dst)))
+    });
+
+    AvailabilityReport {
+        pairs,
+        expected_violations,
+        network_availability,
+        failure_fraction,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dtr_cost::CostParams;
+    use dtr_net::{LinkId, Network, NetworkBuilder, Point};
+    use dtr_traffic::ClassMatrices;
+
+    /// 0 -> 3 direct (10 ms) or via relay 0-1-3 (3+3 ms) or the long way
+    /// 0-2-3 (20+20 ms > θ): failing the direct link keeps the pair fine
+    /// (relay), failing a relay link keeps it fine (direct); no single
+    /// failure violates — unless we make the relay expensive.
+    fn net() -> Network {
+        let mut b = NetworkBuilder::new();
+        let n: Vec<_> = (0..4).map(|_| b.add_node(Point::ORIGIN)).collect();
+        b.add_duplex_link(n[0], n[1], 100.0, 3e-3).unwrap();
+        b.add_duplex_link(n[1], n[3], 100.0, 3e-3).unwrap();
+        b.add_duplex_link(n[0], n[2], 100.0, 20e-3).unwrap();
+        b.add_duplex_link(n[2], n[3], 100.0, 20e-3).unwrap();
+        b.add_duplex_link(n[0], n[3], 100.0, 10e-3).unwrap();
+        b.build().unwrap()
+    }
+
+    fn link_between(net: &Network, s: usize, t: usize) -> LinkId {
+        net.links()
+            .find(|&l| net.link(l).src.index() == s && net.link(l).dst.index() == t)
+            .unwrap()
+    }
+
+    fn setup() -> (Network, ClassMatrices) {
+        let net = net();
+        let mut tm = ClassMatrices::zeros(4);
+        tm.delay.set(0, 3, 10.0);
+        (net, tm)
+    }
+
+    #[test]
+    fn fully_redundant_pair_has_full_availability() {
+        let (net, tm) = setup();
+        let ev = Evaluator::new(&net, &tm, CostParams::default());
+        let universe = FailureUniverse::of(&net);
+        // Keep the delay class off the 40 ms branch: otherwise failing
+        // the direct link ECMP-ties the 6 ms and 40 ms two-hop paths and
+        // the conservative max aggregation counts the slow one.
+        let mut w = WeightSetting::uniform(net.num_links(), 20);
+        let slow = link_between(&net, 0, 2);
+        w.set(dtr_routing::Class::Delay, slow, 3);
+        if let Some(r) = net.reverse_link(slow) {
+            w.set(dtr_routing::Class::Delay, r, 3);
+        }
+        let model = FailureModel::uniform(&universe);
+        let report = analyze(&ev, &universe, &w, &model, 0.05);
+        assert_eq!(report.pairs.len(), 1);
+        assert_eq!(report.pairs[0].availability, 1.0);
+        assert_eq!(report.network_availability, 1.0);
+        assert_eq!(report.expected_violations, 0.0);
+        assert_eq!(report.mean_availability(), 1.0);
+    }
+
+    #[test]
+    fn violating_failure_state_costs_its_probability_share() {
+        let (net, tm) = setup();
+        let ev = Evaluator::new(&net, &tm, CostParams::default());
+        let universe = FailureUniverse::of(&net);
+        // Make the short relay unusable for the delay class: after the
+        // direct link fails, traffic takes the 40 ms path -> violation.
+        let mut w = WeightSetting::uniform(net.num_links(), 20);
+        for (s, t) in [(0usize, 1usize), (1usize, 3usize)] {
+            let l = link_between(&net, s, t);
+            w.set(dtr_routing::Class::Delay, l, 20);
+            if let Some(r) = net.reverse_link(l) {
+                w.set(dtr_routing::Class::Delay, r, 20);
+            }
+        }
+        let model = FailureModel::uniform(&universe);
+        let f = 0.10;
+        let report = analyze(&ev, &universe, &w, &model, f);
+        // Exactly one failing state (the direct link's) violates; uniform
+        // model over |failable| links.
+        let per_state = f / universe.len() as f64;
+        assert!((report.expected_violations - per_state).abs() < 1e-12);
+        assert!((report.pairs[0].availability - (1.0 - per_state)).abs() < 1e-12);
+        assert!((report.network_availability - (1.0 - per_state)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn link_weights_in_model_shift_availability() {
+        let (net, tm) = setup();
+        let ev = Evaluator::new(&net, &tm, CostParams::default());
+        let universe = FailureUniverse::of(&net);
+        let mut w = WeightSetting::uniform(net.num_links(), 20);
+        for (s, t) in [(0usize, 1usize), (1usize, 3usize)] {
+            let l = link_between(&net, s, t);
+            w.set(dtr_routing::Class::Delay, l, 20);
+            if let Some(r) = net.reverse_link(l) {
+                w.set(dtr_routing::Class::Delay, r, 20);
+            }
+        }
+        // Model A: the dangerous (direct) link almost never fails.
+        // Model B: it fails almost always. Availability must be higher
+        // under A.
+        let direct = link_between(&net, 0, 3);
+        let fi = universe.failure_index(direct).unwrap();
+        let mut low = FailureModel::uniform(&universe);
+        low.probabilities[fi] = 1e-6;
+        let mut high = FailureModel::uniform(&universe);
+        high.probabilities[fi] = 1e6;
+        let ra = analyze(&ev, &universe, &w, &low, 0.1);
+        let rb = analyze(&ev, &universe, &w, &high, 0.1);
+        assert!(ra.pairs[0].availability > rb.pairs[0].availability);
+    }
+
+    #[test]
+    fn worst_returns_lowest_availability_first() {
+        let (net, mut tm) = setup();
+        tm.delay.set(1, 2, 5.0);
+        let ev = Evaluator::new(&net, &tm, CostParams::default());
+        let universe = FailureUniverse::of(&net);
+        let w = WeightSetting::uniform(net.num_links(), 20);
+        let model = FailureModel::uniform(&universe);
+        let report = analyze(&ev, &universe, &w, &model, 0.2);
+        assert_eq!(report.pairs.len(), 2);
+        let worst = report.worst(1);
+        assert_eq!(worst.len(), 1);
+        assert!(worst[0].availability <= report.pairs[1].availability);
+        assert_eq!(report.worst(10).len(), 2);
+    }
+
+    #[test]
+    fn zero_failure_fraction_is_pure_normal_conditions() {
+        let (net, tm) = setup();
+        let ev = Evaluator::new(&net, &tm, CostParams::default());
+        let universe = FailureUniverse::of(&net);
+        let w = WeightSetting::uniform(net.num_links(), 20);
+        let model = FailureModel::uniform(&universe);
+        let report = analyze(&ev, &universe, &w, &model, 0.0);
+        // 10 ms < 25 ms: fully available.
+        assert_eq!(report.network_availability, 1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "failure fraction")]
+    fn bad_fraction_rejected() {
+        let (net, tm) = setup();
+        let ev = Evaluator::new(&net, &tm, CostParams::default());
+        let universe = FailureUniverse::of(&net);
+        let w = WeightSetting::uniform(net.num_links(), 20);
+        let model = FailureModel::uniform(&universe);
+        analyze(&ev, &universe, &w, &model, 1.0);
+    }
+}

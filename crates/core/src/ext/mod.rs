@@ -1,0 +1,24 @@
+//! Extensions sketched in the paper's conclusion (§VI).
+//!
+//! * [`probabilistic`] — "a probabilistic failure model can be formulated
+//!   as part of a robust optimization framework": Phase 2 with
+//!   per-scenario failure probabilities weighting the compound cost.
+//! * [`multi_failure`] — robustness evaluation under simultaneous
+//!   double-link failures (the paper's fn 16 reports single-link-robust
+//!   routings also mitigate "other types of failure patterns, e.g.,
+//!   multiple link failures").
+//! * [`srlg`] — shared-risk link groups: catalogs of links that fail
+//!   together (conduit cuts / line cards), and Phase-2 optimization
+//!   against the union of single-link and group failures.
+//! * [`topo_design`] — "jointly design routing and network topology to
+//!   maximize robustness": greedy link augmentation guided by the
+//!   compound failure cost.
+//! * [`availability`] — per-SD-pair SLA availability of a routing under a
+//!   probabilistic single-failure ensemble (the operator-facing view of
+//!   the same robustness question).
+
+pub mod availability;
+pub mod multi_failure;
+pub mod probabilistic;
+pub mod srlg;
+pub mod topo_design;

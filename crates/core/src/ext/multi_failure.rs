@@ -1,0 +1,164 @@
+//! Double-link failure robustness (fn 16 of the paper).
+//!
+//! The paper notes that routings optimized against all *single* link
+//! failures also mitigate other failure patterns, "e.g., multiple link
+//! failures". This module provides the machinery to check that claim:
+//! enumeration (or sampling) of survivable double-link failure scenarios
+//! and batch evaluation of a weight setting across them.
+
+use dtr_cost::{Evaluator, LexCost};
+use dtr_net::connectivity;
+use dtr_routing::{Scenario, WeightSetting};
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+
+use crate::parallel;
+use crate::universe::FailureUniverse;
+
+/// All survivable double-link failure scenarios (both physical links down
+/// simultaneously, network still strongly connected), optionally sampled
+/// down to `max_count` for tractability (there are O(|E|²) pairs).
+pub fn double_failures(
+    ev: &Evaluator<'_>,
+    universe: &FailureUniverse,
+    max_count: Option<usize>,
+    seed: u64,
+) -> Vec<Scenario> {
+    let net = ev.net();
+    let mut all = Vec::new();
+    for (i, &a) in universe.failable.iter().enumerate() {
+        for &b in &universe.failable[i + 1..] {
+            let sc = Scenario::DoubleLink(a, b);
+            if connectivity::is_strongly_connected(net, &sc.mask(net)) {
+                all.push(sc);
+            }
+        }
+    }
+    if let Some(cap) = max_count {
+        if all.len() > cap {
+            let mut rng = StdRng::seed_from_u64(seed ^ 0x94d0_49bb_1331_11eb);
+            all.shuffle(&mut rng);
+            all.truncate(cap);
+            all.sort_by_key(|sc| match sc {
+                Scenario::DoubleLink(a, b) => (a.index(), b.index()),
+                _ => unreachable!(),
+            });
+        }
+    }
+    all
+}
+
+/// Summary of a weight setting's behaviour across a scenario batch.
+#[derive(Clone, Debug, PartialEq)]
+pub struct MultiFailureSummary {
+    /// Scenarios evaluated.
+    pub scenarios: usize,
+    /// Compound cost over all scenarios.
+    pub total: LexCost,
+    /// Mean SLA violations per scenario.
+    pub mean_violations: f64,
+    /// Worst single-scenario violation count.
+    pub worst_violations: usize,
+}
+
+/// Evaluate `w` across the scenario batch.
+pub fn evaluate_batch(
+    ev: &Evaluator<'_>,
+    w: &WeightSetting,
+    scenarios: &[Scenario],
+    threads: usize,
+) -> MultiFailureSummary {
+    let total = parallel::sum_failure_costs(ev, w, scenarios, threads);
+    // Violation counts need full breakdowns; reuse the serial path (the
+    // batch sizes here are modest).
+    let mut sum_v = 0usize;
+    let mut worst = 0usize;
+    for &sc in scenarios {
+        let v = ev.evaluate(w, sc).sla.violations;
+        sum_v += v;
+        worst = worst.max(v);
+    }
+    MultiFailureSummary {
+        scenarios: scenarios.len(),
+        total,
+        mean_violations: if scenarios.is_empty() {
+            0.0
+        } else {
+            sum_v as f64 / scenarios.len() as f64
+        },
+        worst_violations: worst,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dtr_cost::CostParams;
+    use dtr_net::{NetworkBuilder, Point};
+    use dtr_traffic::gravity;
+
+    /// Well-connected 6-node network (ring + 2 chords): many double
+    /// failures are survivable.
+    fn testbed() -> (dtr_net::Network, dtr_traffic::ClassMatrices) {
+        let mut b = NetworkBuilder::new();
+        let n: Vec<_> = (0..6)
+            .map(|i| b.add_node(Point::new(i as f64, 0.0)))
+            .collect();
+        for i in 0..6 {
+            b.add_duplex_link(n[i], n[(i + 1) % 6], 1e6, 2e-3).unwrap();
+        }
+        b.add_duplex_link(n[0], n[3], 1e6, 2e-3).unwrap();
+        b.add_duplex_link(n[1], n[4], 1e6, 2e-3).unwrap();
+        let net = b.build().unwrap();
+        let tm = gravity::generate(&gravity::GravityConfig {
+            total_volume: 1e6,
+            ..gravity::GravityConfig::paper_default(6, 11)
+        });
+        (net, tm)
+    }
+
+    #[test]
+    fn enumeration_keeps_only_survivable_pairs() {
+        let (net, tm) = testbed();
+        let ev = Evaluator::new(&net, &tm, CostParams::default());
+        let universe = FailureUniverse::of(&net);
+        let all = double_failures(&ev, &universe, None, 0);
+        // Every returned scenario must keep the net connected.
+        for sc in &all {
+            assert!(connectivity::is_strongly_connected(&net, &sc.mask(&net)));
+        }
+        // A ring with two chords: some pairs partition (e.g. the two ring
+        // links around a degree-2 node), so strictly fewer than C(8,2)=28.
+        assert!(!all.is_empty());
+        assert!(all.len() < 28, "got {}", all.len());
+    }
+
+    #[test]
+    fn sampling_caps_and_is_deterministic() {
+        let (net, tm) = testbed();
+        let ev = Evaluator::new(&net, &tm, CostParams::default());
+        let universe = FailureUniverse::of(&net);
+        let a = double_failures(&ev, &universe, Some(5), 3);
+        let b = double_failures(&ev, &universe, Some(5), 3);
+        assert_eq!(a.len(), 5);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn batch_evaluation_summary_is_consistent() {
+        let (net, tm) = testbed();
+        let ev = Evaluator::new(&net, &tm, CostParams::default());
+        let universe = FailureUniverse::of(&net);
+        let scenarios = double_failures(&ev, &universe, Some(6), 1);
+        let w = WeightSetting::uniform(net.num_links(), 20);
+        let s = evaluate_batch(&ev, &w, &scenarios, 1);
+        assert_eq!(s.scenarios, scenarios.len());
+        assert!(s.worst_violations as f64 >= s.mean_violations);
+        // Total equals the sum of individual costs.
+        let manual = scenarios
+            .iter()
+            .fold(LexCost::ZERO, |acc, &sc| acc.add(&ev.cost(&w, sc)));
+        assert_eq!(manual, s.total);
+    }
+}

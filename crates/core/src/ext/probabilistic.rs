@@ -1,0 +1,184 @@
+//! Probabilistic failure model (conclusion extension).
+//!
+//! Instead of weighting every single-link failure equally in `Kfail`
+//! (Eq. 4 sums uniformly), each scenario gets a probability `p_l` and the
+//! objective becomes the *expected* failure cost
+//! `⟨Σ p_l·Λfail,l, Σ p_l·Φfail,l⟩`. The critical-link machinery carries
+//! over unchanged — exactly the claim of §VI — with one refinement: the
+//! criticality that drives selection is scaled by the same probabilities,
+//! so rarely-failing links are (correctly) harder to justify a slot for.
+
+use dtr_cost::Evaluator;
+use dtr_net::Network;
+
+use crate::criticality::Criticality;
+use crate::params::Params;
+use crate::phase1::Phase1Output;
+use crate::phase2::{self, Phase2Output};
+use crate::selection;
+use crate::universe::FailureUniverse;
+
+/// Per-failable-link failure probabilities (index-aligned with
+/// `FailureUniverse::failable`). Values need not sum to 1 — only relative
+/// magnitude matters to the optimization.
+#[derive(Clone, Debug)]
+pub struct FailureModel {
+    pub probabilities: Vec<f64>,
+}
+
+impl FailureModel {
+    /// Uniform model: recovers the paper's plain Eq. (4) objective.
+    pub fn uniform(universe: &FailureUniverse) -> Self {
+        FailureModel {
+            probabilities: vec![1.0; universe.len()],
+        }
+    }
+
+    /// Length-proportional model: long-haul links fail more often (fiber
+    /// cuts scale with route mileage — the standard ISP availability
+    /// model). Probability ∝ propagation delay.
+    pub fn length_proportional(net: &Network, universe: &FailureUniverse) -> Self {
+        let probabilities = universe
+            .failable
+            .iter()
+            .map(|&l| net.link(l).prop_delay.max(f64::MIN_POSITIVE))
+            .collect();
+        FailureModel { probabilities }
+    }
+
+    /// Validate against a universe.
+    pub fn validate(&self, universe: &FailureUniverse) {
+        assert_eq!(
+            self.probabilities.len(),
+            universe.len(),
+            "one probability per failable link"
+        );
+        assert!(
+            self.probabilities
+                .iter()
+                .all(|&p| p >= 0.0 && p.is_finite()),
+            "probabilities must be finite and non-negative"
+        );
+    }
+}
+
+/// Probability-weighted critical-link selection: the expected-cost
+/// criticality of link `l` is its distribution-shape criticality times its
+/// failure probability.
+pub fn select_critical(
+    phase1: &Phase1Output,
+    model: &FailureModel,
+    universe: &FailureUniverse,
+    params: &Params,
+    n: usize,
+) -> Vec<usize> {
+    model.validate(universe);
+    let base = Criticality::estimate(&phase1.store, params.left_tail_fraction);
+    let scaled = Criticality {
+        rho_lambda: scale(&base.rho_lambda, &model.probabilities),
+        rho_phi: scale(&base.rho_phi, &model.probabilities),
+        norm_lambda: scale(&base.norm_lambda, &model.probabilities),
+        norm_phi: scale(&base.norm_phi, &model.probabilities),
+    };
+    selection::select(&scaled, n).indices
+}
+
+fn scale(values: &[f64], by: &[f64]) -> Vec<f64> {
+    values.iter().zip(by).map(|(&v, &p)| v * p).collect()
+}
+
+/// Run the probabilistic robust optimization: criticality-select under the
+/// model, then Phase 2 with probability-weighted scenario costs.
+pub fn optimize(
+    ev: &Evaluator<'_>,
+    universe: &FailureUniverse,
+    params: &Params,
+    phase1: &Phase1Output,
+    model: &FailureModel,
+) -> Phase2Output {
+    model.validate(universe);
+    let n = universe.target_size(params.critical_fraction);
+    let critical = select_critical(phase1, model, universe, params, n);
+    let weights: Vec<f64> = critical.iter().map(|&i| model.probabilities[i]).collect();
+    phase2::run(ev, universe, &critical, params, phase1, Some(&weights))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::phase1;
+    use dtr_cost::CostParams;
+    use dtr_net::{NetworkBuilder, Point};
+    use dtr_traffic::gravity;
+
+    fn testbed() -> (dtr_net::Network, dtr_traffic::ClassMatrices) {
+        let mut b = NetworkBuilder::new();
+        let n: Vec<_> = (0..6)
+            .map(|i| b.add_node(Point::new(i as f64 * 0.2, (i % 2) as f64 * 0.3)))
+            .collect();
+        for i in 0..6 {
+            b.add_duplex_link(n[i], n[(i + 1) % 6], 1e6, 1e-3 * (i + 1) as f64)
+                .unwrap();
+        }
+        b.add_duplex_link(n[0], n[3], 1e6, 2e-3).unwrap();
+        let net = b.build().unwrap();
+        let tm = gravity::generate(&gravity::GravityConfig {
+            total_volume: 2e6,
+            ..gravity::GravityConfig::paper_default(6, 3)
+        });
+        (net, tm)
+    }
+
+    #[test]
+    fn uniform_model_matches_unweighted_selection() {
+        let (net, tm) = testbed();
+        let ev = Evaluator::new(&net, &tm, CostParams::default());
+        let universe = FailureUniverse::of(&net);
+        let params = Params::quick(5);
+        let p1 = phase1::run(&ev, &universe, &params);
+        let model = FailureModel::uniform(&universe);
+        let a = select_critical(&p1, &model, &universe, &params, 3);
+        let base = Criticality::estimate(&p1.store, params.left_tail_fraction);
+        let b = selection::select(&base, 3).indices;
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn length_proportional_model_prefers_long_links() {
+        let (net, _) = testbed();
+        let universe = FailureUniverse::of(&net);
+        let model = FailureModel::length_proportional(&net, &universe);
+        // Probabilities mirror the per-link delays we constructed.
+        for (i, &l) in universe.failable.iter().enumerate() {
+            assert_eq!(model.probabilities[i], net.link(l).prop_delay);
+        }
+    }
+
+    #[test]
+    fn probabilistic_optimization_runs_and_is_feasible() {
+        let (net, tm) = testbed();
+        let ev = Evaluator::new(&net, &tm, CostParams::default());
+        let universe = FailureUniverse::of(&net);
+        let params = Params::quick(7);
+        let p1 = phase1::run(&ev, &universe, &params);
+        let model = FailureModel::length_proportional(&net, &universe);
+        let out = optimize(&ev, &universe, &params, &p1, &model);
+        assert!(phase2::feasible(
+            &out.best_normal,
+            p1.best_cost.lambda,
+            p1.best_cost.phi,
+            params.chi
+        ));
+    }
+
+    #[test]
+    #[should_panic(expected = "one probability per failable link")]
+    fn wrong_model_size_panics() {
+        let (net, _) = testbed();
+        let universe = FailureUniverse::of(&net);
+        FailureModel {
+            probabilities: vec![1.0],
+        }
+        .validate(&universe);
+    }
+}

@@ -1,0 +1,326 @@
+//! Shared-risk link group (SRLG) robustness (extension).
+//!
+//! In real backbones, "independent" links often share fate: several
+//! fibers ride one conduit, several interfaces sit on one line card. A
+//! conduit cut then downs the whole group at once — a failure pattern
+//! between the paper's single-link failures (§III) and its node failures
+//! (§V-F). This module builds SRLG catalogs (explicitly, or geometrically
+//! by clustering links whose midpoints are close — the conduit
+//! approximation), filters out partitioning groups, and plugs the
+//! resulting scenarios into the paper's Phase-2 machinery, which needs no
+//! change: a scenario is a scenario.
+
+use dtr_cost::{Evaluator, LexCost};
+use dtr_net::{connectivity, LinkId, Network, Point};
+use dtr_routing::{LinkGroup, Scenario, WeightSetting, MAX_GROUP_SIZE};
+
+use crate::parallel;
+use crate::params::Params;
+use crate::phase1::Phase1Output;
+use crate::phase2::{self, Phase2Output};
+use crate::universe::FailureUniverse;
+
+/// A catalog of shared-risk link groups over one network.
+#[derive(Clone, Debug, PartialEq)]
+pub struct SrlgCatalog {
+    groups: Vec<LinkGroup>,
+}
+
+impl SrlgCatalog {
+    /// Catalog from explicit groups (each a set of duplex
+    /// representatives).
+    ///
+    /// # Panics
+    /// Panics if any group references a link id outside the network, or
+    /// violates [`LinkGroup`]'s size bounds.
+    pub fn explicit(net: &Network, groups: &[Vec<LinkId>]) -> Self {
+        for g in groups {
+            for &l in g {
+                assert!(l.index() < net.num_links(), "link {l} outside network");
+            }
+        }
+        SrlgCatalog {
+            groups: groups.iter().map(|g| LinkGroup::new(g)).collect(),
+        }
+    }
+
+    /// Geometric catalog: cluster physical links whose midpoints lie
+    /// within `radius` of each other (single-linkage union-find) — the
+    /// standard "links in the same conduit run close together"
+    /// approximation. Clusters of size ≥ 2 become groups; oversized
+    /// clusters are split into [`MAX_GROUP_SIZE`]-chunks (nearest
+    /// members stay together because chunking follows the midpoint
+    /// ordering).
+    pub fn geographic(net: &Network, radius: f64) -> Self {
+        assert!(radius >= 0.0 && radius.is_finite(), "radius must be >= 0");
+        let reps = net.duplex_representatives();
+        let mids: Vec<Point> = reps
+            .iter()
+            .map(|&l| {
+                let link = net.link(l);
+                let a = net.position(link.src);
+                let b = net.position(link.dst);
+                Point::new((a.x + b.x) / 2.0, (a.y + b.y) / 2.0)
+            })
+            .collect();
+
+        // Union-find over representatives.
+        let mut parent: Vec<usize> = (0..reps.len()).collect();
+        fn find(parent: &mut Vec<usize>, i: usize) -> usize {
+            if parent[i] != i {
+                let root = find(parent, parent[i]);
+                parent[i] = root;
+            }
+            parent[i]
+        }
+        for i in 0..reps.len() {
+            for j in (i + 1)..reps.len() {
+                if mids[i].distance(&mids[j]) <= radius {
+                    let (a, b) = (find(&mut parent, i), find(&mut parent, j));
+                    if a != b {
+                        parent[a] = b;
+                    }
+                }
+            }
+        }
+
+        let mut clusters: std::collections::BTreeMap<usize, Vec<usize>> = Default::default();
+        for i in 0..reps.len() {
+            let root = find(&mut parent, i);
+            clusters.entry(root).or_default().push(i);
+        }
+
+        let mut groups = Vec::new();
+        for members in clusters.values() {
+            if members.len() < 2 {
+                continue; // singleton risk = the ordinary single-link universe
+            }
+            // Deterministic chunking along ascending midpoint x, then y.
+            let mut order = members.clone();
+            order.sort_by(|&a, &b| {
+                (mids[a].x, mids[a].y, a)
+                    .partial_cmp(&(mids[b].x, mids[b].y, b))
+                    .expect("finite coordinates")
+            });
+            for chunk in order.chunks(MAX_GROUP_SIZE) {
+                if chunk.len() >= 2 {
+                    let links: Vec<LinkId> = chunk.iter().map(|&i| reps[i]).collect();
+                    groups.push(LinkGroup::new(&links));
+                }
+            }
+        }
+        SrlgCatalog { groups }
+    }
+
+    /// The groups, in deterministic order.
+    pub fn groups(&self) -> &[LinkGroup] {
+        &self.groups
+    }
+
+    /// Number of groups.
+    pub fn len(&self) -> usize {
+        self.groups.len()
+    }
+
+    /// `true` when the catalog holds no groups.
+    pub fn is_empty(&self) -> bool {
+        self.groups.is_empty()
+    }
+
+    /// The group failure scenarios whose surviving network is still
+    /// strongly connected (partitioning groups carry no optimization
+    /// signal, mirroring the bridge exclusion of the single-link
+    /// universe).
+    pub fn survivable_scenarios(&self, net: &Network) -> Vec<Scenario> {
+        self.groups
+            .iter()
+            .map(|&g| Scenario::Srlg(g))
+            .filter(|sc| connectivity::is_strongly_connected(net, &sc.mask(net)))
+            .collect()
+    }
+}
+
+/// Compound failure cost of `w` over the catalog's survivable group
+/// failures: `⟨Σ_g Λfail,g, Σ_g Φfail,g⟩`.
+pub fn srlg_kfail(
+    ev: &Evaluator<'_>,
+    w: &WeightSetting,
+    catalog: &SrlgCatalog,
+    threads: usize,
+) -> LexCost {
+    let scenarios = catalog.survivable_scenarios(ev.net());
+    parallel::failure_costs(ev, w, &scenarios, threads)
+        .iter()
+        .fold(LexCost::ZERO, |a, c| a.add(c))
+}
+
+/// Run Phase 2 against the union of the single-link critical set and the
+/// SRLG catalog — a routing robust to both everyday link failures and
+/// shared-fate group failures. Single-link scenarios come from
+/// `critical_indices` (Phase 1c output); group scenarios from `catalog`.
+pub fn optimize_robust_srlg(
+    ev: &Evaluator<'_>,
+    universe: &FailureUniverse,
+    critical_indices: &[usize],
+    catalog: &SrlgCatalog,
+    params: &Params,
+    phase1: &Phase1Output,
+) -> Phase2Output {
+    let mut scenarios = universe.scenarios_for(critical_indices);
+    scenarios.extend(catalog.survivable_scenarios(ev.net()));
+    phase2::run_scenarios(ev, &scenarios, params, phase1, None)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::phase1;
+    use dtr_cost::CostParams;
+    use dtr_net::{NetworkBuilder, Point};
+    use dtr_traffic::{gravity, ClassMatrices};
+
+    /// 8 nodes on a circle, ring + 4 chords: well connected, with two
+    /// parallel chords placed close together (shared-conduit bait).
+    fn testbed() -> (Network, ClassMatrices) {
+        let mut b = NetworkBuilder::new();
+        let n: Vec<_> = (0..8)
+            .map(|i| {
+                let a = i as f64 * std::f64::consts::TAU / 8.0;
+                b.add_node(Point::new(a.cos(), a.sin()))
+            })
+            .collect();
+        for i in 0..8 {
+            b.add_duplex_link(n[i], n[(i + 1) % 8], 1e6, 2e-3).unwrap();
+        }
+        b.add_duplex_link(n[0], n[4], 1e6, 2e-3).unwrap();
+        b.add_duplex_link(n[1], n[5], 1e6, 2e-3).unwrap();
+        b.add_duplex_link(n[2], n[6], 1e6, 2e-3).unwrap();
+        b.add_duplex_link(n[3], n[7], 1e6, 2e-3).unwrap();
+        let net = b.build().unwrap();
+        let tm = gravity::generate(&gravity::GravityConfig {
+            total_volume: 2e6,
+            ..gravity::GravityConfig::paper_default(8, 3)
+        });
+        (net, tm)
+    }
+
+    #[test]
+    fn explicit_catalog_round_trips() {
+        let (net, _) = testbed();
+        let reps = net.duplex_representatives();
+        let cat = SrlgCatalog::explicit(&net, &[vec![reps[0], reps[1]], vec![reps[2]]]);
+        assert_eq!(cat.len(), 2);
+        assert!(!cat.is_empty());
+        assert_eq!(cat.groups()[0].len(), 2);
+        assert!(cat.groups()[1].is_singleton());
+    }
+
+    #[test]
+    fn geographic_catalog_groups_nearby_links() {
+        let (net, _) = testbed();
+        // All four chords pass through the circle center: their midpoints
+        // coincide, so a small radius must group them (4 ≥ 2 members).
+        let cat = SrlgCatalog::geographic(&net, 0.05);
+        assert!(
+            cat.groups().iter().any(|g| g.len() >= 2),
+            "expected the central chords to share a group"
+        );
+        // Ring-edge midpoints are far apart: a tiny radius yields no
+        // ring groups of size 8 (only the chord cluster).
+        for g in cat.groups() {
+            assert!(g.len() <= MAX_GROUP_SIZE);
+        }
+    }
+
+    #[test]
+    fn geographic_tiny_radius_groups_only_coincident_midpoints() {
+        let (net, _) = testbed();
+        // The 4 chords all have midpoint ≈ (0,0) (up to f64 trig noise):
+        // a hair of a radius groups exactly them, nothing else.
+        let cat = SrlgCatalog::geographic(&net, 1e-9);
+        assert_eq!(cat.len(), 1);
+        assert_eq!(cat.groups()[0].len(), 4);
+    }
+
+    #[test]
+    fn geographic_catalog_is_deterministic() {
+        let (net, _) = testbed();
+        let a = SrlgCatalog::geographic(&net, 0.3);
+        let b = SrlgCatalog::geographic(&net, 0.3);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn survivable_scenarios_filter_partitions() {
+        let (net, _) = testbed();
+        let reps = net.duplex_representatives();
+        // Group that cuts the whole ring neighbourhood of node 0: links
+        // 0-1 and 7-0 plus chord 0-4 — node 0 is isolated, partition.
+        let incident: Vec<LinkId> = reps
+            .iter()
+            .copied()
+            .filter(|&l| {
+                let link = net.link(l);
+                link.src.index() == 0 || link.dst.index() == 0
+            })
+            .collect();
+        assert!(incident.len() >= 3);
+        let cat = SrlgCatalog::explicit(&net, &[incident, vec![reps[0], reps[1]]]);
+        let survivable = cat.survivable_scenarios(&net);
+        // The isolating group is dropped, the 2-link group survives.
+        assert_eq!(survivable.len(), 1);
+    }
+
+    #[test]
+    fn srlg_kfail_is_sum_of_member_scenario_costs() {
+        let (net, tm) = testbed();
+        let ev = Evaluator::new(&net, &tm, CostParams::default());
+        let reps = net.duplex_representatives();
+        let cat = SrlgCatalog::explicit(&net, &[vec![reps[8], reps[9]], vec![reps[10]]]);
+        let w = WeightSetting::uniform(net.num_links(), 20);
+        let total = srlg_kfail(&ev, &w, &cat, 1);
+        let mut manual = LexCost::ZERO;
+        for sc in cat.survivable_scenarios(&net) {
+            manual = manual.add(&ev.cost(&w, sc));
+        }
+        assert_eq!(total, manual);
+    }
+
+    #[test]
+    fn srlg_robust_optimization_improves_group_kfail() {
+        let (net, tm) = testbed();
+        let ev = Evaluator::new(&net, &tm, CostParams::default());
+        let universe = FailureUniverse::of(&net);
+        let params = Params::quick(19);
+        let p1 = phase1::run(&ev, &universe, &params);
+
+        // Catalog: the four central chords share a conduit.
+        let cat = SrlgCatalog::geographic(&net, 0.05);
+        assert!(!cat.is_empty());
+
+        let out = optimize_robust_srlg(&ev, &universe, &[0, 1, 2], &cat, &params, &p1);
+
+        // Constraints (Eqs. 5-6) hold versus the Phase-1 benchmarks.
+        assert!(phase2::feasible(
+            &out.best_normal,
+            p1.best_cost.lambda,
+            p1.best_cost.phi,
+            params.chi
+        ));
+        // And the SRLG-aware solution does not lose to the regular one on
+        // the SRLG compound cost (it was part of its objective).
+        let srlg_reg = srlg_kfail(&ev, &p1.best, &cat, 1);
+        let srlg_rob = srlg_kfail(&ev, &out.best, &cat, 1);
+        assert!(
+            !srlg_reg.better_than(&srlg_rob) || srlg_rob.lambda <= srlg_reg.lambda,
+            "SRLG-robust routing regressed: regular {srlg_reg} vs robust {srlg_rob}"
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "outside network")]
+    fn explicit_rejects_foreign_links() {
+        let (net, _) = testbed();
+        SrlgCatalog::explicit(&net, &[vec![LinkId::new(10_000)]]);
+    }
+}

@@ -1,0 +1,57 @@
+//! Full search — the brute-force baseline (`Ec = E`, §IV-E).
+//!
+//! Identical to Phase 2 but evaluating **every** survivable failure per
+//! candidate move. Used as the accuracy yardstick for Table I (βfull) and
+//! as the reference in the timing comparison of §IV-E2.
+
+use dtr_cost::Evaluator;
+
+use crate::params::Params;
+use crate::phase1::Phase1Output;
+use crate::phase2::{self, Phase2Output};
+use crate::universe::FailureUniverse;
+
+/// Run the robust search against the full failure universe.
+pub fn full_search(
+    ev: &Evaluator<'_>,
+    universe: &FailureUniverse,
+    params: &Params,
+    phase1: &Phase1Output,
+) -> Phase2Output {
+    let all: Vec<usize> = (0..universe.len()).collect();
+    phase2::run(ev, universe, &all, params, phase1, None)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{parallel, phase1};
+    use dtr_cost::CostParams;
+    use dtr_net::{NetworkBuilder, Point};
+    use dtr_traffic::gravity;
+
+    #[test]
+    fn full_search_covers_all_failures() {
+        let mut b = NetworkBuilder::new();
+        let n: Vec<_> = (0..5)
+            .map(|i| b.add_node(Point::new(i as f64, 0.0)))
+            .collect();
+        for i in 0..5 {
+            b.add_duplex_link(n[i], n[(i + 1) % 5], 1e6, 2e-3).unwrap();
+        }
+        b.add_duplex_link(n[0], n[2], 1e6, 2e-3).unwrap();
+        let net = b.build().unwrap();
+        let tm = gravity::generate(&gravity::GravityConfig {
+            total_volume: 2e6,
+            ..gravity::GravityConfig::paper_default(5, 3)
+        });
+        let ev = Evaluator::new(&net, &tm, CostParams::default());
+        let universe = FailureUniverse::of(&net);
+        let params = Params::quick(17);
+        let p1 = phase1::run(&ev, &universe, &params);
+        let out = full_search(&ev, &universe, &params, &p1);
+        // Kfail reported over the complete universe.
+        let recheck = parallel::sum_failure_costs(&ev, &out.best, &universe.scenarios(), 1);
+        assert_eq!(recheck, out.best_kfail);
+    }
+}

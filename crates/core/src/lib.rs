@@ -1,0 +1,61 @@
+//! # dtr-core — robust DTR optimization (the paper's contribution)
+//!
+//! Implements §IV of *"Balancing Performance, Robustness and Flexibility in
+//! Routing Systems"*: a two-phase local-search heuristic that finds one DTR
+//! weight setting performing well under normal conditions **and** under
+//! every single link failure, made tractable by a principled critical-link
+//! methodology.
+//!
+//! Pipeline (Fig. 1 of the paper):
+//!
+//! 1. **Phase 1a** ([`phase1`]) — local search minimizing the normal-
+//!    conditions cost `Knormal` (Eq. 3). Along the way, weight
+//!    perturbations that *emulate failures* (both class weights of a link
+//!    pushed into `[q·wmax, wmax]`) are harvested as samples of the
+//!    conditional failure-cost distribution of that link ([`samples`]).
+//! 2. **Phase 1b** ([`phase1b`]) — if the criticality *ranking* has not
+//!    converged (rank-change index `S ≤ e`, [`ranking`]), generate more
+//!    failure-emulating samples until it has.
+//! 3. **Phase 1c** ([`selection`]) — link criticality `ρ = mean −
+//!    left-tail-mean` of each link's distribution ([`criticality`]),
+//!    normalized per class, merged into one critical set by Algorithm 1.
+//! 4. **Phase 2** ([`phase2`]) — local search minimizing the compound
+//!    failure cost `K̄fail` over the critical set only (Eq. 7), constrained
+//!    to keep normal-conditions performance (Eqs. 5–6).
+//!
+//! [`pipeline::RobustOptimizer`] runs the whole thing;
+//! [`full_search::full_search`] is the brute-force `Ec = E` baseline;
+//! [`baselines`] implements the prior-art critical-link selectors the
+//! paper compares against (§IV-C); [`ext`] carries the extensions sketched
+//! in the paper's conclusion (probabilistic failure model, multi-failure
+//! robustness).
+//!
+//! Determinism: all randomness flows from [`Params::seed`].
+//! Parallelism: failure-cost sums fan out over scenarios with scoped
+//! threads ([`parallel`]) — [`Params::threads`] `= 1` gives a fully serial,
+//! bit-reproducible run (parallel sums are reduced in scenario order, so
+//! results are identical across thread counts anyway).
+
+#![forbid(unsafe_code)]
+
+pub mod baselines;
+pub mod criticality;
+pub mod ext;
+pub mod full_search;
+pub mod parallel;
+mod params;
+pub mod phase1;
+pub mod phase1b;
+pub mod phase2;
+pub mod pipeline;
+pub mod ranking;
+pub mod samples;
+pub mod search;
+pub mod selection;
+pub mod str_baseline;
+pub mod strategies;
+mod universe;
+
+pub use params::Params;
+pub use pipeline::{RobustOptimizer, RobustReport};
+pub use universe::FailureUniverse;

@@ -1,0 +1,123 @@
+//! Parallel failure-cost sums.
+//!
+//! Phase 2's objective `K̄fail = ⟨Σ_l Λfail,l, Σ_l Φfail,l⟩` (Eq. 7)
+//! requires one full two-class evaluation per critical link. The scenarios
+//! are independent, so they fan out over scoped threads. Per-scenario
+//! costs land in a pre-indexed buffer and are reduced **in scenario
+//! order**, so the floating-point sum — and therefore the whole
+//! optimization trajectory — is identical for every thread count.
+
+use dtr_cost::{Evaluator, LexCost};
+use dtr_routing::{Scenario, WeightSetting};
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+/// Per-scenario costs of `w` under every scenario, in input order.
+pub fn failure_costs(
+    ev: &Evaluator<'_>,
+    w: &WeightSetting,
+    scenarios: &[Scenario],
+    threads: usize,
+) -> Vec<LexCost> {
+    assert!(threads >= 1);
+    let mut out = vec![LexCost::ZERO; scenarios.len()];
+    if threads == 1 || scenarios.len() <= 1 {
+        for (slot, &sc) in out.iter_mut().zip(scenarios) {
+            *slot = ev.cost(w, sc);
+        }
+        return out;
+    }
+    let next = AtomicUsize::new(0);
+    let slots: Vec<parking_lot::Mutex<LexCost>> =
+        out.iter().map(|&c| parking_lot::Mutex::new(c)).collect();
+    crossbeam::thread::scope(|s| {
+        for _ in 0..threads.min(scenarios.len()) {
+            s.spawn(|_| loop {
+                let i = next.fetch_add(1, Ordering::Relaxed);
+                if i >= scenarios.len() {
+                    break;
+                }
+                let cost = ev.cost(w, scenarios[i]);
+                *slots[i].lock() = cost;
+            });
+        }
+    })
+    .expect("failure-evaluation worker panicked");
+    for (slot, m) in out.iter_mut().zip(&slots) {
+        *slot = *m.lock();
+    }
+    out
+}
+
+/// Ordered sum of [`failure_costs`]: the compound `K̄fail`.
+pub fn sum_failure_costs(
+    ev: &Evaluator<'_>,
+    w: &WeightSetting,
+    scenarios: &[Scenario],
+    threads: usize,
+) -> LexCost {
+    failure_costs(ev, w, scenarios, threads)
+        .iter()
+        .fold(LexCost::ZERO, |acc, c| acc.add(c))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dtr_cost::CostParams;
+    use dtr_net::{Network, NetworkBuilder, Point};
+    use dtr_traffic::ClassMatrices;
+
+    fn ring(n: usize) -> Network {
+        let mut b = NetworkBuilder::new();
+        let ids: Vec<_> = (0..n).map(|_| b.add_node(Point::ORIGIN)).collect();
+        for i in 0..n {
+            b.add_duplex_link(ids[i], ids[(i + 1) % n], 100.0, 1e-3)
+                .unwrap();
+        }
+        b.build().unwrap()
+    }
+
+    fn setup(n: usize) -> (Network, ClassMatrices) {
+        let net = ring(n);
+        let mut tm = ClassMatrices::zeros(n);
+        for s in 0..n {
+            tm.delay.set(s, (s + 1) % n, 5.0);
+            tm.throughput.set(s, (s + 2) % n, 10.0);
+        }
+        (net, tm)
+    }
+
+    #[test]
+    fn serial_and_parallel_agree_exactly() {
+        let (net, tm) = setup(6);
+        let ev = Evaluator::new(&net, &tm, CostParams::default());
+        let w = WeightSetting::uniform(net.num_links(), 20);
+        let scenarios = Scenario::all_link_failures(&net);
+        assert_eq!(scenarios.len(), 6);
+        let serial = failure_costs(&ev, &w, &scenarios, 1);
+        let parallel = failure_costs(&ev, &w, &scenarios, 4);
+        assert_eq!(serial, parallel);
+        let s1 = sum_failure_costs(&ev, &w, &scenarios, 1);
+        let s4 = sum_failure_costs(&ev, &w, &scenarios, 4);
+        assert_eq!(s1, s4);
+    }
+
+    #[test]
+    fn sum_matches_manual_accumulation() {
+        let (net, tm) = setup(5);
+        let ev = Evaluator::new(&net, &tm, CostParams::default());
+        let w = WeightSetting::uniform(net.num_links(), 20);
+        let scenarios = Scenario::all_link_failures(&net);
+        let costs = failure_costs(&ev, &w, &scenarios, 1);
+        let manual = costs.iter().fold(LexCost::ZERO, |a, c| a.add(c));
+        assert_eq!(manual, sum_failure_costs(&ev, &w, &scenarios, 1));
+    }
+
+    #[test]
+    fn empty_scenarios_sum_to_zero() {
+        let (net, tm) = setup(4);
+        let ev = Evaluator::new(&net, &tm, CostParams::default());
+        let w = WeightSetting::uniform(net.num_links(), 20);
+        assert_eq!(sum_failure_costs(&ev, &w, &[], 4), LexCost::ZERO);
+    }
+}

@@ -1,0 +1,180 @@
+//! Heuristic parameters (paper §IV-D1 and §V-A3).
+
+/// Every knob of the two-phase heuristic. `paper_default()` reproduces the
+/// values the paper evaluates with; `quick()` is a CI-sized preset used by
+/// tests and fast benches (documented in EXPERIMENTS.md).
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct Params {
+    /// Maximum IGP weight; weights live in `[1, wmax]`.
+    pub wmax: u32,
+    /// Failure-emulation band: a perturbation emulates a link failure when
+    /// both class weights land in `[q·wmax, wmax]` (paper: 0.7).
+    pub q: f64,
+    /// Sample-acceptance slack for the delay class: a pre-perturbation
+    /// setting is acceptable if its `Λ` exceeds the current best by at most
+    /// `z·B1` (paper: z = 0.5).
+    pub z: f64,
+    /// Throughput degradation budget χ: Phase 2 may degrade the normal-
+    /// conditions `Φ` by up to this fraction (Eq. 6; paper: 0.2). Also the
+    /// sample-acceptance slack for `Φ`.
+    pub chi: f64,
+    /// Left-tail fraction for criticality: mean of the lowest such share
+    /// of samples (paper fn 9: 10 %).
+    pub left_tail_fraction: f64,
+    /// Average new samples per link between criticality-rank re-checks
+    /// (paper: τ = 30).
+    pub tau: usize,
+    /// Rank-change convergence threshold `e` on both `S_Λ` and `S_Φ`
+    /// (paper: 2).
+    pub e: f64,
+    /// Stop when relative cost reduction over the trailing window of
+    /// diversifications falls below this (paper: c = 0.1 % = 0.001).
+    pub c: f64,
+    /// Trailing diversification window for the Phase-1 stop rule (paper:
+    /// P1 = 20).
+    pub p1: usize,
+    /// Trailing diversification window for the Phase-2 stop rule (paper:
+    /// P2 = 10).
+    pub p2: usize,
+    /// Iterations without improvement before Phase 1 restarts from a fresh
+    /// random setting (paper: 100).
+    pub div_interval_1: usize,
+    /// Same for Phase 2, which starts near known-good settings (paper: 30).
+    pub div_interval_2: usize,
+    /// Target critical-set size as a fraction of the failure universe
+    /// (paper default 0.15; Table I sweeps 0.05–0.25).
+    pub critical_fraction: f64,
+    /// Hard cap on Phase-1b sampling rounds (safety valve; the paper
+    /// assumes convergence, a cap keeps degenerate instances terminating).
+    pub max_phase1b_rounds: usize,
+    /// Archive size: how many acceptable settings Phase 1 keeps as Phase-2
+    /// starting points.
+    pub archive_size: usize,
+    /// Worker threads for failure-cost sums (1 = serial). Results are
+    /// identical for any value; this only changes wall-clock.
+    pub threads: usize,
+    /// Hard safety cap on sweeps per phase — a termination backstop far
+    /// above what the `c%` rule needs; never binding in practice.
+    pub max_iterations: usize,
+    /// Master RNG seed.
+    pub seed: u64,
+}
+
+impl Params {
+    /// The paper's published parameter set (§IV-D1, §V-A3).
+    pub fn paper_default(seed: u64) -> Self {
+        Params {
+            wmax: 20,
+            q: 0.7,
+            z: 0.5,
+            chi: 0.2,
+            left_tail_fraction: 0.10,
+            tau: 30,
+            e: 2.0,
+            c: 0.001,
+            p1: 20,
+            p2: 10,
+            div_interval_1: 100,
+            div_interval_2: 30,
+            critical_fraction: 0.15,
+            max_phase1b_rounds: 50,
+            archive_size: 12,
+            threads: 1,
+            max_iterations: 100_000,
+            seed,
+        }
+    }
+
+    /// CI-scale preset: same algorithm, drastically fewer iterations.
+    /// Intended for unit/integration tests and smoke benches on networks
+    /// of ≤ ~16 nodes.
+    pub fn quick(seed: u64) -> Self {
+        Params {
+            tau: 5,
+            p1: 2,
+            p2: 1,
+            div_interval_1: 12,
+            div_interval_2: 6,
+            max_phase1b_rounds: 6,
+            archive_size: 6,
+            max_iterations: 400,
+            ..Params::paper_default(seed)
+        }
+    }
+
+    /// Mid-scale preset: enough search to show the paper's qualitative
+    /// effects on 15–30-node networks in seconds-to-minutes, used by the
+    /// experiment harness at `Scale::Quick`.
+    pub fn reduced(seed: u64) -> Self {
+        Params {
+            tau: 10,
+            p1: 4,
+            p2: 2,
+            div_interval_1: 30,
+            div_interval_2: 12,
+            max_phase1b_rounds: 12,
+            ..Params::paper_default(seed)
+        }
+    }
+
+    /// Validate invariants (called by the pipeline).
+    pub fn validate(&self) {
+        assert!(self.wmax >= 2, "wmax must allow at least two levels");
+        assert!((0.0..1.0).contains(&self.q) && self.q > 0.0, "q in (0,1)");
+        assert!(self.z >= 0.0 && self.chi >= 0.0);
+        assert!(
+            self.left_tail_fraction > 0.0 && self.left_tail_fraction <= 0.5,
+            "left tail must be a small lower quantile"
+        );
+        assert!(self.tau >= 1 && self.e >= 0.0 && self.c >= 0.0);
+        assert!(self.p1 >= 1 && self.p2 >= 1);
+        assert!(self.div_interval_1 >= 1 && self.div_interval_2 >= 1);
+        assert!(
+            self.critical_fraction > 0.0 && self.critical_fraction <= 1.0,
+            "critical fraction in (0,1]"
+        );
+        assert!(self.archive_size >= 1);
+        assert!(self.threads >= 1);
+        assert!(self.max_iterations >= 1);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_defaults_match_publication() {
+        let p = Params::paper_default(0);
+        assert_eq!(p.wmax, 20);
+        assert_eq!(p.q, 0.7);
+        assert_eq!(p.z, 0.5);
+        assert_eq!(p.chi, 0.2);
+        assert_eq!(p.left_tail_fraction, 0.10);
+        assert_eq!(p.tau, 30);
+        assert_eq!(p.e, 2.0);
+        assert_eq!(p.c, 0.001);
+        assert_eq!(p.p1, 20);
+        assert_eq!(p.p2, 10);
+        assert_eq!(p.div_interval_1, 100);
+        assert_eq!(p.div_interval_2, 30);
+        assert_eq!(p.critical_fraction, 0.15);
+        p.validate();
+    }
+
+    #[test]
+    fn presets_validate() {
+        Params::quick(1).validate();
+        Params::reduced(2).validate();
+    }
+
+    #[test]
+    #[should_panic(expected = "critical fraction")]
+    fn zero_critical_fraction_rejected() {
+        Params {
+            critical_fraction: 0.0,
+            ..Params::paper_default(0)
+        }
+        .validate();
+    }
+}

@@ -1,0 +1,179 @@
+//! Phase 1b — targeted sample generation until rank convergence.
+//!
+//! Phase 1a's samples are a by-product of the optimization walk: a link
+//! only gets one when a random proposal happens to land in the failure-
+//! emulation band. If the criticality *ranking* has not stabilized by the
+//! end of Phase 1a (rank-change index above `e`), Phase 1b manufactures
+//! samples directly (§IV-D1): take an acceptable setting from the archive,
+//! force one failable link's weight pair into `[⌈q·wmax⌉, wmax]²`, evaluate,
+//! record. Each round adds `τ` samples per link (poorest-sampled links
+//! first within a round), then re-checks convergence.
+
+use dtr_cost::Evaluator;
+use dtr_routing::Scenario;
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+
+use crate::criticality::Criticality;
+use crate::params::Params;
+use crate::phase1::Phase1Output;
+use crate::search::{duplex_weights, failure_emulating_pair, set_duplex_weights};
+use crate::universe::FailureUniverse;
+
+/// Phase-1b accounting.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct Phase1bStats {
+    /// Sampling rounds executed (0 if Phase 1a had already converged).
+    pub rounds: usize,
+    /// Evaluations spent on manufactured samples.
+    pub evaluations: usize,
+    /// Whether the ranking converged by the end.
+    pub converged: bool,
+}
+
+/// Run Phase 1b in place on the Phase-1 output. No-op if already
+/// converged or if nothing can fail.
+pub fn run(
+    ev: &Evaluator<'_>,
+    universe: &FailureUniverse,
+    params: &Params,
+    phase1: &mut Phase1Output,
+) -> Phase1bStats {
+    let mut stats = Phase1bStats {
+        converged: phase1.converged,
+        ..Default::default()
+    };
+    if phase1.converged || universe.is_empty() {
+        return stats;
+    }
+    let mut rng = StdRng::seed_from_u64(params.seed ^ 0x517c_c1b7_2722_0a95);
+    let net = ev.net();
+
+    while !stats.converged && stats.rounds < params.max_phase1b_rounds {
+        stats.rounds += 1;
+
+        // τ samples per link this round, poorest links first so coverage
+        // stays balanced (the estimate quality is gated by the weakest
+        // link's sample count).
+        let mut order: Vec<usize> = (0..universe.len()).collect();
+        order.sort_by_key(|&i| phase1.store.count(i));
+        for _ in 0..params.tau {
+            order.shuffle(&mut rng);
+            for &fi in &order {
+                let rep = universe.failable[fi];
+                let (base, _) = phase1
+                    .archive
+                    .sample(&mut rng)
+                    .expect("phase 1 always archives its best setting");
+                let mut w = base.clone();
+                let (wd, wt) = failure_emulating_pair(params.wmax, params.q, &mut rng);
+                set_duplex_weights(&mut w, net, rep, wd, wt);
+                debug_assert!(w.emulates_failure(rep, params.q));
+                debug_assert_ne!(duplex_weights(&w, rep), (0, 0));
+                let cost = ev.cost(&w, Scenario::Normal);
+                stats.evaluations += 1;
+                phase1.store.record(fi, cost.lambda, cost.phi);
+            }
+        }
+
+        let crit = Criticality::estimate(&phase1.store, params.left_tail_fraction);
+        if let Some(change) = phase1
+            .tracker
+            .update(&crit.ranking_lambda(), &crit.ranking_phi())
+        {
+            stats.converged = change.converged(params.e);
+        }
+    }
+    phase1.converged = stats.converged;
+    stats
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::phase1;
+    use dtr_cost::CostParams;
+    use dtr_net::{Network, NetworkBuilder, Point};
+    use dtr_traffic::{gravity, ClassMatrices};
+
+    fn testbed() -> (Network, ClassMatrices) {
+        let mut b = NetworkBuilder::new();
+        let n: Vec<_> = (0..6)
+            .map(|i| b.add_node(Point::new(i as f64, (i % 2) as f64)))
+            .collect();
+        for i in 0..6 {
+            b.add_duplex_link(n[i], n[(i + 1) % 6], 1e6, 2e-3).unwrap();
+        }
+        b.add_duplex_link(n[0], n[3], 1e6, 2e-3).unwrap();
+        let net = b.build().unwrap();
+        let tm = gravity::generate(&gravity::GravityConfig {
+            total_volume: 2e6,
+            ..gravity::GravityConfig::paper_default(6, 1)
+        });
+        (net, tm)
+    }
+
+    #[test]
+    fn tops_up_samples_until_convergence_or_cap() {
+        let (net, tm) = testbed();
+        let ev = Evaluator::new(&net, &tm, CostParams::default());
+        let universe = FailureUniverse::of(&net);
+        let params = Params::quick(2);
+        let mut p1 = phase1::run(&ev, &universe, &params);
+        let before = p1.store.total();
+        p1.converged = false; // force Phase 1b to run
+        let stats = run(&ev, &universe, &params, &mut p1);
+        assert!(stats.rounds >= 1);
+        assert!(p1.store.total() > before);
+        // Every round adds exactly tau samples per failable link.
+        assert_eq!(
+            p1.store.total() - before,
+            stats.rounds * params.tau * universe.len()
+        );
+        assert_eq!(stats.evaluations, p1.store.total() - before);
+    }
+
+    #[test]
+    fn noop_when_already_converged() {
+        let (net, tm) = testbed();
+        let ev = Evaluator::new(&net, &tm, CostParams::default());
+        let universe = FailureUniverse::of(&net);
+        let params = Params::quick(2);
+        let mut p1 = phase1::run(&ev, &universe, &params);
+        p1.converged = true;
+        let before = p1.store.total();
+        let stats = run(&ev, &universe, &params, &mut p1);
+        assert_eq!(stats.rounds, 0);
+        assert_eq!(p1.store.total(), before);
+        assert!(stats.converged);
+    }
+
+    #[test]
+    fn sample_balance_improves() {
+        let (net, tm) = testbed();
+        let ev = Evaluator::new(&net, &tm, CostParams::default());
+        let universe = FailureUniverse::of(&net);
+        let params = Params::quick(4);
+        let mut p1 = phase1::run(&ev, &universe, &params);
+        p1.converged = false;
+        run(&ev, &universe, &params, &mut p1);
+        // After 1b, every failable link has at least tau samples.
+        assert!(p1.store.min_count() >= params.tau);
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let (net, tm) = testbed();
+        let ev = Evaluator::new(&net, &tm, CostParams::default());
+        let universe = FailureUniverse::of(&net);
+        let params = Params::quick(6);
+        let mk = || {
+            let mut p1 = phase1::run(&ev, &universe, &params);
+            p1.converged = false;
+            let st = run(&ev, &universe, &params, &mut p1);
+            (st, p1.store.total())
+        };
+        assert_eq!(mk(), mk());
+    }
+}

@@ -1,0 +1,333 @@
+//! Phase 2 — robust optimization over the critical set (Eqs. 4–7).
+//!
+//! Minimizes the compound failure cost
+//! `K̄fail = ⟨Σ_{l∈Ec} Λfail,l, Σ_{l∈Ec} Φfail,l⟩` subject to the
+//! normal-conditions constraints: `Λnormal` may not degrade at all (Eq. 5 —
+//! delay-sensitive applications fall off a cliff past the SLA), and
+//! `Φnormal` may degrade by at most `(1+χ)` (Eq. 6 — elastic traffic
+//! tolerates some slack in exchange for robustness).
+//!
+//! The search starts from, and diversifies back to, the Phase-1 archive of
+//! acceptable settings ("each diversification round starts with a weight
+//! setting close to one that already satisfies the constraints", §V-A3).
+//! A candidate move is first checked against the constraints with a single
+//! normal-conditions evaluation; only survivors pay for the full
+//! `|Ec|`-scenario failure sweep.
+
+use dtr_cost::{Evaluator, LexCost};
+use dtr_routing::{Scenario, WeightSetting};
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+
+use crate::parallel;
+use crate::params::Params;
+use crate::phase1::Phase1Output;
+use crate::search::{
+    duplex_weights, random_weight_pair, set_duplex_weights, SearchStats, StopRule,
+};
+use crate::universe::FailureUniverse;
+
+/// Result of the robust search.
+#[derive(Clone, Debug)]
+pub struct Phase2Output {
+    /// The robust weight setting `W`.
+    pub best: WeightSetting,
+    /// Its compound failure cost over the critical set.
+    pub best_kfail: LexCost,
+    /// Its normal-conditions cost (satisfies Eqs. 5–6 w.r.t. Phase 1).
+    pub best_normal: LexCost,
+    /// Moves rejected by the normal-conditions constraints (cheap
+    /// rejections — they skip the failure sweep).
+    pub constraint_rejections: usize,
+    pub stats: SearchStats,
+}
+
+/// Eq. (5)–(6) feasibility of a candidate's normal-conditions cost against
+/// the Phase-1 benchmarks. Λ must not degrade (ε-equality; improving on
+/// Λ* is even better and accepted); Φ gets the χ budget.
+pub fn feasible(normal: &LexCost, lambda_star: f64, phi_star: f64, chi: f64) -> bool {
+    normal.lambda <= lambda_star + dtr_cost::LAMBDA_EPS && normal.phi <= (1.0 + chi) * phi_star
+}
+
+/// Run Phase 2 over the failure scenarios of `critical_indices`.
+/// `scenario_weights`, if given, turns the plain sum into a
+/// probability-weighted sum (the probabilistic-failure extension of the
+/// paper's conclusion); must then match `critical_indices` in length.
+pub fn run(
+    ev: &Evaluator<'_>,
+    universe: &FailureUniverse,
+    critical_indices: &[usize],
+    params: &Params,
+    phase1: &Phase1Output,
+    scenario_weights: Option<&[f64]>,
+) -> Phase2Output {
+    let scenarios = universe.scenarios_for(critical_indices);
+    run_scenarios(ev, &scenarios, params, phase1, scenario_weights)
+}
+
+/// Run Phase 2 against an arbitrary scenario set — e.g. all single node
+/// failures for the §V-F comparison routing, or sampled double-link
+/// failures. Identical machinery; only the objective's scenario sum
+/// differs.
+pub fn run_scenarios(
+    ev: &Evaluator<'_>,
+    scenarios: &[Scenario],
+    params: &Params,
+    phase1: &Phase1Output,
+    scenario_weights: Option<&[f64]>,
+) -> Phase2Output {
+    params.validate();
+    if let Some(sw) = scenario_weights {
+        assert_eq!(
+            sw.len(),
+            scenarios.len(),
+            "one weight per critical scenario"
+        );
+        assert!(sw.iter().all(|&p| p >= 0.0 && p.is_finite()));
+    }
+    let net = ev.net();
+    let lambda_star = phase1.best_cost.lambda;
+    let phi_star = phase1.best_cost.phi;
+    let mut rng = StdRng::seed_from_u64(params.seed ^ 0x2545_f491_4f6c_dd1d);
+
+    let kfail_of = |w: &WeightSetting, stats: &mut SearchStats| -> LexCost {
+        let costs = parallel::failure_costs(ev, w, scenarios, params.threads);
+        stats.evaluations += costs.len();
+        match scenario_weights {
+            None => costs.iter().fold(LexCost::ZERO, |a, c| a.add(c)),
+            Some(sw) => costs.iter().zip(sw).fold(LexCost::ZERO, |a, (c, &p)| {
+                a.add(&LexCost::new(c.lambda * p, c.phi * p))
+            }),
+        }
+    };
+
+    let mut stats = SearchStats::default();
+    let mut constraint_rejections = 0usize;
+
+    // Start from the best archived setting.
+    let (start, start_normal) = phase1
+        .archive
+        .best()
+        .cloned()
+        .expect("phase 1 archives at least its best setting");
+    let mut current = start;
+    let mut current_kfail = kfail_of(&current, &mut stats);
+
+    let mut best = current.clone();
+    let mut best_kfail = current_kfail;
+    let mut best_normal = start_normal;
+
+    let mut stop = StopRule::new(params.p2, params.c);
+    let mut reps: Vec<_> = net.duplex_representatives();
+    let mut stale_sweeps = 0usize;
+
+    // Degenerate but legal: nothing to optimize against.
+    if scenarios.is_empty() {
+        return Phase2Output {
+            best,
+            best_kfail,
+            best_normal,
+            constraint_rejections,
+            stats,
+        };
+    }
+
+    while stats.iterations < params.max_iterations {
+        stats.iterations += 1;
+        reps.shuffle(&mut rng);
+        let mut improved = false;
+
+        for &rep in &reps {
+            let (old_wd, old_wt) = duplex_weights(&current, rep);
+            let (new_wd, new_wt) = random_weight_pair(params.wmax, &mut rng);
+            if (new_wd, new_wt) == (old_wd, old_wt) {
+                continue;
+            }
+            set_duplex_weights(&mut current, net, rep, new_wd, new_wt);
+            let normal = ev.cost(&current, Scenario::Normal);
+            stats.evaluations += 1;
+            if !feasible(&normal, lambda_star, phi_star, params.chi) {
+                constraint_rejections += 1;
+                set_duplex_weights(&mut current, net, rep, old_wd, old_wt);
+                continue;
+            }
+            let kfail = kfail_of(&current, &mut stats);
+            if kfail.better_than(&current_kfail) {
+                current_kfail = kfail;
+                improved = true;
+                if kfail.better_than(&best_kfail) {
+                    best = current.clone();
+                    best_kfail = kfail;
+                    best_normal = normal;
+                }
+            } else {
+                set_duplex_weights(&mut current, net, rep, old_wd, old_wt);
+            }
+        }
+
+        stale_sweeps = if improved { 0 } else { stale_sweeps + 1 };
+        if stale_sweeps >= params.div_interval_2 {
+            stats.diversifications += 1;
+            stale_sweeps = 0;
+            if stop.record(best_kfail) {
+                break;
+            }
+            // Restart from a random archived setting. An archive entry may
+            // violate Eq. 5 slightly (accepted under the z·B1 slack); it
+            // still serves as a diversification point — only *accepted
+            // moves* must be feasible, and the best tracker only advances
+            // on feasible candidates.
+            let (w, _normal) = phase1
+                .archive
+                .sample(&mut rng)
+                .cloned()
+                .expect("archive is non-empty");
+            current = w;
+            current_kfail = kfail_of(&current, &mut stats);
+        }
+    }
+
+    Phase2Output {
+        best,
+        best_kfail,
+        best_normal,
+        constraint_rejections,
+        stats,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::phase1;
+    use dtr_cost::CostParams;
+    use dtr_net::{Network, NetworkBuilder, Point};
+    use dtr_traffic::{gravity, ClassMatrices};
+
+    fn testbed() -> (Network, ClassMatrices) {
+        let mut b = NetworkBuilder::new();
+        let n: Vec<_> = (0..6)
+            .map(|i| b.add_node(Point::new(i as f64, (i * i % 3) as f64)))
+            .collect();
+        for i in 0..6 {
+            b.add_duplex_link(n[i], n[(i + 1) % 6], 1e6, 2e-3).unwrap();
+        }
+        b.add_duplex_link(n[0], n[3], 1e6, 2e-3).unwrap();
+        b.add_duplex_link(n[1], n[4], 1e6, 2e-3).unwrap();
+        let net = b.build().unwrap();
+        let tm = gravity::generate(&gravity::GravityConfig {
+            total_volume: 2.5e6,
+            ..gravity::GravityConfig::paper_default(6, 9)
+        });
+        (net, tm)
+    }
+
+    fn setup() -> (Network, ClassMatrices) {
+        testbed()
+    }
+
+    #[test]
+    fn robust_solution_is_feasible_and_not_worse_than_start() {
+        let (net, tm) = setup();
+        let ev = Evaluator::new(&net, &tm, CostParams::default());
+        let universe = FailureUniverse::of(&net);
+        let params = Params::quick(21);
+        let p1 = phase1::run(&ev, &universe, &params);
+        let all: Vec<usize> = (0..universe.len()).collect();
+        let p2 = run(&ev, &universe, &all, &params, &p1, None);
+
+        // Feasibility (Eqs. 5-6).
+        assert!(feasible(
+            &p2.best_normal,
+            p1.best_cost.lambda,
+            p1.best_cost.phi,
+            params.chi
+        ));
+        // Kfail of the result must not exceed Kfail of the Phase-1 best.
+        let scenarios = universe.scenarios();
+        let k_start = parallel::sum_failure_costs(&ev, &p1.best, &scenarios, 1);
+        assert!(
+            !k_start.better_than(&p2.best_kfail),
+            "phase 2 regressed: start {k_start} vs robust {}",
+            p2.best_kfail
+        );
+        // Reported kfail must be truthful.
+        let recheck = parallel::sum_failure_costs(&ev, &p2.best, &scenarios, 1);
+        assert_eq!(recheck, p2.best_kfail);
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let (net, tm) = setup();
+        let ev = Evaluator::new(&net, &tm, CostParams::default());
+        let universe = FailureUniverse::of(&net);
+        let params = Params::quick(33);
+        let p1 = phase1::run(&ev, &universe, &params);
+        let all: Vec<usize> = (0..universe.len()).collect();
+        let a = run(&ev, &universe, &all, &params, &p1, None);
+        let b = run(&ev, &universe, &all, &params, &p1, None);
+        assert_eq!(a.best, b.best);
+        assert_eq!(a.best_kfail, b.best_kfail);
+    }
+
+    #[test]
+    fn critical_subset_costs_fewer_evaluations() {
+        let (net, tm) = setup();
+        let ev = Evaluator::new(&net, &tm, CostParams::default());
+        let universe = FailureUniverse::of(&net);
+        let params = Params::quick(5);
+        let p1 = phase1::run(&ev, &universe, &params);
+        let all: Vec<usize> = (0..universe.len()).collect();
+        let few = vec![0usize];
+        let full = run(&ev, &universe, &all, &params, &p1, None);
+        let crit = run(&ev, &universe, &few, &params, &p1, None);
+        assert!(
+            crit.stats.evaluations < full.stats.evaluations,
+            "critical {} vs full {}",
+            crit.stats.evaluations,
+            full.stats.evaluations
+        );
+    }
+
+    #[test]
+    fn empty_critical_set_returns_start() {
+        let (net, tm) = setup();
+        let ev = Evaluator::new(&net, &tm, CostParams::default());
+        let universe = FailureUniverse::of(&net);
+        let params = Params::quick(5);
+        let p1 = phase1::run(&ev, &universe, &params);
+        let out = run(&ev, &universe, &[], &params, &p1, None);
+        assert_eq!(out.best_kfail, LexCost::ZERO);
+        assert_eq!(&out.best, &p1.archive.best().unwrap().0);
+    }
+
+    #[test]
+    fn weighted_scenarios_change_the_objective() {
+        let (net, tm) = setup();
+        let ev = Evaluator::new(&net, &tm, CostParams::default());
+        let universe = FailureUniverse::of(&net);
+        let params = Params::quick(8);
+        let p1 = phase1::run(&ev, &universe, &params);
+        let idx: Vec<usize> = (0..universe.len()).collect();
+        let uniform = run(&ev, &universe, &idx, &params, &p1, None);
+        let weights = vec![0.5; idx.len()];
+        let halved = run(&ev, &universe, &idx, &params, &p1, Some(&weights));
+        // Halving all weights halves the reported objective for the same
+        // trajectory (acceptance decisions are scale-invariant).
+        assert!((halved.best_kfail.lambda - 0.5 * uniform.best_kfail.lambda).abs() < 1e-6);
+        assert!((halved.best_kfail.phi - 0.5 * uniform.best_kfail.phi).abs() < 1e-6);
+    }
+
+    #[test]
+    #[should_panic(expected = "one weight per critical scenario")]
+    fn mismatched_weights_panic() {
+        let (net, tm) = setup();
+        let ev = Evaluator::new(&net, &tm, CostParams::default());
+        let universe = FailureUniverse::of(&net);
+        let params = Params::quick(8);
+        let p1 = phase1::run(&ev, &universe, &params);
+        let idx: Vec<usize> = (0..universe.len()).collect();
+        let _ = run(&ev, &universe, &idx, &params, &p1, Some(&[1.0]));
+    }
+}

@@ -1,0 +1,157 @@
+//! Criticality-rank convergence tracking (§IV-D1).
+//!
+//! Between consecutive rank updates (every τ samples/link on average) the
+//! paper computes, per link, the rank displacement
+//! `S_Λ,l(t) = |Rank_Λ(l,t) − Rank_Λ(l,t−1)|`, then the weighted total
+//! `S_Λ = Σ_l γ_l · S_Λ,l` with `γ_l ∝ S_Λ,l` and `Σ γ_l = 1` — i.e. links
+//! that move more count more. Criticality estimates are deemed converged
+//! when both `S_Λ ≤ e` and `S_Φ ≤ e`.
+//!
+//! With `γ_l = S_l / Σ_j S_j`, the index reduces to
+//! `S = Σ_l S_l² / Σ_l S_l` (and 0 when no rank changed).
+
+/// Tracks rank vectors between updates and computes the change index.
+#[derive(Clone, Debug, Default)]
+pub struct RankTracker {
+    prev_lambda: Option<Vec<usize>>,
+    prev_phi: Option<Vec<usize>>,
+}
+
+/// The pair `(S_Λ, S_Φ)` from one update.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct RankChange {
+    pub s_lambda: f64,
+    pub s_phi: f64,
+}
+
+impl RankChange {
+    /// Converged per the paper's criterion: both indices at or below `e`.
+    pub fn converged(&self, e: f64) -> bool {
+        self.s_lambda <= e && self.s_phi <= e
+    }
+}
+
+impl RankTracker {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Feed the current rankings (from
+    /// [`crate::criticality::Criticality::ranking_lambda`] /
+    /// [`ranking_phi`](crate::criticality::Criticality::ranking_phi));
+    /// returns the change index versus the previous update, or `None` on
+    /// the first call (no baseline yet).
+    pub fn update(
+        &mut self,
+        ranking_lambda: &[usize],
+        ranking_phi: &[usize],
+    ) -> Option<RankChange> {
+        let change = match (&self.prev_lambda, &self.prev_phi) {
+            (Some(pl), Some(pp)) => Some(RankChange {
+                s_lambda: weighted_rank_change(pl, ranking_lambda),
+                s_phi: weighted_rank_change(pp, ranking_phi),
+            }),
+            _ => None,
+        };
+        self.prev_lambda = Some(ranking_lambda.to_vec());
+        self.prev_phi = Some(ranking_phi.to_vec());
+        change
+    }
+}
+
+/// `S = Σ_l γ_l |rank_t(l) − rank_{t−1}(l)|` with `γ_l ∝` the displacement
+/// itself, i.e. `Σ d² / Σ d` over per-link displacements `d`.
+pub fn weighted_rank_change(prev: &[usize], curr: &[usize]) -> f64 {
+    assert_eq!(prev.len(), curr.len(), "ranking length changed");
+    let n = prev.len();
+    // rank position of each link in each ordering
+    let mut pos_prev = vec![0usize; n];
+    let mut pos_curr = vec![0usize; n];
+    for (rank, &link) in prev.iter().enumerate() {
+        pos_prev[link] = rank;
+    }
+    for (rank, &link) in curr.iter().enumerate() {
+        pos_curr[link] = rank;
+    }
+    let mut sum = 0.0;
+    let mut sum_sq = 0.0;
+    for l in 0..n {
+        let d = pos_prev[l].abs_diff(pos_curr[l]) as f64;
+        sum += d;
+        sum_sq += d * d;
+    }
+    if sum == 0.0 {
+        0.0
+    } else {
+        sum_sq / sum
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn identical_rankings_have_zero_change() {
+        let r = vec![2, 0, 1, 3];
+        assert_eq!(weighted_rank_change(&r, &r), 0.0);
+    }
+
+    #[test]
+    fn single_swap_change() {
+        // Two links swap adjacent ranks: displacements [1, 1, 0, 0]
+        // -> S = (1+1)/(1+1) = 1.
+        let a = vec![0, 1, 2, 3];
+        let b = vec![1, 0, 2, 3];
+        assert_eq!(weighted_rank_change(&a, &b), 1.0);
+    }
+
+    #[test]
+    fn large_moves_dominate() {
+        // Link 0 moves 3 positions, others shift by <=1:
+        // displacements [3, 1, 1, 1] -> S = (9+1+1+1)/6 = 2.
+        let a = vec![0, 1, 2, 3];
+        let b = vec![1, 2, 3, 0];
+        assert_eq!(weighted_rank_change(&a, &b), 2.0);
+    }
+
+    #[test]
+    fn full_reversal_is_large() {
+        let a = vec![0, 1, 2, 3, 4];
+        let b = vec![4, 3, 2, 1, 0];
+        // displacements [4, 2, 0, 2, 4] -> (16+4+0+4+16)/12 = 40/12.
+        assert!((weighted_rank_change(&a, &b) - 40.0 / 12.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn tracker_returns_none_first_then_changes() {
+        let mut t = RankTracker::new();
+        assert!(t.update(&[0, 1, 2], &[0, 1, 2]).is_none());
+        let c = t.update(&[0, 1, 2], &[0, 1, 2]).unwrap();
+        assert_eq!(c.s_lambda, 0.0);
+        assert!(c.converged(2.0));
+        let c = t.update(&[2, 1, 0], &[0, 1, 2]).unwrap();
+        assert!(c.s_lambda > 0.0);
+        assert_eq!(c.s_phi, 0.0);
+    }
+
+    #[test]
+    fn convergence_requires_both_classes() {
+        let c = RankChange {
+            s_lambda: 1.0,
+            s_phi: 5.0,
+        };
+        assert!(!c.converged(2.0));
+        let c = RankChange {
+            s_lambda: 1.0,
+            s_phi: 2.0,
+        };
+        assert!(c.converged(2.0));
+    }
+
+    #[test]
+    #[should_panic(expected = "length changed")]
+    fn mismatched_lengths_panic() {
+        weighted_rank_change(&[0, 1], &[0, 1, 2]);
+    }
+}

@@ -1,0 +1,175 @@
+//! Per-link failure-cost sample store (Phase 1a/1b harvest).
+//!
+//! For each failable link the store accumulates `(Λ, Φ)` cost samples
+//! observed under failure-emulating weight perturbations of that link,
+//! conditioned on the pre-perturbation setting being "acceptable"
+//! (§IV-D1). These samples estimate the conditional distributions of
+//! Fig. 2(a), from which criticality is derived.
+
+/// Sample store indexed by failure index (see
+/// [`crate::FailureUniverse`]).
+#[derive(Clone, Debug, Default)]
+pub struct SampleStore {
+    lambda: Vec<Vec<f64>>,
+    phi: Vec<Vec<f64>>,
+}
+
+/// Mean and left-tail mean of one link's samples for one cost component.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct TailStats {
+    /// Sample mean (`Λ̂` / `Φ̂` in the paper).
+    pub mean: f64,
+    /// Mean of the lowest `tail_fraction` of samples (`Λ̃` / `Φ̃`).
+    pub tail_mean: f64,
+}
+
+impl TailStats {
+    /// The criticality contribution `ρ = mean − tail_mean` (Eqs. 8–9).
+    /// Non-negative by construction (the tail mean cannot exceed the mean).
+    pub fn rho(&self) -> f64 {
+        (self.mean - self.tail_mean).max(0.0)
+    }
+}
+
+impl SampleStore {
+    /// Empty store for `num_links` failable links.
+    pub fn new(num_links: usize) -> Self {
+        SampleStore {
+            lambda: vec![Vec::new(); num_links],
+            phi: vec![Vec::new(); num_links],
+        }
+    }
+
+    /// Number of failable links covered.
+    pub fn num_links(&self) -> usize {
+        self.lambda.len()
+    }
+
+    /// Record one failure-emulating observation for failure index `i`.
+    pub fn record(&mut self, i: usize, lambda: f64, phi: f64) {
+        debug_assert!(lambda.is_finite() && phi.is_finite(), "finite costs only");
+        self.lambda[i].push(lambda);
+        self.phi[i].push(phi);
+    }
+
+    /// Samples collected for failure index `i`.
+    pub fn count(&self, i: usize) -> usize {
+        self.lambda[i].len()
+    }
+
+    /// Total samples across all links.
+    pub fn total(&self) -> usize {
+        self.lambda.iter().map(Vec::len).sum()
+    }
+
+    /// Smallest per-link sample count (drives Phase-1b balancing).
+    pub fn min_count(&self) -> usize {
+        self.lambda.iter().map(Vec::len).min().unwrap_or(0)
+    }
+
+    /// Index of the link with the fewest samples (ties → smallest index).
+    pub fn poorest_link(&self) -> Option<usize> {
+        (0..self.num_links()).min_by_key(|&i| self.count(i))
+    }
+
+    /// Mean / left-tail-mean of the `Λ` samples of link `i`; `None` if the
+    /// link has no samples yet.
+    pub fn lambda_stats(&self, i: usize, tail_fraction: f64) -> Option<TailStats> {
+        stats_of(&self.lambda[i], tail_fraction)
+    }
+
+    /// Mean / left-tail-mean of the `Φ` samples of link `i`.
+    pub fn phi_stats(&self, i: usize, tail_fraction: f64) -> Option<TailStats> {
+        stats_of(&self.phi[i], tail_fraction)
+    }
+}
+
+fn stats_of(samples: &[f64], tail_fraction: f64) -> Option<TailStats> {
+    debug_assert!((0.0..=0.5).contains(&tail_fraction) && tail_fraction > 0.0);
+    if samples.is_empty() {
+        return None;
+    }
+    let n = samples.len();
+    let mean = samples.iter().sum::<f64>() / n as f64;
+    let k = ((n as f64 * tail_fraction).ceil() as usize).clamp(1, n);
+    let mut sorted = samples.to_vec();
+    sorted.sort_by(|a, b| a.partial_cmp(b).expect("finite samples"));
+    let tail_mean = sorted[..k].iter().sum::<f64>() / k as f64;
+    Some(TailStats { mean, tail_mean })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_store_has_no_stats() {
+        let s = SampleStore::new(3);
+        assert_eq!(s.total(), 0);
+        assert_eq!(s.count(0), 0);
+        assert!(s.lambda_stats(0, 0.1).is_none());
+        assert_eq!(s.min_count(), 0);
+    }
+
+    #[test]
+    fn record_and_count() {
+        let mut s = SampleStore::new(2);
+        s.record(0, 1.0, 10.0);
+        s.record(0, 2.0, 20.0);
+        s.record(1, 5.0, 50.0);
+        assert_eq!(s.count(0), 2);
+        assert_eq!(s.count(1), 1);
+        assert_eq!(s.total(), 3);
+        assert_eq!(s.min_count(), 1);
+        assert_eq!(s.poorest_link(), Some(1));
+    }
+
+    #[test]
+    fn tail_stats_hand_check() {
+        // 10 samples 1..=10; 10% tail = lowest 1 sample.
+        let mut s = SampleStore::new(1);
+        for v in 1..=10 {
+            s.record(0, v as f64, 0.0);
+        }
+        let st = s.lambda_stats(0, 0.10).unwrap();
+        assert!((st.mean - 5.5).abs() < 1e-12);
+        assert!((st.tail_mean - 1.0).abs() < 1e-12);
+        assert!((st.rho() - 4.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn tail_covers_k_smallest() {
+        // 20% tail of 10 samples = lowest 2.
+        let mut s = SampleStore::new(1);
+        for v in [5.0, 1.0, 9.0, 2.0, 7.0, 8.0, 3.0, 6.0, 4.0, 10.0] {
+            s.record(0, v, 0.0);
+        }
+        let st = s.lambda_stats(0, 0.20).unwrap();
+        assert!((st.tail_mean - 1.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn narrow_distribution_has_small_rho() {
+        let mut s = SampleStore::new(2);
+        // Link 0: tight distribution. Link 1: wide.
+        for _ in 0..50 {
+            s.record(0, 100.0, 1.0);
+        }
+        for i in 0..50 {
+            s.record(1, if i < 5 { 0.0 } else { 200.0 }, 1.0);
+        }
+        let rho0 = s.lambda_stats(0, 0.1).unwrap().rho();
+        let rho1 = s.lambda_stats(1, 0.1).unwrap().rho();
+        assert!(rho0 < 1e-12);
+        assert!(rho1 > 100.0); // mean 180, tail 0
+    }
+
+    #[test]
+    fn single_sample_rho_is_zero() {
+        let mut s = SampleStore::new(1);
+        s.record(0, 42.0, 7.0);
+        let st = s.lambda_stats(0, 0.1).unwrap();
+        assert_eq!(st.mean, st.tail_mean);
+        assert_eq!(st.rho(), 0.0);
+    }
+}

@@ -1,0 +1,282 @@
+//! Shared local-search machinery for Phases 1 and 2.
+//!
+//! Both phases are the same hill-climbing skeleton (§IV-A): sweep all
+//! physical links in random order, re-draw each link's two class weights,
+//! accept the move iff the objective improves (lexicographically), restart
+//! from a diversification point after an improvement drought, and stop
+//! when the trailing window of diversifications yields less than `c`
+//! relative improvement.
+
+use dtr_cost::LexCost;
+use dtr_net::{LinkId, Network};
+use dtr_routing::{Class, WeightSetting};
+use rand::rngs::StdRng;
+use rand::Rng;
+
+/// Apply new class weights `(wd, wt)` to the physical link represented by
+/// `rep`, symmetrically on both directions (see
+/// [`crate::FailureUniverse`] for why symmetric).
+pub fn set_duplex_weights(w: &mut WeightSetting, net: &Network, rep: LinkId, wd: u32, wt: u32) {
+    w.set(Class::Delay, rep, wd);
+    w.set(Class::Throughput, rep, wt);
+    if let Some(r) = net.reverse_link(rep) {
+        w.set(Class::Delay, r, wd);
+        w.set(Class::Throughput, r, wt);
+    }
+}
+
+/// Current class weights of the physical link (forward direction is
+/// authoritative; both directions are kept equal by the search).
+pub fn duplex_weights(w: &WeightSetting, rep: LinkId) -> (u32, u32) {
+    (w.get(Class::Delay, rep), w.get(Class::Throughput, rep))
+}
+
+/// Draw a fresh uniform weight pair in `[1, wmax]²`.
+pub fn random_weight_pair(wmax: u32, rng: &mut StdRng) -> (u32, u32) {
+    (rng.gen_range(1..=wmax), rng.gen_range(1..=wmax))
+}
+
+/// Draw a failure-emulating pair in `[⌈q·wmax⌉, wmax]²` (§IV-D1).
+pub fn failure_emulating_pair(wmax: u32, q: f64, rng: &mut StdRng) -> (u32, u32) {
+    let floor = ((q * wmax as f64).ceil() as u32).clamp(1, wmax);
+    (rng.gen_range(floor..=wmax), rng.gen_range(floor..=wmax))
+}
+
+/// A symmetric random weight setting: both directions of every physical
+/// link share their class weights (diversification restart state).
+pub fn random_symmetric_setting(net: &Network, wmax: u32, rng: &mut StdRng) -> WeightSetting {
+    let mut w = WeightSetting::uniform(net.num_links(), wmax);
+    for rep in net.duplex_representatives() {
+        let (wd, wt) = random_weight_pair(wmax, rng);
+        set_duplex_weights(&mut w, net, rep, wd, wt);
+    }
+    w
+}
+
+/// Counters reported by each search phase.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct SearchStats {
+    /// Full sweeps over all links.
+    pub iterations: usize,
+    /// Objective evaluations (normal-conditions evaluations in Phase 1;
+    /// in Phase 2 each failure-scenario evaluation counts separately).
+    pub evaluations: usize,
+    /// Diversification restarts performed.
+    pub diversifications: usize,
+}
+
+impl SearchStats {
+    pub fn merge(&mut self, other: &SearchStats) {
+        self.iterations += other.iterations;
+        self.evaluations += other.evaluations;
+        self.diversifications += other.diversifications;
+    }
+}
+
+/// The paper's stopping rule: after each diversification, stop once the
+/// relative improvement of the global best over the trailing `window`
+/// diversifications drops below `c`.
+#[derive(Clone, Debug)]
+pub struct StopRule {
+    window: usize,
+    c: f64,
+    history: Vec<LexCost>,
+}
+
+impl StopRule {
+    pub fn new(window: usize, c: f64) -> Self {
+        assert!(window >= 1);
+        StopRule {
+            window,
+            c,
+            history: Vec::new(),
+        }
+    }
+
+    /// Record the global best at the end of a diversification; returns
+    /// `true` when the search should stop.
+    pub fn record(&mut self, global_best: LexCost) -> bool {
+        self.history.push(global_best);
+        if self.history.len() <= self.window {
+            return false;
+        }
+        let reference = self.history[self.history.len() - 1 - self.window];
+        let improvement = global_best.relative_improvement_over(&reference);
+        improvement < self.c
+    }
+}
+
+/// Bounded archive of good weight settings, ordered best-first by
+/// lexicographic cost. Phase 1 feeds it with acceptable settings; Phase 2
+/// diversifies from it.
+#[derive(Clone, Debug)]
+pub struct Archive {
+    entries: Vec<(WeightSetting, LexCost)>,
+    cap: usize,
+}
+
+impl Archive {
+    pub fn new(cap: usize) -> Self {
+        assert!(cap >= 1);
+        Archive {
+            entries: Vec::new(),
+            cap,
+        }
+    }
+
+    /// Offer a setting; kept if among the `cap` best seen (duplicates by
+    /// exact weight equality are ignored).
+    pub fn offer(&mut self, w: &WeightSetting, cost: LexCost) {
+        if self.entries.iter().any(|(e, _)| e == w) {
+            return;
+        }
+        let pos = self
+            .entries
+            .iter()
+            .position(|(_, c)| cost.better_than(c))
+            .unwrap_or(self.entries.len());
+        if pos >= self.cap {
+            return;
+        }
+        self.entries.insert(pos, (w.clone(), cost));
+        self.entries.truncate(self.cap);
+    }
+
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    pub fn entries(&self) -> &[(WeightSetting, LexCost)] {
+        &self.entries
+    }
+
+    /// Uniformly random entry.
+    pub fn sample(&self, rng: &mut StdRng) -> Option<&(WeightSetting, LexCost)> {
+        if self.entries.is_empty() {
+            None
+        } else {
+            Some(&self.entries[rng.gen_range(0..self.entries.len())])
+        }
+    }
+
+    /// Best entry.
+    pub fn best(&self) -> Option<&(WeightSetting, LexCost)> {
+        self.entries.first()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dtr_net::{NetworkBuilder, Point};
+    use rand::SeedableRng;
+
+    fn triangle() -> Network {
+        let mut b = NetworkBuilder::new();
+        let n: Vec<_> = (0..3).map(|_| b.add_node(Point::ORIGIN)).collect();
+        b.add_duplex_link(n[0], n[1], 1e9, 1e-3).unwrap();
+        b.add_duplex_link(n[1], n[2], 1e9, 1e-3).unwrap();
+        b.add_duplex_link(n[2], n[0], 1e9, 1e-3).unwrap();
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn duplex_weights_stay_symmetric() {
+        let net = triangle();
+        let mut w = WeightSetting::uniform(net.num_links(), 20);
+        let rep = net.duplex_representatives()[0];
+        set_duplex_weights(&mut w, &net, rep, 7, 13);
+        let rev = net.reverse_link(rep).unwrap();
+        assert_eq!(w.get(Class::Delay, rep), 7);
+        assert_eq!(w.get(Class::Delay, rev), 7);
+        assert_eq!(w.get(Class::Throughput, rep), 13);
+        assert_eq!(w.get(Class::Throughput, rev), 13);
+        assert_eq!(duplex_weights(&w, rep), (7, 13));
+    }
+
+    #[test]
+    fn random_symmetric_setting_is_symmetric() {
+        let net = triangle();
+        let mut rng = StdRng::seed_from_u64(3);
+        let w = random_symmetric_setting(&net, 20, &mut rng);
+        for l in net.links() {
+            let r = net.reverse_link(l).unwrap();
+            assert_eq!(w.get(Class::Delay, l), w.get(Class::Delay, r));
+            assert_eq!(w.get(Class::Throughput, l), w.get(Class::Throughput, r));
+        }
+    }
+
+    #[test]
+    fn failure_emulating_pair_in_band() {
+        let mut rng = StdRng::seed_from_u64(1);
+        for _ in 0..200 {
+            let (a, b) = failure_emulating_pair(20, 0.7, &mut rng);
+            assert!((14..=20).contains(&a));
+            assert!((14..=20).contains(&b));
+        }
+    }
+
+    #[test]
+    fn stop_rule_waits_for_full_window() {
+        let mut sr = StopRule::new(3, 0.001);
+        // Big improvements: never stop.
+        assert!(!sr.record(LexCost::new(0.0, 100.0)));
+        assert!(!sr.record(LexCost::new(0.0, 50.0)));
+        assert!(!sr.record(LexCost::new(0.0, 25.0)));
+        // Window full now; 25 -> 12.5 over 3 records is 50% improvement.
+        assert!(!sr.record(LexCost::new(0.0, 12.5)));
+        // Stagnation: improvement < 0.1% over the window eventually.
+        assert!(!sr.record(LexCost::new(0.0, 12.49)));
+        assert!(!sr.record(LexCost::new(0.0, 12.49)));
+        assert!(sr.record(LexCost::new(0.0, 12.49)));
+    }
+
+    #[test]
+    fn stop_rule_uses_lexicographic_improvement() {
+        let mut sr = StopRule::new(1, 0.001);
+        assert!(!sr.record(LexCost::new(200.0, 1.0)));
+        // Lambda halved: 50% improvement, keep going.
+        assert!(!sr.record(LexCost::new(100.0, 1.0)));
+        // No movement: stop.
+        assert!(sr.record(LexCost::new(100.0, 1.0)));
+    }
+
+    #[test]
+    fn archive_keeps_best_and_dedups() {
+        let net = triangle();
+        let mut rng = StdRng::seed_from_u64(9);
+        let mut arch = Archive::new(2);
+        let w1 = random_symmetric_setting(&net, 20, &mut rng);
+        let w2 = random_symmetric_setting(&net, 20, &mut rng);
+        let w3 = random_symmetric_setting(&net, 20, &mut rng);
+        arch.offer(&w1, LexCost::new(0.0, 30.0));
+        arch.offer(&w1, LexCost::new(0.0, 30.0)); // dup ignored
+        assert_eq!(arch.len(), 1);
+        arch.offer(&w2, LexCost::new(0.0, 10.0));
+        arch.offer(&w3, LexCost::new(0.0, 20.0)); // evicts w1 (worst)
+        assert_eq!(arch.len(), 2);
+        assert_eq!(arch.best().unwrap().1.phi, 10.0);
+        assert!(arch.entries().iter().all(|(_, c)| c.phi < 30.0));
+    }
+
+    #[test]
+    fn archive_sample_is_deterministic_per_seed() {
+        let net = triangle();
+        let mut rng = StdRng::seed_from_u64(9);
+        let mut arch = Archive::new(4);
+        for i in 0..4 {
+            let w = random_symmetric_setting(&net, 20, &mut rng);
+            arch.offer(&w, LexCost::new(0.0, i as f64));
+        }
+        let mut r1 = StdRng::seed_from_u64(5);
+        let mut r2 = StdRng::seed_from_u64(5);
+        assert_eq!(
+            arch.sample(&mut r1).unwrap().1,
+            arch.sample(&mut r2).unwrap().1
+        );
+    }
+}

@@ -1,0 +1,203 @@
+//! Phase 1c — critical-set selection (Algorithm 1 of the paper).
+//!
+//! Input: the two per-class lists `E_Λ`, `E_Φ` (links in descending
+//! normalized criticality) and a target size `n`. The expected normalized
+//! error of keeping only the top-`m` of a list is the criticality mass
+//! *outside* the kept prefix:
+//! `ρ̄_Λ(E_Λ,m) = Σ_{l ∉ E_Λ,m} ρ̄_Λ,l` (a suffix sum).
+//!
+//! Starting from both full lists, Algorithm 1 repeatedly shrinks the list
+//! whose hypothetical one-step shrink incurs the *smaller* error, until the
+//! union of the two prefixes fits in `n`. The critical set is that union.
+
+use crate::criticality::Criticality;
+
+/// Result of Phase 1c.
+#[derive(Clone, Debug, PartialEq)]
+pub struct CriticalSet {
+    /// Selected failure indices, ascending.
+    pub indices: Vec<usize>,
+    /// Prefix length kept from `E_Λ`.
+    pub n1: usize,
+    /// Prefix length kept from `E_Φ`.
+    pub n2: usize,
+    /// Residual normalized Λ error `ρ̄_Λ(E_Λ,n1)`.
+    pub err_lambda: f64,
+    /// Residual normalized Φ error `ρ̄_Φ(E_Φ,n2)`.
+    pub err_phi: f64,
+}
+
+/// Run Algorithm 1: merge the two criticality rankings into one set of at
+/// most `n` links.
+///
+/// # Panics
+/// Panics if `n == 0` while links exist (an empty critical set would make
+/// Phase 2 vacuous).
+pub fn select(crit: &Criticality, n: usize) -> CriticalSet {
+    let m = crit.len();
+    if m == 0 {
+        return CriticalSet {
+            indices: Vec::new(),
+            n1: 0,
+            n2: 0,
+            err_lambda: 0.0,
+            err_phi: 0.0,
+        };
+    }
+    assert!(n >= 1, "target critical-set size must be at least 1");
+    let n = n.min(m);
+
+    let e_lambda = crit.ranking_lambda();
+    let e_phi = crit.ranking_phi();
+
+    // suffix_err[k] = error if only the top-k prefix is kept.
+    let suffix = |order: &[usize], vals: &[f64]| -> Vec<f64> {
+        let mut s = vec![0.0; m + 1];
+        for k in (0..m).rev() {
+            s[k] = s[k + 1] + vals[order[k]];
+        }
+        s
+    };
+    let err_l = suffix(&e_lambda, &crit.norm_lambda);
+    let err_p = suffix(&e_phi, &crit.norm_phi);
+
+    let mut n1 = m;
+    let mut n2 = m;
+    let mut union = union_size(&e_lambda, &e_phi, n1, n2, m);
+    while union > n {
+        // Shrink the list that loses less (Algorithm 1, lines 3-4):
+        // if the Λ error of shrinking to n1-1 is >= the Φ error of
+        // shrinking to n2-1, shrink the Φ list instead, else shrink Λ.
+        let shrink_phi = n2 > 0 && (n1 == 0 || err_l[n1 - 1] >= err_p[n2 - 1]);
+        if shrink_phi {
+            n2 -= 1;
+        } else {
+            n1 -= 1;
+        }
+        union = union_size(&e_lambda, &e_phi, n1, n2, m);
+    }
+
+    let mut included = vec![false; m];
+    for &l in &e_lambda[..n1] {
+        included[l] = true;
+    }
+    for &l in &e_phi[..n2] {
+        included[l] = true;
+    }
+    let indices: Vec<usize> = (0..m).filter(|&i| included[i]).collect();
+
+    CriticalSet {
+        indices,
+        n1,
+        n2,
+        err_lambda: err_l[n1],
+        err_phi: err_p[n2],
+    }
+}
+
+fn union_size(a: &[usize], b: &[usize], n1: usize, n2: usize, m: usize) -> usize {
+    let mut seen = vec![false; m];
+    let mut count = 0;
+    for &l in a[..n1].iter().chain(b[..n2].iter()) {
+        if !seen[l] {
+            seen[l] = true;
+            count += 1;
+        }
+    }
+    count
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn crit(norm_lambda: Vec<f64>, norm_phi: Vec<f64>) -> Criticality {
+        Criticality {
+            rho_lambda: norm_lambda.clone(),
+            rho_phi: norm_phi.clone(),
+            norm_lambda,
+            norm_phi,
+        }
+    }
+
+    #[test]
+    fn returns_at_most_n_links() {
+        let c = crit(vec![0.5, 0.4, 0.3, 0.2, 0.1], vec![0.1, 0.2, 0.3, 0.4, 0.5]);
+        for n in 1..=5 {
+            let cs = select(&c, n);
+            assert!(cs.indices.len() <= n, "n={n}: got {}", cs.indices.len());
+            assert!(!cs.indices.is_empty());
+        }
+    }
+
+    #[test]
+    fn perfectly_aligned_classes_keep_top_links() {
+        // Both classes agree: links 0 > 1 > 2 > 3.
+        let c = crit(vec![0.4, 0.3, 0.2, 0.1], vec![0.4, 0.3, 0.2, 0.1]);
+        let cs = select(&c, 2);
+        assert_eq!(cs.indices, vec![0, 1]);
+    }
+
+    #[test]
+    fn opposed_classes_take_from_both() {
+        // Λ cares about 0,1; Φ cares about 3,2 — equally strongly.
+        let c = crit(vec![0.6, 0.4, 0.0, 0.0], vec![0.0, 0.0, 0.4, 0.6]);
+        let cs = select(&c, 2);
+        // The top link of each class survives.
+        assert_eq!(cs.indices, vec![0, 3]);
+        assert_eq!(cs.n1, 1);
+        assert_eq!(cs.n2, 1);
+    }
+
+    #[test]
+    fn dominant_class_wins_budget() {
+        // Λ has big criticality mass everywhere; Φ is negligible.
+        let c = crit(vec![0.5, 0.3, 0.15, 0.05], vec![1e-6, 2e-6, 1.5e-6, 0.5e-6]);
+        let cs = select(&c, 3);
+        // Algorithm shrinks the Φ list first: kept links are Λ's top 3.
+        assert_eq!(cs.indices, vec![0, 1, 2]);
+        assert_eq!(cs.n1, 3);
+    }
+
+    #[test]
+    fn residual_errors_are_suffix_sums() {
+        let c = crit(vec![0.4, 0.3, 0.2, 0.1], vec![0.0, 0.0, 0.0, 0.0]);
+        let cs = select(&c, 2);
+        assert_eq!(cs.indices, vec![0, 1]);
+        assert!((cs.err_lambda - 0.3).abs() < 1e-12); // 0.2 + 0.1 left out
+        assert_eq!(cs.err_phi, 0.0);
+    }
+
+    #[test]
+    fn n_larger_than_links_returns_all() {
+        let c = crit(vec![0.1, 0.2], vec![0.3, 0.4]);
+        let cs = select(&c, 10);
+        assert_eq!(cs.indices, vec![0, 1]);
+    }
+
+    #[test]
+    fn empty_criticality_is_fine() {
+        let c = crit(vec![], vec![]);
+        let cs = select(&c, 3);
+        assert!(cs.indices.is_empty());
+    }
+
+    #[test]
+    fn all_zero_criticality_still_returns_n_links() {
+        // Degenerate but possible (no violations ever observed): selection
+        // must still return a deterministic set of n links.
+        let c = crit(vec![0.0; 6], vec![0.0; 6]);
+        let cs = select(&c, 2);
+        assert_eq!(cs.indices.len(), 2);
+    }
+
+    #[test]
+    fn union_semantics_keep_overlap_cheap() {
+        // Same top link in both classes: overlap means the union of
+        // (n1, n2) = (2, 2) prefixes can already fit in n = 3.
+        let c = crit(vec![0.9, 0.1, 0.0, 0.0], vec![0.8, 0.0, 0.2, 0.0]);
+        let cs = select(&c, 3);
+        assert!(cs.indices.contains(&0));
+        assert!(cs.indices.len() <= 3);
+    }
+}

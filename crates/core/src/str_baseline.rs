@@ -1,0 +1,215 @@
+//! Single-Topology Routing (STR) baseline — the "one-size-fits-all"
+//! routing the paper's introduction contrasts DTR against.
+//!
+//! Traditional IGP routing gives every link **one** weight; both traffic
+//! classes ride the same shortest paths. DTR's flexibility benefit
+//! (§I, and the authors' earlier CoNEXT 2007 paper \[13\]) is precisely
+//! that delay-sensitive traffic can follow low-propagation-delay paths
+//! while throughput-sensitive traffic spreads over uncongested ones.
+//! This module runs the *same* Phase-1 local search constrained to
+//! `W^D_l = W^T_l` on every link, so the DTR-vs-STR gap is attributable
+//! to the extra degree of freedom and not to search-budget differences.
+
+use dtr_cost::{Evaluator, LexCost};
+use dtr_routing::{Scenario, WeightSetting};
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::{Rng, SeedableRng};
+
+use crate::params::Params;
+use crate::search::{SearchStats, StopRule};
+use crate::universe::FailureUniverse;
+
+/// Result of the single-topology search.
+#[derive(Clone, Debug)]
+pub struct StrOutput {
+    /// Best tied weight setting (`W^D == W^T` everywhere).
+    pub best: WeightSetting,
+    pub best_cost: LexCost,
+    pub stats: SearchStats,
+}
+
+/// Apply one tied weight to both classes and both directions of the
+/// physical link represented by `rep`.
+fn set_tied(w: &mut WeightSetting, net: &dtr_net::Network, rep: dtr_net::LinkId, value: u32) {
+    use dtr_routing::Class;
+    for class in Class::ALL {
+        w.set(class, rep, value);
+        if let Some(r) = net.reverse_link(rep) {
+            w.set(class, r, value);
+        }
+    }
+}
+
+/// A random *tied* weight setting.
+fn random_tied(net: &dtr_net::Network, wmax: u32, rng: &mut StdRng) -> WeightSetting {
+    let mut w = WeightSetting::uniform(net.num_links(), wmax);
+    for rep in net.duplex_representatives() {
+        set_tied(&mut w, net, rep, rng.gen_range(1..=wmax));
+    }
+    w
+}
+
+/// `true` if the setting is tied (single-topology) on every link.
+pub fn is_tied(w: &WeightSetting) -> bool {
+    use dtr_routing::Class;
+    (0..w.num_links()).all(|i| {
+        let l = dtr_net::LinkId::new(i);
+        w.get(Class::Delay, l) == w.get(Class::Throughput, l)
+    })
+}
+
+/// Phase-1-style local search over single-topology (tied) weights,
+/// minimizing the same normal-conditions lexicographic cost. Uses the
+/// same diversification / stopping machinery as the DTR search.
+pub fn optimize_single_topology(
+    ev: &Evaluator<'_>,
+    universe: &FailureUniverse,
+    params: &Params,
+) -> StrOutput {
+    params.validate();
+    let net = ev.net();
+    let mut rng = StdRng::seed_from_u64(params.seed ^ 0x5851_f42d_4c95_7f2d);
+
+    let mut stats = SearchStats::default();
+    let mut stop = StopRule::new(params.p1, params.c);
+
+    let mut current = random_tied(net, params.wmax, &mut rng);
+    let mut current_cost = ev.cost(&current, Scenario::Normal);
+    stats.evaluations += 1;
+    let mut best = current.clone();
+    let mut best_cost = current_cost;
+
+    let mut reps = universe.all_duplex.clone();
+    let mut stale = 0usize;
+
+    while stats.iterations < params.max_iterations {
+        stats.iterations += 1;
+        reps.shuffle(&mut rng);
+        let mut improved = false;
+        for &rep in &reps {
+            let old = current.get(dtr_routing::Class::Delay, rep);
+            let new = rng.gen_range(1..=params.wmax);
+            if new == old {
+                continue;
+            }
+            set_tied(&mut current, net, rep, new);
+            let cand = ev.cost(&current, Scenario::Normal);
+            stats.evaluations += 1;
+            if cand.better_than(&current_cost) {
+                current_cost = cand;
+                improved = true;
+                if cand.better_than(&best_cost) {
+                    best = current.clone();
+                    best_cost = cand;
+                }
+            } else {
+                set_tied(&mut current, net, rep, old);
+            }
+        }
+        stale = if improved { 0 } else { stale + 1 };
+        if stale >= params.div_interval_1 {
+            stats.diversifications += 1;
+            stale = 0;
+            if stop.record(best_cost) {
+                break;
+            }
+            current = random_tied(net, params.wmax, &mut rng);
+            current_cost = ev.cost(&current, Scenario::Normal);
+            stats.evaluations += 1;
+        }
+    }
+
+    debug_assert!(is_tied(&best));
+    StrOutput {
+        best,
+        best_cost,
+        stats,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::phase1;
+    use dtr_cost::CostParams;
+    use dtr_net::{NetworkBuilder, Point};
+    use dtr_traffic::gravity;
+
+    fn testbed() -> (dtr_net::Network, dtr_traffic::ClassMatrices) {
+        let mut b = NetworkBuilder::new();
+        let n: Vec<_> = (0..7)
+            .map(|i| b.add_node(Point::new(i as f64, (i % 2) as f64)))
+            .collect();
+        for i in 0..7 {
+            b.add_duplex_link(n[i], n[(i + 1) % 7], 1e6, 2e-3).unwrap();
+        }
+        b.add_duplex_link(n[0], n[3], 1e6, 8e-3).unwrap();
+        b.add_duplex_link(n[1], n[5], 1e6, 8e-3).unwrap();
+        let net = b.build().unwrap();
+        let tm = gravity::generate(&gravity::GravityConfig {
+            total_volume: 2.5e6,
+            ..gravity::GravityConfig::paper_default(7, 3)
+        });
+        (net, tm)
+    }
+
+    #[test]
+    fn str_solution_is_tied_and_locally_sane() {
+        let (net, tm) = testbed();
+        let ev = Evaluator::new(&net, &tm, CostParams::default());
+        let universe = FailureUniverse::of(&net);
+        let out = optimize_single_topology(&ev, &universe, &Params::quick(3));
+        assert!(is_tied(&out.best));
+        assert_eq!(out.best_cost, ev.cost(&out.best, Scenario::Normal));
+    }
+
+    #[test]
+    fn dtr_search_dominates_str_search() {
+        // The flexibility claim: with the same budget, the DTR search can
+        // only do better (its feasible set strictly contains all tied
+        // settings). Heuristics introduce noise, so assert with a margin.
+        let (net, tm) = testbed();
+        let ev = Evaluator::new(&net, &tm, CostParams::default());
+        let universe = FailureUniverse::of(&net);
+        let params = Params::quick(5);
+        let dtr = phase1::run(&ev, &universe, &params);
+        let single = optimize_single_topology(&ev, &universe, &params);
+        // Lexicographic: DTR's lambda never worse; phi allowed 10% noise
+        // when lambdas tie.
+        assert!(
+            dtr.best_cost.lambda <= single.best_cost.lambda + 1e-6,
+            "DTR {} vs STR {}",
+            dtr.best_cost,
+            single.best_cost
+        );
+        if (dtr.best_cost.lambda - single.best_cost.lambda).abs() < 1e-6 {
+            assert!(
+                dtr.best_cost.phi <= single.best_cost.phi * 1.10,
+                "DTR {} vs STR {}",
+                dtr.best_cost,
+                single.best_cost
+            );
+        }
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let (net, tm) = testbed();
+        let ev = Evaluator::new(&net, &tm, CostParams::default());
+        let universe = FailureUniverse::of(&net);
+        let a = optimize_single_topology(&ev, &universe, &Params::quick(9));
+        let b = optimize_single_topology(&ev, &universe, &Params::quick(9));
+        assert_eq!(a.best, b.best);
+        assert_eq!(a.best_cost, b.best_cost);
+    }
+
+    #[test]
+    fn is_tied_detects_untied() {
+        let (net, _) = testbed();
+        let mut w = WeightSetting::uniform(net.num_links(), 20);
+        assert!(is_tied(&w));
+        w.set(dtr_routing::Class::Delay, dtr_net::LinkId::new(0), 5);
+        assert!(!is_tied(&w));
+    }
+}

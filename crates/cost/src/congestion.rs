@@ -1,0 +1,129 @@
+//! Throughput-class cost `Φ` — the Fortz–Thorup link congestion function.
+//!
+//! The paper reuses "the load-based cost function f(x_l) of \[8\]" (Fortz &
+//! Thorup, INFOCOM 2000): a convex piecewise-linear function of link load
+//! whose slope rises from 1 (empty link) to 5000 (overloaded link), with
+//! breakpoints at utilizations 1/3, 2/3, 9/10, 1 and 11/10. `Φ` sums
+//! `f(x_l)` over the set `L` of links carrying throughput-sensitive
+//! traffic — note the *total* load (both classes) enters `f`, since the
+//! classes share one FIFO queue, but only links used by throughput traffic
+//! contribute to `Φ` (§III).
+
+/// Utilization breakpoints of the Fortz–Thorup function.
+pub const BREAKPOINTS: [f64; 5] = [1.0 / 3.0, 2.0 / 3.0, 0.9, 1.0, 11.0 / 10.0];
+/// Slopes on the six segments delimited by [`BREAKPOINTS`].
+pub const SLOPES: [f64; 6] = [1.0, 3.0, 10.0, 70.0, 500.0, 5000.0];
+
+/// Fortz–Thorup congestion cost of one link with total load `x` (bits/s)
+/// and capacity `c` (bits/s).
+///
+/// Returned in units of "capacity-normalized load cost": the piecewise
+/// integral of [`SLOPES`] over utilization, times `c`. Scaling by `c`
+/// matches the original formulation where `f` is defined on absolute load
+/// `x` with slope changing at fractions of capacity; only relative
+/// comparisons of `Φ` matter to the optimization.
+pub fn link_cost(x: f64, c: f64) -> f64 {
+    debug_assert!(x >= 0.0 && c > 0.0);
+    c * utilization_cost(x / c)
+}
+
+/// The capacity-normalized form: piecewise-linear convex `g(u)` with
+/// `g(0) = 0` and slopes [`SLOPES`] between [`BREAKPOINTS`].
+pub fn utilization_cost(u: f64) -> f64 {
+    debug_assert!(u >= 0.0);
+    let mut cost = 0.0;
+    let mut prev = 0.0;
+    for (i, &bp) in BREAKPOINTS.iter().enumerate() {
+        if u <= bp {
+            return cost + SLOPES[i] * (u - prev);
+        }
+        cost += SLOPES[i] * (bp - prev);
+        prev = bp;
+    }
+    cost + SLOPES[5] * (u - prev)
+}
+
+/// Total throughput-class cost `Φ`: sum of [`link_cost`] of the **total**
+/// load over links whose throughput-class load is positive.
+pub fn phi(total_loads: &[f64], throughput_loads: &[f64], capacities: &[f64]) -> f64 {
+    debug_assert_eq!(total_loads.len(), throughput_loads.len());
+    debug_assert_eq!(total_loads.len(), capacities.len());
+    total_loads
+        .iter()
+        .zip(throughput_loads)
+        .zip(capacities)
+        .filter(|((_, &tl), _)| tl > 0.0)
+        .map(|((&x, _), &c)| link_cost(x, c))
+        .sum()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zero_load_zero_cost() {
+        assert_eq!(utilization_cost(0.0), 0.0);
+        assert_eq!(link_cost(0.0, 500e6), 0.0);
+    }
+
+    #[test]
+    fn segment_values_match_hand_integration() {
+        // g(1/3) = 1/3.
+        assert!((utilization_cost(1.0 / 3.0) - 1.0 / 3.0).abs() < 1e-12);
+        // g(2/3) = 1/3 + 3·(1/3) = 4/3.
+        assert!((utilization_cost(2.0 / 3.0) - 4.0 / 3.0).abs() < 1e-12);
+        // g(0.9) = 4/3 + 10·(0.9 − 2/3) = 4/3 + 7/3 = 11/3.
+        assert!((utilization_cost(0.9) - 11.0 / 3.0).abs() < 1e-12);
+        // g(1.0) = 11/3 + 70·0.1 = 32/3 + ... = 11/3 + 7 = 32/3.
+        assert!((utilization_cost(1.0) - (11.0 / 3.0 + 7.0)).abs() < 1e-12);
+        // g(1.1) = g(1) + 500·0.1 = 60.666...
+        assert!((utilization_cost(1.1) - (11.0 / 3.0 + 7.0 + 50.0)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn convex_and_monotone() {
+        let mut prev_cost = -1.0;
+        let mut prev_slope = 0.0;
+        for i in 0..1500 {
+            let u = i as f64 / 1000.0;
+            let c = utilization_cost(u);
+            assert!(c >= prev_cost, "non-monotone at u = {u}");
+            if i > 0 {
+                let slope = (c - prev_cost) * 1000.0;
+                assert!(
+                    slope >= prev_slope - 1e-6,
+                    "non-convex at u = {u}: slope {slope} < {prev_slope}"
+                );
+                prev_slope = slope;
+            }
+            prev_cost = c;
+        }
+    }
+
+    #[test]
+    fn congestion_dominates_past_capacity() {
+        // 110% utilization is > 50x the cost of 90%.
+        assert!(utilization_cost(1.1) > 15.0 * utilization_cost(0.9));
+    }
+
+    #[test]
+    fn phi_skips_links_without_throughput_traffic() {
+        let caps = [100.0, 100.0];
+        let total = [95.0, 95.0];
+        // Only link 0 carries throughput traffic.
+        let tl = [5.0, 0.0];
+        let f = phi(&total, &tl, &caps);
+        assert!((f - link_cost(95.0, 100.0)).abs() < 1e-9);
+    }
+
+    #[test]
+    fn phi_uses_total_load_not_class_load() {
+        let caps = [100.0];
+        // Throughput load tiny but delay traffic congests the link: cost
+        // must reflect the shared FIFO queue (total load).
+        let low = phi(&[10.0], &[1.0], &caps);
+        let high = phi(&[99.0], &[1.0], &caps);
+        assert!(high > 10.0 * low);
+    }
+}

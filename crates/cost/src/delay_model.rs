@@ -1,0 +1,164 @@
+//! Per-link delay `D_l` — Eq. (1) of the paper.
+//!
+//! ```text
+//! D_l = p_l                                   if x_l/C_l <= µ     (1a)
+//! D_l = κ/C_l · (x_l/(C_l - x_l) + 1) + p_l   otherwise           (1b)
+//! ```
+//!
+//! (1b) is the M/M/1 sojourn time with service rate `C_l/κ`: the mean
+//! queueing+transmission delay of a κ-bit packet on a `C_l` bit/s link
+//! offered `x_l` bit/s. To avoid the pole at `x_l → C_l`, the function is
+//! continued **linearly** from the knee `x_l/C_l = 0.99` (paper fn 3),
+//! matching both value and slope so the cost stays C¹-smooth there.
+//!
+//! Sanity anchor from the paper (§V-A3): κ = 1500 B, C = 500 Mb/s,
+//! utilization 95 % ⇒ queueing delay just under 0.5 ms.
+
+use crate::params::CostParams;
+
+/// Queueing + transmission component of Eq. (1b), seconds (no `p_l`).
+fn mm1_component(x: f64, capacity: f64, kappa: f64) -> f64 {
+    (kappa / capacity) * (x / (capacity - x) + 1.0)
+}
+
+/// Slope of [`mm1_component`] in `x`:
+/// `d/dx [κ/C · (x/(C−x) + 1)] = κ/(C−x)²`.
+fn mm1_slope(x: f64, capacity: f64, kappa: f64) -> f64 {
+    let r = capacity - x;
+    kappa / (r * r)
+}
+
+/// Delay of one link (seconds) under total offered load `x` (bits/s),
+/// capacity (bits/s) and propagation delay (seconds) — Eq. (1).
+pub fn link_delay(x: f64, capacity: f64, prop_delay: f64, p: &CostParams) -> f64 {
+    debug_assert!(x >= 0.0, "negative load");
+    debug_assert!(capacity > 0.0, "non-positive capacity");
+    let u = x / capacity;
+    if u <= p.mu {
+        // (1a): queueing negligible at backbone speeds below µ.
+        return prop_delay;
+    }
+    let knee_x = p.linearization_knee * capacity;
+    if x <= knee_x {
+        // (1b): M/M/1 approximation.
+        mm1_component(x, capacity, p.kappa_bits) + prop_delay
+    } else {
+        // Linear continuation beyond the knee (value- and slope-matched).
+        let base = mm1_component(knee_x, capacity, p.kappa_bits);
+        let slope = mm1_slope(knee_x, capacity, p.kappa_bits);
+        base + slope * (x - knee_x) + prop_delay
+    }
+}
+
+/// Vectorized form: delays for every link given total loads. `loads`,
+/// `capacities` and `prop_delays` are indexed by directed link id.
+pub fn link_delays(
+    loads: &[f64],
+    capacities: &[f64],
+    prop_delays: &[f64],
+    p: &CostParams,
+) -> Vec<f64> {
+    debug_assert_eq!(loads.len(), capacities.len());
+    debug_assert_eq!(loads.len(), prop_delays.len());
+    loads
+        .iter()
+        .zip(capacities)
+        .zip(prop_delays)
+        .map(|((&x, &c), &pd)| link_delay(x, c, pd, p))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const C: f64 = 500e6;
+    const PD: f64 = 5e-3;
+
+    fn p() -> CostParams {
+        CostParams::default()
+    }
+
+    #[test]
+    fn below_mu_is_propagation_only() {
+        for u in [0.0, 0.3, 0.7, 0.95] {
+            assert_eq!(link_delay(u * C, C, PD, &p()), PD, "u = {u}");
+        }
+    }
+
+    #[test]
+    fn paper_anchor_half_millisecond_at_95_percent() {
+        // Just above µ the queueing term appears; at 95% load it must be
+        // "less than 0.5ms" (paper §V-A3).
+        let d = link_delay(0.9501 * C, C, 0.0, &p());
+        assert!(d > 0.0 && d < 0.5e-3, "queueing delay {d}");
+    }
+
+    #[test]
+    fn queueing_grows_with_load() {
+        let mut prev = 0.0;
+        for u in [0.955, 0.96, 0.97, 0.98, 0.985] {
+            let d = link_delay(u * C, C, 0.0, &p());
+            assert!(d > prev, "u = {u}");
+            prev = d;
+        }
+    }
+
+    #[test]
+    fn linearization_is_continuous_at_knee() {
+        let knee = 0.99 * C;
+        let eps = C * 1e-9;
+        let below = link_delay(knee - eps, C, PD, &p());
+        let above = link_delay(knee + eps, C, PD, &p());
+        assert!(
+            (below - above).abs() < 1e-9,
+            "discontinuity at knee: {below} vs {above}"
+        );
+    }
+
+    #[test]
+    fn linearization_is_slope_continuous_at_knee() {
+        let knee = 0.99 * C;
+        let h = C * 1e-7;
+        let slope_below = (link_delay(knee, C, PD, &p()) - link_delay(knee - h, C, PD, &p())) / h;
+        let slope_above = (link_delay(knee + h, C, PD, &p()) - link_delay(knee, C, PD, &p())) / h;
+        let rel = (slope_below - slope_above).abs() / slope_below.abs();
+        assert!(
+            rel < 1e-3,
+            "slope jump at knee: {slope_below} vs {slope_above}"
+        );
+    }
+
+    #[test]
+    fn overload_is_finite_and_increasing() {
+        // Beyond capacity the linearization must keep delays finite and
+        // monotone (the search must be able to walk out of overload).
+        let d1 = link_delay(1.0 * C, C, PD, &p());
+        let d2 = link_delay(1.5 * C, C, PD, &p());
+        let d3 = link_delay(10.0 * C, C, PD, &p());
+        assert!(d1.is_finite() && d2.is_finite() && d3.is_finite());
+        assert!(d1 < d2 && d2 < d3);
+    }
+
+    #[test]
+    fn monotone_in_load_everywhere() {
+        let mut prev = -1.0;
+        for i in 0..2000 {
+            let x = C * (i as f64) / 1000.0; // 0 .. 2C
+            let d = link_delay(x, C, PD, &p());
+            assert!(d >= prev, "non-monotone at x = {x}");
+            prev = d;
+        }
+    }
+
+    #[test]
+    fn vectorized_matches_scalar() {
+        let loads = [0.0, 0.96 * C, 2.0 * C];
+        let caps = [C, C, C];
+        let pds = [PD, PD, PD];
+        let v = link_delays(&loads, &caps, &pds, &p());
+        for i in 0..3 {
+            assert_eq!(v[i], link_delay(loads[i], caps[i], pds[i], &p()));
+        }
+    }
+}

@@ -1,0 +1,134 @@
+//! Delay-class cost `Λ` — Eq. (2) of the paper.
+//!
+//! ```text
+//! Λ(s,t) = 0                       if ξ(s,t) <= θ     (2a)
+//! Λ(s,t) = B1 + B2 (ξ(s,t) − θ)   otherwise           (2b)
+//! ```
+//!
+//! `Λ = Σ_(s,t) Λ(s,t)` captures the financial penalty of SLA violations:
+//! a fixed penalty per violated pair plus a term growing with the excess.
+//! VoIP-style applications are insensitive below the threshold and degrade
+//! sharply past it (paper ref \[7\]).
+
+use crate::params::CostParams;
+
+/// Penalty of a single SD pair with end-to-end delay `xi` seconds.
+/// An infinite `xi` (disconnected pair, only possible in degenerate
+/// scenarios) is charged as a violation with
+/// [`CostParams::disconnect_excess_ms`] of excess.
+pub fn pair_penalty(xi: f64, p: &CostParams) -> f64 {
+    if xi <= p.theta {
+        return 0.0;
+    }
+    let excess_ms = if xi.is_finite() {
+        (xi - p.theta) * 1e3
+    } else {
+        p.disconnect_excess_ms
+    };
+    p.b1 + p.b2_per_ms * excess_ms
+}
+
+/// `true` if the delay violates the SLA bound.
+#[inline]
+pub fn violates(xi: f64, p: &CostParams) -> bool {
+    xi > p.theta
+}
+
+/// Aggregate over per-pair delays: total cost `Λ` and the violation count
+/// the paper reports as its robustness headline metric (β).
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
+pub struct SlaSummary {
+    /// Total delay-class cost `Λ`.
+    pub lambda: f64,
+    /// Number of SD pairs violating the SLA bound.
+    pub violations: usize,
+    /// Number of pairs examined.
+    pub pairs: usize,
+    /// Largest end-to-end delay observed (seconds); 0 when no pairs.
+    pub worst_delay: f64,
+}
+
+/// Fold per-pair delays `(s, t, ξ)` into an [`SlaSummary`].
+pub fn summarize<'a>(
+    delays: impl IntoIterator<Item = &'a (usize, usize, f64)>,
+    p: &CostParams,
+) -> SlaSummary {
+    let mut out = SlaSummary::default();
+    for &(_, _, xi) in delays {
+        out.pairs += 1;
+        out.lambda += pair_penalty(xi, p);
+        if violates(xi, p) {
+            out.violations += 1;
+        }
+        if xi.is_finite() {
+            out.worst_delay = out.worst_delay.max(xi);
+        } else {
+            out.worst_delay = f64::INFINITY;
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn p() -> CostParams {
+        CostParams::default() // θ = 25 ms, B1 = 100, B2 = 1/ms
+    }
+
+    #[test]
+    fn below_theta_is_free() {
+        assert_eq!(pair_penalty(0.0, &p()), 0.0);
+        assert_eq!(pair_penalty(24.9e-3, &p()), 0.0);
+        assert_eq!(pair_penalty(25e-3, &p()), 0.0); // boundary inclusive
+    }
+
+    #[test]
+    fn violation_penalty_structure() {
+        // 30 ms: 5 ms excess -> 100 + 5 = 105.
+        let pen = pair_penalty(30e-3, &p());
+        assert!((pen - 105.0).abs() < 1e-9);
+        // Just past θ the fixed part dominates (sharp increase, Eq. 2b).
+        let pen = pair_penalty(25.000001e-3, &p());
+        assert!(pen > 100.0 && pen < 100.001);
+    }
+
+    #[test]
+    fn disconnected_pair_charged_finite() {
+        let pen = pair_penalty(f64::INFINITY, &p());
+        assert!((pen - 1100.0).abs() < 1e-9); // B1 + 1000 ms * B2
+        assert!(pen.is_finite());
+    }
+
+    #[test]
+    fn summary_counts_and_sums() {
+        let delays = vec![
+            (0, 1, 10e-3),
+            (1, 2, 30e-3), // violation: 105
+            (2, 0, 26e-3), // violation: 101
+        ];
+        let s = summarize(&delays, &p());
+        assert_eq!(s.pairs, 3);
+        assert_eq!(s.violations, 2);
+        assert!((s.lambda - 206.0).abs() < 1e-9);
+        assert!((s.worst_delay - 30e-3).abs() < 1e-15);
+    }
+
+    #[test]
+    fn empty_summary_is_zero() {
+        let s = summarize(&[], &p());
+        assert_eq!(s, SlaSummary::default());
+    }
+
+    #[test]
+    fn penalty_is_monotone_in_delay() {
+        let mut prev = -1.0;
+        for i in 0..100 {
+            let xi = i as f64 * 1e-3;
+            let pen = pair_penalty(xi, &p());
+            assert!(pen >= prev);
+            prev = pen;
+        }
+    }
+}

@@ -1,0 +1,123 @@
+//! `repro` — regenerate every table and figure of the paper.
+//!
+//! ```text
+//! repro [--scale smoke|quick|paper] [--seed N] [--out DIR] [--list] [EXPERIMENT...]
+//! ```
+//!
+//! Without experiment names, runs everything in DESIGN.md §6 order.
+//! CSV series for the figures land in `--out` (default `results/`);
+//! `--list` prints the experiment names and exits.
+
+use std::process::ExitCode;
+
+use dtr_eval::experiments;
+use dtr_eval::{ExpConfig, Scale};
+
+fn usage() -> String {
+    let names: Vec<&str> = experiments::registry().iter().map(|(n, _)| *n).collect();
+    format!(
+        "usage: repro [--scale smoke|quick|paper] [--seed N] [--out DIR] [EXPERIMENT...]\n\
+         experiments: {}",
+        names.join(", ")
+    )
+}
+
+fn main() -> ExitCode {
+    let mut scale = Scale::Quick;
+    let mut seed = 1u64;
+    let mut out_dir = Some(std::path::PathBuf::from("results"));
+    let mut wanted: Vec<String> = Vec::new();
+
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--scale" => {
+                let Some(v) = args.next() else {
+                    eprintln!("--scale needs a value\n{}", usage());
+                    return ExitCode::FAILURE;
+                };
+                match v.parse() {
+                    Ok(s) => scale = s,
+                    Err(e) => {
+                        eprintln!("{e}\n{}", usage());
+                        return ExitCode::FAILURE;
+                    }
+                }
+            }
+            "--seed" => {
+                let Some(v) = args.next() else {
+                    eprintln!("--seed needs a value\n{}", usage());
+                    return ExitCode::FAILURE;
+                };
+                match v.parse() {
+                    Ok(s) => seed = s,
+                    Err(_) => {
+                        eprintln!("--seed must be an integer\n{}", usage());
+                        return ExitCode::FAILURE;
+                    }
+                }
+            }
+            "--out" => {
+                let Some(v) = args.next() else {
+                    eprintln!("--out needs a value\n{}", usage());
+                    return ExitCode::FAILURE;
+                };
+                out_dir = Some(v.into());
+            }
+            "--no-out" => out_dir = None,
+            "--list" => {
+                for (n, _) in experiments::registry() {
+                    println!("{n}");
+                }
+                return ExitCode::SUCCESS;
+            }
+            "--help" | "-h" => {
+                println!("{}", usage());
+                return ExitCode::SUCCESS;
+            }
+            other if other.starts_with('-') => {
+                eprintln!("unknown flag {other}\n{}", usage());
+                return ExitCode::FAILURE;
+            }
+            name => wanted.push(name.to_string()),
+        }
+    }
+
+    let registry = experiments::registry();
+    let selected: Vec<_> = if wanted.is_empty() {
+        registry
+    } else {
+        let mut sel = Vec::new();
+        for w in &wanted {
+            match registry.iter().find(|(n, _)| n == w) {
+                Some(&(n, f)) => sel.push((n, f)),
+                None => {
+                    eprintln!("unknown experiment '{w}'\n{}", usage());
+                    return ExitCode::FAILURE;
+                }
+            }
+        }
+        sel
+    };
+
+    let cfg = ExpConfig {
+        scale,
+        seed,
+        out_dir,
+    };
+    println!(
+        "# dtr repro — scale={scale}, seed={seed}, out={}",
+        cfg.out_dir
+            .as_ref()
+            .map(|p| p.display().to_string())
+            .unwrap_or_else(|| "(none)".into())
+    );
+    for (name, f) in selected {
+        let t0 = std::time::Instant::now();
+        println!("\n--- {name} ---");
+        let report = f(&cfg);
+        println!("{report}");
+        println!("[{name} took {:.1}s]", t0.elapsed().as_secs_f64());
+    }
+    ExitCode::SUCCESS
+}

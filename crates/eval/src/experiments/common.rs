@@ -1,0 +1,83 @@
+//! Shared experiment plumbing.
+
+use dtr_core::{pipeline::RobustReport, Params, RobustOptimizer};
+use dtr_routing::Scenario;
+
+use crate::metrics::{self, ScenarioMetrics};
+use crate::settings::Instance;
+
+/// A fully-optimized instance: the robust pipeline's report plus both
+/// solutions evaluated across the *entire* failure universe (the paper
+/// always scores against all single link failures, regardless of which
+/// critical subset Phase 2 optimized).
+pub struct OptimizedPair {
+    pub report: RobustReport,
+    /// All survivable single-link failure scenarios.
+    pub scenarios: Vec<Scenario>,
+    /// Per-scenario metrics of the Phase-1 (regular / "NR") solution.
+    pub regular: Vec<ScenarioMetrics>,
+    /// Per-scenario metrics of the robust ("R") solution.
+    pub robust: Vec<ScenarioMetrics>,
+}
+
+impl OptimizedPair {
+    /// Run the full pipeline on the instance and score both solutions.
+    pub fn compute(inst: &Instance, params: Params) -> OptimizedPair {
+        let ev = inst.evaluator();
+        let opt = RobustOptimizer::new(&ev, params);
+        let report = opt.optimize();
+        let scenarios = opt.universe().scenarios();
+        let regular = metrics::failure_series(&ev, &report.regular, &scenarios);
+        let robust = metrics::failure_series(&ev, &report.robust, &scenarios);
+        OptimizedPair {
+            report,
+            scenarios,
+            regular,
+            robust,
+        }
+    }
+
+    /// β (mean violations/failure) of the regular solution.
+    pub fn beta_regular(&self) -> f64 {
+        metrics::beta(&self.regular)
+    }
+
+    /// β of the robust solution.
+    pub fn beta_robust(&self) -> f64 {
+        metrics::beta(&self.robust)
+    }
+}
+
+/// Convenience: format a float with 2 decimals.
+pub fn f2(x: f64) -> String {
+    format!("{x:.2}")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::scale::Scale;
+    use crate::settings::{Instance, LoadSpec, TopoSpec};
+    use dtr_cost::CostParams;
+    use dtr_topogen::TopoKind;
+
+    #[test]
+    fn optimized_pair_scores_full_universe() {
+        let inst = Instance::build(
+            "small",
+            TopoSpec::Synth(TopoKind::Rand, 8, 16),
+            LoadSpec::AvgUtil(0.43),
+            CostParams::default(),
+            1,
+        );
+        let pair = OptimizedPair::compute(&inst, Scale::Smoke.params(1));
+        assert_eq!(pair.regular.len(), pair.scenarios.len());
+        assert_eq!(pair.robust.len(), pair.scenarios.len());
+        assert!(pair.scenarios.len() >= 8); // well-connected: most links failable
+                                            // The robust solution never has a *higher* compound Λfail over the
+                                            // critical subset it optimized (checked in dtr-core tests); here we
+                                            // only sanity-check the metric plumbing.
+        assert!(pair.beta_regular() >= 0.0);
+        assert!(pair.beta_robust() >= 0.0);
+    }
+}

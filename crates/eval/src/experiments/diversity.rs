@@ -1,0 +1,182 @@
+//! **Path-diversity sweep** (extension; the controlled version of §V-B).
+//!
+//! The paper *explains* its topology results through path diversity:
+//! robust optimization's benefits "are typically in proportion to the
+//! number of paths it can explore" (§V-B), with NearTopo as the starved
+//! outlier and RandTopo as the diverse baseline. Those two families
+//! differ in more than diversity, though. The Waxman α knob isolates the
+//! variable: same node count, same link budget, same load — only the
+//! locality of link placement (and hence the alternate-path supply)
+//! changes. This experiment sweeps
+//!
+//! `NearTopo → Waxman(α=0.08) → Waxman(α=0.4) → RandTopo`
+//!
+//! and reports each topology's ECMP diversity index next to the
+//! robust-vs-regular violation ratio. The paper's mechanism predicts the
+//! benefit ratio grows along the sweep.
+
+use dtr_routing::{paths, Class};
+use dtr_topogen::TopoKind;
+
+use crate::experiments::common::OptimizedPair;
+use crate::render::Table;
+use crate::settings::{ExpConfig, Instance, LoadSpec, TopoSpec};
+
+/// One topology's aggregated outcome.
+#[derive(Clone, Debug)]
+pub struct Row {
+    /// Topology label.
+    pub topology: String,
+    /// Mean ECMP diversity index under hop-count weights — the
+    /// topology's raw alternate-path supply, independent of any
+    /// optimized weight setting.
+    pub diversity: f64,
+    /// Mean β (violations/failure) of the regular routing.
+    pub beta_regular: f64,
+    /// Mean β of the robust routing.
+    pub beta_robust: f64,
+}
+
+impl Row {
+    /// Regular-to-robust violation ratio (∞-safe: 0/0 → 1).
+    pub fn benefit_ratio(&self) -> f64 {
+        if self.beta_robust <= 0.0 {
+            if self.beta_regular <= 0.0 {
+                1.0
+            } else {
+                f64::INFINITY
+            }
+        } else {
+            self.beta_regular / self.beta_robust
+        }
+    }
+}
+
+/// Rendered experiment result.
+pub struct Diversity {
+    /// One row per topology, in sweep order.
+    pub rows: Vec<Row>,
+    /// ASCII table.
+    pub table: Table,
+}
+
+impl std::fmt::Display for Diversity {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}", self.table)
+    }
+}
+
+/// Run the sweep.
+pub fn run(cfg: &ExpConfig) -> Diversity {
+    let n = cfg.scale.nodes(30);
+    let m = n * 3;
+    let sweep: Vec<(String, TopoSpec)> = vec![
+        (
+            format!("NearTopo [{n},{}]", 2 * m),
+            TopoSpec::Synth(TopoKind::Near, n, m),
+        ),
+        (
+            format!("Waxman a=0.08 [{n},{}]", 2 * m),
+            TopoSpec::WaxmanAlpha(n, m, 80),
+        ),
+        (
+            format!("Waxman a=0.40 [{n},{}]", 2 * m),
+            TopoSpec::WaxmanAlpha(n, m, 400),
+        ),
+        (
+            format!("RandTopo [{n},{}]", 2 * m),
+            TopoSpec::Synth(TopoKind::Rand, n, m),
+        ),
+    ];
+
+    let mut rows = Vec::new();
+    let mut table = Table::new(
+        "Path-diversity sweep: robust benefit vs ECMP diversity (paper §V-B mechanism)",
+        &["topology", "diversity idx", "beta NR", "beta R", "NR/R"],
+    );
+
+    for (name, spec) in sweep {
+        let mut div = Vec::new();
+        let mut b_reg = Vec::new();
+        let mut b_rob = Vec::new();
+        for rep in 0..cfg.scale.repeats() {
+            let seed = cfg.run_seed(rep);
+            let inst = Instance::build(
+                name.clone(),
+                spec,
+                LoadSpec::AvgUtil(0.43),
+                dtr_cost::CostParams::default(),
+                seed,
+            );
+            let pair = OptimizedPair::compute(&inst, cfg.scale.params(seed));
+            let mask = inst.net.fresh_mask();
+            let hop_count = dtr_routing::WeightSetting::uniform(inst.net.num_links(), 20);
+            div.push(paths::diversity_index(
+                &inst.net,
+                hop_count.weights(Class::Delay),
+                &mask,
+            ));
+            b_reg.push(pair.beta_regular());
+            b_rob.push(pair.beta_robust());
+        }
+        let mean = |v: &[f64]| v.iter().sum::<f64>() / v.len().max(1) as f64;
+        let row = Row {
+            topology: name,
+            diversity: mean(&div),
+            beta_regular: mean(&b_reg),
+            beta_robust: mean(&b_rob),
+        };
+        table.row(vec![
+            row.topology.clone(),
+            format!("{:.2}", row.diversity),
+            format!("{:.2}", row.beta_regular),
+            format!("{:.2}", row.beta_robust),
+            format!("{:.2}", row.benefit_ratio()),
+        ]);
+        rows.push(row);
+    }
+
+    Diversity { rows, table }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::scale::Scale;
+
+    #[test]
+    fn smoke_run_covers_the_sweep() {
+        let out = run(&ExpConfig::new(Scale::Smoke, 6));
+        assert_eq!(out.rows.len(), 4);
+        for r in &out.rows {
+            assert!(r.diversity >= 1.0, "{}: diversity below 1", r.topology);
+            assert!(r.beta_regular >= 0.0 && r.beta_robust >= 0.0);
+        }
+        // The two extremes of the paper's §V-B narrative: RandTopo must
+        // offer at least as much ECMP diversity as NearTopo.
+        let near = &out.rows[0];
+        let rand = &out.rows[3];
+        assert!(
+            rand.diversity >= near.diversity * 0.8,
+            "diversity collapsed: near {} vs rand {}",
+            near.diversity,
+            rand.diversity
+        );
+    }
+
+    #[test]
+    fn benefit_ratio_handles_zero_robust_beta() {
+        let r = Row {
+            topology: "x".into(),
+            diversity: 1.0,
+            beta_regular: 2.0,
+            beta_robust: 0.0,
+        };
+        assert!(r.benefit_ratio().is_infinite());
+        let r0 = Row {
+            beta_regular: 0.0,
+            ..r
+        };
+        assert_eq!(r0.benefit_ratio(), 1.0);
+    }
+}

@@ -1,0 +1,100 @@
+//! **Figure 3** — per-failure-link performance, robust vs. regular
+//! (§V-B): (a) SLA violations per failed link; (b) throughput-sensitive
+//! traffic cost per failed link. RandTopo at average utilization 0.43.
+//!
+//! Emits two CSV series (`fig3a_sla_violations`, `fig3b_phi_cost`) with
+//! one row per failure scenario, plus a printed summary.
+
+use dtr_topogen::TopoKind;
+
+use crate::experiments::common::OptimizedPair;
+use crate::metrics;
+use crate::render::Table;
+use crate::series::{self, Series};
+use crate::settings::{ExpConfig, Instance, LoadSpec, TopoSpec};
+
+pub struct Fig3 {
+    pub violations: Series,
+    pub phi: Series,
+    pub summary: Table,
+}
+
+impl std::fmt::Display for Fig3 {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}", self.summary)
+    }
+}
+
+pub fn run(cfg: &ExpConfig) -> Fig3 {
+    let n = cfg.scale.nodes(30);
+    let seed = cfg.run_seed(0);
+    let inst = Instance::build(
+        format!("RandTopo [{n},{}]", n * 6),
+        TopoSpec::Synth(TopoKind::Rand, n, n * 3),
+        LoadSpec::AvgUtil(0.43),
+        dtr_cost::CostParams::default(),
+        seed,
+    );
+    let pair = OptimizedPair::compute(&inst, cfg.scale.params(seed));
+
+    let mut violations = Series::new(
+        "fig3a_sla_violations",
+        &["failure_link_id", "robust", "regular"],
+    );
+    let mut phi = Series::new("fig3b_phi_cost", &["failure_link_id", "robust", "regular"]);
+    for (i, (r, nr)) in pair.robust.iter().zip(&pair.regular).enumerate() {
+        violations.push(vec![i as f64, r.violations as f64, nr.violations as f64]);
+        phi.push(vec![i as f64, r.phi, nr.phi]);
+    }
+    series::write_all(&[violations.clone(), phi.clone()], cfg.out_dir.as_deref());
+
+    let mut summary = Table::new(
+        "Fig 3: per-failure performance, robust vs regular (RandTopo)",
+        &["metric", "robust", "regular"],
+    );
+    summary.row(vec![
+        "mean SLA violations".into(),
+        format!("{:.2}", pair.beta_robust()),
+        format!("{:.2}", pair.beta_regular()),
+    ]);
+    summary.row(vec![
+        "max SLA violations".into(),
+        format!(
+            "{}",
+            pair.robust.iter().map(|m| m.violations).max().unwrap_or(0)
+        ),
+        format!(
+            "{}",
+            pair.regular.iter().map(|m| m.violations).max().unwrap_or(0)
+        ),
+    ]);
+    summary.row(vec![
+        "compound phi cost".into(),
+        format!("{:.3e}", metrics::phi_fail(&pair.robust)),
+        format!("{:.3e}", metrics::phi_fail(&pair.regular)),
+    ]);
+
+    Fig3 {
+        violations,
+        phi,
+        summary,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::scale::Scale;
+
+    #[test]
+    fn series_cover_every_failure_scenario() {
+        let cfg = ExpConfig::new(Scale::Smoke, 11);
+        let out = run(&cfg);
+        assert_eq!(out.violations.rows.len(), out.phi.rows.len());
+        assert!(!out.violations.rows.is_empty());
+        // Columns are (id, robust, regular).
+        assert_eq!(out.violations.columns.len(), 3);
+        let s = out.summary.render();
+        assert!(s.contains("mean SLA violations"));
+    }
+}

@@ -1,0 +1,233 @@
+//! **Figure 6** — sensitivity to traffic uncertainty (§V-F).
+//!
+//! Routings are computed on a *base* traffic matrix, then evaluated on
+//! "actual" matrices drawn from two uncertainty models:
+//!
+//! * (a)/(b) random Gaussian fluctuation, ε = 0.2, base scaled so the
+//!   robust routing sees ≈ 90 % max utilization;
+//! * (c)/(d) download hot-spot surges (10 % servers, 50 % clients,
+//!   factors U\[2,6\]), base at ≈ 74 % max utilization.
+//!
+//! Panels report, over the top-10 % worst failure links: SLA violations
+//! and throughput cost, as mean ± std across the perturbed instances, for
+//! robust and regular routing, plus the robust routing on the base TM as
+//! the reference curve.
+
+use dtr_cost::Evaluator;
+use dtr_routing::{Scenario, WeightSetting};
+use dtr_topogen::TopoKind;
+use dtr_traffic::{fluctuation, hotspot, ClassMatrices};
+
+use crate::experiments::common::OptimizedPair;
+use crate::metrics;
+use crate::render::Table;
+use crate::series::{self, Series};
+use crate::settings::{ExpConfig, Instance, LoadSpec, TopoSpec};
+
+pub struct Fig6 {
+    pub fluctuation_violations: Series,
+    pub fluctuation_phi: Series,
+    pub hotspot_violations: Series,
+    pub hotspot_phi: Series,
+    pub summary: Table,
+}
+
+impl std::fmt::Display for Fig6 {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}", self.summary)
+    }
+}
+
+/// Evaluate a routing on many TM instances over the top-10% failure
+/// scenarios (worst for that routing under the base TM). Returns per
+/// scenario: (mean violations, std violations, mean phi, std phi).
+fn across_instances(
+    inst: &Instance,
+    w: &WeightSetting,
+    scenarios: &[Scenario],
+    tms: &[ClassMatrices],
+) -> Vec<(f64, f64, f64, f64)> {
+    let mut out = Vec::with_capacity(scenarios.len());
+    for &sc in scenarios {
+        let mut v = Vec::with_capacity(tms.len());
+        let mut p = Vec::with_capacity(tms.len());
+        for tm in tms {
+            let ev = Evaluator::new(&inst.net, tm, inst.cost);
+            let b = ev.evaluate(w, sc);
+            v.push(b.sla.violations as f64);
+            p.push(b.cost.phi);
+        }
+        let (vm, vs) = metrics::mean_std(&v);
+        let (pm, ps) = metrics::mean_std(&p);
+        out.push((vm, vs, pm, ps));
+    }
+    out
+}
+
+struct Panel {
+    violations: Series,
+    phi: Series,
+    mean_v_robust: f64,
+    mean_v_regular: f64,
+}
+
+fn run_model(
+    cfg: &ExpConfig,
+    name: &str,
+    max_util: f64,
+    make_instances: impl Fn(&ClassMatrices, usize, u64) -> Vec<ClassMatrices>,
+) -> Panel {
+    let n = cfg.scale.nodes(30);
+    let seed = cfg.run_seed(0);
+    let inst = Instance::build(
+        format!("RandTopo {name}"),
+        TopoSpec::Synth(TopoKind::Rand, n, n * 3),
+        LoadSpec::MaxUtil(max_util),
+        dtr_cost::CostParams::default(),
+        seed,
+    );
+    let pair = OptimizedPair::compute(&inst, cfg.scale.params(seed));
+    let count = cfg.scale.uncertainty_instances();
+    let tms = make_instances(&inst.traffic, count, seed);
+
+    // Top-10% worst failures under the base TM (per routing).
+    let worst_r = metrics::worst_scenarios(&pair.robust, 0.10);
+    let worst_nr = metrics::worst_scenarios(&pair.regular, 0.10);
+    let scen_r: Vec<Scenario> = worst_r.iter().map(|m| m.scenario).collect();
+    let scen_nr: Vec<Scenario> = worst_nr.iter().map(|m| m.scenario).collect();
+
+    let robust_rows = across_instances(&inst, &pair.report.robust, &scen_r, &tms);
+    let regular_rows = across_instances(&inst, &pair.report.regular, &scen_nr, &tms);
+
+    let mut violations = Series::new(
+        format!("fig6_{name}_violations"),
+        &[
+            "sorted_failure_rank",
+            "robust_mean",
+            "robust_std",
+            "regular_mean",
+            "regular_std",
+            "robust_base_tm",
+        ],
+    );
+    let mut phi = Series::new(
+        format!("fig6_{name}_phi"),
+        &[
+            "sorted_failure_rank",
+            "robust_mean",
+            "robust_std",
+            "regular_mean",
+            "regular_std",
+            "robust_base_tm",
+        ],
+    );
+    for i in 0..robust_rows.len().max(regular_rows.len()) {
+        let r = robust_rows.get(i);
+        let nr = regular_rows.get(i);
+        let base = worst_r.get(i);
+        violations.push(vec![
+            i as f64,
+            r.map_or(f64::NAN, |x| x.0),
+            r.map_or(f64::NAN, |x| x.1),
+            nr.map_or(f64::NAN, |x| x.0),
+            nr.map_or(f64::NAN, |x| x.1),
+            base.map_or(f64::NAN, |m| m.violations as f64),
+        ]);
+        phi.push(vec![
+            i as f64,
+            r.map_or(f64::NAN, |x| x.2),
+            r.map_or(f64::NAN, |x| x.3),
+            nr.map_or(f64::NAN, |x| x.2),
+            nr.map_or(f64::NAN, |x| x.3),
+            base.map_or(f64::NAN, |m| m.phi),
+        ]);
+    }
+
+    let mean = |rows: &[(f64, f64, f64, f64)]| {
+        rows.iter().map(|x| x.0).sum::<f64>() / rows.len().max(1) as f64
+    };
+    Panel {
+        mean_v_robust: mean(&robust_rows),
+        mean_v_regular: mean(&regular_rows),
+        violations,
+        phi,
+    }
+}
+
+pub fn run(cfg: &ExpConfig) -> Fig6 {
+    // (a)/(b): Gaussian fluctuation, ε = 0.2, max util 0.9.
+    let fluct = run_model(cfg, "fluctuation", 0.90, |base, count, seed| {
+        fluctuation::instances(base, 0.2, count, seed ^ 0xf1)
+    });
+    // (c)/(d): download hot spots, max util 0.74.
+    let hot = run_model(cfg, "hotspot", 0.74, |base, count, seed| {
+        (0..count)
+            .map(|i| {
+                let inst_seed = seed ^ (i as u64).wrapping_mul(0x9e37_79b9_7f4a_7c15);
+                hotspot::apply(
+                    base,
+                    &hotspot::HotspotConfig::paper_default(hotspot::Direction::Download, inst_seed),
+                )
+                .0
+            })
+            .collect()
+    });
+
+    series::write_all(
+        &[
+            fluct.violations.clone(),
+            fluct.phi.clone(),
+            hot.violations.clone(),
+            hot.phi.clone(),
+        ],
+        cfg.out_dir.as_deref(),
+    );
+
+    let mut summary = Table::new(
+        "Fig 6: robustness under traffic uncertainty (top-10% failures)",
+        &["model", "mean viol robust", "mean viol regular"],
+    );
+    summary.row(vec![
+        "Gaussian fluctuation (eps=0.2)".into(),
+        format!("{:.2}", fluct.mean_v_robust),
+        format!("{:.2}", fluct.mean_v_regular),
+    ]);
+    summary.row(vec![
+        "Download hot-spot (U[2,6])".into(),
+        format!("{:.2}", hot.mean_v_robust),
+        format!("{:.2}", hot.mean_v_regular),
+    ]);
+
+    Fig6 {
+        fluctuation_violations: fluct.violations,
+        fluctuation_phi: fluct.phi,
+        hotspot_violations: hot.violations,
+        hotspot_phi: hot.phi,
+        summary,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::scale::Scale;
+
+    #[test]
+    fn across_instances_shapes() {
+        let cfg = ExpConfig::new(Scale::Smoke, 4);
+        let n = cfg.scale.nodes(30);
+        let inst = Instance::build(
+            "t",
+            TopoSpec::Synth(TopoKind::Rand, n, n * 3),
+            LoadSpec::MaxUtil(0.74),
+            dtr_cost::CostParams::default(),
+            1,
+        );
+        let w = WeightSetting::uniform(inst.net.num_links(), 20);
+        let scen = vec![Scenario::Normal];
+        let tms = fluctuation::instances(&inst.traffic, 0.2, 3, 9);
+        let rows = across_instances(&inst, &w, &scen, &tms);
+        assert_eq!(rows.len(), 1);
+        assert!(rows[0].0 >= 0.0 && rows[0].2 > 0.0);
+    }
+}

@@ -1,0 +1,192 @@
+//! **Figure 7** — node failures vs. link failures (§V-F).
+//!
+//! Three routings on RandTopo at max utilization 0.8:
+//!
+//! * **NR** — regular optimization (failure-oblivious);
+//! * **R-link** — robust against all single link failures (the paper's
+//!   method);
+//! * **R-node** — robust against all single node failures (exhaustive
+//!   over node scenarios, which are only `O(|V|)`).
+//!
+//! Panels (a)/(b): all three under every single node failure (sorted
+//! violations and throughput cost) — link-robust routing must still
+//! vastly outperform NR. Panels (c)/(d): the two robust routings under
+//! the top-10 % link failures — node-robust routing can do very poorly,
+//! so node robustness is no substitute for link robustness.
+
+use dtr_core::{phase1, phase2, RobustOptimizer};
+use dtr_routing::{Scenario, WeightSetting};
+use dtr_topogen::TopoKind;
+
+use crate::metrics::{self, ScenarioMetrics};
+use crate::render::Table;
+use crate::series::{self, Series};
+use crate::settings::{ExpConfig, Instance, LoadSpec, TopoSpec};
+
+pub struct Fig7 {
+    pub node_violations: Series,
+    pub node_phi: Series,
+    pub link_violations: Series,
+    pub link_phi: Series,
+    pub summary: Table,
+}
+
+impl std::fmt::Display for Fig7 {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}", self.summary)
+    }
+}
+
+fn sorted_desc(series: &[ScenarioMetrics], f: impl Fn(&ScenarioMetrics) -> f64) -> Vec<f64> {
+    let mut v: Vec<f64> = series.iter().map(f).collect();
+    v.sort_by(|a, b| b.partial_cmp(a).expect("finite"));
+    v
+}
+
+pub fn run(cfg: &ExpConfig) -> Fig7 {
+    let n = cfg.scale.nodes(30);
+    let seed = cfg.run_seed(0);
+    let inst = Instance::build(
+        format!("RandTopo [{n}] max-util 0.8"),
+        TopoSpec::Synth(TopoKind::Rand, n, n * 3),
+        LoadSpec::MaxUtil(0.8),
+        dtr_cost::CostParams::default(),
+        seed,
+    );
+    let ev = inst.evaluator();
+    let params = cfg.scale.params(seed);
+
+    // The three routings. Phase 1 is shared: both robust variants start
+    // from the same regular optimization, as in the paper ("we use the
+    // same set of parameters to optimize routing against all single link
+    // and all single node failures").
+    let opt = RobustOptimizer::new(&ev, params);
+    let link_report = opt.optimize();
+    let regular: WeightSetting = link_report.regular.clone();
+    let link_robust: WeightSetting = link_report.robust.clone();
+    let p1 = phase1::run(&ev, opt.universe(), &params);
+    let node_scenarios = Scenario::all_node_failures(&inst.net);
+    let node_robust = phase2::run_scenarios(&ev, &node_scenarios, &params, &p1, None).best;
+
+    // Panels (a)/(b): node-failure performance of all three.
+    let nr_node = metrics::failure_series(&ev, &regular, &node_scenarios);
+    let rl_node = metrics::failure_series(&ev, &link_robust, &node_scenarios);
+    let rn_node = metrics::failure_series(&ev, &node_robust, &node_scenarios);
+
+    let mut node_violations = Series::new(
+        "fig7a_node_failure_violations",
+        &[
+            "sorted_failure_rank",
+            "robust_node",
+            "robust_link",
+            "regular",
+        ],
+    );
+    let mut node_phi = Series::new(
+        "fig7b_node_failure_phi",
+        &[
+            "sorted_failure_rank",
+            "robust_node",
+            "robust_link",
+            "regular",
+        ],
+    );
+    let v_rn = sorted_desc(&rn_node, |m| m.violations as f64);
+    let v_rl = sorted_desc(&rl_node, |m| m.violations as f64);
+    let v_nr = sorted_desc(&nr_node, |m| m.violations as f64);
+    let p_rn = sorted_desc(&rn_node, |m| m.phi);
+    let p_rl = sorted_desc(&rl_node, |m| m.phi);
+    let p_nr = sorted_desc(&nr_node, |m| m.phi);
+    for i in 0..v_rn.len() {
+        node_violations.push(vec![i as f64, v_rn[i], v_rl[i], v_nr[i]]);
+        node_phi.push(vec![i as f64, p_rn[i], p_rl[i], p_nr[i]]);
+    }
+
+    // Panels (c)/(d): top-10% link failures for the two robust routings.
+    let link_scenarios = opt.universe().scenarios();
+    let rl_link = metrics::failure_series(&ev, &link_robust, &link_scenarios);
+    let rn_link = metrics::failure_series(&ev, &node_robust, &link_scenarios);
+    let k = metrics::worst_scenarios(&rn_link, 0.10).len();
+    let v_rl_l = sorted_desc(&rl_link, |m| m.violations as f64);
+    let v_rn_l = sorted_desc(&rn_link, |m| m.violations as f64);
+    let p_rl_l = sorted_desc(&rl_link, |m| m.phi);
+    let p_rn_l = sorted_desc(&rn_link, |m| m.phi);
+
+    let mut link_violations = Series::new(
+        "fig7c_link_failure_violations",
+        &["sorted_failure_rank", "robust_node", "robust_link"],
+    );
+    let mut link_phi = Series::new(
+        "fig7d_link_failure_phi",
+        &["sorted_failure_rank", "robust_node", "robust_link"],
+    );
+    for i in 0..k {
+        link_violations.push(vec![i as f64, v_rn_l[i], v_rl_l[i]]);
+        link_phi.push(vec![i as f64, p_rn_l[i], p_rl_l[i]]);
+    }
+
+    series::write_all(
+        &[
+            node_violations.clone(),
+            node_phi.clone(),
+            link_violations.clone(),
+            link_phi.clone(),
+        ],
+        cfg.out_dir.as_deref(),
+    );
+
+    let mut summary = Table::new(
+        "Fig 7: node vs link failure robustness",
+        &[
+            "routing",
+            "mean viol (node failures)",
+            "mean viol (link failures)",
+        ],
+    );
+    for (name, node_s, link_s) in [
+        ("regular (NR)", &nr_node, None),
+        ("robust-link", &rl_node, Some(&rl_link)),
+        ("robust-node", &rn_node, Some(&rn_link)),
+    ] {
+        summary.row(vec![
+            name.into(),
+            format!("{:.2}", metrics::beta(node_s)),
+            link_s.map_or("-".into(), |s| format!("{:.2}", metrics::beta(s))),
+        ]);
+    }
+
+    Fig7 {
+        node_violations,
+        node_phi,
+        link_violations,
+        link_phi,
+        summary,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::scale::Scale;
+
+    #[test]
+    fn sorted_desc_is_descending() {
+        let s = vec![
+            ScenarioMetrics {
+                scenario: Scenario::Normal,
+                violations: 1,
+                lambda: 0.0,
+                phi: 5.0,
+            },
+            ScenarioMetrics {
+                scenario: Scenario::Normal,
+                violations: 9,
+                lambda: 0.0,
+                phi: 2.0,
+            },
+        ];
+        assert_eq!(sorted_desc(&s, |m| m.violations as f64), vec![9.0, 1.0]);
+        assert_eq!(sorted_desc(&s, |m| m.phi), vec![5.0, 2.0]);
+        let _ = Scale::Smoke;
+    }
+}

@@ -1,0 +1,210 @@
+//! **Three-class MTR robustness** (extension; §I frames DTR as "the most
+//! basic setting" of MTR).
+//!
+//! Exercises the generalized k-topology engine (`dtr-mtr`) on the
+//! three-class configuration the MTR RFCs motivate: voice (tight SLA,
+//! pinned), video (loose SLA, mildly relaxable), bulk data (congestion
+//! cost, χ = 0.2). The experiment mirrors Table II's structure — SLA
+//! violations per class across all single link failures, regular vs
+//! robust — demonstrating that the paper's machinery carries beyond two
+//! classes, as its generality argument claims (§I).
+
+use dtr_mtr::{ClassSpec, MtrConfig, MtrEvaluator, MtrOptimizer, MtrParams};
+use dtr_routing::Scenario;
+use dtr_topogen::TopoKind;
+use dtr_traffic::{gravity, TrafficMatrix};
+
+use crate::metrics;
+use crate::render::Table;
+use crate::scale::Scale;
+use crate::settings::{ExpConfig, TopoSpec};
+
+/// Per-class comparison row.
+#[derive(Clone, Debug)]
+pub struct Row {
+    /// Class name.
+    pub class: String,
+    /// Mean per-failure SLA violations, regular routing (`None` for the
+    /// congestion class, which has no SLA).
+    pub regular_violations: Option<(f64, f64)>,
+    /// Same for the robust routing.
+    pub robust_violations: Option<(f64, f64)>,
+    /// Normal-conditions class cost, regular → robust (means).
+    pub normal_cost: (f64, f64),
+}
+
+/// Rendered experiment result.
+pub struct Mtr3 {
+    /// Per-class rows.
+    pub rows: Vec<Row>,
+    /// ASCII table.
+    pub table: Table,
+}
+
+impl std::fmt::Display for Mtr3 {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}", self.table)
+    }
+}
+
+/// Map the experiment scale onto MTR search budgets.
+pub fn mtr_params(scale: Scale, seed: u64) -> MtrParams {
+    match scale {
+        Scale::Smoke => MtrParams::quick(seed),
+        Scale::Quick => MtrParams {
+            p1: 6,
+            p2: 4,
+            div_interval_1: 20,
+            div_interval_2: 10,
+            tau: 10,
+            max_sampling_rounds: 50,
+            max_iterations: 2_000,
+            ..MtrParams::paper_default(seed)
+        },
+        Scale::Paper => MtrParams::paper_default(seed),
+    }
+}
+
+/// Generate the three class matrices: voice and video from two gravity
+/// draws' delay components, bulk from a throughput component; scaled so
+/// the all-ones routing runs at a moderate load.
+pub fn three_class_traffic(nodes: usize, seed: u64, total_volume: f64) -> Vec<TrafficMatrix> {
+    let a = gravity::generate(&gravity::GravityConfig {
+        total_volume: total_volume * 0.5,
+        ..gravity::GravityConfig::paper_default(nodes, seed)
+    });
+    let b = gravity::generate(&gravity::GravityConfig {
+        total_volume: total_volume * 0.5,
+        ..gravity::GravityConfig::paper_default(nodes, seed ^ 0x5bd1_e995)
+    });
+    // a: 30 % delay share -> voice ≈ 15 %, bulk ≈ 35 % of total, etc.
+    let extra: Vec<(usize, usize, f64)> = b.throughput.pairs().collect();
+    let mut bulk = a.throughput;
+    for (s, t, v) in extra {
+        bulk.set(s, t, bulk.demand(s, t) + v);
+    }
+    vec![a.delay, b.delay, bulk]
+}
+
+/// Run the experiment.
+pub fn run(cfg: &ExpConfig) -> Mtr3 {
+    let n = cfg.scale.nodes(30);
+    let specs = vec![
+        ClassSpec::sla("voice", 25e-3),
+        ClassSpec::sla("video", 60e-3).relaxed(0.1),
+        ClassSpec::congestion("bulk"),
+    ];
+    let class_names: Vec<String> = specs.iter().map(|s| s.name.clone()).collect();
+    let k = specs.len();
+
+    // acc[class] = (regular violations, robust violations, normal costs)
+    let mut reg_viol = vec![Vec::new(); k];
+    let mut rob_viol = vec![Vec::new(); k];
+    let mut reg_cost = vec![Vec::new(); k];
+    let mut rob_cost = vec![Vec::new(); k];
+
+    for rep in 0..cfg.scale.repeats() {
+        let seed = cfg.run_seed(rep);
+        let net = TopoSpec::Synth(TopoKind::Rand, n, n * 3).build(seed);
+        // Volume sized for ≈0.4 mean utilization on 500 Mb/s links: the
+        // same operating point the Table II instances use.
+        let volume = 0.43 * dtr_topogen::DEFAULT_CAPACITY * net.num_links() as f64 * 0.6;
+        let tms = three_class_traffic(net.num_nodes(), seed ^ 0xfeed, volume);
+        let config = MtrConfig::new(specs.clone());
+        let ev = MtrEvaluator::new(&net, &tms, config).expect("valid MTR setup");
+        let opt = MtrOptimizer::new(&ev, mtr_params(cfg.scale, seed));
+        let report = opt.optimize();
+
+        let scenarios = opt.universe().scenarios();
+        let mut reg_sum = vec![0.0f64; k];
+        let mut rob_sum = vec![0.0f64; k];
+        for &sc in &scenarios {
+            debug_assert!(!matches!(sc, Scenario::Normal));
+            let r = ev.evaluate(&report.regular, sc);
+            let b = ev.evaluate(&report.robust, sc);
+            for c in 0..k {
+                if let Some(s) = r.sla[c] {
+                    reg_sum[c] += s.violations as f64;
+                }
+                if let Some(s) = b.sla[c] {
+                    rob_sum[c] += s.violations as f64;
+                }
+            }
+        }
+        let m = scenarios.len().max(1) as f64;
+        for c in 0..k {
+            reg_viol[c].push(reg_sum[c] / m);
+            rob_viol[c].push(rob_sum[c] / m);
+            reg_cost[c].push(report.regular_cost.component(c));
+            rob_cost[c].push(report.robust_normal_cost.component(c));
+        }
+    }
+
+    let mut table = Table::new(
+        format!("Three-class MTR robustness (RandTopo [{n},{}])", n * 6),
+        &[
+            "class",
+            "reg viol/fail",
+            "rob viol/fail",
+            "normal cost reg -> rob",
+        ],
+    );
+    let mut rows = Vec::new();
+    for c in 0..k {
+        let is_sla = c < 2;
+        let rv = metrics::mean_std(&reg_viol[c]);
+        let bv = metrics::mean_std(&rob_viol[c]);
+        let rc = metrics::mean_std(&reg_cost[c]);
+        let bc = metrics::mean_std(&rob_cost[c]);
+        table.row(vec![
+            class_names[c].clone(),
+            if is_sla {
+                Table::mean_std_cell(rv.0, rv.1)
+            } else {
+                "-".into()
+            },
+            if is_sla {
+                Table::mean_std_cell(bv.0, bv.1)
+            } else {
+                "-".into()
+            },
+            format!("{:.3e} -> {:.3e}", rc.0, bc.0),
+        ]);
+        rows.push(Row {
+            class: class_names[c].clone(),
+            regular_violations: is_sla.then_some(rv),
+            robust_violations: is_sla.then_some(bv),
+            normal_cost: (rc.0, bc.0),
+        });
+    }
+    Mtr3 { rows, table }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn smoke_run_reports_three_classes() {
+        let out = run(&ExpConfig::new(Scale::Smoke, 3));
+        assert_eq!(out.rows.len(), 3);
+        assert!(out.rows[0].regular_violations.is_some());
+        assert!(out.rows[2].regular_violations.is_none());
+        // Robust must not degrade the pinned voice class under normal
+        // conditions (Eq. 5 semantics enforced by the optimizer).
+        let voice = &out.rows[0];
+        assert!(voice.normal_cost.1 <= voice.normal_cost.0 + 1e-6);
+    }
+
+    #[test]
+    fn traffic_generator_produces_three_nonzero_matrices() {
+        let tms = three_class_traffic(8, 1, 1e9);
+        assert_eq!(tms.len(), 3);
+        for tm in &tms {
+            assert!(tm.total() > 0.0);
+        }
+        // Bulk dominates (70 % of each draw's volume).
+        assert!(tms[2].total() > tms[0].total());
+        assert!(tms[2].total() > tms[1].total());
+    }
+}

@@ -1,0 +1,138 @@
+//! **§V-B inline experiment** — NearTopo with resized core links.
+//!
+//! NearTopo's SLA violations stay high even under robust optimization
+//! because its congested core lacks path diversity. The paper re-runs the
+//! experiment after "increasing the capacity of those congested links so
+//! as to bring down their utilization below 90% under normal conditions"
+//! and finds violations drop (to ≈ 8 robust / 18 regular at paper scale)
+//! but the *relative* benefit of robust optimization stays limited — the
+//! bottleneck is path diversity, not capacity.
+
+use dtr_routing::Scenario;
+use dtr_topogen::{resize_congested_links, TopoKind};
+
+use crate::experiments::common::OptimizedPair;
+use crate::metrics;
+use crate::render::Table;
+use crate::settings::{ExpConfig, Instance, LoadSpec, TopoSpec};
+
+pub struct Resize {
+    /// (avg R, avg NR) before resizing.
+    pub before: (f64, f64),
+    /// (avg R, avg NR) after resizing congested links below 90 %.
+    pub after: (f64, f64),
+    /// Number of directed links that received extra capacity.
+    pub links_resized: usize,
+    pub table: Table,
+}
+
+impl std::fmt::Display for Resize {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}", self.table)
+    }
+}
+
+pub fn run(cfg: &ExpConfig) -> Resize {
+    let n = cfg.scale.nodes(30);
+    let seed = cfg.run_seed(0);
+    let inst = Instance::build(
+        format!("NearTopo [{n},{}]", n * 6),
+        TopoSpec::Synth(TopoKind::Near, n, n * 3),
+        LoadSpec::AvgUtil(0.43),
+        dtr_cost::CostParams::default(),
+        seed,
+    );
+    let params = cfg.scale.params(seed);
+    let before_pair = OptimizedPair::compute(&inst, params);
+    let before = (before_pair.beta_robust(), before_pair.beta_regular());
+
+    // Resize: bring every link that the *robust* routing loads above 90%
+    // under normal conditions down to 90% utilization.
+    let ev = inst.evaluator();
+    let loads = ev
+        .evaluate(&before_pair.report.robust, Scenario::Normal)
+        .total_loads;
+    let resized_net =
+        resize_congested_links(&inst.net, &loads, 0.9).expect("resize preserves validity");
+    let links_resized = resized_net
+        .links()
+        .filter(|&l| resized_net.link(l).capacity > inst.net.link(l).capacity)
+        .count();
+
+    let resized_inst = Instance {
+        name: format!("{} (resized)", inst.name),
+        net: resized_net,
+        traffic: inst.traffic.clone(),
+        cost: inst.cost,
+    };
+    let after_pair = OptimizedPair::compute(&resized_inst, params);
+    let after = (after_pair.beta_robust(), after_pair.beta_regular());
+
+    let mut table = Table::new(
+        "NearTopo core resizing (§V-B): SLA violations before/after",
+        &[
+            "configuration",
+            "avg R",
+            "avg NR",
+            "top-10% R",
+            "top-10% NR",
+        ],
+    );
+    table.row(vec![
+        "original capacities".into(),
+        format!("{:.2}", before.0),
+        format!("{:.2}", before.1),
+        format!(
+            "{:.2}",
+            metrics::top_fraction_beta(&before_pair.robust, 0.10)
+        ),
+        format!(
+            "{:.2}",
+            metrics::top_fraction_beta(&before_pair.regular, 0.10)
+        ),
+    ]);
+    table.row(vec![
+        format!("resized ({links_resized} links)"),
+        format!("{:.2}", after.0),
+        format!("{:.2}", after.1),
+        format!(
+            "{:.2}",
+            metrics::top_fraction_beta(&after_pair.robust, 0.10)
+        ),
+        format!(
+            "{:.2}",
+            metrics::top_fraction_beta(&after_pair.regular, 0.10)
+        ),
+    ]);
+
+    Resize {
+        before,
+        after,
+        links_resized,
+        table,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::scale::Scale;
+
+    #[test]
+    fn resize_experiment_runs_and_reports() {
+        let cfg = ExpConfig::new(Scale::Smoke, 41);
+        let out = run(&cfg);
+        // Structure: both configurations scored, table rendered.
+        assert!(out.before.0 >= 0.0 && out.after.0 >= 0.0);
+        assert!(out.table.render().contains("resized"));
+        // Resizing cannot make the *regular* normal-conditions situation
+        // worse in terms of capacity headroom, so violations after should
+        // not explode (generous bound: 3x).
+        assert!(
+            out.after.1 <= out.before.1 * 3.0 + 3.0,
+            "after {} vs before {}",
+            out.after.1,
+            out.before.1
+        );
+    }
+}

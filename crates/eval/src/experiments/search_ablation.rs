@@ -1,0 +1,119 @@
+//! **Search-strategy ablation** (extension; motivated by §IV-A).
+//!
+//! The paper's local search accepts only improving moves and relies on
+//! random-restart diversification. The single-routing literature it
+//! builds on (\[8\] and successors) uses tabu mechanics; simulated
+//! annealing is the other standard escape from local minima. This
+//! experiment runs all three acceptance rules on identical instances with
+//! identical stopping rules and reports solution quality and evaluation
+//! spend — quantifying whether the paper's simpler rule leaves anything
+//! on the table for the *regular* (normal-conditions) optimization.
+
+use dtr_core::strategies::{optimize_normal, Strategy};
+use dtr_topogen::TopoKind;
+
+use crate::metrics;
+use crate::render::Table;
+use crate::settings::{ExpConfig, Instance, LoadSpec, TopoSpec};
+
+/// One strategy's aggregated outcome.
+#[derive(Clone, Debug)]
+pub struct Row {
+    /// Strategy label.
+    pub strategy: String,
+    /// Final Λ (mean, std over repeats).
+    pub lambda: (f64, f64),
+    /// Final Φ (mean, std).
+    pub phi: (f64, f64),
+    /// Cost evaluations spent (mean, std).
+    pub evaluations: (f64, f64),
+}
+
+/// Rendered experiment result.
+pub struct SearchAblation {
+    /// Per-strategy rows.
+    pub rows: Vec<Row>,
+    /// ASCII table.
+    pub table: Table,
+}
+
+impl std::fmt::Display for SearchAblation {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}", self.table)
+    }
+}
+
+/// Run the ablation.
+pub fn run(cfg: &ExpConfig) -> SearchAblation {
+    let n = cfg.scale.nodes(30);
+    let strategies = [
+        Strategy::HillClimb,
+        Strategy::default_annealing(),
+        Strategy::default_tabu(),
+    ];
+    let mut acc: Vec<(Vec<f64>, Vec<f64>, Vec<f64>)> =
+        vec![(Vec::new(), Vec::new(), Vec::new()); strategies.len()];
+
+    for rep in 0..cfg.scale.repeats() {
+        let seed = cfg.run_seed(rep);
+        let inst = Instance::build(
+            format!("RandTopo [{n},{}]", n * 6),
+            TopoSpec::Synth(TopoKind::Rand, n, n * 3),
+            LoadSpec::AvgUtil(0.43),
+            dtr_cost::CostParams::default(),
+            seed,
+        );
+        let ev = inst.evaluator();
+        let params = cfg.scale.params(seed);
+        for (si, &strategy) in strategies.iter().enumerate() {
+            let out = optimize_normal(&ev, &params, strategy);
+            acc[si].0.push(out.best_cost.lambda);
+            acc[si].1.push(out.best_cost.phi);
+            acc[si].2.push(out.stats.evaluations as f64);
+        }
+    }
+
+    let mut table = Table::new(
+        format!(
+            "Search-strategy ablation (regular optimization, RandTopo [{n},{}])",
+            n * 6
+        ),
+        &["strategy", "lambda", "phi", "evaluations"],
+    );
+    let mut rows = Vec::new();
+    for (si, strategy) in strategies.iter().enumerate() {
+        let l = metrics::mean_std(&acc[si].0);
+        let p = metrics::mean_std(&acc[si].1);
+        let e = metrics::mean_std(&acc[si].2);
+        table.row(vec![
+            strategy.to_string(),
+            Table::mean_std_cell(l.0, l.1),
+            format!("{:.4e}", p.0),
+            format!("{:.0}", e.0),
+        ]);
+        rows.push(Row {
+            strategy: strategy.to_string(),
+            lambda: l,
+            phi: p,
+            evaluations: e,
+        });
+    }
+    SearchAblation { rows, table }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::scale::Scale;
+
+    #[test]
+    fn smoke_run_compares_three_strategies() {
+        let out = run(&ExpConfig::new(Scale::Smoke, 4));
+        assert_eq!(out.rows.len(), 3);
+        for r in &out.rows {
+            assert!(r.lambda.0 >= 0.0);
+            assert!(r.phi.0 > 0.0, "{}: phi must be positive", r.strategy);
+            assert!(r.evaluations.0 > 10.0);
+        }
+    }
+}

@@ -1,0 +1,163 @@
+//! **SRLG robustness** (extension; failure-pattern study in the spirit of
+//! §V-F).
+//!
+//! §V-F shows that optimizing against single link failures also mitigates
+//! node failures — but shared-risk link groups (several fibers in one
+//! conduit) are a different animal: a conduit cut downs a *bundle* of
+//! links that single-link robustness never trained on. This experiment
+//! compares three routings on a RandTopo with a geographically derived
+//! SRLG catalog:
+//!
+//! * **regular** — failure-oblivious Phase-1 optimization;
+//! * **link-robust** — the paper's Phase 2 against single link failures;
+//! * **SRLG-robust** — Phase 2 against the union of the single-link
+//!   critical set and the SRLG catalog
+//!   ([`dtr_core::ext::srlg::optimize_robust_srlg`]).
+//!
+//! Each routing is scored on both the SRLG scenarios and the full
+//! single-link universe, mirroring Fig. 7's two-sided comparison.
+
+use dtr_core::criticality::Criticality;
+use dtr_core::ext::srlg::{optimize_robust_srlg, SrlgCatalog};
+use dtr_core::{phase1, phase1b, phase2, selection, FailureUniverse};
+use dtr_topogen::TopoKind;
+
+use crate::metrics;
+use crate::render::Table;
+use crate::settings::{ExpConfig, Instance, LoadSpec, TopoSpec};
+
+/// One routing's scores.
+#[derive(Clone, Debug)]
+pub struct Row {
+    /// Routing label.
+    pub routing: String,
+    /// Mean SLA violations per SRLG failure (mean, std over repeats).
+    pub srlg_beta: (f64, f64),
+    /// Compound Φ over SRLG failures.
+    pub srlg_phi: (f64, f64),
+    /// Mean SLA violations per single-link failure.
+    pub link_beta: (f64, f64),
+}
+
+/// Rendered experiment result.
+pub struct Srlg {
+    /// Per-routing rows.
+    pub rows: Vec<Row>,
+    /// Number of SRLG groups in the catalog of the last repeat.
+    pub groups: usize,
+    /// ASCII table.
+    pub table: Table,
+}
+
+impl std::fmt::Display for Srlg {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}", self.table)
+    }
+}
+
+/// Run the experiment.
+pub fn run(cfg: &ExpConfig) -> Srlg {
+    let n = cfg.scale.nodes(30);
+    let labels = ["regular (NR)", "link-robust (R)", "SRLG-robust"];
+    let mut acc: Vec<(Vec<f64>, Vec<f64>, Vec<f64>)> =
+        vec![(Vec::new(), Vec::new(), Vec::new()); labels.len()];
+    let mut groups = 0usize;
+
+    for rep in 0..cfg.scale.repeats() {
+        let seed = cfg.run_seed(rep);
+        let inst = Instance::build(
+            format!("RandTopo [{n},{}]", n * 6),
+            TopoSpec::Synth(TopoKind::Rand, n, n * 3),
+            LoadSpec::AvgUtil(0.43),
+            dtr_cost::CostParams::default(),
+            seed,
+        );
+        let ev = inst.evaluator();
+        let params = cfg.scale.params(seed);
+        let universe = FailureUniverse::of(&inst.net);
+
+        // Conduit catalog: links whose midpoints sit within 10 % of the
+        // unit square of each other share fate.
+        let catalog = SrlgCatalog::geographic(&inst.net, 0.10);
+        groups = catalog.len();
+        let srlg_scenarios = catalog.survivable_scenarios(&inst.net);
+        let link_scenarios = universe.scenarios();
+
+        // Shared Phase 1 for all three routings (identical benchmarks).
+        let mut p1 = phase1::run(&ev, &universe, &params);
+        phase1b::run(&ev, &universe, &params, &mut p1);
+        let crit = Criticality::estimate(&p1.store, params.left_tail_fraction);
+        let n_target = universe.target_size(params.critical_fraction);
+        let critical = selection::select(&crit, n_target);
+
+        let link_robust = phase2::run(&ev, &universe, &critical.indices, &params, &p1, None);
+        let srlg_robust =
+            optimize_robust_srlg(&ev, &universe, &critical.indices, &catalog, &params, &p1);
+
+        let routings = [&p1.best, &link_robust.best, &srlg_robust.best];
+        for (ri, w) in routings.iter().enumerate() {
+            let s = metrics::failure_series(&ev, w, &srlg_scenarios);
+            let l = metrics::failure_series(&ev, w, &link_scenarios);
+            acc[ri].0.push(metrics::beta(&s));
+            acc[ri].1.push(metrics::phi_fail(&s));
+            acc[ri].2.push(metrics::beta(&l));
+        }
+    }
+
+    let mut table = Table::new(
+        format!(
+            "SRLG robustness ({groups} conduit groups; RandTopo [{n},{}])",
+            n * 6
+        ),
+        &["routing", "SRLG beta", "SRLG phi_fail", "single-link beta"],
+    );
+    let mut rows = Vec::new();
+    for (ri, label) in labels.iter().enumerate() {
+        let sb = metrics::mean_std(&acc[ri].0);
+        let sp = metrics::mean_std(&acc[ri].1);
+        let lb = metrics::mean_std(&acc[ri].2);
+        table.row(vec![
+            label.to_string(),
+            Table::mean_std_cell(sb.0, sb.1),
+            format!("{:.3e}", sp.0),
+            Table::mean_std_cell(lb.0, lb.1),
+        ]);
+        rows.push(Row {
+            routing: label.to_string(),
+            srlg_beta: sb,
+            srlg_phi: sp,
+            link_beta: lb,
+        });
+    }
+    Srlg {
+        rows,
+        groups,
+        table,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::scale::Scale;
+
+    #[test]
+    fn smoke_run_compares_three_routings() {
+        let out = run(&ExpConfig::new(Scale::Smoke, 5));
+        assert_eq!(out.rows.len(), 3);
+        for r in &out.rows {
+            assert!(r.srlg_beta.0 >= 0.0);
+            assert!(r.link_beta.0 >= 0.0);
+        }
+        // The SRLG-robust routing should not be worse than regular on the
+        // SRLG β (it optimized that objective; regular never saw it).
+        let regular = &out.rows[0];
+        let srlg_robust = &out.rows[2];
+        assert!(
+            srlg_robust.srlg_beta.0 <= regular.srlg_beta.0 + 1e-9,
+            "SRLG-robust {} vs regular {}",
+            srlg_robust.srlg_beta.0,
+            regular.srlg_beta.0
+        );
+    }
+}

@@ -1,0 +1,194 @@
+//! **Table I** — critical vs. full search accuracy (§IV-E1).
+//!
+//! For each topology (RandTopo, NearTopo, PLTopo, ISP at average
+//! utilization ≈ 0.43) and each critical-set size `|Ec|/|E| ∈
+//! {5%, 10%, 15%}`:
+//!
+//! * `βfull` — mean SLA violations across all single link failures for the
+//!   *full-search* solution (`Ec = E`);
+//! * `βcrt`  — same for the critical-search solution;
+//! * `βΦ (%)` — relative difference in the compound throughput failure
+//!   cost between the two solutions.
+//!
+//! A good critical search achieves `βcrt ≈ βfull` and `βΦ ≈ 0` at a small
+//! fraction of the evaluations. The §IV-E1 high-load follow-up (max util
+//! 0.9, `|Ec|/|E| ∈ {10%, 20%, 25%}`) is [`run_high_load`].
+
+use dtr_core::{Params, RobustOptimizer};
+
+use crate::metrics;
+use crate::render::Table;
+use crate::settings::{ExpConfig, Instance, LoadSpec, TopoSpec};
+
+/// Raw result for one (topology, fraction) cell, averaged over repeats.
+#[derive(Clone, Debug)]
+pub struct Cell {
+    pub topology: String,
+    pub fraction: f64,
+    pub beta_full: (f64, f64),
+    pub beta_crt: (f64, f64),
+    pub beta_phi_pct: (f64, f64),
+}
+
+/// Full Table-I output.
+pub struct Table1 {
+    pub cells: Vec<Cell>,
+    pub table: Table,
+}
+
+impl std::fmt::Display for Table1 {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}", self.table)
+    }
+}
+
+/// The paper's Table I (avg util 0.43, fractions 5/10/15 %).
+pub fn run(cfg: &ExpConfig) -> Table1 {
+    run_at(
+        cfg,
+        LoadSpec::AvgUtil(0.43),
+        &[0.05, 0.10, 0.15],
+        "Table I: critical vs full search (avg util 0.43)",
+    )
+}
+
+/// §IV-E1's high-load variant (RandTopo only, max util 0.9).
+pub fn run_high_load(cfg: &ExpConfig) -> Table1 {
+    let scale = cfg.scale;
+    let n = scale.nodes(30);
+    let topos = vec![(
+        format!("RandTopo [{},{}] @ max util 0.9", n, n * 6),
+        TopoSpec::Synth(dtr_topogen::TopoKind::Rand, n, n * 3),
+    )];
+    run_on(
+        cfg,
+        topos,
+        LoadSpec::MaxUtil(0.9),
+        &[0.10, 0.20, 0.25],
+        "Table I (high load): critical vs full search (max util 0.9)",
+    )
+}
+
+fn run_at(cfg: &ExpConfig, load: LoadSpec, fractions: &[f64], title: &str) -> Table1 {
+    let topos = TopoSpec::paper_set(cfg.scale);
+    run_on(cfg, topos, load, fractions, title)
+}
+
+/// Core kernel: arbitrary topology list, load and fractions (public so
+/// benches can run a single-cell Table I without the full sweep).
+pub fn run_on(
+    cfg: &ExpConfig,
+    topos: Vec<(String, TopoSpec)>,
+    load: LoadSpec,
+    fractions: &[f64],
+    title: &str,
+) -> Table1 {
+    let mut table = Table::new(
+        title,
+        &[
+            "topology",
+            "|Ec|/|E|",
+            "beta_full",
+            "beta_crt",
+            "beta_phi(%)",
+        ],
+    );
+    let mut cells = Vec::new();
+
+    for (name, topo) in topos {
+        // Per-fraction accumulators over repeats.
+        let mut full_betas = Vec::new();
+        let mut crt_betas = vec![Vec::new(); fractions.len()];
+        let mut phi_pcts = vec![Vec::new(); fractions.len()];
+
+        for rep in 0..cfg.scale.repeats() {
+            let seed = cfg.run_seed(rep);
+            let inst = Instance::build(
+                name.clone(),
+                topo,
+                load,
+                dtr_cost::CostParams::default(),
+                seed,
+            );
+            let ev = inst.evaluator();
+            let base = cfg.scale.params(seed);
+
+            // Full search once per repeat.
+            let opt = RobustOptimizer::new(&ev, base);
+            let all = opt.universe().scenarios();
+            let full = opt.optimize_full();
+            let full_series = metrics::failure_series(&ev, &full.robust, &all);
+            full_betas.push(metrics::beta(&full_series));
+            let full_phi = metrics::phi_fail(&full_series);
+
+            // Critical search per fraction.
+            for (fi, &f) in fractions.iter().enumerate() {
+                let params = Params {
+                    critical_fraction: f,
+                    ..base
+                };
+                let opt = RobustOptimizer::new(&ev, params);
+                let crt = opt.optimize();
+                let series = metrics::failure_series(&ev, &crt.robust, &all);
+                crt_betas[fi].push(metrics::beta(&series));
+                phi_pcts[fi].push(metrics::beta_phi_percent(
+                    metrics::phi_fail(&series),
+                    full_phi,
+                ));
+            }
+        }
+
+        let bf = metrics::mean_std(&full_betas);
+        for (fi, &f) in fractions.iter().enumerate() {
+            let bc = metrics::mean_std(&crt_betas[fi]);
+            let bp = metrics::mean_std(&phi_pcts[fi]);
+            table.row(vec![
+                name.clone(),
+                format!("{:.0}%", f * 100.0),
+                format!("{:.2}", bf.0),
+                Table::mean_std_cell(bc.0, bc.1),
+                Table::mean_std_cell(bp.0, bp.1),
+            ]);
+            cells.push(Cell {
+                topology: name.clone(),
+                fraction: f,
+                beta_full: bf,
+                beta_crt: bc,
+                beta_phi_pct: bp,
+            });
+        }
+    }
+
+    Table1 { cells, table }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::scale::Scale;
+
+    /// Tiny end-to-end smoke: a single topology, single fraction, to keep
+    /// the unit-test suite fast. Full Table I runs live in the bench and
+    /// the repro binary.
+    #[test]
+    fn single_cell_smoke() {
+        let cfg = ExpConfig::new(Scale::Smoke, 42);
+        let topos = vec![(
+            "RandTopo [8,32]".to_string(),
+            TopoSpec::Synth(dtr_topogen::TopoKind::Rand, 8, 16),
+        )];
+        let out = run_on(
+            &cfg,
+            topos,
+            LoadSpec::AvgUtil(0.43),
+            &[0.25],
+            "Table I smoke",
+        );
+        assert_eq!(out.cells.len(), 1);
+        let c = &out.cells[0];
+        assert!(c.beta_full.0.is_finite());
+        assert!(c.beta_crt.0.is_finite());
+        assert!(c.beta_phi_pct.0 >= 0.0);
+        assert!(out.table.render().contains("beta_crt"));
+    }
+}

@@ -1,0 +1,119 @@
+//! **§IV-E2 timing study** — computational savings of critical search.
+//!
+//! The paper reports Phase-1 / Phase-2 wall-clock for critical vs. full
+//! search (1.80 h / 4.27 h vs. 1.32 h / 56.05 h on a 30-node 240-link
+//! RandTopo, 2008 hardware) and argues the Phase-2 saving is
+//! ≈ `1 − |Ec|/|E|`. Hardware differs, so this experiment validates the
+//! *ratio* claim: Phase-2 evaluations (and time) for critical search
+//! should be roughly `|Ec|/|E|` of full search.
+
+use dtr_core::{Params, RobustOptimizer};
+use dtr_topogen::TopoKind;
+
+use crate::render::Table;
+use crate::settings::{ExpConfig, Instance, LoadSpec, TopoSpec};
+
+pub struct Timing {
+    /// (phase1 secs, phase2 secs, phase2 evaluations) for critical search.
+    pub critical: (f64, f64, usize),
+    /// Same for full search.
+    pub full: (f64, f64, usize),
+    /// `|Ec| / |E|` actually used.
+    pub fraction: f64,
+    pub table: Table,
+}
+
+impl std::fmt::Display for Timing {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}", self.table)
+    }
+}
+
+pub fn run(cfg: &ExpConfig) -> Timing {
+    // Paper: 30-node, 240-link (120 duplex) RandTopo, |Ec|/|E| = 0.1.
+    let n = cfg.scale.nodes(30);
+    let duplex = n * 4;
+    let seed = cfg.run_seed(0);
+    let inst = Instance::build(
+        format!("RandTopo [{n},{}]", duplex * 2),
+        TopoSpec::Synth(TopoKind::Rand, n, duplex),
+        LoadSpec::AvgUtil(0.43),
+        dtr_cost::CostParams::default(),
+        seed,
+    );
+    let ev = inst.evaluator();
+    let params = Params {
+        critical_fraction: 0.1,
+        ..cfg.scale.params(seed)
+    };
+
+    let opt = RobustOptimizer::new(&ev, params);
+    let crt = opt.optimize();
+    let full = opt.optimize_full();
+
+    let fraction = crt.critical_indices.len() as f64 / opt.universe().len() as f64;
+    let critical = (
+        crt.stats.phase1_time.as_secs_f64(),
+        crt.stats.phase2_time.as_secs_f64(),
+        crt.stats.phase2.evaluations,
+    );
+    let full_t = (
+        full.stats.phase1_time.as_secs_f64(),
+        full.stats.phase2_time.as_secs_f64(),
+        full.stats.phase2.evaluations,
+    );
+
+    let mut table = Table::new(
+        format!(
+            "Timing (§IV-E2): critical (|Ec|/|E|={fraction:.2}) vs full search, RandTopo [{n},{}]",
+            duplex * 2
+        ),
+        &["search", "phase1 (s)", "phase2 (s)", "phase2 evals"],
+    );
+    table.row(vec![
+        "critical".into(),
+        format!("{:.2}", critical.0),
+        format!("{:.2}", critical.1),
+        critical.2.to_string(),
+    ]);
+    table.row(vec![
+        "full".into(),
+        format!("{:.2}", full_t.0),
+        format!("{:.2}", full_t.1),
+        full_t.2.to_string(),
+    ]);
+    table.row(vec![
+        "critical/full ratio".into(),
+        format!("{:.2}", critical.0 / full_t.0.max(1e-9)),
+        format!("{:.2}", critical.1 / full_t.1.max(1e-9)),
+        format!("{:.3}", critical.2 as f64 / full_t.2.max(1) as f64),
+    ]);
+
+    Timing {
+        critical,
+        full: full_t,
+        fraction,
+        table,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::scale::Scale;
+
+    #[test]
+    fn critical_search_is_cheaper_in_phase2() {
+        let cfg = ExpConfig::new(Scale::Smoke, 77);
+        let t = run(&cfg);
+        // The headline claim: Phase-2 effort shrinks roughly with |Ec|/|E|.
+        assert!(
+            t.critical.2 < t.full.2,
+            "critical {} evals vs full {}",
+            t.critical.2,
+            t.full.2
+        );
+        assert!(t.fraction <= 0.35, "fraction {}", t.fraction);
+        assert!(t.table.render().contains("critical/full ratio"));
+    }
+}

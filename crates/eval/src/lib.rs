@@ -1,0 +1,33 @@
+//! # dtr-eval — the experiment harness
+//!
+//! Re-creates **every table and every figure** of the paper's evaluation
+//! (§IV-E and §V). Each experiment lives in [`experiments`] as a
+//! `run(&ExpConfig) -> …` function that builds the topology and traffic,
+//! runs the optimizations, and returns printable tables / CSV-able series
+//! shaped exactly like the paper's.
+//!
+//! Experiments run at three [`Scale`]s:
+//!
+//! * `Smoke` — seconds; tiny networks and truncated searches. Used by the
+//!   Criterion benches and CI. Shapes (who wins, roughly by how much)
+//!   still hold; absolute numbers are not comparable.
+//! * `Quick` — minutes; mid-size networks (the default of the `repro`
+//!   binary). This is the scale EXPERIMENTS.md records.
+//! * `Paper` — the paper's sizes and search budgets (hours; the paper
+//!   quotes 1.8 + 4.3 h for one 30-node critical-search run on 2008
+//!   hardware).
+//!
+//! The `repro` binary (`cargo run --release -p dtr-eval --bin repro`)
+//! drives everything and writes CSV series next to the printed tables.
+
+#![forbid(unsafe_code)]
+
+pub mod experiments;
+pub mod metrics;
+pub mod render;
+pub mod scale;
+pub mod series;
+pub mod settings;
+
+pub use scale::Scale;
+pub use settings::{ExpConfig, Instance, LoadSpec, TopoSpec};

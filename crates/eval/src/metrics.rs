@@ -1,0 +1,166 @@
+//! Robustness metrics: the β family and per-failure series (§IV-E1, §V-B).
+
+use dtr_cost::Evaluator;
+use dtr_routing::{Scenario, WeightSetting};
+
+/// Metrics of one weight setting under one failure scenario.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct ScenarioMetrics {
+    pub scenario: Scenario,
+    /// SD pairs violating the SLA bound.
+    pub violations: usize,
+    /// Delay-class cost `Λ`.
+    pub lambda: f64,
+    /// Throughput-class cost `Φ`.
+    pub phi: f64,
+}
+
+/// Evaluate `w` under every scenario; one entry per scenario, input order.
+pub fn failure_series(
+    ev: &Evaluator<'_>,
+    w: &WeightSetting,
+    scenarios: &[Scenario],
+) -> Vec<ScenarioMetrics> {
+    scenarios
+        .iter()
+        .map(|&scenario| {
+            let b = ev.evaluate(w, scenario);
+            ScenarioMetrics {
+                scenario,
+                violations: b.sla.violations,
+                lambda: b.cost.lambda,
+                phi: b.cost.phi,
+            }
+        })
+        .collect()
+}
+
+/// β: mean SLA violations per failure scenario (Table I's βfull/βcrt,
+/// Table II's "Average SLA violations").
+pub fn beta(series: &[ScenarioMetrics]) -> f64 {
+    if series.is_empty() {
+        return 0.0;
+    }
+    series.iter().map(|m| m.violations as f64).sum::<f64>() / series.len() as f64
+}
+
+/// Mean violations over the worst `fraction` of scenarios (Table II's
+/// "Average top-10% SLA violations"; at least one scenario is included).
+pub fn top_fraction_beta(series: &[ScenarioMetrics], fraction: f64) -> f64 {
+    if series.is_empty() {
+        return 0.0;
+    }
+    let mut v: Vec<usize> = series.iter().map(|m| m.violations).collect();
+    v.sort_unstable_by(|a, b| b.cmp(a));
+    let k = ((series.len() as f64 * fraction).ceil() as usize).clamp(1, series.len());
+    v[..k].iter().map(|&x| x as f64).sum::<f64>() / k as f64
+}
+
+/// Compound throughput-class failure cost `Φfail = Σ_l Φfail,l` (Eq. 4's
+/// second component) over the given scenarios.
+pub fn phi_fail(series: &[ScenarioMetrics]) -> f64 {
+    series.iter().map(|m| m.phi).sum()
+}
+
+/// Table I's βΦ (%): relative difference of the compound throughput
+/// failure cost between critical-search and full-search solutions,
+/// `|Φcrt − Φfull| / Φfull × 100`.
+pub fn beta_phi_percent(phi_crt: f64, phi_full: f64) -> f64 {
+    if phi_full <= 0.0 {
+        return 0.0;
+    }
+    (phi_crt - phi_full).abs() / phi_full * 100.0
+}
+
+/// The worst `fraction` of scenarios by violation count, descending
+/// (Fig. 6/7 focus on the "top-10% worst failures"). Ties keep input
+/// order; at least one scenario is returned.
+pub fn worst_scenarios(series: &[ScenarioMetrics], fraction: f64) -> Vec<ScenarioMetrics> {
+    if series.is_empty() {
+        return Vec::new();
+    }
+    let mut sorted: Vec<ScenarioMetrics> = series.to_vec();
+    sorted.sort_by(|a, b| {
+        b.violations
+            .cmp(&a.violations)
+            .then(b.lambda.partial_cmp(&a.lambda).expect("finite"))
+    });
+    let k = ((series.len() as f64 * fraction).ceil() as usize).clamp(1, series.len());
+    sorted.truncate(k);
+    sorted
+}
+
+/// Mean and (population) standard deviation of a sample — the paper's
+/// "averages and standard deviations ... over 5 runs" convention.
+pub fn mean_std(xs: &[f64]) -> (f64, f64) {
+    if xs.is_empty() {
+        return (0.0, 0.0);
+    }
+    let n = xs.len() as f64;
+    let mean = xs.iter().sum::<f64>() / n;
+    let var = xs.iter().map(|x| (x - mean) * (x - mean)).sum::<f64>() / n;
+    (mean, var.sqrt())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dtr_net::LinkId;
+
+    fn m(v: usize, phi: f64) -> ScenarioMetrics {
+        ScenarioMetrics {
+            scenario: Scenario::Link(LinkId::new(0)),
+            violations: v,
+            lambda: v as f64 * 100.0,
+            phi,
+        }
+    }
+
+    #[test]
+    fn beta_is_mean_violations() {
+        let s = vec![m(0, 1.0), m(2, 1.0), m(4, 1.0)];
+        assert_eq!(beta(&s), 2.0);
+        assert_eq!(beta(&[]), 0.0);
+    }
+
+    #[test]
+    fn top_fraction_takes_worst() {
+        let s = vec![m(1, 0.0), m(10, 0.0), m(2, 0.0), m(3, 0.0), m(0, 0.0)];
+        // top 20% of 5 = 1 scenario -> the worst (10).
+        assert_eq!(top_fraction_beta(&s, 0.2), 10.0);
+        // top 40% = 2 scenarios -> (10 + 3)/2.
+        assert_eq!(top_fraction_beta(&s, 0.4), 6.5);
+        // full fraction = plain beta.
+        assert!((top_fraction_beta(&s, 1.0) - beta(&s)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn phi_fail_sums() {
+        let s = vec![m(0, 1.5), m(0, 2.5)];
+        assert_eq!(phi_fail(&s), 4.0);
+    }
+
+    #[test]
+    fn beta_phi_percent_is_relative() {
+        assert!((beta_phi_percent(11.0, 10.0) - 10.0).abs() < 1e-12);
+        assert!((beta_phi_percent(9.0, 10.0) - 10.0).abs() < 1e-12);
+        assert_eq!(beta_phi_percent(5.0, 0.0), 0.0);
+    }
+
+    #[test]
+    fn worst_scenarios_sorted_desc() {
+        let s = vec![m(1, 0.0), m(5, 0.0), m(3, 0.0), m(2, 0.0)];
+        let w = worst_scenarios(&s, 0.5);
+        assert_eq!(w.len(), 2);
+        assert_eq!(w[0].violations, 5);
+        assert_eq!(w[1].violations, 3);
+    }
+
+    #[test]
+    fn mean_std_hand_check() {
+        let (mean, std) = mean_std(&[2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0]);
+        assert!((mean - 5.0).abs() < 1e-12);
+        assert!((std - 2.0).abs() < 1e-12);
+        assert_eq!(mean_std(&[]), (0.0, 0.0));
+    }
+}

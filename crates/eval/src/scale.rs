@@ -1,0 +1,107 @@
+//! Experiment scales.
+
+use dtr_core::Params;
+
+/// How big and how long an experiment runs. See the crate docs for the
+/// intent of each level.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Scale {
+    /// Seconds. Tiny networks, heavily truncated search. Bench/CI.
+    Smoke,
+    /// Minutes. Mid-size networks, reduced search budgets.
+    Quick,
+    /// The paper's sizes and budgets. Hours.
+    Paper,
+}
+
+impl Scale {
+    /// Heuristic parameters for this scale.
+    pub fn params(&self, seed: u64) -> Params {
+        match self {
+            Scale::Smoke => Params::quick(seed),
+            Scale::Quick => Params::reduced(seed),
+            Scale::Paper => Params::paper_default(seed),
+        }
+    }
+
+    /// Scale a paper-sized node count down to this scale.
+    pub fn nodes(&self, paper_nodes: usize) -> usize {
+        match self {
+            Scale::Smoke => (paper_nodes / 3).clamp(8, 16),
+            Scale::Quick => (paper_nodes / 2).clamp(12, 24),
+            Scale::Paper => paper_nodes,
+        }
+    }
+
+    /// Experiment repetitions (the paper repeats everything 5 times and
+    /// reports mean ± stddev).
+    pub fn repeats(&self) -> usize {
+        match self {
+            Scale::Smoke => 1,
+            Scale::Quick => 3,
+            Scale::Paper => 5,
+        }
+    }
+
+    /// Monte-Carlo instance count for the §V-F uncertainty experiments
+    /// (paper: 100).
+    pub fn uncertainty_instances(&self) -> usize {
+        match self {
+            Scale::Smoke => 5,
+            Scale::Quick => 25,
+            Scale::Paper => 100,
+        }
+    }
+}
+
+impl std::fmt::Display for Scale {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Scale::Smoke => write!(f, "smoke"),
+            Scale::Quick => write!(f, "quick"),
+            Scale::Paper => write!(f, "paper"),
+        }
+    }
+}
+
+impl std::str::FromStr for Scale {
+    type Err = String;
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s {
+            "smoke" => Ok(Scale::Smoke),
+            "quick" => Ok(Scale::Quick),
+            "paper" => Ok(Scale::Paper),
+            other => Err(format!("unknown scale '{other}' (smoke|quick|paper)")),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn node_scaling_is_monotone() {
+        for n in [16, 30, 50, 100] {
+            assert!(Scale::Smoke.nodes(n) <= Scale::Quick.nodes(n));
+            assert!(Scale::Quick.nodes(n) <= Scale::Paper.nodes(n));
+            assert_eq!(Scale::Paper.nodes(n), n);
+        }
+    }
+
+    #[test]
+    fn parse_round_trip() {
+        for s in [Scale::Smoke, Scale::Quick, Scale::Paper] {
+            assert_eq!(s.to_string().parse::<Scale>().unwrap(), s);
+        }
+        assert!("huge".parse::<Scale>().is_err());
+    }
+
+    #[test]
+    fn params_budgets_grow_with_scale() {
+        let smoke = Scale::Smoke.params(0);
+        let paper = Scale::Paper.params(0);
+        assert!(smoke.div_interval_1 < paper.div_interval_1);
+        assert!(smoke.p1 < paper.p1);
+    }
+}

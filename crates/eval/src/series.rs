@@ -1,0 +1,111 @@
+//! Numeric series and CSV output for the figure experiments.
+
+use std::io::Write as _;
+use std::path::Path;
+
+/// A named multi-column series: `columns[0]` is the x axis.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Series {
+    pub name: String,
+    pub columns: Vec<String>,
+    pub rows: Vec<Vec<f64>>,
+}
+
+impl Series {
+    pub fn new(name: impl Into<String>, columns: &[&str]) -> Self {
+        Series {
+            name: name.into(),
+            columns: columns.iter().map(|s| s.to_string()).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Append a row; must match the column count.
+    pub fn push(&mut self, row: Vec<f64>) {
+        assert_eq!(row.len(), self.columns.len(), "row width mismatch");
+        self.rows.push(row);
+    }
+
+    /// Column index by name.
+    pub fn column(&self, name: &str) -> Option<usize> {
+        self.columns.iter().position(|c| c == name)
+    }
+
+    /// Values of a named column.
+    pub fn values(&self, name: &str) -> Vec<f64> {
+        let i = self.column(name).expect("unknown column");
+        self.rows.iter().map(|r| r[i]).collect()
+    }
+
+    /// Render as CSV (header + rows; full float precision).
+    pub fn to_csv(&self) -> String {
+        let mut s = self.columns.join(",");
+        s.push('\n');
+        for row in &self.rows {
+            let line: Vec<String> = row.iter().map(|v| format!("{v}")).collect();
+            s.push_str(&line.join(","));
+            s.push('\n');
+        }
+        s
+    }
+
+    /// Write `<dir>/<name>.csv`; creates the directory if needed.
+    pub fn write_csv(&self, dir: &Path) -> std::io::Result<std::path::PathBuf> {
+        std::fs::create_dir_all(dir)?;
+        let path = dir.join(format!("{}.csv", self.name));
+        let mut f = std::fs::File::create(&path)?;
+        f.write_all(self.to_csv().as_bytes())?;
+        Ok(path)
+    }
+}
+
+/// Write a batch of series if an output directory is configured; returns
+/// the written paths (empty when `dir` is `None`).
+pub fn write_all(series: &[Series], dir: Option<&Path>) -> Vec<std::path::PathBuf> {
+    let Some(dir) = dir else {
+        return Vec::new();
+    };
+    series
+        .iter()
+        .map(|s| s.write_csv(dir).expect("CSV write failed"))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn csv_round_trip_shape() {
+        let mut s = Series::new("fig", &["x", "robust", "regular"]);
+        s.push(vec![0.0, 1.0, 5.0]);
+        s.push(vec![1.0, 2.0, 6.0]);
+        let csv = s.to_csv();
+        assert!(csv.starts_with("x,robust,regular\n"));
+        assert_eq!(csv.lines().count(), 3);
+        assert_eq!(s.values("regular"), vec![5.0, 6.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "row width mismatch")]
+    fn width_is_checked() {
+        Series::new("s", &["x", "y"]).push(vec![1.0]);
+    }
+
+    #[test]
+    fn writes_file() {
+        let dir = std::env::temp_dir().join("dtr_eval_series_test");
+        let mut s = Series::new("unit_test_series", &["x", "y"]);
+        s.push(vec![1.0, 2.0]);
+        let path = s.write_csv(&dir).unwrap();
+        let content = std::fs::read_to_string(&path).unwrap();
+        assert!(content.contains("1,2"));
+        std::fs::remove_file(path).ok();
+    }
+
+    #[test]
+    fn write_all_none_is_noop() {
+        let s = Series::new("s", &["x"]);
+        assert!(write_all(&[s], None).is_empty());
+    }
+}

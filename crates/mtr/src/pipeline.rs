@@ -1,0 +1,245 @@
+//! The complete k-class robust-optimization pipeline (Fig. 1 generalized).
+
+use std::time::{Duration, Instant};
+
+use dtr_core::FailureUniverse;
+use dtr_net::LinkId;
+
+use crate::cost::VecCost;
+use crate::criticality::{estimate_and_select, KWayCriticality, KWaySelection};
+use crate::evaluator::MtrEvaluator;
+use crate::params::MtrParams;
+use crate::robust::{self, MtrRobustOutput};
+use crate::search::{self, MtrSearchStats};
+use crate::weights::MtrWeightSetting;
+
+/// The pipeline's full product.
+#[derive(Clone, Debug)]
+pub struct MtrReport {
+    /// Regular-phase best: the "No Robust" solution.
+    pub regular: MtrWeightSetting,
+    /// Its normal-conditions cost (the per-class benchmarks).
+    pub regular_cost: VecCost,
+    /// The robust solution.
+    pub robust: MtrWeightSetting,
+    /// Normal-conditions cost of the robust solution (per-class
+    /// constraints hold).
+    pub robust_normal_cost: VecCost,
+    /// Compound failure cost of the robust solution over the critical
+    /// set.
+    pub kfail: VecCost,
+    /// Selected critical links (duplex representatives).
+    pub critical_links: Vec<LinkId>,
+    /// Same, as failure indices into the universe.
+    pub critical_indices: Vec<usize>,
+    /// Per-class criticality estimates used for the selection.
+    pub criticality: KWayCriticality,
+    /// Failure-cost samples collected (total across links).
+    pub samples: usize,
+    /// Whether every class's criticality ranking converged.
+    pub converged: bool,
+    /// Top-up rounds spent after the regular phase.
+    pub top_up_rounds: usize,
+    /// Effort and wall-clock accounting.
+    pub stats: MtrPipelineStats,
+}
+
+/// Timing and effort accounting of one pipeline run.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct MtrPipelineStats {
+    /// Regular-phase search effort.
+    pub regular: MtrSearchStats,
+    /// Robust-phase search effort.
+    pub robust: MtrSearchStats,
+    /// Evaluations spent topping up samples.
+    pub top_up_evaluations: usize,
+    /// Wall-clock of the regular phase (incl. top-up and selection).
+    pub phase1_time: Duration,
+    /// Wall-clock of the robust phase.
+    pub phase2_time: Duration,
+}
+
+/// Orchestrates regular → top-up → k-way selection → robust.
+pub struct MtrOptimizer<'e, 'a> {
+    ev: &'e MtrEvaluator<'a>,
+    universe: FailureUniverse,
+    params: MtrParams,
+}
+
+impl<'e, 'a> MtrOptimizer<'e, 'a> {
+    /// Build the optimizer (analyzes the failure universe once).
+    pub fn new(ev: &'e MtrEvaluator<'a>, params: MtrParams) -> Self {
+        params.validate();
+        let universe = FailureUniverse::of(ev.net());
+        MtrOptimizer {
+            ev,
+            universe,
+            params,
+        }
+    }
+
+    /// The failure universe in use.
+    pub fn universe(&self) -> &FailureUniverse {
+        &self.universe
+    }
+
+    /// Run the full pipeline.
+    pub fn optimize(&self) -> MtrReport {
+        let t0 = Instant::now();
+        let mut reg = search::regular(self.ev, &self.universe, &self.params);
+        let (top_up_rounds, top_up_evaluations) =
+            search::top_up_samples(self.ev, &self.universe, &self.params, &mut reg);
+
+        let (criticality, selection) =
+            estimate_and_select(&reg.store, &self.params, self.universe.len());
+        let KWaySelection { indices, .. } = selection;
+        let critical_links: Vec<LinkId> =
+            indices.iter().map(|&i| self.universe.failable[i]).collect();
+        let scenarios = self.universe.scenarios_for(&indices);
+        let phase1_time = t0.elapsed();
+
+        let t1 = Instant::now();
+        let MtrRobustOutput {
+            best: robust,
+            best_kfail,
+            best_normal,
+            stats: robust_stats,
+            ..
+        } = robust::run(
+            self.ev,
+            &scenarios,
+            &self.params,
+            &reg.best_cost,
+            &reg.archive,
+            None,
+        );
+        let phase2_time = t1.elapsed();
+
+        MtrReport {
+            regular: reg.best,
+            regular_cost: reg.best_cost,
+            robust,
+            robust_normal_cost: best_normal,
+            kfail: best_kfail,
+            critical_links,
+            critical_indices: indices,
+            criticality,
+            samples: reg.store.total(),
+            converged: reg.converged,
+            top_up_rounds,
+            stats: MtrPipelineStats {
+                regular: reg.stats,
+                robust: robust_stats,
+                top_up_evaluations,
+                phase1_time,
+                phase2_time,
+            },
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::class::{ClassSpec, MtrConfig};
+    use crate::robust::feasible;
+    use dtr_net::{Network, NetworkBuilder, Point};
+    use dtr_routing::Scenario;
+    use dtr_traffic::TrafficMatrix;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    fn testbed(classes: usize) -> (Network, Vec<TrafficMatrix>) {
+        let mut b = NetworkBuilder::new();
+        let n: Vec<_> = (0..6)
+            .map(|i| b.add_node(Point::new((i as f64).cos(), (i as f64).sin())))
+            .collect();
+        for i in 0..6 {
+            b.add_duplex_link(n[i], n[(i + 1) % 6], 1e6, 2e-3).unwrap();
+        }
+        b.add_duplex_link(n[0], n[3], 1e6, 2e-3).unwrap();
+        b.add_duplex_link(n[1], n[4], 1e6, 2e-3).unwrap();
+        let net = b.build().unwrap();
+
+        let mut rng = StdRng::seed_from_u64(33);
+        let mut tms = vec![TrafficMatrix::zeros(6); classes];
+        for tm in tms.iter_mut() {
+            for s in 0..6 {
+                for t in 0..6 {
+                    if s != t {
+                        tm.set(s, t, rng.gen_range(1e3..3e4));
+                    }
+                }
+            }
+        }
+        (net, tms)
+    }
+
+    #[test]
+    fn full_pipeline_three_classes() {
+        let (net, tms) = testbed(3);
+        let config = MtrConfig::new(vec![
+            ClassSpec::sla("voice", 10e-3),
+            ClassSpec::sla("video", 50e-3).relaxed(0.1),
+            ClassSpec::congestion("bulk"),
+        ]);
+        let ev = MtrEvaluator::new(&net, &tms, config).unwrap();
+        let opt = MtrOptimizer::new(&ev, MtrParams::quick(7));
+        let report = opt.optimize();
+
+        // Critical set respects the target fraction (±1 for rounding).
+        let target = ((opt.universe().len() as f64 * 0.15).round() as usize).max(1);
+        assert!(report.critical_indices.len() <= target);
+        assert!(!report.critical_indices.is_empty());
+
+        // Constraints hold.
+        assert!(feasible(
+            &report.robust_normal_cost,
+            &report.regular_cost,
+            &ev.config().specs
+        ));
+
+        // Reported costs are truthful.
+        assert_eq!(
+            ev.cost(&report.robust, Scenario::Normal),
+            report.robust_normal_cost
+        );
+        assert_eq!(
+            ev.cost(&report.regular, Scenario::Normal),
+            report.regular_cost
+        );
+
+        // The robust solution beats (or ties) the regular one on the
+        // critical-set compound failure cost.
+        let scenarios = opt.universe().scenarios_for(&report.critical_indices);
+        let mut reg_kfail = VecCost::zeros(3);
+        for &sc in &scenarios {
+            reg_kfail = reg_kfail.add(&ev.cost(&report.regular, sc));
+        }
+        assert!(!reg_kfail.better_than(&report.kfail));
+    }
+
+    #[test]
+    fn pipeline_is_deterministic() {
+        let (net, tms) = testbed(2);
+        let config = MtrConfig::dtr(25e-3, 0.2);
+        let ev = MtrEvaluator::new(&net, &tms, config).unwrap();
+        let a = MtrOptimizer::new(&ev, MtrParams::quick(4)).optimize();
+        let b = MtrOptimizer::new(&ev, MtrParams::quick(4)).optimize();
+        assert_eq!(a.robust, b.robust);
+        assert_eq!(a.kfail, b.kfail);
+        assert_eq!(a.critical_indices, b.critical_indices);
+    }
+
+    #[test]
+    fn single_class_pipeline_runs() {
+        // k = 1 degenerates to single-topology robust routing — the
+        // setting of the paper's prior-art refs [10], [23], [24].
+        let (net, tms) = testbed(1);
+        let config = MtrConfig::new(vec![ClassSpec::congestion("all")]);
+        let ev = MtrEvaluator::new(&net, &tms, config).unwrap();
+        let report = MtrOptimizer::new(&ev, MtrParams::quick(2)).optimize();
+        assert_eq!(report.kfail.len(), 1);
+        assert!(!report.critical_indices.is_empty());
+    }
+}

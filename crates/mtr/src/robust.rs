@@ -1,0 +1,354 @@
+//! Robust optimization over the critical set — the MTR generalization of
+//! Phase 2 (Eqs. 4–7 with k classes).
+//!
+//! Minimizes the compound failure cost (component-wise sum of the k-vector
+//! cost over the critical failure scenarios) subject to the per-class
+//! normal-conditions constraints: each class's [`NormalConstraint`]
+//! decides how much normal-performance degradation may be traded for
+//! robustness — `Pin` none (Eq. 5), `Relax(χ)` a χ budget (Eq. 6).
+//!
+//! [`NormalConstraint`]: crate::class::NormalConstraint
+
+use dtr_routing::Scenario;
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::{Rng, SeedableRng};
+
+use crate::class::ClassSpec;
+use crate::cost::VecCost;
+use crate::evaluator::MtrEvaluator;
+use crate::params::MtrParams;
+use crate::search::{MtrArchive, MtrSearchStats, MtrStopRule};
+use crate::weights::MtrWeightSetting;
+
+/// Result of the robust search.
+#[derive(Clone, Debug)]
+pub struct MtrRobustOutput {
+    /// The robust weight setting.
+    pub best: MtrWeightSetting,
+    /// Its compound failure cost over the critical scenarios.
+    pub best_kfail: VecCost,
+    /// Its normal-conditions cost (satisfies every class constraint).
+    pub best_normal: VecCost,
+    /// Moves rejected by the normal-conditions constraints (these skip
+    /// the failure sweep).
+    pub constraint_rejections: usize,
+    /// Effort spent.
+    pub stats: MtrSearchStats,
+}
+
+/// Per-class feasibility of a candidate's normal-conditions cost against
+/// the regular-phase benchmarks (the k-class Eqs. 5–6).
+pub fn feasible(normal: &VecCost, benchmark: &VecCost, specs: &[ClassSpec]) -> bool {
+    debug_assert_eq!(normal.len(), specs.len());
+    normal
+        .components()
+        .iter()
+        .zip(benchmark.components())
+        .zip(specs)
+        .all(|((&c, &b), spec)| spec.constraint.allows(c, b))
+}
+
+/// Run the robust phase against `scenarios` (typically the critical-set
+/// failures), starting from `archive` (the regular phase's acceptable
+/// settings). `scenario_weights`, if given, makes the objective a
+/// probability-weighted sum.
+///
+/// # Panics
+/// Panics if the archive is empty or `scenario_weights` mismatches
+/// `scenarios` in length.
+pub fn run(
+    ev: &MtrEvaluator<'_>,
+    scenarios: &[Scenario],
+    params: &MtrParams,
+    benchmark: &VecCost,
+    archive: &MtrArchive,
+    scenario_weights: Option<&[f64]>,
+) -> MtrRobustOutput {
+    params.validate();
+    if let Some(sw) = scenario_weights {
+        assert_eq!(sw.len(), scenarios.len(), "one weight per scenario");
+        assert!(sw.iter().all(|&p| p >= 0.0 && p.is_finite()));
+    }
+    let net = ev.net();
+    let k = ev.num_classes();
+    let specs = &ev.config().specs;
+    let mut rng = StdRng::seed_from_u64(params.seed ^ 0x2545_f491_4f6c_dd1d);
+
+    let kfail_of = |w: &MtrWeightSetting, stats: &mut MtrSearchStats| -> VecCost {
+        let mut acc = VecCost::zeros(k);
+        for (i, &sc) in scenarios.iter().enumerate() {
+            let c = ev.cost(w, sc);
+            stats.evaluations += 1;
+            acc = match scenario_weights {
+                None => acc.add(&c),
+                Some(sw) => acc.add(&c.scale(sw[i])),
+            };
+        }
+        acc
+    };
+
+    let mut stats = MtrSearchStats::default();
+    let mut constraint_rejections = 0usize;
+
+    let (start, start_normal) = archive
+        .best()
+        .cloned()
+        .expect("the regular phase archives at least its best setting");
+    let mut current = start;
+    let mut current_normal = start_normal;
+    let mut current_kfail = kfail_of(&current, &mut stats);
+
+    let mut best = current.clone();
+    let mut best_kfail = current_kfail.clone();
+    let mut best_normal = current_normal.clone();
+
+    if scenarios.is_empty() {
+        return MtrRobustOutput {
+            best,
+            best_kfail,
+            best_normal,
+            constraint_rejections,
+            stats,
+        };
+    }
+
+    let mut stop = MtrStopRule::new(params.p2, params.c);
+    let mut reps = net.duplex_representatives();
+    let mut stale_sweeps = 0usize;
+
+    while stats.iterations < params.max_iterations {
+        stats.iterations += 1;
+        reps.shuffle(&mut rng);
+        let mut improved = false;
+
+        for &rep in &reps {
+            let old: Vec<u32> = (0..k).map(|c| current.get(c, rep)).collect();
+            let new: Vec<u32> = (0..k).map(|_| rng.gen_range(1..=params.wmax)).collect();
+            if new == old {
+                continue;
+            }
+            for (c, &w) in new.iter().enumerate() {
+                current.set_duplex(net, c, rep, w);
+            }
+
+            // Cheap constraint gate: one normal-conditions evaluation.
+            let cand_normal = ev.cost(&current, Scenario::Normal);
+            stats.evaluations += 1;
+            if !feasible(&cand_normal, benchmark, specs) {
+                constraint_rejections += 1;
+                for (c, &w) in old.iter().enumerate() {
+                    current.set_duplex(net, c, rep, w);
+                }
+                continue;
+            }
+
+            let cand_kfail = kfail_of(&current, &mut stats);
+            if cand_kfail.better_than(&current_kfail) {
+                current_kfail = cand_kfail.clone();
+                current_normal = cand_normal;
+                improved = true;
+                if cand_kfail.better_than(&best_kfail) {
+                    best = current.clone();
+                    best_kfail = cand_kfail;
+                    best_normal = current_normal.clone();
+                }
+            } else {
+                for (c, &w) in old.iter().enumerate() {
+                    current.set_duplex(net, c, rep, w);
+                }
+            }
+        }
+
+        stale_sweeps = if improved { 0 } else { stale_sweeps + 1 };
+        if stale_sweeps >= params.div_interval_2 {
+            stats.diversifications += 1;
+            stale_sweeps = 0;
+            if stop.record(best_kfail.clone()) {
+                break;
+            }
+            // Diversify back to an archived (feasible-by-construction or
+            // near-feasible) setting.
+            let (w, c) = archive.sample(&mut rng).expect("non-empty archive");
+            current = w.clone();
+            current_normal = c.clone();
+            current_kfail = kfail_of(&current, &mut stats);
+            if feasible(&current_normal, benchmark, specs) && current_kfail.better_than(&best_kfail)
+            {
+                best = current.clone();
+                best_kfail = current_kfail.clone();
+                best_normal = current_normal.clone();
+            }
+        }
+    }
+
+    MtrRobustOutput {
+        best,
+        best_kfail,
+        best_normal,
+        constraint_rejections,
+        stats,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::class::{ClassSpec, MtrConfig, NormalConstraint};
+    use crate::search::{self};
+    use dtr_core::FailureUniverse;
+    use dtr_net::{Network, NetworkBuilder, Point};
+    use dtr_traffic::TrafficMatrix;
+
+    fn testbed() -> (Network, Vec<TrafficMatrix>) {
+        let mut b = NetworkBuilder::new();
+        let n: Vec<_> = (0..6)
+            .map(|i| b.add_node(Point::new((i as f64).cos(), (i as f64).sin())))
+            .collect();
+        for i in 0..6 {
+            b.add_duplex_link(n[i], n[(i + 1) % 6], 1e6, 2e-3).unwrap();
+        }
+        b.add_duplex_link(n[0], n[3], 1e6, 2e-3).unwrap();
+        b.add_duplex_link(n[2], n[5], 1e6, 2e-3).unwrap();
+        let net = b.build().unwrap();
+
+        let mut rng = StdRng::seed_from_u64(21);
+        let mut tms = vec![TrafficMatrix::zeros(6); 2];
+        for tm in tms.iter_mut() {
+            for s in 0..6 {
+                for t in 0..6 {
+                    if s != t {
+                        tm.set(s, t, rng.gen_range(1e3..4e4));
+                    }
+                }
+            }
+        }
+        (net, tms)
+    }
+
+    fn config() -> MtrConfig {
+        MtrConfig::dtr(25e-3, 0.2)
+    }
+
+    #[test]
+    fn feasibility_enforces_class_constraints() {
+        let specs = vec![
+            ClassSpec::sla("voice", 25e-3), // Pin
+            ClassSpec::congestion("bulk").relaxed(0.2),
+        ];
+        let bench = VecCost::new(vec![100.0, 10.0]);
+        assert!(feasible(&VecCost::new(vec![100.0, 12.0]), &bench, &specs));
+        assert!(feasible(&VecCost::new(vec![99.0, 10.0]), &bench, &specs));
+        assert!(!feasible(&VecCost::new(vec![100.1, 10.0]), &bench, &specs));
+        assert!(!feasible(&VecCost::new(vec![100.0, 12.5]), &bench, &specs));
+    }
+
+    #[test]
+    fn robust_solution_satisfies_constraints_and_is_truthful() {
+        let (net, tms) = testbed();
+        let ev = MtrEvaluator::new(&net, &tms, config()).unwrap();
+        let universe = FailureUniverse::of(&net);
+        let params = MtrParams::quick(5);
+        let reg = search::regular(&ev, &universe, &params);
+        let scenarios = universe.scenarios();
+        let out = run(&ev, &scenarios, &params, &reg.best_cost, &reg.archive, None);
+
+        // Constraints hold for the final solution.
+        assert!(feasible(
+            &out.best_normal,
+            &reg.best_cost,
+            &ev.config().specs
+        ));
+        assert_eq!(ev.cost(&out.best, Scenario::Normal), out.best_normal);
+        // Reported kfail is truthful.
+        let mut acc = VecCost::zeros(2);
+        for &sc in &scenarios {
+            acc = acc.add(&ev.cost(&out.best, sc));
+        }
+        assert_eq!(acc, out.best_kfail);
+    }
+
+    #[test]
+    fn robust_does_not_lose_to_regular_on_kfail() {
+        let (net, tms) = testbed();
+        let ev = MtrEvaluator::new(&net, &tms, config()).unwrap();
+        let universe = FailureUniverse::of(&net);
+        let params = MtrParams::quick(9);
+        let reg = search::regular(&ev, &universe, &params);
+        let scenarios = universe.scenarios();
+        let out = run(&ev, &scenarios, &params, &reg.best_cost, &reg.archive, None);
+
+        let mut reg_kfail = VecCost::zeros(2);
+        for &sc in &scenarios {
+            reg_kfail = reg_kfail.add(&ev.cost(&reg.best, sc));
+        }
+        // The robust search starts from the archive best (= regular best)
+        // and only accepts kfail improvements, so it can't end up worse.
+        assert!(
+            !reg_kfail.better_than(&out.best_kfail),
+            "robust kfail {} worse than regular {}",
+            out.best_kfail,
+            reg_kfail
+        );
+    }
+
+    #[test]
+    fn empty_scenario_set_returns_archive_best() {
+        let (net, tms) = testbed();
+        let ev = MtrEvaluator::new(&net, &tms, config()).unwrap();
+        let universe = FailureUniverse::of(&net);
+        let params = MtrParams::quick(1);
+        let reg = search::regular(&ev, &universe, &params);
+        let out = run(&ev, &[], &params, &reg.best_cost, &reg.archive, None);
+        assert_eq!(out.best, reg.archive.best().unwrap().0);
+        assert_eq!(out.best_kfail, VecCost::zeros(2));
+    }
+
+    #[test]
+    fn scenario_weights_scale_the_objective() {
+        let (net, tms) = testbed();
+        let ev = MtrEvaluator::new(&net, &tms, config()).unwrap();
+        let universe = FailureUniverse::of(&net);
+        let params = MtrParams::quick(3);
+        let reg = search::regular(&ev, &universe, &params);
+        let scenarios: Vec<_> = universe.scenarios().into_iter().take(3).collect();
+        let weights = vec![2.0; scenarios.len()];
+        let out = run(
+            &ev,
+            &scenarios,
+            &params,
+            &reg.best_cost,
+            &reg.archive,
+            Some(&weights),
+        );
+        // Doubling every weight doubles the reported kfail of the final
+        // solution versus its unweighted sum.
+        let mut unweighted = VecCost::zeros(2);
+        for &sc in &scenarios {
+            unweighted = unweighted.add(&ev.cost(&out.best, sc));
+        }
+        let scaled = unweighted.scale(2.0);
+        for (a, b) in out.best_kfail.components().iter().zip(scaled.components()) {
+            assert!((a - b).abs() < 1e-6 * b.abs().max(1.0));
+        }
+    }
+
+    #[test]
+    fn pinned_everything_still_finds_a_solution() {
+        let (net, tms) = testbed();
+        let mut cfg = config();
+        cfg.specs[1].constraint = NormalConstraint::Pin;
+        let ev = MtrEvaluator::new(&net, &tms, cfg).unwrap();
+        let universe = FailureUniverse::of(&net);
+        let params = MtrParams::quick(17);
+        let reg = search::regular(&ev, &universe, &params);
+        let scenarios = universe.scenarios();
+        let out = run(&ev, &scenarios, &params, &reg.best_cost, &reg.archive, None);
+        // With both classes pinned the benchmark itself remains feasible.
+        assert!(feasible(
+            &out.best_normal,
+            &reg.best_cost,
+            &ev.config().specs
+        ));
+    }
+}

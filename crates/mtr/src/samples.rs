@@ -1,0 +1,176 @@
+//! k-component failure-cost sample store — the generalization of the
+//! Phase-1a/1b harvest to k traffic classes.
+//!
+//! For each failable link the store accumulates one k-vector of class
+//! costs per failure-emulating observation, estimating k conditional
+//! failure-cost distributions per link (Fig. 2(a), one per class).
+
+use crate::cost::VecCost;
+
+/// Mean and left-tail mean of one link's samples for one class.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct KTailStats {
+    /// Sample mean (the paper's `Λ̂` / `Φ̂`, per class).
+    pub mean: f64,
+    /// Mean of the lowest `tail_fraction` of samples (`Λ̃` / `Φ̃`).
+    pub tail_mean: f64,
+}
+
+impl KTailStats {
+    /// The criticality contribution `ρ = mean − tail_mean` (Eqs. 8–9).
+    pub fn rho(&self) -> f64 {
+        (self.mean - self.tail_mean).max(0.0)
+    }
+}
+
+/// Sample store: `[class][failure index][sample]`.
+#[derive(Clone, Debug)]
+pub struct MtrSampleStore {
+    per_class: Vec<Vec<Vec<f64>>>,
+}
+
+impl MtrSampleStore {
+    /// Empty store for `num_classes` classes over `num_links` failable
+    /// links.
+    pub fn new(num_classes: usize, num_links: usize) -> Self {
+        assert!(num_classes >= 1);
+        MtrSampleStore {
+            per_class: vec![vec![Vec::new(); num_links]; num_classes],
+        }
+    }
+
+    /// Number of classes.
+    pub fn num_classes(&self) -> usize {
+        self.per_class.len()
+    }
+
+    /// Number of failable links covered.
+    pub fn num_links(&self) -> usize {
+        self.per_class[0].len()
+    }
+
+    /// Record one observation (all class costs at once) for failure
+    /// index `i`.
+    ///
+    /// # Panics
+    /// Panics if the cost arity differs from the store's class count.
+    pub fn record(&mut self, i: usize, cost: &VecCost) {
+        assert_eq!(cost.len(), self.num_classes(), "cost arity mismatch");
+        for (k, store) in self.per_class.iter_mut().enumerate() {
+            store[i].push(cost.component(k));
+        }
+    }
+
+    /// Samples collected for failure index `i` (identical across classes
+    /// by construction).
+    pub fn count(&self, i: usize) -> usize {
+        self.per_class[0][i].len()
+    }
+
+    /// Total samples across all links.
+    pub fn total(&self) -> usize {
+        self.per_class[0].iter().map(Vec::len).sum()
+    }
+
+    /// Smallest per-link sample count.
+    pub fn min_count(&self) -> usize {
+        self.per_class[0].iter().map(Vec::len).min().unwrap_or(0)
+    }
+
+    /// Index of the link with the fewest samples (ties → smallest index).
+    pub fn poorest_link(&self) -> Option<usize> {
+        (0..self.num_links()).min_by_key(|&i| self.count(i))
+    }
+
+    /// Mean / left-tail mean of class `k`'s samples at failure index `i`;
+    /// `None` if no samples yet.
+    pub fn stats(&self, k: usize, i: usize, tail_fraction: f64) -> Option<KTailStats> {
+        stats_of(&self.per_class[k][i], tail_fraction)
+    }
+}
+
+fn stats_of(samples: &[f64], tail_fraction: f64) -> Option<KTailStats> {
+    debug_assert!(tail_fraction > 0.0 && tail_fraction <= 0.5);
+    if samples.is_empty() {
+        return None;
+    }
+    let n = samples.len();
+    let mean = samples.iter().sum::<f64>() / n as f64;
+    let k = ((n as f64 * tail_fraction).ceil() as usize).clamp(1, n);
+    let mut sorted = samples.to_vec();
+    sorted.sort_by(|a, b| a.partial_cmp(b).expect("finite samples"));
+    let tail_mean = sorted[..k].iter().sum::<f64>() / k as f64;
+    Some(KTailStats { mean, tail_mean })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_store() {
+        let s = MtrSampleStore::new(3, 4);
+        assert_eq!(s.num_classes(), 3);
+        assert_eq!(s.num_links(), 4);
+        assert_eq!(s.total(), 0);
+        assert!(s.stats(0, 0, 0.1).is_none());
+        assert_eq!(s.min_count(), 0);
+        assert_eq!(s.poorest_link(), Some(0));
+    }
+
+    #[test]
+    fn record_spreads_components_across_classes() {
+        let mut s = MtrSampleStore::new(2, 2);
+        s.record(0, &VecCost::new(vec![1.0, 10.0]));
+        s.record(0, &VecCost::new(vec![3.0, 30.0]));
+        s.record(1, &VecCost::new(vec![5.0, 50.0]));
+        assert_eq!(s.count(0), 2);
+        assert_eq!(s.count(1), 1);
+        assert_eq!(s.total(), 3);
+        let st0 = s.stats(0, 0, 0.5).unwrap();
+        assert!((st0.mean - 2.0).abs() < 1e-12);
+        assert!((st0.tail_mean - 1.0).abs() < 1e-12);
+        assert!((st0.rho() - 1.0).abs() < 1e-12);
+        let st1 = s.stats(1, 0, 0.5).unwrap();
+        assert!((st1.mean - 20.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn rho_is_non_negative_even_for_constant_samples() {
+        let mut s = MtrSampleStore::new(1, 1);
+        for _ in 0..10 {
+            s.record(0, &VecCost::new(vec![7.0]));
+        }
+        let st = s.stats(0, 0, 0.1).unwrap();
+        assert_eq!(st.rho(), 0.0);
+    }
+
+    #[test]
+    fn tail_fraction_selects_ceil_count() {
+        let mut s = MtrSampleStore::new(1, 1);
+        for v in [5.0, 1.0, 3.0, 2.0, 4.0] {
+            s.record(0, &VecCost::new(vec![v]));
+        }
+        // 10% of 5 -> ceil = 1 sample: tail mean = min = 1.
+        let st = s.stats(0, 0, 0.1).unwrap();
+        assert_eq!(st.tail_mean, 1.0);
+        // 40% of 5 -> 2 samples: (1+2)/2.
+        let st = s.stats(0, 0, 0.4).unwrap();
+        assert!((st.tail_mean - 1.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn poorest_link_tracks_minimum() {
+        let mut s = MtrSampleStore::new(1, 3);
+        s.record(0, &VecCost::new(vec![1.0]));
+        s.record(2, &VecCost::new(vec![1.0]));
+        assert_eq!(s.poorest_link(), Some(1));
+        assert_eq!(s.min_count(), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "arity mismatch")]
+    fn wrong_arity_rejected() {
+        MtrSampleStore::new(2, 1).record(0, &VecCost::new(vec![1.0]));
+    }
+}

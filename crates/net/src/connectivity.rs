@@ -1,0 +1,216 @@
+//! Reachability and strong-connectivity queries under a failure mask.
+//!
+//! These are the primitives behind failure enumeration: a candidate failure
+//! scenario is only evaluated if the surviving network is still strongly
+//! connected (otherwise no weight setting can route around it and the
+//! scenario says nothing about routing quality — see `bridges`).
+
+use crate::graph::Network;
+use crate::ids::NodeId;
+use crate::mask::LinkMask;
+
+/// Nodes reachable from `start` following *up* out-links, as a boolean
+/// vector indexed by node.
+pub fn reachable_from(net: &Network, start: NodeId, mask: &LinkMask) -> Vec<bool> {
+    let mut seen = vec![false; net.num_nodes()];
+    let mut stack = vec![start];
+    seen[start.index()] = true;
+    while let Some(v) = stack.pop() {
+        for &l in net.out_links(v) {
+            if mask.is_down(l.index()) {
+                continue;
+            }
+            let w = net.link(l).dst;
+            if !seen[w.index()] {
+                seen[w.index()] = true;
+                stack.push(w);
+            }
+        }
+    }
+    seen
+}
+
+/// Nodes that can reach `target` following *up* in-links backwards.
+pub fn reaches_to(net: &Network, target: NodeId, mask: &LinkMask) -> Vec<bool> {
+    let mut seen = vec![false; net.num_nodes()];
+    let mut stack = vec![target];
+    seen[target.index()] = true;
+    while let Some(v) = stack.pop() {
+        for &l in net.in_links(v) {
+            if mask.is_down(l.index()) {
+                continue;
+            }
+            let w = net.link(l).src;
+            if !seen[w.index()] {
+                seen[w.index()] = true;
+                stack.push(w);
+            }
+        }
+    }
+    seen
+}
+
+/// `true` if every node can reach every other node over up links.
+///
+/// Uses the standard two-sweep check: strong connectivity holds iff some
+/// node reaches all nodes *and* is reached by all nodes.
+pub fn is_strongly_connected(net: &Network, mask: &LinkMask) -> bool {
+    let n = net.num_nodes();
+    if n == 0 {
+        return false;
+    }
+    if n == 1 {
+        return true;
+    }
+    let s = NodeId::new(0);
+    reachable_from(net, s, mask).iter().all(|&b| b) && reaches_to(net, s, mask).iter().all(|&b| b)
+}
+
+/// `true` if, with `mask` applied, every *surviving* node can still reach
+/// every other surviving node. `dead` marks nodes considered removed (used
+/// for node-failure scenarios, where the failed node itself is exempt).
+pub fn is_strongly_connected_excluding(net: &Network, mask: &LinkMask, dead: &[bool]) -> bool {
+    let n = net.num_nodes();
+    debug_assert_eq!(dead.len(), n);
+    let Some(start) = (0..n).find(|&v| !dead[v]) else {
+        return false; // no surviving nodes
+    };
+    let s = NodeId::new(start);
+    let fwd = reachable_from(net, s, mask);
+    let bwd = reaches_to(net, s, mask);
+    (0..n).all(|v| dead[v] || (fwd[v] && bwd[v]))
+}
+
+/// Single-source minimum *propagation delay* distances over up links
+/// (Dijkstra with `p_l` as the metric). `f64::INFINITY` marks unreachable
+/// nodes. This is a metric query on the physical topology, independent of
+/// any IGP weight setting; the weighted SPF used for routing lives in
+/// `dtr-routing`.
+pub fn min_prop_delay_from(net: &Network, start: NodeId, mask: &LinkMask) -> Vec<f64> {
+    use std::cmp::Reverse;
+    use std::collections::BinaryHeap;
+
+    // f64 keys wrapped as ordered bits; delays are finite and non-negative
+    // by Network construction, so total order via to_bits is safe.
+    #[derive(PartialEq, Eq, PartialOrd, Ord)]
+    struct Key(u64);
+    fn key(d: f64) -> Key {
+        Key(d.to_bits())
+    }
+
+    let n = net.num_nodes();
+    let mut dist = vec![f64::INFINITY; n];
+    let mut heap = BinaryHeap::new();
+    dist[start.index()] = 0.0;
+    heap.push(Reverse((key(0.0), start.index())));
+    while let Some(Reverse((Key(db), v))) = heap.pop() {
+        let d = f64::from_bits(db);
+        if d > dist[v] {
+            continue;
+        }
+        for &l in net.out_links(NodeId::new(v)) {
+            if mask.is_down(l.index()) {
+                continue;
+            }
+            let link = net.link(l);
+            let nd = d + link.prop_delay;
+            let w = link.dst.index();
+            if nd < dist[w] {
+                dist[w] = nd;
+                heap.push(Reverse((key(nd), w)));
+            }
+        }
+    }
+    dist
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::NetworkBuilder;
+    use crate::geometry::Point;
+    use crate::ids::LinkId;
+
+    /// 0 <-> 1 <-> 2 path graph (duplex), 1 ms per hop.
+    fn path3() -> Network {
+        let mut b = NetworkBuilder::new();
+        let n: Vec<_> = (0..3).map(|_| b.add_node(Point::ORIGIN)).collect();
+        b.add_duplex_link(n[0], n[1], 1e9, 1e-3).unwrap();
+        b.add_duplex_link(n[1], n[2], 1e9, 1e-3).unwrap();
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn reachable_on_path() {
+        let net = path3();
+        let r = reachable_from(&net, NodeId::new(0), &net.fresh_mask());
+        assert!(r.iter().all(|&b| b));
+    }
+
+    #[test]
+    fn masking_cuts_reachability() {
+        let net = path3();
+        // Fail the duplex link between 1 and 2.
+        let l12 = net
+            .links()
+            .find(|&l| net.link(l).src == NodeId::new(1) && net.link(l).dst == NodeId::new(2))
+            .unwrap();
+        let m = net.fail_duplex(l12);
+        let r = reachable_from(&net, NodeId::new(0), &m);
+        assert_eq!(r, vec![true, true, false]);
+        assert!(!is_strongly_connected(&net, &m));
+    }
+
+    #[test]
+    fn one_way_graph_is_not_strongly_connected() {
+        let mut b = NetworkBuilder::new();
+        let a = b.add_node(Point::ORIGIN);
+        let c = b.add_node(Point::ORIGIN);
+        b.add_link(a, c, 1.0, 0.0).unwrap();
+        let net = b.build_unchecked();
+        assert!(!is_strongly_connected(&net, &net.fresh_mask()));
+        assert!(reachable_from(&net, a, &net.fresh_mask())[c.index()]);
+        assert!(!reaches_to(&net, a, &net.fresh_mask())[c.index()]);
+    }
+
+    #[test]
+    fn single_node_is_strongly_connected() {
+        let mut b = NetworkBuilder::new();
+        b.add_node(Point::ORIGIN);
+        let net = b.build_unchecked();
+        assert!(is_strongly_connected(&net, &net.fresh_mask()));
+    }
+
+    #[test]
+    fn excluding_dead_node_keeps_rest_connected() {
+        let net = path3();
+        // Node 2 dies: nodes 0 and 1 remain mutually reachable.
+        let m = net.fail_node(NodeId::new(2));
+        let mut dead = vec![false; 3];
+        dead[2] = true;
+        assert!(is_strongly_connected_excluding(&net, &m, &dead));
+        // But killing the middle node partitions the survivors.
+        let m = net.fail_node(NodeId::new(1));
+        let mut dead = vec![false; 3];
+        dead[1] = true;
+        assert!(!is_strongly_connected_excluding(&net, &m, &dead));
+    }
+
+    #[test]
+    fn min_prop_delay_matches_hops() {
+        let net = path3();
+        let d = min_prop_delay_from(&net, NodeId::new(0), &net.fresh_mask());
+        assert!((d[0] - 0.0).abs() < 1e-15);
+        assert!((d[1] - 1e-3).abs() < 1e-15);
+        assert!((d[2] - 2e-3).abs() < 1e-15);
+    }
+
+    #[test]
+    fn min_prop_delay_respects_mask() {
+        let net = path3();
+        let m = net.fail_duplex(LinkId::new(0));
+        let d = min_prop_delay_from(&net, NodeId::new(0), &m);
+        assert!(d[1].is_infinite());
+        assert!(d[2].is_infinite());
+    }
+}

@@ -1,0 +1,75 @@
+//! Graphviz DOT export, for debugging topologies and documenting
+//! experiments. Duplex pairs are rendered as one undirected edge.
+
+use std::fmt::Write as _;
+
+use crate::graph::Network;
+use crate::mask::LinkMask;
+
+/// Render the network as a Graphviz `graph` (duplex links collapsed to one
+/// edge). Failed links (per `mask`) are drawn dashed red. Edge labels show
+/// `capacity (Mb/s) / prop delay (ms)`.
+pub fn to_dot(net: &Network, mask: &LinkMask) -> String {
+    let mut s = String::new();
+    s.push_str("graph network {\n");
+    s.push_str("  layout=neato;\n  node [shape=circle, fontsize=10];\n");
+    for v in net.nodes() {
+        let p = net.position(v);
+        // Scale unit-square coordinates up so neato doesn't collapse nodes.
+        let _ = writeln!(s, "  {} [pos=\"{:.3},{:.3}!\"];", v, p.x * 10.0, p.y * 10.0);
+    }
+    for l in net.duplex_representatives() {
+        let link = net.link(l);
+        let down = mask.is_down(l.index());
+        let style = if down {
+            ", style=dashed, color=red"
+        } else {
+            ""
+        };
+        let _ = writeln!(
+            s,
+            "  {} -- {} [label=\"{:.0}/{:.1}\"{}];",
+            link.src,
+            link.dst,
+            link.capacity / 1e6,
+            link.prop_delay * 1e3,
+            style
+        );
+    }
+    s.push_str("}\n");
+    s
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::NetworkBuilder;
+    use crate::geometry::Point;
+    use crate::ids::LinkId;
+
+    fn two_nodes() -> Network {
+        let mut b = NetworkBuilder::new();
+        let a = b.add_node(Point::new(0.0, 0.0));
+        let c = b.add_node(Point::new(1.0, 1.0));
+        b.add_duplex_link(a, c, 500e6, 5e-3).unwrap();
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn dot_contains_nodes_and_edge() {
+        let net = two_nodes();
+        let dot = to_dot(&net, &net.fresh_mask());
+        assert!(dot.starts_with("graph network {"));
+        assert!(dot.contains("0 -- 1"));
+        assert!(dot.contains("500/5.0"));
+        assert!(!dot.contains("dashed"));
+    }
+
+    #[test]
+    fn failed_links_are_dashed() {
+        let net = two_nodes();
+        let m = net.fail_duplex(LinkId::new(0));
+        let dot = to_dot(&net, &m);
+        assert!(dot.contains("dashed"));
+    }
+}

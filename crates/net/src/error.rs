@@ -1,0 +1,64 @@
+//! Error type for network construction.
+
+use std::fmt;
+
+use crate::ids::NodeId;
+
+/// Errors raised while building a [`crate::Network`].
+#[derive(Clone, Debug, PartialEq)]
+pub enum NetError {
+    /// A link referenced a node id that was never added.
+    UnknownNode(NodeId),
+    /// A link's source equals its destination.
+    SelfLoop(NodeId),
+    /// A directed link between this ordered pair already exists. The model
+    /// is a simple digraph: parallel links would make per-link weights
+    /// ambiguous in the SPF.
+    DuplicateLink(NodeId, NodeId),
+    /// Capacity must be strictly positive (it divides the load in both cost
+    /// models, Eq. (1b) and the Fortz–Thorup function).
+    NonPositiveCapacity(f64),
+    /// Propagation delay must be finite and non-negative.
+    InvalidDelay(f64),
+    /// `build()` requires a strongly connected network; `build_unchecked()`
+    /// skips this check.
+    NotStronglyConnected,
+    /// The network must contain at least one node.
+    Empty,
+}
+
+impl fmt::Display for NetError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            NetError::UnknownNode(v) => write!(f, "unknown node {v:?}"),
+            NetError::SelfLoop(v) => write!(f, "self-loop at node {v:?}"),
+            NetError::DuplicateLink(s, d) => {
+                write!(f, "duplicate link {s:?} -> {d:?}")
+            }
+            NetError::NonPositiveCapacity(c) => {
+                write!(f, "capacity must be > 0, got {c}")
+            }
+            NetError::InvalidDelay(d) => {
+                write!(f, "propagation delay must be finite and >= 0, got {d}")
+            }
+            NetError::NotStronglyConnected => {
+                write!(f, "network is not strongly connected")
+            }
+            NetError::Empty => write!(f, "network has no nodes"),
+        }
+    }
+}
+
+impl std::error::Error for NetError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_informative() {
+        let e = NetError::DuplicateLink(NodeId::new(1), NodeId::new(2));
+        assert_eq!(e.to_string(), "duplicate link n1 -> n2");
+        assert!(NetError::Empty.to_string().contains("no nodes"));
+    }
+}

@@ -1,0 +1,77 @@
+//! Planar node embedding.
+//!
+//! The paper places synthesized-topology nodes "randomly distributed in a
+//! unit square" and derives link propagation delays from Euclidean
+//! distances (§V-A1). For the emulated North-American ISP backbone, node
+//! positions come from (scaled) city coordinates. Either way a 2-D point
+//! per node is all the geometry the system ever needs.
+
+/// A point in the plane. Coordinates are dimensionless; the topology
+/// generators scale distances into propagation delays.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct Point {
+    pub x: f64,
+    pub y: f64,
+}
+
+impl Point {
+    /// Create a point at `(x, y)`.
+    #[inline]
+    pub const fn new(x: f64, y: f64) -> Self {
+        Point { x, y }
+    }
+
+    /// Origin `(0, 0)`.
+    pub const ORIGIN: Point = Point::new(0.0, 0.0);
+
+    /// Euclidean distance to `other`.
+    #[inline]
+    pub fn distance(&self, other: &Point) -> f64 {
+        let dx = self.x - other.x;
+        let dy = self.y - other.y;
+        dx.hypot(dy)
+    }
+
+    /// Squared Euclidean distance (avoids the square root when only
+    /// comparing distances, e.g. in nearest-neighbour topology generation).
+    #[inline]
+    pub fn distance_sq(&self, other: &Point) -> f64 {
+        let dx = self.x - other.x;
+        let dy = self.y - other.y;
+        dx * dx + dy * dy
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn distance_is_euclidean() {
+        let a = Point::new(0.0, 0.0);
+        let b = Point::new(3.0, 4.0);
+        assert_eq!(a.distance(&b), 5.0);
+        assert_eq!(a.distance_sq(&b), 25.0);
+    }
+
+    #[test]
+    fn distance_is_symmetric() {
+        let a = Point::new(-1.5, 2.0);
+        let b = Point::new(0.25, -7.0);
+        assert_eq!(a.distance(&b), b.distance(&a));
+    }
+
+    #[test]
+    fn distance_to_self_is_zero() {
+        let a = Point::new(0.7, 0.7);
+        assert_eq!(a.distance(&a), 0.0);
+    }
+
+    #[test]
+    fn triangle_inequality_holds() {
+        let a = Point::new(0.0, 0.0);
+        let b = Point::new(1.0, 0.0);
+        let c = Point::new(1.0, 1.0);
+        assert!(a.distance(&c) <= a.distance(&b) + b.distance(&c) + 1e-12);
+    }
+}

@@ -1,0 +1,111 @@
+//! Typed index newtypes for nodes and links.
+//!
+//! Dense `u32` indices: every algorithm in the workspace indexes flat
+//! `Vec`s by these, so they must stay cheap to copy and convert.
+
+use std::fmt;
+
+/// Identifier of a node (router) in a [`crate::Network`].
+///
+/// Node ids are dense: a network with `n` nodes uses ids `0..n`.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct NodeId(pub(crate) u32);
+
+/// Identifier of a *directed* link in a [`crate::Network`].
+///
+/// Link ids are dense: a network with `m` directed links uses ids `0..m`.
+/// The two directions of a duplex link have distinct `LinkId`s related
+/// through [`crate::Network::reverse_link`].
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct LinkId(pub(crate) u32);
+
+impl NodeId {
+    /// Construct from a raw index. The index is not validated here; passing
+    /// an out-of-range id to a [`crate::Network`] method panics there.
+    #[inline]
+    pub fn new(index: usize) -> Self {
+        NodeId(u32::try_from(index).expect("node index exceeds u32"))
+    }
+
+    /// Raw dense index, suitable for indexing per-node vectors.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl LinkId {
+    /// Construct from a raw index. The index is not validated here; passing
+    /// an out-of-range id to a [`crate::Network`] method panics there.
+    #[inline]
+    pub fn new(index: usize) -> Self {
+        LinkId(u32::try_from(index).expect("link index exceeds u32"))
+    }
+
+    /// Raw dense index, suitable for indexing per-link vectors.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Debug for NodeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "n{}", self.0)
+    }
+}
+
+impl fmt::Display for NodeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+impl fmt::Debug for LinkId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "l{}", self.0)
+    }
+}
+
+impl fmt::Display for LinkId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn node_id_round_trips_index() {
+        for i in [0usize, 1, 7, 1_000_000] {
+            assert_eq!(NodeId::new(i).index(), i);
+        }
+    }
+
+    #[test]
+    fn link_id_round_trips_index() {
+        for i in [0usize, 1, 7, 1_000_000] {
+            assert_eq!(LinkId::new(i).index(), i);
+        }
+    }
+
+    #[test]
+    fn ids_order_by_index() {
+        assert!(NodeId::new(1) < NodeId::new(2));
+        assert!(LinkId::new(0) < LinkId::new(10));
+    }
+
+    #[test]
+    fn debug_formats_are_prefixed() {
+        assert_eq!(format!("{:?}", NodeId::new(3)), "n3");
+        assert_eq!(format!("{:?}", LinkId::new(4)), "l4");
+    }
+
+    #[test]
+    #[should_panic(expected = "exceeds u32")]
+    fn node_id_overflow_panics() {
+        let _ = NodeId::new(u32::MAX as usize + 1);
+    }
+}

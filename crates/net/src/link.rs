@@ -1,0 +1,54 @@
+//! Directed link records.
+
+use crate::ids::NodeId;
+
+/// One *directed* link of the network.
+///
+/// Corresponds to a link `l ∈ E` in the paper's model (§III): it has a
+/// capacity `C_l` (bits/s) and a propagation delay `p_l` (seconds). The IGP
+/// weights `W_l^D` / `W_l^T` are *not* stored here — weight settings are the
+/// optimization variable and live in `dtr-routing::WeightSetting`, so that a
+/// single immutable [`crate::Network`] can be shared by thousands of
+/// candidate weight settings during the search.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct Link {
+    /// Tail node (traffic enters the link here).
+    pub src: NodeId,
+    /// Head node (traffic exits the link here).
+    pub dst: NodeId,
+    /// Capacity `C_l` in bits per second. Strictly positive.
+    pub capacity: f64,
+    /// Propagation delay `p_l` in seconds. Non-negative.
+    pub prop_delay: f64,
+}
+
+impl Link {
+    /// `true` if this link and `other` are the two directions of one duplex
+    /// (physical) link.
+    #[inline]
+    pub fn is_reverse_of(&self, other: &Link) -> bool {
+        self.src == other.dst && self.dst == other.src
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ids::NodeId;
+
+    fn link(src: usize, dst: usize) -> Link {
+        Link {
+            src: NodeId::new(src),
+            dst: NodeId::new(dst),
+            capacity: 1.0,
+            prop_delay: 0.0,
+        }
+    }
+
+    #[test]
+    fn reverse_detection() {
+        assert!(link(0, 1).is_reverse_of(&link(1, 0)));
+        assert!(!link(0, 1).is_reverse_of(&link(0, 1)));
+        assert!(!link(0, 1).is_reverse_of(&link(1, 2)));
+    }
+}

@@ -1,0 +1,149 @@
+//! Compact link-failure masks.
+//!
+//! Failure scenarios (the inner loop of the paper's Phase 2: `Kfail` is a
+//! sum over *all single link failures*, Eq. (4)) are expressed as a bitset
+//! of links that are **down**. Masking is O(1) per link test, and building a
+//! mask never copies the graph.
+
+/// Bitset over the directed links of a network; a set bit means the link is
+/// *down* (failed).
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct LinkMask {
+    words: Vec<u64>,
+    num_links: usize,
+}
+
+impl LinkMask {
+    /// All links up.
+    pub fn all_up(num_links: usize) -> Self {
+        LinkMask {
+            words: vec![0u64; num_links.div_ceil(64)],
+            num_links,
+        }
+    }
+
+    /// Number of links this mask covers.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.num_links
+    }
+
+    /// `true` if the mask covers zero links.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.num_links == 0
+    }
+
+    /// Mark link `index` as down.
+    ///
+    /// # Panics
+    /// Panics if `index >= len()`.
+    #[inline]
+    pub fn fail(&mut self, index: usize) {
+        assert!(index < self.num_links, "link index out of range");
+        self.words[index / 64] |= 1u64 << (index % 64);
+    }
+
+    /// Mark link `index` as up again.
+    ///
+    /// # Panics
+    /// Panics if `index >= len()`.
+    #[inline]
+    pub fn restore(&mut self, index: usize) {
+        assert!(index < self.num_links, "link index out of range");
+        self.words[index / 64] &= !(1u64 << (index % 64));
+    }
+
+    /// `true` if link `index` is down.
+    ///
+    /// # Panics
+    /// Panics if `index >= len()`.
+    #[inline]
+    pub fn is_down(&self, index: usize) -> bool {
+        debug_assert!(index < self.num_links, "link index out of range");
+        (self.words[index / 64] >> (index % 64)) & 1 == 1
+    }
+
+    /// `true` if link `index` is up.
+    #[inline]
+    pub fn is_up(&self, index: usize) -> bool {
+        !self.is_down(index)
+    }
+
+    /// Number of links currently down.
+    pub fn num_down(&self) -> usize {
+        self.words.iter().map(|w| w.count_ones() as usize).sum()
+    }
+
+    /// `true` when no link is down.
+    pub fn all_links_up(&self) -> bool {
+        self.words.iter().all(|&w| w == 0)
+    }
+
+    /// Iterator over the indices of down links, ascending.
+    pub fn down_links(&self) -> impl Iterator<Item = usize> + '_ {
+        self.words.iter().enumerate().flat_map(|(wi, &w)| {
+            let mut bits = w;
+            std::iter::from_fn(move || {
+                if bits == 0 {
+                    None
+                } else {
+                    let b = bits.trailing_zeros() as usize;
+                    bits &= bits - 1;
+                    Some(wi * 64 + b)
+                }
+            })
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn starts_all_up() {
+        let m = LinkMask::all_up(130);
+        assert_eq!(m.len(), 130);
+        assert!(m.all_links_up());
+        assert_eq!(m.num_down(), 0);
+        assert!((0..130).all(|i| m.is_up(i)));
+    }
+
+    #[test]
+    fn fail_and_restore_round_trip() {
+        let mut m = LinkMask::all_up(100);
+        m.fail(0);
+        m.fail(63);
+        m.fail(64);
+        m.fail(99);
+        assert_eq!(m.num_down(), 4);
+        assert!(m.is_down(63) && m.is_down(64));
+        assert_eq!(m.down_links().collect::<Vec<_>>(), vec![0, 63, 64, 99]);
+        m.restore(63);
+        assert!(m.is_up(63));
+        assert_eq!(m.num_down(), 3);
+    }
+
+    #[test]
+    fn fail_is_idempotent() {
+        let mut m = LinkMask::all_up(10);
+        m.fail(3);
+        m.fail(3);
+        assert_eq!(m.num_down(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn fail_out_of_range_panics() {
+        LinkMask::all_up(5).fail(5);
+    }
+
+    #[test]
+    fn empty_mask() {
+        let m = LinkMask::all_up(0);
+        assert!(m.is_empty());
+        assert!(m.all_links_up());
+        assert_eq!(m.down_links().count(), 0);
+    }
+}

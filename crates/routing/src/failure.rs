@@ -1,0 +1,356 @@
+//! Failure scenarios.
+
+use dtr_net::{LinkId, LinkMask, Network, NodeId};
+use dtr_traffic::ClassMatrices;
+
+/// Largest number of physical links a [`LinkGroup`] can hold. Real-world
+/// shared-risk groups (fibers in one conduit, line cards on one chassis)
+/// are small; a fixed cap keeps [`Scenario`] `Copy` and allocation-free
+/// in the hot failure-sweep loop.
+pub const MAX_GROUP_SIZE: usize = 8;
+
+/// A set of up to [`MAX_GROUP_SIZE`] physical links that fail together —
+/// a shared-risk link group (SRLG). Stored canonically (sorted by link
+/// index, deduplicated), so two groups with the same members compare
+/// equal regardless of construction order.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub struct LinkGroup {
+    links: [LinkId; MAX_GROUP_SIZE],
+    len: u8,
+}
+
+impl LinkGroup {
+    /// Build a group from duplex representatives.
+    ///
+    /// # Panics
+    /// Panics if `links` is empty or holds more than [`MAX_GROUP_SIZE`]
+    /// distinct links.
+    pub fn new(links: &[LinkId]) -> Self {
+        assert!(!links.is_empty(), "a link group needs at least one link");
+        let mut sorted: Vec<LinkId> = links.to_vec();
+        sorted.sort_by_key(|l| l.index());
+        sorted.dedup();
+        assert!(
+            sorted.len() <= MAX_GROUP_SIZE,
+            "link group exceeds MAX_GROUP_SIZE ({MAX_GROUP_SIZE})"
+        );
+        let mut arr = [sorted[0]; MAX_GROUP_SIZE];
+        arr[..sorted.len()].copy_from_slice(&sorted);
+        LinkGroup {
+            links: arr,
+            len: sorted.len() as u8,
+        }
+    }
+
+    /// The member links (sorted, deduplicated).
+    pub fn links(&self) -> &[LinkId] {
+        &self.links[..self.len as usize]
+    }
+
+    /// Number of distinct member links.
+    pub fn len(&self) -> usize {
+        self.len as usize
+    }
+
+    /// `true` for a single-link group (equivalent to `Scenario::Link`).
+    pub fn is_singleton(&self) -> bool {
+        self.len == 1
+    }
+
+    /// Never true — groups hold at least one link — but provided to
+    /// satisfy the `len`/`is_empty` API convention.
+    pub fn is_empty(&self) -> bool {
+        false
+    }
+
+    /// `true` if `l` (or its reverse direction) is a member.
+    pub fn contains(&self, l: LinkId) -> bool {
+        self.links().contains(&l)
+    }
+}
+
+/// A failure scenario the routing is evaluated under.
+///
+/// * `Normal` — no failure (the paper's Eq. (3) operating point).
+/// * `Link(l)` — single physical link failure: both directions of the
+///   duplex link containing `l` go down (§III "all single link failures").
+/// * `Node(v)` — router failure: all incident links go down and the
+///   traffic `v` sources/sinks disappears (§V-F).
+/// * `DoubleLink(a, b)` — simultaneous failure of two physical links
+///   (used by the multi-failure robustness extension; the paper's fn 16
+///   reports results "for other types of failure patterns, e.g., multiple
+///   link failures").
+/// * `Srlg(g)` — a shared-risk link group failure: every physical link in
+///   the group goes down at once (conduit cut / line-card failure; the
+///   SRLG extension of `dtr-core::ext`).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum Scenario {
+    Normal,
+    Link(LinkId),
+    Node(NodeId),
+    DoubleLink(LinkId, LinkId),
+    Srlg(LinkGroup),
+}
+
+impl Scenario {
+    /// The link mask this scenario induces on `net`.
+    pub fn mask(&self, net: &Network) -> LinkMask {
+        match *self {
+            Scenario::Normal => net.fresh_mask(),
+            Scenario::Link(l) => net.fail_duplex(l),
+            Scenario::Node(v) => net.fail_node(v),
+            Scenario::DoubleLink(a, b) => {
+                let mut m = net.fail_duplex(a);
+                for i in net.fail_duplex(b).down_links() {
+                    m.fail(i);
+                }
+                m
+            }
+            Scenario::Srlg(g) => {
+                let mut m = net.fresh_mask();
+                for &l in g.links() {
+                    for i in net.fail_duplex(l).down_links() {
+                        m.fail(i);
+                    }
+                }
+                m
+            }
+        }
+    }
+
+    /// The traffic actually offered under this scenario. Only node
+    /// failures change the matrices (the dead router neither sends nor
+    /// receives); link failures leave demand untouched and force rerouting.
+    ///
+    /// Returns a borrowed clone only when a change is needed.
+    pub fn offered_traffic<'a>(
+        &self,
+        base: &'a ClassMatrices,
+    ) -> std::borrow::Cow<'a, ClassMatrices> {
+        match *self {
+            Scenario::Node(v) => {
+                let mut tm = base.clone();
+                tm.remove_node_traffic(v.index());
+                std::borrow::Cow::Owned(tm)
+            }
+            _ => std::borrow::Cow::Borrowed(base),
+        }
+    }
+
+    /// All single-link failure scenarios whose surviving network is still
+    /// strongly connected (one per physical link; see
+    /// `dtr_net::bridges`). This is the set Phase 2 optimizes against.
+    pub fn all_link_failures(net: &Network) -> Vec<Scenario> {
+        dtr_net::bridges::survivable_duplex_failures(net)
+            .into_iter()
+            .map(Scenario::Link)
+            .collect()
+    }
+
+    /// All single-node failure scenarios that leave the *surviving* nodes
+    /// strongly connected (§V-F's node-failure study).
+    pub fn all_node_failures(net: &Network) -> Vec<Scenario> {
+        net.nodes()
+            .filter(|&v| {
+                let mask = net.fail_node(v);
+                let mut dead = vec![false; net.num_nodes()];
+                dead[v.index()] = true;
+                dtr_net::connectivity::is_strongly_connected_excluding(net, &mask, &dead)
+            })
+            .map(Scenario::Node)
+            .collect()
+    }
+}
+
+impl std::fmt::Display for Scenario {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Scenario::Normal => write!(f, "normal"),
+            Scenario::Link(l) => write!(f, "link-failure({l})"),
+            Scenario::Node(v) => write!(f, "node-failure({v})"),
+            Scenario::DoubleLink(a, b) => write!(f, "double-link-failure({a},{b})"),
+            Scenario::Srlg(g) => {
+                write!(f, "srlg-failure(")?;
+                for (i, l) in g.links().iter().enumerate() {
+                    if i > 0 {
+                        write!(f, ",")?;
+                    }
+                    write!(f, "{l}")?;
+                }
+                write!(f, ")")
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dtr_net::{NetworkBuilder, Point};
+
+    fn square() -> Network {
+        let mut b = NetworkBuilder::new();
+        let n: Vec<_> = (0..4).map(|_| b.add_node(Point::ORIGIN)).collect();
+        for i in 0..4 {
+            b.add_duplex_link(n[i], n[(i + 1) % 4], 1e9, 1e-3).unwrap();
+        }
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn normal_mask_is_all_up() {
+        let net = square();
+        assert!(Scenario::Normal.mask(&net).all_links_up());
+    }
+
+    #[test]
+    fn link_failure_downs_duplex_pair() {
+        let net = square();
+        let m = Scenario::Link(LinkId::new(0)).mask(&net);
+        assert_eq!(m.num_down(), 2);
+    }
+
+    #[test]
+    fn node_failure_removes_traffic() {
+        let _net = square();
+        let mut tm = ClassMatrices::zeros(4);
+        tm.delay.set(0, 1, 5.0);
+        tm.delay.set(2, 3, 7.0);
+        let adj = Scenario::Node(NodeId::new(0)).offered_traffic(&tm);
+        assert_eq!(adj.delay.total(), 7.0);
+        // Link failures leave traffic untouched (and borrow, not clone).
+        let adj = Scenario::Link(LinkId::new(0)).offered_traffic(&tm);
+        assert!(matches!(adj, std::borrow::Cow::Borrowed(_)));
+        assert_eq!(adj.delay.total(), 12.0);
+    }
+
+    #[test]
+    fn ring_link_failures_all_survivable() {
+        let net = square();
+        // A 4-ring survives any single link failure.
+        assert_eq!(Scenario::all_link_failures(&net).len(), 4);
+    }
+
+    #[test]
+    fn ring_node_failures_all_survivable() {
+        let net = square();
+        // Removing one ring node leaves a path over the remaining 3.
+        assert_eq!(Scenario::all_node_failures(&net).len(), 4);
+    }
+
+    #[test]
+    fn star_center_failure_excluded() {
+        let mut b = NetworkBuilder::new();
+        let hub = b.add_node(Point::ORIGIN);
+        let spokes: Vec<_> = (0..3).map(|_| b.add_node(Point::ORIGIN)).collect();
+        for &s in &spokes {
+            b.add_duplex_link(hub, s, 1e9, 1e-3).unwrap();
+        }
+        let net = b.build().unwrap();
+        let nodes: Vec<_> = Scenario::all_node_failures(&net)
+            .iter()
+            .map(|s| match s {
+                Scenario::Node(v) => v.index(),
+                _ => unreachable!(),
+            })
+            .collect();
+        // Hub failure partitions the spokes: only spoke failures remain.
+        assert!(!nodes.contains(&hub.index()));
+        assert_eq!(nodes.len(), 3);
+        // And no single-link failure is survivable in a star.
+        assert!(Scenario::all_link_failures(&net).is_empty());
+    }
+
+    #[test]
+    fn display_formats() {
+        assert_eq!(Scenario::Normal.to_string(), "normal");
+        assert_eq!(
+            Scenario::Link(LinkId::new(3)).to_string(),
+            "link-failure(3)"
+        );
+        assert_eq!(
+            Scenario::Node(NodeId::new(2)).to_string(),
+            "node-failure(2)"
+        );
+        assert_eq!(
+            Scenario::DoubleLink(LinkId::new(0), LinkId::new(2)).to_string(),
+            "double-link-failure(0,2)"
+        );
+    }
+
+    #[test]
+    fn double_link_failure_downs_both_pairs() {
+        let net = square();
+        let m = Scenario::DoubleLink(LinkId::new(0), LinkId::new(2)).mask(&net);
+        assert_eq!(m.num_down(), 4);
+        // Traffic untouched (link semantics).
+        let tm = ClassMatrices::zeros(4);
+        let adj = Scenario::DoubleLink(LinkId::new(0), LinkId::new(2)).offered_traffic(&tm);
+        assert!(matches!(adj, std::borrow::Cow::Borrowed(_)));
+    }
+
+    #[test]
+    fn link_group_canonicalizes_order_and_duplicates() {
+        let a = LinkGroup::new(&[LinkId::new(4), LinkId::new(0), LinkId::new(4)]);
+        let b = LinkGroup::new(&[LinkId::new(0), LinkId::new(4)]);
+        assert_eq!(a, b);
+        assert_eq!(a.len(), 2);
+        assert_eq!(a.links(), &[LinkId::new(0), LinkId::new(4)]);
+        assert!(a.contains(LinkId::new(4)));
+        assert!(!a.contains(LinkId::new(1)));
+        assert!(!a.is_singleton());
+        assert!(!a.is_empty());
+        assert!(LinkGroup::new(&[LinkId::new(7)]).is_singleton());
+    }
+
+    #[test]
+    fn srlg_mask_downs_every_member_duplex_pair() {
+        let net = square();
+        let g = LinkGroup::new(&[LinkId::new(0), LinkId::new(2), LinkId::new(4)]);
+        let m = Scenario::Srlg(g).mask(&net);
+        // Three distinct physical links -> six directed links down.
+        assert_eq!(m.num_down(), 6);
+        for &l in g.links() {
+            assert!(m.is_down(l.index()));
+        }
+        // SRLG failures leave traffic untouched (link semantics).
+        let tm = ClassMatrices::zeros(4);
+        let adj = Scenario::Srlg(g).offered_traffic(&tm);
+        assert!(matches!(adj, std::borrow::Cow::Borrowed(_)));
+    }
+
+    #[test]
+    fn singleton_srlg_equals_link_failure_mask() {
+        let net = square();
+        let g = LinkGroup::new(&[LinkId::new(1)]);
+        assert_eq!(
+            Scenario::Srlg(g)
+                .mask(&net)
+                .down_links()
+                .collect::<Vec<_>>(),
+            Scenario::Link(LinkId::new(1))
+                .mask(&net)
+                .down_links()
+                .collect::<Vec<_>>()
+        );
+    }
+
+    #[test]
+    fn srlg_display_lists_members() {
+        let g = LinkGroup::new(&[LinkId::new(2), LinkId::new(0)]);
+        assert_eq!(Scenario::Srlg(g).to_string(), "srlg-failure(0,2)");
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one link")]
+    fn empty_group_rejected() {
+        LinkGroup::new(&[]);
+    }
+
+    #[test]
+    #[should_panic(expected = "MAX_GROUP_SIZE")]
+    fn oversized_group_rejected() {
+        let links: Vec<_> = (0..9).map(LinkId::new).collect();
+        LinkGroup::new(&links);
+    }
+}

@@ -1,0 +1,45 @@
+//! # dtr-routing — the dual-topology routing engine
+//!
+//! Implements the packet-forwarding model the paper optimizes over (§III):
+//! standard shortest-path, destination-based IGP routing with even ECMP
+//! splitting (the OSPF/Fortz–Thorup model), run **twice** — once per
+//! traffic class, each with its own per-link weight (`W_l^D`, `W_l^T`) —
+//! over the same physical topology. The two routings interact only through
+//! shared link capacity; this crate computes per-class link loads, the cost
+//! crate turns total loads into delays and costs.
+//!
+//! Contents:
+//!
+//! * [`WeightSetting`] — the optimization variable: two integer weights in
+//!   `[1, wmax]` per directed link.
+//! * [`spf`] — reverse Dijkstra per destination (integer weights).
+//! * [`router`] — ECMP load accumulation and the per-class
+//!   [`ClassRouting`] outcome (distances + link loads).
+//! * [`delay`] — end-to-end delay of each SD pair over the ECMP DAG, given
+//!   per-link delays (max over used paths, and traffic-weighted mean).
+//! * [`Scenario`] — normal operation, single (duplex) link failure, or
+//!   node failure; produces the link mask and adjusted traffic.
+//! * [`paths`] — path extraction and ECMP path counting (path-diversity
+//!   analysis, §V-B).
+//!
+//! The engine is pure and deterministic: same inputs ⇒ same outputs, no
+//! interior mutability, no threads (parallelism happens above, in
+//! `dtr-core`, by evaluating independent scenarios concurrently).
+
+#![forbid(unsafe_code)]
+
+pub mod delay;
+mod failure;
+pub mod paths;
+pub mod router;
+pub mod spf;
+mod weights;
+pub mod weights_io;
+
+pub use failure::{LinkGroup, Scenario, MAX_GROUP_SIZE};
+pub use router::{route_class, ClassRouting};
+pub use weights::{Class, WeightSetting};
+
+/// Distance value marking an unreachable node (no path to the destination
+/// under the failure mask).
+pub const UNREACHABLE: u64 = u64::MAX;

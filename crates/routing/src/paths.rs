@@ -1,0 +1,166 @@
+//! Path extraction and ECMP path counting.
+//!
+//! Used for path-diversity analysis (the paper attributes robust
+//! optimization's benefits to path diversity, §V-B/§V-C) and by examples
+//! that print concrete routes.
+
+use dtr_net::{LinkId, LinkMask, Network, NodeId};
+
+use crate::spf;
+use crate::UNREACHABLE;
+
+/// One lexicographically-smallest shortest path from `s` to the destination
+/// whose distance field is `dist`, as a list of link ids. `None` if `s`
+/// cannot reach the destination.
+pub fn extract_path(
+    net: &Network,
+    dist: &[u64],
+    weights: &[u32],
+    mask: &LinkMask,
+    s: NodeId,
+) -> Option<Vec<LinkId>> {
+    if dist[s.index()] == UNREACHABLE {
+        return None;
+    }
+    let mut path = Vec::new();
+    let mut v = s;
+    while dist[v.index()] != 0 {
+        // First DAG out-link (out_links are sorted by id => deterministic).
+        let next = net
+            .out_links(v)
+            .iter()
+            .copied()
+            .find(|&l| spf::on_dag(net, dist, weights, mask, l.index()))?;
+        path.push(next);
+        v = net.link(next).dst;
+    }
+    Some(path)
+}
+
+/// Number of distinct shortest (ECMP) paths from every node to the
+/// destination whose distance field is `dist`. Counted as `f64` — path
+/// counts grow combinatorially and only relative magnitude matters for
+/// diversity analysis.
+pub fn count_ecmp_paths(net: &Network, dist: &[u64], weights: &[u32], mask: &LinkMask) -> Vec<f64> {
+    let n = net.num_nodes();
+    let mut count = vec![0.0f64; n];
+    let mut order = spf::descending_order(dist);
+    order.reverse(); // ascending distance: children first
+    for &v in &order {
+        let v = v as usize;
+        if dist[v] == 0 {
+            count[v] = 1.0;
+            continue;
+        }
+        let mut c = 0.0;
+        for &l in net.out_links(NodeId::new(v)) {
+            if spf::on_dag(net, dist, weights, mask, l.index()) {
+                c += count[net.link(l).dst.index()];
+            }
+        }
+        count[v] = c;
+    }
+    count
+}
+
+/// Mean number of distinct shortest paths over all connected ordered node
+/// pairs — a scalar path-diversity index for a whole (network, weights)
+/// pair. Higher = more ECMP diversity for the given weight setting.
+pub fn diversity_index(net: &Network, weights: &[u32], mask: &LinkMask) -> f64 {
+    let n = net.num_nodes();
+    let mut total = 0.0;
+    let mut pairs = 0usize;
+    for t in 0..n {
+        let dist = spf::dist_to(net, NodeId::new(t), weights, mask);
+        let counts = count_ecmp_paths(net, &dist, weights, mask);
+        for s in 0..n {
+            if s != t && dist[s] != UNREACHABLE {
+                total += counts[s];
+                pairs += 1;
+            }
+        }
+    }
+    if pairs == 0 {
+        0.0
+    } else {
+        total / pairs as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dtr_net::{NetworkBuilder, Point};
+
+    /// Diamond: 0 -> {1,2} -> 3 plus direct 0 -> 3, all duplex.
+    fn diamond() -> dtr_net::Network {
+        let mut b = NetworkBuilder::new();
+        let n: Vec<_> = (0..4).map(|_| b.add_node(Point::ORIGIN)).collect();
+        for &(x, y) in &[(0, 1), (0, 2), (1, 3), (2, 3), (0, 3)] {
+            b.add_duplex_link(n[x], n[y], 1e9, 1e-3).unwrap();
+        }
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn extract_simple_path() {
+        let net = diamond();
+        let w = vec![1u32; net.num_links()];
+        let dist = spf::dist_to(&net, NodeId::new(3), &w, &net.fresh_mask());
+        let p = extract_path(&net, &dist, &w, &net.fresh_mask(), NodeId::new(0)).unwrap();
+        assert_eq!(p.len(), 1); // direct hop
+        assert_eq!(net.link(p[0]).dst.index(), 3);
+    }
+
+    #[test]
+    fn extract_returns_none_when_disconnected() {
+        let net = diamond();
+        let w = vec![1u32; net.num_links()];
+        let dist = vec![UNREACHABLE, 0, UNREACHABLE, UNREACHABLE];
+        assert!(extract_path(&net, &dist, &w, &net.fresh_mask(), NodeId::new(0)).is_none());
+    }
+
+    #[test]
+    fn ecmp_count_matches_hand_enumeration() {
+        let net = diamond();
+        let mut w = vec![1u32; net.num_links()];
+        // Direct link weight 2: three equal-cost paths 0 -> 3.
+        let direct = net
+            .links()
+            .find(|&l| net.link(l).src.index() == 0 && net.link(l).dst.index() == 3)
+            .unwrap();
+        w[direct.index()] = 2;
+        let mask = net.fresh_mask();
+        let dist = spf::dist_to(&net, NodeId::new(3), &w, &mask);
+        let counts = count_ecmp_paths(&net, &dist, &w, &mask);
+        assert_eq!(counts[0], 3.0);
+        assert_eq!(counts[1], 1.0);
+        assert_eq!(counts[3], 1.0);
+    }
+
+    #[test]
+    fn path_is_consistent_with_distance() {
+        let net = diamond();
+        let w: Vec<u32> = (0..net.num_links() as u32).map(|i| 1 + (i % 5)).collect();
+        for t in net.nodes() {
+            let dist = spf::dist_to(&net, t, &w, &net.fresh_mask());
+            for s in net.nodes() {
+                if s == t {
+                    continue;
+                }
+                let p = extract_path(&net, &dist, &w, &net.fresh_mask(), s).unwrap();
+                let len: u64 = p.iter().map(|&l| u64::from(w[l.index()])).sum();
+                assert_eq!(len, dist[s.index()], "path length must equal SPF distance");
+                assert_eq!(net.link(*p.last().unwrap()).dst, t);
+            }
+        }
+    }
+
+    #[test]
+    fn diversity_index_reacts_to_weights() {
+        let net = diamond();
+        // Unit weights: unique shortest paths everywhere except ties.
+        let uniform = diversity_index(&net, &vec![1; net.num_links()], &net.fresh_mask());
+        assert!(uniform >= 1.0);
+    }
+}

@@ -1,0 +1,297 @@
+//! ECMP load accumulation: from (weights, traffic matrix, failure mask) to
+//! per-link loads, per traffic class.
+//!
+//! This is the Fortz–Thorup forwarding model the paper builds on: for each
+//! destination, traffic at a node splits *evenly* across all outgoing links
+//! on the shortest-path DAG. Loads accumulate top-down in a topological
+//! order of the DAG (descending distance-to-destination).
+
+use dtr_net::{LinkMask, Network, NodeId};
+use dtr_traffic::TrafficMatrix;
+
+use crate::spf;
+use crate::UNREACHABLE;
+
+/// Outcome of routing one traffic class under one weight setting and one
+/// failure scenario.
+#[derive(Clone, Debug)]
+pub struct ClassRouting {
+    /// `dist[t][v]` = weighted distance from `v` to destination `t`
+    /// (only filled for destinations that sink positive demand; empty vec
+    /// otherwise — see [`ClassRouting::dist_to`]).
+    dist: Vec<Vec<u64>>,
+    /// Offered load per directed link (bits/s) from this class.
+    pub loads: Vec<f64>,
+    /// Demand (bits/s) that could not be routed because source and
+    /// destination were disconnected under the mask. Stays zero for the
+    /// survivable failure scenarios the optimizer enumerates; node-failure
+    /// evaluation removes the dead node's traffic beforehand.
+    pub dropped: f64,
+}
+
+impl ClassRouting {
+    /// Distance field towards destination `t`, or `None` if `t` sinks no
+    /// demand (field never computed).
+    pub fn dist_to(&self, t: usize) -> Option<&[u64]> {
+        let d = &self.dist[t];
+        (!d.is_empty()).then_some(d.as_slice())
+    }
+
+    /// Weighted distance from `s` to `t`, if computed and reachable.
+    pub fn distance(&self, s: usize, t: usize) -> Option<u64> {
+        self.dist_to(t).and_then(|d| {
+            let v = d[s];
+            (v != UNREACHABLE).then_some(v)
+        })
+    }
+}
+
+/// Route one class: run reverse Dijkstra per destination with demand and
+/// accumulate evenly-split ECMP loads.
+///
+/// `weights` is the per-link weight slice for this class
+/// ([`crate::WeightSetting::weights`]).
+pub fn route_class(
+    net: &Network,
+    weights: &[u32],
+    tm: &TrafficMatrix,
+    mask: &LinkMask,
+) -> ClassRouting {
+    assert_eq!(weights.len(), net.num_links(), "one weight per link");
+    assert_eq!(tm.num_nodes(), net.num_nodes(), "matrix size mismatch");
+    let n = net.num_nodes();
+    let mut loads = vec![0.0f64; net.num_links()];
+    let mut dist: Vec<Vec<u64>> = vec![Vec::new(); n];
+    let mut dropped = 0.0;
+
+    // Scratch: per-node inflow for the current destination.
+    let mut inflow = vec![0.0f64; n];
+
+    for t in 0..n {
+        // Gather demand sinking at t; skip destinations nobody sends to.
+        let mut any = false;
+        for s in 0..n {
+            if s != t {
+                let d = tm.demand(s, t);
+                if d > 0.0 {
+                    any = true;
+                }
+            }
+        }
+        if !any {
+            continue;
+        }
+
+        let d = spf::dist_to(net, NodeId::new(t), weights, mask);
+
+        for x in inflow.iter_mut() {
+            *x = 0.0;
+        }
+        for s in 0..n {
+            if s == t {
+                continue;
+            }
+            let demand = tm.demand(s, t);
+            if demand <= 0.0 {
+                continue;
+            }
+            if d[s] == UNREACHABLE {
+                dropped += demand;
+            } else {
+                inflow[s] += demand;
+            }
+        }
+
+        // Push flow down the DAG in topological order (descending dist).
+        for &u in &spf::descending_order(&d) {
+            let u = u as usize;
+            if u == t || inflow[u] == 0.0 {
+                continue;
+            }
+            // Outgoing DAG links of u.
+            let mut next_hops = 0usize;
+            for &l in net.out_links(NodeId::new(u)) {
+                if spf::on_dag(net, &d, weights, mask, l.index()) {
+                    next_hops += 1;
+                }
+            }
+            debug_assert!(
+                next_hops > 0,
+                "reachable non-destination node must have a DAG out-link"
+            );
+            let share = inflow[u] / next_hops as f64;
+            for &l in net.out_links(NodeId::new(u)) {
+                if spf::on_dag(net, &d, weights, mask, l.index()) {
+                    loads[l.index()] += share;
+                    let v = net.link(l).dst.index();
+                    if v != t {
+                        inflow[v] += share;
+                    }
+                }
+            }
+            inflow[u] = 0.0;
+        }
+
+        dist[t] = d;
+    }
+
+    ClassRouting {
+        dist,
+        loads,
+        dropped,
+    }
+}
+
+/// Element-wise sum of per-class loads: the total link load `x_l` both cost
+/// models consume (§III — the classes share a common FIFO queue).
+pub fn total_loads(a: &ClassRouting, b: &ClassRouting) -> Vec<f64> {
+    debug_assert_eq!(a.loads.len(), b.loads.len());
+    a.loads.iter().zip(&b.loads).map(|(x, y)| x + y).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dtr_net::{LinkId, NetworkBuilder, Point};
+
+    /// Diamond: 0 -> {1,2} -> 3 plus direct 0 -> 3, all duplex, 1 Gb/s.
+    fn diamond() -> Network {
+        let mut b = NetworkBuilder::new();
+        let n: Vec<_> = (0..4).map(|_| b.add_node(Point::ORIGIN)).collect();
+        for &(x, y) in &[(0, 1), (0, 2), (1, 3), (2, 3), (0, 3)] {
+            b.add_duplex_link(n[x], n[y], 1e9, 1e-3).unwrap();
+        }
+        b.build().unwrap()
+    }
+
+    fn link_between(net: &Network, s: usize, t: usize) -> usize {
+        net.links()
+            .find(|&l| net.link(l).src.index() == s && net.link(l).dst.index() == t)
+            .unwrap()
+            .index()
+    }
+
+    fn conservation_check(net: &Network, tm: &TrafficMatrix, r: &ClassRouting) {
+        // Flow conservation at every node: in + sourced = out + sunk.
+        let n = net.num_nodes();
+        for v in 0..n {
+            let mut inflow = 0.0;
+            let mut outflow = 0.0;
+            for &l in net.in_links(NodeId::new(v)) {
+                inflow += r.loads[l.index()];
+            }
+            for &l in net.out_links(NodeId::new(v)) {
+                outflow += r.loads[l.index()];
+            }
+            let sourced: f64 = (0..n).filter(|&t| t != v).map(|t| tm.demand(v, t)).sum();
+            let sunk: f64 = (0..n).filter(|&s| s != v).map(|s| tm.demand(s, v)).sum();
+            assert!(
+                (inflow + sourced - outflow - sunk).abs() < 1e-6,
+                "conservation violated at node {v}: in={inflow} src={sourced} out={outflow} sink={sunk}"
+            );
+        }
+    }
+
+    #[test]
+    fn single_demand_takes_shortest_path() {
+        let net = diamond();
+        let mut tm = TrafficMatrix::zeros(4);
+        tm.set(0, 3, 100.0);
+        let w = vec![1u32; net.num_links()];
+        let r = route_class(&net, &w, &tm, &net.fresh_mask());
+        // Direct 0->3 link carries everything.
+        assert_eq!(r.loads[link_between(&net, 0, 3)], 100.0);
+        assert_eq!(r.loads[link_between(&net, 0, 1)], 0.0);
+        assert_eq!(r.dropped, 0.0);
+        conservation_check(&net, &tm, &r);
+    }
+
+    #[test]
+    fn ecmp_splits_evenly() {
+        let net = diamond();
+        let mut tm = TrafficMatrix::zeros(4);
+        tm.set(0, 3, 90.0);
+        let mut w = vec![1u32; net.num_links()];
+        w[link_between(&net, 0, 3)] = 2; // direct ties with both 2-hop paths
+        let r = route_class(&net, &w, &tm, &net.fresh_mask());
+        // Three equal next-hops at node 0: 30 each.
+        assert!((r.loads[link_between(&net, 0, 1)] - 30.0).abs() < 1e-9);
+        assert!((r.loads[link_between(&net, 0, 2)] - 30.0).abs() < 1e-9);
+        assert!((r.loads[link_between(&net, 0, 3)] - 30.0).abs() < 1e-9);
+        assert!((r.loads[link_between(&net, 1, 3)] - 30.0).abs() < 1e-9);
+        conservation_check(&net, &tm, &r);
+    }
+
+    #[test]
+    fn failure_reroutes_traffic() {
+        let net = diamond();
+        let mut tm = TrafficMatrix::zeros(4);
+        tm.set(0, 3, 60.0);
+        let w = vec![1u32; net.num_links()];
+        let direct = link_between(&net, 0, 3);
+        let mask = net.fail_duplex(LinkId::new(direct));
+        let r = route_class(&net, &w, &tm, &mask);
+        assert_eq!(r.loads[direct], 0.0);
+        // Even split across the two surviving 2-hop paths.
+        assert!((r.loads[link_between(&net, 0, 1)] - 30.0).abs() < 1e-9);
+        assert!((r.loads[link_between(&net, 0, 2)] - 30.0).abs() < 1e-9);
+        assert_eq!(r.dropped, 0.0);
+        conservation_check(&net, &tm, &r);
+    }
+
+    #[test]
+    fn disconnection_counts_dropped() {
+        let mut b = NetworkBuilder::new();
+        let a = b.add_node(Point::ORIGIN);
+        let c = b.add_node(Point::ORIGIN);
+        b.add_duplex_link(a, c, 1e9, 1e-3).unwrap();
+        let net = b.build().unwrap();
+        let mut tm = TrafficMatrix::zeros(2);
+        tm.set(0, 1, 42.0);
+        let mask = net.fail_duplex(LinkId::new(0));
+        let r = route_class(&net, &[1, 1], &tm, &mask);
+        assert_eq!(r.dropped, 42.0);
+        assert!(r.loads.iter().all(|&x| x == 0.0));
+    }
+
+    #[test]
+    fn transit_traffic_accumulates() {
+        // Path 0 - 1 - 2: two demands share the middle link.
+        let mut b = NetworkBuilder::new();
+        let n: Vec<_> = (0..3).map(|_| b.add_node(Point::ORIGIN)).collect();
+        b.add_duplex_link(n[0], n[1], 1e9, 1e-3).unwrap();
+        b.add_duplex_link(n[1], n[2], 1e9, 1e-3).unwrap();
+        let net = b.build().unwrap();
+        let mut tm = TrafficMatrix::zeros(3);
+        tm.set(0, 2, 10.0);
+        tm.set(1, 2, 5.0);
+        let r = route_class(&net, &vec![1; net.num_links()], &tm, &net.fresh_mask());
+        assert!((r.loads[link_between(&net, 1, 2)] - 15.0).abs() < 1e-9);
+        conservation_check(&net, &tm, &r);
+    }
+
+    #[test]
+    fn distances_exposed_per_destination() {
+        let net = diamond();
+        let mut tm = TrafficMatrix::zeros(4);
+        tm.set(1, 2, 1.0);
+        let r = route_class(&net, &vec![1; net.num_links()], &tm, &net.fresh_mask());
+        assert!(r.dist_to(2).is_some());
+        assert!(r.dist_to(3).is_none()); // no demand sinks at 3
+        assert_eq!(r.distance(1, 2), Some(2)); // 1-0-2 or 1-3-2
+    }
+
+    #[test]
+    fn total_loads_adds_classes() {
+        let net = diamond();
+        let mut tm1 = TrafficMatrix::zeros(4);
+        tm1.set(0, 3, 10.0);
+        let mut tm2 = TrafficMatrix::zeros(4);
+        tm2.set(0, 3, 7.0);
+        let w = vec![1u32; net.num_links()];
+        let r1 = route_class(&net, &w, &tm1, &net.fresh_mask());
+        let r2 = route_class(&net, &w, &tm2, &net.fresh_mask());
+        let tot = total_loads(&r1, &r2);
+        assert!((tot[link_between(&net, 0, 3)] - 17.0).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,226 @@
+//! Shortest-path first: reverse Dijkstra per destination.
+//!
+//! IGP routing is destination-based, so all machinery is organized per
+//! destination `t`: one reverse Dijkstra yields `dist_to[v]` = weighted
+//! distance from every `v` to `t`, and the ECMP shortest-path DAG falls out
+//! as the set of up links `(u, v)` with `w(u,v) + dist_to[v] == dist_to[u]`.
+//! Weights are integers ≥ 1, so distances along DAG edges strictly
+//! decrease — the DAG is acyclic by construction, which the load
+//! accumulation and delay DP rely on.
+
+use dtr_net::{LinkMask, Network, NodeId};
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+use crate::UNREACHABLE;
+
+/// Reverse Dijkstra: weighted distance from every node **to** `dest` over
+/// up links, using `weights[link_id]`. Unreachable nodes get
+/// [`UNREACHABLE`].
+///
+/// # Panics
+/// Panics (debug) if `weights` has the wrong length or contains a zero.
+pub fn dist_to(net: &Network, dest: NodeId, weights: &[u32], mask: &LinkMask) -> Vec<u64> {
+    debug_assert_eq!(weights.len(), net.num_links(), "one weight per link");
+    debug_assert!(
+        weights.iter().all(|&w| w >= 1),
+        "weights must be strictly positive"
+    );
+    let n = net.num_nodes();
+    let mut dist = vec![UNREACHABLE; n];
+    let mut heap: BinaryHeap<Reverse<(u64, u32)>> = BinaryHeap::new();
+    dist[dest.index()] = 0;
+    heap.push(Reverse((0, dest.index() as u32)));
+    while let Some(Reverse((d, v))) = heap.pop() {
+        let v = v as usize;
+        if d > dist[v] {
+            continue;
+        }
+        // Traverse incoming links of v: they extend paths *to* dest.
+        for &l in net.in_links(NodeId::new(v)) {
+            if mask.is_down(l.index()) {
+                continue;
+            }
+            let u = net.link(l).src.index();
+            let nd = d + u64::from(weights[l.index()]);
+            if nd < dist[u] {
+                dist[u] = nd;
+                heap.push(Reverse((nd, u as u32)));
+            }
+        }
+    }
+    dist
+}
+
+/// `true` if link `l` lies on the shortest-path DAG towards the destination
+/// whose distance field is `dist` (i.e. `l` is used by ECMP routing to that
+/// destination).
+#[inline]
+pub fn on_dag(net: &Network, dist: &[u64], weights: &[u32], mask: &LinkMask, l: usize) -> bool {
+    if mask.is_down(l) {
+        return false;
+    }
+    let link = net.link(dtr_net::LinkId::new(l));
+    let (u, v) = (link.src.index(), link.dst.index());
+    dist[u] != UNREACHABLE && dist[v] != UNREACHABLE && dist[u] == dist[v] + u64::from(weights[l])
+}
+
+/// Nodes sorted by descending distance-to-destination (reachable only) —
+/// a topological order of the shortest-path DAG, used by the ECMP load
+/// accumulation (farthest nodes first) and, reversed, by the delay DP.
+pub fn descending_order(dist: &[u64]) -> Vec<u32> {
+    let mut order: Vec<u32> = (0..dist.len() as u32)
+        .filter(|&v| dist[v as usize] != UNREACHABLE)
+        .collect();
+    order.sort_by_key(|&v| Reverse(dist[v as usize]));
+    order
+}
+
+/// Bellman–Ford reference implementation (O(V·E)); exists purely as a
+/// differential-testing oracle for [`dist_to`].
+pub fn dist_to_bellman_ford(
+    net: &Network,
+    dest: NodeId,
+    weights: &[u32],
+    mask: &LinkMask,
+) -> Vec<u64> {
+    let n = net.num_nodes();
+    let mut dist = vec![UNREACHABLE; n];
+    dist[dest.index()] = 0;
+    for _ in 0..n {
+        let mut changed = false;
+        for l in net.links() {
+            if mask.is_down(l.index()) {
+                continue;
+            }
+            let link = net.link(l);
+            let (u, v) = (link.src.index(), link.dst.index());
+            if dist[v] == UNREACHABLE {
+                continue;
+            }
+            let nd = dist[v] + u64::from(weights[l.index()]);
+            if nd < dist[u] {
+                dist[u] = nd;
+                changed = true;
+            }
+        }
+        if !changed {
+            break;
+        }
+    }
+    dist
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dtr_net::{NetworkBuilder, Point};
+
+    /// Diamond: 0 -> {1, 2} -> 3, plus direct 0 -> 3. All duplex.
+    fn diamond() -> Network {
+        let mut b = NetworkBuilder::new();
+        let n: Vec<_> = (0..4).map(|_| b.add_node(Point::ORIGIN)).collect();
+        for &(x, y) in &[(0, 1), (0, 2), (1, 3), (2, 3), (0, 3)] {
+            b.add_duplex_link(n[x], n[y], 1e9, 1e-3).unwrap();
+        }
+        b.build().unwrap()
+    }
+
+    fn link_between(net: &Network, s: usize, t: usize) -> usize {
+        net.links()
+            .find(|&l| net.link(l).src.index() == s && net.link(l).dst.index() == t)
+            .unwrap()
+            .index()
+    }
+
+    #[test]
+    fn unit_weights_give_hop_counts() {
+        let net = diamond();
+        let w = vec![1u32; net.num_links()];
+        let d = dist_to(&net, NodeId::new(3), &w, &net.fresh_mask());
+        assert_eq!(d[3], 0);
+        assert_eq!(d[0], 1); // direct link
+        assert_eq!(d[1], 1);
+        assert_eq!(d[2], 1);
+    }
+
+    #[test]
+    fn weights_steer_paths() {
+        let net = diamond();
+        let mut w = vec![1u32; net.num_links()];
+        w[link_between(&net, 0, 3)] = 10; // make the direct path expensive
+        let d = dist_to(&net, NodeId::new(3), &w, &net.fresh_mask());
+        assert_eq!(d[0], 2); // now via 1 or 2
+    }
+
+    #[test]
+    fn ecmp_dag_membership() {
+        let net = diamond();
+        let mut w = vec![1u32; net.num_links()];
+        w[link_between(&net, 0, 3)] = 2; // direct path ties with 2-hop paths
+        let mask = net.fresh_mask();
+        let d = dist_to(&net, NodeId::new(3), &w, &mask);
+        // All three options from node 0 are now shortest (cost 2).
+        assert!(on_dag(&net, &d, &w, &mask, link_between(&net, 0, 1)));
+        assert!(on_dag(&net, &d, &w, &mask, link_between(&net, 0, 2)));
+        assert!(on_dag(&net, &d, &w, &mask, link_between(&net, 0, 3)));
+        // Reverse-direction links are not on the DAG.
+        assert!(!on_dag(&net, &d, &w, &mask, link_between(&net, 3, 0)));
+    }
+
+    #[test]
+    fn failed_links_excluded() {
+        let net = diamond();
+        let w = vec![1u32; net.num_links()];
+        let direct = link_between(&net, 0, 3);
+        let mask = net.fail_duplex(dtr_net::LinkId::new(direct));
+        let d = dist_to(&net, NodeId::new(3), &w, &mask);
+        assert_eq!(d[0], 2); // forced through 1 or 2
+        assert!(!on_dag(&net, &d, &w, &mask, direct));
+    }
+
+    #[test]
+    fn unreachable_marked() {
+        // Two nodes, single duplex link; fail it.
+        let mut b = NetworkBuilder::new();
+        let a = b.add_node(Point::ORIGIN);
+        let c = b.add_node(Point::ORIGIN);
+        b.add_duplex_link(a, c, 1e9, 1e-3).unwrap();
+        let net = b.build().unwrap();
+        let mask = net.fail_duplex(dtr_net::LinkId::new(0));
+        let d = dist_to(&net, c, &[1, 1], &mask);
+        assert_eq!(d[a.index()], UNREACHABLE);
+        assert_eq!(d[c.index()], 0);
+    }
+
+    #[test]
+    fn descending_order_is_topological() {
+        let net = diamond();
+        let w = vec![1u32; net.num_links()];
+        let d = dist_to(&net, NodeId::new(3), &w, &net.fresh_mask());
+        let order = descending_order(&d);
+        assert_eq!(order.len(), 4);
+        for pair in order.windows(2) {
+            assert!(d[pair[0] as usize] >= d[pair[1] as usize]);
+        }
+        assert_eq!(*order.last().unwrap(), 3); // dest last
+    }
+
+    #[test]
+    fn dijkstra_agrees_with_bellman_ford() {
+        use rand::rngs::StdRng;
+        use rand::{Rng, SeedableRng};
+        let net = diamond();
+        let mut rng = StdRng::seed_from_u64(5);
+        for _ in 0..50 {
+            let w: Vec<u32> = (0..net.num_links())
+                .map(|_| rng.gen_range(1..=20))
+                .collect();
+            for dest in net.nodes() {
+                let a = dist_to(&net, dest, &w, &net.fresh_mask());
+                let b = dist_to_bellman_ford(&net, dest, &w, &net.fresh_mask());
+                assert_eq!(a, b);
+            }
+        }
+    }
+}

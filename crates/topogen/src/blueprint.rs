@@ -1,0 +1,179 @@
+//! Intermediate topology representation: geometry + duplex link list.
+
+use dtr_net::{NetError, Network, NetworkBuilder, Point};
+
+/// A topology before capacities are assigned: node positions, duplex links
+/// and per-link propagation delays (initially the raw Euclidean distances;
+/// [`Blueprint::scaled_to_diameter`] turns them into seconds).
+#[derive(Clone, Debug)]
+pub struct Blueprint {
+    /// Node positions (unit square for synthesized topologies).
+    pub points: Vec<Point>,
+    /// Duplex links as `(a, b)` node-index pairs with `a < b`.
+    pub duplex: Vec<(usize, usize)>,
+    /// Per-duplex-link propagation delay. Unit is arbitrary until scaling.
+    pub delays: Vec<f64>,
+}
+
+impl Blueprint {
+    /// Build from points and duplex pairs, with delays set to the Euclidean
+    /// distances between the endpoints (the paper's synthesized-topology
+    /// rule: "link propagation delays are determined by the Euclidean
+    /// distances between nodes").
+    pub fn from_euclidean(points: Vec<Point>, mut duplex: Vec<(usize, usize)>) -> Self {
+        for pair in &mut duplex {
+            if pair.0 > pair.1 {
+                *pair = (pair.1, pair.0);
+            }
+        }
+        duplex.sort_unstable();
+        duplex.dedup();
+        let delays = duplex
+            .iter()
+            .map(|&(a, b)| points[a].distance(&points[b]))
+            .collect();
+        Blueprint {
+            points,
+            duplex,
+            delays,
+        }
+    }
+
+    /// Number of duplex links.
+    pub fn num_duplex(&self) -> usize {
+        self.duplex.len()
+    }
+
+    /// Multiply every delay by `factor`.
+    pub fn scale_delays(&mut self, factor: f64) {
+        for d in &mut self.delays {
+            *d *= factor;
+        }
+    }
+
+    /// Scale all delays proportionally so that the propagation-delay
+    /// diameter (longest shortest-delay path between any node pair) equals
+    /// `target` seconds. This implements the paper's rule of matching the
+    /// network diameter to the SLA bound θ (§V-A1, fn 14).
+    ///
+    /// Zero-distance links (coincident points) are nudged to the smallest
+    /// positive delay so the later delay model stays meaningful.
+    ///
+    /// # Panics
+    /// Panics if the blueprint is not connected (generator bug) or if
+    /// `target` is not positive.
+    pub fn scaled_to_diameter(mut self, target: f64) -> Self {
+        assert!(target > 0.0, "target diameter must be positive");
+        let smallest_pos = self
+            .delays
+            .iter()
+            .copied()
+            .filter(|&d| d > 0.0)
+            .fold(f64::INFINITY, f64::min);
+        if smallest_pos.is_finite() {
+            for d in &mut self.delays {
+                if *d <= 0.0 {
+                    *d = smallest_pos;
+                }
+            }
+        } else {
+            // All nodes coincident: give every link a nominal unit delay.
+            for d in &mut self.delays {
+                *d = 1.0;
+            }
+        }
+        let probe = self
+            .build(1.0)
+            .expect("blueprint must form a valid network");
+        let diameter = probe
+            .delay_diameter()
+            .expect("blueprint must be connected before scaling");
+        let factor = target / diameter;
+        self.scale_delays(factor);
+        self
+    }
+
+    /// Build a [`Network`] with a uniform capacity on every link.
+    pub fn build(&self, capacity: f64) -> Result<Network, NetError> {
+        self.build_with(|_, _| capacity)
+    }
+
+    /// Build a [`Network`] with per-link capacities decided by
+    /// `capacity_of(duplex_index, (a, b))`.
+    pub fn build_with(
+        &self,
+        capacity_of: impl Fn(usize, (usize, usize)) -> f64,
+    ) -> Result<Network, NetError> {
+        let mut b = NetworkBuilder::new();
+        let ids: Vec<_> = self.points.iter().map(|&p| b.add_node(p)).collect();
+        for (i, (&(x, y), &d)) in self.duplex.iter().zip(&self.delays).enumerate() {
+            b.add_duplex_link(ids[x], ids[y], capacity_of(i, (x, y)), d)?;
+        }
+        b.build()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn square_points() -> Vec<Point> {
+        vec![
+            Point::new(0.0, 0.0),
+            Point::new(1.0, 0.0),
+            Point::new(1.0, 1.0),
+            Point::new(0.0, 1.0),
+        ]
+    }
+
+    #[test]
+    fn from_euclidean_computes_distances_and_dedups() {
+        let bp = Blueprint::from_euclidean(
+            square_points(),
+            vec![(0, 1), (1, 0), (1, 2), (2, 3), (3, 0)],
+        );
+        assert_eq!(bp.num_duplex(), 4); // (0,1) deduped
+        assert!(bp.delays.iter().all(|&d| (d - 1.0).abs() < 1e-12));
+    }
+
+    #[test]
+    fn scaled_to_diameter_hits_target() {
+        // Ring around the square: diameter = 2 hops = 2.0 raw.
+        let bp = Blueprint::from_euclidean(square_points(), vec![(0, 1), (1, 2), (2, 3), (0, 3)]);
+        let bp = bp.scaled_to_diameter(25e-3);
+        let net = bp.build(500e6).unwrap();
+        let d = net.delay_diameter().unwrap();
+        assert!((d - 25e-3).abs() < 1e-9, "diameter {d}");
+    }
+
+    #[test]
+    fn coincident_points_get_positive_delays() {
+        let pts = vec![Point::ORIGIN, Point::ORIGIN, Point::new(1.0, 0.0)];
+        let bp = Blueprint::from_euclidean(pts, vec![(0, 1), (1, 2)]);
+        let bp = bp.scaled_to_diameter(10e-3);
+        assert!(bp.delays.iter().all(|&d| d > 0.0));
+    }
+
+    #[test]
+    fn build_with_custom_capacities() {
+        let bp = Blueprint::from_euclidean(square_points(), vec![(0, 1), (1, 2), (2, 3), (0, 3)]);
+        let net = bp
+            .build_with(|i, _| if i == 0 { 1e9 } else { 500e6 })
+            .unwrap();
+        let caps: Vec<_> = net.links().map(|l| net.link(l).capacity).collect();
+        assert!(caps.contains(&1e9) && caps.contains(&500e6));
+    }
+
+    #[test]
+    #[should_panic(expected = "Connected")]
+    fn scaling_disconnected_blueprint_panics() {
+        let pts = vec![
+            Point::ORIGIN,
+            Point::new(1.0, 0.0),
+            Point::new(5.0, 5.0),
+            Point::new(6.0, 5.0),
+        ];
+        let bp = Blueprint::from_euclidean(pts, vec![(0, 1), (2, 3)]);
+        let _ = bp.scaled_to_diameter(25e-3);
+    }
+}

@@ -1,0 +1,110 @@
+//! Generator configuration.
+
+/// Which synthesized topology family to generate (paper §V-A1).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum TopoKind {
+    /// RandTopo: random graph of given average node degree.
+    Rand,
+    /// NearTopo: nodes connect to their closest neighbours.
+    Near,
+    /// PLTopo: power-law (Barabási–Albert) topology.
+    PowerLaw,
+    /// WaxmanTopo: spatial random graph with exponential distance decay
+    /// (extension; locality between NearTopo and RandTopo).
+    Waxman,
+}
+
+impl std::fmt::Display for TopoKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            TopoKind::Rand => write!(f, "RandTopo"),
+            TopoKind::Near => write!(f, "NearTopo"),
+            TopoKind::PowerLaw => write!(f, "PLTopo"),
+            TopoKind::Waxman => write!(f, "WaxmanTopo"),
+        }
+    }
+}
+
+/// Size and seed of a synthesized topology.
+///
+/// The paper quotes topologies as `[#nodes, #directed links]`; here
+/// `duplex_links` is half the directed count (every synthesized link is
+/// duplex). E.g. the paper's RandTopo `[30, 180]` is
+/// `SynthConfig { nodes: 30, duplex_links: 90, .. }`.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct SynthConfig {
+    /// Number of nodes `|V|`.
+    pub nodes: usize,
+    /// Number of physical (duplex) links; directed `|E|` is twice this.
+    pub duplex_links: usize,
+    /// RNG seed; same seed ⇒ same topology.
+    pub seed: u64,
+}
+
+impl SynthConfig {
+    /// Config from the paper's `[nodes, directed_links]` notation.
+    ///
+    /// # Panics
+    /// Panics if `directed_links` is odd (synthesized links are duplex).
+    pub fn from_paper_notation(nodes: usize, directed_links: usize, seed: u64) -> Self {
+        assert!(
+            directed_links % 2 == 0,
+            "paper notation counts directed links; must be even"
+        );
+        SynthConfig {
+            nodes,
+            duplex_links: directed_links / 2,
+            seed,
+        }
+    }
+
+    /// Config for `nodes` nodes at a given *mean duplex degree* (the paper's
+    /// "average node degree"): `duplex_links = nodes * degree / 2`.
+    pub fn with_mean_degree(nodes: usize, degree: f64, seed: u64) -> Self {
+        SynthConfig {
+            nodes,
+            duplex_links: ((nodes as f64 * degree) / 2.0).round() as usize,
+            seed,
+        }
+    }
+
+    /// Directed link count (`2 × duplex_links`).
+    pub fn directed_links(&self) -> usize {
+        self.duplex_links * 2
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_notation_round_trip() {
+        let cfg = SynthConfig::from_paper_notation(30, 180, 1);
+        assert_eq!(cfg.duplex_links, 90);
+        assert_eq!(cfg.directed_links(), 180);
+    }
+
+    #[test]
+    #[should_panic(expected = "even")]
+    fn paper_notation_rejects_odd() {
+        SynthConfig::from_paper_notation(30, 181, 1);
+    }
+
+    #[test]
+    fn mean_degree_matches_paper_sizes() {
+        // Paper §V-C: 30 nodes at mean degree 6 -> [30, 180].
+        let cfg = SynthConfig::with_mean_degree(30, 6.0, 0);
+        assert_eq!(cfg.directed_links(), 180);
+        // degree 5, 100 nodes -> 250 duplex = 500 directed.
+        let cfg = SynthConfig::with_mean_degree(100, 5.0, 0);
+        assert_eq!(cfg.duplex_links, 250);
+    }
+
+    #[test]
+    fn kind_display() {
+        assert_eq!(TopoKind::Rand.to_string(), "RandTopo");
+        assert_eq!(TopoKind::Near.to_string(), "NearTopo");
+        assert_eq!(TopoKind::PowerLaw.to_string(), "PLTopo");
+    }
+}

@@ -1,0 +1,180 @@
+//! GEANT-like pan-European research backbone preset (extension).
+//!
+//! A second "real-world" topology alongside the North-American ISP
+//! backbone of [`crate::isp`]: 22 European capitals/hubs, 34 duplex links
+//! (68 directed), adjacency modeled on the publicly documented GEANT
+//! research network of the mid-2000s (the standard second testbed of the
+//! traffic-engineering literature). Propagation delays come from
+//! great-circle distances with the same 1.3× fiber-routing factor as the
+//! ISP preset; intra-European distances yield delays of ≈ 1–15 ms, so
+//! the default 25 ms SLA bound is comfortably loose and a θ ≈ 15 ms bound
+//! is "tight" — useful for SLA-sensitivity experiments on a second
+//! geography.
+
+use crate::blueprint::Blueprint;
+use crate::isp::link_delay;
+use dtr_net::{NetError, Network, Point};
+
+/// City name, latitude (deg), longitude (deg).
+pub const CITIES: [(&str, f64, f64); 22] = [
+    ("London", 51.51, -0.13),
+    ("Paris", 48.86, 2.35),
+    ("Brussels", 50.85, 4.35),
+    ("Amsterdam", 52.37, 4.90),
+    ("Frankfurt", 50.11, 8.68),
+    ("Geneva", 46.20, 6.14),
+    ("Milan", 45.46, 9.19),
+    ("Madrid", 40.42, -3.70),
+    ("Lisbon", 38.72, -9.14),
+    ("Dublin", 53.35, -6.26),
+    ("Copenhagen", 55.68, 12.57),
+    ("Stockholm", 59.33, 18.07),
+    ("Helsinki", 60.17, 24.94),
+    ("Berlin", 52.52, 13.40),
+    ("Prague", 50.08, 14.44),
+    ("Vienna", 48.21, 16.37),
+    ("Budapest", 47.50, 19.04),
+    ("Warsaw", 52.23, 21.01),
+    ("Zagreb", 45.81, 15.98),
+    ("Rome", 41.90, 12.50),
+    ("Athens", 37.98, 23.73),
+    ("Bucharest", 44.43, 26.10),
+];
+
+/// Duplex adjacency (indices into [`CITIES`]); 34 pairs = 68 directed
+/// links. Core hubs (London, Paris, Frankfurt, Amsterdam, Geneva, Milan,
+/// Vienna) are densely meshed; peripheral nodes are dual-homed.
+pub const ADJACENCY: [(usize, usize); 34] = [
+    (0, 1),   // London - Paris
+    (0, 3),   // London - Amsterdam
+    (0, 4),   // London - Frankfurt
+    (0, 8),   // London - Lisbon (submarine)
+    (0, 9),   // London - Dublin
+    (1, 2),   // Paris - Brussels
+    (1, 5),   // Paris - Geneva
+    (1, 7),   // Paris - Madrid
+    (2, 3),   // Brussels - Amsterdam
+    (3, 4),   // Amsterdam - Frankfurt
+    (3, 9),   // Amsterdam - Dublin
+    (3, 10),  // Amsterdam - Copenhagen
+    (4, 5),   // Frankfurt - Geneva
+    (4, 10),  // Frankfurt - Copenhagen
+    (4, 13),  // Frankfurt - Berlin
+    (4, 14),  // Frankfurt - Prague
+    (5, 6),   // Geneva - Milan
+    (5, 7),   // Geneva - Madrid
+    (6, 15),  // Milan - Vienna
+    (6, 19),  // Milan - Rome
+    (6, 20),  // Milan - Athens (submarine)
+    (7, 8),   // Madrid - Lisbon
+    (10, 11), // Copenhagen - Stockholm
+    (10, 13), // Copenhagen - Berlin
+    (11, 12), // Stockholm - Helsinki
+    (12, 17), // Helsinki - Warsaw
+    (13, 17), // Berlin - Warsaw
+    (14, 15), // Prague - Vienna
+    (15, 16), // Vienna - Budapest
+    (15, 18), // Vienna - Zagreb
+    (16, 18), // Budapest - Zagreb
+    (16, 21), // Budapest - Bucharest
+    (19, 20), // Rome - Athens (submarine)
+    (20, 21), // Athens - Bucharest
+];
+
+/// The backbone as a [`Blueprint`] (delays already in seconds; do *not*
+/// rescale — geographic delays are the point of this topology).
+pub fn blueprint() -> Blueprint {
+    let mean_lat_cos =
+        CITIES.iter().map(|c| c.1.to_radians().cos()).sum::<f64>() / CITIES.len() as f64;
+    // Equirectangular projection normalized to roughly a unit box:
+    // longitudes span -9.14..26.10 (35.24°), latitudes 37.98..60.17
+    // (22.19°).
+    let points: Vec<Point> = CITIES
+        .iter()
+        .map(|&(_, lat, lon)| {
+            Point::new((lon + 9.14) / 35.24 * mean_lat_cos, (lat - 37.98) / 22.19)
+        })
+        .collect();
+    let duplex: Vec<(usize, usize)> = ADJACENCY.to_vec();
+    let delays = duplex
+        .iter()
+        .map(|&(i, j)| link_delay((CITIES[i].1, CITIES[i].2), (CITIES[j].1, CITIES[j].2)))
+        .collect();
+    Blueprint {
+        points,
+        duplex,
+        delays,
+    }
+}
+
+/// The backbone as a ready [`Network`] with uniform capacity.
+pub fn network(capacity: f64) -> Result<Network, NetError> {
+    blueprint().build(capacity)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::DEFAULT_CAPACITY;
+
+    #[test]
+    fn dimensions_and_connectivity() {
+        let net = network(DEFAULT_CAPACITY).unwrap();
+        assert_eq!(net.num_nodes(), 22);
+        assert_eq!(net.num_links(), 68);
+        assert!(net.is_strongly_connected());
+    }
+
+    #[test]
+    fn adjacency_is_simple_and_in_range() {
+        let mut seen = std::collections::HashSet::new();
+        for &(a, b) in &ADJACENCY {
+            assert!(a < CITIES.len() && b < CITIES.len());
+            assert_ne!(a, b, "self-loop in adjacency");
+            assert!(
+                seen.insert((a.min(b), a.max(b))),
+                "duplicate pair ({a},{b})"
+            );
+        }
+    }
+
+    #[test]
+    fn every_city_is_at_least_dual_homed() {
+        let mut degree = [0usize; CITIES.len()];
+        for &(a, b) in &ADJACENCY {
+            degree[a] += 1;
+            degree[b] += 1;
+        }
+        for (i, &d) in degree.iter().enumerate() {
+            assert!(d >= 2, "{} has degree {d}", CITIES[i].0);
+        }
+    }
+
+    #[test]
+    fn delays_in_european_range() {
+        let bp = blueprint();
+        let min = bp.delays.iter().cloned().fold(f64::INFINITY, f64::min);
+        let max = bp.delays.iter().cloned().fold(0.0, f64::max);
+        // Brussels-Amsterdam ≈ 170 km ≈ 1.1 ms; London-Lisbon ≈ 1585 km
+        // ≈ 10 ms; everything well under the 25 ms default θ.
+        assert!(min > 0.5e-3, "min delay {min}");
+        assert!(max < 16e-3, "max delay {max}");
+    }
+
+    #[test]
+    fn survives_every_single_link_failure_except_none() {
+        // The mesh is 2-edge-connected: every physical link is failable.
+        let net = network(DEFAULT_CAPACITY).unwrap();
+        let failable = dtr_net::bridges::survivable_duplex_failures(&net);
+        assert_eq!(failable.len(), ADJACENCY.len());
+    }
+
+    #[test]
+    fn projection_lands_in_unit_box() {
+        let bp = blueprint();
+        for p in &bp.points {
+            assert!((-0.01..=1.01).contains(&p.x), "x = {}", p.x);
+            assert!((-0.01..=1.01).contains(&p.y), "y = {}", p.y);
+        }
+    }
+}

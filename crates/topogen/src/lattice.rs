@@ -1,0 +1,185 @@
+//! Deterministic lattice topologies: ring, grid, torus (extension).
+//!
+//! Regular structures with *known* path diversity, used to bracket the
+//! paper's synthesized topologies in controlled experiments and tests:
+//!
+//! * a **ring** has exactly two node-disjoint paths between every pair —
+//!   the minimum for single-failure survivability and the worst case for
+//!   robust optimization's "explore alternate paths" mechanism;
+//! * a **grid** has diversity growing with Manhattan distance;
+//! * a **torus** (wraparound grid) is vertex-transitive with uniform
+//!   degree 4 — a popular regular testbed.
+//!
+//! Every generator returns a [`Blueprint`] (delays = Euclidean distances,
+//! scale with [`Blueprint::scaled_to_diameter`] as usual).
+
+use dtr_net::Point;
+
+use crate::blueprint::Blueprint;
+use crate::GenError;
+
+/// Ring of `n ≥ 3` nodes placed on a circle inscribed in the unit square.
+pub fn ring(n: usize) -> Result<Blueprint, GenError> {
+    if n < 3 {
+        return Err(GenError::TooFewNodes(n));
+    }
+    let points: Vec<Point> = (0..n)
+        .map(|i| {
+            let a = i as f64 * std::f64::consts::TAU / n as f64;
+            Point::new(0.5 + 0.5 * a.cos(), 0.5 + 0.5 * a.sin())
+        })
+        .collect();
+    let duplex: Vec<(usize, usize)> = (0..n).map(|i| (i, (i + 1) % n)).collect();
+    Ok(Blueprint::from_euclidean(points, duplex))
+}
+
+/// `rows × cols` grid. With `wrap = true` the grid closes into a torus
+/// (wraparound links on both axes).
+///
+/// Constraints: at least 2 nodes; a wrapped axis needs length ≥ 3,
+/// otherwise the wraparound link would duplicate an existing one.
+pub fn grid(rows: usize, cols: usize, wrap: bool) -> Result<Blueprint, GenError> {
+    let n = rows * cols;
+    if n < 2 {
+        return Err(GenError::TooFewNodes(n));
+    }
+    if wrap && ((rows > 1 && rows < 3) || (cols > 1 && cols < 3)) {
+        // A 2-long wrapped axis folds onto an existing link.
+        return Err(GenError::TooFewNodes(n));
+    }
+    let at = |r: usize, c: usize| -> usize { r * cols + c };
+    let points: Vec<Point> = (0..rows)
+        .flat_map(|r| {
+            (0..cols).map(move |c| {
+                Point::new(
+                    if cols > 1 {
+                        c as f64 / (cols - 1) as f64
+                    } else {
+                        0.5
+                    },
+                    if rows > 1 {
+                        r as f64 / (rows - 1) as f64
+                    } else {
+                        0.5
+                    },
+                )
+            })
+        })
+        .collect();
+
+    let mut duplex = Vec::new();
+    for r in 0..rows {
+        for c in 0..cols {
+            if c + 1 < cols {
+                duplex.push((at(r, c), at(r, c + 1)));
+            } else if wrap && cols > 2 {
+                duplex.push((at(r, 0), at(r, c)));
+            }
+            if r + 1 < rows {
+                duplex.push((at(r, c), at(r + 1, c)));
+            } else if wrap && rows > 2 {
+                duplex.push((at(0, c), at(r, c)));
+            }
+        }
+    }
+    Ok(Blueprint::from_euclidean(points, duplex))
+}
+
+/// Square torus shortcut: `grid(side, side, true)`.
+pub fn torus(side: usize) -> Result<Blueprint, GenError> {
+    grid(side, side, true)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ring_dimensions_and_connectivity() {
+        let bp = ring(8).unwrap();
+        assert_eq!(bp.points.len(), 8);
+        assert_eq!(bp.num_duplex(), 8);
+        let net = bp.build(500e6).unwrap();
+        assert!(net.is_strongly_connected());
+        // Every node has duplex degree exactly 2.
+        for v in net.nodes() {
+            assert_eq!(net.out_degree(v), 2);
+        }
+    }
+
+    #[test]
+    fn ring_links_are_uniform_length() {
+        let bp = ring(12).unwrap();
+        let lens: Vec<f64> = bp
+            .duplex
+            .iter()
+            .map(|&(a, b)| bp.points[a].distance(&bp.points[b]))
+            .collect();
+        for l in &lens {
+            assert!((l - lens[0]).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn ring_rejects_degenerate_sizes() {
+        assert!(matches!(ring(2), Err(GenError::TooFewNodes(2))));
+        assert!(matches!(ring(0), Err(GenError::TooFewNodes(0))));
+    }
+
+    #[test]
+    fn open_grid_link_count() {
+        // rows*(cols-1) + cols*(rows-1) links.
+        let bp = grid(3, 4, false).unwrap();
+        assert_eq!(bp.points.len(), 12);
+        assert_eq!(bp.num_duplex(), 3 * 3 + 4 * 2);
+        let net = bp.build(500e6).unwrap();
+        assert!(net.is_strongly_connected());
+    }
+
+    #[test]
+    fn torus_is_degree_regular() {
+        let bp = torus(4).unwrap();
+        assert_eq!(bp.points.len(), 16);
+        assert_eq!(bp.num_duplex(), 32); // 2 per node on a 4-regular torus
+        let net = bp.build(500e6).unwrap();
+        for v in net.nodes() {
+            assert_eq!(net.out_degree(v), 4);
+        }
+    }
+
+    #[test]
+    fn path_grid_has_bridges_ring_grid_does_not() {
+        // 1×5 open grid is a path: every link is a bridge.
+        let path = grid(1, 5, false).unwrap().build(500e6).unwrap();
+        assert!(dtr_net::bridges::survivable_duplex_failures(&path).is_empty());
+        // 1×5 wrapped grid is a ring: no bridges.
+        let ring5 = grid(1, 5, true).unwrap().build(500e6).unwrap();
+        assert_eq!(
+            dtr_net::bridges::survivable_duplex_failures(&ring5).len(),
+            5
+        );
+    }
+
+    #[test]
+    fn wrap_rejects_two_long_axes() {
+        assert!(grid(2, 5, true).is_err());
+        assert!(grid(5, 2, true).is_err());
+        assert!(grid(2, 5, false).is_ok());
+    }
+
+    #[test]
+    fn single_node_grid_rejected() {
+        assert!(matches!(grid(1, 1, false), Err(GenError::TooFewNodes(1))));
+    }
+
+    #[test]
+    fn grid_positions_fill_unit_square() {
+        let bp = grid(3, 3, false).unwrap();
+        for p in &bp.points {
+            assert!((0.0..=1.0).contains(&p.x) && (0.0..=1.0).contains(&p.y));
+        }
+        // Corners are at the square's corners.
+        assert_eq!(bp.points[0], Point::new(0.0, 0.0));
+        assert_eq!(bp.points[8], Point::new(1.0, 1.0));
+    }
+}

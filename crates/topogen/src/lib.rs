@@ -1,0 +1,217 @@
+//! # dtr-topogen — topology generators
+//!
+//! Builds the four families of network topologies the paper evaluates on
+//! (§V-A1):
+//!
+//! * [`rand_topo`] — **RandTopo**: random graph of a given average node
+//!   degree, nodes uniform in the unit square.
+//! * [`near_topo`] — **NearTopo**: nodes connect to their closest
+//!   neighbours (limited path diversity in the core — the paper's outlier
+//!   topology).
+//! * [`pl_topo`] — **PLTopo**: power-law topology grown by
+//!   Barabási–Albert preferential attachment (the paper's reference \[3\]).
+//! * [`isp`] — a 16-node / 70-directed-link emulation of a North-American
+//!   ISP backbone with geographically derived propagation delays.
+//!
+//! Plus extension families beyond the paper's four:
+//!
+//! * [`waxman`] — **WaxmanTopo**: spatial random graph with exponential
+//!   distance decay (locality between NearTopo and RandTopo).
+//! * [`lattice`] — deterministic ring / grid / torus testbeds with known
+//!   path diversity.
+//! * [`geant`] — a 22-node / 68-directed-link GEANT-like pan-European
+//!   backbone, a second geographic topology.
+//!
+//! All synthesized generators produce a [`Blueprint`] (points + duplex link
+//! list + raw distances). A blueprint is then scaled so the network's
+//! *propagation-delay diameter* matches the target SLA bound θ (the paper
+//! scales delays "proportionally to ensure a reasonable match between the
+//! target SLA bound θ and the network diameter", and fixes the maximum
+//! end-to-end propagation delay to 25 ms in §V-E), and finally built into a
+//! [`dtr_net::Network`] with uniform 500 Mb/s capacities (or custom ones).
+//!
+//! Determinism: every generator takes an explicit `u64` seed and uses
+//! `rand::rngs::StdRng`, so a (seed, config) pair always produces the same
+//! topology on every platform.
+//!
+//! ```
+//! use dtr_topogen::{SynthConfig, rand_topo, DEFAULT_CAPACITY};
+//!
+//! let cfg = SynthConfig { nodes: 30, duplex_links: 90, seed: 7 };
+//! let bp = rand_topo::generate(&cfg).unwrap();
+//! let net = bp
+//!     .scaled_to_diameter(25e-3)     // θ = 25 ms coast-to-coast
+//!     .build(DEFAULT_CAPACITY)
+//!     .unwrap();
+//! assert_eq!(net.num_nodes(), 30);
+//! assert_eq!(net.num_links(), 180); // directed
+//! assert!(net.is_strongly_connected());
+//! ```
+
+#![forbid(unsafe_code)]
+
+mod blueprint;
+mod config;
+pub mod geant;
+pub mod isp;
+pub mod lattice;
+pub mod near_topo;
+pub mod pl_topo;
+pub mod rand_topo;
+mod resize;
+mod support;
+pub mod waxman;
+
+pub use blueprint::Blueprint;
+pub use config::{SynthConfig, TopoKind};
+pub use resize::resize_congested_links;
+
+/// Uniform link capacity used throughout the paper's evaluation: 500 Mb/s.
+pub const DEFAULT_CAPACITY: f64 = 500e6;
+
+/// Default SLA bound θ = 25 ms (≈ U.S. coast-to-coast propagation delay),
+/// also used as the target propagation-delay diameter for synthesized
+/// topologies.
+pub const DEFAULT_THETA: f64 = 25e-3;
+
+/// Generate a synthesized topology of the given kind, scaled to the default
+/// 25 ms delay diameter, with uniform default capacities. Convenience
+/// wrapper used by the evaluation harness and examples.
+pub fn synth(kind: TopoKind, cfg: &SynthConfig) -> Result<dtr_net::Network, GenError> {
+    let bp = match kind {
+        TopoKind::Rand => rand_topo::generate(cfg)?,
+        TopoKind::Near => near_topo::generate(cfg)?,
+        TopoKind::PowerLaw => pl_topo::generate(cfg)?,
+        TopoKind::Waxman => waxman::generate(cfg)?,
+    };
+    bp.scaled_to_diameter(DEFAULT_THETA)
+        .build(DEFAULT_CAPACITY)
+        .map_err(GenError::Net)
+}
+
+/// Errors raised by topology generation.
+#[derive(Debug, Clone, PartialEq)]
+pub enum GenError {
+    /// Fewer duplex links requested than needed for connectivity (`n-1`).
+    TooFewLinks { nodes: usize, duplex_links: usize },
+    /// More duplex links requested than a simple graph admits
+    /// (`n(n-1)/2`).
+    TooManyLinks { nodes: usize, duplex_links: usize },
+    /// Need at least 2 nodes.
+    TooFewNodes(usize),
+    /// Underlying network-construction failure (generator bug).
+    Net(dtr_net::NetError),
+}
+
+impl std::fmt::Display for GenError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            GenError::TooFewLinks {
+                nodes,
+                duplex_links,
+            } => write!(
+                f,
+                "{duplex_links} duplex links cannot connect {nodes} nodes (need >= {})",
+                nodes.saturating_sub(1)
+            ),
+            GenError::TooManyLinks {
+                nodes,
+                duplex_links,
+            } => write!(
+                f,
+                "{duplex_links} duplex links exceed simple-graph maximum for {nodes} nodes"
+            ),
+            GenError::TooFewNodes(n) => write!(f, "need at least 2 nodes, got {n}"),
+            GenError::Net(e) => write!(f, "network construction failed: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for GenError {}
+
+pub(crate) fn validate_config(cfg: &SynthConfig) -> Result<(), GenError> {
+    if cfg.nodes < 2 {
+        return Err(GenError::TooFewNodes(cfg.nodes));
+    }
+    if cfg.duplex_links < cfg.nodes - 1 {
+        return Err(GenError::TooFewLinks {
+            nodes: cfg.nodes,
+            duplex_links: cfg.duplex_links,
+        });
+    }
+    if cfg.duplex_links > cfg.nodes * (cfg.nodes - 1) / 2 {
+        return Err(GenError::TooManyLinks {
+            nodes: cfg.nodes,
+            duplex_links: cfg.duplex_links,
+        });
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn synth_dispatches_all_kinds() {
+        for kind in [
+            TopoKind::Rand,
+            TopoKind::Near,
+            TopoKind::PowerLaw,
+            TopoKind::Waxman,
+        ] {
+            let cfg = SynthConfig {
+                nodes: 12,
+                duplex_links: 24,
+                seed: 3,
+            };
+            let net = synth(kind, &cfg).unwrap();
+            assert_eq!(net.num_nodes(), 12);
+            assert_eq!(net.num_links(), 48);
+            assert!(net.is_strongly_connected());
+        }
+    }
+
+    #[test]
+    fn config_validation() {
+        assert!(matches!(
+            validate_config(&SynthConfig {
+                nodes: 1,
+                duplex_links: 0,
+                seed: 0
+            }),
+            Err(GenError::TooFewNodes(1))
+        ));
+        assert!(matches!(
+            validate_config(&SynthConfig {
+                nodes: 10,
+                duplex_links: 5,
+                seed: 0
+            }),
+            Err(GenError::TooFewLinks { .. })
+        ));
+        assert!(matches!(
+            validate_config(&SynthConfig {
+                nodes: 5,
+                duplex_links: 11,
+                seed: 0
+            }),
+            Err(GenError::TooManyLinks { .. })
+        ));
+        assert!(validate_config(&SynthConfig {
+            nodes: 5,
+            duplex_links: 10,
+            seed: 0
+        })
+        .is_ok());
+    }
+
+    #[test]
+    fn gen_error_display() {
+        let e = GenError::TooFewLinks {
+            nodes: 10,
+            duplex_links: 5,
+        };
+        assert!(e.to_string().contains("cannot connect"));
+    }
+}

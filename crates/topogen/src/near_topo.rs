@@ -1,0 +1,155 @@
+//! **NearTopo** — nodes connect to their closest neighbours (§V-A1).
+//!
+//! This is the paper's limited-path-diversity topology: geographically
+//! local links only, so paths between far-apart nodes funnel through a
+//! small set of "core" links (§V-B analyzes exactly this behaviour).
+//!
+//! Construction: a Euclidean minimum spanning tree guarantees connectivity
+//! (MST edges are nearest-neighbour-ish by construction), then nodes add
+//! links to their 1st, 2nd, … nearest remaining neighbours, round-robin in
+//! increasing rank, until the target link count is reached.
+
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+use std::collections::HashSet;
+
+use crate::blueprint::Blueprint;
+use crate::config::SynthConfig;
+use crate::support::{pair_key, unit_square_points, DisjointSet};
+use crate::{validate_config, GenError};
+
+/// Generate a NearTopo blueprint with exactly `cfg.duplex_links` links.
+pub fn generate(cfg: &SynthConfig) -> Result<Blueprint, GenError> {
+    validate_config(cfg)?;
+    let mut rng = StdRng::seed_from_u64(cfg.seed);
+    let n = cfg.nodes;
+    let points = unit_square_points(n, &mut rng);
+
+    // Per-node neighbour lists sorted by distance.
+    let mut nearest: Vec<Vec<usize>> = Vec::with_capacity(n);
+    for i in 0..n {
+        let mut others: Vec<usize> = (0..n).filter(|&j| j != i).collect();
+        others.sort_by(|&a, &b| {
+            points[i]
+                .distance_sq(&points[a])
+                .partial_cmp(&points[i].distance_sq(&points[b]))
+                .expect("distances are finite")
+        });
+        nearest.push(others);
+    }
+
+    let mut chosen: HashSet<(usize, usize)> = HashSet::with_capacity(cfg.duplex_links);
+
+    // Euclidean MST (Prim) for guaranteed connectivity with short links.
+    let mut in_tree = vec![false; n];
+    let mut best_dist = vec![f64::INFINITY; n];
+    let mut best_from = vec![0usize; n];
+    in_tree[0] = true;
+    for j in 1..n {
+        best_dist[j] = points[0].distance_sq(&points[j]);
+        best_from[j] = 0;
+    }
+    let mut ds = DisjointSet::new(n);
+    for _ in 1..n {
+        let (next, _) = best_dist
+            .iter()
+            .enumerate()
+            .filter(|&(j, _)| !in_tree[j])
+            .min_by(|a, b| a.1.partial_cmp(b.1).expect("finite"))
+            .expect("tree incomplete implies a remaining node");
+        in_tree[next] = true;
+        chosen.insert(pair_key(next, best_from[next]));
+        ds.union(next, best_from[next]);
+        for j in 0..n {
+            if !in_tree[j] {
+                let d = points[next].distance_sq(&points[j]);
+                if d < best_dist[j] {
+                    best_dist[j] = d;
+                    best_from[j] = next;
+                }
+            }
+        }
+    }
+    debug_assert_eq!(ds.num_components(), 1);
+
+    // Round-robin nearest-neighbour fill: rank 0 = closest neighbour, etc.
+    let mut node_order: Vec<usize> = (0..n).collect();
+    'outer: for rank in 0..n - 1 {
+        node_order.shuffle(&mut rng); // avoid id-order bias within a rank
+        for &v in &node_order {
+            if chosen.len() >= cfg.duplex_links {
+                break 'outer;
+            }
+            let u = nearest[v][rank];
+            chosen.insert(pair_key(v, u));
+        }
+    }
+
+    let duplex: Vec<_> = chosen.into_iter().collect();
+    Ok(Blueprint::from_euclidean(points, duplex))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn exact_count_and_connected() {
+        let cfg = SynthConfig {
+            nodes: 30,
+            duplex_links: 90,
+            seed: 11,
+        };
+        let bp = generate(&cfg).unwrap();
+        assert_eq!(bp.num_duplex(), 90);
+        assert!(bp.build(500e6).is_ok());
+    }
+
+    #[test]
+    fn links_are_shorter_than_rand_topo() {
+        // The defining property: NearTopo's mean link length is much
+        // smaller than RandTopo's at the same size, because links are
+        // local. (This is what limits path diversity in the paper.)
+        let cfg = SynthConfig {
+            nodes: 30,
+            duplex_links: 90,
+            seed: 3,
+        };
+        let near = generate(&cfg).unwrap();
+        let rand = crate::rand_topo::generate(&cfg).unwrap();
+        let mean = |bp: &Blueprint| bp.delays.iter().sum::<f64>() / bp.delays.len() as f64;
+        assert!(
+            mean(&near) < 0.6 * mean(&rand),
+            "near {} vs rand {}",
+            mean(&near),
+            mean(&rand)
+        );
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let cfg = SynthConfig {
+            nodes: 25,
+            duplex_links: 60,
+            seed: 8,
+        };
+        assert_eq!(
+            generate(&cfg).unwrap().duplex,
+            generate(&cfg).unwrap().duplex
+        );
+    }
+
+    #[test]
+    fn tree_only_budget_still_connects() {
+        let cfg = SynthConfig {
+            nodes: 12,
+            duplex_links: 11,
+            seed: 2,
+        };
+        let bp = generate(&cfg).unwrap();
+        // MST is exactly n-1 links; budget allows no more.
+        assert_eq!(bp.num_duplex(), 11);
+        assert!(bp.build(1e9).is_ok());
+    }
+}

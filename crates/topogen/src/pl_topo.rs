@@ -1,0 +1,197 @@
+//! **PLTopo** — power-law topology via Barabási–Albert preferential
+//! attachment (§V-A1, the paper's reference \[3\]).
+//!
+//! Growth: start from a small connected seed, then attach each new node to
+//! `m` distinct existing nodes chosen with probability proportional to
+//! their current degree. Afterwards the link count is adjusted to the exact
+//! target: extra links are added between degree-weighted random pairs,
+//! surplus links are removed (never disconnecting the graph), preserving
+//! the heavy-tailed degree profile.
+
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::{Rng, SeedableRng};
+use std::collections::HashSet;
+
+use crate::blueprint::Blueprint;
+use crate::config::SynthConfig;
+use crate::support::{pair_key, unit_square_points, DisjointSet};
+use crate::{validate_config, GenError};
+
+/// Generate a PLTopo blueprint with exactly `cfg.duplex_links` links.
+pub fn generate(cfg: &SynthConfig) -> Result<Blueprint, GenError> {
+    validate_config(cfg)?;
+    let mut rng = StdRng::seed_from_u64(cfg.seed);
+    let n = cfg.nodes;
+    let points = unit_square_points(n, &mut rng);
+
+    // Attachment count per new node, from the link budget.
+    let m_attach = ((cfg.duplex_links as f64) / (n as f64)).round().max(1.0) as usize;
+    let m0 = (m_attach + 1).min(n); // seed size
+
+    let mut chosen: HashSet<(usize, usize)> = HashSet::with_capacity(cfg.duplex_links);
+    let mut degree = vec![0usize; n];
+    // `targets` holds one entry per incident link end, so sampling a
+    // uniform element implements degree-proportional selection.
+    let mut targets: Vec<usize> = Vec::with_capacity(cfg.duplex_links * 2);
+
+    let add = |a: usize,
+               b: usize,
+               chosen: &mut HashSet<(usize, usize)>,
+               degree: &mut Vec<usize>,
+               targets: &mut Vec<usize>|
+     -> bool {
+        if a == b || !chosen.insert(pair_key(a, b)) {
+            return false;
+        }
+        degree[a] += 1;
+        degree[b] += 1;
+        targets.push(a);
+        targets.push(b);
+        true
+    };
+
+    // Seed: path over the first m0 nodes (connected, low degree).
+    for i in 1..m0 {
+        add(i - 1, i, &mut chosen, &mut degree, &mut targets);
+    }
+
+    // Preferential attachment for the remaining nodes.
+    for v in m0..n {
+        let mut picked = HashSet::with_capacity(m_attach);
+        let want = m_attach.min(v); // cannot attach to more nodes than exist
+        let mut guard = 0;
+        while picked.len() < want {
+            guard += 1;
+            let u = if guard > 50 * (want + 1) {
+                // Degenerate RNG streak; fall back to uniform choice.
+                rng.gen_range(0..v)
+            } else {
+                targets[rng.gen_range(0..targets.len())]
+            };
+            if u != v {
+                picked.insert(u);
+            }
+        }
+        // Sort before inserting: HashSet iteration order is randomized and
+        // would otherwise leak nondeterminism into the RNG-driven state.
+        let mut picked: Vec<_> = picked.into_iter().collect();
+        picked.sort_unstable();
+        for u in picked {
+            add(v, u, &mut chosen, &mut degree, &mut targets);
+        }
+    }
+
+    // Exact-count adjustment: add degree-weighted extra links...
+    let mut guard = 0usize;
+    while chosen.len() < cfg.duplex_links {
+        guard += 1;
+        let a = if guard > 100 * cfg.duplex_links {
+            rng.gen_range(0..n) // dense endgame: uniform fill
+        } else {
+            targets[rng.gen_range(0..targets.len())]
+        };
+        let b = rng.gen_range(0..n);
+        add(a, b, &mut chosen, &mut degree, &mut targets);
+    }
+    // ...or remove surplus links while preserving connectivity.
+    if chosen.len() > cfg.duplex_links {
+        let mut links: Vec<_> = chosen.iter().copied().collect();
+        links.sort_unstable();
+        links.shuffle(&mut rng);
+        let mut keep: Vec<(usize, usize)> = Vec::with_capacity(cfg.duplex_links);
+        let mut spare: Vec<(usize, usize)> = Vec::new();
+        let mut ds = DisjointSet::new(n);
+        // Keep a spanning skeleton first.
+        for &(a, b) in &links {
+            if ds.union(a, b) {
+                keep.push((a, b));
+            } else {
+                spare.push((a, b));
+            }
+        }
+        // Fill back up to the target with surplus links.
+        for &(a, b) in &spare {
+            if keep.len() >= cfg.duplex_links {
+                break;
+            }
+            keep.push((a, b));
+        }
+        chosen = keep.into_iter().collect();
+    }
+
+    let duplex: Vec<_> = chosen.into_iter().collect();
+    Ok(Blueprint::from_euclidean(points, duplex))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn degrees(bp: &Blueprint, n: usize) -> Vec<usize> {
+        let mut d = vec![0usize; n];
+        for &(a, b) in &bp.duplex {
+            d[a] += 1;
+            d[b] += 1;
+        }
+        d
+    }
+
+    #[test]
+    fn paper_size_30_162() {
+        // Paper's PLTopo is [30 nodes, 162 directed links] = 81 duplex.
+        let cfg = SynthConfig {
+            nodes: 30,
+            duplex_links: 81,
+            seed: 17,
+        };
+        let bp = generate(&cfg).unwrap();
+        assert_eq!(bp.num_duplex(), 81);
+        assert!(bp.build(500e6).is_ok());
+    }
+
+    #[test]
+    fn degree_distribution_is_skewed() {
+        // Power-law signature: max degree far above the mean.
+        let cfg = SynthConfig {
+            nodes: 60,
+            duplex_links: 150,
+            seed: 23,
+        };
+        let bp = generate(&cfg).unwrap();
+        let d = degrees(&bp, 60);
+        let mean = d.iter().sum::<usize>() as f64 / 60.0;
+        let max = *d.iter().max().unwrap() as f64;
+        assert!(
+            max > 2.5 * mean,
+            "expected hub nodes: max degree {max}, mean {mean}"
+        );
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let cfg = SynthConfig {
+            nodes: 30,
+            duplex_links: 81,
+            seed: 1,
+        };
+        assert_eq!(
+            generate(&cfg).unwrap().duplex,
+            generate(&cfg).unwrap().duplex
+        );
+    }
+
+    #[test]
+    fn small_and_dense_configs_work() {
+        for (n, m, seed) in [(5usize, 4usize, 0u64), (5, 10, 1), (12, 40, 2)] {
+            let bp = generate(&SynthConfig {
+                nodes: n,
+                duplex_links: m,
+                seed,
+            })
+            .unwrap();
+            assert_eq!(bp.num_duplex(), m);
+            assert!(bp.build(1e9).is_ok(), "n={n} m={m}");
+        }
+    }
+}

@@ -1,0 +1,126 @@
+//! **RandTopo** — random graph of a given average node degree (§V-A1).
+//!
+//! Construction: nodes uniform in the unit square; a uniformly random
+//! spanning tree guarantees connectivity, then the remaining link budget is
+//! filled with uniformly random node pairs. The paper only specifies
+//! "random graph of given average node degree" plus connectivity, which
+//! this realizes with an exact link count.
+
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::{Rng, SeedableRng};
+use std::collections::HashSet;
+
+use crate::blueprint::Blueprint;
+use crate::config::SynthConfig;
+use crate::support::{pair_key, unit_square_points};
+use crate::{validate_config, GenError};
+
+/// Generate a RandTopo blueprint with exactly `cfg.duplex_links` links.
+pub fn generate(cfg: &SynthConfig) -> Result<Blueprint, GenError> {
+    validate_config(cfg)?;
+    let mut rng = StdRng::seed_from_u64(cfg.seed);
+    let n = cfg.nodes;
+    let points = unit_square_points(n, &mut rng);
+
+    let mut chosen: HashSet<(usize, usize)> = HashSet::with_capacity(cfg.duplex_links);
+
+    // Uniform random spanning tree via a random node permutation: attach
+    // each node to a uniformly random already-attached node.
+    let mut order: Vec<usize> = (0..n).collect();
+    order.shuffle(&mut rng);
+    for i in 1..n {
+        let parent = order[rng.gen_range(0..i)];
+        chosen.insert(pair_key(order[i], parent));
+    }
+
+    // Fill the remaining budget with uniform random pairs.
+    while chosen.len() < cfg.duplex_links {
+        let a = rng.gen_range(0..n);
+        let b = rng.gen_range(0..n);
+        if a != b {
+            chosen.insert(pair_key(a, b));
+        }
+    }
+
+    let duplex: Vec<_> = chosen.into_iter().collect();
+    Ok(Blueprint::from_euclidean(points, duplex))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn exact_link_count_and_connected() {
+        let cfg = SynthConfig {
+            nodes: 30,
+            duplex_links: 90,
+            seed: 42,
+        };
+        let bp = generate(&cfg).unwrap();
+        assert_eq!(bp.num_duplex(), 90);
+        let net = bp.build(500e6).unwrap(); // build() checks connectivity
+        assert_eq!(net.num_links(), 180);
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let cfg = SynthConfig {
+            nodes: 20,
+            duplex_links: 50,
+            seed: 9,
+        };
+        let a = generate(&cfg).unwrap();
+        let b = generate(&cfg).unwrap();
+        assert_eq!(a.duplex, b.duplex);
+        assert_eq!(a.points, b.points);
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let mk = |seed| {
+            generate(&SynthConfig {
+                nodes: 20,
+                duplex_links: 50,
+                seed,
+            })
+            .unwrap()
+        };
+        assert_ne!(mk(1).duplex, mk(2).duplex);
+    }
+
+    #[test]
+    fn minimal_tree_case() {
+        // duplex_links == n-1 must still connect (pure spanning tree).
+        let cfg = SynthConfig {
+            nodes: 10,
+            duplex_links: 9,
+            seed: 5,
+        };
+        let bp = generate(&cfg).unwrap();
+        assert!(bp.build(1e9).is_ok());
+    }
+
+    #[test]
+    fn dense_case_near_complete() {
+        let cfg = SynthConfig {
+            nodes: 8,
+            duplex_links: 27, // out of 28 possible
+            seed: 5,
+        };
+        let bp = generate(&cfg).unwrap();
+        assert_eq!(bp.num_duplex(), 27);
+        assert!(bp.build(1e9).is_ok());
+    }
+
+    #[test]
+    fn rejects_invalid_configs() {
+        assert!(generate(&SynthConfig {
+            nodes: 10,
+            duplex_links: 3,
+            seed: 0
+        })
+        .is_err());
+    }
+}

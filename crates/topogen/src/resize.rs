@@ -1,0 +1,101 @@
+//! Capacity resizing of congested links.
+//!
+//! §V-B of the paper re-runs the NearTopo experiment after "increasing the
+//! capacity of those congested links so as to bring down their utilization
+//! below 90% under normal conditions". This module implements that
+//! operation as a pure function: given a network and the per-link loads of
+//! some routing, produce a new network where every link whose utilization
+//! exceeds the threshold gets just enough extra capacity.
+
+use dtr_net::{NetError, Network, NetworkBuilder};
+
+/// Return a copy of `net` where every link with `load/capacity >
+/// max_utilization` has its capacity raised to `load / max_utilization`.
+/// `loads` is indexed by directed link id (bits/s, as produced by the
+/// routing engine). Links at or below the threshold keep their capacity.
+///
+/// Both directions of a duplex link are resized independently, mirroring
+/// how real upgrades add asymmetric capacity only where needed.
+pub fn resize_congested_links(
+    net: &Network,
+    loads: &[f64],
+    max_utilization: f64,
+) -> Result<Network, NetError> {
+    assert_eq!(loads.len(), net.num_links(), "one load per directed link");
+    assert!(
+        max_utilization > 0.0 && max_utilization <= 1.0,
+        "utilization threshold must be in (0, 1]"
+    );
+    let mut b = NetworkBuilder::new();
+    for v in net.nodes() {
+        b.add_node(net.position(v));
+    }
+    for l in net.links() {
+        let link = net.link(l);
+        let util = loads[l.index()] / link.capacity;
+        let capacity = if util > max_utilization {
+            loads[l.index()] / max_utilization
+        } else {
+            link.capacity
+        };
+        b.add_link(link.src, link.dst, capacity, link.prop_delay)?;
+    }
+    b.build()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dtr_net::{LinkId, NetworkBuilder, Point};
+
+    fn two_node_net() -> Network {
+        let mut b = NetworkBuilder::new();
+        let a = b.add_node(Point::ORIGIN);
+        let c = b.add_node(Point::new(1.0, 0.0));
+        b.add_duplex_link(a, c, 100.0, 1e-3).unwrap();
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn congested_link_gets_resized() {
+        let net = two_node_net();
+        // Link 0 at 95% utilization, link 1 at 10%.
+        let loads = vec![95.0, 10.0];
+        let resized = resize_congested_links(&net, &loads, 0.9).unwrap();
+        let c0 = resized.link(LinkId::new(0)).capacity;
+        let c1 = resized.link(LinkId::new(1)).capacity;
+        assert!((c0 - 95.0 / 0.9).abs() < 1e-9, "c0 = {c0}");
+        assert_eq!(c1, 100.0);
+        // New utilization exactly at the threshold.
+        assert!((loads[0] / c0 - 0.9).abs() < 1e-12);
+    }
+
+    #[test]
+    fn uncongested_network_is_unchanged() {
+        let net = two_node_net();
+        let resized = resize_congested_links(&net, &[10.0, 20.0], 0.9).unwrap();
+        for l in net.links() {
+            assert_eq!(resized.link(l).capacity, net.link(l).capacity);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "one load per directed link")]
+    fn wrong_load_length_panics() {
+        let net = two_node_net();
+        let _ = resize_congested_links(&net, &[1.0], 0.9);
+    }
+
+    #[test]
+    fn topology_is_preserved() {
+        let net = two_node_net();
+        let resized = resize_congested_links(&net, &[500.0, 500.0], 0.5).unwrap();
+        assert_eq!(resized.num_nodes(), net.num_nodes());
+        assert_eq!(resized.num_links(), net.num_links());
+        for l in net.links() {
+            assert_eq!(resized.link(l).src, net.link(l).src);
+            assert_eq!(resized.link(l).dst, net.link(l).dst);
+            assert_eq!(resized.link(l).prop_delay, net.link(l).prop_delay);
+        }
+    }
+}

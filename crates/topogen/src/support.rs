@@ -1,0 +1,97 @@
+//! Shared internals for the synthesized-topology generators.
+
+use dtr_net::Point;
+use rand::Rng;
+
+/// Uniform random points in the unit square (paper §V-A1: "nodes are
+/// randomly distributed in a unit square").
+pub(crate) fn unit_square_points(n: usize, rng: &mut impl Rng) -> Vec<Point> {
+    (0..n)
+        .map(|_| Point::new(rng.gen::<f64>(), rng.gen::<f64>()))
+        .collect()
+}
+
+/// Classic union-find with path halving; used by generators to guarantee
+/// connectivity while hitting an exact link count.
+pub(crate) struct DisjointSet {
+    parent: Vec<usize>,
+    components: usize,
+}
+
+impl DisjointSet {
+    pub(crate) fn new(n: usize) -> Self {
+        DisjointSet {
+            parent: (0..n).collect(),
+            components: n,
+        }
+    }
+
+    pub(crate) fn find(&mut self, mut x: usize) -> usize {
+        while self.parent[x] != x {
+            self.parent[x] = self.parent[self.parent[x]];
+            x = self.parent[x];
+        }
+        x
+    }
+
+    /// Union the sets of `a` and `b`; returns `true` if they were separate.
+    pub(crate) fn union(&mut self, a: usize, b: usize) -> bool {
+        let (ra, rb) = (self.find(a), self.find(b));
+        if ra == rb {
+            return false;
+        }
+        self.parent[ra] = rb;
+        self.components -= 1;
+        true
+    }
+
+    pub(crate) fn num_components(&self) -> usize {
+        self.components
+    }
+}
+
+/// Key for a duplex pair with canonical ordering.
+#[inline]
+pub(crate) fn pair_key(a: usize, b: usize) -> (usize, usize) {
+    if a < b {
+        (a, b)
+    } else {
+        (b, a)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn points_are_in_unit_square() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let pts = unit_square_points(100, &mut rng);
+        assert_eq!(pts.len(), 100);
+        assert!(pts
+            .iter()
+            .all(|p| (0.0..1.0).contains(&p.x) && (0.0..1.0).contains(&p.y)));
+    }
+
+    #[test]
+    fn disjoint_set_tracks_components() {
+        let mut ds = DisjointSet::new(4);
+        assert_eq!(ds.num_components(), 4);
+        assert!(ds.union(0, 1));
+        assert!(!ds.union(1, 0));
+        assert!(ds.union(2, 3));
+        assert_eq!(ds.num_components(), 2);
+        assert!(ds.union(0, 3));
+        assert_eq!(ds.num_components(), 1);
+        assert_eq!(ds.find(0), ds.find(2));
+    }
+
+    #[test]
+    fn pair_key_is_canonical() {
+        assert_eq!(pair_key(5, 2), (2, 5));
+        assert_eq!(pair_key(2, 5), (2, 5));
+    }
+}

@@ -1,0 +1,201 @@
+//! **WaxmanTopo** — the Waxman random graph (extension).
+//!
+//! The classic spatial random-graph model of internetwork research
+//! (Waxman 1988): link probability decays exponentially with Euclidean
+//! distance, `P(u,v) ∝ exp(−d(u,v) / (α·L))` where `L` is the largest
+//! pairwise distance and `α` controls the decay. Small `α` favors short
+//! links (NearTopo-like locality); large `α` approaches RandTopo.
+//!
+//! This sits between the paper's NearTopo and RandTopo on the
+//! path-diversity axis, making it a useful probe for the paper's central
+//! claim that robust-optimization benefits scale with path diversity
+//! (§V-B). To keep the repo's exact-link-count convention, the Waxman
+//! probabilities are used as *sampling weights*: a spanning tree drawn by
+//! weighted attachment guarantees connectivity, then the remaining budget
+//! is filled by weighted sampling without replacement.
+
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::{Rng, SeedableRng};
+use std::collections::HashSet;
+
+use crate::blueprint::Blueprint;
+use crate::config::SynthConfig;
+use crate::support::{pair_key, unit_square_points};
+use crate::{validate_config, GenError};
+
+/// Default distance-decay parameter α (a mid-range locality bias).
+pub const DEFAULT_ALPHA: f64 = 0.25;
+
+/// Generate a Waxman blueprint with the default α.
+pub fn generate(cfg: &SynthConfig) -> Result<Blueprint, GenError> {
+    generate_with_alpha(cfg, DEFAULT_ALPHA)
+}
+
+/// Generate a Waxman blueprint with an explicit distance-decay `alpha`.
+///
+/// # Panics
+/// Panics if `alpha` is not positive and finite.
+pub fn generate_with_alpha(cfg: &SynthConfig, alpha: f64) -> Result<Blueprint, GenError> {
+    assert!(alpha > 0.0 && alpha.is_finite(), "alpha must be positive");
+    validate_config(cfg)?;
+    let mut rng = StdRng::seed_from_u64(cfg.seed);
+    let n = cfg.nodes;
+    let points = unit_square_points(n, &mut rng);
+
+    // Largest pairwise distance L normalizes the decay.
+    let mut l_max = 0.0f64;
+    for i in 0..n {
+        for j in (i + 1)..n {
+            l_max = l_max.max(points[i].distance(&points[j]));
+        }
+    }
+    let l_max = l_max.max(f64::MIN_POSITIVE);
+    let weight =
+        |a: usize, b: usize| -> f64 { (-points[a].distance(&points[b]) / (alpha * l_max)).exp() };
+
+    let mut chosen: HashSet<(usize, usize)> = HashSet::with_capacity(cfg.duplex_links);
+
+    // Spanning tree by weighted attachment: each node joins an attached
+    // node sampled proportionally to the Waxman weight.
+    let mut order: Vec<usize> = (0..n).collect();
+    order.shuffle(&mut rng);
+    for i in 1..n {
+        let newcomer = order[i];
+        let total: f64 = order[..i].iter().map(|&j| weight(newcomer, j)).sum();
+        let mut draw = rng.gen::<f64>() * total;
+        let mut parent = order[0];
+        for &j in &order[..i] {
+            draw -= weight(newcomer, j);
+            parent = j;
+            if draw <= 0.0 {
+                break;
+            }
+        }
+        chosen.insert(pair_key(newcomer, parent));
+    }
+
+    // Remaining budget: weighted sampling without replacement over the
+    // unused pairs.
+    let mut rest: Vec<(usize, usize)> = Vec::new();
+    for a in 0..n {
+        for b in (a + 1)..n {
+            if !chosen.contains(&(a, b)) {
+                rest.push((a, b));
+            }
+        }
+    }
+    while chosen.len() < cfg.duplex_links {
+        let total: f64 = rest.iter().map(|&(a, b)| weight(a, b)).sum();
+        let mut draw = rng.gen::<f64>() * total;
+        let mut pick = rest.len() - 1;
+        for (idx, &(a, b)) in rest.iter().enumerate() {
+            draw -= weight(a, b);
+            if draw <= 0.0 {
+                pick = idx;
+                break;
+            }
+        }
+        chosen.insert(rest.swap_remove(pick));
+    }
+
+    let duplex: Vec<_> = chosen.into_iter().collect();
+    Ok(Blueprint::from_euclidean(points, duplex))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cfg(seed: u64) -> SynthConfig {
+        SynthConfig {
+            nodes: 25,
+            duplex_links: 60,
+            seed,
+        }
+    }
+
+    #[test]
+    fn exact_link_count_and_connected() {
+        let bp = generate(&cfg(1)).unwrap();
+        assert_eq!(bp.num_duplex(), 60);
+        let net = bp.build(500e6).unwrap(); // build() checks connectivity
+        assert_eq!(net.num_links(), 120);
+        assert!(net.is_strongly_connected());
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let a = generate(&cfg(9)).unwrap();
+        let b = generate(&cfg(9)).unwrap();
+        assert_eq!(a.duplex, b.duplex);
+        assert_eq!(a.points, b.points);
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let a = generate(&cfg(1)).unwrap();
+        let b = generate(&cfg(2)).unwrap();
+        assert_ne!(a.duplex, b.duplex);
+    }
+
+    #[test]
+    fn small_alpha_prefers_short_links() {
+        // Mean link length under strong locality must undercut the mean
+        // under near-uniform selection, on the same point set.
+        let local = generate_with_alpha(&cfg(5), 0.05).unwrap();
+        let global = generate_with_alpha(&cfg(5), 50.0).unwrap();
+        let mean_len = |bp: &Blueprint| -> f64 {
+            bp.duplex
+                .iter()
+                .map(|&(a, b)| bp.points[a].distance(&bp.points[b]))
+                .sum::<f64>()
+                / bp.num_duplex() as f64
+        };
+        assert!(
+            mean_len(&local) < mean_len(&global),
+            "α=0.05 mean {} vs α=50 mean {}",
+            mean_len(&local),
+            mean_len(&global)
+        );
+    }
+
+    #[test]
+    fn rejects_impossible_budgets() {
+        let too_few = SynthConfig {
+            nodes: 10,
+            duplex_links: 5,
+            seed: 1,
+        };
+        assert!(matches!(
+            generate(&too_few),
+            Err(GenError::TooFewLinks { .. })
+        ));
+        let too_many = SynthConfig {
+            nodes: 5,
+            duplex_links: 11,
+            seed: 1,
+        };
+        assert!(matches!(
+            generate(&too_many),
+            Err(GenError::TooManyLinks { .. })
+        ));
+    }
+
+    #[test]
+    fn full_mesh_budget_is_satisfiable() {
+        let full = SynthConfig {
+            nodes: 8,
+            duplex_links: 28,
+            seed: 3,
+        };
+        let bp = generate(&full).unwrap();
+        assert_eq!(bp.num_duplex(), 28);
+    }
+
+    #[test]
+    #[should_panic(expected = "alpha must be positive")]
+    fn bad_alpha_rejected() {
+        let _ = generate_with_alpha(&cfg(1), 0.0);
+    }
+}

@@ -1,0 +1,100 @@
+//! The two-class matrix pair.
+
+use crate::matrix::TrafficMatrix;
+
+/// The paper's two traffic matrices handled as one unit: `R_D`
+/// (delay-sensitive) and `R_T` (throughput-sensitive), §III.
+#[derive(Clone, Debug, PartialEq)]
+pub struct ClassMatrices {
+    /// Delay-sensitive demands `R_D` (bits/s).
+    pub delay: TrafficMatrix,
+    /// Throughput-sensitive demands `R_T` (bits/s).
+    pub throughput: TrafficMatrix,
+}
+
+impl ClassMatrices {
+    /// Zero matrices for `n` nodes.
+    pub fn zeros(n: usize) -> Self {
+        ClassMatrices {
+            delay: TrafficMatrix::zeros(n),
+            throughput: TrafficMatrix::zeros(n),
+        }
+    }
+
+    /// Number of nodes (identical for both classes by construction).
+    pub fn num_nodes(&self) -> usize {
+        debug_assert_eq!(self.delay.num_nodes(), self.throughput.num_nodes());
+        self.delay.num_nodes()
+    }
+
+    /// Combined offered volume of both classes (bits/s).
+    pub fn total(&self) -> f64 {
+        self.delay.total() + self.throughput.total()
+    }
+
+    /// Realized delay-sensitive share of total volume (0 when empty).
+    pub fn delay_share(&self) -> f64 {
+        let total = self.total();
+        if total == 0.0 {
+            0.0
+        } else {
+            self.delay.total() / total
+        }
+    }
+
+    /// Scale both classes by the same factor — preserves the class mix,
+    /// which is how the paper moves between load operating points.
+    pub fn scale(&mut self, factor: f64) {
+        self.delay.scale(factor);
+        self.throughput.scale(factor);
+    }
+
+    /// Remove all traffic sourced/sunk at `v` in both classes (node-failure
+    /// semantics, §V-F).
+    pub fn remove_node_traffic(&mut self, v: usize) {
+        self.delay.remove_node_traffic(v);
+        self.throughput.remove_node_traffic(v);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> ClassMatrices {
+        let mut m = ClassMatrices::zeros(3);
+        m.delay.set(0, 1, 3.0);
+        m.throughput.set(0, 1, 7.0);
+        m.throughput.set(1, 2, 10.0);
+        m
+    }
+
+    #[test]
+    fn totals_and_share() {
+        let m = sample();
+        assert_eq!(m.total(), 20.0);
+        assert!((m.delay_share() - 0.15).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_share_is_zero() {
+        assert_eq!(ClassMatrices::zeros(2).delay_share(), 0.0);
+    }
+
+    #[test]
+    fn scale_preserves_share() {
+        let mut m = sample();
+        let before = m.delay_share();
+        m.scale(3.0);
+        assert!((m.delay_share() - before).abs() < 1e-12);
+        assert_eq!(m.total(), 60.0);
+    }
+
+    #[test]
+    fn node_removal_hits_both_classes() {
+        let mut m = sample();
+        m.remove_node_traffic(1);
+        assert_eq!(m.delay.total(), 0.0);
+        assert_eq!(m.throughput.total(), 0.0);
+    }
+}

@@ -1,0 +1,118 @@
+//! Gaussian traffic-uncertainty model (§V-F).
+//!
+//! The paper emulates measurement errors and random fluctuations with
+//! `r̃(s,t) = r(s,t) + N(0, ε·r(s,t))` per class, citing evidence that a
+//! Gaussian model fits traffic-matrix estimation errors (\[6\], \[18\]).
+//! With ε = 0.2, "actual traffic intensities can fluctuate by ±40% around
+//! the estimated mean value with a likelihood of about 95%" (±2σ).
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use crate::classes::ClassMatrices;
+use crate::gravity::sample_standard_normal;
+use crate::matrix::TrafficMatrix;
+
+/// Apply the Gaussian fluctuation model to one matrix: every positive entry
+/// `r` becomes `max(0, r + N(0, ε·r))`. Entries that were zero stay zero
+/// (no traffic appears between pairs that exchange none).
+pub fn perturb_matrix(base: &TrafficMatrix, epsilon: f64, rng: &mut StdRng) -> TrafficMatrix {
+    assert!(epsilon >= 0.0, "epsilon must be non-negative");
+    let mut out = TrafficMatrix::zeros(base.num_nodes());
+    for (s, t, r) in base.pairs() {
+        let noisy = r + epsilon * r * sample_standard_normal(rng);
+        out.set(s, t, noisy.max(0.0));
+    }
+    out
+}
+
+/// Apply the fluctuation model to both classes with independent noise,
+/// yielding one "actual traffic" instance `(R̃_D, R̃_T)` from the estimated
+/// base matrices. §V-F generates 100 such instances per experiment.
+pub fn perturb(base: &ClassMatrices, epsilon: f64, seed: u64) -> ClassMatrices {
+    let mut rng = StdRng::seed_from_u64(seed);
+    ClassMatrices {
+        delay: perturb_matrix(&base.delay, epsilon, &mut rng),
+        throughput: perturb_matrix(&base.throughput, epsilon, &mut rng),
+    }
+}
+
+/// Generate `count` independent perturbed instances, seeds derived from
+/// `base_seed` (seed, seed+1, …) for reproducibility of the whole batch.
+pub fn instances(
+    base: &ClassMatrices,
+    epsilon: f64,
+    count: usize,
+    base_seed: u64,
+) -> Vec<ClassMatrices> {
+    (0..count)
+        .map(|i| perturb(base, epsilon, base_seed.wrapping_add(i as u64)))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gravity::{generate, GravityConfig};
+
+    fn base() -> ClassMatrices {
+        generate(&GravityConfig {
+            total_volume: 1e6,
+            ..GravityConfig::paper_default(10, 7)
+        })
+    }
+
+    #[test]
+    fn zero_epsilon_is_identity() {
+        let b = base();
+        let p = perturb(&b, 0.0, 1);
+        assert_eq!(b, p);
+    }
+
+    #[test]
+    fn fluctuations_have_expected_magnitude() {
+        let b = base();
+        let p = perturb(&b, 0.2, 42);
+        // Mean relative deviation over all pairs ≈ E|N(0, 0.2 r)|/r =
+        // 0.2·sqrt(2/π) ≈ 0.16; allow a generous band.
+        let mut rel = Vec::new();
+        for ((_, _, rb), (_, _, rp)) in b.delay.pairs().zip(p.delay.pairs()) {
+            rel.push((rp - rb).abs() / rb);
+        }
+        let mean_rel = rel.iter().sum::<f64>() / rel.len() as f64;
+        assert!(
+            (0.08..0.30).contains(&mean_rel),
+            "mean relative deviation {mean_rel}"
+        );
+    }
+
+    #[test]
+    fn no_negative_demands() {
+        let b = base();
+        // Huge epsilon forces many negative draws; all must clamp to 0.
+        let p = perturb(&b, 5.0, 3);
+        assert!(p.delay.pairs().all(|(_, _, v)| v >= 0.0));
+        assert!(p.throughput.pairs().all(|(_, _, v)| v >= 0.0));
+    }
+
+    #[test]
+    fn zeros_stay_zero() {
+        let mut m = ClassMatrices::zeros(4);
+        m.delay.set(0, 1, 100.0);
+        let p = perturb(&m, 0.2, 9);
+        assert_eq!(p.delay.num_pairs(), 1);
+        assert_eq!(p.throughput.num_pairs(), 0);
+    }
+
+    #[test]
+    fn instances_are_distinct_and_reproducible() {
+        let b = base();
+        let batch1 = instances(&b, 0.2, 5, 100);
+        let batch2 = instances(&b, 0.2, 5, 100);
+        assert_eq!(batch1.len(), 5);
+        for (a, c) in batch1.iter().zip(&batch2) {
+            assert_eq!(a, c); // reproducible
+        }
+        assert_ne!(batch1[0], batch1[1]); // distinct draws
+    }
+}

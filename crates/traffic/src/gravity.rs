@@ -1,0 +1,205 @@
+//! Gravity-model traffic generation.
+//!
+//! The paper generates its matrices "using the models as in \[13\]"
+//! (§V-A2), i.e. the authors' earlier CoNEXT 2007 DTR paper, which uses a
+//! gravity-style model: each node gets a random activity level and the
+//! demand between two nodes is proportional to the product of their
+//! activity levels, with multiplicative noise. Two properties from §V-A2
+//! are preserved exactly:
+//!
+//! * every SD pair generates delay-sensitive traffic (so the SLA is
+//!   evaluated over all `|V|(|V|−1)` pairs), and
+//! * the delay class carries a configurable share (default 30 %) of the
+//!   total offered volume.
+//!
+//! Node activity levels are lognormal — the standard heavy-tailed choice
+//! for synthetic gravity matrices (the paper's reference \[18\]).
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::classes::ClassMatrices;
+use crate::matrix::TrafficMatrix;
+use crate::DEFAULT_DELAY_SHARE;
+
+/// Parameters of the gravity generator.
+#[derive(Clone, Copy, Debug)]
+pub struct GravityConfig {
+    /// Number of nodes.
+    pub nodes: usize,
+    /// Target total offered volume (both classes, bits/s). The generated
+    /// matrices sum exactly to this, before any later scaling.
+    pub total_volume: f64,
+    /// Fraction of volume in the delay class (paper default 0.30).
+    pub delay_share: f64,
+    /// σ of the underlying normal for lognormal node activity. 0 gives a
+    /// uniform gravity matrix; the default 0.5 gives mild heterogeneity.
+    pub sigma: f64,
+    /// Multiplicative noise half-range: each entry is scaled by
+    /// `U[1-noise, 1+noise]`. Default 0.4.
+    pub noise: f64,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl GravityConfig {
+    /// Paper-default configuration for `nodes` nodes: 30 % delay share,
+    /// mild lognormal heterogeneity, unit total volume (scale afterwards
+    /// with [`crate::scaling`]).
+    pub fn paper_default(nodes: usize, seed: u64) -> Self {
+        GravityConfig {
+            nodes,
+            total_volume: 1.0,
+            delay_share: DEFAULT_DELAY_SHARE,
+            sigma: 0.5,
+            noise: 0.4,
+            seed,
+        }
+    }
+}
+
+/// Standard normal via Box–Muller (the `rand` crate alone has no normal
+/// distribution; pulling in `rand_distr` for one function is not worth it).
+pub(crate) fn sample_standard_normal(rng: &mut impl Rng) -> f64 {
+    // u1 in (0, 1] to avoid ln(0).
+    let u1: f64 = 1.0 - rng.gen::<f64>();
+    let u2: f64 = rng.gen();
+    (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos()
+}
+
+/// Generate the two-class matrices.
+///
+/// Both classes share the same gravity structure but draw independent noise
+/// (delay-sensitive VoIP-like flows and bulk transfers are not perfectly
+/// correlated); each class is then normalized to its share of
+/// `total_volume`.
+///
+/// # Panics
+/// Panics if `nodes < 2`, `delay_share ∉ [0,1]`, or `total_volume < 0`.
+pub fn generate(cfg: &GravityConfig) -> ClassMatrices {
+    assert!(cfg.nodes >= 2, "need at least 2 nodes");
+    assert!(
+        (0.0..=1.0).contains(&cfg.delay_share),
+        "delay share must be in [0,1]"
+    );
+    assert!(
+        cfg.total_volume >= 0.0 && cfg.total_volume.is_finite(),
+        "total volume must be finite and non-negative"
+    );
+    let mut rng = StdRng::seed_from_u64(cfg.seed);
+    let n = cfg.nodes;
+
+    // Lognormal node activity levels (mass).
+    let mass: Vec<f64> = (0..n)
+        .map(|_| (cfg.sigma * sample_standard_normal(&mut rng)).exp())
+        .collect();
+
+    let raw = |rng: &mut StdRng| {
+        let mut m = TrafficMatrix::zeros(n);
+        for s in 0..n {
+            for t in 0..n {
+                if s == t {
+                    continue;
+                }
+                let noise = 1.0 + cfg.noise * (2.0 * rng.gen::<f64>() - 1.0);
+                // Gravity: product of masses, strictly positive so every SD
+                // pair carries traffic (required for the SLA census).
+                m.set(s, t, (mass[s] * mass[t] * noise).max(f64::MIN_POSITIVE));
+            }
+        }
+        m
+    };
+
+    let mut delay = raw(&mut rng);
+    let mut throughput = raw(&mut rng);
+
+    let d_total = delay.total();
+    let t_total = throughput.total();
+    if d_total > 0.0 {
+        delay.scale(cfg.total_volume * cfg.delay_share / d_total);
+    }
+    if t_total > 0.0 {
+        throughput.scale(cfg.total_volume * (1.0 - cfg.delay_share) / t_total);
+    }
+
+    ClassMatrices { delay, throughput }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn respects_total_volume_and_share() {
+        let cfg = GravityConfig {
+            total_volume: 1e9,
+            ..GravityConfig::paper_default(10, 3)
+        };
+        let m = generate(&cfg);
+        assert!((m.total() - 1e9).abs() < 1.0);
+        assert!((m.delay_share() - 0.30).abs() < 1e-9);
+    }
+
+    #[test]
+    fn every_sd_pair_has_delay_traffic() {
+        let m = generate(&GravityConfig::paper_default(8, 1));
+        assert_eq!(m.delay.num_pairs(), 8 * 7);
+        assert_eq!(m.throughput.num_pairs(), 8 * 7);
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let cfg = GravityConfig::paper_default(12, 99);
+        assert_eq!(generate(&cfg), generate(&cfg));
+    }
+
+    #[test]
+    fn seeds_change_the_matrix() {
+        let a = generate(&GravityConfig::paper_default(12, 1));
+        let b = generate(&GravityConfig::paper_default(12, 2));
+        assert!(a.delay.max_abs_diff(&b.delay) > 0.0);
+    }
+
+    #[test]
+    fn heterogeneity_grows_with_sigma() {
+        let flat = generate(&GravityConfig {
+            sigma: 0.0,
+            noise: 0.0,
+            ..GravityConfig::paper_default(20, 5)
+        });
+        let skewed = generate(&GravityConfig {
+            sigma: 1.5,
+            noise: 0.0,
+            ..GravityConfig::paper_default(20, 5)
+        });
+        let spread = |m: &TrafficMatrix| {
+            let vals: Vec<f64> = m.pairs().map(|(_, _, v)| v).collect();
+            let max = vals.iter().cloned().fold(0.0, f64::max);
+            let min = vals.iter().cloned().fold(f64::INFINITY, f64::min);
+            max / min
+        };
+        assert!(spread(&flat.delay) < 1.0 + 1e-9);
+        assert!(spread(&skewed.delay) > 2.0);
+    }
+
+    #[test]
+    fn zero_delay_share_supported() {
+        let m = generate(&GravityConfig {
+            delay_share: 0.0,
+            ..GravityConfig::paper_default(5, 0)
+        });
+        assert_eq!(m.delay_share(), 0.0);
+        assert!(m.throughput.total() > 0.0);
+    }
+
+    #[test]
+    fn normal_sampler_is_roughly_standard() {
+        let mut rng = StdRng::seed_from_u64(42);
+        let n = 20_000;
+        let samples: Vec<f64> = (0..n).map(|_| sample_standard_normal(&mut rng)).collect();
+        let mean = samples.iter().sum::<f64>() / n as f64;
+        let var = samples.iter().map(|x| (x - mean) * (x - mean)).sum::<f64>() / n as f64;
+        assert!(mean.abs() < 0.03, "mean {mean}");
+        assert!((var - 1.0).abs() < 0.05, "var {var}");
+    }
+}

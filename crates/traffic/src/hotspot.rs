@@ -1,0 +1,161 @@
+//! Hot-spot traffic-surge model (§V-F).
+//!
+//! "The impact of sporadic incidents is captured by using a hot-spot model
+//! that allows traffic surges to (upload) or from (download) a small set of
+//! (server) nodes": select a few servers, assign client nodes to them, and
+//! scale the client↔server demands by factors `ν, µ > 1` (the paper draws
+//! both uniformly from \[2, 6\], i.e. 100–500 % surges).
+
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::{Rng, SeedableRng};
+
+use crate::classes::ClassMatrices;
+
+/// Surge direction.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Direction {
+    /// Clients push to servers: demands `client -> server` are scaled.
+    Upload,
+    /// Clients pull from servers: demands `server -> client` are scaled.
+    Download,
+}
+
+/// Hot-spot model parameters (paper values in §V-F: 10 % servers, 50 %
+/// clients, factors uniform in \[2, 6\]).
+#[derive(Clone, Copy, Debug)]
+pub struct HotspotConfig {
+    /// Fraction of nodes acting as servers (rounded up, at least 1).
+    pub server_fraction: f64,
+    /// Fraction of nodes acting as clients (rounded up, at least 1).
+    pub client_fraction: f64,
+    /// Scale factors drawn uniformly from `[factor_min, factor_max]`,
+    /// independently per (client, server) pair and per class (the paper's
+    /// ν for delay-sensitive, µ for throughput-sensitive traffic).
+    pub factor_min: f64,
+    pub factor_max: f64,
+    pub direction: Direction,
+    pub seed: u64,
+}
+
+impl HotspotConfig {
+    /// Paper-default configuration (§V-F).
+    pub fn paper_default(direction: Direction, seed: u64) -> Self {
+        HotspotConfig {
+            server_fraction: 0.10,
+            client_fraction: 0.50,
+            factor_min: 2.0,
+            factor_max: 6.0,
+            direction,
+            seed,
+        }
+    }
+}
+
+/// Apply the hot-spot model, returning the perturbed matrices and the
+/// chosen `(clients, servers)` node sets (useful for reporting).
+///
+/// Servers and clients are disjoint node sets; each client is assigned to
+/// one uniformly random server, and only that client–server pair surges —
+/// matching "assigning a number of 'clients' to each one of them".
+pub fn apply(base: &ClassMatrices, cfg: &HotspotConfig) -> (ClassMatrices, Vec<usize>, Vec<usize>) {
+    assert!(
+        cfg.factor_min >= 1.0 && cfg.factor_max >= cfg.factor_min,
+        "surge factors must be >= 1 and ordered"
+    );
+    assert!(
+        cfg.server_fraction > 0.0 && cfg.client_fraction > 0.0,
+        "fractions must be positive"
+    );
+    let n = base.num_nodes();
+    let mut rng = StdRng::seed_from_u64(cfg.seed);
+
+    let num_servers = ((n as f64 * cfg.server_fraction).ceil() as usize).clamp(1, n - 1);
+    let num_clients = ((n as f64 * cfg.client_fraction).ceil() as usize).min(n - num_servers);
+
+    let mut ids: Vec<usize> = (0..n).collect();
+    ids.shuffle(&mut rng);
+    let servers: Vec<usize> = ids[..num_servers].to_vec();
+    let clients: Vec<usize> = ids[num_servers..num_servers + num_clients].to_vec();
+
+    let mut out = base.clone();
+    for &c in &clients {
+        let s = servers[rng.gen_range(0..servers.len())];
+        let nu = rng.gen_range(cfg.factor_min..=cfg.factor_max); // delay class
+        let mu = rng.gen_range(cfg.factor_min..=cfg.factor_max); // throughput
+        let (from, to) = match cfg.direction {
+            Direction::Upload => (c, s),
+            Direction::Download => (s, c),
+        };
+        let d = out.delay.demand(from, to);
+        out.delay.set(from, to, d * nu);
+        let t = out.throughput.demand(from, to);
+        out.throughput.set(from, to, t * mu);
+    }
+    (out, clients, servers)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gravity::{generate, GravityConfig};
+
+    fn base() -> ClassMatrices {
+        generate(&GravityConfig {
+            total_volume: 1e6,
+            ..GravityConfig::paper_default(20, 4)
+        })
+    }
+
+    #[test]
+    fn surge_only_increases_selected_pairs() {
+        let b = base();
+        let cfg = HotspotConfig::paper_default(Direction::Download, 11);
+        let (p, clients, servers) = apply(&b, &cfg);
+        assert_eq!(servers.len(), 2); // ceil(20 * 0.1)
+        assert_eq!(clients.len(), 10);
+        // No demand decreased, and total increased.
+        for ((s, t, vb), (_, _, vp)) in b.delay.pairs().zip(p.delay.pairs()) {
+            assert!(vp >= vb - 1e-12, "({s},{t}) decreased");
+        }
+        assert!(p.total() > b.total());
+    }
+
+    #[test]
+    fn surge_factors_within_bounds() {
+        let b = base();
+        let cfg = HotspotConfig::paper_default(Direction::Upload, 5);
+        let (p, _, _) = apply(&b, &cfg);
+        for ((_, _, vb), (_, _, vp)) in b.delay.pairs().zip(p.delay.pairs()) {
+            let ratio = vp / vb;
+            assert!(
+                (1.0 - 1e-12..=6.0 + 1e-12).contains(&ratio),
+                "ratio {ratio}"
+            );
+        }
+    }
+
+    #[test]
+    fn upload_and_download_differ() {
+        let b = base();
+        let up = apply(&b, &HotspotConfig::paper_default(Direction::Upload, 7)).0;
+        let down = apply(&b, &HotspotConfig::paper_default(Direction::Download, 7)).0;
+        assert!(up.delay.max_abs_diff(&down.delay) > 0.0);
+    }
+
+    #[test]
+    fn clients_and_servers_are_disjoint() {
+        let b = base();
+        let (_, clients, servers) = apply(&b, &HotspotConfig::paper_default(Direction::Upload, 1));
+        for c in &clients {
+            assert!(!servers.contains(c));
+        }
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let b = base();
+        let cfg = HotspotConfig::paper_default(Direction::Download, 21);
+        assert_eq!(apply(&b, &cfg).0, apply(&b, &cfg).0);
+    }
+}

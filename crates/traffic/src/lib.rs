@@ -1,0 +1,38 @@
+//! # dtr-traffic — two-class traffic matrices
+//!
+//! The paper's network supports two traffic classes (§III): delay-sensitive
+//! (matrix `R_D = [r_D(s,t)]`) and throughput-sensitive (`R_T`). This crate
+//! provides:
+//!
+//! * [`TrafficMatrix`] — dense `|V|×|V|` demand matrix in bits/s.
+//! * [`ClassMatrices`] — the `(R_D, R_T)` pair handled as one unit.
+//! * [`gravity`] — generation following the gravity-style model of the
+//!   paper's reference \[13\], with every SD pair carrying delay-sensitive
+//!   traffic and the delay class making up a configurable share (paper
+//!   default 30 %) of total volume (§V-A2).
+//! * [`scaling`] — scaling matrices to hit a target link-utilization
+//!   operating point (the paper quotes its scenarios by realized
+//!   utilization: 0.43 average, 0.74 / 0.8 / 0.9 maximum).
+//! * [`fluctuation`] — the Gaussian uncertainty model of §V-F
+//!   (`r̃ = r + N(0, ε·r)`, measurement-error emulation).
+//! * [`hotspot`] — the upload/download hot-spot surge model of §V-F.
+//!
+//! All generators are deterministic in an explicit `u64` seed.
+
+#![forbid(unsafe_code)]
+
+mod classes;
+pub mod fluctuation;
+pub mod gravity;
+pub mod hotspot;
+mod matrix;
+pub mod scaling;
+pub mod stats;
+
+pub use classes::ClassMatrices;
+pub use matrix::TrafficMatrix;
+
+/// Fraction of total traffic volume that is delay-sensitive in the paper's
+/// evaluation (§V-A2: "the total volume of delay-sensitive traffic is 30%
+/// of the total network traffic volume").
+pub const DEFAULT_DELAY_SHARE: f64 = 0.30;

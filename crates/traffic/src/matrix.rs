@@ -1,0 +1,180 @@
+//! Dense traffic matrix.
+
+/// A dense `n × n` demand matrix; entry `(s, t)` is the offered traffic
+/// volume from node `s` to node `t` in bits/s. The diagonal is always zero.
+#[derive(Clone, Debug, PartialEq)]
+pub struct TrafficMatrix {
+    n: usize,
+    demand: Vec<f64>, // row-major, len n*n
+}
+
+impl TrafficMatrix {
+    /// All-zero matrix for `n` nodes.
+    pub fn zeros(n: usize) -> Self {
+        TrafficMatrix {
+            n,
+            demand: vec![0.0; n * n],
+        }
+    }
+
+    /// Number of nodes.
+    #[inline]
+    pub fn num_nodes(&self) -> usize {
+        self.n
+    }
+
+    /// Demand from `s` to `t` (node indices).
+    ///
+    /// # Panics
+    /// Panics if `s` or `t` is out of range.
+    #[inline]
+    pub fn demand(&self, s: usize, t: usize) -> f64 {
+        assert!(s < self.n && t < self.n, "node index out of range");
+        self.demand[s * self.n + t]
+    }
+
+    /// Set the demand from `s` to `t`. Setting the diagonal or a negative /
+    /// non-finite volume panics — demands are physical quantities.
+    pub fn set(&mut self, s: usize, t: usize, volume: f64) {
+        assert!(s < self.n && t < self.n, "node index out of range");
+        assert!(s != t, "diagonal demands are not allowed");
+        assert!(
+            volume.is_finite() && volume >= 0.0,
+            "demand must be finite and non-negative, got {volume}"
+        );
+        self.demand[s * self.n + t] = volume;
+    }
+
+    /// Iterator over `(s, t, volume)` for all strictly positive demands.
+    pub fn pairs(&self) -> impl Iterator<Item = (usize, usize, f64)> + '_ {
+        (0..self.n).flat_map(move |s| {
+            (0..self.n).filter_map(move |t| {
+                let v = self.demand[s * self.n + t];
+                (v > 0.0).then_some((s, t, v))
+            })
+        })
+    }
+
+    /// Number of SD pairs with positive demand.
+    pub fn num_pairs(&self) -> usize {
+        self.demand.iter().filter(|&&v| v > 0.0).count()
+    }
+
+    /// Sum of all demands (bits/s).
+    pub fn total(&self) -> f64 {
+        self.demand.iter().sum()
+    }
+
+    /// Multiply every demand by `factor` (≥ 0).
+    pub fn scale(&mut self, factor: f64) {
+        assert!(
+            factor.is_finite() && factor >= 0.0,
+            "scale factor must be finite and non-negative"
+        );
+        for v in &mut self.demand {
+            *v *= factor;
+        }
+    }
+
+    /// Zero out all traffic sourced or sunk at node `v` — the paper's node
+    /// failure semantics ("the removal of all the traffic it originates",
+    /// §V-F; symmetric removal of terminating traffic keeps the scenario
+    /// well-posed, since a dead router neither sends nor receives).
+    pub fn remove_node_traffic(&mut self, v: usize) {
+        assert!(v < self.n, "node index out of range");
+        for t in 0..self.n {
+            self.demand[v * self.n + t] = 0.0;
+            self.demand[t * self.n + v] = 0.0;
+        }
+    }
+
+    /// Element-wise maximum deviation from `other`, as a fraction of
+    /// `self`'s total volume — a cheap similarity metric used in tests.
+    pub fn max_abs_diff(&self, other: &TrafficMatrix) -> f64 {
+        assert_eq!(self.n, other.n, "matrix sizes differ");
+        self.demand
+            .iter()
+            .zip(&other.demand)
+            .map(|(a, b)| (a - b).abs())
+            .fold(0.0, f64::max)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zeros_has_no_pairs() {
+        let m = TrafficMatrix::zeros(4);
+        assert_eq!(m.num_pairs(), 0);
+        assert_eq!(m.total(), 0.0);
+        assert_eq!(m.pairs().count(), 0);
+    }
+
+    #[test]
+    fn set_get_round_trip() {
+        let mut m = TrafficMatrix::zeros(3);
+        m.set(0, 1, 5.0);
+        m.set(2, 0, 7.0);
+        assert_eq!(m.demand(0, 1), 5.0);
+        assert_eq!(m.demand(2, 0), 7.0);
+        assert_eq!(m.demand(1, 0), 0.0);
+        assert_eq!(m.num_pairs(), 2);
+        assert_eq!(m.total(), 12.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "diagonal")]
+    fn diagonal_set_panics() {
+        TrafficMatrix::zeros(3).set(1, 1, 1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-negative")]
+    fn negative_demand_panics() {
+        TrafficMatrix::zeros(3).set(0, 1, -1.0);
+    }
+
+    #[test]
+    fn scale_multiplies_total() {
+        let mut m = TrafficMatrix::zeros(3);
+        m.set(0, 1, 2.0);
+        m.set(1, 2, 4.0);
+        m.scale(2.5);
+        assert_eq!(m.total(), 15.0);
+    }
+
+    #[test]
+    fn remove_node_traffic_clears_row_and_column() {
+        let mut m = TrafficMatrix::zeros(3);
+        m.set(0, 1, 1.0);
+        m.set(1, 0, 2.0);
+        m.set(1, 2, 3.0);
+        m.set(2, 1, 4.0);
+        m.set(0, 2, 5.0);
+        m.remove_node_traffic(1);
+        assert_eq!(m.total(), 5.0);
+        assert_eq!(m.demand(0, 2), 5.0);
+        assert_eq!(m.num_pairs(), 1);
+    }
+
+    #[test]
+    fn pairs_iterates_in_row_major_order() {
+        let mut m = TrafficMatrix::zeros(3);
+        m.set(1, 0, 1.0);
+        m.set(0, 2, 2.0);
+        let got: Vec<_> = m.pairs().collect();
+        assert_eq!(got, vec![(0, 2, 2.0), (1, 0, 1.0)]);
+    }
+
+    #[test]
+    fn max_abs_diff_detects_change() {
+        let mut a = TrafficMatrix::zeros(2);
+        a.set(0, 1, 10.0);
+        let mut b = a.clone();
+        assert_eq!(a.max_abs_diff(&b), 0.0);
+        b.set(0, 1, 12.5);
+        assert_eq!(a.max_abs_diff(&b), 2.5);
+    }
+}

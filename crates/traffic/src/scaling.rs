@@ -1,0 +1,84 @@
+//! Scaling matrices to a utilization operating point.
+//!
+//! The paper describes every scenario by its *realized* link utilization
+//! ("average link utilization is 0.43", "maximum link utilization of 0.74
+//! and 0.9", …). Given a fixed routing, link loads are linear in the
+//! traffic matrix, so hitting a utilization target is a single
+//! multiplicative rescale — no search needed. The caller supplies the
+//! utilization measurement as a closure, keeping this crate independent of
+//! the routing engine.
+
+use crate::classes::ClassMatrices;
+
+/// Scale `matrices` (both classes, same factor) so that
+/// `measure(matrices)` — any utilization functional that is linear in the
+/// matrix, e.g. average or maximum link utilization under a fixed routing —
+/// equals `target`. Returns the factor applied.
+///
+/// # Panics
+/// Panics if the measured utilization of the input is not strictly
+/// positive and finite (a zero matrix cannot be scaled to a target), or if
+/// `target` is not strictly positive.
+pub fn scale_to_utilization(
+    matrices: &mut ClassMatrices,
+    target: f64,
+    measure: impl Fn(&ClassMatrices) -> f64,
+) -> f64 {
+    assert!(target > 0.0 && target.is_finite(), "bad target {target}");
+    let current = measure(matrices);
+    assert!(
+        current > 0.0 && current.is_finite(),
+        "cannot scale: measured utilization is {current}"
+    );
+    let factor = target / current;
+    matrices.scale(factor);
+    factor
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Toy "utilization": total volume divided by a fixed capacity — linear
+    /// in the matrix like a real link-load functional.
+    fn toy_util(m: &ClassMatrices) -> f64 {
+        m.total() / 1000.0
+    }
+
+    fn sample() -> ClassMatrices {
+        let mut m = ClassMatrices::zeros(3);
+        m.delay.set(0, 1, 30.0);
+        m.throughput.set(1, 2, 70.0);
+        m
+    }
+
+    #[test]
+    fn hits_target_exactly_for_linear_measures() {
+        let mut m = sample();
+        let factor = scale_to_utilization(&mut m, 0.43, toy_util);
+        assert!((toy_util(&m) - 0.43).abs() < 1e-12);
+        assert!((factor - 4.3).abs() < 1e-12);
+    }
+
+    #[test]
+    fn preserves_class_mix() {
+        let mut m = sample();
+        let share = m.delay_share();
+        scale_to_utilization(&mut m, 0.9, toy_util);
+        assert!((m.delay_share() - share).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "cannot scale")]
+    fn zero_matrix_panics() {
+        let mut m = ClassMatrices::zeros(3);
+        scale_to_utilization(&mut m, 0.5, toy_util);
+    }
+
+    #[test]
+    #[should_panic(expected = "bad target")]
+    fn zero_target_panics() {
+        let mut m = sample();
+        scale_to_utilization(&mut m, 0.0, toy_util);
+    }
+}

@@ -1,0 +1,66 @@
+//! Summary statistics over traffic matrices (used by experiment reports).
+
+use crate::matrix::TrafficMatrix;
+
+/// Basic descriptive statistics of the positive demands of a matrix.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct MatrixStats {
+    /// Number of SD pairs with positive demand.
+    pub pairs: usize,
+    /// Sum of demands (bits/s).
+    pub total: f64,
+    /// Mean positive demand.
+    pub mean: f64,
+    /// Largest demand.
+    pub max: f64,
+    /// Smallest positive demand.
+    pub min: f64,
+}
+
+/// Compute [`MatrixStats`]; `None` for an all-zero matrix.
+pub fn stats(m: &TrafficMatrix) -> Option<MatrixStats> {
+    let mut pairs = 0usize;
+    let mut total = 0.0;
+    let mut max = 0.0f64;
+    let mut min = f64::INFINITY;
+    for (_, _, v) in m.pairs() {
+        pairs += 1;
+        total += v;
+        max = max.max(v);
+        min = min.min(v);
+    }
+    if pairs == 0 {
+        return None;
+    }
+    Some(MatrixStats {
+        pairs,
+        total,
+        mean: total / pairs as f64,
+        max,
+        min,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_matrix_has_no_stats() {
+        assert_eq!(stats(&TrafficMatrix::zeros(4)), None);
+    }
+
+    #[test]
+    fn stats_match_hand_computation() {
+        let mut m = TrafficMatrix::zeros(3);
+        m.set(0, 1, 2.0);
+        m.set(1, 2, 6.0);
+        m.set(2, 0, 4.0);
+        let s = stats(&m).unwrap();
+        assert_eq!(s.pairs, 3);
+        assert_eq!(s.total, 12.0);
+        assert_eq!(s.mean, 4.0);
+        assert_eq!(s.max, 6.0);
+        assert_eq!(s.min, 2.0);
+    }
+}

@@ -1,0 +1,107 @@
+//! Extension demo: probabilistic failure model + multi-failure checks.
+//!
+//! The paper's conclusion sketches extending robust optimization with a
+//! probabilistic failure model; fn 16 claims single-link robustness also
+//! helps against multiple simultaneous failures. This example exercises
+//! both extension modules:
+//!
+//! 1. optimize with length-proportional failure probabilities (long-haul
+//!    fiber fails more often),
+//! 2. compare uniform-robust vs probability-robust under the weighted
+//!    objective,
+//! 3. stress both under sampled double-link failures,
+//! 4. turn the same model into the operator-facing view: per-SD-pair SLA
+//!    availability.
+//!
+//! ```text
+//! cargo run --release --example probabilistic_failures
+//! ```
+
+use dtr::core::ext::{availability, multi_failure, probabilistic};
+use dtr::core::{phase1, phase2, FailureUniverse, Params};
+use dtr::cost::{CostParams, Evaluator};
+use dtr::topogen::{synth, SynthConfig, TopoKind};
+use dtr::traffic::gravity;
+
+fn main() {
+    let net = synth(
+        TopoKind::Rand,
+        &SynthConfig {
+            nodes: 12,
+            duplex_links: 28,
+            seed: 23,
+        },
+    )
+    .expect("valid config");
+    let mut traffic = gravity::generate(&gravity::GravityConfig {
+        total_volume: 1.0,
+        ..gravity::GravityConfig::paper_default(net.num_nodes(), 4)
+    });
+    traffic.scale(8e9);
+
+    let ev = Evaluator::new(&net, &traffic, CostParams::default());
+    let universe = FailureUniverse::of(&net);
+    let params = Params::reduced(55);
+    let p1 = phase1::run(&ev, &universe, &params);
+
+    // Uniform-probability robust routing (the paper's Eq. 4).
+    let uniform = {
+        let idx: Vec<usize> = (0..universe.len()).collect();
+        phase2::run(&ev, &universe, &idx, &params, &p1, None)
+    };
+
+    // Length-proportional probabilistic model.
+    let model = probabilistic::FailureModel::length_proportional(&net, &universe);
+    let prob = probabilistic::optimize(&ev, &universe, &params, &p1, &model);
+
+    // Expected (probability-weighted) failure cost of each routing.
+    let expected = |w: &dtr::routing::WeightSetting| {
+        let mut lam = 0.0;
+        let mut total_p = 0.0;
+        for (i, &p) in model.probabilities.iter().enumerate() {
+            lam += p * ev.cost(w, universe.scenario(i)).lambda;
+            total_p += p;
+        }
+        lam / total_p
+    };
+    println!("expected failure Λ (length-weighted):");
+    println!("  uniform-robust:       {:.2}", expected(&uniform.best));
+    println!("  probabilistic-robust: {:.2}", expected(&prob.best));
+
+    // Double-link failure stress (sampled).
+    let doubles = multi_failure::double_failures(&ev, &universe, Some(40), 9);
+    println!("\ndouble-link failures sampled: {}", doubles.len());
+    for (name, w) in [
+        ("regular (phase 1)", &p1.best),
+        ("uniform-robust", &uniform.best),
+        ("probabilistic-robust", &prob.best),
+    ] {
+        let s = multi_failure::evaluate_batch(&ev, w, &doubles, 1);
+        println!(
+            "  {:<22} mean violations {:>6.2}   worst {:>4}",
+            name, s.mean_violations, s.worst_violations
+        );
+    }
+
+    // SLA availability: suppose the network spends 2% of its time in some
+    // single-link failure state, split per the length-proportional rates.
+    println!("\nSLA availability (2% failure time, length-weighted):");
+    for (name, w) in [
+        ("regular (phase 1)", &p1.best),
+        ("probabilistic-robust", &prob.best),
+    ] {
+        let report = availability::analyze(&ev, &universe, w, &model, 0.02);
+        println!(
+            "  {:<22} network {:>8.5}   mean pair {:>8.5}",
+            name,
+            report.network_availability,
+            report.mean_availability()
+        );
+        for p in report.worst(3) {
+            println!(
+                "      worst pair {:>2} -> {:<2}  availability {:.5}",
+                p.src, p.dst, p.availability
+            );
+        }
+    }
+}

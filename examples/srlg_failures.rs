@@ -1,0 +1,79 @@
+//! Shared-risk link groups: when "independent" links fail together.
+//!
+//! Backbone fibers share conduits; a single cut downs the whole bundle.
+//! This example builds the GEANT-like European backbone, derives a
+//! conduit catalog from link-midpoint proximity, and compares a routing
+//! optimized only against single link failures with one optimized against
+//! the union of single links and SRLGs.
+//!
+//! Run with:
+//! ```text
+//! cargo run --release --example srlg_failures
+//! ```
+
+use dtr::core::criticality::Criticality;
+use dtr::core::ext::srlg::{optimize_robust_srlg, srlg_kfail, SrlgCatalog};
+use dtr::core::{phase1, phase1b, phase2, selection, FailureUniverse, Params};
+use dtr::cost::{CostParams, Evaluator};
+use dtr::topogen::{geant, DEFAULT_CAPACITY};
+use dtr::traffic::gravity::{self, GravityConfig};
+
+fn main() {
+    // 1. The 22-node GEANT-like European backbone.
+    let net = geant::network(DEFAULT_CAPACITY).expect("preset is valid");
+    let mut traffic = gravity::generate(&GravityConfig {
+        total_volume: 1.0,
+        ..GravityConfig::paper_default(net.num_nodes(), 9)
+    });
+    traffic.scale(14e9);
+    println!(
+        "network: {} nodes, {} directed links",
+        net.num_nodes(),
+        net.num_links()
+    );
+
+    // 2. Conduit catalog: links whose midpoints sit within 8% of the map
+    //    of each other share fate.
+    let catalog = SrlgCatalog::geographic(&net, 0.08);
+    println!("SRLG catalog: {} groups", catalog.len());
+    for g in catalog.groups() {
+        let members: Vec<String> = g
+            .links()
+            .iter()
+            .map(|&l| {
+                let link = net.link(l);
+                format!(
+                    "{}-{}",
+                    geant::CITIES[link.src.index()].0,
+                    geant::CITIES[link.dst.index()].0
+                )
+            })
+            .collect();
+        println!("  conduit: {}", members.join(", "));
+    }
+
+    // 3. Shared Phase 1, then two robust phases: single-link only, and
+    //    single-link + SRLG.
+    let ev = Evaluator::new(&net, &traffic, CostParams::default());
+    let params = Params::quick(21);
+    let universe = FailureUniverse::of(&net);
+    let mut p1 = phase1::run(&ev, &universe, &params);
+    phase1b::run(&ev, &universe, &params, &mut p1);
+    let crit = Criticality::estimate(&p1.store, params.left_tail_fraction);
+    let critical = selection::select(&crit, universe.target_size(params.critical_fraction));
+
+    let link_robust = phase2::run(&ev, &universe, &critical.indices, &params, &p1, None);
+    let srlg_robust =
+        optimize_robust_srlg(&ev, &universe, &critical.indices, &catalog, &params, &p1);
+
+    // 4. Score all three routings on the SRLG scenarios.
+    println!("\ncompound cost over {} SRLG failures:", catalog.len());
+    for (label, w) in [
+        ("regular (no robust)", &p1.best),
+        ("link-robust", &link_robust.best),
+        ("SRLG-robust", &srlg_robust.best),
+    ] {
+        let k = srlg_kfail(&ev, w, &catalog, params.threads);
+        println!("  {label:20} {k}");
+    }
+}

@@ -1,0 +1,99 @@
+//! Traffic-uncertainty stress test (the §V-F scenario as a library demo):
+//! compute a robust routing on an *estimated* traffic matrix, then hit it
+//! with Gaussian estimation errors and download hot-spot surges, and see
+//! whether the robustness advantage survives.
+//!
+//! ```text
+//! cargo run --release --example traffic_uncertainty
+//! ```
+
+use dtr::core::{Params, RobustOptimizer};
+use dtr::cost::{CostParams, Evaluator};
+use dtr::net::Network;
+use dtr::routing::{Scenario, WeightSetting};
+use dtr::topogen::{synth, SynthConfig, TopoKind};
+use dtr::traffic::hotspot::{self, Direction, HotspotConfig};
+use dtr::traffic::{fluctuation, gravity, ClassMatrices};
+
+/// Mean SLA violations per failure scenario for routing `w` on `traffic`.
+fn score(
+    net: &Network,
+    cost: CostParams,
+    scenarios: &[Scenario],
+    traffic: &ClassMatrices,
+    w: &WeightSetting,
+) -> f64 {
+    let ev = Evaluator::new(net, traffic, cost);
+    let total: usize = scenarios
+        .iter()
+        .map(|&sc| ev.evaluate(w, sc).sla.violations)
+        .sum();
+    total as f64 / scenarios.len() as f64
+}
+
+fn main() {
+    let net = synth(
+        TopoKind::Rand,
+        &SynthConfig {
+            nodes: 12,
+            duplex_links: 30,
+            seed: 5,
+        },
+    )
+    .expect("valid config");
+
+    let mut base = gravity::generate(&gravity::GravityConfig {
+        total_volume: 1.0,
+        ..gravity::GravityConfig::paper_default(net.num_nodes(), 31)
+    });
+    base.scale(8e9);
+
+    let cost = CostParams::default();
+    let ev = Evaluator::new(&net, &base, cost);
+    let opt = RobustOptimizer::new(&ev, Params::reduced(3));
+    let report = opt.optimize();
+    let scenarios = opt.universe().scenarios();
+
+    println!("mean SLA violations per failure (estimated TM):");
+    println!(
+        "  regular: {:.2}",
+        score(&net, cost, &scenarios, &base, &report.regular)
+    );
+    println!(
+        "  robust:  {:.2}",
+        score(&net, cost, &scenarios, &base, &report.robust)
+    );
+
+    // Gaussian fluctuation, ε = 0.2 (±40% swings at 2σ), 20 instances.
+    let instances = fluctuation::instances(&base, 0.2, 20, 777);
+    let avg = |w: &WeightSetting| {
+        instances
+            .iter()
+            .map(|tm| score(&net, cost, &scenarios, tm, w))
+            .sum::<f64>()
+            / instances.len() as f64
+    };
+    println!("\nunder Gaussian fluctuation (20 instances, eps=0.2):");
+    println!("  regular: {:.2}", avg(&report.regular));
+    println!("  robust:  {:.2}", avg(&report.robust));
+
+    // Download hot-spot surges (10% servers, 50% clients, 2-6x).
+    let hot: Vec<_> = (0..20)
+        .map(|i| {
+            hotspot::apply(
+                &base,
+                &HotspotConfig::paper_default(Direction::Download, 1000 + i),
+            )
+            .0
+        })
+        .collect();
+    let avg_hot = |w: &WeightSetting| {
+        hot.iter()
+            .map(|tm| score(&net, cost, &scenarios, tm, w))
+            .sum::<f64>()
+            / hot.len() as f64
+    };
+    println!("\nunder download hot-spots (20 instances, 2-6x surges):");
+    println!("  regular: {:.2}", avg_hot(&report.regular));
+    println!("  robust:  {:.2}", avg_hot(&report.robust));
+}

@@ -1,0 +1,33 @@
+//! # dtr — Dual-Topology Routing with robust weight optimization
+//!
+//! Facade crate for the workspace reproducing *"Balancing Performance,
+//! Robustness and Flexibility in Routing Systems"* (Kwong, Guérin, Shaikh,
+//! Tao — ACM CoNEXT 2008 / IEEE TNSM 2010).
+//!
+//! Re-exports every sub-crate under a stable module path:
+//!
+//! | module | crate | contents |
+//! |---|---|---|
+//! | [`net`] | `dtr-net` | directed network model, failure masks, bridges, connectivity, DOT export |
+//! | [`topogen`] | `dtr-topogen` | RandTopo / NearTopo / PLTopo / Waxman generators, ring-grid-torus lattices, ISP + GEANT-like backbones |
+//! | [`traffic`] | `dtr-traffic` | two-class gravity matrices, fluctuation and hot-spot uncertainty, load scaling |
+//! | [`routing`] | `dtr-routing` | per-class SPF + ECMP engine, delay DP, link/node/double/SRLG scenarios, weight I/O |
+//! | [`cost`] | `dtr-cost` | Eq. 1 delay model, Eq. 2 SLA cost, Fortz–Thorup congestion, lexicographic `K`, the evaluator |
+//! | [`core`] | `dtr-core` | **the paper**: Phases 1a/1b/1c + 2, criticality, Algorithm 1, baselines, strategies, `ext/` extensions |
+//! | [`mtr`] | `dtr-mtr` | generalized k-topology MTR engine (k classes, vector cost, k-way Algorithm 1) |
+//! | [`eval`] | `dtr-eval` | experiment drivers for every table/figure + extension studies, the `repro` binary |
+//!
+//! See the README for the architecture overview and
+//! `examples/quickstart.rs` for a five-minute tour; DESIGN.md maps every
+//! paper table/figure to its driver and bench target.
+
+#![forbid(unsafe_code)]
+
+pub use dtr_core as core;
+pub use dtr_cost as cost;
+pub use dtr_eval as eval;
+pub use dtr_mtr as mtr;
+pub use dtr_net as net;
+pub use dtr_routing as routing;
+pub use dtr_topogen as topogen;
+pub use dtr_traffic as traffic;

@@ -1,0 +1,108 @@
+//! Property tests on the §III cost models.
+
+use dtr::cost::{congestion, delay_model, sla, CostParams, LexCost};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Link delay (Eq. 1) is monotone non-decreasing in load and always
+    /// at least the propagation delay.
+    #[test]
+    fn link_delay_monotone_and_bounded(
+        cap_mbps in 10.0f64..10_000.0,
+        prop_ms in 0.0f64..50.0,
+        u1 in 0.0f64..2.0,
+        u2 in 0.0f64..2.0,
+    ) {
+        let p = CostParams::default();
+        let c = cap_mbps * 1e6;
+        let pd = prop_ms * 1e-3;
+        let (lo, hi) = if u1 <= u2 { (u1, u2) } else { (u2, u1) };
+        let d_lo = delay_model::link_delay(lo * c, c, pd, &p);
+        let d_hi = delay_model::link_delay(hi * c, c, pd, &p);
+        prop_assert!(d_lo <= d_hi + 1e-15);
+        prop_assert!(d_lo >= pd);
+        prop_assert!(d_hi.is_finite());
+    }
+
+    /// SLA penalty (Eq. 2) is zero up to θ, then at least B1, and monotone.
+    #[test]
+    fn sla_penalty_structure(delay_ms in 0.0f64..500.0) {
+        let p = CostParams::default();
+        let xi = delay_ms * 1e-3;
+        let pen = sla::pair_penalty(xi, &p);
+        if xi <= p.theta {
+            prop_assert_eq!(pen, 0.0);
+        } else {
+            prop_assert!(pen >= p.b1);
+            // Monotone: a bit more delay costs at least as much.
+            prop_assert!(sla::pair_penalty(xi + 1e-3, &p) >= pen);
+        }
+    }
+
+    /// Fortz-Thorup utilization cost is convex: midpoint value below the
+    /// chord.
+    #[test]
+    fn congestion_cost_is_convex(a in 0.0f64..1.5, b in 0.0f64..1.5) {
+        let (lo, hi) = if a <= b { (a, b) } else { (b, a) };
+        let mid = (lo + hi) / 2.0;
+        let f = congestion::utilization_cost;
+        prop_assert!(f(mid) <= (f(lo) + f(hi)) / 2.0 + 1e-12);
+    }
+
+    /// Congestion cost scales with capacity: same utilization, double
+    /// capacity, double cost (the paper's absolute-load formulation).
+    #[test]
+    fn congestion_cost_scales_with_capacity(u in 0.0f64..1.5, cap in 1.0f64..100.0) {
+        let c1 = congestion::link_cost(u * cap, cap);
+        let c2 = congestion::link_cost(u * cap * 2.0, cap * 2.0);
+        prop_assert!((c2 - 2.0 * c1).abs() <= 1e-9 * (1.0 + c2.abs()));
+    }
+
+    /// Lexicographic order sanity: better_than is asymmetric and agrees
+    /// with component-wise domination.
+    #[test]
+    fn lexico_order_laws(
+        l1 in 0.0f64..1000.0, p1 in 0.0f64..1000.0,
+        l2 in 0.0f64..1000.0, p2 in 0.0f64..1000.0,
+    ) {
+        let a = LexCost::new(l1, p1);
+        let b = LexCost::new(l2, p2);
+        prop_assert!(!(a.better_than(&b) && b.better_than(&a)));
+        if l1 < l2 - 1e-3 {
+            prop_assert!(a.better_than(&b));
+        }
+        if l1 == l2 && p1 < p2 {
+            prop_assert!(a.better_than(&b));
+        }
+        // add() is commutative.
+        let s1 = a.add(&b);
+        let s2 = b.add(&a);
+        prop_assert_eq!(s1.lambda, s2.lambda);
+        prop_assert_eq!(s1.phi, s2.phi);
+    }
+}
+
+/// Deterministic spot checks complementing the random laws.
+#[test]
+fn delay_model_paper_anchor() {
+    // 95% load on a 500 Mb/s link: queueing just under 0.5 ms (§V-A3).
+    let p = CostParams::default();
+    let c = 500e6;
+    let d = delay_model::link_delay(0.9501 * c, c, 0.0, &p);
+    assert!(d > 0.4e-3 && d < 0.5e-3, "queueing delay {d}");
+}
+
+#[test]
+fn congestion_breakpoints_match_fortz_thorup() {
+    // Slope ratios across the canonical breakpoints.
+    let f = congestion::utilization_cost;
+    let slope = |a: f64, b: f64| (f(b) - f(a)) / (b - a);
+    assert!((slope(0.0, 0.3) - 1.0).abs() < 1e-9);
+    assert!((slope(0.4, 0.6) - 3.0).abs() < 1e-9);
+    assert!((slope(0.7, 0.85) - 10.0).abs() < 1e-9);
+    assert!((slope(0.92, 0.98) - 70.0).abs() < 1e-9);
+    assert!((slope(1.01, 1.05) - 500.0).abs() < 1e-9);
+    assert!((slope(1.2, 1.5) - 5000.0).abs() < 1e-9);
+}

@@ -1,0 +1,117 @@
+//! Property tests on the critical-link machinery (§IV): sample stores,
+//! criticality estimates, rank tracking and Algorithm 1.
+
+use dtr::core::criticality::Criticality;
+use dtr::core::ranking::weighted_rank_change;
+use dtr::core::samples::SampleStore;
+use dtr::core::selection;
+use proptest::prelude::*;
+
+fn arb_store(links: usize) -> impl Strategy<Value = SampleStore> {
+    prop::collection::vec(
+        prop::collection::vec((0.0f64..1000.0, 0.0f64..100.0), 1..40),
+        links..=links,
+    )
+    .prop_map(move |per_link| {
+        let mut s = SampleStore::new(per_link.len());
+        for (i, samples) in per_link.iter().enumerate() {
+            for &(l, p) in samples {
+                s.record(i, l, p);
+            }
+        }
+        s
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Criticality is always non-negative and bounded by the sample mean
+    /// (rho = mean − tail_mean ≤ mean since tail_mean ≥ 0).
+    #[test]
+    fn criticality_nonnegative_and_bounded(store in arb_store(6)) {
+        let c = Criticality::estimate(&store, 0.10);
+        for i in 0..c.len() {
+            prop_assert!(c.rho_lambda[i] >= 0.0);
+            prop_assert!(c.rho_phi[i] >= 0.0);
+            let mean = store.lambda_stats(i, 0.10).unwrap().mean;
+            prop_assert!(c.rho_lambda[i] <= mean + 1e-9);
+        }
+    }
+
+    /// Normalized criticalities preserve the raw ordering per class.
+    #[test]
+    fn normalization_preserves_order(store in arb_store(5)) {
+        let c = Criticality::estimate(&store, 0.10);
+        let raw = dtr::core::criticality::rank_desc(&c.rho_lambda);
+        let norm = c.ranking_lambda();
+        prop_assert_eq!(raw, norm);
+    }
+
+    /// Algorithm 1 returns between 1 and n links, all in range, sorted.
+    #[test]
+    fn selection_size_and_range(store in arb_store(8), n in 1usize..8) {
+        let c = Criticality::estimate(&store, 0.10);
+        let cs = selection::select(&c, n);
+        prop_assert!(!cs.indices.is_empty());
+        prop_assert!(cs.indices.len() <= n);
+        prop_assert!(cs.indices.iter().all(|&i| i < 8));
+        prop_assert!(cs.indices.windows(2).all(|w| w[0] < w[1]));
+        // The kept prefixes are consistent with the reported residuals.
+        prop_assert!(cs.err_lambda >= 0.0 && cs.err_phi >= 0.0);
+    }
+
+    /// Growing the budget never increases the residual errors.
+    #[test]
+    fn selection_errors_monotone_in_budget(store in arb_store(8)) {
+        let c = Criticality::estimate(&store, 0.10);
+        let mut prev_l = f64::INFINITY;
+        let mut prev_p = f64::INFINITY;
+        for n in 1..=8 {
+            let cs = selection::select(&c, n);
+            prop_assert!(cs.err_lambda <= prev_l + 1e-12);
+            prop_assert!(cs.err_phi <= prev_p + 1e-12);
+            prev_l = cs.err_lambda;
+            prev_p = cs.err_phi;
+        }
+    }
+
+    /// The rank-change index is zero iff the permutation is unchanged,
+    /// symmetric in its arguments, and bounded by the maximum displacement.
+    #[test]
+    fn rank_change_properties(perm in Just(()).prop_perturb(|_, mut rng| {
+        let n = 8usize;
+        let mut v: Vec<usize> = (0..n).collect();
+        for i in (1..n).rev() {
+            let j = (rng.next_u32() as usize) % (i + 1);
+            v.swap(i, j);
+        }
+        v
+    })) {
+        let ident: Vec<usize> = (0..perm.len()).collect();
+        let s = weighted_rank_change(&ident, &perm);
+        prop_assert!(s >= 0.0);
+        prop_assert_eq!(weighted_rank_change(&perm, &perm), 0.0);
+        // Symmetry: displacement magnitudes are the same both ways.
+        prop_assert!((weighted_rank_change(&perm, &ident) - s).abs() < 1e-12);
+        // Bounded by max displacement (weights are a convex combination).
+        let max_disp = perm
+            .iter()
+            .enumerate()
+            .map(|(rank, &link)| (link as i64 - rank as i64).unsigned_abs() as f64)
+            .fold(0.0f64, f64::max);
+        prop_assert!(s <= max_disp + 1e-12);
+    }
+}
+
+/// Deterministic regression: the convergence criterion is two-sided.
+#[test]
+fn convergence_needs_both_classes() {
+    use dtr::core::ranking::RankTracker;
+    let mut t = RankTracker::new();
+    assert!(t.update(&[0, 1, 2, 3], &[0, 1, 2, 3]).is_none());
+    // Lambda ranking scrambles, phi stays: not converged at e = 0.5.
+    let c = t.update(&[3, 2, 1, 0], &[0, 1, 2, 3]).unwrap();
+    assert!(!c.converged(0.5));
+    assert_eq!(c.s_phi, 0.0);
+}

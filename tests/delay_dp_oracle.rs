@@ -1,0 +1,130 @@
+//! Differential test: the O(E) ECMP delay DP against brute-force path
+//! enumeration on small random networks.
+
+use dtr::net::{LinkMask, Network, NodeId};
+use dtr::routing::{delay, spf, Class, WeightSetting, UNREACHABLE};
+use dtr::topogen::{rand_topo, SynthConfig};
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// All ECMP paths from `s` to the destination of `dist`, enumerated
+/// explicitly (exponential; only for tiny test graphs).
+fn enumerate_path_delays(
+    net: &Network,
+    dist: &[u64],
+    weights: &[u32],
+    mask: &LinkMask,
+    link_delay: &[f64],
+    s: usize,
+) -> Vec<f64> {
+    if dist[s] == UNREACHABLE {
+        return Vec::new();
+    }
+    if dist[s] == 0 {
+        return vec![0.0];
+    }
+    let mut out = Vec::new();
+    for &l in net.out_links(NodeId::new(s)) {
+        if !spf::on_dag(net, dist, weights, mask, l.index()) {
+            continue;
+        }
+        let next = net.link(l).dst.index();
+        for tail in enumerate_path_delays(net, dist, weights, mask, link_delay, next) {
+            out.push(link_delay[l.index()] + tail);
+        }
+    }
+    out
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(20))]
+
+    #[test]
+    fn dp_matches_enumeration(
+        nodes in 4usize..8,
+        extra in 1usize..6,
+        seed in 0u64..500,
+    ) {
+        let max_links = nodes * (nodes - 1) / 2;
+        let cfg = SynthConfig {
+            nodes,
+            duplex_links: ((nodes - 1) + extra).min(max_links),
+            seed,
+        };
+        let net = rand_topo::generate(&cfg)
+            .expect("valid")
+            .scaled_to_diameter(25e-3)
+            .build(500e6)
+            .expect("connected");
+        let mut rng = StdRng::seed_from_u64(seed ^ 77);
+        let w = WeightSetting::random(net.num_links(), 20, &mut rng);
+        let weights = w.weights(Class::Delay);
+        let mask = net.fresh_mask();
+        let link_delay: Vec<f64> = net.links().map(|l| net.link(l).prop_delay).collect();
+
+        for t in net.nodes() {
+            let dist = spf::dist_to(&net, t, weights, &mask);
+            let dp_max = delay::max_delay_to(&net, &dist, weights, &mask, &link_delay);
+            let dp_mean = delay::mean_delay_to(&net, &dist, weights, &mask, &link_delay);
+            for s in 0..nodes {
+                if s == t.index() {
+                    continue;
+                }
+                let paths = enumerate_path_delays(&net, &dist, weights, &mask, &link_delay, s);
+                prop_assert!(!paths.is_empty(), "reachable node must have a path");
+                let brute_max = paths.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+                prop_assert!(
+                    (dp_max[s] - brute_max).abs() < 1e-12,
+                    "max mismatch s={} t={}: dp {} brute {}", s, t, dp_max[s], brute_max
+                );
+                // The mean DP computes the expectation under uniform
+                // next-hop choice, which weights paths by the product of
+                // 1/fanout along the path — not the plain path average.
+                // It must lie within [min, max] of the enumerated paths.
+                let brute_min = paths.iter().cloned().fold(f64::INFINITY, f64::min);
+                prop_assert!(
+                    dp_mean[s] >= brute_min - 1e-12 && dp_mean[s] <= brute_max + 1e-12,
+                    "mean out of hull s={} t={}", s, t
+                );
+            }
+        }
+    }
+
+    /// ECMP path counts from the DP match brute-force enumeration.
+    #[test]
+    fn path_count_matches_enumeration(
+        nodes in 4usize..8,
+        extra in 1usize..6,
+        seed in 0u64..500,
+    ) {
+        let max_links = nodes * (nodes - 1) / 2;
+        let cfg = SynthConfig {
+            nodes,
+            duplex_links: ((nodes - 1) + extra).min(max_links),
+            seed,
+        };
+        let net = rand_topo::generate(&cfg)
+            .expect("valid")
+            .scaled_to_diameter(25e-3)
+            .build(500e6)
+            .expect("connected");
+        let mut rng = StdRng::seed_from_u64(seed ^ 99);
+        let w = WeightSetting::random(net.num_links(), 7, &mut rng); // small wmax -> more ties
+        let weights = w.weights(Class::Throughput);
+        let mask = net.fresh_mask();
+        let unit: Vec<f64> = vec![1.0; net.num_links()];
+
+        for t in net.nodes() {
+            let dist = spf::dist_to(&net, t, weights, &mask);
+            let counts = dtr::routing::paths::count_ecmp_paths(&net, &dist, weights, &mask);
+            for s in 0..nodes {
+                if s == t.index() || dist[s] == UNREACHABLE {
+                    continue;
+                }
+                let paths = enumerate_path_delays(&net, &dist, weights, &mask, &unit, s);
+                prop_assert_eq!(counts[s] as usize, paths.len(), "s={} t={}", s, t);
+            }
+        }
+    }
+}

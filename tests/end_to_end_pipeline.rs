@@ -1,0 +1,155 @@
+//! End-to-end integration: generator → traffic → evaluator → optimizer,
+//! through the public facade, checking the paper's structural guarantees.
+
+use dtr::core::{parallel, phase2, Params, RobustOptimizer};
+use dtr::cost::{CostParams, Evaluator};
+use dtr::net::Network;
+use dtr::routing::Scenario;
+use dtr::topogen::{synth, SynthConfig, TopoKind};
+use dtr::traffic::{gravity, ClassMatrices};
+
+fn instance(seed: u64) -> (Network, ClassMatrices) {
+    let net = synth(
+        TopoKind::Rand,
+        &SynthConfig {
+            nodes: 10,
+            duplex_links: 22,
+            seed,
+        },
+    )
+    .expect("valid config");
+    let mut tm = gravity::generate(&gravity::GravityConfig {
+        total_volume: 1.0,
+        ..gravity::GravityConfig::paper_default(10, seed)
+    });
+    tm.scale(6e9);
+    (net, tm)
+}
+
+#[test]
+fn pipeline_respects_constraints_and_reporting() {
+    let (net, tm) = instance(1);
+    let ev = Evaluator::new(&net, &tm, CostParams::default());
+    let opt = RobustOptimizer::new(&ev, Params::quick(5));
+    let report = opt.optimize();
+
+    // Eq. (5): delay-class normal cost must not degrade.
+    assert!(report.robust_normal_cost.lambda <= report.regular_cost.lambda + 1e-6);
+    // Eq. (6): throughput-class degradation within χ.
+    assert!(report.robust_normal_cost.phi <= (1.0 + 0.2) * report.regular_cost.phi + 1e-9);
+    // Critical set non-empty and within the requested fraction (rounded).
+    let expect = opt.universe().target_size(0.15);
+    assert!(!report.critical_indices.is_empty());
+    assert!(report.critical_indices.len() <= expect);
+    // Reported costs are recomputable.
+    assert_eq!(
+        report.regular_cost,
+        ev.cost(&report.regular, Scenario::Normal)
+    );
+    assert_eq!(
+        report.robust_normal_cost,
+        ev.cost(&report.robust, Scenario::Normal)
+    );
+    let scen = opt.universe().scenarios_for(&report.critical_indices);
+    assert_eq!(
+        report.kfail,
+        parallel::sum_failure_costs(&ev, &report.robust, &scen, 1)
+    );
+}
+
+#[test]
+fn robust_improves_compound_failure_cost_on_critical_set() {
+    let (net, tm) = instance(2);
+    let ev = Evaluator::new(&net, &tm, CostParams::default());
+    let opt = RobustOptimizer::new(&ev, Params::quick(9));
+    let report = opt.optimize();
+    let scen = opt.universe().scenarios_for(&report.critical_indices);
+    let k_regular = parallel::sum_failure_costs(&ev, &report.regular, &scen, 1);
+    // The robust solution optimizes exactly this objective: it must not
+    // lose to its own starting point.
+    assert!(
+        !k_regular.better_than(&report.kfail),
+        "regular {k_regular} beats robust {}",
+        report.kfail
+    );
+}
+
+#[test]
+fn full_stack_determinism() {
+    let run = || {
+        let (net, tm) = instance(3);
+        let ev = Evaluator::new(&net, &tm, CostParams::default());
+        let report = RobustOptimizer::new(&ev, Params::quick(7)).optimize();
+        (
+            report.regular_cost,
+            report.kfail,
+            report.critical_indices.clone(),
+            report.samples,
+        )
+    };
+    let a = run();
+    let b = run();
+    assert_eq!(a.0, b.0);
+    assert_eq!(a.1, b.1);
+    assert_eq!(a.2, b.2);
+    assert_eq!(a.3, b.3);
+}
+
+#[test]
+fn threads_do_not_change_results() {
+    let (net, tm) = instance(4);
+    let ev = Evaluator::new(&net, &tm, CostParams::default());
+    let serial = RobustOptimizer::new(&ev, Params::quick(11)).optimize();
+    let parallel_run = RobustOptimizer::new(
+        &ev,
+        Params {
+            threads: 4,
+            ..Params::quick(11)
+        },
+    )
+    .optimize();
+    assert_eq!(serial.kfail, parallel_run.kfail);
+    assert_eq!(serial.robust, parallel_run.robust);
+}
+
+#[test]
+fn node_failure_robust_routing_is_feasible() {
+    let (net, tm) = instance(5);
+    let ev = Evaluator::new(&net, &tm, CostParams::default());
+    let params = Params::quick(13);
+    let universe = dtr::core::FailureUniverse::of(&net);
+    let p1 = dtr::core::phase1::run(&ev, &universe, &params);
+    let nodes = Scenario::all_node_failures(&net);
+    assert!(!nodes.is_empty());
+    let out = phase2::run_scenarios(&ev, &nodes, &params, &p1, None);
+    assert!(phase2::feasible(
+        &out.best_normal,
+        p1.best_cost.lambda,
+        p1.best_cost.phi,
+        params.chi
+    ));
+    // Objective recomputes.
+    assert_eq!(
+        out.best_kfail,
+        parallel::sum_failure_costs(&ev, &out.best, &nodes, 1)
+    );
+}
+
+#[test]
+fn evaluator_handles_all_scenario_kinds() {
+    let (net, tm) = instance(6);
+    let ev = Evaluator::new(&net, &tm, CostParams::default());
+    let w = dtr::routing::WeightSetting::uniform(net.num_links(), 20);
+    let universe = dtr::core::FailureUniverse::of(&net);
+    // Normal.
+    let b = ev.evaluate(&w, Scenario::Normal);
+    assert_eq!(b.dropped, 0.0);
+    // Every survivable link failure routes all traffic.
+    for sc in universe.scenarios() {
+        assert_eq!(ev.evaluate(&w, sc).dropped, 0.0, "{sc}");
+    }
+    // Node failures drop nothing (dead traffic removed first).
+    for sc in Scenario::all_node_failures(&net) {
+        assert_eq!(ev.evaluate(&w, sc).dropped, 0.0, "{sc}");
+    }
+}

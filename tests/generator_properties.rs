@@ -1,0 +1,120 @@
+//! Property-based tests of the extension topology generators: every
+//! generated network must satisfy its family's structural guarantees for
+//! arbitrary valid configurations and seeds.
+
+use dtr::net::Network;
+use dtr::topogen::{geant, lattice, waxman, SynthConfig, DEFAULT_CAPACITY};
+use proptest::prelude::*;
+
+fn build(bp: dtr::topogen::Blueprint) -> Network {
+    bp.scaled_to_diameter(25e-3)
+        .build(DEFAULT_CAPACITY)
+        .expect("generated blueprints are connected")
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    #[test]
+    fn waxman_respects_budget_and_connectivity(
+        nodes in 5usize..25,
+        extra in 0usize..30,
+        seed in any::<u64>(),
+    ) {
+        let duplex = (nodes - 1 + extra).min(nodes * (nodes - 1) / 2);
+        let cfg = SynthConfig { nodes, duplex_links: duplex, seed };
+        let bp = waxman::generate(&cfg).unwrap();
+        prop_assert_eq!(bp.num_duplex(), duplex);
+        let net = build(bp);
+        prop_assert_eq!(net.num_nodes(), nodes);
+        prop_assert_eq!(net.num_links(), duplex * 2);
+        prop_assert!(net.is_strongly_connected());
+    }
+
+    #[test]
+    fn waxman_is_deterministic(
+        nodes in 5usize..15,
+        seed in any::<u64>(),
+    ) {
+        let cfg = SynthConfig { nodes, duplex_links: nodes + 4, seed };
+        let a = waxman::generate(&cfg).unwrap();
+        let b = waxman::generate(&cfg).unwrap();
+        prop_assert_eq!(a.duplex, b.duplex);
+    }
+
+    #[test]
+    fn ring_has_no_bridges_and_degree_two(n in 3usize..40) {
+        let net = build(lattice::ring(n).unwrap());
+        prop_assert_eq!(net.num_nodes(), n);
+        prop_assert_eq!(net.num_links(), 2 * n);
+        for v in net.nodes() {
+            prop_assert_eq!(net.out_degree(v), 2);
+        }
+        // Every single failure is survivable on a cycle.
+        prop_assert_eq!(
+            dtr::net::bridges::survivable_duplex_failures(&net).len(),
+            n
+        );
+    }
+
+    #[test]
+    fn open_grid_counts_links_exactly(rows in 2usize..7, cols in 2usize..7) {
+        let bp = lattice::grid(rows, cols, false).unwrap();
+        prop_assert_eq!(bp.num_duplex(), rows * (cols - 1) + cols * (rows - 1));
+        let net = build(bp);
+        prop_assert!(net.is_strongly_connected());
+    }
+
+    #[test]
+    fn torus_is_four_regular(side in 3usize..7) {
+        let net = build(lattice::torus(side).unwrap());
+        for v in net.nodes() {
+            prop_assert_eq!(net.out_degree(v), 4);
+        }
+        // Vertex-transitive + 4-regular: no bridges at all.
+        prop_assert_eq!(
+            dtr::net::bridges::survivable_duplex_failures(&net).len(),
+            2 * side * side
+        );
+    }
+}
+
+#[test]
+fn geant_preset_is_stable() {
+    // The preset is constant: two builds are identical, and its key
+    // structural facts hold (dimensions, connectivity, 2-edge-
+    // connectivity, projection).
+    let a = geant::network(DEFAULT_CAPACITY).unwrap();
+    let b = geant::network(DEFAULT_CAPACITY).unwrap();
+    assert_eq!(a.num_nodes(), b.num_nodes());
+    assert_eq!(a.num_links(), 68);
+    for l in a.links() {
+        assert_eq!(a.link(l).prop_delay, b.link(l).prop_delay);
+    }
+    assert!(a.is_strongly_connected());
+}
+
+#[test]
+fn waxman_locality_orders_mean_link_length() {
+    // Across several seeds, stronger locality (smaller alpha) must not
+    // produce longer links on average than near-uniform selection.
+    let mean_len = |alpha: f64, seed: u64| -> f64 {
+        let cfg = SynthConfig {
+            nodes: 30,
+            duplex_links: 75,
+            seed,
+        };
+        let bp = waxman::generate_with_alpha(&cfg, alpha).unwrap();
+        bp.duplex
+            .iter()
+            .map(|&(a, b)| bp.points[a].distance(&bp.points[b]))
+            .sum::<f64>()
+            / bp.num_duplex() as f64
+    };
+    for seed in [1, 7, 42] {
+        assert!(
+            mean_len(0.05, seed) < mean_len(20.0, seed),
+            "seed {seed}: locality failed to shorten links"
+        );
+    }
+}

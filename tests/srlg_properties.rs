@@ -1,0 +1,119 @@
+//! Property-based tests of the SRLG machinery: link-group canonical form,
+//! mask composition, and catalog invariants.
+
+use dtr::core::ext::srlg::SrlgCatalog;
+use dtr::net::{LinkId, Network};
+use dtr::routing::{LinkGroup, Scenario, MAX_GROUP_SIZE};
+use dtr::topogen::{rand_topo, SynthConfig, DEFAULT_CAPACITY, DEFAULT_THETA};
+use proptest::prelude::*;
+
+fn testbed(seed: u64) -> Network {
+    rand_topo::generate(&SynthConfig {
+        nodes: 12,
+        duplex_links: 26,
+        seed,
+    })
+    .unwrap()
+    .scaled_to_diameter(DEFAULT_THETA)
+    .build(DEFAULT_CAPACITY)
+    .unwrap()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn group_is_canonical_under_permutation_and_duplication(
+        mut ids in proptest::collection::vec(0usize..40, 1..=MAX_GROUP_SIZE),
+    ) {
+        let links: Vec<LinkId> = ids.iter().map(|&i| LinkId::new(i)).collect();
+        let a = LinkGroup::new(&links);
+        ids.reverse();
+        let mut doubled: Vec<LinkId> = ids.iter().map(|&i| LinkId::new(i)).collect();
+        doubled.extend(links.iter().copied());
+        // Permuted + duplicated input may exceed MAX_GROUP_SIZE entries
+        // but never MAX_GROUP_SIZE *distinct* links.
+        let b = LinkGroup::new(&doubled);
+        prop_assert_eq!(a, b);
+        // Canonical: sorted, unique.
+        prop_assert!(a.links().windows(2).all(|w| w[0].index() < w[1].index()));
+    }
+
+    #[test]
+    fn srlg_mask_is_union_of_singleton_masks(
+        seed in any::<u64>(),
+        picks in proptest::collection::vec(0usize..26, 1..5),
+    ) {
+        let net = testbed(seed % 16);
+        let reps = net.duplex_representatives();
+        let links: Vec<LinkId> = picks.iter().map(|&i| reps[i % reps.len()]).collect();
+        let group_mask = Scenario::Srlg(LinkGroup::new(&links)).mask(&net);
+        // Union of the individual duplex failures.
+        let mut union = net.fresh_mask();
+        for &l in &links {
+            for i in net.fail_duplex(l).down_links() {
+                union.fail(i);
+            }
+        }
+        prop_assert_eq!(
+            group_mask.down_links().collect::<Vec<_>>(),
+            union.down_links().collect::<Vec<_>>()
+        );
+    }
+
+    #[test]
+    fn geographic_catalog_groups_are_disjoint_and_bounded(
+        seed in any::<u64>(),
+        radius in 0.0..0.4f64,
+    ) {
+        let net = testbed(seed % 16);
+        let cat = SrlgCatalog::geographic(&net, radius);
+        let mut seen = std::collections::HashSet::new();
+        for g in cat.groups() {
+            prop_assert!(g.len() >= 2, "geographic groups are non-singletons");
+            prop_assert!(g.len() <= MAX_GROUP_SIZE);
+            for &l in g.links() {
+                // Union-find clustering + chunking never reuses a link.
+                prop_assert!(seen.insert(l), "link {l} in two groups");
+            }
+        }
+    }
+
+    #[test]
+    fn geographic_catalog_grows_with_radius(seed in any::<u64>()) {
+        let net = testbed(seed % 16);
+        // Grouped-link mass is monotone in the radius.
+        let mass = |r: f64| -> usize {
+            SrlgCatalog::geographic(&net, r)
+                .groups()
+                .iter()
+                .map(|g| g.len())
+                .sum()
+        };
+        prop_assert!(mass(0.05) <= mass(0.2));
+        prop_assert!(mass(0.2) <= mass(2.0));
+    }
+
+    #[test]
+    fn survivable_scenarios_preserve_strong_connectivity(seed in any::<u64>()) {
+        let net = testbed(seed % 16);
+        let cat = SrlgCatalog::geographic(&net, 0.15);
+        for sc in cat.survivable_scenarios(&net) {
+            let mask = sc.mask(&net);
+            prop_assert!(dtr::net::connectivity::is_strongly_connected(&net, &mask));
+        }
+    }
+}
+
+#[test]
+fn full_radius_catalog_is_one_chunked_cluster() {
+    // With an enormous radius everything clusters together; chunking
+    // splits it into MAX_GROUP_SIZE pieces covering all physical links.
+    let net = testbed(3);
+    let cat = SrlgCatalog::geographic(&net, 1e6);
+    let covered: usize = cat.groups().iter().map(|g| g.len()).sum();
+    let reps = net.duplex_representatives().len();
+    // All links are covered except a possible trailing chunk of size 1
+    // (dropped as a singleton).
+    assert!(covered >= reps - 1, "covered {covered} of {reps}");
+}
