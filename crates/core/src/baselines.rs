@@ -61,6 +61,7 @@ impl std::fmt::Display for Selector {
 /// selector); `store` is the Phase-1 sample harvest (needed by the paper's
 /// and the fluctuation selector); `tail_fraction` and `seed` parameterize
 /// the respective strategies.
+#[allow(clippy::too_many_arguments)] // mirrors the paper's Phase-1c inputs
 pub fn select(
     selector: Selector,
     ev: &Evaluator<'_>,

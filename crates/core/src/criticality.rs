@@ -82,6 +82,25 @@ impl Criticality {
     pub fn ranking_phi(&self) -> Vec<usize> {
         rank_desc(&self.norm_phi)
     }
+
+    /// Criticality scaled per failure index (raw and normalized values
+    /// alike) — the probabilistic extension's expected-cost refinement:
+    /// the criticality that drives selection is the distribution-shape
+    /// criticality times the link's failure probability.
+    ///
+    /// # Panics
+    /// Panics if `by` mismatches the covered link count.
+    pub fn scaled(&self, by: &[f64]) -> Criticality {
+        assert_eq!(by.len(), self.len(), "one scale factor per link");
+        let scale =
+            |values: &[f64]| -> Vec<f64> { values.iter().zip(by).map(|(&v, &p)| v * p).collect() };
+        Criticality {
+            rho_lambda: scale(&self.rho_lambda),
+            rho_phi: scale(&self.rho_phi),
+            norm_lambda: scale(&self.norm_lambda),
+            norm_phi: scale(&self.norm_phi),
+        }
+    }
 }
 
 /// Indices sorted by descending value; ties by ascending index

@@ -22,7 +22,8 @@
 use dtr_cost::Evaluator;
 use dtr_routing::{Scenario, WeightSetting};
 
-use crate::ext::probabilistic::FailureModel;
+use crate::ext::probabilistic::{FailureModel, Probabilistic};
+use crate::scenario::ScenarioSet;
 use crate::universe::FailureUniverse;
 
 /// Availability of one SD pair.
@@ -66,6 +67,21 @@ impl AvailabilityReport {
             self.pairs.iter().map(|p| p.availability).sum::<f64>() / self.pairs.len() as f64
         }
     }
+}
+
+/// [`analyze`] over a [`Probabilistic`] scenario set — the adapter for
+/// callers already holding the set they optimized with (the set
+/// pre-validated its model against the universe at construction).
+///
+/// # Panics
+/// Panics if `failure_fraction` is outside `[0, 1)`.
+pub fn analyze_set(
+    ev: &Evaluator<'_>,
+    set: &Probabilistic,
+    w: &WeightSetting,
+    failure_fraction: f64,
+) -> AvailabilityReport {
+    analyze(ev, set.universe(), w, set.model(), failure_fraction)
 }
 
 /// Compute the availability report of routing `w`.

@@ -1,18 +1,23 @@
-//! Extensions sketched in the paper's conclusion (§VI).
+//! Extensions sketched in the paper's conclusion (§VI), reshaped by the
+//! `ScenarioSet` redesign into thin scenario-set constructors and
+//! adapters. None of these modules carries its own optimization loop any
+//! more — each contributes an ensemble to the one builder pipeline
+//! ([`crate::pipeline::RobustOptimizer::builder`]):
 //!
 //! * [`probabilistic`] — "a probabilistic failure model can be formulated
-//!   as part of a robust optimization framework": Phase 2 with
-//!   per-scenario failure probabilities weighting the compound cost.
-//! * [`multi_failure`] — robustness evaluation under simultaneous
-//!   double-link failures (the paper's fn 16 reports single-link-robust
-//!   routings also mitigate "other types of failure patterns, e.g.,
-//!   multiple link failures").
+//!   as part of a robust optimization framework": the
+//!   [`probabilistic::Probabilistic`] set weights each single-link
+//!   scenario by its failure probability (objective *and* criticality).
+//! * [`multi_failure`] — simultaneous double-link failures (the paper's
+//!   fn 16): the [`multi_failure::DoubleLink`] set, plus batch evaluation
+//!   for scoring existing routings.
 //! * [`srlg`] — shared-risk link groups: catalogs of links that fail
-//!   together (conduit cuts / line cards), and Phase-2 optimization
-//!   against the union of single-link and group failures.
+//!   together (conduit cuts / line cards), and the [`srlg::Srlg`] set —
+//!   the union of single-link and group failures.
 //! * [`topo_design`] — "jointly design routing and network topology to
-//!   maximize robustness": greedy link augmentation guided by the
-//!   compound failure cost.
+//!   maximize robustness": greedy link augmentation scored by the
+//!   compound cost of *any* scenario set
+//!   ([`topo_design::augment_against`]).
 //! * [`availability`] — per-SD-pair SLA availability of a routing under a
 //!   probabilistic single-failure ensemble (the operator-facing view of
 //!   the same robustness question).

@@ -2,51 +2,105 @@
 //!
 //! The paper notes that routings optimized against all *single* link
 //! failures also mitigate other failure patterns, "e.g., multiple link
-//! failures". This module provides the machinery to check that claim:
-//! enumeration (or sampling) of survivable double-link failure scenarios
-//! and batch evaluation of a weight setting across them.
+//! failures". This module makes double failures a first-class
+//! [`ScenarioSet`]: [`DoubleLink`] enumerates (or samples) the survivable
+//! simultaneous two-link failures, so the same builder pipeline that
+//! checks the claim can also *optimize against* it:
+//!
+//! ```ignore
+//! let report = RobustOptimizer::builder(&ev)
+//!     .scenarios(DoubleLink::sampled(&net, 64, seed))
+//!     .params(params)
+//!     .build()
+//!     .optimize();
+//! ```
+//!
+//! Double-link ensembles have no per-single-link criticality structure,
+//! so the set opts out of Phase-1c selection and Phase 2 sweeps the whole
+//! ensemble. [`evaluate_batch`] remains the cheap evaluation-only path
+//! for scoring an existing routing across the ensemble.
 
 use dtr_cost::{Evaluator, LexCost};
-use dtr_net::connectivity;
+use dtr_net::{connectivity, Network};
 use dtr_routing::{Scenario, WeightSetting};
 use rand::rngs::StdRng;
 use rand::seq::SliceRandom;
 use rand::SeedableRng;
 
 use crate::parallel;
+use crate::scenario::ScenarioSet;
 use crate::universe::FailureUniverse;
 
-/// All survivable double-link failure scenarios (both physical links down
-/// simultaneously, network still strongly connected), optionally sampled
-/// down to `max_count` for tractability (there are O(|E|²) pairs).
-pub fn double_failures(
-    ev: &Evaluator<'_>,
-    universe: &FailureUniverse,
-    max_count: Option<usize>,
-    seed: u64,
-) -> Vec<Scenario> {
-    let net = ev.net();
-    let mut all = Vec::new();
-    for (i, &a) in universe.failable.iter().enumerate() {
-        for &b in &universe.failable[i + 1..] {
-            let sc = Scenario::DoubleLink(a, b);
-            if connectivity::is_strongly_connected(net, &sc.mask(net)) {
-                all.push(sc);
+/// The double-link failure [`ScenarioSet`]: survivable simultaneous
+/// failures of two distinct physical links (both duplex pairs down,
+/// network still strongly connected), optionally sampled down for
+/// tractability (there are O(|E|²) pairs).
+#[derive(Clone, Debug)]
+pub struct DoubleLink {
+    universe: FailureUniverse,
+    scenarios: Vec<Scenario>,
+}
+
+impl DoubleLink {
+    /// Every survivable double-link failure, in deterministic
+    /// (lexicographic link-index) order.
+    pub fn all(net: &Network) -> Self {
+        DoubleLink::sampled_opt(net, None, 0)
+    }
+
+    /// At most `max_count` survivable double-link failures, sampled
+    /// deterministically from the full enumeration with `seed`.
+    pub fn sampled(net: &Network, max_count: usize, seed: u64) -> Self {
+        DoubleLink::sampled_opt(net, Some(max_count), seed)
+    }
+
+    fn sampled_opt(net: &Network, max_count: Option<usize>, seed: u64) -> Self {
+        let universe = FailureUniverse::of(net);
+        let mut all = Vec::new();
+        for (i, &a) in universe.failable.iter().enumerate() {
+            for &b in &universe.failable[i + 1..] {
+                let sc = Scenario::DoubleLink(a, b);
+                if connectivity::is_strongly_connected(net, &sc.mask(net)) {
+                    all.push(sc);
+                }
             }
         }
-    }
-    if let Some(cap) = max_count {
-        if all.len() > cap {
-            let mut rng = StdRng::seed_from_u64(seed ^ 0x94d0_49bb_1331_11eb);
-            all.shuffle(&mut rng);
-            all.truncate(cap);
-            all.sort_by_key(|sc| match sc {
-                Scenario::DoubleLink(a, b) => (a.index(), b.index()),
-                _ => unreachable!(),
-            });
+        if let Some(cap) = max_count {
+            if all.len() > cap {
+                let mut rng = StdRng::seed_from_u64(seed ^ 0x94d0_49bb_1331_11eb);
+                all.shuffle(&mut rng);
+                all.truncate(cap);
+                all.sort_by_key(|sc| match sc {
+                    Scenario::DoubleLink(a, b) => (a.index(), b.index()),
+                    _ => unreachable!(),
+                });
+            }
+        }
+        DoubleLink {
+            universe,
+            scenarios: all,
         }
     }
-    all
+}
+
+impl ScenarioSet for DoubleLink {
+    fn universe(&self) -> &FailureUniverse {
+        &self.universe
+    }
+
+    fn len(&self) -> usize {
+        self.scenarios.len()
+    }
+
+    fn scenario(&self, i: usize) -> Scenario {
+        self.scenarios[i]
+    }
+
+    /// Pairs carry no single-link criticality signal: Phase 2 sweeps the
+    /// whole ensemble.
+    fn supports_selection(&self) -> bool {
+        false
+    }
 }
 
 /// Summary of a weight setting's behaviour across a scenario batch.
@@ -120,37 +174,33 @@ mod tests {
 
     #[test]
     fn enumeration_keeps_only_survivable_pairs() {
-        let (net, tm) = testbed();
-        let ev = Evaluator::new(&net, &tm, CostParams::default());
-        let universe = FailureUniverse::of(&net);
-        let all = double_failures(&ev, &universe, None, 0);
+        let (net, _) = testbed();
+        let set = DoubleLink::all(&net);
         // Every returned scenario must keep the net connected.
-        for sc in &all {
+        for sc in set.scenarios() {
             assert!(connectivity::is_strongly_connected(&net, &sc.mask(&net)));
         }
         // A ring with two chords: some pairs partition (e.g. the two ring
         // links around a degree-2 node), so strictly fewer than C(8,2)=28.
-        assert!(!all.is_empty());
-        assert!(all.len() < 28, "got {}", all.len());
+        assert!(!set.is_empty());
+        assert!(set.len() < 28, "got {}", set.len());
+        assert!(!set.supports_selection());
     }
 
     #[test]
     fn sampling_caps_and_is_deterministic() {
-        let (net, tm) = testbed();
-        let ev = Evaluator::new(&net, &tm, CostParams::default());
-        let universe = FailureUniverse::of(&net);
-        let a = double_failures(&ev, &universe, Some(5), 3);
-        let b = double_failures(&ev, &universe, Some(5), 3);
+        let (net, _) = testbed();
+        let a = DoubleLink::sampled(&net, 5, 3);
+        let b = DoubleLink::sampled(&net, 5, 3);
         assert_eq!(a.len(), 5);
-        assert_eq!(a, b);
+        assert_eq!(a.scenarios(), b.scenarios());
     }
 
     #[test]
     fn batch_evaluation_summary_is_consistent() {
         let (net, tm) = testbed();
         let ev = Evaluator::new(&net, &tm, CostParams::default());
-        let universe = FailureUniverse::of(&net);
-        let scenarios = double_failures(&ev, &universe, Some(6), 1);
+        let scenarios = DoubleLink::sampled(&net, 6, 1).scenarios();
         let w = WeightSetting::uniform(net.num_links(), 20);
         let s = evaluate_batch(&ev, &w, &scenarios, 1);
         assert_eq!(s.scenarios, scenarios.len());

@@ -7,20 +7,33 @@
 //! over unchanged — exactly the claim of §VI — with one refinement: the
 //! criticality that drives selection is scaled by the same probabilities,
 //! so rarely-failing links are (correctly) harder to justify a slot for.
+//!
+//! This module is a thin [`ScenarioSet`] constructor: [`Probabilistic`]
+//! wraps a [`FailureUniverse`] and a [`FailureModel`] and plugs into
+//! [`RobustOptimizer::builder`](crate::pipeline::RobustOptimizer::builder):
+//!
+//! ```ignore
+//! let report = RobustOptimizer::builder(&ev)
+//!     .scenarios(Probabilistic::length_proportional(&net))
+//!     .params(params)
+//!     .build()
+//!     .optimize();
+//! ```
+//!
+//! The pre-redesign free functions `optimize` and `select_critical` are
+//! gone; their Phase-2 plumbing now lives once, in the generic pipeline.
 
-use dtr_cost::Evaluator;
 use dtr_net::Network;
+use dtr_routing::Scenario;
 
-use crate::criticality::Criticality;
-use crate::params::Params;
-use crate::phase1::Phase1Output;
-use crate::phase2::{self, Phase2Output};
-use crate::selection;
+use crate::scenario::ScenarioSet;
 use crate::universe::FailureUniverse;
 
 /// Per-failable-link failure probabilities (index-aligned with
 /// `FailureUniverse::failable`). Values need not sum to 1 — only relative
-/// magnitude matters to the optimization.
+/// magnitude matters to the optimization. Use
+/// [`FailureModel::normalized`] when a true distribution is wanted
+/// (e.g. for availability reports).
 #[derive(Clone, Debug)]
 pub struct FailureModel {
     pub probabilities: Vec<f64>,
@@ -46,6 +59,18 @@ impl FailureModel {
         FailureModel { probabilities }
     }
 
+    /// The same model rescaled so the probabilities sum to 1 (no-op on an
+    /// all-zero model).
+    pub fn normalized(&self) -> Self {
+        let total: f64 = self.probabilities.iter().sum();
+        if total <= 0.0 {
+            return self.clone();
+        }
+        FailureModel {
+            probabilities: self.probabilities.iter().map(|&p| p / total).collect(),
+        }
+    }
+
     /// Validate against a universe.
     pub fn validate(&self, universe: &FailureUniverse) {
         assert_eq!(
@@ -62,52 +87,88 @@ impl FailureModel {
     }
 }
 
-/// Probability-weighted critical-link selection: the expected-cost
-/// criticality of link `l` is its distribution-shape criticality times its
-/// failure probability.
-pub fn select_critical(
-    phase1: &Phase1Output,
-    model: &FailureModel,
-    universe: &FailureUniverse,
-    params: &Params,
-    n: usize,
-) -> Vec<usize> {
-    model.validate(universe);
-    let base = Criticality::estimate(&phase1.store, params.left_tail_fraction);
-    let scaled = Criticality {
-        rho_lambda: scale(&base.rho_lambda, &model.probabilities),
-        rho_phi: scale(&base.rho_phi, &model.probabilities),
-        norm_lambda: scale(&base.norm_lambda, &model.probabilities),
-        norm_phi: scale(&base.norm_phi, &model.probabilities),
-    };
-    selection::select(&scaled, n).indices
+/// The probabilistic single-link [`ScenarioSet`]: the failure universe
+/// with per-scenario probabilities weighting both the Phase-2 objective
+/// and the criticality that drives Phase-1c selection.
+#[derive(Clone, Debug)]
+pub struct Probabilistic {
+    universe: FailureUniverse,
+    model: FailureModel,
 }
 
-fn scale(values: &[f64], by: &[f64]) -> Vec<f64> {
-    values.iter().zip(by).map(|(&v, &p)| v * p).collect()
+impl Probabilistic {
+    /// Build from an explicit model.
+    ///
+    /// # Panics
+    /// Panics if the model mismatches the network's failure universe.
+    pub fn with_model(net: &Network, model: FailureModel) -> Self {
+        let universe = FailureUniverse::of(net);
+        model.validate(&universe);
+        Probabilistic { universe, model }
+    }
+
+    /// Length-proportional probabilities (fiber cuts scale with mileage).
+    pub fn length_proportional(net: &Network) -> Self {
+        let universe = FailureUniverse::of(net);
+        let model = FailureModel::length_proportional(net, &universe);
+        Probabilistic { universe, model }
+    }
+
+    /// Uniform probabilities — behaves exactly like [`FailureUniverse`]
+    /// except the objective is declared weighted.
+    pub fn uniform(net: &Network) -> Self {
+        let universe = FailureUniverse::of(net);
+        let model = FailureModel::uniform(&universe);
+        Probabilistic { universe, model }
+    }
+
+    /// Reuse an already-analyzed universe.
+    ///
+    /// # Panics
+    /// Panics if the model mismatches the universe.
+    pub fn from_parts(universe: FailureUniverse, model: FailureModel) -> Self {
+        model.validate(&universe);
+        Probabilistic { universe, model }
+    }
+
+    /// The failure model.
+    pub fn model(&self) -> &FailureModel {
+        &self.model
+    }
 }
 
-/// Run the probabilistic robust optimization: criticality-select under the
-/// model, then Phase 2 with probability-weighted scenario costs.
-pub fn optimize(
-    ev: &Evaluator<'_>,
-    universe: &FailureUniverse,
-    params: &Params,
-    phase1: &Phase1Output,
-    model: &FailureModel,
-) -> Phase2Output {
-    model.validate(universe);
-    let n = universe.target_size(params.critical_fraction);
-    let critical = select_critical(phase1, model, universe, params, n);
-    let weights: Vec<f64> = critical.iter().map(|&i| model.probabilities[i]).collect();
-    phase2::run(ev, universe, &critical, params, phase1, Some(&weights))
+impl ScenarioSet for Probabilistic {
+    fn universe(&self) -> &FailureUniverse {
+        &self.universe
+    }
+
+    fn len(&self) -> usize {
+        self.universe.len()
+    }
+
+    fn scenario(&self, i: usize) -> Scenario {
+        self.universe.scenario(i)
+    }
+
+    fn weight(&self, i: usize) -> f64 {
+        self.model.probabilities[i]
+    }
+
+    fn weighted(&self) -> bool {
+        true
+    }
+
+    fn criticality_scale(&self) -> Option<&[f64]> {
+        Some(&self.model.probabilities)
+    }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::phase1;
-    use dtr_cost::CostParams;
+    use crate::pipeline::RobustOptimizer;
+    use crate::Params;
+    use dtr_cost::{CostParams, Evaluator};
     use dtr_net::{NetworkBuilder, Point};
     use dtr_traffic::gravity;
 
@@ -130,55 +191,54 @@ mod tests {
     }
 
     #[test]
-    fn uniform_model_matches_unweighted_selection() {
-        let (net, tm) = testbed();
-        let ev = Evaluator::new(&net, &tm, CostParams::default());
-        let universe = FailureUniverse::of(&net);
-        let params = Params::quick(5);
-        let p1 = phase1::run(&ev, &universe, &params);
-        let model = FailureModel::uniform(&universe);
-        let a = select_critical(&p1, &model, &universe, &params, 3);
-        let base = Criticality::estimate(&p1.store, params.left_tail_fraction);
-        let b = selection::select(&base, 3).indices;
-        assert_eq!(a, b);
+    fn length_proportional_model_prefers_long_links() {
+        let (net, _) = testbed();
+        let set = Probabilistic::length_proportional(&net);
+        // Probabilities mirror the per-link delays we constructed.
+        for (i, &l) in set.universe().failable.iter().enumerate() {
+            assert_eq!(set.weight(i), net.link(l).prop_delay);
+        }
+        assert!(set.weighted());
+        assert!(set.criticality_scale().is_some());
     }
 
     #[test]
-    fn length_proportional_model_prefers_long_links() {
+    fn normalized_model_sums_to_one() {
         let (net, _) = testbed();
         let universe = FailureUniverse::of(&net);
-        let model = FailureModel::length_proportional(&net, &universe);
-        // Probabilities mirror the per-link delays we constructed.
-        for (i, &l) in universe.failable.iter().enumerate() {
-            assert_eq!(model.probabilities[i], net.link(l).prop_delay);
-        }
+        let model = FailureModel::length_proportional(&net, &universe).normalized();
+        let total: f64 = model.probabilities.iter().sum();
+        assert!((total - 1.0).abs() < 1e-12);
     }
 
     #[test]
     fn probabilistic_optimization_runs_and_is_feasible() {
         let (net, tm) = testbed();
         let ev = Evaluator::new(&net, &tm, CostParams::default());
-        let universe = FailureUniverse::of(&net);
         let params = Params::quick(7);
-        let p1 = phase1::run(&ev, &universe, &params);
-        let model = FailureModel::length_proportional(&net, &universe);
-        let out = optimize(&ev, &universe, &params, &p1, &model);
-        assert!(phase2::feasible(
-            &out.best_normal,
-            p1.best_cost.lambda,
-            p1.best_cost.phi,
+        let opt = RobustOptimizer::builder(&ev)
+            .scenarios(Probabilistic::length_proportional(&net))
+            .params(params)
+            .build();
+        let r = opt.optimize();
+        assert!(crate::phase2::feasible(
+            &r.robust_normal_cost,
+            r.regular_cost.lambda,
+            r.regular_cost.phi,
             params.chi
         ));
+        assert!(!r.critical_indices.is_empty());
     }
 
     #[test]
     #[should_panic(expected = "one probability per failable link")]
     fn wrong_model_size_panics() {
         let (net, _) = testbed();
-        let universe = FailureUniverse::of(&net);
-        FailureModel {
-            probabilities: vec![1.0],
-        }
-        .validate(&universe);
+        Probabilistic::with_model(
+            &net,
+            FailureModel {
+                probabilities: vec![1.0],
+            },
+        );
     }
 }

@@ -6,18 +6,28 @@
 //! between the paper's single-link failures (§III) and its node failures
 //! (§V-F). This module builds SRLG catalogs (explicitly, or geometrically
 //! by clustering links whose midpoints are close — the conduit
-//! approximation), filters out partitioning groups, and plugs the
-//! resulting scenarios into the paper's Phase-2 machinery, which needs no
-//! change: a scenario is a scenario.
+//! approximation), filters out partitioning groups, and exposes the
+//! result as the [`Srlg`] scenario set: the union of the single-link
+//! universe and the surviving group failures, ready for
+//! [`RobustOptimizer::builder`](crate::pipeline::RobustOptimizer::builder):
+//!
+//! ```ignore
+//! let report = RobustOptimizer::builder(&ev)
+//!     .scenarios(Srlg::geographic(&net, 0.08))
+//!     .params(params)
+//!     .build()
+//!     .optimize();
+//! ```
+//!
+//! The pre-redesign `optimize_robust_srlg` free function is gone; its
+//! Phase-2 plumbing now lives once, in the generic pipeline.
 
 use dtr_cost::{Evaluator, LexCost};
 use dtr_net::{connectivity, LinkId, Network, Point};
 use dtr_routing::{LinkGroup, Scenario, WeightSetting, MAX_GROUP_SIZE};
 
 use crate::parallel;
-use crate::params::Params;
-use crate::phase1::Phase1Output;
-use crate::phase2::{self, Phase2Output};
+use crate::scenario::ScenarioSet;
 use crate::universe::FailureUniverse;
 
 /// A catalog of shared-risk link groups over one network.
@@ -154,27 +164,84 @@ pub fn srlg_kfail(
         .fold(LexCost::ZERO, |a, c| a.add(c))
 }
 
-/// Run Phase 2 against the union of the single-link critical set and the
-/// SRLG catalog — a routing robust to both everyday link failures and
-/// shared-fate group failures. Single-link scenarios come from
-/// `critical_indices` (Phase 1c output); group scenarios from `catalog`.
-pub fn optimize_robust_srlg(
-    ev: &Evaluator<'_>,
-    universe: &FailureUniverse,
-    critical_indices: &[usize],
-    catalog: &SrlgCatalog,
-    params: &Params,
-    phase1: &Phase1Output,
-) -> Phase2Output {
-    let mut scenarios = universe.scenarios_for(critical_indices);
-    scenarios.extend(catalog.survivable_scenarios(ev.net()));
-    phase2::run_scenarios(ev, &scenarios, params, phase1, None)
+/// The SRLG [`ScenarioSet`]: every survivable single-link failure plus
+/// every survivable shared-risk group failure of a catalog. Scenario
+/// indices `0..universe.len()` are the single-link failures (index =
+/// failure index); the group failures follow. Criticality selection
+/// applies to the single-link prefix; every group scenario is always
+/// kept (a conduit cut is exactly the event the operator asked to be
+/// robust against).
+#[derive(Clone, Debug)]
+pub struct Srlg {
+    universe: FailureUniverse,
+    catalog: SrlgCatalog,
+    groups: Vec<Scenario>,
+}
+
+impl Srlg {
+    /// Geometric conduit catalog: links whose midpoints lie within
+    /// `radius` share fate (see [`SrlgCatalog::geographic`]).
+    pub fn geographic(net: &Network, radius: f64) -> Self {
+        Srlg::from_catalog(net, SrlgCatalog::geographic(net, radius))
+    }
+
+    /// Explicit catalog (see [`SrlgCatalog::explicit`]).
+    pub fn explicit(net: &Network, groups: &[Vec<LinkId>]) -> Self {
+        Srlg::from_catalog(net, SrlgCatalog::explicit(net, groups))
+    }
+
+    /// Wrap an existing catalog; partitioning groups are filtered out
+    /// here (survivability pre-filtering).
+    pub fn from_catalog(net: &Network, catalog: SrlgCatalog) -> Self {
+        let universe = FailureUniverse::of(net);
+        let groups = catalog.survivable_scenarios(net);
+        Srlg {
+            universe,
+            catalog,
+            groups,
+        }
+    }
+
+    /// The underlying catalog.
+    pub fn catalog(&self) -> &SrlgCatalog {
+        &self.catalog
+    }
+
+    /// Number of survivable group scenarios in the set.
+    pub fn group_count(&self) -> usize {
+        self.groups.len()
+    }
+}
+
+impl ScenarioSet for Srlg {
+    fn universe(&self) -> &FailureUniverse {
+        &self.universe
+    }
+
+    fn len(&self) -> usize {
+        self.universe.len() + self.groups.len()
+    }
+
+    fn scenario(&self, i: usize) -> Scenario {
+        let singles = self.universe.len();
+        if i < singles {
+            self.universe.scenario(i)
+        } else {
+            self.groups[i - singles]
+        }
+    }
+
+    fn critical_scenarios(&self, critical_failures: &[usize]) -> Vec<usize> {
+        let mut idx = critical_failures.to_vec();
+        idx.extend(self.universe.len()..self.len());
+        idx
+    }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::phase1;
+    use crate::{phase2, Params};
     use dtr_cost::CostParams;
     use dtr_net::{NetworkBuilder, Point};
     use dtr_traffic::{gravity, ClassMatrices};
@@ -287,30 +354,54 @@ mod tests {
     }
 
     #[test]
+    fn srlg_set_unions_singles_and_groups() {
+        let (net, _) = testbed();
+        let set = Srlg::geographic(&net, 0.05);
+        let singles = set.universe().len();
+        assert!(set.group_count() >= 1);
+        assert_eq!(ScenarioSet::len(&set), singles + set.group_count());
+        // Single-link prefix tracks the universe 1:1.
+        for i in 0..singles {
+            assert_eq!(set.scenario(i), set.universe().scenario(i));
+        }
+        // Group suffix scenarios are SRLG failures.
+        for i in singles..ScenarioSet::len(&set) {
+            assert!(matches!(set.scenario(i), Scenario::Srlg(_)));
+        }
+        // Critical mapping keeps the chosen singles and every group.
+        let mapped = set.critical_scenarios(&[0, 2]);
+        assert_eq!(mapped[..2], [0, 2]);
+        assert_eq!(mapped.len(), 2 + set.group_count());
+    }
+
+    #[test]
     fn srlg_robust_optimization_improves_group_kfail() {
         let (net, tm) = testbed();
         let ev = Evaluator::new(&net, &tm, CostParams::default());
-        let universe = FailureUniverse::of(&net);
         let params = Params::quick(19);
-        let p1 = phase1::run(&ev, &universe, &params);
 
         // Catalog: the four central chords share a conduit.
-        let cat = SrlgCatalog::geographic(&net, 0.05);
+        let set = Srlg::geographic(&net, 0.05);
+        let cat = set.catalog().clone();
         assert!(!cat.is_empty());
 
-        let out = optimize_robust_srlg(&ev, &universe, &[0, 1, 2], &cat, &params, &p1);
+        let opt = crate::pipeline::RobustOptimizer::builder(&ev)
+            .scenarios(set)
+            .params(params)
+            .build();
+        let r = opt.optimize();
 
         // Constraints (Eqs. 5-6) hold versus the Phase-1 benchmarks.
         assert!(phase2::feasible(
-            &out.best_normal,
-            p1.best_cost.lambda,
-            p1.best_cost.phi,
+            &r.robust_normal_cost,
+            r.regular_cost.lambda,
+            r.regular_cost.phi,
             params.chi
         ));
         // And the SRLG-aware solution does not lose to the regular one on
         // the SRLG compound cost (it was part of its objective).
-        let srlg_reg = srlg_kfail(&ev, &p1.best, &cat, 1);
-        let srlg_rob = srlg_kfail(&ev, &out.best, &cat, 1);
+        let srlg_reg = srlg_kfail(&ev, &r.regular, &cat, 1);
+        let srlg_rob = srlg_kfail(&ev, &r.robust, &cat, 1);
         assert!(
             !srlg_reg.better_than(&srlg_rob) || srlg_rob.lambda <= srlg_reg.lambda,
             "SRLG-robust routing regressed: regular {srlg_reg} vs robust {srlg_rob}"

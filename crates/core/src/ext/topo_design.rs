@@ -18,10 +18,12 @@
 
 use dtr_cost::{CostParams, Evaluator, LexCost};
 use dtr_net::{Network, NetworkBuilder, NodeId};
-use dtr_routing::{Class, Scenario, WeightSetting};
+use dtr_routing::{Class, WeightSetting};
 use dtr_traffic::ClassMatrices;
 
 use crate::parallel;
+use crate::scenario::ScenarioSet;
+use crate::universe::FailureUniverse;
 
 /// The fixed routing policy used to score candidate links.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -123,12 +125,30 @@ pub fn policy_kfail(
     policy: WeightPolicy,
     threads: usize,
 ) -> LexCost {
+    policy_kfail_set(
+        net,
+        traffic,
+        cost_params,
+        policy,
+        &FailureUniverse::of(net),
+        threads,
+    )
+}
+
+/// Compound (weight-aware) cost of the policy routing over an arbitrary
+/// [`ScenarioSet`] — the generalization that lets topology design target
+/// SRLG or probabilistic robustness instead of plain single links.
+pub fn policy_kfail_set<S: ScenarioSet + ?Sized>(
+    net: &Network,
+    traffic: &ClassMatrices,
+    cost_params: CostParams,
+    policy: WeightPolicy,
+    set: &S,
+    threads: usize,
+) -> LexCost {
     let ev = Evaluator::new(net, traffic, cost_params);
     let w = policy.weights(net);
-    let scenarios = Scenario::all_link_failures(net);
-    parallel::failure_costs(&ev, &w, &scenarios, threads)
-        .iter()
-        .fold(LexCost::ZERO, |a, c| a.add(c))
+    parallel::sum_set_costs(&ev, &w, set, &set.all_indices(), threads)
 }
 
 /// Rebuild a [`NetworkBuilder`] holding a copy of `net` (nodes with
@@ -329,17 +349,47 @@ pub fn augment_with(
     params: &DesignParams,
     guide: Option<&CriticalityGuide>,
 ) -> DesignReport {
+    augment_against(
+        net,
+        traffic,
+        cost_params,
+        params,
+        guide,
+        FailureUniverse::of,
+    )
+}
+
+/// [`augment_with`] generalized over the failure model: `make_set`
+/// rebuilds the target [`ScenarioSet`] for each augmented topology (the
+/// scenario ensemble changes as links are added), and candidates are
+/// scored on the set's compound weight-aware cost. Passing
+/// [`FailureUniverse::of`] recovers the single-link design objective;
+/// passing `|net| Srlg::geographic(net, r)` designs against conduit
+/// cuts.
+pub fn augment_against<S, F>(
+    net: &Network,
+    traffic: &ClassMatrices,
+    cost_params: CostParams,
+    params: &DesignParams,
+    guide: Option<&CriticalityGuide>,
+    make_set: F,
+) -> DesignReport
+where
+    S: ScenarioSet,
+    F: Fn(&Network) -> S,
+{
     assert!(params.capacity > 0.0, "new links need positive capacity");
     let mut current = to_builder(net).build().expect("copy of a valid network");
     let mut steps = Vec::new();
     let mut candidates_scored = 0usize;
 
     for _ in 0..params.budget {
-        let kfail_before = policy_kfail(
+        let kfail_before = policy_kfail_set(
             &current,
             traffic,
             cost_params,
             params.policy,
+            &make_set(&current),
             params.threads,
         );
         let mut best: Option<(NodeId, NodeId, f64, LexCost)> = None;
@@ -358,18 +408,19 @@ pub fn augment_with(
                 .add_duplex_link(a, b, params.capacity, delay)
                 .expect("candidate endpoints exist");
             let augmented = builder.build().expect("augmented network stays valid");
-            let kfail = policy_kfail(
+            let kfail = policy_kfail_set(
                 &augmented,
                 traffic,
                 cost_params,
                 params.policy,
+                &make_set(&augmented),
                 params.threads,
             );
             candidates_scored += 1;
             let improves = kfail.better_than(&kfail_before);
             let beats_best = best
                 .as_ref()
-                .map_or(true, |(_, _, _, bk)| kfail.better_than(bk));
+                .is_none_or(|(_, _, _, bk)| kfail.better_than(bk));
             if improves && beats_best {
                 best = Some((a, b, delay, kfail));
             }
@@ -637,6 +688,28 @@ mod tests {
         assert_eq!(guide.links.len(), guide.scores.len());
         assert_eq!(guide.links, report.critical_links);
         assert!(guide.scores.iter().all(|&s| s >= 0.0));
+    }
+
+    #[test]
+    fn augment_against_srlg_set_runs() {
+        let (net, tm) = ring6();
+        let params = DesignParams {
+            budget: 1,
+            capacity: 1e6,
+            candidate_limit: 9,
+            policy: WeightPolicy::HopCount,
+            threads: 1,
+        };
+        // Designing against the SRLG union set (tiny radius -> just the
+        // single-link universe plus any coincident-midpoint groups) still
+        // finds an improving chord on a bare ring.
+        let report = augment_against(&net, &tm, CostParams::default(), &params, None, |n| {
+            crate::ext::srlg::Srlg::geographic(n, 1e-9)
+        });
+        assert!(!report.steps.is_empty());
+        for s in &report.steps {
+            assert!(s.kfail_after.better_than(&s.kfail_before));
+        }
     }
 
     #[test]

@@ -1,37 +1,39 @@
 //! Full search — the brute-force baseline (`Ec = E`, §IV-E).
 //!
-//! Identical to Phase 2 but evaluating **every** survivable failure per
+//! Identical to Phase 2 but evaluating **every** scenario of the set per
 //! candidate move. Used as the accuracy yardstick for Table I (βfull) and
-//! as the reference in the timing comparison of §IV-E2.
+//! as the reference in the timing comparison of §IV-E2. Generic over
+//! [`ScenarioSet`]: the full sweep of a probabilistic or SRLG ensemble is
+//! as meaningful a yardstick as the paper's single-link one.
 
 use dtr_cost::Evaluator;
 
 use crate::params::Params;
 use crate::phase1::Phase1Output;
 use crate::phase2::{self, Phase2Output};
-use crate::universe::FailureUniverse;
+use crate::scenario::ScenarioSet;
 
-/// Run the robust search against the full failure universe.
-pub fn full_search(
+/// Run the robust search against the complete scenario set.
+pub fn full_search<S: ScenarioSet + ?Sized>(
     ev: &Evaluator<'_>,
-    universe: &FailureUniverse,
+    set: &S,
     params: &Params,
     phase1: &Phase1Output,
 ) -> Phase2Output {
-    let all: Vec<usize> = (0..universe.len()).collect();
-    phase2::run(ev, universe, &all, params, phase1, None)
+    phase2::run(ev, set, &set.all_indices(), params, phase1)
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::scenario::DoubleLink;
+    use crate::universe::FailureUniverse;
     use crate::{parallel, phase1};
     use dtr_cost::CostParams;
     use dtr_net::{NetworkBuilder, Point};
     use dtr_traffic::gravity;
 
-    #[test]
-    fn full_search_covers_all_failures() {
+    fn testbed() -> (dtr_net::Network, dtr_traffic::ClassMatrices) {
         let mut b = NetworkBuilder::new();
         let n: Vec<_> = (0..5)
             .map(|i| b.add_node(Point::new(i as f64, 0.0)))
@@ -45,6 +47,12 @@ mod tests {
             total_volume: 2e6,
             ..gravity::GravityConfig::paper_default(5, 3)
         });
+        (net, tm)
+    }
+
+    #[test]
+    fn full_search_covers_all_failures() {
+        let (net, tm) = testbed();
         let ev = Evaluator::new(&net, &tm, CostParams::default());
         let universe = FailureUniverse::of(&net);
         let params = Params::quick(17);
@@ -52,6 +60,18 @@ mod tests {
         let out = full_search(&ev, &universe, &params, &p1);
         // Kfail reported over the complete universe.
         let recheck = parallel::sum_failure_costs(&ev, &out.best, &universe.scenarios(), 1);
+        assert_eq!(recheck, out.best_kfail);
+    }
+
+    #[test]
+    fn full_search_generalizes_to_other_sets() {
+        let (net, tm) = testbed();
+        let ev = Evaluator::new(&net, &tm, CostParams::default());
+        let set = DoubleLink::sampled(&net, 6, 1);
+        let params = Params::quick(4);
+        let p1 = phase1::run(&ev, set.universe(), &params);
+        let out = full_search(&ev, &set, &params, &p1);
+        let recheck = parallel::sum_failure_costs(&ev, &out.best, &set.scenarios(), 1);
         assert_eq!(recheck, out.best_kfail);
     }
 }

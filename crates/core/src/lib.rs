@@ -2,11 +2,43 @@
 //!
 //! Implements §IV of *"Balancing Performance, Robustness and Flexibility in
 //! Routing Systems"*: a two-phase local-search heuristic that finds one DTR
-//! weight setting performing well under normal conditions **and** under
-//! every single link failure, made tractable by a principled critical-link
-//! methodology.
+//! weight setting performing well under normal conditions **and** under an
+//! ensemble of failure scenarios, made tractable by a principled
+//! critical-link methodology.
 //!
-//! Pipeline (Fig. 1 of the paper):
+//! ## Architecture: one optimizer, many failure models
+//!
+//! The public surface is the builder-driven pipeline over the
+//! [`scenario::ScenarioSet`] trait:
+//!
+//! ```ignore
+//! use dtr_core::{Params, RobustOptimizer};
+//! use dtr_core::scenario::{DoubleLink, Probabilistic, SingleLink, Srlg};
+//!
+//! // The paper's single-link pipeline (default scenario set):
+//! let report = RobustOptimizer::builder(&ev).params(params).build().optimize();
+//!
+//! // Every other failure model rides the same machinery:
+//! RobustOptimizer::builder(&ev).scenarios(SingleLink::of(&net))                  // explicit default
+//!     .params(params).build().optimize();
+//! RobustOptimizer::builder(&ev).scenarios(Srlg::geographic(&net, 0.08))          // conduit cuts
+//!     .params(params).build().optimize();
+//! RobustOptimizer::builder(&ev).scenarios(Probabilistic::length_proportional(&net))
+//!     .params(params).build().optimize();                                        // expected cost
+//! RobustOptimizer::builder(&ev).scenarios(DoubleLink::all(&net))                 // pair failures
+//!     .params(params).build().optimize();
+//! ```
+//!
+//! A [`scenario::ScenarioSet`] enumerates weighted failure
+//! [`Scenario`](dtr_routing::Scenario)s with stable indices, pre-filters
+//! non-survivable scenarios at construction, and declares how the Phase-1
+//! criticality signal applies to it. [`FailureUniverse`] is the canonical
+//! single-link implementation; custom models (regional outages,
+//! maintenance windows, k-link cascades) implement the same trait and
+//! ride the same optimizer — there is exactly one Phase-2 loop in the
+//! workspace ([`phase2::run_scenarios`]).
+//!
+//! ## Pipeline (Fig. 1 of the paper)
 //!
 //! 1. **Phase 1a** ([`phase1`]) — local search minimizing the normal-
 //!    conditions cost `Knormal` (Eq. 3). Along the way, weight
@@ -18,19 +50,36 @@
 //!    failure-emulating samples until it has.
 //! 3. **Phase 1c** ([`selection`]) — link criticality `ρ = mean −
 //!    left-tail-mean` of each link's distribution ([`criticality`]),
-//!    normalized per class, merged into one critical set by Algorithm 1.
+//!    normalized per class, merged into one critical set by Algorithm 1,
+//!    then mapped to scenario indices by the set
+//!    ([`selection::select_for_set`]).
 //! 4. **Phase 2** ([`phase2`]) — local search minimizing the compound
-//!    failure cost `K̄fail` over the critical set only (Eq. 7), constrained
-//!    to keep normal-conditions performance (Eqs. 5–6).
+//!    (weight-aware) failure cost `K̄fail` over the selected scenarios
+//!    only (Eq. 7), constrained to keep normal-conditions performance
+//!    (Eqs. 5–6).
 //!
 //! [`pipeline::RobustOptimizer`] runs the whole thing;
 //! [`full_search::full_search`] is the brute-force `Ec = E` baseline;
 //! [`baselines`] implements the prior-art critical-link selectors the
-//! paper compares against (§IV-C); [`ext`] carries the extensions sketched
-//! in the paper's conclusion (probabilistic failure model, multi-failure
-//! robustness).
+//! paper compares against (§IV-C); [`ext`] carries the scenario-set
+//! constructors for the extensions sketched in the paper's conclusion.
 //!
-//! Determinism: all randomness flows from [`Params::seed`].
+//! ## Migration from the pre-builder API
+//!
+//! The scattered per-extension entry points were removed in favor of the
+//! builder; every old call has a direct replacement:
+//!
+//! | removed | replacement |
+//! |---|---|
+//! | `ext::srlg::optimize_robust_srlg(ev, u, crit, cat, p, p1)` | `RobustOptimizer::builder(&ev).scenarios(Srlg::from_catalog(net, cat)).params(p).build().optimize()` |
+//! | `ext::probabilistic::optimize(ev, u, p, p1, model)` | `RobustOptimizer::builder(&ev).scenarios(Probabilistic::with_model(net, model)).params(p).build().optimize()` |
+//! | `ext::probabilistic::select_critical(p1, model, u, p, n)` | `selection::select_for_set(&Probabilistic::with_model(net, model), &ev, &p1, &p, Selector::MeanLeftTail)` |
+//! | `ext::multi_failure::double_failures(ev, u, cap, seed)` | `DoubleLink::all(&net)` / `DoubleLink::sampled(&net, cap, seed)` + `.scenarios()` |
+//! | `phase2::run(ev, u, idx, p, p1, Some(w))` | `phase2::run(ev, &set, idx, p, p1)` — the set carries the weights |
+//!
+//! Determinism: all randomness flows from [`Params::seed`]; the builder
+//! path reproduces the removed entry points bit-for-bit on equal seeds
+//! (pinned by `tests/scenario_equivalence.rs` at the workspace root).
 //! Parallelism: failure-cost sums fan out over scenarios with scoped
 //! threads ([`parallel`]) — [`Params::threads`] `= 1` gives a fully serial,
 //! bit-reproducible run (parallel sums are reduced in scenario order, so
@@ -50,12 +99,15 @@ pub mod phase2;
 pub mod pipeline;
 pub mod ranking;
 pub mod samples;
+pub mod scenario;
 pub mod search;
 pub mod selection;
 pub mod str_baseline;
 pub mod strategies;
 mod universe;
 
+pub use baselines::Selector;
 pub use params::Params;
-pub use pipeline::{RobustOptimizer, RobustReport};
+pub use pipeline::{RobustOptimizer, RobustOptimizerBuilder, RobustReport};
+pub use scenario::{DoubleLink, Probabilistic, ScenarioSet, SingleLink, Srlg};
 pub use universe::FailureUniverse;

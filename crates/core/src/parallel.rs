@@ -1,15 +1,15 @@
 //! Parallel failure-cost sums.
 //!
 //! Phase 2's objective `K̄fail = ⟨Σ_l Λfail,l, Σ_l Φfail,l⟩` (Eq. 7)
-//! requires one full two-class evaluation per critical link. The scenarios
-//! are independent, so they fan out over scoped threads. Per-scenario
-//! costs land in a pre-indexed buffer and are reduced **in scenario
-//! order**, so the floating-point sum — and therefore the whole
-//! optimization trajectory — is identical for every thread count.
+//! requires one full two-class evaluation per critical scenario. The
+//! scenarios are independent, so they fan out over `std::thread::scope`
+//! workers in contiguous chunks. Per-scenario costs land back in input
+//! order and are reduced **in scenario order**, so the floating-point sum
+//! — and therefore the whole optimization trajectory — is identical for
+//! every thread count.
 
 use dtr_cost::{Evaluator, LexCost};
 use dtr_routing::{Scenario, WeightSetting};
-use std::sync::atomic::{AtomicUsize, Ordering};
 
 /// Per-scenario costs of `w` under every scenario, in input order.
 pub fn failure_costs(
@@ -19,32 +19,22 @@ pub fn failure_costs(
     threads: usize,
 ) -> Vec<LexCost> {
     assert!(threads >= 1);
-    let mut out = vec![LexCost::ZERO; scenarios.len()];
-    if threads == 1 || scenarios.len() <= 1 {
-        for (slot, &sc) in out.iter_mut().zip(scenarios) {
-            *slot = ev.cost(w, sc);
-        }
-        return out;
+    let workers = threads.min(scenarios.len());
+    if workers <= 1 {
+        return scenarios.iter().map(|&sc| ev.cost(w, sc)).collect();
     }
-    let next = AtomicUsize::new(0);
-    let slots: Vec<parking_lot::Mutex<LexCost>> =
-        out.iter().map(|&c| parking_lot::Mutex::new(c)).collect();
-    crossbeam::thread::scope(|s| {
-        for _ in 0..threads.min(scenarios.len()) {
-            s.spawn(|_| loop {
-                let i = next.fetch_add(1, Ordering::Relaxed);
-                if i >= scenarios.len() {
-                    break;
-                }
-                let cost = ev.cost(w, scenarios[i]);
-                *slots[i].lock() = cost;
-            });
+    // Contiguous chunks, one per worker; results spliced back in order.
+    let chunk = scenarios.len().div_ceil(workers);
+    let mut out = Vec::with_capacity(scenarios.len());
+    std::thread::scope(|s| {
+        let handles: Vec<_> = scenarios
+            .chunks(chunk)
+            .map(|part| s.spawn(move || part.iter().map(|&sc| ev.cost(w, sc)).collect::<Vec<_>>()))
+            .collect();
+        for h in handles {
+            out.extend(h.join().expect("failure-evaluation worker panicked"));
         }
-    })
-    .expect("failure-evaluation worker panicked");
-    for (slot, m) in out.iter_mut().zip(&slots) {
-        *slot = *m.lock();
-    }
+    });
     out
 }
 
@@ -58,6 +48,57 @@ pub fn sum_failure_costs(
     failure_costs(ev, w, scenarios, threads)
         .iter()
         .fold(LexCost::ZERO, |acc, c| acc.add(c))
+}
+
+/// Ordered weighted sum: `⟨Σ p_i·Λ_i, Σ p_i·Φ_i⟩` over the scenario batch.
+/// This is the probabilistic-ensemble compound cost; `weights` must match
+/// `scenarios` in length.
+pub fn weighted_sum_failure_costs(
+    ev: &Evaluator<'_>,
+    w: &WeightSetting,
+    scenarios: &[Scenario],
+    weights: &[f64],
+    threads: usize,
+) -> LexCost {
+    assert_eq!(weights.len(), scenarios.len(), "one weight per scenario");
+    failure_costs(ev, w, scenarios, threads)
+        .iter()
+        .zip(weights)
+        .fold(LexCost::ZERO, |acc, (c, &p)| {
+            acc.add(&LexCost::new(c.lambda * p, c.phi * p))
+        })
+}
+
+/// Per-scenario costs of `w` over a [`crate::scenario::ScenarioSet`]'s
+/// selected indices, in index order.
+pub fn set_failure_costs<S: crate::scenario::ScenarioSet + ?Sized>(
+    ev: &Evaluator<'_>,
+    w: &WeightSetting,
+    set: &S,
+    indices: &[usize],
+    threads: usize,
+) -> Vec<LexCost> {
+    let scenarios = set.scenarios_for(indices);
+    failure_costs(ev, w, &scenarios, threads)
+}
+
+/// Compound (weight-aware) cost of `w` over a scenario set's indices:
+/// the plain ordered sum for uniform sets, the probability-weighted sum
+/// for weighted ones.
+pub fn sum_set_costs<S: crate::scenario::ScenarioSet + ?Sized>(
+    ev: &Evaluator<'_>,
+    w: &WeightSetting,
+    set: &S,
+    indices: &[usize],
+    threads: usize,
+) -> LexCost {
+    let scenarios = set.scenarios_for(indices);
+    if set.weighted() {
+        let weights = set.weights_for(indices);
+        weighted_sum_failure_costs(ev, w, &scenarios, &weights, threads)
+    } else {
+        sum_failure_costs(ev, w, &scenarios, threads)
+    }
 }
 
 #[cfg(test)]
@@ -119,5 +160,29 @@ mod tests {
         let ev = Evaluator::new(&net, &tm, CostParams::default());
         let w = WeightSetting::uniform(net.num_links(), 20);
         assert_eq!(sum_failure_costs(&ev, &w, &[], 4), LexCost::ZERO);
+    }
+
+    #[test]
+    fn weighted_sum_scales_each_scenario() {
+        let (net, tm) = setup(5);
+        let ev = Evaluator::new(&net, &tm, CostParams::default());
+        let w = WeightSetting::uniform(net.num_links(), 20);
+        let scenarios = Scenario::all_link_failures(&net);
+        let weights = vec![0.5; scenarios.len()];
+        let weighted = weighted_sum_failure_costs(&ev, &w, &scenarios, &weights, 2);
+        let plain = sum_failure_costs(&ev, &w, &scenarios, 1);
+        assert!((weighted.lambda - 0.5 * plain.lambda).abs() < 1e-9);
+        assert!((weighted.phi - 0.5 * plain.phi).abs() < 1e-9);
+    }
+
+    #[test]
+    fn more_threads_than_scenarios_is_fine() {
+        let (net, tm) = setup(4);
+        let ev = Evaluator::new(&net, &tm, CostParams::default());
+        let w = WeightSetting::uniform(net.num_links(), 20);
+        let scenarios = Scenario::all_link_failures(&net);
+        let wide = failure_costs(&ev, &w, &scenarios, 64);
+        let narrow = failure_costs(&ev, &w, &scenarios, 1);
+        assert_eq!(wide, narrow);
     }
 }

@@ -23,10 +23,10 @@ use rand::SeedableRng;
 use crate::parallel;
 use crate::params::Params;
 use crate::phase1::Phase1Output;
+use crate::scenario::ScenarioSet;
 use crate::search::{
     duplex_weights, random_weight_pair, set_duplex_weights, SearchStats, StopRule,
 };
-use crate::universe::FailureUniverse;
 
 /// Result of the robust search.
 #[derive(Clone, Debug)]
@@ -50,20 +50,21 @@ pub fn feasible(normal: &LexCost, lambda_star: f64, phi_star: f64, chi: f64) -> 
     normal.lambda <= lambda_star + dtr_cost::LAMBDA_EPS && normal.phi <= (1.0 + chi) * phi_star
 }
 
-/// Run Phase 2 over the failure scenarios of `critical_indices`.
-/// `scenario_weights`, if given, turns the plain sum into a
-/// probability-weighted sum (the probabilistic-failure extension of the
-/// paper's conclusion); must then match `critical_indices` in length.
-pub fn run(
+/// Run Phase 2 over the scenarios of `indices` drawn from any
+/// [`ScenarioSet`]. The set supplies both the scenarios and (for
+/// probabilistic ensembles) their weights; uniform sets keep the paper's
+/// plain Eq. (4) sum. The canonical single-link call passes the
+/// [`crate::FailureUniverse`] itself.
+pub fn run<S: ScenarioSet + ?Sized>(
     ev: &Evaluator<'_>,
-    universe: &FailureUniverse,
-    critical_indices: &[usize],
+    set: &S,
+    indices: &[usize],
     params: &Params,
     phase1: &Phase1Output,
-    scenario_weights: Option<&[f64]>,
 ) -> Phase2Output {
-    let scenarios = universe.scenarios_for(critical_indices);
-    run_scenarios(ev, &scenarios, params, phase1, scenario_weights)
+    let scenarios = set.scenarios_for(indices);
+    let weights = set.weighted().then(|| set.weights_for(indices));
+    run_scenarios(ev, &scenarios, params, phase1, weights.as_deref())
 }
 
 /// Run Phase 2 against an arbitrary scenario set — e.g. all single node
@@ -201,6 +202,7 @@ pub fn run_scenarios(
 mod tests {
     use super::*;
     use crate::phase1;
+    use crate::universe::FailureUniverse;
     use dtr_cost::CostParams;
     use dtr_net::{Network, NetworkBuilder, Point};
     use dtr_traffic::{gravity, ClassMatrices};
@@ -235,7 +237,7 @@ mod tests {
         let params = Params::quick(21);
         let p1 = phase1::run(&ev, &universe, &params);
         let all: Vec<usize> = (0..universe.len()).collect();
-        let p2 = run(&ev, &universe, &all, &params, &p1, None);
+        let p2 = run(&ev, &universe, &all, &params, &p1);
 
         // Feasibility (Eqs. 5-6).
         assert!(feasible(
@@ -265,8 +267,8 @@ mod tests {
         let params = Params::quick(33);
         let p1 = phase1::run(&ev, &universe, &params);
         let all: Vec<usize> = (0..universe.len()).collect();
-        let a = run(&ev, &universe, &all, &params, &p1, None);
-        let b = run(&ev, &universe, &all, &params, &p1, None);
+        let a = run(&ev, &universe, &all, &params, &p1);
+        let b = run(&ev, &universe, &all, &params, &p1);
         assert_eq!(a.best, b.best);
         assert_eq!(a.best_kfail, b.best_kfail);
     }
@@ -280,8 +282,8 @@ mod tests {
         let p1 = phase1::run(&ev, &universe, &params);
         let all: Vec<usize> = (0..universe.len()).collect();
         let few = vec![0usize];
-        let full = run(&ev, &universe, &all, &params, &p1, None);
-        let crit = run(&ev, &universe, &few, &params, &p1, None);
+        let full = run(&ev, &universe, &all, &params, &p1);
+        let crit = run(&ev, &universe, &few, &params, &p1);
         assert!(
             crit.stats.evaluations < full.stats.evaluations,
             "critical {} vs full {}",
@@ -297,7 +299,7 @@ mod tests {
         let universe = FailureUniverse::of(&net);
         let params = Params::quick(5);
         let p1 = phase1::run(&ev, &universe, &params);
-        let out = run(&ev, &universe, &[], &params, &p1, None);
+        let out = run(&ev, &universe, &[], &params, &p1);
         assert_eq!(out.best_kfail, LexCost::ZERO);
         assert_eq!(&out.best, &p1.archive.best().unwrap().0);
     }
@@ -310,9 +312,10 @@ mod tests {
         let params = Params::quick(8);
         let p1 = phase1::run(&ev, &universe, &params);
         let idx: Vec<usize> = (0..universe.len()).collect();
-        let uniform = run(&ev, &universe, &idx, &params, &p1, None);
+        let uniform = run(&ev, &universe, &idx, &params, &p1);
+        let scenarios = universe.scenarios_for(&idx);
         let weights = vec![0.5; idx.len()];
-        let halved = run(&ev, &universe, &idx, &params, &p1, Some(&weights));
+        let halved = run_scenarios(&ev, &scenarios, &params, &p1, Some(&weights));
         // Halving all weights halves the reported objective for the same
         // trajectory (acceptance decisions are scale-invariant).
         assert!((halved.best_kfail.lambda - 0.5 * uniform.best_kfail.lambda).abs() < 1e-6);
@@ -327,7 +330,7 @@ mod tests {
         let universe = FailureUniverse::of(&net);
         let params = Params::quick(8);
         let p1 = phase1::run(&ev, &universe, &params);
-        let idx: Vec<usize> = (0..universe.len()).collect();
-        let _ = run(&ev, &universe, &idx, &params, &p1, Some(&[1.0]));
+        let scenarios = universe.scenarios();
+        let _ = run_scenarios(&ev, &scenarios, &params, &p1, Some(&[1.0]));
     }
 }

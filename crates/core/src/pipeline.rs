@@ -1,17 +1,35 @@
-//! The complete robust-optimization pipeline (Fig. 1 of the paper).
+//! The complete robust-optimization pipeline (Fig. 1 of the paper),
+//! generalized over [`ScenarioSet`].
+//!
+//! One optimizer serves every failure model: the builder picks the
+//! ensemble, the phases stay the paper's.
+//!
+//! ```ignore
+//! // The paper's single-link pipeline:
+//! let report = RobustOptimizer::builder(&ev).params(params).build().optimize();
+//!
+//! // Any other failure model, same machinery:
+//! let report = RobustOptimizer::builder(&ev)
+//!     .scenarios(Srlg::geographic(&net, 0.08))   // or Probabilistic::length_proportional(&net),
+//!     .params(params)                            //    DoubleLink::all(&net), a custom impl, ...
+//!     .build()
+//!     .optimize();
+//! ```
 
 use std::time::{Duration, Instant};
 
 use dtr_cost::{Evaluator, LexCost};
 use dtr_net::LinkId;
-use dtr_routing::WeightSetting;
+use dtr_routing::{Scenario, WeightSetting};
 
-use crate::baselines::{self, Selector};
+use crate::baselines::Selector;
 use crate::params::Params;
 use crate::phase1::{self, Phase1Output};
 use crate::phase1b::{self, Phase1bStats};
 use crate::phase2::{self, Phase2Output};
+use crate::scenario::ScenarioSet;
 use crate::search::SearchStats;
+use crate::selection;
 use crate::universe::FailureUniverse;
 
 /// Timing and effort accounting of one pipeline run.
@@ -35,11 +53,14 @@ pub struct RobustReport {
     pub robust: WeightSetting,
     /// Normal-conditions cost of the robust solution (Eqs. 5–6 hold).
     pub robust_normal_cost: LexCost,
-    /// Compound failure cost of the robust solution over the critical set.
+    /// Compound failure cost of the robust solution over the selected
+    /// scenarios (probability-weighted for weighted sets).
     pub kfail: LexCost,
-    /// Selected critical links (duplex representatives).
+    /// Duplex representatives of the selected *single-link* scenarios
+    /// (composite sets may select group/multi scenarios too — those have
+    /// no single representative and appear only in `critical_indices`).
     pub critical_links: Vec<LinkId>,
-    /// Same, as failure indices into the universe.
+    /// Selected scenario indices into the optimizer's [`ScenarioSet`].
     pub critical_indices: Vec<usize>,
     /// Failure-cost samples collected (total across links).
     pub samples: usize,
@@ -61,27 +82,116 @@ impl RobustReport {
     }
 }
 
-/// Orchestrates Phases 1a → 1b → 1c → 2.
-pub struct RobustOptimizer<'e, 'a> {
+/// Builds a [`RobustOptimizer`]: pick the scenario ensemble with
+/// [`scenarios`](RobustOptimizerBuilder::scenarios) (default: the
+/// network's single-link [`FailureUniverse`]), set the heuristic
+/// [`params`](RobustOptimizerBuilder::params) (required), optionally
+/// override the critical-link [`selector`](RobustOptimizerBuilder::selector).
+pub struct RobustOptimizerBuilder<'e, 'a, S: ScenarioSet = FailureUniverse> {
     ev: &'e Evaluator<'a>,
-    universe: FailureUniverse,
-    params: Params,
+    set: S,
+    params: Option<Params>,
+    selector: Selector,
+    warm_start: Option<Phase1Output>,
 }
 
-impl<'e, 'a> RobustOptimizer<'e, 'a> {
-    /// Build the optimizer (analyzes the failure universe once).
-    pub fn new(ev: &'e Evaluator<'a>, params: Params) -> Self {
-        params.validate();
-        let universe = FailureUniverse::of(ev.net());
-        RobustOptimizer {
-            ev,
-            universe,
-            params,
+impl<'e, 'a, S: ScenarioSet> RobustOptimizerBuilder<'e, 'a, S> {
+    /// Optimize against this scenario ensemble instead of the default
+    /// single-link universe.
+    pub fn scenarios<T: ScenarioSet>(self, set: T) -> RobustOptimizerBuilder<'e, 'a, T> {
+        RobustOptimizerBuilder {
+            ev: self.ev,
+            set,
+            params: self.params,
+            selector: self.selector,
+            warm_start: self.warm_start,
         }
     }
 
+    /// Reuse an existing Phase-1 output instead of re-running Phases
+    /// 1a/1b inside `optimize()` — for comparing several scenario
+    /// ensembles against **identical** benchmarks without paying the
+    /// sample harvest once per ensemble. Pass the output of
+    /// [`phase1::run`] (after [`phase1b::run`] if rank convergence
+    /// matters); it must come from the same evaluator, universe and
+    /// params, which the caller is trusted to guarantee.
+    pub fn warm_start(mut self, phase1: Phase1Output) -> Self {
+        self.warm_start = Some(phase1);
+        self
+    }
+
+    /// Heuristic parameters (required before [`build`](Self::build)).
+    pub fn params(mut self, params: Params) -> Self {
+        self.params = Some(params);
+        self
+    }
+
+    /// Critical-link selection strategy (default: the paper's
+    /// [`Selector::MeanLeftTail`]; the alternatives exist for the §IV-C
+    /// ablation).
+    pub fn selector(mut self, selector: Selector) -> Self {
+        self.selector = selector;
+        self
+    }
+
+    /// Finalize.
+    ///
+    /// # Panics
+    /// Panics if [`params`](Self::params) was never set, or the params are
+    /// invalid.
+    pub fn build(self) -> RobustOptimizer<'e, 'a, S> {
+        let params = self
+            .params
+            .expect("RobustOptimizer::builder requires .params(..) before .build()");
+        params.validate();
+        RobustOptimizer {
+            ev: self.ev,
+            set: self.set,
+            params,
+            selector: self.selector,
+            warm_start: self.warm_start,
+        }
+    }
+}
+
+/// Orchestrates Phases 1a → 1b → 1c → 2 over any [`ScenarioSet`].
+pub struct RobustOptimizer<'e, 'a, S: ScenarioSet = FailureUniverse> {
+    ev: &'e Evaluator<'a>,
+    set: S,
+    params: Params,
+    selector: Selector,
+    warm_start: Option<Phase1Output>,
+}
+
+impl<'e, 'a> RobustOptimizer<'e, 'a> {
+    /// Start building an optimizer. The default scenario set is the
+    /// network's single-link [`FailureUniverse`] (analyzed here once).
+    pub fn builder(ev: &'e Evaluator<'a>) -> RobustOptimizerBuilder<'e, 'a, FailureUniverse> {
+        RobustOptimizerBuilder {
+            ev,
+            set: FailureUniverse::of(ev.net()),
+            params: None,
+            selector: Selector::MeanLeftTail,
+            warm_start: None,
+        }
+    }
+
+    /// Single-link optimizer with default selector — shorthand for
+    /// `RobustOptimizer::builder(ev).params(params).build()`.
+    pub fn new(ev: &'e Evaluator<'a>, params: Params) -> Self {
+        RobustOptimizer::builder(ev).params(params).build()
+    }
+}
+
+impl<'e, 'a, S: ScenarioSet> RobustOptimizer<'e, 'a, S> {
+    /// The single-link failure universe backing Phase-1 sampling.
     pub fn universe(&self) -> &FailureUniverse {
-        &self.universe
+        self.set.universe()
+    }
+
+    /// The scenario ensemble Phase 2 optimizes against.
+    pub fn scenario_set(&self) -> &S {
+        &self.set
     }
 
     pub fn params(&self) -> &Params {
@@ -91,71 +201,66 @@ impl<'e, 'a> RobustOptimizer<'e, 'a> {
     /// Phase 1 only — the "regular optimization" baseline the paper labels
     /// "No Robust" / "NR".
     pub fn regular_only(&self) -> Phase1Output {
-        phase1::run(self.ev, &self.universe, &self.params)
+        phase1::run(self.ev, self.set.universe(), &self.params)
     }
 
-    /// Full pipeline with the paper's selector.
+    /// Full pipeline with the configured selector.
     pub fn optimize(&self) -> RobustReport {
-        self.optimize_with_selector(Selector::MeanLeftTail)
+        self.optimize_with_selector(self.selector)
     }
 
     /// Full pipeline with an explicit critical-link selector (for the
     /// selector ablation).
     pub fn optimize_with_selector(&self, selector: Selector) -> RobustReport {
         let t0 = Instant::now();
-        let mut p1 = phase1::run(self.ev, &self.universe, &self.params);
-        let p1b = phase1b::run(self.ev, &self.universe, &self.params, &mut p1);
+        let (p1, p1b) = match &self.warm_start {
+            Some(shared) => {
+                // Warm start: the caller already ran (and paid for)
+                // Phases 1a/1b on this evaluator.
+                let p1 = shared.clone();
+                let p1b = Phase1bStats {
+                    converged: p1.converged,
+                    ..Default::default()
+                };
+                (p1, p1b)
+            }
+            None => {
+                let mut p1 = phase1::run(self.ev, self.set.universe(), &self.params);
+                let p1b = phase1b::run(self.ev, self.set.universe(), &self.params, &mut p1);
+                (p1, p1b)
+            }
+        };
         let phase1_time = t0.elapsed();
 
-        let n = self.universe.target_size(self.params.critical_fraction);
-        let critical_indices = baselines::select(
-            selector,
-            self.ev,
-            &self.universe,
-            &p1.store,
-            &p1.best,
-            self.params.left_tail_fraction,
-            n,
-            self.params.seed,
-        );
+        let critical_indices =
+            selection::select_for_set(&self.set, self.ev, &p1, &self.params, selector);
 
         let t1 = Instant::now();
-        let p2 = phase2::run(
-            self.ev,
-            &self.universe,
-            &critical_indices,
-            &self.params,
-            &p1,
-            None,
-        );
+        let p2 = phase2::run(self.ev, &self.set, &critical_indices, &self.params, &p1);
         let phase2_time = t1.elapsed();
 
         self.report(p1, p1b, p2, critical_indices, phase1_time, phase2_time)
     }
 
-    /// Full-search variant: Phase 2 over the complete failure universe
+    /// Full-search variant: Phase 2 over the complete scenario set
     /// (`Ec = E`), the paper's accuracy yardstick.
     pub fn optimize_full(&self) -> RobustReport {
         let t0 = Instant::now();
-        let mut p1 = phase1::run(self.ev, &self.universe, &self.params);
         // Full search needs no criticality estimate, but running Phase 1b
         // anyway would waste evaluations: skip it (the paper's full search
         // has no Phase 1b/1c either).
+        let mut p1 = match &self.warm_start {
+            Some(shared) => shared.clone(),
+            None => phase1::run(self.ev, self.set.universe(), &self.params),
+        };
         let p1b = Phase1bStats {
             converged: p1.converged,
             ..Default::default()
         };
         let phase1_time = t0.elapsed();
-        let critical_indices: Vec<usize> = (0..self.universe.len()).collect();
+        let critical_indices = self.set.all_indices();
         let t1 = Instant::now();
-        let p2 = phase2::run(
-            self.ev,
-            &self.universe,
-            &critical_indices,
-            &self.params,
-            &p1,
-            None,
-        );
+        let p2 = phase2::run(self.ev, &self.set, &critical_indices, &self.params, &p1);
         let phase2_time = t1.elapsed();
         // Phase 1b is skipped, so leave converged as Phase 1a reported it.
         p1.converged = p1b.converged;
@@ -173,7 +278,10 @@ impl<'e, 'a> RobustOptimizer<'e, 'a> {
     ) -> RobustReport {
         let critical_links = critical_indices
             .iter()
-            .map(|&i| self.universe.failable[i])
+            .filter_map(|&i| match self.set.scenario(i) {
+                Scenario::Link(l) => Some(l),
+                _ => None,
+            })
             .collect();
         RobustReport {
             regular: p1.best,
@@ -201,7 +309,6 @@ mod tests {
     use super::*;
     use dtr_cost::CostParams;
     use dtr_net::{Network, NetworkBuilder, Point};
-    use dtr_routing::Scenario;
     use dtr_traffic::{gravity, ClassMatrices};
 
     fn testbed(seed: u64) -> (Network, ClassMatrices) {
@@ -226,7 +333,9 @@ mod tests {
     fn pipeline_produces_consistent_report() {
         let (net, tm) = testbed(4);
         let ev = Evaluator::new(&net, &tm, CostParams::default());
-        let opt = RobustOptimizer::new(&ev, Params::quick(1));
+        let opt = RobustOptimizer::builder(&ev)
+            .params(Params::quick(1))
+            .build();
         let r = opt.optimize();
 
         // Critical set has the configured target size.
@@ -247,6 +356,20 @@ mod tests {
         assert_eq!(r.robust_normal_cost, ev.cost(&r.robust, Scenario::Normal));
         assert!(r.phi_degradation() <= opt.params().chi + 1e-9);
         assert!(r.samples > 0);
+    }
+
+    #[test]
+    fn builder_and_new_agree() {
+        let (net, tm) = testbed(4);
+        let ev = Evaluator::new(&net, &tm, CostParams::default());
+        let a = RobustOptimizer::new(&ev, Params::quick(5)).optimize();
+        let b = RobustOptimizer::builder(&ev)
+            .params(Params::quick(5))
+            .build()
+            .optimize();
+        assert_eq!(a.robust, b.robust);
+        assert_eq!(a.kfail, b.kfail);
+        assert_eq!(a.critical_indices, b.critical_indices);
     }
 
     #[test]
@@ -306,5 +429,23 @@ mod tests {
             let r = opt.optimize_with_selector(sel);
             assert!(!r.critical_indices.is_empty(), "{sel}");
         }
+        // And the builder's .selector() override reproduces the explicit
+        // per-call variant.
+        let via_builder = RobustOptimizer::builder(&ev)
+            .params(Params::quick(2))
+            .selector(Selector::Random)
+            .build()
+            .optimize();
+        let via_call = opt.optimize_with_selector(Selector::Random);
+        assert_eq!(via_builder.critical_indices, via_call.critical_indices);
+        assert_eq!(via_builder.robust, via_call.robust);
+    }
+
+    #[test]
+    #[should_panic(expected = "requires .params")]
+    fn builder_without_params_panics() {
+        let (net, tm) = testbed(3);
+        let ev = Evaluator::new(&net, &tm, CostParams::default());
+        let _ = RobustOptimizer::builder(&ev).build();
     }
 }

@@ -1,0 +1,215 @@
+//! The `ScenarioSet` abstraction: one trait for every failure model.
+//!
+//! The paper's conclusion sketches probabilistic, multi-failure and SRLG
+//! robustness as *variations of one robust-optimization framework*. This
+//! module is that framework's seam: a [`ScenarioSet`] enumerates weighted
+//! [`Scenario`] values with **stable indices**, declares how the Phase-1
+//! criticality signal applies to it, and plugs into the generic Phase-2
+//! machinery ([`crate::phase2::run`], [`crate::pipeline::RobustOptimizer`]).
+//!
+//! Implementations shipped with the workspace:
+//!
+//! | set | scenarios | weights | selection |
+//! |---|---|---|---|
+//! | [`SingleLink`] (= [`FailureUniverse`]) | survivable single-link failures | uniform | criticality (Phase 1c) |
+//! | [`Probabilistic`] | survivable single-link failures | failure probabilities | probability-scaled criticality |
+//! | [`Srlg`] | single links ∪ survivable SRLG group failures | uniform | criticality on the single-link prefix, all groups kept |
+//! | [`DoubleLink`] | survivable double-link failures | uniform | none (full sweep) |
+//!
+//! Every set performs **survivability pre-filtering** at construction:
+//! scenarios that partition the network carry no optimization signal (no
+//! routing can mitigate a partition) and are excluded, mirroring the
+//! bridge exclusion of the single-link universe.
+//!
+//! Custom failure models (regional outages, maintenance windows, k-link
+//! cascades) implement the same trait and ride the same optimizer.
+
+use dtr_routing::Scenario;
+
+use crate::universe::FailureUniverse;
+
+pub use crate::ext::multi_failure::DoubleLink;
+pub use crate::ext::probabilistic::Probabilistic;
+pub use crate::ext::srlg::Srlg;
+
+/// The canonical single-link scenario set of the paper (§III): every
+/// survivable single physical-link failure, equally weighted, selected by
+/// the Phase-1c criticality machinery. It *is* the failure universe.
+pub type SingleLink = FailureUniverse;
+
+/// A weighted ensemble of failure scenarios with stable indices.
+///
+/// Indices `0..len()` are stable for the lifetime of the set: samples,
+/// criticality estimates, critical-set selections and reports all refer
+/// to scenarios by index, so an implementation must never reorder them.
+pub trait ScenarioSet {
+    /// The single-link failure universe backing Phase-1 sampling. Sample
+    /// harvesting emulates single-link failures by weight perturbation
+    /// (§IV-D1) regardless of which ensemble Phase 2 optimizes, so every
+    /// set carries the universe of its network.
+    fn universe(&self) -> &FailureUniverse;
+
+    /// Number of scenarios in the set.
+    fn len(&self) -> usize;
+
+    /// `true` when the set holds no scenarios.
+    fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// The scenario at stable index `i`.
+    ///
+    /// # Panics
+    /// Panics if `i >= len()`.
+    fn scenario(&self, i: usize) -> Scenario;
+
+    /// Weight (probability mass) of scenario `i` in the compound
+    /// objective. Uniform sets return 1 for every index.
+    fn weight(&self, _i: usize) -> f64 {
+        1.0
+    }
+
+    /// `true` when the objective is a weighted sum (any `weight() != 1`).
+    /// Uniform sets keep the paper's plain Eq. (4) sum.
+    fn weighted(&self) -> bool {
+        false
+    }
+
+    /// Per-failure-index multipliers applied to the single-link
+    /// criticality before Phase-1c selection (aligned with
+    /// `universe().failable`). `None` = unscaled. The probabilistic model
+    /// returns its failure probabilities here, so rarely-failing links
+    /// are harder to justify a critical-set slot for.
+    fn criticality_scale(&self) -> Option<&[f64]> {
+        None
+    }
+
+    /// Whether criticality-based critical-set selection applies. Sets
+    /// without a per-single-link structure (e.g. double-link ensembles)
+    /// return `false`, and Phase 2 sweeps the whole set.
+    fn supports_selection(&self) -> bool {
+        true
+    }
+
+    /// Map the criticality-selected single-link failure indices to the
+    /// scenario indices Phase 2 optimizes over. Sets that track the
+    /// universe 1:1 return them unchanged; composite sets append their
+    /// extra scenarios (e.g. every SRLG group).
+    fn critical_scenarios(&self, critical_failures: &[usize]) -> Vec<usize> {
+        critical_failures.to_vec()
+    }
+
+    /// All scenario indices: `0..len()`.
+    fn all_indices(&self) -> Vec<usize> {
+        (0..self.len()).collect()
+    }
+
+    /// Materialized scenarios for a set of indices, in the given order.
+    fn scenarios_for(&self, indices: &[usize]) -> Vec<Scenario> {
+        indices.iter().map(|&i| self.scenario(i)).collect()
+    }
+
+    /// All scenarios, in index order.
+    fn scenarios(&self) -> Vec<Scenario> {
+        (0..self.len()).map(|i| self.scenario(i)).collect()
+    }
+
+    /// Weights for a set of indices, in the given order.
+    fn weights_for(&self, indices: &[usize]) -> Vec<f64> {
+        indices.iter().map(|&i| self.weight(i)).collect()
+    }
+}
+
+/// `FailureUniverse` is the canonical [`ScenarioSet`]: one scenario per
+/// survivable single-link failure, uniform weights, scenario index =
+/// failure index, criticality selection straight through.
+impl ScenarioSet for FailureUniverse {
+    fn universe(&self) -> &FailureUniverse {
+        self
+    }
+
+    fn len(&self) -> usize {
+        FailureUniverse::len(self)
+    }
+
+    fn scenario(&self, i: usize) -> Scenario {
+        FailureUniverse::scenario(self, i)
+    }
+}
+
+/// Blanket impl so `&S` works wherever `S: ScenarioSet` is expected.
+impl<S: ScenarioSet + ?Sized> ScenarioSet for &S {
+    fn universe(&self) -> &FailureUniverse {
+        (**self).universe()
+    }
+    fn len(&self) -> usize {
+        (**self).len()
+    }
+    fn scenario(&self, i: usize) -> Scenario {
+        (**self).scenario(i)
+    }
+    fn weight(&self, i: usize) -> f64 {
+        (**self).weight(i)
+    }
+    fn weighted(&self) -> bool {
+        (**self).weighted()
+    }
+    fn criticality_scale(&self) -> Option<&[f64]> {
+        (**self).criticality_scale()
+    }
+    fn supports_selection(&self) -> bool {
+        (**self).supports_selection()
+    }
+    fn critical_scenarios(&self, critical_failures: &[usize]) -> Vec<usize> {
+        (**self).critical_scenarios(critical_failures)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dtr_net::{Network, NetworkBuilder, Point};
+
+    fn ring(n: usize) -> Network {
+        let mut b = NetworkBuilder::new();
+        let ids: Vec<_> = (0..n)
+            .map(|i| {
+                let a = i as f64 * std::f64::consts::TAU / n as f64;
+                b.add_node(Point::new(a.cos(), a.sin()))
+            })
+            .collect();
+        for i in 0..n {
+            b.add_duplex_link(ids[i], ids[(i + 1) % n], 1e6, 1e-3)
+                .unwrap();
+        }
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn universe_is_the_canonical_single_link_set() {
+        let net = ring(5);
+        let set = SingleLink::of(&net);
+        assert_eq!(ScenarioSet::len(&set), 5);
+        assert!(!set.weighted());
+        assert!(set.supports_selection());
+        for i in 0..ScenarioSet::len(&set) {
+            assert_eq!(
+                ScenarioSet::scenario(&set, i),
+                Scenario::Link(set.failable[i])
+            );
+            assert_eq!(set.weight(i), 1.0);
+        }
+        assert_eq!(set.critical_scenarios(&[0, 2]), vec![0, 2]);
+        assert_eq!(set.all_indices(), vec![0, 1, 2, 3, 4]);
+    }
+
+    #[test]
+    fn reference_delegation_matches_value() {
+        let net = ring(4);
+        let set = SingleLink::of(&net);
+        let r = &set;
+        assert_eq!(ScenarioSet::len(&r), ScenarioSet::len(&set));
+        assert_eq!(r.scenarios(), set.scenarios());
+        assert_eq!(r.weights_for(&[0, 1]), vec![1.0, 1.0]);
+    }
+}

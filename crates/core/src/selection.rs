@@ -10,7 +10,13 @@
 //! whose hypothetical one-step shrink incurs the *smaller* error, until the
 //! union of the two prefixes fits in `n`. The critical set is that union.
 
+use dtr_cost::Evaluator;
+
+use crate::baselines::{self, Selector};
 use crate::criticality::Criticality;
+use crate::params::Params;
+use crate::phase1::Phase1Output;
+use crate::scenario::ScenarioSet;
 
 /// Result of Phase 1c.
 #[derive(Clone, Debug, PartialEq)]
@@ -93,6 +99,51 @@ pub fn select(crit: &Criticality, n: usize) -> CriticalSet {
         err_lambda: err_l[n1],
         err_phi: err_p[n2],
     }
+}
+
+/// Phase-1c for an arbitrary [`ScenarioSet`]: the scenario indices
+/// Phase 2 should optimize over.
+///
+/// * Sets without per-single-link structure (`supports_selection() ==
+///   false`, e.g. double-link ensembles) get the full sweep.
+/// * With the paper's [`Selector::MeanLeftTail`] and a set that scales
+///   criticality (the probabilistic model), the estimate is multiplied by
+///   the set's per-link factors before Algorithm 1 runs.
+/// * Everything else routes through [`baselines::select`] unchanged.
+///
+/// The criticality-selected *failure* indices are finally mapped to
+/// *scenario* indices by the set (identity for single-link sets; SRLG
+/// sets append their group scenarios).
+pub fn select_for_set<S: ScenarioSet + ?Sized>(
+    set: &S,
+    ev: &Evaluator<'_>,
+    phase1: &Phase1Output,
+    params: &Params,
+    selector: Selector,
+) -> Vec<usize> {
+    if !set.supports_selection() {
+        return set.all_indices();
+    }
+    let universe = set.universe();
+    let n = universe.target_size(params.critical_fraction);
+    let critical_failures = match (selector, set.criticality_scale()) {
+        (Selector::MeanLeftTail, Some(scale)) => {
+            let crit =
+                Criticality::estimate(&phase1.store, params.left_tail_fraction).scaled(scale);
+            select(&crit, n).indices
+        }
+        _ => baselines::select(
+            selector,
+            ev,
+            universe,
+            &phase1.store,
+            &phase1.best,
+            params.left_tail_fraction,
+            n,
+            params.seed,
+        ),
+    };
+    set.critical_scenarios(&critical_failures)
 }
 
 fn union_size(a: &[usize], b: &[usize], n1: usize, n2: usize, m: usize) -> usize {

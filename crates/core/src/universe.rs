@@ -1,6 +1,8 @@
 //! The failure universe: which physical links can fail, and the mapping
 //! between duplex links and the perturbation/criticality bookkeeping.
 
+use std::collections::HashMap;
+
 use dtr_net::{LinkId, Network};
 use dtr_routing::Scenario;
 
@@ -24,6 +26,10 @@ pub struct FailureUniverse {
     /// criticality and the failure enumeration set. Index into this vec is
     /// the "failure index" used by samples/criticality/selection.
     pub failable: Vec<LinkId>,
+    /// Reverse map from duplex representative to failure index, built once
+    /// in [`FailureUniverse::of`] so the hot sample-harvest path does not
+    /// pay a linear scan per proposal.
+    index: HashMap<LinkId, usize>,
 }
 
 impl FailureUniverse {
@@ -31,27 +37,41 @@ impl FailureUniverse {
     pub fn of(net: &Network) -> Self {
         let all_duplex = net.duplex_representatives();
         let failable = dtr_net::bridges::survivable_duplex_failures(net);
+        let index = failable.iter().enumerate().map(|(i, &l)| (l, i)).collect();
         FailureUniverse {
             all_duplex,
             failable,
+            index,
         }
     }
 
-    /// Number of failable physical links (`|E|` in the paper's Phase-2
-    /// accounting — the paper's well-connected topologies have no bridges,
-    /// so this equals the physical link count there).
+    /// Number of **failable** physical links — the failure-scenario count
+    /// (`|E|` in the paper's Phase-2 accounting; its well-connected
+    /// topologies have no bridges, so this equals the physical link count
+    /// there). Bridges are excluded: use [`FailureUniverse::total_duplex`]
+    /// for the full physical link count.
     pub fn len(&self) -> usize {
         self.failable.len()
     }
 
     /// `true` when nothing can fail survivably (degenerate topologies).
+    /// Mirrors [`FailureUniverse::len`]: a bridge-only network is "empty"
+    /// even though it has physical links.
     pub fn is_empty(&self) -> bool {
         self.failable.is_empty()
     }
 
+    /// Number of physical (duplex) links, bridges included — the
+    /// perturbation set of the Phase-1 search. Prefer this accessor over
+    /// reaching into `all_duplex` directly.
+    pub fn total_duplex(&self) -> usize {
+        self.all_duplex.len()
+    }
+
     /// Failure index of duplex representative `l`, if survivable.
+    /// O(1): the map is precomputed at construction.
     pub fn failure_index(&self, l: LinkId) -> Option<usize> {
-        self.failable.iter().position(|&x| x == l)
+        self.index.get(&l).copied()
     }
 
     /// The failure scenario for failure index `i`.
@@ -99,8 +119,22 @@ mod tests {
     fn bridge_excluded_from_failable() {
         let net = ring_with_pendant();
         let u = FailureUniverse::of(&net);
-        assert_eq!(u.all_duplex.len(), 6);
+        assert_eq!(u.total_duplex(), 6);
         assert_eq!(u.len(), 5); // the pendant bridge can't fail survivably
+        assert!(!u.is_empty()); // len/is_empty speak about failable links
+    }
+
+    #[test]
+    fn failure_index_rejects_non_failable_links() {
+        let net = ring_with_pendant();
+        let u = FailureUniverse::of(&net);
+        for &l in &u.all_duplex {
+            if u.failable.contains(&l) {
+                assert!(u.failure_index(l).is_some());
+            } else {
+                assert_eq!(u.failure_index(l), None, "bridge {l} got an index");
+            }
+        }
     }
 
     #[test]

@@ -57,7 +57,9 @@ pub fn run(cfg: &ExpConfig) -> Ablation {
             seed,
         );
         let ev = inst.evaluator();
-        let opt = RobustOptimizer::new(&ev, cfg.scale.params(seed));
+        let opt = RobustOptimizer::builder(&ev)
+            .params(cfg.scale.params(seed))
+            .build();
         let all = opt.universe().scenarios();
         for (si, &sel) in selectors.iter().enumerate() {
             let report = opt.optimize_with_selector(sel);

@@ -24,7 +24,7 @@ impl OptimizedPair {
     /// Run the full pipeline on the instance and score both solutions.
     pub fn compute(inst: &Instance, params: Params) -> OptimizedPair {
         let ev = inst.evaluator();
-        let opt = RobustOptimizer::new(&ev, params);
+        let opt = RobustOptimizer::builder(&ev).params(params).build();
         let report = opt.optimize();
         let scenarios = opt.universe().scenarios();
         let regular = metrics::failure_series(&ev, &report.regular, &scenarios);

@@ -32,7 +32,7 @@ impl std::fmt::Display for Fig4 {
 /// (#links with load increase, mean utilization increase over them).
 fn redistribution(inst: &Instance, params: dtr_core::Params) -> (Vec<f64>, Vec<f64>) {
     let ev = inst.evaluator();
-    let opt = RobustOptimizer::new(&ev, params);
+    let opt = RobustOptimizer::builder(&ev).params(params).build();
     let report = opt.optimize();
     let normal = ev.evaluate(&report.robust, Scenario::Normal);
     let base_util = normal.utilizations(&inst.net);

@@ -71,7 +71,9 @@ pub fn delay_distribution(cfg: &ExpConfig, kind: TopoKind, theta_ms: f64) -> Vec
         seed,
     );
     let ev = inst.evaluator();
-    let opt = RobustOptimizer::new(&ev, cfg.scale.params(seed));
+    let opt = RobustOptimizer::builder(&ev)
+        .params(cfg.scale.params(seed))
+        .build();
     let regular = opt.regular_only();
     let b = ev.evaluate(&regular.best, Scenario::Normal);
     let mut delays: Vec<f64> = b.pair_delays.iter().map(|&(_, _, xi)| xi * 1e3).collect();
@@ -92,7 +94,9 @@ pub fn max_util_delay_links(cfg: &ExpConfig, theta_ms: f64) -> Vec<f64> {
         seed,
     );
     let ev = inst.evaluator();
-    let opt = RobustOptimizer::new(&ev, cfg.scale.params(seed));
+    let opt = RobustOptimizer::builder(&ev)
+        .params(cfg.scale.params(seed))
+        .build();
     let regular: WeightSetting = opt.regular_only().best;
     let mut out = Vec::new();
     for sc in opt.universe().scenarios() {

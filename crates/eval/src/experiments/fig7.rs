@@ -60,7 +60,7 @@ pub fn run(cfg: &ExpConfig) -> Fig7 {
     // from the same regular optimization, as in the paper ("we use the
     // same set of parameters to optimize routing against all single link
     // and all single node failures").
-    let opt = RobustOptimizer::new(&ev, params);
+    let opt = RobustOptimizer::builder(&ev).params(params).build();
     let link_report = opt.optimize();
     let regular: WeightSetting = link_report.regular.clone();
     let link_robust: WeightSetting = link_report.robust.clone();

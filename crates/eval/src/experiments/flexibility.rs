@@ -49,7 +49,7 @@ pub fn run(cfg: &ExpConfig) -> Flexibility {
         );
         let ev = inst.evaluator();
         let params = cfg.scale.params(seed);
-        let opt = RobustOptimizer::new(&ev, params);
+        let opt = RobustOptimizer::builder(&ev).params(params).build();
         let scenarios = opt.universe().scenarios();
 
         let dtr = opt.regular_only();

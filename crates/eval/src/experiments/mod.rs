@@ -27,10 +27,14 @@ pub mod topo_design;
 
 use crate::settings::ExpConfig;
 
+/// An experiment runner: builds the instance, runs the optimizations,
+/// renders the report.
+pub type ExperimentRunner = fn(&ExpConfig) -> String;
+
 /// Registry used by the `repro` binary: experiment name → runner that
 /// returns the rendered report (and writes CSV series if
 /// `cfg.out_dir` is set).
-pub fn registry() -> Vec<(&'static str, fn(&ExpConfig) -> String)> {
+pub fn registry() -> Vec<(&'static str, ExperimentRunner)> {
     vec![
         ("table1", |c| table1::run(c).to_string()),
         ("table2", |c| table2::run(c).to_string()),

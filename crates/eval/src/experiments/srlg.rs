@@ -9,17 +9,17 @@
 //! SRLG catalog:
 //!
 //! * **regular** — failure-oblivious Phase-1 optimization;
-//! * **link-robust** — the paper's Phase 2 against single link failures;
-//! * **SRLG-robust** — Phase 2 against the union of the single-link
-//!   critical set and the SRLG catalog
-//!   ([`dtr_core::ext::srlg::optimize_robust_srlg`]).
+//! * **link-robust** — the paper's Phase 2 against single link failures
+//!   (the builder's default [`dtr_core::FailureUniverse`] scenario set);
+//! * **SRLG-robust** — the same builder pipeline over the
+//!   [`dtr_core::Srlg`] scenario set: the union of the single-link
+//!   critical set and every survivable SRLG group failure.
 //!
 //! Each routing is scored on both the SRLG scenarios and the full
 //! single-link universe, mirroring Fig. 7's two-sided comparison.
 
-use dtr_core::criticality::Criticality;
-use dtr_core::ext::srlg::{optimize_robust_srlg, SrlgCatalog};
-use dtr_core::{phase1, phase1b, phase2, selection, FailureUniverse};
+use dtr_core::scenario::ScenarioSet;
+use dtr_core::{phase1, phase1b, FailureUniverse, RobustOptimizer, Srlg as SrlgSet};
 use dtr_topogen::TopoKind;
 
 use crate::metrics;
@@ -74,27 +74,37 @@ pub fn run(cfg: &ExpConfig) -> Srlg {
         );
         let ev = inst.evaluator();
         let params = cfg.scale.params(seed);
-        let universe = FailureUniverse::of(&inst.net);
 
         // Conduit catalog: links whose midpoints sit within 10 % of the
         // unit square of each other share fate.
-        let catalog = SrlgCatalog::geographic(&inst.net, 0.10);
-        groups = catalog.len();
-        let srlg_scenarios = catalog.survivable_scenarios(&inst.net);
-        let link_scenarios = universe.scenarios();
+        let set = SrlgSet::geographic(&inst.net, 0.10);
+        groups = set.catalog().len();
+        let srlg_scenarios = set.catalog().survivable_scenarios(&inst.net);
+        let link_scenarios = set.universe().scenarios();
 
-        // Shared Phase 1 for all three routings (identical benchmarks).
+        // Both robust routings ride the one builder pipeline, warm-started
+        // from a single shared Phase-1 run: identical benchmarks for an
+        // apples-to-apples comparison, and the sample harvest is paid once.
+        let universe = FailureUniverse::of(&inst.net);
         let mut p1 = phase1::run(&ev, &universe, &params);
         phase1b::run(&ev, &universe, &params, &mut p1);
-        let crit = Criticality::estimate(&p1.store, params.left_tail_fraction);
-        let n_target = universe.target_size(params.critical_fraction);
-        let critical = selection::select(&crit, n_target);
+        let link_report = RobustOptimizer::builder(&ev)
+            .params(params)
+            .warm_start(p1.clone())
+            .build()
+            .optimize();
+        let srlg_report = RobustOptimizer::builder(&ev)
+            .scenarios(set)
+            .params(params)
+            .warm_start(p1)
+            .build()
+            .optimize();
 
-        let link_robust = phase2::run(&ev, &universe, &critical.indices, &params, &p1, None);
-        let srlg_robust =
-            optimize_robust_srlg(&ev, &universe, &critical.indices, &catalog, &params, &p1);
-
-        let routings = [&p1.best, &link_robust.best, &srlg_robust.best];
+        let routings = [
+            &link_report.regular,
+            &link_report.robust,
+            &srlg_report.robust,
+        ];
         for (ri, w) in routings.iter().enumerate() {
             let s = metrics::failure_series(&ev, w, &srlg_scenarios);
             let l = metrics::failure_series(&ev, w, &link_scenarios);

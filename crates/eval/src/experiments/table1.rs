@@ -114,7 +114,7 @@ pub fn run_on(
             let base = cfg.scale.params(seed);
 
             // Full search once per repeat.
-            let opt = RobustOptimizer::new(&ev, base);
+            let opt = RobustOptimizer::builder(&ev).params(base).build();
             let all = opt.universe().scenarios();
             let full = opt.optimize_full();
             let full_series = metrics::failure_series(&ev, &full.robust, &all);
@@ -127,7 +127,7 @@ pub fn run_on(
                     critical_fraction: f,
                     ..base
                 };
-                let opt = RobustOptimizer::new(&ev, params);
+                let opt = RobustOptimizer::builder(&ev).params(params).build();
                 let crt = opt.optimize();
                 let series = metrics::failure_series(&ev, &crt.robust, &all);
                 crt_betas[fi].push(metrics::beta(&series));

@@ -47,7 +47,7 @@ pub fn run(cfg: &ExpConfig) -> Timing {
         ..cfg.scale.params(seed)
     };
 
-    let opt = RobustOptimizer::new(&ev, params);
+    let opt = RobustOptimizer::builder(&ev).params(params).build();
     let crt = opt.optimize();
     let full = opt.optimize_full();
 

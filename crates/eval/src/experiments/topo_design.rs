@@ -73,7 +73,7 @@ pub fn run(cfg: &ExpConfig) -> TopoDesign {
 
     // Robust routing before vs after augmentation.
     let ev_before = inst.evaluator();
-    let opt_before = RobustOptimizer::new(&ev_before, params);
+    let opt_before = RobustOptimizer::builder(&ev_before).params(params).build();
     let rob_before = opt_before.optimize();
     let beta_before = metrics::beta(&metrics::failure_series(
         &ev_before,
@@ -82,7 +82,7 @@ pub fn run(cfg: &ExpConfig) -> TopoDesign {
     ));
 
     let ev_after = Evaluator::new(&report.network, &inst.traffic, inst.cost);
-    let opt_after = RobustOptimizer::new(&ev_after, params);
+    let opt_after = RobustOptimizer::builder(&ev_after).params(params).build();
     let rob_after = opt_after.optimize();
     let beta_after = metrics::beta(&metrics::failure_series(
         &ev_after,

@@ -34,6 +34,7 @@ impl KWayCriticality {
         let mut norm = vec![vec![0.0; m]; k];
         for c in 0..k {
             let mut sum_tail = 0.0;
+            #[allow(clippy::needless_range_loop)] // i is the failure index
             for i in 0..m {
                 if let Some(st) = store.stats(c, i, tail_fraction) {
                     rho[c][i] = st.rho();
@@ -57,6 +58,25 @@ impl KWayCriticality {
     /// Number of failable links.
     pub fn num_links(&self) -> usize {
         self.rho.first().map_or(0, Vec::len)
+    }
+
+    /// Criticality scaled per failure index in every class — the
+    /// probabilistic extension's expected-cost refinement, k-way.
+    ///
+    /// # Panics
+    /// Panics if `by` mismatches the covered link count.
+    pub fn scaled(&self, by: &[f64]) -> KWayCriticality {
+        assert_eq!(by.len(), self.num_links(), "one scale factor per link");
+        let scale = |per_class: &[Vec<f64>]| -> Vec<Vec<f64>> {
+            per_class
+                .iter()
+                .map(|vals| vals.iter().zip(by).map(|(&v, &p)| v * p).collect())
+                .collect()
+        };
+        KWayCriticality {
+            rho: scale(&self.rho),
+            norm: scale(&self.norm),
+        }
     }
 
     /// Failure indices of class `c` sorted by descending normalized
@@ -168,16 +188,25 @@ pub fn select_k(crit: &KWayCriticality, n: usize) -> KWaySelection {
     }
 }
 
+/// Target critical-set size for a universe of `universe_len` failable
+/// links: `round(critical_fraction · len)`, at least 1. The single home
+/// of the Phase-1c sizing rule (the pipeline and
+/// [`estimate_and_select`] both use it).
+pub fn target_size(params: &MtrParams, universe_len: usize) -> usize {
+    ((universe_len as f64 * params.critical_fraction).round() as usize).max(1)
+}
+
 /// Convenience: estimate criticality and select using the parameter
-/// block's tail fraction and critical-set fraction.
+/// block's tail fraction and critical-set fraction (the unscaled
+/// single-link path; the pipeline additionally applies the scenario
+/// set's criticality scaling before selecting).
 pub fn estimate_and_select(
     store: &MtrSampleStore,
     params: &MtrParams,
     universe_len: usize,
 ) -> (KWayCriticality, KWaySelection) {
     let crit = KWayCriticality::estimate(store, params.left_tail_fraction);
-    let n = ((universe_len as f64 * params.critical_fraction).round() as usize).max(1);
-    let sel = select_k(&crit, n);
+    let sel = select_k(&crit, target_size(params, universe_len));
     (crit, sel)
 }
 

@@ -233,6 +233,7 @@ impl<'a> MtrEvaluator<'a> {
         let mut routings: Vec<ClassRouting> = Vec::with_capacity(self.num_classes());
         let mut total_loads = vec![0.0f64; self.net.num_links()];
         let mut dropped = 0.0;
+        #[allow(clippy::needless_range_loop)] // k is the class id
         for k in 0..self.num_classes() {
             let r = route_class(self.net, w.weights(k), &offered[k], &mask);
             for (t, &x) in total_loads.iter_mut().zip(&r.loads) {

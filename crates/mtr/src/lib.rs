@@ -82,7 +82,7 @@ pub use cost::{VecCost, COMPONENT_EPS};
 pub use criticality::{select_k, KWayCriticality, KWaySelection};
 pub use evaluator::{MtrBreakdown, MtrError, MtrEvaluator};
 pub use params::MtrParams;
-pub use pipeline::{MtrOptimizer, MtrReport};
+pub use pipeline::{MtrOptimizer, MtrOptimizerBuilder, MtrReport};
 pub use robust::MtrRobustOutput;
 pub use samples::MtrSampleStore;
 pub use search::{MtrArchive, MtrRegularOutput, MtrStopRule};

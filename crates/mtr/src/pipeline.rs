@@ -1,12 +1,24 @@
-//! The complete k-class robust-optimization pipeline (Fig. 1 generalized).
+//! The complete k-class robust-optimization pipeline (Fig. 1
+//! generalized), builder-driven over [`ScenarioSet`] exactly like the
+//! two-class `dtr_core::RobustOptimizer`:
+//!
+//! ```ignore
+//! let report = MtrOptimizer::builder(&ev)
+//!     .scenarios(Srlg::geographic(&net, 0.08))   // any ScenarioSet
+//!     .params(MtrParams::quick(7))
+//!     .build()
+//!     .optimize();
+//! ```
 
 use std::time::{Duration, Instant};
 
+use dtr_core::scenario::ScenarioSet;
 use dtr_core::FailureUniverse;
 use dtr_net::LinkId;
+use dtr_routing::Scenario;
 
 use crate::cost::VecCost;
-use crate::criticality::{estimate_and_select, KWayCriticality, KWaySelection};
+use crate::criticality::{select_k, target_size, KWayCriticality};
 use crate::evaluator::MtrEvaluator;
 use crate::params::MtrParams;
 use crate::robust::{self, MtrRobustOutput};
@@ -59,43 +71,124 @@ pub struct MtrPipelineStats {
     pub phase2_time: Duration,
 }
 
-/// Orchestrates regular → top-up → k-way selection → robust.
-pub struct MtrOptimizer<'e, 'a> {
+/// Builds an [`MtrOptimizer`]: pick the scenario ensemble with
+/// [`scenarios`](MtrOptimizerBuilder::scenarios) (default: the network's
+/// single-link [`FailureUniverse`]), set the required
+/// [`params`](MtrOptimizerBuilder::params).
+pub struct MtrOptimizerBuilder<'e, 'a, S: ScenarioSet = FailureUniverse> {
     ev: &'e MtrEvaluator<'a>,
-    universe: FailureUniverse,
+    set: S,
+    params: Option<MtrParams>,
+}
+
+impl<'e, 'a, S: ScenarioSet> MtrOptimizerBuilder<'e, 'a, S> {
+    /// Optimize against this scenario ensemble instead of the default
+    /// single-link universe.
+    pub fn scenarios<T: ScenarioSet>(self, set: T) -> MtrOptimizerBuilder<'e, 'a, T> {
+        MtrOptimizerBuilder {
+            ev: self.ev,
+            set,
+            params: self.params,
+        }
+    }
+
+    /// Heuristic parameters (required before [`build`](Self::build)).
+    pub fn params(mut self, params: MtrParams) -> Self {
+        self.params = Some(params);
+        self
+    }
+
+    /// Finalize.
+    ///
+    /// # Panics
+    /// Panics if [`params`](Self::params) was never set, or the params
+    /// are invalid.
+    pub fn build(self) -> MtrOptimizer<'e, 'a, S> {
+        let params = self
+            .params
+            .expect("MtrOptimizer::builder requires .params(..) before .build()");
+        params.validate();
+        MtrOptimizer {
+            ev: self.ev,
+            set: self.set,
+            params,
+        }
+    }
+}
+
+/// Orchestrates regular → top-up → k-way selection → robust over any
+/// [`ScenarioSet`].
+pub struct MtrOptimizer<'e, 'a, S: ScenarioSet = FailureUniverse> {
+    ev: &'e MtrEvaluator<'a>,
+    set: S,
     params: MtrParams,
 }
 
 impl<'e, 'a> MtrOptimizer<'e, 'a> {
-    /// Build the optimizer (analyzes the failure universe once).
-    pub fn new(ev: &'e MtrEvaluator<'a>, params: MtrParams) -> Self {
-        params.validate();
-        let universe = FailureUniverse::of(ev.net());
-        MtrOptimizer {
+    /// Start building an optimizer. The default scenario set is the
+    /// network's single-link [`FailureUniverse`] (analyzed here once).
+    pub fn builder(ev: &'e MtrEvaluator<'a>) -> MtrOptimizerBuilder<'e, 'a, FailureUniverse> {
+        MtrOptimizerBuilder {
             ev,
-            universe,
-            params,
+            set: FailureUniverse::of(ev.net()),
+            params: None,
         }
     }
 
-    /// The failure universe in use.
+    /// Single-link optimizer — shorthand for
+    /// `MtrOptimizer::builder(ev).params(params).build()`.
+    pub fn new(ev: &'e MtrEvaluator<'a>, params: MtrParams) -> Self {
+        MtrOptimizer::builder(ev).params(params).build()
+    }
+}
+
+impl<'e, 'a, S: ScenarioSet> MtrOptimizer<'e, 'a, S> {
+    /// The single-link failure universe backing sample harvesting.
     pub fn universe(&self) -> &FailureUniverse {
-        &self.universe
+        self.set.universe()
+    }
+
+    /// The scenario ensemble the robust phase optimizes against.
+    pub fn scenario_set(&self) -> &S {
+        &self.set
     }
 
     /// Run the full pipeline.
     pub fn optimize(&self) -> MtrReport {
+        let universe = self.set.universe();
         let t0 = Instant::now();
-        let mut reg = search::regular(self.ev, &self.universe, &self.params);
+        let mut reg = search::regular(self.ev, universe, &self.params);
         let (top_up_rounds, top_up_evaluations) =
-            search::top_up_samples(self.ev, &self.universe, &self.params, &mut reg);
+            search::top_up_samples(self.ev, universe, &self.params, &mut reg);
 
-        let (criticality, selection) =
-            estimate_and_select(&reg.store, &self.params, self.universe.len());
-        let KWaySelection { indices, .. } = selection;
-        let critical_links: Vec<LinkId> =
-            indices.iter().map(|&i| self.universe.failable[i]).collect();
-        let scenarios = self.universe.scenarios_for(&indices);
+        // k-way Phase 1c, scenario-set aware: estimate per-class
+        // criticality, apply the set's probability scaling (if any),
+        // merge with the k-way Algorithm 1, then let the set map failure
+        // indices to scenario indices. Sets without single-link structure
+        // get the full sweep.
+        let criticality = {
+            let crit = KWayCriticality::estimate(&reg.store, self.params.left_tail_fraction);
+            match self.set.criticality_scale() {
+                Some(scale) => crit.scaled(scale),
+                None => crit,
+            }
+        };
+        let indices: Vec<usize> = if self.set.supports_selection() {
+            let n = target_size(&self.params, universe.len());
+            self.set
+                .critical_scenarios(&select_k(&criticality, n).indices)
+        } else {
+            self.set.all_indices()
+        };
+        let critical_links: Vec<LinkId> = indices
+            .iter()
+            .filter_map(|&i| match self.set.scenario(i) {
+                Scenario::Link(l) => Some(l),
+                _ => None,
+            })
+            .collect();
+        let scenarios = self.set.scenarios_for(&indices);
+        let weights = self.set.weighted().then(|| self.set.weights_for(&indices));
         let phase1_time = t0.elapsed();
 
         let t1 = Instant::now();
@@ -111,7 +204,7 @@ impl<'e, 'a> MtrOptimizer<'e, 'a> {
             &self.params,
             &reg.best_cost,
             &reg.archive,
-            None,
+            weights.as_deref(),
         );
         let phase2_time = t1.elapsed();
 
@@ -228,6 +321,38 @@ mod tests {
         let b = MtrOptimizer::new(&ev, MtrParams::quick(4)).optimize();
         assert_eq!(a.robust, b.robust);
         assert_eq!(a.kfail, b.kfail);
+        assert_eq!(a.critical_indices, b.critical_indices);
+    }
+
+    #[test]
+    fn builder_scenario_set_pipeline_runs() {
+        // The k-class pipeline rides arbitrary scenario sets — here the
+        // SRLG union set — through the same builder as dtr-core.
+        use dtr_core::scenario::ScenarioSet as _;
+        let (net, tms) = testbed(2);
+        let config = MtrConfig::dtr(25e-3, 0.2);
+        let ev = MtrEvaluator::new(&net, &tms, config).unwrap();
+        let set = dtr_core::Srlg::geographic(&net, 0.35);
+        let groups = set.group_count();
+        let singles = set.universe().len();
+        let report = MtrOptimizer::builder(&ev)
+            .scenarios(set)
+            .params(MtrParams::quick(4))
+            .build()
+            .optimize();
+        // Every group scenario is kept next to the critical singles.
+        assert!(report.critical_indices.len() >= groups);
+        assert!(report
+            .critical_indices
+            .iter()
+            .all(|&i| i < singles + groups));
+        // Default-universe builder agrees with MtrOptimizer::new.
+        let a = MtrOptimizer::new(&ev, MtrParams::quick(4)).optimize();
+        let b = MtrOptimizer::builder(&ev)
+            .params(MtrParams::quick(4))
+            .build()
+            .optimize();
+        assert_eq!(a.robust, b.robust);
         assert_eq!(a.critical_indices, b.critical_indices);
     }
 

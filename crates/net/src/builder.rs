@@ -73,7 +73,7 @@ impl NetworkBuilder {
         if src == dst {
             return Err(NetError::SelfLoop(src));
         }
-        if !(capacity > 0.0) || !capacity.is_finite() {
+        if capacity <= 0.0 || !capacity.is_finite() {
             return Err(NetError::NonPositiveCapacity(capacity));
         }
         if !prop_delay.is_finite() || prop_delay < 0.0 {

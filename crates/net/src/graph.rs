@@ -162,6 +162,7 @@ impl Network {
         let mut worst: f64 = 0.0;
         for s in self.nodes() {
             let d = connectivity::min_prop_delay_from(self, s, &self.fresh_mask());
+            #[allow(clippy::needless_range_loop)] // t is a node id, not just an index
             for t in 0..n {
                 if t == s.index() {
                     continue;

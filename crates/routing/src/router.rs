@@ -67,6 +67,7 @@ pub fn route_class(
     // Scratch: per-node inflow for the current destination.
     let mut inflow = vec![0.0f64; n];
 
+    #[allow(clippy::needless_range_loop)] // t is the destination node id
     for t in 0..n {
         // Gather demand sinking at t; skip destinations nobody sends to.
         let mut any = false;

@@ -48,7 +48,7 @@ impl SynthConfig {
     /// Panics if `directed_links` is odd (synthesized links are duplex).
     pub fn from_paper_notation(nodes: usize, directed_links: usize, seed: u64) -> Self {
         assert!(
-            directed_links % 2 == 0,
+            directed_links.is_multiple_of(2),
             "paper notation counts directed links; must be even"
         );
         SynthConfig {

@@ -75,6 +75,7 @@ pub fn generate(cfg: &SynthConfig) -> Result<Blueprint, GenError> {
 
     // Round-robin nearest-neighbour fill: rank 0 = closest neighbour, etc.
     let mut node_order: Vec<usize> = (0..n).collect();
+    #[allow(clippy::needless_range_loop)] // rank orders the neighbour lists
     'outer: for rank in 0..n - 1 {
         node_order.shuffle(&mut rng); // avoid id-order bias within a rank
         for &v in &node_order {

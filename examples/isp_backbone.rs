@@ -43,7 +43,9 @@ fn main() {
     });
 
     let ev = Evaluator::new(&net, &traffic, cost);
-    let opt = RobustOptimizer::new(&ev, Params::reduced(11));
+    let opt = RobustOptimizer::builder(&ev)
+        .params(Params::reduced(11))
+        .build();
     let report = opt.optimize();
 
     println!("\ncritical links ({}):", report.critical_links.len());

@@ -3,13 +3,13 @@
 //! The paper's conclusion sketches extending robust optimization with a
 //! probabilistic failure model; fn 16 claims single-link robustness also
 //! helps against multiple simultaneous failures. This example exercises
-//! both extension modules:
+//! both scenario sets through the one builder entry point:
 //!
 //! 1. optimize with length-proportional failure probabilities (long-haul
-//!    fiber fails more often),
+//!    fiber fails more often) via the `Probabilistic` scenario set,
 //! 2. compare uniform-robust vs probability-robust under the weighted
 //!    objective,
-//! 3. stress both under sampled double-link failures,
+//! 3. stress both under sampled double-link failures (`DoubleLink` set),
 //! 4. turn the same model into the operator-facing view: per-SD-pair SLA
 //!    availability.
 //!
@@ -17,9 +17,9 @@
 //! cargo run --release --example probabilistic_failures
 //! ```
 
-use dtr::core::ext::{availability, multi_failure, probabilistic};
-use dtr::core::{phase1, phase2, FailureUniverse, Params};
-use dtr::cost::{CostParams, Evaluator};
+use dtr::core::ext::{availability, multi_failure};
+use dtr::core::scenario::ScenarioSet as _;
+use dtr::prelude::*;
 use dtr::topogen::{synth, SynthConfig, TopoKind};
 use dtr::traffic::gravity;
 
@@ -40,22 +40,27 @@ fn main() {
     traffic.scale(8e9);
 
     let ev = Evaluator::new(&net, &traffic, CostParams::default());
-    let universe = FailureUniverse::of(&net);
     let params = Params::reduced(55);
-    let p1 = phase1::run(&ev, &universe, &params);
 
-    // Uniform-probability robust routing (the paper's Eq. 4).
-    let uniform = {
-        let idx: Vec<usize> = (0..universe.len()).collect();
-        phase2::run(&ev, &universe, &idx, &params, &p1, None)
-    };
+    // Uniform-probability robust routing (the paper's Eq. 4): the full
+    // single-link sweep.
+    let uniform = RobustOptimizer::builder(&ev)
+        .params(params)
+        .build()
+        .optimize_full();
 
-    // Length-proportional probabilistic model.
-    let model = probabilistic::FailureModel::length_proportional(&net, &universe);
-    let prob = probabilistic::optimize(&ev, &universe, &params, &p1, &model);
+    // Length-proportional probabilistic model, same builder.
+    let prob_set = Probabilistic::length_proportional(&net);
+    let model = prob_set.model().clone();
+    let universe = FailureUniverse::of(&net);
+    let prob = RobustOptimizer::builder(&ev)
+        .scenarios(prob_set)
+        .params(params)
+        .build()
+        .optimize();
 
     // Expected (probability-weighted) failure cost of each routing.
-    let expected = |w: &dtr::routing::WeightSetting| {
+    let expected = |w: &WeightSetting| {
         let mut lam = 0.0;
         let mut total_p = 0.0;
         for (i, &p) in model.probabilities.iter().enumerate() {
@@ -65,16 +70,16 @@ fn main() {
         lam / total_p
     };
     println!("expected failure Λ (length-weighted):");
-    println!("  uniform-robust:       {:.2}", expected(&uniform.best));
-    println!("  probabilistic-robust: {:.2}", expected(&prob.best));
+    println!("  uniform-robust:       {:.2}", expected(&uniform.robust));
+    println!("  probabilistic-robust: {:.2}", expected(&prob.robust));
 
-    // Double-link failure stress (sampled).
-    let doubles = multi_failure::double_failures(&ev, &universe, Some(40), 9);
+    // Double-link failure stress (sampled scenario set).
+    let doubles = DoubleLink::sampled(&net, 40, 9).scenarios();
     println!("\ndouble-link failures sampled: {}", doubles.len());
     for (name, w) in [
-        ("regular (phase 1)", &p1.best),
-        ("uniform-robust", &uniform.best),
-        ("probabilistic-robust", &prob.best),
+        ("regular (phase 1)", &uniform.regular),
+        ("uniform-robust", &uniform.robust),
+        ("probabilistic-robust", &prob.robust),
     ] {
         let s = multi_failure::evaluate_batch(&ev, w, &doubles, 1);
         println!(
@@ -87,8 +92,8 @@ fn main() {
     // single-link failure state, split per the length-proportional rates.
     println!("\nSLA availability (2% failure time, length-weighted):");
     for (name, w) in [
-        ("regular (phase 1)", &p1.best),
-        ("probabilistic-robust", &prob.best),
+        ("regular (phase 1)", &uniform.regular),
+        ("probabilistic-robust", &prob.robust),
     ] {
         let report = availability::analyze(&ev, &universe, w, &model, 0.02);
         println!(

@@ -42,7 +42,9 @@ fn main() {
 
     // 3. The robust optimization pipeline (Phases 1a-1b-1c-2).
     let ev = Evaluator::new(&net, &traffic, CostParams::default());
-    let opt = RobustOptimizer::new(&ev, Params::reduced(42));
+    let opt = RobustOptimizer::builder(&ev)
+        .params(Params::reduced(42))
+        .build();
     let report = opt.optimize();
 
     println!("regular solution:  normal cost {} ", report.regular_cost);

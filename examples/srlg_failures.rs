@@ -4,17 +4,18 @@
 //! This example builds the GEANT-like European backbone, derives a
 //! conduit catalog from link-midpoint proximity, and compares a routing
 //! optimized only against single link failures with one optimized against
-//! the union of single links and SRLGs.
+//! the union of single links and SRLGs — both through the one
+//! `RobustOptimizer::builder` entry point, with the `Srlg` scenario set
+//! carrying the group failures.
 //!
 //! Run with:
 //! ```text
 //! cargo run --release --example srlg_failures
 //! ```
 
-use dtr::core::criticality::Criticality;
-use dtr::core::ext::srlg::{optimize_robust_srlg, srlg_kfail, SrlgCatalog};
-use dtr::core::{phase1, phase1b, phase2, selection, FailureUniverse, Params};
-use dtr::cost::{CostParams, Evaluator};
+use dtr::core::ext::srlg::srlg_kfail;
+use dtr::core::{phase1, phase1b};
+use dtr::prelude::*;
 use dtr::topogen::{geant, DEFAULT_CAPACITY};
 use dtr::traffic::gravity::{self, GravityConfig};
 
@@ -33,10 +34,15 @@ fn main() {
     );
 
     // 2. Conduit catalog: links whose midpoints sit within 8% of the map
-    //    of each other share fate.
-    let catalog = SrlgCatalog::geographic(&net, 0.08);
-    println!("SRLG catalog: {} groups", catalog.len());
-    for g in catalog.groups() {
+    //    of each other share fate. The Srlg scenario set is the union of
+    //    every survivable single-link failure and every survivable group.
+    let set = Srlg::geographic(&net, 0.08);
+    println!(
+        "SRLG catalog: {} groups ({} survivable group scenarios)",
+        set.catalog().len(),
+        set.group_count()
+    );
+    for g in set.catalog().groups() {
         let members: Vec<String> = g
             .links()
             .iter()
@@ -52,26 +58,34 @@ fn main() {
         println!("  conduit: {}", members.join(", "));
     }
 
-    // 3. Shared Phase 1, then two robust phases: single-link only, and
-    //    single-link + SRLG.
+    // 3. Two robust pipelines through the same builder — the default
+    //    single-link set and the SRLG union set — warm-started from one
+    //    shared Phase-1 run so both compare against identical benchmarks.
     let ev = Evaluator::new(&net, &traffic, CostParams::default());
     let params = Params::quick(21);
+    let catalog = set.catalog().clone();
+
     let universe = FailureUniverse::of(&net);
     let mut p1 = phase1::run(&ev, &universe, &params);
     phase1b::run(&ev, &universe, &params, &mut p1);
-    let crit = Criticality::estimate(&p1.store, params.left_tail_fraction);
-    let critical = selection::select(&crit, universe.target_size(params.critical_fraction));
-
-    let link_robust = phase2::run(&ev, &universe, &critical.indices, &params, &p1, None);
-    let srlg_robust =
-        optimize_robust_srlg(&ev, &universe, &critical.indices, &catalog, &params, &p1);
+    let link_report = RobustOptimizer::builder(&ev)
+        .params(params)
+        .warm_start(p1.clone())
+        .build()
+        .optimize();
+    let srlg_report = RobustOptimizer::builder(&ev)
+        .scenarios(set)
+        .params(params)
+        .warm_start(p1)
+        .build()
+        .optimize();
 
     // 4. Score all three routings on the SRLG scenarios.
     println!("\ncompound cost over {} SRLG failures:", catalog.len());
     for (label, w) in [
-        ("regular (no robust)", &p1.best),
-        ("link-robust", &link_robust.best),
-        ("SRLG-robust", &srlg_robust.best),
+        ("regular (no robust)", &link_report.regular),
+        ("link-robust", &link_report.robust),
+        ("SRLG-robust", &srlg_report.robust),
     ] {
         let k = srlg_kfail(&ev, w, &catalog, params.threads);
         println!("  {label:20} {k}");

@@ -68,7 +68,9 @@ fn main() {
     //    optimizer the alternate paths the ring never had.
     for (label, n) in [("original ring", &net), ("augmented", &report.network)] {
         let ev = Evaluator::new(n, &traffic, CostParams::default());
-        let opt = RobustOptimizer::new(&ev, Params::quick(42));
+        let opt = RobustOptimizer::builder(&ev)
+            .params(Params::quick(42))
+            .build();
         let rep = opt.optimize();
         let mut viol = 0usize;
         let scenarios = opt.universe().scenarios();

@@ -50,7 +50,9 @@ fn main() {
 
     let cost = CostParams::default();
     let ev = Evaluator::new(&net, &base, cost);
-    let opt = RobustOptimizer::new(&ev, Params::reduced(3));
+    let opt = RobustOptimizer::builder(&ev)
+        .params(Params::reduced(3))
+        .build();
     let report = opt.optimize();
     let scenarios = opt.universe().scenarios();
 

@@ -4,7 +4,30 @@
 //! Robustness and Flexibility in Routing Systems"* (Kwong, Guérin, Shaikh,
 //! Tao — ACM CoNEXT 2008 / IEEE TNSM 2010).
 //!
-//! Re-exports every sub-crate under a stable module path:
+//! ## One optimizer over all failure models
+//!
+//! Since the `ScenarioSet` redesign, the public optimization surface is a
+//! single builder: pick a failure ensemble, get the paper's two-phase
+//! pipeline against it. [`prelude`] re-exports everything the typical
+//! caller needs:
+//!
+//! ```ignore
+//! use dtr::prelude::*;
+//!
+//! let ev = Evaluator::new(&net, &traffic, CostParams::default());
+//! // Single-link failures (the paper, default set):
+//! let report = RobustOptimizer::builder(&ev).params(Params::reduced(42)).build().optimize();
+//! // Shared-risk conduit cuts, probabilistic models, double failures —
+//! // same entry point:
+//! RobustOptimizer::builder(&ev).scenarios(Srlg::geographic(&net, 0.08));
+//! RobustOptimizer::builder(&ev).scenarios(Probabilistic::length_proportional(&net));
+//! RobustOptimizer::builder(&ev).scenarios(DoubleLink::sampled(&net, 64, 7));
+//! ```
+//!
+//! Custom failure models implement [`core::scenario::ScenarioSet`] and
+//! ride the same builder.
+//!
+//! ## Module map
 //!
 //! | module | crate | contents |
 //! |---|---|---|
@@ -13,13 +36,20 @@
 //! | [`traffic`] | `dtr-traffic` | two-class gravity matrices, fluctuation and hot-spot uncertainty, load scaling |
 //! | [`routing`] | `dtr-routing` | per-class SPF + ECMP engine, delay DP, link/node/double/SRLG scenarios, weight I/O |
 //! | [`cost`] | `dtr-cost` | Eq. 1 delay model, Eq. 2 SLA cost, Fortz–Thorup congestion, lexicographic `K`, the evaluator |
-//! | [`core`] | `dtr-core` | **the paper**: Phases 1a/1b/1c + 2, criticality, Algorithm 1, baselines, strategies, `ext/` extensions |
-//! | [`mtr`] | `dtr-mtr` | generalized k-topology MTR engine (k classes, vector cost, k-way Algorithm 1) |
+//! | [`core`] | `dtr-core` | **the paper**: `ScenarioSet` + builder pipeline, Phases 1a/1b/1c + 2, criticality, Algorithm 1, baselines, `ext/` scenario-set constructors |
+//! | [`mtr`] | `dtr-mtr` | generalized k-topology MTR engine (k classes, vector cost, k-way Algorithm 1, same builder pattern) |
 //! | [`eval`] | `dtr-eval` | experiment drivers for every table/figure + extension studies, the `repro` binary |
 //!
-//! See the README for the architecture overview and
-//! `examples/quickstart.rs` for a five-minute tour; DESIGN.md maps every
-//! paper table/figure to its driver and bench target.
+//! ## Migrating from the pre-builder API
+//!
+//! The per-extension free functions were removed; see the `dtr-core`
+//! crate docs for the full table. In short: `RobustOptimizer::new(&ev,
+//! params)` still works for the single-link pipeline, and every removed
+//! `ext::*` entry point became `RobustOptimizer::builder(&ev)
+//! .scenarios(<set>).params(params).build().optimize()` with the matching
+//! scenario set (`Srlg`, `Probabilistic`, `DoubleLink`).
+//!
+//! See `examples/quickstart.rs` for a five-minute tour.
 
 #![forbid(unsafe_code)]
 
@@ -31,3 +61,17 @@ pub use dtr_net as net;
 pub use dtr_routing as routing;
 pub use dtr_topogen as topogen;
 pub use dtr_traffic as traffic;
+
+/// Everything a typical optimization caller needs, one import away.
+pub mod prelude {
+    pub use dtr_core::scenario::ScenarioSet;
+    pub use dtr_core::{
+        DoubleLink, FailureUniverse, Params, Probabilistic, RobustOptimizer,
+        RobustOptimizerBuilder, RobustReport, Selector, SingleLink, Srlg,
+    };
+    pub use dtr_cost::{CostParams, Evaluator, LexCost};
+    pub use dtr_mtr::{MtrOptimizer, MtrParams};
+    pub use dtr_net::{LinkId, Network, NetworkBuilder, NodeId, Point};
+    pub use dtr_routing::{Class, Scenario, WeightSetting};
+    pub use dtr_traffic::ClassMatrices;
+}

@@ -39,6 +39,7 @@ proptest! {
     fn veccost_scale_is_linear(a in cost_vec(2), f in 0.0..100.0f64) {
         let c = VecCost::new(a.clone());
         let s = c.scale(f);
+        #[allow(clippy::needless_range_loop)]
         for i in 0..2 {
             prop_assert!((s.component(i) - a[i] * f).abs() < 1e-6 * (1.0 + a[i] * f));
         }
@@ -156,6 +157,7 @@ proptest! {
         for n in 1..=links {
             let sel = select_k(&crit, n);
             if let Some(p) = prev {
+                #[allow(clippy::needless_range_loop)]
                 for c in 0..2 {
                     prop_assert!(
                         sel.residual_errors[c] <= p[c] + 1e-12,

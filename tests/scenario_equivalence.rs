@@ -1,0 +1,271 @@
+//! Equivalence and contract tests for the `ScenarioSet` redesign.
+//!
+//! The builder pipeline replaced the per-extension entry points
+//! (`ext::srlg::optimize_robust_srlg`, `ext::probabilistic::optimize`).
+//! These tests reconstruct the *exact composition* those functions used
+//! to perform from the primitives that remain public (`phase1`,
+//! `phase1b`, `selection`, `phase2::run_scenarios`) and assert the
+//! builder path reproduces it **bit-for-bit** on fixed seeds — the
+//! redesign moved plumbing, not math.
+//!
+//! Plus the trait contract: stable indices, survivability pre-filtering,
+//! and weights that normalize to 1 for probabilistic sets.
+
+use dtr::core::criticality::Criticality;
+use dtr::core::ext::probabilistic::FailureModel;
+use dtr::core::ext::srlg::SrlgCatalog;
+use dtr::core::scenario::ScenarioSet;
+use dtr::core::{phase1, phase1b, phase2, selection};
+use dtr::prelude::*;
+use dtr::traffic::gravity;
+
+/// A well-connected 9-node testbed: ring + 3 chords, nodes on a circle
+/// so the geographic SRLG clustering has structure to find.
+fn testbed(seed: u64) -> (Network, ClassMatrices) {
+    let mut b = NetworkBuilder::new();
+    let n: Vec<_> = (0..9)
+        .map(|i| {
+            let a = i as f64 * std::f64::consts::TAU / 9.0;
+            b.add_node(Point::new(a.cos(), a.sin()))
+        })
+        .collect();
+    for i in 0..9 {
+        b.add_duplex_link(n[i], n[(i + 1) % 9], 1e6, 2e-3).unwrap();
+    }
+    b.add_duplex_link(n[0], n[4], 1e6, 2e-3).unwrap();
+    b.add_duplex_link(n[1], n[5], 1e6, 2e-3).unwrap();
+    b.add_duplex_link(n[2], n[7], 1e6, 2e-3).unwrap();
+    let net = b.build().unwrap();
+    let tm = gravity::generate(&gravity::GravityConfig {
+        total_volume: 2.5e6,
+        ..gravity::GravityConfig::paper_default(9, seed)
+    });
+    (net, tm)
+}
+
+/// The old `ext::srlg::optimize_robust_srlg` composition, reconstructed
+/// verbatim from the surviving primitives: shared Phase 1 + 1b, standard
+/// mean-left-tail selection, then one Phase-2 run over the critical
+/// single-link scenarios followed by the catalog's survivable group
+/// scenarios, unweighted.
+#[test]
+fn builder_reproduces_old_srlg_path_bit_for_bit() {
+    let (net, tm) = testbed(7);
+    let ev = Evaluator::new(&net, &tm, CostParams::default());
+    let params = Params::quick(19);
+    let catalog = SrlgCatalog::geographic(&net, 0.15);
+    assert!(!catalog.is_empty(), "testbed must yield conduit groups");
+
+    // --- old path, reconstructed ---
+    let universe = FailureUniverse::of(&net);
+    let mut p1 = phase1::run(&ev, &universe, &params);
+    phase1b::run(&ev, &universe, &params, &mut p1);
+    let crit = Criticality::estimate(&p1.store, params.left_tail_fraction);
+    let n = universe.target_size(params.critical_fraction);
+    let critical = selection::select(&crit, n);
+    let mut scenarios = universe.scenarios_for(&critical.indices);
+    scenarios.extend(catalog.survivable_scenarios(&net));
+    let old = phase2::run_scenarios(&ev, &scenarios, &params, &p1, None);
+
+    // --- new path ---
+    let new = RobustOptimizer::builder(&ev)
+        .scenarios(Srlg::from_catalog(&net, catalog))
+        .params(params)
+        .build()
+        .optimize();
+
+    assert_eq!(new.robust, old.best, "weight settings must be identical");
+    assert_eq!(new.kfail, old.best_kfail, "Kfail must match bit-for-bit");
+    assert_eq!(new.robust_normal_cost, old.best_normal);
+    assert_eq!(new.regular, p1.best);
+    assert_eq!(new.regular_cost, p1.best_cost);
+    // The selected single-link prefix equals the old critical set.
+    assert_eq!(
+        &new.critical_indices[..critical.indices.len()],
+        &critical.indices[..]
+    );
+}
+
+/// The old `ext::probabilistic::optimize` composition: Phase 1 (+1b to
+/// mirror the pipeline), probability-scaled mean-left-tail selection,
+/// then Phase 2 with per-scenario probability weights.
+#[test]
+fn builder_reproduces_old_probabilistic_path_bit_for_bit() {
+    let (net, tm) = testbed(3);
+    let ev = Evaluator::new(&net, &tm, CostParams::default());
+    let params = Params::quick(11);
+
+    // --- old path, reconstructed ---
+    let universe = FailureUniverse::of(&net);
+    let model = FailureModel::length_proportional(&net, &universe);
+    let mut p1 = phase1::run(&ev, &universe, &params);
+    phase1b::run(&ev, &universe, &params, &mut p1);
+    let base = Criticality::estimate(&p1.store, params.left_tail_fraction);
+    let scaled = base.scaled(&model.probabilities);
+    let n = universe.target_size(params.critical_fraction);
+    let critical = selection::select(&scaled, n).indices;
+    let weights: Vec<f64> = critical.iter().map(|&i| model.probabilities[i]).collect();
+    let scenarios = universe.scenarios_for(&critical);
+    let old = phase2::run_scenarios(&ev, &scenarios, &params, &p1, Some(&weights));
+
+    // --- new path ---
+    let new = RobustOptimizer::builder(&ev)
+        .scenarios(Probabilistic::length_proportional(&net))
+        .params(params)
+        .build()
+        .optimize();
+
+    assert_eq!(new.robust, old.best, "weight settings must be identical");
+    assert_eq!(
+        new.kfail, old.best_kfail,
+        "expected Kfail must match bit-for-bit"
+    );
+    assert_eq!(new.robust_normal_cost, old.best_normal);
+    assert_eq!(new.critical_indices, critical);
+}
+
+/// The default builder (no explicit scenario set) is the paper's
+/// single-link pipeline: identical to `RobustOptimizer::new` and to an
+/// explicit `SingleLink::of` set.
+#[test]
+fn default_set_matches_explicit_single_link() {
+    let (net, tm) = testbed(5);
+    let ev = Evaluator::new(&net, &tm, CostParams::default());
+    let params = Params::quick(23);
+    let a = RobustOptimizer::new(&ev, params).optimize();
+    let b = RobustOptimizer::builder(&ev)
+        .scenarios(SingleLink::of(&net))
+        .params(params)
+        .build()
+        .optimize();
+    assert_eq!(a.robust, b.robust);
+    assert_eq!(a.kfail, b.kfail);
+    assert_eq!(a.critical_indices, b.critical_indices);
+    assert_eq!(a.critical_links, b.critical_links);
+}
+
+/// Trait contract: indices are stable across calls, scenario
+/// materialization agrees with per-index access, and survivability
+/// pre-filtering holds for every shipped set.
+#[test]
+fn scenario_set_contract_stable_indices_and_survivability() {
+    let (net, _) = testbed(1);
+    let singles = FailureUniverse::of(&net);
+    let srlg = Srlg::geographic(&net, 0.15);
+    let prob = Probabilistic::length_proportional(&net);
+    let doubles = DoubleLink::sampled(&net, 12, 4);
+
+    fn check<S: ScenarioSet>(set: &S, net: &Network) {
+        assert!(!set.is_empty());
+        // Stable indices: two enumerations agree element-wise.
+        let once = set.scenarios();
+        let twice = set.scenarios();
+        assert_eq!(once, twice);
+        for (i, &sc) in once.iter().enumerate() {
+            assert_eq!(set.scenario(i), sc);
+            // Survivability pre-filtering: the surviving network stays
+            // strongly connected under every enumerated scenario.
+            assert!(
+                dtr::net::connectivity::is_strongly_connected(net, &sc.mask(net)),
+                "non-survivable scenario {sc} at index {i}"
+            );
+            assert!(set.weight(i).is_finite() && set.weight(i) >= 0.0);
+        }
+        // scenarios_for is per-index access.
+        let idx: Vec<usize> = (0..set.len()).step_by(2).collect();
+        let some = set.scenarios_for(&idx);
+        for (k, &i) in idx.iter().enumerate() {
+            assert_eq!(some[k], set.scenario(i));
+        }
+    }
+    check(&singles, &net);
+    check(&srlg, &net);
+    check(&prob, &net);
+    check(&doubles, &net);
+
+    // Uniform sets say so; the probabilistic set is weighted.
+    assert!(!ScenarioSet::weighted(&singles));
+    assert!(!srlg.weighted());
+    assert!(!doubles.weighted());
+    assert!(prob.weighted());
+}
+
+/// Probabilistic weights normalize to 1 (`FailureModel::normalized`) and
+/// the normalized set keeps the relative magnitudes.
+#[test]
+fn probabilistic_weights_sum_to_one_after_normalization() {
+    let (net, _) = testbed(2);
+    let universe = FailureUniverse::of(&net);
+    let raw = FailureModel::length_proportional(&net, &universe);
+    let normalized = raw.normalized();
+    let set = Probabilistic::from_parts(universe, normalized.clone());
+
+    let total: f64 = (0..set.len()).map(|i| set.weight(i)).sum();
+    assert!(
+        (total - 1.0).abs() < 1e-12,
+        "normalized probabilistic weights must sum to 1, got {total}"
+    );
+    // Relative magnitudes preserved.
+    for i in 1..set.len() {
+        let a = raw.probabilities[i] / raw.probabilities[0];
+        let b = set.weight(i) / set.weight(0);
+        assert!((a - b).abs() < 1e-9);
+    }
+    // weights_for matches per-index access.
+    let idx: Vec<usize> = (0..set.len()).collect();
+    let ws = set.weights_for(&idx);
+    for (k, &i) in idx.iter().enumerate() {
+        assert_eq!(ws[k], set.weight(i));
+    }
+}
+
+/// A warm-started optimizer (shared Phase-1 output) reproduces the
+/// cold pipeline bit-for-bit: Phase 1 is deterministic per seed, so
+/// handing the same output in must change nothing but wall-clock.
+#[test]
+fn warm_start_matches_cold_pipeline_bit_for_bit() {
+    let (net, tm) = testbed(4);
+    let ev = Evaluator::new(&net, &tm, CostParams::default());
+    let params = Params::quick(13);
+
+    let universe = FailureUniverse::of(&net);
+    let mut p1 = phase1::run(&ev, &universe, &params);
+    phase1b::run(&ev, &universe, &params, &mut p1);
+
+    let cold = RobustOptimizer::builder(&ev)
+        .scenarios(Srlg::geographic(&net, 0.15))
+        .params(params)
+        .build()
+        .optimize();
+    let warm = RobustOptimizer::builder(&ev)
+        .scenarios(Srlg::geographic(&net, 0.15))
+        .params(params)
+        .warm_start(p1)
+        .build()
+        .optimize();
+
+    assert_eq!(cold.robust, warm.robust);
+    assert_eq!(cold.kfail, warm.kfail);
+    assert_eq!(cold.regular, warm.regular);
+    assert_eq!(cold.critical_indices, warm.critical_indices);
+}
+
+/// The SRLG set's index layout: single-link prefix tracks the failure
+/// universe 1:1 (so samples/criticality indices line up), groups follow.
+#[test]
+fn srlg_indices_prefix_the_universe() {
+    let (net, _) = testbed(6);
+    let set = Srlg::geographic(&net, 0.15);
+    let u = set.universe();
+    for i in 0..u.len() {
+        assert_eq!(set.scenario(i), Scenario::Link(u.failable[i]));
+    }
+    for i in u.len()..set.len() {
+        assert!(matches!(set.scenario(i), Scenario::Srlg(_)));
+    }
+    // critical_scenarios keeps the chosen prefix and appends every group.
+    let mapped = set.critical_scenarios(&[1, 3]);
+    assert_eq!(mapped.len(), 2 + set.group_count());
+    assert_eq!(&mapped[..2], &[1, 3]);
+    assert!(mapped[2..].iter().all(|&i| i >= u.len()));
+}

@@ -1,0 +1,202 @@
+//! Offline vendored stand-in for the subset of `criterion` this
+//! workspace's benches use: `Criterion::benchmark_group`,
+//! `BenchmarkGroup::{sample_size, bench_function, finish}`,
+//! `Bencher::{iter, iter_batched}`, `BatchSize` and the
+//! `criterion_group!` / `criterion_main!` macros.
+//!
+//! Measurement is a plain wall-clock mean over `sample_size` iterations
+//! (capped for CI friendliness) printed to stdout — enough to compare hot
+//! paths release-to-release without the statistical machinery of the real
+//! crate, which cannot be fetched in this offline build environment.
+
+#![forbid(unsafe_code)]
+
+use std::hint::black_box as std_black_box;
+use std::time::{Duration, Instant};
+
+/// Re-exported so benches can guard against dead-code elimination.
+pub fn black_box<T>(x: T) -> T {
+    std_black_box(x)
+}
+
+/// How `iter_batched` amortizes setup; ignored by this shim.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum BatchSize {
+    SmallInput,
+    LargeInput,
+    PerIteration,
+}
+
+/// Top-level handle handed to each bench function.
+pub struct Criterion {
+    /// Hard cap on measured iterations per benchmark (keeps `cargo bench`
+    /// bounded regardless of configured sample sizes).
+    max_samples: usize,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion { max_samples: 10 }
+    }
+}
+
+impl Criterion {
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.into(),
+            sample_size: self.max_samples,
+            max_samples: self.max_samples,
+            _lifetime: std::marker::PhantomData,
+        }
+    }
+
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: &str, mut f: F) -> &mut Self {
+        let mut b = Bencher::new(self.max_samples);
+        f(&mut b);
+        b.report("bench", id);
+        self
+    }
+}
+
+/// A named group of related benchmarks.
+pub struct BenchmarkGroup<'c> {
+    name: String,
+    sample_size: usize,
+    max_samples: usize,
+    #[allow(dead_code)]
+    _lifetime: std::marker::PhantomData<&'c ()>,
+}
+
+impl<'c> BenchmarkGroup<'c> {
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n;
+        self
+    }
+
+    pub fn measurement_time(&mut self, _d: Duration) -> &mut Self {
+        self
+    }
+
+    pub fn bench_function<F: FnMut(&mut Bencher)>(
+        &mut self,
+        id: impl std::fmt::Display,
+        mut f: F,
+    ) -> &mut Self {
+        let mut b = Bencher::new(self.sample_size.min(self.max_samples));
+        f(&mut b);
+        b.report(&self.name, &id.to_string());
+        self
+    }
+
+    pub fn finish(self) {}
+}
+
+/// Times one benchmark body. Measurement happens inside `iter` /
+/// `iter_batched` (no `'static` bound on the routine, matching the real
+/// criterion); `report` prints what was collected.
+pub struct Bencher {
+    samples: usize,
+    measurements: Vec<(Duration, Duration)>,
+}
+
+impl Bencher {
+    fn new(samples: usize) -> Self {
+        Bencher {
+            samples: samples.max(1),
+            measurements: Vec::new(),
+        }
+    }
+
+    /// Time `routine` end to end: one warm-up, then the measured samples.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        self.measure(|| {
+            let t0 = Instant::now();
+            std_black_box(routine());
+            t0.elapsed()
+        });
+    }
+
+    /// Time `routine` on inputs produced by `setup`; setup time excluded.
+    pub fn iter_batched<I, O, S, R>(&mut self, mut setup: S, mut routine: R, _size: BatchSize)
+    where
+        S: FnMut() -> I,
+        R: FnMut(I) -> O,
+    {
+        self.measure(|| {
+            let input = setup();
+            let t0 = Instant::now();
+            std_black_box(routine(input));
+            t0.elapsed()
+        });
+    }
+
+    fn measure<F: FnMut() -> Duration>(&mut self, mut run: F) {
+        let _ = run(); // warm-up
+        let mut total = Duration::ZERO;
+        let mut best = Duration::MAX;
+        for _ in 0..self.samples {
+            let d = run();
+            total += d;
+            best = best.min(d);
+        }
+        self.measurements.push((total / self.samples as u32, best));
+    }
+
+    fn report(&self, group: &str, id: &str) {
+        for (mean, best) in &self.measurements {
+            println!(
+                "{group}/{id}: mean {mean:?} best {best:?} ({} samples)",
+                self.samples
+            );
+        }
+    }
+}
+
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        fn $group() {
+            let mut c = $crate::Criterion::default();
+            $($target(&mut c);)+
+        }
+    };
+}
+
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn group_runs_and_times() {
+        let mut c = Criterion::default();
+        let mut g = c.benchmark_group("t");
+        g.sample_size(2);
+        let mut hits = 0usize;
+        g.bench_function("count", |b| {
+            hits += 1;
+            b.iter(|| 1 + 1)
+        });
+        g.finish();
+        assert_eq!(hits, 1);
+    }
+
+    #[test]
+    fn iter_batched_excludes_setup() {
+        let mut c = Criterion::default();
+        let mut g = c.benchmark_group("t2");
+        g.sample_size(1);
+        g.bench_function("b", |b| {
+            b.iter_batched(|| vec![1u8; 8], |v| v.len(), BatchSize::SmallInput)
+        });
+        g.finish();
+    }
+}

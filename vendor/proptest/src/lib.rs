@@ -1,0 +1,366 @@
+//! Offline vendored stand-in for the subset of `proptest` this workspace
+//! uses: the `proptest!` macro, range/tuple/`Just`/`any` strategies,
+//! `collection::vec`, `prop_map`/`prop_perturb`, `ProptestConfig` and the
+//! `prop_assert*` macros.
+//!
+//! No shrinking: failing cases report the panic of the first failing
+//! input. Case generation is fully deterministic (fixed master seed), so
+//! failures reproduce across runs.
+
+#![forbid(unsafe_code)]
+
+pub use rand::rngs::StdRng;
+pub use rand::{Rng, RngCore, SeedableRng};
+
+/// The RNG handed to strategies and `prop_perturb` closures.
+pub type TestRng = StdRng;
+
+/// Runner configuration; only `cases` is honoured.
+#[derive(Clone, Copy, Debug)]
+pub struct ProptestConfig {
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig { cases: 64 }
+    }
+}
+
+/// A value generator. Unlike real proptest there is no value tree and no
+/// shrinking — a strategy is just a deterministic sampler.
+pub trait Strategy {
+    type Value;
+
+    fn sample(&self, rng: &mut TestRng) -> Self::Value;
+
+    fn prop_map<U, F: Fn(Self::Value) -> U>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+    {
+        Map { inner: self, f }
+    }
+
+    fn prop_perturb<U, F: Fn(Self::Value, TestRng) -> U>(self, f: F) -> Perturb<Self, F>
+    where
+        Self: Sized,
+    {
+        Perturb { inner: self, f }
+    }
+
+    fn prop_flat_map<S: Strategy, F: Fn(Self::Value) -> S>(self, f: F) -> FlatMap<Self, F>
+    where
+        Self: Sized,
+    {
+        FlatMap { inner: self, f }
+    }
+}
+
+/// Strategy returning a constant.
+#[derive(Clone, Copy, Debug)]
+pub struct Just<T: Clone>(pub T);
+
+impl<T: Clone> Strategy for Just<T> {
+    type Value = T;
+    fn sample(&self, _rng: &mut TestRng) -> T {
+        self.0.clone()
+    }
+}
+
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S: Strategy, U, F: Fn(S::Value) -> U> Strategy for Map<S, F> {
+    type Value = U;
+    fn sample(&self, rng: &mut TestRng) -> U {
+        (self.f)(self.inner.sample(rng))
+    }
+}
+
+pub struct Perturb<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S: Strategy, U, F: Fn(S::Value, TestRng) -> U> Strategy for Perturb<S, F> {
+    type Value = U;
+    fn sample(&self, rng: &mut TestRng) -> U {
+        let v = self.inner.sample(rng);
+        let fork = StdRng::seed_from_u64(rng.next_u64());
+        (self.f)(v, fork)
+    }
+}
+
+pub struct FlatMap<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S: Strategy, T: Strategy, F: Fn(S::Value) -> T> Strategy for FlatMap<S, F> {
+    type Value = T::Value;
+    fn sample(&self, rng: &mut TestRng) -> T::Value {
+        (self.f)(self.inner.sample(rng)).sample(rng)
+    }
+}
+
+impl<T> Strategy for core::ops::Range<T>
+where
+    T: Copy,
+    core::ops::Range<T>: rand::SampleRange<T>,
+{
+    type Value = T;
+    fn sample(&self, rng: &mut TestRng) -> T {
+        rng.gen_range(self.clone())
+    }
+}
+
+impl<T> Strategy for core::ops::RangeInclusive<T>
+where
+    T: Copy,
+    core::ops::RangeInclusive<T>: rand::SampleRange<T>,
+{
+    type Value = T;
+    fn sample(&self, rng: &mut TestRng) -> T {
+        rng.gen_range(self.clone())
+    }
+}
+
+macro_rules! tuple_strategy {
+    ($(($($name:ident),+))+) => {$(
+        impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+            type Value = ($($name::Value,)+);
+            #[allow(non_snake_case)]
+            fn sample(&self, rng: &mut TestRng) -> Self::Value {
+                let ($($name,)+) = self;
+                ($($name.sample(rng),)+)
+            }
+        }
+    )+};
+}
+
+tuple_strategy! {
+    (A, B)
+    (A, B, C)
+    (A, B, C, D)
+    (A, B, C, D, E)
+}
+
+/// Types `any::<T>()` can produce.
+pub trait Arbitrary: Sized {
+    fn arbitrary(rng: &mut TestRng) -> Self;
+}
+
+macro_rules! arb_uint {
+    ($($t:ty),*) => {$(
+        impl Arbitrary for $t {
+            fn arbitrary(rng: &mut TestRng) -> Self {
+                rng.next_u64() as $t
+            }
+        }
+    )*};
+}
+
+arb_uint!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl Arbitrary for bool {
+    fn arbitrary(rng: &mut TestRng) -> Self {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+impl Arbitrary for f64 {
+    fn arbitrary(rng: &mut TestRng) -> Self {
+        rng.gen::<f64>()
+    }
+}
+
+/// Strategy over all values of `T`.
+pub struct AnyStrategy<T>(core::marker::PhantomData<T>);
+
+impl<T: Arbitrary> Strategy for AnyStrategy<T> {
+    type Value = T;
+    fn sample(&self, rng: &mut TestRng) -> T {
+        T::arbitrary(rng)
+    }
+}
+
+/// `proptest::prelude::any::<T>()`.
+pub fn any<T: Arbitrary>() -> AnyStrategy<T> {
+    AnyStrategy(core::marker::PhantomData)
+}
+
+pub mod collection {
+    use super::{Strategy, TestRng};
+    use rand::Rng;
+
+    /// Size specification for [`vec`]: exact, `a..b` or `a..=b`.
+    pub trait SizeRange {
+        fn pick(&self, rng: &mut TestRng) -> usize;
+    }
+
+    impl SizeRange for usize {
+        fn pick(&self, _rng: &mut TestRng) -> usize {
+            *self
+        }
+    }
+
+    impl SizeRange for core::ops::Range<usize> {
+        fn pick(&self, rng: &mut TestRng) -> usize {
+            rng.gen_range(self.clone())
+        }
+    }
+
+    impl SizeRange for core::ops::RangeInclusive<usize> {
+        fn pick(&self, rng: &mut TestRng) -> usize {
+            rng.gen_range(self.clone())
+        }
+    }
+
+    pub struct VecStrategy<S, L> {
+        element: S,
+        len: L,
+    }
+
+    impl<S: Strategy, L: SizeRange> Strategy for VecStrategy<S, L> {
+        type Value = Vec<S::Value>;
+        fn sample(&self, rng: &mut TestRng) -> Vec<S::Value> {
+            let n = self.len.pick(rng);
+            (0..n).map(|_| self.element.sample(rng)).collect()
+        }
+    }
+
+    /// `proptest::collection::vec(element, len)`.
+    pub fn vec<S: Strategy, L: SizeRange>(element: S, len: L) -> VecStrategy<S, L> {
+        VecStrategy { element, len }
+    }
+}
+
+/// Deterministic per-test master RNG.
+pub fn test_rng(test_name: &str) -> TestRng {
+    // FNV-1a over the test name keeps streams distinct across tests while
+    // staying reproducible run to run.
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in test_name.bytes() {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x1000_0000_01b3);
+    }
+    StdRng::seed_from_u64(h)
+}
+
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        assert!($cond);
+    };
+    ($cond:expr, $($fmt:tt)*) => {
+        assert!($cond, $($fmt)*);
+    };
+}
+
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($a:expr, $b:expr) => {
+        assert_eq!($a, $b);
+    };
+    ($a:expr, $b:expr, $($fmt:tt)*) => {
+        assert_eq!($a, $b, $($fmt)*);
+    };
+}
+
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_impl!{ @cfg ($cfg); $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_impl!{ @cfg ($crate::ProptestConfig::default()); $($rest)* }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_impl {
+    (@cfg ($cfg:expr); ) => {};
+    (@cfg ($cfg:expr);
+        $(#[$attr:meta])*
+        fn $name:ident($($argpat:pat in $strat:expr),+ $(,)?) $body:block
+        $($rest:tt)*
+    ) => {
+        $(#[$attr])*
+        fn $name() {
+            let config: $crate::ProptestConfig = $cfg;
+            let mut rng = $crate::test_rng(concat!(module_path!(), "::", stringify!($name)));
+            for _case in 0..config.cases {
+                $(let $argpat = $crate::Strategy::sample(&($strat), &mut rng);)+
+                $body
+            }
+        }
+        $crate::__proptest_impl!{ @cfg ($cfg); $($rest)* }
+    };
+}
+
+/// `prop::...` module alias used by `proptest::prelude`.
+pub mod prop {
+    pub use crate::collection;
+    pub use crate::{any, Just, Strategy};
+}
+
+/// `use proptest::prelude::*` surface.
+pub mod prelude {
+    /// `prop::collection::vec(...)` style paths.
+    pub use super::prop;
+    pub use super::{
+        any, prop_assert, prop_assert_eq, proptest, Arbitrary, Just, ProptestConfig, Strategy,
+        TestRng,
+    };
+    pub use rand::{Rng, RngCore, SeedableRng};
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(16))]
+
+        #[test]
+        fn ranges_and_vectors_sample_in_bounds(
+            n in 1usize..10,
+            x in 0.5..2.5f64,
+            v in prop::collection::vec(0u32..7, 3..=5),
+        ) {
+            prop_assert!((1..10).contains(&n));
+            prop_assert!((0.5..2.5).contains(&x));
+            prop_assert!(v.len() >= 3 && v.len() <= 5);
+            prop_assert!(v.iter().all(|&e| e < 7));
+        }
+
+        #[test]
+        fn perturb_passes_an_rng(seed in any::<u64>(), y in Just(3usize).prop_perturb(|v, mut rng| {
+            v + (rng.next_u32() as usize % 2)
+        })) {
+            let _ = seed;
+            prop_assert!(y == 3 || y == 4);
+        }
+
+        #[test]
+        fn map_transforms(pair in (0u32..5, 0u32..5).prop_map(|(a, b)| a + b)) {
+            prop_assert!(pair < 10);
+        }
+    }
+
+    #[test]
+    fn runner_is_deterministic() {
+        let mut a = super::test_rng("x");
+        let mut b = super::test_rng("x");
+        assert_eq!(a.next_u64(), b.next_u64());
+    }
+}
