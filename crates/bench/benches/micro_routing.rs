@@ -1,22 +1,36 @@
 //! Micro-benchmarks of the hot paths: SPF, ECMP load accumulation, full
-//! two-class cost evaluation (normal and under failure). These are the
-//! kernels every optimization step pays for; the paper's wall-clock claims
-//! (§IV-E2) decompose into multiples of exactly these.
+//! two-class cost evaluation (normal and under failure), and the
+//! headline comparison — a **full-ensemble** sweep (every survivable
+//! single-link failure of a 50-node topology) through the seed
+//! per-scenario path vs. the workspace/incremental engine
+//! (`Evaluator::evaluate_all`). These are the kernels every optimization
+//! step pays for; the paper's wall-clock claims (§IV-E2) decompose into
+//! multiples of exactly these.
+//!
+//! Besides the criterion groups, the bench times the two full-ensemble
+//! sweeps explicitly and writes a machine-readable baseline to
+//! `BENCH_routing.json` (override the path with `BENCH_ROUTING_JSON`),
+//! recording the measured speedup. The engine path is additionally
+//! checked bit-for-bit against the reference inside this run.
+
+use std::time::Instant;
 
 use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
 use dtr_cost::{CostParams, Evaluator};
 use dtr_net::{Network, NodeId};
-use dtr_routing::{route_class, spf, Class, Scenario, WeightSetting};
+use dtr_routing::{route_class, spf, Class, Scenario, SpfWorkspace, WeightSetting};
 use dtr_topogen::{rand_topo, SynthConfig};
 use dtr_traffic::{gravity, ClassMatrices};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
+const NODES: usize = 50;
+
 fn testbed() -> (Network, ClassMatrices, WeightSetting) {
-    // Paper-sized: 30 nodes, 180 directed links.
+    // Paper-scale-plus: 50 nodes, 300 directed links.
     let net = rand_topo::generate(&SynthConfig {
-        nodes: 30,
-        duplex_links: 90,
+        nodes: NODES,
+        duplex_links: 150,
         seed: 7,
     })
     .unwrap()
@@ -25,9 +39,9 @@ fn testbed() -> (Network, ClassMatrices, WeightSetting) {
     .unwrap();
     let mut tm = gravity::generate(&gravity::GravityConfig {
         total_volume: 1.0,
-        ..gravity::GravityConfig::paper_default(30, 3)
+        ..gravity::GravityConfig::paper_default(NODES, 3)
     });
-    tm.scale(3e10);
+    tm.scale(5e10);
     let mut rng = StdRng::seed_from_u64(11);
     let w = WeightSetting::random(net.num_links(), 20, &mut rng);
     (net, tm, w)
@@ -38,28 +52,69 @@ fn bench_micro(c: &mut Criterion) {
     let mask = net.fresh_mask();
 
     let mut g = c.benchmark_group("micro");
-    g.sample_size(30);
+    g.sample_size(10);
 
-    g.bench_function("spf_single_destination_30n", |b| {
+    g.bench_function("spf_single_destination_50n", |b| {
         b.iter(|| spf::dist_to(&net, NodeId::new(0), w.weights(Class::Delay), &mask))
     });
 
-    g.bench_function("route_class_30n", |b| {
+    let mut ws = SpfWorkspace::new();
+    let mut dist = Vec::new();
+    let mut heap = std::collections::BinaryHeap::new();
+    g.bench_function("spf_workspace_50n", |b| {
+        b.iter(|| {
+            spf::dist_to_into(
+                &net,
+                NodeId::new(0),
+                w.weights(Class::Delay),
+                &mask,
+                &mut dist,
+                &mut heap,
+            );
+            dist[1]
+        })
+    });
+
+    g.bench_function("route_class_50n", |b| {
         b.iter(|| route_class(&net, w.weights(Class::Delay), &tm.delay, &mask))
     });
 
+    let mut reused = dtr_routing::ClassRouting::empty();
+    g.bench_function("route_class_with_50n", |b| {
+        b.iter(|| {
+            dtr_routing::route_class_with(
+                &net,
+                w.weights(Class::Delay),
+                &tm.delay,
+                &mask,
+                &mut ws,
+                &mut reused,
+            );
+            reused.dropped
+        })
+    });
+
     let ev = Evaluator::new(&net, &tm, CostParams::default());
-    g.bench_function("evaluate_normal_30n", |b| {
+    g.bench_function("evaluate_normal_reference_50n", |b| {
         b.iter(|| ev.evaluate(&w, Scenario::Normal))
     });
 
-    let failure = Scenario::Link(net.duplex_representatives()[0]);
-    g.bench_function("evaluate_failure_30n", |b| {
-        b.iter(|| ev.evaluate(&w, failure))
+    let mut ews = ev.acquire_workspace();
+    g.bench_function("cost_normal_engine_50n", |b| {
+        b.iter(|| ev.cost_with(&mut ews, &w, Scenario::Normal))
     });
 
+    let failure = Scenario::Link(net.duplex_representatives()[0]);
+    g.bench_function("evaluate_failure_reference_50n", |b| {
+        b.iter(|| ev.evaluate(&w, failure))
+    });
+    g.bench_function("cost_failure_engine_50n", |b| {
+        b.iter(|| ev.cost_with(&mut ews, &w, failure))
+    });
+    ev.release_workspace(ews);
+
     // One full local-search sweep unit: perturb a link, evaluate, revert.
-    g.bench_function("perturb_eval_revert_30n", |b| {
+    g.bench_function("perturb_eval_revert_50n", |b| {
         let rep = net.duplex_representatives()[3];
         b.iter_batched(
             || w.clone(),
@@ -72,6 +127,72 @@ fn bench_micro(c: &mut Criterion) {
     });
 
     g.finish();
+
+    full_ensemble_baseline(&net, &tm, &w);
+}
+
+/// Time the full-ensemble sweep both ways, verify bit-for-bit agreement,
+/// and emit the `BENCH_routing.json` baseline.
+fn full_ensemble_baseline(net: &Network, tm: &ClassMatrices, w: &WeightSetting) {
+    let ev = Evaluator::new(net, tm, CostParams::default());
+    let mut scenarios = vec![Scenario::Normal];
+    scenarios.extend(Scenario::all_link_failures(net));
+
+    // Warm both paths once, then take the best of `reps` timed sweeps
+    // (one in `--test` smoke mode).
+    let reps = if criterion::Criterion::test_mode() {
+        1
+    } else {
+        3
+    };
+    let reference_once = || {
+        scenarios
+            .iter()
+            .map(|&sc| ev.evaluate(w, sc).cost)
+            .collect::<Vec<_>>()
+    };
+    let engine_once = || ev.evaluate_all(w, &scenarios);
+
+    let reference = reference_once();
+    let engine = engine_once();
+    assert_eq!(reference, engine, "engine diverged from reference");
+
+    let mut ref_ns = u128::MAX;
+    let mut eng_ns = u128::MAX;
+    for _ in 0..reps {
+        let t0 = Instant::now();
+        let r = reference_once();
+        ref_ns = ref_ns.min(t0.elapsed().as_nanos());
+        let t1 = Instant::now();
+        let e = engine_once();
+        eng_ns = eng_ns.min(t1.elapsed().as_nanos());
+        assert_eq!(r, e);
+    }
+
+    let speedup = ref_ns as f64 / eng_ns as f64;
+    println!(
+        "micro/full_ensemble_{NODES}n: reference {:.3} ms, engine {:.3} ms, speedup {speedup:.2}x \
+         ({} scenarios)",
+        ref_ns as f64 / 1e6,
+        eng_ns as f64 / 1e6,
+        scenarios.len()
+    );
+
+    // Default to the workspace root regardless of cargo's bench cwd.
+    let path = std::env::var("BENCH_ROUTING_JSON").unwrap_or_else(|_| {
+        concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_routing.json").to_string()
+    });
+    let json = format!(
+        "{{\n  \"bench\": \"micro_routing/full_ensemble\",\n  \"nodes\": {NODES},\n  \
+         \"directed_links\": {},\n  \"scenarios\": {},\n  \
+         \"reference_sweep_ns\": {ref_ns},\n  \"engine_sweep_ns\": {eng_ns},\n  \
+         \"speedup\": {speedup:.4},\n  \"bit_for_bit_identical\": true\n}}\n",
+        net.num_links(),
+        scenarios.len()
+    );
+    if let Err(e) = std::fs::write(&path, json) {
+        eprintln!("warning: could not write {path}: {e}");
+    }
 }
 
 criterion_group!(benches, bench_micro);

@@ -5,6 +5,12 @@
 //! as the reference in the timing comparison of §IV-E2. Generic over
 //! [`ScenarioSet`]: the full sweep of a probabilistic or SRLG ensemble is
 //! as meaningful a yardstick as the paper's single-link one.
+//!
+//! The full sweep is exactly where the scenario-batched
+//! `Evaluator::evaluate_all` engine pays off most: one no-failure
+//! baseline per candidate amortizes over *all* `|E|` scenarios, each of
+//! which re-routes only the destinations its failed link actually
+//! carries.
 
 use dtr_cost::Evaluator;
 

@@ -3,10 +3,16 @@
 //! Phase 2's objective `K̄fail = ⟨Σ_l Λfail,l, Σ_l Φfail,l⟩` (Eq. 7)
 //! requires one full two-class evaluation per critical scenario. The
 //! scenarios are independent, so they fan out over `std::thread::scope`
-//! workers in contiguous chunks. Per-scenario costs land back in input
-//! order and are reduced **in scenario order**, so the floating-point sum
-//! — and therefore the whole optimization trajectory — is identical for
-//! every thread count.
+//! workers in contiguous chunks. Each worker runs the evaluator's
+//! scenario-batched [`Evaluator::evaluate_all`] on its chunk, which
+//! checks a private workspace out of the evaluator's pool: every thread
+//! gets its own scratch buffers and no-failure baseline, and within a
+//! chunk only the destinations each failure actually touches are
+//! re-routed. Per-scenario costs land back in input order and are
+//! reduced **in scenario order**, so the floating-point sum — and
+//! therefore the whole optimization trajectory — is identical for every
+//! thread count (and bit-for-bit identical to serial per-scenario
+//! evaluation).
 
 use dtr_cost::{Evaluator, LexCost};
 use dtr_routing::{Scenario, WeightSetting};
@@ -21,7 +27,7 @@ pub fn failure_costs(
     assert!(threads >= 1);
     let workers = threads.min(scenarios.len());
     if workers <= 1 {
-        return scenarios.iter().map(|&sc| ev.cost(w, sc)).collect();
+        return ev.evaluate_all(w, scenarios);
     }
     // Contiguous chunks, one per worker; results spliced back in order.
     let chunk = scenarios.len().div_ceil(workers);
@@ -29,7 +35,7 @@ pub fn failure_costs(
     std::thread::scope(|s| {
         let handles: Vec<_> = scenarios
             .chunks(chunk)
-            .map(|part| s.spawn(move || part.iter().map(|&sc| ev.cost(w, sc)).collect::<Vec<_>>()))
+            .map(|part| s.spawn(move || ev.evaluate_all(w, part)))
             .collect();
         for h in handles {
             out.extend(h.join().expect("failure-evaluation worker panicked"));

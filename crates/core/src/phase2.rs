@@ -13,6 +13,15 @@
 //! A candidate move is first checked against the constraints with a single
 //! normal-conditions evaluation; only survivors pay for the full
 //! `|Ec|`-scenario failure sweep.
+//!
+//! Both evaluations ride the incremental engine in `dtr_cost::engine`: a
+//! neighbor move changes one duplex link's weights, so the
+//! normal-conditions check re-routes only the destinations whose distance
+//! field that change can provably touch, and the failure sweep
+//! ([`parallel::failure_costs`] → [`Evaluator::evaluate_all`]) re-routes,
+//! per scenario, only the destinations whose shortest-path DAG uses the
+//! failed link. Results are bit-for-bit those of full per-scenario
+//! evaluation, so the search trajectory is unchanged.
 
 use dtr_cost::{Evaluator, LexCost};
 use dtr_routing::{Scenario, WeightSetting};

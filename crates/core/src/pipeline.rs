@@ -2,7 +2,12 @@
 //! generalized over [`ScenarioSet`].
 //!
 //! One optimizer serves every failure model: the builder picks the
-//! ensemble, the phases stay the paper's.
+//! ensemble, the phases stay the paper's. Every evaluation inside the
+//! phases flows through the pooled incremental engine of
+//! `dtr_cost::engine` (per-thread workspaces, replayed no-failure
+//! baselines, per-destination incremental SPF), so pipeline results are
+//! bit-for-bit those of the naive per-scenario evaluator at a fraction
+//! of the cost.
 //!
 //! ```ignore
 //! // The paper's single-link pipeline:

@@ -102,7 +102,10 @@ pub fn select(crit: &Criticality, n: usize) -> CriticalSet {
 }
 
 /// Phase-1c for an arbitrary [`ScenarioSet`]: the scenario indices
-/// Phase 2 should optimize over.
+/// Phase 2 should optimize over. Selection itself is cheap — its inputs
+/// (the Phase-1 sample store and, for the load-based baseline, one
+/// normal-conditions routing) are already computed; no per-scenario
+/// evaluation is re-derived here.
 ///
 /// * Sets without per-single-link structure (`supports_selection() ==
 ///   false`, e.g. double-link ensembles) get the full sweep.

@@ -58,14 +58,30 @@ pub fn link_delays(
     prop_delays: &[f64],
     p: &CostParams,
 ) -> Vec<f64> {
+    let mut out = Vec::new();
+    link_delays_into(loads, capacities, prop_delays, p, &mut out);
+    out
+}
+
+/// [`link_delays`] into a caller buffer (cleared first) — the
+/// allocation-free form the workspace evaluation engine uses.
+pub fn link_delays_into(
+    loads: &[f64],
+    capacities: &[f64],
+    prop_delays: &[f64],
+    p: &CostParams,
+    out: &mut Vec<f64>,
+) {
     debug_assert_eq!(loads.len(), capacities.len());
     debug_assert_eq!(loads.len(), prop_delays.len());
-    loads
-        .iter()
-        .zip(capacities)
-        .zip(prop_delays)
-        .map(|((&x, &c), &pd)| link_delay(x, c, pd, p))
-        .collect()
+    out.clear();
+    out.extend(
+        loads
+            .iter()
+            .zip(capacities)
+            .zip(prop_delays)
+            .map(|((&x, &c), &pd)| link_delay(x, c, pd, p)),
+    );
 }
 
 #[cfg(test)]

@@ -1,0 +1,400 @@
+//! The allocation-free, incremental evaluation engine.
+//!
+//! [`crate::Evaluator::evaluate`] is the readable reference
+//! implementation: it recomputes everything from scratch and allocates
+//! its full [`crate::CostBreakdown`]. The local search does not need the
+//! breakdown — it needs millions of scalar [`crate::LexCost`] answers —
+//! so this module provides the machinery that produces *the same bits*
+//! without the per-evaluation work:
+//!
+//! 1. **Workspaces** ([`EvalWorkspace`]): every scratch vector an
+//!    evaluation needs (Dijkstra heap, distance fields, load buffers,
+//!    the scenario mask, per-pair delays) lives in a per-thread workspace
+//!    drawn from the evaluator's pool. After warm-up, an evaluation of a
+//!    `Normal` or link-failure scenario performs **zero** heap
+//!    allocations.
+//! 2. **Baseline caching**: the workspace keeps, per traffic class, the
+//!    full no-failure routing of the *current* weight setting as
+//!    replayable [`DestRouting`] records (one per demand destination).
+//! 3. **Incremental SPF across scenarios**: a link-failure scenario only
+//!    recomputes destinations whose no-failure shortest-path DAG actually
+//!    uses a failed link ([`dag_uses_any`]); all other destinations
+//!    replay their recorded load accumulations bit-for-bit.
+//! 4. **Incremental SPF across search moves**: when the weight setting
+//!    changes (a Phase-1/Phase-2 neighbor move re-draws one duplex
+//!    link's weights), the baseline is diffed against the new weights
+//!    and only destinations whose distance field is provably affected
+//!    ([`weight_change_affects`]) are re-routed.
+//!
+//! Bit-for-bit equivalence with the reference path is not best-effort —
+//! it is load-bearing (the optimization trajectory must not depend on
+//! which engine evaluated a candidate) and pinned by
+//! `tests/engine_equivalence.rs`. It holds because a replayed
+//! destination re-issues the exact floating-point additions, in the
+//! exact order, that a fresh computation would perform.
+//!
+//! Node-failure scenarios change the offered traffic itself, so they
+//! take the reference path ([`crate::Evaluator::evaluate`]) unchanged.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+
+/// Source of unique per-[`Evaluator`] identities (see
+/// [`EvalWorkspace::owner`]); 0 is reserved for "never owned".
+static NEXT_ENGINE_ID: AtomicU64 = AtomicU64::new(1);
+
+/// A fresh evaluator identity.
+pub(crate) fn next_engine_id() -> u64 {
+    NEXT_ENGINE_ID.fetch_add(1, Ordering::Relaxed)
+}
+
+use dtr_net::{LinkId, LinkMask};
+use dtr_routing::workspace::{
+    dag_uses_any, route_destination, weight_change_affects, DestRouting, WeightChange,
+};
+use dtr_routing::{delay, Class, Scenario, SpfWorkspace, WeightSetting};
+use dtr_traffic::TrafficMatrix;
+
+use crate::delay_model;
+use crate::lexico::LexCost;
+use crate::params::DelayAggregation;
+use crate::{congestion, sla, Evaluator};
+
+/// Marker for "this destination was replayed from the baseline".
+const NOT_RECOMPUTED: u32 = u32::MAX;
+
+/// The cached no-failure routing of one traffic class under the
+/// workspace's current weight setting.
+#[derive(Debug, Default)]
+struct ClassBaseline {
+    /// Weights this baseline was computed with (diffed on every reuse).
+    weights: Vec<u32>,
+    /// One replayable record per demand destination, aligned with the
+    /// evaluator's per-class demand-destination list.
+    state: Vec<DestRouting>,
+    valid: bool,
+}
+
+/// Per-thread scratch for the incremental engine. Acquire one from
+/// [`Evaluator::acquire_workspace`] (or implicitly via
+/// [`Evaluator::cost`] / [`Evaluator::evaluate_all`]) and reuse it: all
+/// buffers reach steady-state capacity after the first evaluation.
+#[derive(Debug, Default)]
+pub struct EvalWorkspace {
+    /// [`Evaluator::engine_id`] of the evaluator whose baseline this
+    /// workspace holds; 0 = none yet. Two evaluators can share a link
+    /// count while disagreeing on traffic or parameters, so baseline
+    /// reuse is gated on identity, not on buffer sizes.
+    owner: u64,
+    spf: SpfWorkspace,
+    mask: LinkMask,
+    /// Directed link ids down under the current scenario.
+    down: Vec<u32>,
+    /// Weight diffs of the current `ensure_baseline` call.
+    diff: Vec<WeightChange>,
+    base: [ClassBaseline; 2],
+    /// Recomputed per-destination routings of the current scenario
+    /// (delay class only — their distance fields feed the delay DP).
+    scratch: Vec<DestRouting>,
+    /// Delay-class destination index → slot in `scratch`, or
+    /// [`NOT_RECOMPUTED`].
+    scratch_map: Vec<u32>,
+    /// Throughput-class recompute scratch (result replayed immediately).
+    tput_scratch: DestRouting,
+    class_loads: [Vec<f64>; 2],
+    total_loads: Vec<f64>,
+    link_delays: Vec<f64>,
+    node_delay: Vec<f64>,
+    pair_delays: Vec<(usize, usize, f64)>,
+}
+
+impl EvalWorkspace {
+    /// Fresh workspace; buffers are sized lazily on first use.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Drop any cached baseline (forces the next evaluation to rebuild
+    /// it from scratch). Only needed by tests and diagnostics.
+    pub fn invalidate(&mut self) {
+        self.base[0].valid = false;
+        self.base[1].valid = false;
+    }
+}
+
+/// A shared pool of per-thread workspaces owned by an evaluator (the
+/// [`Evaluator`] pools [`EvalWorkspace`]s; the MTR evaluator reuses the
+/// same type for its own workspace). Lock contention is negligible: one
+/// lock per *batch* of evaluations (or per single evaluation on the
+/// compatibility path), against milliseconds of routing work.
+#[derive(Debug)]
+pub struct WorkspacePool<T = EvalWorkspace> {
+    pool: Mutex<Vec<T>>,
+}
+
+impl<T> Default for WorkspacePool<T> {
+    fn default() -> Self {
+        WorkspacePool {
+            pool: Mutex::new(Vec::new()),
+        }
+    }
+}
+
+impl<T: Default> WorkspacePool<T> {
+    /// Pop a pooled workspace, or create a fresh one if the pool is dry.
+    pub fn acquire(&self) -> T {
+        self.pool
+            .lock()
+            .expect("workspace pool poisoned")
+            .pop()
+            .unwrap_or_default()
+    }
+
+    /// Return a workspace so its warmed-up buffers get reused.
+    pub fn release(&self, ws: T) {
+        self.pool.lock().expect("workspace pool poisoned").push(ws);
+    }
+}
+
+impl<'a> Evaluator<'a> {
+    /// Check a workspace out of the evaluator's pool (creating one if
+    /// the pool is dry). Return it with
+    /// [`release_workspace`](Self::release_workspace) so its warmed-up
+    /// buffers and cached baseline benefit later evaluations.
+    pub fn acquire_workspace(&self) -> EvalWorkspace {
+        self.pool.acquire()
+    }
+
+    /// Return a workspace to the pool.
+    pub fn release_workspace(&self, ws: EvalWorkspace) {
+        self.pool.release(ws);
+    }
+
+    /// Scenario-batched evaluation: the costs of `w` under every
+    /// scenario, in input order — bit-for-bit what per-scenario
+    /// [`Evaluator::evaluate`] would report, computed incrementally (one
+    /// no-failure baseline, per-scenario recomputation only of the
+    /// destinations each failure actually touches).
+    pub fn evaluate_all(&self, w: &WeightSetting, scenarios: &[Scenario]) -> Vec<LexCost> {
+        let mut ws = self.acquire_workspace();
+        let out = scenarios
+            .iter()
+            .map(|&sc| self.cost_with(&mut ws, w, sc))
+            .collect();
+        self.release_workspace(ws);
+        out
+    }
+
+    /// Scalar cost of one (weight setting, scenario) pair through the
+    /// incremental engine, using the caller's workspace. Equals
+    /// `self.evaluate(w, scenario).cost` bit-for-bit.
+    pub fn cost_with(
+        &self,
+        ws: &mut EvalWorkspace,
+        w: &WeightSetting,
+        scenario: Scenario,
+    ) -> LexCost {
+        assert_eq!(w.num_links(), self.net.num_links(), "weight size mismatch");
+        if matches!(scenario, Scenario::Node(_)) {
+            // Node failures change the offered traffic itself; the
+            // replay cache does not apply. Take the reference path.
+            return self.evaluate(w, scenario).cost;
+        }
+        self.ensure_baseline(ws, w);
+        self.cost_scenario(ws, w, scenario)
+    }
+
+    /// Make `ws`'s per-class baselines describe the no-failure routing of
+    /// `w`, re-routing only destinations whose distance field the weight
+    /// diff can actually touch.
+    fn ensure_baseline(&self, ws: &mut EvalWorkspace, w: &WeightSetting) {
+        if ws.owner != self.engine_id {
+            // First use, or a workspace recycled from a different
+            // evaluator (possibly same-sized but with different traffic
+            // or parameters): size the mask, drop stale baselines.
+            ws.owner = self.engine_id;
+            ws.mask = LinkMask::all_up(self.net.num_links());
+            ws.invalidate();
+        }
+        ws.mask.reset_all_up();
+        let EvalWorkspace {
+            spf,
+            mask,
+            diff,
+            base,
+            ..
+        } = ws;
+        for (ci, class) in Class::ALL.iter().enumerate() {
+            let weights = w.weights(*class);
+            let tm = self.class_matrix(*class);
+            let dests = &self.demand_dests[ci];
+            let b = &mut base[ci];
+            if b.valid && b.weights.len() == weights.len() {
+                diff.clear();
+                diff.extend(
+                    b.weights
+                        .iter()
+                        .zip(weights)
+                        .enumerate()
+                        .filter(|(_, (o, n))| o != n)
+                        .map(|(l, (&o, &n))| WeightChange {
+                            link: LinkId::new(l),
+                            old: o,
+                            new: n,
+                        }),
+                );
+                if diff.is_empty() {
+                    continue;
+                }
+                for (di, &t) in dests.iter().enumerate() {
+                    if weight_change_affects(self.net, &b.state[di].dist, diff) {
+                        route_destination(
+                            self.net,
+                            weights,
+                            tm,
+                            mask,
+                            t as usize,
+                            spf,
+                            &mut b.state[di],
+                        );
+                    }
+                }
+                b.weights.copy_from_slice(weights);
+            } else {
+                b.state.resize_with(dests.len(), DestRouting::default);
+                for (di, &t) in dests.iter().enumerate() {
+                    route_destination(
+                        self.net,
+                        weights,
+                        tm,
+                        mask,
+                        t as usize,
+                        spf,
+                        &mut b.state[di],
+                    );
+                }
+                b.weights.clear();
+                b.weights.extend_from_slice(weights);
+                b.valid = true;
+            }
+        }
+    }
+
+    /// Evaluate one non-node scenario against a valid baseline.
+    fn cost_scenario(
+        &self,
+        ws: &mut EvalWorkspace,
+        w: &WeightSetting,
+        scenario: Scenario,
+    ) -> LexCost {
+        let EvalWorkspace {
+            spf,
+            mask,
+            down,
+            base,
+            scratch,
+            scratch_map,
+            tput_scratch,
+            class_loads,
+            total_loads,
+            link_delays,
+            node_delay,
+            pair_delays,
+            ..
+        } = ws;
+        scenario.mask_into(self.net, mask);
+        down.clear();
+        down.extend(mask.down_links().map(|i| i as u32));
+
+        // Route (or replay) both classes. The delay class keeps its
+        // recomputed destinations around: their distance fields feed the
+        // end-to-end delay DP below.
+        let mut scratch_used = 0usize;
+        let mut dropped = 0.0f64; // kept for debug parity; not in the cost
+        for (ci, class) in Class::ALL.iter().enumerate() {
+            let weights = w.weights(*class);
+            let tm = self.class_matrix(*class);
+            let dests = &self.demand_dests[ci];
+            let loads = &mut class_loads[ci];
+            loads.clear();
+            loads.resize(self.net.num_links(), 0.0);
+            if ci == 0 {
+                scratch_map.clear();
+                scratch_map.resize(dests.len(), NOT_RECOMPUTED);
+            }
+            for (di, &t) in dests.iter().enumerate() {
+                let b = &mut base[ci].state[di];
+                let affected = !down.is_empty() && dag_uses_any(self.net, &b.dist, weights, down);
+                if !affected {
+                    b.replay(loads, &mut dropped);
+                } else if ci == 0 {
+                    if scratch.len() == scratch_used {
+                        scratch.push(DestRouting::default());
+                    }
+                    let dest = &mut scratch[scratch_used];
+                    route_destination(self.net, weights, tm, mask, t as usize, spf, dest);
+                    dest.replay(loads, &mut dropped);
+                    scratch_map[di] = scratch_used as u32;
+                    scratch_used += 1;
+                } else {
+                    route_destination(self.net, weights, tm, mask, t as usize, spf, tput_scratch);
+                    tput_scratch.replay(loads, &mut dropped);
+                }
+            }
+        }
+
+        // Total loads, link delays (same element-wise operations as the
+        // reference path).
+        total_loads.clear();
+        total_loads.extend(
+            class_loads[0]
+                .iter()
+                .zip(&class_loads[1])
+                .map(|(x, y)| x + y),
+        );
+        delay_model::link_delays_into(
+            total_loads,
+            &self.capacities,
+            &self.prop_delays,
+            &self.params,
+            link_delays,
+        );
+
+        // Per-pair end-to-end delays of the delay class (shared kernel;
+        // the order field is cached, not recomputed).
+        let weights_d = w.weights(Class::Delay);
+        let take_max = matches!(self.params.aggregation, DelayAggregation::Max);
+        pair_delays.clear();
+        for (di, &t) in self.demand_dests[0].iter().enumerate() {
+            let dest = match scratch_map[di] {
+                NOT_RECOMPUTED => &base[0].state[di],
+                slot => &scratch[slot as usize],
+            };
+            delay::pair_delays_into(
+                self.net,
+                &dest.dist,
+                &dest.order,
+                weights_d,
+                mask,
+                link_delays,
+                take_max,
+                &self.traffic.delay,
+                t as usize,
+                node_delay,
+                pair_delays,
+            );
+        }
+
+        let sla = sla::summarize(&*pair_delays, &self.params);
+        let phi = congestion::phi(total_loads, &class_loads[1], &self.capacities);
+        LexCost::new(sla.lambda, phi)
+    }
+
+    #[inline]
+    fn class_matrix(&self, class: Class) -> &TrafficMatrix {
+        match class {
+            Class::Delay => &self.traffic.delay,
+            Class::Throughput => &self.traffic.throughput,
+        }
+    }
+}

@@ -81,13 +81,29 @@ impl CostBreakdown {
 
 /// Reusable evaluation context: network + base traffic + cost parameters.
 /// Cheap to construct; capacities and propagation delays are cached as
-/// flat vectors for the hot loop.
+/// flat vectors for the hot loop, and a pool of
+/// [`EvalWorkspace`](crate::EvalWorkspace)s (one per thread in practice)
+/// backs the allocation-free incremental engine in [`crate::engine`].
 pub struct Evaluator<'a> {
-    net: &'a Network,
-    traffic: &'a ClassMatrices,
-    params: CostParams,
-    capacities: Vec<f64>,
-    prop_delays: Vec<f64>,
+    pub(crate) net: &'a Network,
+    pub(crate) traffic: &'a ClassMatrices,
+    pub(crate) params: CostParams,
+    pub(crate) capacities: Vec<f64>,
+    pub(crate) prop_delays: Vec<f64>,
+    /// Per-class demand destinations (nodes that sink positive demand),
+    /// ascending — `[delay, throughput]`, indexed like [`Class::ALL`].
+    pub(crate) demand_dests: [Vec<u32>; 2],
+    pub(crate) pool: crate::engine::WorkspacePool,
+    /// Unique identity gating workspace-baseline reuse (see
+    /// `EvalWorkspace::owner`).
+    pub(crate) engine_id: u64,
+}
+
+fn demand_dests(tm: &dtr_traffic::TrafficMatrix) -> Vec<u32> {
+    let n = tm.num_nodes();
+    (0..n as u32)
+        .filter(|&t| (0..n).any(|s| s != t as usize && tm.demand(s, t as usize) > 0.0))
+        .collect()
 }
 
 impl<'a> Evaluator<'a> {
@@ -108,6 +124,12 @@ impl<'a> Evaluator<'a> {
             params,
             capacities,
             prop_delays,
+            demand_dests: [
+                demand_dests(&traffic.delay),
+                demand_dests(&traffic.throughput),
+            ],
+            pool: crate::engine::WorkspacePool::default(),
+            engine_id: crate::engine::next_engine_id(),
         }
     }
 
@@ -162,10 +184,16 @@ impl<'a> Evaluator<'a> {
         }
     }
 
-    /// Scalar-cost shortcut (same work as [`evaluate`](Self::evaluate);
-    /// kept for call-site clarity in the search loops).
+    /// Scalar-cost shortcut: bit-for-bit the cost of
+    /// [`evaluate`](Self::evaluate), but computed through the pooled
+    /// incremental engine (see [`crate::engine`]) — no per-evaluation
+    /// allocation, cached no-failure baseline, per-destination
+    /// recomputation only where a failure or weight move can matter.
     pub fn cost(&self, w: &WeightSetting, scenario: Scenario) -> LexCost {
-        self.evaluate(w, scenario).cost
+        let mut ws = self.acquire_workspace();
+        let c = self.cost_with(&mut ws, w, scenario);
+        self.release_workspace(ws);
+        c
     }
 
     /// Per SD pair "max utilization on its path": bottleneck total-load
@@ -217,28 +245,23 @@ impl<'a> Evaluator<'a> {
         offered: &ClassMatrices,
         link_delays: &[f64],
     ) -> Vec<(usize, usize, f64)> {
-        let n = self.net.num_nodes();
         let weights = w.weights(Class::Delay);
+        let take_max = matches!(self.params.aggregation, DelayAggregation::Max);
         let mut out = Vec::new();
-        for t in 0..n {
-            let Some(dist) = rd.dist_to(t) else { continue };
-            let fold = match self.params.aggregation {
-                DelayAggregation::Max => delay::max_delay_to,
-                DelayAggregation::Mean => delay::mean_delay_to,
-            };
-            let d = fold(self.net, dist, weights, mask, link_delays);
-            for s in 0..n {
-                if s == t || offered.delay.demand(s, t) <= 0.0 {
-                    continue;
-                }
-                let xi = if dist[s] == UNREACHABLE {
-                    f64::INFINITY
-                } else {
-                    d[s]
-                };
-                out.push((s, t, xi));
-            }
-        }
+        let mut order = Vec::new();
+        let mut node_delay = Vec::new();
+        delay::routing_pair_delays_into(
+            self.net,
+            rd,
+            weights,
+            mask,
+            link_delays,
+            take_max,
+            &offered.delay,
+            &mut order,
+            &mut node_delay,
+            &mut out,
+        );
         out
     }
 }

@@ -21,11 +21,13 @@
 
 pub mod congestion;
 pub mod delay_model;
+pub mod engine;
 mod evaluator;
 mod lexico;
 mod params;
 pub mod sla;
 
+pub use engine::EvalWorkspace;
 pub use evaluator::{CostBreakdown, Evaluator};
 pub use lexico::{LexCost, LAMBDA_EPS};
 pub use params::{CostParams, DelayAggregation};

@@ -14,9 +14,10 @@
 //!    congestion classes);
 //! 6. assemble the k-component lexicographic cost.
 
+use dtr_cost::engine::WorkspacePool;
 use dtr_cost::{congestion, delay_model, sla, CostParams, DelayAggregation, SlaSummary};
 use dtr_net::{LinkMask, Network};
-use dtr_routing::{delay, route_class, ClassRouting, Scenario, UNREACHABLE};
+use dtr_routing::{delay, route_class, route_class_with, ClassRouting, Scenario, SpfWorkspace};
 use dtr_traffic::TrafficMatrix;
 
 use crate::class::{CostModel, MtrConfig};
@@ -105,6 +106,20 @@ impl MtrBreakdown {
     }
 }
 
+/// Per-thread scratch for the allocation-light [`MtrEvaluator::cost`]
+/// fast path: all buffers reach steady-state capacity after one use.
+#[derive(Debug, Default)]
+struct MtrWorkspace {
+    spf: SpfWorkspace,
+    mask: LinkMask,
+    routings: Vec<ClassRouting>,
+    total_loads: Vec<f64>,
+    link_delays: Vec<f64>,
+    order: Vec<u32>,
+    node_delay: Vec<f64>,
+    pair_delays: Vec<(usize, usize, f64)>,
+}
+
 /// Reusable k-class evaluation context.
 pub struct MtrEvaluator<'a> {
     net: &'a Network,
@@ -116,6 +131,9 @@ pub struct MtrEvaluator<'a> {
     class_params: Vec<CostParams>,
     capacities: Vec<f64>,
     prop_delays: Vec<f64>,
+    /// Workspace pool for the [`cost`](Self::cost) fast path (one
+    /// workspace per concurrent caller in practice).
+    pool: WorkspacePool<MtrWorkspace>,
 }
 
 impl std::fmt::Debug for MtrEvaluator<'_> {
@@ -178,6 +196,7 @@ impl<'a> MtrEvaluator<'a> {
             class_params,
             capacities,
             prop_delays,
+            pool: WorkspacePool::default(),
         })
     }
 
@@ -290,9 +309,109 @@ impl<'a> MtrEvaluator<'a> {
         }
     }
 
-    /// Scalar-cost shortcut.
+    /// Scalar-cost shortcut: bit-for-bit the cost of
+    /// [`evaluate`](Self::evaluate), computed through a pooled workspace
+    /// so the k-class search loops stop paying per-evaluation
+    /// allocations. Node failures change the offered traffic and take
+    /// the full path.
     pub fn cost(&self, w: &MtrWeightSetting, scenario: Scenario) -> VecCost {
-        self.evaluate(w, scenario).cost
+        assert_eq!(
+            w.num_classes(),
+            self.num_classes(),
+            "weight setting class count mismatch"
+        );
+        assert_eq!(w.num_links(), self.net.num_links(), "weight size mismatch");
+        if matches!(scenario, Scenario::Node(_)) {
+            return self.evaluate(w, scenario).cost;
+        }
+        let mut ws = self.pool.acquire();
+        let cost = self.cost_with(&mut ws, w, scenario);
+        self.pool.release(ws);
+        cost
+    }
+
+    /// The workspace-based cost kernel behind [`cost`](Self::cost); only
+    /// valid for scenarios that leave the offered traffic unchanged.
+    fn cost_with(
+        &self,
+        ws: &mut MtrWorkspace,
+        w: &MtrWeightSetting,
+        scenario: Scenario,
+    ) -> VecCost {
+        let num_links = self.net.num_links();
+        let MtrWorkspace {
+            spf,
+            mask,
+            routings,
+            total_loads,
+            link_delays,
+            order,
+            node_delay,
+            pair_delays,
+        } = ws;
+        if mask.len() != num_links {
+            *mask = LinkMask::all_up(num_links);
+        }
+        scenario.mask_into(self.net, mask);
+
+        routings.resize_with(self.num_classes(), ClassRouting::empty);
+        total_loads.clear();
+        total_loads.resize(num_links, 0.0);
+        #[allow(clippy::needless_range_loop)] // k is the class id
+        for k in 0..self.num_classes() {
+            route_class_with(
+                self.net,
+                w.weights(k),
+                &self.matrices[k],
+                mask,
+                spf,
+                &mut routings[k],
+            );
+            for (t, &x) in total_loads.iter_mut().zip(&routings[k].loads) {
+                *t += x;
+            }
+        }
+
+        delay_model::link_delays_into(
+            total_loads,
+            &self.capacities,
+            &self.prop_delays,
+            &self.config.delay_params,
+            link_delays,
+        );
+
+        let mut components = Vec::with_capacity(self.num_classes());
+        for (k, spec) in self.config.specs.iter().enumerate() {
+            match spec.cost {
+                CostModel::SlaDelay { .. } => {
+                    let take_max =
+                        matches!(self.config.delay_params.aggregation, DelayAggregation::Max);
+                    pair_delays.clear();
+                    delay::routing_pair_delays_into(
+                        self.net,
+                        &routings[k],
+                        w.weights(k),
+                        mask,
+                        link_delays,
+                        take_max,
+                        &self.matrices[k],
+                        order,
+                        node_delay,
+                        pair_delays,
+                    );
+                    let summary = sla::summarize(&*pair_delays, &self.class_params[k]);
+                    components.push(summary.lambda);
+                }
+                CostModel::Congestion => {
+                    components.push(congestion::phi(
+                        total_loads,
+                        &routings[k].loads,
+                        &self.capacities,
+                    ));
+                }
+            }
+        }
+        VecCost::new(components)
     }
 
     /// The traffic offered under `scenario`: node failures remove the dead
@@ -321,30 +440,22 @@ impl<'a> MtrEvaluator<'a> {
         offered: &TrafficMatrix,
         link_delays: &[f64],
     ) -> Vec<(usize, usize, f64)> {
-        let n = self.net.num_nodes();
-        let weights = w.weights(k);
-        let fold = match self.config.delay_params.aggregation {
-            DelayAggregation::Max => delay::max_delay_to,
-            DelayAggregation::Mean => delay::mean_delay_to,
-        };
+        let take_max = matches!(self.config.delay_params.aggregation, DelayAggregation::Max);
         let mut out = Vec::new();
-        for t in 0..n {
-            let Some(dist) = routing.dist_to(t) else {
-                continue;
-            };
-            let d = fold(self.net, dist, weights, mask, link_delays);
-            for s in 0..n {
-                if s == t || offered.demand(s, t) <= 0.0 {
-                    continue;
-                }
-                let xi = if dist[s] == UNREACHABLE {
-                    f64::INFINITY
-                } else {
-                    d[s]
-                };
-                out.push((s, t, xi));
-            }
-        }
+        let mut order = Vec::new();
+        let mut node_delay = Vec::new();
+        delay::routing_pair_delays_into(
+            self.net,
+            routing,
+            w.weights(k),
+            mask,
+            link_delays,
+            take_max,
+            offered,
+            &mut order,
+            &mut node_delay,
+            &mut out,
+        );
         out
     }
 }
@@ -511,6 +622,28 @@ mod tests {
         tms[1] = TrafficMatrix::zeros(5);
         let err = MtrEvaluator::new(&net, &tms, config).unwrap_err();
         assert!(matches!(err, MtrError::NodeCountMismatch { class: 1, .. }));
+    }
+
+    #[test]
+    fn cost_fast_path_matches_evaluate_bit_for_bit() {
+        let (net, tms, config) = three_class_setup();
+        let ev = MtrEvaluator::new(&net, &tms, config).unwrap();
+        let mut w = MtrWeightSetting::uniform(3, net.num_links(), 20);
+        w.set(0, link_between(&net, 0, 3), 7);
+        w.set(2, link_between(&net, 0, 1), 3);
+        let mut scenarios = vec![Scenario::Normal, Scenario::Node(dtr_net::NodeId::new(2))];
+        for rep in net.duplex_representatives() {
+            scenarios.push(Scenario::Link(rep));
+        }
+        for sc in scenarios {
+            assert_eq!(ev.cost(&w, sc), ev.evaluate(&w, sc).cost, "{sc}");
+        }
+        // A second pass reuses the pooled workspace; results must not
+        // drift.
+        assert_eq!(
+            ev.cost(&w, Scenario::Normal),
+            ev.evaluate(&w, Scenario::Normal).cost
+        );
     }
 
     #[test]

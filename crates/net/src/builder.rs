@@ -141,11 +141,30 @@ impl NetworkBuilder {
 
     fn assemble(self) -> Network {
         let n = self.positions.len();
-        let mut out_links = vec![Vec::new(); n];
-        let mut in_links = vec![Vec::new(); n];
+        // Flat CSR adjacency: count degrees, prefix-sum into offsets, then
+        // scatter link ids in id order (which keeps each node's slice
+        // ascending by link id, as the routing code relies on).
+        let mut out_offsets = vec![0u32; n + 1];
+        let mut in_offsets = vec![0u32; n + 1];
+        for link in &self.links {
+            out_offsets[link.src.index() + 1] += 1;
+            in_offsets[link.dst.index() + 1] += 1;
+        }
+        for v in 0..n {
+            out_offsets[v + 1] += out_offsets[v];
+            in_offsets[v + 1] += in_offsets[v];
+        }
+        let mut links_csr_out = vec![LinkId::new(0); self.links.len()];
+        let mut links_csr_in = vec![LinkId::new(0); self.links.len()];
+        let mut out_cursor = out_offsets.clone();
+        let mut in_cursor = in_offsets.clone();
         for (i, link) in self.links.iter().enumerate() {
-            out_links[link.src.index()].push(LinkId::new(i));
-            in_links[link.dst.index()].push(LinkId::new(i));
+            let o = &mut out_cursor[link.src.index()];
+            links_csr_out[*o as usize] = LinkId::new(i);
+            *o += 1;
+            let o = &mut in_cursor[link.dst.index()];
+            links_csr_in[*o as usize] = LinkId::new(i);
+            *o += 1;
         }
         // Pair up duplex directions: reverse[l] = id of dst->src, if present.
         let mut reverse = vec![None; self.links.len()];
@@ -159,8 +178,10 @@ impl NetworkBuilder {
         Network {
             positions: self.positions,
             links: self.links,
-            out_links,
-            in_links,
+            links_csr_out,
+            out_offsets,
+            links_csr_in,
+            in_offsets,
             reverse,
         }
     }

@@ -18,10 +18,16 @@ use crate::mask::LinkMask;
 pub struct Network {
     pub(crate) positions: Vec<Point>,
     pub(crate) links: Vec<Link>,
-    /// Outgoing link ids per node, sorted by link id.
-    pub(crate) out_links: Vec<Vec<LinkId>>,
-    /// Incoming link ids per node, sorted by link id.
-    pub(crate) in_links: Vec<Vec<LinkId>>,
+    /// Flat CSR adjacency: outgoing link ids of node `v` (sorted by link
+    /// id) live at `links_csr_out[out_offsets[v] .. out_offsets[v + 1]]`.
+    /// One contiguous allocation keeps the per-destination SPF sweeps
+    /// cache-friendly — the hot loops walk these slices millions of times
+    /// per optimization run.
+    pub(crate) links_csr_out: Vec<LinkId>,
+    pub(crate) out_offsets: Vec<u32>,
+    /// Flat CSR adjacency for incoming link ids, same layout.
+    pub(crate) links_csr_in: Vec<LinkId>,
+    pub(crate) in_offsets: Vec<u32>,
     /// For link `l`, the opposite direction of the same duplex link, if any.
     pub(crate) reverse: Vec<Option<LinkId>>,
 }
@@ -67,16 +73,18 @@ impl Network {
         self.positions[v.index()]
     }
 
-    /// Outgoing links of `v`, ascending by link id.
+    /// Outgoing links of `v`, ascending by link id (a CSR slice).
     #[inline]
     pub fn out_links(&self, v: NodeId) -> &[LinkId] {
-        &self.out_links[v.index()]
+        let i = v.index();
+        &self.links_csr_out[self.out_offsets[i] as usize..self.out_offsets[i + 1] as usize]
     }
 
-    /// Incoming links of `v`, ascending by link id.
+    /// Incoming links of `v`, ascending by link id (a CSR slice).
     #[inline]
     pub fn in_links(&self, v: NodeId) -> &[LinkId] {
-        &self.in_links[v.index()]
+        let i = v.index();
+        &self.links_csr_in[self.in_offsets[i] as usize..self.in_offsets[i + 1] as usize]
     }
 
     /// The opposite direction of duplex link `l`, if the builder registered
@@ -89,7 +97,8 @@ impl Network {
     /// Out-degree of `v` (directed).
     #[inline]
     pub fn out_degree(&self, v: NodeId) -> usize {
-        self.out_links[v.index()].len()
+        let i = v.index();
+        (self.out_offsets[i + 1] - self.out_offsets[i]) as usize
     }
 
     /// Mean node degree counting each duplex link once — the "average node

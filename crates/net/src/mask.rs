@@ -7,7 +7,7 @@
 
 /// Bitset over the directed links of a network; a set bit means the link is
 /// *down* (failed).
-#[derive(Clone, PartialEq, Eq, Debug)]
+#[derive(Clone, PartialEq, Eq, Debug, Default)]
 pub struct LinkMask {
     words: Vec<u64>,
     num_links: usize,
@@ -42,6 +42,13 @@ impl LinkMask {
     pub fn fail(&mut self, index: usize) {
         assert!(index < self.num_links, "link index out of range");
         self.words[index / 64] |= 1u64 << (index % 64);
+    }
+
+    /// Bring every link back up without reallocating — the workspace-based
+    /// evaluation engine reuses one mask buffer across scenarios.
+    #[inline]
+    pub fn reset_all_up(&mut self) {
+        self.words.fill(0);
     }
 
     /// Mark link `index` as up again.
@@ -123,6 +130,16 @@ mod tests {
         m.restore(63);
         assert!(m.is_up(63));
         assert_eq!(m.num_down(), 3);
+    }
+
+    #[test]
+    fn reset_all_up_clears_everything() {
+        let mut m = LinkMask::all_up(70);
+        m.fail(1);
+        m.fail(69);
+        m.reset_all_up();
+        assert!(m.all_links_up());
+        assert_eq!(m.len(), 70);
     }
 
     #[test]

@@ -44,6 +44,106 @@ pub fn mean_delay_to(
     fold_delay_to(net, dist, weights, mask, link_delay, false)
 }
 
+/// [`max_delay_to`] into a caller buffer, with the descending-distance
+/// `order` of `dist` supplied by the caller (e.g. cached from
+/// [`spf::descending_order_into`]) — the allocation-free form the
+/// incremental evaluation engine uses.
+pub fn max_delay_to_with(
+    net: &Network,
+    dist: &[u64],
+    order: &[u32],
+    weights: &[u32],
+    mask: &LinkMask,
+    link_delay: &[f64],
+    out: &mut Vec<f64>,
+) {
+    fold_delay_into(net, dist, order, weights, mask, link_delay, true, out)
+}
+
+/// [`mean_delay_to`] into a caller buffer; see [`max_delay_to_with`].
+pub fn mean_delay_to_with(
+    net: &Network,
+    dist: &[u64],
+    order: &[u32],
+    weights: &[u32],
+    mask: &LinkMask,
+    link_delay: &[f64],
+    out: &mut Vec<f64>,
+) {
+    fold_delay_into(net, dist, order, weights, mask, link_delay, false, out)
+}
+
+/// Append the `(s, t, ξ)` end-to-end delay triples of every sender with
+/// positive demand towards destination `t` to `out`: run the delay DP
+/// (max over ECMP paths when `take_max`, even-split mean otherwise) into
+/// `node_delay` scratch, then emit one triple per demanding sender in
+/// ascending sender order — disconnected pairs report `f64::INFINITY`.
+///
+/// This is *the* per-destination SLA kernel, shared by the `dtr-cost`
+/// reference evaluator, its incremental engine, and the `dtr-mtr`
+/// evaluator, so the bit-for-bit-sensitive loop exists exactly once.
+#[allow(clippy::too_many_arguments)] // the full per-destination context
+pub fn pair_delays_into(
+    net: &Network,
+    dist: &[u64],
+    order: &[u32],
+    weights: &[u32],
+    mask: &LinkMask,
+    link_delay: &[f64],
+    take_max: bool,
+    tm: &dtr_traffic::TrafficMatrix,
+    t: usize,
+    node_delay: &mut Vec<f64>,
+    out: &mut Vec<(usize, usize, f64)>,
+) {
+    fold_delay_into(
+        net, dist, order, weights, mask, link_delay, take_max, node_delay,
+    );
+    let n = net.num_nodes();
+    #[allow(clippy::needless_range_loop)] // s is the sender node id
+    for s in 0..n {
+        if s == t || tm.demand(s, t) <= 0.0 {
+            continue;
+        }
+        let xi = if dist[s] == UNREACHABLE {
+            f64::INFINITY
+        } else {
+            node_delay[s]
+        };
+        out.push((s, t, xi));
+    }
+}
+
+/// [`pair_delays_into`] over every demand destination of a routed class:
+/// walks the routing's stored distance fields in ascending destination
+/// order, recomputing the DAG order into `order` scratch. This is the
+/// whole-class form shared by the reference evaluators (`dtr-cost` and
+/// `dtr-mtr`); the incremental engine calls [`pair_delays_into`] directly
+/// with its *cached* per-destination orders instead.
+#[allow(clippy::too_many_arguments)] // the full per-class context
+pub fn routing_pair_delays_into(
+    net: &Network,
+    routing: &crate::ClassRouting,
+    weights: &[u32],
+    mask: &LinkMask,
+    link_delay: &[f64],
+    take_max: bool,
+    tm: &dtr_traffic::TrafficMatrix,
+    order: &mut Vec<u32>,
+    node_delay: &mut Vec<f64>,
+    out: &mut Vec<(usize, usize, f64)>,
+) {
+    for t in 0..net.num_nodes() {
+        let Some(dist) = routing.dist_to(t) else {
+            continue;
+        };
+        spf::descending_order_into(dist, order);
+        pair_delays_into(
+            net, dist, order, weights, mask, link_delay, take_max, tm, t, node_delay, out,
+        );
+    }
+}
+
 fn fold_delay_to(
     net: &Network,
     dist: &[u64],
@@ -52,16 +152,34 @@ fn fold_delay_to(
     link_delay: &[f64],
     take_max: bool,
 ) -> Vec<f64> {
+    let order = spf::descending_order(dist);
+    let mut delay = Vec::new();
+    fold_delay_into(
+        net, dist, &order, weights, mask, link_delay, take_max, &mut delay,
+    );
+    delay
+}
+
+#[allow(clippy::too_many_arguments)] // internal kernel shared by 4 wrappers
+fn fold_delay_into(
+    net: &Network,
+    dist: &[u64],
+    order: &[u32],
+    weights: &[u32],
+    mask: &LinkMask,
+    link_delay: &[f64],
+    take_max: bool,
+    out: &mut Vec<f64>,
+) {
     debug_assert_eq!(link_delay.len(), net.num_links());
     let n = net.num_nodes();
-    let mut delay = vec![f64::INFINITY; n];
+    out.clear();
+    out.resize(n, f64::INFINITY);
+    let delay = out;
 
     // Ascending distance = reverse topological order of the DAG: children
     // (closer to the destination) are finalized before their parents.
-    let mut order = spf::descending_order(dist);
-    order.reverse();
-
-    for &v in &order {
+    for &v in order.iter().rev() {
         let v = v as usize;
         if dist[v] == 0 {
             delay[v] = 0.0; // the destination itself
@@ -85,7 +203,6 @@ fn fold_delay_to(
         debug_assert!(count > 0, "reachable node must have a DAG out-link");
         delay[v] = if take_max { acc } else { acc / count as f64 };
     }
-    delay
 }
 
 /// Per-node **bottleneck** metric to the destination: the maximum of

@@ -92,28 +92,46 @@ pub enum Scenario {
     Srlg(LinkGroup),
 }
 
+fn fail_duplex_into(net: &Network, l: LinkId, mask: &mut LinkMask) {
+    mask.fail(l.index());
+    if let Some(r) = net.reverse_link(l) {
+        mask.fail(r.index());
+    }
+}
+
 impl Scenario {
     /// The link mask this scenario induces on `net`.
     pub fn mask(&self, net: &Network) -> LinkMask {
+        let mut m = net.fresh_mask();
+        self.mask_into(net, &mut m);
+        m
+    }
+
+    /// Write this scenario's mask into an existing buffer (reset to
+    /// all-up first) — the allocation-free form used by the workspace
+    /// evaluation engine, which reuses one mask across a scenario sweep.
+    pub fn mask_into(&self, net: &Network, mask: &mut LinkMask) {
+        debug_assert_eq!(mask.len(), net.num_links(), "mask size mismatch");
+        mask.reset_all_up();
         match *self {
-            Scenario::Normal => net.fresh_mask(),
-            Scenario::Link(l) => net.fail_duplex(l),
-            Scenario::Node(v) => net.fail_node(v),
-            Scenario::DoubleLink(a, b) => {
-                let mut m = net.fail_duplex(a);
-                for i in net.fail_duplex(b).down_links() {
-                    m.fail(i);
+            Scenario::Normal => {}
+            Scenario::Link(l) => fail_duplex_into(net, l, mask),
+            Scenario::Node(v) => {
+                for &l in net.out_links(v) {
+                    mask.fail(l.index());
                 }
-                m
+                for &l in net.in_links(v) {
+                    mask.fail(l.index());
+                }
+            }
+            Scenario::DoubleLink(a, b) => {
+                fail_duplex_into(net, a, mask);
+                fail_duplex_into(net, b, mask);
             }
             Scenario::Srlg(g) => {
-                let mut m = net.fresh_mask();
                 for &l in g.links() {
-                    for i in net.fail_duplex(l).down_links() {
-                        m.fail(i);
-                    }
+                    fail_duplex_into(net, l, mask);
                 }
-                m
             }
         }
     }

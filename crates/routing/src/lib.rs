@@ -21,6 +21,23 @@
 //!   node failure; produces the link mask and adjusted traffic.
 //! * [`paths`] — path extraction and ECMP path counting (path-diversity
 //!   analysis, §V-B).
+//! * [`workspace`] — the allocation-free evaluation substrate.
+//!
+//! # Workspace / incremental architecture
+//!
+//! All hot-path kernels come in two forms: an allocating convenience
+//! wrapper (`spf::dist_to`, `route_class`, `delay::max_delay_to`, …) and
+//! an `*_into`/`*_with` form that writes into caller-owned buffers. The
+//! buffers live in a per-thread [`SpfWorkspace`]; after warm-up no
+//! evaluation allocates. On top of that, [`workspace::DestRouting`]
+//! records one destination's routing as the *exact sequence* of
+//! floating-point accumulations, so a caller that can prove a
+//! destination's routing unchanged — via [`workspace::dag_uses_any`]
+//! (failure scenarios) or [`workspace::weight_change_affects`] (local
+//! search moves) — replays the recording instead of re-running Dijkstra,
+//! with bit-for-bit identical results. The cost-level engine in
+//! `dtr-cost` drives these primitives; every layer of fast path is
+//! optional and falls back to the plain kernels.
 //!
 //! The engine is pure and deterministic: same inputs ⇒ same outputs, no
 //! interior mutability, no threads (parallelism happens above, in
@@ -35,10 +52,12 @@ pub mod router;
 pub mod spf;
 mod weights;
 pub mod weights_io;
+pub mod workspace;
 
 pub use failure::{LinkGroup, Scenario, MAX_GROUP_SIZE};
-pub use router::{route_class, ClassRouting};
+pub use router::{route_class, route_class_with, ClassRouting};
 pub use weights::{Class, WeightSetting};
+pub use workspace::SpfWorkspace;
 
 /// Distance value marking an unreachable node (no path to the destination
 /// under the failure mask).

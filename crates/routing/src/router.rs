@@ -6,20 +6,28 @@
 //! on the shortest-path DAG. Loads accumulate top-down in a topological
 //! order of the DAG (descending distance-to-destination).
 
-use dtr_net::{LinkMask, Network, NodeId};
+use dtr_net::{LinkMask, Network};
 use dtr_traffic::TrafficMatrix;
 
-use crate::spf;
+use crate::workspace::{route_destination, SpfWorkspace};
 use crate::UNREACHABLE;
+
+/// Sentinel in [`ClassRouting::slot`] for "no demand sinks here".
+const SLOT_NONE: u32 = u32::MAX;
 
 /// Outcome of routing one traffic class under one weight setting and one
 /// failure scenario.
-#[derive(Clone, Debug)]
+#[derive(Clone, Debug, Default)]
 pub struct ClassRouting {
-    /// `dist[t][v]` = weighted distance from `v` to destination `t`
-    /// (only filled for destinations that sink positive demand; empty vec
-    /// otherwise — see [`ClassRouting::dist_to`]).
-    dist: Vec<Vec<u64>>,
+    /// Compact per-destination distance storage: distance fields of the
+    /// destinations that sink positive demand are concatenated in `dist`
+    /// (each `num_nodes` long, ascending destination order), and `slot[t]`
+    /// holds the field index of destination `t` — or [`SLOT_NONE`] when
+    /// `t` sinks no demand and no field was computed. Non-demand
+    /// destinations therefore cost 4 bytes, not an empty `Vec` slot.
+    slot: Vec<u32>,
+    dist: Vec<u64>,
+    num_nodes: usize,
     /// Offered load per directed link (bits/s) from this class.
     pub loads: Vec<f64>,
     /// Demand (bits/s) that could not be routed because source and
@@ -30,11 +38,21 @@ pub struct ClassRouting {
 }
 
 impl ClassRouting {
+    /// An empty routing, ready to be filled by [`route_class_with`].
+    /// Buffer capacity is retained across refills.
+    pub fn empty() -> Self {
+        Self::default()
+    }
+
     /// Distance field towards destination `t`, or `None` if `t` sinks no
-    /// demand (field never computed).
+    /// demand (field never computed; see the compact-layout note on
+    /// [`ClassRouting::slot`]).
     pub fn dist_to(&self, t: usize) -> Option<&[u64]> {
-        let d = &self.dist[t];
-        (!d.is_empty()).then_some(d.as_slice())
+        let s = self.slot[t];
+        (s != SLOT_NONE).then(|| {
+            let start = s as usize * self.num_nodes;
+            &self.dist[start..start + self.num_nodes]
+        })
     }
 
     /// Weighted distance from `s` to `t`, if computed and reachable.
@@ -50,97 +68,57 @@ impl ClassRouting {
 /// accumulate evenly-split ECMP loads.
 ///
 /// `weights` is the per-link weight slice for this class
-/// ([`crate::WeightSetting::weights`]).
+/// ([`crate::WeightSetting::weights`]). Allocating wrapper around
+/// [`route_class_with`]; hot loops pass their own [`SpfWorkspace`].
 pub fn route_class(
     net: &Network,
     weights: &[u32],
     tm: &TrafficMatrix,
     mask: &LinkMask,
 ) -> ClassRouting {
+    let mut ws = SpfWorkspace::new();
+    let mut out = ClassRouting::empty();
+    route_class_with(net, weights, tm, mask, &mut ws, &mut out);
+    out
+}
+
+/// [`route_class`] into caller-owned buffers: `out` is overwritten (its
+/// capacity reused) and `ws` provides all scratch, so repeated calls do
+/// not allocate in the steady state. Results are bit-for-bit identical to
+/// [`route_class`] — both are built on
+/// [`route_destination`](crate::workspace::route_destination).
+pub fn route_class_with(
+    net: &Network,
+    weights: &[u32],
+    tm: &TrafficMatrix,
+    mask: &LinkMask,
+    ws: &mut SpfWorkspace,
+    out: &mut ClassRouting,
+) {
     assert_eq!(weights.len(), net.num_links(), "one weight per link");
     assert_eq!(tm.num_nodes(), net.num_nodes(), "matrix size mismatch");
     let n = net.num_nodes();
-    let mut loads = vec![0.0f64; net.num_links()];
-    let mut dist: Vec<Vec<u64>> = vec![Vec::new(); n];
-    let mut dropped = 0.0;
+    out.num_nodes = n;
+    out.slot.clear();
+    out.slot.resize(n, SLOT_NONE);
+    out.dist.clear();
+    out.loads.clear();
+    out.loads.resize(net.num_links(), 0.0);
+    out.dropped = 0.0;
 
-    // Scratch: per-node inflow for the current destination.
-    let mut inflow = vec![0.0f64; n];
-
-    #[allow(clippy::needless_range_loop)] // t is the destination node id
+    let mut dest = std::mem::take(&mut ws.dest);
     for t in 0..n {
         // Gather demand sinking at t; skip destinations nobody sends to.
-        let mut any = false;
-        for s in 0..n {
-            if s != t {
-                let d = tm.demand(s, t);
-                if d > 0.0 {
-                    any = true;
-                }
-            }
-        }
+        let any = (0..n).any(|s| s != t && tm.demand(s, t) > 0.0);
         if !any {
             continue;
         }
-
-        let d = spf::dist_to(net, NodeId::new(t), weights, mask);
-
-        for x in inflow.iter_mut() {
-            *x = 0.0;
-        }
-        for s in 0..n {
-            if s == t {
-                continue;
-            }
-            let demand = tm.demand(s, t);
-            if demand <= 0.0 {
-                continue;
-            }
-            if d[s] == UNREACHABLE {
-                dropped += demand;
-            } else {
-                inflow[s] += demand;
-            }
-        }
-
-        // Push flow down the DAG in topological order (descending dist).
-        for &u in &spf::descending_order(&d) {
-            let u = u as usize;
-            if u == t || inflow[u] == 0.0 {
-                continue;
-            }
-            // Outgoing DAG links of u.
-            let mut next_hops = 0usize;
-            for &l in net.out_links(NodeId::new(u)) {
-                if spf::on_dag(net, &d, weights, mask, l.index()) {
-                    next_hops += 1;
-                }
-            }
-            debug_assert!(
-                next_hops > 0,
-                "reachable non-destination node must have a DAG out-link"
-            );
-            let share = inflow[u] / next_hops as f64;
-            for &l in net.out_links(NodeId::new(u)) {
-                if spf::on_dag(net, &d, weights, mask, l.index()) {
-                    loads[l.index()] += share;
-                    let v = net.link(l).dst.index();
-                    if v != t {
-                        inflow[v] += share;
-                    }
-                }
-            }
-            inflow[u] = 0.0;
-        }
-
-        dist[t] = d;
+        route_destination(net, weights, tm, mask, t, ws, &mut dest);
+        dest.replay(&mut out.loads, &mut out.dropped);
+        out.slot[t] = (out.dist.len() / n) as u32;
+        out.dist.extend_from_slice(&dest.dist);
     }
-
-    ClassRouting {
-        dist,
-        loads,
-        dropped,
-    }
+    ws.dest = dest;
 }
 
 /// Element-wise sum of per-class loads: the total link load `x_l` both cost
@@ -153,7 +131,7 @@ pub fn total_loads(a: &ClassRouting, b: &ClassRouting) -> Vec<f64> {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use dtr_net::{LinkId, NetworkBuilder, Point};
+    use dtr_net::{LinkId, NetworkBuilder, NodeId, Point};
 
     /// Diamond: 0 -> {1,2} -> 3 plus direct 0 -> 3, all duplex, 1 Gb/s.
     fn diamond() -> Network {

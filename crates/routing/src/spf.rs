@@ -18,17 +18,44 @@ use crate::UNREACHABLE;
 /// up links, using `weights[link_id]`. Unreachable nodes get
 /// [`UNREACHABLE`].
 ///
+/// Allocating convenience wrapper around [`dist_to_into`]; the hot loops
+/// use the latter with buffers from a [`crate::SpfWorkspace`].
+///
 /// # Panics
 /// Panics (debug) if `weights` has the wrong length or contains a zero.
 pub fn dist_to(net: &Network, dest: NodeId, weights: &[u32], mask: &LinkMask) -> Vec<u64> {
+    let mut dist = Vec::new();
+    let mut heap = BinaryHeap::new();
+    dist_to_into(net, dest, weights, mask, &mut dist, &mut heap);
+    dist
+}
+
+/// Allocation-free reverse Dijkstra: fills `dist` (resized/overwritten to
+/// `net.num_nodes()`) with the weighted distance from every node to `dest`
+/// over up links. `heap` is caller scratch; it is cleared on entry and
+/// left empty on exit, so its capacity amortizes across calls.
+///
+/// Produces bit-for-bit the same distances as [`dist_to`].
+///
+/// # Panics
+/// Panics (debug) if `weights` has the wrong length or contains a zero.
+pub fn dist_to_into(
+    net: &Network,
+    dest: NodeId,
+    weights: &[u32],
+    mask: &LinkMask,
+    dist: &mut Vec<u64>,
+    heap: &mut BinaryHeap<Reverse<(u64, u32)>>,
+) {
     debug_assert_eq!(weights.len(), net.num_links(), "one weight per link");
     debug_assert!(
         weights.iter().all(|&w| w >= 1),
         "weights must be strictly positive"
     );
     let n = net.num_nodes();
-    let mut dist = vec![UNREACHABLE; n];
-    let mut heap: BinaryHeap<Reverse<(u64, u32)>> = BinaryHeap::new();
+    dist.clear();
+    dist.resize(n, UNREACHABLE);
+    heap.clear();
     dist[dest.index()] = 0;
     heap.push(Reverse((0, dest.index() as u32)));
     while let Some(Reverse((d, v))) = heap.pop() {
@@ -49,7 +76,6 @@ pub fn dist_to(net: &Network, dest: NodeId, weights: &[u32], mask: &LinkMask) ->
             }
         }
     }
-    dist
 }
 
 /// `true` if link `l` lies on the shortest-path DAG towards the destination
@@ -68,12 +94,23 @@ pub fn on_dag(net: &Network, dist: &[u64], weights: &[u32], mask: &LinkMask, l: 
 /// Nodes sorted by descending distance-to-destination (reachable only) —
 /// a topological order of the shortest-path DAG, used by the ECMP load
 /// accumulation (farthest nodes first) and, reversed, by the delay DP.
+///
+/// Allocating wrapper around [`descending_order_into`].
 pub fn descending_order(dist: &[u64]) -> Vec<u32> {
-    let mut order: Vec<u32> = (0..dist.len() as u32)
-        .filter(|&v| dist[v as usize] != UNREACHABLE)
-        .collect();
-    order.sort_by_key(|&v| Reverse(dist[v as usize]));
+    let mut order = Vec::new();
+    descending_order_into(dist, &mut order);
     order
+}
+
+/// Fill `order` (cleared first) with the reachable nodes in descending
+/// distance order. Ties break by ascending node id, which makes the key
+/// total — so the unstable sort is deterministic and yields exactly the
+/// permutation the old stable-sort implementation produced (stable sort on
+/// `Reverse(dist)` preserved the ascending-id input order within a tie).
+pub fn descending_order_into(dist: &[u64], order: &mut Vec<u32>) {
+    order.clear();
+    order.extend((0..dist.len() as u32).filter(|&v| dist[v as usize] != UNREACHABLE));
+    order.sort_unstable_by_key(|&v| (Reverse(dist[v as usize]), v));
 }
 
 /// Bellman–Ford reference implementation (O(V·E)); exists purely as a

@@ -1,0 +1,337 @@
+//! Reusable scratch state for allocation-free routing evaluation.
+//!
+//! Every optimization step evaluates thousands of (weight setting ×
+//! failure scenario) pairs, and each pair routes every demand destination.
+//! The seed implementation allocated a fresh distance vector, heap and
+//! order per destination; this module hoists all of that into a
+//! [`SpfWorkspace`] that a caller (one per thread) reuses across all
+//! destinations, classes, scenarios and candidate weight settings.
+//!
+//! The second piece is [`DestRouting`]: the complete routing outcome of a
+//! *single* destination, stored as the exact sequence of floating-point
+//! accumulations the router performs (`load_adds`, `dropped_adds`). This
+//! makes per-destination results **replayable**: an evaluation that knows
+//! a destination's routing is unchanged (see the affectedness predicates
+//! below) replays the recorded adds instead of re-running Dijkstra, and
+//! the replay is bit-for-bit identical to a fresh computation because the
+//! adds happen in the same order with the same values.
+//!
+//! Two sound skip conditions power the incremental fast paths:
+//!
+//! * [`dag_uses_any`] — a failure scenario leaves destination `t`'s
+//!   routing untouched when none of the failed links lies on `t`'s
+//!   shortest-path DAG (removing non-DAG links changes neither distances
+//!   nor DAG membership).
+//! * [`weight_change_affects`] — a weight move leaves `t` untouched when
+//!   every changed link was off the DAG and stays strictly longer than
+//!   the path it would shortcut (`dist[v] + w_new > dist[u]`): the old
+//!   distance field remains a feasible potential, and every old shortest
+//!   path is made of unchanged links.
+
+use dtr_net::{LinkId, LinkMask, Network, NodeId};
+use dtr_traffic::TrafficMatrix;
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+use crate::spf;
+use crate::UNREACHABLE;
+
+/// Per-thread scratch buffers for SPF, ECMP accumulation and the delay
+/// DP. Construct once (per thread) and reuse for every evaluation; all
+/// buffers grow to the topology size on first use and are then stable —
+/// no per-evaluation heap allocation in the steady state.
+#[derive(Debug, Default)]
+pub struct SpfWorkspace {
+    /// Dijkstra priority queue scratch.
+    pub(crate) heap: BinaryHeap<Reverse<(u64, u32)>>,
+    /// Per-node inflow accumulator for the current destination.
+    pub(crate) inflow: Vec<f64>,
+    /// Per-node scratch for the delay/bottleneck DP.
+    pub node_metric: Vec<f64>,
+    /// Spare [`DestRouting`] used by [`crate::router::route_class_with`].
+    pub(crate) dest: DestRouting,
+}
+
+impl SpfWorkspace {
+    /// Fresh workspace; buffers are sized lazily on first use.
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
+/// The complete routing outcome of one destination under one (weights,
+/// mask) pair: the distance field, the topological order, and the exact
+/// floating-point accumulation sequence of the ECMP load push.
+#[derive(Clone, Debug, Default)]
+pub struct DestRouting {
+    /// `dist[v]` = weighted distance from `v` to the destination.
+    pub dist: Vec<u64>,
+    /// Reachable nodes in descending distance order (DAG topological
+    /// order, destination last).
+    pub order: Vec<u32>,
+    /// `(link, share)` adds in the order the router performs them.
+    pub(crate) load_adds: Vec<(u32, f64)>,
+    /// Unroutable demands in sender order (empty under survivable masks).
+    pub(crate) dropped_adds: Vec<f64>,
+}
+
+impl DestRouting {
+    /// Replay the recorded accumulations into global per-link loads and
+    /// the dropped-demand accumulator. Bit-for-bit identical to the adds
+    /// a fresh [`route_destination`] performs.
+    #[inline]
+    pub fn replay(&self, loads: &mut [f64], dropped: &mut f64) {
+        for &d in &self.dropped_adds {
+            *dropped += d;
+        }
+        for &(l, share) in &self.load_adds {
+            loads[l as usize] += share;
+        }
+    }
+}
+
+/// Route all demand sinking at destination `t`: reverse Dijkstra plus the
+/// evenly-split ECMP push, recorded into `out` (previous contents are
+/// discarded; buffer capacity is reused).
+///
+/// This is the single source of truth for per-destination routing — both
+/// [`crate::route_class`] and the incremental cost engine are built on it,
+/// which is what makes their results bit-for-bit interchangeable.
+pub fn route_destination(
+    net: &Network,
+    weights: &[u32],
+    tm: &TrafficMatrix,
+    mask: &LinkMask,
+    t: usize,
+    ws: &mut SpfWorkspace,
+    out: &mut DestRouting,
+) {
+    let n = net.num_nodes();
+    spf::dist_to_into(
+        net,
+        NodeId::new(t),
+        weights,
+        mask,
+        &mut out.dist,
+        &mut ws.heap,
+    );
+    spf::descending_order_into(&out.dist, &mut out.order);
+    out.load_adds.clear();
+    out.dropped_adds.clear();
+
+    ws.inflow.clear();
+    ws.inflow.resize(n, 0.0);
+    for s in 0..n {
+        if s == t {
+            continue;
+        }
+        let demand = tm.demand(s, t);
+        if demand <= 0.0 {
+            continue;
+        }
+        if out.dist[s] == UNREACHABLE {
+            out.dropped_adds.push(demand);
+        } else {
+            ws.inflow[s] += demand;
+        }
+    }
+
+    // Push flow down the DAG in topological order (descending dist).
+    for &u in &out.order {
+        let u = u as usize;
+        if u == t || ws.inflow[u] == 0.0 {
+            continue;
+        }
+        let mut next_hops = 0usize;
+        for &l in net.out_links(NodeId::new(u)) {
+            if spf::on_dag(net, &out.dist, weights, mask, l.index()) {
+                next_hops += 1;
+            }
+        }
+        debug_assert!(
+            next_hops > 0,
+            "reachable non-destination node must have a DAG out-link"
+        );
+        let share = ws.inflow[u] / next_hops as f64;
+        for &l in net.out_links(NodeId::new(u)) {
+            if spf::on_dag(net, &out.dist, weights, mask, l.index()) {
+                out.load_adds.push((l.index() as u32, share));
+                let v = net.link(l).dst.index();
+                if v != t {
+                    ws.inflow[v] += share;
+                }
+            }
+        }
+        ws.inflow[u] = 0.0;
+    }
+}
+
+/// `true` if any of the directed links in `down` lies on the shortest-path
+/// DAG implied by `dist` (distances computed with **all links up** and the
+/// same `weights`). When this returns `false`, failing exactly those links
+/// changes neither the distance field nor the DAG of this destination.
+pub fn dag_uses_any(net: &Network, dist: &[u64], weights: &[u32], down: &[u32]) -> bool {
+    down.iter().any(|&l| {
+        let link = net.link(LinkId::new(l as usize));
+        let (u, v) = (link.src.index(), link.dst.index());
+        dist[u] != UNREACHABLE
+            && dist[v] != UNREACHABLE
+            && dist[u] == dist[v] + u64::from(weights[l as usize])
+    })
+}
+
+/// One directed-link weight change, for [`weight_change_affects`].
+#[derive(Clone, Copy, Debug)]
+pub struct WeightChange {
+    pub link: LinkId,
+    pub old: u32,
+    pub new: u32,
+}
+
+/// `true` when applying `changes` may alter the distance field or DAG of
+/// the destination whose **no-failure** distances under the old weights
+/// are `dist`. A `false` answer is a proof of equality:
+///
+/// * every changed link was off the DAG (`dist[u] != dist[v] + old`), so
+///   all old shortest paths consist of unchanged links — distances cannot
+///   increase;
+/// * every changed link stays strictly non-improving
+///   (`dist[v] + new > dist[u]`), so the old distance field remains a
+///   feasible potential — distances cannot decrease, and the link stays
+///   off the DAG.
+pub fn weight_change_affects(net: &Network, dist: &[u64], changes: &[WeightChange]) -> bool {
+    changes.iter().any(|c| {
+        let link = net.link(c.link);
+        let (u, v) = (link.src.index(), link.dst.index());
+        if dist[v] == UNREACHABLE {
+            // A link into a node that cannot reach the destination can
+            // never carry a shortest path, at any weight.
+            return false;
+        }
+        if dist[u] == UNREACHABLE {
+            // Unreachable tail with reachable head cannot happen with all
+            // links up, but stay conservative for exotic masks.
+            return true;
+        }
+        let on_dag_old = dist[u] == dist[v] + u64::from(c.old);
+        on_dag_old || dist[v] + u64::from(c.new) <= dist[u]
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::route_class;
+    use dtr_net::{NetworkBuilder, Point};
+
+    /// Diamond: 0 -> {1, 2} -> 3, plus direct 0 -> 3. All duplex.
+    fn diamond() -> Network {
+        let mut b = NetworkBuilder::new();
+        let n: Vec<_> = (0..4).map(|_| b.add_node(Point::ORIGIN)).collect();
+        for &(x, y) in &[(0, 1), (0, 2), (1, 3), (2, 3), (0, 3)] {
+            b.add_duplex_link(n[x], n[y], 1e9, 1e-3).unwrap();
+        }
+        b.build().unwrap()
+    }
+
+    fn link_between(net: &Network, s: usize, t: usize) -> usize {
+        net.links()
+            .find(|&l| net.link(l).src.index() == s && net.link(l).dst.index() == t)
+            .unwrap()
+            .index()
+    }
+
+    #[test]
+    fn replay_matches_direct_routing() {
+        let net = diamond();
+        let mut tm = TrafficMatrix::zeros(4);
+        tm.set(0, 3, 90.0);
+        tm.set(1, 3, 10.0);
+        let mut w = vec![1u32; net.num_links()];
+        w[link_between(&net, 0, 3)] = 2; // three-way ECMP tie at node 0
+        let mask = net.fresh_mask();
+
+        let reference = route_class(&net, &w, &tm, &mask);
+
+        let mut ws = SpfWorkspace::new();
+        let mut dest = DestRouting::default();
+        route_destination(&net, &w, &tm, &mask, 3, &mut ws, &mut dest);
+        let mut loads = vec![0.0; net.num_links()];
+        let mut dropped = 0.0;
+        dest.replay(&mut loads, &mut dropped);
+
+        assert_eq!(loads, reference.loads);
+        assert_eq!(dropped, reference.dropped);
+        assert_eq!(Some(dest.dist.as_slice()), reference.dist_to(3));
+    }
+
+    #[test]
+    fn dropped_adds_record_unroutable_demand() {
+        let mut b = NetworkBuilder::new();
+        let a = b.add_node(Point::ORIGIN);
+        let c = b.add_node(Point::ORIGIN);
+        b.add_duplex_link(a, c, 1e9, 1e-3).unwrap();
+        let net = b.build().unwrap();
+        let mut tm = TrafficMatrix::zeros(2);
+        tm.set(0, 1, 42.0);
+        let mask = net.fail_duplex(dtr_net::LinkId::new(0));
+        let mut ws = SpfWorkspace::new();
+        let mut dest = DestRouting::default();
+        route_destination(&net, &[1, 1], &tm, &mask, 1, &mut ws, &mut dest);
+        let mut loads = vec![0.0; 2];
+        let mut dropped = 0.0;
+        dest.replay(&mut loads, &mut dropped);
+        assert_eq!(dropped, 42.0);
+        assert!(loads.iter().all(|&x| x == 0.0));
+    }
+
+    #[test]
+    fn unaffected_failure_is_detected() {
+        let net = diamond();
+        let w = vec![1u32; net.num_links()];
+        let dist = spf::dist_to(&net, NodeId::new(3), &w, &net.fresh_mask());
+        // With unit weights, node 0 routes directly; links 0->1 and 0->2
+        // are off the DAG towards 3... but 1->3 and 2->3 are on it (for
+        // sources 1 and 2). The direct link is on the DAG.
+        let direct = link_between(&net, 0, 3) as u32;
+        assert!(dag_uses_any(&net, &dist, &w, &[direct]));
+        // The reverse direction 3->0 is never on the DAG towards 3.
+        let rev = link_between(&net, 3, 0) as u32;
+        assert!(!dag_uses_any(&net, &dist, &w, &[rev]));
+    }
+
+    #[test]
+    fn weight_change_predicate_is_sound() {
+        let net = diamond();
+        let w = vec![1u32; net.num_links()];
+        let mask = net.fresh_mask();
+        let dist = spf::dist_to(&net, NodeId::new(3), &w, &mask);
+        let l01 = link_between(&net, 0, 1);
+
+        // 0->1 is on the DAG towards 3 only via... dist[0]=1, dist[1]=1:
+        // 1 != 1 + 1, so it is off the DAG; raising its weight cannot
+        // matter, lowering it to 0 is illegal, keeping >= 1 keeps
+        // dist[1] + w = 2 > 1 = dist[0].
+        let raise = WeightChange {
+            link: LinkId::new(l01),
+            old: 1,
+            new: 10,
+        };
+        assert!(!weight_change_affects(&net, &dist, &[raise]));
+        let mut w2 = w.clone();
+        w2[l01] = 10;
+        assert_eq!(dist, spf::dist_to(&net, NodeId::new(3), &w2, &mask));
+
+        // Lowering the direct link 0->3 from 5 to 1 must flag as affected.
+        let l03 = link_between(&net, 0, 3);
+        let mut w3 = w.clone();
+        w3[l03] = 5;
+        let dist3 = spf::dist_to(&net, NodeId::new(3), &w3, &mask);
+        let lower = WeightChange {
+            link: LinkId::new(l03),
+            old: 5,
+            new: 1,
+        };
+        assert!(weight_change_affects(&net, &dist3, &[lower]));
+    }
+}

@@ -1,0 +1,98 @@
+//! Steady-state allocation accounting for the incremental evaluation
+//! engine: after warm-up, evaluating `Normal` and link-failure scenarios
+//! through a reused workspace must perform **zero** heap allocations.
+//!
+//! A counting wrapper around the system allocator measures this
+//! directly; the test binary has its own `#[global_allocator]`, so the
+//! count covers everything the evaluation touches.
+
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use dtr::prelude::*;
+use dtr::topogen::{rand_topo, SynthConfig};
+use dtr::traffic::gravity;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+struct CountingAllocator;
+
+static ALLOCATIONS: AtomicU64 = AtomicU64::new(0);
+
+unsafe impl GlobalAlloc for CountingAllocator {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        System.alloc(layout)
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        System.dealloc(ptr, layout)
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        System.realloc(ptr, layout, new_size)
+    }
+}
+
+#[global_allocator]
+static GLOBAL: CountingAllocator = CountingAllocator;
+
+#[test]
+fn steady_state_link_scenario_sweep_allocates_nothing() {
+    // Paper-scale topology: 50 nodes. Build everything (allocating
+    // freely), then warm the workspace with two full sweeps, then demand
+    // an allocation-free third sweep.
+    let nodes = 50;
+    let net = rand_topo::generate(&SynthConfig {
+        nodes,
+        duplex_links: 150,
+        seed: 7,
+    })
+    .unwrap()
+    .scaled_to_diameter(25e-3)
+    .build(500e6)
+    .unwrap();
+    let mut tm = gravity::generate(&gravity::GravityConfig {
+        total_volume: 1.0,
+        ..gravity::GravityConfig::paper_default(nodes, 3)
+    });
+    tm.scale(nodes as f64 * 1e9);
+    let ev = Evaluator::new(&net, &tm, CostParams::default());
+    let mut rng = StdRng::seed_from_u64(11);
+    let w = WeightSetting::random(net.num_links(), 20, &mut rng);
+    let w2 = WeightSetting::random(net.num_links(), 20, &mut rng);
+
+    let mut scenarios = vec![Scenario::Normal];
+    scenarios.extend(Scenario::all_link_failures(&net));
+    assert!(scenarios.len() > 50, "need a real ensemble");
+
+    let mut ws = ev.acquire_workspace();
+    // Warm-up: two sweeps under two weight settings (covers the
+    // baseline-rebuild path and the incremental-diff path, and lets
+    // every buffer reach its high-water capacity).
+    let mut checksum = 0.0f64;
+    for sweep_w in [&w, &w2, &w] {
+        for &sc in &scenarios {
+            let c = ev.cost_with(&mut ws, sweep_w, sc);
+            checksum += c.lambda + c.phi;
+        }
+    }
+
+    let before = ALLOCATIONS.load(Ordering::Relaxed);
+    for &sc in &scenarios {
+        let c = ev.cost_with(&mut ws, &w, sc);
+        checksum += c.lambda + c.phi;
+    }
+    let after = ALLOCATIONS.load(Ordering::Relaxed);
+    ev.release_workspace(ws);
+
+    assert!(checksum.is_finite());
+    assert_eq!(
+        after - before,
+        0,
+        "steady-state sweep of {} scenarios performed {} heap allocations",
+        scenarios.len(),
+        after - before
+    );
+}

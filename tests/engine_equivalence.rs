@@ -1,0 +1,211 @@
+//! Bit-for-bit equivalence of the incremental workspace engine with the
+//! seed (reference) evaluation path.
+//!
+//! The optimization trajectory is a chain of float comparisons, so the
+//! incremental engine is only admissible if every cost it reports is
+//! *exactly* — not approximately — the cost the reference path
+//! ([`Evaluator::evaluate`], built on per-scenario `route_class`)
+//! reports. These tests pin that on fixed seeds, across scenario kinds,
+//! across warm/cold workspaces, and across local-search-style weight
+//! move sequences (the case that exercises the baseline diffing).
+
+use dtr::net::Network;
+use dtr::prelude::*;
+use dtr::routing::{LinkGroup, SpfWorkspace};
+use dtr::topogen::{rand_topo, SynthConfig};
+use dtr::traffic::gravity;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+fn testbed(nodes: usize, duplex: usize, seed: u64) -> (Network, ClassMatrices) {
+    let net = rand_topo::generate(&SynthConfig {
+        nodes,
+        duplex_links: duplex,
+        seed,
+    })
+    .unwrap()
+    .scaled_to_diameter(25e-3)
+    .build(500e6)
+    .unwrap();
+    let mut tm = gravity::generate(&gravity::GravityConfig {
+        total_volume: 1.0,
+        ..gravity::GravityConfig::paper_default(nodes, seed ^ 3)
+    });
+    tm.scale(nodes as f64 * 1e9);
+    (net, tm)
+}
+
+fn scenario_zoo(net: &Network) -> Vec<Scenario> {
+    let reps = net.duplex_representatives();
+    let mut scenarios = vec![Scenario::Normal];
+    scenarios.extend(reps.iter().map(|&l| Scenario::Link(l)));
+    scenarios.push(Scenario::DoubleLink(reps[0], reps[reps.len() / 2]));
+    scenarios.push(Scenario::Srlg(LinkGroup::new(&[
+        reps[1],
+        reps[reps.len() / 3],
+        reps[2 * reps.len() / 3],
+    ])));
+    scenarios.push(Scenario::Node(dtr::net::NodeId::new(0)));
+    scenarios
+}
+
+#[test]
+fn evaluate_all_matches_per_scenario_reference_bit_for_bit() {
+    let (net, tm) = testbed(16, 40, 11);
+    let ev = Evaluator::new(&net, &tm, CostParams::default());
+    let mut rng = StdRng::seed_from_u64(17);
+    let scenarios = scenario_zoo(&net);
+    for round in 0..3 {
+        let w = WeightSetting::random(net.num_links(), 20, &mut rng);
+        let batched = ev.evaluate_all(&w, &scenarios);
+        for (i, &sc) in scenarios.iter().enumerate() {
+            let reference = ev.evaluate(&w, sc).cost;
+            assert_eq!(batched[i], reference, "round {round}, scenario {sc}");
+        }
+    }
+}
+
+#[test]
+fn warm_workspace_matches_cold_and_reference_across_move_sequence() {
+    // Simulate the Phase-2 inner loop: a chain of single-duplex-link
+    // weight moves, each evaluated under Normal and a failure sweep with
+    // ONE warm workspace (incremental baseline diffing), checked against
+    // the reference path every step.
+    let (net, tm) = testbed(14, 32, 5);
+    let ev = Evaluator::new(&net, &tm, CostParams::default());
+    let reps = net.duplex_representatives();
+    let scenarios = Scenario::all_link_failures(&net);
+    let mut rng = StdRng::seed_from_u64(23);
+    let mut w = WeightSetting::random(net.num_links(), 20, &mut rng);
+
+    let mut ws = ev.acquire_workspace();
+    for step in 0..25 {
+        // One duplex move in each class (what set_duplex_weights does).
+        let rep = reps[rng.gen_range(0..reps.len())];
+        let (wd, wt) = (rng.gen_range(1..=20), rng.gen_range(1..=20));
+        for class in Class::ALL {
+            let v = if class == Class::Delay { wd } else { wt };
+            w.set(class, rep, v);
+            if let Some(r) = net.reverse_link(rep) {
+                w.set(class, r, v);
+            }
+        }
+        let normal = ev.cost_with(&mut ws, &w, Scenario::Normal);
+        assert_eq!(
+            normal,
+            ev.evaluate(&w, Scenario::Normal).cost,
+            "step {step}: normal cost diverged"
+        );
+        for &sc in &scenarios {
+            assert_eq!(
+                ev.cost_with(&mut ws, &w, sc),
+                ev.evaluate(&w, sc).cost,
+                "step {step}: {sc} diverged"
+            );
+        }
+    }
+    ev.release_workspace(ws);
+}
+
+#[test]
+fn pooled_cost_is_deterministic_across_workspace_reuse() {
+    // ev.cost draws arbitrary (warm, differently-warmed, or cold)
+    // workspaces from the pool; the answer must never depend on which
+    // one it got.
+    let (net, tm) = testbed(12, 26, 9);
+    let ev = Evaluator::new(&net, &tm, CostParams::default());
+    let mut rng = StdRng::seed_from_u64(31);
+    let w1 = WeightSetting::random(net.num_links(), 20, &mut rng);
+    let w2 = WeightSetting::random(net.num_links(), 20, &mut rng);
+    let scenarios = scenario_zoo(&net);
+    for &sc in &scenarios {
+        let a = ev.cost(&w1, sc);
+        let _interleaved = ev.cost(&w2, sc); // re-warms the pool differently
+        let b = ev.cost(&w1, sc);
+        assert_eq!(a, b, "{sc}");
+        assert_eq!(a, ev.evaluate(&w1, sc).cost, "{sc}");
+    }
+}
+
+#[test]
+fn parallel_sweep_equals_serial_and_reference() {
+    let (net, tm) = testbed(14, 30, 3);
+    let ev = Evaluator::new(&net, &tm, CostParams::default());
+    let mut rng = StdRng::seed_from_u64(41);
+    let w = WeightSetting::random(net.num_links(), 20, &mut rng);
+    let scenarios = Scenario::all_link_failures(&net);
+    let serial = dtr::core::parallel::failure_costs(&ev, &w, &scenarios, 1);
+    let threaded = dtr::core::parallel::failure_costs(&ev, &w, &scenarios, 4);
+    assert_eq!(serial, threaded);
+    for (i, &sc) in scenarios.iter().enumerate() {
+        assert_eq!(serial[i], ev.evaluate(&w, sc).cost, "{sc}");
+    }
+}
+
+#[test]
+fn workspace_crossing_evaluators_never_replays_foreign_baseline() {
+    // Two evaluators over the SAME network (same link count!) but
+    // different traffic: a workspace warmed on one must not leak its
+    // cached baseline into the other.
+    let (net, tm1) = testbed(12, 26, 13);
+    let mut tm2 = tm1.clone();
+    tm2.delay.set(0, 1, 12345.0);
+    tm2.throughput.set(2, 3, 54321.0);
+    let ev1 = Evaluator::new(&net, &tm1, CostParams::default());
+    let ev2 = Evaluator::new(&net, &tm2, CostParams::default());
+    let mut rng = StdRng::seed_from_u64(61);
+    let w = WeightSetting::random(net.num_links(), 20, &mut rng);
+    let scenarios = Scenario::all_link_failures(&net);
+
+    let mut ws = ev1.acquire_workspace();
+    let a1 = ev1.cost_with(&mut ws, &w, Scenario::Normal);
+    assert_eq!(a1, ev1.evaluate(&w, Scenario::Normal).cost);
+    // Hand the warm workspace to the other evaluator.
+    for &sc in scenarios.iter().chain([Scenario::Normal].iter()) {
+        assert_eq!(
+            ev2.cost_with(&mut ws, &w, sc),
+            ev2.evaluate(&w, sc).cost,
+            "{sc}: foreign baseline leaked"
+        );
+    }
+    // And back again.
+    assert_eq!(
+        ev1.cost_with(&mut ws, &w, Scenario::Normal),
+        ev1.evaluate(&w, Scenario::Normal).cost
+    );
+    ev1.release_workspace(ws);
+}
+
+#[test]
+fn route_class_with_reuses_buffers_without_drift() {
+    // The same ClassRouting + workspace refilled across (weights, mask)
+    // pairs must match fresh allocations exactly.
+    let (net, tm) = testbed(12, 26, 7);
+    let mut rng = StdRng::seed_from_u64(53);
+    let mut ws = SpfWorkspace::new();
+    let mut reused = dtr::routing::ClassRouting::empty();
+    for _ in 0..6 {
+        let w = WeightSetting::random(net.num_links(), 20, &mut rng);
+        let rep =
+            net.duplex_representatives()[rng.gen_range(0..net.duplex_representatives().len())];
+        let mask = if rng.gen_bool(0.5) {
+            net.fresh_mask()
+        } else {
+            net.fail_duplex(rep)
+        };
+        dtr::routing::route_class_with(
+            &net,
+            w.weights(Class::Delay),
+            &tm.delay,
+            &mask,
+            &mut ws,
+            &mut reused,
+        );
+        let fresh = dtr::routing::route_class(&net, w.weights(Class::Delay), &tm.delay, &mask);
+        assert_eq!(reused.loads, fresh.loads);
+        assert_eq!(reused.dropped, fresh.dropped);
+        for t in 0..net.num_nodes() {
+            assert_eq!(reused.dist_to(t), fresh.dist_to(t), "dest {t}");
+        }
+    }
+}

@@ -43,6 +43,53 @@ fn random_traffic(net: &Network, seed: u64) -> TrafficMatrix {
     tm
 }
 
+/// Node-failure dropped accounting: when a dead router disconnects the
+/// *surviving* demand, the evaluator must report exactly that demand as
+/// dropped — the dead node's own traffic is removed, not dropped.
+#[test]
+fn node_failure_dropped_accounts_only_surviving_disconnected_demand() {
+    use dtr::cost::{CostParams, Evaluator};
+    use dtr::net::{NetworkBuilder, Point};
+    use dtr::routing::Scenario;
+    use dtr::traffic::ClassMatrices;
+
+    // Star: hub 0, spokes 1..=3. Killing the hub strands every spoke.
+    let mut b = NetworkBuilder::new();
+    let hub = b.add_node(Point::ORIGIN);
+    let spokes: Vec<_> = (0..3).map(|_| b.add_node(Point::ORIGIN)).collect();
+    for &s in &spokes {
+        b.add_duplex_link(hub, s, 1e9, 1e-3).unwrap();
+    }
+    let net = b.build().unwrap();
+
+    let mut tm = ClassMatrices::zeros(4);
+    tm.delay.set(1, 2, 30.0); // spoke -> spoke: stranded by hub death
+    tm.delay.set(1, 0, 7.0); // spoke -> hub: removed with the hub
+    tm.throughput.set(0, 3, 11.0); // hub -> spoke: removed with the hub
+    tm.throughput.set(3, 1, 5.0); // spoke -> spoke: stranded
+
+    let ev = Evaluator::new(&net, &tm, CostParams::default());
+    let w = dtr::routing::WeightSetting::uniform(net.num_links(), 20);
+    let breakdown = ev.evaluate(&w, Scenario::Node(hub));
+    // Only the surviving spoke-to-spoke demands are dropped: 30 + 5.
+    assert_eq!(breakdown.dropped, 35.0);
+    assert!(breakdown.total_loads.iter().all(|&x| x == 0.0));
+
+    // The per-class router agrees when handed the adjusted traffic
+    // explicitly (the path Scenario::offered_traffic takes).
+    let mask = net.fail_node(hub);
+    let offered = Scenario::Node(hub).offered_traffic(&tm);
+    let rd = route_class(&net, w.weights(Class::Delay), &offered.delay, &mask);
+    let rt = route_class(
+        &net,
+        w.weights(Class::Throughput),
+        &offered.throughput,
+        &mask,
+    );
+    assert_eq!(rd.dropped, 30.0);
+    assert_eq!(rt.dropped, 5.0);
+}
+
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(24))]
 
@@ -120,6 +167,75 @@ proptest! {
                     prop_assert!(d[u] <= via, "link {} relaxes dist", l);
                 }
             }
+        }
+    }
+
+    /// `ClassRouting::dropped` accounts *exactly* for the demand of SD
+    /// pairs disconnected under a non-survivable mask: failing a random
+    /// subset of duplex links (bridges very much included), the dropped
+    /// volume must equal the sum of demands whose pair the oracle says is
+    /// unreachable, and routed loads must still conserve the rest.
+    #[test]
+    fn dropped_accounts_exactly_for_disconnected_demand(
+        nodes in 5usize..11,
+        extra in 0usize..6,
+        seed in 0u64..1000,
+        fail_count in 1usize..4,
+    ) {
+        let net = build_net(nodes, extra, seed);
+        let w = random_weights(&net, seed ^ 7);
+        let tm = random_traffic(&net, seed ^ 8);
+        let mut rng = StdRng::seed_from_u64(seed ^ 9);
+        let reps = net.duplex_representatives();
+        let mut mask = net.fresh_mask();
+        for _ in 0..fail_count {
+            use rand::Rng;
+            let rep = reps[rng.gen_range(0..reps.len())];
+            for i in net.fail_duplex(rep).down_links() {
+                mask.fail(i);
+            }
+        }
+        let r = route_class(&net, w.weights(Class::Delay), &tm, &mask);
+        // One oracle distance field per destination, reused below.
+        let oracle: Vec<Vec<u64>> = net
+            .nodes()
+            .map(|t| spf::dist_to_bellman_ford(&net, t, w.weights(Class::Delay), &mask))
+            .collect();
+        let mut expected = 0.0f64;
+        for t in net.nodes() {
+            for (s, &d) in oracle[t.index()].iter().enumerate() {
+                if s != t.index() && d == dtr::routing::UNREACHABLE {
+                    expected += tm.demand(s, t.index());
+                }
+            }
+        }
+        prop_assert!(
+            (r.dropped - expected).abs() <= 1e-9 * (1.0 + expected),
+            "dropped {} vs disconnected demand {}", r.dropped, expected
+        );
+        // Conservation under drops: at every node, inflow + sourced
+        // *routable* demand = outflow + sunk *routable* demand (dropped
+        // demand never enters the network).
+        for v in net.nodes() {
+            let inflow: f64 = net.in_links(v).iter().map(|l| r.loads[l.index()]).sum();
+            let outflow: f64 = net.out_links(v).iter().map(|l| r.loads[l.index()]).sum();
+            let mut sourced = 0.0f64;
+            let mut sunk = 0.0f64;
+            for o in net.nodes() {
+                if o == v {
+                    continue;
+                }
+                if oracle[o.index()][v.index()] != dtr::routing::UNREACHABLE {
+                    sourced += tm.demand(v.index(), o.index());
+                }
+                if oracle[v.index()][o.index()] != dtr::routing::UNREACHABLE {
+                    sunk += tm.demand(o.index(), v.index());
+                }
+            }
+            prop_assert!(
+                (inflow + sourced - outflow - sunk).abs() <= 1e-5 * (1.0 + sourced + sunk),
+                "node {} violates conservation under drops", v
+            );
         }
     }
 

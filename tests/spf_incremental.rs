@@ -1,0 +1,214 @@
+//! Differential tests of the workspace / incremental SPF machinery
+//! against the Bellman–Ford oracle, under random masks and weight
+//! perturbations.
+//!
+//! The incremental engine rests on two "provably unaffected" predicates
+//! ([`dtr::routing::workspace::dag_uses_any`] and
+//! [`dtr::routing::workspace::weight_change_affects`]); these tests check
+//! both directions of the contract: a `false` answer must imply an
+//! *identical* distance field and replayable routing, and the workspace
+//! kernels themselves must agree with the oracle everywhere.
+
+use dtr::net::{LinkId, Network};
+use dtr::routing::workspace::{
+    dag_uses_any, route_destination, weight_change_affects, DestRouting, WeightChange,
+};
+use dtr::routing::{route_class, spf, SpfWorkspace};
+use dtr::topogen::{rand_topo, SynthConfig};
+use dtr::traffic::TrafficMatrix;
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+fn build_net(nodes: usize, extra_links: usize, seed: u64) -> Network {
+    let max_links = nodes * (nodes - 1) / 2;
+    let cfg = SynthConfig {
+        nodes,
+        duplex_links: ((nodes - 1) + extra_links).min(max_links),
+        seed,
+    };
+    rand_topo::generate(&cfg)
+        .expect("valid config")
+        .scaled_to_diameter(25e-3)
+        .build(500e6)
+        .expect("connected")
+}
+
+fn random_link_weights(net: &Network, seed: u64) -> Vec<u32> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    (0..net.num_links())
+        .map(|_| rng.gen_range(1..=20))
+        .collect()
+}
+
+fn random_traffic(net: &Network, seed: u64) -> TrafficMatrix {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let n = net.num_nodes();
+    let mut tm = TrafficMatrix::zeros(n);
+    for s in 0..n {
+        for t in 0..n {
+            if s != t && rng.gen_bool(0.4) {
+                tm.set(s, t, rng.gen_range(1.0..1e6));
+            }
+        }
+    }
+    tm
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// Workspace Dijkstra == Bellman–Ford oracle under random masks,
+    /// including masks that disconnect parts of the network.
+    #[test]
+    fn workspace_spf_matches_bellman_ford_under_masks(
+        nodes in 5usize..11,
+        extra in 2usize..9,
+        seed in 0u64..1000,
+        fail_count in 0usize..3,
+    ) {
+        let net = build_net(nodes, extra, seed);
+        let w = random_link_weights(&net, seed ^ 0xabc);
+        let mut rng = StdRng::seed_from_u64(seed ^ 0x123);
+        let mut mask = net.fresh_mask();
+        let reps = net.duplex_representatives();
+        for _ in 0..fail_count {
+            let rep = reps[rng.gen_range(0..reps.len())];
+            for i in net.fail_duplex(rep).down_links() {
+                mask.fail(i);
+            }
+        }
+        let mut ws = SpfWorkspace::new();
+        let mut dest = DestRouting::default();
+        let tm = random_traffic(&net, seed ^ 0x456);
+        for t in net.nodes() {
+            let oracle = spf::dist_to_bellman_ford(&net, t, &w, &mask);
+            route_destination(&net, &w, &tm, &mask, t.index(), &mut ws, &mut dest);
+            prop_assert_eq!(&dest.dist, &oracle);
+            // And the plain allocating kernel agrees too.
+            prop_assert_eq!(spf::dist_to(&net, t, &w, &mask), oracle);
+        }
+    }
+
+    /// Failure-scenario skip condition: when no failed link is on a
+    /// destination's no-failure DAG, the distance field under the failure
+    /// is identical (checked against the oracle) and the recorded routing
+    /// replays to the same loads.
+    #[test]
+    fn unaffected_destinations_have_identical_routing_under_failure(
+        nodes in 5usize..11,
+        extra in 2usize..9,
+        seed in 0u64..1000,
+    ) {
+        let net = build_net(nodes, extra, seed);
+        let w = random_link_weights(&net, seed ^ 0x777);
+        let tm = random_traffic(&net, seed ^ 0x888);
+        let normal = net.fresh_mask();
+        let mut ws = SpfWorkspace::new();
+        let mut base = DestRouting::default();
+        let mut failed = DestRouting::default();
+        for rep in net.duplex_representatives() {
+            let mask = net.fail_duplex(rep);
+            let down: Vec<u32> = mask.down_links().map(|i| i as u32).collect();
+            for t in net.nodes() {
+                route_destination(&net, &w, &tm, &normal, t.index(), &mut ws, &mut base);
+                if dag_uses_any(&net, &base.dist, &w, &down) {
+                    continue; // affected: no claim to check
+                }
+                // Unaffected: failure must not change distances...
+                let oracle = spf::dist_to_bellman_ford(&net, t, &w, &mask);
+                prop_assert_eq!(&base.dist, &oracle);
+                // ...nor the load accumulation (bit-for-bit).
+                route_destination(&net, &w, &tm, &mask, t.index(), &mut ws, &mut failed);
+                let mut la = vec![0.0; net.num_links()];
+                let mut lb = vec![0.0; net.num_links()];
+                let (mut da, mut db) = (0.0, 0.0);
+                base.replay(&mut la, &mut da);
+                failed.replay(&mut lb, &mut db);
+                prop_assert_eq!(la, lb);
+                prop_assert_eq!(da, db);
+            }
+        }
+    }
+
+    /// Weight-move skip condition: when `weight_change_affects` clears a
+    /// destination, recomputing it under the perturbed weights yields the
+    /// identical distance field (oracle-checked) and identical loads.
+    #[test]
+    fn unaffected_destinations_survive_weight_perturbations(
+        nodes in 5usize..11,
+        extra in 2usize..9,
+        seed in 0u64..1000,
+        moves in 1usize..4,
+    ) {
+        let net = build_net(nodes, extra, seed);
+        let old_w = random_link_weights(&net, seed ^ 0x999);
+        let tm = random_traffic(&net, seed ^ 0xaaa);
+        let mask = net.fresh_mask();
+
+        // Perturb a few duplex links (both directions), as the local
+        // search does.
+        let mut rng = StdRng::seed_from_u64(seed ^ 0xbbb);
+        let mut new_w = old_w.clone();
+        let reps = net.duplex_representatives();
+        for _ in 0..moves {
+            let rep = reps[rng.gen_range(0..reps.len())];
+            let nw = rng.gen_range(1..=20);
+            new_w[rep.index()] = nw;
+            if let Some(r) = net.reverse_link(rep) {
+                new_w[r.index()] = nw;
+            }
+        }
+        let changes: Vec<WeightChange> = (0..net.num_links())
+            .filter(|&l| old_w[l] != new_w[l])
+            .map(|l| WeightChange { link: LinkId::new(l), old: old_w[l], new: new_w[l] })
+            .collect();
+
+        let mut ws = SpfWorkspace::new();
+        let mut base = DestRouting::default();
+        let mut fresh = DestRouting::default();
+        for t in net.nodes() {
+            route_destination(&net, &old_w, &tm, &mask, t.index(), &mut ws, &mut base);
+            if weight_change_affects(&net, &base.dist, &changes) {
+                continue;
+            }
+            let oracle = spf::dist_to_bellman_ford(&net, t, &new_w, &mask);
+            prop_assert_eq!(&base.dist, &oracle);
+            route_destination(&net, &new_w, &tm, &mask, t.index(), &mut ws, &mut fresh);
+            let mut la = vec![0.0; net.num_links()];
+            let mut lb = vec![0.0; net.num_links()];
+            let (mut da, mut db) = (0.0, 0.0);
+            base.replay(&mut la, &mut da);
+            fresh.replay(&mut lb, &mut db);
+            prop_assert_eq!(la, lb);
+            prop_assert_eq!(da, db);
+        }
+    }
+
+    /// `route_class` (compact layout, workspace kernels) agrees with a
+    /// destination-by-destination reconstruction and the oracle.
+    #[test]
+    fn route_class_compact_layout_is_consistent(
+        nodes in 5usize..10,
+        extra in 2usize..8,
+        seed in 0u64..1000,
+    ) {
+        let net = build_net(nodes, extra, seed);
+        let w = random_link_weights(&net, seed ^ 0xccc);
+        let tm = random_traffic(&net, seed ^ 0xddd);
+        let mask = net.fresh_mask();
+        let r = route_class(&net, &w, &tm, &mask);
+        let n = net.num_nodes();
+        for t in 0..n {
+            let any = (0..n).any(|s| s != t && tm.demand(s, t) > 0.0);
+            match r.dist_to(t) {
+                None => prop_assert!(!any, "demand destination {t} missing"),
+                Some(d) => {
+                    prop_assert!(any, "distances stored for non-demand destination {t}");
+                    let oracle = spf::dist_to_bellman_ford(&net, dtr::net::NodeId::new(t), &w, &mask);
+                    prop_assert_eq!(d.to_vec(), oracle);
+                }
+            }
+        }
+    }
+}

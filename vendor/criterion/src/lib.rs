@@ -36,7 +36,20 @@ pub struct Criterion {
 
 impl Default for Criterion {
     fn default() -> Self {
-        Criterion { max_samples: 10 }
+        // Real criterion's `--test` flag runs each benchmark once as a
+        // smoke test without measuring; mirror that with a one-sample
+        // cap so `cargo bench ... -- --test` is a genuine quick mode.
+        let quick = std::env::args().any(|a| a == "--test");
+        Criterion {
+            max_samples: if quick { 1 } else { 10 },
+        }
+    }
+}
+
+impl Criterion {
+    /// `true` when the process was invoked in `--test` smoke mode.
+    pub fn test_mode() -> bool {
+        std::env::args().any(|a| a == "--test")
     }
 }
 
