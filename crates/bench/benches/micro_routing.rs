@@ -1,24 +1,25 @@
 //! Micro-benchmarks of the hot paths: SPF, ECMP load accumulation, full
 //! two-class cost evaluation (normal and under failure), and the
-//! headline comparison — a **full-ensemble** sweep (every survivable
-//! single-link failure of a 50-node topology) through the seed
+//! headline comparison — **full-ensemble** sweeps (single-link, SRLG and
+//! node-failure ensembles of a 50-node topology) through the seed
 //! per-scenario path vs. the workspace/incremental engine
 //! (`Evaluator::evaluate_all`). These are the kernels every optimization
 //! step pays for; the paper's wall-clock claims (§IV-E2) decompose into
 //! multiples of exactly these.
 //!
-//! Besides the criterion groups, the bench times the two full-ensemble
-//! sweeps explicitly and writes a machine-readable baseline to
+//! Besides the criterion groups, the bench times each ensemble sweep
+//! both ways explicitly and writes a machine-readable baseline to
 //! `BENCH_routing.json` (override the path with `BENCH_ROUTING_JSON`),
-//! recording the measured speedup. The engine path is additionally
-//! checked bit-for-bit against the reference inside this run.
+//! recording one per-scenario-kind speedup entry (`link_sweep`,
+//! `srlg_sweep`, `node_sweep`). The engine path is additionally checked
+//! bit-for-bit against the reference inside this run.
 
 use std::time::Instant;
 
 use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
 use dtr_cost::{CostParams, Evaluator};
 use dtr_net::{Network, NodeId};
-use dtr_routing::{route_class, spf, Class, Scenario, SpfWorkspace, WeightSetting};
+use dtr_routing::{route_class, spf, Class, LinkGroup, Scenario, SpfWorkspace, WeightSetting};
 use dtr_topogen::{rand_topo, SynthConfig};
 use dtr_traffic::{gravity, ClassMatrices};
 use rand::rngs::StdRng;
@@ -111,6 +112,18 @@ fn bench_micro(c: &mut Criterion) {
     g.bench_function("cost_failure_engine_50n", |b| {
         b.iter(|| ev.cost_with(&mut ews, &w, failure))
     });
+
+    // One multi-link and one traffic-removing scenario through the
+    // engine: the per-evaluation unit costs of the SRLG and node sweeps.
+    let reps = net.duplex_representatives();
+    let srlg = Scenario::Srlg(LinkGroup::new(&reps[..3]));
+    g.bench_function("cost_srlg_engine_50n", |b| {
+        b.iter(|| ev.cost_with(&mut ews, &w, srlg))
+    });
+    let node = Scenario::Node(NodeId::new(1));
+    g.bench_function("cost_node_engine_50n", |b| {
+        b.iter(|| ev.cost_with(&mut ews, &w, node))
+    });
     ev.release_workspace(ews);
 
     // One full local-search sweep unit: perturb a link, evaluate, revert.
@@ -131,31 +144,53 @@ fn bench_micro(c: &mut Criterion) {
     full_ensemble_baseline(&net, &tm, &w);
 }
 
-/// Time the full-ensemble sweep both ways, verify bit-for-bit agreement,
-/// and emit the `BENCH_routing.json` baseline.
-fn full_ensemble_baseline(net: &Network, tm: &ClassMatrices, w: &WeightSetting) {
-    let ev = Evaluator::new(net, tm, CostParams::default());
-    let mut scenarios = vec![Scenario::Normal];
-    scenarios.extend(Scenario::all_link_failures(net));
+/// One timed ensemble comparison: reference path vs. engine path over
+/// the same scenario list, verified bit-for-bit, best-of-`reps` timing.
+struct SweepResult {
+    kind: &'static str,
+    scenarios: usize,
+    ref_ns: u128,
+    eng_ns: u128,
+}
 
-    // Warm both paths once, then take the best of `reps` timed sweeps
-    // (one in `--test` smoke mode).
-    let reps = if criterion::Criterion::test_mode() {
-        1
-    } else {
-        3
-    };
+impl SweepResult {
+    fn speedup(&self) -> f64 {
+        self.ref_ns as f64 / self.eng_ns as f64
+    }
+
+    fn json_entry(&self) -> String {
+        format!(
+            "    \"{}\": {{\n      \"scenarios\": {},\n      \
+             \"reference_sweep_ns\": {},\n      \"engine_sweep_ns\": {},\n      \
+             \"speedup\": {:.4}\n    }}",
+            self.kind,
+            self.scenarios,
+            self.ref_ns,
+            self.eng_ns,
+            self.speedup()
+        )
+    }
+}
+
+fn timed_sweep(
+    kind: &'static str,
+    ev: &Evaluator<'_>,
+    w: &WeightSetting,
+    scenarios: &[Scenario],
+    reps: usize,
+) -> SweepResult {
     let reference_once = || {
         scenarios
             .iter()
             .map(|&sc| ev.evaluate(w, sc).cost)
             .collect::<Vec<_>>()
     };
-    let engine_once = || ev.evaluate_all(w, &scenarios);
+    let engine_once = || ev.evaluate_all(w, scenarios);
 
+    // Warm both paths once and verify agreement before timing.
     let reference = reference_once();
     let engine = engine_once();
-    assert_eq!(reference, engine, "engine diverged from reference");
+    assert_eq!(reference, engine, "{kind}: engine diverged from reference");
 
     let mut ref_ns = u128::MAX;
     let mut eng_ns = u128::MAX;
@@ -169,26 +204,101 @@ fn full_ensemble_baseline(net: &Network, tm: &ClassMatrices, w: &WeightSetting) 
         assert_eq!(r, e);
     }
 
-    let speedup = ref_ns as f64 / eng_ns as f64;
+    let out = SweepResult {
+        kind,
+        scenarios: scenarios.len(),
+        ref_ns,
+        eng_ns,
+    };
     println!(
-        "micro/full_ensemble_{NODES}n: reference {:.3} ms, engine {:.3} ms, speedup {speedup:.2}x \
+        "micro/{kind}_{NODES}n: reference {:.3} ms, engine {:.3} ms, speedup {:.2}x \
          ({} scenarios)",
         ref_ns as f64 / 1e6,
         eng_ns as f64 / 1e6,
+        out.speedup(),
         scenarios.len()
+    );
+    out
+}
+
+/// Time the link, SRLG and node ensemble sweeps both ways, verify
+/// bit-for-bit agreement, and emit the per-scenario-kind
+/// `BENCH_routing.json` baseline.
+fn full_ensemble_baseline(net: &Network, tm: &ClassMatrices, w: &WeightSetting) {
+    let ev = Evaluator::new(net, tm, CostParams::default());
+    let reps = if criterion::Criterion::test_mode() {
+        1
+    } else {
+        3
+    };
+
+    // Single-link ensemble: every survivable physical-link failure.
+    let mut link = vec![Scenario::Normal];
+    link.extend(Scenario::all_link_failures(net));
+    // SRLG ensemble: consecutive duplex representatives grouped in
+    // threes (the deterministic conduit-style catalog the alloc test
+    // also sweeps).
+    let dreps = net.duplex_representatives();
+    let mut srlg = vec![Scenario::Normal];
+    srlg.extend(
+        dreps
+            .chunks_exact(3)
+            .map(|g| Scenario::Srlg(LinkGroup::new(g))),
+    );
+    // Node ensemble: every router failure (mask + traffic removal).
+    let mut node = vec![Scenario::Normal];
+    node.extend(net.nodes().map(Scenario::Node));
+
+    let sweeps = [
+        timed_sweep("link_sweep", &ev, w, &link, reps),
+        timed_sweep("srlg_sweep", &ev, w, &srlg, reps),
+        timed_sweep("node_sweep", &ev, w, &node, reps),
+    ];
+
+    // Sharded vs serial engine sweep over the link ensemble: verify the
+    // byte-identity contract of `dtr_core::parallel` and record the
+    // realized thread-scaling of the sharded sweep.
+    let threads = std::thread::available_parallelism()
+        .map(|n| n.get().min(8))
+        .unwrap_or(4);
+    let serial = dtr_core::parallel::failure_costs(&ev, w, &link, 1);
+    // Byte-identity is asserted with real sharding (4 workers) even on
+    // single-core machines, where `threads` would degenerate to 1.
+    let sharded = dtr_core::parallel::failure_costs(&ev, w, &link, threads.max(4));
+    assert_eq!(serial, sharded, "sharded sweep diverged from serial");
+    let mut serial_ns = u128::MAX;
+    let mut sharded_ns = u128::MAX;
+    for _ in 0..reps {
+        let t0 = Instant::now();
+        let s = dtr_core::parallel::failure_costs(&ev, w, &link, 1);
+        serial_ns = serial_ns.min(t0.elapsed().as_nanos());
+        let t1 = Instant::now();
+        let p = dtr_core::parallel::failure_costs(&ev, w, &link, threads);
+        sharded_ns = sharded_ns.min(t1.elapsed().as_nanos());
+        assert_eq!(s, p);
+    }
+    let parallel_speedup = serial_ns as f64 / sharded_ns as f64;
+    println!(
+        "micro/sharded_link_sweep_{NODES}n: serial {:.3} ms, {threads} threads {:.3} ms, \
+         speedup {parallel_speedup:.2}x (byte-identical)",
+        serial_ns as f64 / 1e6,
+        sharded_ns as f64 / 1e6,
     );
 
     // Default to the workspace root regardless of cargo's bench cwd.
     let path = std::env::var("BENCH_ROUTING_JSON").unwrap_or_else(|_| {
         concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_routing.json").to_string()
     });
+    let entries: Vec<String> = sweeps.iter().map(SweepResult::json_entry).collect();
     let json = format!(
-        "{{\n  \"bench\": \"micro_routing/full_ensemble\",\n  \"nodes\": {NODES},\n  \
-         \"directed_links\": {},\n  \"scenarios\": {},\n  \
-         \"reference_sweep_ns\": {ref_ns},\n  \"engine_sweep_ns\": {eng_ns},\n  \
-         \"speedup\": {speedup:.4},\n  \"bit_for_bit_identical\": true\n}}\n",
+        "{{\n  \"bench\": \"micro_routing/scenario_sweeps\",\n  \"nodes\": {NODES},\n  \
+         \"directed_links\": {},\n  \"sweeps\": {{\n{}\n  }},\n  \
+         \"sharded_link_sweep\": {{\n    \"threads\": {threads},\n    \
+         \"serial_sweep_ns\": {serial_ns},\n    \"sharded_sweep_ns\": {sharded_ns},\n    \
+         \"speedup\": {parallel_speedup:.4},\n    \"serial_equals_parallel\": true\n  }},\n  \
+         \"bit_for_bit_identical\": true\n}}\n",
         net.num_links(),
-        scenarios.len()
+        entries.join(",\n")
     );
     if let Err(e) = std::fs::write(&path, json) {
         eprintln!("warning: could not write {path}: {e}");

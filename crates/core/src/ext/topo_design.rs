@@ -138,7 +138,7 @@ pub fn policy_kfail(
 /// Compound (weight-aware) cost of the policy routing over an arbitrary
 /// [`ScenarioSet`] — the generalization that lets topology design target
 /// SRLG or probabilistic robustness instead of plain single links.
-pub fn policy_kfail_set<S: ScenarioSet + ?Sized>(
+pub fn policy_kfail_set<S: ScenarioSet + Sync + ?Sized>(
     net: &Network,
     traffic: &ClassMatrices,
     cost_params: CostParams,
@@ -375,7 +375,7 @@ pub fn augment_against<S, F>(
     make_set: F,
 ) -> DesignReport
 where
-    S: ScenarioSet,
+    S: ScenarioSet + Sync,
     F: Fn(&Network) -> S,
 {
     assert!(params.capacity > 0.0, "new links need positive capacity");

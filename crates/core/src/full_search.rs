@@ -20,7 +20,7 @@ use crate::phase2::{self, Phase2Output};
 use crate::scenario::ScenarioSet;
 
 /// Run the robust search against the complete scenario set.
-pub fn full_search<S: ScenarioSet + ?Sized>(
+pub fn full_search<S: ScenarioSet + Sync + ?Sized>(
     ev: &Evaluator<'_>,
     set: &S,
     params: &Params,

@@ -13,6 +13,13 @@
 //! therefore the whole optimization trajectory — is identical for every
 //! thread count (and bit-for-bit identical to serial per-scenario
 //! evaluation).
+//!
+//! [`evaluate_set`] is the [`crate::scenario::ScenarioSet`]-native form:
+//! the same sharding over stable scenario *indices*, materializing each
+//! `Copy` scenario inside the worker instead of allocating a scenario
+//! vector per sweep. Since the engine handles every scenario kind
+//! incrementally, one sharded sweep serves the single-link universe and
+//! the node / SRLG / double-link / probabilistic ensembles alike.
 
 use dtr_cost::{Evaluator, LexCost};
 use dtr_routing::{Scenario, WeightSetting};
@@ -75,35 +82,86 @@ pub fn weighted_sum_failure_costs(
         })
 }
 
-/// Per-scenario costs of `w` over a [`crate::scenario::ScenarioSet`]'s
-/// selected indices, in index order.
-pub fn set_failure_costs<S: crate::scenario::ScenarioSet + ?Sized>(
+/// Sharded evaluation of a [`crate::scenario::ScenarioSet`]: the costs of
+/// `w` under the scenarios at `indices`, in index order, **without
+/// materializing** a scenario vector. Indices are partitioned into
+/// contiguous chunks, one per worker; each worker checks one workspace
+/// out of the evaluator's pool (its own scratch buffers and cached
+/// no-failure baseline) and materializes each `Copy` scenario on the fly
+/// with [`crate::scenario::ScenarioSet::scenario`]. Results are spliced
+/// back in index order, so parallel equals serial to the bit — for every
+/// scenario kind the set can hold (link, node, SRLG, double-link, and
+/// their probabilistically weighted ensembles).
+pub fn evaluate_set<S: crate::scenario::ScenarioSet + Sync + ?Sized>(
     ev: &Evaluator<'_>,
     w: &WeightSetting,
     set: &S,
     indices: &[usize],
     threads: usize,
 ) -> Vec<LexCost> {
-    let scenarios = set.scenarios_for(indices);
-    failure_costs(ev, w, &scenarios, threads)
+    assert!(threads >= 1);
+    let sweep = |part: &[usize]| -> Vec<LexCost> {
+        let mut ws = ev.acquire_workspace();
+        let costs = part
+            .iter()
+            .map(|&i| ev.cost_with(&mut ws, w, set.scenario(i)))
+            .collect();
+        ev.release_workspace(ws);
+        costs
+    };
+    let workers = threads.min(indices.len());
+    if workers <= 1 {
+        return sweep(indices);
+    }
+    let chunk = indices.len().div_ceil(workers);
+    let mut out = Vec::with_capacity(indices.len());
+    std::thread::scope(|s| {
+        let handles: Vec<_> = indices
+            .chunks(chunk)
+            .map(|part| s.spawn(move || sweep(part)))
+            .collect();
+        for h in handles {
+            out.extend(h.join().expect("scenario-evaluation worker panicked"));
+        }
+    });
+    out
+}
+
+/// Per-scenario costs of `w` over a [`crate::scenario::ScenarioSet`]'s
+/// selected indices, in index order (alias of [`evaluate_set`], kept for
+/// the original slice-era name).
+pub fn set_failure_costs<S: crate::scenario::ScenarioSet + Sync + ?Sized>(
+    ev: &Evaluator<'_>,
+    w: &WeightSetting,
+    set: &S,
+    indices: &[usize],
+    threads: usize,
+) -> Vec<LexCost> {
+    evaluate_set(ev, w, set, indices, threads)
 }
 
 /// Compound (weight-aware) cost of `w` over a scenario set's indices:
 /// the plain ordered sum for uniform sets, the probability-weighted sum
-/// for weighted ones.
-pub fn sum_set_costs<S: crate::scenario::ScenarioSet + ?Sized>(
+/// for weighted ones. Both reductions run in index order — the exact
+/// float-add sequence of the seed's per-scenario accumulation.
+pub fn sum_set_costs<S: crate::scenario::ScenarioSet + Sync + ?Sized>(
     ev: &Evaluator<'_>,
     w: &WeightSetting,
     set: &S,
     indices: &[usize],
     threads: usize,
 ) -> LexCost {
-    let scenarios = set.scenarios_for(indices);
+    let costs = evaluate_set(ev, w, set, indices, threads);
     if set.weighted() {
-        let weights = set.weights_for(indices);
-        weighted_sum_failure_costs(ev, w, &scenarios, &weights, threads)
+        costs
+            .iter()
+            .zip(indices)
+            .fold(LexCost::ZERO, |acc, (c, &i)| {
+                let p = set.weight(i);
+                acc.add(&LexCost::new(c.lambda * p, c.phi * p))
+            })
     } else {
-        sum_failure_costs(ev, w, &scenarios, threads)
+        costs.iter().fold(LexCost::ZERO, |acc, c| acc.add(c))
     }
 }
 
@@ -179,6 +237,46 @@ mod tests {
         let plain = sum_failure_costs(&ev, &w, &scenarios, 1);
         assert!((weighted.lambda - 0.5 * plain.lambda).abs() < 1e-9);
         assert!((weighted.phi - 0.5 * plain.phi).abs() < 1e-9);
+    }
+
+    #[test]
+    fn evaluate_set_matches_slice_path_and_is_thread_invariant() {
+        let (net, tm) = setup(6);
+        let ev = Evaluator::new(&net, &tm, CostParams::default());
+        let w = WeightSetting::uniform(net.num_links(), 20);
+        let set = crate::universe::FailureUniverse::of(&net);
+        let indices: Vec<usize> = crate::scenario::ScenarioSet::all_indices(&set);
+        let via_set_serial = evaluate_set(&ev, &w, &set, &indices, 1);
+        let via_set_parallel = evaluate_set(&ev, &w, &set, &indices, 4);
+        let via_slice = failure_costs(&ev, &w, &crate::scenario::ScenarioSet::scenarios(&set), 1);
+        assert_eq!(via_set_serial, via_set_parallel);
+        assert_eq!(via_set_serial, via_slice);
+    }
+
+    #[test]
+    fn weighted_set_sum_reduces_in_index_order() {
+        use crate::ext::probabilistic::FailureModel;
+        use crate::scenario::{Probabilistic, ScenarioSet};
+        let (net, tm) = setup(6);
+        let ev = Evaluator::new(&net, &tm, CostParams::default());
+        let w = WeightSetting::uniform(net.num_links(), 20);
+        let universe = crate::universe::FailureUniverse::of(&net);
+        let model = FailureModel::length_proportional(&net, &universe);
+        let set = Probabilistic::with_model(&net, model);
+        let indices = set.all_indices();
+        let serial = sum_set_costs(&ev, &w, &set, &indices, 1);
+        let parallel = sum_set_costs(&ev, &w, &set, &indices, 4);
+        assert_eq!(serial, parallel);
+        // And the sum is the exact in-order weighted fold.
+        let costs = evaluate_set(&ev, &w, &set, &indices, 1);
+        let manual = costs
+            .iter()
+            .zip(&indices)
+            .fold(LexCost::ZERO, |a, (c, &i)| {
+                let p = set.weight(i);
+                a.add(&LexCost::new(c.lambda * p, c.phi * p))
+            });
+        assert_eq!(manual, serial);
     }
 
     #[test]

@@ -18,10 +18,13 @@
 //! neighbor move changes one duplex link's weights, so the
 //! normal-conditions check re-routes only the destinations whose distance
 //! field that change can provably touch, and the failure sweep
-//! ([`parallel::failure_costs`] → [`Evaluator::evaluate_all`]) re-routes,
-//! per scenario, only the destinations whose shortest-path DAG uses the
-//! failed link. Results are bit-for-bit those of full per-scenario
-//! evaluation, so the search trajectory is unchanged.
+//! ([`parallel::evaluate_set`] for set-based runs,
+//! [`parallel::failure_costs`] for scenario slices) re-routes, per
+//! scenario, only the destinations whose shortest-path DAG uses a link of
+//! that scenario's down-set — for **every** scenario kind the set holds
+//! (link, node, SRLG, double-link, probabilistically weighted). Results
+//! are bit-for-bit those of full per-scenario evaluation, so the search
+//! trajectory is unchanged.
 
 use dtr_cost::{Evaluator, LexCost};
 use dtr_routing::{Scenario, WeightSetting};
@@ -64,19 +67,37 @@ pub fn feasible(normal: &LexCost, lambda_star: f64, phi_star: f64, chi: f64) -> 
 /// probabilistic ensembles) their weights; uniform sets keep the paper's
 /// plain Eq. (4) sum. The canonical single-link call passes the
 /// [`crate::FailureUniverse`] itself.
-pub fn run<S: ScenarioSet + ?Sized>(
+///
+/// The failure sweep runs through the set-native sharded
+/// [`parallel::evaluate_set`]: no scenario vector is materialized per
+/// sweep, every worker reuses a pooled incremental workspace, and the
+/// weighted reduction folds in index order — so the trajectory is
+/// bit-for-bit identical for every `params.threads`.
+pub fn run<S: ScenarioSet + Sync + ?Sized>(
     ev: &Evaluator<'_>,
     set: &S,
     indices: &[usize],
     params: &Params,
     phase1: &Phase1Output,
 ) -> Phase2Output {
-    let scenarios = set.scenarios_for(indices);
-    let weights = set.weighted().then(|| set.weights_for(indices));
-    run_scenarios(ev, &scenarios, params, phase1, weights.as_deref())
+    params.validate();
+    if set.weighted() {
+        for &i in indices {
+            let p = set.weight(i);
+            assert!(
+                p >= 0.0 && p.is_finite(),
+                "scenario {i} has invalid weight {p}"
+            );
+        }
+    }
+    let kfail_of = |w: &WeightSetting, stats: &mut SearchStats| -> LexCost {
+        stats.evaluations += indices.len();
+        parallel::sum_set_costs(ev, w, set, indices, params.threads)
+    };
+    run_with(ev, params, phase1, indices.is_empty(), kfail_of)
 }
 
-/// Run Phase 2 against an arbitrary scenario set — e.g. all single node
+/// Run Phase 2 against an arbitrary scenario slice — e.g. all single node
 /// failures for the §V-F comparison routing, or sampled double-link
 /// failures. Identical machinery; only the objective's scenario sum
 /// differs.
@@ -96,11 +117,6 @@ pub fn run_scenarios(
         );
         assert!(sw.iter().all(|&p| p >= 0.0 && p.is_finite()));
     }
-    let net = ev.net();
-    let lambda_star = phase1.best_cost.lambda;
-    let phi_star = phase1.best_cost.phi;
-    let mut rng = StdRng::seed_from_u64(params.seed ^ 0x2545_f491_4f6c_dd1d);
-
     let kfail_of = |w: &WeightSetting, stats: &mut SearchStats| -> LexCost {
         let costs = parallel::failure_costs(ev, w, scenarios, params.threads);
         stats.evaluations += costs.len();
@@ -111,6 +127,24 @@ pub fn run_scenarios(
             }),
         }
     };
+    run_with(ev, params, phase1, scenarios.is_empty(), kfail_of)
+}
+
+/// The shared Phase-2 search loop: everything but the compound-cost
+/// sweep, which the public entry points supply as `kfail_of` (set-native
+/// sharded for [`run`], slice-based for [`run_scenarios`] — identical
+/// float behaviour either way).
+fn run_with(
+    ev: &Evaluator<'_>,
+    params: &Params,
+    phase1: &Phase1Output,
+    no_scenarios: bool,
+    kfail_of: impl Fn(&WeightSetting, &mut SearchStats) -> LexCost,
+) -> Phase2Output {
+    let net = ev.net();
+    let lambda_star = phase1.best_cost.lambda;
+    let phi_star = phase1.best_cost.phi;
+    let mut rng = StdRng::seed_from_u64(params.seed ^ 0x2545_f491_4f6c_dd1d);
 
     let mut stats = SearchStats::default();
     let mut constraint_rejections = 0usize;
@@ -133,7 +167,7 @@ pub fn run_scenarios(
     let mut stale_sweeps = 0usize;
 
     // Degenerate but legal: nothing to optimize against.
-    if scenarios.is_empty() {
+    if no_scenarios {
         return Phase2Output {
             best,
             best_kfail,

@@ -188,7 +188,7 @@ impl<'e, 'a> RobustOptimizer<'e, 'a> {
     }
 }
 
-impl<'e, 'a, S: ScenarioSet> RobustOptimizer<'e, 'a, S> {
+impl<'e, 'a, S: ScenarioSet + Sync> RobustOptimizer<'e, 'a, S> {
     /// The single-link failure universe backing Phase-1 sampling.
     pub fn universe(&self) -> &FailureUniverse {
         self.set.universe()

@@ -10,31 +10,65 @@
 //! 1. **Workspaces** ([`EvalWorkspace`]): every scratch vector an
 //!    evaluation needs (Dijkstra heap, distance fields, load buffers,
 //!    the scenario mask, per-pair delays) lives in a per-thread workspace
-//!    drawn from the evaluator's pool. After warm-up, an evaluation of a
-//!    `Normal` or link-failure scenario performs **zero** heap
-//!    allocations.
+//!    drawn from the evaluator's pool. After warm-up, an evaluation of
+//!    **any** scenario kind performs **zero** heap allocations
+//!    (`tests/alloc_free.rs` pins this for link, SRLG and node sweeps).
 //! 2. **Baseline caching**: the workspace keeps, per traffic class, the
 //!    full no-failure routing of the *current* weight setting as
 //!    replayable [`DestRouting`] records (one per demand destination).
-//! 3. **Incremental SPF across scenarios**: a link-failure scenario only
-//!    recomputes destinations whose no-failure shortest-path DAG actually
-//!    uses a failed link ([`dag_uses_any`]); all other destinations
-//!    replay their recorded load accumulations bit-for-bit.
+//! 3. **Mask-diff incremental SPF across scenarios**: each scenario is
+//!    reduced to its *down-set* — the directed links its mask fails: one
+//!    duplex pair (`Link`), several pairs (`Srlg`, `DoubleLink`), or a
+//!    router's full incidence set (`Node`). Only destinations whose
+//!    no-failure shortest-path DAG uses a down link ([`dag_uses_any`])
+//!    are re-routed; all other destinations replay their recorded load
+//!    accumulations bit-for-bit. Probabilistic ensembles are sets of
+//!    these same scenarios — their per-scenario weights are applied by
+//!    the caller in scenario-index order, so the weighted sum is also
+//!    bit-stable.
 //! 4. **Incremental SPF across search moves**: when the weight setting
 //!    changes (a Phase-1/Phase-2 neighbor move re-draws one duplex
 //!    link's weights), the baseline is diffed against the new weights
 //!    and only destinations whose distance field is provably affected
 //!    ([`weight_change_affects`]) are re-routed.
 //!
+//! # Node failures: masks that also remove traffic
+//!
+//! A node failure downs every link incident to the dead router `v` *and*
+//! removes the traffic `v` sources and sinks. The engine still evaluates
+//! it against the **base** traffic matrices, without cloning, because the
+//! mask makes the traffic change self-enforcing:
+//!
+//! * if `v` was reachable towards a destination `t`, the first hop of
+//!   `v`'s shortest path is on `t`'s DAG — a down link — so
+//!   [`dag_uses_any`] flags `t` and it is re-routed. Under the node mask
+//!   `v` has no surviving out-link, so `v`'s demand lands in the dropped
+//!   accumulator and contributes no load addition — the per-link float
+//!   adds are exactly those of routing with `v`'s row zeroed;
+//! * a destination is only *replayed* when `v` was already unreachable
+//!   in its baseline (degenerate topologies), where `v`'s demand never
+//!   produced a load addition in the first place;
+//! * the dead node is skipped as a destination, and the shared SLA
+//!   kernel ([`delay::pair_delays_into`]) is told to skip it as a
+//!   sender, so the emitted `(s, t, ξ)` triples match the reference's
+//!   zeroed-matrix emission pair for pair.
+//!
+//! The only reference quantity the engine does not reproduce for node
+//! scenarios is the `dropped` accounting (the reference removes the dead
+//! node's demand before routing; the engine records it as dropped) —
+//! `dropped` is diagnostic and never part of [`crate::LexCost`].
+//!
+//! # Equivalence guarantees
+//!
 //! Bit-for-bit equivalence with the reference path is not best-effort —
 //! it is load-bearing (the optimization trajectory must not depend on
-//! which engine evaluated a candidate) and pinned by
-//! `tests/engine_equivalence.rs`. It holds because a replayed
-//! destination re-issues the exact floating-point additions, in the
-//! exact order, that a fresh computation would perform.
-//!
-//! Node-failure scenarios change the offered traffic itself, so they
-//! take the reference path ([`crate::Evaluator::evaluate`]) unchanged.
+//! which engine evaluated a candidate) and pinned for **every**
+//! `Scenario` kind by `tests/engine_equivalence.rs` and the randomized
+//! differential harness `tests/scenario_engine_equivalence.rs`. It holds
+//! because a replayed destination re-issues the exact floating-point
+//! additions, in the exact order, that a fresh computation would
+//! perform, and a re-routed destination runs the exact same
+//! [`route_destination`] kernel the reference path is built on.
 
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Mutex;
@@ -195,11 +229,6 @@ impl<'a> Evaluator<'a> {
         scenario: Scenario,
     ) -> LexCost {
         assert_eq!(w.num_links(), self.net.num_links(), "weight size mismatch");
-        if matches!(scenario, Scenario::Node(_)) {
-            // Node failures change the offered traffic itself; the
-            // replay cache does not apply. Take the reference path.
-            return self.evaluate(w, scenario).cost;
-        }
         self.ensure_baseline(ws, w);
         self.cost_scenario(ws, w, scenario)
     }
@@ -280,13 +309,18 @@ impl<'a> Evaluator<'a> {
         }
     }
 
-    /// Evaluate one non-node scenario against a valid baseline.
+    /// Evaluate one scenario (any kind) against a valid baseline.
     fn cost_scenario(
         &self,
         ws: &mut EvalWorkspace,
         w: &WeightSetting,
         scenario: Scenario,
     ) -> LexCost {
+        // Node failures also remove the dead node's traffic; the mask
+        // makes that self-enforcing for loads (see the module docs), and
+        // the routing/SLA loops below skip the node explicitly where the
+        // base matrices still mention it.
+        let excluded = scenario.excluded_node().map(|v| v.index());
         let EvalWorkspace {
             spf,
             mask,
@@ -310,7 +344,7 @@ impl<'a> Evaluator<'a> {
         // recomputed destinations around: their distance fields feed the
         // end-to-end delay DP below.
         let mut scratch_used = 0usize;
-        let mut dropped = 0.0f64; // kept for debug parity; not in the cost
+        let mut dropped = 0.0f64; // diagnostic only; never in the cost
         for (ci, class) in Class::ALL.iter().enumerate() {
             let weights = w.weights(*class);
             let tm = self.class_matrix(*class);
@@ -323,6 +357,11 @@ impl<'a> Evaluator<'a> {
                 scratch_map.resize(dests.len(), NOT_RECOMPUTED);
             }
             for (di, &t) in dests.iter().enumerate() {
+                if Some(t as usize) == excluded {
+                    // The dead node sinks nothing under its own failure;
+                    // the reference path (zeroed column) never routes it.
+                    continue;
+                }
                 let b = &mut base[ci].state[di];
                 let affected = !down.is_empty() && dag_uses_any(self.net, &b.dist, weights, down);
                 if !affected {
@@ -366,6 +405,9 @@ impl<'a> Evaluator<'a> {
         let take_max = matches!(self.params.aggregation, DelayAggregation::Max);
         pair_delays.clear();
         for (di, &t) in self.demand_dests[0].iter().enumerate() {
+            if Some(t as usize) == excluded {
+                continue;
+            }
             let dest = match scratch_map[di] {
                 NOT_RECOMPUTED => &base[0].state[di],
                 slot => &scratch[slot as usize],
@@ -380,6 +422,7 @@ impl<'a> Evaluator<'a> {
                 take_max,
                 &self.traffic.delay,
                 t as usize,
+                excluded,
                 node_delay,
                 pair_delays,
             );

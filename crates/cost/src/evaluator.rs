@@ -258,6 +258,7 @@ impl<'a> Evaluator<'a> {
             link_delays,
             take_max,
             &offered.delay,
+            None, // `offered` already has the dead node's traffic removed
             &mut order,
             &mut node_delay,
             &mut out,

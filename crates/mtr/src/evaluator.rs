@@ -312,8 +312,10 @@ impl<'a> MtrEvaluator<'a> {
     /// Scalar-cost shortcut: bit-for-bit the cost of
     /// [`evaluate`](Self::evaluate), computed through a pooled workspace
     /// so the k-class search loops stop paying per-evaluation
-    /// allocations. Node failures change the offered traffic and take
-    /// the full path.
+    /// allocations. All scenario kinds ride the workspace path — node
+    /// failures included (the node mask makes the traffic removal
+    /// self-enforcing for loads, and the SLA kernel skips the dead
+    /// node's pairs; same argument as `dtr_cost::engine`).
     pub fn cost(&self, w: &MtrWeightSetting, scenario: Scenario) -> VecCost {
         assert_eq!(
             w.num_classes(),
@@ -321,23 +323,41 @@ impl<'a> MtrEvaluator<'a> {
             "weight setting class count mismatch"
         );
         assert_eq!(w.num_links(), self.net.num_links(), "weight size mismatch");
-        if matches!(scenario, Scenario::Node(_)) {
-            return self.evaluate(w, scenario).cost;
-        }
         let mut ws = self.pool.acquire();
         let cost = self.cost_with(&mut ws, w, scenario);
         self.pool.release(ws);
         cost
     }
 
-    /// The workspace-based cost kernel behind [`cost`](Self::cost); only
-    /// valid for scenarios that leave the offered traffic unchanged.
+    /// Scenario-batched costs of `w`, in input order — bit-for-bit what
+    /// per-scenario [`cost`](Self::cost) reports, sharing one pooled
+    /// workspace across the whole batch. This is the serial kernel the
+    /// sharded sweep in [`crate::parallel`] runs per worker.
+    pub fn evaluate_all(&self, w: &MtrWeightSetting, scenarios: &[Scenario]) -> Vec<VecCost> {
+        assert_eq!(
+            w.num_classes(),
+            self.num_classes(),
+            "weight setting class count mismatch"
+        );
+        assert_eq!(w.num_links(), self.net.num_links(), "weight size mismatch");
+        let mut ws = self.pool.acquire();
+        let out = scenarios
+            .iter()
+            .map(|&sc| self.cost_with(&mut ws, w, sc))
+            .collect();
+        self.pool.release(ws);
+        out
+    }
+
+    /// The workspace-based cost kernel behind [`cost`](Self::cost),
+    /// valid for every scenario kind.
     fn cost_with(
         &self,
         ws: &mut MtrWorkspace,
         w: &MtrWeightSetting,
         scenario: Scenario,
     ) -> VecCost {
+        let excluded = scenario.excluded_node().map(|v| v.index());
         let num_links = self.net.num_links();
         let MtrWorkspace {
             spf,
@@ -395,6 +415,7 @@ impl<'a> MtrEvaluator<'a> {
                         link_delays,
                         take_max,
                         &self.matrices[k],
+                        excluded,
                         order,
                         node_delay,
                         pair_delays,
@@ -452,6 +473,7 @@ impl<'a> MtrEvaluator<'a> {
             link_delays,
             take_max,
             offered,
+            None, // `offered` already has the dead node's traffic removed
             &mut order,
             &mut node_delay,
             &mut out,

@@ -69,6 +69,7 @@ pub mod class;
 pub mod cost;
 pub mod criticality;
 pub mod evaluator;
+pub mod parallel;
 pub mod params;
 pub mod pipeline;
 pub mod robust;

@@ -1,0 +1,161 @@
+//! Sharded k-class failure sweeps.
+//!
+//! The MTR robust phase pays one k-class evaluation per critical
+//! scenario per candidate move — the same (weight-setting × scenario)
+//! product the DTR Phase 2 shards in `dtr_core::parallel`. Scenarios are
+//! independent, so they fan out over `std::thread::scope` workers in
+//! contiguous chunks; each worker runs [`MtrEvaluator::evaluate_all`] on
+//! its chunk, which checks a private workspace out of the evaluator's
+//! pool. Per-scenario costs land back in input order and are reduced
+//! **in scenario order**, so the floating-point sum — and therefore the
+//! whole optimization trajectory — is identical for every thread count
+//! (and bit-for-bit identical to serial per-scenario evaluation).
+
+use dtr_routing::Scenario;
+
+use crate::cost::VecCost;
+use crate::evaluator::MtrEvaluator;
+use crate::weights::MtrWeightSetting;
+
+/// Per-scenario k-class costs of `w` under every scenario, in input
+/// order.
+pub fn failure_costs(
+    ev: &MtrEvaluator<'_>,
+    w: &MtrWeightSetting,
+    scenarios: &[Scenario],
+    threads: usize,
+) -> Vec<VecCost> {
+    assert!(threads >= 1);
+    let workers = threads.min(scenarios.len());
+    if workers <= 1 {
+        return ev.evaluate_all(w, scenarios);
+    }
+    let chunk = scenarios.len().div_ceil(workers);
+    let mut out = Vec::with_capacity(scenarios.len());
+    std::thread::scope(|s| {
+        let handles: Vec<_> = scenarios
+            .chunks(chunk)
+            .map(|part| s.spawn(move || ev.evaluate_all(w, part)))
+            .collect();
+        for h in handles {
+            out.extend(h.join().expect("failure-evaluation worker panicked"));
+        }
+    });
+    out
+}
+
+/// Ordered (optionally weighted) sum of [`failure_costs`]: the compound
+/// k-class `K̄fail`. `weights`, if given, must match `scenarios` in
+/// length.
+pub fn sum_failure_costs(
+    ev: &MtrEvaluator<'_>,
+    w: &MtrWeightSetting,
+    scenarios: &[Scenario],
+    weights: Option<&[f64]>,
+    threads: usize,
+) -> VecCost {
+    if let Some(sw) = weights {
+        assert_eq!(sw.len(), scenarios.len(), "one weight per scenario");
+    }
+    let costs = failure_costs(ev, w, scenarios, threads);
+    let mut acc = VecCost::zeros(ev.num_classes());
+    for (i, c) in costs.iter().enumerate() {
+        acc = match weights {
+            None => acc.add(c),
+            Some(sw) => acc.add(&c.scale(sw[i])),
+        };
+    }
+    acc
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::class::{ClassSpec, MtrConfig};
+    use dtr_net::{Network, NetworkBuilder, Point};
+    use dtr_traffic::TrafficMatrix;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    fn testbed() -> (Network, Vec<TrafficMatrix>) {
+        let mut b = NetworkBuilder::new();
+        let n: Vec<_> = (0..6).map(|_| b.add_node(Point::ORIGIN)).collect();
+        for i in 0..6 {
+            b.add_duplex_link(n[i], n[(i + 1) % 6], 1e6, 2e-3).unwrap();
+        }
+        b.add_duplex_link(n[0], n[3], 1e6, 2e-3).unwrap();
+        let net = b.build().unwrap();
+        let mut rng = StdRng::seed_from_u64(5);
+        let mut tms = vec![TrafficMatrix::zeros(6); 2];
+        for tm in tms.iter_mut() {
+            for s in 0..6 {
+                for t in 0..6 {
+                    if s != t {
+                        tm.set(s, t, rng.gen_range(1e3..5e4));
+                    }
+                }
+            }
+        }
+        (net, tms)
+    }
+
+    fn scenario_zoo(net: &Network) -> Vec<Scenario> {
+        let mut scenarios = vec![Scenario::Normal];
+        scenarios.extend(Scenario::all_link_failures(net));
+        scenarios.extend(Scenario::all_node_failures(net));
+        scenarios
+    }
+
+    #[test]
+    fn parallel_equals_serial_bit_for_bit() {
+        let (net, tms) = testbed();
+        let ev = MtrEvaluator::new(&net, &tms, MtrConfig::dtr(25e-3, 0.2)).unwrap();
+        let w = MtrWeightSetting::uniform(2, net.num_links(), 20);
+        let scenarios = scenario_zoo(&net);
+        let serial = failure_costs(&ev, &w, &scenarios, 1);
+        let threaded = failure_costs(&ev, &w, &scenarios, 4);
+        assert_eq!(serial, threaded);
+        assert_eq!(
+            sum_failure_costs(&ev, &w, &scenarios, None, 1),
+            sum_failure_costs(&ev, &w, &scenarios, None, 3)
+        );
+    }
+
+    #[test]
+    fn batched_matches_reference_per_scenario() {
+        let (net, tms) = testbed();
+        let config = MtrConfig::new(vec![
+            ClassSpec::sla("voice", 25e-3),
+            ClassSpec::congestion("bulk").relaxed(0.2),
+        ]);
+        let ev = MtrEvaluator::new(&net, &tms, config).unwrap();
+        let w = MtrWeightSetting::uniform(2, net.num_links(), 20);
+        let scenarios = scenario_zoo(&net);
+        let costs = failure_costs(&ev, &w, &scenarios, 2);
+        for (i, &sc) in scenarios.iter().enumerate() {
+            assert_eq!(costs[i], ev.evaluate(&w, sc).cost, "{sc}");
+        }
+    }
+
+    #[test]
+    fn weighted_sum_scales_components() {
+        let (net, tms) = testbed();
+        let ev = MtrEvaluator::new(&net, &tms, MtrConfig::dtr(25e-3, 0.2)).unwrap();
+        let w = MtrWeightSetting::uniform(2, net.num_links(), 20);
+        let scenarios = Scenario::all_link_failures(&net);
+        let weights = vec![0.5; scenarios.len()];
+        let weighted = sum_failure_costs(&ev, &w, &scenarios, Some(&weights), 2);
+        let plain = sum_failure_costs(&ev, &w, &scenarios, None, 1);
+        for (a, b) in weighted.components().iter().zip(plain.components()) {
+            assert!((a - 0.5 * b).abs() < 1e-9 * b.abs().max(1.0));
+        }
+    }
+
+    #[test]
+    fn empty_scenarios_sum_to_zero() {
+        let (net, tms) = testbed();
+        let ev = MtrEvaluator::new(&net, &tms, MtrConfig::dtr(25e-3, 0.2)).unwrap();
+        let w = MtrWeightSetting::uniform(2, net.num_links(), 20);
+        assert_eq!(sum_failure_costs(&ev, &w, &[], None, 4), VecCost::zeros(2));
+    }
+}

@@ -45,6 +45,11 @@ pub struct MtrParams {
     pub archive_size: usize,
     /// Hard safety cap on sweeps per phase.
     pub max_iterations: usize,
+    /// Worker threads for the robust-phase failure sweeps (1 = serial).
+    /// Results are bit-for-bit identical for every thread count — the
+    /// sharded sweep reduces in scenario order (see
+    /// [`crate::parallel::failure_costs`]).
+    pub threads: usize,
     /// Master RNG seed.
     pub seed: u64,
 }
@@ -68,6 +73,7 @@ impl MtrParams {
             max_sampling_rounds: 200,
             archive_size: 16,
             max_iterations: 100_000,
+            threads: 1,
             seed,
         }
     }
@@ -105,6 +111,7 @@ impl MtrParams {
         );
         assert!(self.archive_size >= 1);
         assert!(self.max_iterations >= 1);
+        assert!(self.threads >= 1, "at least one worker thread");
     }
 }
 

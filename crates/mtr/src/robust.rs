@@ -76,16 +76,11 @@ pub fn run(
     let mut rng = StdRng::seed_from_u64(params.seed ^ 0x2545_f491_4f6c_dd1d);
 
     let kfail_of = |w: &MtrWeightSetting, stats: &mut MtrSearchStats| -> VecCost {
-        let mut acc = VecCost::zeros(k);
-        for (i, &sc) in scenarios.iter().enumerate() {
-            let c = ev.cost(w, sc);
-            stats.evaluations += 1;
-            acc = match scenario_weights {
-                None => acc.add(&c),
-                Some(sw) => acc.add(&c.scale(sw[i])),
-            };
-        }
-        acc
+        // Sharded sweep over per-thread pooled workspaces; the reduction
+        // runs in scenario order, so the sum is bit-for-bit identical
+        // for every `params.threads` (and to the old serial loop).
+        stats.evaluations += scenarios.len();
+        crate::parallel::sum_failure_costs(ev, w, scenarios, scenario_weights, params.threads)
     };
 
     let mut stats = MtrSearchStats::default();

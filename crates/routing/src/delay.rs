@@ -79,6 +79,14 @@ pub fn mean_delay_to_with(
 /// `node_delay` scratch, then emit one triple per demanding sender in
 /// ascending sender order — disconnected pairs report `f64::INFINITY`.
 ///
+/// `excluded_src` names a sender whose demand is treated as absent even
+/// though `tm` still records it. This is how traffic-removing scenarios
+/// (node failures: the dead router neither sends nor receives) evaluate
+/// against the *base* matrix without cloning it: skipping the excluded
+/// sender emits exactly the triples a matrix with a zeroed row would,
+/// in the same order. Pass `None` when `tm` is already the offered
+/// traffic.
+///
 /// This is *the* per-destination SLA kernel, shared by the `dtr-cost`
 /// reference evaluator, its incremental engine, and the `dtr-mtr`
 /// evaluator, so the bit-for-bit-sensitive loop exists exactly once.
@@ -93,6 +101,7 @@ pub fn pair_delays_into(
     take_max: bool,
     tm: &dtr_traffic::TrafficMatrix,
     t: usize,
+    excluded_src: Option<usize>,
     node_delay: &mut Vec<f64>,
     out: &mut Vec<(usize, usize, f64)>,
 ) {
@@ -102,7 +111,7 @@ pub fn pair_delays_into(
     let n = net.num_nodes();
     #[allow(clippy::needless_range_loop)] // s is the sender node id
     for s in 0..n {
-        if s == t || tm.demand(s, t) <= 0.0 {
+        if s == t || Some(s) == excluded_src || tm.demand(s, t) <= 0.0 {
             continue;
         }
         let xi = if dist[s] == UNREACHABLE {
@@ -120,6 +129,12 @@ pub fn pair_delays_into(
 /// whole-class form shared by the reference evaluators (`dtr-cost` and
 /// `dtr-mtr`); the incremental engine calls [`pair_delays_into`] directly
 /// with its *cached* per-destination orders instead.
+///
+/// `excluded` names a node whose traffic is treated as absent (both as
+/// destination and as sender) even though `tm` and `routing` still
+/// reflect it — see the `excluded_src` contract on
+/// [`pair_delays_into`]. Pass `None` when the routing was computed
+/// against the offered traffic already.
 #[allow(clippy::too_many_arguments)] // the full per-class context
 pub fn routing_pair_delays_into(
     net: &Network,
@@ -129,17 +144,21 @@ pub fn routing_pair_delays_into(
     link_delay: &[f64],
     take_max: bool,
     tm: &dtr_traffic::TrafficMatrix,
+    excluded: Option<usize>,
     order: &mut Vec<u32>,
     node_delay: &mut Vec<f64>,
     out: &mut Vec<(usize, usize, f64)>,
 ) {
     for t in 0..net.num_nodes() {
+        if Some(t) == excluded {
+            continue;
+        }
         let Some(dist) = routing.dist_to(t) else {
             continue;
         };
         spf::descending_order_into(dist, order);
         pair_delays_into(
-            net, dist, order, weights, mask, link_delay, take_max, tm, t, node_delay, out,
+            net, dist, order, weights, mask, link_delay, take_max, tm, t, excluded, node_delay, out,
         );
     }
 }

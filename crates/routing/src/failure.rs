@@ -136,6 +136,19 @@ impl Scenario {
         }
     }
 
+    /// The node whose traffic this scenario removes, if any: `Some(v)`
+    /// for [`Scenario::Node`], `None` for every pure link-mask scenario.
+    /// Evaluation paths that work against the *base* traffic matrices
+    /// (the incremental engine, the MTR workspace path) skip this node's
+    /// demand instead of cloning zeroed matrices; see
+    /// [`crate::delay::pair_delays_into`].
+    pub fn excluded_node(&self) -> Option<NodeId> {
+        match *self {
+            Scenario::Node(v) => Some(v),
+            _ => None,
+        }
+    }
+
     /// The traffic actually offered under this scenario. Only node
     /// failures change the matrices (the dead router neither sends nor
     /// receives); link failures leave demand untouched and force rerouting.

@@ -21,7 +21,17 @@
 //! * [`dag_uses_any`] — a failure scenario leaves destination `t`'s
 //!   routing untouched when none of the failed links lies on `t`'s
 //!   shortest-path DAG (removing non-DAG links changes neither distances
-//!   nor DAG membership).
+//!   nor DAG membership). The predicate is a *mask diff*: it takes an
+//!   arbitrary down-set of directed links, so it covers every scenario
+//!   kind uniformly — one duplex pair (single-link failure), several
+//!   pairs (SRLG, double-link), or the full incidence set of a router
+//!   (node failure). For node failures the predicate also subsumes the
+//!   traffic change: if the dead node `v` was reachable and sourced
+//!   demand towards `t`, at least one of `v`'s out-links is on `t`'s DAG
+//!   (the first hop of `v`'s shortest path), so `t` is flagged affected
+//!   and re-routed; under the node mask `v` has no up out-link, its
+//!   demand lands in `dropped_adds`, and the per-link load additions are
+//!   bit-for-bit those of routing with `v`'s traffic removed.
 //! * [`weight_change_affects`] — a weight move leaves `t` untouched when
 //!   every changed link was off the DAG and stays strictly longer than
 //!   the path it would shortcut (`dist[v] + w_new > dist[u]`): the old
@@ -170,6 +180,12 @@ pub fn route_destination(
 /// DAG implied by `dist` (distances computed with **all links up** and the
 /// same `weights`). When this returns `false`, failing exactly those links
 /// changes neither the distance field nor the DAG of this destination.
+///
+/// `down` is an arbitrary down-set: the duplex pair of a single-link
+/// failure, the union of several pairs (SRLG, double-link), or the full
+/// incidence set of a failed router — any mask diff a
+/// [`crate::Scenario`] can induce (`Scenario::mask_into` followed by
+/// `LinkMask::down_links`).
 pub fn dag_uses_any(net: &Network, dist: &[u64], weights: &[u32], down: &[u32]) -> bool {
     down.iter().any(|&l| {
         let link = net.link(LinkId::new(l as usize));
@@ -298,6 +314,50 @@ mod tests {
         // The reverse direction 3->0 is never on the DAG towards 3.
         let rev = link_between(&net, 3, 0) as u32;
         assert!(!dag_uses_any(&net, &dist, &w, &[rev]));
+    }
+
+    #[test]
+    fn node_failure_down_set_flags_senders_and_transit() {
+        // The down-set of a node failure (all incident directed links)
+        // must flag every destination whose DAG touches the dead node —
+        // which includes every destination the node sends to.
+        let net = diamond();
+        let w = vec![1u32; net.num_links()];
+        let mask = crate::Scenario::Node(NodeId::new(1)).mask(&net);
+        let down: Vec<u32> = mask.down_links().map(|i| i as u32).collect();
+        assert_eq!(down.len(), 4); // 0<->1 and 1<->3
+
+        // Destination 3: node 1 routes via 1->3, so the DAG uses a down
+        // link.
+        let dist3 = spf::dist_to(&net, NodeId::new(3), &w, &net.fresh_mask());
+        assert!(dag_uses_any(&net, &dist3, &w, &down));
+        // And under the node mask, node 1 is unreachable towards 3: its
+        // demand drops rather than loading any link.
+        let mut tm = TrafficMatrix::zeros(4);
+        tm.set(1, 3, 7.0);
+        tm.set(0, 3, 5.0);
+        let mut ws = SpfWorkspace::new();
+        let mut dest = DestRouting::default();
+        route_destination(&net, &w, &tm, &mask, 3, &mut ws, &mut dest);
+        assert_eq!(dest.dist[1], crate::UNREACHABLE);
+        let mut loads = vec![0.0; net.num_links()];
+        let mut dropped = 0.0;
+        dest.replay(&mut loads, &mut dropped);
+        assert_eq!(dropped, 7.0);
+        // Node 0's 5 units still ride the direct link, untouched by node
+        // 1's removal — exactly what routing a zeroed row would yield.
+        let direct = link_between(&net, 0, 3);
+        assert_eq!(loads[direct], 5.0);
+
+        // A node's down-set contains its shortest-path first hop towards
+        // every destination it can reach, so in a connected topology it
+        // conservatively flags *every* destination — which is what makes
+        // replaying the remainder sound (a replayed destination provably
+        // never saw the dead node at all).
+        for t in [0usize, 2, 3] {
+            let dist = spf::dist_to(&net, NodeId::new(t), &w, &net.fresh_mask());
+            assert!(dag_uses_any(&net, &dist, &w, &down), "dest {t}");
+        }
     }
 
     #[test]

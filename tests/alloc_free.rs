@@ -1,6 +1,7 @@
 //! Steady-state allocation accounting for the incremental evaluation
-//! engine: after warm-up, evaluating `Normal` and link-failure scenarios
-//! through a reused workspace must perform **zero** heap allocations.
+//! engine: after warm-up, evaluating **any** scenario kind — `Normal`,
+//! link failures, SRLG group failures, node failures — through a reused
+//! workspace must perform **zero** heap allocations.
 //!
 //! A counting wrapper around the system allocator measures this
 //! directly; the test binary has its own `#[global_allocator]`, so the
@@ -9,7 +10,9 @@
 use std::alloc::{GlobalAlloc, Layout, System};
 use std::sync::atomic::{AtomicU64, Ordering};
 
+use dtr::net::Network;
 use dtr::prelude::*;
+use dtr::routing::LinkGroup;
 use dtr::topogen::{rand_topo, SynthConfig};
 use dtr::traffic::gravity;
 use rand::rngs::StdRng;
@@ -38,11 +41,8 @@ unsafe impl GlobalAlloc for CountingAllocator {
 #[global_allocator]
 static GLOBAL: CountingAllocator = CountingAllocator;
 
-#[test]
-fn steady_state_link_scenario_sweep_allocates_nothing() {
-    // Paper-scale topology: 50 nodes. Build everything (allocating
-    // freely), then warm the workspace with two full sweeps, then demand
-    // an allocation-free third sweep.
+/// Paper-scale testbed: 50 nodes, 300 directed links, gravity traffic.
+fn testbed() -> (Network, ClassMatrices) {
     let nodes = 50;
     let net = rand_topo::generate(&SynthConfig {
         nodes,
@@ -58,29 +58,37 @@ fn steady_state_link_scenario_sweep_allocates_nothing() {
         ..gravity::GravityConfig::paper_default(nodes, 3)
     });
     tm.scale(nodes as f64 * 1e9);
+    (net, tm)
+}
+
+/// Build everything (allocating freely), derive the ensemble from the
+/// freshly built network with `make_scenarios`, warm the workspace with
+/// sweeps under two weight settings (covering the baseline-rebuild path
+/// and the incremental-diff path, letting every buffer reach its
+/// high-water capacity), then demand an allocation-free steady-state
+/// sweep.
+fn assert_steady_state_sweep_allocates_nothing(
+    kind: &str,
+    make_scenarios: impl Fn(&Network) -> Vec<Scenario>,
+) {
+    let (net, tm) = testbed();
+    let scenarios = &make_scenarios(&net);
     let ev = Evaluator::new(&net, &tm, CostParams::default());
     let mut rng = StdRng::seed_from_u64(11);
     let w = WeightSetting::random(net.num_links(), 20, &mut rng);
     let w2 = WeightSetting::random(net.num_links(), 20, &mut rng);
 
-    let mut scenarios = vec![Scenario::Normal];
-    scenarios.extend(Scenario::all_link_failures(&net));
-    assert!(scenarios.len() > 50, "need a real ensemble");
-
     let mut ws = ev.acquire_workspace();
-    // Warm-up: two sweeps under two weight settings (covers the
-    // baseline-rebuild path and the incremental-diff path, and lets
-    // every buffer reach its high-water capacity).
     let mut checksum = 0.0f64;
     for sweep_w in [&w, &w2, &w] {
-        for &sc in &scenarios {
+        for &sc in scenarios {
             let c = ev.cost_with(&mut ws, sweep_w, sc);
             checksum += c.lambda + c.phi;
         }
     }
 
     let before = ALLOCATIONS.load(Ordering::Relaxed);
-    for &sc in &scenarios {
+    for &sc in scenarios {
         let c = ev.cost_with(&mut ws, &w, sc);
         checksum += c.lambda + c.phi;
     }
@@ -91,8 +99,47 @@ fn steady_state_link_scenario_sweep_allocates_nothing() {
     assert_eq!(
         after - before,
         0,
-        "steady-state sweep of {} scenarios performed {} heap allocations",
+        "steady-state {kind} sweep of {} scenarios performed {} heap allocations",
         scenarios.len(),
         after - before
     );
+}
+
+#[test]
+fn steady_state_link_scenario_sweep_allocates_nothing() {
+    assert_steady_state_sweep_allocates_nothing("link", |net| {
+        let mut scenarios = vec![Scenario::Normal];
+        scenarios.extend(Scenario::all_link_failures(net));
+        assert!(scenarios.len() > 50, "need a real ensemble");
+        scenarios
+    });
+}
+
+#[test]
+fn steady_state_srlg_sweep_allocates_nothing() {
+    // Deterministic conduit-style SRLG set: consecutive duplex
+    // representatives grouped in threes (the exact ensemble the
+    // `srlg_sweep` bench times).
+    assert_steady_state_sweep_allocates_nothing("srlg", |net| {
+        let reps = net.duplex_representatives();
+        let mut scenarios = vec![Scenario::Normal];
+        scenarios.extend(
+            reps.chunks_exact(3)
+                .map(|g| Scenario::Srlg(LinkGroup::new(g))),
+        );
+        assert!(scenarios.len() > 40, "need a real SRLG ensemble");
+        scenarios
+    });
+}
+
+#[test]
+fn steady_state_node_failure_sweep_allocates_nothing() {
+    // The node-failure ensemble also removes the dead node's traffic per
+    // scenario — the engine must absorb that without cloning matrices.
+    assert_steady_state_sweep_allocates_nothing("node", |net| {
+        let mut scenarios = vec![Scenario::Normal];
+        scenarios.extend(net.nodes().map(Scenario::Node));
+        assert_eq!(scenarios.len(), 51);
+        scenarios
+    });
 }

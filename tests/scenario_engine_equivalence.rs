@@ -1,0 +1,231 @@
+//! Differential scenario-test harness: randomized cross-validation of
+//! the incremental engine against the reference evaluator over the
+//! **full scenario taxonomy**.
+//!
+//! `tests/engine_equivalence.rs` pins fixed-seed equivalence; this
+//! harness drives the same bit-for-bit contract through proptest over
+//! randomized topologies, traffic and weight settings, for every
+//! [`Scenario`] kind — link, node (including non-survivable ones that
+//! partition the network), SRLG, double-link — plus probabilistically
+//! weighted ensembles, warm-workspace move chains, and the
+//! parallel == serial pinning of the sharded set sweep.
+//!
+//! The vendored proptest shim is fully deterministic (master seed
+//! derived from the test name, `PROPTEST_SEED` mixes in an override), so
+//! every CI failure reproduces locally as-is.
+
+use dtr::core::ext::probabilistic::FailureModel;
+use dtr::core::parallel;
+use dtr::net::Network;
+use dtr::prelude::*;
+use dtr::routing::LinkGroup;
+use dtr::topogen::{rand_topo, SynthConfig};
+use dtr::traffic::gravity;
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+fn testbed(nodes: usize, duplex: usize, seed: u64) -> (Network, ClassMatrices) {
+    let net = rand_topo::generate(&SynthConfig {
+        nodes,
+        duplex_links: duplex,
+        seed,
+    })
+    .unwrap()
+    .scaled_to_diameter(25e-3)
+    .build(500e6)
+    .unwrap();
+    let mut tm = gravity::generate(&gravity::GravityConfig {
+        total_volume: 1.0,
+        ..gravity::GravityConfig::paper_default(nodes, seed ^ 5)
+    });
+    tm.scale(nodes as f64 * 1e9);
+    (net, tm)
+}
+
+/// Every scenario kind the taxonomy knows, over one topology: normal
+/// conditions, every single-link failure, **every** node failure (even
+/// partitioning ones — the engine must agree with the reference about
+/// dropped demand and disconnection penalties too), a spread of
+/// double-link pairs, and a spread of SRLG groups.
+fn scenario_zoo(net: &Network, rng: &mut StdRng) -> Vec<Scenario> {
+    let reps = net.duplex_representatives();
+    let mut scenarios = vec![Scenario::Normal];
+    scenarios.extend(reps.iter().map(|&l| Scenario::Link(l)));
+    scenarios.extend(net.nodes().map(Scenario::Node));
+    for _ in 0..3 {
+        let a = reps[rng.gen_range(0..reps.len())];
+        let b = reps[rng.gen_range(0..reps.len())];
+        if a != b {
+            scenarios.push(Scenario::DoubleLink(a, b));
+        }
+    }
+    for _ in 0..3 {
+        let k = rng.gen_range(2..=4usize.min(reps.len()));
+        let members: Vec<LinkId> = (0..k).map(|_| reps[rng.gen_range(0..reps.len())]).collect();
+        scenarios.push(Scenario::Srlg(LinkGroup::new(&members)));
+    }
+    scenarios
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    /// Engine == reference, bit for bit, for every scenario kind, on
+    /// randomized (topology, traffic, weights) triples — through one
+    /// *warm* workspace shared by the whole sweep, exactly as a Phase-2
+    /// failure sweep would run it.
+    #[test]
+    fn engine_matches_reference_across_taxonomy(
+        (nodes, extra, seed) in (10usize..15, 2usize..10, 0u64..1_000_000)
+    ) {
+        let (net, tm) = testbed(nodes, nodes + extra, seed);
+        let ev = Evaluator::new(&net, &tm, CostParams::default());
+        let mut rng = StdRng::seed_from_u64(seed ^ 0xd1f);
+        let scenarios = scenario_zoo(&net, &mut rng);
+
+        let mut ws = ev.acquire_workspace();
+        for round in 0..2 {
+            let w = WeightSetting::random(net.num_links(), 20, &mut rng);
+            for &sc in &scenarios {
+                let engine = ev.cost_with(&mut ws, &w, sc);
+                let reference = ev.evaluate(&w, sc).cost;
+                prop_assert_eq!(
+                    engine, reference,
+                    "round {}, scenario {}, nodes {}, seed {}", round, sc, nodes, seed
+                );
+            }
+        }
+        ev.release_workspace(ws);
+    }
+
+    /// A Phase-2-style chain of single-duplex weight moves over ONE warm
+    /// workspace (exercising the baseline diff) stays bit-identical to
+    /// the reference across the full taxonomy at every step.
+    #[test]
+    fn warm_move_chain_stays_bit_identical(
+        (nodes, extra, seed) in (10usize..14, 2usize..8, 0u64..1_000_000)
+    ) {
+        let (net, tm) = testbed(nodes, nodes + extra, seed);
+        let ev = Evaluator::new(&net, &tm, CostParams::default());
+        let reps = net.duplex_representatives();
+        let mut rng = StdRng::seed_from_u64(seed ^ 0xabcd);
+        let scenarios = scenario_zoo(&net, &mut rng);
+        let mut w = WeightSetting::random(net.num_links(), 20, &mut rng);
+
+        let mut ws = ev.acquire_workspace();
+        for step in 0..6 {
+            let rep = reps[rng.gen_range(0..reps.len())];
+            let (wd, wt) = (rng.gen_range(1..=20), rng.gen_range(1..=20));
+            for class in Class::ALL {
+                let v = if class == Class::Delay { wd } else { wt };
+                w.set(class, rep, v);
+                if let Some(r) = net.reverse_link(rep) {
+                    w.set(class, r, v);
+                }
+            }
+            for &sc in &scenarios {
+                prop_assert_eq!(
+                    ev.cost_with(&mut ws, &w, sc),
+                    ev.evaluate(&w, sc).cost,
+                    "step {}, scenario {}, seed {}", step, sc, seed
+                );
+            }
+        }
+        ev.release_workspace(ws);
+    }
+
+    /// The sharded set sweep is byte-identical serial vs parallel for
+    /// every shipped `ScenarioSet` — including the weighted
+    /// (probabilistic) compound reduction.
+    #[test]
+    fn sharded_set_sweep_is_thread_invariant(
+        (nodes, extra, seed) in (10usize..15, 3usize..10, 0u64..1_000_000)
+    ) {
+        let (net, tm) = testbed(nodes, nodes + extra, seed);
+        let ev = Evaluator::new(&net, &tm, CostParams::default());
+        let mut rng = StdRng::seed_from_u64(seed ^ 0x7e57);
+        let w = WeightSetting::random(net.num_links(), 20, &mut rng);
+
+        let universe = FailureUniverse::of(&net);
+        let prob = Probabilistic::with_model(
+            &net,
+            FailureModel::length_proportional(&net, &universe),
+        );
+        let srlg = Srlg::geographic(&net, 0.2);
+        let double = DoubleLink::sampled(&net, 12, seed);
+
+        fn check<S: ScenarioSet + Sync>(ev: &Evaluator<'_>, w: &WeightSetting, set: &S) {
+            let indices = set.all_indices();
+            let serial = parallel::evaluate_set(ev, w, set, &indices, 1);
+            let sharded = parallel::evaluate_set(ev, w, set, &indices, 4);
+            assert_eq!(serial, sharded);
+            // Per-scenario agreement with the reference evaluator.
+            for (&i, c) in indices.iter().zip(&serial) {
+                assert_eq!(*c, ev.evaluate(w, set.scenario(i)).cost);
+            }
+            // Compound (weight-aware) reduction is thread-invariant too.
+            assert_eq!(
+                parallel::sum_set_costs(ev, w, set, &indices, 1),
+                parallel::sum_set_costs(ev, w, set, &indices, 3)
+            );
+        }
+        check(&ev, &w, &universe);
+        check(&ev, &w, &prob);
+        check(&ev, &w, &srlg);
+        check(&ev, &w, &double);
+    }
+
+    /// Regression for the old engine gap: a node failure whose router
+    /// carries no demand is exactly its induced link-mask. Expressed as
+    /// an SRLG over the incident physical links, both scenarios must
+    /// produce identical costs — through the engine and the reference.
+    #[test]
+    fn node_failure_equals_equivalent_link_mask(
+        (nodes, extra, seed) in (10usize..15, 2usize..8, 0u64..1_000_000)
+    ) {
+        let (net, mut tm) = testbed(nodes, nodes + extra, seed);
+        let mut rng = StdRng::seed_from_u64(seed ^ 0x90de);
+        // Pick a node with few enough incident links for one LinkGroup
+        // and silence its traffic so mask and node semantics coincide.
+        let v = net
+            .nodes()
+            .find(|&v| {
+                let incident = net
+                    .duplex_representatives()
+                    .iter()
+                    .filter(|&&l| net.link(l).src == v || net.link(l).dst == v)
+                    .count();
+                (1..=dtr::routing::MAX_GROUP_SIZE).contains(&incident)
+            })
+            .expect("some node has a group-sized degree");
+        for u in (0..nodes).filter(|&u| u != v.index()) {
+            tm.delay.set(u, v.index(), 0.0);
+            tm.delay.set(v.index(), u, 0.0);
+            tm.throughput.set(u, v.index(), 0.0);
+            tm.throughput.set(v.index(), u, 0.0);
+        }
+        let incident: Vec<LinkId> = net
+            .duplex_representatives()
+            .into_iter()
+            .filter(|&l| net.link(l).src == v || net.link(l).dst == v)
+            .collect();
+        let group = Scenario::Srlg(LinkGroup::new(&incident));
+        let node = Scenario::Node(v);
+
+        let ev = Evaluator::new(&net, &tm, CostParams::default());
+        let w = WeightSetting::random(net.num_links(), 20, &mut rng);
+        // Identical down-sets...
+        prop_assert_eq!(
+            node.mask(&net).down_links().collect::<Vec<_>>(),
+            group.mask(&net).down_links().collect::<Vec<_>>()
+        );
+        // ...must give identical costs, and the engine must agree with
+        // the reference on both.
+        let node_cost = ev.cost(&w, node);
+        let group_cost = ev.cost(&w, group);
+        prop_assert_eq!(node_cost, group_cost, "node {} seed {}", v, seed);
+        prop_assert_eq!(node_cost, ev.evaluate(&w, node).cost);
+        prop_assert_eq!(group_cost, ev.evaluate(&w, group).cost);
+    }
+}
