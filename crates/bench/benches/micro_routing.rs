@@ -11,12 +11,17 @@
 //! both ways explicitly and writes a machine-readable baseline to
 //! `BENCH_routing.json` (override the path with `BENCH_ROUTING_JSON`),
 //! recording one per-scenario-kind speedup entry (`link_sweep`,
-//! `srlg_sweep`, `node_sweep`). The engine path is additionally checked
+//! `srlg_sweep`, `node_sweep`) plus the **end-to-end Phase-2 search**
+//! comparison (`phase2_search`): the same robust optimization run
+//! serial-move/full-sweep, with the monotone early cutoff, and with
+//! cutoff + speculative move batching — all three verified to produce
+//! the identical result. The engine path is additionally checked
 //! bit-for-bit against the reference inside this run.
 
 use std::time::Instant;
 
 use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use dtr_core::{phase1, phase2, Params};
 use dtr_cost::{CostParams, Evaluator};
 use dtr_net::{Network, NodeId};
 use dtr_routing::{route_class, spf, Class, LinkGroup, Scenario, SpfWorkspace, WeightSetting};
@@ -141,7 +146,141 @@ fn bench_micro(c: &mut Criterion) {
 
     g.finish();
 
-    full_ensemble_baseline(&net, &tm, &w);
+    let phase2_json = phase2_search_baseline(&net, &tm);
+    full_ensemble_baseline(&net, &tm, &w, &phase2_json);
+}
+
+/// End-to-end Phase-2 robust search on the 50-node testbed, three ways:
+/// serial-move full-sweep (the seed search loop), the incumbent-aware
+/// sweep kernel (early cutoff + move-diff scenario cache), and the
+/// shipped default configuration (the same kernel plus a speculation
+/// window of 8) — all single-threaded, so the recorded speedup is
+/// algorithmic, not parallelism. Note the attribution: at one thread
+/// `speculative_sweep` defers evaluation to replay time, so the third
+/// leg's win over the first comes from the cutoff + cache; speculation
+/// contributes wall-clock only when `threads > 1` fan out the window
+/// (its trajectory-invariance is what the equivalence suite pins). All
+/// three runs are asserted to produce the identical robust setting,
+/// costs and constraint accounting (the tentpole's bit-for-bit
+/// contract), and the emitted JSON records the skipped-evaluation
+/// counter that explains the win.
+fn phase2_search_baseline(net: &Network, tm: &ClassMatrices) -> String {
+    // The shared testbed traffic (5e10) is a stress scale tuned for the
+    // ensemble-sweep benches, where every failure drowns in SLA
+    // violations and per-scenario costs flatten out. The robust search
+    // is evaluated at the paper's operating point instead — normal
+    // conditions meet the SLA, failures cause recoverable violations —
+    // which is also where the incumbent-aware sweep machinery is meant
+    // to live (scenario costs are skewed, so losing candidates are
+    // provably rejectable early).
+    let mut tm = tm.clone();
+    tm.scale(0.04);
+    let tm = &tm;
+    let ev = Evaluator::new(net, tm, CostParams::default());
+    let universe = dtr_core::FailureUniverse::of(net);
+    // CI-sized search budget at paper scale: a few full sweeps over the
+    // 150 physical links against the paper's critical fraction of the
+    // failure universe (§IV-D2: |Ec| ≈ 0.15·|E|) — here the top of the
+    // index range stands in for the criticality selection, which is not
+    // what's being timed.
+    let crit = universe.target_size(0.15);
+    let indices: Vec<usize> = (0..crit).collect();
+    let base = Params {
+        tau: 5,
+        p1: 1,
+        p2: 1,
+        div_interval_1: 4,
+        div_interval_2: 3,
+        archive_size: 4,
+        max_iterations: 3,
+        threads: 1,
+        ..Params::paper_default(11)
+    };
+    let serial = Params {
+        speculation: 1,
+        cutoff: false,
+        ..base
+    };
+    let cutoff_only = Params {
+        speculation: 1,
+        cutoff: true,
+        ..base
+    };
+    let cutoff_spec = Params {
+        speculation: 8,
+        cutoff: true,
+        ..base
+    };
+    let p1 = phase1::run(&ev, &universe, &serial);
+
+    let reps = if criterion::Criterion::test_mode() {
+        1
+    } else {
+        5
+    };
+    // Reps are interleaved across the configurations (not run in
+    // per-config blocks) so slow machine phases dilute evenly into every
+    // best-of-`reps` minimum instead of skewing one configuration.
+    let configs = [&serial, &cutoff_only, &cutoff_spec];
+    let mut best_ns = [u128::MAX; 3];
+    let mut outs: [Option<phase2::Phase2Output>; 3] = [None, None, None];
+    for _ in 0..reps {
+        for (j, params) in configs.iter().enumerate() {
+            let t0 = Instant::now();
+            let run = phase2::run(&ev, &universe, &indices, params, &p1);
+            best_ns[j] = best_ns[j].min(t0.elapsed().as_nanos());
+            outs[j] = Some(run);
+        }
+    }
+    let [serial_out, cutoff_out, spec_out] = outs.map(|o| o.expect("at least one rep"));
+    let [serial_ns, cutoff_ns, spec_ns] = best_ns;
+
+    // The tentpole contract: all three configurations walk the same
+    // trajectory to the same robust setting.
+    for (name, out) in [("cutoff", &cutoff_out), ("cutoff+spec", &spec_out)] {
+        assert_eq!(serial_out.best, out.best, "{name}: best setting diverged");
+        assert_eq!(serial_out.best_kfail, out.best_kfail, "{name}");
+        assert_eq!(serial_out.best_normal, out.best_normal, "{name}");
+        assert_eq!(
+            serial_out.constraint_rejections, out.constraint_rejections,
+            "{name}"
+        );
+        assert_eq!(
+            serial_out.stats.evaluations, out.stats.evaluations,
+            "{name}"
+        );
+    }
+    assert_eq!(serial_out.stats.scenario_evals_skipped, 0);
+    assert!(cutoff_out.stats.scenario_evals_skipped > 0);
+
+    let speedup_cutoff = serial_ns as f64 / cutoff_ns as f64;
+    let speedup_total = serial_ns as f64 / spec_ns as f64;
+    println!(
+        "micro/phase2_search_{NODES}n: serial {:.1} ms, cutoff+cache {:.1} ms \
+         ({speedup_cutoff:.2}x), default config (K=8) {:.1} ms ({speedup_total:.2}x); \
+         {} of {} scenario evals skipped (identical result; speculation is lazy at 1 thread)",
+        serial_ns as f64 / 1e6,
+        cutoff_ns as f64 / 1e6,
+        spec_ns as f64 / 1e6,
+        cutoff_out.stats.scenario_evals_skipped,
+        serial_out.stats.evaluations,
+    );
+
+    format!(
+        "  \"phase2_search\": {{\n    \"critical_scenarios\": {},\n    \
+         \"sweeps\": {},\n    \"logical_evaluations\": {},\n    \
+         \"serial_move_full_sweep_ns\": {serial_ns},\n    \
+         \"cutoff_ns\": {cutoff_ns},\n    \"cutoff_spec_ns\": {spec_ns},\n    \
+         \"speedup_cutoff\": {speedup_cutoff:.4},\n    \
+         \"speedup_cutoff_spec\": {speedup_total:.4},\n    \
+         \"scenario_evals_skipped\": {},\n    \
+         \"speculative_wasted\": {},\n    \"identical_result\": true\n  }},\n",
+        indices.len(),
+        serial_out.stats.iterations,
+        serial_out.stats.evaluations,
+        cutoff_out.stats.scenario_evals_skipped,
+        spec_out.stats.speculative_wasted,
+    )
 }
 
 /// One timed ensemble comparison: reference path vs. engine path over
@@ -223,8 +362,9 @@ fn timed_sweep(
 
 /// Time the link, SRLG and node ensemble sweeps both ways, verify
 /// bit-for-bit agreement, and emit the per-scenario-kind
-/// `BENCH_routing.json` baseline.
-fn full_ensemble_baseline(net: &Network, tm: &ClassMatrices, w: &WeightSetting) {
+/// `BENCH_routing.json` baseline (including the pre-rendered
+/// `phase2_search` section).
+fn full_ensemble_baseline(net: &Network, tm: &ClassMatrices, w: &WeightSetting, phase2_json: &str) {
     let ev = Evaluator::new(net, tm, CostParams::default());
     let reps = if criterion::Criterion::test_mode() {
         1
@@ -295,8 +435,8 @@ fn full_ensemble_baseline(net: &Network, tm: &ClassMatrices, w: &WeightSetting) 
          \"directed_links\": {},\n  \"sweeps\": {{\n{}\n  }},\n  \
          \"sharded_link_sweep\": {{\n    \"threads\": {threads},\n    \
          \"serial_sweep_ns\": {serial_ns},\n    \"sharded_sweep_ns\": {sharded_ns},\n    \
-         \"speedup\": {parallel_speedup:.4},\n    \"serial_equals_parallel\": true\n  }},\n  \
-         \"bit_for_bit_identical\": true\n}}\n",
+         \"speedup\": {parallel_speedup:.4},\n    \"serial_equals_parallel\": true\n  }},\n\
+         {phase2_json}  \"bit_for_bit_identical\": true\n}}\n",
         net.num_links(),
         entries.join(",\n")
     );

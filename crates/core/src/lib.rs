@@ -109,5 +109,5 @@ mod universe;
 pub use baselines::Selector;
 pub use params::Params;
 pub use pipeline::{RobustOptimizer, RobustOptimizerBuilder, RobustReport};
-pub use scenario::{DoubleLink, Probabilistic, ScenarioSet, SingleLink, Srlg};
+pub use scenario::{DoubleLink, Probabilistic, ScenarioSet, SingleLink, SliceSet, Srlg};
 pub use universe::FailureUniverse;

@@ -21,8 +21,38 @@
 //! incrementally, one sharded sweep serves the single-link universe and
 //! the node / SRLG / double-link / probabilistic ensembles alike.
 
-use dtr_cost::{Evaluator, LexCost};
+use dtr_cost::{Evaluator, LexCost, ScenarioCache};
 use dtr_routing::{Scenario, WeightSetting};
+
+/// Map `f` over `items` on up to `threads` scoped workers (contiguous
+/// chunks, results spliced back in input order — so the output is
+/// identical to a serial map for every thread count). The shared
+/// fan-out primitive of the speculative move batches and the
+/// manufactured-sample kernels.
+pub fn parallel_map<T, C, F>(items: &[T], threads: usize, f: F) -> Vec<C>
+where
+    T: Sync,
+    C: Send,
+    F: Fn(&T) -> C + Sync,
+{
+    let workers = threads.min(items.len());
+    if workers <= 1 {
+        return items.iter().map(f).collect();
+    }
+    let chunk = items.len().div_ceil(workers);
+    let f = &f;
+    let mut out = Vec::with_capacity(items.len());
+    std::thread::scope(|s| {
+        let handles: Vec<_> = items
+            .chunks(chunk)
+            .map(|part| s.spawn(move || part.iter().map(f).collect::<Vec<_>>()))
+            .collect();
+        for h in handles {
+            out.extend(h.join().expect("parallel-map worker panicked"));
+        }
+    });
+    out
+}
 
 /// Per-scenario costs of `w` under every scenario, in input order.
 pub fn failure_costs(
@@ -138,6 +168,203 @@ pub fn set_failure_costs<S: crate::scenario::ScenarioSet + Sync + ?Sized>(
     threads: usize,
 ) -> Vec<LexCost> {
     evaluate_set(ev, w, set, indices, threads)
+}
+
+/// Reusable buffers of the incumbent-bounded sweep
+/// ([`sum_set_costs_bounded`]); one per search run, warmed after the
+/// first sweep (no steady-state allocation).
+#[derive(Clone, Debug, Default)]
+pub struct SweepScratch {
+    /// Per-*position* raw scenario costs (aligned with the `indices`
+    /// slice of the sweep); fully populated on [`SetSweep::Complete`].
+    pub costs: Vec<LexCost>,
+    done: Vec<bool>,
+}
+
+impl SweepScratch {
+    /// Fresh, empty scratch.
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
+/// Outcome of an incumbent-bounded set sweep.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum SetSweep {
+    /// All scenarios evaluated; the compound cost is bit-for-bit the
+    /// [`sum_set_costs`] index-order weighted fold.
+    Complete(LexCost),
+    /// The partial fold proved the candidate cannot beat the incumbent;
+    /// `evaluated` scenarios were evaluated before the sweep was
+    /// abandoned (the rest are the caller's `scenario_evals_skipped`).
+    Cut {
+        /// Scenarios evaluated before the proof fired.
+        evaluated: usize,
+    },
+}
+
+/// Index-order weighted fold over a sweep's evaluated subset, with each
+/// not-yet-evaluated position standing in at its Λ floor (zero when no
+/// floors are supplied). Every stand-in is a true lower bound of that
+/// scenario's contribution and IEEE addition is monotone in each
+/// addend, so the fold bounds the completed compound cost from below —
+/// and equals it exactly, bit-for-bit, once every position is done
+/// (floors are then never read).
+fn fold_bound<S: crate::scenario::ScenarioSet + ?Sized>(
+    set: &S,
+    indices: &[usize],
+    scratch: &SweepScratch,
+    floors: Option<&[f64]>,
+) -> LexCost {
+    let weighted = set.weighted();
+    let mut acc = LexCost::ZERO;
+    for (pos, &i) in indices.iter().enumerate() {
+        if scratch.done[pos] {
+            let c = &scratch.costs[pos];
+            acc = if weighted {
+                let p = set.weight(i);
+                acc.add(&LexCost::new(c.lambda * p, c.phi * p))
+            } else {
+                acc.add(c)
+            };
+        } else if let Some(f) = floors {
+            let fl = f[pos];
+            if fl > 0.0 {
+                acc = if weighted {
+                    acc.add(&LexCost::new(fl * set.weight(i), 0.0))
+                } else {
+                    acc.add(&LexCost::new(fl, 0.0))
+                };
+            }
+        }
+    }
+    acc
+}
+
+/// Incumbent-bounded compound sweep: evaluates the scenarios at
+/// `indices` in the caller-supplied `order` (a permutation of positions
+/// `0..indices.len()`, typically costliest-under-the-incumbent first)
+/// and abandons the sweep as soon as the index-order fold over the
+/// evaluated subset — with every unevaluated scenario standing in at
+/// its Λ floor (`floors`, aligned with `indices`; see
+/// `Evaluator::lambda_floor`) — proves the candidate cannot be
+/// lexicographically better than `incumbent`.
+///
+/// The proof is float-exact, not heuristic: per-scenario contributions
+/// are non-negative, IEEE addition of non-negative terms is monotone,
+/// and `better_than` is antitone in its left argument (see the lemma on
+/// [`LexCost::better_than`]) — so `!partial.better_than(incumbent)`
+/// implies the full sweep's total cannot beat the incumbent either.
+/// Consequently:
+///
+/// * a [`SetSweep::Complete`] result is **bit-for-bit** the
+///   [`sum_set_costs`] value (the final fold runs over all positions in
+///   index order, regardless of the evaluation order), and
+/// * a [`SetSweep::Cut`] result only ever replaces a sweep whose
+///   candidate the full fold would have rejected anyway,
+///
+/// which is why a hill climber that accepts only strictly-better
+/// compound costs keeps its trajectory unchanged to the bit.
+///
+/// With `threads > 1` the evaluation order is processed in fixed rounds
+/// of `threads · 4` scenarios (contiguous chunks, per-thread pooled
+/// workspaces, cutoff check between rounds), so the cut decision — and
+/// the accepted-move costs — stay deterministic for a given thread
+/// count; only the amount of post-cutoff wasted work varies with it.
+#[allow(clippy::too_many_arguments)]
+pub fn sum_set_costs_bounded<S: crate::scenario::ScenarioSet + Sync + ?Sized>(
+    ev: &Evaluator<'_>,
+    w: &WeightSetting,
+    set: &S,
+    indices: &[usize],
+    threads: usize,
+    incumbent: &LexCost,
+    order: &[u32],
+    floors: Option<&[f64]>,
+    cache: Option<&ScenarioCache>,
+    scratch: &mut SweepScratch,
+) -> SetSweep {
+    assert!(threads >= 1);
+    let n = indices.len();
+    assert_eq!(order.len(), n, "order must be a permutation of positions");
+    if let Some(f) = floors {
+        assert_eq!(f.len(), n, "one floor per scenario position");
+    }
+    scratch.costs.clear();
+    scratch.costs.resize(n, LexCost::ZERO);
+    scratch.done.clear();
+    scratch.done.resize(n, false);
+
+    let workers = threads.min(n);
+    if workers <= 1 {
+        // Serial: evaluate in priority order, prove-or-continue after
+        // every scenario (re-folding the evaluated subset costs O(n) LexCost
+        // adds — noise next to one scenario evaluation).
+        let check_every = (n / 128).max(1);
+        let mut ws = ev.acquire_workspace();
+        for (e, &pos) in order.iter().enumerate() {
+            let pos = pos as usize;
+            let sc = set.scenario(indices[pos]);
+            scratch.costs[pos] = match cache {
+                Some(c) => ev.cost_cached(&mut ws, w, sc, c, pos),
+                None => ev.cost_with(&mut ws, w, sc),
+            };
+            scratch.done[pos] = true;
+            let evaluated = e + 1;
+            if evaluated < n
+                && evaluated % check_every == 0
+                && !fold_bound(set, indices, scratch, floors).better_than(incumbent)
+            {
+                ev.release_workspace(ws);
+                return SetSweep::Cut { evaluated };
+            }
+        }
+        ev.release_workspace(ws);
+        return SetSweep::Complete(fold_bound(set, indices, scratch, floors));
+    }
+
+    // Parallel: fixed rounds over the priority order; sharded evaluation
+    // inside a round, cutoff check between rounds.
+    let round = workers * 4;
+    let mut evaluated = 0usize;
+    while evaluated < n {
+        let batch = &order[evaluated..(evaluated + round).min(n)];
+        let chunk = batch.len().div_ceil(workers);
+        std::thread::scope(|s| {
+            let handles: Vec<_> = batch
+                .chunks(chunk)
+                .map(|part| {
+                    s.spawn(move || {
+                        let mut ws = ev.acquire_workspace();
+                        let costs: Vec<(u32, LexCost)> = part
+                            .iter()
+                            .map(|&pos| {
+                                let sc = set.scenario(indices[pos as usize]);
+                                let c = match cache {
+                                    Some(c) => ev.cost_cached(&mut ws, w, sc, c, pos as usize),
+                                    None => ev.cost_with(&mut ws, w, sc),
+                                };
+                                (pos, c)
+                            })
+                            .collect();
+                        ev.release_workspace(ws);
+                        costs
+                    })
+                })
+                .collect();
+            for h in handles {
+                for (pos, c) in h.join().expect("bounded-sweep worker panicked") {
+                    scratch.costs[pos as usize] = c;
+                    scratch.done[pos as usize] = true;
+                }
+            }
+        });
+        evaluated += batch.len();
+        if evaluated < n && !fold_bound(set, indices, scratch, floors).better_than(incumbent) {
+            return SetSweep::Cut { evaluated };
+        }
+    }
+    SetSweep::Complete(fold_bound(set, indices, scratch, floors))
 }
 
 /// Compound (weight-aware) cost of `w` over a scenario set's indices:
@@ -277,6 +504,116 @@ mod tests {
                 a.add(&LexCost::new(c.lambda * p, c.phi * p))
             });
         assert_eq!(manual, serial);
+    }
+
+    #[test]
+    fn bounded_sweep_completes_bit_for_bit_under_unbeatable_incumbent() {
+        let (net, tm) = setup(6);
+        let ev = Evaluator::new(&net, &tm, CostParams::default());
+        let w = WeightSetting::uniform(net.num_links(), 20);
+        let set = crate::universe::FailureUniverse::of(&net);
+        let indices: Vec<usize> = crate::scenario::ScenarioSet::all_indices(&set);
+        let never = LexCost::new(f64::INFINITY, f64::INFINITY);
+        let order: Vec<u32> = (0..indices.len() as u32).rev().collect(); // any permutation
+        let mut scratch = SweepScratch::new();
+        for threads in [1, 4] {
+            let got = sum_set_costs_bounded(
+                &ev,
+                &w,
+                &set,
+                &indices,
+                threads,
+                &never,
+                &order,
+                None,
+                None,
+                &mut scratch,
+            );
+            let want = sum_set_costs(&ev, &w, &set, &indices, 1);
+            assert_eq!(got, SetSweep::Complete(want), "threads={threads}");
+            // Per-position costs match the plain sweep.
+            let costs = evaluate_set(&ev, &w, &set, &indices, 1);
+            assert_eq!(scratch.costs, costs);
+        }
+    }
+
+    #[test]
+    fn bounded_sweep_cuts_against_a_zero_incumbent() {
+        let (net, tm) = setup(6);
+        let ev = Evaluator::new(&net, &tm, CostParams::default());
+        let w = WeightSetting::uniform(net.num_links(), 20);
+        let set = crate::universe::FailureUniverse::of(&net);
+        let indices: Vec<usize> = crate::scenario::ScenarioSet::all_indices(&set);
+        let order: Vec<u32> = (0..indices.len() as u32).collect();
+        let mut scratch = SweepScratch::new();
+        // Nothing is strictly better than zero cost, so the serial sweep
+        // must cut after the very first evaluation.
+        let got = sum_set_costs_bounded(
+            &ev,
+            &w,
+            &set,
+            &indices,
+            1,
+            &LexCost::ZERO,
+            &order,
+            None,
+            None,
+            &mut scratch,
+        );
+        assert_eq!(got, SetSweep::Cut { evaluated: 1 });
+    }
+
+    #[test]
+    fn bounded_sweep_cut_is_sound_for_every_incumbent_prefix() {
+        // For incumbents slightly below the true total, the sweep must
+        // cut; for incumbents above it, it must complete with the exact
+        // sum — under any evaluation order and thread count.
+        let (net, tm) = setup(7);
+        let ev = Evaluator::new(&net, &tm, CostParams::default());
+        let w = WeightSetting::uniform(net.num_links(), 20);
+        let set = crate::universe::FailureUniverse::of(&net);
+        let indices: Vec<usize> = crate::scenario::ScenarioSet::all_indices(&set);
+        let total = sum_set_costs(&ev, &w, &set, &indices, 1);
+        let mut order: Vec<u32> = (0..indices.len() as u32).collect();
+        order.reverse();
+        let mut scratch = SweepScratch::new();
+        for threads in [1, 3] {
+            let below = LexCost::new(total.lambda, total.phi * 0.5);
+            match sum_set_costs_bounded(
+                &ev,
+                &w,
+                &set,
+                &indices,
+                threads,
+                &below,
+                &order,
+                None,
+                None,
+                &mut scratch,
+            ) {
+                SetSweep::Cut { evaluated } => assert!(evaluated <= indices.len()),
+                SetSweep::Complete(c) => {
+                    // Completing is allowed (the cut is opportunistic),
+                    // but the sum must be exact and not better.
+                    assert_eq!(c, total);
+                    assert!(!c.better_than(&below));
+                }
+            }
+            let above = LexCost::new(total.lambda + 1.0, total.phi);
+            let got = sum_set_costs_bounded(
+                &ev,
+                &w,
+                &set,
+                &indices,
+                threads,
+                &above,
+                &order,
+                None,
+                None,
+                &mut scratch,
+            );
+            assert_eq!(got, SetSweep::Complete(total), "threads={threads}");
+        }
     }
 
     #[test]

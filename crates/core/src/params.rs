@@ -50,9 +50,27 @@ pub struct Params {
     /// Archive size: how many acceptable settings Phase 1 keeps as Phase-2
     /// starting points.
     pub archive_size: usize,
-    /// Worker threads for failure-cost sums (1 = serial). Results are
-    /// identical for any value; this only changes wall-clock.
+    /// Worker threads for failure-cost sums and speculative move batches
+    /// (1 = serial). Results are identical for any value; this only
+    /// changes wall-clock.
     pub threads: usize,
+    /// Speculation window `K`: how many candidate moves of a sweep are
+    /// pre-drawn and evaluated ahead of the replay cursor (1 = the plain
+    /// serial loop). The trajectory is bit-for-bit identical for every
+    /// value — speculation past an accepted move is discarded and
+    /// recomputed (see [`crate::search::speculative_sweep`]).
+    pub speculation: usize,
+    /// Enable the incumbent-bounded early-cutoff failure sweeps of the
+    /// robust phase. The cutoff is a float-exact proof of rejection
+    /// (see [`crate::parallel::sum_set_costs_bounded`]), so accepted
+    /// moves, their costs, and the full accept/reject sequence are
+    /// identical with it on or off; only losing sweeps get cheaper.
+    pub cutoff: bool,
+    /// Record the per-proposal accept/reject trace into the phase
+    /// outputs ([`crate::search::MoveOutcome`]). Off by default: the
+    /// trace grows with the move count and exists for the equivalence
+    /// suite and diagnostics.
+    pub record_trace: bool,
     /// Hard safety cap on sweeps per phase — a termination backstop far
     /// above what the `c%` rule needs; never binding in practice.
     pub max_iterations: usize,
@@ -80,6 +98,9 @@ impl Params {
             max_phase1b_rounds: 50,
             archive_size: 12,
             threads: 1,
+            speculation: 8,
+            cutoff: true,
+            record_trace: false,
             max_iterations: 100_000,
             seed,
         }
@@ -135,6 +156,7 @@ impl Params {
         );
         assert!(self.archive_size >= 1);
         assert!(self.threads >= 1);
+        assert!(self.speculation >= 1, "speculation window K >= 1");
         assert!(self.max_iterations >= 1);
     }
 }

@@ -16,6 +16,14 @@
 //!
 //! The criticality ranking is re-estimated every `τ` average samples per
 //! link; Phase 1a reports whether it converged (else Phase 1b tops up).
+//!
+//! The sweep runs through the speculative batched-move kernel
+//! ([`crate::search::speculative_sweep`]): the next `K` proposals are
+//! pre-drawn and their normal-conditions costs evaluated concurrently on
+//! pooled workspaces, then replayed serially in draw order — sample
+//! harvesting, archive offers and the accept/reject sequence are
+//! bit-for-bit those of the serial loop for every batch size and thread
+//! count.
 
 use dtr_cost::{Evaluator, LexCost};
 use rand::rngs::StdRng;
@@ -29,8 +37,8 @@ use crate::params::Params;
 use crate::ranking::RankTracker;
 use crate::samples::SampleStore;
 use crate::search::{
-    duplex_weights, random_symmetric_setting, random_weight_pair, set_duplex_weights, Archive,
-    SearchStats, StopRule,
+    duplex_weights, random_symmetric_setting, random_weight_pair, set_duplex_weights,
+    speculative_sweep, Archive, Decision, MoveOutcome, SearchStats, SpecBuffers, StopRule,
 };
 use crate::universe::FailureUniverse;
 
@@ -50,6 +58,9 @@ pub struct Phase1Output {
     pub tracker: RankTracker,
     /// `true` if the criticality ranking converged during Phase 1a.
     pub converged: bool,
+    /// Per-proposal accept/reject sequence (empty unless
+    /// `params.record_trace`).
+    pub trace: Vec<MoveOutcome>,
     pub stats: SearchStats,
 }
 
@@ -84,44 +95,67 @@ pub fn run(ev: &Evaluator<'_>, universe: &FailureUniverse, params: &Params) -> P
 
     let mut reps: Vec<_> = universe.all_duplex.clone();
     let mut stale_sweeps = 0usize;
+    let mut spec = SpecBuffers::new();
+    let mut trace: Vec<MoveOutcome> = Vec::new();
 
     while stats.iterations < params.max_iterations {
         stats.iterations += 1;
         reps.shuffle(&mut rng);
         let mut improved = false;
+        let mut wasted = 0usize;
 
-        for &rep in &reps {
-            let (old_wd, old_wt) = duplex_weights(&current, rep);
-            let (new_wd, new_wt) = random_weight_pair(params.wmax, &mut rng);
-            if (new_wd, new_wt) == (old_wd, old_wt) {
-                continue;
-            }
-            let base_acceptable = acceptable(&current_cost, &best_cost, params.z, params.chi, b1);
-            set_duplex_weights(&mut current, net, rep, new_wd, new_wt);
-            let cand = ev.cost(&current, Scenario::Normal);
-            stats.evaluations += 1;
+        speculative_sweep(
+            &reps,
+            &mut rng,
+            params.speculation,
+            params.threads,
+            &mut current,
+            &mut spec,
+            &mut wasted,
+            |rng| random_weight_pair(params.wmax, rng),
+            duplex_weights,
+            |w: &mut WeightSetting, rep, &(wd, wt): &(u32, u32)| {
+                set_duplex_weights(w, net, rep, wd, wt)
+            },
+            |w| ev.cost(w, Scenario::Normal),
+            |cand_w, rep, &cand: &LexCost| {
+                stats.evaluations += 1;
+                // `current_cost` is the pre-move cost here (the driver
+                // applies the move to the setting only, never the cost).
+                let base_acceptable =
+                    acceptable(&current_cost, &best_cost, params.z, params.chi, b1);
 
-            // Sample harvest: the new pair emulates this link's failure.
-            if base_acceptable && current.emulates_failure(rep, params.q) {
-                if let Some(fi) = universe.failure_index(rep) {
-                    store.record(fi, cand.lambda, cand.phi);
+                // Sample harvest: the new pair emulates this link's
+                // failure.
+                if base_acceptable && cand_w.emulates_failure(rep, params.q) {
+                    if let Some(fi) = universe.failure_index(rep) {
+                        store.record(fi, cand.lambda, cand.phi);
+                    }
                 }
-            }
 
-            if cand.better_than(&current_cost) {
-                current_cost = cand;
-                improved = true;
-                if cand.better_than(&best_cost) {
-                    best = current.clone();
-                    best_cost = cand;
+                if cand.better_than(&current_cost) {
+                    current_cost = cand;
+                    improved = true;
+                    if cand.better_than(&best_cost) {
+                        best.clone_from(cand_w);
+                        best_cost = cand;
+                    }
+                    if acceptable(&cand, &best_cost, params.z, params.chi, b1) {
+                        archive.offer(cand_w, cand);
+                    }
+                    if params.record_trace {
+                        trace.push(MoveOutcome::Accept);
+                    }
+                    Decision::Accept
+                } else {
+                    if params.record_trace {
+                        trace.push(MoveOutcome::Reject);
+                    }
+                    Decision::Reject
                 }
-                if acceptable(&cand, &best_cost, params.z, params.chi, b1) {
-                    archive.offer(&current, cand);
-                }
-            } else {
-                set_duplex_weights(&mut current, net, rep, old_wd, old_wt);
-            }
-        }
+            },
+        );
+        stats.speculative_wasted += wasted;
 
         // Criticality-rank convergence checks every τ samples/link.
         while store.total() >= next_checkpoint {
@@ -155,6 +189,7 @@ pub fn run(ev: &Evaluator<'_>, universe: &FailureUniverse, params: &Params) -> P
         store,
         tracker,
         converged,
+        trace,
         stats,
     }
 }

@@ -8,9 +8,18 @@
 //! force one failable link's weight pair into `[⌈q·wmax⌉, wmax]²`, evaluate,
 //! record. Each round adds `τ` samples per link (poorest-sampled links
 //! first within a round), then re-checks convergence.
+//!
+//! Manufactured samples are embarrassingly parallel — no acceptance, no
+//! state mutation between evaluations — so they are the ideal case for
+//! the speculative batching of the search stack: candidates are
+//! pre-drawn in RNG order `params.speculation` at a time, evaluated
+//! concurrently on `params.threads` pooled workspaces, and recorded
+//! serially in draw order. Recorded samples are bit-for-bit (and in the
+//! same order as) the serial loop's for every batch size and thread
+//! count.
 
 use dtr_cost::Evaluator;
-use dtr_routing::Scenario;
+use dtr_routing::{Scenario, WeightSetting};
 use rand::rngs::StdRng;
 use rand::seq::SliceRandom;
 use rand::SeedableRng;
@@ -58,22 +67,34 @@ pub fn run(
         // link's sample count).
         let mut order: Vec<usize> = (0..universe.len()).collect();
         order.sort_by_key(|&i| phase1.store.count(i));
+        let batch_size = params.speculation.max(1);
+        let mut cands: Vec<(usize, WeightSetting)> = Vec::with_capacity(batch_size);
         for _ in 0..params.tau {
             order.shuffle(&mut rng);
-            for &fi in &order {
-                let rep = universe.failable[fi];
-                let (base, _) = phase1
-                    .archive
-                    .sample(&mut rng)
-                    .expect("phase 1 always archives its best setting");
-                let mut w = base.clone();
-                let (wd, wt) = failure_emulating_pair(params.wmax, params.q, &mut rng);
-                set_duplex_weights(&mut w, net, rep, wd, wt);
-                debug_assert!(w.emulates_failure(rep, params.q));
-                debug_assert_ne!(duplex_weights(&w, rep), (0, 0));
-                let cost = ev.cost(&w, Scenario::Normal);
-                stats.evaluations += 1;
-                phase1.store.record(fi, cost.lambda, cost.phi);
+            for chunk in order.chunks(batch_size) {
+                // Pre-draw the whole batch in RNG order, then evaluate it
+                // concurrently and record in draw order.
+                cands.clear();
+                for &fi in chunk {
+                    let rep = universe.failable[fi];
+                    let (base, _) = phase1
+                        .archive
+                        .sample(&mut rng)
+                        .expect("phase 1 always archives its best setting");
+                    let mut w = base.clone();
+                    let (wd, wt) = failure_emulating_pair(params.wmax, params.q, &mut rng);
+                    set_duplex_weights(&mut w, net, rep, wd, wt);
+                    debug_assert!(w.emulates_failure(rep, params.q));
+                    debug_assert_ne!(duplex_weights(&w, rep), (0, 0));
+                    cands.push((fi, w));
+                }
+                let costs = crate::parallel::parallel_map(&cands, params.threads, |(_, w)| {
+                    ev.cost(w, Scenario::Normal)
+                });
+                for ((fi, _), cost) in cands.iter().zip(costs) {
+                    stats.evaluations += 1;
+                    phase1.store.record(*fi, cost.lambda, cost.phi);
+                }
             }
         }
 

@@ -1,4 +1,5 @@
-//! Phase 2 — robust optimization over the critical set (Eqs. 4–7).
+//! Phase 2 — robust optimization over the critical set (Eqs. 4–7),
+//! restructured as a speculative, cutoff-aware batched kernel.
 //!
 //! Minimizes the compound failure cost
 //! `K̄fail = ⟨Σ_{l∈Ec} Λfail,l, Σ_{l∈Ec} Φfail,l⟩` subject to the
@@ -10,21 +11,46 @@
 //! The search starts from, and diversifies back to, the Phase-1 archive of
 //! acceptable settings ("each diversification round starts with a weight
 //! setting close to one that already satisfies the constraints", §V-A3).
-//! A candidate move is first checked against the constraints with a single
-//! normal-conditions evaluation; only survivors pay for the full
-//! `|Ec|`-scenario failure sweep.
 //!
-//! Both evaluations ride the incremental engine in `dtr_cost::engine`: a
-//! neighbor move changes one duplex link's weights, so the
-//! normal-conditions check re-routes only the destinations whose distance
-//! field that change can provably touch, and the failure sweep
-//! ([`parallel::evaluate_set`] for set-based runs,
-//! [`parallel::failure_costs`] for scenario slices) re-routes, per
-//! scenario, only the destinations whose shortest-path DAG uses a link of
-//! that scenario's down-set — for **every** scenario kind the set holds
-//! (link, node, SRLG, double-link, probabilistically weighted). Results
-//! are bit-for-bit those of full per-scenario evaluation, so the search
-//! trajectory is unchanged.
+//! # The batched + cutoff kernel
+//!
+//! The hill climber itself — not the per-evaluation engine — is the hot
+//! loop at paper scale, so both of its costs are restructured around the
+//! facts that the RNG move stream is deterministic and that `K̄fail` is a
+//! non-negative weighted sum:
+//!
+//! * **Speculative batched moves** — the next `K` candidate moves of a
+//!   sweep are pre-drawn and their normal-conditions costs evaluated
+//!   concurrently on pooled workspaces
+//!   ([`crate::search::speculative_sweep`]); acceptance is replayed
+//!   serially in draw order and speculation past the first accepted move
+//!   is discarded. Most moves die at the Eq. 5–6 constraint gate, so the
+//!   speculated costs are almost never wasted.
+//! * **Monotone early-cutoff sweeps** — a candidate that survives the
+//!   gate pays the `|Ec|`-scenario failure sweep through
+//!   [`parallel::sum_set_costs_bounded`], which abandons the sweep as
+//!   soon as the partial fold *proves* the candidate cannot beat the
+//!   incumbent `K̄fail` (scenarios are evaluated
+//!   costliest-under-the-incumbent first to make that proof fire early).
+//!   Skipped evaluations land in
+//!   [`SearchStats::scenario_evals_skipped`].
+//!
+//! Both mechanisms are float-exact: accepted moves always complete their
+//! sweep (whose index-order reduction is bit-for-bit the plain
+//! [`parallel::sum_set_costs`] fold), and the cutoff only fires on moves
+//! the full sweep would reject. The best setting, its costs, and the
+//! full accept/reject sequence are therefore identical for every
+//! speculation window, thread count, and cutoff setting — pinned by
+//! `tests/search_equivalence.rs`.
+//!
+//! Both evaluation kinds ride the incremental engine in
+//! `dtr_cost::engine`: a neighbor move changes one duplex link's weights,
+//! so the normal-conditions check re-routes only the destinations whose
+//! distance field that change can provably touch, and the failure sweep
+//! re-routes, per scenario, only the destinations whose shortest-path DAG
+//! uses a link of that scenario's down-set — for **every** scenario kind
+//! the set holds (link, node, SRLG, double-link, probabilistically
+//! weighted).
 
 use dtr_cost::{Evaluator, LexCost};
 use dtr_routing::{Scenario, WeightSetting};
@@ -32,12 +58,13 @@ use rand::rngs::StdRng;
 use rand::seq::SliceRandom;
 use rand::SeedableRng;
 
-use crate::parallel;
+use crate::parallel::{self, SetSweep, SweepScratch};
 use crate::params::Params;
 use crate::phase1::Phase1Output;
-use crate::scenario::ScenarioSet;
+use crate::scenario::{ScenarioSet, SliceSet};
 use crate::search::{
-    duplex_weights, random_weight_pair, set_duplex_weights, SearchStats, StopRule,
+    duplex_weights, random_weight_pair, set_duplex_weights, speculative_sweep, Decision,
+    MoveOutcome, SearchStats, SpecBuffers, StopRule,
 };
 
 /// Result of the robust search.
@@ -52,6 +79,9 @@ pub struct Phase2Output {
     /// Moves rejected by the normal-conditions constraints (cheap
     /// rejections — they skip the failure sweep).
     pub constraint_rejections: usize,
+    /// Per-proposal accept/reject sequence (empty unless
+    /// `params.record_trace`).
+    pub trace: Vec<MoveOutcome>,
     pub stats: SearchStats,
 }
 
@@ -62,17 +92,188 @@ pub fn feasible(normal: &LexCost, lambda_star: f64, phi_star: f64, chi: f64) -> 
     normal.lambda <= lambda_star + dtr_cost::LAMBDA_EPS && normal.phi <= (1.0 + chi) * phi_star
 }
 
+/// Accepted moves between full capture sweeps of the move-diff scenario
+/// cache. Each accept cheaply *refreshes* the cache onto the new
+/// incumbent ([`Evaluator::cache_refresh`]) so candidate diffs stay at
+/// one duplex move, but refreshes never extend coverage to newly
+/// mask-affected destinations — the periodic full rebuild restores it.
+/// Correctness never depends on this value.
+const CACHE_REBUILD_DRIFT: usize = 12;
+
+/// Evaluation-order state of the cutoff sweeps: positions into the
+/// `indices` slice, costliest-under-the-incumbent first, the shared
+/// per-position cost scratch, the per-position Λ floors that stand in
+/// for scenarios a bounded sweep has not reached yet, and the move-diff
+/// scenario cache (plus its drift since the last rebuild).
+struct SweepState {
+    order: Vec<u32>,
+    scratch: SweepScratch,
+    floors: Vec<f64>,
+    cache: dtr_cost::ScenarioCache,
+    drift: usize,
+}
+
+impl SweepState {
+    /// Build the sweep state; the floors (one SPF per demand
+    /// destination per scenario, see [`Evaluator::lambda_floor`]) are
+    /// only computed when the cutoff will actually read them — their
+    /// one-off cost is on the order of a single failure sweep.
+    fn new<S: ScenarioSet + ?Sized>(
+        ev: &Evaluator<'_>,
+        set: &S,
+        indices: &[usize],
+        params: &Params,
+    ) -> Self {
+        let floors = if params.cutoff {
+            indices
+                .iter()
+                .map(|&i| ev.lambda_floor(set.scenario(i)))
+                .collect()
+        } else {
+            Vec::new()
+        };
+        SweepState {
+            order: (0..indices.len() as u32).collect(),
+            scratch: SweepScratch::new(),
+            floors,
+            cache: dtr_cost::ScenarioCache::new(),
+            drift: 0,
+        }
+    }
+
+    /// Re-sort the evaluation order by the incumbent's per-scenario
+    /// **excess over the Λ floor** (Φ as tie-break), descending, ties by
+    /// position — so the order, and therefore the deterministic skip
+    /// accounting, is fully pinned. The floors already stand in for
+    /// unevaluated scenarios, so what advances a bounded sweep's partial
+    /// fold toward the incumbent is exactly each evaluated scenario's
+    /// excess; front-loading the scenarios where the incumbent's excess
+    /// is largest makes a losing candidate's proof fire as early as
+    /// possible.
+    fn refresh<S: ScenarioSet + ?Sized>(&mut self, set: &S, indices: &[usize]) {
+        let costs = &self.scratch.costs;
+        let floors = &self.floors;
+        let weighted = set.weighted();
+        let key = |pos: u32| -> (f64, f64) {
+            let c = &costs[pos as usize];
+            let excess = c.lambda - floors[pos as usize];
+            if weighted {
+                let p = set.weight(indices[pos as usize]);
+                (excess * p, c.phi * p)
+            } else {
+                (excess, c.phi)
+            }
+        };
+        self.order.sort_by(|&a, &b| {
+            let (la, pa) = key(a);
+            let (lb, pb) = key(b);
+            lb.total_cmp(&la).then(pb.total_cmp(&pa)).then(a.cmp(&b))
+        });
+    }
+}
+
+/// Full compound sweep (init, diversification restarts, cache rebuilds,
+/// and the cutoff-off path): bit-for-bit [`parallel::sum_set_costs`].
+/// With the cutoff enabled it runs serially through
+/// [`Evaluator::cost_capture`], rebuilding the move-diff scenario cache
+/// on `w` and refreshing the per-position costs and evaluation order as
+/// it goes (the index-order weighted fold is exactly the seed's
+/// float-add sequence).
+fn full_sweep<S: ScenarioSet + Sync + ?Sized>(
+    ev: &Evaluator<'_>,
+    set: &S,
+    indices: &[usize],
+    params: &Params,
+    w: &WeightSetting,
+    stats: &mut SearchStats,
+    st: &mut SweepState,
+) -> LexCost {
+    stats.evaluations += indices.len();
+    if params.cutoff {
+        rebuild_cache(ev, set, indices, w, params.threads, st);
+        let weighted = set.weighted();
+        let mut acc = LexCost::ZERO;
+        for (pos, &i) in indices.iter().enumerate() {
+            let c = &st.scratch.costs[pos];
+            acc = if weighted {
+                let p = set.weight(i);
+                acc.add(&LexCost::new(c.lambda * p, c.phi * p))
+            } else {
+                acc.add(c)
+            };
+        }
+        st.refresh(set, indices);
+        acc
+    } else {
+        parallel::sum_set_costs(ev, w, set, indices, params.threads)
+    }
+}
+
+/// Capture sweep over `w`: rebuilds the move-diff scenario cache and
+/// refreshes the per-position cost scratch, sharding across `threads`
+/// workers (cache entries and cost slots are position-disjoint, so each
+/// worker owns a contiguous chunk of both). Does not touch the logical
+/// evaluation count — callers account for it as either part of a
+/// logical full sweep or as [`SearchStats::cache_rebuild_evals`]
+/// overhead.
+fn rebuild_cache<S: ScenarioSet + Sync + ?Sized>(
+    ev: &Evaluator<'_>,
+    set: &S,
+    indices: &[usize],
+    w: &WeightSetting,
+    threads: usize,
+    st: &mut SweepState,
+) {
+    st.cache.begin_rebuild(w, indices.len());
+    st.drift = 0;
+    st.scratch.costs.clear();
+    st.scratch.costs.resize(indices.len(), LexCost::ZERO);
+    let workers = threads.min(indices.len());
+    if workers <= 1 {
+        let mut ws = ev.acquire_workspace();
+        for ((pos, &i), entry) in indices.iter().enumerate().zip(st.cache.entries_mut()) {
+            st.scratch.costs[pos] = ev.cost_capture_into(&mut ws, w, set.scenario(i), entry);
+        }
+        ev.release_workspace(ws);
+        return;
+    }
+    let chunk = indices.len().div_ceil(workers);
+    let entries = st.cache.entries_mut();
+    let costs = &mut st.scratch.costs;
+    std::thread::scope(|s| {
+        let handles: Vec<_> = indices
+            .chunks(chunk)
+            .zip(entries.chunks_mut(chunk))
+            .zip(costs.chunks_mut(chunk))
+            .map(|((idx, ents), cst)| {
+                s.spawn(move || {
+                    let mut ws = ev.acquire_workspace();
+                    for ((&i, entry), c) in idx.iter().zip(ents).zip(cst) {
+                        *c = ev.cost_capture_into(&mut ws, w, set.scenario(i), entry);
+                    }
+                    ev.release_workspace(ws);
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().expect("capture-sweep worker panicked");
+        }
+    });
+}
+
 /// Run Phase 2 over the scenarios of `indices` drawn from any
 /// [`ScenarioSet`]. The set supplies both the scenarios and (for
 /// probabilistic ensembles) their weights; uniform sets keep the paper's
 /// plain Eq. (4) sum. The canonical single-link call passes the
-/// [`crate::FailureUniverse`] itself.
+/// [`crate::FailureUniverse`] itself; arbitrary scenario slices ride the
+/// same path through [`SliceSet`] (see [`run_scenarios`]).
 ///
-/// The failure sweep runs through the set-native sharded
-/// [`parallel::evaluate_set`]: no scenario vector is materialized per
-/// sweep, every worker reuses a pooled incremental workspace, and the
-/// weighted reduction folds in index order — so the trajectory is
-/// bit-for-bit identical for every `params.threads`.
+/// All failure sweeps run through the set-native sharded kernels in
+/// [`parallel`]: no scenario vector is materialized per sweep, every
+/// worker reuses a pooled incremental workspace, and the weighted
+/// reduction folds in index order — so the trajectory is bit-for-bit
+/// identical for every `params.threads`, `params.speculation`, and
+/// `params.cutoff` (see the module docs).
 pub fn run<S: ScenarioSet + Sync + ?Sized>(
     ev: &Evaluator<'_>,
     set: &S,
@@ -90,57 +291,6 @@ pub fn run<S: ScenarioSet + Sync + ?Sized>(
             );
         }
     }
-    let kfail_of = |w: &WeightSetting, stats: &mut SearchStats| -> LexCost {
-        stats.evaluations += indices.len();
-        parallel::sum_set_costs(ev, w, set, indices, params.threads)
-    };
-    run_with(ev, params, phase1, indices.is_empty(), kfail_of)
-}
-
-/// Run Phase 2 against an arbitrary scenario slice — e.g. all single node
-/// failures for the §V-F comparison routing, or sampled double-link
-/// failures. Identical machinery; only the objective's scenario sum
-/// differs.
-pub fn run_scenarios(
-    ev: &Evaluator<'_>,
-    scenarios: &[Scenario],
-    params: &Params,
-    phase1: &Phase1Output,
-    scenario_weights: Option<&[f64]>,
-) -> Phase2Output {
-    params.validate();
-    if let Some(sw) = scenario_weights {
-        assert_eq!(
-            sw.len(),
-            scenarios.len(),
-            "one weight per critical scenario"
-        );
-        assert!(sw.iter().all(|&p| p >= 0.0 && p.is_finite()));
-    }
-    let kfail_of = |w: &WeightSetting, stats: &mut SearchStats| -> LexCost {
-        let costs = parallel::failure_costs(ev, w, scenarios, params.threads);
-        stats.evaluations += costs.len();
-        match scenario_weights {
-            None => costs.iter().fold(LexCost::ZERO, |a, c| a.add(c)),
-            Some(sw) => costs.iter().zip(sw).fold(LexCost::ZERO, |a, (c, &p)| {
-                a.add(&LexCost::new(c.lambda * p, c.phi * p))
-            }),
-        }
-    };
-    run_with(ev, params, phase1, scenarios.is_empty(), kfail_of)
-}
-
-/// The shared Phase-2 search loop: everything but the compound-cost
-/// sweep, which the public entry points supply as `kfail_of` (set-native
-/// sharded for [`run`], slice-based for [`run_scenarios`] — identical
-/// float behaviour either way).
-fn run_with(
-    ev: &Evaluator<'_>,
-    params: &Params,
-    phase1: &Phase1Output,
-    no_scenarios: bool,
-    kfail_of: impl Fn(&WeightSetting, &mut SearchStats) -> LexCost,
-) -> Phase2Output {
     let net = ev.net();
     let lambda_star = phase1.best_cost.lambda;
     let phi_star = phase1.best_cost.phi;
@@ -148,6 +298,8 @@ fn run_with(
 
     let mut stats = SearchStats::default();
     let mut constraint_rejections = 0usize;
+    let mut trace: Vec<MoveOutcome> = Vec::new();
+    let mut st = SweepState::new(ev, set, indices, params);
 
     // Start from the best archived setting.
     let (start, start_normal) = phase1
@@ -156,7 +308,7 @@ fn run_with(
         .cloned()
         .expect("phase 1 archives at least its best setting");
     let mut current = start;
-    let mut current_kfail = kfail_of(&current, &mut stats);
+    let mut current_kfail = full_sweep(ev, set, indices, params, &current, &mut stats, &mut st);
 
     let mut best = current.clone();
     let mut best_kfail = current_kfail;
@@ -165,14 +317,16 @@ fn run_with(
     let mut stop = StopRule::new(params.p2, params.c);
     let mut reps: Vec<_> = net.duplex_representatives();
     let mut stale_sweeps = 0usize;
+    let mut spec = SpecBuffers::new();
 
     // Degenerate but legal: nothing to optimize against.
-    if no_scenarios {
+    if indices.is_empty() {
         return Phase2Output {
             best,
             best_kfail,
             best_normal,
             constraint_rejections,
+            trace,
             stats,
         };
     }
@@ -181,34 +335,105 @@ fn run_with(
         stats.iterations += 1;
         reps.shuffle(&mut rng);
         let mut improved = false;
+        let mut wasted = 0usize;
 
-        for &rep in &reps {
-            let (old_wd, old_wt) = duplex_weights(&current, rep);
-            let (new_wd, new_wt) = random_weight_pair(params.wmax, &mut rng);
-            if (new_wd, new_wt) == (old_wd, old_wt) {
-                continue;
-            }
-            set_duplex_weights(&mut current, net, rep, new_wd, new_wt);
-            let normal = ev.cost(&current, Scenario::Normal);
-            stats.evaluations += 1;
-            if !feasible(&normal, lambda_star, phi_star, params.chi) {
-                constraint_rejections += 1;
-                set_duplex_weights(&mut current, net, rep, old_wd, old_wt);
-                continue;
-            }
-            let kfail = kfail_of(&current, &mut stats);
-            if kfail.better_than(&current_kfail) {
-                current_kfail = kfail;
-                improved = true;
-                if kfail.better_than(&best_kfail) {
-                    best = current.clone();
-                    best_kfail = kfail;
-                    best_normal = normal;
+        speculative_sweep(
+            &reps,
+            &mut rng,
+            params.speculation,
+            params.threads,
+            &mut current,
+            &mut spec,
+            &mut wasted,
+            |rng| random_weight_pair(params.wmax, rng),
+            duplex_weights,
+            |w: &mut WeightSetting, rep, &(wd, wt): &(u32, u32)| {
+                set_duplex_weights(w, net, rep, wd, wt)
+            },
+            |w| ev.cost(w, Scenario::Normal),
+            |cand_w, _rep, normal: &LexCost| {
+                stats.evaluations += 1;
+                if !feasible(normal, lambda_star, phi_star, params.chi) {
+                    constraint_rejections += 1;
+                    if params.record_trace {
+                        trace.push(MoveOutcome::ConstraintReject);
+                    }
+                    return Decision::Reject;
                 }
-            } else {
-                set_duplex_weights(&mut current, net, rep, old_wd, old_wt);
-            }
-        }
+                stats.evaluations += indices.len();
+                let outcome = if params.cutoff {
+                    ev.cache_begin(&mut st.cache, cand_w);
+                    parallel::sum_set_costs_bounded(
+                        ev,
+                        cand_w,
+                        set,
+                        indices,
+                        params.threads,
+                        &current_kfail,
+                        &st.order,
+                        Some(&st.floors),
+                        Some(&st.cache),
+                        &mut st.scratch,
+                    )
+                } else {
+                    SetSweep::Complete(parallel::sum_set_costs(
+                        ev,
+                        cand_w,
+                        set,
+                        indices,
+                        params.threads,
+                    ))
+                };
+                match outcome {
+                    SetSweep::Complete(kfail) if kfail.better_than(&current_kfail) => {
+                        current_kfail = kfail;
+                        if params.cutoff {
+                            // Re-point the cache at the new incumbent so
+                            // the next candidate's diff is again a single
+                            // duplex move; a full capture sweep every
+                            // CACHE_REBUILD_DRIFT accepts restores
+                            // coverage of newly mask-affected dests.
+                            st.drift += 1;
+                            if st.drift >= CACHE_REBUILD_DRIFT {
+                                stats.cache_rebuild_evals += indices.len();
+                                rebuild_cache(ev, set, indices, cand_w, params.threads, &mut st);
+                            } else {
+                                let mut ws = ev.acquire_workspace();
+                                ev.cache_refresh(&mut ws, &mut st.cache, cand_w, |pos| {
+                                    set.scenario(indices[pos])
+                                });
+                                ev.release_workspace(ws);
+                            }
+                            st.refresh(set, indices);
+                        }
+                        improved = true;
+                        if kfail.better_than(&best_kfail) {
+                            best.clone_from(cand_w);
+                            best_kfail = kfail;
+                            best_normal = *normal;
+                        }
+                        if params.record_trace {
+                            trace.push(MoveOutcome::Accept);
+                        }
+                        Decision::Accept
+                    }
+                    SetSweep::Complete(_) => {
+                        if params.record_trace {
+                            trace.push(MoveOutcome::Reject);
+                        }
+                        Decision::Reject
+                    }
+                    SetSweep::Cut { evaluated } => {
+                        stats.scenario_evals_skipped += indices.len() - evaluated;
+                        if params.record_trace {
+                            trace.push(MoveOutcome::Reject);
+                        }
+                        Decision::Reject
+                    }
+                }
+            },
+        );
+        stats.speculative_wasted += wasted;
 
         stale_sweeps = if improved { 0 } else { stale_sweeps + 1 };
         if stale_sweeps >= params.div_interval_2 {
@@ -228,7 +453,7 @@ fn run_with(
                 .cloned()
                 .expect("archive is non-empty");
             current = w;
-            current_kfail = kfail_of(&current, &mut stats);
+            current_kfail = full_sweep(ev, set, indices, params, &current, &mut stats, &mut st);
         }
     }
 
@@ -237,8 +462,28 @@ fn run_with(
         best_kfail,
         best_normal,
         constraint_rejections,
+        trace,
         stats,
     }
+}
+
+/// Run Phase 2 against an arbitrary scenario slice — e.g. all single node
+/// failures for the §V-F comparison routing, or sampled double-link
+/// failures. The slice rides the set-native path through a [`SliceSet`]
+/// adapter, so it gets the same sharded, speculative, cutoff-aware
+/// kernel as [`run`] — and the same float behaviour as the historical
+/// slice-specific sweep (weights, when given, multiply each scenario's
+/// cost before the index-order fold).
+pub fn run_scenarios(
+    ev: &Evaluator<'_>,
+    scenarios: &[Scenario],
+    params: &Params,
+    phase1: &Phase1Output,
+    scenario_weights: Option<&[f64]>,
+) -> Phase2Output {
+    let set = SliceSet::new(scenarios, scenario_weights);
+    let indices: Vec<usize> = (0..scenarios.len()).collect();
+    run(ev, &set, &indices, params, phase1)
 }
 
 #[cfg(test)]
@@ -363,6 +608,32 @@ mod tests {
         // trajectory (acceptance decisions are scale-invariant).
         assert!((halved.best_kfail.lambda - 0.5 * uniform.best_kfail.lambda).abs() < 1e-6);
         assert!((halved.best_kfail.phi - 0.5 * uniform.best_kfail.phi).abs() < 1e-6);
+    }
+
+    #[test]
+    fn cutoff_skips_scenario_evaluations_without_changing_the_result() {
+        let (net, tm) = setup();
+        let ev = Evaluator::new(&net, &tm, CostParams::default());
+        let universe = FailureUniverse::of(&net);
+        let params_on = Params::quick(21);
+        let params_off = Params {
+            cutoff: false,
+            ..params_on
+        };
+        let p1 = phase1::run(&ev, &universe, &params_on);
+        let all: Vec<usize> = (0..universe.len()).collect();
+        let on = run(&ev, &universe, &all, &params_on, &p1);
+        let off = run(&ev, &universe, &all, &params_off, &p1);
+        assert_eq!(on.best, off.best);
+        assert_eq!(on.best_kfail, off.best_kfail);
+        assert_eq!(on.best_normal, off.best_normal);
+        assert_eq!(on.constraint_rejections, off.constraint_rejections);
+        assert_eq!(on.stats.evaluations, off.stats.evaluations);
+        assert_eq!(off.stats.scenario_evals_skipped, 0);
+        assert!(
+            on.stats.scenario_evals_skipped > 0,
+            "cutoff never fired on a quick run with sweep rejections"
+        );
     }
 
     #[test]

@@ -120,6 +120,76 @@ pub trait ScenarioSet {
     }
 }
 
+/// A borrowed scenario slice (+ optional per-scenario weights) as a
+/// [`ScenarioSet`] — the adapter that lets arbitrary scenario lists ride
+/// the set-native machinery (sharded [`crate::parallel::evaluate_set`],
+/// bounded sweeps, [`crate::phase2::run`]) without materializing a
+/// bespoke set type. Scenario index = slice position. Criticality
+/// selection does not apply (there is no per-single-link structure), and
+/// the backing universe is empty: slices are handed to Phase 2 directly,
+/// never to Phase-1 sampling.
+#[derive(Clone, Debug)]
+pub struct SliceSet<'a> {
+    scenarios: &'a [Scenario],
+    weights: Option<&'a [f64]>,
+    universe: FailureUniverse,
+}
+
+impl<'a> SliceSet<'a> {
+    /// Wrap a scenario slice; `weights`, if given, must match it in
+    /// length and hold finite non-negative probability masses.
+    ///
+    /// # Panics
+    /// Panics on length mismatch or invalid weights.
+    pub fn new(scenarios: &'a [Scenario], weights: Option<&'a [f64]>) -> Self {
+        if let Some(sw) = weights {
+            assert_eq!(
+                sw.len(),
+                scenarios.len(),
+                "one weight per critical scenario"
+            );
+            assert!(
+                sw.iter().all(|&p| p >= 0.0 && p.is_finite()),
+                "weights must be finite and non-negative"
+            );
+        }
+        SliceSet {
+            scenarios,
+            weights,
+            universe: FailureUniverse::empty(),
+        }
+    }
+}
+
+impl ScenarioSet for SliceSet<'_> {
+    fn universe(&self) -> &FailureUniverse {
+        &self.universe
+    }
+
+    fn len(&self) -> usize {
+        self.scenarios.len()
+    }
+
+    fn scenario(&self, i: usize) -> Scenario {
+        self.scenarios[i]
+    }
+
+    fn weight(&self, i: usize) -> f64 {
+        self.weights.map_or(1.0, |sw| sw[i])
+    }
+
+    fn weighted(&self) -> bool {
+        // Mirrors the historical slice entry points: a supplied weight
+        // vector selects the weighted fold even if every mass is 1.0
+        // (multiplying by 1.0 is bit-exact, so the two folds agree).
+        self.weights.is_some()
+    }
+
+    fn supports_selection(&self) -> bool {
+        false
+    }
+}
+
 /// `FailureUniverse` is the canonical [`ScenarioSet`]: one scenario per
 /// survivable single-link failure, uniform weights, scenario index =
 /// failure index, criticality selection straight through.
@@ -201,6 +271,44 @@ mod tests {
         }
         assert_eq!(set.critical_scenarios(&[0, 2]), vec![0, 2]);
         assert_eq!(set.all_indices(), vec![0, 1, 2, 3, 4]);
+    }
+
+    #[test]
+    fn slice_set_adapts_a_scenario_slice() {
+        let net = ring(5);
+        let scenarios: Vec<Scenario> = net
+            .duplex_representatives()
+            .into_iter()
+            .map(Scenario::Link)
+            .collect();
+        let set = SliceSet::new(&scenarios, None);
+        assert_eq!(set.len(), scenarios.len());
+        assert!(!set.weighted());
+        assert!(!set.supports_selection());
+        assert!(set.universe().is_empty());
+        for (i, &sc) in scenarios.iter().enumerate() {
+            assert_eq!(set.scenario(i), sc);
+            assert_eq!(set.weight(i), 1.0);
+        }
+
+        // A supplied weight vector selects the weighted fold (even with
+        // unit masses — multiplying by 1.0 is bit-exact).
+        let weights = vec![0.25; scenarios.len()];
+        let weighted = SliceSet::new(&scenarios, Some(&weights));
+        assert!(weighted.weighted());
+        assert_eq!(weighted.weight(2), 0.25);
+    }
+
+    #[test]
+    #[should_panic(expected = "one weight per critical scenario")]
+    fn slice_set_rejects_mismatched_weights() {
+        let net = ring(4);
+        let scenarios: Vec<Scenario> = net
+            .duplex_representatives()
+            .into_iter()
+            .map(Scenario::Link)
+            .collect();
+        let _ = SliceSet::new(&scenarios, Some(&[1.0]));
     }
 
     #[test]

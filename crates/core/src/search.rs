@@ -6,6 +6,25 @@
 //! from a diversification point after an improvement drought, and stop
 //! when the trailing window of diversifications yields less than `c`
 //! relative improvement.
+//!
+//! # Speculative batched moves
+//!
+//! The sweep's RNG stream is deterministic and evaluations never consume
+//! randomness, so the next `K` candidate moves of a sweep can be
+//! pre-drawn without perturbing the draw order the serial loop would
+//! produce. [`speculative_sweep`] exploits this: it keeps a sliding
+//! window of up to `K` pre-drawn moves, evaluates their
+//! normal-conditions costs concurrently on pooled workspaces, then
+//! *replays* the window serially in draw order. Acceptance invalidates
+//! the speculation past the accepted move (those costs were computed
+//! against a stale base and are discarded — counted in
+//! [`SearchStats::speculative_wasted`] — then recomputed), so the
+//! accept/reject sequence, every accepted cost, and the RNG stream are
+//! bit-for-bit those of the serial loop for **any** batch size and
+//! thread count. Since most moves are rejected (Phase 2's Eq. 5–6
+//! constraint gate kills the bulk of them), speculation almost always
+//! pays: the whole window's evaluations fan out across threads instead
+//! of serializing behind one another.
 
 use dtr_cost::LexCost;
 use dtr_net::{LinkId, Network};
@@ -58,11 +77,26 @@ pub fn random_symmetric_setting(net: &Network, wmax: u32, rng: &mut StdRng) -> W
 pub struct SearchStats {
     /// Full sweeps over all links.
     pub iterations: usize,
-    /// Objective evaluations (normal-conditions evaluations in Phase 1;
-    /// in Phase 2 each failure-scenario evaluation counts separately).
+    /// *Logical* objective evaluations — what the serial, cutoff-free
+    /// loop would perform (normal-conditions evaluations in Phase 1; in
+    /// Phase 2 each failure-scenario evaluation counts separately).
+    /// Invariant across batch size, thread count and cutoff setting.
     pub evaluations: usize,
     /// Diversification restarts performed.
     pub diversifications: usize,
+    /// Failure-scenario evaluations (already counted in `evaluations`)
+    /// that the incumbent-bounded sweep proved unnecessary and skipped —
+    /// the observable win of the early cutoff.
+    pub scenario_evals_skipped: usize,
+    /// Speculative normal-conditions evaluations discarded because an
+    /// earlier move in the window was accepted (re-evaluated against the
+    /// new base; the wasted copies are *extra* work, never counted in
+    /// `evaluations`).
+    pub speculative_wasted: usize,
+    /// Extra scenario evaluations spent rebuilding the move-diff
+    /// scenario cache after accepted-move drift (physical overhead of
+    /// the cutoff kernel, never counted in `evaluations`).
+    pub cache_rebuild_evals: usize,
 }
 
 impl SearchStats {
@@ -70,12 +104,211 @@ impl SearchStats {
         self.iterations += other.iterations;
         self.evaluations += other.evaluations;
         self.diversifications += other.diversifications;
+        self.scenario_evals_skipped += other.scenario_evals_skipped;
+        self.speculative_wasted += other.speculative_wasted;
+        self.cache_rebuild_evals += other.cache_rebuild_evals;
+    }
+}
+
+/// Outcome of one replayed proposal, recorded into the search trace when
+/// `Params::record_trace` is set. The trace pins the **full**
+/// accept/reject sequence, so the equivalence suite can assert the
+/// trajectory — not just its end state — is identical across speculation
+/// batch sizes, thread counts and cutoff settings.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum MoveOutcome {
+    /// Rejected by the normal-conditions constraint gate (Phase 2 /
+    /// robust phase only) — never paid for a failure sweep.
+    ConstraintReject,
+    /// Rejected on the objective (in Phase 2: by the failure sweep,
+    /// whether fully evaluated or provably cut early).
+    Reject,
+    /// Accepted.
+    Accept,
+}
+
+/// Replay verdict a phase hands back to [`speculative_sweep`] for one
+/// proposal.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Decision {
+    /// Keep the move applied; speculation past it is invalidated.
+    Accept,
+    /// Revert the move.
+    Reject,
+}
+
+/// One pre-drawn move of the speculation window.
+#[derive(Debug)]
+struct SpecSlot<M, C> {
+    rep: LinkId,
+    mv: M,
+    old: M,
+    noop: bool,
+    cost: Option<C>,
+}
+
+/// Reusable buffers for [`speculative_sweep`] (keep one per search run;
+/// all buffers reach steady-state capacity after the first sweep).
+#[derive(Debug)]
+pub struct SpecBuffers<W, M, C> {
+    slots: Vec<SpecSlot<M, C>>,
+    cand: Vec<W>,
+    todo: Vec<usize>,
+}
+
+impl<W, M, C> SpecBuffers<W, M, C> {
+    /// Fresh, empty buffers.
+    pub fn new() -> Self {
+        SpecBuffers {
+            slots: Vec::new(),
+            cand: Vec::new(),
+            todo: Vec::new(),
+        }
+    }
+}
+
+impl<W, M, C> Default for SpecBuffers<W, M, C> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+/// One sweep of the hill climber with speculative batched moves — the
+/// engine of Phases 1/2 and their MTR analogues (see the module docs).
+///
+/// Replays are exactly the serial loop: for each physical link in `reps`
+/// order, a move is drawn (`draw` consumes the RNG in draw order whether
+/// or not the move is later discarded), no-op re-draws are skipped, and
+/// `process` is invoked with `current` *already carrying the move*,
+/// deciding accept (keep) or reject (the driver reverts). The only
+/// difference is *when* the normal-conditions costs are computed: up to
+/// `k` moves ahead of the replay cursor, concurrently on `threads`
+/// workers via `eval`. Because every per-setting cost is bit-exact
+/// regardless of which workspace computes it, and speculation past an
+/// accepted move is discarded and recomputed, the resulting trajectory
+/// is identical for every `(k, threads)` — `k = 1, threads = 1` *is* the
+/// serial loop.
+///
+/// `wasted` accumulates the discarded speculative evaluations
+/// ([`SearchStats::speculative_wasted`]).
+#[allow(clippy::too_many_arguments)]
+pub fn speculative_sweep<W, M, C, D, R, A, E, P>(
+    reps: &[LinkId],
+    rng: &mut StdRng,
+    k: usize,
+    threads: usize,
+    current: &mut W,
+    bufs: &mut SpecBuffers<W, M, C>,
+    wasted: &mut usize,
+    mut draw: D,
+    read_old: R,
+    apply: A,
+    eval: E,
+    mut process: P,
+) where
+    W: Clone + Send + Sync,
+    M: PartialEq,
+    C: Send,
+    D: FnMut(&mut StdRng) -> M,
+    R: Fn(&W, LinkId) -> M,
+    A: Fn(&mut W, LinkId, &M),
+    E: Fn(&W) -> C + Sync,
+    P: FnMut(&W, LinkId, &C) -> Decision,
+{
+    let k = k.max(1);
+    bufs.slots.clear();
+    let mut pos = 0usize; // next window slot to replay
+    let mut drawn = 0usize; // moves drawn so far (== bufs.slots.len())
+
+    while pos < reps.len() {
+        // Extend the window to k pre-drawn moves, consuming the RNG in
+        // exactly the serial draw order. `old` is stable for the rest of
+        // the sweep: reps are distinct within a sweep, so no other
+        // accepted move can touch this link's weights.
+        while drawn < reps.len() && drawn - pos < k {
+            let rep = reps[drawn];
+            let mv = draw(rng);
+            let old = read_old(current, rep);
+            let noop = mv == old;
+            bufs.slots.push(SpecSlot {
+                rep,
+                mv,
+                old,
+                noop,
+                cost: None,
+            });
+            drawn += 1;
+        }
+
+        // Evaluate every pending non-noop candidate against the current
+        // base, fanning out over `threads` workers. With a single worker
+        // there is nothing to overlap, so evaluation is deferred to the
+        // replay below (same costs, no wasted work, and the workspace
+        // baseline tracks `current` exactly as in the serial loop).
+        bufs.todo.clear();
+        if threads > 1 {
+            bufs.todo.extend(
+                (pos..drawn).filter(|&i| !bufs.slots[i].noop && bufs.slots[i].cost.is_none()),
+            );
+        }
+        if !bufs.todo.is_empty() {
+            while bufs.cand.len() < bufs.todo.len() {
+                bufs.cand.push(current.clone());
+            }
+            for (j, &i) in bufs.todo.iter().enumerate() {
+                let slot = &bufs.slots[i];
+                bufs.cand[j].clone_from(current);
+                apply(&mut bufs.cand[j], slot.rep, &slot.mv);
+            }
+            let cands = &bufs.cand[..bufs.todo.len()];
+            let costs = crate::parallel::parallel_map(cands, threads, &eval);
+            for (&i, c) in bufs.todo.iter().zip(costs) {
+                bufs.slots[i].cost = Some(c);
+            }
+        }
+
+        // Replay in draw order until the window drains or a move is
+        // accepted (which invalidates the speculation past it).
+        let mut accepted = false;
+        while pos < drawn {
+            let i = pos;
+            pos += 1;
+            if bufs.slots[i].noop {
+                continue;
+            }
+            apply(current, bufs.slots[i].rep, &bufs.slots[i].mv);
+            let cost = match bufs.slots[i].cost.take() {
+                Some(c) => c,
+                // Single-worker (or invalidated) slot: evaluate at replay
+                // time, on `current` with the move applied — bit-for-bit
+                // the speculative candidate's cost.
+                None => eval(current),
+            };
+            match process(current, bufs.slots[i].rep, &cost) {
+                Decision::Accept => {
+                    accepted = true;
+                    break;
+                }
+                Decision::Reject => apply(current, bufs.slots[i].rep, &bufs.slots[i].old),
+            }
+        }
+        if accepted {
+            for slot in &mut bufs.slots[pos..drawn] {
+                if slot.cost.take().is_some() {
+                    *wasted += 1;
+                }
+            }
+        }
     }
 }
 
 /// The paper's stopping rule: after each diversification, stop once the
 /// relative improvement of the global best over the trailing `window`
 /// diversifications drops below `c`.
+///
+/// Only the trailing `window + 1` records are retained — the rule never
+/// looks further back, and long runs diversify tens of thousands of
+/// times.
 #[derive(Clone, Debug)]
 pub struct StopRule {
     window: usize,
@@ -100,10 +333,32 @@ impl StopRule {
         if self.history.len() <= self.window {
             return false;
         }
+        if self.history.len() > self.window + 1 {
+            // Keep exactly the trailing window (+ the new record); the
+            // comparison below only ever reads that far back.
+            let excess = self.history.len() - (self.window + 1);
+            self.history.drain(..excess);
+        }
         let reference = self.history[self.history.len() - 1 - self.window];
         let improvement = global_best.relative_improvement_over(&reference);
         improvement < self.c
     }
+}
+
+/// Cheap 64-bit fingerprint of a weight setting (FNV-1a over both class
+/// weight vectors). Used by [`Archive::offer`] to reject duplicates with
+/// one integer compare per entry instead of an O(links) vector scan;
+/// equal fingerprints fall back to full equality, so dedup behaviour is
+/// *identical* to the exact scan.
+pub fn weight_fingerprint(w: &WeightSetting) -> u64 {
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    for class in Class::ALL {
+        for &x in w.weights(class) {
+            h ^= u64::from(x);
+            h = h.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+    }
+    h
 }
 
 /// Bounded archive of good weight settings, ordered best-first by
@@ -112,6 +367,8 @@ impl StopRule {
 #[derive(Clone, Debug)]
 pub struct Archive {
     entries: Vec<(WeightSetting, LexCost)>,
+    /// Per-entry [`weight_fingerprint`], aligned with `entries`.
+    fingerprints: Vec<u64>,
     cap: usize,
 }
 
@@ -120,14 +377,22 @@ impl Archive {
         assert!(cap >= 1);
         Archive {
             entries: Vec::new(),
+            fingerprints: Vec::new(),
             cap,
         }
     }
 
     /// Offer a setting; kept if among the `cap` best seen (duplicates by
-    /// exact weight equality are ignored).
+    /// exact weight equality are ignored — screened by fingerprint, so
+    /// the common miss costs one integer compare per entry).
     pub fn offer(&mut self, w: &WeightSetting, cost: LexCost) {
-        if self.entries.iter().any(|(e, _)| e == w) {
+        let f = weight_fingerprint(w);
+        if self
+            .fingerprints
+            .iter()
+            .zip(&self.entries)
+            .any(|(&g, (e, _))| g == f && e == w)
+        {
             return;
         }
         let pos = self
@@ -139,7 +404,9 @@ impl Archive {
             return;
         }
         self.entries.insert(pos, (w.clone(), cost));
+        self.fingerprints.insert(pos, f);
         self.entries.truncate(self.cap);
+        self.fingerprints.truncate(self.cap);
     }
 
     pub fn len(&self) -> usize {
@@ -261,6 +528,76 @@ mod tests {
         assert_eq!(arch.len(), 2);
         assert_eq!(arch.best().unwrap().1.phi, 10.0);
         assert!(arch.entries().iter().all(|(_, c)| c.phi < 30.0));
+    }
+
+    #[test]
+    fn stop_rule_history_is_bounded_to_its_window() {
+        let mut sr = StopRule::new(3, 1e-9);
+        for i in 0..1000 {
+            // Keep improving so the rule never fires.
+            assert!(!sr.record(LexCost::new(0.0, 1e9 / (i + 1) as f64)));
+            assert!(
+                sr.history.len() <= sr.window + 1,
+                "history grew to {} at step {i}",
+                sr.history.len()
+            );
+        }
+    }
+
+    /// The fingerprint screen must dedup exactly like the historical full
+    /// weight-vector scan.
+    #[test]
+    fn archive_fingerprint_dedup_matches_exact_scan() {
+        /// The pre-fingerprint archive, verbatim.
+        struct RefArchive {
+            entries: Vec<(WeightSetting, LexCost)>,
+            cap: usize,
+        }
+        impl RefArchive {
+            fn offer(&mut self, w: &WeightSetting, cost: LexCost) {
+                if self.entries.iter().any(|(e, _)| e == w) {
+                    return;
+                }
+                let pos = self
+                    .entries
+                    .iter()
+                    .position(|(_, c)| cost.better_than(c))
+                    .unwrap_or(self.entries.len());
+                if pos >= self.cap {
+                    return;
+                }
+                self.entries.insert(pos, (w.clone(), cost));
+                self.entries.truncate(self.cap);
+            }
+        }
+
+        let net = triangle();
+        let mut rng = StdRng::seed_from_u64(77);
+        let mut fast = Archive::new(4);
+        let mut slow = RefArchive {
+            entries: Vec::new(),
+            cap: 4,
+        };
+        // A mix of fresh settings, exact duplicates, and re-offers of
+        // retained entries under different costs.
+        let mut seen: Vec<WeightSetting> = Vec::new();
+        for i in 0..200 {
+            let w = if i % 3 == 0 && !seen.is_empty() {
+                seen[i % seen.len()].clone()
+            } else {
+                let w = random_symmetric_setting(&net, 20, &mut rng);
+                seen.push(w.clone());
+                w
+            };
+            let cost = LexCost::new(0.0, (i * 7919 % 101) as f64);
+            fast.offer(&w, cost);
+            slow.offer(&w, cost);
+            assert_eq!(
+                fast.entries(),
+                slow.entries.as_slice(),
+                "diverged at offer {i}"
+            );
+        }
     }
 
     #[test]

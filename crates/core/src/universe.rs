@@ -45,6 +45,19 @@ impl FailureUniverse {
         }
     }
 
+    /// A universe with no links at all. Backs scenario sets that are not
+    /// derived from a network's duplex links (e.g. the
+    /// [`crate::scenario::SliceSet`] adapter over an arbitrary scenario
+    /// slice): Phase-1 sampling has nothing to perturb there, and
+    /// criticality selection does not apply.
+    pub fn empty() -> Self {
+        FailureUniverse {
+            all_duplex: Vec::new(),
+            failable: Vec::new(),
+            index: HashMap::new(),
+        }
+    }
+
     /// Number of **failable** physical links — the failure-scenario count
     /// (`|E|` in the paper's Phase-2 accounting; its well-connected
     /// topologies have no bridges, so this equals the physical link count

@@ -31,6 +31,22 @@
 //!    link's weights), the baseline is diffed against the new weights
 //!    and only destinations whose distance field is provably affected
 //!    ([`weight_change_affects`]) are re-routed.
+//! 5. **Move-diff scenario cache across moves × scenarios**
+//!    ([`ScenarioCache`]): the robust phase's sweep evaluates the *same
+//!    scenarios* for a stream of candidates that differ from the
+//!    incumbent by one duplex link. The cache keeps the incumbent's
+//!    recomputed per-scenario routings; a candidate's sweep re-routes
+//!    only destinations affected by **both** the scenario's mask and
+//!    the candidate's weight diff ([`Evaluator::cost_cached`]), and the
+//!    accept path re-points the cache at the new incumbent for the cost
+//!    of a few Dijkstras ([`Evaluator::cache_refresh`]).
+//! 6. **Incumbent-bounded sweeps**
+//!    ([`Evaluator::evaluate_all_bounded`], and the set-native
+//!    `dtr_core::parallel::sum_set_costs_bounded` with per-scenario Λ
+//!    floors from [`Evaluator::lambda_floor`]): compound failure costs
+//!    are non-negative sums, so a partial fold that stops beating the
+//!    search's incumbent *proves* the candidate will be rejected — the
+//!    rest of the sweep is skipped without perturbing the trajectory.
 //!
 //! # Node failures: masks that also remove traffic
 //!
@@ -96,6 +112,98 @@ use crate::{congestion, sla, Evaluator};
 
 /// Marker for "this destination was replayed from the baseline".
 const NOT_RECOMPUTED: u32 = u32::MAX;
+
+/// Tag bit marking a `scratch_map` slot that resolves into the scenario
+/// cache's recomputed routings instead of the recompute scratch.
+const CACHED_BIT: u32 = 0x8000_0000;
+
+/// Cached routing of one scenario under the cache's weight setting: the
+/// recomputed [`DestRouting`] of every destination the scenario's mask
+/// affected, per class, in destination order.
+#[derive(Clone, Debug, Default)]
+pub struct ScenarioEntry {
+    /// `(slot into the delay class's demand-destination list, routing)`.
+    delay: Vec<(u32, DestRouting)>,
+    /// Same for the throughput class.
+    tput: Vec<(u32, DestRouting)>,
+}
+
+/// Move-diff scenario cache: the per-scenario recomputed routings of an
+/// *incumbent* weight setting, enabling candidate sweeps that re-route
+/// only destinations affected by **both** the scenario's mask and the
+/// candidate's weight diff.
+///
+/// A hill-climbing candidate differs from the incumbent by one duplex
+/// link (plus whatever earlier accepted moves drifted since the last
+/// rebuild), so for most mask-affected destinations
+/// [`weight_change_affects`] proves the cached routing is bit-for-bit
+/// what re-routing would produce — the sweep replays it instead of
+/// running Dijkstra. This turns the per-scenario candidate cost from
+/// "re-route every mask-affected destination" into "re-route the
+/// mask ∩ move intersection", which is usually empty or tiny.
+///
+/// Build it with [`Evaluator::cost_capture`] sweeps over the incumbent,
+/// point candidates at it with [`Evaluator::cache_begin`] (which
+/// computes the per-class weight diff), and evaluate through
+/// [`Evaluator::cost_cached`]. Correctness does not depend on any
+/// freshness policy: a stale cache only classifies more destinations as
+/// move-affected (they are then recomputed exactly as without the
+/// cache); callers rebuild when the drift makes it unprofitable.
+#[derive(Debug, Default)]
+pub struct ScenarioCache {
+    /// Per-class weights of the cached incumbent (`[delay, tput]`).
+    weights: [Vec<u32>; 2],
+    /// Per-position scenario entries (positions are caller-defined and
+    /// must match the `pos` arguments of capture/evaluate calls).
+    entries: Vec<ScenarioEntry>,
+    /// Per-class weight diff of the current candidate vs `weights`,
+    /// refreshed by [`Evaluator::cache_begin`].
+    diff: [Vec<WeightChange>; 2],
+}
+
+impl ScenarioCache {
+    /// Fresh, empty cache.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// The per-position scenario entries, for sharded capture sweeps
+    /// (each worker takes a disjoint chunk; see
+    /// [`Evaluator::cost_capture_into`]).
+    pub fn entries_mut(&mut self) -> &mut [ScenarioEntry] {
+        &mut self.entries
+    }
+
+    /// Reset the cache to describe `w` with `positions` scenario slots,
+    /// keeping allocations. Every entry must then be re-captured with
+    /// [`Evaluator::cost_capture`].
+    pub fn begin_rebuild(&mut self, w: &WeightSetting, positions: usize) {
+        for (ci, class) in Class::ALL.iter().enumerate() {
+            self.weights[ci].clear();
+            self.weights[ci].extend_from_slice(w.weights(*class));
+        }
+        self.entries.resize_with(positions, ScenarioEntry::default);
+        for e in &mut self.entries {
+            e.delay.clear();
+            e.tput.clear();
+        }
+    }
+}
+
+/// Outcome of an incumbent-bounded batch evaluation
+/// ([`Evaluator::evaluate_all_bounded`]).
+#[derive(Clone, Debug, PartialEq)]
+pub enum BoundedCosts {
+    /// Every scenario was evaluated; per-scenario costs in input order,
+    /// bit-for-bit those of [`Evaluator::evaluate_all`].
+    Complete(Vec<LexCost>),
+    /// The input-order partial sum proved the total cannot beat the
+    /// incumbent; the sweep was abandoned after `evaluated` scenarios.
+    Cut {
+        /// Scenarios evaluated before the proof fired.
+        evaluated: usize,
+    },
+}
 
 /// The cached no-failure routing of one traffic class under the
 /// workspace's current weight setting.
@@ -219,6 +327,95 @@ impl<'a> Evaluator<'a> {
         out
     }
 
+    /// Incumbent-bounded batch evaluation: like
+    /// [`evaluate_all`](Self::evaluate_all), but abandons the sweep as
+    /// soon as the running input-order partial sum proves the batch's
+    /// total cannot be lexicographically better than `incumbent`.
+    ///
+    /// Per-scenario costs are non-negative and IEEE addition of
+    /// non-negative terms is monotone, so every prefix sum is a true
+    /// lower bound of the completed sum; `better_than` is antitone in
+    /// its left argument (see the lemma on [`LexCost::better_than`]), so
+    /// `!prefix.better_than(incumbent)` proves that **no completion** of
+    /// the sweep can beat the incumbent. Hill climbers that accept a
+    /// candidate only when its compound cost beats the incumbent can
+    /// therefore cut losing sweeps early without perturbing the search
+    /// trajectory: a [`BoundedCosts::Complete`] result is bit-for-bit
+    /// what `evaluate_all` returns, and a [`BoundedCosts::Cut`] result
+    /// only ever replaces a sweep whose candidate would have been
+    /// rejected anyway.
+    pub fn evaluate_all_bounded(
+        &self,
+        w: &WeightSetting,
+        scenarios: &[Scenario],
+        incumbent: &LexCost,
+    ) -> BoundedCosts {
+        let mut ws = self.acquire_workspace();
+        let mut costs = Vec::with_capacity(scenarios.len());
+        let mut prefix = LexCost::ZERO;
+        for &sc in scenarios {
+            let c = self.cost_with(&mut ws, w, sc);
+            prefix = prefix.add(&c);
+            costs.push(c);
+            if costs.len() < scenarios.len() && !prefix.better_than(incumbent) {
+                self.release_workspace(ws);
+                return BoundedCosts::Cut {
+                    evaluated: costs.len(),
+                };
+            }
+        }
+        self.release_workspace(ws);
+        BoundedCosts::Complete(costs)
+    }
+
+    /// Load- and routing-independent lower bound of the delay-class cost
+    /// `Λ` under `scenario`: for every delay pair, any routing's
+    /// end-to-end delay is at least the propagation-delay-shortest path
+    /// under the scenario mask (Eq. 1 gives `D_l ≥ p_l`, queueing only
+    /// adds), the SLA penalty (Eq. 2) is monotone in the pair delay, and
+    /// pairs the mask disconnects pay the same disconnection penalty
+    /// under every routing. Summing those per-pair floors therefore
+    /// bounds `Λ` from below for **every** weight setting.
+    ///
+    /// Incumbent-bounded sweeps use these floors as stand-ins for
+    /// scenarios not yet evaluated, which tightens the rejection proof
+    /// from "the remaining scenarios cost at least nothing" to "at least
+    /// their physical minimum" — on SLA-stressed workloads that is most
+    /// of the incumbent's cost, so losing candidates are cut after a
+    /// handful of scenarios instead of nearly all of them.
+    ///
+    /// The returned value is shaved by a relative `1e-9` guard so that
+    /// floating-point evaluation-order effects (the floor and the real
+    /// evaluation accumulate in different expression orders) can never
+    /// lift the floor above an achievable `Λ`; the guard is orders of
+    /// magnitude above the worst-case rounding slop and orders of
+    /// magnitude below [`crate::LAMBDA_EPS`]'s resolution of genuine
+    /// cost differences.
+    pub fn lambda_floor(&self, scenario: Scenario) -> f64 {
+        let mask = scenario.mask(self.net);
+        let excluded = scenario.excluded_node().map(|v| v.index());
+        let mut lambda = 0.0f64;
+        for &t in &self.demand_dests[0] {
+            let t = t as usize;
+            if Some(t) == excluded {
+                continue;
+            }
+            let dmin = dtr_routing::spf::min_cost_to(
+                self.net,
+                dtr_net::NodeId::new(t),
+                &self.prop_delays,
+                &mask,
+            );
+            for (s, &d) in dmin.iter().enumerate() {
+                if s == t || Some(s) == excluded || self.traffic.delay.demand(s, t) <= 0.0 {
+                    continue;
+                }
+                lambda += sla::pair_penalty(d, &self.params);
+            }
+        }
+        lambda * (1.0 - 1e-9)
+    }
+
     /// Scalar cost of one (weight setting, scenario) pair through the
     /// incremental engine, using the caller's workspace. Equals
     /// `self.evaluate(w, scenario).cost` bit-for-bit.
@@ -230,7 +427,7 @@ impl<'a> Evaluator<'a> {
     ) -> LexCost {
         assert_eq!(w.num_links(), self.net.num_links(), "weight size mismatch");
         self.ensure_baseline(ws, w);
-        self.cost_scenario(ws, w, scenario)
+        self.cost_scenario(ws, w, scenario, None, None)
     }
 
     /// Make `ws`'s per-class baselines describe the no-failure routing of
@@ -309,12 +506,182 @@ impl<'a> Evaluator<'a> {
         }
     }
 
-    /// Evaluate one scenario (any kind) against a valid baseline.
+    /// Compute the per-class weight diff of candidate `w` against the
+    /// cache's incumbent, preparing [`cost_cached`](Self::cost_cached)
+    /// calls. Returns the total number of changed directed (class, link)
+    /// slots — the caller's signal for when drift makes a rebuild
+    /// worthwhile.
+    pub fn cache_begin(&self, cache: &mut ScenarioCache, w: &WeightSetting) -> usize {
+        let mut changed = 0;
+        for (ci, class) in Class::ALL.iter().enumerate() {
+            let weights = w.weights(*class);
+            assert_eq!(
+                cache.weights[ci].len(),
+                weights.len(),
+                "cache incumbent and candidate disagree on link count"
+            );
+            cache.diff[ci].clear();
+            cache.diff[ci].extend(
+                cache.weights[ci]
+                    .iter()
+                    .zip(weights)
+                    .enumerate()
+                    .filter(|(_, (o, n))| o != n)
+                    .map(|(l, (&o, &n))| WeightChange {
+                        link: LinkId::new(l),
+                        old: o,
+                        new: n,
+                    }),
+            );
+            changed += cache.diff[ci].len();
+        }
+        changed
+    }
+
+    /// Re-point the cache at a new incumbent `w` without a full capture
+    /// sweep: entries whose routing the `cache.weights → w` diff
+    /// provably cannot change (see [`weight_change_affects`]) are kept
+    /// as-is, the rest are re-routed under `w`. Cached *coverage* (which
+    /// destinations each scenario holds) is unchanged — destinations
+    /// that newly became mask-affected simply stay uncached until the
+    /// next full capture sweep, costing recomputes, never correctness.
+    ///
+    /// This is the accept-path maintenance of the hill climbers: after
+    /// an accepted move the incumbent shifts by one duplex link, so most
+    /// entries survive the predicate and the refresh costs a few
+    /// Dijkstras instead of a full sweep.
+    pub fn cache_refresh(
+        &self,
+        ws: &mut EvalWorkspace,
+        cache: &mut ScenarioCache,
+        w: &WeightSetting,
+        scenario_at: impl Fn(usize) -> Scenario,
+    ) {
+        assert_eq!(w.num_links(), self.net.num_links(), "weight size mismatch");
+        let ScenarioCache {
+            weights,
+            entries,
+            diff,
+        } = cache;
+        for (ci, class) in Class::ALL.iter().enumerate() {
+            let new = w.weights(*class);
+            assert_eq!(weights[ci].len(), new.len(), "link count mismatch");
+            diff[ci].clear();
+            diff[ci].extend(
+                weights[ci]
+                    .iter()
+                    .zip(new)
+                    .enumerate()
+                    .filter(|(_, (o, n))| o != n)
+                    .map(|(l, (&o, &n))| WeightChange {
+                        link: LinkId::new(l),
+                        old: o,
+                        new: n,
+                    }),
+            );
+        }
+        // The workspace only lends its mask buffer and SPF scratch; its
+        // baseline is untouched.
+        if ws.owner != self.engine_id {
+            ws.owner = self.engine_id;
+            ws.mask = LinkMask::all_up(self.net.num_links());
+            ws.invalidate();
+        }
+        let EvalWorkspace { spf, mask, .. } = ws;
+        for (pos, entry) in entries.iter_mut().enumerate() {
+            let scenario = scenario_at(pos);
+            scenario.mask_into(self.net, mask);
+            for (ci, class) in Class::ALL.iter().enumerate() {
+                let list = if ci == 0 {
+                    &mut entry.delay
+                } else {
+                    &mut entry.tput
+                };
+                let class_weights = w.weights(*class);
+                let tm = self.class_matrix(*class);
+                let dests = &self.demand_dests[ci];
+                for (di, dest) in list.iter_mut() {
+                    if weight_change_affects(self.net, &dest.dist, &diff[ci]) {
+                        let t = dests[*di as usize] as usize;
+                        route_destination(self.net, class_weights, tm, mask, t, spf, dest);
+                    }
+                }
+            }
+        }
+        for (buf, class) in weights.iter_mut().zip(Class::ALL) {
+            buf.copy_from_slice(w.weights(class));
+        }
+    }
+
+    /// [`cost_with`](Self::cost_with) that also captures the scenario's
+    /// recomputed routings into `cache.entries[pos]` — the cache
+    /// (re)build path, run over the incumbent setting. The returned cost
+    /// is bit-for-bit the plain evaluation's.
+    pub fn cost_capture(
+        &self,
+        ws: &mut EvalWorkspace,
+        w: &WeightSetting,
+        scenario: Scenario,
+        cache: &mut ScenarioCache,
+        pos: usize,
+    ) -> LexCost {
+        debug_assert_eq!(
+            cache.weights[0],
+            w.weights(Class::Delay),
+            "capture must run on the cache incumbent"
+        );
+        self.cost_capture_into(ws, w, scenario, &mut cache.entries[pos])
+    }
+
+    /// Entry-level form of [`cost_capture`](Self::cost_capture):
+    /// captures into one caller-held [`ScenarioEntry`] (cleared first).
+    /// Entries are position-disjoint, so a cache rebuild can shard its
+    /// capture sweep across workers, each holding a disjoint slice of
+    /// [`ScenarioCache::entries_mut`].
+    pub fn cost_capture_into(
+        &self,
+        ws: &mut EvalWorkspace,
+        w: &WeightSetting,
+        scenario: Scenario,
+        entry: &mut ScenarioEntry,
+    ) -> LexCost {
+        assert_eq!(w.num_links(), self.net.num_links(), "weight size mismatch");
+        entry.delay.clear();
+        entry.tput.clear();
+        self.ensure_baseline(ws, w);
+        self.cost_scenario(ws, w, scenario, None, Some(entry))
+    }
+
+    /// [`cost_with`](Self::cost_with) through the move-diff scenario
+    /// cache: mask-affected destinations whose cached routing the
+    /// candidate's diff provably cannot change (see
+    /// [`weight_change_affects`]) replay the cache instead of re-running
+    /// Dijkstra. Requires a preceding [`cache_begin`](Self::cache_begin)
+    /// for this exact `w`; the result is bit-for-bit
+    /// [`cost_with`](Self::cost_with)'s.
+    pub fn cost_cached(
+        &self,
+        ws: &mut EvalWorkspace,
+        w: &WeightSetting,
+        scenario: Scenario,
+        cache: &ScenarioCache,
+        pos: usize,
+    ) -> LexCost {
+        assert_eq!(w.num_links(), self.net.num_links(), "weight size mismatch");
+        self.ensure_baseline(ws, w);
+        self.cost_scenario(ws, w, scenario, Some((cache, pos)), None)
+    }
+
+    /// Evaluate one scenario (any kind) against a valid baseline,
+    /// optionally reading a move-diff scenario cache (`cached`) or
+    /// capturing into one (`capture`).
     fn cost_scenario(
         &self,
         ws: &mut EvalWorkspace,
         w: &WeightSetting,
         scenario: Scenario,
+        cached: Option<(&ScenarioCache, usize)>,
+        mut capture: Option<&mut ScenarioEntry>,
     ) -> LexCost {
         // Node failures also remove the dead node's traffic; the mask
         // makes that self-enforcing for loads (see the module docs), and
@@ -342,7 +709,14 @@ impl<'a> Evaluator<'a> {
 
         // Route (or replay) both classes. The delay class keeps its
         // recomputed destinations around: their distance fields feed the
-        // end-to-end delay DP below.
+        // end-to-end delay DP below. A mask-affected destination is
+        // re-routed unless the scenario cache holds its routing and the
+        // candidate's weight diff provably cannot change it
+        // ([`weight_change_affects`] on the *cached scenario* distance
+        // field — the predicate's false-contract holds for any mask's
+        // distance field), in which case the cached routing replays the
+        // exact float adds a re-route would perform.
+        let cache_entry = cached.map(|(c, pos)| (&c.entries[pos], &c.diff));
         let mut scratch_used = 0usize;
         let mut dropped = 0.0f64; // diagnostic only; never in the cost
         for (ci, class) in Class::ALL.iter().enumerate() {
@@ -356,6 +730,8 @@ impl<'a> Evaluator<'a> {
                 scratch_map.clear();
                 scratch_map.resize(dests.len(), NOT_RECOMPUTED);
             }
+            // Cursor into the cache entry's (destination-ordered) list.
+            let mut cursor = 0usize;
             for (di, &t) in dests.iter().enumerate() {
                 if Some(t as usize) == excluded {
                     // The dead node sinks nothing under its own failure;
@@ -366,7 +742,25 @@ impl<'a> Evaluator<'a> {
                 let affected = !down.is_empty() && dag_uses_any(self.net, &b.dist, weights, down);
                 if !affected {
                     b.replay(loads, &mut dropped);
-                } else if ci == 0 {
+                    continue;
+                }
+                if let Some((entry, diff)) = cache_entry {
+                    let list = if ci == 0 { &entry.delay } else { &entry.tput };
+                    while cursor < list.len() && list[cursor].0 < di as u32 {
+                        cursor += 1;
+                    }
+                    if cursor < list.len() && list[cursor].0 == di as u32 {
+                        let hit = &list[cursor].1;
+                        if !weight_change_affects(self.net, &hit.dist, &diff[ci]) {
+                            hit.replay(loads, &mut dropped);
+                            if ci == 0 {
+                                scratch_map[di] = CACHED_BIT | cursor as u32;
+                            }
+                            continue;
+                        }
+                    }
+                }
+                if ci == 0 {
                     if scratch.len() == scratch_used {
                         scratch.push(DestRouting::default());
                     }
@@ -375,9 +769,17 @@ impl<'a> Evaluator<'a> {
                     dest.replay(loads, &mut dropped);
                     scratch_map[di] = scratch_used as u32;
                     scratch_used += 1;
+                    if let Some(entry) = capture.as_mut() {
+                        entry
+                            .delay
+                            .push((di as u32, scratch[scratch_used - 1].clone()));
+                    }
                 } else {
                     route_destination(self.net, weights, tm, mask, t as usize, spf, tput_scratch);
                     tput_scratch.replay(loads, &mut dropped);
+                    if let Some(entry) = capture.as_mut() {
+                        entry.tput.push((di as u32, tput_scratch.clone()));
+                    }
                 }
             }
         }
@@ -410,6 +812,10 @@ impl<'a> Evaluator<'a> {
             }
             let dest = match scratch_map[di] {
                 NOT_RECOMPUTED => &base[0].state[di],
+                s if s & CACHED_BIT != 0 => {
+                    let (entry, _) = cache_entry.expect("cached slot without a cache");
+                    &entry.delay[(s & !CACHED_BIT) as usize].1
+                }
                 slot => &scratch[slot as usize],
             };
             delay::pair_delays_into(

@@ -409,6 +409,46 @@ mod tests {
     }
 
     #[test]
+    fn bounded_batch_completes_exactly_or_cuts_soundly() {
+        use crate::engine::BoundedCosts;
+        let net = net();
+        let tm = traffic();
+        let ev = Evaluator::new(&net, &tm, CostParams::default());
+        let w = WeightSetting::uniform(net.num_links(), 20);
+        let scenarios: Vec<Scenario> = net.duplex_representatives()[..4]
+            .iter()
+            .map(|&l| Scenario::Link(l))
+            .collect();
+        let full = ev.evaluate_all(&w, &scenarios);
+        let total = full.iter().fold(LexCost::ZERO, |a, c| a.add(c));
+
+        // Unbeatable incumbent: completes with the exact batch costs.
+        let inc = LexCost::new(f64::INFINITY, f64::INFINITY);
+        assert_eq!(
+            ev.evaluate_all_bounded(&w, &scenarios, &inc),
+            BoundedCosts::Complete(full)
+        );
+
+        // Zero incumbent: nothing can be strictly better, so the sweep
+        // cuts after the first evaluation.
+        assert_eq!(
+            ev.evaluate_all_bounded(&w, &scenarios, &LexCost::ZERO),
+            BoundedCosts::Cut { evaluated: 1 }
+        );
+
+        // Incumbent just above the total: must complete (the total still
+        // beats it on Φ) and agree with the plain fold.
+        let above = LexCost::new(total.lambda, total.phi * 2.0);
+        match ev.evaluate_all_bounded(&w, &scenarios, &above) {
+            BoundedCosts::Complete(costs) => {
+                let sum = costs.iter().fold(LexCost::ZERO, |a, c| a.add(c));
+                assert_eq!(sum, total);
+            }
+            BoundedCosts::Cut { .. } => panic!("cut a batch that beats the incumbent"),
+        }
+    }
+
+    #[test]
     fn mean_aggregation_is_not_larger_than_max() {
         let net = net();
         let tm = traffic();

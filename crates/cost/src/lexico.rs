@@ -32,6 +32,23 @@ impl LexCost {
 
     /// Strictly better than `other` in the paper's lexicographic order:
     /// lower `Λ`, or equal `Λ` (within [`LAMBDA_EPS`]) and lower `Φ`.
+    ///
+    /// # Monotone early-cutoff lemma
+    ///
+    /// `better_than` is *antitone* in its left argument: if `p ≤ f`
+    /// component-wise and `f.better_than(inc)`, then `p.better_than(inc)`
+    /// (a smaller cost can only move the deciding comparison earlier or
+    /// keep it winning). Combined with the fact that IEEE addition of
+    /// non-negative terms is monotone non-decreasing, any index-ordered
+    /// partial fold `p` of non-negative per-scenario costs is a true
+    /// lower bound of the completed sum `f` — so once
+    /// `!p.better_than(inc)` holds, **no completion** of the sweep can
+    /// beat `inc`. This is the soundness proof behind the engine's
+    /// incumbent-bounded sweeps
+    /// ([`crate::Evaluator::evaluate_all_bounded`] and
+    /// `dtr_core::parallel::sum_set_costs_bounded`): cutting a sweep at
+    /// that point can only discard candidates the full sweep would have
+    /// rejected anyway.
     pub fn better_than(&self, other: &LexCost) -> bool {
         if self.lambda < other.lambda - LAMBDA_EPS {
             return true;

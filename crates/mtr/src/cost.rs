@@ -91,6 +91,33 @@ impl VecCost {
         }
     }
 
+    /// In-place component-wise accumulation: `self += other`. The float
+    /// additions are exactly those of [`add`](Self::add), without the
+    /// per-call allocation — the incumbent-bounded failure sweeps re-fold
+    /// their partial sums repeatedly and must stay allocation-free.
+    pub fn add_assign(&mut self, other: &VecCost) {
+        assert_eq!(self.len(), other.len(), "cost arity mismatch");
+        for (a, b) in self.components.iter_mut().zip(&other.components) {
+            *a += b;
+        }
+    }
+
+    /// In-place scaled accumulation: `self += other·p`, multiplying each
+    /// component before the add — bit-for-bit the float sequence of
+    /// `self.add(&other.scale(p))`, without the intermediate allocation.
+    pub fn add_scaled_assign(&mut self, other: &VecCost, p: f64) {
+        assert!(p >= 0.0 && p.is_finite());
+        assert_eq!(self.len(), other.len(), "cost arity mismatch");
+        for (a, b) in self.components.iter_mut().zip(&other.components) {
+            *a += b * p;
+        }
+    }
+
+    /// Reset every component to zero, keeping the allocation.
+    pub fn reset(&mut self) {
+        self.components.fill(0.0);
+    }
+
     /// Component-wise scaling by a non-negative factor — used by the
     /// probability-weighted failure objective.
     pub fn scale(&self, factor: f64) -> VecCost {

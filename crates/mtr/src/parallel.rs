@@ -68,6 +68,154 @@ pub fn sum_failure_costs(
     acc
 }
 
+/// Reusable buffers of the incumbent-bounded k-class sweep
+/// ([`sum_failure_costs_bounded`]); warmed after the first sweep.
+#[derive(Clone, Debug, Default)]
+pub struct MtrSweepScratch {
+    /// Per-*position* raw scenario costs (aligned with the `scenarios`
+    /// slice); fully populated on [`MtrSweep::Complete`].
+    pub costs: Vec<VecCost>,
+    done: Vec<bool>,
+}
+
+impl MtrSweepScratch {
+    /// Fresh, empty scratch.
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
+/// Outcome of an incumbent-bounded k-class sweep.
+#[derive(Clone, Debug, PartialEq)]
+pub enum MtrSweep {
+    /// All scenarios evaluated; bit-for-bit the [`sum_failure_costs`]
+    /// scenario-order weighted fold.
+    Complete(VecCost),
+    /// The partial fold proved the candidate cannot beat the incumbent.
+    Cut {
+        /// Scenarios evaluated before the proof fired.
+        evaluated: usize,
+    },
+}
+
+/// Scenario-order weighted fold over the evaluated subset. A true lower
+/// bound of the completed fold: contributions are non-negative, IEEE
+/// addition of non-negative terms is monotone, and `VecCost::better_than`
+/// is antitone in its left argument — the same soundness lemma as
+/// `dtr_cost::LexCost::better_than`.
+fn fold_done(
+    scenarios_len: usize,
+    weights: Option<&[f64]>,
+    scratch: &MtrSweepScratch,
+    acc: &mut VecCost,
+) {
+    acc.reset();
+    for pos in 0..scenarios_len {
+        if !scratch.done[pos] {
+            continue;
+        }
+        match weights {
+            None => acc.add_assign(&scratch.costs[pos]),
+            Some(sw) => acc.add_scaled_assign(&scratch.costs[pos], sw[pos]),
+        }
+    }
+}
+
+/// Incumbent-bounded compound k-class sweep — the [`MtrSweep`] analogue
+/// of `dtr_core::parallel::sum_set_costs_bounded`, over a scenario slice
+/// (+ optional per-scenario weights). Scenarios are evaluated in the
+/// caller-supplied `order` (a permutation of positions, typically
+/// costliest-under-the-incumbent first); the sweep is abandoned as soon
+/// as the scenario-order fold over the evaluated subset stops beating
+/// `incumbent`, which proves no completion can beat it either. A
+/// [`MtrSweep::Complete`] result is bit-for-bit [`sum_failure_costs`];
+/// a [`MtrSweep::Cut`] result only replaces sweeps whose candidate the
+/// full fold would reject. With `threads > 1` the order is processed in
+/// fixed rounds of `threads · 4` scenarios with a cutoff check between
+/// rounds.
+#[allow(clippy::too_many_arguments)]
+pub fn sum_failure_costs_bounded(
+    ev: &MtrEvaluator<'_>,
+    w: &MtrWeightSetting,
+    scenarios: &[Scenario],
+    weights: Option<&[f64]>,
+    threads: usize,
+    incumbent: &VecCost,
+    order: &[u32],
+    scratch: &mut MtrSweepScratch,
+) -> MtrSweep {
+    assert!(threads >= 1);
+    let n = scenarios.len();
+    assert_eq!(order.len(), n, "order must be a permutation of positions");
+    if let Some(sw) = weights {
+        assert_eq!(sw.len(), n, "one weight per scenario");
+    }
+    let k = ev.num_classes();
+    // Only reshape on arity/size changes: the per-position vectors are
+    // overwritten before any read (the `done` flags gate the fold), so
+    // a warm scratch re-sweeps without touching its allocations.
+    if scratch.costs.len() != n || scratch.costs.iter().any(|c| c.len() != k) {
+        scratch.costs.clear();
+        scratch.costs.resize(n, VecCost::zeros(k));
+    }
+    scratch.done.clear();
+    scratch.done.resize(n, false);
+    let mut acc = VecCost::zeros(k);
+
+    let workers = threads.min(n);
+    if workers <= 1 {
+        let check_every = (n / 128).max(1);
+        for (e, &pos) in order.iter().enumerate() {
+            let pos = pos as usize;
+            scratch.costs[pos] = ev.cost(w, scenarios[pos]);
+            scratch.done[pos] = true;
+            let evaluated = e + 1;
+            if evaluated < n && evaluated % check_every == 0 {
+                fold_done(n, weights, scratch, &mut acc);
+                if !acc.better_than(incumbent) {
+                    return MtrSweep::Cut { evaluated };
+                }
+            }
+        }
+        fold_done(n, weights, scratch, &mut acc);
+        return MtrSweep::Complete(acc);
+    }
+
+    let round = workers * 4;
+    let mut evaluated = 0usize;
+    while evaluated < n {
+        let batch = &order[evaluated..(evaluated + round).min(n)];
+        let chunk = batch.len().div_ceil(workers);
+        std::thread::scope(|s| {
+            let handles: Vec<_> = batch
+                .chunks(chunk)
+                .map(|part| {
+                    s.spawn(move || {
+                        part.iter()
+                            .map(|&pos| (pos, ev.cost(w, scenarios[pos as usize])))
+                            .collect::<Vec<_>>()
+                    })
+                })
+                .collect();
+            for h in handles {
+                for (pos, c) in h.join().expect("bounded-sweep worker panicked") {
+                    scratch.costs[pos as usize] = c;
+                    scratch.done[pos as usize] = true;
+                }
+            }
+        });
+        evaluated += batch.len();
+        if evaluated < n {
+            fold_done(n, weights, scratch, &mut acc);
+            if !acc.better_than(incumbent) {
+                return MtrSweep::Cut { evaluated };
+            }
+        }
+    }
+    fold_done(n, weights, scratch, &mut acc);
+    MtrSweep::Complete(acc)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -157,5 +305,56 @@ mod tests {
         let ev = MtrEvaluator::new(&net, &tms, MtrConfig::dtr(25e-3, 0.2)).unwrap();
         let w = MtrWeightSetting::uniform(2, net.num_links(), 20);
         assert_eq!(sum_failure_costs(&ev, &w, &[], None, 4), VecCost::zeros(2));
+    }
+
+    #[test]
+    fn bounded_sweep_completes_bit_for_bit_under_unbeatable_incumbent() {
+        let (net, tms) = testbed();
+        let ev = MtrEvaluator::new(&net, &tms, MtrConfig::dtr(25e-3, 0.2)).unwrap();
+        let w = MtrWeightSetting::uniform(2, net.num_links(), 20);
+        let scenarios = Scenario::all_link_failures(&net);
+        let weights = vec![0.5; scenarios.len()];
+        let never = VecCost::new(vec![f64::MAX; 2]);
+        let order: Vec<u32> = (0..scenarios.len() as u32).rev().collect();
+        let mut scratch = MtrSweepScratch::new();
+        for weighting in [None, Some(weights.as_slice())] {
+            for threads in [1, 4] {
+                let got = sum_failure_costs_bounded(
+                    &ev,
+                    &w,
+                    &scenarios,
+                    weighting,
+                    threads,
+                    &never,
+                    &order,
+                    &mut scratch,
+                );
+                let want = sum_failure_costs(&ev, &w, &scenarios, weighting, 1);
+                assert_eq!(got, MtrSweep::Complete(want), "threads={threads}");
+                // Per-position costs match the plain sweep.
+                assert_eq!(scratch.costs, failure_costs(&ev, &w, &scenarios, 1));
+            }
+        }
+    }
+
+    #[test]
+    fn bounded_sweep_cuts_against_a_zero_incumbent() {
+        let (net, tms) = testbed();
+        let ev = MtrEvaluator::new(&net, &tms, MtrConfig::dtr(25e-3, 0.2)).unwrap();
+        let w = MtrWeightSetting::uniform(2, net.num_links(), 20);
+        let scenarios = Scenario::all_link_failures(&net);
+        let order: Vec<u32> = (0..scenarios.len() as u32).collect();
+        let mut scratch = MtrSweepScratch::new();
+        let got = sum_failure_costs_bounded(
+            &ev,
+            &w,
+            &scenarios,
+            None,
+            1,
+            &VecCost::zeros(2),
+            &order,
+            &mut scratch,
+        );
+        assert_eq!(got, MtrSweep::Cut { evaluated: 1 });
     }
 }

@@ -45,11 +45,24 @@ pub struct MtrParams {
     pub archive_size: usize,
     /// Hard safety cap on sweeps per phase.
     pub max_iterations: usize,
-    /// Worker threads for the robust-phase failure sweeps (1 = serial).
-    /// Results are bit-for-bit identical for every thread count — the
-    /// sharded sweep reduces in scenario order (see
-    /// [`crate::parallel::failure_costs`]).
+    /// Worker threads for the robust-phase failure sweeps and the
+    /// speculative move batches (1 = serial). Results are bit-for-bit
+    /// identical for every thread count — the sharded sweep reduces in
+    /// scenario order (see [`crate::parallel::failure_costs`]).
     pub threads: usize,
+    /// Speculation window `K`: candidate moves pre-drawn and evaluated
+    /// ahead of the replay cursor (1 = plain serial loop; the trajectory
+    /// is identical for every value — see
+    /// `dtr_core::search::speculative_sweep`).
+    pub speculation: usize,
+    /// Enable the incumbent-bounded early-cutoff failure sweeps of the
+    /// robust phase (float-exact rejection proof, see
+    /// [`crate::parallel::sum_failure_costs_bounded`]; the trajectory is
+    /// identical with it on or off).
+    pub cutoff: bool,
+    /// Record the per-proposal accept/reject trace into the phase
+    /// outputs (`dtr_core::search::MoveOutcome`). Off by default.
+    pub record_trace: bool,
     /// Master RNG seed.
     pub seed: u64,
 }
@@ -74,6 +87,9 @@ impl MtrParams {
             archive_size: 16,
             max_iterations: 100_000,
             threads: 1,
+            speculation: 8,
+            cutoff: true,
+            record_trace: false,
             seed,
         }
     }
@@ -112,6 +128,7 @@ impl MtrParams {
         assert!(self.archive_size >= 1);
         assert!(self.max_iterations >= 1);
         assert!(self.threads >= 1, "at least one worker thread");
+        assert!(self.speculation >= 1, "speculation window K >= 1");
     }
 }
 

@@ -7,8 +7,19 @@
 //! decides how much normal-performance degradation may be traded for
 //! robustness — `Pin` none (Eq. 5), `Relax(χ)` a χ budget (Eq. 6).
 //!
+//! Like the DTR Phase 2, the hill climber runs through the speculative
+//! batched-move kernel (`dtr_core::search::speculative_sweep`), and
+//! candidates that survive the constraint gate pay their failure sweep
+//! through the incumbent-bounded
+//! [`crate::parallel::sum_failure_costs_bounded`] (scenarios evaluated
+//! costliest-under-the-incumbent first, sweep abandoned once the partial
+//! fold *proves* the candidate loses). Both mechanisms are float-exact,
+//! so the trajectory is bit-for-bit identical for every speculation
+//! window, thread count and cutoff setting.
+//!
 //! [`NormalConstraint`]: crate::class::NormalConstraint
 
+use dtr_core::search::{speculative_sweep, Decision, MoveOutcome, SpecBuffers};
 use dtr_routing::Scenario;
 use rand::rngs::StdRng;
 use rand::seq::SliceRandom;
@@ -17,6 +28,7 @@ use rand::{Rng, SeedableRng};
 use crate::class::ClassSpec;
 use crate::cost::VecCost;
 use crate::evaluator::MtrEvaluator;
+use crate::parallel::{self, MtrSweep, MtrSweepScratch};
 use crate::params::MtrParams;
 use crate::search::{MtrArchive, MtrSearchStats, MtrStopRule};
 use crate::weights::MtrWeightSetting;
@@ -33,8 +45,70 @@ pub struct MtrRobustOutput {
     /// Moves rejected by the normal-conditions constraints (these skip
     /// the failure sweep).
     pub constraint_rejections: usize,
+    /// Per-proposal accept/reject sequence (empty unless
+    /// `params.record_trace`).
+    pub trace: Vec<MoveOutcome>,
     /// Effort spent.
     pub stats: MtrSearchStats,
+}
+
+/// Re-sort the sweep's evaluation order by the incumbent's per-scenario
+/// (weighted) contribution, descending, ties by position — so a losing
+/// candidate's partial sum crosses the incumbent as early as possible.
+fn refresh_order(order: &mut [u32], costs: &[VecCost], weights: Option<&[f64]>) {
+    order.sort_by(|&a, &b| {
+        let (ca, cb) = (&costs[a as usize], &costs[b as usize]);
+        let (pa, pb) = match weights {
+            Some(sw) => (sw[a as usize], sw[b as usize]),
+            None => (1.0, 1.0),
+        };
+        for (x, y) in ca.components().iter().zip(cb.components()) {
+            let o = (y * pb).total_cmp(&(x * pa));
+            if o != std::cmp::Ordering::Equal {
+                return o;
+            }
+        }
+        a.cmp(&b)
+    });
+}
+
+/// Full compound sweep: bit-for-bit [`parallel::sum_failure_costs`].
+/// With the cutoff enabled it runs through the bounded kernel against an
+/// unbeatable incumbent so the per-position costs land in the scratch
+/// and the evaluation order can be refreshed.
+#[allow(clippy::too_many_arguments)]
+fn full_sweep(
+    ev: &MtrEvaluator<'_>,
+    scenarios: &[Scenario],
+    weights: Option<&[f64]>,
+    params: &MtrParams,
+    w: &MtrWeightSetting,
+    never_cut: &VecCost,
+    stats: &mut MtrSearchStats,
+    order: &mut [u32],
+    scratch: &mut MtrSweepScratch,
+) -> VecCost {
+    stats.evaluations += scenarios.len();
+    if params.cutoff {
+        match parallel::sum_failure_costs_bounded(
+            ev,
+            w,
+            scenarios,
+            weights,
+            params.threads,
+            never_cut,
+            order,
+            scratch,
+        ) {
+            MtrSweep::Complete(kfail) => {
+                refresh_order(order, &scratch.costs, weights);
+                kfail
+            }
+            MtrSweep::Cut { .. } => unreachable!("nothing beats the never-cut incumbent"),
+        }
+    } else {
+        parallel::sum_failure_costs(ev, w, scenarios, weights, params.threads)
+    }
 }
 
 /// Per-class feasibility of a candidate's normal-conditions cost against
@@ -75,16 +149,16 @@ pub fn run(
     let specs = &ev.config().specs;
     let mut rng = StdRng::seed_from_u64(params.seed ^ 0x2545_f491_4f6c_dd1d);
 
-    let kfail_of = |w: &MtrWeightSetting, stats: &mut MtrSearchStats| -> VecCost {
-        // Sharded sweep over per-thread pooled workspaces; the reduction
-        // runs in scenario order, so the sum is bit-for-bit identical
-        // for every `params.threads` (and to the old serial loop).
-        stats.evaluations += scenarios.len();
-        crate::parallel::sum_failure_costs(ev, w, scenarios, scenario_weights, params.threads)
-    };
+    // An incumbent no finite partial sum fails to beat — turns the
+    // bounded kernel into a plain full sweep that also fills the
+    // per-position cost scratch (costs stay far below f64::MAX).
+    let never_cut = VecCost::new(vec![f64::MAX; k]);
+    let mut order: Vec<u32> = (0..scenarios.len() as u32).collect();
+    let mut scratch = MtrSweepScratch::new();
 
     let mut stats = MtrSearchStats::default();
     let mut constraint_rejections = 0usize;
+    let mut trace: Vec<MoveOutcome> = Vec::new();
 
     let (start, start_normal) = archive
         .best()
@@ -92,7 +166,17 @@ pub fn run(
         .expect("the regular phase archives at least its best setting");
     let mut current = start;
     let mut current_normal = start_normal;
-    let mut current_kfail = kfail_of(&current, &mut stats);
+    let mut current_kfail = full_sweep(
+        ev,
+        scenarios,
+        scenario_weights,
+        params,
+        &current,
+        &never_cut,
+        &mut stats,
+        &mut order,
+        &mut scratch,
+    );
 
     let mut best = current.clone();
     let mut best_kfail = current_kfail.clone();
@@ -104,6 +188,7 @@ pub fn run(
             best_kfail,
             best_normal,
             constraint_rejections,
+            trace,
             stats,
         };
     }
@@ -111,49 +196,102 @@ pub fn run(
     let mut stop = MtrStopRule::new(params.p2, params.c);
     let mut reps = net.duplex_representatives();
     let mut stale_sweeps = 0usize;
+    let mut spec = SpecBuffers::new();
 
     while stats.iterations < params.max_iterations {
         stats.iterations += 1;
         reps.shuffle(&mut rng);
         let mut improved = false;
+        let mut wasted = 0usize;
 
-        for &rep in &reps {
-            let old: Vec<u32> = (0..k).map(|c| current.get(c, rep)).collect();
-            let new: Vec<u32> = (0..k).map(|_| rng.gen_range(1..=params.wmax)).collect();
-            if new == old {
-                continue;
-            }
-            for (c, &w) in new.iter().enumerate() {
-                current.set_duplex(net, c, rep, w);
-            }
+        speculative_sweep(
+            &reps,
+            &mut rng,
+            params.speculation,
+            params.threads,
+            &mut current,
+            &mut spec,
+            &mut wasted,
+            |rng| {
+                (0..k)
+                    .map(|_| rng.gen_range(1..=params.wmax))
+                    .collect::<Vec<u32>>()
+            },
+            |w: &MtrWeightSetting, rep| (0..k).map(|c| w.get(c, rep)).collect::<Vec<u32>>(),
+            |w: &mut MtrWeightSetting, rep, m: &Vec<u32>| {
+                for (c, &v) in m.iter().enumerate() {
+                    w.set_duplex(net, c, rep, v);
+                }
+            },
+            |w| ev.cost(w, Scenario::Normal),
+            |cand_w, _rep, cand_normal: &VecCost| {
+                // Cheap constraint gate: one normal-conditions
+                // evaluation (speculated ahead of the replay cursor).
+                stats.evaluations += 1;
+                if !feasible(cand_normal, benchmark, specs) {
+                    constraint_rejections += 1;
+                    if params.record_trace {
+                        trace.push(MoveOutcome::ConstraintReject);
+                    }
+                    return Decision::Reject;
+                }
 
-            // Cheap constraint gate: one normal-conditions evaluation.
-            let cand_normal = ev.cost(&current, Scenario::Normal);
-            stats.evaluations += 1;
-            if !feasible(&cand_normal, benchmark, specs) {
-                constraint_rejections += 1;
-                for (c, &w) in old.iter().enumerate() {
-                    current.set_duplex(net, c, rep, w);
+                stats.evaluations += scenarios.len();
+                let outcome = if params.cutoff {
+                    parallel::sum_failure_costs_bounded(
+                        ev,
+                        cand_w,
+                        scenarios,
+                        scenario_weights,
+                        params.threads,
+                        &current_kfail,
+                        &order,
+                        &mut scratch,
+                    )
+                } else {
+                    MtrSweep::Complete(parallel::sum_failure_costs(
+                        ev,
+                        cand_w,
+                        scenarios,
+                        scenario_weights,
+                        params.threads,
+                    ))
+                };
+                match outcome {
+                    MtrSweep::Complete(cand_kfail) if cand_kfail.better_than(&current_kfail) => {
+                        current_kfail = cand_kfail.clone();
+                        if params.cutoff {
+                            refresh_order(&mut order, &scratch.costs, scenario_weights);
+                        }
+                        current_normal = cand_normal.clone();
+                        improved = true;
+                        if cand_kfail.better_than(&best_kfail) {
+                            best.clone_from(cand_w);
+                            best_kfail = cand_kfail;
+                            best_normal = current_normal.clone();
+                        }
+                        if params.record_trace {
+                            trace.push(MoveOutcome::Accept);
+                        }
+                        Decision::Accept
+                    }
+                    MtrSweep::Complete(_) => {
+                        if params.record_trace {
+                            trace.push(MoveOutcome::Reject);
+                        }
+                        Decision::Reject
+                    }
+                    MtrSweep::Cut { evaluated } => {
+                        stats.scenario_evals_skipped += scenarios.len() - evaluated;
+                        if params.record_trace {
+                            trace.push(MoveOutcome::Reject);
+                        }
+                        Decision::Reject
+                    }
                 }
-                continue;
-            }
-
-            let cand_kfail = kfail_of(&current, &mut stats);
-            if cand_kfail.better_than(&current_kfail) {
-                current_kfail = cand_kfail.clone();
-                current_normal = cand_normal;
-                improved = true;
-                if cand_kfail.better_than(&best_kfail) {
-                    best = current.clone();
-                    best_kfail = cand_kfail;
-                    best_normal = current_normal.clone();
-                }
-            } else {
-                for (c, &w) in old.iter().enumerate() {
-                    current.set_duplex(net, c, rep, w);
-                }
-            }
-        }
+            },
+        );
+        stats.speculative_wasted += wasted;
 
         stale_sweeps = if improved { 0 } else { stale_sweeps + 1 };
         if stale_sweeps >= params.div_interval_2 {
@@ -167,7 +305,17 @@ pub fn run(
             let (w, c) = archive.sample(&mut rng).expect("non-empty archive");
             current = w.clone();
             current_normal = c.clone();
-            current_kfail = kfail_of(&current, &mut stats);
+            current_kfail = full_sweep(
+                ev,
+                scenarios,
+                scenario_weights,
+                params,
+                &current,
+                &never_cut,
+                &mut stats,
+                &mut order,
+                &mut scratch,
+            );
             if feasible(&current_normal, benchmark, specs) && current_kfail.better_than(&best_kfail)
             {
                 best = current.clone();
@@ -182,6 +330,7 @@ pub fn run(
         best_kfail,
         best_normal,
         constraint_rejections,
+        trace,
         stats,
     }
 }

@@ -15,6 +15,7 @@ use rand::seq::SliceRandom;
 use rand::{Rng, SeedableRng};
 
 use dtr_core::ranking::weighted_rank_change;
+use dtr_core::search::{speculative_sweep, Decision, MoveOutcome, SpecBuffers};
 use dtr_core::FailureUniverse;
 
 use crate::class::ClassSpec;
@@ -30,14 +31,25 @@ use crate::weights::MtrWeightSetting;
 pub struct MtrSearchStats {
     /// Full sweeps over all physical links.
     pub iterations: usize,
-    /// Cost evaluations performed.
+    /// *Logical* cost evaluations — what the serial, cutoff-free loop
+    /// would perform. Invariant across batch size, thread count and
+    /// cutoff setting.
     pub evaluations: usize,
     /// Diversification restarts.
     pub diversifications: usize,
+    /// Failure-scenario evaluations (already counted in `evaluations`)
+    /// skipped by the incumbent-bounded sweeps.
+    pub scenario_evals_skipped: usize,
+    /// Speculative normal-conditions evaluations discarded because an
+    /// earlier move in the window was accepted.
+    pub speculative_wasted: usize,
 }
 
 /// The `c%`-improvement stopping rule over a trailing window of
 /// diversifications, on k-vector costs.
+///
+/// Like `dtr_core::search::StopRule`, only the trailing `window + 1`
+/// records are retained — the rule never looks further back.
 #[derive(Clone, Debug)]
 pub struct MtrStopRule {
     window: usize,
@@ -63,6 +75,10 @@ impl MtrStopRule {
         if self.history.len() <= self.window {
             return false;
         }
+        if self.history.len() > self.window + 1 {
+            let excess = self.history.len() - (self.window + 1);
+            self.history.drain(..excess);
+        }
         let reference = &self.history[self.history.len() - 1 - self.window];
         let improvement = self
             .history
@@ -73,10 +89,26 @@ impl MtrStopRule {
     }
 }
 
+/// Cheap 64-bit fingerprint of a k-class setting (FNV-1a over every
+/// class weight vector) — the [`MtrArchive`] dedup screen, mirroring
+/// `dtr_core::search::weight_fingerprint`.
+pub fn mtr_weight_fingerprint(w: &MtrWeightSetting) -> u64 {
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    for k in 0..w.num_classes() {
+        for &x in w.weights(k) {
+            h ^= u64::from(x);
+            h = h.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+    }
+    h
+}
+
 /// Bounded best-first archive of k-class settings.
 #[derive(Clone, Debug)]
 pub struct MtrArchive {
     entries: Vec<(MtrWeightSetting, VecCost)>,
+    /// Per-entry [`mtr_weight_fingerprint`], aligned with `entries`.
+    fingerprints: Vec<u64>,
     cap: usize,
 }
 
@@ -86,13 +118,22 @@ impl MtrArchive {
         assert!(cap >= 1);
         MtrArchive {
             entries: Vec::new(),
+            fingerprints: Vec::new(),
             cap,
         }
     }
 
-    /// Offer a setting; kept if among the `cap` best seen.
+    /// Offer a setting; kept if among the `cap` best seen (duplicates by
+    /// exact weight equality are ignored — screened by fingerprint, so
+    /// the common miss costs one integer compare per entry).
     pub fn offer(&mut self, w: &MtrWeightSetting, cost: VecCost) {
-        if self.entries.iter().any(|(e, _)| e == w) {
+        let f = mtr_weight_fingerprint(w);
+        if self
+            .fingerprints
+            .iter()
+            .zip(&self.entries)
+            .any(|(&g, (e, _))| g == f && e == w)
+        {
             return;
         }
         let pos = self
@@ -104,7 +145,9 @@ impl MtrArchive {
             return;
         }
         self.entries.insert(pos, (w.clone(), cost));
+        self.fingerprints.insert(pos, f);
         self.entries.truncate(self.cap);
+        self.fingerprints.truncate(self.cap);
     }
 
     /// Number of archived settings.
@@ -202,6 +245,9 @@ pub struct MtrRegularOutput {
     pub tracker: KRankTracker,
     /// `true` if every class's criticality ranking converged.
     pub converged: bool,
+    /// Per-proposal accept/reject sequence (empty unless
+    /// `params.record_trace`).
+    pub trace: Vec<MoveOutcome>,
     /// Effort spent.
     pub stats: MtrSearchStats,
 }
@@ -247,48 +293,67 @@ pub fn regular(
 
     let mut reps = universe.all_duplex.clone();
     let mut stale_sweeps = 0usize;
+    let mut spec = SpecBuffers::new();
+    let mut trace: Vec<MoveOutcome> = Vec::new();
 
     while stats.iterations < params.max_iterations {
         stats.iterations += 1;
         reps.shuffle(&mut rng);
         let mut improved = false;
+        let mut wasted = 0usize;
 
-        for &rep in &reps {
-            let old: Vec<u32> = (0..k).map(|c| current.get(c, rep)).collect();
-            let new = random_class_weights(k, params.wmax, &mut rng);
-            if new == old {
-                continue;
-            }
-            let base_acceptable = acceptable(&current_cost, &best_cost, specs, params.z);
-            for (c, &w) in new.iter().enumerate() {
-                current.set_duplex(net, c, rep, w);
-            }
-            let cand = ev.cost(&current, Scenario::Normal);
-            stats.evaluations += 1;
+        speculative_sweep(
+            &reps,
+            &mut rng,
+            params.speculation,
+            params.threads,
+            &mut current,
+            &mut spec,
+            &mut wasted,
+            |rng| random_class_weights(k, params.wmax, rng),
+            |w: &MtrWeightSetting, rep| (0..k).map(|c| w.get(c, rep)).collect::<Vec<u32>>(),
+            |w: &mut MtrWeightSetting, rep, m: &Vec<u32>| {
+                for (c, &v) in m.iter().enumerate() {
+                    w.set_duplex(net, c, rep, v);
+                }
+            },
+            |w| ev.cost(w, Scenario::Normal),
+            |cand_w, rep, cand: &VecCost| {
+                stats.evaluations += 1;
+                // `current_cost` is the pre-move cost here.
+                let base_acceptable = acceptable(&current_cost, &best_cost, specs, params.z);
 
-            // Sample harvest: the proposal emulates this link's failure.
-            if base_acceptable && current.emulates_failure(rep, params.q) {
-                if let Some(fi) = universe.failure_index(rep) {
-                    store.record(fi, &cand);
+                // Sample harvest: the proposal emulates this link's
+                // failure.
+                if base_acceptable && cand_w.emulates_failure(rep, params.q) {
+                    if let Some(fi) = universe.failure_index(rep) {
+                        store.record(fi, cand);
+                    }
                 }
-            }
 
-            if cand.better_than(&current_cost) {
-                current_cost = cand.clone();
-                improved = true;
-                if cand.better_than(&best_cost) {
-                    best = current.clone();
-                    best_cost = cand.clone();
+                if cand.better_than(&current_cost) {
+                    current_cost = cand.clone();
+                    improved = true;
+                    if cand.better_than(&best_cost) {
+                        best.clone_from(cand_w);
+                        best_cost = cand.clone();
+                    }
+                    if acceptable(cand, &best_cost, specs, params.z) {
+                        archive.offer(cand_w, cand.clone());
+                    }
+                    if params.record_trace {
+                        trace.push(MoveOutcome::Accept);
+                    }
+                    Decision::Accept
+                } else {
+                    if params.record_trace {
+                        trace.push(MoveOutcome::Reject);
+                    }
+                    Decision::Reject
                 }
-                if acceptable(&cand, &best_cost, specs, params.z) {
-                    archive.offer(&current, cand);
-                }
-            } else {
-                for (c, &w) in old.iter().enumerate() {
-                    current.set_duplex(net, c, rep, w);
-                }
-            }
-        }
+            },
+        );
+        stats.speculative_wasted += wasted;
 
         // Convergence checks every τ samples/link.
         while store.total() >= next_checkpoint {
@@ -321,6 +386,7 @@ pub fn regular(
         store,
         tracker,
         converged,
+        trace,
         stats,
     }
 }
@@ -348,25 +414,39 @@ pub fn top_up_samples(
         rounds += 1;
         let mut order: Vec<usize> = (0..universe.len()).collect();
         order.sort_by_key(|&i| out.store.count(i));
+        // Manufactured samples have no acceptance step, so they batch
+        // like the Phase-1b kernel: pre-draw in RNG order, evaluate
+        // concurrently, record in draw order (bit-for-bit the serial
+        // sample stream for every batch size and thread count).
+        let batch_size = params.speculation.max(1);
+        let mut cands: Vec<(usize, MtrWeightSetting)> = Vec::with_capacity(batch_size);
         for _ in 0..params.tau {
             order.shuffle(&mut rng);
-            for &fi in &order {
-                let rep = universe.failable[fi];
-                let (base, _) = out
-                    .archive
-                    .sample(&mut rng)
-                    .expect("regular phase always archives its best setting");
-                let mut w = base.clone();
-                for (c, &v) in failure_emulating_weights(k, params.wmax, params.q, &mut rng)
-                    .iter()
-                    .enumerate()
-                {
-                    w.set_duplex(net, c, rep, v);
+            for chunk in order.chunks(batch_size) {
+                cands.clear();
+                for &fi in chunk {
+                    let rep = universe.failable[fi];
+                    let (base, _) = out
+                        .archive
+                        .sample(&mut rng)
+                        .expect("regular phase always archives its best setting");
+                    let mut w = base.clone();
+                    for (c, &v) in failure_emulating_weights(k, params.wmax, params.q, &mut rng)
+                        .iter()
+                        .enumerate()
+                    {
+                        w.set_duplex(net, c, rep, v);
+                    }
+                    debug_assert!(w.emulates_failure(rep, params.q));
+                    cands.push((fi, w));
                 }
-                debug_assert!(w.emulates_failure(rep, params.q));
-                let cost = ev.cost(&w, Scenario::Normal);
-                evaluations += 1;
-                out.store.record(fi, &cost);
+                let costs = dtr_core::parallel::parallel_map(&cands, params.threads, |(_, w)| {
+                    ev.cost(w, Scenario::Normal)
+                });
+                for ((fi, _), cost) in cands.iter().zip(costs) {
+                    evaluations += 1;
+                    out.store.record(*fi, &cost);
+                }
             }
         }
         let crit = KWayCriticality::estimate(&out.store, params.left_tail_fraction);
@@ -509,6 +589,67 @@ mod tests {
         assert!(!rule.record(VecCost::new(vec![50.0, 1.0])));
         assert!(!rule.record(VecCost::new(vec![25.0, 1.0])));
         assert!(rule.record(VecCost::new(vec![25.0, 1.0])));
+    }
+
+    #[test]
+    fn stop_rule_history_is_bounded_to_its_window() {
+        let mut rule = MtrStopRule::new(2, 1e-9);
+        for i in 0..500 {
+            assert!(!rule.record(VecCost::new(vec![1e9 / (i + 1) as f64, 0.0])));
+            assert!(rule.history.len() <= rule.window + 1);
+        }
+    }
+
+    /// The fingerprint screen must dedup exactly like the historical full
+    /// weight-vector scan.
+    #[test]
+    fn archive_fingerprint_dedup_matches_exact_scan() {
+        struct RefArchive {
+            entries: Vec<(MtrWeightSetting, VecCost)>,
+            cap: usize,
+        }
+        impl RefArchive {
+            fn offer(&mut self, w: &MtrWeightSetting, cost: VecCost) {
+                if self.entries.iter().any(|(e, _)| e == w) {
+                    return;
+                }
+                let pos = self
+                    .entries
+                    .iter()
+                    .position(|(_, c)| cost.better_than(c))
+                    .unwrap_or(self.entries.len());
+                if pos >= self.cap {
+                    return;
+                }
+                self.entries.insert(pos, (w.clone(), cost));
+                self.entries.truncate(self.cap);
+            }
+        }
+
+        let mut rng = StdRng::seed_from_u64(31);
+        let mut fast = MtrArchive::new(3);
+        let mut slow = RefArchive {
+            entries: Vec::new(),
+            cap: 3,
+        };
+        let mut seen: Vec<MtrWeightSetting> = Vec::new();
+        for i in 0..150 {
+            let w = if i % 4 == 0 && !seen.is_empty() {
+                seen[i % seen.len()].clone()
+            } else {
+                let w = MtrWeightSetting::random(2, 6, 20, &mut rng);
+                seen.push(w.clone());
+                w
+            };
+            let cost = VecCost::new(vec![(i * 31 % 17) as f64, (i * 13 % 7) as f64]);
+            fast.offer(&w, cost.clone());
+            slow.offer(&w, cost);
+            assert_eq!(
+                fast.entries(),
+                slow.entries.as_slice(),
+                "diverged at offer {i}"
+            );
+        }
     }
 
     #[test]

@@ -7,11 +7,29 @@ use rand::Rng;
 /// A full MTR weight setting: `k` integer weights in `[1, wmax]` per
 /// directed link, one per traffic class. The k-class generalization of
 /// `dtr_routing::WeightSetting`.
-#[derive(Clone, Debug, PartialEq, Eq)]
+#[derive(Debug, PartialEq, Eq)]
 pub struct MtrWeightSetting {
     /// `per_class[k][l]` = weight of link `l` in class `k`'s topology.
     per_class: Vec<Vec<u32>>,
     wmax: u32,
+}
+
+/// Manual impl so `clone_from` reuses the destination's buffers (the
+/// robust search's speculative-move batches re-copy candidates on every
+/// refill; `Vec::clone_from` keeps both nesting levels allocation-free
+/// in steady state).
+impl Clone for MtrWeightSetting {
+    fn clone(&self) -> Self {
+        MtrWeightSetting {
+            per_class: self.per_class.clone(),
+            wmax: self.wmax,
+        }
+    }
+
+    fn clone_from(&mut self, source: &Self) {
+        self.per_class.clone_from(&source.per_class);
+        self.wmax = source.wmax;
+    }
 }
 
 impl MtrWeightSetting {

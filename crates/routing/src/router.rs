@@ -46,7 +46,7 @@ impl ClassRouting {
 
     /// Distance field towards destination `t`, or `None` if `t` sinks no
     /// demand (field never computed; see the compact-layout note on
-    /// [`ClassRouting::slot`]).
+    /// `ClassRouting::slot`).
     pub fn dist_to(&self, t: usize) -> Option<&[u64]> {
         let s = self.slot[t];
         (s != SLOT_NONE).then(|| {
@@ -86,7 +86,7 @@ pub fn route_class(
 /// capacity reused) and `ws` provides all scratch, so repeated calls do
 /// not allocate in the steady state. Results are bit-for-bit identical to
 /// [`route_class`] — both are built on
-/// [`route_destination`](crate::workspace::route_destination).
+/// [`route_destination`].
 pub fn route_class_with(
     net: &Network,
     weights: &[u32],

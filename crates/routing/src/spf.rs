@@ -78,6 +78,52 @@ pub fn dist_to_into(
     }
 }
 
+/// Reverse Dijkstra over **real-valued** per-link costs: the minimum
+/// cost from every node to `dest` over up links, `f64::INFINITY` where
+/// unreachable. Used with propagation delays as costs, this yields the
+/// physically best possible end-to-end delay of each pair under a
+/// failure mask — the load- and routing-independent floor behind the
+/// incumbent-bounded sweeps' Λ lower bounds (`Evaluator::lambda_floor`
+/// in `dtr-cost`).
+///
+/// # Panics
+/// Panics (debug) if `costs` has the wrong length or holds a negative
+/// or non-finite cost.
+pub fn min_cost_to(net: &Network, dest: NodeId, costs: &[f64], mask: &LinkMask) -> Vec<f64> {
+    debug_assert_eq!(costs.len(), net.num_links(), "one cost per link");
+    debug_assert!(
+        costs.iter().all(|&c| c.is_finite() && c >= 0.0),
+        "costs must be finite and non-negative"
+    );
+    let n = net.num_nodes();
+    let mut dist = vec![f64::INFINITY; n];
+    // f64 keys ordered via the IEEE total order (all keys are
+    // non-negative and finite, where total order = numeric order).
+    let mut heap: BinaryHeap<Reverse<(u64, u32)>> = BinaryHeap::new();
+    let key = |d: f64| d.to_bits();
+    dist[dest.index()] = 0.0;
+    heap.push(Reverse((key(0.0), dest.index() as u32)));
+    while let Some(Reverse((d, v))) = heap.pop() {
+        let v = v as usize;
+        let d = f64::from_bits(d);
+        if d > dist[v] {
+            continue;
+        }
+        for &l in net.in_links(NodeId::new(v)) {
+            if mask.is_down(l.index()) {
+                continue;
+            }
+            let u = net.link(l).src.index();
+            let nd = d + costs[l.index()];
+            if nd < dist[u] {
+                dist[u] = nd;
+                heap.push(Reverse((key(nd), u as u32)));
+            }
+        }
+    }
+    dist
+}
+
 /// `true` if link `l` lies on the shortest-path DAG towards the destination
 /// whose distance field is `dist` (i.e. `l` is used by ECMP routing to that
 /// destination).

@@ -30,11 +30,30 @@ impl std::fmt::Display for Class {
 /// weights in `[1, wmax]` per directed link. Integer weights in a bounded
 /// range are the standard IGP convention (the paper perturbs weights within
 /// `[1, wmax]` and emulates failures by weights near `wmax`).
-#[derive(Clone, Debug, PartialEq, Eq)]
+#[derive(Debug, PartialEq, Eq)]
 pub struct WeightSetting {
     delay: Vec<u32>,
     throughput: Vec<u32>,
     wmax: u32,
+}
+
+/// Manual impl so `clone_from` reuses the destination's buffers — the
+/// speculative-move batches of the local search re-copy candidate
+/// settings on every refill and must not allocate in steady state.
+impl Clone for WeightSetting {
+    fn clone(&self) -> Self {
+        WeightSetting {
+            delay: self.delay.clone(),
+            throughput: self.throughput.clone(),
+            wmax: self.wmax,
+        }
+    }
+
+    fn clone_from(&mut self, source: &Self) {
+        self.delay.clone_from(&source.delay);
+        self.throughput.clone_from(&source.throughput);
+        self.wmax = source.wmax;
+    }
 }
 
 impl WeightSetting {

@@ -67,7 +67,7 @@ pub mod prelude {
     pub use dtr_core::scenario::ScenarioSet;
     pub use dtr_core::{
         DoubleLink, FailureUniverse, Params, Probabilistic, RobustOptimizer,
-        RobustOptimizerBuilder, RobustReport, Selector, SingleLink, Srlg,
+        RobustOptimizerBuilder, RobustReport, Selector, SingleLink, SliceSet, Srlg,
     };
     pub use dtr_cost::{CostParams, Evaluator, LexCost};
     pub use dtr_mtr::{MtrOptimizer, MtrParams};

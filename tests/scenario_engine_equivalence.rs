@@ -135,6 +135,60 @@ proptest! {
         ev.release_workspace(ws);
     }
 
+    /// The move-diff scenario cache is invisible to the bits: a
+    /// Phase-2-style chain of single-duplex moves over a captured
+    /// incumbent, with cheap cache refreshes on simulated accepts, yields
+    /// cost_cached == cost_with == reference for every scenario of the
+    /// full taxonomy at every step.
+    #[test]
+    fn scenario_cache_chain_stays_bit_identical(
+        (nodes, extra, seed) in (10usize..14, 2usize..8, 0u64..1_000_000)
+    ) {
+        let (net, tm) = testbed(nodes, nodes + extra, seed);
+        let ev = Evaluator::new(&net, &tm, CostParams::default());
+        let reps = net.duplex_representatives();
+        let mut rng = StdRng::seed_from_u64(seed ^ 0x5ca1e);
+        let scenarios = scenario_zoo(&net, &mut rng);
+        let mut inc = WeightSetting::random(net.num_links(), 20, &mut rng);
+
+        let mut ws = ev.acquire_workspace();
+        let mut cache = dtr::cost::ScenarioCache::new();
+        cache.begin_rebuild(&inc, scenarios.len());
+        for (pos, &sc) in scenarios.iter().enumerate() {
+            let captured = ev.cost_capture(&mut ws, &inc, sc, &mut cache, pos);
+            prop_assert_eq!(captured, ev.evaluate(&inc, sc).cost, "capture {}", sc);
+        }
+
+        for step in 0..6 {
+            // Candidate: incumbent plus one duplex move.
+            let rep = reps[rng.gen_range(0..reps.len())];
+            let (wd, wt) = (rng.gen_range(1..=20), rng.gen_range(1..=20));
+            let mut cand = inc.clone();
+            for class in Class::ALL {
+                let v = if class == Class::Delay { wd } else { wt };
+                cand.set(class, rep, v);
+                if let Some(r) = net.reverse_link(rep) {
+                    cand.set(class, r, v);
+                }
+            }
+            ev.cache_begin(&mut cache, &cand);
+            for (pos, &sc) in scenarios.iter().enumerate() {
+                prop_assert_eq!(
+                    ev.cost_cached(&mut ws, &cand, sc, &cache, pos),
+                    ev.evaluate(&cand, sc).cost,
+                    "step {}, scenario {}, seed {}", step, sc, seed
+                );
+            }
+            // Simulate an accept every other step: the cache is cheaply
+            // refreshed onto the new incumbent and must stay exact.
+            if step % 2 == 0 {
+                inc = cand;
+                ev.cache_refresh(&mut ws, &mut cache, &inc, |pos| scenarios[pos]);
+            }
+        }
+        ev.release_workspace(ws);
+    }
+
     /// The sharded set sweep is byte-identical serial vs parallel for
     /// every shipped `ScenarioSet` — including the weighted
     /// (probabilistic) compound reduction.

@@ -1,0 +1,337 @@
+//! Trajectory-pinning suite for the speculative, cutoff-aware search
+//! stack.
+//!
+//! The batched-move kernel (`dtr_core::search::speculative_sweep`) and
+//! the incumbent-bounded failure sweeps
+//! (`dtr_core::parallel::sum_set_costs_bounded`,
+//! `dtr_mtr::parallel::sum_failure_costs_bounded`) promise that the
+//! search trajectory is **bit-for-bit** the serial, cutoff-free one:
+//! same best setting, same best costs, and the same full accept/reject
+//! sequence — for every speculation window `K`, every thread count, and
+//! cutoff on or off. This suite pins that promise for Phase 1, Phase 1b,
+//! Phase 2 (single-link, SRLG, probabilistically weighted, and
+//! slice-adapted node-failure ensembles) and both MTR phases, by
+//! comparing every configuration against the `K = 1, threads = 1,
+//! cutoff = off` anchor — which *is* the seed path.
+//!
+//! The per-proposal trace (`MoveOutcome`) is recorded in all runs, so a
+//! divergence anywhere in the accept/reject stream fails loudly, not
+//! just a divergence of the end state.
+
+use dtr::core::ext::probabilistic::FailureModel;
+use dtr::core::search::MoveOutcome;
+use dtr::core::{phase1, phase1b, phase2};
+use dtr::mtr::{
+    robust as mtr_robust, search as mtr_search, ClassSpec, MtrConfig, MtrEvaluator, MtrParams,
+};
+use dtr::prelude::*;
+use dtr::traffic::{gravity, TrafficMatrix};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Small 2-connected testbed: 8-ring with three chords, gravity load.
+fn testbed() -> (Network, ClassMatrices) {
+    let mut b = NetworkBuilder::new();
+    let n: Vec<_> = (0..8)
+        .map(|i| b.add_node(Point::new((i as f64 * 0.7).cos(), (i as f64 * 0.7).sin())))
+        .collect();
+    for i in 0..8 {
+        b.add_duplex_link(n[i], n[(i + 1) % 8], 1e6, 2e-3).unwrap();
+    }
+    b.add_duplex_link(n[0], n[4], 1e6, 2e-3).unwrap();
+    b.add_duplex_link(n[1], n[5], 1e6, 2e-3).unwrap();
+    b.add_duplex_link(n[2], n[6], 1e6, 2e-3).unwrap();
+    let net = b.build().unwrap();
+    let tm = gravity::generate(&gravity::GravityConfig {
+        total_volume: 3e6,
+        ..gravity::GravityConfig::paper_default(8, 17)
+    });
+    (net, tm)
+}
+
+/// The `(speculation, threads, cutoff)` grid. The first entry is the
+/// anchor: the plain serial loop.
+const CONFIGS: [(usize, usize, bool); 6] = [
+    (1, 1, false),
+    (1, 1, true),
+    (8, 1, false),
+    (8, 1, true),
+    (1, 4, true),
+    (8, 4, true),
+];
+
+fn params_for(seed: u64, (speculation, threads, cutoff): (usize, usize, bool)) -> Params {
+    Params {
+        speculation,
+        threads,
+        cutoff,
+        record_trace: true,
+        // Enough sweeps to exercise accepts, rejects, the constraint
+        // gate, diversification restarts and the cutoff — the grid runs
+        // each phase six times, so keep individual runs short.
+        max_iterations: 60,
+        ..Params::quick(seed)
+    }
+}
+
+fn assert_phase1_equal(a: &phase1::Phase1Output, b: &phase1::Phase1Output, cfg: &str) {
+    assert_eq!(a.best, b.best, "{cfg}: best setting diverged");
+    assert_eq!(a.best_cost, b.best_cost, "{cfg}: best cost diverged");
+    assert_eq!(a.trace, b.trace, "{cfg}: accept/reject sequence diverged");
+    assert_eq!(a.converged, b.converged, "{cfg}");
+    assert_eq!(a.archive.entries(), b.archive.entries(), "{cfg}: archive");
+    assert_eq!(a.store.total(), b.store.total(), "{cfg}: sample count");
+    for i in 0..a.store.num_links() {
+        assert_eq!(a.store.count(i), b.store.count(i), "{cfg}: samples of {i}");
+    }
+    assert_eq!(a.stats.iterations, b.stats.iterations, "{cfg}");
+    assert_eq!(a.stats.evaluations, b.stats.evaluations, "{cfg}");
+    assert_eq!(a.stats.diversifications, b.stats.diversifications, "{cfg}");
+}
+
+fn assert_phase2_equal(a: &phase2::Phase2Output, b: &phase2::Phase2Output, cfg: &str) {
+    assert_eq!(a.best, b.best, "{cfg}: best setting diverged");
+    assert_eq!(a.best_kfail, b.best_kfail, "{cfg}: kfail diverged");
+    assert_eq!(a.best_normal, b.best_normal, "{cfg}: normal cost diverged");
+    assert_eq!(
+        a.constraint_rejections, b.constraint_rejections,
+        "{cfg}: constraint gate diverged"
+    );
+    assert_eq!(a.trace, b.trace, "{cfg}: accept/reject sequence diverged");
+    assert_eq!(a.stats.iterations, b.stats.iterations, "{cfg}");
+    assert_eq!(a.stats.evaluations, b.stats.evaluations, "{cfg}");
+    assert_eq!(a.stats.diversifications, b.stats.diversifications, "{cfg}");
+}
+
+#[test]
+fn phase1_trajectory_is_invariant_across_speculation_and_threads() {
+    let (net, tm) = testbed();
+    let ev = Evaluator::new(&net, &tm, CostParams::default());
+    let universe = FailureUniverse::of(&net);
+    let anchor = phase1::run(&ev, &universe, &params_for(3, CONFIGS[0]));
+    assert!(
+        anchor.trace.contains(&MoveOutcome::Accept) && anchor.trace.contains(&MoveOutcome::Reject),
+        "anchor trace must exercise both outcomes"
+    );
+    for cfg in &CONFIGS[1..] {
+        let out = phase1::run(&ev, &universe, &params_for(3, *cfg));
+        assert_phase1_equal(&anchor, &out, &format!("{cfg:?}"));
+    }
+}
+
+#[test]
+fn phase1b_sample_stream_is_invariant_across_batching() {
+    let (net, tm) = testbed();
+    let ev = Evaluator::new(&net, &tm, CostParams::default());
+    let universe = FailureUniverse::of(&net);
+    let mk = |cfg: (usize, usize, bool)| {
+        let params = params_for(5, cfg);
+        let mut p1 = phase1::run(&ev, &universe, &params);
+        p1.converged = false; // force the top-up
+        let stats = phase1b::run(&ev, &universe, &params, &mut p1);
+        (p1, stats)
+    };
+    let (anchor, anchor_stats) = mk(CONFIGS[0]);
+    assert!(anchor_stats.rounds >= 1);
+    for cfg in &CONFIGS[1..] {
+        let (out, stats) = mk(*cfg);
+        assert_eq!(stats, anchor_stats, "{cfg:?}: phase1b stats diverged");
+        assert_eq!(out.store.total(), anchor.store.total(), "{cfg:?}");
+        for i in 0..anchor.store.num_links() {
+            assert_eq!(
+                out.store.count(i),
+                anchor.store.count(i),
+                "{cfg:?}: samples of {i}"
+            );
+            // The recorded sample *values* must match, not just counts:
+            // the tail statistics summarize them.
+            assert_eq!(
+                out.store.lambda_stats(i, 0.5),
+                anchor.store.lambda_stats(i, 0.5),
+                "{cfg:?}: λ samples of {i}"
+            );
+            assert_eq!(
+                out.store.phi_stats(i, 0.5),
+                anchor.store.phi_stats(i, 0.5),
+                "{cfg:?}: Φ samples of {i}"
+            );
+        }
+    }
+}
+
+#[test]
+fn phase2_trajectory_is_invariant_on_the_single_link_universe() {
+    let (net, tm) = testbed();
+    let ev = Evaluator::new(&net, &tm, CostParams::default());
+    let universe = FailureUniverse::of(&net);
+    let p1 = phase1::run(&ev, &universe, &params_for(7, CONFIGS[0]));
+    let all: Vec<usize> = (0..universe.len()).collect();
+    let anchor = phase2::run(&ev, &universe, &all, &params_for(7, CONFIGS[0]), &p1);
+    assert_eq!(anchor.stats.scenario_evals_skipped, 0);
+    assert!(
+        anchor.trace.contains(&MoveOutcome::ConstraintReject),
+        "quick run should exercise the constraint gate"
+    );
+    let mut saw_skip = false;
+    for cfg in &CONFIGS[1..] {
+        let out = phase2::run(&ev, &universe, &all, &params_for(7, *cfg), &p1);
+        assert_phase2_equal(&anchor, &out, &format!("{cfg:?}"));
+        saw_skip |= out.stats.scenario_evals_skipped > 0;
+    }
+    assert!(saw_skip, "the cutoff never skipped a scenario evaluation");
+}
+
+#[test]
+fn phase2_trajectory_is_invariant_on_srlg_and_weighted_ensembles() {
+    let (net, tm) = testbed();
+    let ev = Evaluator::new(&net, &tm, CostParams::default());
+    let universe = FailureUniverse::of(&net);
+    let p1 = phase1::run(&ev, &universe, &params_for(11, CONFIGS[0]));
+
+    // SRLG: single links plus conduit-style groups of three.
+    let reps = net.duplex_representatives();
+    let groups: Vec<Vec<LinkId>> = reps.chunks_exact(3).map(|g| g.to_vec()).collect();
+    let srlg = Srlg::explicit(&net, &groups);
+    let idx: Vec<usize> = srlg.all_indices();
+    let anchor = phase2::run(&ev, &srlg, &idx, &params_for(11, CONFIGS[0]), &p1);
+    for cfg in &CONFIGS[1..] {
+        let out = phase2::run(&ev, &srlg, &idx, &params_for(11, *cfg), &p1);
+        assert_phase2_equal(&anchor, &out, &format!("srlg {cfg:?}"));
+    }
+
+    // Probabilistic: the weighted compound objective.
+    let model = FailureModel::length_proportional(&net, &universe);
+    let prob = Probabilistic::with_model(&net, model);
+    let idx: Vec<usize> = prob.all_indices();
+    let anchor = phase2::run(&ev, &prob, &idx, &params_for(13, CONFIGS[0]), &p1);
+    for cfg in &CONFIGS[1..] {
+        let out = phase2::run(&ev, &prob, &idx, &params_for(13, *cfg), &p1);
+        assert_phase2_equal(&anchor, &out, &format!("prob {cfg:?}"));
+    }
+}
+
+#[test]
+fn phase2_slice_path_is_invariant_and_matches_the_set_path() {
+    let (net, tm) = testbed();
+    let ev = Evaluator::new(&net, &tm, CostParams::default());
+    let universe = FailureUniverse::of(&net);
+    let p1 = phase1::run(&ev, &universe, &params_for(19, CONFIGS[0]));
+
+    // Node failures through the SliceSet adapter (traffic-removing
+    // scenarios — the hardest kind for the incremental engine).
+    let nodes: Vec<Scenario> = net.nodes().map(Scenario::Node).collect();
+    let anchor = phase2::run_scenarios(&ev, &nodes, &params_for(19, CONFIGS[0]), &p1, None);
+    for cfg in &CONFIGS[1..] {
+        let out = phase2::run_scenarios(&ev, &nodes, &params_for(19, *cfg), &p1, None);
+        assert_phase2_equal(&anchor, &out, &format!("nodes {cfg:?}"));
+    }
+
+    // Weighted slice: same trajectory as uniform (scale-invariant
+    // acceptance), objective scaled by the mass.
+    let weights = vec![0.5; nodes.len()];
+    let halved = phase2::run_scenarios(
+        &ev,
+        &nodes,
+        &params_for(19, CONFIGS[0]),
+        &p1,
+        Some(&weights),
+    );
+    assert_eq!(halved.best, anchor.best);
+    assert_eq!(halved.trace, anchor.trace);
+
+    // And the slice path is exactly the set path over the same scenarios.
+    let slice_set = SliceSet::new(&nodes, None);
+    let idx: Vec<usize> = (0..nodes.len()).collect();
+    let via_set = phase2::run(&ev, &slice_set, &idx, &params_for(19, CONFIGS[0]), &p1);
+    assert_phase2_equal(&anchor, &via_set, "slice == set");
+}
+
+fn mtr_testbed() -> (Network, Vec<TrafficMatrix>) {
+    let (net, _) = testbed();
+    let mut rng = StdRng::seed_from_u64(23);
+    let mut tms = vec![TrafficMatrix::zeros(8); 2];
+    for tm in tms.iter_mut() {
+        for s in 0..8 {
+            for t in 0..8 {
+                if s != t {
+                    tm.set(s, t, rng.gen_range(1e3..4e4));
+                }
+            }
+        }
+    }
+    (net, tms)
+}
+
+fn mtr_params_for(seed: u64, (speculation, threads, cutoff): (usize, usize, bool)) -> MtrParams {
+    MtrParams {
+        speculation,
+        threads,
+        cutoff,
+        record_trace: true,
+        ..MtrParams::quick(seed)
+    }
+}
+
+#[test]
+fn mtr_regular_trajectory_is_invariant() {
+    let (net, tms) = mtr_testbed();
+    let config = MtrConfig::new(vec![
+        ClassSpec::sla("voice", 25e-3),
+        ClassSpec::congestion("bulk").relaxed(0.2),
+    ]);
+    let ev = MtrEvaluator::new(&net, &tms, config).unwrap();
+    let universe = FailureUniverse::of(&net);
+    let anchor = mtr_search::regular(&ev, &universe, &mtr_params_for(29, CONFIGS[0]));
+    assert!(anchor.trace.contains(&MoveOutcome::Accept));
+    for cfg in &CONFIGS[1..] {
+        let out = mtr_search::regular(&ev, &universe, &mtr_params_for(29, *cfg));
+        let cfg = format!("{cfg:?}");
+        assert_eq!(anchor.best, out.best, "{cfg}");
+        assert_eq!(anchor.best_cost, out.best_cost, "{cfg}");
+        assert_eq!(anchor.trace, out.trace, "{cfg}");
+        assert_eq!(anchor.archive.entries(), out.archive.entries(), "{cfg}");
+        assert_eq!(anchor.store.total(), out.store.total(), "{cfg}");
+        assert_eq!(anchor.stats.evaluations, out.stats.evaluations, "{cfg}");
+        assert_eq!(anchor.converged, out.converged, "{cfg}");
+    }
+}
+
+#[test]
+fn mtr_robust_trajectory_is_invariant() {
+    let (net, tms) = mtr_testbed();
+    let ev = MtrEvaluator::new(&net, &tms, MtrConfig::dtr(25e-3, 0.2)).unwrap();
+    let universe = FailureUniverse::of(&net);
+    let reg = mtr_search::regular(&ev, &universe, &mtr_params_for(31, CONFIGS[0]));
+    let scenarios = universe.scenarios();
+    let run = |cfg: (usize, usize, bool)| {
+        mtr_robust::run(
+            &ev,
+            &scenarios,
+            &mtr_params_for(31, cfg),
+            &reg.best_cost,
+            &reg.archive,
+            None,
+        )
+    };
+    let anchor = run(CONFIGS[0]);
+    assert_eq!(anchor.stats.scenario_evals_skipped, 0);
+    let mut saw_skip = false;
+    for cfg in &CONFIGS[1..] {
+        let out = run(*cfg);
+        let cfg = format!("{cfg:?}");
+        assert_eq!(anchor.best, out.best, "{cfg}");
+        assert_eq!(anchor.best_kfail, out.best_kfail, "{cfg}");
+        assert_eq!(anchor.best_normal, out.best_normal, "{cfg}");
+        assert_eq!(
+            anchor.constraint_rejections, out.constraint_rejections,
+            "{cfg}"
+        );
+        assert_eq!(anchor.trace, out.trace, "{cfg}");
+        assert_eq!(anchor.stats.evaluations, out.stats.evaluations, "{cfg}");
+        saw_skip |= out.stats.scenario_evals_skipped > 0;
+    }
+    assert!(
+        saw_skip,
+        "the MTR cutoff never skipped a scenario evaluation"
+    );
+}

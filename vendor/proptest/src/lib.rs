@@ -201,7 +201,7 @@ pub mod collection {
     use super::{Strategy, TestRng};
     use rand::Rng;
 
-    /// Size specification for [`vec`]: exact, `a..b` or `a..=b`.
+    /// Size specification for [`vec()`]: exact, `a..b` or `a..=b`.
     pub trait SizeRange {
         fn pick(&self, rng: &mut TestRng) -> usize;
     }
