@@ -1,0 +1,167 @@
+//! Schema + sanity check for `BENCH_routing.json` — keeps the perf
+//! trajectory machine-checkable in CI.
+//!
+//! The bench-smoke job regenerates the artifact and then runs this
+//! binary, which fails the job when:
+//!
+//! * an expected entry is missing (`link_sweep`, `srlg_sweep`,
+//!   `node_sweep`, `sharded_link_sweep`, `phase2_search`,
+//!   `mtr_robust_search`), or
+//! * a search bench reports `scenario_evals_skipped == 0` (the
+//!   incumbent-bounded cutoff never fired — a regression in the
+//!   machinery this artifact exists to track), or
+//! * an identity flag (`identical_result`, `serial_equals_parallel`,
+//!   `bit_for_bit_identical`) is missing or false, or
+//! * a per-rep sample array is empty (the variance record the artifact
+//!   promises).
+//!
+//! No JSON dependency is vendored, so this is a purpose-built scanner
+//! for the flat two-level object `micro_routing` emits — strict enough
+//! to catch a malformed or truncated artifact, not a general parser.
+//!
+//! Usage: `check_bench [path/to/BENCH_routing.json]` (defaults to
+//! `BENCH_routing.json` in the current directory).
+
+use std::process::ExitCode;
+
+/// The balanced-brace body of `"section": { ... }`, or `None`.
+fn section<'a>(doc: &'a str, name: &str) -> Option<&'a str> {
+    let key = format!("\"{name}\"");
+    let start = doc.find(&key)?;
+    let open = start + doc[start..].find('{')?;
+    let mut depth = 0usize;
+    for (i, c) in doc[open..].char_indices() {
+        match c {
+            '{' => depth += 1,
+            '}' => {
+                depth -= 1;
+                if depth == 0 {
+                    return Some(&doc[open..open + i + 1]);
+                }
+            }
+            _ => {}
+        }
+    }
+    None
+}
+
+/// The numeric value of `"key": <number>` inside `body`, or `None`.
+fn number(body: &str, key: &str) -> Option<f64> {
+    let pat = format!("\"{key}\":");
+    let start = body.find(&pat)? + pat.len();
+    let rest = body[start..].trim_start();
+    let end = rest
+        .find(|c: char| !(c.is_ascii_digit() || c == '.' || c == '-' || c == 'e' || c == 'E'))
+        .unwrap_or(rest.len());
+    rest[..end].parse().ok()
+}
+
+/// `true` iff `"key": true` appears inside `body`.
+fn flag(body: &str, key: &str) -> bool {
+    body.contains(&format!("\"{key}\": true"))
+}
+
+/// `true` iff `"key": [ ... ]` inside `body` holds at least one element.
+fn nonempty_array(body: &str, key: &str) -> bool {
+    let pat = format!("\"{key}\":");
+    let Some(start) = body.find(&pat) else {
+        return false;
+    };
+    let rest = body[start + pat.len()..].trim_start();
+    rest.starts_with('[') && !rest[1..].trim_start().starts_with(']')
+}
+
+fn main() -> ExitCode {
+    let path = std::env::args()
+        .nth(1)
+        .unwrap_or_else(|| "BENCH_routing.json".to_string());
+    let doc = match std::fs::read_to_string(&path) {
+        Ok(d) => d,
+        Err(e) => {
+            eprintln!("check_bench: cannot read {path}: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+
+    let mut errors = Vec::new();
+
+    // Per-scenario-kind sweep entries with a recorded speedup.
+    for kind in ["link_sweep", "srlg_sweep", "node_sweep"] {
+        match section(&doc, kind) {
+            None => errors.push(format!("missing sweep entry `{kind}`")),
+            Some(body) => {
+                if number(body, "speedup").is_none_or(|s| s.is_nan() || s <= 0.0) {
+                    errors.push(format!("`{kind}` has no positive `speedup`"));
+                }
+                if number(body, "scenarios").is_none_or(|s| s < 1.0) {
+                    errors.push(format!("`{kind}` records no scenarios"));
+                }
+            }
+        }
+    }
+
+    match section(&doc, "sharded_link_sweep") {
+        None => errors.push("missing `sharded_link_sweep` entry".into()),
+        Some(body) => {
+            if !flag(body, "serial_equals_parallel") {
+                errors.push("`sharded_link_sweep` lost its serial == parallel identity".into());
+            }
+        }
+    }
+
+    // End-to-end search benches: entries present, results identical,
+    // cutoff observable (skips > 0), per-rep samples recorded.
+    for (name, samples) in [
+        (
+            "phase2_search",
+            [
+                "serial_ns_samples",
+                "cutoff_ns_samples",
+                "cutoff_spec_ns_samples",
+            ],
+        ),
+        (
+            "mtr_robust_search",
+            [
+                "serial_ns_samples",
+                "cutoff_ns_samples",
+                "cutoff_cache_ns_samples",
+            ],
+        ),
+    ] {
+        match section(&doc, name) {
+            None => errors.push(format!("missing search entry `{name}`")),
+            Some(body) => {
+                if !flag(body, "identical_result") {
+                    errors.push(format!("`{name}` lost its identical-result contract"));
+                }
+                match number(body, "scenario_evals_skipped") {
+                    None => errors.push(format!("`{name}` records no `scenario_evals_skipped`")),
+                    Some(s) if s <= 0.0 => errors.push(format!(
+                        "`{name}` reports scenario_evals_skipped == 0: the cutoff never fired"
+                    )),
+                    _ => {}
+                }
+                for arr in samples {
+                    if !nonempty_array(body, arr) {
+                        errors.push(format!("`{name}` is missing per-rep samples `{arr}`"));
+                    }
+                }
+            }
+        }
+    }
+
+    if !flag(&doc, "bit_for_bit_identical") {
+        errors.push("artifact lost its top-level `bit_for_bit_identical` flag".into());
+    }
+
+    if errors.is_empty() {
+        println!("check_bench: {path} OK");
+        ExitCode::SUCCESS
+    } else {
+        for e in &errors {
+            eprintln!("check_bench: {e}");
+        }
+        ExitCode::FAILURE
+    }
+}

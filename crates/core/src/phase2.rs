@@ -47,10 +47,12 @@
 //! `dtr_cost::engine`: a neighbor move changes one duplex link's weights,
 //! so the normal-conditions check re-routes only the destinations whose
 //! distance field that change can provably touch, and the failure sweep
-//! re-routes, per scenario, only the destinations whose shortest-path DAG
-//! uses a link of that scenario's down-set — for **every** scenario kind
-//! the set holds (link, node, SRLG, double-link, probabilistically
-//! weighted).
+//! runs through the **delta-state scenario cache** — per scenario, only
+//! destinations whose effective routing the candidate diff really moves
+//! are repaired from the resident incumbent state, only
+//! contributor-changed links are refolded, and only delay-touched
+//! destinations re-run the SLA DP — for **every** scenario kind the set
+//! holds (link, node, SRLG, double-link, probabilistically weighted).
 
 use dtr_cost::{Evaluator, LexCost};
 use dtr_routing::{Scenario, WeightSetting};
@@ -92,25 +94,16 @@ pub fn feasible(normal: &LexCost, lambda_star: f64, phi_star: f64, chi: f64) -> 
     normal.lambda <= lambda_star + dtr_cost::LAMBDA_EPS && normal.phi <= (1.0 + chi) * phi_star
 }
 
-/// Accepted moves between full capture sweeps of the move-diff scenario
-/// cache. Each accept cheaply *refreshes* the cache onto the new
-/// incumbent ([`Evaluator::cache_refresh`]) so candidate diffs stay at
-/// one duplex move, but refreshes never extend coverage to newly
-/// mask-affected destinations — the periodic full rebuild restores it.
-/// Correctness never depends on this value.
-const CACHE_REBUILD_DRIFT: usize = 12;
-
 /// Evaluation-order state of the cutoff sweeps: positions into the
 /// `indices` slice, costliest-under-the-incumbent first, the shared
 /// per-position cost scratch, the per-position Λ floors that stand in
-/// for scenarios a bounded sweep has not reached yet, and the move-diff
-/// scenario cache (plus its drift since the last rebuild).
+/// for scenarios a bounded sweep has not reached yet, and the
+/// delta-state scenario cache.
 struct SweepState {
     order: Vec<u32>,
     scratch: SweepScratch,
     floors: Vec<f64>,
     cache: dtr_cost::ScenarioCache,
-    drift: usize,
 }
 
 impl SweepState {
@@ -137,7 +130,6 @@ impl SweepState {
             scratch: SweepScratch::new(),
             floors,
             cache: dtr_cost::ScenarioCache::new(),
-            drift: 0,
         }
     }
 
@@ -175,7 +167,7 @@ impl SweepState {
 /// Full compound sweep (init, diversification restarts, cache rebuilds,
 /// and the cutoff-off path): bit-for-bit [`parallel::sum_set_costs`].
 /// With the cutoff enabled it runs serially through
-/// [`Evaluator::cost_capture`], rebuilding the move-diff scenario cache
+/// [`Evaluator::cost_capture`], rebuilding the delta-state scenario cache
 /// on `w` and refreshing the per-position costs and evaluation order as
 /// it goes (the index-order weighted fold is exactly the seed's
 /// float-add sequence).
@@ -209,13 +201,12 @@ fn full_sweep<S: ScenarioSet + Sync + ?Sized>(
     }
 }
 
-/// Capture sweep over `w`: rebuilds the move-diff scenario cache and
+/// Capture sweep over `w`: rebuilds the delta-state scenario cache (the
+/// incumbent baseline plus every scenario's resident folded state) and
 /// refreshes the per-position cost scratch, sharding across `threads`
 /// workers (cache entries and cost slots are position-disjoint, so each
-/// worker owns a contiguous chunk of both). Does not touch the logical
-/// evaluation count — callers account for it as either part of a
-/// logical full sweep or as [`SearchStats::cache_rebuild_evals`]
-/// overhead.
+/// worker owns a contiguous chunk of both; the captured baseline is
+/// shared read-only).
 fn rebuild_cache<S: ScenarioSet + Sync + ?Sized>(
     ev: &Evaluator<'_>,
     set: &S,
@@ -224,21 +215,21 @@ fn rebuild_cache<S: ScenarioSet + Sync + ?Sized>(
     threads: usize,
     st: &mut SweepState,
 ) {
-    st.cache.begin_rebuild(w, indices.len());
-    st.drift = 0;
+    let mut ws = ev.acquire_workspace();
+    ev.cache_rebuild_begin(&mut ws, &mut st.cache, w, indices.len());
     st.scratch.costs.clear();
     st.scratch.costs.resize(indices.len(), LexCost::ZERO);
     let workers = threads.min(indices.len());
+    let (base, entries) = st.cache.capture_split();
     if workers <= 1 {
-        let mut ws = ev.acquire_workspace();
-        for ((pos, &i), entry) in indices.iter().enumerate().zip(st.cache.entries_mut()) {
-            st.scratch.costs[pos] = ev.cost_capture_into(&mut ws, w, set.scenario(i), entry);
+        for ((pos, &i), entry) in indices.iter().enumerate().zip(entries) {
+            st.scratch.costs[pos] = ev.cost_capture_into(&mut ws, w, set.scenario(i), base, entry);
         }
         ev.release_workspace(ws);
         return;
     }
+    ev.release_workspace(ws);
     let chunk = indices.len().div_ceil(workers);
-    let entries = st.cache.entries_mut();
     let costs = &mut st.scratch.costs;
     std::thread::scope(|s| {
         let handles: Vec<_> = indices
@@ -249,7 +240,7 @@ fn rebuild_cache<S: ScenarioSet + Sync + ?Sized>(
                 s.spawn(move || {
                     let mut ws = ev.acquire_workspace();
                     for ((&i, entry), c) in idx.iter().zip(ents).zip(cst) {
-                        *c = ev.cost_capture_into(&mut ws, w, set.scenario(i), entry);
+                        *c = ev.cost_capture_into(&mut ws, w, set.scenario(i), base, entry);
                     }
                     ev.release_workspace(ws);
                 })
@@ -390,20 +381,14 @@ pub fn run<S: ScenarioSet + Sync + ?Sized>(
                         if params.cutoff {
                             // Re-point the cache at the new incumbent so
                             // the next candidate's diff is again a single
-                            // duplex move; a full capture sweep every
-                            // CACHE_REBUILD_DRIFT accepts restores
-                            // coverage of newly mask-affected dests.
-                            st.drift += 1;
-                            if st.drift >= CACHE_REBUILD_DRIFT {
-                                stats.cache_rebuild_evals += indices.len();
-                                rebuild_cache(ev, set, indices, cand_w, params.threads, &mut st);
-                            } else {
-                                let mut ws = ev.acquire_workspace();
-                                ev.cache_refresh(&mut ws, &mut st.cache, cand_w, |pos| {
-                                    set.scenario(indices[pos])
-                                });
-                                ev.release_workspace(ws);
-                            }
+                            // duplex move. The delta-state refresh keeps
+                            // affected-set coverage *exact*, so no
+                            // periodic full rebuild is needed.
+                            let mut ws = ev.acquire_workspace();
+                            ev.cache_refresh(&mut ws, &mut st.cache, cand_w, |pos| {
+                                set.scenario(indices[pos])
+                            });
+                            ev.release_workspace(ws);
                             st.refresh(set, indices);
                         }
                         improved = true;

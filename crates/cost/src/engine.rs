@@ -1,4 +1,4 @@
-//! The allocation-free, incremental evaluation engine.
+//! The allocation-free, incremental, delta-state evaluation engine.
 //!
 //! [`crate::Evaluator::evaluate`] is the readable reference
 //! implementation: it recomputes everything from scratch and allocates
@@ -12,7 +12,8 @@
 //!    the scenario mask, per-pair delays) lives in a per-thread workspace
 //!    drawn from the evaluator's pool. After warm-up, an evaluation of
 //!    **any** scenario kind performs **zero** heap allocations
-//!    (`tests/alloc_free.rs` pins this for link, SRLG and node sweeps).
+//!    (`tests/alloc_free.rs` pins this for link, SRLG and node sweeps,
+//!    and for the delta-state cached path).
 //! 2. **Baseline caching**: the workspace keeps, per traffic class, the
 //!    full no-failure routing of the *current* weight setting as
 //!    replayable [`DestRouting`] records (one per demand destination).
@@ -31,15 +32,17 @@
 //!    link's weights), the baseline is diffed against the new weights
 //!    and only destinations whose distance field is provably affected
 //!    ([`weight_change_affects`]) are re-routed.
-//! 5. **Move-diff scenario cache across moves × scenarios**
+//! 5. **Delta-state scenario cache across moves × scenarios**
 //!    ([`ScenarioCache`]): the robust phase's sweep evaluates the *same
 //!    scenarios* for a stream of candidates that differ from the
-//!    incumbent by one duplex link. The cache keeps the incumbent's
-//!    recomputed per-scenario routings; a candidate's sweep re-routes
-//!    only destinations affected by **both** the scenario's mask and
-//!    the candidate's weight diff ([`Evaluator::cost_cached`]), and the
-//!    accept path re-points the cache at the new incumbent for the cost
-//!    of a few Dijkstras ([`Evaluator::cache_refresh`]).
+//!    incumbent by one duplex link. The cache keeps **persistent
+//!    per-scenario state** of the incumbent — see the next section — so
+//!    a candidate's per-scenario cost ([`Evaluator::cost_cached`])
+//!    re-routes only the mask ∩ move-affected destinations, refolds only
+//!    the links whose contributor set changed, and re-runs the SLA delay
+//!    DP only for destinations whose routing or on-DAG link delays
+//!    changed. The accept path re-points the cache at the new incumbent
+//!    incrementally ([`Evaluator::cache_refresh`]).
 //! 6. **Incumbent-bounded sweeps**
 //!    ([`Evaluator::evaluate_all_bounded`], and the set-native
 //!    `dtr_core::parallel::sum_set_costs_bounded` with per-scenario Λ
@@ -47,6 +50,70 @@
 //!    are non-negative sums, so a partial fold that stops beating the
 //!    search's incumbent *proves* the candidate will be rejected — the
 //!    rest of the sweep is skipped without perturbing the trajectory.
+//!
+//! # The delta-state model
+//!
+//! Before this engine, a fully cached scenario evaluation still paid a
+//! *replay floor*: every destination's recorded load-adds were re-issued
+//! into a zeroed load vector, the per-link delays recomputed from
+//! scratch, and the end-to-end delay DP re-run for every delay
+//! destination — even when the candidate's one-duplex-link diff provably
+//! touched none of them. The [`ScenarioCache`] now keeps, per scenario,
+//! the *folded* state of the incumbent, and candidates pay only for
+//! their diff:
+//!
+//! * **What persists per scenario**: the recomputed routings of every
+//!   mask-affected destination (exactly the affected set — maintained
+//!   exactly by capture and refresh), the resident per-class per-link
+//!   **load vectors**, per-class **per-link contributor lists**
+//!   ([`LinkContrib`]: `(destination, share)` pairs in destination-index
+//!   order), the resident **per-link delays**, and the resident **SLA
+//!   pair-delay triples** segmented by destination. The cache also holds
+//!   the incumbent's no-failure **baseline** routings per class (the
+//!   effective routing of every destination the mask does not touch).
+//! * **When a destination is changed**: the conservative
+//!   [`weight_change_affects`] pre-screen is sharpened into an *exact*
+//!   per-candidate baseline diff ([`baseline_unchanged`], computed once
+//!   per candidate against the workspace's maintained candidate
+//!   baseline and shared by the whole scenario sweep): a destination is
+//!   baseline-changed only when its distance field or DAG really moved.
+//!   A changed destination's *scenario* routing is still reused from the
+//!   entry whenever the diff provably cannot touch it; otherwise it is
+//!   **repaired** from the candidate baseline
+//!   ([`route_destination_repair`]: orphan detection plus a boundary
+//!   Dijkstra over the invalidated region — integer distances make the
+//!   repair bit-equal to a from-scratch route) instead of paying a full
+//!   Dijkstra.
+//! * **When a link is refolded**: the links appearing in a changed
+//!   destination's old or new adds are *dirty*; when few links are
+//!   dirty, only those are refolded from the stored contributor lists —
+//!   and when a large move dirtied most of the network, the engine
+//!   instead replays every destination's effective adds in destination
+//!   order (the identical float sequence, cheaper than per-link
+//!   merges). Every clean link's load and delay, and every untouched
+//!   destination's pair-delay segment, is read back from the resident
+//!   state.
+//! * **Why the per-link destination-ordered fold is bit-exact**: a
+//!   from-scratch evaluation accumulates `loads[l]` by iterating
+//!   destinations in index order and replaying each destination's adds;
+//!   the sub-sequence of adds landing on link `l` is therefore "one
+//!   share per contributing destination, in destination-index order"
+//!   (the ECMP push emits at most one add per (destination, link) pair —
+//!   see [`DestRouting::load_adds`]). Refolding link `l` as a merge of
+//!   the stored contributor list (minus changed destinations) with the
+//!   changed destinations' fresh shares, in destination-index order,
+//!   performs the **exact same float additions in the exact same
+//!   order** — so a clean link's resident load and a dirty link's
+//!   refolded load are both bit-for-bit the from-scratch value.
+//!   Downstream, per-link delays are a per-link pure function of the
+//!   total load (patched only where a refold ran; a patched delay that
+//!   comes out bit-identical is pruned), and a destination's pair-delay
+//!   segment is reused unless its routing changed or a bit-changed delay
+//!   lies on its DAG ([`dag_uses_any`] over the changed-delay links —
+//!   a conservative superset of the DP's on-DAG reads). The final Λ and
+//!   Φ folds run over the assembled per-pair and per-link values in the
+//!   reference order, so they reproduce [`Evaluator::cost_with`] — and
+//!   therefore the reference path — bit for bit.
 //!
 //! # Node failures: masks that also remove traffic
 //!
@@ -80,11 +147,14 @@
 //! it is load-bearing (the optimization trajectory must not depend on
 //! which engine evaluated a candidate) and pinned for **every**
 //! `Scenario` kind by `tests/engine_equivalence.rs` and the randomized
-//! differential harness `tests/scenario_engine_equivalence.rs`. It holds
-//! because a replayed destination re-issues the exact floating-point
-//! additions, in the exact order, that a fresh computation would
-//! perform, and a re-routed destination runs the exact same
-//! [`route_destination`] kernel the reference path is built on.
+//! differential harness `tests/scenario_engine_equivalence.rs`
+//! (including randomized move/accept chains through the delta-state
+//! cache, its refreshes, and full rebuilds). It holds because a replayed
+//! destination re-issues the exact floating-point additions, in the
+//! exact order, that a fresh computation would perform; a re-routed
+//! destination runs the exact same [`route_destination`] kernel the
+//! reference path is built on; and the delta-state folds preserve the
+//! reference accumulation order per link and per pair (see above).
 
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Mutex;
@@ -93,14 +163,17 @@ use std::sync::Mutex;
 /// [`EvalWorkspace::owner`]); 0 is reserved for "never owned".
 static NEXT_ENGINE_ID: AtomicU64 = AtomicU64::new(1);
 
-/// A fresh evaluator identity.
-pub(crate) fn next_engine_id() -> u64 {
+/// A fresh evaluator identity — shared across every evaluator family
+/// that pools owner-gated workspaces (`dtr-cost` and `dtr-mtr`), so an
+/// id can never collide between them.
+pub fn next_engine_id() -> u64 {
     NEXT_ENGINE_ID.fetch_add(1, Ordering::Relaxed)
 }
 
 use dtr_net::{LinkId, LinkMask};
 use dtr_routing::workspace::{
-    dag_uses_any, route_destination, weight_change_affects, DestRouting, WeightChange,
+    dag_uses_any, route_destination, route_destination_repair, weight_change_affects, DestRouting,
+    WeightChange,
 };
 use dtr_routing::{delay, Class, Scenario, SpfWorkspace, WeightSetting};
 use dtr_traffic::TrafficMatrix;
@@ -111,54 +184,238 @@ use crate::params::DelayAggregation;
 use crate::{congestion, sla, Evaluator};
 
 /// Marker for "this destination was replayed from the baseline".
-const NOT_RECOMPUTED: u32 = u32::MAX;
+/// Deliberately outside the [`CACHED_BIT`] range (high bit clear) so the
+/// `scratch_map` decode is order-independent: no sentinel can alias a
+/// tagged cache-entry slot regardless of which test runs first.
+const NOT_RECOMPUTED: u32 = 0x7fff_fffe;
 
 /// Tag bit marking a `scratch_map` slot that resolves into the scenario
 /// cache's recomputed routings instead of the recompute scratch.
 const CACHED_BIT: u32 = 0x8000_0000;
 
-/// Cached routing of one scenario under the cache's weight setting: the
-/// recomputed [`DestRouting`] of every destination the scenario's mask
-/// affected, per class, in destination order.
+/// Tag marking a `scratch_map` slot that resolves into the workspace's
+/// candidate baseline (a move-touched destination the scenario mask does
+/// not affect) on the delta-state path.
+const WS_BASE: u32 = 0x7fff_ffff;
+
+/// Per-link contributor lists of one scenario's effective routing state
+/// (CSR over directed links): for every link, the `(destination index,
+/// share)` pairs that fold into its load, sorted by destination index.
+///
+/// Because the ECMP push emits at most one add per (destination, link)
+/// pair, a link's row holds one entry per contributing destination, and
+/// folding the row in order reproduces the from-scratch accumulation of
+/// that link's load bit for bit (see the module docs). Shared with the
+/// `dtr-mtr` delta-state cache.
+#[derive(Clone, Debug, Default)]
+pub struct LinkContrib {
+    /// `off[l]..off[l+1]` indexes `entries` for link `l`.
+    off: Vec<u32>,
+    /// `(destination index, share)` pairs, destination-ascending per link.
+    entries: Vec<(u32, f64)>,
+    /// Fill-cursor scratch of [`rebuild`](Self::rebuild).
+    cursor: Vec<u32>,
+}
+
+impl LinkContrib {
+    /// The contributor row of link `l`, destination-ascending.
+    #[inline]
+    pub fn row(&self, l: usize) -> &[(u32, f64)] {
+        &self.entries[self.off[l] as usize..self.off[l + 1] as usize]
+    }
+
+    /// Rebuild the CSR from per-destination contribution sequences:
+    /// `adds_of(di)` yields destination `di`'s effective `(link, share)`
+    /// adds. Destinations are scanned in ascending index order, so every
+    /// link's row comes out sorted by destination.
+    pub fn rebuild<'a, F>(&mut self, num_links: usize, num_dests: usize, mut adds_of: F)
+    where
+        F: FnMut(usize) -> &'a [(u32, f64)],
+    {
+        self.off.clear();
+        self.off.resize(num_links + 1, 0);
+        let mut total = 0u32;
+        for di in 0..num_dests {
+            for &(l, _) in adds_of(di) {
+                self.off[l as usize + 1] += 1;
+                total += 1;
+            }
+        }
+        for l in 0..num_links {
+            self.off[l + 1] += self.off[l];
+        }
+        self.entries.clear();
+        self.entries.resize(total as usize, (0, 0.0));
+        self.cursor.clear();
+        self.cursor.extend_from_slice(&self.off[..num_links]);
+        for di in 0..num_dests {
+            for &(l, share) in adds_of(di) {
+                let c = &mut self.cursor[l as usize];
+                self.entries[*c as usize] = (di as u32, share);
+                *c += 1;
+            }
+        }
+    }
+}
+
+/// `true` when a destination's candidate baseline routing is bit-for-bit
+/// its cached incumbent baseline routing, proven from the candidate's
+/// freshly maintained distance field:
+///
+/// * the distance fields are bitwise equal, and
+/// * every changed link is off the shortest-path DAG under **both** its
+///   old and its new weight (`dist[u] != dist[v] + w` for both; links
+///   with an unreachable endpoint are never on a DAG).
+///
+/// Unchanged links keep their DAG status trivially (same weight, same
+/// distances), so the two DAGs coincide on every link — and
+/// [`route_destination`] is a deterministic function of (distances, DAG
+/// membership, traffic), so the full record (order, load adds, drops) is
+/// identical. This is the *exact* per-destination baseline diff: the
+/// conservative [`weight_change_affects`] pre-screen errs towards
+/// "changed" (e.g. a lowered weight that fails to create a shortcut),
+/// and every such false positive would otherwise re-run the per-scenario
+/// delay DP for nothing.
+pub fn baseline_unchanged(
+    net: &dtr_net::Network,
+    cand_dist: &[u64],
+    inc_dist: &[u64],
+    diff: &[WeightChange],
+) -> bool {
+    if cand_dist != inc_dist {
+        return false;
+    }
+    diff.iter().all(|c| {
+        let link = net.link(c.link);
+        let (u, v) = (link.src.index(), link.dst.index());
+        if cand_dist[u] == dtr_routing::UNREACHABLE || cand_dist[v] == dtr_routing::UNREACHABLE {
+            return true;
+        }
+        cand_dist[u] != cand_dist[v] + u64::from(c.old)
+            && cand_dist[u] != cand_dist[v] + u64::from(c.new)
+    })
+}
+
+/// Candidate load of one link under the delta-state model: merge the
+/// stored contributor row (skipping changed destinations' stale shares)
+/// with the changed destinations' fresh `(_, dest, share)` adds for this
+/// link, folding in destination-index order — the exact float-add
+/// sequence a from-scratch accumulation over destinations performs for
+/// this link. `fresh` must be destination-ascending and disjoint from
+/// the unchanged row entries (fresh destinations are changed by
+/// definition).
+pub fn refold_link(
+    row: &[(u32, f64)],
+    fresh: &[(u32, u32, f64)],
+    is_changed: impl Fn(u32) -> bool,
+) -> f64 {
+    let mut acc = 0.0f64;
+    let mut i = 0usize;
+    let mut j = 0usize;
+    loop {
+        while i < row.len() && is_changed(row[i].0) {
+            i += 1;
+        }
+        match (i < row.len(), j < fresh.len()) {
+            (false, false) => break,
+            (true, false) => {
+                acc += row[i].1;
+                i += 1;
+            }
+            (false, true) => {
+                acc += fresh[j].2;
+                j += 1;
+            }
+            (true, true) => {
+                if row[i].0 < fresh[j].1 {
+                    acc += row[i].1;
+                    i += 1;
+                } else {
+                    acc += fresh[j].2;
+                    j += 1;
+                }
+            }
+        }
+    }
+    acc
+}
+
+/// The effective `(link, share)` contribution sequence of destination
+/// `di` under the cached incumbent: the entry's recomputed routing where
+/// the mask affected it, the incumbent baseline elsewhere, nothing for
+/// the excluded node. `list` is the entry's (ascending) affected list.
+fn effective_adds<'a>(
+    list: &'a [(u32, DestRouting)],
+    base: &'a [DestRouting],
+    dests: &[u32],
+    excluded: Option<usize>,
+    di: usize,
+) -> &'a [(u32, f64)] {
+    if Some(dests[di] as usize) == excluded {
+        return &[];
+    }
+    match list.binary_search_by_key(&(di as u32), |e| e.0) {
+        Ok(k) => list[k].1.load_adds(),
+        Err(_) => base[di].load_adds(),
+    }
+}
+
+/// Persistent per-scenario state of the cached incumbent: the recomputed
+/// routings of exactly the mask-affected destinations, plus the folded
+/// residents a candidate evaluation diffs against (see the module docs).
 #[derive(Clone, Debug, Default)]
 pub struct ScenarioEntry {
-    /// `(slot into the delay class's demand-destination list, routing)`.
+    /// `(slot into the delay class's demand-destination list, routing)` —
+    /// exactly the mask-affected destinations, ascending.
     delay: Vec<(u32, DestRouting)>,
     /// Same for the throughput class.
     tput: Vec<(u32, DestRouting)>,
+    /// Resident per-class per-link loads of the incumbent (`[delay,
+    /// tput]`).
+    loads: [Vec<f64>; 2],
+    /// Per-class per-link contributor lists, destination-ordered.
+    contrib: [LinkContrib; 2],
+    /// Resident per-link delays of the incumbent's total loads.
+    link_delays: Vec<f64>,
+    /// Resident SLA `(s, t, ξ)` triples of the incumbent, in reference
+    /// emission order (delay destinations ascending, senders ascending).
+    pairs: Vec<(usize, usize, f64)>,
+    /// `pair_off[di]..pair_off[di+1]` indexes `pairs` for delay
+    /// destination `di` (length = delay destinations + 1).
+    pair_off: Vec<u32>,
 }
 
-/// Move-diff scenario cache: the per-scenario recomputed routings of an
-/// *incumbent* weight setting, enabling candidate sweeps that re-route
-/// only destinations affected by **both** the scenario's mask and the
-/// candidate's weight diff.
+/// Delta-state scenario cache: the persistent per-scenario evaluation
+/// state of an *incumbent* weight setting, enabling candidate sweeps
+/// that pay only for their diff (see the module docs and
+/// [`Evaluator::cost_cached`]).
 ///
-/// A hill-climbing candidate differs from the incumbent by one duplex
-/// link (plus whatever earlier accepted moves drifted since the last
-/// rebuild), so for most mask-affected destinations
-/// [`weight_change_affects`] proves the cached routing is bit-for-bit
-/// what re-routing would produce — the sweep replays it instead of
-/// running Dijkstra. This turns the per-scenario candidate cost from
-/// "re-route every mask-affected destination" into "re-route the
-/// mask ∩ move intersection", which is usually empty or tiny.
-///
-/// Build it with [`Evaluator::cost_capture`] sweeps over the incumbent,
-/// point candidates at it with [`Evaluator::cache_begin`] (which
-/// computes the per-class weight diff), and evaluate through
-/// [`Evaluator::cost_cached`]. Correctness does not depend on any
-/// freshness policy: a stale cache only classifies more destinations as
-/// move-affected (they are then recomputed exactly as without the
-/// cache); callers rebuild when the drift makes it unprofitable.
+/// Build it with [`Evaluator::cache_rebuild_begin`] +
+/// [`Evaluator::cost_capture`] sweeps over the incumbent, point
+/// candidates at it with [`Evaluator::cache_begin`] (which computes the
+/// per-class weight diff), evaluate through
+/// [`Evaluator::cost_cached`], and re-point it at an accepted candidate
+/// with [`Evaluator::cache_refresh`] — which maintains the affected-set
+/// coverage *exactly*, so no periodic full rebuild is needed for
+/// correctness or freshness.
 #[derive(Debug, Default)]
 pub struct ScenarioCache {
     /// Per-class weights of the cached incumbent (`[delay, tput]`).
     weights: [Vec<u32>; 2],
+    /// The incumbent's no-failure baseline routing per class, aligned
+    /// with the evaluator's demand-destination lists.
+    base: [Vec<DestRouting>; 2],
     /// Per-position scenario entries (positions are caller-defined and
     /// must match the `pos` arguments of capture/evaluate calls).
     entries: Vec<ScenarioEntry>,
     /// Per-class weight diff of the current candidate vs `weights`,
     /// refreshed by [`Evaluator::cache_begin`].
     diff: [Vec<WeightChange>; 2],
+    /// Globally unique stamp of the current (incumbent, candidate diff)
+    /// pair, advanced by every rebuild / begin / refresh. Workspaces use
+    /// it to compute their per-candidate exact baseline diff flags once
+    /// and reuse them across the candidate's whole scenario sweep.
+    generation: u64,
 }
 
 impl ScenarioCache {
@@ -167,26 +424,12 @@ impl ScenarioCache {
         Self::default()
     }
 
-    /// The per-position scenario entries, for sharded capture sweeps
-    /// (each worker takes a disjoint chunk; see
+    /// Split the cache into its shared incumbent baseline and the
+    /// per-position entries, for sharded capture sweeps (entries are
+    /// position-disjoint, so each worker takes a contiguous chunk; see
     /// [`Evaluator::cost_capture_into`]).
-    pub fn entries_mut(&mut self) -> &mut [ScenarioEntry] {
-        &mut self.entries
-    }
-
-    /// Reset the cache to describe `w` with `positions` scenario slots,
-    /// keeping allocations. Every entry must then be re-captured with
-    /// [`Evaluator::cost_capture`].
-    pub fn begin_rebuild(&mut self, w: &WeightSetting, positions: usize) {
-        for (ci, class) in Class::ALL.iter().enumerate() {
-            self.weights[ci].clear();
-            self.weights[ci].extend_from_slice(w.weights(*class));
-        }
-        self.entries.resize_with(positions, ScenarioEntry::default);
-        for e in &mut self.entries {
-            e.delay.clear();
-            e.tput.clear();
-        }
+    pub fn capture_split(&mut self) -> (&[Vec<DestRouting>; 2], &mut [ScenarioEntry]) {
+        (&self.base, &mut self.entries)
     }
 }
 
@@ -230,6 +473,9 @@ pub struct EvalWorkspace {
     owner: u64,
     spf: SpfWorkspace,
     mask: LinkMask,
+    /// All-links-up mask for candidate-baseline routing inside the
+    /// delta-state path (kept pristine; `mask` holds the scenario).
+    up_mask: LinkMask,
     /// Directed link ids down under the current scenario.
     down: Vec<u32>,
     /// Weight diffs of the current `ensure_baseline` call.
@@ -238,9 +484,10 @@ pub struct EvalWorkspace {
     /// Recomputed per-destination routings of the current scenario
     /// (delay class only — their distance fields feed the delay DP).
     scratch: Vec<DestRouting>,
-    /// Delay-class destination index → slot in `scratch`, or
-    /// [`NOT_RECOMPUTED`].
-    scratch_map: Vec<u32>,
+    /// Per-class destination index → resolution code: slot in
+    /// `scratch`, [`NOT_RECOMPUTED`], [`WS_BASE`], or
+    /// [`CACHED_BIT`]`| entry slot`.
+    scratch_map: [Vec<u32>; 2],
     /// Throughput-class recompute scratch (result replayed immediately).
     tput_scratch: DestRouting,
     class_loads: [Vec<f64>; 2],
@@ -248,6 +495,31 @@ pub struct EvalWorkspace {
     link_delays: Vec<f64>,
     node_delay: Vec<f64>,
     pair_delays: Vec<(usize, usize, f64)>,
+    /// Delta-state epoch: stamps below are valid iff equal to this.
+    epoch: u32,
+    /// Per-class per-destination "changed under the candidate diff"
+    /// stamps.
+    changed: [Vec<u32>; 2],
+    /// Per-link dirty stamps.
+    link_mark: Vec<u32>,
+    /// Links whose contributor set changed (union over classes).
+    dirty: Vec<u32>,
+    /// Dirty links whose per-link delay actually changed (bitwise).
+    pair_dirty: Vec<u32>,
+    /// Fresh `(link, dest, share)` adds of changed destinations, per
+    /// class, sorted by `(link, dest)` before refolding.
+    new_adds: [Vec<(u32, u32, f64)>; 2],
+    /// Refresh scratch: rebuilt pair-segment offsets of one scenario.
+    off_scratch: Vec<u32>,
+    /// Refresh scratch: per-class "baseline really moved" flags.
+    base_changed: [Vec<bool>; 2],
+    /// [`ScenarioCache`] generation the `base_same` flags were computed
+    /// against (0 = never).
+    cand_gen: u64,
+    /// Per-class per-destination exact baseline diff of the current
+    /// candidate vs the cache incumbent ([`baseline_unchanged`]),
+    /// computed once per candidate and shared by its scenario sweep.
+    base_same: [Vec<bool>; 2],
 }
 
 impl EvalWorkspace {
@@ -261,6 +533,31 @@ impl EvalWorkspace {
     pub fn invalidate(&mut self) {
         self.base[0].valid = false;
         self.base[1].valid = false;
+    }
+
+    /// Bind the workspace to an evaluator identity, (re)sizing the masks
+    /// and dropping stale baselines when it changes hands.
+    fn bind(&mut self, owner: u64, num_links: usize) {
+        if self.owner != owner {
+            self.owner = owner;
+            self.mask = LinkMask::all_up(num_links);
+            self.up_mask = LinkMask::all_up(num_links);
+            self.invalidate();
+        } else if self.up_mask.len() != num_links {
+            self.up_mask = LinkMask::all_up(num_links);
+        }
+    }
+
+    /// Advance the delta-state epoch, clearing stamps on wrap-around.
+    fn next_epoch(&mut self) -> u32 {
+        self.epoch = self.epoch.wrapping_add(1);
+        if self.epoch == 0 {
+            self.changed[0].clear();
+            self.changed[1].clear();
+            self.link_mark.clear();
+            self.epoch = 1;
+        }
+        self.epoch
     }
 }
 
@@ -427,21 +724,14 @@ impl<'a> Evaluator<'a> {
     ) -> LexCost {
         assert_eq!(w.num_links(), self.net.num_links(), "weight size mismatch");
         self.ensure_baseline(ws, w);
-        self.cost_scenario(ws, w, scenario, None, None)
+        self.cost_scenario(ws, w, scenario, None)
     }
 
     /// Make `ws`'s per-class baselines describe the no-failure routing of
     /// `w`, re-routing only destinations whose distance field the weight
     /// diff can actually touch.
     fn ensure_baseline(&self, ws: &mut EvalWorkspace, w: &WeightSetting) {
-        if ws.owner != self.engine_id {
-            // First use, or a workspace recycled from a different
-            // evaluator (possibly same-sized but with different traffic
-            // or parameters): size the mask, drop stale baselines.
-            ws.owner = self.engine_id;
-            ws.mask = LinkMask::all_up(self.net.num_links());
-            ws.invalidate();
-        }
+        ws.bind(self.engine_id, self.net.num_links());
         ws.mask.reset_all_up();
         let EvalWorkspace {
             spf,
@@ -506,11 +796,44 @@ impl<'a> Evaluator<'a> {
         }
     }
 
+    /// Reset the cache to describe incumbent `w` with `positions`
+    /// scenario slots (keeping allocations) and capture the incumbent's
+    /// no-failure baseline routing per class. Every entry must then be
+    /// (re-)captured with [`cost_capture`](Self::cost_capture) /
+    /// [`cost_capture_into`](Self::cost_capture_into) before candidates
+    /// evaluate through [`cost_cached`](Self::cost_cached).
+    pub fn cache_rebuild_begin(
+        &self,
+        ws: &mut EvalWorkspace,
+        cache: &mut ScenarioCache,
+        w: &WeightSetting,
+        positions: usize,
+    ) {
+        assert_eq!(w.num_links(), self.net.num_links(), "weight size mismatch");
+        // Route (or diff-update) the workspace baseline, then copy it
+        // into the cache: both are the same `route_destination` bits.
+        self.ensure_baseline(ws, w);
+        for (ci, class) in Class::ALL.iter().enumerate() {
+            cache.weights[ci].clear();
+            cache.weights[ci].extend_from_slice(w.weights(*class));
+            let dests = &self.demand_dests[ci];
+            cache.base[ci].resize_with(dests.len(), DestRouting::default);
+            for (di, slot) in cache.base[ci].iter_mut().enumerate() {
+                slot.clone_from(&ws.base[ci].state[di]);
+            }
+        }
+        cache.entries.resize_with(positions, ScenarioEntry::default);
+        for e in &mut cache.entries {
+            e.delay.clear();
+            e.tput.clear();
+        }
+        cache.generation = next_engine_id();
+    }
+
     /// Compute the per-class weight diff of candidate `w` against the
     /// cache's incumbent, preparing [`cost_cached`](Self::cost_cached)
     /// calls. Returns the total number of changed directed (class, link)
-    /// slots — the caller's signal for when drift makes a rebuild
-    /// worthwhile.
+    /// slots.
     pub fn cache_begin(&self, cache: &mut ScenarioCache, w: &WeightSetting) -> usize {
         let mut changed = 0;
         for (ci, class) in Class::ALL.iter().enumerate() {
@@ -535,21 +858,464 @@ impl<'a> Evaluator<'a> {
             );
             changed += cache.diff[ci].len();
         }
+        cache.generation = next_engine_id();
         changed
     }
 
-    /// Re-point the cache at a new incumbent `w` without a full capture
-    /// sweep: entries whose routing the `cache.weights → w` diff
-    /// provably cannot change (see [`weight_change_affects`]) are kept
-    /// as-is, the rest are re-routed under `w`. Cached *coverage* (which
-    /// destinations each scenario holds) is unchanged — destinations
-    /// that newly became mask-affected simply stay uncached until the
-    /// next full capture sweep, costing recomputes, never correctness.
-    ///
-    /// This is the accept-path maintenance of the hill climbers: after
-    /// an accepted move the incumbent shifts by one duplex link, so most
-    /// entries survive the predicate and the refresh costs a few
-    /// Dijkstras instead of a full sweep.
+    /// [`cost_with`](Self::cost_with) that also captures the scenario's
+    /// full delta-state into `cache.entries[pos]` — the cache (re)build
+    /// path, run over the incumbent setting. The returned cost is
+    /// bit-for-bit the plain evaluation's.
+    pub fn cost_capture(
+        &self,
+        ws: &mut EvalWorkspace,
+        w: &WeightSetting,
+        scenario: Scenario,
+        cache: &mut ScenarioCache,
+        pos: usize,
+    ) -> LexCost {
+        debug_assert_eq!(
+            cache.weights[0],
+            w.weights(Class::Delay),
+            "capture must run on the cache incumbent"
+        );
+        let (base, entries) = cache.capture_split();
+        self.cost_capture_into(ws, w, scenario, base, &mut entries[pos])
+    }
+
+    /// Entry-level form of [`cost_capture`](Self::cost_capture):
+    /// captures into one caller-held [`ScenarioEntry`] (cleared first),
+    /// reading the shared incumbent baseline from
+    /// [`ScenarioCache::capture_split`]. Entries are position-disjoint,
+    /// so a cache rebuild can shard its capture sweep across workers,
+    /// each holding a disjoint slice of the entries.
+    pub fn cost_capture_into(
+        &self,
+        ws: &mut EvalWorkspace,
+        w: &WeightSetting,
+        scenario: Scenario,
+        base: &[Vec<DestRouting>; 2],
+        entry: &mut ScenarioEntry,
+    ) -> LexCost {
+        assert_eq!(w.num_links(), self.net.num_links(), "weight size mismatch");
+        entry.delay.clear();
+        entry.tput.clear();
+        self.ensure_baseline(ws, w);
+        let cost = self.cost_scenario(ws, w, scenario, Some(entry));
+        let excluded = scenario.excluded_node().map(|v| v.index());
+
+        // Resident state: the folded incumbent evaluation, verbatim.
+        for ci in 0..2 {
+            entry.loads[ci].clone_from(&ws.class_loads[ci]);
+        }
+        entry.link_delays.clone_from(&ws.link_delays);
+        entry.pairs.clone_from(&ws.pair_delays);
+        // Segment offsets: triples carry their destination, and the
+        // emission loop walked delay destinations ascending.
+        entry.pair_off.clear();
+        entry.pair_off.push(0);
+        let mut k = 0usize;
+        for &t in &self.demand_dests[0] {
+            while k < entry.pairs.len() && entry.pairs[k].1 == t as usize {
+                k += 1;
+            }
+            entry.pair_off.push(k as u32);
+        }
+        debug_assert_eq!(k, entry.pairs.len(), "pair segments must cover all triples");
+        // Contributor lists from the effective routing of every
+        // destination: the entry's recomputed routing where the mask
+        // affected it, the incumbent baseline elsewhere, nothing for the
+        // excluded node.
+        let ScenarioEntry {
+            delay,
+            tput,
+            contrib,
+            ..
+        } = entry;
+        for (ci, cb) in contrib.iter_mut().enumerate() {
+            let list: &[(u32, DestRouting)] = if ci == 0 { delay } else { tput };
+            let dests = &self.demand_dests[ci];
+            cb.rebuild(self.net.num_links(), dests.len(), |di| {
+                effective_adds(list, &base[ci], dests, excluded, di)
+            });
+        }
+        cost
+    }
+
+    /// Delta-state candidate evaluation through the scenario cache:
+    /// re-routes only destinations the candidate diff can touch, refolds
+    /// only the links whose contributor set changed, and re-runs the SLA
+    /// delay DP only where the routing or an on-DAG link delay changed —
+    /// everything else is read back from the resident incumbent state.
+    /// Requires a preceding [`cache_begin`](Self::cache_begin) for this
+    /// exact `w`; the result is bit-for-bit
+    /// [`cost_with`](Self::cost_with)'s (see the module docs for the
+    /// exactness argument).
+    pub fn cost_cached(
+        &self,
+        ws: &mut EvalWorkspace,
+        w: &WeightSetting,
+        scenario: Scenario,
+        cache: &ScenarioCache,
+        pos: usize,
+    ) -> LexCost {
+        let num_links = self.net.num_links();
+        assert_eq!(w.num_links(), num_links, "weight size mismatch");
+        // The workspace baseline tracks the *candidate*: within one
+        // candidate's sweep every scenario shares it, so move-touched
+        // destinations pay their baseline re-route once per candidate,
+        // not once per scenario.
+        self.ensure_baseline(ws, w);
+        // Exact per-destination baseline diff vs the cache incumbent,
+        // computed once per (candidate, cache generation) and shared by
+        // the whole scenario sweep: a destination is baseline-changed
+        // only when its distance field or DAG actually moved — the
+        // conservative predicate's false positives (the common case for
+        // a one-duplex-link re-draw) would otherwise re-run per-scenario
+        // delay DPs for bit-identical routings.
+        if ws.cand_gen != cache.generation {
+            ws.cand_gen = cache.generation;
+            for ci in 0..2 {
+                let dests = &self.demand_dests[ci];
+                let basec = &cache.base[ci];
+                assert_eq!(
+                    basec.len(),
+                    dests.len(),
+                    "cache baseline missing; run cache_rebuild_begin first"
+                );
+                let diffc = &cache.diff[ci];
+                let flags = &mut ws.base_same[ci];
+                flags.clear();
+                flags.resize(dests.len(), false);
+                for (di, flag) in flags.iter_mut().enumerate() {
+                    *flag = diffc.is_empty()
+                        || baseline_unchanged(
+                            self.net,
+                            &ws.base[ci].state[di].dist,
+                            &basec[di].dist,
+                            diffc,
+                        );
+                }
+            }
+        }
+        let epoch = ws.next_epoch();
+        let entry = &cache.entries[pos];
+        debug_assert_eq!(
+            entry.link_delays.len(),
+            num_links,
+            "cost_cached requires a captured entry"
+        );
+        let excluded = scenario.excluded_node().map(|v| v.index());
+        let EvalWorkspace {
+            spf,
+            mask,
+            down,
+            base: ws_base,
+            scratch,
+            scratch_map,
+            class_loads,
+            total_loads,
+            link_delays,
+            node_delay,
+            pair_delays,
+            changed,
+            link_mark,
+            dirty,
+            pair_dirty,
+            new_adds,
+            base_same,
+            ..
+        } = ws;
+        scenario.mask_into(self.net, mask);
+        down.clear();
+        down.extend(mask.down_links().map(|i| i as u32));
+        if link_mark.len() != num_links {
+            link_mark.clear();
+            link_mark.resize(num_links, 0);
+        }
+        dirty.clear();
+        pair_dirty.clear();
+        let mut scratch_used = 0usize;
+
+        // Pass 1 per class: classify every destination against the
+        // candidate diff, re-route the ones whose effective routing
+        // really moved, and collect their old/new contribution links
+        // (dirty set) and fresh shares. Fresh routings of both classes
+        // persist in the scratch pool so pass 2 can replay them.
+        for (ci, class) in Class::ALL.iter().enumerate() {
+            let weights = w.weights(*class);
+            let tm = self.class_matrix(*class);
+            let dests = &self.demand_dests[ci];
+            let base = &cache.base[ci];
+            let diffc = &cache.diff[ci];
+            let list: &[(u32, DestRouting)] = if ci == 0 { &entry.delay } else { &entry.tput };
+            let ch = &mut changed[ci];
+            ch.resize(dests.len(), 0);
+            new_adds[ci].clear();
+            let map = &mut scratch_map[ci];
+            map.clear();
+            map.resize(dests.len(), NOT_RECOMPUTED);
+            let mut cursor = 0usize;
+            for (di, &t) in dests.iter().enumerate() {
+                while cursor < list.len() && list[cursor].0 < di as u32 {
+                    cursor += 1;
+                }
+                let hit = cursor < list.len() && list[cursor].0 == di as u32;
+                if Some(t as usize) == excluded {
+                    continue;
+                }
+                // Resolve this destination's candidate-effective routing,
+                // without a fresh route where a cached one provably
+                // survives the diff.
+                let (old_r, fresh_code): (Option<&DestRouting>, u32) = if base_same[ci][di] {
+                    if !hit {
+                        // Baseline destination, baseline provably
+                        // bit-identical to the incumbent's.
+                        continue;
+                    }
+                    let hr = &list[cursor].1;
+                    if diffc.is_empty() || !weight_change_affects(self.net, &hr.dist, diffc) {
+                        // Mask-affected but the cached scenario routing
+                        // survives the diff: resident state covers it.
+                        map[di] = CACHED_BIT | cursor as u32;
+                        continue;
+                    }
+                    // mask ∩ move: re-route under the scenario mask,
+                    // keeping the result only if it really moved (the
+                    // exact diff filters the predicate's false
+                    // positives, saving the dirty-link pollution and
+                    // the delay-DP recompute).
+                    if scratch.len() == scratch_used {
+                        scratch.push(DestRouting::default());
+                    }
+                    route_destination_repair(
+                        self.net,
+                        weights,
+                        tm,
+                        mask,
+                        t as usize,
+                        &ws_base[ci].state[di],
+                        spf,
+                        &mut scratch[scratch_used],
+                    );
+                    if baseline_unchanged(self.net, &scratch[scratch_used].dist, &hr.dist, diffc) {
+                        map[di] = CACHED_BIT | cursor as u32;
+                        continue;
+                    }
+                    (Some(hr), scratch_used as u32)
+                } else {
+                    // The diff really moved this destination's baseline.
+                    // Its *scenario* routing may still survive: when it
+                    // is mask-affected under both settings, the cached
+                    // scenario routing is reusable whenever the diff
+                    // provably cannot change it — the predicate's
+                    // false-contract holds for any distance field.
+                    let affected = !down.is_empty()
+                        && dag_uses_any(self.net, &ws_base[ci].state[di].dist, weights, down);
+                    if !affected {
+                        // Effective routing is the candidate baseline —
+                        // already maintained, no route needed.
+                        let old: &DestRouting = if hit { &list[cursor].1 } else { &base[di] };
+                        (Some(old), WS_BASE)
+                    } else {
+                        if hit {
+                            let hr = &list[cursor].1;
+                            if diffc.is_empty() || !weight_change_affects(self.net, &hr.dist, diffc)
+                            {
+                                map[di] = CACHED_BIT | cursor as u32;
+                                continue;
+                            }
+                        }
+                        if scratch.len() == scratch_used {
+                            scratch.push(DestRouting::default());
+                        }
+                        route_destination_repair(
+                            self.net,
+                            weights,
+                            tm,
+                            mask,
+                            t as usize,
+                            &ws_base[ci].state[di],
+                            spf,
+                            &mut scratch[scratch_used],
+                        );
+                        if hit {
+                            let hr = &list[cursor].1;
+                            if baseline_unchanged(
+                                self.net,
+                                &scratch[scratch_used].dist,
+                                &hr.dist,
+                                diffc,
+                            ) {
+                                map[di] = CACHED_BIT | cursor as u32;
+                                continue;
+                            }
+                        }
+                        let old: &DestRouting = if hit { &list[cursor].1 } else { &base[di] };
+                        (Some(old), scratch_used as u32)
+                    }
+                };
+                // Genuine change: mark it, collect old and fresh adds.
+                ch[di] = epoch;
+                map[di] = fresh_code;
+                if fresh_code != WS_BASE {
+                    scratch_used += 1;
+                }
+                if let Some(old) = old_r {
+                    for &(l, _) in old.load_adds() {
+                        if link_mark[l as usize] != epoch {
+                            link_mark[l as usize] = epoch;
+                            dirty.push(l);
+                        }
+                    }
+                }
+                let fresh: &DestRouting = if fresh_code == WS_BASE {
+                    &ws_base[ci].state[di]
+                } else {
+                    &scratch[fresh_code as usize]
+                };
+                for &(l, share) in fresh.load_adds() {
+                    if link_mark[l as usize] != epoch {
+                        link_mark[l as usize] = epoch;
+                        dirty.push(l);
+                    }
+                    new_adds[ci].push((l, di as u32, share));
+                }
+            }
+        }
+        // Pass 2: per-class candidate loads. When few links are dirty,
+        // read the residents and refold only the dirty links in
+        // destination-index order over the stored contributions; when a
+        // large move dirtied most of the network, a straight replay of
+        // every destination's effective adds (the same destination-order
+        // float sequence) is cheaper than per-link merges — both produce
+        // the reference accumulation bit for bit.
+        let use_refold = dirty.len() * 4 < num_links;
+        for (ci, _class) in Class::ALL.iter().enumerate() {
+            let loads = &mut class_loads[ci];
+            if use_refold {
+                loads.clear();
+                loads.extend_from_slice(&entry.loads[ci]);
+                new_adds[ci].sort_unstable_by_key(|&(l, d, _)| (l, d));
+                let adds = &new_adds[ci];
+                let ch = &changed[ci];
+                for &l in dirty.iter() {
+                    let lo = adds.partition_point(|&(al, _, _)| al < l);
+                    let hi = lo + adds[lo..].partition_point(|&(al, _, _)| al == l);
+                    loads[l as usize] =
+                        refold_link(entry.contrib[ci].row(l as usize), &adds[lo..hi], |d| {
+                            ch[d as usize] == epoch
+                        });
+                }
+            } else {
+                loads.clear();
+                loads.resize(num_links, 0.0);
+                let mut dropped = 0.0f64;
+                let dests = &self.demand_dests[ci];
+                let list: &[(u32, DestRouting)] = if ci == 0 { &entry.delay } else { &entry.tput };
+                for (di, &t) in dests.iter().enumerate() {
+                    if Some(t as usize) == excluded {
+                        continue;
+                    }
+                    let r: &DestRouting = match scratch_map[ci][di] {
+                        NOT_RECOMPUTED => &cache.base[ci][di],
+                        WS_BASE => &ws_base[ci].state[di],
+                        code if code & CACHED_BIT != 0 => &list[(code & !CACHED_BIT) as usize].1,
+                        slot => &scratch[slot as usize],
+                    };
+                    r.replay(loads, &mut dropped);
+                }
+            }
+        }
+
+        // Totals and per-link delays: elementwise totals as in
+        // `cost_with` (identical inputs ⇒ identical bits); delays read
+        // back from the resident state and recomputed only at dirty
+        // links — keeping only the ones that actually changed bitwise
+        // for the pair-delay reuse decision below.
+        total_loads.clear();
+        total_loads.extend(
+            class_loads[0]
+                .iter()
+                .zip(&class_loads[1])
+                .map(|(x, y)| x + y),
+        );
+        link_delays.clear();
+        link_delays.extend_from_slice(&entry.link_delays);
+        for &l in dirty.iter() {
+            let li = l as usize;
+            let d = delay_model::link_delay(
+                total_loads[li],
+                self.capacities[li],
+                self.prop_delays[li],
+                &self.params,
+            );
+            if d.to_bits() != link_delays[li].to_bits() {
+                link_delays[li] = d;
+                pair_dirty.push(l);
+            }
+        }
+
+        // Pass 3: SLA pairs — resident segments for destinations whose
+        // routing is unchanged and whose DAG sees no changed delay; the
+        // shared DP kernel for the rest.
+        let weights_d = w.weights(Class::Delay);
+        let take_max = matches!(self.params.aggregation, DelayAggregation::Max);
+        pair_delays.clear();
+        for (di, &t) in self.demand_dests[0].iter().enumerate() {
+            if Some(t as usize) == excluded {
+                continue;
+            }
+            let code = scratch_map[0][di];
+            let dest: &DestRouting = if code == NOT_RECOMPUTED {
+                &cache.base[0][di]
+            } else if code == WS_BASE {
+                &ws_base[0].state[di]
+            } else if code & CACHED_BIT != 0 {
+                &entry.delay[(code & !CACHED_BIT) as usize].1
+            } else {
+                &scratch[code as usize]
+            };
+            if (code == NOT_RECOMPUTED || code & CACHED_BIT != 0)
+                && (pair_dirty.is_empty()
+                    || !dag_uses_any(self.net, &dest.dist, weights_d, pair_dirty))
+            {
+                let s = entry.pair_off[di] as usize;
+                let e = entry.pair_off[di + 1] as usize;
+                pair_delays.extend_from_slice(&entry.pairs[s..e]);
+                continue;
+            }
+            delay::pair_delays_into(
+                self.net,
+                &dest.dist,
+                &dest.order,
+                weights_d,
+                mask,
+                link_delays,
+                take_max,
+                &self.traffic.delay,
+                t as usize,
+                excluded,
+                node_delay,
+                pair_delays,
+            );
+        }
+
+        let sla = sla::summarize(&*pair_delays, &self.params);
+        let phi = congestion::phi(total_loads, &class_loads[1], &self.capacities);
+        LexCost::new(sla.lambda, phi)
+    }
+
+    /// Re-point the cache at a new incumbent `w` incrementally: the
+    /// accept-path maintenance of the hill climbers. Baseline and
+    /// per-scenario routings whose `cache.weights → w` diff provably
+    /// cannot change (see [`weight_change_affects`]) are kept as-is; the
+    /// rest are re-routed under `w`, and the resident folded state
+    /// (loads, contributor lists, link delays, pair segments) is updated
+    /// to describe `w` exactly. Unlike the pre-delta cache, coverage is
+    /// maintained **exactly**: destinations entering or leaving a
+    /// scenario's mask-affected set are spliced into or out of its entry,
+    /// so no periodic full rebuild is needed.
     pub fn cache_refresh(
         &self,
         ws: &mut EvalWorkspace,
@@ -557,11 +1323,15 @@ impl<'a> Evaluator<'a> {
         w: &WeightSetting,
         scenario_at: impl Fn(usize) -> Scenario,
     ) {
-        assert_eq!(w.num_links(), self.net.num_links(), "weight size mismatch");
+        let num_links = self.net.num_links();
+        assert_eq!(w.num_links(), num_links, "weight size mismatch");
+        ws.bind(self.engine_id, num_links);
         let ScenarioCache {
             weights,
+            base,
             entries,
             diff,
+            generation,
         } = cache;
         for (ci, class) in Class::ALL.iter().enumerate() {
             let new = w.weights(*class);
@@ -580,107 +1350,276 @@ impl<'a> Evaluator<'a> {
                     }),
             );
         }
-        // The workspace only lends its mask buffer and SPF scratch; its
-        // baseline is untouched.
-        if ws.owner != self.engine_id {
-            ws.owner = self.engine_id;
-            ws.mask = LinkMask::all_up(self.net.num_links());
-            ws.invalidate();
+
+        // 1. Baseline update: re-route the destinations the diff can
+        // touch, remembering which *really* moved (their routings may
+        // enter or leave any scenario's affected set). The conservative
+        // predicate's false positives are filtered with the exact
+        // [`baseline_unchanged`] diff so bit-identical re-routes don't
+        // churn entries or re-run delay DPs downstream.
+        // Taken out of the workspace (and restored below) so the
+        // per-scenario loop can still borrow `ws` freely.
+        let mut base_changed = std::mem::take(&mut ws.base_changed);
+        let mut off_scratch = std::mem::take(&mut ws.off_scratch);
+        let mut tmp = DestRouting::default();
+        for (ci, class) in Class::ALL.iter().enumerate() {
+            let class_weights = w.weights(*class);
+            let tm = self.class_matrix(*class);
+            let dests = &self.demand_dests[ci];
+            assert_eq!(
+                base[ci].len(),
+                dests.len(),
+                "cache baseline missing; run cache_rebuild_begin first"
+            );
+            base_changed[ci].clear();
+            base_changed[ci].resize(dests.len(), false);
+            for (di, &t) in dests.iter().enumerate() {
+                if diff[ci].is_empty()
+                    || !weight_change_affects(self.net, &base[ci][di].dist, &diff[ci])
+                {
+                    continue;
+                }
+                route_destination(
+                    self.net,
+                    class_weights,
+                    tm,
+                    &ws.up_mask,
+                    t as usize,
+                    &mut ws.spf,
+                    &mut tmp,
+                );
+                if !baseline_unchanged(self.net, &tmp.dist, &base[ci][di].dist, &diff[ci]) {
+                    std::mem::swap(&mut base[ci][di], &mut tmp);
+                    base_changed[ci][di] = true;
+                }
+            }
         }
-        let EvalWorkspace { spf, mask, .. } = ws;
+
+        // 2. Per-scenario update: routings, contributor lists, loads,
+        // delays and pair segments, all in place.
         for (pos, entry) in entries.iter_mut().enumerate() {
             let scenario = scenario_at(pos);
-            scenario.mask_into(self.net, mask);
+            scenario.mask_into(self.net, &mut ws.mask);
+            ws.down.clear();
+            ws.down.extend(ws.mask.down_links().map(|i| i as u32));
+            let excluded = scenario.excluded_node().map(|v| v.index());
+            let epoch = ws.next_epoch();
+
             for (ci, class) in Class::ALL.iter().enumerate() {
+                let class_weights = w.weights(*class);
+                let tm = self.class_matrix(*class);
+                let dests = &self.demand_dests[ci];
+                let ch = &mut ws.changed[ci];
+                ch.resize(dests.len(), 0);
                 let list = if ci == 0 {
                     &mut entry.delay
                 } else {
                     &mut entry.tput
                 };
-                let class_weights = w.weights(*class);
-                let tm = self.class_matrix(*class);
-                let dests = &self.demand_dests[ci];
-                for (di, dest) in list.iter_mut() {
-                    if weight_change_affects(self.net, &dest.dist, &diff[ci]) {
-                        let t = dests[*di as usize] as usize;
-                        route_destination(self.net, class_weights, tm, mask, t, spf, dest);
+                // Rebuild the affected list, moving surviving routings:
+                // membership only moves where the baseline moved.
+                let old_list = std::mem::take(list);
+                let mut it = old_list.into_iter().peekable();
+                for (di, &t) in dests.iter().enumerate() {
+                    let hit = it
+                        .peek()
+                        .is_some_and(|(d, _)| *d == di as u32)
+                        .then(|| it.next().unwrap().1);
+                    while it.peek().is_some_and(|(d, _)| *d < di as u32) {
+                        // Cannot happen (lists are ascending and dense in
+                        // di), but stay robust.
+                        it.next();
+                    }
+                    if Some(t as usize) == excluded {
+                        continue;
+                    }
+                    if base_changed[ci][di] {
+                        let affected = !ws.down.is_empty()
+                            && dag_uses_any(self.net, &base[ci][di].dist, class_weights, &ws.down);
+                        if affected {
+                            // The cached scenario routing survives when
+                            // the diff provably cannot change it.
+                            if let Some(routing) = hit {
+                                if diff[ci].is_empty()
+                                    || !weight_change_affects(self.net, &routing.dist, &diff[ci])
+                                {
+                                    list.push((di as u32, routing));
+                                    continue;
+                                }
+                                let mut routing = routing;
+                                route_destination_repair(
+                                    self.net,
+                                    class_weights,
+                                    tm,
+                                    &ws.mask,
+                                    t as usize,
+                                    &base[ci][di],
+                                    &mut ws.spf,
+                                    &mut tmp,
+                                );
+                                if !baseline_unchanged(
+                                    self.net,
+                                    &tmp.dist,
+                                    &routing.dist,
+                                    &diff[ci],
+                                ) {
+                                    ch[di] = epoch;
+                                    std::mem::swap(&mut routing, &mut tmp);
+                                }
+                                list.push((di as u32, routing));
+                                continue;
+                            }
+                            ch[di] = epoch;
+                            let mut routing = DestRouting::default();
+                            route_destination_repair(
+                                self.net,
+                                class_weights,
+                                tm,
+                                &ws.mask,
+                                t as usize,
+                                &base[ci][di],
+                                &mut ws.spf,
+                                &mut routing,
+                            );
+                            list.push((di as u32, routing));
+                        } else {
+                            // Not affected: the destination leaves (or
+                            // stays out of) the entry; its effective
+                            // routing is the freshly updated baseline.
+                            ch[di] = epoch;
+                        }
+                    } else if let Some(mut routing) = hit {
+                        if !diff[ci].is_empty()
+                            && weight_change_affects(self.net, &routing.dist, &diff[ci])
+                        {
+                            route_destination_repair(
+                                self.net,
+                                class_weights,
+                                tm,
+                                &ws.mask,
+                                t as usize,
+                                &base[ci][di],
+                                &mut ws.spf,
+                                &mut tmp,
+                            );
+                            if !baseline_unchanged(self.net, &tmp.dist, &routing.dist, &diff[ci]) {
+                                ch[di] = epoch;
+                                std::mem::swap(&mut routing, &mut tmp);
+                            }
+                        }
+                        list.push((di as u32, routing));
                     }
                 }
+
+                // Contributor lists + full refold (cheap: one pass over
+                // the effective adds — the per-link fold in destination
+                // order gives bit-for-bit the reference accumulation for
+                // *every* link, dirty or not).
+                let list: &[(u32, DestRouting)] = list;
+                let basec = &base[ci];
+                entry.contrib[ci].rebuild(num_links, dests.len(), |di| {
+                    effective_adds(list, basec, dests, excluded, di)
+                });
+                let loads = &mut entry.loads[ci];
+                loads.clear();
+                loads.resize(num_links, 0.0);
+                for (l, load) in loads.iter_mut().enumerate() {
+                    let mut acc = 0.0f64;
+                    for &(_, share) in entry.contrib[ci].row(l) {
+                        acc += share;
+                    }
+                    *load = acc;
+                }
             }
+
+            // Delays: recompute, remembering which changed bitwise.
+            ws.total_loads.clear();
+            ws.total_loads.extend(
+                entry.loads[0]
+                    .iter()
+                    .zip(&entry.loads[1])
+                    .map(|(x, y)| x + y),
+            );
+            ws.pair_dirty.clear();
+            for (l, old) in entry.link_delays.iter_mut().enumerate() {
+                let d = delay_model::link_delay(
+                    ws.total_loads[l],
+                    self.capacities[l],
+                    self.prop_delays[l],
+                    &self.params,
+                );
+                if d.to_bits() != old.to_bits() {
+                    *old = d;
+                    ws.pair_dirty.push(l as u32);
+                }
+            }
+
+            // Pair segments: recompute only destinations whose routing
+            // changed or whose DAG sees a changed delay; splice the rest
+            // from the old resident list.
+            let weights_d = w.weights(Class::Delay);
+            let take_max = matches!(self.params.aggregation, DelayAggregation::Max);
+            ws.pair_delays.clear();
+            let mut cursor = 0usize;
+            let list = &entry.delay;
+            let new_offs = &mut off_scratch;
+            new_offs.clear();
+            new_offs.push(0);
+            for (di, &t) in self.demand_dests[0].iter().enumerate() {
+                if Some(t as usize) != excluded {
+                    while cursor < list.len() && list[cursor].0 < di as u32 {
+                        cursor += 1;
+                    }
+                    let hit = cursor < list.len() && list[cursor].0 == di as u32;
+                    let dest: &DestRouting = if hit { &list[cursor].1 } else { &base[0][di] };
+                    let routing_changed = ws.changed[0][di] == epoch;
+                    if !routing_changed
+                        && (ws.pair_dirty.is_empty()
+                            || !dag_uses_any(self.net, &dest.dist, weights_d, &ws.pair_dirty))
+                    {
+                        let s = entry.pair_off[di] as usize;
+                        let e = entry.pair_off[di + 1] as usize;
+                        ws.pair_delays.extend_from_slice(&entry.pairs[s..e]);
+                    } else {
+                        delay::pair_delays_into(
+                            self.net,
+                            &dest.dist,
+                            &dest.order,
+                            weights_d,
+                            &ws.mask,
+                            &entry.link_delays,
+                            take_max,
+                            &self.traffic.delay,
+                            t as usize,
+                            excluded,
+                            &mut ws.node_delay,
+                            &mut ws.pair_delays,
+                        );
+                    }
+                }
+                new_offs.push(ws.pair_delays.len() as u32);
+            }
+            entry.pairs.clone_from(&ws.pair_delays);
+            entry.pair_off.clone_from(new_offs);
         }
+        ws.base_changed = base_changed;
+        ws.off_scratch = off_scratch;
+
         for (buf, class) in weights.iter_mut().zip(Class::ALL) {
-            buf.copy_from_slice(w.weights(class));
+            buf.clear();
+            buf.extend_from_slice(w.weights(class));
         }
+        *generation = next_engine_id();
     }
 
-    /// [`cost_with`](Self::cost_with) that also captures the scenario's
-    /// recomputed routings into `cache.entries[pos]` — the cache
-    /// (re)build path, run over the incumbent setting. The returned cost
-    /// is bit-for-bit the plain evaluation's.
-    pub fn cost_capture(
-        &self,
-        ws: &mut EvalWorkspace,
-        w: &WeightSetting,
-        scenario: Scenario,
-        cache: &mut ScenarioCache,
-        pos: usize,
-    ) -> LexCost {
-        debug_assert_eq!(
-            cache.weights[0],
-            w.weights(Class::Delay),
-            "capture must run on the cache incumbent"
-        );
-        self.cost_capture_into(ws, w, scenario, &mut cache.entries[pos])
-    }
-
-    /// Entry-level form of [`cost_capture`](Self::cost_capture):
-    /// captures into one caller-held [`ScenarioEntry`] (cleared first).
-    /// Entries are position-disjoint, so a cache rebuild can shard its
-    /// capture sweep across workers, each holding a disjoint slice of
-    /// [`ScenarioCache::entries_mut`].
-    pub fn cost_capture_into(
-        &self,
-        ws: &mut EvalWorkspace,
-        w: &WeightSetting,
-        scenario: Scenario,
-        entry: &mut ScenarioEntry,
-    ) -> LexCost {
-        assert_eq!(w.num_links(), self.net.num_links(), "weight size mismatch");
-        entry.delay.clear();
-        entry.tput.clear();
-        self.ensure_baseline(ws, w);
-        self.cost_scenario(ws, w, scenario, None, Some(entry))
-    }
-
-    /// [`cost_with`](Self::cost_with) through the move-diff scenario
-    /// cache: mask-affected destinations whose cached routing the
-    /// candidate's diff provably cannot change (see
-    /// [`weight_change_affects`]) replay the cache instead of re-running
-    /// Dijkstra. Requires a preceding [`cache_begin`](Self::cache_begin)
-    /// for this exact `w`; the result is bit-for-bit
-    /// [`cost_with`](Self::cost_with)'s.
-    pub fn cost_cached(
-        &self,
-        ws: &mut EvalWorkspace,
-        w: &WeightSetting,
-        scenario: Scenario,
-        cache: &ScenarioCache,
-        pos: usize,
-    ) -> LexCost {
-        assert_eq!(w.num_links(), self.net.num_links(), "weight size mismatch");
-        self.ensure_baseline(ws, w);
-        self.cost_scenario(ws, w, scenario, Some((cache, pos)), None)
-    }
-
-    /// Evaluate one scenario (any kind) against a valid baseline,
-    /// optionally reading a move-diff scenario cache (`cached`) or
-    /// capturing into one (`capture`).
+    /// Evaluate one scenario (any kind) against a valid workspace
+    /// baseline, optionally capturing the recomputed routings into a
+    /// scenario-cache entry.
     fn cost_scenario(
         &self,
         ws: &mut EvalWorkspace,
         w: &WeightSetting,
         scenario: Scenario,
-        cached: Option<(&ScenarioCache, usize)>,
         mut capture: Option<&mut ScenarioEntry>,
     ) -> LexCost {
         // Node failures also remove the dead node's traffic; the mask
@@ -709,14 +1648,7 @@ impl<'a> Evaluator<'a> {
 
         // Route (or replay) both classes. The delay class keeps its
         // recomputed destinations around: their distance fields feed the
-        // end-to-end delay DP below. A mask-affected destination is
-        // re-routed unless the scenario cache holds its routing and the
-        // candidate's weight diff provably cannot change it
-        // ([`weight_change_affects`] on the *cached scenario* distance
-        // field — the predicate's false-contract holds for any mask's
-        // distance field), in which case the cached routing replays the
-        // exact float adds a re-route would perform.
-        let cache_entry = cached.map(|(c, pos)| (&c.entries[pos], &c.diff));
+        // end-to-end delay DP below.
         let mut scratch_used = 0usize;
         let mut dropped = 0.0f64; // diagnostic only; never in the cost
         for (ci, class) in Class::ALL.iter().enumerate() {
@@ -727,11 +1659,9 @@ impl<'a> Evaluator<'a> {
             loads.clear();
             loads.resize(self.net.num_links(), 0.0);
             if ci == 0 {
-                scratch_map.clear();
-                scratch_map.resize(dests.len(), NOT_RECOMPUTED);
+                scratch_map[0].clear();
+                scratch_map[0].resize(dests.len(), NOT_RECOMPUTED);
             }
-            // Cursor into the cache entry's (destination-ordered) list.
-            let mut cursor = 0usize;
             for (di, &t) in dests.iter().enumerate() {
                 if Some(t as usize) == excluded {
                     // The dead node sinks nothing under its own failure;
@@ -744,22 +1674,6 @@ impl<'a> Evaluator<'a> {
                     b.replay(loads, &mut dropped);
                     continue;
                 }
-                if let Some((entry, diff)) = cache_entry {
-                    let list = if ci == 0 { &entry.delay } else { &entry.tput };
-                    while cursor < list.len() && list[cursor].0 < di as u32 {
-                        cursor += 1;
-                    }
-                    if cursor < list.len() && list[cursor].0 == di as u32 {
-                        let hit = &list[cursor].1;
-                        if !weight_change_affects(self.net, &hit.dist, &diff[ci]) {
-                            hit.replay(loads, &mut dropped);
-                            if ci == 0 {
-                                scratch_map[di] = CACHED_BIT | cursor as u32;
-                            }
-                            continue;
-                        }
-                    }
-                }
                 if ci == 0 {
                     if scratch.len() == scratch_used {
                         scratch.push(DestRouting::default());
@@ -767,7 +1681,7 @@ impl<'a> Evaluator<'a> {
                     let dest = &mut scratch[scratch_used];
                     route_destination(self.net, weights, tm, mask, t as usize, spf, dest);
                     dest.replay(loads, &mut dropped);
-                    scratch_map[di] = scratch_used as u32;
+                    scratch_map[0][di] = scratch_used as u32;
                     scratch_used += 1;
                     if let Some(entry) = capture.as_mut() {
                         entry
@@ -810,12 +1724,8 @@ impl<'a> Evaluator<'a> {
             if Some(t as usize) == excluded {
                 continue;
             }
-            let dest = match scratch_map[di] {
+            let dest = match scratch_map[0][di] {
                 NOT_RECOMPUTED => &base[0].state[di],
-                s if s & CACHED_BIT != 0 => {
-                    let (entry, _) = cache_entry.expect("cached slot without a cache");
-                    &entry.delay[(s & !CACHED_BIT) as usize].1
-                }
                 slot => &scratch[slot as usize],
             };
             delay::pair_delays_into(
@@ -844,6 +1754,63 @@ impl<'a> Evaluator<'a> {
         match class {
             Class::Delay => &self.traffic.delay,
             Class::Throughput => &self.traffic.throughput,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// The per-link destination-ordered merge must reproduce the
+    /// from-scratch accumulation: stored shares of unchanged
+    /// destinations interleaved with fresh shares of changed ones, in
+    /// ascending destination order.
+    #[test]
+    fn refold_link_merges_in_destination_order() {
+        // Stored row: dests 0, 2, 5, 7; dest 2 and 7 changed.
+        let row = [(0u32, 1.0f64), (2, 2.0), (5, 4.0), (7, 8.0)];
+        // Fresh adds for this link: dest 2 (new share) and dest 6 (newly
+        // contributing).
+        let fresh = [(9u32, 2u32, 16.0f64), (9, 6, 32.0)];
+        let changed = |d: u32| d == 2 || d == 6 || d == 7;
+        // Expected fold order: 0 (kept), 2 (fresh), 5 (kept), 6 (fresh);
+        // dest 7's stale share is dropped without a replacement.
+        let want: f64 = ((0.0 + 1.0) + 16.0) + 4.0 + 32.0;
+        assert_eq!(refold_link(&row, &fresh, changed).to_bits(), want.to_bits());
+    }
+
+    #[test]
+    fn refold_link_handles_empty_sides() {
+        assert_eq!(refold_link(&[], &[], |_| false), 0.0);
+        let row = [(3u32, 5.0f64)];
+        assert_eq!(refold_link(&row, &[], |_| false), 5.0);
+        assert_eq!(refold_link(&row, &[], |d| d == 3), 0.0);
+        let fresh = [(0u32, 1u32, 7.0f64)];
+        assert_eq!(refold_link(&[], &fresh, |_| true), 7.0);
+    }
+
+    /// CSR rebuild scans destinations in ascending order, so every
+    /// link's contributor row comes out destination-sorted and
+    /// re-entrant calls reuse the buffers.
+    #[test]
+    fn link_contrib_rebuild_orders_rows_by_destination() {
+        let adds: [&[(u32, f64)]; 3] = [
+            &[(0, 1.0), (2, 2.0)], // dest 0 touches links 0, 2
+            &[(2, 3.0)],           // dest 1 touches link 2
+            &[(0, 4.0), (1, 5.0)], // dest 2 touches links 0, 1
+        ];
+        let mut cb = LinkContrib::default();
+        for _ in 0..2 {
+            // Second pass re-rebuilds into warm buffers.
+            cb.rebuild(3, 3, |di| adds[di]);
+        }
+        assert_eq!(cb.row(0), &[(0u32, 1.0f64), (2, 4.0)]);
+        assert_eq!(cb.row(1), &[(2u32, 5.0f64)]);
+        assert_eq!(cb.row(2), &[(0u32, 2.0f64), (1, 3.0)]);
+        // A full refold of every row equals the replayed sums.
+        for (l, want) in [(0usize, 5.0f64), (1, 5.0), (2, 5.0)] {
+            assert_eq!(refold_link(cb.row(l), &[], |_| false), want);
         }
     }
 }

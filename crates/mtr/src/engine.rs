@@ -1,0 +1,1301 @@
+//! The k-class incremental, delta-state evaluation engine — the
+//! `dtr_cost::engine` machinery generalized over an arbitrary class mix.
+//!
+//! [`MtrEvaluator::evaluate`] remains the readable reference path; the
+//! search loops run through this module instead:
+//!
+//! * **Workspace baselines + mask-diff incremental SPF**
+//!   ([`MtrEvaluator::cost_with`]): each pooled [`MtrWorkspace`] keeps
+//!   the no-failure routing of every class under its current weight
+//!   setting as replayable [`DestRouting`] records. A scenario
+//!   evaluation re-routes, per class, only the destinations whose
+//!   baseline DAG uses a link of the scenario's down-set
+//!   ([`dag_uses_any`]); everything else replays its recorded float adds
+//!   bit-for-bit. A weight move re-routes only destinations
+//!   [`weight_change_affects`] flags. Before this module the MTR
+//!   evaluator routed every class from scratch per evaluation.
+//! * **Delta-state scenario cache** ([`MtrScenarioCache`], with
+//!   [`MtrEvaluator::cache_begin`] / [`MtrEvaluator::cost_cached`] /
+//!   [`MtrEvaluator::cache_refresh`] parity to the DTR engine): the
+//!   robust phase's candidate sweeps keep, per critical scenario, the
+//!   incumbent's folded state — per-class resident load vectors,
+//!   per-link contributor lists ([`LinkContrib`]), resident link delays
+//!   and per-class SLA pair segments — so a candidate pays only for its
+//!   one-duplex-link diff: the mask ∩ move destinations are re-routed,
+//!   only links whose contributor set changed are refolded
+//!   (destination-index-ordered fold = the reference accumulation, bit
+//!   for bit), and the per-class delay DP re-runs only where the routing
+//!   or an on-DAG link delay changed. See the `dtr_cost::engine` module
+//!   docs for the full exactness argument; the k-class generalization
+//!   changes nothing in it (classes fold independently into the shared
+//!   total-load vector in class order, exactly as the reference).
+//! * **Per-class Λ floors** ([`MtrEvaluator::lambda_floor`]): the
+//!   propagation-delay lower bound of every SLA class's cost under a
+//!   scenario (congestion classes floor at 0), feeding the
+//!   incumbent-bounded sweep in [`crate::parallel`] so the MTR cutoff
+//!   fires as early as DTR's.
+//!
+//! Bit-for-bit equivalence with [`MtrEvaluator::evaluate`] is pinned by
+//! the unit tests here, `tests/mtr_scenarios.rs`, and the randomized
+//! chains in `tests/scenario_engine_equivalence.rs`;
+//! `tests/search_equivalence.rs` pins the robust-phase trajectory across
+//! cutoff/cache settings.
+
+use dtr_cost::engine::{baseline_unchanged, next_engine_id, refold_link, LinkContrib};
+use dtr_cost::{congestion, delay_model, sla};
+use dtr_net::{LinkId, LinkMask};
+use dtr_routing::workspace::{
+    dag_uses_any, route_destination, route_destination_repair, weight_change_affects, DestRouting,
+    WeightChange,
+};
+use dtr_routing::{delay, Scenario, SpfWorkspace};
+
+use crate::class::CostModel;
+use crate::cost::VecCost;
+use crate::evaluator::MtrEvaluator;
+use crate::weights::MtrWeightSetting;
+
+/// Marker for "this destination was replayed from the baseline".
+/// Outside the [`CACHED_BIT`] range so the decode is order-independent
+/// (see `dtr_cost::engine`).
+const NOT_RECOMPUTED: u32 = 0x7fff_fffe;
+
+/// Tag bit marking a slot that resolves into the scenario cache's
+/// recomputed routings.
+const CACHED_BIT: u32 = 0x8000_0000;
+
+/// Tag marking a slot that resolves into the workspace's candidate
+/// baseline (a move-touched destination the mask does not affect).
+const WS_BASE: u32 = 0x7fff_ffff;
+
+/// The cached no-failure routing of one class under the workspace's
+/// current weight setting.
+#[derive(Debug, Default)]
+struct ClassBaseline {
+    weights: Vec<u32>,
+    state: Vec<DestRouting>,
+    valid: bool,
+}
+
+/// Per-thread scratch for the k-class incremental engine; all buffers
+/// reach steady-state capacity after one use. Acquire from
+/// [`MtrEvaluator::acquire_workspace`].
+#[derive(Debug, Default)]
+pub struct MtrWorkspace {
+    /// Identity of the evaluator whose baselines this workspace holds
+    /// (see `dtr_cost::engine`'s owner contract); 0 = none yet.
+    owner: u64,
+    spf: SpfWorkspace,
+    mask: LinkMask,
+    up_mask: LinkMask,
+    down: Vec<u32>,
+    diff: Vec<WeightChange>,
+    base: Vec<ClassBaseline>,
+    /// Recomputed per-destination routings of the current evaluation
+    /// (all classes share the pool; SLA classes read them in the DP).
+    scratch: Vec<DestRouting>,
+    /// Per-class destination → resolution code.
+    scratch_map: Vec<Vec<u32>>,
+    class_loads: Vec<Vec<f64>>,
+    total_loads: Vec<f64>,
+    link_delays: Vec<f64>,
+    node_delay: Vec<f64>,
+    pair_delays: Vec<(usize, usize, f64)>,
+    epoch: u32,
+    changed: Vec<Vec<u32>>,
+    link_mark: Vec<u32>,
+    dirty: Vec<u32>,
+    pair_dirty: Vec<u32>,
+    new_adds: Vec<Vec<(u32, u32, f64)>>,
+    /// Refresh scratch: rebuilt pair-segment offsets of one scenario.
+    off_scratch: Vec<u32>,
+    /// Refresh scratch: per-class "baseline really moved" flags.
+    base_changed: Vec<Vec<bool>>,
+    /// Cache generation the `base_same` flags were computed against.
+    cand_gen: u64,
+    /// Per-class per-destination exact baseline diff of the current
+    /// candidate vs the cache incumbent
+    /// ([`dtr_cost::engine::baseline_unchanged`]).
+    base_same: Vec<Vec<bool>>,
+}
+
+impl MtrWorkspace {
+    fn bind(&mut self, owner: u64, num_links: usize, k: usize) {
+        if self.owner != owner {
+            self.owner = owner;
+            self.mask = LinkMask::all_up(num_links);
+            self.up_mask = LinkMask::all_up(num_links);
+            self.base.clear();
+        } else if self.up_mask.len() != num_links {
+            self.up_mask = LinkMask::all_up(num_links);
+        }
+        self.base.resize_with(k, ClassBaseline::default);
+        self.scratch_map.resize_with(k, Vec::new);
+        self.class_loads.resize_with(k, Vec::new);
+        self.changed.resize_with(k, Vec::new);
+        self.new_adds.resize_with(k, Vec::new);
+    }
+
+    fn next_epoch(&mut self) -> u32 {
+        self.epoch = self.epoch.wrapping_add(1);
+        if self.epoch == 0 {
+            for ch in &mut self.changed {
+                ch.clear();
+            }
+            self.link_mark.clear();
+            self.epoch = 1;
+        }
+        self.epoch
+    }
+}
+
+/// Persistent per-scenario state of the cached incumbent, k-class form
+/// (see [`dtr_cost::engine::ScenarioEntry`]).
+#[derive(Clone, Debug, Default)]
+pub struct MtrScenarioEntry {
+    /// Per class: exactly the mask-affected destinations, ascending.
+    routed: Vec<Vec<(u32, DestRouting)>>,
+    /// Per class: resident per-link loads of the incumbent.
+    loads: Vec<Vec<f64>>,
+    /// Per class: per-link contributor lists, destination-ordered.
+    contrib: Vec<LinkContrib>,
+    /// Resident per-link delays of the incumbent's total loads.
+    link_delays: Vec<f64>,
+    /// Per SLA class: resident `(s, t, ξ)` triples in reference emission
+    /// order (empty for congestion classes).
+    pairs: Vec<Vec<(usize, usize, f64)>>,
+    /// Per SLA class: `pair_off[di]..pair_off[di+1]` indexes `pairs`.
+    pair_off: Vec<Vec<u32>>,
+}
+
+/// Delta-state scenario cache for the MTR robust phase — the k-class
+/// analogue of [`dtr_cost::ScenarioCache`], with the same
+/// `cache_rebuild_begin` / `cost_capture` / `cache_begin` /
+/// `cost_cached` / `cache_refresh` life cycle.
+#[derive(Debug, Default)]
+pub struct MtrScenarioCache {
+    weights: Vec<Vec<u32>>,
+    base: Vec<Vec<DestRouting>>,
+    entries: Vec<MtrScenarioEntry>,
+    diff: Vec<Vec<WeightChange>>,
+    /// Globally unique stamp of the current (incumbent, candidate diff)
+    /// pair (see `dtr_cost::ScenarioCache`).
+    generation: u64,
+}
+
+impl MtrScenarioCache {
+    /// Fresh, empty cache.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Split into the shared incumbent baseline and the per-position
+    /// entries, for sharded capture sweeps.
+    pub fn capture_split(&mut self) -> (&[Vec<DestRouting>], &mut [MtrScenarioEntry]) {
+        (&self.base, &mut self.entries)
+    }
+}
+
+/// The effective `(link, share)` contribution sequence of destination
+/// `di` under the cached incumbent (entry routing where mask-affected,
+/// baseline elsewhere, nothing for the excluded node).
+fn effective_adds<'a>(
+    list: &'a [(u32, DestRouting)],
+    base: &'a [DestRouting],
+    dests: &[u32],
+    excluded: Option<usize>,
+    di: usize,
+) -> &'a [(u32, f64)] {
+    if Some(dests[di] as usize) == excluded {
+        return &[];
+    }
+    match list.binary_search_by_key(&(di as u32), |e| e.0) {
+        Ok(k) => list[k].1.load_adds(),
+        Err(_) => base[di].load_adds(),
+    }
+}
+
+impl<'a> MtrEvaluator<'a> {
+    /// Check a workspace out of the evaluator's pool.
+    pub fn acquire_workspace(&self) -> MtrWorkspace {
+        self.pool.acquire()
+    }
+
+    /// Return a workspace to the pool so its warmed-up buffers and
+    /// baselines benefit later evaluations.
+    pub fn release_workspace(&self, ws: MtrWorkspace) {
+        self.pool.release(ws);
+    }
+
+    /// Scalar-cost shortcut: bit-for-bit the cost of
+    /// [`evaluate`](Self::evaluate), computed through a pooled
+    /// workspace's incremental engine — no per-evaluation routing of
+    /// unaffected destinations, no steady-state allocation beyond the
+    /// returned cost vector. All scenario kinds ride this path — node
+    /// failures included (the node mask makes the traffic removal
+    /// self-enforcing for loads, and the SLA kernel skips the dead
+    /// node's pairs; same argument as `dtr_cost::engine`).
+    pub fn cost(&self, w: &MtrWeightSetting, scenario: Scenario) -> VecCost {
+        let mut ws = self.pool.acquire();
+        let cost = self.cost_with(&mut ws, w, scenario);
+        self.pool.release(ws);
+        cost
+    }
+
+    /// Scenario-batched costs of `w`, in input order — bit-for-bit what
+    /// per-scenario [`cost`](Self::cost) reports, sharing one pooled
+    /// workspace across the whole batch. This is the serial kernel the
+    /// sharded sweep in [`crate::parallel`] runs per worker.
+    pub fn evaluate_all(&self, w: &MtrWeightSetting, scenarios: &[Scenario]) -> Vec<VecCost> {
+        let mut ws = self.pool.acquire();
+        let out = scenarios
+            .iter()
+            .map(|&sc| self.cost_with(&mut ws, w, sc))
+            .collect();
+        self.pool.release(ws);
+        out
+    }
+
+    /// The workspace-based incremental cost kernel behind
+    /// [`cost`](Self::cost), valid for every scenario kind.
+    pub fn cost_with(
+        &self,
+        ws: &mut MtrWorkspace,
+        w: &MtrWeightSetting,
+        scenario: Scenario,
+    ) -> VecCost {
+        assert_eq!(
+            w.num_classes(),
+            self.num_classes(),
+            "weight setting class count mismatch"
+        );
+        assert_eq!(w.num_links(), self.net.num_links(), "weight size mismatch");
+        self.ensure_baseline(ws, w);
+        self.cost_scenario(ws, w, scenario, None)
+    }
+
+    /// Make `ws`'s per-class baselines describe the no-failure routing
+    /// of `w`, re-routing only destinations the weight diff can touch.
+    fn ensure_baseline(&self, ws: &mut MtrWorkspace, w: &MtrWeightSetting) {
+        ws.bind(self.engine_id, self.net.num_links(), self.num_classes());
+        ws.mask.reset_all_up();
+        let MtrWorkspace {
+            spf,
+            mask,
+            diff,
+            base,
+            ..
+        } = ws;
+        for (k, b) in base.iter_mut().enumerate() {
+            let weights = w.weights(k);
+            let tm = &self.matrices[k];
+            let dests = &self.demand_dests[k];
+            if b.valid && b.weights.len() == weights.len() {
+                diff.clear();
+                diff.extend(
+                    b.weights
+                        .iter()
+                        .zip(weights)
+                        .enumerate()
+                        .filter(|(_, (o, n))| o != n)
+                        .map(|(l, (&o, &n))| WeightChange {
+                            link: LinkId::new(l),
+                            old: o,
+                            new: n,
+                        }),
+                );
+                if diff.is_empty() {
+                    continue;
+                }
+                for (di, &t) in dests.iter().enumerate() {
+                    if weight_change_affects(self.net, &b.state[di].dist, diff) {
+                        route_destination(
+                            self.net,
+                            weights,
+                            tm,
+                            mask,
+                            t as usize,
+                            spf,
+                            &mut b.state[di],
+                        );
+                    }
+                }
+                b.weights.copy_from_slice(weights);
+            } else {
+                b.state.resize_with(dests.len(), DestRouting::default);
+                for (di, &t) in dests.iter().enumerate() {
+                    route_destination(
+                        self.net,
+                        weights,
+                        tm,
+                        mask,
+                        t as usize,
+                        spf,
+                        &mut b.state[di],
+                    );
+                }
+                b.weights.clear();
+                b.weights.extend_from_slice(weights);
+                b.valid = true;
+            }
+        }
+    }
+
+    /// Evaluate one scenario against valid baselines, optionally
+    /// capturing the recomputed routings and folded residents into a
+    /// scenario-cache entry.
+    fn cost_scenario(
+        &self,
+        ws: &mut MtrWorkspace,
+        w: &MtrWeightSetting,
+        scenario: Scenario,
+        mut capture: Option<&mut MtrScenarioEntry>,
+    ) -> VecCost {
+        let excluded = scenario.excluded_node().map(|v| v.index());
+        let num_links = self.net.num_links();
+        let kn = self.num_classes();
+        let MtrWorkspace {
+            spf,
+            mask,
+            down,
+            base,
+            scratch,
+            scratch_map,
+            class_loads,
+            total_loads,
+            link_delays,
+            node_delay,
+            pair_delays,
+            ..
+        } = ws;
+        scenario.mask_into(self.net, mask);
+        down.clear();
+        down.extend(mask.down_links().map(|i| i as u32));
+
+        if let Some(entry) = capture.as_mut() {
+            entry.routed.resize_with(kn, Vec::new);
+            for list in &mut entry.routed {
+                list.clear();
+            }
+        }
+
+        let mut scratch_used = 0usize;
+        let mut dropped = 0.0f64; // diagnostic only; never in the cost
+        for k in 0..kn {
+            let weights = w.weights(k);
+            let tm = &self.matrices[k];
+            let dests = &self.demand_dests[k];
+            let loads = &mut class_loads[k];
+            loads.clear();
+            loads.resize(num_links, 0.0);
+            let map = &mut scratch_map[k];
+            map.clear();
+            map.resize(dests.len(), NOT_RECOMPUTED);
+            for (di, &t) in dests.iter().enumerate() {
+                if Some(t as usize) == excluded {
+                    continue;
+                }
+                let b = &base[k].state[di];
+                let affected = !down.is_empty() && dag_uses_any(self.net, &b.dist, weights, down);
+                if !affected {
+                    b.replay(loads, &mut dropped);
+                    continue;
+                }
+                if scratch.len() == scratch_used {
+                    scratch.push(DestRouting::default());
+                }
+                let dest = &mut scratch[scratch_used];
+                route_destination(self.net, weights, tm, mask, t as usize, spf, dest);
+                dest.replay(loads, &mut dropped);
+                map[di] = scratch_used as u32;
+                scratch_used += 1;
+                if let Some(entry) = capture.as_mut() {
+                    entry.routed[k].push((di as u32, scratch[scratch_used - 1].clone()));
+                }
+            }
+        }
+
+        // Shared FIFO total loads: the reference's zero-initialized
+        // class-order accumulation, verbatim.
+        total_loads.clear();
+        total_loads.resize(num_links, 0.0);
+        for loads in class_loads.iter() {
+            for (t, &x) in total_loads.iter_mut().zip(loads) {
+                *t += x;
+            }
+        }
+        delay_model::link_delays_into(
+            total_loads,
+            &self.capacities,
+            &self.prop_delays,
+            &self.config.delay_params,
+            link_delays,
+        );
+
+        let mut components = Vec::with_capacity(kn);
+        let take_max = matches!(
+            self.config.delay_params.aggregation,
+            dtr_cost::DelayAggregation::Max
+        );
+        for (k, spec) in self.config.specs.iter().enumerate() {
+            match spec.cost {
+                CostModel::SlaDelay { .. } => {
+                    let weights = w.weights(k);
+                    let tm = &self.matrices[k];
+                    pair_delays.clear();
+                    for (di, &t) in self.demand_dests[k].iter().enumerate() {
+                        if Some(t as usize) == excluded {
+                            continue;
+                        }
+                        let dest = match scratch_map[k][di] {
+                            NOT_RECOMPUTED => &base[k].state[di],
+                            slot => &scratch[slot as usize],
+                        };
+                        delay::pair_delays_into(
+                            self.net,
+                            &dest.dist,
+                            &dest.order,
+                            weights,
+                            mask,
+                            link_delays,
+                            take_max,
+                            tm,
+                            t as usize,
+                            excluded,
+                            node_delay,
+                            pair_delays,
+                        );
+                    }
+                    let summary = sla::summarize(&*pair_delays, &self.class_params[k]);
+                    components.push(summary.lambda);
+                    if let Some(entry) = capture.as_mut() {
+                        entry.pairs.resize_with(kn, Vec::new);
+                        entry.pair_off.resize_with(kn, Vec::new);
+                        entry.pairs[k].clone_from(pair_delays);
+                        let offs = &mut entry.pair_off[k];
+                        offs.clear();
+                        offs.push(0);
+                        let mut p = 0usize;
+                        for &t in &self.demand_dests[k] {
+                            while p < entry.pairs[k].len() && entry.pairs[k][p].1 == t as usize {
+                                p += 1;
+                            }
+                            offs.push(p as u32);
+                        }
+                        debug_assert_eq!(p, entry.pairs[k].len());
+                    }
+                }
+                CostModel::Congestion => {
+                    components.push(congestion::phi(
+                        total_loads,
+                        &class_loads[k],
+                        &self.capacities,
+                    ));
+                    if let Some(entry) = capture.as_mut() {
+                        entry.pairs.resize_with(kn, Vec::new);
+                        entry.pair_off.resize_with(kn, Vec::new);
+                        entry.pairs[k].clear();
+                        entry.pair_off[k].clear();
+                    }
+                }
+            }
+        }
+        VecCost::new(components)
+    }
+
+    /// Per-class load- and routing-independent lower bounds of the
+    /// scenario's cost vector: for every SLA class, the sum of the
+    /// propagation-delay-shortest-path penalties of its demand pairs
+    /// under the scenario mask (congestion classes floor at 0). Same
+    /// soundness and `1e-9` shave as `Evaluator::lambda_floor` in
+    /// `dtr-cost`, applied with each class's own θ/B1/B2.
+    pub fn lambda_floor(&self, scenario: Scenario) -> Vec<f64> {
+        let mask = scenario.mask(self.net);
+        let excluded = scenario.excluded_node().map(|v| v.index());
+        self.config
+            .specs
+            .iter()
+            .enumerate()
+            .map(|(k, spec)| match spec.cost {
+                CostModel::Congestion => 0.0,
+                CostModel::SlaDelay { .. } => {
+                    let mut lambda = 0.0f64;
+                    for &t in &self.demand_dests[k] {
+                        let t = t as usize;
+                        if Some(t) == excluded {
+                            continue;
+                        }
+                        let dmin = dtr_routing::spf::min_cost_to(
+                            self.net,
+                            dtr_net::NodeId::new(t),
+                            &self.prop_delays,
+                            &mask,
+                        );
+                        for (s, &d) in dmin.iter().enumerate() {
+                            if s == t || Some(s) == excluded || self.matrices[k].demand(s, t) <= 0.0
+                            {
+                                continue;
+                            }
+                            lambda += sla::pair_penalty(d, &self.class_params[k]);
+                        }
+                    }
+                    lambda * (1.0 - 1e-9)
+                }
+            })
+            .collect()
+    }
+
+    /// Reset the cache to describe incumbent `w` with `positions`
+    /// scenario slots and capture the incumbent's no-failure baseline
+    /// routing per class. Entries must then be (re-)captured with
+    /// [`cost_capture`](Self::cost_capture).
+    pub fn cache_rebuild_begin(
+        &self,
+        ws: &mut MtrWorkspace,
+        cache: &mut MtrScenarioCache,
+        w: &MtrWeightSetting,
+        positions: usize,
+    ) {
+        assert_eq!(w.num_links(), self.net.num_links(), "weight size mismatch");
+        let kn = self.num_classes();
+        self.ensure_baseline(ws, w);
+        cache.weights.resize_with(kn, Vec::new);
+        cache.base.resize_with(kn, Vec::new);
+        cache.diff.resize_with(kn, Vec::new);
+        for k in 0..kn {
+            cache.weights[k].clear();
+            cache.weights[k].extend_from_slice(w.weights(k));
+            let dests = &self.demand_dests[k];
+            cache.base[k].resize_with(dests.len(), DestRouting::default);
+            for (di, slot) in cache.base[k].iter_mut().enumerate() {
+                slot.clone_from(&ws.base[k].state[di]);
+            }
+        }
+        cache
+            .entries
+            .resize_with(positions, MtrScenarioEntry::default);
+        for e in &mut cache.entries {
+            for list in &mut e.routed {
+                list.clear();
+            }
+        }
+        cache.generation = next_engine_id();
+    }
+
+    /// Compute the per-class weight diff of candidate `w` against the
+    /// cache's incumbent, preparing [`cost_cached`](Self::cost_cached)
+    /// calls. Returns the number of changed directed (class, link)
+    /// slots.
+    pub fn cache_begin(&self, cache: &mut MtrScenarioCache, w: &MtrWeightSetting) -> usize {
+        let mut changed = 0;
+        for (k, diffk) in cache.diff.iter_mut().enumerate() {
+            let weights = w.weights(k);
+            assert_eq!(
+                cache.weights[k].len(),
+                weights.len(),
+                "cache incumbent and candidate disagree on link count"
+            );
+            diffk.clear();
+            diffk.extend(
+                cache.weights[k]
+                    .iter()
+                    .zip(weights)
+                    .enumerate()
+                    .filter(|(_, (o, n))| o != n)
+                    .map(|(l, (&o, &n))| WeightChange {
+                        link: LinkId::new(l),
+                        old: o,
+                        new: n,
+                    }),
+            );
+            changed += diffk.len();
+        }
+        cache.generation = next_engine_id();
+        changed
+    }
+
+    /// [`cost_with`](Self::cost_with) that also captures the scenario's
+    /// full delta-state into `cache.entries[pos]`, run over the
+    /// incumbent. Returns the plain evaluation's cost bit-for-bit.
+    pub fn cost_capture(
+        &self,
+        ws: &mut MtrWorkspace,
+        w: &MtrWeightSetting,
+        scenario: Scenario,
+        cache: &mut MtrScenarioCache,
+        pos: usize,
+    ) -> VecCost {
+        let (base, entries) = cache.capture_split();
+        self.cost_capture_into(ws, w, scenario, base, &mut entries[pos])
+    }
+
+    /// Entry-level form of [`cost_capture`](Self::cost_capture) for
+    /// sharded capture sweeps (entries are position-disjoint; the
+    /// baseline from [`MtrScenarioCache::capture_split`] is shared
+    /// read-only).
+    pub fn cost_capture_into(
+        &self,
+        ws: &mut MtrWorkspace,
+        w: &MtrWeightSetting,
+        scenario: Scenario,
+        base: &[Vec<DestRouting>],
+        entry: &mut MtrScenarioEntry,
+    ) -> VecCost {
+        assert_eq!(w.num_links(), self.net.num_links(), "weight size mismatch");
+        let kn = self.num_classes();
+        self.ensure_baseline(ws, w);
+        let cost = self.cost_scenario(ws, w, scenario, Some(entry));
+        let excluded = scenario.excluded_node().map(|v| v.index());
+
+        entry.loads.resize_with(kn, Vec::new);
+        entry.contrib.resize_with(kn, LinkContrib::default);
+        for k in 0..kn {
+            entry.loads[k].clone_from(&ws.class_loads[k]);
+        }
+        entry.link_delays.clone_from(&ws.link_delays);
+        let MtrScenarioEntry {
+            routed, contrib, ..
+        } = entry;
+        for (k, cb) in contrib.iter_mut().enumerate() {
+            let list: &[(u32, DestRouting)] = &routed[k];
+            let dests = &self.demand_dests[k];
+            cb.rebuild(self.net.num_links(), dests.len(), |di| {
+                effective_adds(list, &base[k], dests, excluded, di)
+            });
+        }
+        cost
+    }
+
+    /// Delta-state candidate evaluation through the scenario cache — the
+    /// k-class [`Evaluator::cost_cached`](dtr_cost::Evaluator::cost_cached):
+    /// re-routes only destinations the candidate diff can touch, refolds
+    /// only links whose contributor set changed, re-runs each SLA
+    /// class's delay DP only where the routing or an on-DAG link delay
+    /// changed. Requires a preceding [`cache_begin`](Self::cache_begin)
+    /// for this exact `w`; bit-for-bit
+    /// [`cost_with`](Self::cost_with)'s result.
+    pub fn cost_cached(
+        &self,
+        ws: &mut MtrWorkspace,
+        w: &MtrWeightSetting,
+        scenario: Scenario,
+        cache: &MtrScenarioCache,
+        pos: usize,
+    ) -> VecCost {
+        let num_links = self.net.num_links();
+        assert_eq!(w.num_links(), num_links, "weight size mismatch");
+        let kn = self.num_classes();
+        self.ensure_baseline(ws, w);
+        // Exact per-destination baseline diff vs the cache incumbent,
+        // computed once per (candidate, cache generation) and shared by
+        // the candidate's whole scenario sweep (see the DTR engine).
+        if ws.cand_gen != cache.generation {
+            ws.cand_gen = cache.generation;
+            ws.base_same.resize_with(kn, Vec::new);
+            for k in 0..kn {
+                let dests = &self.demand_dests[k];
+                let basec = &cache.base[k];
+                assert_eq!(
+                    basec.len(),
+                    dests.len(),
+                    "cache baseline missing; run cache_rebuild_begin first"
+                );
+                let diffk = &cache.diff[k];
+                let flags = &mut ws.base_same[k];
+                flags.clear();
+                flags.resize(dests.len(), false);
+                for (di, flag) in flags.iter_mut().enumerate() {
+                    *flag = diffk.is_empty()
+                        || baseline_unchanged(
+                            self.net,
+                            &ws.base[k].state[di].dist,
+                            &basec[di].dist,
+                            diffk,
+                        );
+                }
+            }
+        }
+        let epoch = ws.next_epoch();
+        let entry = &cache.entries[pos];
+        debug_assert_eq!(
+            entry.link_delays.len(),
+            num_links,
+            "cost_cached requires a captured entry"
+        );
+        let excluded = scenario.excluded_node().map(|v| v.index());
+        let MtrWorkspace {
+            spf,
+            mask,
+            down,
+            base: ws_base,
+            scratch,
+            scratch_map,
+            class_loads,
+            total_loads,
+            link_delays,
+            node_delay,
+            pair_delays,
+            changed,
+            link_mark,
+            dirty,
+            pair_dirty,
+            new_adds,
+            base_same,
+            ..
+        } = ws;
+        scenario.mask_into(self.net, mask);
+        down.clear();
+        down.extend(mask.down_links().map(|i| i as u32));
+        if link_mark.len() != num_links {
+            link_mark.clear();
+            link_mark.resize(num_links, 0);
+        }
+        dirty.clear();
+        pair_dirty.clear();
+        let mut scratch_used = 0usize;
+
+        // Pass 1: classify destinations, re-route changed ones, collect
+        // dirty links and fresh shares.
+        for k in 0..kn {
+            let weights = w.weights(k);
+            let tm = &self.matrices[k];
+            let dests = &self.demand_dests[k];
+            let basec = &cache.base[k];
+            let diffk = &cache.diff[k];
+            let list: &[(u32, DestRouting)] = &entry.routed[k];
+            let ch = &mut changed[k];
+            ch.resize(dests.len(), 0);
+            new_adds[k].clear();
+            let map = &mut scratch_map[k];
+            map.clear();
+            map.resize(dests.len(), NOT_RECOMPUTED);
+            let mut cursor = 0usize;
+            for (di, &t) in dests.iter().enumerate() {
+                while cursor < list.len() && list[cursor].0 < di as u32 {
+                    cursor += 1;
+                }
+                let hit = cursor < list.len() && list[cursor].0 == di as u32;
+                if Some(t as usize) == excluded {
+                    continue;
+                }
+                let (old_r, fresh_code): (Option<&DestRouting>, u32) = if base_same[k][di] {
+                    if !hit {
+                        continue;
+                    }
+                    let hr = &list[cursor].1;
+                    if diffk.is_empty() || !weight_change_affects(self.net, &hr.dist, diffk) {
+                        map[di] = CACHED_BIT | cursor as u32;
+                        continue;
+                    }
+                    // mask ∩ move: repair from the candidate baseline,
+                    // keeping the result only if it really moved.
+                    if scratch.len() == scratch_used {
+                        scratch.push(DestRouting::default());
+                    }
+                    route_destination_repair(
+                        self.net,
+                        weights,
+                        tm,
+                        mask,
+                        t as usize,
+                        &ws_base[k].state[di],
+                        spf,
+                        &mut scratch[scratch_used],
+                    );
+                    if baseline_unchanged(self.net, &scratch[scratch_used].dist, &hr.dist, diffk) {
+                        map[di] = CACHED_BIT | cursor as u32;
+                        continue;
+                    }
+                    (Some(&list[cursor].1), scratch_used as u32)
+                } else {
+                    // The diff really moved this destination's baseline;
+                    // its scenario routing may still survive (see the
+                    // DTR engine).
+                    let affected = !down.is_empty()
+                        && dag_uses_any(self.net, &ws_base[k].state[di].dist, weights, down);
+                    if !affected {
+                        let old: &DestRouting = if hit { &list[cursor].1 } else { &basec[di] };
+                        (Some(old), WS_BASE)
+                    } else {
+                        if hit {
+                            let hr = &list[cursor].1;
+                            if diffk.is_empty() || !weight_change_affects(self.net, &hr.dist, diffk)
+                            {
+                                map[di] = CACHED_BIT | cursor as u32;
+                                continue;
+                            }
+                        }
+                        if scratch.len() == scratch_used {
+                            scratch.push(DestRouting::default());
+                        }
+                        route_destination_repair(
+                            self.net,
+                            weights,
+                            tm,
+                            mask,
+                            t as usize,
+                            &ws_base[k].state[di],
+                            spf,
+                            &mut scratch[scratch_used],
+                        );
+                        if hit {
+                            let hr = &list[cursor].1;
+                            if baseline_unchanged(
+                                self.net,
+                                &scratch[scratch_used].dist,
+                                &hr.dist,
+                                diffk,
+                            ) {
+                                map[di] = CACHED_BIT | cursor as u32;
+                                continue;
+                            }
+                        }
+                        let old: &DestRouting = if hit { &list[cursor].1 } else { &basec[di] };
+                        (Some(old), scratch_used as u32)
+                    }
+                };
+                ch[di] = epoch;
+                map[di] = fresh_code;
+                if fresh_code != WS_BASE {
+                    scratch_used += 1;
+                }
+                if let Some(old) = old_r {
+                    for &(l, _) in old.load_adds() {
+                        if link_mark[l as usize] != epoch {
+                            link_mark[l as usize] = epoch;
+                            dirty.push(l);
+                        }
+                    }
+                }
+                let fresh: &DestRouting = if fresh_code == WS_BASE {
+                    &ws_base[k].state[di]
+                } else {
+                    &scratch[fresh_code as usize]
+                };
+                for &(l, share) in fresh.load_adds() {
+                    if link_mark[l as usize] != epoch {
+                        link_mark[l as usize] = epoch;
+                        dirty.push(l);
+                    }
+                    new_adds[k].push((l, di as u32, share));
+                }
+            }
+        }
+
+        // Pass 2: per-class candidate loads — refold dirty links when few,
+        // replay every destination's effective adds when a large move
+        // dirtied most of the network (see the DTR engine; both are the
+        // reference accumulation bit for bit).
+        let use_refold = dirty.len() * 4 < num_links;
+        for k in 0..kn {
+            let loads = &mut class_loads[k];
+            if use_refold {
+                loads.clear();
+                loads.extend_from_slice(&entry.loads[k]);
+                new_adds[k].sort_unstable_by_key(|&(l, d, _)| (l, d));
+                let adds = &new_adds[k];
+                let ch = &changed[k];
+                for &l in dirty.iter() {
+                    let lo = adds.partition_point(|&(al, _, _)| al < l);
+                    let hi = lo + adds[lo..].partition_point(|&(al, _, _)| al == l);
+                    loads[l as usize] =
+                        refold_link(entry.contrib[k].row(l as usize), &adds[lo..hi], |d| {
+                            ch[d as usize] == epoch
+                        });
+                }
+            } else {
+                loads.clear();
+                loads.resize(num_links, 0.0);
+                let mut dropped = 0.0f64;
+                let dests = &self.demand_dests[k];
+                let list: &[(u32, DestRouting)] = &entry.routed[k];
+                for (di, &t) in dests.iter().enumerate() {
+                    if Some(t as usize) == excluded {
+                        continue;
+                    }
+                    let r: &DestRouting = match scratch_map[k][di] {
+                        NOT_RECOMPUTED => &cache.base[k][di],
+                        WS_BASE => &ws_base[k].state[di],
+                        code if code & CACHED_BIT != 0 => &list[(code & !CACHED_BIT) as usize].1,
+                        slot => &scratch[slot as usize],
+                    };
+                    r.replay(loads, &mut dropped);
+                }
+            }
+        }
+
+        // Totals (reference class-order fold) + patched link delays.
+        total_loads.clear();
+        total_loads.resize(num_links, 0.0);
+        for loads in class_loads.iter() {
+            for (t, &x) in total_loads.iter_mut().zip(loads) {
+                *t += x;
+            }
+        }
+        link_delays.clear();
+        link_delays.extend_from_slice(&entry.link_delays);
+        for &l in dirty.iter() {
+            let li = l as usize;
+            let d = delay_model::link_delay(
+                total_loads[li],
+                self.capacities[li],
+                self.prop_delays[li],
+                &self.config.delay_params,
+            );
+            if d.to_bits() != link_delays[li].to_bits() {
+                link_delays[li] = d;
+                pair_dirty.push(l);
+            }
+        }
+
+        // Pass 3: per-class components (resident SLA segments where the
+        // diff provably cannot have moved them).
+        let take_max = matches!(
+            self.config.delay_params.aggregation,
+            dtr_cost::DelayAggregation::Max
+        );
+        let mut components = Vec::with_capacity(kn);
+        for (k, spec) in self.config.specs.iter().enumerate() {
+            match spec.cost {
+                CostModel::SlaDelay { .. } => {
+                    let weights = w.weights(k);
+                    let tm = &self.matrices[k];
+                    pair_delays.clear();
+                    for (di, &t) in self.demand_dests[k].iter().enumerate() {
+                        if Some(t as usize) == excluded {
+                            continue;
+                        }
+                        let code = scratch_map[k][di];
+                        let dest: &DestRouting = if code == NOT_RECOMPUTED {
+                            &cache.base[k][di]
+                        } else if code == WS_BASE {
+                            &ws_base[k].state[di]
+                        } else if code & CACHED_BIT != 0 {
+                            &entry.routed[k][(code & !CACHED_BIT) as usize].1
+                        } else {
+                            &scratch[code as usize]
+                        };
+                        if (code == NOT_RECOMPUTED || code & CACHED_BIT != 0)
+                            && (pair_dirty.is_empty()
+                                || !dag_uses_any(self.net, &dest.dist, weights, pair_dirty))
+                        {
+                            let s = entry.pair_off[k][di] as usize;
+                            let e = entry.pair_off[k][di + 1] as usize;
+                            pair_delays.extend_from_slice(&entry.pairs[k][s..e]);
+                            continue;
+                        }
+                        delay::pair_delays_into(
+                            self.net,
+                            &dest.dist,
+                            &dest.order,
+                            weights,
+                            mask,
+                            link_delays,
+                            take_max,
+                            tm,
+                            t as usize,
+                            excluded,
+                            node_delay,
+                            pair_delays,
+                        );
+                    }
+                    components.push(sla::summarize(&*pair_delays, &self.class_params[k]).lambda);
+                }
+                CostModel::Congestion => {
+                    components.push(congestion::phi(
+                        total_loads,
+                        &class_loads[k],
+                        &self.capacities,
+                    ));
+                }
+            }
+        }
+        VecCost::new(components)
+    }
+
+    /// Re-point the cache at a new incumbent `w` incrementally (the
+    /// accept-path maintenance of the MTR robust phase): surviving
+    /// routings are kept, coverage of each scenario's mask-affected set
+    /// is maintained exactly, and the resident folded state is updated
+    /// to describe `w` — same scheme as
+    /// [`Evaluator::cache_refresh`](dtr_cost::Evaluator::cache_refresh).
+    pub fn cache_refresh(
+        &self,
+        ws: &mut MtrWorkspace,
+        cache: &mut MtrScenarioCache,
+        w: &MtrWeightSetting,
+        scenario_at: impl Fn(usize) -> Scenario,
+    ) {
+        let num_links = self.net.num_links();
+        assert_eq!(w.num_links(), num_links, "weight size mismatch");
+        let kn = self.num_classes();
+        ws.bind(self.engine_id, num_links, kn);
+        let MtrScenarioCache {
+            weights,
+            base,
+            entries,
+            diff,
+            generation,
+        } = cache;
+        assert_eq!(base.len(), kn, "cache baseline missing");
+        for (k, diffk) in diff.iter_mut().enumerate() {
+            let new = w.weights(k);
+            assert_eq!(weights[k].len(), new.len(), "link count mismatch");
+            diffk.clear();
+            diffk.extend(
+                weights[k]
+                    .iter()
+                    .zip(new)
+                    .enumerate()
+                    .filter(|(_, (o, n))| o != n)
+                    .map(|(l, (&o, &n))| WeightChange {
+                        link: LinkId::new(l),
+                        old: o,
+                        new: n,
+                    }),
+            );
+        }
+
+        // 1. Baseline update, filtering the predicate's false positives
+        // with the exact diff so bit-identical re-routes don't churn
+        // entries or re-run delay DPs downstream.
+        // Taken out of the workspace (and restored below) so the
+        // per-scenario loop can still borrow `ws` freely.
+        let mut base_changed = std::mem::take(&mut ws.base_changed);
+        let mut off_scratch = std::mem::take(&mut ws.off_scratch);
+        base_changed.resize_with(kn, Vec::new);
+        let mut tmp = DestRouting::default();
+        for k in 0..kn {
+            let class_weights = w.weights(k);
+            let tm = &self.matrices[k];
+            let dests = &self.demand_dests[k];
+            assert_eq!(base[k].len(), dests.len(), "cache baseline missing");
+            base_changed[k].clear();
+            base_changed[k].resize(dests.len(), false);
+            for (di, &t) in dests.iter().enumerate() {
+                if diff[k].is_empty()
+                    || !weight_change_affects(self.net, &base[k][di].dist, &diff[k])
+                {
+                    continue;
+                }
+                route_destination(
+                    self.net,
+                    class_weights,
+                    tm,
+                    &ws.up_mask,
+                    t as usize,
+                    &mut ws.spf,
+                    &mut tmp,
+                );
+                if !baseline_unchanged(self.net, &tmp.dist, &base[k][di].dist, &diff[k]) {
+                    std::mem::swap(&mut base[k][di], &mut tmp);
+                    base_changed[k][di] = true;
+                }
+            }
+        }
+
+        // 2. Per-scenario update.
+        let take_max = matches!(
+            self.config.delay_params.aggregation,
+            dtr_cost::DelayAggregation::Max
+        );
+        for (pos, entry) in entries.iter_mut().enumerate() {
+            let scenario = scenario_at(pos);
+            scenario.mask_into(self.net, &mut ws.mask);
+            ws.down.clear();
+            ws.down.extend(ws.mask.down_links().map(|i| i as u32));
+            let excluded = scenario.excluded_node().map(|v| v.index());
+            let epoch = ws.next_epoch();
+
+            for k in 0..kn {
+                let class_weights = w.weights(k);
+                let tm = &self.matrices[k];
+                let dests = &self.demand_dests[k];
+                let ch = &mut ws.changed[k];
+                ch.resize(dests.len(), 0);
+                let list = &mut entry.routed[k];
+                let old_list = std::mem::take(list);
+                let mut it = old_list.into_iter().peekable();
+                for (di, &t) in dests.iter().enumerate() {
+                    let hit = it
+                        .peek()
+                        .is_some_and(|(d, _)| *d == di as u32)
+                        .then(|| it.next().unwrap().1);
+                    if Some(t as usize) == excluded {
+                        continue;
+                    }
+                    if base_changed[k][di] {
+                        let affected = !ws.down.is_empty()
+                            && dag_uses_any(self.net, &base[k][di].dist, class_weights, &ws.down);
+                        if affected {
+                            // The cached scenario routing survives when
+                            // the diff provably cannot change it.
+                            if let Some(routing) = hit {
+                                if diff[k].is_empty()
+                                    || !weight_change_affects(self.net, &routing.dist, &diff[k])
+                                {
+                                    list.push((di as u32, routing));
+                                    continue;
+                                }
+                                let mut routing = routing;
+                                route_destination_repair(
+                                    self.net,
+                                    class_weights,
+                                    tm,
+                                    &ws.mask,
+                                    t as usize,
+                                    &base[k][di],
+                                    &mut ws.spf,
+                                    &mut tmp,
+                                );
+                                if !baseline_unchanged(self.net, &tmp.dist, &routing.dist, &diff[k])
+                                {
+                                    ch[di] = epoch;
+                                    std::mem::swap(&mut routing, &mut tmp);
+                                }
+                                list.push((di as u32, routing));
+                                continue;
+                            }
+                            ch[di] = epoch;
+                            let mut routing = DestRouting::default();
+                            route_destination_repair(
+                                self.net,
+                                class_weights,
+                                tm,
+                                &ws.mask,
+                                t as usize,
+                                &base[k][di],
+                                &mut ws.spf,
+                                &mut routing,
+                            );
+                            list.push((di as u32, routing));
+                        } else {
+                            ch[di] = epoch;
+                        }
+                    } else if let Some(mut routing) = hit {
+                        if !diff[k].is_empty()
+                            && weight_change_affects(self.net, &routing.dist, &diff[k])
+                        {
+                            route_destination_repair(
+                                self.net,
+                                class_weights,
+                                tm,
+                                &ws.mask,
+                                t as usize,
+                                &base[k][di],
+                                &mut ws.spf,
+                                &mut tmp,
+                            );
+                            if !baseline_unchanged(self.net, &tmp.dist, &routing.dist, &diff[k]) {
+                                ch[di] = epoch;
+                                std::mem::swap(&mut routing, &mut tmp);
+                            }
+                        }
+                        list.push((di as u32, routing));
+                    }
+                }
+
+                let list: &[(u32, DestRouting)] = list;
+                let basec = &base[k];
+                entry.contrib[k].rebuild(num_links, dests.len(), |di| {
+                    effective_adds(list, basec, dests, excluded, di)
+                });
+                let loads = &mut entry.loads[k];
+                loads.clear();
+                loads.resize(num_links, 0.0);
+                for (l, load) in loads.iter_mut().enumerate() {
+                    let mut acc = 0.0f64;
+                    for &(_, share) in entry.contrib[k].row(l) {
+                        acc += share;
+                    }
+                    *load = acc;
+                }
+            }
+
+            // Delays, remembering which changed bitwise.
+            ws.total_loads.clear();
+            ws.total_loads.resize(num_links, 0.0);
+            for loads in &entry.loads {
+                for (t, &x) in ws.total_loads.iter_mut().zip(loads) {
+                    *t += x;
+                }
+            }
+            ws.pair_dirty.clear();
+            for (l, old) in entry.link_delays.iter_mut().enumerate() {
+                let d = delay_model::link_delay(
+                    ws.total_loads[l],
+                    self.capacities[l],
+                    self.prop_delays[l],
+                    &self.config.delay_params,
+                );
+                if d.to_bits() != old.to_bits() {
+                    *old = d;
+                    ws.pair_dirty.push(l as u32);
+                }
+            }
+
+            // Pair segments per SLA class.
+            for (k, spec) in self.config.specs.iter().enumerate() {
+                if matches!(spec.cost, CostModel::Congestion) {
+                    continue;
+                }
+                let class_weights = w.weights(k);
+                ws.pair_delays.clear();
+                let mut cursor = 0usize;
+                let list = &entry.routed[k];
+                let new_offs = &mut off_scratch;
+                new_offs.clear();
+                new_offs.push(0);
+                for (di, &t) in self.demand_dests[k].iter().enumerate() {
+                    if Some(t as usize) != excluded {
+                        while cursor < list.len() && list[cursor].0 < di as u32 {
+                            cursor += 1;
+                        }
+                        let hit = cursor < list.len() && list[cursor].0 == di as u32;
+                        let dest: &DestRouting = if hit { &list[cursor].1 } else { &base[k][di] };
+                        let routing_changed = ws.changed[k][di] == epoch;
+                        if !routing_changed
+                            && (ws.pair_dirty.is_empty()
+                                || !dag_uses_any(
+                                    self.net,
+                                    &dest.dist,
+                                    class_weights,
+                                    &ws.pair_dirty,
+                                ))
+                        {
+                            let s = entry.pair_off[k][di] as usize;
+                            let e = entry.pair_off[k][di + 1] as usize;
+                            ws.pair_delays.extend_from_slice(&entry.pairs[k][s..e]);
+                        } else {
+                            delay::pair_delays_into(
+                                self.net,
+                                &dest.dist,
+                                &dest.order,
+                                class_weights,
+                                &ws.mask,
+                                &entry.link_delays,
+                                take_max,
+                                &self.matrices[k],
+                                t as usize,
+                                excluded,
+                                &mut ws.node_delay,
+                                &mut ws.pair_delays,
+                            );
+                        }
+                    }
+                    new_offs.push(ws.pair_delays.len() as u32);
+                }
+                entry.pairs[k].clone_from(&ws.pair_delays);
+                entry.pair_off[k].clone_from(new_offs);
+            }
+        }
+        ws.base_changed = base_changed;
+        ws.off_scratch = off_scratch;
+
+        for (k, buf) in weights.iter_mut().enumerate() {
+            buf.clear();
+            buf.extend_from_slice(w.weights(k));
+        }
+        *generation = next_engine_id();
+    }
+}

@@ -13,15 +13,21 @@
 //!    for SLA classes, Fortz–Thorup over its own carried links for
 //!    congestion classes);
 //! 6. assemble the k-component lexicographic cost.
+//!
+//! [`MtrEvaluator::evaluate`] is the readable reference path; the search
+//! loops run through the incremental, delta-state engine in
+//! [`crate::engine`] ([`MtrEvaluator::cost`] and the scenario-cache
+//! family), which reproduces these steps bit for bit.
 
 use dtr_cost::engine::WorkspacePool;
 use dtr_cost::{congestion, delay_model, sla, CostParams, DelayAggregation, SlaSummary};
 use dtr_net::{LinkMask, Network};
-use dtr_routing::{delay, route_class, route_class_with, ClassRouting, Scenario, SpfWorkspace};
+use dtr_routing::{delay, route_class, ClassRouting, Scenario};
 use dtr_traffic::TrafficMatrix;
 
 use crate::class::{CostModel, MtrConfig};
 use crate::cost::VecCost;
+use crate::engine::MtrWorkspace;
 use crate::weights::MtrWeightSetting;
 
 /// Construction-time validation failures.
@@ -106,34 +112,33 @@ impl MtrBreakdown {
     }
 }
 
-/// Per-thread scratch for the allocation-light [`MtrEvaluator::cost`]
-/// fast path: all buffers reach steady-state capacity after one use.
-#[derive(Debug, Default)]
-struct MtrWorkspace {
-    spf: SpfWorkspace,
-    mask: LinkMask,
-    routings: Vec<ClassRouting>,
-    total_loads: Vec<f64>,
-    link_delays: Vec<f64>,
-    order: Vec<u32>,
-    node_delay: Vec<f64>,
-    pair_delays: Vec<(usize, usize, f64)>,
-}
-
 /// Reusable k-class evaluation context.
 pub struct MtrEvaluator<'a> {
-    net: &'a Network,
-    matrices: &'a [TrafficMatrix],
-    config: MtrConfig,
+    pub(crate) net: &'a Network,
+    pub(crate) matrices: &'a [TrafficMatrix],
+    pub(crate) config: MtrConfig,
     /// Per-class `CostParams` with each SLA class's θ/B1/B2 patched in
     /// (congestion classes keep the shared parameters; only the delay
     /// model part is read for them).
-    class_params: Vec<CostParams>,
-    capacities: Vec<f64>,
-    prop_delays: Vec<f64>,
+    pub(crate) class_params: Vec<CostParams>,
+    pub(crate) capacities: Vec<f64>,
+    pub(crate) prop_delays: Vec<f64>,
+    /// Per-class demand destinations (nodes that sink positive demand),
+    /// ascending — one list per class, aligned with `matrices`.
+    pub(crate) demand_dests: Vec<Vec<u32>>,
     /// Workspace pool for the [`cost`](Self::cost) fast path (one
     /// workspace per concurrent caller in practice).
-    pool: WorkspacePool<MtrWorkspace>,
+    pub(crate) pool: WorkspacePool<MtrWorkspace>,
+    /// Unique identity gating workspace-baseline reuse (see
+    /// `dtr_cost::engine`'s owner contract).
+    pub(crate) engine_id: u64,
+}
+
+fn demand_dests(tm: &TrafficMatrix) -> Vec<u32> {
+    let n = tm.num_nodes();
+    (0..n as u32)
+        .filter(|&t| (0..n).any(|s| s != t as usize && tm.demand(s, t as usize) > 0.0))
+        .collect()
 }
 
 impl std::fmt::Debug for MtrEvaluator<'_> {
@@ -196,7 +201,9 @@ impl<'a> MtrEvaluator<'a> {
             class_params,
             capacities,
             prop_delays,
+            demand_dests: matrices.iter().map(demand_dests).collect(),
             pool: WorkspacePool::default(),
+            engine_id: dtr_cost::engine::next_engine_id(),
         })
     }
 
@@ -307,132 +314,6 @@ impl<'a> MtrEvaluator<'a> {
             dropped,
             scenario,
         }
-    }
-
-    /// Scalar-cost shortcut: bit-for-bit the cost of
-    /// [`evaluate`](Self::evaluate), computed through a pooled workspace
-    /// so the k-class search loops stop paying per-evaluation
-    /// allocations. All scenario kinds ride the workspace path — node
-    /// failures included (the node mask makes the traffic removal
-    /// self-enforcing for loads, and the SLA kernel skips the dead
-    /// node's pairs; same argument as `dtr_cost::engine`).
-    pub fn cost(&self, w: &MtrWeightSetting, scenario: Scenario) -> VecCost {
-        assert_eq!(
-            w.num_classes(),
-            self.num_classes(),
-            "weight setting class count mismatch"
-        );
-        assert_eq!(w.num_links(), self.net.num_links(), "weight size mismatch");
-        let mut ws = self.pool.acquire();
-        let cost = self.cost_with(&mut ws, w, scenario);
-        self.pool.release(ws);
-        cost
-    }
-
-    /// Scenario-batched costs of `w`, in input order — bit-for-bit what
-    /// per-scenario [`cost`](Self::cost) reports, sharing one pooled
-    /// workspace across the whole batch. This is the serial kernel the
-    /// sharded sweep in [`crate::parallel`] runs per worker.
-    pub fn evaluate_all(&self, w: &MtrWeightSetting, scenarios: &[Scenario]) -> Vec<VecCost> {
-        assert_eq!(
-            w.num_classes(),
-            self.num_classes(),
-            "weight setting class count mismatch"
-        );
-        assert_eq!(w.num_links(), self.net.num_links(), "weight size mismatch");
-        let mut ws = self.pool.acquire();
-        let out = scenarios
-            .iter()
-            .map(|&sc| self.cost_with(&mut ws, w, sc))
-            .collect();
-        self.pool.release(ws);
-        out
-    }
-
-    /// The workspace-based cost kernel behind [`cost`](Self::cost),
-    /// valid for every scenario kind.
-    fn cost_with(
-        &self,
-        ws: &mut MtrWorkspace,
-        w: &MtrWeightSetting,
-        scenario: Scenario,
-    ) -> VecCost {
-        let excluded = scenario.excluded_node().map(|v| v.index());
-        let num_links = self.net.num_links();
-        let MtrWorkspace {
-            spf,
-            mask,
-            routings,
-            total_loads,
-            link_delays,
-            order,
-            node_delay,
-            pair_delays,
-        } = ws;
-        if mask.len() != num_links {
-            *mask = LinkMask::all_up(num_links);
-        }
-        scenario.mask_into(self.net, mask);
-
-        routings.resize_with(self.num_classes(), ClassRouting::empty);
-        total_loads.clear();
-        total_loads.resize(num_links, 0.0);
-        #[allow(clippy::needless_range_loop)] // k is the class id
-        for k in 0..self.num_classes() {
-            route_class_with(
-                self.net,
-                w.weights(k),
-                &self.matrices[k],
-                mask,
-                spf,
-                &mut routings[k],
-            );
-            for (t, &x) in total_loads.iter_mut().zip(&routings[k].loads) {
-                *t += x;
-            }
-        }
-
-        delay_model::link_delays_into(
-            total_loads,
-            &self.capacities,
-            &self.prop_delays,
-            &self.config.delay_params,
-            link_delays,
-        );
-
-        let mut components = Vec::with_capacity(self.num_classes());
-        for (k, spec) in self.config.specs.iter().enumerate() {
-            match spec.cost {
-                CostModel::SlaDelay { .. } => {
-                    let take_max =
-                        matches!(self.config.delay_params.aggregation, DelayAggregation::Max);
-                    pair_delays.clear();
-                    delay::routing_pair_delays_into(
-                        self.net,
-                        &routings[k],
-                        w.weights(k),
-                        mask,
-                        link_delays,
-                        take_max,
-                        &self.matrices[k],
-                        excluded,
-                        order,
-                        node_delay,
-                        pair_delays,
-                    );
-                    let summary = sla::summarize(&*pair_delays, &self.class_params[k]);
-                    components.push(summary.lambda);
-                }
-                CostModel::Congestion => {
-                    components.push(congestion::phi(
-                        total_loads,
-                        &routings[k].loads,
-                        &self.capacities,
-                    ));
-                }
-            }
-        }
-        VecCost::new(components)
     }
 
     /// The traffic offered under `scenario`: node failures remove the dead

@@ -68,6 +68,7 @@
 pub mod class;
 pub mod cost;
 pub mod criticality;
+pub mod engine;
 pub mod evaluator;
 pub mod parallel;
 pub mod params;
@@ -81,6 +82,7 @@ pub mod weights_io;
 pub use class::{ClassSpec, CostModel, MtrConfig, NormalConstraint};
 pub use cost::{VecCost, COMPONENT_EPS};
 pub use criticality::{select_k, KWayCriticality, KWaySelection};
+pub use engine::{MtrScenarioCache, MtrWorkspace};
 pub use evaluator::{MtrBreakdown, MtrError, MtrEvaluator};
 pub use params::MtrParams;
 pub use pipeline::{MtrOptimizer, MtrOptimizerBuilder, MtrReport};

@@ -14,6 +14,7 @@
 use dtr_routing::Scenario;
 
 use crate::cost::VecCost;
+use crate::engine::MtrScenarioCache;
 use crate::evaluator::MtrEvaluator;
 use crate::weights::MtrWeightSetting;
 
@@ -98,25 +99,36 @@ pub enum MtrSweep {
     },
 }
 
-/// Scenario-order weighted fold over the evaluated subset. A true lower
-/// bound of the completed fold: contributions are non-negative, IEEE
-/// addition of non-negative terms is monotone, and `VecCost::better_than`
-/// is antitone in its left argument — the same soundness lemma as
-/// `dtr_cost::LexCost::better_than`.
+/// Scenario-order weighted fold over the evaluated subset, with every
+/// not-yet-evaluated position standing in at its per-class Λ floor
+/// (zero when no floors are supplied). A true lower bound of the
+/// completed fold: contributions are non-negative, every floor
+/// component bounds its scenario's component from below
+/// ([`MtrEvaluator::lambda_floor`]), IEEE addition of non-negative terms
+/// is monotone, and `VecCost::better_than` is antitone in its left
+/// argument — the same soundness lemma as
+/// `dtr_cost::LexCost::better_than`. Once every position is done the
+/// floors are never read, so the fold equals [`sum_failure_costs`]
+/// bit-for-bit.
 fn fold_done(
     scenarios_len: usize,
     weights: Option<&[f64]>,
     scratch: &MtrSweepScratch,
+    floors: Option<&[VecCost]>,
     acc: &mut VecCost,
 ) {
     acc.reset();
     for pos in 0..scenarios_len {
-        if !scratch.done[pos] {
+        let c = if scratch.done[pos] {
+            &scratch.costs[pos]
+        } else if let Some(f) = floors {
+            &f[pos]
+        } else {
             continue;
-        }
+        };
         match weights {
-            None => acc.add_assign(&scratch.costs[pos]),
-            Some(sw) => acc.add_scaled_assign(&scratch.costs[pos], sw[pos]),
+            None => acc.add_assign(c),
+            Some(sw) => acc.add_scaled_assign(c, sw[pos]),
         }
     }
 }
@@ -126,13 +138,18 @@ fn fold_done(
 /// (+ optional per-scenario weights). Scenarios are evaluated in the
 /// caller-supplied `order` (a permutation of positions, typically
 /// costliest-under-the-incumbent first); the sweep is abandoned as soon
-/// as the scenario-order fold over the evaluated subset stops beating
-/// `incumbent`, which proves no completion can beat it either. A
-/// [`MtrSweep::Complete`] result is bit-for-bit [`sum_failure_costs`];
-/// a [`MtrSweep::Cut`] result only replaces sweeps whose candidate the
-/// full fold would reject. With `threads > 1` the order is processed in
-/// fixed rounds of `threads · 4` scenarios with a cutoff check between
-/// rounds.
+/// as the scenario-order fold over the evaluated subset — with every
+/// unevaluated scenario standing in at its per-class Λ floor (`floors`,
+/// aligned with `scenarios`; see [`MtrEvaluator::lambda_floor`]) —
+/// stops beating `incumbent`, which proves no completion can beat it
+/// either. When a delta-state `cache` (pointed at the incumbent via
+/// [`MtrEvaluator::cache_begin`]) is supplied, evaluations run through
+/// [`MtrEvaluator::cost_cached`] instead of the plain incremental path
+/// — same bits, a fraction of the work. A [`MtrSweep::Complete`] result
+/// is bit-for-bit [`sum_failure_costs`]; a [`MtrSweep::Cut`] result
+/// only replaces sweeps whose candidate the full fold would reject.
+/// With `threads > 1` the order is processed in fixed rounds of
+/// `threads · 4` scenarios with a cutoff check between rounds.
 #[allow(clippy::too_many_arguments)]
 pub fn sum_failure_costs_bounded(
     ev: &MtrEvaluator<'_>,
@@ -142,6 +159,8 @@ pub fn sum_failure_costs_bounded(
     threads: usize,
     incumbent: &VecCost,
     order: &[u32],
+    floors: Option<&[VecCost]>,
+    cache: Option<&MtrScenarioCache>,
     scratch: &mut MtrSweepScratch,
 ) -> MtrSweep {
     assert!(threads >= 1);
@@ -149,6 +168,9 @@ pub fn sum_failure_costs_bounded(
     assert_eq!(order.len(), n, "order must be a permutation of positions");
     if let Some(sw) = weights {
         assert_eq!(sw.len(), n, "one weight per scenario");
+    }
+    if let Some(f) = floors {
+        assert_eq!(f.len(), n, "one floor vector per scenario");
     }
     let k = ev.num_classes();
     // Only reshape on arity/size changes: the per-position vectors are
@@ -165,19 +187,25 @@ pub fn sum_failure_costs_bounded(
     let workers = threads.min(n);
     if workers <= 1 {
         let check_every = (n / 128).max(1);
+        let mut ws = ev.acquire_workspace();
         for (e, &pos) in order.iter().enumerate() {
             let pos = pos as usize;
-            scratch.costs[pos] = ev.cost(w, scenarios[pos]);
+            scratch.costs[pos] = match cache {
+                Some(c) => ev.cost_cached(&mut ws, w, scenarios[pos], c, pos),
+                None => ev.cost_with(&mut ws, w, scenarios[pos]),
+            };
             scratch.done[pos] = true;
             let evaluated = e + 1;
             if evaluated < n && evaluated % check_every == 0 {
-                fold_done(n, weights, scratch, &mut acc);
+                fold_done(n, weights, scratch, floors, &mut acc);
                 if !acc.better_than(incumbent) {
+                    ev.release_workspace(ws);
                     return MtrSweep::Cut { evaluated };
                 }
             }
         }
-        fold_done(n, weights, scratch, &mut acc);
+        ev.release_workspace(ws);
+        fold_done(n, weights, scratch, floors, &mut acc);
         return MtrSweep::Complete(acc);
     }
 
@@ -191,9 +219,25 @@ pub fn sum_failure_costs_bounded(
                 .chunks(chunk)
                 .map(|part| {
                     s.spawn(move || {
-                        part.iter()
-                            .map(|&pos| (pos, ev.cost(w, scenarios[pos as usize])))
-                            .collect::<Vec<_>>()
+                        let mut ws = ev.acquire_workspace();
+                        let costs: Vec<(u32, VecCost)> = part
+                            .iter()
+                            .map(|&pos| {
+                                let c = match cache {
+                                    Some(c) => ev.cost_cached(
+                                        &mut ws,
+                                        w,
+                                        scenarios[pos as usize],
+                                        c,
+                                        pos as usize,
+                                    ),
+                                    None => ev.cost_with(&mut ws, w, scenarios[pos as usize]),
+                                };
+                                (pos, c)
+                            })
+                            .collect();
+                        ev.release_workspace(ws);
+                        costs
                     })
                 })
                 .collect();
@@ -206,13 +250,13 @@ pub fn sum_failure_costs_bounded(
         });
         evaluated += batch.len();
         if evaluated < n {
-            fold_done(n, weights, scratch, &mut acc);
+            fold_done(n, weights, scratch, floors, &mut acc);
             if !acc.better_than(incumbent) {
                 return MtrSweep::Cut { evaluated };
             }
         }
     }
-    fold_done(n, weights, scratch, &mut acc);
+    fold_done(n, weights, scratch, floors, &mut acc);
     MtrSweep::Complete(acc)
 }
 
@@ -327,6 +371,8 @@ mod tests {
                     threads,
                     &never,
                     &order,
+                    None,
+                    None,
                     &mut scratch,
                 );
                 let want = sum_failure_costs(&ev, &w, &scenarios, weighting, 1);
@@ -353,6 +399,8 @@ mod tests {
             1,
             &VecCost::zeros(2),
             &order,
+            None,
+            None,
             &mut scratch,
         );
         assert_eq!(got, MtrSweep::Cut { evaluated: 1 });

@@ -60,6 +60,12 @@ pub struct MtrParams {
     /// [`crate::parallel::sum_failure_costs_bounded`]; the trajectory is
     /// identical with it on or off).
     pub cutoff: bool,
+    /// Enable the delta-state per-scenario routing/load cache of the
+    /// robust phase's cutoff sweeps ([`crate::MtrScenarioCache`]; only
+    /// read when `cutoff` is on). Float-exact — the trajectory is
+    /// identical with it on or off; the flag exists so benchmarks can
+    /// attribute the cutoff and the cache separately.
+    pub cache: bool,
     /// Record the per-proposal accept/reject trace into the phase
     /// outputs (`dtr_core::search::MoveOutcome`). Off by default.
     pub record_trace: bool,
@@ -89,6 +95,7 @@ impl MtrParams {
             threads: 1,
             speculation: 8,
             cutoff: true,
+            cache: true,
             record_trace: false,
             seed,
         }

@@ -27,6 +27,7 @@ use rand::{Rng, SeedableRng};
 
 use crate::class::ClassSpec;
 use crate::cost::VecCost;
+use crate::engine::MtrScenarioCache;
 use crate::evaluator::MtrEvaluator;
 use crate::parallel::{self, MtrSweep, MtrSweepScratch};
 use crate::params::MtrParams;
@@ -72,10 +73,88 @@ fn refresh_order(order: &mut [u32], costs: &[VecCost], weights: Option<&[f64]>) 
     });
 }
 
+/// Per-run state of the cutoff sweeps: evaluation order, cost scratch,
+/// per-scenario per-class Λ floors, and (when `params.cache`) the
+/// delta-state scenario cache pointed at the incumbent.
+struct SweepKit {
+    order: Vec<u32>,
+    scratch: MtrSweepScratch,
+    floors: Option<Vec<VecCost>>,
+    cache: Option<MtrScenarioCache>,
+}
+
+impl SweepKit {
+    fn new(ev: &MtrEvaluator<'_>, scenarios: &[Scenario], params: &MtrParams) -> Self {
+        SweepKit {
+            order: (0..scenarios.len() as u32).collect(),
+            scratch: MtrSweepScratch::new(),
+            floors: params.cutoff.then(|| {
+                scenarios
+                    .iter()
+                    .map(|&sc| VecCost::new(ev.lambda_floor(sc)))
+                    .collect()
+            }),
+            cache: (params.cutoff && params.cache).then(MtrScenarioCache::new),
+        }
+    }
+}
+
+/// Capture sweep over `w`: rebuilds the delta-state cache (incumbent
+/// baseline + per-scenario residents) and refreshes the per-position
+/// cost scratch, sharding across `threads` workers (entries and cost
+/// slots are position-disjoint; the baseline is shared read-only).
+fn rebuild_cache(
+    ev: &MtrEvaluator<'_>,
+    scenarios: &[Scenario],
+    w: &MtrWeightSetting,
+    threads: usize,
+    cache: &mut MtrScenarioCache,
+    scratch: &mut MtrSweepScratch,
+) {
+    let mut ws = ev.acquire_workspace();
+    ev.cache_rebuild_begin(&mut ws, cache, w, scenarios.len());
+    scratch.costs.clear();
+    scratch
+        .costs
+        .resize(scenarios.len(), VecCost::zeros(ev.num_classes()));
+    let workers = threads.min(scenarios.len());
+    let (base, entries) = cache.capture_split();
+    if workers <= 1 {
+        for ((&sc, entry), c) in scenarios.iter().zip(entries).zip(&mut scratch.costs) {
+            *c = ev.cost_capture_into(&mut ws, w, sc, base, entry);
+        }
+        ev.release_workspace(ws);
+        return;
+    }
+    ev.release_workspace(ws);
+    let chunk = scenarios.len().div_ceil(workers);
+    let costs = &mut scratch.costs;
+    std::thread::scope(|s| {
+        let handles: Vec<_> = scenarios
+            .chunks(chunk)
+            .zip(entries.chunks_mut(chunk))
+            .zip(costs.chunks_mut(chunk))
+            .map(|((scs, ents), cst)| {
+                s.spawn(move || {
+                    let mut ws = ev.acquire_workspace();
+                    for ((&sc, entry), c) in scs.iter().zip(ents).zip(cst) {
+                        *c = ev.cost_capture_into(&mut ws, w, sc, base, entry);
+                    }
+                    ev.release_workspace(ws);
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().expect("capture-sweep worker panicked");
+        }
+    });
+}
+
 /// Full compound sweep: bit-for-bit [`parallel::sum_failure_costs`].
-/// With the cutoff enabled it runs through the bounded kernel against an
-/// unbeatable incumbent so the per-position costs land in the scratch
-/// and the evaluation order can be refreshed.
+/// With the cutoff enabled it captures the delta-state cache on `w` (or,
+/// cache-off, runs the bounded kernel against an unbeatable incumbent)
+/// so the per-position costs land in the scratch and the evaluation
+/// order can be refreshed.
 #[allow(clippy::too_many_arguments)]
 fn full_sweep(
     ev: &MtrEvaluator<'_>,
@@ -85,11 +164,24 @@ fn full_sweep(
     w: &MtrWeightSetting,
     never_cut: &VecCost,
     stats: &mut MtrSearchStats,
-    order: &mut [u32],
-    scratch: &mut MtrSweepScratch,
+    kit: &mut SweepKit,
 ) -> VecCost {
     stats.evaluations += scenarios.len();
-    if params.cutoff {
+    if !params.cutoff {
+        return parallel::sum_failure_costs(ev, w, scenarios, weights, params.threads);
+    }
+    let kfail = if let Some(cache) = kit.cache.as_mut() {
+        rebuild_cache(ev, scenarios, w, params.threads, cache, &mut kit.scratch);
+        // Scenario-order weighted fold — the seed's float-add sequence.
+        let mut acc = VecCost::zeros(ev.num_classes());
+        for (pos, c) in kit.scratch.costs.iter().enumerate() {
+            match weights {
+                None => acc.add_assign(c),
+                Some(sw) => acc.add_scaled_assign(c, sw[pos]),
+            }
+        }
+        acc
+    } else {
         match parallel::sum_failure_costs_bounded(
             ev,
             w,
@@ -97,18 +189,17 @@ fn full_sweep(
             weights,
             params.threads,
             never_cut,
-            order,
-            scratch,
+            &kit.order,
+            kit.floors.as_deref(),
+            None,
+            &mut kit.scratch,
         ) {
-            MtrSweep::Complete(kfail) => {
-                refresh_order(order, &scratch.costs, weights);
-                kfail
-            }
+            MtrSweep::Complete(kfail) => kfail,
             MtrSweep::Cut { .. } => unreachable!("nothing beats the never-cut incumbent"),
         }
-    } else {
-        parallel::sum_failure_costs(ev, w, scenarios, weights, params.threads)
-    }
+    };
+    refresh_order(&mut kit.order, &kit.scratch.costs, weights);
+    kfail
 }
 
 /// Per-class feasibility of a candidate's normal-conditions cost against
@@ -153,8 +244,7 @@ pub fn run(
     // bounded kernel into a plain full sweep that also fills the
     // per-position cost scratch (costs stay far below f64::MAX).
     let never_cut = VecCost::new(vec![f64::MAX; k]);
-    let mut order: Vec<u32> = (0..scenarios.len() as u32).collect();
-    let mut scratch = MtrSweepScratch::new();
+    let mut kit = SweepKit::new(ev, scenarios, params);
 
     let mut stats = MtrSearchStats::default();
     let mut constraint_rejections = 0usize;
@@ -174,8 +264,7 @@ pub fn run(
         &current,
         &never_cut,
         &mut stats,
-        &mut order,
-        &mut scratch,
+        &mut kit,
     );
 
     let mut best = current.clone();
@@ -238,6 +327,9 @@ pub fn run(
 
                 stats.evaluations += scenarios.len();
                 let outcome = if params.cutoff {
+                    if let Some(cache) = kit.cache.as_mut() {
+                        ev.cache_begin(cache, cand_w);
+                    }
                     parallel::sum_failure_costs_bounded(
                         ev,
                         cand_w,
@@ -245,8 +337,10 @@ pub fn run(
                         scenario_weights,
                         params.threads,
                         &current_kfail,
-                        &order,
-                        &mut scratch,
+                        &kit.order,
+                        kit.floors.as_deref(),
+                        kit.cache.as_ref(),
+                        &mut kit.scratch,
                     )
                 } else {
                     MtrSweep::Complete(parallel::sum_failure_costs(
@@ -261,7 +355,15 @@ pub fn run(
                     MtrSweep::Complete(cand_kfail) if cand_kfail.better_than(&current_kfail) => {
                         current_kfail = cand_kfail.clone();
                         if params.cutoff {
-                            refresh_order(&mut order, &scratch.costs, scenario_weights);
+                            if let Some(cache) = kit.cache.as_mut() {
+                                // Accept path: re-point the delta-state
+                                // cache at the new incumbent (exact
+                                // coverage, no full rebuild needed).
+                                let mut ws = ev.acquire_workspace();
+                                ev.cache_refresh(&mut ws, cache, cand_w, |pos| scenarios[pos]);
+                                ev.release_workspace(ws);
+                            }
+                            refresh_order(&mut kit.order, &kit.scratch.costs, scenario_weights);
                         }
                         current_normal = cand_normal.clone();
                         improved = true;
@@ -313,8 +415,7 @@ pub fn run(
                 &current,
                 &never_cut,
                 &mut stats,
-                &mut order,
-                &mut scratch,
+                &mut kit,
             );
             if feasible(&current_normal, benchmark, specs) && current_kfail.better_than(&best_kfail)
             {

@@ -60,6 +60,10 @@ pub struct SpfWorkspace {
     pub node_metric: Vec<f64>,
     /// Spare [`DestRouting`] used by [`crate::router::route_class_with`].
     pub(crate) dest: DestRouting,
+    /// Epoch-stamped orphan flags of [`route_destination_repair`].
+    orphan: Vec<u32>,
+    /// Current orphan-flag epoch (0 = flags unset).
+    orphan_epoch: u32,
 }
 
 impl SpfWorkspace {
@@ -72,7 +76,7 @@ impl SpfWorkspace {
 /// The complete routing outcome of one destination under one (weights,
 /// mask) pair: the distance field, the topological order, and the exact
 /// floating-point accumulation sequence of the ECMP load push.
-#[derive(Clone, Debug, Default)]
+#[derive(Debug, Default)]
 pub struct DestRouting {
     /// `dist[v]` = weighted distance from `v` to the destination.
     pub dist: Vec<u64>,
@@ -85,7 +89,42 @@ pub struct DestRouting {
     pub(crate) dropped_adds: Vec<f64>,
 }
 
+impl Clone for DestRouting {
+    fn clone(&self) -> Self {
+        DestRouting {
+            dist: self.dist.clone(),
+            order: self.order.clone(),
+            load_adds: self.load_adds.clone(),
+            dropped_adds: self.dropped_adds.clone(),
+        }
+    }
+
+    /// Field-wise `clone_from` so cache maintenance can re-copy a
+    /// routing into an existing record without reallocating its buffers.
+    fn clone_from(&mut self, source: &Self) {
+        self.dist.clone_from(&source.dist);
+        self.order.clone_from(&source.order);
+        self.load_adds.clone_from(&source.load_adds);
+        self.dropped_adds.clone_from(&source.dropped_adds);
+    }
+}
+
 impl DestRouting {
+    /// The recorded `(directed link, load share)` contribution sequence
+    /// of this destination, in the order the router performed the adds.
+    ///
+    /// Each directed link appears **at most once**: the ECMP push visits
+    /// every node once (topological order) and emits one add per DAG
+    /// out-link, so a `(destination, link)` pair contributes a single
+    /// share. Delta-state evaluation engines rely on this to keep
+    /// per-link contributor lists as `(destination, share)` pairs sorted
+    /// by destination, refolding a link's load bit-for-bit by summing the
+    /// stored shares in destination-index order.
+    #[inline]
+    pub fn load_adds(&self) -> &[(u32, f64)] {
+        &self.load_adds
+    }
+
     /// Replay the recorded accumulations into global per-link loads and
     /// the dropped-demand accumulator. Bit-for-bit identical to the adds
     /// a fresh [`route_destination`] performs.
@@ -147,6 +186,185 @@ pub fn route_destination(
     }
 
     // Push flow down the DAG in topological order (descending dist).
+    for &u in &out.order {
+        let u = u as usize;
+        if u == t || ws.inflow[u] == 0.0 {
+            continue;
+        }
+        let mut next_hops = 0usize;
+        for &l in net.out_links(NodeId::new(u)) {
+            if spf::on_dag(net, &out.dist, weights, mask, l.index()) {
+                next_hops += 1;
+            }
+        }
+        debug_assert!(
+            next_hops > 0,
+            "reachable non-destination node must have a DAG out-link"
+        );
+        let share = ws.inflow[u] / next_hops as f64;
+        for &l in net.out_links(NodeId::new(u)) {
+            if spf::on_dag(net, &out.dist, weights, mask, l.index()) {
+                out.load_adds.push((l.index() as u32, share));
+                let v = net.link(l).dst.index();
+                if v != t {
+                    ws.inflow[v] += share;
+                }
+            }
+        }
+        ws.inflow[u] = 0.0;
+    }
+}
+
+/// [`route_destination`] that *repairs* the destination's routing from
+/// its all-links-up baseline instead of running a fresh full Dijkstra —
+/// the delta-state engines' fast path for mask-affected destinations.
+///
+/// `base` must be the destination's routing under the **same weights**
+/// with **all links up**; `mask` fails an arbitrary link set. Because a
+/// failure can only *remove* paths, distances can only grow, and the
+/// repair is the classic two-step incremental SPF:
+///
+/// 1. **Orphan detection** — walking the baseline's reachable nodes in
+///    ascending distance order (destination first), a node is orphaned
+///    iff every baseline-DAG out-edge is masked down or leads to an
+///    orphaned node. A non-orphaned node inductively keeps one fully
+///    surviving shortest path, and removals cannot shorten anything, so
+///    its distance is **exactly** its baseline distance.
+/// 2. **Boundary Dijkstra over the orphans** — orphaned distances reset
+///    to [`UNREACHABLE`] and are re-settled from seeds through surviving
+///    non-orphaned neighbours (whose distances are final), then relaxed
+///    among orphans. Any new shortest path's suffix past its last
+///    orphaned node runs through settled nodes, so this is a standard
+///    Dijkstra with pre-settled sources.
+///
+/// Distances are exact integers, so the repaired field **equals** a
+/// fresh [`spf::dist_to_into`] bit for bit; the order and the ECMP push
+/// are then the same deterministic functions of (distances, weights,
+/// mask, traffic) that [`route_destination`] runs, making the whole
+/// record interchangeable with a from-scratch route. (Pinned by the
+/// equivalence suites; `tests/spf_incremental.rs` pins the underlying
+/// distance equality against the Bellman–Ford oracle.)
+#[allow(clippy::too_many_arguments)] // the full per-destination context
+pub fn route_destination_repair(
+    net: &Network,
+    weights: &[u32],
+    tm: &TrafficMatrix,
+    mask: &LinkMask,
+    t: usize,
+    base: &DestRouting,
+    ws: &mut SpfWorkspace,
+    out: &mut DestRouting,
+) {
+    let n = net.num_nodes();
+    ws.orphan.resize(n, 0);
+    ws.orphan_epoch = ws.orphan_epoch.wrapping_add(1);
+    if ws.orphan_epoch == 0 {
+        ws.orphan.fill(0);
+        ws.orphan_epoch = 1;
+    }
+    let epoch = ws.orphan_epoch;
+
+    // 1. Orphans, ascending baseline distance (reverse of `base.order`).
+    let mut any_orphan = false;
+    for &u in base.order.iter().rev() {
+        let u = u as usize;
+        if u == t {
+            continue;
+        }
+        let mut survives = false;
+        for &l in net.out_links(NodeId::new(u)) {
+            let li = l.index();
+            let v = net.link(l).dst.index();
+            if base.dist[v] == UNREACHABLE || base.dist[u] != base.dist[v] + u64::from(weights[li])
+            {
+                continue; // off the baseline DAG
+            }
+            if mask.is_up(li) && ws.orphan[v] != epoch {
+                survives = true;
+                break;
+            }
+        }
+        if !survives {
+            ws.orphan[u] = epoch;
+            any_orphan = true;
+        }
+    }
+
+    out.dist.clone_from(&base.dist);
+    if any_orphan {
+        // 2. Boundary Dijkstra over the orphan set.
+        let heap = &mut ws.heap;
+        heap.clear();
+        for &u in base.order.iter() {
+            let u = u as usize;
+            if ws.orphan[u] != epoch {
+                continue;
+            }
+            out.dist[u] = UNREACHABLE;
+            let mut best = UNREACHABLE;
+            for &l in net.out_links(NodeId::new(u)) {
+                let li = l.index();
+                if mask.is_down(li) {
+                    continue;
+                }
+                let v = net.link(l).dst.index();
+                if ws.orphan[v] == epoch || base.dist[v] == UNREACHABLE {
+                    continue;
+                }
+                let d = base.dist[v] + u64::from(weights[li]);
+                if d < best {
+                    best = d;
+                }
+            }
+            if best != UNREACHABLE {
+                out.dist[u] = best;
+                heap.push(Reverse((best, u as u32)));
+            }
+        }
+        while let Some(Reverse((d, u))) = heap.pop() {
+            let u = u as usize;
+            if d > out.dist[u] {
+                continue;
+            }
+            for &l in net.in_links(NodeId::new(u)) {
+                let li = l.index();
+                if mask.is_down(li) {
+                    continue;
+                }
+                let v = net.link(l).src.index();
+                if ws.orphan[v] != epoch {
+                    continue; // settled at its exact baseline distance
+                }
+                let nd = d + u64::from(weights[li]);
+                if nd < out.dist[v] {
+                    out.dist[v] = nd;
+                    heap.push(Reverse((nd, v as u32)));
+                }
+            }
+        }
+        heap.clear();
+    }
+
+    // 3. Order + ECMP push — identical to `route_destination`'s tail.
+    spf::descending_order_into(&out.dist, &mut out.order);
+    out.load_adds.clear();
+    out.dropped_adds.clear();
+    ws.inflow.clear();
+    ws.inflow.resize(n, 0.0);
+    for s in 0..n {
+        if s == t {
+            continue;
+        }
+        let demand = tm.demand(s, t);
+        if demand <= 0.0 {
+            continue;
+        }
+        if out.dist[s] == UNREACHABLE {
+            out.dropped_adds.push(demand);
+        } else {
+            ws.inflow[s] += demand;
+        }
+    }
     for &u in &out.order {
         let u = u as usize;
         if u == t || ws.inflow[u] == 0.0 {

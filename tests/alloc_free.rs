@@ -143,3 +143,80 @@ fn steady_state_node_failure_sweep_allocates_nothing() {
         scenarios
     });
 }
+
+/// The delta-state cached path: after warm-up (cache capture plus a few
+/// candidate sweeps that let every scratch buffer — fresh-routing slots,
+/// dirty sets, fresh-adds lists, pair assembly — reach its high-water
+/// capacity), a full candidate sweep through `cache_begin` +
+/// `cost_cached` performs **zero** heap allocations. This is the
+/// robust-phase steady state: thousands of candidate sweeps against one
+/// resident incumbent.
+#[test]
+fn steady_state_delta_state_candidate_sweep_allocates_nothing() {
+    use rand::Rng;
+
+    let (net, tm) = testbed();
+    let scenarios: Vec<Scenario> = {
+        let mut s: Vec<Scenario> = Scenario::all_link_failures(&net);
+        s.truncate(23);
+        s
+    };
+    let ev = Evaluator::new(&net, &tm, CostParams::default());
+    let mut rng = StdRng::seed_from_u64(11);
+    let inc = WeightSetting::random(net.num_links(), 20, &mut rng);
+
+    // Build the cache on the incumbent (allocates freely).
+    let mut ws = ev.acquire_workspace();
+    let mut cache = dtr::cost::ScenarioCache::new();
+    ev.cache_rebuild_begin(&mut ws, &mut cache, &inc, scenarios.len());
+    for (pos, &sc) in scenarios.iter().enumerate() {
+        ev.cost_capture(&mut ws, &inc, sc, &mut cache, pos);
+    }
+
+    // One-duplex-move candidates off the incumbent.
+    let reps = net.duplex_representatives();
+    let candidate = |rng: &mut StdRng| {
+        let rep = reps[rng.gen_range(0..reps.len())];
+        let mut cand = inc.clone();
+        dtr::core::search::set_duplex_weights(
+            &mut cand,
+            &net,
+            rep,
+            rng.gen_range(1..=20),
+            rng.gen_range(1..=20),
+        );
+        cand
+    };
+
+    // Warm: several candidates of different shapes grow every buffer to
+    // its high-water mark.
+    let mut checksum = 0.0f64;
+    for _ in 0..6 {
+        let cand = candidate(&mut rng);
+        ev.cache_begin(&mut cache, &cand);
+        for (pos, &sc) in scenarios.iter().enumerate() {
+            let c = ev.cost_cached(&mut ws, &cand, sc, &cache, pos);
+            checksum += c.lambda + c.phi;
+        }
+    }
+
+    // Steady state: a fresh candidate's full sweep must not allocate.
+    let cand = candidate(&mut rng);
+    let before = ALLOCATIONS.load(Ordering::Relaxed);
+    ev.cache_begin(&mut cache, &cand);
+    for (pos, &sc) in scenarios.iter().enumerate() {
+        let c = ev.cost_cached(&mut ws, &cand, sc, &cache, pos);
+        checksum += c.lambda + c.phi;
+    }
+    let after = ALLOCATIONS.load(Ordering::Relaxed);
+    ev.release_workspace(ws);
+
+    assert!(checksum.is_finite());
+    assert_eq!(
+        after - before,
+        0,
+        "steady-state delta-state candidate sweep of {} scenarios performed {} heap allocations",
+        scenarios.len(),
+        after - before
+    );
+}

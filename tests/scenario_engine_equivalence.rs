@@ -135,11 +135,14 @@ proptest! {
         ev.release_workspace(ws);
     }
 
-    /// The move-diff scenario cache is invisible to the bits: a
+    /// The delta-state scenario cache is invisible to the bits: a
     /// Phase-2-style chain of single-duplex moves over a captured
-    /// incumbent, with cheap cache refreshes on simulated accepts, yields
-    /// cost_cached == cost_with == reference for every scenario of the
-    /// full taxonomy at every step.
+    /// incumbent — with incremental cache refreshes on simulated accepts
+    /// and a full rebuild mid-chain — yields cost_cached == cost_with ==
+    /// reference for every scenario of the full taxonomy at every step.
+    /// Repeated accepts drift the incumbent far from the originally
+    /// captured setting, exercising the exact-coverage maintenance
+    /// (destinations entering and leaving each scenario's affected set).
     #[test]
     fn scenario_cache_chain_stays_bit_identical(
         (nodes, extra, seed) in (10usize..14, 2usize..8, 0u64..1_000_000)
@@ -153,13 +156,18 @@ proptest! {
 
         let mut ws = ev.acquire_workspace();
         let mut cache = dtr::cost::ScenarioCache::new();
-        cache.begin_rebuild(&inc, scenarios.len());
-        for (pos, &sc) in scenarios.iter().enumerate() {
-            let captured = ev.cost_capture(&mut ws, &inc, sc, &mut cache, pos);
-            prop_assert_eq!(captured, ev.evaluate(&inc, sc).cost, "capture {}", sc);
-        }
+        let capture_all = |ws: &mut dtr::cost::EvalWorkspace,
+                           cache: &mut dtr::cost::ScenarioCache,
+                           inc: &WeightSetting| {
+            ev.cache_rebuild_begin(ws, cache, inc, scenarios.len());
+            for (pos, &sc) in scenarios.iter().enumerate() {
+                let captured = ev.cost_capture(ws, inc, sc, cache, pos);
+                prop_assert_eq!(captured, ev.evaluate(inc, sc).cost, "capture {}", sc);
+            }
+        };
+        capture_all(&mut ws, &mut cache, &inc);
 
-        for step in 0..6 {
+        for step in 0..8 {
             // Candidate: incumbent plus one duplex move.
             let rep = reps[rng.gen_range(0..reps.len())];
             let (wd, wt) = (rng.gen_range(1..=20), rng.gen_range(1..=20));
@@ -173,17 +181,97 @@ proptest! {
             }
             ev.cache_begin(&mut cache, &cand);
             for (pos, &sc) in scenarios.iter().enumerate() {
+                let reference = ev.evaluate(&cand, sc).cost;
                 prop_assert_eq!(
                     ev.cost_cached(&mut ws, &cand, sc, &cache, pos),
-                    ev.evaluate(&cand, sc).cost,
-                    "step {}, scenario {}, seed {}", step, sc, seed
+                    reference,
+                    "delta step {}, scenario {}, seed {}", step, sc, seed
                 );
+                // The delta path must agree with the plain engine too.
+                let mut ws2 = ev.acquire_workspace();
+                prop_assert_eq!(
+                    ev.cost_with(&mut ws2, &cand, sc),
+                    reference,
+                    "cost_with step {}, scenario {}, seed {}", step, sc, seed
+                );
+                ev.release_workspace(ws2);
             }
-            // Simulate an accept every other step: the cache is cheaply
-            // refreshed onto the new incumbent and must stay exact.
-            if step % 2 == 0 {
+            // Simulate an accept on two of every three steps (a chain of
+            // accepts stresses the exact-coverage refresh); full-rebuild
+            // once mid-chain to cover the re-capture path.
+            if step % 3 != 2 {
                 inc = cand;
                 ev.cache_refresh(&mut ws, &mut cache, &inc, |pos| scenarios[pos]);
+            }
+            if step == 4 {
+                capture_all(&mut ws, &mut cache, &inc);
+            }
+        }
+        ev.release_workspace(ws);
+    }
+
+    /// The MTR delta-state cache mirrors the DTR contract: randomized
+    /// k-class move/accept chains through capture, candidate
+    /// evaluations, incremental refreshes and a mid-chain full rebuild
+    /// stay bit-identical to the reference `evaluate` for every scenario
+    /// kind.
+    #[test]
+    fn mtr_cache_chain_stays_bit_identical(
+        (nodes, extra, seed) in (10usize..13, 2usize..7, 0u64..1_000_000)
+    ) {
+        use dtr::mtr::{ClassSpec, MtrConfig, MtrEvaluator, MtrWeightSetting};
+
+        let (net, tm) = testbed(nodes, nodes + extra, seed);
+        let matrices = [tm.delay.clone(), tm.throughput.clone()];
+        let config = MtrConfig::new(vec![
+            ClassSpec::sla("voice", 25e-3),
+            ClassSpec::congestion("bulk").relaxed(0.2),
+        ]);
+        let ev = MtrEvaluator::new(&net, &matrices, config).unwrap();
+        let reps = net.duplex_representatives();
+        let mut rng = StdRng::seed_from_u64(seed ^ 0x317e);
+        let scenarios = scenario_zoo(&net, &mut rng);
+        let mut inc = MtrWeightSetting::random_symmetric(2, &net, 20, &mut rng);
+
+        let mut ws = ev.acquire_workspace();
+        let mut cache = dtr::mtr::MtrScenarioCache::new();
+        let capture_all = |ws: &mut dtr::mtr::MtrWorkspace,
+                           cache: &mut dtr::mtr::MtrScenarioCache,
+                           inc: &MtrWeightSetting| {
+            ev.cache_rebuild_begin(ws, cache, inc, scenarios.len());
+            for (pos, &sc) in scenarios.iter().enumerate() {
+                let captured = ev.cost_capture(ws, inc, sc, cache, pos);
+                prop_assert_eq!(captured, ev.evaluate(inc, sc).cost, "capture {}", sc);
+            }
+        };
+        capture_all(&mut ws, &mut cache, &inc);
+
+        for step in 0..8 {
+            let rep = reps[rng.gen_range(0..reps.len())];
+            let mut cand = inc.clone();
+            for k in 0..2 {
+                cand.set_duplex(&net, k, rep, rng.gen_range(1..=20));
+            }
+            ev.cache_begin(&mut cache, &cand);
+            for (pos, &sc) in scenarios.iter().enumerate() {
+                let reference = ev.evaluate(&cand, sc).cost;
+                prop_assert_eq!(
+                    ev.cost_cached(&mut ws, &cand, sc, &cache, pos),
+                    reference.clone(),
+                    "mtr delta step {}, scenario {}, seed {}", step, sc, seed
+                );
+                prop_assert_eq!(
+                    ev.cost_with(&mut ws, &cand, sc),
+                    reference,
+                    "mtr cost_with step {}, scenario {}, seed {}", step, sc, seed
+                );
+            }
+            if step % 3 != 2 {
+                inc = cand;
+                ev.cache_refresh(&mut ws, &mut cache, &inc, |pos| scenarios[pos]);
+            }
+            if step == 4 {
+                capture_all(&mut ws, &mut cache, &inc);
             }
         }
         ev.release_workspace(ws);

@@ -11,7 +11,8 @@
 
 use dtr::net::{LinkId, Network};
 use dtr::routing::workspace::{
-    dag_uses_any, route_destination, weight_change_affects, DestRouting, WeightChange,
+    dag_uses_any, route_destination, route_destination_repair, weight_change_affects, DestRouting,
+    WeightChange,
 };
 use dtr::routing::{route_class, spf, SpfWorkspace};
 use dtr::topogen::{rand_topo, SynthConfig};
@@ -57,6 +58,62 @@ fn random_traffic(net: &Network, seed: u64) -> TrafficMatrix {
 
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// The baseline-seeded repair route (orphan detection + boundary
+    /// Dijkstra) must equal a from-scratch [`route_destination`] **bit
+    /// for bit** — distances, order, load adds and drops — under random
+    /// masks of every size, including partitioning ones.
+    #[test]
+    fn repair_route_equals_full_route(
+        (nodes, extra, seed) in (6usize..16, 1usize..10, 0u64..1_000_000)
+    ) {
+        let net = build_net(nodes, extra, seed);
+        let weights = random_link_weights(&net, seed ^ 1);
+        let tm = random_traffic(&net, seed ^ 2);
+        let mut rng = StdRng::seed_from_u64(seed ^ 3);
+        let mut ws = SpfWorkspace::new();
+        let up = net.fresh_mask();
+
+        for t in 0..net.num_nodes() {
+            // All-up baseline for this destination.
+            let mut base = DestRouting::default();
+            route_destination(&net, &weights, &tm, &up, t, &mut ws, &mut base);
+
+            for _ in 0..4 {
+                // Random mask: fail 1..=4 random duplex links.
+                let mut mask = net.fresh_mask();
+                let reps = net.duplex_representatives();
+                for _ in 0..rng.gen_range(1..=4usize) {
+                    let rep = reps[rng.gen_range(0..reps.len())];
+                    mask.fail(rep.index());
+                    if let Some(r) = net.reverse_link(rep) {
+                        mask.fail(r.index());
+                    }
+                }
+
+                let mut full = DestRouting::default();
+                route_destination(&net, &weights, &tm, &mask, t, &mut ws, &mut full);
+                let mut repaired = DestRouting::default();
+                route_destination_repair(
+                    &net, &weights, &tm, &mask, t, &base, &mut ws, &mut repaired,
+                );
+
+                prop_assert_eq!(&repaired.dist, &full.dist, "dist, dest {}", t);
+                prop_assert_eq!(&repaired.order, &full.order, "order, dest {}", t);
+                prop_assert_eq!(
+                    repaired.load_adds(),
+                    full.load_adds(),
+                    "load adds, dest {}", t
+                );
+                let (mut la, mut lb) = (vec![0.0; net.num_links()], vec![0.0; net.num_links()]);
+                let (mut da, mut db) = (0.0, 0.0);
+                repaired.replay(&mut la, &mut da);
+                full.replay(&mut lb, &mut db);
+                prop_assert_eq!(la, lb);
+                prop_assert_eq!(da, db);
+            }
+        }
+    }
 
     /// Workspace Dijkstra == Bellman–Ford oracle under random masks,
     /// including masks that disconnect parts of the network.
