@@ -1,0 +1,101 @@
+//! CLI for the determinism & hot-path static-analysis pass.
+//!
+//! Usage: `cargo run -p dtr-analysis -- --check [--root <workspace>]`
+//!
+//! Exits 0 when the tree is clean (all findings allowlisted, no stale
+//! allowlist or hot-path registry entries); prints findings as
+//! `path:line: [lint-id] message` and exits 1 otherwise.
+
+#![forbid(unsafe_code)]
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+use dtr_analysis::{analyze_tree, Config};
+
+fn main() -> ExitCode {
+    let mut args = std::env::args().skip(1);
+    let mut check = false;
+    let mut verbose = false;
+    let mut root = PathBuf::from(".");
+    while let Some(a) = args.next() {
+        match a.as_str() {
+            "--check" => check = true,
+            "--verbose" => verbose = true,
+            "--root" => match args.next() {
+                Some(r) => root = PathBuf::from(r),
+                None => {
+                    eprintln!("dtr-analysis: --root needs a path");
+                    return ExitCode::FAILURE;
+                }
+            },
+            other => {
+                eprintln!("dtr-analysis: unknown argument `{other}` (try --check)");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+    if !check {
+        eprintln!("dtr-analysis: nothing to do (pass --check)");
+        return ExitCode::FAILURE;
+    }
+    if !root.join("Cargo.toml").exists() {
+        eprintln!(
+            "dtr-analysis: {} is not a workspace root (no Cargo.toml); use --root",
+            root.display()
+        );
+        return ExitCode::FAILURE;
+    }
+
+    let config = match Config::load(&root) {
+        Ok(c) => c,
+        Err(e) => {
+            eprintln!("dtr-analysis: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let report = match analyze_tree(&root, &config) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("dtr-analysis: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+
+    for f in &report.findings {
+        println!("{f}");
+    }
+    for e in &report.stale_allowlist {
+        println!(
+            "crates/analysis/allowlist.txt:{}: [stale-allowlist] entry `{}: {}: {}` \
+             no longer matches any finding — remove it",
+            e.defined_at, e.file, e.lint, e.snippet
+        );
+    }
+    for h in &report.stale_hot_paths {
+        println!(
+            "crates/analysis/hot_paths.toml: [stale-hot-path] `{}` not found in {} — \
+             update the registry",
+            h.function, h.file
+        );
+    }
+    if verbose {
+        for f in &report.suppressed {
+            eprintln!("allowlisted: {f}");
+        }
+    }
+    eprintln!(
+        "dtr-analysis: {} files scanned, {} finding(s), {} allowlisted, \
+         {} stale allowlist entr(ies), {} stale hot-path entr(ies)",
+        report.files_scanned,
+        report.findings.len(),
+        report.suppressed.len(),
+        report.stale_allowlist.len(),
+        report.stale_hot_paths.len()
+    );
+    if report.is_clean() {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    }
+}

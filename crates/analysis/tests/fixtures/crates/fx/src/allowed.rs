@@ -1,0 +1,7 @@
+//! Allowlist fixture: the timing line below is vetted in the fixture
+//! allowlist and must land in `suppressed`, not `findings`.
+
+pub fn report_duration() -> u64 {
+    let t = std::time::Instant::now();
+    t.elapsed().as_nanos() as u64
+}

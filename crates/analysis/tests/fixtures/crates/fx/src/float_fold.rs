@@ -1,0 +1,8 @@
+//! det-float-fold fixture: a float reduction fed directly by a hash
+//! iterator must fire (alongside the underlying det-hash-iter).
+
+use std::collections::HashMap;
+
+pub fn total(m: &HashMap<u32, f64>) -> f64 {
+    m.values().sum::<f64>()
+}

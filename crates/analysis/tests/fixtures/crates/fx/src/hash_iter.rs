@@ -1,0 +1,27 @@
+//! det-hash-iter fixture: ordered iteration over a hash map outside
+//! test code must fire; lookups and test-region iteration must not.
+
+use std::collections::HashMap;
+
+pub fn sum_values(m: &HashMap<u32, u32>) -> u32 {
+    let mut s = 0;
+    for (_, v) in m {
+        s += v;
+    }
+    s
+}
+
+pub fn lookup(m: &HashMap<u32, u32>, k: u32) -> Option<u32> {
+    m.get(&k).copied()
+}
+
+#[cfg(test)]
+mod tests {
+    use std::collections::HashMap;
+
+    #[test]
+    fn iteration_in_tests_is_fine() {
+        let m: HashMap<u32, u32> = HashMap::new();
+        for _ in m.keys() {}
+    }
+}

@@ -1,0 +1,13 @@
+//! hot-alloc fixture: allocation inside the registered kernel must
+//! fire; the same pattern in an unregistered function must not.
+
+pub fn hot_kernel(dst: &mut [u32], src: &[u32]) {
+    let staged = src.to_vec();
+    for (d, s) in dst.iter_mut().zip(&staged) {
+        *d = *s;
+    }
+}
+
+pub fn cold_helper(src: &[u32]) -> Vec<u32> {
+    src.to_vec()
+}

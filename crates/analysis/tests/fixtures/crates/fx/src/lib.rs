@@ -1,0 +1,9 @@
+//! Fixture crate root: deliberately missing the forbid(unsafe_code)
+//! attribute so policy-unsafe fires here (line 1).
+
+pub mod allowed;
+pub mod float_fold;
+pub mod hash_iter;
+pub mod hot_alloc;
+pub mod partial_sort;
+pub mod policy;

@@ -1,0 +1,14 @@
+//! det-partial-sort fixture: a partial_cmp comparator without a total
+//! tie-break key must fire; total_cmp / .then forms must not.
+
+pub fn rank(v: &mut [f64]) {
+    v.sort_by(|a, b| a.partial_cmp(b).expect("finite samples"));
+}
+
+pub fn rank_total(v: &mut [f64]) {
+    v.sort_unstable_by(f64::total_cmp);
+}
+
+pub fn rank_tiebreak(v: &mut [(f64, u32)]) {
+    v.sort_by(|a, b| a.0.partial_cmp(&b.0).expect("finite").then(a.1.cmp(&b.1)));
+}

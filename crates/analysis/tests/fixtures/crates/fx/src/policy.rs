@@ -1,0 +1,11 @@
+//! policy fixture: wall-clock and thread spawns outside their
+//! sanctioned homes must fire.
+
+pub fn timed() -> u64 {
+    let t = std::time::Instant::now();
+    t.elapsed().as_nanos() as u64
+}
+
+pub fn fanout() {
+    std::thread::spawn(|| {}).join().unwrap();
+}

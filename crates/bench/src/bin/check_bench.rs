@@ -22,6 +22,8 @@
 //! Usage: `check_bench [path/to/BENCH_routing.json]` (defaults to
 //! `BENCH_routing.json` in the current directory).
 
+#![forbid(unsafe_code)]
+
 use std::process::ExitCode;
 
 /// The balanced-brace body of `"section": { ... }`, or `None`.
@@ -56,19 +58,54 @@ fn number(body: &str, key: &str) -> Option<f64> {
     rest[..end].parse().ok()
 }
 
-/// `true` iff `"key": true` appears inside `body`.
-fn flag(body: &str, key: &str) -> bool {
-    body.contains(&format!("\"{key}\": true"))
+/// The boolean value of `"key": true|false` inside `body`, or `None`
+/// when the field is absent — so failures can say *which* it was
+/// (missing field vs recorded-false) instead of conflating the two.
+fn flag(body: &str, key: &str) -> Option<bool> {
+    let pat = format!("\"{key}\":");
+    let start = body.find(&pat)? + pat.len();
+    let rest = body[start..].trim_start();
+    if rest.starts_with("true") {
+        Some(true)
+    } else if rest.starts_with("false") {
+        Some(false)
+    } else {
+        None
+    }
 }
 
-/// `true` iff `"key": [ ... ]` inside `body` holds at least one element.
-fn nonempty_array(body: &str, key: &str) -> bool {
+/// Push the right diagnostic for a boolean identity field: names the
+/// exact field and distinguishes "missing" from "present but false".
+fn check_flag(errors: &mut Vec<String>, body: &str, entry: &str, key: &str, meaning: &str) {
+    match flag(body, key) {
+        Some(true) => {}
+        Some(false) => errors.push(format!("`{entry}` field `{key}` is false: {meaning}")),
+        None => errors.push(format!("`{entry}` is missing field `{key}` ({meaning})")),
+    }
+}
+
+/// State of `"key": [ ... ]` inside `body`: present-and-nonempty,
+/// present-but-empty, or absent.
+enum ArrayState {
+    NonEmpty,
+    Empty,
+    Missing,
+}
+
+fn array_state(body: &str, key: &str) -> ArrayState {
     let pat = format!("\"{key}\":");
     let Some(start) = body.find(&pat) else {
-        return false;
+        return ArrayState::Missing;
     };
     let rest = body[start + pat.len()..].trim_start();
-    rest.starts_with('[') && !rest[1..].trim_start().starts_with(']')
+    if !rest.starts_with('[') {
+        return ArrayState::Missing;
+    }
+    if rest[1..].trim_start().starts_with(']') {
+        ArrayState::Empty
+    } else {
+        ArrayState::NonEmpty
+    }
 }
 
 fn main() -> ExitCode {
@@ -90,11 +127,19 @@ fn main() -> ExitCode {
         match section(&doc, kind) {
             None => errors.push(format!("missing sweep entry `{kind}`")),
             Some(body) => {
-                if number(body, "speedup").is_none_or(|s| s.is_nan() || s <= 0.0) {
-                    errors.push(format!("`{kind}` has no positive `speedup`"));
+                match number(body, "speedup") {
+                    None => errors.push(format!("`{kind}` is missing field `speedup`")),
+                    Some(s) if s.is_nan() || s <= 0.0 => {
+                        errors.push(format!("`{kind}` field `speedup` is not positive ({s})"))
+                    }
+                    _ => {}
                 }
-                if number(body, "scenarios").is_none_or(|s| s < 1.0) {
-                    errors.push(format!("`{kind}` records no scenarios"));
+                match number(body, "scenarios") {
+                    None => errors.push(format!("`{kind}` is missing field `scenarios`")),
+                    Some(s) if s < 1.0 => {
+                        errors.push(format!("`{kind}` field `scenarios` records none ({s})"))
+                    }
+                    _ => {}
                 }
             }
         }
@@ -102,11 +147,13 @@ fn main() -> ExitCode {
 
     match section(&doc, "sharded_link_sweep") {
         None => errors.push("missing `sharded_link_sweep` entry".into()),
-        Some(body) => {
-            if !flag(body, "serial_equals_parallel") {
-                errors.push("`sharded_link_sweep` lost its serial == parallel identity".into());
-            }
-        }
+        Some(body) => check_flag(
+            &mut errors,
+            body,
+            "sharded_link_sweep",
+            "serial_equals_parallel",
+            "the serial == parallel identity was lost",
+        ),
     }
 
     // End-to-end search benches: entries present, results identical,
@@ -132,28 +179,44 @@ fn main() -> ExitCode {
         match section(&doc, name) {
             None => errors.push(format!("missing search entry `{name}`")),
             Some(body) => {
-                if !flag(body, "identical_result") {
-                    errors.push(format!("`{name}` lost its identical-result contract"));
-                }
+                check_flag(
+                    &mut errors,
+                    body,
+                    name,
+                    "identical_result",
+                    "the identical-result contract was lost",
+                );
                 match number(body, "scenario_evals_skipped") {
-                    None => errors.push(format!("`{name}` records no `scenario_evals_skipped`")),
+                    None => errors.push(format!(
+                        "`{name}` is missing field `scenario_evals_skipped`"
+                    )),
                     Some(s) if s <= 0.0 => errors.push(format!(
                         "`{name}` reports scenario_evals_skipped == 0: the cutoff never fired"
                     )),
                     _ => {}
                 }
                 for arr in samples {
-                    if !nonempty_array(body, arr) {
-                        errors.push(format!("`{name}` is missing per-rep samples `{arr}`"));
+                    match array_state(body, arr) {
+                        ArrayState::NonEmpty => {}
+                        ArrayState::Empty => {
+                            errors.push(format!("`{name}` per-rep sample array `{arr}` is empty"))
+                        }
+                        ArrayState::Missing => {
+                            errors.push(format!("`{name}` is missing per-rep sample array `{arr}`"))
+                        }
                     }
                 }
             }
         }
     }
 
-    if !flag(&doc, "bit_for_bit_identical") {
-        errors.push("artifact lost its top-level `bit_for_bit_identical` flag".into());
-    }
+    check_flag(
+        &mut errors,
+        &doc,
+        "artifact",
+        "bit_for_bit_identical",
+        "the top-level determinism contract was lost",
+    );
 
     if errors.is_empty() {
         println!("check_bench: {path} OK");

@@ -2,3 +2,5 @@
 //!
 //! All content lives in `benches/`: one Criterion benchmark per paper table
 //! and figure, plus micro-benchmarks of the routing/cost hot paths.
+
+#![forbid(unsafe_code)]

@@ -120,9 +120,12 @@ pub fn analyze(
         states.push((Scenario::Link(l), failure_fraction * share));
     }
 
-    // Accumulate per-pair violation probability.
-    use std::collections::HashMap;
-    let mut violation_prob: HashMap<(usize, usize), f64> = HashMap::new();
+    // Accumulate per-pair violation probability. BTreeMap: the map is
+    // iterated below, and ordered iteration keeps the report (and any
+    // float work derived from it) bit-for-bit reproducible across
+    // processes (dtr-analysis: det-hash-iter).
+    use std::collections::BTreeMap;
+    let mut violation_prob: BTreeMap<(usize, usize), f64> = BTreeMap::new();
     let mut expected_violations = 0.0;
     let mut network_availability = 0.0;
     let params = ev.params();

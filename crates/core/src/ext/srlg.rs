@@ -107,10 +107,12 @@ impl SrlgCatalog {
             }
             // Deterministic chunking along ascending midpoint x, then y.
             let mut order = members.clone();
-            order.sort_by(|&a, &b| {
-                (mids[a].x, mids[a].y, a)
-                    .partial_cmp(&(mids[b].x, mids[b].y, b))
-                    .expect("finite coordinates")
+            order.sort_unstable_by(|&a, &b| {
+                mids[a]
+                    .x
+                    .total_cmp(&mids[b].x)
+                    .then(mids[a].y.total_cmp(&mids[b].y))
+                    .then(a.cmp(&b))
             });
             for chunk in order.chunks(MAX_GROUP_SIZE) {
                 if chunk.len() >= 2 {

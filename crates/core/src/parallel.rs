@@ -54,6 +54,24 @@ where
     out
 }
 
+/// Fan the elements of `parts` out over scoped worker threads, one
+/// worker per element, and join them all (in spawn order) before
+/// returning. This is the only sanctioned thread fan-out primitive
+/// outside this module and `dtr_mtr::parallel` — the static pass
+/// (`dtr-analysis`, lint `policy-thread`) rejects direct
+/// `thread::scope`/`thread::spawn` elsewhere, so sharded sweeps that
+/// live near their data (e.g. the cache capture sweeps) route through
+/// here instead of open-coding the scope.
+pub fn scoped_fanout<T: Send>(parts: Vec<T>, f: impl Fn(T) + Sync) {
+    let f = &f;
+    std::thread::scope(|s| {
+        let handles: Vec<_> = parts.into_iter().map(|p| s.spawn(move || f(p))).collect();
+        for h in handles {
+            h.join().expect("scoped fan-out worker panicked");
+        }
+    });
+}
+
 /// Per-scenario costs of `w` under every scenario, in input order.
 pub fn failure_costs(
     ev: &Evaluator<'_>,
@@ -72,10 +90,21 @@ pub fn failure_costs(
     std::thread::scope(|s| {
         let handles: Vec<_> = scenarios
             .chunks(chunk)
-            .map(|part| s.spawn(move || ev.evaluate_all(w, part)))
+            .enumerate()
+            .map(|(k, part)| s.spawn(move || (k * chunk, ev.evaluate_all(w, part))))
             .collect();
         for h in handles {
-            out.extend(h.join().expect("failure-evaluation worker panicked"));
+            let (start, costs) = h.join().expect("failure-evaluation worker panicked");
+            // Order stamp: the splice must land in scenario-index order,
+            // or the scenario-order reduction (parallel == serial to the
+            // bit) silently breaks. Static counterpart: dtr-analysis
+            // determinism lints.
+            debug_assert_eq!(
+                out.len(),
+                start,
+                "failure_costs splice out of scenario order"
+            );
+            out.extend(costs);
         }
     });
     out
@@ -130,31 +159,57 @@ pub fn evaluate_set<S: crate::scenario::ScenarioSet + Sync + ?Sized>(
     threads: usize,
 ) -> Vec<LexCost> {
     assert!(threads >= 1);
-    let sweep = |part: &[usize]| -> Vec<LexCost> {
-        let mut ws = ev.acquire_workspace();
-        let costs = part
-            .iter()
-            .map(|&i| ev.cost_with(&mut ws, w, set.scenario(i)))
-            .collect();
-        ev.release_workspace(ws);
-        costs
-    };
+    let mut out = vec![LexCost::ZERO; indices.len()];
     let workers = threads.min(indices.len());
     if workers <= 1 {
-        return sweep(indices);
+        sweep_chunk(ev, w, set, indices, &mut out);
+        return out;
     }
     let chunk = indices.len().div_ceil(workers);
-    let mut out = Vec::with_capacity(indices.len());
     std::thread::scope(|s| {
         let handles: Vec<_> = indices
             .chunks(chunk)
-            .map(|part| s.spawn(move || sweep(part)))
+            .zip(out.chunks_mut(chunk))
+            .enumerate()
+            .map(|(k, (part, dst))| {
+                s.spawn(move || {
+                    sweep_chunk(ev, w, set, part, dst);
+                    k * chunk
+                })
+            })
             .collect();
+        let mut expect = 0usize;
         for h in handles {
-            out.extend(h.join().expect("scenario-evaluation worker panicked"));
+            let start = h.join().expect("scenario-evaluation worker panicked");
+            // Order stamp: workers write disjoint pre-chunked slices, so
+            // joining them in spawn order must walk the output in index
+            // order — the runtime mirror of the dtr-analysis determinism
+            // contract (parallel == serial to the bit).
+            debug_assert_eq!(expect, start, "evaluate_set chunk out of index order");
+            expect = start + chunk;
         }
     });
     out
+}
+
+/// Worker kernel of [`evaluate_set`]: evaluate the scenarios at `part`
+/// into `dst` in place, one pooled workspace for the whole chunk. The
+/// kernel is allocation-free in steady state (registered in
+/// `crates/analysis/hot_paths.toml`; `tests/alloc_free.rs` proves the
+/// sweep around it) — callers own the output buffer.
+fn sweep_chunk<S: crate::scenario::ScenarioSet + Sync + ?Sized>(
+    ev: &Evaluator<'_>,
+    w: &WeightSetting,
+    set: &S,
+    part: &[usize],
+    dst: &mut [LexCost],
+) {
+    debug_assert_eq!(part.len(), dst.len());
+    let mut ws = ev.acquire_workspace();
+    for (d, &i) in dst.iter_mut().zip(part) {
+        *d = ev.cost_with(&mut ws, w, set.scenario(i));
+    }
+    ev.release_workspace(ws);
 }
 
 /// Per-scenario costs of `w` over a [`crate::scenario::ScenarioSet`]'s

@@ -231,24 +231,17 @@ fn rebuild_cache<S: ScenarioSet + Sync + ?Sized>(
     ev.release_workspace(ws);
     let chunk = indices.len().div_ceil(workers);
     let costs = &mut st.scratch.costs;
-    std::thread::scope(|s| {
-        let handles: Vec<_> = indices
-            .chunks(chunk)
-            .zip(entries.chunks_mut(chunk))
-            .zip(costs.chunks_mut(chunk))
-            .map(|((idx, ents), cst)| {
-                s.spawn(move || {
-                    let mut ws = ev.acquire_workspace();
-                    for ((&i, entry), c) in idx.iter().zip(ents).zip(cst) {
-                        *c = ev.cost_capture_into(&mut ws, w, set.scenario(i), base, entry);
-                    }
-                    ev.release_workspace(ws);
-                })
-            })
-            .collect();
-        for h in handles {
-            h.join().expect("capture-sweep worker panicked");
+    let parts: Vec<_> = indices
+        .chunks(chunk)
+        .zip(entries.chunks_mut(chunk))
+        .zip(costs.chunks_mut(chunk))
+        .collect();
+    parallel::scoped_fanout(parts, |((idx, ents), cst)| {
+        let mut ws = ev.acquire_workspace();
+        for ((&i, entry), c) in idx.iter().zip(ents).zip(cst) {
+            *c = ev.cost_capture_into(&mut ws, w, set.scenario(i), base, entry);
         }
+        ev.release_workspace(ws);
     });
 }
 

@@ -93,7 +93,10 @@ fn stats_of(samples: &[f64], tail_fraction: f64) -> Option<TailStats> {
     let mean = samples.iter().sum::<f64>() / n as f64;
     let k = ((n as f64 * tail_fraction).ceil() as usize).clamp(1, n);
     let mut sorted = samples.to_vec();
-    sorted.sort_by(|a, b| a.partial_cmp(b).expect("finite samples"));
+    // total_cmp: a total key keeps the permutation (and the float-add
+    // sequence of the tail mean below) deterministic (dtr-analysis:
+    // det-partial-sort).
+    sorted.sort_unstable_by(f64::total_cmp);
     let tail_mean = sorted[..k].iter().sum::<f64>() / k as f64;
     Some(TailStats { mean, tail_mean })
 }

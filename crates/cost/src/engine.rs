@@ -51,6 +51,14 @@
 //!    search's incumbent *proves* the candidate will be rejected — the
 //!    rest of the sweep is skipped without perturbing the trajectory.
 //!
+//! The "same bits" guarantee is a workspace-wide contract — parallel ==
+//! serial, cached == uncached, repair == full-route, and cross-process
+//! reproducibility — enforced dynamically by the equivalence suites and
+//! statically by the `dtr-analysis` pass; `DETERMINISM.md` at the
+//! workspace root states the contract and how to run and extend the
+//! pass (this module's kernels are registered allocation-free in
+//! `crates/analysis/hot_paths.toml`).
+//!
 //! # The delta-state model
 //!
 //! Before this engine, a fully cached scenario evaluation still paid a

@@ -8,6 +8,8 @@
 //! CSV series for the figures land in `--out` (default `results/`);
 //! `--list` prints the experiment names and exits.
 
+#![forbid(unsafe_code)]
+
 use std::process::ExitCode;
 
 use dtr_eval::experiments;

@@ -56,8 +56,8 @@ fn redistribution(inst: &Instance, params: dtr_core::Params) -> (Vec<f64>, Vec<f
         increases.push(if cnt > 0 { sum / cnt as f64 } else { 0.0 });
     }
     // Paper plots sorted (descending) per curve.
-    counts.sort_by(|a, b| b.partial_cmp(a).expect("finite"));
-    increases.sort_by(|a, b| b.partial_cmp(a).expect("finite"));
+    counts.sort_unstable_by(|a, b| b.total_cmp(a));
+    increases.sort_unstable_by(|a, b| b.total_cmp(a));
     (counts, increases)
 }
 

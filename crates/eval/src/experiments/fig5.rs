@@ -52,7 +52,7 @@ pub fn panel_a_curves(cfg: &ExpConfig, max_util: f64, ec_fraction: f64) -> (Vec<
     let pair = OptimizedPair::compute(&inst, params);
     let sorted = |s: &[crate::metrics::ScenarioMetrics]| {
         let mut v: Vec<f64> = s.iter().map(|m| m.violations as f64).collect();
-        v.sort_by(|a, b| b.partial_cmp(a).expect("finite"));
+        v.sort_unstable_by(|a, b| b.total_cmp(a));
         v
     };
     (sorted(&pair.robust), sorted(&pair.regular))
@@ -77,7 +77,7 @@ pub fn delay_distribution(cfg: &ExpConfig, kind: TopoKind, theta_ms: f64) -> Vec
     let regular = opt.regular_only();
     let b = ev.evaluate(&regular.best, Scenario::Normal);
     let mut delays: Vec<f64> = b.pair_delays.iter().map(|&(_, _, xi)| xi * 1e3).collect();
-    delays.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
+    delays.sort_unstable_by(f64::total_cmp);
     delays
 }
 

@@ -39,7 +39,7 @@ impl std::fmt::Display for Fig7 {
 
 fn sorted_desc(series: &[ScenarioMetrics], f: impl Fn(&ScenarioMetrics) -> f64) -> Vec<f64> {
     let mut v: Vec<f64> = series.iter().map(f).collect();
-    v.sort_by(|a, b| b.partial_cmp(a).expect("finite"));
+    v.sort_unstable_by(|a, b| b.total_cmp(a));
     v
 }
 

@@ -79,15 +79,20 @@ pub fn worst_scenarios(series: &[ScenarioMetrics], fraction: f64) -> Vec<Scenari
     if series.is_empty() {
         return Vec::new();
     }
-    let mut sorted: Vec<ScenarioMetrics> = series.to_vec();
-    sorted.sort_by(|a, b| {
-        b.violations
-            .cmp(&a.violations)
-            .then(b.lambda.partial_cmp(&a.lambda).expect("finite"))
+    // Total key (violations desc, lambda desc, input index): the index
+    // tie-break reproduces the stable sort's input order on full ties
+    // while keeping the comparator total (dtr-analysis: det-partial-sort).
+    let mut idx: Vec<usize> = (0..series.len()).collect();
+    idx.sort_unstable_by(|&a, &b| {
+        series[b]
+            .violations
+            .cmp(&series[a].violations)
+            .then(series[b].lambda.total_cmp(&series[a].lambda))
+            .then(a.cmp(&b))
     });
     let k = ((series.len() as f64 * fraction).ceil() as usize).clamp(1, series.len());
-    sorted.truncate(k);
-    sorted
+    idx.truncate(k);
+    idx.into_iter().map(|i| series[i]).collect()
 }
 
 /// Mean and (population) standard deviation of a sample — the paper's

@@ -36,10 +36,21 @@ pub fn failure_costs(
     std::thread::scope(|s| {
         let handles: Vec<_> = scenarios
             .chunks(chunk)
-            .map(|part| s.spawn(move || ev.evaluate_all(w, part)))
+            .enumerate()
+            .map(|(k, part)| s.spawn(move || (k * chunk, ev.evaluate_all(w, part))))
             .collect();
         for h in handles {
-            out.extend(h.join().expect("failure-evaluation worker panicked"));
+            let (start, costs) = h.join().expect("failure-evaluation worker panicked");
+            // Order stamp: the splice must land in scenario-index order,
+            // or the scenario-order k-class reduction (parallel == serial
+            // to the bit) silently breaks. Static counterpart:
+            // dtr-analysis determinism lints.
+            debug_assert_eq!(
+                out.len(),
+                start,
+                "failure_costs splice out of scenario order"
+            );
+            out.extend(costs);
         }
     });
     out

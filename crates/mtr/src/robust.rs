@@ -129,24 +129,17 @@ fn rebuild_cache(
     ev.release_workspace(ws);
     let chunk = scenarios.len().div_ceil(workers);
     let costs = &mut scratch.costs;
-    std::thread::scope(|s| {
-        let handles: Vec<_> = scenarios
-            .chunks(chunk)
-            .zip(entries.chunks_mut(chunk))
-            .zip(costs.chunks_mut(chunk))
-            .map(|((scs, ents), cst)| {
-                s.spawn(move || {
-                    let mut ws = ev.acquire_workspace();
-                    for ((&sc, entry), c) in scs.iter().zip(ents).zip(cst) {
-                        *c = ev.cost_capture_into(&mut ws, w, sc, base, entry);
-                    }
-                    ev.release_workspace(ws);
-                })
-            })
-            .collect();
-        for h in handles {
-            h.join().expect("capture-sweep worker panicked");
+    let parts: Vec<_> = scenarios
+        .chunks(chunk)
+        .zip(entries.chunks_mut(chunk))
+        .zip(costs.chunks_mut(chunk))
+        .collect();
+    dtr_core::parallel::scoped_fanout(parts, |((scs, ents), cst)| {
+        let mut ws = ev.acquire_workspace();
+        for ((&sc, entry), c) in scs.iter().zip(ents).zip(cst) {
+            *c = ev.cost_capture_into(&mut ws, w, sc, base, entry);
         }
+        ev.release_workspace(ws);
     });
 }
 

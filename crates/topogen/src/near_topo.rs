@@ -30,16 +30,22 @@ pub fn generate(cfg: &SynthConfig) -> Result<Blueprint, GenError> {
     let mut nearest: Vec<Vec<usize>> = Vec::with_capacity(n);
     for i in 0..n {
         let mut others: Vec<usize> = (0..n).filter(|&j| j != i).collect();
-        others.sort_by(|&a, &b| {
+        // Total key (distance, node id): equidistant neighbours rank by
+        // ascending id — the order the previous stable sort produced.
+        others.sort_unstable_by(|&a, &b| {
             points[i]
                 .distance_sq(&points[a])
-                .partial_cmp(&points[i].distance_sq(&points[b]))
-                .expect("distances are finite")
+                .total_cmp(&points[i].distance_sq(&points[b]))
+                .then(a.cmp(&b))
         });
         nearest.push(others);
     }
 
+    // `chosen` answers membership only; `links` carries the insertion
+    // order so no HashSet iteration order can leak into the blueprint
+    // (dtr-analysis: det-hash-iter).
     let mut chosen: HashSet<(usize, usize)> = HashSet::with_capacity(cfg.duplex_links);
+    let mut links: Vec<(usize, usize)> = Vec::with_capacity(cfg.duplex_links);
 
     // Euclidean MST (Prim) for guaranteed connectivity with short links.
     let mut in_tree = vec![false; n];
@@ -59,7 +65,10 @@ pub fn generate(cfg: &SynthConfig) -> Result<Blueprint, GenError> {
             .min_by(|a, b| a.1.partial_cmp(b.1).expect("finite"))
             .expect("tree incomplete implies a remaining node");
         in_tree[next] = true;
-        chosen.insert(pair_key(next, best_from[next]));
+        let k = pair_key(next, best_from[next]);
+        if chosen.insert(k) {
+            links.push(k);
+        }
         ds.union(next, best_from[next]);
         for j in 0..n {
             if !in_tree[j] {
@@ -83,12 +92,14 @@ pub fn generate(cfg: &SynthConfig) -> Result<Blueprint, GenError> {
                 break 'outer;
             }
             let u = nearest[v][rank];
-            chosen.insert(pair_key(v, u));
+            let k = pair_key(v, u);
+            if chosen.insert(k) {
+                links.push(k);
+            }
         }
     }
 
-    let duplex: Vec<_> = chosen.into_iter().collect();
-    Ok(Blueprint::from_euclidean(points, duplex))
+    Ok(Blueprint::from_euclidean(points, links))
 }
 
 #[cfg(test)]

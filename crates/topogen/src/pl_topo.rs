@@ -11,7 +11,7 @@
 use rand::rngs::StdRng;
 use rand::seq::SliceRandom;
 use rand::{Rng, SeedableRng};
-use std::collections::HashSet;
+use std::collections::{BTreeSet, HashSet};
 
 use crate::blueprint::Blueprint;
 use crate::config::SynthConfig;
@@ -29,7 +29,11 @@ pub fn generate(cfg: &SynthConfig) -> Result<Blueprint, GenError> {
     let m_attach = ((cfg.duplex_links as f64) / (n as f64)).round().max(1.0) as usize;
     let m0 = (m_attach + 1).min(n); // seed size
 
+    // `chosen` answers membership only; `links` carries the RNG-driven
+    // insertion order so no HashSet iteration order can leak into the
+    // blueprint (dtr-analysis: det-hash-iter).
     let mut chosen: HashSet<(usize, usize)> = HashSet::with_capacity(cfg.duplex_links);
+    let mut links: Vec<(usize, usize)> = Vec::with_capacity(cfg.duplex_links);
     let mut degree = vec![0usize; n];
     // `targets` holds one entry per incident link end, so sampling a
     // uniform element implements degree-proportional selection.
@@ -38,12 +42,14 @@ pub fn generate(cfg: &SynthConfig) -> Result<Blueprint, GenError> {
     let add = |a: usize,
                b: usize,
                chosen: &mut HashSet<(usize, usize)>,
+               links: &mut Vec<(usize, usize)>,
                degree: &mut Vec<usize>,
                targets: &mut Vec<usize>|
      -> bool {
         if a == b || !chosen.insert(pair_key(a, b)) {
             return false;
         }
+        links.push(pair_key(a, b));
         degree[a] += 1;
         degree[b] += 1;
         targets.push(a);
@@ -53,12 +59,15 @@ pub fn generate(cfg: &SynthConfig) -> Result<Blueprint, GenError> {
 
     // Seed: path over the first m0 nodes (connected, low degree).
     for i in 1..m0 {
-        add(i - 1, i, &mut chosen, &mut degree, &mut targets);
+        add(i - 1, i, &mut chosen, &mut links, &mut degree, &mut targets);
     }
 
     // Preferential attachment for the remaining nodes.
     for v in m0..n {
-        let mut picked = HashSet::with_capacity(m_attach);
+        // BTreeSet: dedups like a hash set but iterates in ascending
+        // order, so the insertion into the RNG-driven state below is
+        // deterministic (this replaces a collect-then-sort of a HashSet).
+        let mut picked = BTreeSet::new();
         let want = m_attach.min(v); // cannot attach to more nodes than exist
         let mut guard = 0;
         while picked.len() < want {
@@ -73,12 +82,8 @@ pub fn generate(cfg: &SynthConfig) -> Result<Blueprint, GenError> {
                 picked.insert(u);
             }
         }
-        // Sort before inserting: HashSet iteration order is randomized and
-        // would otherwise leak nondeterminism into the RNG-driven state.
-        let mut picked: Vec<_> = picked.into_iter().collect();
-        picked.sort_unstable();
         for u in picked {
-            add(v, u, &mut chosen, &mut degree, &mut targets);
+            add(v, u, &mut chosen, &mut links, &mut degree, &mut targets);
         }
     }
 
@@ -92,11 +97,12 @@ pub fn generate(cfg: &SynthConfig) -> Result<Blueprint, GenError> {
             targets[rng.gen_range(0..targets.len())]
         };
         let b = rng.gen_range(0..n);
-        add(a, b, &mut chosen, &mut degree, &mut targets);
+        add(a, b, &mut chosen, &mut links, &mut degree, &mut targets);
     }
     // ...or remove surplus links while preserving connectivity.
-    if chosen.len() > cfg.duplex_links {
-        let mut links: Vec<_> = chosen.iter().copied().collect();
+    let duplex = if links.len() > cfg.duplex_links {
+        // Sorted first so the shuffle consumes the same RNG stream the
+        // old sorted-HashSet-collect implementation did.
         links.sort_unstable();
         links.shuffle(&mut rng);
         let mut keep: Vec<(usize, usize)> = Vec::with_capacity(cfg.duplex_links);
@@ -117,10 +123,10 @@ pub fn generate(cfg: &SynthConfig) -> Result<Blueprint, GenError> {
             }
             keep.push((a, b));
         }
-        chosen = keep.into_iter().collect();
-    }
-
-    let duplex: Vec<_> = chosen.into_iter().collect();
+        keep
+    } else {
+        links
+    };
     Ok(Blueprint::from_euclidean(points, duplex))
 }
 

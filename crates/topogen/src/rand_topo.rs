@@ -23,7 +23,11 @@ pub fn generate(cfg: &SynthConfig) -> Result<Blueprint, GenError> {
     let n = cfg.nodes;
     let points = unit_square_points(n, &mut rng);
 
+    // `chosen` answers membership only; `links` carries the RNG-driven
+    // insertion order so no HashSet iteration order can leak into the
+    // blueprint (dtr-analysis: det-hash-iter).
     let mut chosen: HashSet<(usize, usize)> = HashSet::with_capacity(cfg.duplex_links);
+    let mut links: Vec<(usize, usize)> = Vec::with_capacity(cfg.duplex_links);
 
     // Uniform random spanning tree via a random node permutation: attach
     // each node to a uniformly random already-attached node.
@@ -31,7 +35,10 @@ pub fn generate(cfg: &SynthConfig) -> Result<Blueprint, GenError> {
     order.shuffle(&mut rng);
     for i in 1..n {
         let parent = order[rng.gen_range(0..i)];
-        chosen.insert(pair_key(order[i], parent));
+        let k = pair_key(order[i], parent);
+        if chosen.insert(k) {
+            links.push(k);
+        }
     }
 
     // Fill the remaining budget with uniform random pairs.
@@ -39,12 +46,14 @@ pub fn generate(cfg: &SynthConfig) -> Result<Blueprint, GenError> {
         let a = rng.gen_range(0..n);
         let b = rng.gen_range(0..n);
         if a != b {
-            chosen.insert(pair_key(a, b));
+            let k = pair_key(a, b);
+            if chosen.insert(k) {
+                links.push(k);
+            }
         }
     }
 
-    let duplex: Vec<_> = chosen.into_iter().collect();
-    Ok(Blueprint::from_euclidean(points, duplex))
+    Ok(Blueprint::from_euclidean(points, links))
 }
 
 #[cfg(test)]

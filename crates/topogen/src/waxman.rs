@@ -54,7 +54,11 @@ pub fn generate_with_alpha(cfg: &SynthConfig, alpha: f64) -> Result<Blueprint, G
     let weight =
         |a: usize, b: usize| -> f64 { (-points[a].distance(&points[b]) / (alpha * l_max)).exp() };
 
+    // `chosen` answers membership only; `links` carries the RNG-driven
+    // insertion order so no HashSet iteration order can leak into the
+    // blueprint (dtr-analysis: det-hash-iter).
     let mut chosen: HashSet<(usize, usize)> = HashSet::with_capacity(cfg.duplex_links);
+    let mut links: Vec<(usize, usize)> = Vec::with_capacity(cfg.duplex_links);
 
     // Spanning tree by weighted attachment: each node joins an attached
     // node sampled proportionally to the Waxman weight.
@@ -72,7 +76,10 @@ pub fn generate_with_alpha(cfg: &SynthConfig, alpha: f64) -> Result<Blueprint, G
                 break;
             }
         }
-        chosen.insert(pair_key(newcomer, parent));
+        let k = pair_key(newcomer, parent);
+        if chosen.insert(k) {
+            links.push(k);
+        }
     }
 
     // Remaining budget: weighted sampling without replacement over the
@@ -96,11 +103,13 @@ pub fn generate_with_alpha(cfg: &SynthConfig, alpha: f64) -> Result<Blueprint, G
                 break;
             }
         }
-        chosen.insert(rest.swap_remove(pick));
+        let k = rest.swap_remove(pick);
+        if chosen.insert(k) {
+            links.push(k);
+        }
     }
 
-    let duplex: Vec<_> = chosen.into_iter().collect();
-    Ok(Blueprint::from_euclidean(points, duplex))
+    Ok(Blueprint::from_euclidean(points, links))
 }
 
 #[cfg(test)]
