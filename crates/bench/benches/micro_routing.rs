@@ -12,13 +12,16 @@
 //! `BENCH_routing.json` (override the path with `BENCH_ROUTING_JSON`),
 //! recording one per-scenario-kind speedup entry (`link_sweep`,
 //! `srlg_sweep`, `node_sweep`) plus two **end-to-end search**
-//! comparisons: `phase2_search` (DTR robust search: serial-move
-//! full-sweep vs cutoff + delta-state cache vs the shipped default
-//! config) and `mtr_robust_search` (the k-class analogue: serial vs
-//! cutoff + per-class Λ floors vs cutoff + floors + delta-state cache)
-//! — every leg verified to produce the identical result, with per-rep
-//! nanosecond samples recorded so single-core wall-clock variance stays
-//! visible in the artifact. The engine path is additionally checked
+//! comparisons, `phase2_search` (DTR robust search) and
+//! `mtr_robust_search` (the k-class analogue), each run five ways:
+//! serial full-sweep, incumbent-bounded cutoff (Λ floors only), cutoff
+//! with the load-aware Φ floors added, cutoff with repair-seeded plain
+//! routing, and the shipped combined default — every leg verified to
+//! produce the identical result, with per-rep nanosecond samples and
+//! per-cause skip counters (`skipped_floor` / `skipped_cache` /
+//! `skipped_cutoff`, plus `floor_cut_rate`) recorded so single-core
+//! wall-clock variance and the floors' contribution stay visible in
+//! the artifact. The engine path is additionally checked
 //! bit-for-bit against the reference inside this run, and CI validates
 //! the artifact's schema and cutoff counters with the `check_bench`
 //! binary.
@@ -156,20 +159,28 @@ fn bench_micro(c: &mut Criterion) {
     full_ensemble_baseline(&net, &tm, &w, &format!("{phase2_json}{mtr_json}"));
 }
 
-/// End-to-end Phase-2 robust search on the 50-node testbed, three ways:
-/// serial-move full-sweep (the seed search loop), the incumbent-aware
-/// sweep kernel (early cutoff + delta-state scenario cache), and the
-/// shipped default configuration (the same kernel plus a speculation
-/// window of 8) — all single-threaded, so the recorded speedup is
-/// algorithmic, not parallelism. Note the attribution: at one thread
-/// `speculative_sweep` defers evaluation to replay time, so the third
-/// leg's win over the first comes from the cutoff + cache; speculation
-/// contributes wall-clock only when `threads > 1` fan out the window
-/// (its trajectory-invariance is what the equivalence suite pins). All
-/// three runs are asserted to produce the identical robust setting,
-/// costs and constraint accounting (the tentpole's bit-for-bit
-/// contract), and the emitted JSON records the skipped-evaluation
-/// counter that explains the win.
+/// End-to-end Phase-2 robust search on the 50-node testbed, five ways:
+///
+/// * `serial` — serial-move full-sweep (the seed search loop),
+/// * `cutoff` — the incumbent-aware sweep kernel (early cutoff +
+///   Λ floors + delta-state scenario cache): the pre-Φ baseline,
+/// * `floors` — the same kernel with the load-aware Φ floors added to
+///   the Λ floors (`Params::phi_floors`),
+/// * `repair` — the `cutoff` leg with repair-seeded routing restored on
+///   the plain `cost_scenario` path (`Evaluator::set_plain_repair`),
+///   isolating the repair-everywhere win on cache-capture rebuilds,
+/// * `combined` — the shipped default configuration: Φ floors, plain
+///   repair, and a speculation window of 8.
+///
+/// All single-threaded, so the recorded speedup is algorithmic, not
+/// parallelism (at one thread `speculative_sweep` defers evaluation to
+/// replay time; speculation contributes wall-clock only when
+/// `threads > 1` fan out the window — its trajectory-invariance is what
+/// the equivalence suite pins). All five runs are asserted to produce
+/// the identical robust setting, costs and constraint accounting (the
+/// tentpole's bit-for-bit contract), and the emitted JSON records the
+/// per-cause skip counters (`skipped_floor` / `skipped_cache` /
+/// `skipped_cutoff`) and the `floor_cut_rate` that explain the win.
 fn phase2_search_baseline(net: &Network, tm: &ClassMatrices) -> String {
     // The shared testbed traffic (5e10) is a stress scale tuned for the
     // ensemble-sweep benches, where every failure drowns in SLA
@@ -182,7 +193,7 @@ fn phase2_search_baseline(net: &Network, tm: &ClassMatrices) -> String {
     let mut tm = tm.clone();
     tm.scale(0.04);
     let tm = &tm;
-    let ev = Evaluator::new(net, tm, CostParams::default());
+    let mut ev = Evaluator::new(net, tm, CostParams::default());
     let universe = dtr_core::FailureUniverse::of(net);
     // CI-sized search budget at paper scale: a few full sweeps over the
     // 150 physical links against the paper's critical fraction of the
@@ -200,24 +211,27 @@ fn phase2_search_baseline(net: &Network, tm: &ClassMatrices) -> String {
         archive_size: 4,
         max_iterations: 3,
         threads: 1,
-        ..Params::paper_default(11)
-    };
-    let serial = Params {
         speculation: 1,
         cutoff: false,
-        ..base
+        phi_floors: false,
+        ..Params::paper_default(11)
     };
-    let cutoff_only = Params {
-        speculation: 1,
+    let cutoff = Params {
         cutoff: true,
         ..base
     };
-    let cutoff_spec = Params {
+    let floors = Params {
+        cutoff: true,
+        phi_floors: true,
+        ..base
+    };
+    let combined = Params {
+        cutoff: true,
+        phi_floors: true,
         speculation: 8,
-        cutoff: true,
         ..base
     };
-    let p1 = phase1::run(&ev, &universe, &serial);
+    let p1 = phase1::run(&ev, &universe, &base);
 
     let reps = if criterion::Criterion::test_mode() {
         1
@@ -229,12 +243,21 @@ fn phase2_search_baseline(net: &Network, tm: &ClassMatrices) -> String {
     // best-of-`reps` minimum instead of skewing one configuration. Every
     // per-rep sample is recorded in the artifact so the single-core
     // wall-clock variance is visible rather than folded into one number.
-    let configs = [&serial, &cutoff_only, &cutoff_spec];
-    let mut best_ns = [u128::MAX; 3];
-    let mut samples: [Vec<u128>; 3] = [Vec::new(), Vec::new(), Vec::new()];
-    let mut outs: [Option<phase2::Phase2Output>; 3] = [None, None, None];
+    // The repair toggle lives on the evaluator (not `Params`) and is
+    // bit-for-bit invisible in results, so legs flip it in place.
+    let legs: [(&str, &Params, bool); 5] = [
+        ("serial", &base, false),
+        ("cutoff", &cutoff, false),
+        ("floors", &floors, false),
+        ("repair", &cutoff, true),
+        ("combined", &combined, true),
+    ];
+    let mut best_ns = [u128::MAX; 5];
+    let mut samples: [Vec<u128>; 5] = Default::default();
+    let mut outs: [Option<phase2::Phase2Output>; 5] = Default::default();
     for _ in 0..reps {
-        for (j, params) in configs.iter().enumerate() {
+        for (j, (_, params, plain_repair)) in legs.iter().enumerate() {
+            ev.set_plain_repair(*plain_repair);
             let t0 = Instant::now();
             let run = phase2::run(&ev, &universe, &indices, params, &p1);
             let ns = t0.elapsed().as_nanos();
@@ -243,12 +266,14 @@ fn phase2_search_baseline(net: &Network, tm: &ClassMatrices) -> String {
             outs[j] = Some(run);
         }
     }
-    let [serial_out, cutoff_out, spec_out] = outs.map(|o| o.expect("at least one rep"));
-    let [serial_ns, cutoff_ns, spec_ns] = best_ns;
+    ev.set_plain_repair(true);
+    let outs = outs.map(|o| o.expect("at least one rep"));
+    let serial_out = &outs[0];
 
-    // The tentpole contract: all three configurations walk the same
+    // The tentpole contract: all five configurations walk the same
     // trajectory to the same robust setting.
-    for (name, out) in [("cutoff", &cutoff_out), ("cutoff+spec", &spec_out)] {
+    for (j, (name, _, _)) in legs.iter().enumerate().skip(1) {
+        let out = &outs[j];
         assert_eq!(serial_out.best, out.best, "{name}: best setting diverged");
         assert_eq!(serial_out.best_kfail, out.best_kfail, "{name}");
         assert_eq!(serial_out.best_normal, out.best_normal, "{name}");
@@ -260,33 +285,69 @@ fn phase2_search_baseline(net: &Network, tm: &ClassMatrices) -> String {
             serial_out.stats.evaluations, out.stats.evaluations,
             "{name}"
         );
+        // The legacy counter stays the exact sum of the per-cause split.
+        assert_eq!(
+            out.stats.scenario_evals_skipped,
+            out.stats.skipped_floor + out.stats.skipped_cache + out.stats.skipped_cutoff,
+            "{name}: skip partition broken"
+        );
     }
     assert_eq!(serial_out.stats.scenario_evals_skipped, 0);
-    assert!(cutoff_out.stats.scenario_evals_skipped > 0);
+    assert!(outs[1].stats.scenario_evals_skipped > 0);
+    // Repair changes wall-clock only — every counter matches its
+    // floors-off cutoff twin exactly.
+    assert_eq!(outs[3].stats, outs[1].stats, "repair leg perturbed stats");
+    // The Φ floors must be observable: some cuts needed them.
+    assert!(outs[2].stats.skipped_floor > 0, "Φ floors never fired");
+    let combined_stats = &outs[4].stats;
+    assert!(
+        combined_stats.skipped_floor > 0,
+        "Φ floors never fired (combined)"
+    );
 
+    let [serial_ns, cutoff_ns, floors_ns, repair_ns, combined_ns] = best_ns;
     let speedup_cutoff = serial_ns as f64 / cutoff_ns as f64;
-    let speedup_total = serial_ns as f64 / spec_ns as f64;
+    let speedup_floors = serial_ns as f64 / floors_ns as f64;
+    let speedup_repair = serial_ns as f64 / repair_ns as f64;
+    let speedup_combined = serial_ns as f64 / combined_ns as f64;
+    // Share of all logical scenario evaluations skipped by a cut that
+    // *needed* the floors (the evaluated prefix alone would not have
+    // proven the rejection).
+    let floor_cut_rate = combined_stats.skipped_floor as f64 / combined_stats.evaluations as f64;
     println!(
-        "micro/phase2_search_{NODES}n: serial {:.1} ms, cutoff+cache {:.1} ms \
-         ({speedup_cutoff:.2}x), default config (K=8) {:.1} ms ({speedup_total:.2}x); \
-         {} of {} scenario evals skipped (identical result; speculation is lazy at 1 thread)",
+        "micro/phase2_search_{NODES}n: serial {:.1} ms, cutoff+Λ {:.1} ms \
+         ({speedup_cutoff:.2}x), +Φ floors {:.1} ms ({speedup_floors:.2}x), \
+         +repair {:.1} ms ({speedup_repair:.2}x), combined (K=8) {:.1} ms \
+         ({speedup_combined:.2}x); {} of {} scenario evals skipped \
+         ({} floor / {} cache / {} cutoff; identical result)",
         serial_ns as f64 / 1e6,
         cutoff_ns as f64 / 1e6,
-        spec_ns as f64 / 1e6,
-        cutoff_out.stats.scenario_evals_skipped,
+        floors_ns as f64 / 1e6,
+        repair_ns as f64 / 1e6,
+        combined_ns as f64 / 1e6,
+        combined_stats.scenario_evals_skipped,
         serial_out.stats.evaluations,
+        combined_stats.skipped_floor,
+        combined_stats.skipped_cache,
+        combined_stats.skipped_cutoff,
     );
 
     format!(
         "  \"phase2_search\": {{\n    \"critical_scenarios\": {},\n    \
          \"sweeps\": {},\n    \"logical_evaluations\": {},\n    \
          \"serial_move_full_sweep_ns\": {serial_ns},\n    \
-         \"cutoff_ns\": {cutoff_ns},\n    \"cutoff_spec_ns\": {spec_ns},\n    \
+         \"cutoff_ns\": {cutoff_ns},\n    \"floors_ns\": {floors_ns},\n    \
+         \"repair_ns\": {repair_ns},\n    \"combined_ns\": {combined_ns},\n    \
          \"serial_ns_samples\": {},\n    \"cutoff_ns_samples\": {},\n    \
-         \"cutoff_spec_ns_samples\": {},\n    \
+         \"floors_ns_samples\": {},\n    \"repair_ns_samples\": {},\n    \
+         \"combined_ns_samples\": {},\n    \
          \"speedup_cutoff\": {speedup_cutoff:.4},\n    \
-         \"speedup_cutoff_spec\": {speedup_total:.4},\n    \
-         \"scenario_evals_skipped\": {},\n    \
+         \"speedup_floors\": {speedup_floors:.4},\n    \
+         \"speedup_repair\": {speedup_repair:.4},\n    \
+         \"speedup_combined\": {speedup_combined:.4},\n    \
+         \"scenario_evals_skipped\": {},\n    \"skipped_floor\": {},\n    \
+         \"skipped_cache\": {},\n    \"skipped_cutoff\": {},\n    \
+         \"floor_cut_rate\": {floor_cut_rate:.4},\n    \
          \"speculative_wasted\": {},\n    \"identical_result\": true\n  }},\n",
         indices.len(),
         serial_out.stats.iterations,
@@ -294,8 +355,13 @@ fn phase2_search_baseline(net: &Network, tm: &ClassMatrices) -> String {
         json_u128_array(&samples[0]),
         json_u128_array(&samples[1]),
         json_u128_array(&samples[2]),
-        cutoff_out.stats.scenario_evals_skipped,
-        spec_out.stats.speculative_wasted,
+        json_u128_array(&samples[3]),
+        json_u128_array(&samples[4]),
+        combined_stats.scenario_evals_skipped,
+        combined_stats.skipped_floor,
+        combined_stats.skipped_cache,
+        combined_stats.skipped_cutoff,
+        combined_stats.speculative_wasted,
     )
 }
 
@@ -305,22 +371,32 @@ fn json_u128_array(xs: &[u128]) -> String {
     format!("[{}]", inner.join(", "))
 }
 
-/// End-to-end MTR robust search on the same 50-node testbed, three ways:
-/// serial-move full-sweep (the pre-incumbent-aware loop), with the
-/// early-cutoff bounded sweep + per-class Λ floors, and with cutoff +
-/// the delta-state per-scenario routing/load cache — all single thread,
-/// all asserted to produce the identical robust setting and costs (the
-/// MTR analogue of the `phase2_search` contract). The operating point is
-/// the same recoverable-violations scale as `phase2_search`; the two
-/// classes are the paper's delay/throughput split run through the
-/// k-class evaluator.
+/// End-to-end MTR robust search on the same 50-node testbed, five ways
+/// (the MTR analogue of the `phase2_search` contract):
+///
+/// * `serial` — serial-move full-sweep (the pre-incumbent-aware loop),
+/// * `cutoff` — the early-cutoff bounded sweep + per-class Λ floors,
+///   uncached: the pre-Φ baseline,
+/// * `floors` — the same sweep with the load-aware per-class Φ floors
+///   (`MtrParams::phi_floors`),
+/// * `repair` — the `cutoff` leg with repair-seeded routing restored on
+///   the plain `cost_scenario` path (`MtrEvaluator::set_plain_repair`),
+///   which that uncached leg pays on every evaluation,
+/// * `combined` — Φ floors + plain repair + the delta-state per-scenario
+///   routing/load cache (the shipped default).
+///
+/// All single thread, all asserted to produce the identical robust
+/// setting and costs. The operating point is the same
+/// recoverable-violations scale as `phase2_search`; the two classes are
+/// the paper's delay/throughput split run through the k-class evaluator.
 fn mtr_robust_search_baseline(net: &Network, tm: &ClassMatrices) -> String {
     use dtr_mtr::{robust as mtr_robust, search as mtr_search, MtrConfig, MtrEvaluator, MtrParams};
 
     let mut tm = tm.clone();
     tm.scale(0.04);
     let matrices = [tm.delay.clone(), tm.throughput.clone()];
-    let ev = MtrEvaluator::new(net, &matrices, MtrConfig::dtr(25e-3, 0.2)).expect("valid config");
+    let mut ev =
+        MtrEvaluator::new(net, &matrices, MtrConfig::dtr(25e-3, 0.2)).expect("valid config");
     let universe = dtr_core::FailureUniverse::of(net);
     let crit = universe.target_size(0.15);
     let scenarios: Vec<Scenario> = universe.scenarios().into_iter().take(crit).collect();
@@ -335,36 +411,46 @@ fn mtr_robust_search_baseline(net: &Network, tm: &ClassMatrices) -> String {
         max_iterations: 3,
         threads: 1,
         speculation: 1,
-        ..MtrParams::paper_default(11)
-    };
-    let serial = MtrParams {
         cutoff: false,
         cache: false,
-        ..base
+        phi_floors: false,
+        ..MtrParams::paper_default(11)
     };
-    let cutoff_only = MtrParams {
+    let cutoff = MtrParams {
         cutoff: true,
-        cache: false,
         ..base
     };
-    let cutoff_cache = MtrParams {
+    let floors = MtrParams {
+        cutoff: true,
+        phi_floors: true,
+        ..base
+    };
+    let combined = MtrParams {
         cutoff: true,
         cache: true,
+        phi_floors: true,
         ..base
     };
-    let reg = mtr_search::regular(&ev, &universe, &serial);
+    let reg = mtr_search::regular(&ev, &universe, &base);
 
     let reps = if criterion::Criterion::test_mode() {
         1
     } else {
         5
     };
-    let configs = [&serial, &cutoff_only, &cutoff_cache];
-    let mut best_ns = [u128::MAX; 3];
-    let mut samples: [Vec<u128>; 3] = [Vec::new(), Vec::new(), Vec::new()];
-    let mut outs: [Option<dtr_mtr::MtrRobustOutput>; 3] = [None, None, None];
+    let legs: [(&str, &MtrParams, bool); 5] = [
+        ("serial", &base, false),
+        ("cutoff", &cutoff, false),
+        ("floors", &floors, false),
+        ("repair", &cutoff, true),
+        ("combined", &combined, true),
+    ];
+    let mut best_ns = [u128::MAX; 5];
+    let mut samples: [Vec<u128>; 5] = Default::default();
+    let mut outs: [Option<dtr_mtr::MtrRobustOutput>; 5] = Default::default();
     for _ in 0..reps {
-        for (j, params) in configs.iter().enumerate() {
+        for (j, (_, params, plain_repair)) in legs.iter().enumerate() {
+            ev.set_plain_repair(*plain_repair);
             let t0 = Instant::now();
             let run = mtr_robust::run(&ev, &scenarios, params, &reg.best_cost, &reg.archive, None);
             let ns = t0.elapsed().as_nanos();
@@ -373,10 +459,12 @@ fn mtr_robust_search_baseline(net: &Network, tm: &ClassMatrices) -> String {
             outs[j] = Some(run);
         }
     }
-    let [serial_out, cutoff_out, cache_out] = outs.map(|o| o.expect("at least one rep"));
-    let [serial_ns, cutoff_ns, cache_ns] = best_ns;
+    ev.set_plain_repair(true);
+    let outs = outs.map(|o| o.expect("at least one rep"));
+    let serial_out = &outs[0];
 
-    for (name, out) in [("cutoff", &cutoff_out), ("cutoff+cache", &cache_out)] {
+    for (j, (name, _, _)) in legs.iter().enumerate().skip(1) {
+        let out = &outs[j];
         assert_eq!(serial_out.best, out.best, "{name}: best setting diverged");
         assert_eq!(serial_out.best_kfail, out.best_kfail, "{name}");
         assert_eq!(serial_out.best_normal, out.best_normal, "{name}");
@@ -388,22 +476,44 @@ fn mtr_robust_search_baseline(net: &Network, tm: &ClassMatrices) -> String {
             serial_out.stats.evaluations, out.stats.evaluations,
             "{name}"
         );
+        assert_eq!(
+            out.stats.scenario_evals_skipped,
+            out.stats.skipped_floor + out.stats.skipped_cache + out.stats.skipped_cutoff,
+            "{name}: skip partition broken"
+        );
     }
     assert_eq!(serial_out.stats.scenario_evals_skipped, 0);
-    assert!(cutoff_out.stats.scenario_evals_skipped > 0);
-    assert!(cache_out.stats.scenario_evals_skipped > 0);
+    assert!(outs[1].stats.scenario_evals_skipped > 0);
+    assert_eq!(outs[3].stats, outs[1].stats, "repair leg perturbed stats");
+    assert!(outs[2].stats.skipped_floor > 0, "Φ floors never fired");
+    let combined_stats = &outs[4].stats;
+    assert!(
+        combined_stats.skipped_floor > 0,
+        "Φ floors never fired (combined)"
+    );
 
+    let [serial_ns, cutoff_ns, floors_ns, repair_ns, combined_ns] = best_ns;
     let speedup_cutoff = serial_ns as f64 / cutoff_ns as f64;
-    let speedup_cache = serial_ns as f64 / cache_ns as f64;
+    let speedup_floors = serial_ns as f64 / floors_ns as f64;
+    let speedup_repair = serial_ns as f64 / repair_ns as f64;
+    let speedup_combined = serial_ns as f64 / combined_ns as f64;
+    let floor_cut_rate = combined_stats.skipped_floor as f64 / combined_stats.evaluations as f64;
     println!(
-        "micro/mtr_robust_search_{NODES}n: serial {:.1} ms, cutoff+floors {:.1} ms \
-         ({speedup_cutoff:.2}x), cutoff+floors+cache {:.1} ms ({speedup_cache:.2}x); \
-         {} of {} scenario evals skipped (identical result)",
+        "micro/mtr_robust_search_{NODES}n: serial {:.1} ms, cutoff+Λ {:.1} ms \
+         ({speedup_cutoff:.2}x), +Φ floors {:.1} ms ({speedup_floors:.2}x), \
+         +repair {:.1} ms ({speedup_repair:.2}x), combined (+cache) {:.1} ms \
+         ({speedup_combined:.2}x); {} of {} scenario evals skipped \
+         ({} floor / {} cache / {} cutoff; identical result)",
         serial_ns as f64 / 1e6,
         cutoff_ns as f64 / 1e6,
-        cache_ns as f64 / 1e6,
-        cache_out.stats.scenario_evals_skipped,
+        floors_ns as f64 / 1e6,
+        repair_ns as f64 / 1e6,
+        combined_ns as f64 / 1e6,
+        combined_stats.scenario_evals_skipped,
         serial_out.stats.evaluations,
+        combined_stats.skipped_floor,
+        combined_stats.skipped_cache,
+        combined_stats.skipped_cutoff,
     );
 
     format!(
@@ -411,19 +521,31 @@ fn mtr_robust_search_baseline(net: &Network, tm: &ClassMatrices) -> String {
          \"critical_scenarios\": {},\n    \"sweeps\": {},\n    \
          \"logical_evaluations\": {},\n    \
          \"serial_move_full_sweep_ns\": {serial_ns},\n    \
-         \"cutoff_ns\": {cutoff_ns},\n    \"cutoff_cache_ns\": {cache_ns},\n    \
+         \"cutoff_ns\": {cutoff_ns},\n    \"floors_ns\": {floors_ns},\n    \
+         \"repair_ns\": {repair_ns},\n    \"combined_ns\": {combined_ns},\n    \
          \"serial_ns_samples\": {},\n    \"cutoff_ns_samples\": {},\n    \
-         \"cutoff_cache_ns_samples\": {},\n    \
+         \"floors_ns_samples\": {},\n    \"repair_ns_samples\": {},\n    \
+         \"combined_ns_samples\": {},\n    \
          \"speedup_cutoff\": {speedup_cutoff:.4},\n    \
-         \"speedup_cutoff_cache\": {speedup_cache:.4},\n    \
-         \"scenario_evals_skipped\": {},\n    \"identical_result\": true\n  }},\n",
+         \"speedup_floors\": {speedup_floors:.4},\n    \
+         \"speedup_repair\": {speedup_repair:.4},\n    \
+         \"speedup_combined\": {speedup_combined:.4},\n    \
+         \"scenario_evals_skipped\": {},\n    \"skipped_floor\": {},\n    \
+         \"skipped_cache\": {},\n    \"skipped_cutoff\": {},\n    \
+         \"floor_cut_rate\": {floor_cut_rate:.4},\n    \
+         \"identical_result\": true\n  }},\n",
         scenarios.len(),
         serial_out.stats.iterations,
         serial_out.stats.evaluations,
         json_u128_array(&samples[0]),
         json_u128_array(&samples[1]),
         json_u128_array(&samples[2]),
-        cache_out.stats.scenario_evals_skipped,
+        json_u128_array(&samples[3]),
+        json_u128_array(&samples[4]),
+        combined_stats.scenario_evals_skipped,
+        combined_stats.skipped_floor,
+        combined_stats.skipped_cache,
+        combined_stats.skipped_cutoff,
     )
 }
 

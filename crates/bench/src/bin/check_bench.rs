@@ -10,6 +10,11 @@
 //! * a search bench reports `scenario_evals_skipped == 0` (the
 //!   incumbent-bounded cutoff never fired — a regression in the
 //!   machinery this artifact exists to track), or
+//! * a search bench reports `skipped_floor == 0` or
+//!   `floor_cut_rate == 0` (the load-aware floors contributed nothing:
+//!   no cut needed them — the Φ-floor machinery regressed to dead
+//!   weight), or the per-cause skip counters don't sum to
+//!   `scenario_evals_skipped`, or
 //! * an identity flag (`identical_result`, `serial_equals_parallel`,
 //!   `bit_for_bit_identical`) is missing or false, or
 //! * a per-rep sample array is empty (the variance record the artifact
@@ -157,25 +162,10 @@ fn main() -> ExitCode {
     }
 
     // End-to-end search benches: entries present, results identical,
-    // cutoff observable (skips > 0), per-rep samples recorded.
-    for (name, samples) in [
-        (
-            "phase2_search",
-            [
-                "serial_ns_samples",
-                "cutoff_ns_samples",
-                "cutoff_spec_ns_samples",
-            ],
-        ),
-        (
-            "mtr_robust_search",
-            [
-                "serial_ns_samples",
-                "cutoff_ns_samples",
-                "cutoff_cache_ns_samples",
-            ],
-        ),
-    ] {
+    // cutoff observable (skips > 0), the Φ floors observable
+    // (skipped_floor > 0, floor_cut_rate > 0, per-cause counters sum
+    // to the legacy total), per-rep samples recorded for all five legs.
+    for name in ["phase2_search", "mtr_robust_search"] {
         match section(&doc, name) {
             None => errors.push(format!("missing search entry `{name}`")),
             Some(body) => {
@@ -186,7 +176,8 @@ fn main() -> ExitCode {
                     "identical_result",
                     "the identical-result contract was lost",
                 );
-                match number(body, "scenario_evals_skipped") {
+                let skipped = number(body, "scenario_evals_skipped");
+                match skipped {
                     None => errors.push(format!(
                         "`{name}` is missing field `scenario_evals_skipped`"
                     )),
@@ -195,7 +186,48 @@ fn main() -> ExitCode {
                     )),
                     _ => {}
                 }
-                for arr in samples {
+                match number(body, "skipped_floor") {
+                    None => errors.push(format!("`{name}` is missing field `skipped_floor`")),
+                    Some(s) if s <= 0.0 => errors.push(format!(
+                        "`{name}` reports skipped_floor == 0: no cut needed the floors"
+                    )),
+                    _ => {}
+                }
+                match number(body, "floor_cut_rate") {
+                    None => errors.push(format!("`{name}` is missing field `floor_cut_rate`")),
+                    Some(r) if r.is_nan() || r <= 0.0 => errors.push(format!(
+                        "`{name}` field `floor_cut_rate` is not positive ({r})"
+                    )),
+                    _ => {}
+                }
+                // The legacy counter must stay the exact per-cause sum.
+                if let (Some(total), Some(fl), Some(ca), Some(cu)) = (
+                    skipped,
+                    number(body, "skipped_floor"),
+                    number(body, "skipped_cache"),
+                    number(body, "skipped_cutoff"),
+                ) {
+                    if total != fl + ca + cu {
+                        errors.push(format!(
+                            "`{name}` skip partition broken: \
+                             {total} != {fl} + {ca} + {cu}"
+                        ));
+                    }
+                } else if number(body, "skipped_cache").is_none()
+                    || number(body, "skipped_cutoff").is_none()
+                {
+                    errors.push(format!(
+                        "`{name}` is missing a per-cause skip counter \
+                         (`skipped_cache` / `skipped_cutoff`)"
+                    ));
+                }
+                for arr in [
+                    "serial_ns_samples",
+                    "cutoff_ns_samples",
+                    "floors_ns_samples",
+                    "repair_ns_samples",
+                    "combined_ns_samples",
+                ] {
                     match array_state(body, arr) {
                         ArrayState::NonEmpty => {}
                         ArrayState::Empty => {

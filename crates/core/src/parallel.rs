@@ -21,7 +21,7 @@
 //! incrementally, one sharded sweep serves the single-link universe and
 //! the node / SRLG / double-link / probabilistic ensembles alike.
 
-use dtr_cost::{Evaluator, LexCost, ScenarioCache};
+use dtr_cost::{Evaluator, LexCost, ScenarioCache, ScenarioFloor};
 use dtr_routing::{Scenario, WeightSetting};
 
 /// Map `f` over `items` on up to `threads` scoped workers (contiguous
@@ -255,21 +255,29 @@ pub enum SetSweep {
     Cut {
         /// Scenarios evaluated before the proof fired.
         evaluated: usize,
+        /// `true` when the floors were *necessary* for this cut: the
+        /// same partial fold without floor stand-ins would still have
+        /// beaten the incumbent, so the skip is attributable to the
+        /// floors (`SearchStats::skipped_floor`) rather than to the
+        /// plain cutoff.
+        floor_cut: bool,
     },
 }
 
 /// Index-order weighted fold over a sweep's evaluated subset, with each
-/// not-yet-evaluated position standing in at its Λ floor (zero when no
-/// floors are supplied). Every stand-in is a true lower bound of that
-/// scenario's contribution and IEEE addition is monotone in each
-/// addend, so the fold bounds the completed compound cost from below —
-/// and equals it exactly, bit-for-bit, once every position is done
-/// (floors are then never read).
+/// not-yet-evaluated position standing in at its [`ScenarioFloor`]
+/// (zero when no floors are supplied). Every stand-in bounds its
+/// scenario's contribution from below **componentwise** and IEEE
+/// addition is monotone in each addend, so the fold bounds the completed
+/// compound cost from below in both components — and equals it exactly,
+/// bit-for-bit, once every position is done (floors are then never
+/// read). The componentwise bound carries through the lexicographic
+/// `better_than` (see the antitone lemma on [`LexCost::better_than`]).
 fn fold_bound<S: crate::scenario::ScenarioSet + ?Sized>(
     set: &S,
     indices: &[usize],
     scratch: &SweepScratch,
-    floors: Option<&[f64]>,
+    floors: Option<&[ScenarioFloor]>,
 ) -> LexCost {
     let weighted = set.weighted();
     let mut acc = LexCost::ZERO;
@@ -284,11 +292,12 @@ fn fold_bound<S: crate::scenario::ScenarioSet + ?Sized>(
             };
         } else if let Some(f) = floors {
             let fl = f[pos];
-            if fl > 0.0 {
+            if fl.lambda > 0.0 || fl.phi > 0.0 {
                 acc = if weighted {
-                    acc.add(&LexCost::new(fl * set.weight(i), 0.0))
+                    let p = set.weight(i);
+                    acc.add(&LexCost::new(fl.lambda * p, fl.phi * p))
                 } else {
-                    acc.add(&LexCost::new(fl, 0.0))
+                    acc.add(&LexCost::new(fl.lambda, fl.phi))
                 };
             }
         }
@@ -301,9 +310,9 @@ fn fold_bound<S: crate::scenario::ScenarioSet + ?Sized>(
 /// `0..indices.len()`, typically costliest-under-the-incumbent first)
 /// and abandons the sweep as soon as the index-order fold over the
 /// evaluated subset — with every unevaluated scenario standing in at
-/// its Λ floor (`floors`, aligned with `indices`; see
-/// `Evaluator::lambda_floor`) — proves the candidate cannot be
-/// lexicographically better than `incumbent`.
+/// its [`ScenarioFloor`] (`floors`, aligned with `indices`; see
+/// `Evaluator::scenario_floor` for the Λ + load-aware Φ bound) — proves
+/// the candidate cannot be lexicographically better than `incumbent`.
 ///
 /// The proof is float-exact, not heuristic: per-scenario contributions
 /// are non-negative, IEEE addition of non-negative terms is monotone,
@@ -335,7 +344,7 @@ pub fn sum_set_costs_bounded<S: crate::scenario::ScenarioSet + Sync + ?Sized>(
     threads: usize,
     incumbent: &LexCost,
     order: &[u32],
-    floors: Option<&[f64]>,
+    floors: Option<&[ScenarioFloor]>,
     cache: Option<&ScenarioCache>,
     scratch: &mut SweepScratch,
 ) -> SetSweep {
@@ -371,7 +380,14 @@ pub fn sum_set_costs_bounded<S: crate::scenario::ScenarioSet + Sync + ?Sized>(
                 && !fold_bound(set, indices, scratch, floors).better_than(incumbent)
             {
                 ev.release_workspace(ws);
-                return SetSweep::Cut { evaluated };
+                // The cut is floor-attributed iff the evaluated subset
+                // alone (floor-less fold) would *not* have proven it.
+                let floor_cut = floors.is_some()
+                    && fold_bound(set, indices, scratch, None).better_than(incumbent);
+                return SetSweep::Cut {
+                    evaluated,
+                    floor_cut,
+                };
             }
         }
         ev.release_workspace(ws);
@@ -416,7 +432,12 @@ pub fn sum_set_costs_bounded<S: crate::scenario::ScenarioSet + Sync + ?Sized>(
         });
         evaluated += batch.len();
         if evaluated < n && !fold_bound(set, indices, scratch, floors).better_than(incumbent) {
-            return SetSweep::Cut { evaluated };
+            let floor_cut =
+                floors.is_some() && fold_bound(set, indices, scratch, None).better_than(incumbent);
+            return SetSweep::Cut {
+                evaluated,
+                floor_cut,
+            };
         }
     }
     SetSweep::Complete(fold_bound(set, indices, scratch, floors))
@@ -615,7 +636,73 @@ mod tests {
             None,
             &mut scratch,
         );
-        assert_eq!(got, SetSweep::Cut { evaluated: 1 });
+        assert_eq!(
+            got,
+            SetSweep::Cut {
+                evaluated: 1,
+                floor_cut: false
+            }
+        );
+    }
+
+    #[test]
+    fn floors_hasten_cuts_without_changing_completions() {
+        let (net, tm) = setup(7);
+        let ev = Evaluator::new(&net, &tm, CostParams::default());
+        let w = WeightSetting::uniform(net.num_links(), 20);
+        let set = crate::universe::FailureUniverse::of(&net);
+        let indices: Vec<usize> = crate::scenario::ScenarioSet::all_indices(&set);
+        let mut ws = ev.acquire_workspace();
+        let floors: Vec<ScenarioFloor> = indices
+            .iter()
+            .map(|&i| ev.scenario_floor(&mut ws, crate::scenario::ScenarioSet::scenario(&set, i)))
+            .collect();
+        ev.release_workspace(ws);
+        let total = sum_set_costs(&ev, &w, &set, &indices, 1);
+        let order: Vec<u32> = (0..indices.len() as u32).collect();
+        let mut scratch = SweepScratch::new();
+        for threads in [1, 3] {
+            // Beatable incumbent: the floored sweep must still complete
+            // with the exact bit-for-bit total.
+            let above = LexCost::new(total.lambda + 1.0, total.phi);
+            let got = sum_set_costs_bounded(
+                &ev,
+                &w,
+                &set,
+                &indices,
+                threads,
+                &above,
+                &order,
+                Some(&floors),
+                None,
+                &mut scratch,
+            );
+            assert_eq!(got, SetSweep::Complete(total), "threads={threads}");
+            // An incumbent below the summed floors is unbeatable from
+            // position zero: the floored sweep cuts at its first check,
+            // and the cut is attributed to the floors whenever the
+            // evaluated subset alone would not have proven it.
+            let floor_sum: f64 = floors.iter().map(|f| f.phi).sum();
+            assert!(floor_sum > 0.0, "testbed floors are degenerate");
+            let below_floors = LexCost::new(0.0, floor_sum * 0.5);
+            match sum_set_costs_bounded(
+                &ev,
+                &w,
+                &set,
+                &indices,
+                threads,
+                &below_floors,
+                &order,
+                Some(&floors),
+                None,
+                &mut scratch,
+            ) {
+                SetSweep::Cut { evaluated, .. } => {
+                    assert!(evaluated < indices.len(), "threads={threads}")
+                }
+                SetSweep::Complete(c) => assert!(!c.better_than(&below_floors)),
+            }
+        }
     }
 
     #[test]
@@ -646,7 +733,7 @@ mod tests {
                 None,
                 &mut scratch,
             ) {
-                SetSweep::Cut { evaluated } => assert!(evaluated <= indices.len()),
+                SetSweep::Cut { evaluated, .. } => assert!(evaluated <= indices.len()),
                 SetSweep::Complete(c) => {
                     // Completing is allowed (the cut is opportunistic),
                     // but the sum must be exact and not better.

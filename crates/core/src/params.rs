@@ -66,6 +66,13 @@ pub struct Params {
     /// moves, their costs, and the full accept/reject sequence are
     /// identical with it on or off; only losing sweeps get cheaper.
     pub cutoff: bool,
+    /// Include the load-aware congestion Φ component in the per-scenario
+    /// floors of the bounded sweeps (`Evaluator::phi_floor`); off, the
+    /// floors fall back to the propagation-only Λ bound. Only read when
+    /// `cutoff` is on. Like the cutoff itself, the Φ floors are a
+    /// float-exact rejection proof: results and traces are identical
+    /// either way, only losing sweeps cut earlier.
+    pub phi_floors: bool,
     /// Record the per-proposal accept/reject trace into the phase
     /// outputs ([`crate::search::MoveOutcome`]). Off by default: the
     /// trace grows with the move count and exists for the equivalence
@@ -100,6 +107,7 @@ impl Params {
             threads: 1,
             speculation: 8,
             cutoff: true,
+            phi_floors: true,
             record_trace: false,
             max_iterations: 100_000,
             seed,

@@ -96,21 +96,24 @@ pub fn feasible(normal: &LexCost, lambda_star: f64, phi_star: f64, chi: f64) -> 
 
 /// Evaluation-order state of the cutoff sweeps: positions into the
 /// `indices` slice, costliest-under-the-incumbent first, the shared
-/// per-position cost scratch, the per-position Λ floors that stand in
+/// per-position cost scratch, the per-position Λ/Φ floors that stand in
 /// for scenarios a bounded sweep has not reached yet, and the
 /// delta-state scenario cache.
 struct SweepState {
     order: Vec<u32>,
     scratch: SweepScratch,
-    floors: Vec<f64>,
+    floors: Vec<dtr_cost::ScenarioFloor>,
     cache: dtr_cost::ScenarioCache,
 }
 
 impl SweepState {
     /// Build the sweep state; the floors (one SPF per demand
-    /// destination per scenario, see [`Evaluator::lambda_floor`]) are
-    /// only computed when the cutoff will actually read them — their
-    /// one-off cost is on the order of a single failure sweep.
+    /// destination per scenario, see [`Evaluator::lambda_floor`] and
+    /// [`Evaluator::phi_floor`]) are only computed when the cutoff will
+    /// actually read them — their one-off cost is on the order of a
+    /// single failure sweep. Floors depend only on (topology, traffic,
+    /// mask, cost parameters) — never on the weights under search — so
+    /// this single computation stays valid for the whole run.
     fn new<S: ScenarioSet + ?Sized>(
         ev: &Evaluator<'_>,
         set: &S,
@@ -118,10 +121,23 @@ impl SweepState {
         params: &Params,
     ) -> Self {
         let floors = if params.cutoff {
-            indices
+            let mut ws = ev.acquire_workspace();
+            let floors = indices
                 .iter()
-                .map(|&i| ev.lambda_floor(set.scenario(i)))
-                .collect()
+                .map(|&i| {
+                    let sc = set.scenario(i);
+                    if params.phi_floors {
+                        ev.scenario_floor(&mut ws, sc)
+                    } else {
+                        dtr_cost::ScenarioFloor {
+                            lambda: ev.lambda_floor(sc),
+                            phi: 0.0,
+                        }
+                    }
+                })
+                .collect();
+            ev.release_workspace(ws);
+            floors
         } else {
             Vec::new()
         };
@@ -134,26 +150,28 @@ impl SweepState {
     }
 
     /// Re-sort the evaluation order by the incumbent's per-scenario
-    /// **excess over the Λ floor** (Φ as tie-break), descending, ties by
-    /// position — so the order, and therefore the deterministic skip
-    /// accounting, is fully pinned. The floors already stand in for
-    /// unevaluated scenarios, so what advances a bounded sweep's partial
-    /// fold toward the incumbent is exactly each evaluated scenario's
-    /// excess; front-loading the scenarios where the incumbent's excess
-    /// is largest makes a losing candidate's proof fire as early as
-    /// possible.
+    /// **excess over the Λ floor** (excess over the Φ floor as
+    /// tie-break), descending, ties by position — so the order, and
+    /// therefore the deterministic skip accounting, is fully pinned. The
+    /// floors already stand in for unevaluated scenarios, so what
+    /// advances a bounded sweep's partial fold toward the incumbent is
+    /// exactly each evaluated scenario's excess; front-loading the
+    /// scenarios where the incumbent's excess is largest makes a losing
+    /// candidate's proof fire as early as possible.
     fn refresh<S: ScenarioSet + ?Sized>(&mut self, set: &S, indices: &[usize]) {
         let costs = &self.scratch.costs;
         let floors = &self.floors;
         let weighted = set.weighted();
         let key = |pos: u32| -> (f64, f64) {
             let c = &costs[pos as usize];
-            let excess = c.lambda - floors[pos as usize];
+            let fl = &floors[pos as usize];
+            let excess = c.lambda - fl.lambda;
+            let excess_phi = c.phi - fl.phi;
             if weighted {
                 let p = set.weight(indices[pos as usize]);
-                (excess * p, c.phi * p)
+                (excess * p, excess_phi * p)
             } else {
-                (excess, c.phi)
+                (excess, excess_phi)
             }
         };
         self.order.sort_by(|&a, &b| {
@@ -401,8 +419,19 @@ pub fn run<S: ScenarioSet + Sync + ?Sized>(
                         }
                         Decision::Reject
                     }
-                    SetSweep::Cut { evaluated } => {
-                        stats.scenario_evals_skipped += indices.len() - evaluated;
+                    SetSweep::Cut {
+                        evaluated,
+                        floor_cut,
+                    } => {
+                        let skips = indices.len() - evaluated;
+                        stats.scenario_evals_skipped += skips;
+                        if floor_cut {
+                            stats.skipped_floor += skips;
+                        } else {
+                            // Phase 2's bounded sweeps always run through
+                            // the delta-state cache when the cutoff is on.
+                            stats.skipped_cache += skips;
+                        }
                         if params.record_trace {
                             trace.push(MoveOutcome::Reject);
                         }
@@ -612,6 +641,21 @@ mod tests {
             on.stats.scenario_evals_skipped > 0,
             "cutoff never fired on a quick run with sweep rejections"
         );
+        // Per-cause attribution partitions the legacy counter exactly.
+        assert_eq!(
+            on.stats.scenario_evals_skipped,
+            on.stats.skipped_floor + on.stats.skipped_cache + on.stats.skipped_cutoff
+        );
+        // Disabling the Φ floors must not change the trajectory either —
+        // floors only hasten provable rejections.
+        let params_no_phi = Params {
+            phi_floors: false,
+            ..params_on
+        };
+        let no_phi = run(&ev, &universe, &all, &params_no_phi, &p1);
+        assert_eq!(no_phi.best, on.best);
+        assert_eq!(no_phi.best_kfail, on.best_kfail);
+        assert_eq!(no_phi.stats.evaluations, on.stats.evaluations);
     }
 
     #[test]

@@ -86,8 +86,20 @@ pub struct SearchStats {
     pub diversifications: usize,
     /// Failure-scenario evaluations (already counted in `evaluations`)
     /// that the incumbent-bounded sweep proved unnecessary and skipped —
-    /// the observable win of the early cutoff.
+    /// the observable win of the early cutoff. Always the exact sum of
+    /// the three per-cause counters below (kept for trace
+    /// compatibility).
     pub scenario_evals_skipped: usize,
+    /// Skips from cuts that *needed* the Λ/Φ floor stand-ins: the
+    /// evaluated subset alone would not have proven the rejection
+    /// (`SetSweep::Cut::floor_cut`).
+    pub skipped_floor: usize,
+    /// Skips from cuts the evaluated subset proved on its own, on a
+    /// sweep running through the delta-state scenario cache.
+    pub skipped_cache: usize,
+    /// Skips from cuts the evaluated subset proved on its own, on an
+    /// uncached bounded sweep.
+    pub skipped_cutoff: usize,
     /// Speculative normal-conditions evaluations discarded because an
     /// earlier move in the window was accepted (re-evaluated against the
     /// new base; the wasted copies are *extra* work, never counted in
@@ -108,6 +120,9 @@ impl SearchStats {
         self.evaluations += other.evaluations;
         self.diversifications += other.diversifications;
         self.scenario_evals_skipped += other.scenario_evals_skipped;
+        self.skipped_floor += other.skipped_floor;
+        self.skipped_cache += other.skipped_cache;
+        self.skipped_cutoff += other.skipped_cutoff;
         self.speculative_wasted += other.speculative_wasted;
         self.cache_rebuild_evals += other.cache_rebuild_evals;
     }

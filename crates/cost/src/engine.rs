@@ -45,11 +45,24 @@
 //!    incrementally ([`Evaluator::cache_refresh`]).
 //! 6. **Incumbent-bounded sweeps**
 //!    ([`Evaluator::evaluate_all_bounded`], and the set-native
-//!    `dtr_core::parallel::sum_set_costs_bounded` with per-scenario Λ
-//!    floors from [`Evaluator::lambda_floor`]): compound failure costs
+//!    `dtr_core::parallel::sum_set_costs_bounded` with per-scenario
+//!    [`ScenarioFloor`]s — the propagation Λ floor from
+//!    [`Evaluator::lambda_floor`] paired with the load-aware congestion
+//!    Φ floor from [`Evaluator::phi_floor`]): compound failure costs
 //!    are non-negative sums, so a partial fold that stops beating the
 //!    search's incumbent *proves* the candidate will be rejected — the
 //!    rest of the sweep is skipped without perturbing the trajectory.
+//!    Floors are weight-independent, so they are computed once per
+//!    search and stand in for every scenario a bounded sweep has not
+//!    reached yet.
+//! 7. **Repair-seeded routing everywhere**: the plain
+//!    [`Evaluator::cost_with`]/`cost_scenario` path — capture sweeps,
+//!    reference anchors, every uncached failure sweep — seeds
+//!    [`route_destination_repair`] from the workspace's resident
+//!    no-failure baseline (orphan detection + boundary Dijkstra),
+//!    instead of a from-scratch Dijkstra per mask-affected destination.
+//!    Integer distances make the repair bit-equal to the full route, so
+//!    this is purely a constant-factor win on the route bound.
 //!
 //! The "same bits" guarantee is a workspace-wide contract — parallel ==
 //! serial, cached == uncached, repair == full-route, and cross-process
@@ -456,6 +469,23 @@ pub enum BoundedCosts {
     },
 }
 
+/// Routing-independent per-scenario lower bound of [`LexCost`]: the
+/// propagation-delay Λ floor ([`Evaluator::lambda_floor`]) paired with
+/// the load-aware congestion Φ floor ([`Evaluator::phi_floor`]). Both
+/// components bound their cost component from below for **every** weight
+/// setting under the scenario mask, so incumbent-bounded sweeps can use
+/// them as stand-ins for scenarios not yet evaluated (see the soundness
+/// lemma on [`Evaluator::phi_floor`]). Floors depend only on the
+/// topology, traffic, mask and cost parameters — never on weights — so
+/// one computation per search is valid for its whole lifetime.
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
+pub struct ScenarioFloor {
+    /// Lower bound on the scenario's `Λ` component.
+    pub lambda: f64,
+    /// Lower bound on the scenario's `Φ` component.
+    pub phi: f64,
+}
+
 /// The cached no-failure routing of one traffic class under the
 /// workspace's current weight setting.
 #[derive(Debug, Default)]
@@ -528,6 +558,18 @@ pub struct EvalWorkspace {
     /// candidate vs the cache incumbent ([`baseline_unchanged`]),
     /// computed once per candidate and shared by its scenario sweep.
     base_same: [Vec<bool>; 2],
+    /// Φ-floor scratch: per-node min hop counts of one destination.
+    floor_hops: Vec<u64>,
+    /// Φ-floor scratch: hop-Dijkstra heap.
+    floor_heap: std::collections::BinaryHeap<std::cmp::Reverse<(u64, u32)>>,
+    /// Φ-floor scratch: per-node surviving throughput demand sourced.
+    floor_tput_out: Vec<f64>,
+    /// Φ-floor scratch: per-node surviving throughput demand sunk.
+    floor_tput_in: Vec<f64>,
+    /// Φ-floor scratch: per-node surviving out-cut capacity.
+    floor_cap_out: Vec<f64>,
+    /// Φ-floor scratch: per-node surviving in-cut capacity.
+    floor_cap_in: Vec<f64>,
 }
 
 impl EvalWorkspace {
@@ -649,12 +691,35 @@ impl<'a> Evaluator<'a> {
     /// what `evaluate_all` returns, and a [`BoundedCosts::Cut`] result
     /// only ever replaces a sweep whose candidate would have been
     /// rejected anyway.
+    ///
+    /// `floors`, when given (one [`ScenarioFloor`] per scenario, e.g.
+    /// from [`scenario_floor`](Self::scenario_floor)), tightens the
+    /// rejection proof: the partial sum is extended by the summed floors
+    /// of the scenarios not yet evaluated, which is still a lower bound
+    /// of the completed sum (each floor bounds its scenario's cost from
+    /// below componentwise, and the componentwise antitone lemma on
+    /// [`LexCost::better_than`] carries the proof through the
+    /// lexicographic comparison). Floors never change *whether* a sweep
+    /// completes with a winning total — only how early a losing sweep is
+    /// recognized.
     pub fn evaluate_all_bounded(
         &self,
         w: &WeightSetting,
         scenarios: &[Scenario],
         incumbent: &LexCost,
+        floors: Option<&[ScenarioFloor]>,
     ) -> BoundedCosts {
+        if let Some(fl) = floors {
+            assert_eq!(fl.len(), scenarios.len(), "one floor per scenario");
+        }
+        // Suffix-summed floors: `suffix[i]` bounds the total cost of
+        // scenarios `i..` from below for any weight setting.
+        let mut suffix = vec![LexCost::ZERO; scenarios.len() + 1];
+        if let Some(fl) = floors {
+            for i in (0..scenarios.len()).rev() {
+                suffix[i] = suffix[i + 1].add(&LexCost::new(fl[i].lambda, fl[i].phi));
+            }
+        }
         let mut ws = self.acquire_workspace();
         let mut costs = Vec::with_capacity(scenarios.len());
         let mut prefix = LexCost::ZERO;
@@ -662,7 +727,9 @@ impl<'a> Evaluator<'a> {
             let c = self.cost_with(&mut ws, w, sc);
             prefix = prefix.add(&c);
             costs.push(c);
-            if costs.len() < scenarios.len() && !prefix.better_than(incumbent) {
+            if costs.len() < scenarios.len()
+                && !prefix.add(&suffix[costs.len()]).better_than(incumbent)
+            {
                 self.release_workspace(ws);
                 return BoundedCosts::Cut {
                     evaluated: costs.len(),
@@ -719,6 +786,148 @@ impl<'a> Evaluator<'a> {
             }
         }
         lambda * (1.0 - 1e-9)
+    }
+
+    /// Load-aware, routing-independent lower bound of the congestion
+    /// cost `Φ` under `scenario` — the congestion counterpart of
+    /// [`lambda_floor`](Self::lambda_floor), computed entirely from
+    /// workspace scratch (allocation-free after warm-up; registered in
+    /// `crates/analysis/hot_paths.toml`).
+    ///
+    /// # Soundness
+    ///
+    /// `Φ` (see [`congestion::phi`]) sums `c_l · g(x_l / c_l)` over the
+    /// links whose **throughput** load is positive, where `x_l` is the
+    /// *total* load and `g` is the convex, non-decreasing Fortz–Thorup
+    /// utilization cost with `g(0) = 0`. Three facts make cut-style
+    /// floors sound for every weight setting:
+    ///
+    /// 1. **Jensen exactness over a cut.** Spreading a mandatory volume
+    ///    `D` over links of total capacity `C` costs at least
+    ///    `C · g(D / C)` = [`congestion::link_cost`]`(D, C)` — the convex
+    ///    sum `Σ c_i g(x_i / c_i)` with `Σ x_i = D` is minimized by
+    ///    loading every link to the same utilization `D / C`.
+    /// 2. **Monotone in the volume, antitone in the capacity.** Counting
+    ///    only part of the demand, or crediting the cut with *more*
+    ///    capacity than survives, only lowers the bound — so restricting
+    ///    to surviving (up-mask) links and throughput demand whose
+    ///    destination is reachable is conservative.
+    /// 3. **Every unit of throughput demand really crosses the cut, on
+    ///    links Φ counts.** A routed unit from `s` to `t` crosses the
+    ///    surviving out-cut of `s` at least once, the surviving in-cut
+    ///    of `t` at least once, and traverses at least `minhop(s, t)`
+    ///    links in total; each link it touches carries positive
+    ///    throughput load, so Φ's per-link term applies — with
+    ///    `x_l ≥` its throughput load (total load only adds).
+    ///
+    /// The three resulting bounds — per-source out-cuts, per-destination
+    /// in-cuts, and the global min-hop volume over the whole surviving
+    /// capacity — each bound the same Φ, but share links with one
+    /// another, so they combine by **max**, not by sum. (The out-cuts are
+    /// pairwise link-disjoint across sources, hence their *sum* is one
+    /// bound; likewise the in-cuts.)
+    ///
+    /// Demand the mask disconnects is dropped from the bound (the
+    /// reference evaluation routes none of it), and the excluded node of
+    /// a node scenario sources and sinks nothing. Like `lambda_floor`,
+    /// the result is shaved by a relative `1e-9` so cross-expression
+    /// rounding can never lift the floor above an achievable Φ.
+    pub fn phi_floor(&self, ws: &mut EvalWorkspace, scenario: Scenario) -> f64 {
+        ws.bind(self.engine_id, self.net.num_links());
+        let n = self.net.num_nodes();
+        let EvalWorkspace {
+            mask,
+            floor_hops,
+            floor_heap,
+            floor_tput_out,
+            floor_tput_in,
+            floor_cap_out,
+            floor_cap_in,
+            ..
+        } = ws;
+        scenario.mask_into(self.net, mask);
+        let excluded = scenario.excluded_node().map(|v| v.index());
+
+        // Surviving cut capacities: per-node out/in and network-wide.
+        floor_cap_out.clear();
+        floor_cap_out.resize(n, 0.0);
+        floor_cap_in.clear();
+        floor_cap_in.resize(n, 0.0);
+        let mut cap_net = 0.0f64;
+        for l in 0..self.net.num_links() {
+            if mask.is_down(l) {
+                continue;
+            }
+            let link = self.net.link(LinkId::new(l));
+            let c = self.capacities[l];
+            floor_cap_out[link.src.index()] += c;
+            floor_cap_in[link.dst.index()] += c;
+            cap_net += c;
+        }
+
+        // Surviving throughput demand per source / destination, and the
+        // min-hop volume (each unit occupies at least `hops` links).
+        floor_tput_out.clear();
+        floor_tput_out.resize(n, 0.0);
+        floor_tput_in.clear();
+        floor_tput_in.resize(n, 0.0);
+        let mut volume = 0.0f64;
+        let tm = &self.traffic.throughput;
+        for &t in &self.demand_dests[1] {
+            let t = t as usize;
+            if Some(t) == excluded {
+                continue;
+            }
+            dtr_routing::spf::hops_to_into(
+                self.net,
+                dtr_net::NodeId::new(t),
+                mask,
+                floor_hops,
+                floor_heap,
+            );
+            for s in 0..n {
+                if s == t || Some(s) == excluded || floor_hops[s] == dtr_routing::UNREACHABLE {
+                    continue;
+                }
+                let d = tm.demand(s, t);
+                if d <= 0.0 {
+                    continue;
+                }
+                floor_tput_out[s] += d;
+                floor_tput_in[t] += d;
+                volume += d * floor_hops[s] as f64;
+            }
+        }
+
+        // Reachable demand leaving (entering) a node implies a surviving
+        // out (in) link, so the cut capacities below are positive where
+        // read — satisfying `link_cost`'s `c > 0` contract.
+        let mut out_cut = 0.0f64;
+        let mut in_cut = 0.0f64;
+        for v in 0..n {
+            if floor_tput_out[v] > 0.0 {
+                out_cut += congestion::link_cost(floor_tput_out[v], floor_cap_out[v]);
+            }
+            if floor_tput_in[v] > 0.0 {
+                in_cut += congestion::link_cost(floor_tput_in[v], floor_cap_in[v]);
+            }
+        }
+        let volume_bound = if volume > 0.0 {
+            congestion::link_cost(volume, cap_net)
+        } else {
+            0.0
+        };
+        out_cut.max(in_cut).max(volume_bound) * (1.0 - 1e-9)
+    }
+
+    /// Both components of the routing-independent per-scenario lower
+    /// bound ([`lambda_floor`](Self::lambda_floor) +
+    /// [`phi_floor`](Self::phi_floor)) as a [`ScenarioFloor`].
+    pub fn scenario_floor(&self, ws: &mut EvalWorkspace, scenario: Scenario) -> ScenarioFloor {
+        ScenarioFloor {
+            lambda: self.lambda_floor(scenario),
+            phi: self.phi_floor(ws, scenario),
+        }
     }
 
     /// Scalar cost of one (weight setting, scenario) pair through the
@@ -1676,18 +1885,30 @@ impl<'a> Evaluator<'a> {
                     // the reference path (zeroed column) never routes it.
                     continue;
                 }
-                let b = &mut base[ci].state[di];
+                let b = &base[ci].state[di];
                 let affected = !down.is_empty() && dag_uses_any(self.net, &b.dist, weights, down);
                 if !affected {
                     b.replay(loads, &mut dropped);
                     continue;
                 }
+                // A mask-affected destination is *repaired* from the
+                // resident no-failure baseline (orphan detection plus a
+                // boundary Dijkstra — bit-equal to a from-scratch route,
+                // see `route_destination_repair`) instead of paying a
+                // full Dijkstra; `ensure_baseline` guarantees `b` is the
+                // all-up routing of these exact weights.
                 if ci == 0 {
                     if scratch.len() == scratch_used {
                         scratch.push(DestRouting::default());
                     }
                     let dest = &mut scratch[scratch_used];
-                    route_destination(self.net, weights, tm, mask, t as usize, spf, dest);
+                    if self.plain_repair {
+                        route_destination_repair(
+                            self.net, weights, tm, mask, t as usize, b, spf, dest,
+                        );
+                    } else {
+                        route_destination(self.net, weights, tm, mask, t as usize, spf, dest);
+                    }
                     dest.replay(loads, &mut dropped);
                     scratch_map[0][di] = scratch_used as u32;
                     scratch_used += 1;
@@ -1697,7 +1918,28 @@ impl<'a> Evaluator<'a> {
                             .push((di as u32, scratch[scratch_used - 1].clone()));
                     }
                 } else {
-                    route_destination(self.net, weights, tm, mask, t as usize, spf, tput_scratch);
+                    if self.plain_repair {
+                        route_destination_repair(
+                            self.net,
+                            weights,
+                            tm,
+                            mask,
+                            t as usize,
+                            b,
+                            spf,
+                            tput_scratch,
+                        );
+                    } else {
+                        route_destination(
+                            self.net,
+                            weights,
+                            tm,
+                            mask,
+                            t as usize,
+                            spf,
+                            tput_scratch,
+                        );
+                    }
                     tput_scratch.replay(loads, &mut dropped);
                     if let Some(entry) = capture.as_mut() {
                         entry.tput.push((di as u32, tput_scratch.clone()));

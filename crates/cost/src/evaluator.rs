@@ -97,6 +97,12 @@ pub struct Evaluator<'a> {
     /// Unique identity gating workspace-baseline reuse (see
     /// `EvalWorkspace::owner`).
     pub(crate) engine_id: u64,
+    /// Seed `route_destination_repair` from the workspace baseline on
+    /// the plain `cost_with` path (default). Off = from-scratch Dijkstra
+    /// per mask-affected destination; results are bit-identical either
+    /// way (see [`Self::set_plain_repair`]), so this exists only for
+    /// A/B benchmarking.
+    pub(crate) plain_repair: bool,
 }
 
 fn demand_dests(tm: &dtr_traffic::TrafficMatrix) -> Vec<u32> {
@@ -130,7 +136,16 @@ impl<'a> Evaluator<'a> {
             ],
             pool: crate::engine::WorkspacePool::default(),
             engine_id: crate::engine::next_engine_id(),
+            plain_repair: true,
         }
+    }
+
+    /// Toggle baseline-seeded repair on the plain `cost_with` path.
+    /// Repair is bit-equal to a from-scratch route (integer distances;
+    /// pinned by `tests/spf_incremental.rs`), so this changes timing
+    /// only — it exists for the repair-ablation bench legs.
+    pub fn set_plain_repair(&mut self, on: bool) {
+        self.plain_repair = on;
     }
 
     pub fn net(&self) -> &Network {
@@ -425,21 +440,40 @@ mod tests {
         // Unbeatable incumbent: completes with the exact batch costs.
         let inc = LexCost::new(f64::INFINITY, f64::INFINITY);
         assert_eq!(
-            ev.evaluate_all_bounded(&w, &scenarios, &inc),
-            BoundedCosts::Complete(full)
+            ev.evaluate_all_bounded(&w, &scenarios, &inc, None),
+            BoundedCosts::Complete(full.clone())
         );
 
         // Zero incumbent: nothing can be strictly better, so the sweep
         // cuts after the first evaluation.
         assert_eq!(
-            ev.evaluate_all_bounded(&w, &scenarios, &LexCost::ZERO),
+            ev.evaluate_all_bounded(&w, &scenarios, &LexCost::ZERO, None),
             BoundedCosts::Cut { evaluated: 1 }
         );
+
+        // With per-scenario floors the same unbeatable incumbent still
+        // completes with the exact batch costs (floors may only hasten
+        // rejections, never manufacture one), and the zero incumbent
+        // still cuts immediately.
+        let mut ws = ev.acquire_workspace();
+        let floors: Vec<crate::engine::ScenarioFloor> = scenarios
+            .iter()
+            .map(|&sc| ev.scenario_floor(&mut ws, sc))
+            .collect();
+        ev.release_workspace(ws);
+        assert_eq!(
+            ev.evaluate_all_bounded(&w, &scenarios, &inc, Some(&floors)),
+            BoundedCosts::Complete(full)
+        );
+        assert!(matches!(
+            ev.evaluate_all_bounded(&w, &scenarios, &LexCost::ZERO, Some(&floors)),
+            BoundedCosts::Cut { .. }
+        ));
 
         // Incumbent just above the total: must complete (the total still
         // beats it on Φ) and agree with the plain fold.
         let above = LexCost::new(total.lambda, total.phi * 2.0);
-        match ev.evaluate_all_bounded(&w, &scenarios, &above) {
+        match ev.evaluate_all_bounded(&w, &scenarios, &above, Some(&floors)) {
             BoundedCosts::Complete(costs) => {
                 let sum = costs.iter().fold(LexCost::ZERO, |a, c| a.add(c));
                 assert_eq!(sum, total);

@@ -27,7 +27,7 @@ mod lexico;
 mod params;
 pub mod sla;
 
-pub use engine::{BoundedCosts, EvalWorkspace, ScenarioCache, ScenarioEntry};
+pub use engine::{BoundedCosts, EvalWorkspace, ScenarioCache, ScenarioEntry, ScenarioFloor};
 pub use evaluator::{CostBreakdown, Evaluator};
 pub use lexico::{LexCost, LAMBDA_EPS};
 pub use params::{CostParams, DelayAggregation};

@@ -29,11 +29,22 @@
 //!   docs for the full exactness argument; the k-class generalization
 //!   changes nothing in it (classes fold independently into the shared
 //!   total-load vector in class order, exactly as the reference).
-//! * **Per-class Λ floors** ([`MtrEvaluator::lambda_floor`]): the
-//!   propagation-delay lower bound of every SLA class's cost under a
-//!   scenario (congestion classes floor at 0), feeding the
+//! * **Per-class Λ + Φ floors** ([`MtrEvaluator::lambda_floor`],
+//!   [`MtrEvaluator::scenario_floor`]): routing-independent lower
+//!   bounds of every class's cost under a scenario — the
+//!   propagation-delay bound for SLA classes, and for congestion
+//!   classes the load-aware cut bound of `Evaluator::phi_floor`
+//!   (per-source out-cut / per-destination in-cut / min-hop volume,
+//!   max-combined) applied to the class's own matrix. Both feed the
 //!   incumbent-bounded sweep in [`crate::parallel`] so the MTR cutoff
-//!   fires as early as DTR's.
+//!   fires as early as DTR's. Weight-independent: computed once per
+//!   search.
+//! * **Repair-seeded routing everywhere**: the plain scenario path
+//!   seeds each recomputed destination from the workspace baseline via
+//!   [`route_destination_repair`] (bit-identical to from-scratch
+//!   Dijkstra — integer distances), so capture sweeps and uncached
+//!   `cost_with` calls get the same route-bound speedup as the cached
+//!   path.
 //!
 //! Bit-for-bit equivalence with [`MtrEvaluator::evaluate`] is pinned by
 //! the unit tests here, `tests/mtr_scenarios.rs`, and the randomized
@@ -405,7 +416,17 @@ impl<'a> MtrEvaluator<'a> {
                     scratch.push(DestRouting::default());
                 }
                 let dest = &mut scratch[scratch_used];
-                route_destination(self.net, weights, tm, mask, t as usize, spf, dest);
+                // `b` is this destination's routing under the same class
+                // weights with all links up (every caller runs
+                // `ensure_baseline` first), so it satisfies the repair
+                // precondition: seeding from it reproduces the
+                // from-scratch routing bit-for-bit at a fraction of the
+                // Dijkstra work.
+                if self.plain_repair {
+                    route_destination_repair(self.net, weights, tm, mask, t as usize, b, spf, dest);
+                } else {
+                    route_destination(self.net, weights, tm, mask, t as usize, spf, dest);
+                }
                 dest.replay(loads, &mut dropped);
                 map[di] = scratch_used as u32;
                 scratch_used += 1;
@@ -543,6 +564,87 @@ impl<'a> MtrEvaluator<'a> {
                 }
             })
             .collect()
+    }
+
+    /// Per-class routing-independent lower bounds with the congestion
+    /// classes floored by the load-aware Φ bound instead of 0: SLA
+    /// components come from [`lambda_floor`](Self::lambda_floor); each
+    /// congestion class `k` gets the max of three cut bounds on its own
+    /// matrix — per-source out-cut, per-destination in-cut, and the
+    /// global min-hop volume — exactly as `Evaluator::phi_floor` in
+    /// `dtr-cost` (see its soundness argument). The per-class bound is
+    /// sound against Φ_k because Φ_k charges every link carrying class-k
+    /// load at `c·g(total/c) ≥ c·g(x_k/c)`, so the single-class
+    /// congestion bound is a fortiori a lower bound of the shared-link
+    /// Φ_k. Weight-independent, so computed once per search and reused
+    /// across every candidate sweep; allocation here is fine (cold
+    /// path).
+    pub fn scenario_floor(&self, scenario: Scenario) -> Vec<f64> {
+        let mask = scenario.mask(self.net);
+        let excluded = scenario.excluded_node().map(|v| v.index());
+        let n = self.net.num_nodes();
+
+        // Surviving cut capacities, shared across classes.
+        let mut cap_out = vec![0.0f64; n];
+        let mut cap_in = vec![0.0f64; n];
+        let mut cap_net = 0.0f64;
+        for l in 0..self.net.num_links() {
+            if mask.is_down(l) {
+                continue;
+            }
+            let link = self.net.link(LinkId::new(l));
+            let c = self.capacities[l];
+            cap_out[link.src.index()] += c;
+            cap_in[link.dst.index()] += c;
+            cap_net += c;
+        }
+
+        let mut floors = self.lambda_floor(scenario);
+        for (k, spec) in self.config.specs.iter().enumerate() {
+            if !matches!(spec.cost, CostModel::Congestion) {
+                continue;
+            }
+            let tm = &self.matrices[k];
+            let mut tput_out = vec![0.0f64; n];
+            let mut tput_in = vec![0.0f64; n];
+            let mut volume = 0.0f64;
+            for &t in &self.demand_dests[k] {
+                let t = t as usize;
+                if Some(t) == excluded {
+                    continue;
+                }
+                let hops = dtr_routing::spf::hops_to(self.net, dtr_net::NodeId::new(t), &mask);
+                for (s, &h) in hops.iter().enumerate() {
+                    if s == t || Some(s) == excluded || h == dtr_routing::UNREACHABLE {
+                        continue;
+                    }
+                    let d = tm.demand(s, t);
+                    if d <= 0.0 {
+                        continue;
+                    }
+                    tput_out[s] += d;
+                    tput_in[t] += d;
+                    volume += d * h as f64;
+                }
+            }
+            let mut out_cut = 0.0f64;
+            let mut in_cut = 0.0f64;
+            for v in 0..n {
+                if tput_out[v] > 0.0 {
+                    out_cut += congestion::link_cost(tput_out[v], cap_out[v]);
+                }
+                if tput_in[v] > 0.0 {
+                    in_cut += congestion::link_cost(tput_in[v], cap_in[v]);
+                }
+            }
+            let volume_bound = if volume > 0.0 {
+                congestion::link_cost(volume, cap_net)
+            } else {
+                0.0
+            };
+            floors[k] = out_cut.max(in_cut).max(volume_bound) * (1.0 - 1e-9);
+        }
+        floors
     }
 
     /// Reset the cache to describe incumbent `w` with `positions`

@@ -132,6 +132,10 @@ pub struct MtrEvaluator<'a> {
     /// Unique identity gating workspace-baseline reuse (see
     /// `dtr_cost::engine`'s owner contract).
     pub(crate) engine_id: u64,
+    /// Seed recomputed destinations of the plain scenario path from the
+    /// workspace baseline (`route_destination_repair`). Exists for A/B
+    /// benchmarking only — results are bit-identical either way.
+    pub(crate) plain_repair: bool,
 }
 
 fn demand_dests(tm: &TrafficMatrix) -> Vec<u32> {
@@ -204,6 +208,7 @@ impl<'a> MtrEvaluator<'a> {
             demand_dests: matrices.iter().map(demand_dests).collect(),
             pool: WorkspacePool::default(),
             engine_id: dtr_cost::engine::next_engine_id(),
+            plain_repair: true,
         })
     }
 
@@ -225,6 +230,13 @@ impl<'a> MtrEvaluator<'a> {
     /// The base (no-failure) traffic matrices, one per class.
     pub fn matrices(&self) -> &[TrafficMatrix] {
         self.matrices
+    }
+
+    /// Toggle baseline-seeded repair on the plain scenario path (on by
+    /// default). Both settings produce bit-identical costs; the toggle
+    /// exists so benches can isolate the repair speedup.
+    pub fn set_plain_repair(&mut self, on: bool) {
+        self.plain_repair = on;
     }
 
     /// Largest `B1` across SLA classes (drives the `z·B1` sample-slack of

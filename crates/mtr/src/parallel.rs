@@ -107,15 +107,22 @@ pub enum MtrSweep {
     Cut {
         /// Scenarios evaluated before the proof fired.
         evaluated: usize,
+        /// Whether the supplied floors were *necessary* for the proof:
+        /// `true` iff the same fold with the floors removed would still
+        /// have beaten the incumbent (i.e. without floors the sweep
+        /// would have kept evaluating at this point). Lets callers
+        /// attribute skips to floors vs. the plain cutoff.
+        floor_cut: bool,
     },
 }
 
 /// Scenario-order weighted fold over the evaluated subset, with every
-/// not-yet-evaluated position standing in at its per-class Λ floor
+/// not-yet-evaluated position standing in at its per-class floor
 /// (zero when no floors are supplied). A true lower bound of the
 /// completed fold: contributions are non-negative, every floor
 /// component bounds its scenario's component from below
-/// ([`MtrEvaluator::lambda_floor`]), IEEE addition of non-negative terms
+/// ([`MtrEvaluator::lambda_floor`] /
+/// [`MtrEvaluator::scenario_floor`]), IEEE addition of non-negative terms
 /// is monotone, and `VecCost::better_than` is antitone in its left
 /// argument — the same soundness lemma as
 /// `dtr_cost::LexCost::better_than`. Once every position is done the
@@ -150,8 +157,9 @@ fn fold_done(
 /// caller-supplied `order` (a permutation of positions, typically
 /// costliest-under-the-incumbent first); the sweep is abandoned as soon
 /// as the scenario-order fold over the evaluated subset — with every
-/// unevaluated scenario standing in at its per-class Λ floor (`floors`,
-/// aligned with `scenarios`; see [`MtrEvaluator::lambda_floor`]) —
+/// unevaluated scenario standing in at its per-class floor (`floors`,
+/// aligned with `scenarios`; see [`MtrEvaluator::lambda_floor`] and the
+/// load-aware [`MtrEvaluator::scenario_floor`]) —
 /// stops beating `incumbent`, which proves no completion can beat it
 /// either. When a delta-state `cache` (pointed at the incumbent via
 /// [`MtrEvaluator::cache_begin`]) is supplied, evaluations run through
@@ -211,7 +219,14 @@ pub fn sum_failure_costs_bounded(
                 fold_done(n, weights, scratch, floors, &mut acc);
                 if !acc.better_than(incumbent) {
                     ev.release_workspace(ws);
-                    return MtrSweep::Cut { evaluated };
+                    let floor_cut = floors.is_some() && {
+                        fold_done(n, weights, scratch, None, &mut acc);
+                        acc.better_than(incumbent)
+                    };
+                    return MtrSweep::Cut {
+                        evaluated,
+                        floor_cut,
+                    };
                 }
             }
         }
@@ -263,7 +278,14 @@ pub fn sum_failure_costs_bounded(
         if evaluated < n {
             fold_done(n, weights, scratch, floors, &mut acc);
             if !acc.better_than(incumbent) {
-                return MtrSweep::Cut { evaluated };
+                let floor_cut = floors.is_some() && {
+                    fold_done(n, weights, scratch, None, &mut acc);
+                    acc.better_than(incumbent)
+                };
+                return MtrSweep::Cut {
+                    evaluated,
+                    floor_cut,
+                };
             }
         }
     }
@@ -414,6 +436,76 @@ mod tests {
             None,
             &mut scratch,
         );
-        assert_eq!(got, MtrSweep::Cut { evaluated: 1 });
+        assert_eq!(
+            got,
+            MtrSweep::Cut {
+                evaluated: 1,
+                floor_cut: false
+            }
+        );
+    }
+
+    #[test]
+    fn floors_hasten_cuts_without_changing_completions() {
+        let (net, tms) = testbed();
+        let ev = MtrEvaluator::new(&net, &tms, MtrConfig::dtr(25e-3, 0.2)).unwrap();
+        let w = MtrWeightSetting::uniform(2, net.num_links(), 20);
+        let scenarios = scenario_zoo(&net);
+        let floors: Vec<VecCost> = scenarios
+            .iter()
+            .map(|&sc| VecCost::new(ev.scenario_floor(sc)))
+            .collect();
+        // Sanity: the load-aware floors are non-trivial on this testbed.
+        let mut floor_sum = VecCost::zeros(2);
+        for f in &floors {
+            floor_sum.add_assign(f);
+        }
+        assert!(floor_sum.components().iter().any(|&c| c > 0.0));
+        // Per-component soundness: every floor bounds its scenario's
+        // exact cost from below.
+        let exact = failure_costs(&ev, &w, &scenarios, 1);
+        for ((f, c), sc) in floors.iter().zip(&exact).zip(&scenarios) {
+            for (fk, ck) in f.components().iter().zip(c.components()) {
+                assert!(fk <= ck, "floor exceeds exact component under {sc}");
+            }
+        }
+        let order: Vec<u32> = (0..scenarios.len() as u32).collect();
+        let mut scratch = MtrSweepScratch::new();
+        // Beatable incumbent: floors never change a completed sweep.
+        let never = VecCost::new(vec![f64::MAX; 2]);
+        for threads in [1, 3] {
+            let got = sum_failure_costs_bounded(
+                &ev,
+                &w,
+                &scenarios,
+                None,
+                threads,
+                &never,
+                &order,
+                Some(&floors),
+                None,
+                &mut scratch,
+            );
+            let want = sum_failure_costs(&ev, &w, &scenarios, None, 1);
+            assert_eq!(got, MtrSweep::Complete(want), "threads={threads}");
+        }
+        // An incumbent below the summed floors is cut without finishing.
+        let below = floor_sum.scale(0.5);
+        let got = sum_failure_costs_bounded(
+            &ev,
+            &w,
+            &scenarios,
+            None,
+            1,
+            &below,
+            &order,
+            Some(&floors),
+            None,
+            &mut scratch,
+        );
+        assert!(
+            matches!(got, MtrSweep::Cut { .. }),
+            "expected a cut, got {got:?}"
+        );
     }
 }

@@ -66,6 +66,14 @@ pub struct MtrParams {
     /// identical with it on or off; the flag exists so benchmarks can
     /// attribute the cutoff and the cache separately.
     pub cache: bool,
+    /// Include the load-aware congestion Φ component in the per-class
+    /// floors of the bounded sweeps
+    /// ([`MtrEvaluator::scenario_floor`](crate::MtrEvaluator::scenario_floor));
+    /// off, the floors fall back to the per-class Λ bound. Only read
+    /// when `cutoff` is on. Float-exact like the cutoff itself: results
+    /// and traces are identical either way, only losing sweeps cut
+    /// earlier.
+    pub phi_floors: bool,
     /// Record the per-proposal accept/reject trace into the phase
     /// outputs (`dtr_core::search::MoveOutcome`). Off by default.
     pub record_trace: bool,
@@ -96,6 +104,7 @@ impl MtrParams {
             speculation: 8,
             cutoff: true,
             cache: true,
+            phi_floors: true,
             record_trace: false,
             seed,
         }

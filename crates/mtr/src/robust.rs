@@ -54,17 +54,29 @@ pub struct MtrRobustOutput {
 }
 
 /// Re-sort the sweep's evaluation order by the incumbent's per-scenario
-/// (weighted) contribution, descending, ties by position — so a losing
-/// candidate's partial sum crosses the incumbent as early as possible.
-fn refresh_order(order: &mut [u32], costs: &[VecCost], weights: Option<&[f64]>) {
+/// (weighted) contribution *in excess of its floor*, descending, ties by
+/// position — the floor part of every scenario is already counted by the
+/// bounded fold's stand-ins, so a losing candidate's partial sum crosses
+/// the incumbent as early as possible when the high-excess scenarios are
+/// evaluated first.
+fn refresh_order(
+    order: &mut [u32],
+    costs: &[VecCost],
+    weights: Option<&[f64]>,
+    floors: Option<&[VecCost]>,
+) {
     order.sort_by(|&a, &b| {
         let (ca, cb) = (&costs[a as usize], &costs[b as usize]);
         let (pa, pb) = match weights {
             Some(sw) => (sw[a as usize], sw[b as usize]),
             None => (1.0, 1.0),
         };
-        for (x, y) in ca.components().iter().zip(cb.components()) {
-            let o = (y * pb).total_cmp(&(x * pa));
+        for (i, (x, y)) in ca.components().iter().zip(cb.components()).enumerate() {
+            let (fa, fb) = match floors {
+                Some(f) => (f[a as usize].components()[i], f[b as usize].components()[i]),
+                None => (0.0, 0.0),
+            };
+            let o = ((y - fb) * pb).total_cmp(&((x - fa) * pa));
             if o != std::cmp::Ordering::Equal {
                 return o;
             }
@@ -74,8 +86,9 @@ fn refresh_order(order: &mut [u32], costs: &[VecCost], weights: Option<&[f64]>) 
 }
 
 /// Per-run state of the cutoff sweeps: evaluation order, cost scratch,
-/// per-scenario per-class Λ floors, and (when `params.cache`) the
-/// delta-state scenario cache pointed at the incumbent.
+/// per-scenario per-class floors (Λ, plus the load-aware Φ bound when
+/// `params.phi_floors`), and (when `params.cache`) the delta-state
+/// scenario cache pointed at the incumbent.
 struct SweepKit {
     order: Vec<u32>,
     scratch: MtrSweepScratch,
@@ -91,7 +104,13 @@ impl SweepKit {
             floors: params.cutoff.then(|| {
                 scenarios
                     .iter()
-                    .map(|&sc| VecCost::new(ev.lambda_floor(sc)))
+                    .map(|&sc| {
+                        VecCost::new(if params.phi_floors {
+                            ev.scenario_floor(sc)
+                        } else {
+                            ev.lambda_floor(sc)
+                        })
+                    })
                     .collect()
             }),
             cache: (params.cutoff && params.cache).then(MtrScenarioCache::new),
@@ -191,7 +210,12 @@ fn full_sweep(
             MtrSweep::Cut { .. } => unreachable!("nothing beats the never-cut incumbent"),
         }
     };
-    refresh_order(&mut kit.order, &kit.scratch.costs, weights);
+    refresh_order(
+        &mut kit.order,
+        &kit.scratch.costs,
+        weights,
+        kit.floors.as_deref(),
+    );
     kfail
 }
 
@@ -356,7 +380,12 @@ pub fn run(
                                 ev.cache_refresh(&mut ws, cache, cand_w, |pos| scenarios[pos]);
                                 ev.release_workspace(ws);
                             }
-                            refresh_order(&mut kit.order, &kit.scratch.costs, scenario_weights);
+                            refresh_order(
+                                &mut kit.order,
+                                &kit.scratch.costs,
+                                scenario_weights,
+                                kit.floors.as_deref(),
+                            );
                         }
                         current_normal = cand_normal.clone();
                         improved = true;
@@ -376,8 +405,20 @@ pub fn run(
                         }
                         Decision::Reject
                     }
-                    MtrSweep::Cut { evaluated } => {
-                        stats.scenario_evals_skipped += scenarios.len() - evaluated;
+                    MtrSweep::Cut {
+                        evaluated,
+                        floor_cut,
+                    } => {
+                        let skips = scenarios.len() - evaluated;
+                        stats.scenario_evals_skipped += skips;
+                        if floor_cut {
+                            stats.skipped_floor += skips;
+                        } else if params.cache {
+                            // kit.cache exists iff cutoff && cache.
+                            stats.skipped_cache += skips;
+                        } else {
+                            stats.skipped_cutoff += skips;
+                        }
                         if params.record_trace {
                             trace.push(MoveOutcome::Reject);
                         }

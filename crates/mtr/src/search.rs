@@ -38,8 +38,17 @@ pub struct MtrSearchStats {
     /// Diversification restarts.
     pub diversifications: usize,
     /// Failure-scenario evaluations (already counted in `evaluations`)
-    /// skipped by the incumbent-bounded sweeps.
+    /// skipped by the incumbent-bounded sweeps. Always the exact sum of
+    /// the three per-cause counters below.
     pub scenario_evals_skipped: usize,
+    /// Skips whose cutoff proof needed the per-class floors: without
+    /// them, the sweep would have kept evaluating at the point it cut.
+    pub skipped_floor: usize,
+    /// Skips proved by the partial fold alone on a cached sweep (the
+    /// delta-state scenario cache was active when the cut fired).
+    pub skipped_cache: usize,
+    /// Skips proved by the partial fold alone on an uncached sweep.
+    pub skipped_cutoff: usize,
     /// Speculative normal-conditions evaluations discarded because an
     /// earlier move in the window was accepted.
     pub speculative_wasted: usize,

@@ -144,6 +144,105 @@ fn steady_state_node_failure_sweep_allocates_nothing() {
     });
 }
 
+/// The floored incumbent-bounded sweep stays allocation-free in steady
+/// state: after warm-up, recomputing every per-scenario floor through
+/// the warm workspace scratch ([`Evaluator::scenario_floor`], whose Φ
+/// part runs a unit-weight reverse Dijkstra per throughput
+/// destination) plus a full bounded sweep *and* a floor-hastened
+/// cutting sweep perform **zero** heap allocations. This pins the new
+/// `phi_floor` / `hops_to_into` kernels and the floored `fold_bound`
+/// path of `sum_set_costs_bounded` (all registered in
+/// crates/analysis/hot_paths.toml).
+#[test]
+fn steady_state_floored_bounded_sweep_allocates_nothing() {
+    use dtr::core::parallel::{self, SetSweep, SweepScratch};
+    use dtr::core::scenario::ScenarioSet;
+    use dtr::cost::ScenarioFloor;
+
+    let (net, tm) = testbed();
+    let ev = Evaluator::new(&net, &tm, CostParams::default());
+    let mut rng = StdRng::seed_from_u64(11);
+    let w = WeightSetting::random(net.num_links(), 20, &mut rng);
+    let universe = FailureUniverse::of(&net);
+    let indices = universe.all_indices();
+    let order: Vec<u32> = (0..indices.len() as u32).collect();
+    let mut floors = vec![ScenarioFloor::default(); indices.len()];
+    let mut scratch = SweepScratch::new();
+    let never = LexCost::new(f64::MAX, f64::MAX);
+
+    let mut ws = ev.acquire_workspace();
+    // The Λ part of the floors is cold-path (computed once per search,
+    // allocating); only the Φ kernel and the sweep itself must hold the
+    // steady-state zero-allocation bar.
+    for (pos, &i) in indices.iter().enumerate() {
+        floors[pos] = ev.scenario_floor(&mut ws, universe.scenario(i));
+    }
+    let run = |ws: &mut dtr::cost::EvalWorkspace,
+               floors: &mut [ScenarioFloor],
+               scratch: &mut SweepScratch|
+     -> f64 {
+        let mut checksum = 0.0f64;
+        for (pos, &i) in indices.iter().enumerate() {
+            floors[pos].phi = ev.phi_floor(ws, universe.scenario(i));
+            checksum += floors[pos].lambda + floors[pos].phi;
+        }
+        // Full sweep (unbeatable incumbent) and floor-hastened cut
+        // (zero incumbent) both stay allocation-free once warm.
+        match parallel::sum_set_costs_bounded(
+            &ev,
+            &w,
+            &universe,
+            &indices,
+            1,
+            &never,
+            &order,
+            Some(floors),
+            None,
+            scratch,
+        ) {
+            SetSweep::Complete(c) => checksum += c.lambda + c.phi,
+            SetSweep::Cut { .. } => unreachable!("nothing beats the never-cut incumbent"),
+        }
+        match parallel::sum_set_costs_bounded(
+            &ev,
+            &w,
+            &universe,
+            &indices,
+            1,
+            &LexCost::ZERO,
+            &order,
+            Some(floors),
+            None,
+            scratch,
+        ) {
+            SetSweep::Complete(_) => panic!("a zero incumbent must cut"),
+            SetSweep::Cut { evaluated, .. } => checksum += evaluated as f64,
+        }
+        checksum
+    };
+
+    // Warm-up lets every buffer — floor scratch, the sweep's pooled
+    // workspace, cost/done vectors — reach its high-water capacity.
+    let mut checksum = 0.0f64;
+    for _ in 0..2 {
+        checksum += run(&mut ws, &mut floors, &mut scratch);
+    }
+
+    let before = ALLOCATIONS.load(Ordering::Relaxed);
+    checksum += run(&mut ws, &mut floors, &mut scratch);
+    let after = ALLOCATIONS.load(Ordering::Relaxed);
+    ev.release_workspace(ws);
+
+    assert!(checksum.is_finite());
+    assert_eq!(
+        after - before,
+        0,
+        "steady-state floored bounded sweep of {} scenarios performed {} heap allocations",
+        indices.len(),
+        after - before
+    );
+}
+
 /// The delta-state cached path: after warm-up (cache capture plus a few
 /// candidate sweeps that let every scratch buffer — fresh-routing slots,
 /// dirty sets, fresh-adds lists, pair assembly — reach its high-water

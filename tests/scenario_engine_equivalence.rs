@@ -277,6 +277,89 @@ proptest! {
         ev.release_workspace(ws);
     }
 
+    /// Floor-soundness oracle: the routing-independent per-scenario
+    /// lower bound ([`Evaluator::scenario_floor`]) really bounds the
+    /// exact cost componentwise — `lambda ≤ Λ` and `phi ≤ Φ` — for
+    /// every scenario kind of the taxonomy, under multiple random
+    /// weight settings (the floors are weight-independent, the costs
+    /// are not). This is the exact property the bounded sweeps lean on:
+    /// a floor that ever exceeded a true component could cut a sweep
+    /// the full fold would have completed.
+    #[test]
+    fn scenario_floors_bound_every_cost_componentwise(
+        (nodes, extra, seed) in (10usize..15, 2usize..10, 0u64..1_000_000)
+    ) {
+        let (net, tm) = testbed(nodes, nodes + extra, seed);
+        let ev = Evaluator::new(&net, &tm, CostParams::default());
+        let mut rng = StdRng::seed_from_u64(seed ^ 0xf100);
+        let scenarios = scenario_zoo(&net, &mut rng);
+
+        let mut ws = ev.acquire_workspace();
+        let floors: Vec<_> = scenarios
+            .iter()
+            .map(|&sc| ev.scenario_floor(&mut ws, sc))
+            .collect();
+        for round in 0..3 {
+            let w = WeightSetting::random(net.num_links(), 20, &mut rng);
+            for (&sc, fl) in scenarios.iter().zip(&floors) {
+                let c = ev.cost_with(&mut ws, &w, sc);
+                prop_assert!(
+                    fl.lambda <= c.lambda,
+                    "Λ floor {} exceeds exact {} — round {}, scenario {}, seed {}",
+                    fl.lambda, c.lambda, round, sc, seed
+                );
+                prop_assert!(
+                    fl.phi <= c.phi,
+                    "Φ floor {} exceeds exact {} — round {}, scenario {}, seed {}",
+                    fl.phi, c.phi, round, sc, seed
+                );
+            }
+        }
+        ev.release_workspace(ws);
+    }
+
+    /// The k-class mirror: every component of
+    /// [`MtrEvaluator::scenario_floor`] (per-class Λ for SLA classes,
+    /// the load-aware Φ cut bound for congestion classes) bounds the
+    /// exact class cost from below for every scenario kind and random
+    /// weight setting.
+    #[test]
+    fn mtr_scenario_floors_bound_every_class_component(
+        (nodes, extra, seed) in (10usize..13, 2usize..7, 0u64..1_000_000)
+    ) {
+        use dtr::mtr::{ClassSpec, MtrConfig, MtrEvaluator, MtrWeightSetting};
+
+        let (net, tm) = testbed(nodes, nodes + extra, seed);
+        let matrices = [tm.delay.clone(), tm.throughput.clone()];
+        let config = MtrConfig::new(vec![
+            ClassSpec::sla("voice", 25e-3),
+            ClassSpec::congestion("bulk").relaxed(0.2),
+        ]);
+        let ev = MtrEvaluator::new(&net, &matrices, config).unwrap();
+        let mut rng = StdRng::seed_from_u64(seed ^ 0xf1002);
+        let scenarios = scenario_zoo(&net, &mut rng);
+
+        let floors: Vec<Vec<f64>> = scenarios
+            .iter()
+            .map(|&sc| ev.scenario_floor(sc))
+            .collect();
+        let mut ws = ev.acquire_workspace();
+        for round in 0..3 {
+            let w = MtrWeightSetting::random_symmetric(2, &net, 20, &mut rng);
+            for (&sc, fl) in scenarios.iter().zip(&floors) {
+                let c = ev.cost_with(&mut ws, &w, sc);
+                for (k, (&f, &x)) in fl.iter().zip(c.components()).enumerate() {
+                    prop_assert!(
+                        f <= x,
+                        "class {} floor {} exceeds exact {} — round {}, scenario {}, seed {}",
+                        k, f, x, round, sc, seed
+                    );
+                }
+            }
+        }
+        ev.release_workspace(ws);
+    }
+
     /// The sharded set sweep is byte-identical serial vs parallel for
     /// every shipped `ScenarioSet` — including the weighted
     /// (probabilistic) compound reduction.

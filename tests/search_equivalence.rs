@@ -49,22 +49,31 @@ fn testbed() -> (Network, ClassMatrices) {
     (net, tm)
 }
 
-/// The `(speculation, threads, cutoff)` grid. The first entry is the
-/// anchor: the plain serial loop.
-const CONFIGS: [(usize, usize, bool); 6] = [
-    (1, 1, false),
-    (1, 1, true),
-    (8, 1, false),
-    (8, 1, true),
-    (1, 4, true),
-    (8, 4, true),
+/// The `(speculation, threads, cutoff, phi_floors)` grid. The first
+/// entry is the anchor: the plain serial loop. Φ floors only matter
+/// under the cutoff, so the floor dimension is swept within the
+/// cutoff-on configurations (floors on AND off at several
+/// speculation/thread shapes).
+const CONFIGS: [(usize, usize, bool, bool); 8] = [
+    (1, 1, false, false),
+    (1, 1, true, false),
+    (1, 1, true, true),
+    (8, 1, false, false),
+    (8, 1, true, true),
+    (1, 4, true, false),
+    (1, 4, true, true),
+    (8, 4, true, true),
 ];
 
-fn params_for(seed: u64, (speculation, threads, cutoff): (usize, usize, bool)) -> Params {
+fn params_for(
+    seed: u64,
+    (speculation, threads, cutoff, phi_floors): (usize, usize, bool, bool),
+) -> Params {
     Params {
         speculation,
         threads,
         cutoff,
+        phi_floors,
         record_trace: true,
         // Enough sweeps to exercise accepts, rejects, the constraint
         // gate, diversification restarts and the cutoff — the grid runs
@@ -124,7 +133,7 @@ fn phase1b_sample_stream_is_invariant_across_batching() {
     let (net, tm) = testbed();
     let ev = Evaluator::new(&net, &tm, CostParams::default());
     let universe = FailureUniverse::of(&net);
-    let mk = |cfg: (usize, usize, bool)| {
+    let mk = |cfg: (usize, usize, bool, bool)| {
         let params = params_for(5, cfg);
         let mut p1 = phase1::run(&ev, &universe, &params);
         p1.converged = false; // force the top-up
@@ -176,6 +185,12 @@ fn phase2_trajectory_is_invariant_on_the_single_link_universe() {
     for cfg in &CONFIGS[1..] {
         let out = phase2::run(&ev, &universe, &all, &params_for(7, *cfg), &p1);
         assert_phase2_equal(&anchor, &out, &format!("{cfg:?}"));
+        // The per-cause skip counters partition the total exactly.
+        assert_eq!(
+            out.stats.scenario_evals_skipped,
+            out.stats.skipped_floor + out.stats.skipped_cache + out.stats.skipped_cutoff,
+            "{cfg:?}: skip counters do not partition the total"
+        );
         saw_skip |= out.stats.scenario_evals_skipped > 0;
     }
     assert!(saw_skip, "the cutoff never skipped a scenario evaluation");
@@ -262,11 +277,31 @@ fn mtr_testbed() -> (Network, Vec<TrafficMatrix>) {
     (net, tms)
 }
 
-fn mtr_params_for(seed: u64, (speculation, threads, cutoff): (usize, usize, bool)) -> MtrParams {
+/// The MTR grid adds the delta-state cache flag:
+/// `(speculation, threads, cutoff, cache, phi_floors)`. The cache-off
+/// cutoff legs pin the uncached bounded sweep (whose skips land in
+/// `skipped_cutoff` instead of `skipped_cache`).
+const MTR_CONFIGS: [(usize, usize, bool, bool, bool); 8] = [
+    (1, 1, false, false, false),
+    (1, 1, true, false, false),
+    (1, 1, true, false, true),
+    (1, 1, true, true, true),
+    (8, 1, true, true, true),
+    (1, 4, true, false, true),
+    (1, 4, true, true, false),
+    (8, 4, true, true, true),
+];
+
+fn mtr_params_for(
+    seed: u64,
+    (speculation, threads, cutoff, cache, phi_floors): (usize, usize, bool, bool, bool),
+) -> MtrParams {
     MtrParams {
         speculation,
         threads,
         cutoff,
+        cache,
+        phi_floors,
         record_trace: true,
         ..MtrParams::quick(seed)
     }
@@ -281,9 +316,9 @@ fn mtr_regular_trajectory_is_invariant() {
     ]);
     let ev = MtrEvaluator::new(&net, &tms, config).unwrap();
     let universe = FailureUniverse::of(&net);
-    let anchor = mtr_search::regular(&ev, &universe, &mtr_params_for(29, CONFIGS[0]));
+    let anchor = mtr_search::regular(&ev, &universe, &mtr_params_for(29, MTR_CONFIGS[0]));
     assert!(anchor.trace.contains(&MoveOutcome::Accept));
-    for cfg in &CONFIGS[1..] {
+    for cfg in &MTR_CONFIGS[1..] {
         let out = mtr_search::regular(&ev, &universe, &mtr_params_for(29, *cfg));
         let cfg = format!("{cfg:?}");
         assert_eq!(anchor.best, out.best, "{cfg}");
@@ -301,9 +336,9 @@ fn mtr_robust_trajectory_is_invariant() {
     let (net, tms) = mtr_testbed();
     let ev = MtrEvaluator::new(&net, &tms, MtrConfig::dtr(25e-3, 0.2)).unwrap();
     let universe = FailureUniverse::of(&net);
-    let reg = mtr_search::regular(&ev, &universe, &mtr_params_for(31, CONFIGS[0]));
+    let reg = mtr_search::regular(&ev, &universe, &mtr_params_for(31, MTR_CONFIGS[0]));
     let scenarios = universe.scenarios();
-    let run = |cfg: (usize, usize, bool)| {
+    let run = |cfg: (usize, usize, bool, bool, bool)| {
         mtr_robust::run(
             &ev,
             &scenarios,
@@ -313,10 +348,10 @@ fn mtr_robust_trajectory_is_invariant() {
             None,
         )
     };
-    let anchor = run(CONFIGS[0]);
+    let anchor = run(MTR_CONFIGS[0]);
     assert_eq!(anchor.stats.scenario_evals_skipped, 0);
     let mut saw_skip = false;
-    for cfg in &CONFIGS[1..] {
+    for cfg in &MTR_CONFIGS[1..] {
         let out = run(*cfg);
         let cfg = format!("{cfg:?}");
         assert_eq!(anchor.best, out.best, "{cfg}");
@@ -328,6 +363,11 @@ fn mtr_robust_trajectory_is_invariant() {
         );
         assert_eq!(anchor.trace, out.trace, "{cfg}");
         assert_eq!(anchor.stats.evaluations, out.stats.evaluations, "{cfg}");
+        assert_eq!(
+            out.stats.scenario_evals_skipped,
+            out.stats.skipped_floor + out.stats.skipped_cache + out.stats.skipped_cutoff,
+            "{cfg}: skip counters do not partition the total"
+        );
         saw_skip |= out.stats.scenario_evals_skipped > 0;
     }
     assert!(

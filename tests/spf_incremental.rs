@@ -242,6 +242,71 @@ proptest! {
         }
     }
 
+    /// Repair-everywhere is invisible to the bits on the *plain*
+    /// engine path: `cost_with` with baseline-seeded repair (the
+    /// default) equals `cost_with` with repair disabled (from-scratch
+    /// Dijkstra on every affected destination) and the reference
+    /// evaluator, for every scenario kind — in both the DTR and the
+    /// k-class MTR engines. This is the contract that lets capture
+    /// sweeps and uncached `cost_with` calls take the repair speedup
+    /// without any trajectory risk.
+    #[test]
+    fn plain_path_repair_is_bit_identical(
+        (nodes, extra, seed) in (6usize..12, 2usize..8, 0u64..1_000_000)
+    ) {
+        use dtr::cost::{CostParams, Evaluator};
+        use dtr::mtr::{ClassSpec, MtrConfig, MtrEvaluator, MtrWeightSetting};
+        use dtr::routing::{Scenario, WeightSetting};
+        use dtr::traffic::ClassMatrices;
+
+        let net = build_net(nodes, extra, seed);
+        let tm = ClassMatrices {
+            delay: random_traffic(&net, seed ^ 0xd),
+            throughput: random_traffic(&net, seed ^ 0x7),
+        };
+        let mut rng = StdRng::seed_from_u64(seed ^ 0xeee);
+        let mut scenarios = vec![Scenario::Normal];
+        scenarios.extend(net.duplex_representatives().into_iter().map(Scenario::Link));
+        scenarios.extend(net.nodes().map(Scenario::Node));
+
+        let repair = Evaluator::new(&net, &tm, CostParams::default());
+        let mut scratch_route = Evaluator::new(&net, &tm, CostParams::default());
+        scratch_route.set_plain_repair(false);
+        let mut ws_a = repair.acquire_workspace();
+        let mut ws_b = scratch_route.acquire_workspace();
+        for _ in 0..2 {
+            let w = WeightSetting::random(net.num_links(), 20, &mut rng);
+            for &sc in &scenarios {
+                let a = repair.cost_with(&mut ws_a, &w, sc);
+                prop_assert_eq!(a, scratch_route.cost_with(&mut ws_b, &w, sc), "{}", sc);
+                prop_assert_eq!(a, repair.evaluate(&w, sc).cost, "{}", sc);
+            }
+        }
+        repair.release_workspace(ws_a);
+        scratch_route.release_workspace(ws_b);
+
+        let matrices = [tm.delay.clone(), tm.throughput.clone()];
+        let config = MtrConfig::new(vec![
+            ClassSpec::sla("voice", 25e-3),
+            ClassSpec::congestion("bulk").relaxed(0.2),
+        ]);
+        let m_repair = MtrEvaluator::new(&net, &matrices, config.clone()).unwrap();
+        let mut m_scratch = MtrEvaluator::new(&net, &matrices, config).unwrap();
+        m_scratch.set_plain_repair(false);
+        let mut ws_a = m_repair.acquire_workspace();
+        let mut ws_b = m_scratch.acquire_workspace();
+        for _ in 0..2 {
+            let w = MtrWeightSetting::random_symmetric(2, &net, 20, &mut rng);
+            for &sc in &scenarios {
+                let a = m_repair.cost_with(&mut ws_a, &w, sc);
+                prop_assert_eq!(a.clone(), m_scratch.cost_with(&mut ws_b, &w, sc), "{}", sc);
+                prop_assert_eq!(a, m_repair.evaluate(&w, sc).cost, "{}", sc);
+            }
+        }
+        m_repair.release_workspace(ws_a);
+        m_scratch.release_workspace(ws_b);
+    }
+
     /// `route_class` (compact layout, workspace kernels) agrees with a
     /// destination-by-destination reconstruction and the oracle.
     #[test]
