@@ -18,7 +18,13 @@
 //! * an identity flag (`identical_result`, `serial_equals_parallel`,
 //!   `bit_for_bit_identical`) is missing or false, or
 //! * a per-rep sample array is empty (the variance record the artifact
-//!   promises).
+//!   promises), or
+//! * the `scale_tiers` section is missing a tier (`tier_500` always;
+//!   `tier_2000` and `tier_5000` unless `quick_mode` is true), a tier
+//!   lacks its per-rep samples, its residency budget failed to bind
+//!   (`cache_resident_scenarios >= critical_scenarios`), or the budget
+//!   bound but `cache_fallback_evals == 0` (the plain fallback path
+//!   that the budget exists to exercise never ran).
 //!
 //! No JSON dependency is vendored, so this is a purpose-built scanner
 //! for the flat two-level object `micro_routing` emits — strict enough
@@ -235,6 +241,71 @@ fn main() -> ExitCode {
                         }
                         ArrayState::Missing => {
                             errors.push(format!("`{name}` is missing per-rep sample array `{arr}`"))
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    // Scale tiers: the 500-node tier is always present (quick mode runs
+    // it in CI); the 2,000- and 5,000-node tiers are required of a full
+    // (non-quick) artifact. Every tier must record non-empty per-rep
+    // samples and a cache residency budget that actually bound, with the
+    // fallback path observably exercised.
+    match section(&doc, "scale_tiers") {
+        None => errors.push("missing `scale_tiers` entry".into()),
+        Some(body) => {
+            let quick = flag(body, "quick_mode");
+            if quick.is_none() {
+                errors.push("`scale_tiers` is missing field `quick_mode`".into());
+            }
+            let tiers: &[&str] = if quick == Some(true) {
+                &["tier_500"]
+            } else {
+                &["tier_500", "tier_2000", "tier_5000"]
+            };
+            for tier in tiers {
+                match section(body, tier) {
+                    None => errors.push(format!("`scale_tiers` is missing `{tier}`")),
+                    Some(t) => {
+                        for key in ["nodes", "directed_links", "cache_budget_bytes", "phase2_ns"] {
+                            if number(t, key).is_none() {
+                                errors.push(format!("`{tier}` is missing field `{key}`"));
+                            }
+                        }
+                        match array_state(t, "phase2_ns_samples") {
+                            ArrayState::NonEmpty => {}
+                            ArrayState::Empty => errors.push(format!(
+                                "`{tier}` per-rep sample array `phase2_ns_samples` is empty"
+                            )),
+                            ArrayState::Missing => errors.push(format!(
+                                "`{tier}` is missing per-rep sample array `phase2_ns_samples`"
+                            )),
+                        }
+                        match (
+                            number(t, "critical_scenarios"),
+                            number(t, "cache_resident_scenarios"),
+                            number(t, "cache_fallback_evals"),
+                        ) {
+                            (Some(crit), Some(resident), Some(fallback)) => {
+                                if resident >= crit {
+                                    errors.push(format!(
+                                        "`{tier}` residency budget did not bind: \
+                                         {resident} resident of {crit} scenarios"
+                                    ));
+                                } else if fallback <= 0.0 {
+                                    errors.push(format!(
+                                        "`{tier}` budget bound but cache_fallback_evals == 0: \
+                                         the fallback path never ran"
+                                    ));
+                                }
+                            }
+                            _ => errors.push(format!(
+                                "`{tier}` is missing cache accounting \
+                                 (`critical_scenarios` / `cache_resident_scenarios` / \
+                                 `cache_fallback_evals`)"
+                            )),
                         }
                     }
                 }

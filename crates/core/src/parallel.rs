@@ -369,9 +369,11 @@ pub fn sum_set_costs_bounded<S: crate::scenario::ScenarioSet + Sync + ?Sized>(
         for (e, &pos) in order.iter().enumerate() {
             let pos = pos as usize;
             let sc = set.scenario(indices[pos]);
+            // Non-resident positions of a budget-bounded cache take the
+            // plain repair-seeded path — the same bits, just uncached.
             scratch.costs[pos] = match cache {
-                Some(c) => ev.cost_cached(&mut ws, w, sc, c, pos),
-                None => ev.cost_with(&mut ws, w, sc),
+                Some(c) if c.is_resident(pos) => ev.cost_cached(&mut ws, w, sc, c, pos),
+                _ => ev.cost_with(&mut ws, w, sc),
             };
             scratch.done[pos] = true;
             let evaluated = e + 1;
@@ -412,8 +414,10 @@ pub fn sum_set_costs_bounded<S: crate::scenario::ScenarioSet + Sync + ?Sized>(
                             .map(|&pos| {
                                 let sc = set.scenario(indices[pos as usize]);
                                 let c = match cache {
-                                    Some(c) => ev.cost_cached(&mut ws, w, sc, c, pos as usize),
-                                    None => ev.cost_with(&mut ws, w, sc),
+                                    Some(c) if c.is_resident(pos as usize) => {
+                                        ev.cost_cached(&mut ws, w, sc, c, pos as usize)
+                                    }
+                                    _ => ev.cost_with(&mut ws, w, sc),
                                 };
                                 (pos, c)
                             })

@@ -78,6 +78,15 @@ pub struct Params {
     /// trace grows with the move count and exists for the equivalence
     /// suite and diagnostics.
     pub record_trace: bool,
+    /// Residency budget in bytes for the delta-state scenario cache of
+    /// the Phase-2 cutoff sweeps (`dtr_cost::ScenarioCache`). Entries
+    /// hold per-link load vectors and SLA pair triples, so at large node
+    /// counts an unbounded cache grows roughly as `scenarios × links`;
+    /// scenarios past the budget fall back to the plain repair-seeded
+    /// path, which returns the same bits — the search trajectory is
+    /// identical for every budget, only wall-clock changes.
+    /// `usize::MAX` = unbounded (the 50-node default never binds).
+    pub cache_budget_bytes: usize,
     /// Hard safety cap on sweeps per phase — a termination backstop far
     /// above what the `c%` rule needs; never binding in practice.
     pub max_iterations: usize,
@@ -109,6 +118,7 @@ impl Params {
             cutoff: true,
             phi_floors: true,
             record_trace: false,
+            cache_budget_bytes: usize::MAX,
             max_iterations: 100_000,
             seed,
         }
@@ -166,6 +176,8 @@ impl Params {
         assert!(self.threads >= 1);
         assert!(self.speculation >= 1, "speculation window K >= 1");
         assert!(self.max_iterations >= 1);
+        // Any cache_budget_bytes is valid: a budget below one entry just
+        // means a fully non-resident cache (plain-path evaluations).
     }
 }
 

@@ -145,7 +145,7 @@ impl SweepState {
             order: (0..indices.len() as u32).collect(),
             scratch: SweepScratch::new(),
             floors,
-            cache: dtr_cost::ScenarioCache::new(),
+            cache: dtr_cost::ScenarioCache::with_budget(params.cache_budget_bytes),
         }
     }
 
@@ -201,6 +201,9 @@ fn full_sweep<S: ScenarioSet + Sync + ?Sized>(
     stats.evaluations += indices.len();
     if params.cutoff {
         rebuild_cache(ev, set, indices, w, params.threads, st);
+        let resident = st.cache.resident_scenarios();
+        stats.cache_resident_scenarios = stats.cache_resident_scenarios.max(resident);
+        stats.cache_fallback_evals += indices.len() - resident;
         let weighted = set.weighted();
         let mut acc = LexCost::ZERO;
         for (pos, &i) in indices.iter().enumerate() {
@@ -225,6 +228,15 @@ fn full_sweep<S: ScenarioSet + Sync + ?Sized>(
 /// workers (cache entries and cost slots are position-disjoint, so each
 /// worker owns a contiguous chunk of both; the captured baseline is
 /// shared read-only).
+///
+/// Budget-bounded caches first capture position 0 serially as a
+/// calibration probe, plan the resident prefix from its measured
+/// footprint ([`dtr_cost::ScenarioCache::plan_residency`]), then capture
+/// only positions inside that prefix; the non-resident tail is evaluated
+/// on the plain repair-seeded path, which returns the same bits (pinned
+/// by `tests/scenario_engine_equivalence.rs`). A budget below one entry
+/// keeps the calibration probe allocated but marks nothing resident —
+/// at most one entry of slack over the configured budget.
 fn rebuild_cache<S: ScenarioSet + Sync + ?Sized>(
     ev: &Evaluator<'_>,
     set: &S,
@@ -237,30 +249,75 @@ fn rebuild_cache<S: ScenarioSet + Sync + ?Sized>(
     ev.cache_rebuild_begin(&mut ws, &mut st.cache, w, indices.len());
     st.scratch.costs.clear();
     st.scratch.costs.resize(indices.len(), LexCost::ZERO);
-    let workers = threads.min(indices.len());
-    let (base, entries) = st.cache.capture_split();
+    let mut captured = 0usize;
+    if st.cache.budget_bytes() != usize::MAX && !indices.is_empty() {
+        let (base, entries) = st.cache.capture_split();
+        st.scratch.costs[0] =
+            ev.cost_capture_into(&mut ws, w, set.scenario(indices[0]), base, &mut entries[0]);
+        captured = 1;
+    }
+    st.cache.plan_residency(indices.len());
+    // Positions still to capture sit in `captured..cap_hi`; everything
+    // past the resident prefix takes the plain path into the same cost
+    // slots (position 0 is already exact even when non-resident — the
+    // capture eval and the plain eval are bit-identical).
+    let cap_hi = st.cache.resident_scenarios().max(captured);
+    let workers = threads.min(indices.len().max(1));
     if workers <= 1 {
-        for ((pos, &i), entry) in indices.iter().enumerate().zip(entries) {
-            st.scratch.costs[pos] = ev.cost_capture_into(&mut ws, w, set.scenario(i), base, entry);
+        let (base, entries) = st.cache.capture_split();
+        for pos in captured..cap_hi {
+            st.scratch.costs[pos] = ev.cost_capture_into(
+                &mut ws,
+                w,
+                set.scenario(indices[pos]),
+                base,
+                &mut entries[pos],
+            );
+        }
+        for (c, &i) in st.scratch.costs[cap_hi..]
+            .iter_mut()
+            .zip(&indices[cap_hi..])
+        {
+            *c = ev.cost_with(&mut ws, w, set.scenario(i));
         }
         ev.release_workspace(ws);
         return;
     }
     ev.release_workspace(ws);
-    let chunk = indices.len().div_ceil(workers);
-    let costs = &mut st.scratch.costs;
-    let parts: Vec<_> = indices
-        .chunks(chunk)
-        .zip(entries.chunks_mut(chunk))
-        .zip(costs.chunks_mut(chunk))
-        .collect();
-    parallel::scoped_fanout(parts, |((idx, ents), cst)| {
-        let mut ws = ev.acquire_workspace();
-        for ((&i, entry), c) in idx.iter().zip(ents).zip(cst) {
-            *c = ev.cost_capture_into(&mut ws, w, set.scenario(i), base, entry);
+    {
+        let (base, entries) = st.cache.capture_split();
+        let idx = &indices[captured..cap_hi];
+        let ents = &mut entries[captured..cap_hi];
+        let csts = &mut st.scratch.costs[captured..cap_hi];
+        if !idx.is_empty() {
+            let chunk = idx.len().div_ceil(workers);
+            let parts: Vec<_> = idx
+                .chunks(chunk)
+                .zip(ents.chunks_mut(chunk))
+                .zip(csts.chunks_mut(chunk))
+                .collect();
+            parallel::scoped_fanout(parts, |((idx, ents), cst)| {
+                let mut ws = ev.acquire_workspace();
+                for ((&i, entry), c) in idx.iter().zip(ents).zip(cst) {
+                    *c = ev.cost_capture_into(&mut ws, w, set.scenario(i), base, entry);
+                }
+                ev.release_workspace(ws);
+            });
         }
-        ev.release_workspace(ws);
-    });
+    }
+    let tail = &indices[cap_hi..];
+    if !tail.is_empty() {
+        let csts = &mut st.scratch.costs[cap_hi..];
+        let chunk = tail.len().div_ceil(workers);
+        let parts: Vec<_> = tail.chunks(chunk).zip(csts.chunks_mut(chunk)).collect();
+        parallel::scoped_fanout(parts, |(idx, cst)| {
+            let mut ws = ev.acquire_workspace();
+            for (&i, c) in idx.iter().zip(cst) {
+                *c = ev.cost_with(&mut ws, w, set.scenario(i));
+            }
+            ev.release_workspace(ws);
+        });
+    }
 }
 
 /// Run Phase 2 over the scenarios of `indices` drawn from any
@@ -386,6 +443,20 @@ pub fn run<S: ScenarioSet + Sync + ?Sized>(
                         params.threads,
                     ))
                 };
+                if params.cutoff {
+                    // Attribute plain-path (non-resident) evaluations of
+                    // this bounded sweep. The canonical evaluation set is
+                    // the `evaluated`-long prefix of the deterministic
+                    // order, so the counter is thread-invariant.
+                    let resident = st.cache.resident_scenarios();
+                    stats.cache_fallback_evals += match &outcome {
+                        SetSweep::Complete(_) => indices.len() - resident,
+                        SetSweep::Cut { evaluated, .. } => st.order[..*evaluated]
+                            .iter()
+                            .filter(|&&p| p as usize >= resident)
+                            .count(),
+                    };
+                }
                 match outcome {
                     SetSweep::Complete(kfail) if kfail.better_than(&current_kfail) => {
                         current_kfail = kfail;
@@ -566,6 +637,70 @@ mod tests {
         let b = run(&ev, &universe, &all, &params, &p1);
         assert_eq!(a.best, b.best);
         assert_eq!(a.best_kfail, b.best_kfail);
+    }
+
+    #[test]
+    fn budget_bounded_cache_matches_unbounded_bit_for_bit() {
+        let (net, tm) = setup();
+        let ev = Evaluator::new(&net, &tm, CostParams::default());
+        let universe = FailureUniverse::of(&net);
+        let params = Params {
+            record_trace: true,
+            ..Params::quick(21)
+        };
+        let p1 = phase1::run(&ev, &universe, &params);
+        let all: Vec<usize> = (0..universe.len()).collect();
+        let unbounded = run(&ev, &universe, &all, &params, &p1);
+        assert_eq!(unbounded.stats.cache_resident_scenarios, all.len());
+        assert_eq!(unbounded.stats.cache_fallback_evals, 0);
+        // From "below one entry" through "a partial prefix" to "holds
+        // everything": the trajectory never moves.
+        for budget in [0usize, 4_096, 1 << 22] {
+            let bounded = run(
+                &ev,
+                &universe,
+                &all,
+                &Params {
+                    cache_budget_bytes: budget,
+                    ..params
+                },
+                &p1,
+            );
+            assert_eq!(bounded.best, unbounded.best, "budget {budget}");
+            assert_eq!(bounded.best_kfail, unbounded.best_kfail, "budget {budget}");
+            assert_eq!(
+                bounded.best_normal, unbounded.best_normal,
+                "budget {budget}"
+            );
+            assert_eq!(bounded.trace, unbounded.trace, "budget {budget}");
+            assert_eq!(
+                bounded.constraint_rejections, unbounded.constraint_rejections,
+                "budget {budget}"
+            );
+            // Every stat except the two residency counters matches.
+            let mut masked = bounded.stats;
+            masked.cache_resident_scenarios = unbounded.stats.cache_resident_scenarios;
+            masked.cache_fallback_evals = unbounded.stats.cache_fallback_evals;
+            assert_eq!(masked, unbounded.stats, "budget {budget}");
+            assert!(
+                bounded.stats.cache_resident_scenarios <= all.len(),
+                "budget {budget}"
+            );
+        }
+        // A budget below one entry degrades the cache entirely — and the
+        // fallback accounting must show it.
+        let tiny = run(
+            &ev,
+            &universe,
+            &all,
+            &Params {
+                cache_budget_bytes: 1,
+                ..params
+            },
+            &p1,
+        );
+        assert_eq!(tiny.stats.cache_resident_scenarios, 0);
+        assert!(tiny.stats.cache_fallback_evals > 0);
     }
 
     #[test]

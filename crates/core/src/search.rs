@@ -112,6 +112,16 @@ pub struct SearchStats {
     /// accept, drift rebuilds no longer exist and this stays 0 in the
     /// shipped phases; the counter is kept for custom drivers.
     pub cache_rebuild_evals: usize,
+    /// Gauge: how many scenarios the delta-state cache held resident
+    /// under its byte budget (`Params::cache_budget_bytes`) at the last
+    /// rebuild. Equals the critical-set size when the budget never
+    /// binds; merged by max.
+    pub cache_resident_scenarios: usize,
+    /// Scenario evaluations a budget-bounded cache routed through the
+    /// plain repair-seeded path because their position was not resident
+    /// (bit-identical results, attributed for the benches). Stays 0
+    /// whenever the budget does not bind.
+    pub cache_fallback_evals: usize,
 }
 
 impl SearchStats {
@@ -125,6 +135,12 @@ impl SearchStats {
         self.skipped_cutoff += other.skipped_cutoff;
         self.speculative_wasted += other.speculative_wasted;
         self.cache_rebuild_evals += other.cache_rebuild_evals;
+        // A gauge, not a counter: phases sharing one cache report the
+        // same residency, so the merged value is the max, not the sum.
+        self.cache_resident_scenarios = self
+            .cache_resident_scenarios
+            .max(other.cache_resident_scenarios);
+        self.cache_fallback_evals += other.cache_fallback_evals;
     }
 }
 

@@ -69,18 +69,35 @@ pub fn select(crit: &Criticality, n: usize) -> CriticalSet {
 
     let mut n1 = m;
     let mut n2 = m;
-    let mut union = union_size(&e_lambda, &e_phi, n1, n2, m);
+    // Incremental union tracking: a per-link membership count over the
+    // two prefixes, decremented as each shrink step drops exactly one
+    // element — O(1) per step instead of a fresh O(m) recount, which
+    // made selection quadratic in the failure universe at large
+    // topologies.
+    let mut membership = vec![0u8; m];
+    let mut union = 0usize;
+    for &l in e_lambda[..n1].iter().chain(e_phi[..n2].iter()) {
+        if membership[l] == 0 {
+            union += 1;
+        }
+        membership[l] += 1;
+    }
     while union > n {
         // Shrink the list that loses less (Algorithm 1, lines 3-4):
         // if the Λ error of shrinking to n1-1 is >= the Φ error of
         // shrinking to n2-1, shrink the Φ list instead, else shrink Λ.
         let shrink_phi = n2 > 0 && (n1 == 0 || err_l[n1 - 1] >= err_p[n2 - 1]);
-        if shrink_phi {
+        let dropped = if shrink_phi {
             n2 -= 1;
+            e_phi[n2]
         } else {
             n1 -= 1;
+            e_lambda[n1]
+        };
+        membership[dropped] -= 1;
+        if membership[dropped] == 0 {
+            union -= 1;
         }
-        union = union_size(&e_lambda, &e_phi, n1, n2, m);
     }
 
     let mut included = vec![false; m];
@@ -147,18 +164,6 @@ pub fn select_for_set<S: ScenarioSet + ?Sized>(
         ),
     };
     set.critical_scenarios(&critical_failures)
-}
-
-fn union_size(a: &[usize], b: &[usize], n1: usize, n2: usize, m: usize) -> usize {
-    let mut seen = vec![false; m];
-    let mut count = 0;
-    for &l in a[..n1].iter().chain(b[..n2].iter()) {
-        if !seen[l] {
-            seen[l] = true;
-            count += 1;
-        }
-    }
-    count
 }
 
 #[cfg(test)]
@@ -243,6 +248,34 @@ mod tests {
         let c = crit(vec![0.0; 6], vec![0.0; 6]);
         let cs = select(&c, 2);
         assert_eq!(cs.indices.len(), 2);
+    }
+
+    #[test]
+    fn large_universe_selection_stays_cheap_and_exact() {
+        // 50k-link universe with opposed rankings — the old recounting
+        // shrink loop was quadratic here. Exactness is cross-checked by
+        // rebuilding the union from the returned prefixes.
+        let m = 50_000usize;
+        let lam: Vec<f64> = (0..m).map(|i| (m - i) as f64 / m as f64).collect();
+        let phi: Vec<f64> = (0..m).map(|i| (i + 1) as f64 / m as f64).collect();
+        let c = crit(lam, phi);
+        let n = m / 10;
+        let cs = select(&c, n);
+        assert!(cs.indices.len() <= n);
+        let mut included = vec![false; m];
+        for &l in crate::criticality::Criticality::ranking_lambda(&c)[..cs.n1].iter() {
+            included[l] = true;
+        }
+        for &l in crate::criticality::Criticality::ranking_phi(&c)[..cs.n2].iter() {
+            included[l] = true;
+        }
+        let rebuilt: Vec<usize> = (0..m).filter(|&i| included[i]).collect();
+        assert_eq!(rebuilt, cs.indices);
+        assert_eq!(
+            cs.indices.len(),
+            n,
+            "opposed full-mass lists fill n exactly"
+        );
     }
 
     #[test]

@@ -255,18 +255,24 @@ impl LinkContrib {
     {
         self.off.clear();
         self.off.resize(num_links + 1, 0);
-        let mut total = 0u32;
+        let mut total = 0usize;
         for di in 0..num_dests {
             for &(l, _) in adds_of(di) {
                 self.off[l as usize + 1] += 1;
                 total += 1;
             }
         }
+        // The CSR stores u32 offsets; a count past u32::MAX must fail
+        // loudly here, not wrap the prefix sums into silent mis-sizing.
+        assert!(
+            total <= u32::MAX as usize,
+            "contributor count {total} exceeds the u32 CSR offset space"
+        );
         for l in 0..num_links {
             self.off[l + 1] += self.off[l];
         }
         self.entries.clear();
-        self.entries.resize(total as usize, (0, 0.0));
+        self.entries.resize(total, (0, 0.0));
         self.cursor.clear();
         self.cursor.extend_from_slice(&self.off[..num_links]);
         for di in 0..num_dests {
@@ -276,6 +282,14 @@ impl LinkContrib {
                 *c += 1;
             }
         }
+    }
+
+    /// Bytes of resident CSR state, from element counts (see
+    /// [`ScenarioEntry::resident_bytes`]).
+    pub fn resident_bytes(&self) -> usize {
+        use std::mem::size_of;
+        (self.off.len() + self.cursor.len()) * size_of::<u32>()
+            + self.entries.len() * size_of::<(u32, f64)>()
     }
 }
 
@@ -406,6 +420,32 @@ pub struct ScenarioEntry {
     pair_off: Vec<u32>,
 }
 
+impl ScenarioEntry {
+    /// Bytes of resident delta-state this captured entry holds, computed
+    /// from element counts (not vector capacities), so the figure is
+    /// identical on every process and thread — the residency planner
+    /// divides the cache budget by it.
+    pub fn resident_bytes(&self) -> usize {
+        use std::mem::size_of;
+        let routing_bytes = |list: &[(u32, DestRouting)]| {
+            list.iter()
+                .map(|(_, r)| size_of::<(u32, DestRouting)>() + r.resident_bytes())
+                .sum::<usize>()
+        };
+        routing_bytes(&self.delay)
+            + routing_bytes(&self.tput)
+            + self.loads.iter().map(|l| l.len()).sum::<usize>() * size_of::<f64>()
+            + self
+                .contrib
+                .iter()
+                .map(LinkContrib::resident_bytes)
+                .sum::<usize>()
+            + self.link_delays.len() * size_of::<f64>()
+            + self.pairs.len() * size_of::<(usize, usize, f64)>()
+            + self.pair_off.len() * size_of::<u32>()
+    }
+}
+
 /// Delta-state scenario cache: the persistent per-scenario evaluation
 /// state of an *incumbent* weight setting, enabling candidate sweeps
 /// that pay only for their diff (see the module docs and
@@ -419,7 +459,24 @@ pub struct ScenarioEntry {
 /// with [`Evaluator::cache_refresh`] — which maintains the affected-set
 /// coverage *exactly*, so no periodic full rebuild is needed for
 /// correctness or freshness.
-#[derive(Debug, Default)]
+///
+/// ## Residency budget
+///
+/// Per-scenario entries hold per-link load vectors and SLA pair triples,
+/// so at large node counts the cache's footprint grows roughly as
+/// `scenarios × links` (quadratic-ish in network size for single-link
+/// failure universes). A cache built with
+/// [`with_budget`](Self::with_budget) therefore keeps only a *resident
+/// prefix* of its positions: after the first capture,
+/// [`plan_residency`](Self::plan_residency) divides the byte budget by
+/// the measured entry size, and positions past the resident count are
+/// never captured — callers evaluate them through the plain
+/// (repair-seeded) `cost_scenario` path instead, which is bit-for-bit
+/// identical (determinism invariant 2), just slower. The eviction order
+/// is deterministic by construction: always the positions `resident..`,
+/// i.e. the tail of the caller's fixed position order, independent of
+/// thread count and wall clock.
+#[derive(Debug)]
 pub struct ScenarioCache {
     /// Per-class weights of the cached incumbent (`[delay, tput]`).
     weights: [Vec<u32>; 2],
@@ -437,12 +494,86 @@ pub struct ScenarioCache {
     /// it to compute their per-candidate exact baseline diff flags once
     /// and reuse them across the candidate's whole scenario sweep.
     generation: u64,
+    /// Residency budget in bytes (`usize::MAX` = unbounded).
+    budget: usize,
+    /// Positions `0..resident` are captured and delta-evaluated; the
+    /// rest fall back to the plain path (see the type docs).
+    resident: usize,
+}
+
+impl Default for ScenarioCache {
+    fn default() -> Self {
+        Self::new()
+    }
 }
 
 impl ScenarioCache {
-    /// Fresh, empty cache.
+    /// Fresh, empty, unbounded cache: every position is resident.
     pub fn new() -> Self {
-        Self::default()
+        ScenarioCache {
+            weights: Default::default(),
+            base: Default::default(),
+            entries: Vec::new(),
+            diff: Default::default(),
+            generation: 0,
+            budget: usize::MAX,
+            resident: 0,
+        }
+    }
+
+    /// Fresh cache bounded to `bytes` of per-scenario resident state.
+    /// The resident count is planned at the first capture of every
+    /// rebuild (see [`plan_residency`](Self::plan_residency)).
+    pub fn with_budget(bytes: usize) -> Self {
+        ScenarioCache {
+            budget: bytes,
+            ..Self::new()
+        }
+    }
+
+    /// The configured residency budget in bytes (`usize::MAX` =
+    /// unbounded).
+    pub fn budget_bytes(&self) -> usize {
+        self.budget
+    }
+
+    /// How many positions are currently resident (captured and
+    /// delta-evaluated); the `cache_resident_scenarios` stat.
+    pub fn resident_scenarios(&self) -> usize {
+        self.resident
+    }
+
+    /// `true` when position `pos` is resident — callers route
+    /// non-resident positions through the plain evaluation path, which
+    /// returns the same bits.
+    #[inline]
+    pub fn is_resident(&self, pos: usize) -> bool {
+        pos < self.resident
+    }
+
+    /// Plan the resident prefix for a rebuild over `positions` slots:
+    /// divide the budget by the measured size of the already-captured
+    /// entry 0. Deterministic because entry sizes are a pure function of
+    /// (incumbent weights, scenario) element counts — never of vector
+    /// capacities, thread count or timing. Call after capturing position
+    /// 0; positions `>= resident_scenarios()` must then be left
+    /// uncaptured. With a budget smaller than a single entry the
+    /// resident count is 0 and the cache degrades to the plain path
+    /// entirely.
+    pub fn plan_residency(&mut self, positions: usize) {
+        if self.budget == usize::MAX {
+            self.resident = positions;
+            return;
+        }
+        let per_entry = self
+            .entries
+            .first()
+            .map_or(0, ScenarioEntry::resident_bytes);
+        self.resident = match self.budget.checked_div(per_entry) {
+            Some(fit) => fit.min(positions),
+            // Zero-sized entry (nothing captured): keep everything.
+            None => positions,
+        };
     }
 
     /// Split the cache into its shared incumbent baseline and the
@@ -1044,6 +1175,14 @@ impl<'a> Evaluator<'a> {
             e.delay.clear();
             e.tput.clear();
         }
+        // Unbounded caches are fully resident up front; bounded ones
+        // start at zero until `plan_residency` measures the first
+        // captured entry.
+        cache.resident = if cache.budget == usize::MAX {
+            positions
+        } else {
+            0
+        };
         cache.generation = next_engine_id();
     }
 
@@ -1543,12 +1682,14 @@ impl<'a> Evaluator<'a> {
         let num_links = self.net.num_links();
         assert_eq!(w.num_links(), num_links, "weight size mismatch");
         ws.bind(self.engine_id, num_links);
+        let resident = cache.resident;
         let ScenarioCache {
             weights,
             base,
             entries,
             diff,
             generation,
+            ..
         } = cache;
         for (ci, class) in Class::ALL.iter().enumerate() {
             let new = w.weights(*class);
@@ -1613,8 +1754,10 @@ impl<'a> Evaluator<'a> {
         }
 
         // 2. Per-scenario update: routings, contributor lists, loads,
-        // delays and pair segments, all in place.
-        for (pos, entry) in entries.iter_mut().enumerate() {
+        // delays and pair segments, all in place. Non-resident positions
+        // (`resident..`) were never captured and stay on the plain path,
+        // so there is nothing to maintain for them.
+        for (pos, entry) in entries.iter_mut().enumerate().take(resident) {
             let scenario = scenario_at(pos);
             scenario.mask_into(self.net, &mut ws.mask);
             ws.down.clear();

@@ -179,11 +179,48 @@ pub struct MtrScenarioEntry {
     pair_off: Vec<Vec<u32>>,
 }
 
+impl MtrScenarioEntry {
+    /// Measured resident footprint in bytes, from element counts — never
+    /// vector capacities — so the number is a pure function of the
+    /// captured (incumbent, scenario) state and identical across
+    /// processes and thread counts (the residency plan divides the byte
+    /// budget by this).
+    pub fn resident_bytes(&self) -> usize {
+        use std::mem::size_of;
+        let routed: usize = self
+            .routed
+            .iter()
+            .map(|per_class| {
+                per_class
+                    .iter()
+                    .map(|(_, d)| size_of::<(u32, DestRouting)>() + d.resident_bytes())
+                    .sum::<usize>()
+            })
+            .sum();
+        let loads: usize = self.loads.iter().map(|l| l.len() * size_of::<f64>()).sum();
+        let contrib: usize = self.contrib.iter().map(LinkContrib::resident_bytes).sum();
+        let pairs: usize = self
+            .pairs
+            .iter()
+            .map(|p| p.len() * size_of::<(usize, usize, f64)>())
+            .sum();
+        let pair_off: usize = self
+            .pair_off
+            .iter()
+            .map(|o| o.len() * size_of::<u32>())
+            .sum();
+        routed + loads + contrib + self.link_delays.len() * size_of::<f64>() + pairs + pair_off
+    }
+}
+
 /// Delta-state scenario cache for the MTR robust phase — the k-class
 /// analogue of [`dtr_cost::ScenarioCache`], with the same
 /// `cache_rebuild_begin` / `cost_capture` / `cache_begin` /
-/// `cost_cached` / `cache_refresh` life cycle.
-#[derive(Debug, Default)]
+/// `cost_cached` / `cache_refresh` life cycle and the same residency
+/// budget: only the prefix `0..resident` of the caller's position order
+/// is captured and delta-evaluated; positions past it take the plain
+/// [`MtrEvaluator::cost_with`] path, which returns the same bits.
+#[derive(Debug)]
 pub struct MtrScenarioCache {
     weights: Vec<Vec<u32>>,
     base: Vec<Vec<DestRouting>>,
@@ -192,12 +229,81 @@ pub struct MtrScenarioCache {
     /// Globally unique stamp of the current (incumbent, candidate diff)
     /// pair (see `dtr_cost::ScenarioCache`).
     generation: u64,
+    /// Residency budget in bytes (`usize::MAX` = unbounded).
+    budget: usize,
+    /// Positions `0..resident` are resident (see the type docs).
+    resident: usize,
+}
+
+impl Default for MtrScenarioCache {
+    fn default() -> Self {
+        Self::new()
+    }
 }
 
 impl MtrScenarioCache {
-    /// Fresh, empty cache.
+    /// Fresh, empty, unbounded cache: every position is resident.
     pub fn new() -> Self {
-        Self::default()
+        MtrScenarioCache {
+            weights: Vec::new(),
+            base: Vec::new(),
+            entries: Vec::new(),
+            diff: Vec::new(),
+            generation: 0,
+            budget: usize::MAX,
+            resident: 0,
+        }
+    }
+
+    /// Fresh cache bounded to `bytes` of per-scenario resident state;
+    /// the resident count is planned at the first capture of every
+    /// rebuild (see [`plan_residency`](Self::plan_residency)).
+    pub fn with_budget(bytes: usize) -> Self {
+        MtrScenarioCache {
+            budget: bytes,
+            ..Self::new()
+        }
+    }
+
+    /// The configured residency budget in bytes (`usize::MAX` =
+    /// unbounded).
+    pub fn budget_bytes(&self) -> usize {
+        self.budget
+    }
+
+    /// How many positions are currently resident — the
+    /// `cache_resident_scenarios` stat.
+    pub fn resident_scenarios(&self) -> usize {
+        self.resident
+    }
+
+    /// `true` when position `pos` is resident — callers route
+    /// non-resident positions through the plain evaluation path.
+    #[inline]
+    pub fn is_resident(&self, pos: usize) -> bool {
+        pos < self.resident
+    }
+
+    /// Plan the resident prefix for a rebuild over `positions` slots by
+    /// dividing the budget by the measured footprint of the
+    /// already-captured entry 0 (see
+    /// [`dtr_cost::ScenarioCache::plan_residency`] — same contract:
+    /// element counts only, deterministic; positions past the returned
+    /// prefix must be left uncaptured).
+    pub fn plan_residency(&mut self, positions: usize) {
+        if self.budget == usize::MAX {
+            self.resident = positions;
+            return;
+        }
+        let per_entry = self
+            .entries
+            .first()
+            .map_or(0, MtrScenarioEntry::resident_bytes);
+        self.resident = match self.budget.checked_div(per_entry) {
+            Some(fit) => fit.min(positions),
+            // Zero-sized entry (nothing captured): keep everything.
+            None => positions,
+        };
     }
 
     /// Split into the shared incumbent baseline and the per-position
@@ -681,6 +787,14 @@ impl<'a> MtrEvaluator<'a> {
                 list.clear();
             }
         }
+        // Unbounded caches are fully resident up front; bounded caches
+        // stay at 0 until the caller captures entry 0 and calls
+        // `plan_residency`.
+        cache.resident = if cache.budget == usize::MAX {
+            positions
+        } else {
+            0
+        };
         cache.generation = next_engine_id();
     }
 
@@ -1132,12 +1246,14 @@ impl<'a> MtrEvaluator<'a> {
         assert_eq!(w.num_links(), num_links, "weight size mismatch");
         let kn = self.num_classes();
         ws.bind(self.engine_id, num_links, kn);
+        let resident = cache.resident;
         let MtrScenarioCache {
             weights,
             base,
             entries,
             diff,
             generation,
+            ..
         } = cache;
         assert_eq!(base.len(), kn, "cache baseline missing");
         for (k, diffk) in diff.iter_mut().enumerate() {
@@ -1196,12 +1312,14 @@ impl<'a> MtrEvaluator<'a> {
             }
         }
 
-        // 2. Per-scenario update.
+        // 2. Per-scenario update — resident prefix only: non-resident
+        // positions were never captured and always evaluate on the plain
+        // path, so there is no folded state to maintain for them.
         let take_max = matches!(
             self.config.delay_params.aggregation,
             dtr_cost::DelayAggregation::Max
         );
-        for (pos, entry) in entries.iter_mut().enumerate() {
+        for (pos, entry) in entries.iter_mut().enumerate().take(resident) {
             let scenario = scenario_at(pos);
             scenario.mask_into(self.net, &mut ws.mask);
             ws.down.clear();

@@ -209,9 +209,11 @@ pub fn sum_failure_costs_bounded(
         let mut ws = ev.acquire_workspace();
         for (e, &pos) in order.iter().enumerate() {
             let pos = pos as usize;
+            // Non-resident positions of a budget-bounded cache take the
+            // plain per-class path — the same bits, just uncached.
             scratch.costs[pos] = match cache {
-                Some(c) => ev.cost_cached(&mut ws, w, scenarios[pos], c, pos),
-                None => ev.cost_with(&mut ws, w, scenarios[pos]),
+                Some(c) if c.is_resident(pos) => ev.cost_cached(&mut ws, w, scenarios[pos], c, pos),
+                _ => ev.cost_with(&mut ws, w, scenarios[pos]),
             };
             scratch.done[pos] = true;
             let evaluated = e + 1;
@@ -250,14 +252,14 @@ pub fn sum_failure_costs_bounded(
                             .iter()
                             .map(|&pos| {
                                 let c = match cache {
-                                    Some(c) => ev.cost_cached(
+                                    Some(c) if c.is_resident(pos as usize) => ev.cost_cached(
                                         &mut ws,
                                         w,
                                         scenarios[pos as usize],
                                         c,
                                         pos as usize,
                                     ),
-                                    None => ev.cost_with(&mut ws, w, scenarios[pos as usize]),
+                                    _ => ev.cost_with(&mut ws, w, scenarios[pos as usize]),
                                 };
                                 (pos, c)
                             })

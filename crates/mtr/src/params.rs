@@ -77,6 +77,13 @@ pub struct MtrParams {
     /// Record the per-proposal accept/reject trace into the phase
     /// outputs (`dtr_core::search::MoveOutcome`). Off by default.
     pub record_trace: bool,
+    /// Residency budget in bytes for the delta-state scenario cache of
+    /// the robust-phase cutoff sweeps ([`crate::MtrScenarioCache`]; only
+    /// read when `cutoff` and `cache` are on). Scenarios past the budget
+    /// fall back to the plain per-class path, which returns the same
+    /// bits — the trajectory is identical for every budget, only
+    /// wall-clock and memory change. `usize::MAX` = unbounded.
+    pub cache_budget_bytes: usize,
     /// Master RNG seed.
     pub seed: u64,
 }
@@ -106,6 +113,7 @@ impl MtrParams {
             cache: true,
             phi_floors: true,
             record_trace: false,
+            cache_budget_bytes: usize::MAX,
             seed,
         }
     }
@@ -145,6 +153,8 @@ impl MtrParams {
         assert!(self.max_iterations >= 1);
         assert!(self.threads >= 1, "at least one worker thread");
         assert!(self.speculation >= 1, "speculation window K >= 1");
+        // Any cache_budget_bytes is valid: a budget below one entry just
+        // means a fully non-resident cache (plain-path evaluations).
     }
 }
 

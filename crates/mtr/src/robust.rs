@@ -113,7 +113,8 @@ impl SweepKit {
                     })
                     .collect()
             }),
-            cache: (params.cutoff && params.cache).then(MtrScenarioCache::new),
+            cache: (params.cutoff && params.cache)
+                .then(|| MtrScenarioCache::with_budget(params.cache_budget_bytes)),
         }
     }
 }
@@ -136,30 +137,66 @@ fn rebuild_cache(
     scratch
         .costs
         .resize(scenarios.len(), VecCost::zeros(ev.num_classes()));
-    let workers = threads.min(scenarios.len());
-    let (base, entries) = cache.capture_split();
+    // Budget-bounded caches capture position 0 serially as a calibration
+    // probe, then plan the resident prefix from its measured footprint;
+    // the non-resident tail is evaluated on the plain path, which
+    // returns the same bits (see `dtr_core::phase2::rebuild_cache`).
+    let mut captured = 0usize;
+    if cache.budget_bytes() != usize::MAX && !scenarios.is_empty() {
+        let (base, entries) = cache.capture_split();
+        scratch.costs[0] = ev.cost_capture_into(&mut ws, w, scenarios[0], base, &mut entries[0]);
+        captured = 1;
+    }
+    cache.plan_residency(scenarios.len());
+    let cap_hi = cache.resident_scenarios().max(captured);
+    let workers = threads.min(scenarios.len().max(1));
     if workers <= 1 {
-        for ((&sc, entry), c) in scenarios.iter().zip(entries).zip(&mut scratch.costs) {
-            *c = ev.cost_capture_into(&mut ws, w, sc, base, entry);
+        let (base, entries) = cache.capture_split();
+        for pos in captured..cap_hi {
+            scratch.costs[pos] =
+                ev.cost_capture_into(&mut ws, w, scenarios[pos], base, &mut entries[pos]);
+        }
+        for (c, &s) in scratch.costs[cap_hi..].iter_mut().zip(&scenarios[cap_hi..]) {
+            *c = ev.cost_with(&mut ws, w, s);
         }
         ev.release_workspace(ws);
         return;
     }
     ev.release_workspace(ws);
-    let chunk = scenarios.len().div_ceil(workers);
-    let costs = &mut scratch.costs;
-    let parts: Vec<_> = scenarios
-        .chunks(chunk)
-        .zip(entries.chunks_mut(chunk))
-        .zip(costs.chunks_mut(chunk))
-        .collect();
-    dtr_core::parallel::scoped_fanout(parts, |((scs, ents), cst)| {
-        let mut ws = ev.acquire_workspace();
-        for ((&sc, entry), c) in scs.iter().zip(ents).zip(cst) {
-            *c = ev.cost_capture_into(&mut ws, w, sc, base, entry);
+    {
+        let (base, entries) = cache.capture_split();
+        let scs = &scenarios[captured..cap_hi];
+        let ents = &mut entries[captured..cap_hi];
+        let csts = &mut scratch.costs[captured..cap_hi];
+        if !scs.is_empty() {
+            let chunk = scs.len().div_ceil(workers);
+            let parts: Vec<_> = scs
+                .chunks(chunk)
+                .zip(ents.chunks_mut(chunk))
+                .zip(csts.chunks_mut(chunk))
+                .collect();
+            dtr_core::parallel::scoped_fanout(parts, |((scs, ents), cst)| {
+                let mut ws = ev.acquire_workspace();
+                for ((&sc, entry), c) in scs.iter().zip(ents).zip(cst) {
+                    *c = ev.cost_capture_into(&mut ws, w, sc, base, entry);
+                }
+                ev.release_workspace(ws);
+            });
         }
-        ev.release_workspace(ws);
-    });
+    }
+    let tail = &scenarios[cap_hi..];
+    if !tail.is_empty() {
+        let csts = &mut scratch.costs[cap_hi..];
+        let chunk = tail.len().div_ceil(workers);
+        let parts: Vec<_> = tail.chunks(chunk).zip(csts.chunks_mut(chunk)).collect();
+        dtr_core::parallel::scoped_fanout(parts, |(scs, cst)| {
+            let mut ws = ev.acquire_workspace();
+            for (&sc, c) in scs.iter().zip(cst) {
+                *c = ev.cost_with(&mut ws, w, sc);
+            }
+            ev.release_workspace(ws);
+        });
+    }
 }
 
 /// Full compound sweep: bit-for-bit [`parallel::sum_failure_costs`].
@@ -184,6 +221,9 @@ fn full_sweep(
     }
     let kfail = if let Some(cache) = kit.cache.as_mut() {
         rebuild_cache(ev, scenarios, w, params.threads, cache, &mut kit.scratch);
+        let resident = cache.resident_scenarios();
+        stats.cache_resident_scenarios = stats.cache_resident_scenarios.max(resident);
+        stats.cache_fallback_evals += scenarios.len() - resident;
         // Scenario-order weighted fold — the seed's float-add sequence.
         let mut acc = VecCost::zeros(ev.num_classes());
         for (pos, c) in kit.scratch.costs.iter().enumerate() {
@@ -368,6 +408,19 @@ pub fn run(
                         params.threads,
                     ))
                 };
+                if let Some(cache) = kit.cache.as_ref() {
+                    // Attribute plain-path (non-resident) evaluations of
+                    // this bounded sweep, counted over the deterministic
+                    // evaluation-order prefix (thread-invariant).
+                    let resident = cache.resident_scenarios();
+                    stats.cache_fallback_evals += match &outcome {
+                        MtrSweep::Complete(_) => scenarios.len() - resident,
+                        MtrSweep::Cut { evaluated, .. } => kit.order[..*evaluated]
+                            .iter()
+                            .filter(|&&p| p as usize >= resident)
+                            .count(),
+                    };
+                }
                 match outcome {
                     MtrSweep::Complete(cand_kfail) if cand_kfail.better_than(&current_kfail) => {
                         current_kfail = cand_kfail.clone();
@@ -545,6 +598,65 @@ mod tests {
             acc = acc.add(&ev.cost(&out.best, sc));
         }
         assert_eq!(acc, out.best_kfail);
+    }
+
+    #[test]
+    fn budget_bounded_cache_matches_unbounded_bit_for_bit() {
+        let (net, tms) = testbed();
+        let ev = MtrEvaluator::new(&net, &tms, config()).unwrap();
+        let universe = FailureUniverse::of(&net);
+        let params = MtrParams {
+            record_trace: true,
+            ..MtrParams::quick(5)
+        };
+        let reg = search::regular(&ev, &universe, &params);
+        let scenarios = universe.scenarios();
+        let unbounded = run(&ev, &scenarios, &params, &reg.best_cost, &reg.archive, None);
+        assert_eq!(
+            unbounded.stats.cache_resident_scenarios,
+            scenarios.len(),
+            "unbounded cache holds the full set"
+        );
+        assert_eq!(unbounded.stats.cache_fallback_evals, 0);
+        for budget in [0usize, 8_192, 1 << 22] {
+            let bounded = run(
+                &ev,
+                &scenarios,
+                &MtrParams {
+                    cache_budget_bytes: budget,
+                    ..params
+                },
+                &reg.best_cost,
+                &reg.archive,
+                None,
+            );
+            assert_eq!(bounded.best, unbounded.best, "budget {budget}");
+            assert_eq!(bounded.best_kfail, unbounded.best_kfail, "budget {budget}");
+            assert_eq!(
+                bounded.best_normal, unbounded.best_normal,
+                "budget {budget}"
+            );
+            assert_eq!(bounded.trace, unbounded.trace, "budget {budget}");
+            let mut masked = bounded.stats;
+            masked.cache_resident_scenarios = unbounded.stats.cache_resident_scenarios;
+            masked.cache_fallback_evals = unbounded.stats.cache_fallback_evals;
+            assert_eq!(masked, unbounded.stats, "budget {budget}");
+        }
+        // A sub-entry budget degrades the cache entirely and the
+        // fallback accounting shows it.
+        let tiny = run(
+            &ev,
+            &scenarios,
+            &MtrParams {
+                cache_budget_bytes: 1,
+                ..params
+            },
+            &reg.best_cost,
+            &reg.archive,
+            None,
+        );
+        assert_eq!(tiny.stats.cache_resident_scenarios, 0);
+        assert!(tiny.stats.cache_fallback_evals > 0);
     }
 
     #[test]

@@ -52,6 +52,16 @@ pub struct MtrSearchStats {
     /// Speculative normal-conditions evaluations discarded because an
     /// earlier move in the window was accepted.
     pub speculative_wasted: usize,
+    /// Gauge: how many scenarios the delta-state cache held resident
+    /// under its byte budget (`MtrParams::cache_budget_bytes`) at the
+    /// last rebuild. Equals the critical-set size when the budget never
+    /// binds; 0 when the cache is off.
+    pub cache_resident_scenarios: usize,
+    /// Scenario evaluations a budget-bounded cache routed through the
+    /// plain per-class path because their position was not resident
+    /// (bit-identical results, attributed for the benches). Stays 0
+    /// while the budget never binds.
+    pub cache_fallback_evals: usize,
 }
 
 /// The `c%`-improvement stopping rule over a trailing window of

@@ -34,10 +34,22 @@ impl NetworkBuilder {
     }
 
     /// Add a node at `position`; returns its dense id.
+    ///
+    /// # Panics
+    /// Panics if the node count would exceed the `u32` id space; use
+    /// [`try_add_node`](Self::try_add_node) where a typed error is
+    /// preferable (generated large-tier topologies go through it).
     pub fn add_node(&mut self, position: Point) -> NodeId {
-        let id = NodeId::new(self.positions.len());
+        self.try_add_node(position).expect("node index exceeds u32")
+    }
+
+    /// Fallible form of [`add_node`](Self::add_node): returns
+    /// [`NetError::TooManyNodes`] instead of panicking when the dense id
+    /// space would overflow. The builder is left unchanged on error.
+    pub fn try_add_node(&mut self, position: Point) -> Result<NodeId, NetError> {
+        let id = NodeId::try_new(self.positions.len())?;
         self.positions.push(position);
-        id
+        Ok(id)
     }
 
     /// Number of nodes added so far.
@@ -79,10 +91,14 @@ impl NetworkBuilder {
         if !prop_delay.is_finite() || prop_delay < 0.0 {
             return Err(NetError::InvalidDelay(prop_delay));
         }
+        // Mint the id before touching `seen_pairs` so an over-long link
+        // list is a typed error with the builder left unchanged — and so
+        // `assemble`'s u32 CSR offsets (cumulative counts bounded by the
+        // link count) can never overflow silently.
+        let id = LinkId::try_new(self.links.len())?;
         if !self.seen_pairs.insert((src.0, dst.0)) {
             return Err(NetError::DuplicateLink(src, dst));
         }
-        let id = LinkId::new(self.links.len());
         self.links.push(Link {
             src,
             dst,
@@ -277,6 +293,33 @@ mod tests {
         let c = b.add_node(Point::ORIGIN);
         b.add_duplex_link(a, c, 1.0, 0.0).unwrap();
         assert!(b.build().is_ok());
+    }
+
+    #[test]
+    fn try_add_node_mints_dense_ids() {
+        let mut b = NetworkBuilder::new();
+        assert_eq!(b.try_add_node(Point::ORIGIN).unwrap().index(), 0);
+        assert_eq!(b.try_add_node(Point::ORIGIN).unwrap().index(), 1);
+        assert_eq!(b.num_nodes(), 2);
+        // The u32::MAX-adjacent boundary itself is pinned without any
+        // allocation (indices are the mock) in
+        // `ids::tests::try_new_is_exact_at_the_u32_boundary`; the builder
+        // reaches it through the same `try_new` calls.
+    }
+
+    #[test]
+    fn failed_add_link_leaves_builder_unchanged() {
+        // The id-capacity check runs before `seen_pairs` is touched, so
+        // every error path leaves the builder consistent.
+        let mut b = NetworkBuilder::new();
+        let a = b.add_node(Point::ORIGIN);
+        let c = b.add_node(Point::ORIGIN);
+        assert!(b.add_link(a, c, -1.0, 0.0).is_err());
+        assert!(!b.has_link(a, c));
+        assert_eq!(b.num_links(), 0);
+        b.add_link(a, c, 1.0, 0.0).unwrap();
+        assert!(b.add_link(a, c, 1.0, 0.0).is_err());
+        assert_eq!(b.num_links(), 1);
     }
 
     #[test]

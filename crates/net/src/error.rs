@@ -25,6 +25,12 @@ pub enum NetError {
     NotStronglyConnected,
     /// The network must contain at least one node.
     Empty,
+    /// Node count would exceed the dense `u32` id space (and with it the
+    /// CSR offset arithmetic); carries the rejected index.
+    TooManyNodes(usize),
+    /// Directed-link count would exceed the dense `u32` id space; carries
+    /// the rejected index.
+    TooManyLinks(usize),
 }
 
 impl fmt::Display for NetError {
@@ -45,6 +51,12 @@ impl fmt::Display for NetError {
                 write!(f, "network is not strongly connected")
             }
             NetError::Empty => write!(f, "network has no nodes"),
+            NetError::TooManyNodes(i) => {
+                write!(f, "node index {i} exceeds the u32 id space")
+            }
+            NetError::TooManyLinks(i) => {
+                write!(f, "directed link index {i} exceeds the u32 id space")
+            }
         }
     }
 }

@@ -22,9 +22,24 @@ pub struct LinkId(pub(crate) u32);
 impl NodeId {
     /// Construct from a raw index. The index is not validated here; passing
     /// an out-of-range id to a [`crate::Network`] method panics there.
+    ///
+    /// # Panics
+    /// Panics if `index` does not fit the dense `u32` id space; use
+    /// [`try_new`](Self::try_new) where the caller can report a typed
+    /// error instead ([`crate::NetworkBuilder::try_add_node`] does).
     #[inline]
     pub fn new(index: usize) -> Self {
-        NodeId(u32::try_from(index).expect("node index exceeds u32"))
+        Self::try_new(index).expect("node index exceeds u32")
+    }
+
+    /// Fallible form of [`new`](Self::new): a typed
+    /// [`NetError::TooManyNodes`](crate::NetError::TooManyNodes) instead
+    /// of a panic when `index` overflows the `u32` id space.
+    #[inline]
+    pub fn try_new(index: usize) -> Result<Self, crate::NetError> {
+        u32::try_from(index)
+            .map(NodeId)
+            .map_err(|_| crate::NetError::TooManyNodes(index))
     }
 
     /// Raw dense index, suitable for indexing per-node vectors.
@@ -37,9 +52,24 @@ impl NodeId {
 impl LinkId {
     /// Construct from a raw index. The index is not validated here; passing
     /// an out-of-range id to a [`crate::Network`] method panics there.
+    ///
+    /// # Panics
+    /// Panics if `index` does not fit the dense `u32` id space; the
+    /// builder validates link counts with [`try_new`](Self::try_new)
+    /// before minting ids, so construction paths never reach this panic.
     #[inline]
     pub fn new(index: usize) -> Self {
-        LinkId(u32::try_from(index).expect("link index exceeds u32"))
+        Self::try_new(index).expect("link index exceeds u32")
+    }
+
+    /// Fallible form of [`new`](Self::new): a typed
+    /// [`NetError::TooManyLinks`](crate::NetError::TooManyLinks) instead
+    /// of a panic when `index` overflows the `u32` id space.
+    #[inline]
+    pub fn try_new(index: usize) -> Result<Self, crate::NetError> {
+        u32::try_from(index)
+            .map(LinkId)
+            .map_err(|_| crate::NetError::TooManyLinks(index))
     }
 
     /// Raw dense index, suitable for indexing per-link vectors.
@@ -107,5 +137,23 @@ mod tests {
     #[should_panic(expected = "exceeds u32")]
     fn node_id_overflow_panics() {
         let _ = NodeId::new(u32::MAX as usize + 1);
+    }
+
+    // Boundary regression (mock indices only — no real allocation): the
+    // last representable id constructs, one past it is a typed error.
+    #[test]
+    fn try_new_is_exact_at_the_u32_boundary() {
+        use crate::NetError;
+        let last = u32::MAX as usize;
+        assert_eq!(NodeId::try_new(last), Ok(NodeId(u32::MAX)));
+        assert_eq!(LinkId::try_new(last), Ok(LinkId(u32::MAX)));
+        assert_eq!(
+            NodeId::try_new(last + 1),
+            Err(NetError::TooManyNodes(last + 1))
+        );
+        assert_eq!(
+            LinkId::try_new(last + 1),
+            Err(NetError::TooManyLinks(last + 1))
+        );
     }
 }

@@ -125,6 +125,18 @@ impl DestRouting {
         &self.load_adds
     }
 
+    /// Bytes of resident routing state, computed from element counts
+    /// (not vector capacities) so the figure is identical on every
+    /// process and thread. Used by the delta-state caches' residency
+    /// planners to size their per-scenario memory budget.
+    pub fn resident_bytes(&self) -> usize {
+        use std::mem::size_of;
+        self.dist.len() * size_of::<u64>()
+            + self.order.len() * size_of::<u32>()
+            + self.load_adds.len() * size_of::<(u32, f64)>()
+            + self.dropped_adds.len() * size_of::<f64>()
+    }
+
     /// Replay the recorded accumulations into global per-link loads and
     /// the dropped-demand accumulator. Bit-for-bit identical to the adds
     /// a fresh [`route_destination`] performs.

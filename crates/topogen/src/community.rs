@@ -1,0 +1,250 @@
+//! **CommunityTopo** — community-structured / hierarchical topology
+//! (extension family).
+//!
+//! Construction: `⌈√n⌉`-ish communities of near-equal size, each laid
+//! out as a tight spatial cluster around a random center in the unit
+//! square. A per-community random spanning tree plus a ring of
+//! inter-community links forms the connected skeleton (exactly `n`
+//! links); the remaining budget is filled with random pairs biased
+//! [`INTRA_BIAS`]-strongly toward intra-community edges, giving the
+//! dense-inside / sparse-between structure of hierarchical ISP
+//! topologies. Node indices are contiguous per community
+//! (`community_of = i * communities / n`-style blocks), so structure
+//! tests can recover the partition without extra metadata.
+//!
+//! Determinism: single `StdRng` stream seeded from `cfg.seed`; candidate
+//! lists are insertion-ordered `Vec`s with a `HashSet` used for
+//! membership only (dtr-analysis: det-hash-iter), and
+//! [`Blueprint::from_euclidean`] canonicalizes the final pair list.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::collections::HashSet;
+
+use crate::blueprint::Blueprint;
+use crate::config::SynthConfig;
+use crate::support::pair_key;
+use crate::{validate_config, GenError};
+use dtr_net::Point;
+
+/// Probability that a fill edge is drawn inside a single community.
+pub const INTRA_BIAS: f64 = 0.9;
+
+/// Number of communities used for `n` nodes: `⌈√n⌉` clamped so every
+/// community holds at least two nodes.
+pub fn num_communities(nodes: usize) -> usize {
+    ((nodes as f64).sqrt().ceil() as usize).clamp(2, nodes / 2)
+}
+
+/// The community block sizes for `n` nodes (near-equal, remainder spread
+/// over the leading blocks); nodes are numbered contiguously per block.
+fn block_sizes(nodes: usize, communities: usize) -> Vec<usize> {
+    let base = nodes / communities;
+    let extra = nodes % communities;
+    (0..communities)
+        .map(|ci| base + usize::from(ci < extra))
+        .collect()
+}
+
+/// Generate a CommunityTopo blueprint with exactly `cfg.duplex_links`
+/// links.
+///
+/// Requires `duplex_links >= nodes` (per-community trees + the
+/// community ring) and at least 4 nodes (two communities of two).
+pub fn generate(cfg: &SynthConfig) -> Result<Blueprint, GenError> {
+    validate_config(cfg)?;
+    let n = cfg.nodes;
+    let m = cfg.duplex_links;
+    if n < 4 {
+        return Err(GenError::TooFewNodes(n));
+    }
+    if m < n {
+        return Err(GenError::TooFewLinks {
+            nodes: n,
+            duplex_links: m,
+        });
+    }
+    let mut rng = StdRng::seed_from_u64(cfg.seed);
+    let c = num_communities(n);
+    let sizes = block_sizes(n, c);
+    let starts: Vec<usize> = sizes
+        .iter()
+        .scan(0usize, |acc, &s| {
+            let start = *acc;
+            *acc += s;
+            Some(start)
+        })
+        .collect();
+
+    // Tight spatial clusters: a random center per community, members
+    // jittered around it (clamped to the unit square).
+    let spread = 0.35 / (c as f64).sqrt();
+    let mut points: Vec<Point> = Vec::with_capacity(n);
+    for &size in sizes.iter().take(c) {
+        let (cx, cy) = (rng.gen::<f64>(), rng.gen::<f64>());
+        for _ in 0..size {
+            let x = (cx + (rng.gen::<f64>() - 0.5) * 2.0 * spread).clamp(0.0, 1.0);
+            let y = (cy + (rng.gen::<f64>() - 0.5) * 2.0 * spread).clamp(0.0, 1.0);
+            points.push(Point::new(x, y));
+        }
+    }
+
+    // `chosen` answers membership only; `links` carries the RNG-driven
+    // insertion order (dtr-analysis: det-hash-iter).
+    let mut chosen: HashSet<(usize, usize)> = HashSet::with_capacity(m);
+    let mut links: Vec<(usize, usize)> = Vec::with_capacity(m);
+    let add = |chosen: &mut HashSet<(usize, usize)>,
+               links: &mut Vec<(usize, usize)>,
+               a: usize,
+               b: usize|
+     -> bool {
+        let k = pair_key(a, b);
+        if chosen.insert(k) {
+            links.push(k);
+            true
+        } else {
+            false
+        }
+    };
+
+    // Skeleton: a random spanning tree inside every community (attach
+    // each member to a random earlier member of its block) …
+    for ci in 0..c {
+        let (s, len) = (starts[ci], sizes[ci]);
+        for i in 1..len {
+            let parent = s + rng.gen_range(0..i);
+            let fresh = add(&mut chosen, &mut links, s + i, parent);
+            debug_assert!(fresh);
+        }
+    }
+    // … plus a ring over the communities through random members.
+    for ci in 0..c {
+        let cj = (ci + 1) % c;
+        let a = starts[ci] + rng.gen_range(0..sizes[ci]);
+        let b = starts[cj] + rng.gen_range(0..sizes[cj]);
+        // A duplicate is only possible when c == 2 closes the ring on
+        // the same pair; retry through the fill loop below by skipping.
+        add(&mut chosen, &mut links, a, b);
+    }
+
+    // Fill: biased INTRA_BIAS-strongly toward intra-community pairs;
+    // the unbiased branch (and saturated communities falling through to
+    // it) keeps the loop terminating for every feasible budget.
+    while links.len() < m {
+        let (a, b) = if rng.gen::<f64>() < INTRA_BIAS {
+            let ci = rng.gen_range(0..c);
+            let (s, len) = (starts[ci], sizes[ci]);
+            (s + rng.gen_range(0..len), s + rng.gen_range(0..len))
+        } else {
+            (rng.gen_range(0..n), rng.gen_range(0..n))
+        };
+        if a != b {
+            add(&mut chosen, &mut links, a, b);
+        }
+    }
+
+    Ok(Blueprint::from_euclidean(points, links))
+}
+
+/// The community index of node `i` under this module's contiguous block
+/// layout (test/analysis helper).
+pub fn community_of(node: usize, nodes: usize) -> usize {
+    let c = num_communities(nodes);
+    let sizes = block_sizes(nodes, c);
+    let mut acc = 0usize;
+    for (ci, &s) in sizes.iter().enumerate() {
+        acc += s;
+        if node < acc {
+            return ci;
+        }
+    }
+    unreachable!("node index out of range")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn exact_link_count_and_connected() {
+        let cfg = SynthConfig {
+            nodes: 30,
+            duplex_links: 90,
+            seed: 42,
+        };
+        let bp = generate(&cfg).unwrap();
+        assert_eq!(bp.num_duplex(), 90);
+        let net = bp.build(500e6).unwrap();
+        assert_eq!(net.num_links(), 180);
+        assert!(net.is_strongly_connected());
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let cfg = SynthConfig {
+            nodes: 40,
+            duplex_links: 100,
+            seed: 9,
+        };
+        let a = generate(&cfg).unwrap();
+        let b = generate(&cfg).unwrap();
+        assert_eq!(a.duplex, b.duplex);
+        assert_eq!(a.points, b.points);
+    }
+
+    #[test]
+    fn intra_community_edges_dominate() {
+        let cfg = SynthConfig {
+            nodes: 60,
+            duplex_links: 180,
+            seed: 3,
+        };
+        let bp = generate(&cfg).unwrap();
+        let intra = bp
+            .duplex
+            .iter()
+            .filter(|&&(a, b)| community_of(a, 60) == community_of(b, 60))
+            .count();
+        // Under a uniform draw intra pairs are a ~1/c minority; the bias
+        // plus the per-community trees must make them the majority.
+        assert!(
+            intra * 2 > bp.num_duplex(),
+            "only {intra}/{} intra-community links",
+            bp.num_duplex()
+        );
+    }
+
+    #[test]
+    fn community_partition_covers_all_nodes() {
+        let n = 37;
+        let c = num_communities(n);
+        let mut counts = vec![0usize; c];
+        for v in 0..n {
+            counts[community_of(v, n)] += 1;
+        }
+        assert_eq!(counts.iter().sum::<usize>(), n);
+        assert!(counts.iter().all(|&s| s >= 2));
+    }
+
+    #[test]
+    fn rejects_sub_skeleton_budgets() {
+        let cfg = SynthConfig {
+            nodes: 10,
+            duplex_links: 9,
+            seed: 0,
+        };
+        assert!(matches!(generate(&cfg), Err(GenError::TooFewLinks { .. })));
+    }
+
+    #[test]
+    fn dense_case_near_complete() {
+        let cfg = SynthConfig {
+            nodes: 8,
+            duplex_links: 27,
+            seed: 5,
+        };
+        let bp = generate(&cfg).unwrap();
+        assert_eq!(bp.num_duplex(), 27);
+        assert!(bp.build(1e9).is_ok());
+    }
+}

@@ -12,6 +12,15 @@ pub enum TopoKind {
     /// WaxmanTopo: spatial random graph with exponential distance decay
     /// (extension; locality between NearTopo and RandTopo).
     Waxman,
+    /// WSTopo: Watts–Strogatz small-world ring-lattice rewiring
+    /// (extension).
+    WattsStrogatz,
+    /// ERTopo: Erdős–Rényi `G(n, m)` with connectivity repair
+    /// (extension).
+    ErdosRenyi,
+    /// CommunityTopo: community-structured / hierarchical topology
+    /// (extension).
+    Community,
 }
 
 impl std::fmt::Display for TopoKind {
@@ -21,6 +30,9 @@ impl std::fmt::Display for TopoKind {
             TopoKind::Near => write!(f, "NearTopo"),
             TopoKind::PowerLaw => write!(f, "PLTopo"),
             TopoKind::Waxman => write!(f, "WaxmanTopo"),
+            TopoKind::WattsStrogatz => write!(f, "WSTopo"),
+            TopoKind::ErdosRenyi => write!(f, "ERTopo"),
+            TopoKind::Community => write!(f, "CommunityTopo"),
         }
     }
 }
@@ -106,5 +118,8 @@ mod tests {
         assert_eq!(TopoKind::Rand.to_string(), "RandTopo");
         assert_eq!(TopoKind::Near.to_string(), "NearTopo");
         assert_eq!(TopoKind::PowerLaw.to_string(), "PLTopo");
+        assert_eq!(TopoKind::WattsStrogatz.to_string(), "WSTopo");
+        assert_eq!(TopoKind::ErdosRenyi.to_string(), "ERTopo");
+        assert_eq!(TopoKind::Community.to_string(), "CommunityTopo");
     }
 }

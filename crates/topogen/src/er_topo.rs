@@ -1,0 +1,179 @@
+//! **ERTopo** — Erdős–Rényi `G(n, m)` random graph (extension family).
+//!
+//! Construction: nodes uniform in the unit square; exactly
+//! `cfg.duplex_links` distinct node pairs drawn uniformly at random.
+//! Unlike [`crate::rand_topo`] (which seeds a spanning tree first), the
+//! draw is the unconditioned `G(n, m)` distribution; connectivity is then
+//! *repaired*: components are bridged in node order and, for every
+//! bridge added, the most recently drawn cycle edge is dropped, keeping
+//! the link count exact while perturbing the uniform draw as little as
+//! possible.
+//!
+//! Determinism: single `StdRng` stream seeded from `cfg.seed`; candidate
+//! lists are insertion-ordered `Vec`s with a `HashSet` used for
+//! membership only (dtr-analysis: det-hash-iter), and
+//! [`Blueprint::from_euclidean`] canonicalizes the final pair list.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::collections::HashSet;
+
+use crate::blueprint::Blueprint;
+use crate::config::SynthConfig;
+use crate::support::{pair_key, unit_square_points, DisjointSet};
+use crate::{validate_config, GenError};
+
+/// Generate an ERTopo blueprint with exactly `cfg.duplex_links` links.
+pub fn generate(cfg: &SynthConfig) -> Result<Blueprint, GenError> {
+    validate_config(cfg)?;
+    let mut rng = StdRng::seed_from_u64(cfg.seed);
+    let n = cfg.nodes;
+    let m = cfg.duplex_links;
+    let points = unit_square_points(n, &mut rng);
+
+    // Uniform G(n, m) draw. Dense budgets (> half of all pairs) switch
+    // from rejection sampling to a complement draw so the loop stays
+    // near-linear: draw the pairs to *exclude*, then keep the rest in
+    // canonical order.
+    let total_pairs = n * (n - 1) / 2;
+    let mut chosen: HashSet<(usize, usize)> = HashSet::with_capacity(m);
+    let mut links: Vec<(usize, usize)> = Vec::with_capacity(m);
+    if m * 2 > total_pairs {
+        let mut excluded: HashSet<(usize, usize)> = HashSet::with_capacity(total_pairs - m);
+        while excluded.len() < total_pairs - m {
+            let a = rng.gen_range(0..n);
+            let b = rng.gen_range(0..n);
+            if a != b {
+                excluded.insert(pair_key(a, b));
+            }
+        }
+        for a in 0..n {
+            for b in (a + 1)..n {
+                if !excluded.contains(&(a, b)) {
+                    chosen.insert((a, b));
+                    links.push((a, b));
+                }
+            }
+        }
+    } else {
+        while chosen.len() < m {
+            let a = rng.gen_range(0..n);
+            let b = rng.gen_range(0..n);
+            if a != b {
+                let k = pair_key(a, b);
+                if chosen.insert(k) {
+                    links.push(k);
+                }
+            }
+        }
+    }
+
+    // Connectivity repair. Bridges between components are always fresh
+    // pairs (an existing edge would have merged them), and with
+    // c components the draw holds m - (n - c) >= c - 1 cycle edges
+    // (m >= n - 1 by validation), so there is always a cycle edge to
+    // drop per bridge.
+    let mut ds = DisjointSet::new(n);
+    let mut cycle_edges: Vec<usize> = Vec::new(); // indices into `links`
+    for (idx, &(a, b)) in links.iter().enumerate() {
+        if !ds.union(a, b) {
+            cycle_edges.push(idx);
+        }
+    }
+    if ds.num_components() > 1 {
+        // One representative per component, in node order.
+        let mut reps: Vec<usize> = Vec::new();
+        let mut seen_roots: HashSet<usize> = HashSet::new();
+        for v in 0..n {
+            let r = ds.find(v);
+            if seen_roots.insert(r) {
+                reps.push(v);
+            }
+        }
+        let mut dropped: Vec<usize> = Vec::new();
+        for pair in reps.windows(2) {
+            let k = pair_key(pair[0], pair[1]);
+            let fresh = chosen.insert(k);
+            debug_assert!(fresh, "cross-component pairs cannot be edges");
+            links.push(k);
+            dropped.push(cycle_edges.pop().expect("m >= n-1 guarantees a cycle edge"));
+        }
+        dropped.sort_unstable();
+        for &idx in dropped.iter().rev() {
+            let k = links.swap_remove(idx);
+            chosen.remove(&k);
+        }
+    }
+    debug_assert_eq!(links.len(), m);
+
+    Ok(Blueprint::from_euclidean(points, links))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn exact_link_count_and_connected() {
+        let cfg = SynthConfig {
+            nodes: 30,
+            duplex_links: 90,
+            seed: 42,
+        };
+        let bp = generate(&cfg).unwrap();
+        assert_eq!(bp.num_duplex(), 90);
+        let net = bp.build(500e6).unwrap();
+        assert_eq!(net.num_links(), 180);
+        assert!(net.is_strongly_connected());
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let cfg = SynthConfig {
+            nodes: 20,
+            duplex_links: 40,
+            seed: 9,
+        };
+        let a = generate(&cfg).unwrap();
+        let b = generate(&cfg).unwrap();
+        assert_eq!(a.duplex, b.duplex);
+        assert_eq!(a.points, b.points);
+    }
+
+    #[test]
+    fn sparse_draws_still_connect() {
+        // m = n - 1: the repair must end at a spanning tree.
+        for seed in 0..20 {
+            let cfg = SynthConfig {
+                nodes: 12,
+                duplex_links: 11,
+                seed,
+            };
+            let bp = generate(&cfg).unwrap();
+            assert_eq!(bp.num_duplex(), 11);
+            assert!(bp.build(1e9).is_ok(), "seed {seed} disconnected");
+        }
+    }
+
+    #[test]
+    fn dense_case_near_complete() {
+        let cfg = SynthConfig {
+            nodes: 8,
+            duplex_links: 27,
+            seed: 5,
+        };
+        let bp = generate(&cfg).unwrap();
+        assert_eq!(bp.num_duplex(), 27);
+        assert!(bp.build(1e9).is_ok());
+    }
+
+    #[test]
+    fn rejects_invalid_configs() {
+        assert!(generate(&SynthConfig {
+            nodes: 10,
+            duplex_links: 3,
+            seed: 0
+        })
+        .is_err());
+    }
+}

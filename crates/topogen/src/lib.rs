@@ -17,6 +17,14 @@
 //!
 //! * [`waxman`] — **WaxmanTopo**: spatial random graph with exponential
 //!   distance decay (locality between NearTopo and RandTopo).
+//! * [`ws_topo`] — **WSTopo**: Watts–Strogatz small-world rewiring of a
+//!   circulant ring lattice (rewiring probability β, exact link budget,
+//!   connectivity preserved by the unrewired ring).
+//! * [`er_topo`] — **ERTopo**: Erdős–Rényi `G(n, m)` uniform draw with
+//!   deterministic connectivity repair at an exact link count.
+//! * [`community`] — **CommunityTopo**: community-structured /
+//!   hierarchical topology (per-community trees + community ring +
+//!   intra-biased fill), the large-tier workhorse of the scale benches.
 //! * [`lattice`] — deterministic ring / grid / torus testbeds with known
 //!   path diversity.
 //! * [`geant`] — a 22-node / 68-directed-link GEANT-like pan-European
@@ -32,7 +40,12 @@
 //!
 //! Determinism: every generator takes an explicit `u64` seed and uses
 //! `rand::rngs::StdRng`, so a (seed, config) pair always produces the same
-//! topology on every platform.
+//! topology on every platform *and in every process*: hash collections are
+//! used for membership only (candidate lists are insertion-ordered `Vec`s
+//! or `BTreeSet`s — the dtr-analysis `det-hash-iter` contract), and
+//! [`Blueprint::from_euclidean`] canonicalizes every pair list, so no
+//! iteration-order or float-comparison ambiguity can leak into a
+//! blueprint. See DETERMINISM.md § Generator determinism.
 //!
 //! ```
 //! use dtr_topogen::{SynthConfig, rand_topo, DEFAULT_CAPACITY};
@@ -51,7 +64,9 @@
 #![forbid(unsafe_code)]
 
 mod blueprint;
+pub mod community;
 mod config;
+pub mod er_topo;
 pub mod geant;
 pub mod isp;
 pub mod lattice;
@@ -61,6 +76,7 @@ pub mod rand_topo;
 mod resize;
 mod support;
 pub mod waxman;
+pub mod ws_topo;
 
 pub use blueprint::Blueprint;
 pub use config::{SynthConfig, TopoKind};
@@ -83,6 +99,9 @@ pub fn synth(kind: TopoKind, cfg: &SynthConfig) -> Result<dtr_net::Network, GenE
         TopoKind::Near => near_topo::generate(cfg)?,
         TopoKind::PowerLaw => pl_topo::generate(cfg)?,
         TopoKind::Waxman => waxman::generate(cfg)?,
+        TopoKind::WattsStrogatz => ws_topo::generate(cfg)?,
+        TopoKind::ErdosRenyi => er_topo::generate(cfg)?,
+        TopoKind::Community => community::generate(cfg)?,
     };
     bp.scaled_to_diameter(DEFAULT_THETA)
         .build(DEFAULT_CAPACITY)
@@ -159,6 +178,9 @@ mod tests {
             TopoKind::Near,
             TopoKind::PowerLaw,
             TopoKind::Waxman,
+            TopoKind::WattsStrogatz,
+            TopoKind::ErdosRenyi,
+            TopoKind::Community,
         ] {
             let cfg = SynthConfig {
                 nodes: 12,

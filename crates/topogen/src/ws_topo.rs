@@ -1,0 +1,185 @@
+//! **WSTopo** — Watts–Strogatz small-world rewiring (extension family).
+//!
+//! Construction: nodes uniform in the unit square but *linked by ring
+//! order*, not geometry — a circulant lattice connects each node to its
+//! nearest ring neighbours at increasing offsets until the exact duplex
+//! budget is spent, then every non-ring lattice chord is rewired to a
+//! uniformly random endpoint with probability β. The offset-1 ring is
+//! never rewired, so the graph stays connected for every β ∈ [0, 1];
+//! β = 0 reproduces the pure lattice, β = 1 approaches a random graph
+//! with the lattice's exact degree budget.
+//!
+//! Determinism: single `StdRng` stream seeded from `cfg.seed`; candidate
+//! lists are insertion-ordered `Vec`s with a `HashSet` used for
+//! membership only (dtr-analysis: det-hash-iter), and
+//! [`Blueprint::from_euclidean`] canonicalizes the final pair list.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::collections::HashSet;
+
+use crate::blueprint::Blueprint;
+use crate::config::SynthConfig;
+use crate::support::{pair_key, unit_square_points};
+use crate::{validate_config, GenError};
+
+/// Default rewiring probability β — the small-world sweet spot where
+/// path lengths have collapsed but clustering remains.
+pub const DEFAULT_BETA: f64 = 0.1;
+
+/// Generate a WSTopo blueprint with exactly `cfg.duplex_links` links and
+/// rewiring probability `beta`.
+///
+/// Requires `duplex_links >= nodes` (the base ring) and `beta ∈ [0, 1]`.
+pub fn generate_with_beta(cfg: &SynthConfig, beta: f64) -> Result<Blueprint, GenError> {
+    validate_config(cfg)?;
+    assert!((0.0..=1.0).contains(&beta), "beta in [0, 1]");
+    let n = cfg.nodes;
+    let m = cfg.duplex_links;
+    if m < n {
+        // The unrewired offset-1 ring needs n links; a spanning tree
+        // (n-1) is not enough for this family.
+        return Err(GenError::TooFewLinks {
+            nodes: n,
+            duplex_links: m,
+        });
+    }
+    let mut rng = StdRng::seed_from_u64(cfg.seed);
+    let points = unit_square_points(n, &mut rng);
+
+    // Circulant lattice: offsets 1, 2, … each add the n chords
+    // (i, i+d mod n) in node order until the budget is spent. `chosen`
+    // answers membership only; `links` carries construction order
+    // (dtr-analysis: det-hash-iter).
+    let mut chosen: HashSet<(usize, usize)> = HashSet::with_capacity(m);
+    let mut links: Vec<(usize, usize)> = Vec::with_capacity(m);
+    let mut ring_links = 0usize; // prefix of `links` that is the offset-1 ring
+    'fill: for d in 1..=n / 2 {
+        for i in 0..n {
+            if links.len() == m {
+                break 'fill;
+            }
+            let k = pair_key(i, (i + d) % n);
+            if chosen.insert(k) {
+                links.push(k);
+                if d == 1 {
+                    ring_links += 1;
+                }
+            }
+        }
+    }
+    debug_assert_eq!(links.len(), m, "validate_config bounds m by n(n-1)/2");
+
+    // Rewire every non-ring chord with probability beta: the chord's
+    // higher endpoint is replaced by a uniform random node, keeping the
+    // graph simple. Rejection-sample a few times, then keep the chord —
+    // only matters near-complete, where rewiring is a no-op anyway.
+    for link in links.iter_mut().skip(ring_links) {
+        if rng.gen::<f64>() >= beta {
+            continue;
+        }
+        let (a, _) = *link;
+        for _ in 0..16 {
+            let c = rng.gen_range(0..n);
+            if c == a {
+                continue;
+            }
+            let k = pair_key(a, c);
+            if !chosen.contains(&k) {
+                chosen.remove(link);
+                chosen.insert(k);
+                *link = k;
+                break;
+            }
+        }
+    }
+
+    Ok(Blueprint::from_euclidean(points, links))
+}
+
+/// Generate a WSTopo blueprint at the default β ([`DEFAULT_BETA`]).
+pub fn generate(cfg: &SynthConfig) -> Result<Blueprint, GenError> {
+    generate_with_beta(cfg, DEFAULT_BETA)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn exact_link_count_and_connected() {
+        let cfg = SynthConfig {
+            nodes: 30,
+            duplex_links: 90,
+            seed: 42,
+        };
+        let bp = generate(&cfg).unwrap();
+        assert_eq!(bp.num_duplex(), 90);
+        let net = bp.build(500e6).unwrap();
+        assert_eq!(net.num_links(), 180);
+        assert!(net.is_strongly_connected());
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let cfg = SynthConfig {
+            nodes: 24,
+            duplex_links: 60,
+            seed: 9,
+        };
+        let a = generate(&cfg).unwrap();
+        let b = generate(&cfg).unwrap();
+        assert_eq!(a.duplex, b.duplex);
+        assert_eq!(a.points, b.points);
+    }
+
+    #[test]
+    fn beta_zero_is_the_pure_lattice() {
+        let cfg = SynthConfig {
+            nodes: 12,
+            duplex_links: 24,
+            seed: 3,
+        };
+        let bp = generate_with_beta(&cfg, 0.0).unwrap();
+        // Offsets 1 and 2 exactly: every chord spans ring distance <= 2.
+        for &(a, b) in &bp.duplex {
+            let d = (b - a).min(12 - (b - a));
+            assert!(d <= 2, "chord ({a},{b}) spans ring distance {d}");
+        }
+    }
+
+    #[test]
+    fn full_rewiring_stays_connected_and_exact() {
+        let cfg = SynthConfig {
+            nodes: 20,
+            duplex_links: 50,
+            seed: 17,
+        };
+        let bp = generate_with_beta(&cfg, 1.0).unwrap();
+        assert_eq!(bp.num_duplex(), 50);
+        assert!(bp.build(1e9).is_ok());
+    }
+
+    #[test]
+    fn rejects_sub_ring_budgets() {
+        // n-1 links pass the generic validation but not the ring bound.
+        let cfg = SynthConfig {
+            nodes: 10,
+            duplex_links: 9,
+            seed: 0,
+        };
+        assert!(matches!(generate(&cfg), Err(GenError::TooFewLinks { .. })));
+    }
+
+    #[test]
+    fn dense_case_near_complete() {
+        let cfg = SynthConfig {
+            nodes: 8,
+            duplex_links: 27,
+            seed: 5,
+        };
+        let bp = generate(&cfg).unwrap();
+        assert_eq!(bp.num_duplex(), 27);
+        assert!(bp.build(1e9).is_ok());
+    }
+}

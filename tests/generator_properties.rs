@@ -3,13 +3,49 @@
 //! arbitrary valid configurations and seeds.
 
 use dtr::net::Network;
-use dtr::topogen::{geant, lattice, waxman, SynthConfig, DEFAULT_CAPACITY};
+use dtr::topogen::{
+    community, er_topo, geant, lattice, waxman, ws_topo, Blueprint, SynthConfig, DEFAULT_CAPACITY,
+};
 use proptest::prelude::*;
 
 fn build(bp: dtr::topogen::Blueprint) -> Network {
     bp.scaled_to_diameter(25e-3)
         .build(DEFAULT_CAPACITY)
         .expect("generated blueprints are connected")
+}
+
+/// Structural invariants every synthesized blueprint must satisfy:
+/// canonical `(a < b)` pairs, strictly sorted (no duplicates), in-range
+/// endpoints, Euclidean delays, and idempotent canonicalization
+/// (re-canonicalizing an already-canonical blueprint is the identity).
+fn assert_canonical(bp: &Blueprint) {
+    for &(a, b) in &bp.duplex {
+        assert!(a < b, "pair ({a}, {b}) not canonical");
+        assert!(b < bp.points.len(), "endpoint {b} out of range");
+    }
+    assert!(
+        bp.duplex.windows(2).all(|w| w[0] < w[1]),
+        "duplex list not strictly sorted"
+    );
+    let again = Blueprint::from_euclidean(bp.points.clone(), bp.duplex.clone());
+    assert_eq!(again.duplex, bp.duplex, "canonicalization not idempotent");
+    for (d0, d1) in bp.delays.iter().zip(&again.delays) {
+        assert_eq!(d0.to_bits(), d1.to_bits(), "delays not Euclidean-derived");
+    }
+}
+
+/// Seeded double-run bit-identity: two generations from the same config
+/// agree on every point coordinate, pair, and delay bit.
+fn assert_bit_identical(a: &Blueprint, b: &Blueprint) {
+    assert_eq!(a.duplex, b.duplex);
+    assert_eq!(a.points.len(), b.points.len());
+    for (p, q) in a.points.iter().zip(&b.points) {
+        assert_eq!(p.x.to_bits(), q.x.to_bits());
+        assert_eq!(p.y.to_bits(), q.y.to_bits());
+    }
+    for (d, e) in a.delays.iter().zip(&b.delays) {
+        assert_eq!(d.to_bits(), e.to_bits());
+    }
 }
 
 proptest! {
@@ -63,6 +99,83 @@ proptest! {
         prop_assert_eq!(bp.num_duplex(), rows * (cols - 1) + cols * (rows - 1));
         let net = build(bp);
         prop_assert!(net.is_strongly_connected());
+    }
+
+    #[test]
+    fn watts_strogatz_honors_parameters(
+        nodes in 5usize..30,
+        extra in 0usize..40,
+        beta in 0.0f64..=1.0,
+        seed in any::<u64>(),
+    ) {
+        let duplex = (nodes + extra).min(nodes * (nodes - 1) / 2);
+        let cfg = SynthConfig { nodes, duplex_links: duplex, seed };
+        let bp = ws_topo::generate_with_beta(&cfg, beta).unwrap();
+        prop_assert_eq!(bp.num_duplex(), duplex);
+        assert_canonical(&bp);
+        let net = build(bp);
+        prop_assert_eq!(net.num_nodes(), nodes);
+        prop_assert_eq!(net.num_links(), duplex * 2);
+        prop_assert!(net.is_strongly_connected());
+    }
+
+    #[test]
+    fn erdos_renyi_honors_parameters(
+        nodes in 5usize..30,
+        extra in 0usize..40,
+        seed in any::<u64>(),
+    ) {
+        let duplex = (nodes - 1 + extra).min(nodes * (nodes - 1) / 2);
+        let cfg = SynthConfig { nodes, duplex_links: duplex, seed };
+        let bp = er_topo::generate(&cfg).unwrap();
+        prop_assert_eq!(bp.num_duplex(), duplex);
+        assert_canonical(&bp);
+        let net = build(bp);
+        prop_assert_eq!(net.num_nodes(), nodes);
+        prop_assert_eq!(net.num_links(), duplex * 2);
+        prop_assert!(net.is_strongly_connected());
+    }
+
+    #[test]
+    fn community_honors_parameters(
+        nodes in 4usize..40,
+        extra in 0usize..40,
+        seed in any::<u64>(),
+    ) {
+        let duplex = (nodes + extra).min(nodes * (nodes - 1) / 2);
+        let cfg = SynthConfig { nodes, duplex_links: duplex, seed };
+        let bp = community::generate(&cfg).unwrap();
+        prop_assert_eq!(bp.num_duplex(), duplex);
+        assert_canonical(&bp);
+        let net = build(bp);
+        prop_assert_eq!(net.num_nodes(), nodes);
+        prop_assert_eq!(net.num_links(), duplex * 2);
+        prop_assert!(net.is_strongly_connected());
+    }
+
+    #[test]
+    fn new_families_are_bit_deterministic(
+        nodes in 5usize..20,
+        seed in any::<u64>(),
+    ) {
+        let duplex = (nodes + 6).min(nodes * (nodes - 1) / 2);
+        let cfg = SynthConfig { nodes, duplex_links: duplex, seed };
+        assert_bit_identical(
+            &ws_topo::generate(&cfg).unwrap(),
+            &ws_topo::generate(&cfg).unwrap(),
+        );
+        assert_bit_identical(
+            &er_topo::generate(&cfg).unwrap(),
+            &er_topo::generate(&cfg).unwrap(),
+        );
+        assert_bit_identical(
+            &community::generate(&cfg).unwrap(),
+            &community::generate(&cfg).unwrap(),
+        );
+        assert_bit_identical(
+            &waxman::generate(&cfg).unwrap(),
+            &waxman::generate(&cfg).unwrap(),
+        );
     }
 
     #[test]

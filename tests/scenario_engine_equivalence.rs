@@ -401,6 +401,62 @@ proptest! {
         check(&ev, &w, &double);
     }
 
+    /// A budget-bounded scenario cache is invisible to the bits at the
+    /// engine level: with only a resident prefix captured, resident
+    /// positions answer via `cost_cached` and non-resident positions via
+    /// the plain path — both identical to the reference for every
+    /// scenario kind.
+    #[test]
+    fn budgeted_cache_prefix_stays_bit_identical(
+        (nodes, extra, seed) in (10usize..14, 2usize..8, 0u64..1_000_000)
+    ) {
+        let (net, tm) = testbed(nodes, nodes + extra, seed);
+        let ev = Evaluator::new(&net, &tm, CostParams::default());
+        let reps = net.duplex_representatives();
+        let mut rng = StdRng::seed_from_u64(seed ^ 0xb4d6e7);
+        let scenarios = scenario_zoo(&net, &mut rng);
+        let inc = WeightSetting::random(net.num_links(), 20, &mut rng);
+
+        let mut ws = ev.acquire_workspace();
+        // Small but nonzero budget: capture entry 0, plan, then capture
+        // only the planned resident prefix — exactly the bounded
+        // rebuild's protocol.
+        let mut cache = dtr::cost::ScenarioCache::with_budget(64 * 1024);
+        ev.cache_rebuild_begin(&mut ws, &mut cache, &inc, scenarios.len());
+        ev.cost_capture(&mut ws, &inc, scenarios[0], &mut cache, 0);
+        cache.plan_residency(scenarios.len());
+        let resident = cache.resident_scenarios();
+        prop_assert!(resident <= scenarios.len());
+        for (pos, &sc) in scenarios.iter().enumerate().take(resident).skip(1) {
+            ev.cost_capture(&mut ws, &inc, sc, &mut cache, pos);
+        }
+
+        let rep = reps[rng.gen_range(0..reps.len())];
+        let (wd, wt) = (rng.gen_range(1..=20), rng.gen_range(1..=20));
+        let mut cand = inc.clone();
+        for class in Class::ALL {
+            let v = if class == Class::Delay { wd } else { wt };
+            cand.set(class, rep, v);
+            if let Some(r) = net.reverse_link(rep) {
+                cand.set(class, r, v);
+            }
+        }
+        ev.cache_begin(&mut cache, &cand);
+        for (pos, &sc) in scenarios.iter().enumerate() {
+            let reference = ev.evaluate(&cand, sc).cost;
+            let got = if cache.is_resident(pos) {
+                ev.cost_cached(&mut ws, &cand, sc, &cache, pos)
+            } else {
+                ev.cost_with(&mut ws, &cand, sc)
+            };
+            prop_assert_eq!(
+                got, reference,
+                "pos {} (resident {}), scenario {}, seed {}", pos, resident, sc, seed
+            );
+        }
+        ev.release_workspace(ws);
+    }
+
     /// Regression for the old engine gap: a node failure whose router
     /// carries no demand is exactly its induced link-mask. Expressed as
     /// an SRLG over the incident physical links, both scenarios must
@@ -453,4 +509,146 @@ proptest! {
         prop_assert_eq!(node_cost, ev.evaluate(&w, node).cost);
         prop_assert_eq!(group_cost, ev.evaluate(&w, group).cost);
     }
+}
+
+/// 50-node acceptance pin: a Phase-2 run under a binding cache residency
+/// budget is bit-identical to the unbudgeted run — best setting, costs,
+/// accept/reject trace, and every non-residency stat — while the
+/// fallback accounting proves the budget actually bound.
+#[test]
+fn phase2_budgeted_cache_is_bit_identical_at_50_nodes() {
+    use dtr::core::phase1::Phase1Output;
+    use dtr::core::ranking::RankTracker;
+    use dtr::core::samples::SampleStore;
+    use dtr::core::search::{Archive, SearchStats};
+    use dtr::core::{phase2, Params};
+    use dtr::topogen::community;
+
+    let nodes = 50;
+    let bp = community::generate(&SynthConfig {
+        nodes,
+        duplex_links: 100,
+        seed: 8,
+    })
+    .unwrap();
+    let net = bp.scaled_to_diameter(25e-3).build(500e6).unwrap();
+    let mut tm = gravity::generate(&gravity::GravityConfig {
+        total_volume: 1.0,
+        ..gravity::GravityConfig::paper_default(nodes, 13)
+    });
+    tm.scale(nodes as f64 * 1e9);
+    let ev = Evaluator::new(&net, &tm, CostParams::default());
+    let universe = FailureUniverse::of(&net);
+    // A critical-set-sized subset keeps the run fast while still
+    // rebuilding, bounding, and refreshing the cache.
+    let indices: Vec<usize> = (0..universe.len()).step_by(4).collect();
+
+    // Hand-built Phase-1 output: Phase 2 only reads the benchmarks and
+    // the archive, so a random feasible start avoids a full Phase-1 run.
+    let mut rng = StdRng::seed_from_u64(0x50de);
+    let start = WeightSetting::random(net.num_links(), 20, &mut rng);
+    let start_cost = ev.cost(&start, Scenario::Normal);
+    let mut archive = Archive::new(4);
+    archive.offer(&start, start_cost);
+    let p1 = Phase1Output {
+        best: start.clone(),
+        best_cost: start_cost,
+        archive,
+        store: SampleStore::new(universe.len()),
+        tracker: RankTracker::new(),
+        converged: true,
+        trace: Vec::new(),
+        stats: SearchStats::default(),
+    };
+    let params = Params {
+        record_trace: true,
+        max_iterations: 2,
+        div_interval_2: 1,
+        ..Params::quick(8)
+    };
+
+    let unbounded = phase2::run(&ev, &universe, &indices, &params, &p1);
+    assert_eq!(unbounded.stats.cache_resident_scenarios, indices.len());
+    assert_eq!(unbounded.stats.cache_fallback_evals, 0);
+
+    for budget in [0usize, 1 << 20] {
+        let bounded = phase2::run(
+            &ev,
+            &universe,
+            &indices,
+            &Params {
+                cache_budget_bytes: budget,
+                ..params
+            },
+            &p1,
+        );
+        assert_eq!(bounded.best, unbounded.best, "budget {budget}");
+        assert_eq!(bounded.best_kfail, unbounded.best_kfail, "budget {budget}");
+        assert_eq!(
+            bounded.best_normal, unbounded.best_normal,
+            "budget {budget}"
+        );
+        assert_eq!(bounded.trace, unbounded.trace, "budget {budget}");
+        // The budget binds (fewer resident than scenarios, fallback
+        // exercised), yet every non-residency stat matches.
+        assert!(
+            bounded.stats.cache_resident_scenarios < indices.len(),
+            "budget {budget} did not bind"
+        );
+        assert!(
+            bounded.stats.cache_fallback_evals > 0,
+            "budget {budget} never fell back"
+        );
+        let mut masked = bounded.stats;
+        masked.cache_resident_scenarios = unbounded.stats.cache_resident_scenarios;
+        masked.cache_fallback_evals = unbounded.stats.cache_fallback_evals;
+        assert_eq!(masked, unbounded.stats, "budget {budget}");
+    }
+}
+
+/// Scale-tier differential: at the 500-node tier (community family) the
+/// incremental engine stays bit-identical to the reference evaluator
+/// across scenario kinds. Fully deterministic — topology, traffic, and
+/// weights derive from fixed seeds, so the CI run under
+/// `PROPTEST_SEED=0` reproduces locally as-is.
+#[test]
+fn engine_matches_reference_at_the_500_node_tier() {
+    use dtr::topogen::community;
+
+    let nodes = 500;
+    let bp = community::generate(&SynthConfig {
+        nodes,
+        duplex_links: 1_000,
+        seed: 5,
+    })
+    .unwrap();
+    let net = bp.scaled_to_diameter(25e-3).build(500e6).unwrap();
+    let mut tm = gravity::generate(&gravity::GravityConfig {
+        total_volume: 1.0,
+        ..gravity::GravityConfig::paper_default(nodes, 11)
+    });
+    tm.scale(nodes as f64 * 1e9);
+    let ev = Evaluator::new(&net, &tm, CostParams::default());
+    let reps = net.duplex_representatives();
+
+    let mut rng = StdRng::seed_from_u64(0x500);
+    let w = WeightSetting::random(net.num_links(), 20, &mut rng);
+    let mut scenarios = vec![Scenario::Normal];
+    scenarios.extend(
+        [reps[0], reps[reps.len() / 2], reps[reps.len() - 1]]
+            .iter()
+            .map(|&l| Scenario::Link(l)),
+    );
+    scenarios.push(Scenario::Node(net.nodes().nth(7).unwrap()));
+    scenarios.push(Scenario::DoubleLink(reps[3], reps[11]));
+
+    let mut ws = ev.acquire_workspace();
+    for &sc in &scenarios {
+        assert_eq!(
+            ev.cost_with(&mut ws, &w, sc),
+            ev.evaluate(&w, sc).cost,
+            "scenario {sc}"
+        );
+    }
+    ev.release_workspace(ws);
 }
