@@ -35,11 +35,19 @@
 //! artifact. Quick mode (CI's `--test`) runs the 500-node tier only and
 //! records `"quick_mode": true` so `check_bench` knows which tiers to
 //! require.
+//!
+//! A `parallel_search` section records the search-level parallelism
+//! contract at the 500-node tier: the same 2-replica portfolio search
+//! run on 1 thread and on a real thread fan-out, byte-identical (the
+//! parallel-search contract in `DETERMINISM.md`), with both wall-clocks
+//! and the realized thread-scaling in the artifact. `check_bench` fails
+//! CI on a missing entry, a false `byte_identical` flag, or
+//! `speedup < 1.0` on a multicore runner.
 
 use std::time::Instant;
 
 use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
-use dtr_core::{phase1, phase2, Params};
+use dtr_core::{phase1, phase2, Params, PortfolioParams};
 use dtr_cost::{CostParams, Evaluator};
 use dtr_net::{Network, NodeId};
 use dtr_routing::{route_class, spf, Class, LinkGroup, Scenario, SpfWorkspace, WeightSetting};
@@ -167,12 +175,133 @@ fn bench_micro(c: &mut Criterion) {
     let phase2_json = phase2_search_baseline(&net, &tm);
     let mtr_json = mtr_robust_search_baseline(&net, &tm);
     let tiers_json = scale_tiers_baseline();
+    let portfolio_json = parallel_search_baseline();
     full_ensemble_baseline(
         &net,
         &tm,
         &w,
-        &format!("{phase2_json}{mtr_json}{tiers_json}"),
+        &format!("{phase2_json}{mtr_json}{tiers_json}{portfolio_json}"),
     );
+}
+
+/// Deterministic search-level parallelism at the 500-node tier: the
+/// same 2-replica portfolio search (rendezvous every 2 sweeps,
+/// speculation window 8, cutoff + Φ floors) run once on 1 thread and
+/// once with a real thread fan-out, asserted **byte-identical** — the
+/// parallel-search contract in `DETERMINISM.md`: the output depends
+/// only on `(seed, replicas, rendezvous_period)`, never on `threads` —
+/// and timed both ways.
+///
+/// Like `sharded_link_sweep`, the fan-out leg always uses at least 4
+/// threads so the identity assertion exercises real sharding even on a
+/// single-core machine; the separately recorded `available_cores`
+/// field tells `check_bench` whether the runner can expect a speedup.
+/// `check_bench` fails CI when the entry is missing, the
+/// `byte_identical` flag is false, or a multicore runner records
+/// `speedup < 1.0` (thread scaling regressed to a slowdown).
+fn parallel_search_baseline() -> String {
+    let (net, tm) = tier_testbed(500, 1_000);
+    let ev = Evaluator::new(&net, &tm, CostParams::default());
+    let universe = dtr_core::FailureUniverse::of(&net);
+    let (_, indices, p1) = tier_phase1_standin(&ev, &universe, 6);
+
+    let available_cores = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+    let threads = available_cores.clamp(4, 8);
+    let serial = Params {
+        tau: 5,
+        p1: 1,
+        p2: 1,
+        div_interval_1: 4,
+        div_interval_2: 3,
+        archive_size: 4,
+        max_iterations: 1,
+        threads: 1,
+        speculation: 8,
+        cutoff: true,
+        phi_floors: true,
+        portfolio: PortfolioParams {
+            replicas: 2,
+            rendezvous_period: 2,
+        },
+        ..Params::paper_default(17)
+    };
+    let fanout = Params { threads, ..serial };
+
+    let reps = if criterion::Criterion::test_mode() {
+        1
+    } else {
+        3
+    };
+    // Interleaved reps, best-of: same discipline as `phase2_search`.
+    let mut serial_ns = u128::MAX;
+    let mut parallel_ns = u128::MAX;
+    let mut serial_samples: Vec<u128> = Vec::new();
+    let mut parallel_samples: Vec<u128> = Vec::new();
+    let mut serial_out = None;
+    let mut parallel_out = None;
+    for _ in 0..reps {
+        let t0 = Instant::now();
+        let s = phase2::run(&ev, &universe, &indices, &serial, &p1);
+        let ns = t0.elapsed().as_nanos();
+        serial_samples.push(ns);
+        serial_ns = serial_ns.min(ns);
+        serial_out = Some(s);
+        let t1 = Instant::now();
+        let p = phase2::run(&ev, &universe, &indices, &fanout, &p1);
+        let ns = t1.elapsed().as_nanos();
+        parallel_samples.push(ns);
+        parallel_ns = parallel_ns.min(ns);
+        parallel_out = Some(p);
+    }
+    let serial_out = serial_out.expect("at least one rep");
+    let parallel_out = parallel_out.expect("at least one rep");
+
+    assert_eq!(
+        serial_out.best, parallel_out.best,
+        "parallel portfolio diverged from serial"
+    );
+    assert_eq!(serial_out.best_kfail, parallel_out.best_kfail);
+    assert_eq!(serial_out.best_normal, parallel_out.best_normal);
+    assert_eq!(
+        serial_out.constraint_rejections,
+        parallel_out.constraint_rejections
+    );
+    // The thread-invariant accounting: trajectory counters must match
+    // exactly. The *speculation* counters (`speculative_wasted`,
+    // `skipped_cache`) legitimately differ — at one thread
+    // `speculative_sweep` defers evaluation to replay time, at N
+    // threads the window fans out eagerly — without perturbing any
+    // result bit.
+    assert_eq!(
+        serial_out.stats.iterations, parallel_out.stats.iterations,
+        "thread count leaked into the search trajectory"
+    );
+    assert_eq!(serial_out.stats.evaluations, parallel_out.stats.evaluations);
+    assert_eq!(
+        serial_out.stats.diversifications,
+        parallel_out.stats.diversifications
+    );
+
+    let speedup = serial_ns as f64 / parallel_ns as f64;
+    println!(
+        "micro/parallel_search_500n: 1 thread {:.1} ms, {threads} threads {:.1} ms, \
+         speedup {speedup:.2}x ({available_cores} cores; byte-identical, 2 replicas)",
+        serial_ns as f64 / 1e6,
+        parallel_ns as f64 / 1e6,
+    );
+
+    format!(
+        "  \"parallel_search\": {{\n    \"nodes\": 500,\n    \
+         \"replicas\": 2,\n    \"rendezvous_period\": 2,\n    \
+         \"threads\": {threads},\n    \"available_cores\": {available_cores},\n    \
+         \"serial_ns\": {serial_ns},\n    \"parallel_ns\": {parallel_ns},\n    \
+         \"serial_ns_samples\": {},\n    \"parallel_ns_samples\": {},\n    \
+         \"speedup\": {speedup:.4},\n    \"byte_identical\": true\n  }},\n",
+        json_u128_array(&serial_samples),
+        json_u128_array(&parallel_samples),
+    )
 }
 
 /// End-to-end Phase-2 robust search on the 50-node testbed, five ways:
@@ -419,20 +548,14 @@ fn scale_tiers_baseline() -> String {
     )
 }
 
-/// One tier: generate the topology, hand-build a Phase-1 output (Phase 2
-/// only reads the benchmarks and the archive, so a random feasible start
-/// stands in for the full Phase-1 run), calibrate a residency budget of
-/// 2.5 cache entries from a probe capture, and time `phase2::run` under
-/// it. Asserts the budget bound (fewer resident scenarios than the
-/// critical set) and that the plain fallback path was exercised; at the
-/// 500-node tier the run is additionally verified identical to the
-/// unbudgeted run.
-fn scale_tier(nodes: usize, duplex: usize, crit: usize, reps: usize, verify: bool) -> String {
-    use dtr_core::phase1::Phase1Output;
-    use dtr_core::ranking::RankTracker;
-    use dtr_core::samples::SampleStore;
-    use dtr_core::search::{Archive, SearchStats};
-
+/// Community-family tier testbed shared by the scale tiers and the
+/// parallel-search comparison. Production-shaped sparse traffic: 32 hub
+/// (PoP) nodes spread evenly across the communities exchange all
+/// demand. Real multi-thousand-node matrices are hub-dominated — and a
+/// dense gravity mesh (25M pairs at the 5,000-node tier) would make
+/// every evaluation pay O(nodes) shortest-path trees regardless of what
+/// the search machinery does, burying the thing these benches measure.
+fn tier_testbed(nodes: usize, duplex: usize) -> (Network, ClassMatrices) {
     let net = community::generate(&SynthConfig {
         nodes,
         duplex_links: duplex,
@@ -442,12 +565,6 @@ fn scale_tier(nodes: usize, duplex: usize, crit: usize, reps: usize, verify: boo
     .scaled_to_diameter(25e-3)
     .build(500e6)
     .unwrap();
-    // Production-shaped sparse traffic: 32 hub (PoP) nodes spread
-    // evenly across the communities exchange all demand. Real
-    // multi-thousand-node matrices are hub-dominated — and a dense
-    // gravity mesh (25M pairs at the 5,000-node tier) would make every
-    // evaluation pay O(nodes) shortest-path trees regardless of what
-    // the search machinery does, burying the thing this tier measures.
     let hubs = 32usize.min(nodes);
     let stride = nodes / hubs;
     let mut tm = ClassMatrices::zeros(nodes);
@@ -461,22 +578,32 @@ fn scale_tier(nodes: usize, duplex: usize, crit: usize, reps: usize, verify: boo
             tm.throughput.set(a, b, 1.2e6);
         }
     }
-    let ev = Evaluator::new(&net, &tm, CostParams::default());
-    let universe = dtr_core::FailureUniverse::of(&net);
+    (net, tm)
+}
 
-    // A uniform (min-hop) start stands in for Phase 1's incumbent: good
-    // enough that most candidate moves lose and get cut early, which is
-    // the regime the bounded sweep is designed for — a random start
-    // would accept constantly and time cache rebuilds instead.
-    let start = WeightSetting::uniform(net.num_links(), 20);
+/// Hand-built Phase-1 stand-in for a tier testbed (Phase 2 only reads
+/// the benchmarks and the archive): a uniform (min-hop) start — good
+/// enough that most candidate moves lose and get cut early, which is
+/// the regime the bounded sweep is designed for; a random start would
+/// accept constantly and time cache rebuilds instead — plus the `crit`
+/// costliest single failures (under the start) from a deterministic
+/// pool of the first `2·crit` universe entries, ordered costliest-
+/// first. The bounded sweep evaluates costliest-under-the-incumbent
+/// first and the residency plan keeps the first positions resident, so
+/// the two prefixes coincide: candidate cuts ride the cached diff path
+/// while full sweeps still pay the plain fallback for everything past
+/// the budget.
+fn tier_phase1_standin(
+    ev: &Evaluator<'_>,
+    universe: &dtr_core::FailureUniverse,
+    crit: usize,
+) -> (WeightSetting, Vec<usize>, dtr_core::phase1::Phase1Output) {
+    use dtr_core::phase1::Phase1Output;
+    use dtr_core::ranking::RankTracker;
+    use dtr_core::samples::SampleStore;
+    use dtr_core::search::{Archive, SearchStats};
 
-    // The `crit` costliest single failures (under the start) from a
-    // deterministic pool of the first `2·crit` universe entries,
-    // ordered costliest-first. The bounded sweep evaluates costliest-
-    // under-the-incumbent first and the residency plan keeps the first
-    // positions resident, so the two prefixes coincide: candidate cuts
-    // ride the cached diff path while full sweeps still pay the plain
-    // fallback for everything past the budget.
+    let start = WeightSetting::uniform(ev.net().num_links(), 20);
     let pool = (2 * crit).min(universe.len());
     let mut ranked: Vec<(usize, dtr_cost::LexCost)> = Vec::new();
     let mut ws = ev.acquire_workspace();
@@ -505,6 +632,22 @@ fn scale_tier(nodes: usize, duplex: usize, crit: usize, reps: usize, verify: boo
         trace: Vec::new(),
         stats: SearchStats::default(),
     };
+    (start, indices, p1)
+}
+
+/// One tier: generate the topology, hand-build a Phase-1 output (Phase 2
+/// only reads the benchmarks and the archive, so a random feasible start
+/// stands in for the full Phase-1 run), calibrate a residency budget of
+/// 2.5 cache entries from a probe capture, and time `phase2::run` under
+/// it. Asserts the budget bound (fewer resident scenarios than the
+/// critical set) and that the plain fallback path was exercised; at the
+/// 500-node tier the run is additionally verified identical to the
+/// unbudgeted run.
+fn scale_tier(nodes: usize, duplex: usize, crit: usize, reps: usize, verify: bool) -> String {
+    let (net, tm) = tier_testbed(nodes, duplex);
+    let ev = Evaluator::new(&net, &tm, CostParams::default());
+    let universe = dtr_core::FailureUniverse::of(&net);
+    let (start, indices, p1) = tier_phase1_standin(&ev, &universe, crit);
 
     // Calibrate the budget from one probe capture: 2.5 entries' worth
     // keeps two scenarios resident and forces the rest of the critical

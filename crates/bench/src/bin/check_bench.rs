@@ -24,7 +24,10 @@
 //!   lacks its per-rep samples, its residency budget failed to bind
 //!   (`cache_resident_scenarios >= critical_scenarios`), or the budget
 //!   bound but `cache_fallback_evals == 0` (the plain fallback path
-//!   that the budget exists to exercise never ran).
+//!   that the budget exists to exercise never ran), or
+//! * the `parallel_search` entry is missing, its `byte_identical` flag
+//!   is false, or a multicore runner (`available_cores > 1`) recorded
+//!   `speedup < 1.0` (the thread fan-out regressed to a slowdown).
 //!
 //! No JSON dependency is vendored, so this is a purpose-built scanner
 //! for the flat two-level object `micro_routing` emits — strict enough
@@ -308,6 +311,53 @@ fn main() -> ExitCode {
                             )),
                         }
                     }
+                }
+            }
+        }
+    }
+
+    // Search-level parallelism: the 1-thread and N-thread portfolio
+    // runs of the 500-node tier must be byte-identical, and a multicore
+    // runner (available_cores > 1) must not record the fan-out leg
+    // slower than the serial leg.
+    match section(&doc, "parallel_search") {
+        None => errors.push("missing `parallel_search` entry".into()),
+        Some(body) => {
+            check_flag(
+                &mut errors,
+                body,
+                "parallel_search",
+                "byte_identical",
+                "the 1-thread == N-thread identity was lost",
+            );
+            let cores = number(body, "available_cores");
+            if cores.is_none() {
+                errors.push("`parallel_search` is missing field `available_cores`".into());
+            }
+            if number(body, "threads").is_none() {
+                errors.push("`parallel_search` is missing field `threads`".into());
+            }
+            match number(body, "speedup") {
+                None => errors.push("`parallel_search` is missing field `speedup`".into()),
+                Some(s) if s.is_nan() || s <= 0.0 => errors.push(format!(
+                    "`parallel_search` field `speedup` is not positive ({s})"
+                )),
+                Some(s) if cores.is_some_and(|c| c > 1.0) && s < 1.0 => errors.push(format!(
+                    "`parallel_search` thread-scaling regressed: speedup {s} < 1.0 \
+                     on a multicore runner ({} cores)",
+                    cores.unwrap_or(0.0)
+                )),
+                _ => {}
+            }
+            for arr in ["serial_ns_samples", "parallel_ns_samples"] {
+                match array_state(body, arr) {
+                    ArrayState::NonEmpty => {}
+                    ArrayState::Empty => errors.push(format!(
+                        "`parallel_search` per-rep sample array `{arr}` is empty"
+                    )),
+                    ArrayState::Missing => errors.push(format!(
+                        "`parallel_search` is missing per-rep sample array `{arr}`"
+                    )),
                 }
             }
         }

@@ -92,7 +92,7 @@ pub mod criticality;
 pub mod ext;
 pub mod full_search;
 pub mod parallel;
-mod params;
+pub mod params;
 pub mod phase1;
 pub mod phase1b;
 pub mod phase2;
@@ -107,7 +107,7 @@ pub mod strategies;
 mod universe;
 
 pub use baselines::Selector;
-pub use params::Params;
+pub use params::{replica_seed, Params, PortfolioParams};
 pub use pipeline::{RobustOptimizer, RobustOptimizerBuilder, RobustReport};
 pub use scenario::{DoubleLink, Probabilistic, ScenarioSet, SingleLink, SliceSet, Srlg};
 pub use universe::FailureUniverse;

@@ -335,6 +335,19 @@ fn fold_bound<S: crate::scenario::ScenarioSet + ?Sized>(
 /// workspaces, cutoff check between rounds), so the cut decision — and
 /// the accepted-move costs — stay deterministic for a given thread
 /// count; only the amount of post-cutoff wasted work varies with it.
+///
+/// `seeds` carries pre-computed `(position, cost)` pairs for **this
+/// candidate `w`** — the eager failure-sweep prefix the speculative
+/// batch fanned out alongside the normal-conditions cost (see the
+/// parallel-search contract in `DETERMINISM.md`). A seeded position
+/// substitutes its seeded cost when the walk reaches it instead of
+/// re-evaluating; it is *not* pre-marked done, so the walk order, the
+/// cut decisions, `evaluated` counts and every fold are exactly those
+/// of the unseeded sweep. Because each seed was computed by the same
+/// bit-exact per-scenario evaluation the walk would have performed
+/// (`cost_with` ≡ `cost_cached`, the pinned cache invariant), ANY seed
+/// set — including an empty or partially wasted one — yields the
+/// identical result; seeds only move work onto the speculative fan-out.
 #[allow(clippy::too_many_arguments)]
 pub fn sum_set_costs_bounded<S: crate::scenario::ScenarioSet + Sync + ?Sized>(
     ev: &Evaluator<'_>,
@@ -344,6 +357,7 @@ pub fn sum_set_costs_bounded<S: crate::scenario::ScenarioSet + Sync + ?Sized>(
     threads: usize,
     incumbent: &LexCost,
     order: &[u32],
+    seeds: &[(u32, LexCost)],
     floors: Option<&[ScenarioFloor]>,
     cache: Option<&ScenarioCache>,
     scratch: &mut SweepScratch,
@@ -368,12 +382,18 @@ pub fn sum_set_costs_bounded<S: crate::scenario::ScenarioSet + Sync + ?Sized>(
         let mut ws = ev.acquire_workspace();
         for (e, &pos) in order.iter().enumerate() {
             let pos = pos as usize;
-            let sc = set.scenario(indices[pos]);
             // Non-resident positions of a budget-bounded cache take the
-            // plain repair-seeded path — the same bits, just uncached.
-            scratch.costs[pos] = match cache {
-                Some(c) if c.is_resident(pos) => ev.cost_cached(&mut ws, w, sc, c, pos),
-                _ => ev.cost_with(&mut ws, w, sc),
+            // plain repair-seeded path — the same bits, just uncached;
+            // seeded positions reuse the speculative fan-out's bits.
+            scratch.costs[pos] = match seeds.iter().find(|s| s.0 as usize == pos) {
+                Some(&(_, c)) => c,
+                None => {
+                    let sc = set.scenario(indices[pos]);
+                    match cache {
+                        Some(c) if c.is_resident(pos) => ev.cost_cached(&mut ws, w, sc, c, pos),
+                        _ => ev.cost_with(&mut ws, w, sc),
+                    }
+                }
             };
             scratch.done[pos] = true;
             let evaluated = e + 1;
@@ -412,6 +432,9 @@ pub fn sum_set_costs_bounded<S: crate::scenario::ScenarioSet + Sync + ?Sized>(
                         let costs: Vec<(u32, LexCost)> = part
                             .iter()
                             .map(|&pos| {
+                                if let Some(s) = seeds.iter().find(|s| s.0 == pos) {
+                                    return (pos, s.1);
+                                }
                                 let sc = set.scenario(indices[pos as usize]);
                                 let c = match cache {
                                     Some(c) if c.is_resident(pos as usize) => {
@@ -605,6 +628,7 @@ mod tests {
                 threads,
                 &never,
                 &order,
+                &[],
                 None,
                 None,
                 &mut scratch,
@@ -636,6 +660,7 @@ mod tests {
             1,
             &LexCost::ZERO,
             &order,
+            &[],
             None,
             None,
             &mut scratch,
@@ -677,6 +702,7 @@ mod tests {
                 threads,
                 &above,
                 &order,
+                &[],
                 Some(&floors),
                 None,
                 &mut scratch,
@@ -697,6 +723,7 @@ mod tests {
                 threads,
                 &below_floors,
                 &order,
+                &[],
                 Some(&floors),
                 None,
                 &mut scratch,
@@ -733,6 +760,7 @@ mod tests {
                 threads,
                 &below,
                 &order,
+                &[],
                 None,
                 None,
                 &mut scratch,
@@ -754,6 +782,7 @@ mod tests {
                 threads,
                 &above,
                 &order,
+                &[],
                 None,
                 None,
                 &mut scratch,

@@ -1,5 +1,58 @@
 //! Heuristic parameters (paper §IV-D1 and §V-A3).
 
+/// Portfolio/replica search configuration (see the parallel-search
+/// determinism contract in `DETERMINISM.md`).
+///
+/// With `replicas > 1` the robust phase runs that many independent
+/// search chains from distinct derived seeds, exchanging archive elites
+/// at fixed rendezvous points every `rendezvous_period` sweeps. The
+/// merge is replica-index-ordered, so the final best setting, costs and
+/// per-replica traces are bit-for-bit reproducible for a given
+/// `(seed, replicas, rendezvous_period)` at **any** thread count.
+/// `replicas == 1` is exactly the classic single-chain search.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct PortfolioParams {
+    /// Independent replica chains (1 = classic single-chain search).
+    pub replicas: usize,
+    /// Sweeps each replica runs between elite-exchange rendezvous.
+    pub rendezvous_period: usize,
+}
+
+impl PortfolioParams {
+    /// Single-chain default: no portfolio, bit-identical to the
+    /// pre-portfolio search.
+    pub fn single() -> Self {
+        PortfolioParams {
+            replicas: 1,
+            rendezvous_period: 8,
+        }
+    }
+
+    /// Validate invariants.
+    pub fn validate(&self) {
+        assert!(self.replicas >= 1, "portfolio needs at least one replica");
+        assert!(
+            self.rendezvous_period >= 1,
+            "rendezvous period must be at least one sweep"
+        );
+    }
+}
+
+/// Derive the master RNG seed of portfolio replica `r` from the run
+/// seed (SplitMix64 finalizer over `seed + r·golden-gamma`; replica 0
+/// of a multi-replica portfolio keeps its own derived stream too, so
+/// no replica shares the single-chain stream by accident).
+///
+/// Part of the parallel-search determinism contract (`DETERMINISM.md`):
+/// the derivation depends only on `(seed, r)`, never on thread count or
+/// scheduling.
+pub fn replica_seed(seed: u64, r: usize) -> u64 {
+    let mut z = seed.wrapping_add((r as u64).wrapping_mul(0x9e37_79b9_7f4a_7c15));
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
 /// Every knob of the two-phase heuristic. `paper_default()` reproduces the
 /// values the paper evaluates with; `quick()` is a CI-sized preset used by
 /// tests and fast benches (documented in EXPERIMENTS.md).
@@ -78,6 +131,17 @@ pub struct Params {
     /// trace grows with the move count and exists for the equivalence
     /// suite and diagnostics.
     pub record_trace: bool,
+    /// Smallest pending speculative batch worth fanning out eagerly
+    /// ahead of the replay cursor when `threads > 1` (see
+    /// [`crate::search::EAGER_MIN_BATCH`], the measured default — the
+    /// break-even holds from the 90 µs paper-scale evals up to the
+    /// millisecond evals of the 500+-node tiers). Purely a wall-clock
+    /// knob: the trajectory is bit-identical for every value.
+    pub eager_min_batch: usize,
+    /// Portfolio/replica search for the robust phase (Phase 2):
+    /// independent chains from derived seeds with index-ordered elite
+    /// exchange. `PortfolioParams::single()` = classic search.
+    pub portfolio: PortfolioParams,
     /// Residency budget in bytes for the delta-state scenario cache of
     /// the Phase-2 cutoff sweeps (`dtr_cost::ScenarioCache`). Entries
     /// hold per-link load vectors and SLA pair triples, so at large node
@@ -118,6 +182,8 @@ impl Params {
             cutoff: true,
             phi_floors: true,
             record_trace: false,
+            eager_min_batch: crate::search::EAGER_MIN_BATCH,
+            portfolio: PortfolioParams::single(),
             cache_budget_bytes: usize::MAX,
             max_iterations: 100_000,
             seed,
@@ -175,6 +241,8 @@ impl Params {
         assert!(self.archive_size >= 1);
         assert!(self.threads >= 1);
         assert!(self.speculation >= 1, "speculation window K >= 1");
+        assert!(self.eager_min_batch >= 1, "eager batch threshold >= 1");
+        self.portfolio.validate();
         assert!(self.max_iterations >= 1);
         // Any cache_budget_bytes is valid: a budget below one entry just
         // means a fully non-resident cache (plain-path evaluations).

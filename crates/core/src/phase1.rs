@@ -109,6 +109,7 @@ pub fn run(ev: &Evaluator<'_>, universe: &FailureUniverse, params: &Params) -> P
             &mut rng,
             params.speculation,
             params.threads,
+            params.eager_min_batch,
             &mut current,
             &mut spec,
             &mut wasted,

@@ -60,12 +60,14 @@ use rand::rngs::StdRng;
 use rand::seq::SliceRandom;
 use rand::SeedableRng;
 
+use dtr_net::LinkId;
+
 use crate::parallel::{self, SetSweep, SweepScratch};
-use crate::params::Params;
+use crate::params::{replica_seed, Params};
 use crate::phase1::Phase1Output;
 use crate::scenario::{ScenarioSet, SliceSet};
 use crate::search::{
-    duplex_weights, random_weight_pair, set_duplex_weights, speculative_sweep, Decision,
+    duplex_weights, random_weight_pair, set_duplex_weights, speculative_sweep, Archive, Decision,
     MoveOutcome, SearchStats, SpecBuffers, StopRule,
 };
 
@@ -82,8 +84,15 @@ pub struct Phase2Output {
     /// rejections — they skip the failure sweep).
     pub constraint_rejections: usize,
     /// Per-proposal accept/reject sequence (empty unless
-    /// `params.record_trace`).
+    /// `params.record_trace`). In a portfolio run this is the winning
+    /// replica's trace.
     pub trace: Vec<MoveOutcome>,
+    /// Per-replica accept/reject traces of a portfolio run, in replica
+    /// index order (empty unless `params.record_trace` and
+    /// `params.portfolio.replicas > 1`). Bit-for-bit reproducible for a
+    /// given `(seed, replicas, rendezvous_period)` at any thread count —
+    /// the parallel-search contract in `DETERMINISM.md`.
+    pub replica_traces: Vec<Vec<MoveOutcome>>,
     pub stats: SearchStats,
 }
 
@@ -262,6 +271,7 @@ fn rebuild_cache<S: ScenarioSet + Sync + ?Sized>(
     // slots (position 0 is already exact even when non-resident — the
     // capture eval and the plain eval are bit-identical).
     let cap_hi = st.cache.resident_scenarios().max(captured);
+    let full = st.cache.full_resident_scenarios();
     let workers = threads.min(indices.len().max(1));
     if workers <= 1 {
         let (base, entries) = st.cache.capture_split();
@@ -273,6 +283,12 @@ fn rebuild_cache<S: ScenarioSet + Sync + ?Sized>(
                 base,
                 &mut entries[pos],
             );
+        }
+        // Partial-tier positions capture fully (the capture eval *is*
+        // the exact cost) and immediately demote to the planned
+        // routings + loads footprint.
+        for entry in &mut entries[full..cap_hi] {
+            entry.demote();
         }
         for (c, &i) in st.scratch.costs[cap_hi..]
             .iter_mut()
@@ -304,6 +320,10 @@ fn rebuild_cache<S: ScenarioSet + Sync + ?Sized>(
                 ev.release_workspace(ws);
             });
         }
+        // See the serial branch: demote the partial-tier band.
+        for entry in &mut entries[full..cap_hi] {
+            entry.demote();
+        }
     }
     let tail = &indices[cap_hi..];
     if !tail.is_empty() {
@@ -317,6 +337,354 @@ fn rebuild_cache<S: ScenarioSet + Sync + ?Sized>(
             }
             ev.release_workspace(ws);
         });
+    }
+}
+
+/// Re-point the delta-state cache at the accepted incumbent `w`,
+/// sharding the per-entry refresh across `threads` workers: after the
+/// serial [`Evaluator::cache_refresh_begin`] baseline stage, resident
+/// entries are position-disjoint and the refresh context is shared
+/// read-only, so each worker owns a contiguous chunk and the spliced
+/// result is bit-identical to the serial
+/// [`Evaluator::cache_refresh`] at any thread count (the parallel-search
+/// contract in `DETERMINISM.md`; pinned by `tests/search_equivalence.rs`).
+fn refresh_cache<S: ScenarioSet + Sync + ?Sized>(
+    ev: &Evaluator<'_>,
+    set: &S,
+    indices: &[usize],
+    w: &WeightSetting,
+    threads: usize,
+    cache: &mut dtr_cost::ScenarioCache,
+) {
+    let resident = cache.resident_scenarios();
+    let workers = threads.min(resident.max(1));
+    let mut ws = ev.acquire_workspace();
+    ev.cache_refresh_begin(&mut ws, cache, w);
+    if workers <= 1 {
+        let (ctx, entries) = cache.refresh_split();
+        for (pos, entry) in entries.iter_mut().enumerate().take(resident) {
+            ev.cache_refresh_entry(&mut ws, w, &ctx, set.scenario(indices[pos]), entry);
+        }
+        ev.release_workspace(ws);
+    } else {
+        ev.release_workspace(ws);
+        let (ctx, entries) = cache.refresh_split();
+        let chunk = resident.div_ceil(workers);
+        let parts: Vec<_> = indices[..resident]
+            .chunks(chunk)
+            .zip(entries[..resident].chunks_mut(chunk))
+            .collect();
+        parallel::scoped_fanout(parts, |(idx, ents)| {
+            let mut ws = ev.acquire_workspace();
+            for (&i, entry) in idx.iter().zip(ents) {
+                ev.cache_refresh_entry(&mut ws, w, &ctx, set.scenario(i), entry);
+            }
+            ev.release_workspace(ws);
+        });
+    }
+    ev.cache_refresh_finish(cache, w);
+}
+
+/// The candidate cost the speculative fan-out hands back: the
+/// normal-conditions cost plus the eager failure-sweep seed prefix
+/// (empty for gate-failing candidates and for serial or cutoff-off
+/// runs — see `sum_set_costs_bounded`'s seed contract).
+type SpecCost = (LexCost, Vec<(u32, LexCost)>);
+
+/// One replica's persistent search state: everything the classic
+/// single-chain Phase-2 loop keeps across sweeps, owned per replica so
+/// portfolio chains can run concurrently between rendezvous (the
+/// parallel-search contract in `DETERMINISM.md`). `params` is the
+/// replica-local copy — derived master seed, `1/replicas` share of the
+/// worker threads; every other knob matches the run's. With
+/// `replicas == 1` the chain *is* the classic search, bit for bit.
+struct Chain {
+    params: Params,
+    rng: StdRng,
+    stats: SearchStats,
+    constraint_rejections: usize,
+    trace: Vec<MoveOutcome>,
+    st: SweepState,
+    current: WeightSetting,
+    current_kfail: LexCost,
+    best: WeightSetting,
+    best_kfail: LexCost,
+    best_normal: LexCost,
+    stop: StopRule,
+    reps: Vec<LinkId>,
+    stale_sweeps: usize,
+    spec: SpecBuffers<WeightSetting, (u32, u32), SpecCost>,
+    seed_prefix: Vec<u32>,
+    /// Replica-local archive (a clone of Phase 1's): diversification
+    /// restarts sample from it, and rendezvous merges offer the other
+    /// replicas' elites into it in replica-index order.
+    archive: Archive,
+    done: bool,
+}
+
+impl Chain {
+    /// Start a chain from the best archived setting — the classic
+    /// Phase-2 prologue (initial full sweep included).
+    fn new<S: ScenarioSet + Sync + ?Sized>(
+        ev: &Evaluator<'_>,
+        set: &S,
+        indices: &[usize],
+        params: Params,
+        phase1: &Phase1Output,
+    ) -> Self {
+        let rng = StdRng::seed_from_u64(params.seed ^ 0x2545_f491_4f6c_dd1d);
+        let mut stats = SearchStats::default();
+        let mut st = SweepState::new(ev, set, indices, &params);
+        let archive = phase1.archive.clone();
+        let (current, start_normal) = archive
+            .best()
+            .cloned()
+            .expect("phase 1 archives at least its best setting");
+        let current_kfail = full_sweep(ev, set, indices, &params, &current, &mut stats, &mut st);
+        Chain {
+            rng,
+            stats,
+            constraint_rejections: 0,
+            trace: Vec::new(),
+            st,
+            best: current.clone(),
+            best_kfail: current_kfail,
+            best_normal: start_normal,
+            current,
+            current_kfail,
+            stop: StopRule::new(params.p2, params.c),
+            reps: ev.net().duplex_representatives(),
+            stale_sweeps: 0,
+            spec: SpecBuffers::new(),
+            seed_prefix: Vec::new(),
+            archive,
+            done: false,
+            params,
+        }
+    }
+
+    /// Finish a single-chain run (no portfolio): the classic output.
+    fn into_output(self) -> Phase2Output {
+        Phase2Output {
+            best: self.best,
+            best_kfail: self.best_kfail,
+            best_normal: self.best_normal,
+            constraint_rejections: self.constraint_rejections,
+            trace: self.trace,
+            replica_traces: Vec::new(),
+            stats: self.stats,
+        }
+    }
+}
+
+/// One sweep of one chain — the classic Phase-2 loop body (speculative
+/// batched moves, Eq. 5–6 gate, bounded failure sweeps, diversification
+/// and the stop rule). Sets `ch.done` when the chain's stop rule or the
+/// iteration backstop fires; a done chain is never swept again.
+fn chain_sweep<S: ScenarioSet + Sync + ?Sized>(
+    ev: &Evaluator<'_>,
+    set: &S,
+    indices: &[usize],
+    lambda_star: f64,
+    phi_star: f64,
+    ch: &mut Chain,
+) {
+    if ch.done {
+        return;
+    }
+    if ch.stats.iterations >= ch.params.max_iterations {
+        ch.done = true;
+        return;
+    }
+    let params = ch.params;
+    let net = ev.net();
+    let Chain {
+        rng,
+        stats,
+        constraint_rejections,
+        trace,
+        st,
+        current,
+        current_kfail,
+        best,
+        best_kfail,
+        best_normal,
+        stop,
+        reps,
+        stale_sweeps,
+        spec,
+        seed_prefix,
+        archive,
+        done,
+        ..
+    } = ch;
+
+    stats.iterations += 1;
+    reps.shuffle(rng);
+    let mut improved = false;
+    let mut wasted = 0usize;
+
+    // Eager failure-sweep prefix (parallel-search contract,
+    // `DETERMINISM.md`): alongside each gate-passing candidate's
+    // normal-conditions cost, the speculative fan-out pre-computes
+    // the first few scenarios of the bounded sweep's priority order
+    // on the worker threads. The seeds substitute bit-identical
+    // values in `sum_set_costs_bounded`, so a stale snapshot (the
+    // order re-sorts after an accept) wastes at most the seed work,
+    // never changes bits.
+    seed_prefix.clear();
+    if params.threads > 1 && params.cutoff {
+        let l = params.threads.min(st.order.len());
+        seed_prefix.extend_from_slice(&st.order[..l]);
+    }
+    let seed_prefix: &[u32] = seed_prefix;
+
+    speculative_sweep(
+        reps,
+        rng,
+        params.speculation,
+        params.threads,
+        params.eager_min_batch,
+        current,
+        spec,
+        &mut wasted,
+        |rng| random_weight_pair(params.wmax, rng),
+        duplex_weights,
+        |w: &mut WeightSetting, rep, &(wd, wt): &(u32, u32)| {
+            set_duplex_weights(w, net, rep, wd, wt)
+        },
+        |w| {
+            let normal = ev.cost(w, Scenario::Normal);
+            let mut seeds: Vec<(u32, LexCost)> = Vec::new();
+            if !seed_prefix.is_empty() && feasible(&normal, lambda_star, phi_star, params.chi) {
+                let mut ws = ev.acquire_workspace();
+                seeds.extend(seed_prefix.iter().map(|&p| {
+                    (
+                        p,
+                        ev.cost_with(&mut ws, w, set.scenario(indices[p as usize])),
+                    )
+                }));
+                ev.release_workspace(ws);
+            }
+            (normal, seeds)
+        },
+        |cand_w, _rep, cost: &SpecCost| {
+            let (normal, seeds) = cost;
+            stats.evaluations += 1;
+            if !feasible(normal, lambda_star, phi_star, params.chi) {
+                *constraint_rejections += 1;
+                if params.record_trace {
+                    trace.push(MoveOutcome::ConstraintReject);
+                }
+                return Decision::Reject;
+            }
+            stats.evaluations += indices.len();
+            let outcome = if params.cutoff {
+                ev.cache_begin(&mut st.cache, cand_w);
+                parallel::sum_set_costs_bounded(
+                    ev,
+                    cand_w,
+                    set,
+                    indices,
+                    params.threads,
+                    current_kfail,
+                    &st.order,
+                    seeds,
+                    Some(&st.floors),
+                    Some(&st.cache),
+                    &mut st.scratch,
+                )
+            } else {
+                SetSweep::Complete(parallel::sum_set_costs(
+                    ev,
+                    cand_w,
+                    set,
+                    indices,
+                    params.threads,
+                ))
+            };
+            if params.cutoff {
+                // Attribute plain-path (non-resident) evaluations of
+                // this bounded sweep. The canonical evaluation set is
+                // the `evaluated`-long prefix of the deterministic
+                // order, so the counter is thread-invariant.
+                let resident = st.cache.resident_scenarios();
+                stats.cache_fallback_evals += match &outcome {
+                    SetSweep::Complete(_) => indices.len() - resident,
+                    SetSweep::Cut { evaluated, .. } => st.order[..*evaluated]
+                        .iter()
+                        .filter(|&&p| p as usize >= resident)
+                        .count(),
+                };
+            }
+            match outcome {
+                SetSweep::Complete(kfail) if kfail.better_than(current_kfail) => {
+                    *current_kfail = kfail;
+                    if params.cutoff {
+                        // Re-point the cache at the new incumbent so
+                        // the next candidate's diff is again a single
+                        // duplex move. The delta-state refresh keeps
+                        // affected-set coverage *exact*, so no
+                        // periodic full rebuild is needed.
+                        refresh_cache(ev, set, indices, cand_w, params.threads, &mut st.cache);
+                        st.refresh(set, indices);
+                    }
+                    improved = true;
+                    if kfail.better_than(best_kfail) {
+                        best.clone_from(cand_w);
+                        *best_kfail = kfail;
+                        *best_normal = *normal;
+                    }
+                    if params.record_trace {
+                        trace.push(MoveOutcome::Accept);
+                    }
+                    Decision::Accept
+                }
+                SetSweep::Complete(_) => {
+                    if params.record_trace {
+                        trace.push(MoveOutcome::Reject);
+                    }
+                    Decision::Reject
+                }
+                SetSweep::Cut {
+                    evaluated,
+                    floor_cut,
+                } => {
+                    let skips = indices.len() - evaluated;
+                    stats.scenario_evals_skipped += skips;
+                    if floor_cut {
+                        stats.skipped_floor += skips;
+                    } else {
+                        // Phase 2's bounded sweeps always run through
+                        // the delta-state cache when the cutoff is on.
+                        stats.skipped_cache += skips;
+                    }
+                    if params.record_trace {
+                        trace.push(MoveOutcome::Reject);
+                    }
+                    Decision::Reject
+                }
+            }
+        },
+    );
+    stats.speculative_wasted += wasted;
+
+    *stale_sweeps = if improved { 0 } else { *stale_sweeps + 1 };
+    if *stale_sweeps >= params.div_interval_2 {
+        stats.diversifications += 1;
+        *stale_sweeps = 0;
+        if stop.record(*best_kfail) {
+            *done = true;
+            return;
+        }
+        // Restart from a random archived setting. An archive entry may
+        // violate Eq. 5 slightly (accepted under the z·B1 slack); it
+        // still serves as a diversification point — only *accepted
+        // moves* must be feasible, and the best tracker only advances
+        // on feasible candidates.
+        let (w, _normal) = archive.sample(rng).cloned().expect("archive is non-empty");
+        *current = w;
+        *current_kfail = full_sweep(ev, set, indices, &params, current, stats, st);
     }
 }
 
@@ -350,197 +718,106 @@ pub fn run<S: ScenarioSet + Sync + ?Sized>(
             );
         }
     }
-    let net = ev.net();
     let lambda_star = phase1.best_cost.lambda;
     let phi_star = phase1.best_cost.phi;
-    let mut rng = StdRng::seed_from_u64(params.seed ^ 0x2545_f491_4f6c_dd1d);
 
-    let mut stats = SearchStats::default();
-    let mut constraint_rejections = 0usize;
-    let mut trace: Vec<MoveOutcome> = Vec::new();
-    let mut st = SweepState::new(ev, set, indices, params);
-
-    // Start from the best archived setting.
-    let (start, start_normal) = phase1
-        .archive
-        .best()
-        .cloned()
-        .expect("phase 1 archives at least its best setting");
-    let mut current = start;
-    let mut current_kfail = full_sweep(ev, set, indices, params, &current, &mut stats, &mut st);
-
-    let mut best = current.clone();
-    let mut best_kfail = current_kfail;
-    let mut best_normal = start_normal;
-
-    let mut stop = StopRule::new(params.p2, params.c);
-    let mut reps: Vec<_> = net.duplex_representatives();
-    let mut stale_sweeps = 0usize;
-    let mut spec = SpecBuffers::new();
-
-    // Degenerate but legal: nothing to optimize against.
-    if indices.is_empty() {
-        return Phase2Output {
-            best,
-            best_kfail,
-            best_normal,
-            constraint_rejections,
-            trace,
-            stats,
-        };
+    if params.portfolio.replicas == 1 {
+        let mut ch = Chain::new(ev, set, indices, *params, phase1);
+        // Degenerate but legal: nothing to optimize against.
+        if indices.is_empty() {
+            return ch.into_output();
+        }
+        while !ch.done {
+            chain_sweep(ev, set, indices, lambda_star, phi_star, &mut ch);
+        }
+        return ch.into_output();
     }
 
-    while stats.iterations < params.max_iterations {
-        stats.iterations += 1;
-        reps.shuffle(&mut rng);
-        let mut improved = false;
-        let mut wasted = 0usize;
+    // Portfolio search (parallel-search contract, `DETERMINISM.md`):
+    // `replicas` independent chains from distinct derived seeds, each
+    // granted an equal share of the worker threads, exchanging archive
+    // elites at fixed rendezvous points. Every cross-replica step —
+    // seed derivation, elite collection, archive offers, the final
+    // winner pick and stat merge — happens in replica index order on
+    // the coordinating thread, so the output depends only on
+    // `(seed, replicas, rendezvous_period)`, never on thread count.
+    let replicas = params.portfolio.replicas;
+    let inner = Params {
+        threads: (params.threads / replicas).max(1),
+        ..*params
+    };
+    let mut slots: Vec<Option<Chain>> = Vec::new();
+    slots.resize_with(replicas, || None);
+    parallel::scoped_fanout(
+        slots.iter_mut().enumerate().collect(),
+        |(r, slot): (usize, &mut Option<Chain>)| {
+            let p = Params {
+                seed: replica_seed(params.seed, r),
+                ..inner
+            };
+            *slot = Some(Chain::new(ev, set, indices, p, phase1));
+        },
+    );
+    let mut chains: Vec<Chain> = slots
+        .into_iter()
+        .map(|s| s.expect("every replica slot is initialised"))
+        .collect();
 
-        speculative_sweep(
-            &reps,
-            &mut rng,
-            params.speculation,
-            params.threads,
-            &mut current,
-            &mut spec,
-            &mut wasted,
-            |rng| random_weight_pair(params.wmax, rng),
-            duplex_weights,
-            |w: &mut WeightSetting, rep, &(wd, wt): &(u32, u32)| {
-                set_duplex_weights(w, net, rep, wd, wt)
-            },
-            |w| ev.cost(w, Scenario::Normal),
-            |cand_w, _rep, normal: &LexCost| {
-                stats.evaluations += 1;
-                if !feasible(normal, lambda_star, phi_star, params.chi) {
-                    constraint_rejections += 1;
-                    if params.record_trace {
-                        trace.push(MoveOutcome::ConstraintReject);
+    if !indices.is_empty() {
+        let mut elites: Vec<(WeightSetting, LexCost)> = Vec::new();
+        while chains.iter().any(|c| !c.done) {
+            parallel::scoped_fanout(
+                chains.iter_mut().filter(|c| !c.done).collect(),
+                |ch: &mut Chain| {
+                    for _ in 0..params.portfolio.rendezvous_period {
+                        chain_sweep(ev, set, indices, lambda_star, phi_star, ch);
+                        if ch.done {
+                            break;
+                        }
                     }
-                    return Decision::Reject;
+                },
+            );
+            // Rendezvous: collect every replica's elite in index order,
+            // then offer the batch into every archive in that same
+            // order. `Archive::offer` dedups by fingerprint, so repeat
+            // offers across rendezvous are no-ops and the merge is
+            // idempotent.
+            elites.clear();
+            elites.extend(chains.iter().map(|c| (c.best.clone(), c.best_normal)));
+            for ch in chains.iter_mut() {
+                for (w, normal) in &elites {
+                    ch.archive.offer(w, *normal);
                 }
-                stats.evaluations += indices.len();
-                let outcome = if params.cutoff {
-                    ev.cache_begin(&mut st.cache, cand_w);
-                    parallel::sum_set_costs_bounded(
-                        ev,
-                        cand_w,
-                        set,
-                        indices,
-                        params.threads,
-                        &current_kfail,
-                        &st.order,
-                        Some(&st.floors),
-                        Some(&st.cache),
-                        &mut st.scratch,
-                    )
-                } else {
-                    SetSweep::Complete(parallel::sum_set_costs(
-                        ev,
-                        cand_w,
-                        set,
-                        indices,
-                        params.threads,
-                    ))
-                };
-                if params.cutoff {
-                    // Attribute plain-path (non-resident) evaluations of
-                    // this bounded sweep. The canonical evaluation set is
-                    // the `evaluated`-long prefix of the deterministic
-                    // order, so the counter is thread-invariant.
-                    let resident = st.cache.resident_scenarios();
-                    stats.cache_fallback_evals += match &outcome {
-                        SetSweep::Complete(_) => indices.len() - resident,
-                        SetSweep::Cut { evaluated, .. } => st.order[..*evaluated]
-                            .iter()
-                            .filter(|&&p| p as usize >= resident)
-                            .count(),
-                    };
-                }
-                match outcome {
-                    SetSweep::Complete(kfail) if kfail.better_than(&current_kfail) => {
-                        current_kfail = kfail;
-                        if params.cutoff {
-                            // Re-point the cache at the new incumbent so
-                            // the next candidate's diff is again a single
-                            // duplex move. The delta-state refresh keeps
-                            // affected-set coverage *exact*, so no
-                            // periodic full rebuild is needed.
-                            let mut ws = ev.acquire_workspace();
-                            ev.cache_refresh(&mut ws, &mut st.cache, cand_w, |pos| {
-                                set.scenario(indices[pos])
-                            });
-                            ev.release_workspace(ws);
-                            st.refresh(set, indices);
-                        }
-                        improved = true;
-                        if kfail.better_than(&best_kfail) {
-                            best.clone_from(cand_w);
-                            best_kfail = kfail;
-                            best_normal = *normal;
-                        }
-                        if params.record_trace {
-                            trace.push(MoveOutcome::Accept);
-                        }
-                        Decision::Accept
-                    }
-                    SetSweep::Complete(_) => {
-                        if params.record_trace {
-                            trace.push(MoveOutcome::Reject);
-                        }
-                        Decision::Reject
-                    }
-                    SetSweep::Cut {
-                        evaluated,
-                        floor_cut,
-                    } => {
-                        let skips = indices.len() - evaluated;
-                        stats.scenario_evals_skipped += skips;
-                        if floor_cut {
-                            stats.skipped_floor += skips;
-                        } else {
-                            // Phase 2's bounded sweeps always run through
-                            // the delta-state cache when the cutoff is on.
-                            stats.skipped_cache += skips;
-                        }
-                        if params.record_trace {
-                            trace.push(MoveOutcome::Reject);
-                        }
-                        Decision::Reject
-                    }
-                }
-            },
-        );
-        stats.speculative_wasted += wasted;
-
-        stale_sweeps = if improved { 0 } else { stale_sweeps + 1 };
-        if stale_sweeps >= params.div_interval_2 {
-            stats.diversifications += 1;
-            stale_sweeps = 0;
-            if stop.record(best_kfail) {
-                break;
             }
-            // Restart from a random archived setting. An archive entry may
-            // violate Eq. 5 slightly (accepted under the z·B1 slack); it
-            // still serves as a diversification point — only *accepted
-            // moves* must be feasible, and the best tracker only advances
-            // on feasible candidates.
-            let (w, _normal) = phase1
-                .archive
-                .sample(&mut rng)
-                .cloned()
-                .expect("archive is non-empty");
-            current = w;
-            current_kfail = full_sweep(ev, set, indices, params, &current, &mut stats, &mut st);
         }
     }
 
+    // Winner: best k-failure cost, lowest replica index on ties.
+    let mut win = 0usize;
+    for r in 1..chains.len() {
+        if chains[r].best_kfail.better_than(&chains[win].best_kfail) {
+            win = r;
+        }
+    }
+    let mut stats = SearchStats::default();
+    let mut constraint_rejections = 0usize;
+    for c in &chains {
+        stats.merge(&c.stats);
+        constraint_rejections += c.constraint_rejections;
+    }
+    let mut replica_traces: Vec<Vec<MoveOutcome>> = Vec::new();
+    if params.record_trace {
+        replica_traces.extend(chains.iter_mut().map(|c| std::mem::take(&mut c.trace)));
+    }
+    let trace = replica_traces.get(win).cloned().unwrap_or_default();
+    let winner = chains.swap_remove(win);
     Phase2Output {
-        best,
-        best_kfail,
-        best_normal,
+        best: winner.best,
+        best_kfail: winner.best_kfail,
+        best_normal: winner.best_normal,
         constraint_rejections,
         trace,
+        replica_traces,
         stats,
     }
 }

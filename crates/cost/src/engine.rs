@@ -418,6 +418,12 @@ pub struct ScenarioEntry {
     /// `pair_off[di]..pair_off[di+1]` indexes `pairs` for delay
     /// destination `di` (length = delay destinations + 1).
     pair_off: Vec<u32>,
+    /// `true` when the SLA segments (`link_delays`, `pairs`, `pair_off`)
+    /// are resident. Partially resident entries (see
+    /// [`ScenarioCache::plan_residency`]) keep only the routing/load
+    /// prefix; candidate evaluations recompute their delays and pair DP
+    /// from scratch — bit-identically, just slower.
+    sla_resident: bool,
 }
 
 impl ScenarioEntry {
@@ -443,6 +449,30 @@ impl ScenarioEntry {
             + self.link_delays.len() * size_of::<f64>()
             + self.pairs.len() * size_of::<(usize, usize, f64)>()
             + self.pair_off.len() * size_of::<u32>()
+    }
+
+    /// Bytes this entry would hold after [`demote`](Self::demote): the
+    /// cheap routing/load prefix without the SLA segments. Measured on
+    /// the (fully captured) calibration entry, this prices the
+    /// partial-residency tier of [`ScenarioCache::plan_residency`].
+    pub fn partial_bytes(&self) -> usize {
+        use std::mem::size_of;
+        self.resident_bytes()
+            - self.link_delays.len() * size_of::<f64>()
+            - self.pairs.len() * size_of::<(usize, usize, f64)>()
+            - self.pair_off.len() * size_of::<u32>()
+    }
+
+    /// Drop the SLA segments (link delays, pair triples, segment
+    /// offsets), turning a fully captured entry into a partially
+    /// resident one. The freed state is recomputed on demand by
+    /// [`Evaluator::cost_cached`] with bit-identical results, so
+    /// demotion never changes any evaluation — only its speed.
+    pub fn demote(&mut self) {
+        self.sla_resident = false;
+        self.link_delays = Vec::new();
+        self.pairs = Vec::new();
+        self.pair_off = Vec::new();
     }
 }
 
@@ -496,9 +526,18 @@ pub struct ScenarioCache {
     generation: u64,
     /// Residency budget in bytes (`usize::MAX` = unbounded).
     budget: usize,
-    /// Positions `0..resident` are captured and delta-evaluated; the
-    /// rest fall back to the plain path (see the type docs).
+    /// Positions `0..resident` are fully captured and delta-evaluated;
+    /// positions `resident..resident + partial` keep the partial tier
+    /// (see [`ScenarioEntry::demote`]); the rest fall back to the plain
+    /// path (see the type docs).
     resident: usize,
+    /// Number of partially resident positions after the full prefix.
+    partial: usize,
+    /// Per-class "the incumbent baseline really moved under the pending
+    /// refresh diff" flags, filled by
+    /// [`Evaluator::cache_refresh_begin`] and read (shared, read-only)
+    /// by the per-entry refresh kernels.
+    refresh_changed: [Vec<bool>; 2],
 }
 
 impl Default for ScenarioCache {
@@ -518,6 +557,8 @@ impl ScenarioCache {
             generation: 0,
             budget: usize::MAX,
             resident: 0,
+            partial: 0,
+            refresh_changed: Default::default(),
         }
     }
 
@@ -538,42 +579,69 @@ impl ScenarioCache {
     }
 
     /// How many positions are currently resident (captured and
-    /// delta-evaluated); the `cache_resident_scenarios` stat.
+    /// delta-evaluated, fully or partially); the
+    /// `cache_resident_scenarios` stat.
     pub fn resident_scenarios(&self) -> usize {
+        self.resident + self.partial
+    }
+
+    /// How many positions hold the *full* delta-state (SLA segments
+    /// included); positions `full..resident_scenarios()` are the
+    /// partial tier.
+    pub fn full_resident_scenarios(&self) -> usize {
         self.resident
     }
 
-    /// `true` when position `pos` is resident — callers route
-    /// non-resident positions through the plain evaluation path, which
-    /// returns the same bits.
+    /// `true` when position `pos` is resident (fully or partially) —
+    /// callers route non-resident positions through the plain
+    /// evaluation path, which returns the same bits.
     #[inline]
     pub fn is_resident(&self, pos: usize) -> bool {
-        pos < self.resident
+        pos < self.resident + self.partial
     }
 
     /// Plan the resident prefix for a rebuild over `positions` slots:
     /// divide the budget by the measured size of the already-captured
-    /// entry 0. Deterministic because entry sizes are a pure function of
-    /// (incumbent weights, scenario) element counts — never of vector
-    /// capacities, thread count or timing. Call after capturing position
-    /// 0; positions `>= resident_scenarios()` must then be left
-    /// uncaptured. With a budget smaller than a single entry the
-    /// resident count is 0 and the cache degrades to the plain path
-    /// entirely.
+    /// entry 0, then spend the remainder on a *partially* resident band
+    /// (routings + loads, SLA segments dropped — see
+    /// [`ScenarioEntry::demote`]) priced at
+    /// [`partial_bytes`](ScenarioEntry::partial_bytes). Deterministic
+    /// because entry sizes are a pure function of (incumbent weights,
+    /// scenario) element counts — never of vector capacities, thread
+    /// count or timing. Call after capturing position 0; positions in
+    /// `full_resident_scenarios()..resident_scenarios()` must then be
+    /// captured and demoted, and positions `>= resident_scenarios()`
+    /// left uncaptured. With a budget smaller than even one partial
+    /// entry, both counts are 0 and the cache degrades to the plain
+    /// path entirely.
     pub fn plan_residency(&mut self, positions: usize) {
+        self.partial = 0;
         if self.budget == usize::MAX {
             self.resident = positions;
             return;
         }
-        let per_entry = self
+        let per_full = self
             .entries
             .first()
             .map_or(0, ScenarioEntry::resident_bytes);
-        self.resident = match self.budget.checked_div(per_entry) {
+        let per_partial = self.entries.first().map_or(0, ScenarioEntry::partial_bytes);
+        self.resident = match self.budget.checked_div(per_full) {
             Some(fit) => fit.min(positions),
             // Zero-sized entry (nothing captured): keep everything.
             None => positions,
         };
+        if self.resident < positions {
+            let leftover = self.budget - self.resident * per_full;
+            self.partial = match leftover.checked_div(per_partial) {
+                Some(fit) => fit.min(positions - self.resident),
+                None => positions - self.resident,
+            };
+        }
+        if self.resident == 0 && self.partial > 0 {
+            // The calibration entry was captured fully but planned into
+            // the partial band: strip its SLA segments now.
+            self.entries[0].demote();
+        }
     }
 
     /// Split the cache into its shared incumbent baseline and the
@@ -583,6 +651,36 @@ impl ScenarioCache {
     pub fn capture_split(&mut self) -> (&[Vec<DestRouting>; 2], &mut [ScenarioEntry]) {
         (&self.base, &mut self.entries)
     }
+
+    /// Split the cache into the shared read-only refresh context and
+    /// the per-position entries, for sharded refresh sweeps between
+    /// [`Evaluator::cache_refresh_begin`] and
+    /// [`Evaluator::cache_refresh_finish`]. Entries are
+    /// position-disjoint, so each worker takes a contiguous chunk; see
+    /// [`Evaluator::cache_refresh_entry`] and the parallel-search
+    /// contract in `DETERMINISM.md`.
+    pub fn refresh_split(&mut self) -> (RefreshCtx<'_>, &mut [ScenarioEntry]) {
+        (
+            RefreshCtx {
+                base: &self.base,
+                diff: &self.diff,
+                changed: &self.refresh_changed,
+            },
+            &mut self.entries,
+        )
+    }
+}
+
+/// Shared read-only inputs of a sharded refresh sweep: the (already
+/// updated) incumbent baseline, the pending weight diff, and the exact
+/// per-destination "baseline really moved" flags — everything a
+/// [`Evaluator::cache_refresh_entry`] call reads besides its own entry.
+/// Obtained from [`ScenarioCache::refresh_split`].
+#[derive(Clone, Copy, Debug)]
+pub struct RefreshCtx<'a> {
+    base: &'a [Vec<DestRouting>; 2],
+    diff: &'a [Vec<WeightChange>; 2],
+    changed: &'a [Vec<bool>; 2],
 }
 
 /// Outcome of an incumbent-bounded batch evaluation
@@ -680,8 +778,16 @@ pub struct EvalWorkspace {
     new_adds: [Vec<(u32, u32, f64)>; 2],
     /// Refresh scratch: rebuilt pair-segment offsets of one scenario.
     off_scratch: Vec<u32>,
-    /// Refresh scratch: per-class "baseline really moved" flags.
-    base_changed: [Vec<bool>; 2],
+    /// Refresh scratch: re-route target of the entry kernel (swapped
+    /// with surviving routings, so its buffers recycle).
+    refresh_tmp: DestRouting,
+    /// Refresh scratch: the previous affected list of the entry being
+    /// refreshed (drained back into the entry; capacity converges).
+    refresh_list: Vec<(u32, DestRouting)>,
+    /// Refresh scratch: recycled routing buffers of destinations that
+    /// left an affected list. Contents are never read — re-routes fully
+    /// overwrite them — so pooling cannot change any bit.
+    routing_pool: Vec<DestRouting>,
     /// [`ScenarioCache`] generation the `base_same` flags were computed
     /// against (0 = never).
     cand_gen: u64,
@@ -1183,6 +1289,7 @@ impl<'a> Evaluator<'a> {
         } else {
             0
         };
+        cache.partial = 0;
         cache.generation = next_engine_id();
     }
 
@@ -1256,6 +1363,7 @@ impl<'a> Evaluator<'a> {
         assert_eq!(w.num_links(), self.net.num_links(), "weight size mismatch");
         entry.delay.clear();
         entry.tput.clear();
+        entry.sla_resident = true;
         self.ensure_baseline(ws, w);
         let cost = self.cost_scenario(ws, w, scenario, Some(entry));
         let excluded = scenario.excluded_node().map(|v| v.index());
@@ -1356,10 +1464,15 @@ impl<'a> Evaluator<'a> {
         }
         let epoch = ws.next_epoch();
         let entry = &cache.entries[pos];
+        let full = entry.sla_resident;
         debug_assert_eq!(
-            entry.link_delays.len(),
+            entry.loads[0].len(),
             num_links,
             "cost_cached requires a captured entry"
+        );
+        debug_assert!(
+            !full || entry.link_delays.len() == num_links,
+            "fully resident entries must hold their link delays"
         );
         let excluded = scenario.excluded_node().map(|v| v.index());
         let EvalWorkspace {
@@ -1597,19 +1710,32 @@ impl<'a> Evaluator<'a> {
                 .map(|(x, y)| x + y),
         );
         link_delays.clear();
-        link_delays.extend_from_slice(&entry.link_delays);
-        for &l in dirty.iter() {
-            let li = l as usize;
-            let d = delay_model::link_delay(
-                total_loads[li],
-                self.capacities[li],
-                self.prop_delays[li],
-                &self.params,
-            );
-            if d.to_bits() != link_delays[li].to_bits() {
-                link_delays[li] = d;
-                pair_dirty.push(l);
+        if full {
+            link_delays.extend_from_slice(&entry.link_delays);
+            for &l in dirty.iter() {
+                let li = l as usize;
+                let d = delay_model::link_delay(
+                    total_loads[li],
+                    self.capacities[li],
+                    self.prop_delays[li],
+                    &self.params,
+                );
+                if d.to_bits() != link_delays[li].to_bits() {
+                    link_delays[li] = d;
+                    pair_dirty.push(l);
+                }
             }
+        } else {
+            // Partial residency: no resident delays to patch — recompute
+            // every link from the candidate totals. Bit-identical: links
+            // without a contributor change carry bitwise the incumbent's
+            // total load, and `link_delay` is a pure function of it.
+            // `pair_dirty` stays empty, which is fine: with no resident
+            // pair segments to splice, every destination below re-runs
+            // the DP regardless.
+            link_delays.extend(total_loads.iter().enumerate().map(|(li, &t)| {
+                delay_model::link_delay(t, self.capacities[li], self.prop_delays[li], &self.params)
+            }));
         }
 
         // Pass 3: SLA pairs — resident segments for destinations whose
@@ -1632,7 +1758,8 @@ impl<'a> Evaluator<'a> {
             } else {
                 &scratch[code as usize]
             };
-            if (code == NOT_RECOMPUTED || code & CACHED_BIT != 0)
+            if full
+                && (code == NOT_RECOMPUTED || code & CACHED_BIT != 0)
                 && (pair_dirty.is_empty()
                     || !dag_uses_any(self.net, &dest.dist, weights_d, pair_dirty))
             {
@@ -1672,6 +1799,13 @@ impl<'a> Evaluator<'a> {
     /// maintained **exactly**: destinations entering or leaving a
     /// scenario's mask-affected set are spliced into or out of its entry,
     /// so no periodic full rebuild is needed.
+    /// This serial form wraps the three-stage refresh —
+    /// [`cache_refresh_begin`](Self::cache_refresh_begin), one
+    /// [`cache_refresh_entry`](Self::cache_refresh_entry) per resident
+    /// position, [`cache_refresh_finish`](Self::cache_refresh_finish) —
+    /// which multicore accept paths shard across workers with
+    /// bit-identical results (see the parallel-search contract in
+    /// `DETERMINISM.md`).
     pub fn cache_refresh(
         &self,
         ws: &mut EvalWorkspace,
@@ -1679,16 +1813,36 @@ impl<'a> Evaluator<'a> {
         w: &WeightSetting,
         scenario_at: impl Fn(usize) -> Scenario,
     ) {
+        self.cache_refresh_begin(ws, cache, w);
+        let resident = cache.resident + cache.partial;
+        let (ctx, entries) = cache.refresh_split();
+        for (pos, entry) in entries.iter_mut().enumerate().take(resident) {
+            self.cache_refresh_entry(ws, w, &ctx, scenario_at(pos), entry);
+        }
+        self.cache_refresh_finish(cache, w);
+    }
+
+    /// Stage 1 of the incremental refresh: compute the incumbent → `w`
+    /// per-class weight diff into the cache, and update the cached
+    /// no-failure baseline, recording in the cache's shared refresh
+    /// flags exactly which destinations *really* moved. Serial — runs
+    /// once per accepted candidate; the per-entry stage it feeds
+    /// ([`cache_refresh_entry`](Self::cache_refresh_entry)) is the
+    /// shardable part.
+    pub fn cache_refresh_begin(
+        &self,
+        ws: &mut EvalWorkspace,
+        cache: &mut ScenarioCache,
+        w: &WeightSetting,
+    ) {
         let num_links = self.net.num_links();
         assert_eq!(w.num_links(), num_links, "weight size mismatch");
         ws.bind(self.engine_id, num_links);
-        let resident = cache.resident;
         let ScenarioCache {
             weights,
             base,
-            entries,
             diff,
-            generation,
+            refresh_changed,
             ..
         } = cache;
         for (ci, class) in Class::ALL.iter().enumerate() {
@@ -1709,17 +1863,13 @@ impl<'a> Evaluator<'a> {
             );
         }
 
-        // 1. Baseline update: re-route the destinations the diff can
+        // Baseline update: re-route the destinations the diff can
         // touch, remembering which *really* moved (their routings may
         // enter or leave any scenario's affected set). The conservative
         // predicate's false positives are filtered with the exact
         // [`baseline_unchanged`] diff so bit-identical re-routes don't
         // churn entries or re-run delay DPs downstream.
-        // Taken out of the workspace (and restored below) so the
-        // per-scenario loop can still borrow `ws` freely.
-        let mut base_changed = std::mem::take(&mut ws.base_changed);
-        let mut off_scratch = std::mem::take(&mut ws.off_scratch);
-        let mut tmp = DestRouting::default();
+        let mut tmp = std::mem::take(&mut ws.refresh_tmp);
         for (ci, class) in Class::ALL.iter().enumerate() {
             let class_weights = w.weights(*class);
             let tm = self.class_matrix(*class);
@@ -1729,8 +1879,8 @@ impl<'a> Evaluator<'a> {
                 dests.len(),
                 "cache baseline missing; run cache_rebuild_begin first"
             );
-            base_changed[ci].clear();
-            base_changed[ci].resize(dests.len(), false);
+            refresh_changed[ci].clear();
+            refresh_changed[ci].resize(dests.len(), false);
             for (di, &t) in dests.iter().enumerate() {
                 if diff[ci].is_empty()
                     || !weight_change_affects(self.net, &base[ci][di].dist, &diff[ci])
@@ -1748,110 +1898,97 @@ impl<'a> Evaluator<'a> {
                 );
                 if !baseline_unchanged(self.net, &tmp.dist, &base[ci][di].dist, &diff[ci]) {
                     std::mem::swap(&mut base[ci][di], &mut tmp);
-                    base_changed[ci][di] = true;
+                    refresh_changed[ci][di] = true;
                 }
             }
         }
+        ws.refresh_tmp = tmp;
+    }
 
-        // 2. Per-scenario update: routings, contributor lists, loads,
-        // delays and pair segments, all in place. Non-resident positions
-        // (`resident..`) were never captured and stay on the plain path,
-        // so there is nothing to maintain for them.
-        for (pos, entry) in entries.iter_mut().enumerate().take(resident) {
-            let scenario = scenario_at(pos);
-            scenario.mask_into(self.net, &mut ws.mask);
-            ws.down.clear();
-            ws.down.extend(ws.mask.down_links().map(|i| i as u32));
-            let excluded = scenario.excluded_node().map(|v| v.index());
-            let epoch = ws.next_epoch();
+    /// Stage 2 of the incremental refresh: update one resident entry —
+    /// routings, contributor lists, loads and (for fully resident
+    /// entries) link delays and pair segments, all in place. The result
+    /// is a pure function of (entry, `ctx`, `w`, scenario), entries are
+    /// position-disjoint, and `ctx` is read-only, so an accept path may
+    /// shard the resident entries across workers in contiguous
+    /// index-order chunks (each worker with its own pooled workspace)
+    /// and splice bit-identically to the serial loop at any worker
+    /// count — the sharded-refresh splice invariant in `DETERMINISM.md`.
+    /// Steady-state allocation-free per worker: the old affected list
+    /// drains through the workspace spare buffer, surviving routings
+    /// move, leavers park in the routing pool, and newcomers reuse
+    /// pooled buffers (pool contents are never read — re-routes fully
+    /// overwrite them).
+    pub fn cache_refresh_entry(
+        &self,
+        ws: &mut EvalWorkspace,
+        w: &WeightSetting,
+        ctx: &RefreshCtx<'_>,
+        scenario: Scenario,
+        entry: &mut ScenarioEntry,
+    ) {
+        let num_links = self.net.num_links();
+        ws.bind(self.engine_id, num_links);
+        let RefreshCtx {
+            base,
+            diff,
+            changed: base_changed,
+        } = *ctx;
+        scenario.mask_into(self.net, &mut ws.mask);
+        ws.down.clear();
+        ws.down.extend(ws.mask.down_links().map(|i| i as u32));
+        let excluded = scenario.excluded_node().map(|v| v.index());
+        let epoch = ws.next_epoch();
+        let mut tmp = std::mem::take(&mut ws.refresh_tmp);
+        let mut spare = std::mem::take(&mut ws.refresh_list);
+        let mut pool = std::mem::take(&mut ws.routing_pool);
 
-            for (ci, class) in Class::ALL.iter().enumerate() {
-                let class_weights = w.weights(*class);
-                let tm = self.class_matrix(*class);
-                let dests = &self.demand_dests[ci];
-                let ch = &mut ws.changed[ci];
-                ch.resize(dests.len(), 0);
-                let list = if ci == 0 {
-                    &mut entry.delay
-                } else {
-                    &mut entry.tput
-                };
-                // Rebuild the affected list, moving surviving routings:
-                // membership only moves where the baseline moved.
-                let old_list = std::mem::take(list);
-                let mut it = old_list.into_iter().peekable();
-                for (di, &t) in dests.iter().enumerate() {
-                    let hit = it
-                        .peek()
-                        .is_some_and(|(d, _)| *d == di as u32)
-                        .then(|| it.next().unwrap().1);
-                    while it.peek().is_some_and(|(d, _)| *d < di as u32) {
-                        // Cannot happen (lists are ascending and dense in
-                        // di), but stay robust.
-                        it.next();
+        for (ci, class) in Class::ALL.iter().enumerate() {
+            let class_weights = w.weights(*class);
+            let tm = self.class_matrix(*class);
+            let dests = &self.demand_dests[ci];
+            let ch = &mut ws.changed[ci];
+            ch.resize(dests.len(), 0);
+            let list = if ci == 0 {
+                &mut entry.delay
+            } else {
+                &mut entry.tput
+            };
+            // Rebuild the affected list, moving surviving routings:
+            // membership only moves where the baseline moved.
+            std::mem::swap(list, &mut spare);
+            list.clear();
+            let mut it = spare.drain(..).peekable();
+            for (di, &t) in dests.iter().enumerate() {
+                let hit = it
+                    .peek()
+                    .is_some_and(|(d, _)| *d == di as u32)
+                    .then(|| it.next().unwrap().1);
+                while it.peek().is_some_and(|(d, _)| *d < di as u32) {
+                    // Cannot happen (lists are ascending and dense in
+                    // di), but stay robust.
+                    pool.push(it.next().unwrap().1);
+                }
+                if Some(t as usize) == excluded {
+                    if let Some(r) = hit {
+                        pool.push(r);
                     }
-                    if Some(t as usize) == excluded {
-                        continue;
-                    }
-                    if base_changed[ci][di] {
-                        let affected = !ws.down.is_empty()
-                            && dag_uses_any(self.net, &base[ci][di].dist, class_weights, &ws.down);
-                        if affected {
-                            // The cached scenario routing survives when
-                            // the diff provably cannot change it.
-                            if let Some(routing) = hit {
-                                if diff[ci].is_empty()
-                                    || !weight_change_affects(self.net, &routing.dist, &diff[ci])
-                                {
-                                    list.push((di as u32, routing));
-                                    continue;
-                                }
-                                let mut routing = routing;
-                                route_destination_repair(
-                                    self.net,
-                                    class_weights,
-                                    tm,
-                                    &ws.mask,
-                                    t as usize,
-                                    &base[ci][di],
-                                    &mut ws.spf,
-                                    &mut tmp,
-                                );
-                                if !baseline_unchanged(
-                                    self.net,
-                                    &tmp.dist,
-                                    &routing.dist,
-                                    &diff[ci],
-                                ) {
-                                    ch[di] = epoch;
-                                    std::mem::swap(&mut routing, &mut tmp);
-                                }
+                    continue;
+                }
+                if base_changed[ci][di] {
+                    let affected = !ws.down.is_empty()
+                        && dag_uses_any(self.net, &base[ci][di].dist, class_weights, &ws.down);
+                    if affected {
+                        // The cached scenario routing survives when
+                        // the diff provably cannot change it.
+                        if let Some(routing) = hit {
+                            if diff[ci].is_empty()
+                                || !weight_change_affects(self.net, &routing.dist, &diff[ci])
+                            {
                                 list.push((di as u32, routing));
                                 continue;
                             }
-                            ch[di] = epoch;
-                            let mut routing = DestRouting::default();
-                            route_destination_repair(
-                                self.net,
-                                class_weights,
-                                tm,
-                                &ws.mask,
-                                t as usize,
-                                &base[ci][di],
-                                &mut ws.spf,
-                                &mut routing,
-                            );
-                            list.push((di as u32, routing));
-                        } else {
-                            // Not affected: the destination leaves (or
-                            // stays out of) the entry; its effective
-                            // routing is the freshly updated baseline.
-                            ch[di] = epoch;
-                        }
-                    } else if let Some(mut routing) = hit {
-                        if !diff[ci].is_empty()
-                            && weight_change_affects(self.net, &routing.dist, &diff[ci])
-                        {
+                            let mut routing = routing;
                             route_destination_repair(
                                 self.net,
                                 class_weights,
@@ -1866,110 +2003,168 @@ impl<'a> Evaluator<'a> {
                                 ch[di] = epoch;
                                 std::mem::swap(&mut routing, &mut tmp);
                             }
+                            list.push((di as u32, routing));
+                            continue;
                         }
-                        list.push((di as u32, routing));
-                    }
-                }
-
-                // Contributor lists + full refold (cheap: one pass over
-                // the effective adds — the per-link fold in destination
-                // order gives bit-for-bit the reference accumulation for
-                // *every* link, dirty or not).
-                let list: &[(u32, DestRouting)] = list;
-                let basec = &base[ci];
-                entry.contrib[ci].rebuild(num_links, dests.len(), |di| {
-                    effective_adds(list, basec, dests, excluded, di)
-                });
-                let loads = &mut entry.loads[ci];
-                loads.clear();
-                loads.resize(num_links, 0.0);
-                for (l, load) in loads.iter_mut().enumerate() {
-                    let mut acc = 0.0f64;
-                    for &(_, share) in entry.contrib[ci].row(l) {
-                        acc += share;
-                    }
-                    *load = acc;
-                }
-            }
-
-            // Delays: recompute, remembering which changed bitwise.
-            ws.total_loads.clear();
-            ws.total_loads.extend(
-                entry.loads[0]
-                    .iter()
-                    .zip(&entry.loads[1])
-                    .map(|(x, y)| x + y),
-            );
-            ws.pair_dirty.clear();
-            for (l, old) in entry.link_delays.iter_mut().enumerate() {
-                let d = delay_model::link_delay(
-                    ws.total_loads[l],
-                    self.capacities[l],
-                    self.prop_delays[l],
-                    &self.params,
-                );
-                if d.to_bits() != old.to_bits() {
-                    *old = d;
-                    ws.pair_dirty.push(l as u32);
-                }
-            }
-
-            // Pair segments: recompute only destinations whose routing
-            // changed or whose DAG sees a changed delay; splice the rest
-            // from the old resident list.
-            let weights_d = w.weights(Class::Delay);
-            let take_max = matches!(self.params.aggregation, DelayAggregation::Max);
-            ws.pair_delays.clear();
-            let mut cursor = 0usize;
-            let list = &entry.delay;
-            let new_offs = &mut off_scratch;
-            new_offs.clear();
-            new_offs.push(0);
-            for (di, &t) in self.demand_dests[0].iter().enumerate() {
-                if Some(t as usize) != excluded {
-                    while cursor < list.len() && list[cursor].0 < di as u32 {
-                        cursor += 1;
-                    }
-                    let hit = cursor < list.len() && list[cursor].0 == di as u32;
-                    let dest: &DestRouting = if hit { &list[cursor].1 } else { &base[0][di] };
-                    let routing_changed = ws.changed[0][di] == epoch;
-                    if !routing_changed
-                        && (ws.pair_dirty.is_empty()
-                            || !dag_uses_any(self.net, &dest.dist, weights_d, &ws.pair_dirty))
-                    {
-                        let s = entry.pair_off[di] as usize;
-                        let e = entry.pair_off[di + 1] as usize;
-                        ws.pair_delays.extend_from_slice(&entry.pairs[s..e]);
-                    } else {
-                        delay::pair_delays_into(
+                        ch[di] = epoch;
+                        let mut routing = pool.pop().unwrap_or_default();
+                        route_destination_repair(
                             self.net,
-                            &dest.dist,
-                            &dest.order,
-                            weights_d,
+                            class_weights,
+                            tm,
                             &ws.mask,
-                            &entry.link_delays,
-                            take_max,
-                            &self.traffic.delay,
                             t as usize,
-                            excluded,
-                            &mut ws.node_delay,
-                            &mut ws.pair_delays,
+                            &base[ci][di],
+                            &mut ws.spf,
+                            &mut routing,
                         );
+                        list.push((di as u32, routing));
+                    } else {
+                        // Not affected: the destination leaves (or
+                        // stays out of) the entry; its effective
+                        // routing is the freshly updated baseline.
+                        ch[di] = epoch;
+                        if let Some(r) = hit {
+                            pool.push(r);
+                        }
                     }
+                } else if let Some(mut routing) = hit {
+                    if !diff[ci].is_empty()
+                        && weight_change_affects(self.net, &routing.dist, &diff[ci])
+                    {
+                        route_destination_repair(
+                            self.net,
+                            class_weights,
+                            tm,
+                            &ws.mask,
+                            t as usize,
+                            &base[ci][di],
+                            &mut ws.spf,
+                            &mut tmp,
+                        );
+                        if !baseline_unchanged(self.net, &tmp.dist, &routing.dist, &diff[ci]) {
+                            ch[di] = epoch;
+                            std::mem::swap(&mut routing, &mut tmp);
+                        }
+                    }
+                    list.push((di as u32, routing));
                 }
-                new_offs.push(ws.pair_delays.len() as u32);
             }
-            entry.pairs.clone_from(&ws.pair_delays);
-            entry.pair_off.clone_from(new_offs);
-        }
-        ws.base_changed = base_changed;
-        ws.off_scratch = off_scratch;
+            for (_, r) in it {
+                pool.push(r);
+            }
 
-        for (buf, class) in weights.iter_mut().zip(Class::ALL) {
+            // Contributor lists + full refold (cheap: one pass over
+            // the effective adds — the per-link fold in destination
+            // order gives bit-for-bit the reference accumulation for
+            // *every* link, dirty or not).
+            let list: &[(u32, DestRouting)] = list;
+            let basec = &base[ci];
+            entry.contrib[ci].rebuild(num_links, dests.len(), |di| {
+                effective_adds(list, basec, dests, excluded, di)
+            });
+            let loads = &mut entry.loads[ci];
+            loads.clear();
+            loads.resize(num_links, 0.0);
+            for (l, load) in loads.iter_mut().enumerate() {
+                let mut acc = 0.0f64;
+                for &(_, share) in entry.contrib[ci].row(l) {
+                    acc += share;
+                }
+                *load = acc;
+            }
+        }
+        ws.refresh_tmp = tmp;
+        ws.refresh_list = spare;
+        ws.routing_pool = pool;
+        if !entry.sla_resident {
+            // Partial tier: no resident SLA segments to maintain —
+            // candidate evaluations recompute delays and pair DPs from
+            // the (just refreshed) loads, bit-identically.
+            return;
+        }
+
+        // Delays: recompute, remembering which changed bitwise.
+        ws.total_loads.clear();
+        ws.total_loads.extend(
+            entry.loads[0]
+                .iter()
+                .zip(&entry.loads[1])
+                .map(|(x, y)| x + y),
+        );
+        ws.pair_dirty.clear();
+        for (l, old) in entry.link_delays.iter_mut().enumerate() {
+            let d = delay_model::link_delay(
+                ws.total_loads[l],
+                self.capacities[l],
+                self.prop_delays[l],
+                &self.params,
+            );
+            if d.to_bits() != old.to_bits() {
+                *old = d;
+                ws.pair_dirty.push(l as u32);
+            }
+        }
+
+        // Pair segments: recompute only destinations whose routing
+        // changed or whose DAG sees a changed delay; splice the rest
+        // from the old resident list.
+        let weights_d = w.weights(Class::Delay);
+        let take_max = matches!(self.params.aggregation, DelayAggregation::Max);
+        ws.pair_delays.clear();
+        let mut cursor = 0usize;
+        let list = &entry.delay;
+        let new_offs = &mut ws.off_scratch;
+        new_offs.clear();
+        new_offs.push(0);
+        for (di, &t) in self.demand_dests[0].iter().enumerate() {
+            if Some(t as usize) != excluded {
+                while cursor < list.len() && list[cursor].0 < di as u32 {
+                    cursor += 1;
+                }
+                let hit = cursor < list.len() && list[cursor].0 == di as u32;
+                let dest: &DestRouting = if hit { &list[cursor].1 } else { &base[0][di] };
+                let routing_changed = ws.changed[0][di] == epoch;
+                if !routing_changed
+                    && (ws.pair_dirty.is_empty()
+                        || !dag_uses_any(self.net, &dest.dist, weights_d, &ws.pair_dirty))
+                {
+                    let s = entry.pair_off[di] as usize;
+                    let e = entry.pair_off[di + 1] as usize;
+                    ws.pair_delays.extend_from_slice(&entry.pairs[s..e]);
+                } else {
+                    delay::pair_delays_into(
+                        self.net,
+                        &dest.dist,
+                        &dest.order,
+                        weights_d,
+                        &ws.mask,
+                        &entry.link_delays,
+                        take_max,
+                        &self.traffic.delay,
+                        t as usize,
+                        excluded,
+                        &mut ws.node_delay,
+                        &mut ws.pair_delays,
+                    );
+                }
+            }
+            new_offs.push(ws.pair_delays.len() as u32);
+        }
+        entry.pairs.clone_from(&ws.pair_delays);
+        entry.pair_off.clone_from(new_offs);
+    }
+
+    /// Stage 3 of the incremental refresh: adopt `w` as the cache's
+    /// incumbent and advance the generation stamp. Call exactly once,
+    /// after every [`cache_refresh_entry`](Self::cache_refresh_entry)
+    /// of the refresh has completed.
+    pub fn cache_refresh_finish(&self, cache: &mut ScenarioCache, w: &WeightSetting) {
+        for (buf, class) in cache.weights.iter_mut().zip(Class::ALL) {
             buf.clear();
             buf.extend_from_slice(w.weights(class));
         }
-        *generation = next_engine_id();
+        cache.generation = next_engine_id();
     }
 
     /// Evaluate one scenario (any kind) against a valid workspace

@@ -120,8 +120,15 @@ pub struct MtrWorkspace {
     new_adds: Vec<Vec<(u32, u32, f64)>>,
     /// Refresh scratch: rebuilt pair-segment offsets of one scenario.
     off_scratch: Vec<u32>,
-    /// Refresh scratch: per-class "baseline really moved" flags.
-    base_changed: Vec<Vec<bool>>,
+    /// Refresh scratch: re-route target reused across destinations.
+    refresh_tmp: DestRouting,
+    /// Refresh scratch: swap buffer for one entry's per-class routed
+    /// list (storage rotates with the entry, capacities reach steady
+    /// state).
+    refresh_list: Vec<(u32, DestRouting)>,
+    /// Refresh scratch: recycled routings — leavers park here, newcomers
+    /// pop here, so the sharded refresh steady state allocates nothing.
+    routing_pool: Vec<DestRouting>,
     /// Cache generation the `base_same` flags were computed against.
     cand_gen: u64,
     /// Per-class per-destination exact baseline diff of the current
@@ -177,6 +184,10 @@ pub struct MtrScenarioEntry {
     pairs: Vec<Vec<(usize, usize, f64)>>,
     /// Per SLA class: `pair_off[di]..pair_off[di+1]` indexes `pairs`.
     pair_off: Vec<Vec<u32>>,
+    /// `true` while the SLA segment state (`link_delays`, `pairs`,
+    /// `pair_off`) is resident; `false` after [`demote`](Self::demote)
+    /// drops it to the partial tier (routings + loads only).
+    sla_resident: bool,
 }
 
 impl MtrScenarioEntry {
@@ -211,6 +222,39 @@ impl MtrScenarioEntry {
             .sum();
         routed + loads + contrib + self.link_delays.len() * size_of::<f64>() + pairs + pair_off
     }
+
+    /// Footprint of the partial tier — routings, loads and contributor
+    /// lists only, with the SLA segment state
+    /// ([`demote`](Self::demote)d) excluded. Same element-count-only
+    /// determinism contract as [`resident_bytes`](Self::resident_bytes).
+    pub fn partial_bytes(&self) -> usize {
+        use std::mem::size_of;
+        let pairs: usize = self
+            .pairs
+            .iter()
+            .map(|p| p.len() * size_of::<(usize, usize, f64)>())
+            .sum();
+        let pair_off: usize = self
+            .pair_off
+            .iter()
+            .map(|o| o.len() * size_of::<u32>())
+            .sum();
+        self.resident_bytes() - self.link_delays.len() * size_of::<f64>() - pairs - pair_off
+    }
+
+    /// Drop the SLA segment state, keeping routings + loads + contrib:
+    /// the partial residency tier. Demoted entries still ride the cached
+    /// load/routing delta path; their delays and SLA segments are
+    /// recomputed from candidate totals (bit-identical — unchanged links
+    /// carry bitwise-identical total loads and the delay model is pure).
+    pub fn demote(&mut self) {
+        self.sla_resident = false;
+        // Assign fresh vectors (not `clear`) so the memory is actually
+        // returned — that is the point of the partial tier.
+        self.link_delays = Vec::new();
+        self.pairs = Vec::new();
+        self.pair_off = Vec::new();
+    }
 }
 
 /// Delta-state scenario cache for the MTR robust phase — the k-class
@@ -231,8 +275,28 @@ pub struct MtrScenarioCache {
     generation: u64,
     /// Residency budget in bytes (`usize::MAX` = unbounded).
     budget: usize,
-    /// Positions `0..resident` are resident (see the type docs).
+    /// Positions `0..resident` are fully resident (see the type docs).
     resident: usize,
+    /// Positions `resident..resident + partial` are partially resident:
+    /// routings + loads + contrib only (SLA segments demoted).
+    partial: usize,
+    /// Per class, per destination: `true` where the last
+    /// [`cache_refresh_begin`](MtrEvaluator::cache_refresh_begin) really
+    /// moved the incumbent baseline (shared read-only by refresh
+    /// workers).
+    refresh_changed: Vec<Vec<bool>>,
+}
+
+/// Read-only refresh context shared by every
+/// [`MtrEvaluator::cache_refresh_entry`] worker of one accept: the
+/// already-updated incumbent baseline, the accept diff and the exact
+/// "baseline moved" flags (see the parallel-search contract in
+/// `DETERMINISM.md`).
+#[derive(Clone, Copy, Debug)]
+pub struct MtrRefreshCtx<'a> {
+    base: &'a [Vec<DestRouting>],
+    diff: &'a [Vec<WeightChange>],
+    changed: &'a [Vec<bool>],
 }
 
 impl Default for MtrScenarioCache {
@@ -252,6 +316,8 @@ impl MtrScenarioCache {
             generation: 0,
             budget: usize::MAX,
             resident: 0,
+            partial: 0,
+            refresh_changed: Vec::new(),
         }
     }
 
@@ -271,17 +337,23 @@ impl MtrScenarioCache {
         self.budget
     }
 
-    /// How many positions are currently resident — the
-    /// `cache_resident_scenarios` stat.
+    /// How many positions are currently resident (full + partial tier)
+    /// — the `cache_resident_scenarios` stat.
     pub fn resident_scenarios(&self) -> usize {
+        self.resident + self.partial
+    }
+
+    /// How many positions are fully resident (SLA segments included);
+    /// positions `full..resident_scenarios()` hold the partial tier.
+    pub fn full_resident_scenarios(&self) -> usize {
         self.resident
     }
 
-    /// `true` when position `pos` is resident — callers route
-    /// non-resident positions through the plain evaluation path.
+    /// `true` when position `pos` is resident (either tier) — callers
+    /// route non-resident positions through the plain evaluation path.
     #[inline]
     pub fn is_resident(&self, pos: usize) -> bool {
-        pos < self.resident
+        pos < self.resident + self.partial
     }
 
     /// Plan the resident prefix for a rebuild over `positions` slots by
@@ -291,25 +363,59 @@ impl MtrScenarioCache {
     /// element counts only, deterministic; positions past the returned
     /// prefix must be left uncaptured).
     pub fn plan_residency(&mut self, positions: usize) {
+        self.partial = 0;
         if self.budget == usize::MAX {
             self.resident = positions;
             return;
         }
-        let per_entry = self
+        let per_full = self
             .entries
             .first()
             .map_or(0, MtrScenarioEntry::resident_bytes);
-        self.resident = match self.budget.checked_div(per_entry) {
+        let per_partial = self
+            .entries
+            .first()
+            .map_or(0, MtrScenarioEntry::partial_bytes);
+        self.resident = match self.budget.checked_div(per_full) {
             Some(fit) => fit.min(positions),
             // Zero-sized entry (nothing captured): keep everything.
             None => positions,
         };
+        if self.resident < positions {
+            // Spend the leftover budget on partial-tier entries
+            // (routings + loads, SLA segments demoted).
+            let leftover = self.budget - self.resident * per_full;
+            self.partial = match leftover.checked_div(per_partial) {
+                Some(fit) => fit.min(positions - self.resident),
+                None => positions - self.resident,
+            };
+        }
+        if self.resident == 0 && self.partial > 0 {
+            // Entry 0 was captured fully for calibration but only fits
+            // partially: demote it now so the plan is already enforced.
+            self.entries[0].demote();
+        }
     }
 
     /// Split into the shared incumbent baseline and the per-position
     /// entries, for sharded capture sweeps.
     pub fn capture_split(&mut self) -> (&[Vec<DestRouting>], &mut [MtrScenarioEntry]) {
         (&self.base, &mut self.entries)
+    }
+
+    /// Split into the shared read-only refresh context and the
+    /// per-position entries, for sharded refresh sweeps — call between
+    /// [`MtrEvaluator::cache_refresh_begin`] and
+    /// [`MtrEvaluator::cache_refresh_finish`].
+    pub fn refresh_split(&mut self) -> (MtrRefreshCtx<'_>, &mut [MtrScenarioEntry]) {
+        (
+            MtrRefreshCtx {
+                base: &self.base,
+                diff: &self.diff,
+                changed: &self.refresh_changed,
+            },
+            &mut self.entries,
+        )
     }
 }
 
@@ -795,6 +901,7 @@ impl<'a> MtrEvaluator<'a> {
         } else {
             0
         };
+        cache.partial = 0;
         cache.generation = next_engine_id();
     }
 
@@ -869,6 +976,7 @@ impl<'a> MtrEvaluator<'a> {
             entry.loads[k].clone_from(&ws.class_loads[k]);
         }
         entry.link_delays.clone_from(&ws.link_delays);
+        entry.sla_resident = true;
         let MtrScenarioEntry {
             routed, contrib, ..
         } = entry;
@@ -933,10 +1041,14 @@ impl<'a> MtrEvaluator<'a> {
         }
         let epoch = ws.next_epoch();
         let entry = &cache.entries[pos];
-        debug_assert_eq!(
-            entry.link_delays.len(),
-            num_links,
+        let full = entry.sla_resident;
+        debug_assert!(
+            !entry.loads.is_empty() && entry.loads[0].len() == num_links,
             "cost_cached requires a captured entry"
+        );
+        debug_assert!(
+            !full || entry.link_delays.len() == num_links,
+            "full-resident entry is missing its delay state"
         );
         let excluded = scenario.excluded_node().map(|v| v.index());
         let MtrWorkspace {
@@ -1149,19 +1261,34 @@ impl<'a> MtrEvaluator<'a> {
             }
         }
         link_delays.clear();
-        link_delays.extend_from_slice(&entry.link_delays);
-        for &l in dirty.iter() {
-            let li = l as usize;
-            let d = delay_model::link_delay(
-                total_loads[li],
-                self.capacities[li],
-                self.prop_delays[li],
-                &self.config.delay_params,
-            );
-            if d.to_bits() != link_delays[li].to_bits() {
-                link_delays[li] = d;
-                pair_dirty.push(l);
+        if full {
+            link_delays.extend_from_slice(&entry.link_delays);
+            for &l in dirty.iter() {
+                let li = l as usize;
+                let d = delay_model::link_delay(
+                    total_loads[li],
+                    self.capacities[li],
+                    self.prop_delays[li],
+                    &self.config.delay_params,
+                );
+                if d.to_bits() != link_delays[li].to_bits() {
+                    link_delays[li] = d;
+                    pair_dirty.push(l);
+                }
             }
+        } else {
+            // Partial tier: no resident delay state — recompute every
+            // link from the candidate totals. Bit-identical to the
+            // patched path: unchanged links carry bitwise-identical
+            // total loads and the delay model is pure.
+            link_delays.extend(total_loads.iter().enumerate().map(|(li, &t)| {
+                delay_model::link_delay(
+                    t,
+                    self.capacities[li],
+                    self.prop_delays[li],
+                    &self.config.delay_params,
+                )
+            }));
         }
 
         // Pass 3: per-class components (resident SLA segments where the
@@ -1191,7 +1318,8 @@ impl<'a> MtrEvaluator<'a> {
                         } else {
                             &scratch[code as usize]
                         };
-                        if (code == NOT_RECOMPUTED || code & CACHED_BIT != 0)
+                        if full
+                            && (code == NOT_RECOMPUTED || code & CACHED_BIT != 0)
                             && (pair_dirty.is_empty()
                                 || !dag_uses_any(self.net, &dest.dist, weights, pair_dirty))
                         {
@@ -1242,17 +1370,36 @@ impl<'a> MtrEvaluator<'a> {
         w: &MtrWeightSetting,
         scenario_at: impl Fn(usize) -> Scenario,
     ) {
+        self.cache_refresh_begin(ws, cache, w);
+        let resident = cache.resident + cache.partial;
+        let (ctx, entries) = cache.refresh_split();
+        for (pos, entry) in entries.iter_mut().enumerate().take(resident) {
+            self.cache_refresh_entry(ws, w, &ctx, scenario_at(pos), entry);
+        }
+        self.cache_refresh_finish(cache, w);
+    }
+
+    /// First stage of [`cache_refresh`](Self::cache_refresh): compute
+    /// the accept diff and update the incumbent no-failure baseline per
+    /// class, recording exactly which destinations really moved in the
+    /// cache's shared `refresh_changed` flags. Runs serially; the
+    /// per-entry stage that follows may then be sharded (see the
+    /// parallel-search contract in `DETERMINISM.md`).
+    pub fn cache_refresh_begin(
+        &self,
+        ws: &mut MtrWorkspace,
+        cache: &mut MtrScenarioCache,
+        w: &MtrWeightSetting,
+    ) {
         let num_links = self.net.num_links();
         assert_eq!(w.num_links(), num_links, "weight size mismatch");
         let kn = self.num_classes();
         ws.bind(self.engine_id, num_links, kn);
-        let resident = cache.resident;
         let MtrScenarioCache {
             weights,
             base,
-            entries,
             diff,
-            generation,
+            refresh_changed,
             ..
         } = cache;
         assert_eq!(base.len(), kn, "cache baseline missing");
@@ -1274,22 +1421,19 @@ impl<'a> MtrEvaluator<'a> {
             );
         }
 
-        // 1. Baseline update, filtering the predicate's false positives
+        // Baseline update, filtering the predicate's false positives
         // with the exact diff so bit-identical re-routes don't churn
-        // entries or re-run delay DPs downstream.
-        // Taken out of the workspace (and restored below) so the
-        // per-scenario loop can still borrow `ws` freely.
-        let mut base_changed = std::mem::take(&mut ws.base_changed);
-        let mut off_scratch = std::mem::take(&mut ws.off_scratch);
-        base_changed.resize_with(kn, Vec::new);
-        let mut tmp = DestRouting::default();
+        // entries or re-run delay DPs downstream. The exact flags land
+        // on the cache, shared read-only by the entry stage's workers.
+        refresh_changed.resize_with(kn, Default::default);
+        let mut tmp = std::mem::take(&mut ws.refresh_tmp);
         for k in 0..kn {
             let class_weights = w.weights(k);
             let tm = &self.matrices[k];
             let dests = &self.demand_dests[k];
             assert_eq!(base[k].len(), dests.len(), "cache baseline missing");
-            base_changed[k].clear();
-            base_changed[k].resize(dests.len(), false);
+            refresh_changed[k].clear();
+            refresh_changed[k].resize(dests.len(), false);
             for (di, &t) in dests.iter().enumerate() {
                 if diff[k].is_empty()
                     || !weight_change_affects(self.net, &base[k][di].dist, &diff[k])
@@ -1307,25 +1451,53 @@ impl<'a> MtrEvaluator<'a> {
                 );
                 if !baseline_unchanged(self.net, &tmp.dist, &base[k][di].dist, &diff[k]) {
                     std::mem::swap(&mut base[k][di], &mut tmp);
-                    base_changed[k][di] = true;
+                    refresh_changed[k][di] = true;
                 }
             }
         }
+        ws.refresh_tmp = tmp;
+    }
 
-        // 2. Per-scenario update — resident prefix only: non-resident
-        // positions were never captured and always evaluate on the plain
-        // path, so there is no folded state to maintain for them.
+    /// Per-entry stage of [`cache_refresh`](Self::cache_refresh) — the
+    /// shardable hot kernel. Entries are position-disjoint and the
+    /// context from [`MtrScenarioCache::refresh_split`] is shared
+    /// read-only, so disjoint entry chunks may be refreshed
+    /// concurrently by pooled workspaces; the result is the same bits
+    /// as the serial loop in any order (see the parallel-search
+    /// contract in `DETERMINISM.md`). Steady state allocates nothing
+    /// per worker: the rebuilt routed list swaps storage with the
+    /// workspace spare, leaver routings recycle through the workspace
+    /// pool and newcomers pop from it. Partial-tier entries stop after
+    /// the load refold (their SLA state is demoted).
+    pub fn cache_refresh_entry(
+        &self,
+        ws: &mut MtrWorkspace,
+        w: &MtrWeightSetting,
+        ctx: &MtrRefreshCtx<'_>,
+        scenario: Scenario,
+        entry: &mut MtrScenarioEntry,
+    ) {
+        let num_links = self.net.num_links();
+        let kn = self.num_classes();
+        ws.bind(self.engine_id, num_links, kn);
+        let MtrRefreshCtx {
+            base,
+            diff,
+            changed: base_changed,
+        } = *ctx;
         let take_max = matches!(
             self.config.delay_params.aggregation,
             dtr_cost::DelayAggregation::Max
         );
-        for (pos, entry) in entries.iter_mut().enumerate().take(resident) {
-            let scenario = scenario_at(pos);
+        {
             scenario.mask_into(self.net, &mut ws.mask);
             ws.down.clear();
             ws.down.extend(ws.mask.down_links().map(|i| i as u32));
             let excluded = scenario.excluded_node().map(|v| v.index());
             let epoch = ws.next_epoch();
+            let mut tmp = std::mem::take(&mut ws.refresh_tmp);
+            let mut spare = std::mem::take(&mut ws.refresh_list);
+            let mut pool = std::mem::take(&mut ws.routing_pool);
 
             for k in 0..kn {
                 let class_weights = w.weights(k);
@@ -1334,14 +1506,18 @@ impl<'a> MtrEvaluator<'a> {
                 let ch = &mut ws.changed[k];
                 ch.resize(dests.len(), 0);
                 let list = &mut entry.routed[k];
-                let old_list = std::mem::take(list);
-                let mut it = old_list.into_iter().peekable();
+                std::mem::swap(list, &mut spare);
+                list.clear();
+                let mut it = spare.drain(..).peekable();
                 for (di, &t) in dests.iter().enumerate() {
                     let hit = it
                         .peek()
                         .is_some_and(|(d, _)| *d == di as u32)
                         .then(|| it.next().unwrap().1);
                     if Some(t as usize) == excluded {
+                        if let Some(r) = hit {
+                            pool.push(r);
+                        }
                         continue;
                     }
                     if base_changed[k][di] {
@@ -1377,7 +1553,7 @@ impl<'a> MtrEvaluator<'a> {
                                 continue;
                             }
                             ch[di] = epoch;
-                            let mut routing = DestRouting::default();
+                            let mut routing = pool.pop().unwrap_or_default();
                             route_destination_repair(
                                 self.net,
                                 class_weights,
@@ -1391,6 +1567,9 @@ impl<'a> MtrEvaluator<'a> {
                             list.push((di as u32, routing));
                         } else {
                             ch[di] = epoch;
+                            if let Some(r) = hit {
+                                pool.push(r);
+                            }
                         }
                     } else if let Some(mut routing) = hit {
                         if !diff[k].is_empty()
@@ -1414,6 +1593,9 @@ impl<'a> MtrEvaluator<'a> {
                         list.push((di as u32, routing));
                     }
                 }
+                for (_, r) in it {
+                    pool.push(r);
+                }
 
                 let list: &[(u32, DestRouting)] = list;
                 let basec = &base[k];
@@ -1430,6 +1612,14 @@ impl<'a> MtrEvaluator<'a> {
                     }
                     *load = acc;
                 }
+            }
+            ws.refresh_tmp = tmp;
+            ws.refresh_list = spare;
+            ws.routing_pool = pool;
+            if !entry.sla_resident {
+                // Partial tier: no resident delay or SLA segment state
+                // to maintain.
+                return;
             }
 
             // Delays, remembering which changed bitwise.
@@ -1463,7 +1653,7 @@ impl<'a> MtrEvaluator<'a> {
                 ws.pair_delays.clear();
                 let mut cursor = 0usize;
                 let list = &entry.routed[k];
-                let new_offs = &mut off_scratch;
+                let new_offs = &mut ws.off_scratch;
                 new_offs.clear();
                 new_offs.push(0);
                 for (di, &t) in self.demand_dests[k].iter().enumerate() {
@@ -1509,13 +1699,16 @@ impl<'a> MtrEvaluator<'a> {
                 entry.pair_off[k].clone_from(new_offs);
             }
         }
-        ws.base_changed = base_changed;
-        ws.off_scratch = off_scratch;
+    }
 
-        for (k, buf) in weights.iter_mut().enumerate() {
+    /// Final stage of [`cache_refresh`](Self::cache_refresh): stamp the
+    /// cache as describing `w` and bump the generation. Call once,
+    /// after every entry-stage worker has finished.
+    pub fn cache_refresh_finish(&self, cache: &mut MtrScenarioCache, w: &MtrWeightSetting) {
+        for (k, buf) in cache.weights.iter_mut().enumerate() {
             buf.clear();
             buf.extend_from_slice(w.weights(k));
         }
-        *generation = next_engine_id();
+        cache.generation = next_engine_id();
     }
 }

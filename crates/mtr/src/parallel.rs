@@ -169,6 +169,15 @@ fn fold_done(
 /// only replaces sweeps whose candidate the full fold would reject.
 /// With `threads > 1` the order is processed in fixed rounds of
 /// `threads · 4` scenarios with a cutoff check between rounds.
+///
+/// `seeds` carries pre-computed `(position, cost)` pairs for **this
+/// candidate `w`** — the eager failure-sweep prefix fanned out by the
+/// speculative batch (see the parallel-search contract in
+/// `DETERMINISM.md` and `dtr_core::parallel::sum_set_costs_bounded`).
+/// A seeded position substitutes its seeded cost when the walk reaches
+/// it instead of re-evaluating; it is *not* pre-marked done, so walk
+/// order, cut decisions and `evaluated` counts are exactly those of
+/// the unseeded sweep, and any seed set yields identical bits.
 #[allow(clippy::too_many_arguments)]
 pub fn sum_failure_costs_bounded(
     ev: &MtrEvaluator<'_>,
@@ -178,6 +187,7 @@ pub fn sum_failure_costs_bounded(
     threads: usize,
     incumbent: &VecCost,
     order: &[u32],
+    seeds: &[(u32, VecCost)],
     floors: Option<&[VecCost]>,
     cache: Option<&MtrScenarioCache>,
     scratch: &mut MtrSweepScratch,
@@ -210,11 +220,19 @@ pub fn sum_failure_costs_bounded(
         for (e, &pos) in order.iter().enumerate() {
             let pos = pos as usize;
             // Non-resident positions of a budget-bounded cache take the
-            // plain per-class path — the same bits, just uncached.
-            scratch.costs[pos] = match cache {
-                Some(c) if c.is_resident(pos) => ev.cost_cached(&mut ws, w, scenarios[pos], c, pos),
-                _ => ev.cost_with(&mut ws, w, scenarios[pos]),
-            };
+            // plain per-class path — the same bits, just uncached;
+            // seeded positions reuse the speculative fan-out's bits.
+            match seeds.iter().find(|s| s.0 as usize == pos) {
+                Some(s) => scratch.costs[pos].clone_from(&s.1),
+                None => {
+                    scratch.costs[pos] = match cache {
+                        Some(c) if c.is_resident(pos) => {
+                            ev.cost_cached(&mut ws, w, scenarios[pos], c, pos)
+                        }
+                        _ => ev.cost_with(&mut ws, w, scenarios[pos]),
+                    }
+                }
+            }
             scratch.done[pos] = true;
             let evaluated = e + 1;
             if evaluated < n && evaluated % check_every == 0 {
@@ -251,6 +269,9 @@ pub fn sum_failure_costs_bounded(
                         let costs: Vec<(u32, VecCost)> = part
                             .iter()
                             .map(|&pos| {
+                                if let Some(s) = seeds.iter().find(|s| s.0 == pos) {
+                                    return (pos, s.1.clone());
+                                }
                                 let c = match cache {
                                     Some(c) if c.is_resident(pos as usize) => ev.cost_cached(
                                         &mut ws,
@@ -406,6 +427,7 @@ mod tests {
                     threads,
                     &never,
                     &order,
+                    &[],
                     None,
                     None,
                     &mut scratch,
@@ -434,6 +456,7 @@ mod tests {
             1,
             &VecCost::zeros(2),
             &order,
+            &[],
             None,
             None,
             &mut scratch,
@@ -484,6 +507,7 @@ mod tests {
                 threads,
                 &never,
                 &order,
+                &[],
                 Some(&floors),
                 None,
                 &mut scratch,
@@ -501,6 +525,7 @@ mod tests {
             1,
             &below,
             &order,
+            &[],
             Some(&floors),
             None,
             &mut scratch,

@@ -4,6 +4,8 @@
 //! per-class χ budgets moved into [`crate::ClassSpec`]; everything else
 //! keeps the paper's defaults and meaning.
 
+pub use dtr_core::params::PortfolioParams;
+
 /// Parameter block of the k-class robust search.
 #[derive(Clone, Copy, Debug, PartialEq)]
 pub struct MtrParams {
@@ -77,6 +79,16 @@ pub struct MtrParams {
     /// Record the per-proposal accept/reject trace into the phase
     /// outputs (`dtr_core::search::MoveOutcome`). Off by default.
     pub record_trace: bool,
+    /// Smallest pending speculative batch worth fanning out eagerly when
+    /// `threads > 1` (see `dtr_core::search::EAGER_MIN_BATCH`, the
+    /// measured default). Purely a wall-clock knob: the trajectory is
+    /// bit-identical for every value.
+    pub eager_min_batch: usize,
+    /// Portfolio/replica search for the robust phase: independent chains
+    /// from derived seeds with index-ordered elite exchange
+    /// ([`PortfolioParams::single()`] = classic search; see the
+    /// parallel-search contract in `DETERMINISM.md`).
+    pub portfolio: PortfolioParams,
     /// Residency budget in bytes for the delta-state scenario cache of
     /// the robust-phase cutoff sweeps ([`crate::MtrScenarioCache`]; only
     /// read when `cutoff` and `cache` are on). Scenarios past the budget
@@ -113,6 +125,8 @@ impl MtrParams {
             cache: true,
             phi_floors: true,
             record_trace: false,
+            eager_min_batch: dtr_core::search::EAGER_MIN_BATCH,
+            portfolio: PortfolioParams::single(),
             cache_budget_bytes: usize::MAX,
             seed,
         }
@@ -153,6 +167,8 @@ impl MtrParams {
         assert!(self.max_iterations >= 1);
         assert!(self.threads >= 1, "at least one worker thread");
         assert!(self.speculation >= 1, "speculation window K >= 1");
+        assert!(self.eager_min_batch >= 1, "eager batch threshold >= 1");
+        self.portfolio.validate();
         // Any cache_budget_bytes is valid: a budget below one entry just
         // means a fully non-resident cache (plain-path evaluations).
     }

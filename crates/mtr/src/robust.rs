@@ -19,7 +19,9 @@
 //!
 //! [`NormalConstraint`]: crate::class::NormalConstraint
 
+use dtr_core::params::replica_seed;
 use dtr_core::search::{speculative_sweep, Decision, MoveOutcome, SpecBuffers};
+use dtr_net::LinkId;
 use dtr_routing::Scenario;
 use rand::rngs::StdRng;
 use rand::seq::SliceRandom;
@@ -47,9 +49,17 @@ pub struct MtrRobustOutput {
     /// the failure sweep).
     pub constraint_rejections: usize,
     /// Per-proposal accept/reject sequence (empty unless
-    /// `params.record_trace`).
+    /// `params.record_trace`). In a portfolio run this is the winning
+    /// replica's trace.
     pub trace: Vec<MoveOutcome>,
-    /// Effort spent.
+    /// Per-replica accept/reject traces of a portfolio run, in replica
+    /// index order (empty unless `params.record_trace` and
+    /// `params.portfolio.replicas > 1`). Bit-for-bit reproducible for a
+    /// given `(seed, replicas, rendezvous_period)` at any thread count —
+    /// the parallel-search contract in `DETERMINISM.md`.
+    pub replica_traces: Vec<Vec<MoveOutcome>>,
+    /// Effort spent (portfolio runs merge per-replica stats in replica
+    /// index order via [`MtrSearchStats::merge`]).
     pub stats: MtrSearchStats,
 }
 
@@ -149,12 +159,19 @@ fn rebuild_cache(
     }
     cache.plan_residency(scenarios.len());
     let cap_hi = cache.resident_scenarios().max(captured);
+    let full = cache.full_resident_scenarios();
     let workers = threads.min(scenarios.len().max(1));
     if workers <= 1 {
         let (base, entries) = cache.capture_split();
         for pos in captured..cap_hi {
             scratch.costs[pos] =
                 ev.cost_capture_into(&mut ws, w, scenarios[pos], base, &mut entries[pos]);
+        }
+        // Partial-tier positions capture fully (the capture eval *is*
+        // the exact cost) and immediately demote to the planned
+        // routings + loads footprint.
+        for entry in &mut entries[full..cap_hi] {
+            entry.demote();
         }
         for (c, &s) in scratch.costs[cap_hi..].iter_mut().zip(&scenarios[cap_hi..]) {
             *c = ev.cost_with(&mut ws, w, s);
@@ -183,6 +200,10 @@ fn rebuild_cache(
                 ev.release_workspace(ws);
             });
         }
+        // See the serial branch: demote the partial-tier band.
+        for entry in &mut entries[full..cap_hi] {
+            entry.demote();
+        }
     }
     let tail = &scenarios[cap_hi..];
     if !tail.is_empty() {
@@ -197,6 +218,50 @@ fn rebuild_cache(
             ev.release_workspace(ws);
         });
     }
+}
+
+/// Re-point the delta-state cache at the accepted incumbent `w`,
+/// sharding the per-entry refresh across `threads` workers — the
+/// k-class mirror of `dtr_core::phase2`'s sharded refresh: serial
+/// [`MtrEvaluator::cache_refresh_begin`], position-disjoint entry
+/// chunks through [`MtrEvaluator::cache_refresh_entry`] on pooled
+/// workspaces, then [`MtrEvaluator::cache_refresh_finish`].
+/// Bit-identical to the serial [`MtrEvaluator::cache_refresh`] at any
+/// thread count (the parallel-search contract in `DETERMINISM.md`).
+fn refresh_cache(
+    ev: &MtrEvaluator<'_>,
+    scenarios: &[Scenario],
+    w: &MtrWeightSetting,
+    threads: usize,
+    cache: &mut MtrScenarioCache,
+) {
+    let resident = cache.resident_scenarios();
+    let workers = threads.min(resident.max(1));
+    let mut ws = ev.acquire_workspace();
+    ev.cache_refresh_begin(&mut ws, cache, w);
+    if workers <= 1 {
+        let (ctx, entries) = cache.refresh_split();
+        for (pos, entry) in entries.iter_mut().enumerate().take(resident) {
+            ev.cache_refresh_entry(&mut ws, w, &ctx, scenarios[pos], entry);
+        }
+        ev.release_workspace(ws);
+    } else {
+        ev.release_workspace(ws);
+        let (ctx, entries) = cache.refresh_split();
+        let chunk = resident.div_ceil(workers);
+        let parts: Vec<_> = scenarios[..resident]
+            .chunks(chunk)
+            .zip(entries[..resident].chunks_mut(chunk))
+            .collect();
+        dtr_core::parallel::scoped_fanout(parts, |(scs, ents)| {
+            let mut ws = ev.acquire_workspace();
+            for (&sc, entry) in scs.iter().zip(ents) {
+                ev.cache_refresh_entry(&mut ws, w, &ctx, sc, entry);
+            }
+            ev.release_workspace(ws);
+        });
+    }
+    ev.cache_refresh_finish(cache, w);
 }
 
 /// Full compound sweep: bit-for-bit [`parallel::sum_failure_costs`].
@@ -242,6 +307,7 @@ fn full_sweep(
             params.threads,
             never_cut,
             &kit.order,
+            &[],
             kit.floors.as_deref(),
             None,
             &mut kit.scratch,
@@ -271,10 +337,368 @@ pub fn feasible(normal: &VecCost, benchmark: &VecCost, specs: &[ClassSpec]) -> b
         .all(|((&c, &b), spec)| spec.constraint.allows(c, b))
 }
 
+/// The candidate cost the speculative fan-out hands back: the
+/// normal-conditions k-vector cost plus the eager failure-sweep seed
+/// prefix (empty for gate-failing candidates and for serial or
+/// cutoff-off runs — see `sum_failure_costs_bounded`'s seed contract).
+type SpecCost = (VecCost, Vec<(u32, VecCost)>);
+
+/// One replica's persistent search state: everything the classic
+/// single-chain robust loop keeps across sweeps, owned per replica so
+/// portfolio chains can run concurrently between rendezvous (the
+/// parallel-search contract in `DETERMINISM.md`). `params` is the
+/// replica-local copy — derived master seed, `1/replicas` share of the
+/// worker threads; every other knob matches the run's. With
+/// `replicas == 1` the chain *is* the classic search, bit for bit.
+struct Chain {
+    params: MtrParams,
+    rng: StdRng,
+    stats: MtrSearchStats,
+    constraint_rejections: usize,
+    trace: Vec<MoveOutcome>,
+    never_cut: VecCost,
+    kit: SweepKit,
+    current: MtrWeightSetting,
+    current_normal: VecCost,
+    current_kfail: VecCost,
+    best: MtrWeightSetting,
+    best_kfail: VecCost,
+    best_normal: VecCost,
+    stop: MtrStopRule,
+    reps: Vec<LinkId>,
+    stale_sweeps: usize,
+    spec: SpecBuffers<MtrWeightSetting, Vec<u32>, SpecCost>,
+    seed_prefix: Vec<u32>,
+    /// Replica-local archive (a clone of the regular phase's):
+    /// diversification restarts sample from it, and rendezvous merges
+    /// offer the other replicas' elites into it in replica index order.
+    archive: MtrArchive,
+    done: bool,
+}
+
+impl Chain {
+    /// Start a chain from the best archived setting — the classic
+    /// robust-phase prologue (initial full sweep included).
+    fn new(
+        ev: &MtrEvaluator<'_>,
+        scenarios: &[Scenario],
+        scenario_weights: Option<&[f64]>,
+        params: MtrParams,
+        archive: &MtrArchive,
+    ) -> Self {
+        let rng = StdRng::seed_from_u64(params.seed ^ 0x2545_f491_4f6c_dd1d);
+        // An incumbent no finite partial sum fails to beat — turns the
+        // bounded kernel into a plain full sweep that also fills the
+        // per-position cost scratch (costs stay far below f64::MAX).
+        let never_cut = VecCost::new(vec![f64::MAX; ev.num_classes()]);
+        let mut kit = SweepKit::new(ev, scenarios, &params);
+        let mut stats = MtrSearchStats::default();
+        let archive = archive.clone();
+        let (current, current_normal) = archive
+            .best()
+            .cloned()
+            .expect("the regular phase archives at least its best setting");
+        let current_kfail = full_sweep(
+            ev,
+            scenarios,
+            scenario_weights,
+            &params,
+            &current,
+            &never_cut,
+            &mut stats,
+            &mut kit,
+        );
+        Chain {
+            rng,
+            stats,
+            constraint_rejections: 0,
+            trace: Vec::new(),
+            never_cut,
+            kit,
+            best: current.clone(),
+            best_kfail: current_kfail.clone(),
+            best_normal: current_normal.clone(),
+            current,
+            current_normal,
+            current_kfail,
+            stop: MtrStopRule::new(params.p2, params.c),
+            reps: ev.net().duplex_representatives(),
+            stale_sweeps: 0,
+            spec: SpecBuffers::new(),
+            seed_prefix: Vec::new(),
+            archive,
+            done: false,
+            params,
+        }
+    }
+
+    /// Finish a single-chain run (no portfolio): the classic output.
+    fn into_output(self) -> MtrRobustOutput {
+        MtrRobustOutput {
+            best: self.best,
+            best_kfail: self.best_kfail,
+            best_normal: self.best_normal,
+            constraint_rejections: self.constraint_rejections,
+            trace: self.trace,
+            replica_traces: Vec::new(),
+            stats: self.stats,
+        }
+    }
+}
+
+/// One sweep of one chain — the classic robust loop body (speculative
+/// batched moves, per-class constraint gate, bounded failure sweeps,
+/// diversification and the stop rule). Sets `ch.done` when the chain's
+/// stop rule or the iteration backstop fires; a done chain is never
+/// swept again.
+fn chain_sweep(
+    ev: &MtrEvaluator<'_>,
+    scenarios: &[Scenario],
+    scenario_weights: Option<&[f64]>,
+    benchmark: &VecCost,
+    ch: &mut Chain,
+) {
+    if ch.done {
+        return;
+    }
+    if ch.stats.iterations >= ch.params.max_iterations {
+        ch.done = true;
+        return;
+    }
+    let params = ch.params;
+    let net = ev.net();
+    let k = ev.num_classes();
+    let specs = &ev.config().specs;
+    let Chain {
+        rng,
+        stats,
+        constraint_rejections,
+        trace,
+        never_cut,
+        kit,
+        current,
+        current_normal,
+        current_kfail,
+        best,
+        best_kfail,
+        best_normal,
+        stop,
+        reps,
+        stale_sweeps,
+        spec,
+        seed_prefix,
+        archive,
+        done,
+        ..
+    } = ch;
+
+    stats.iterations += 1;
+    reps.shuffle(rng);
+    let mut improved = false;
+    let mut wasted = 0usize;
+
+    // Eager failure-sweep prefix (parallel-search contract,
+    // `DETERMINISM.md`): the speculative fan-out pre-computes the
+    // first scenarios of the bounded sweep's priority order for
+    // each gate-passing candidate; the seeds substitute
+    // bit-identical values in `sum_failure_costs_bounded`, so a
+    // stale snapshot after an accept wastes at most the seed work.
+    seed_prefix.clear();
+    if params.threads > 1 && params.cutoff {
+        let l = params.threads.min(kit.order.len());
+        seed_prefix.extend_from_slice(&kit.order[..l]);
+    }
+    let seed_prefix: &[u32] = seed_prefix;
+
+    speculative_sweep(
+        reps,
+        rng,
+        params.speculation,
+        params.threads,
+        params.eager_min_batch,
+        current,
+        spec,
+        &mut wasted,
+        |rng| {
+            (0..k)
+                .map(|_| rng.gen_range(1..=params.wmax))
+                .collect::<Vec<u32>>()
+        },
+        |w: &MtrWeightSetting, rep| (0..k).map(|c| w.get(c, rep)).collect::<Vec<u32>>(),
+        |w: &mut MtrWeightSetting, rep, m: &Vec<u32>| {
+            for (c, &v) in m.iter().enumerate() {
+                w.set_duplex(net, c, rep, v);
+            }
+        },
+        |w| {
+            let normal = ev.cost(w, Scenario::Normal);
+            let mut seeds: Vec<(u32, VecCost)> = Vec::new();
+            if !seed_prefix.is_empty() && feasible(&normal, benchmark, specs) {
+                let mut ws = ev.acquire_workspace();
+                seeds.extend(
+                    seed_prefix
+                        .iter()
+                        .map(|&p| (p, ev.cost_with(&mut ws, w, scenarios[p as usize]))),
+                );
+                ev.release_workspace(ws);
+            }
+            (normal, seeds)
+        },
+        |cand_w, _rep, cost: &SpecCost| {
+            let (cand_normal, seeds) = cost;
+            // Cheap constraint gate: one normal-conditions
+            // evaluation (speculated ahead of the replay cursor).
+            stats.evaluations += 1;
+            if !feasible(cand_normal, benchmark, specs) {
+                *constraint_rejections += 1;
+                if params.record_trace {
+                    trace.push(MoveOutcome::ConstraintReject);
+                }
+                return Decision::Reject;
+            }
+
+            stats.evaluations += scenarios.len();
+            let outcome = if params.cutoff {
+                if let Some(cache) = kit.cache.as_mut() {
+                    ev.cache_begin(cache, cand_w);
+                }
+                parallel::sum_failure_costs_bounded(
+                    ev,
+                    cand_w,
+                    scenarios,
+                    scenario_weights,
+                    params.threads,
+                    current_kfail,
+                    &kit.order,
+                    seeds,
+                    kit.floors.as_deref(),
+                    kit.cache.as_ref(),
+                    &mut kit.scratch,
+                )
+            } else {
+                MtrSweep::Complete(parallel::sum_failure_costs(
+                    ev,
+                    cand_w,
+                    scenarios,
+                    scenario_weights,
+                    params.threads,
+                ))
+            };
+            if let Some(cache) = kit.cache.as_ref() {
+                // Attribute plain-path (non-resident) evaluations of
+                // this bounded sweep, counted over the deterministic
+                // evaluation-order prefix (thread-invariant).
+                let resident = cache.resident_scenarios();
+                stats.cache_fallback_evals += match &outcome {
+                    MtrSweep::Complete(_) => scenarios.len() - resident,
+                    MtrSweep::Cut { evaluated, .. } => kit.order[..*evaluated]
+                        .iter()
+                        .filter(|&&p| p as usize >= resident)
+                        .count(),
+                };
+            }
+            match outcome {
+                MtrSweep::Complete(cand_kfail) if cand_kfail.better_than(current_kfail) => {
+                    *current_kfail = cand_kfail.clone();
+                    if params.cutoff {
+                        if let Some(cache) = kit.cache.as_mut() {
+                            // Accept path: re-point the delta-state
+                            // cache at the new incumbent (exact
+                            // coverage, no full rebuild needed),
+                            // sharding the entry stage across the
+                            // configured workers.
+                            refresh_cache(ev, scenarios, cand_w, params.threads, cache);
+                        }
+                        refresh_order(
+                            &mut kit.order,
+                            &kit.scratch.costs,
+                            scenario_weights,
+                            kit.floors.as_deref(),
+                        );
+                    }
+                    current_normal.clone_from(cand_normal);
+                    improved = true;
+                    if cand_kfail.better_than(best_kfail) {
+                        best.clone_from(cand_w);
+                        *best_kfail = cand_kfail;
+                        best_normal.clone_from(current_normal);
+                    }
+                    if params.record_trace {
+                        trace.push(MoveOutcome::Accept);
+                    }
+                    Decision::Accept
+                }
+                MtrSweep::Complete(_) => {
+                    if params.record_trace {
+                        trace.push(MoveOutcome::Reject);
+                    }
+                    Decision::Reject
+                }
+                MtrSweep::Cut {
+                    evaluated,
+                    floor_cut,
+                } => {
+                    let skips = scenarios.len() - evaluated;
+                    stats.scenario_evals_skipped += skips;
+                    if floor_cut {
+                        stats.skipped_floor += skips;
+                    } else if params.cache {
+                        // kit.cache exists iff cutoff && cache.
+                        stats.skipped_cache += skips;
+                    } else {
+                        stats.skipped_cutoff += skips;
+                    }
+                    if params.record_trace {
+                        trace.push(MoveOutcome::Reject);
+                    }
+                    Decision::Reject
+                }
+            }
+        },
+    );
+    stats.speculative_wasted += wasted;
+
+    *stale_sweeps = if improved { 0 } else { *stale_sweeps + 1 };
+    if *stale_sweeps >= params.div_interval_2 {
+        stats.diversifications += 1;
+        *stale_sweeps = 0;
+        if stop.record(best_kfail.clone()) {
+            *done = true;
+            return;
+        }
+        // Diversify back to an archived (feasible-by-construction or
+        // near-feasible) setting.
+        let (w, c) = archive.sample(rng).expect("non-empty archive");
+        current.clone_from(w);
+        current_normal.clone_from(c);
+        *current_kfail = full_sweep(
+            ev,
+            scenarios,
+            scenario_weights,
+            &params,
+            current,
+            never_cut,
+            stats,
+            kit,
+        );
+        if feasible(current_normal, benchmark, specs) && current_kfail.better_than(best_kfail) {
+            best.clone_from(current);
+            best_kfail.clone_from(current_kfail);
+            best_normal.clone_from(current_normal);
+        }
+    }
+}
+
 /// Run the robust phase against `scenarios` (typically the critical-set
 /// failures), starting from `archive` (the regular phase's acceptable
 /// settings). `scenario_weights`, if given, makes the objective a
 /// probability-weighted sum.
+///
+/// With `params.portfolio.replicas > 1` the run becomes a portfolio
+/// search: independent chains from distinct derived seeds exchanging
+/// archive elites at fixed rendezvous points, replica-index-ordered
+/// merges — the same machinery (and determinism contract) as
+/// `dtr_core::phase2::run`, on k-vector costs.
 ///
 /// # Panics
 /// Panics if the archive is empty or `scenario_weights` mismatches
@@ -292,233 +716,105 @@ pub fn run(
         assert_eq!(sw.len(), scenarios.len(), "one weight per scenario");
         assert!(sw.iter().all(|&p| p >= 0.0 && p.is_finite()));
     }
-    let net = ev.net();
-    let k = ev.num_classes();
-    let specs = &ev.config().specs;
-    let mut rng = StdRng::seed_from_u64(params.seed ^ 0x2545_f491_4f6c_dd1d);
 
-    // An incumbent no finite partial sum fails to beat — turns the
-    // bounded kernel into a plain full sweep that also fills the
-    // per-position cost scratch (costs stay far below f64::MAX).
-    let never_cut = VecCost::new(vec![f64::MAX; k]);
-    let mut kit = SweepKit::new(ev, scenarios, params);
-
-    let mut stats = MtrSearchStats::default();
-    let mut constraint_rejections = 0usize;
-    let mut trace: Vec<MoveOutcome> = Vec::new();
-
-    let (start, start_normal) = archive
-        .best()
-        .cloned()
-        .expect("the regular phase archives at least its best setting");
-    let mut current = start;
-    let mut current_normal = start_normal;
-    let mut current_kfail = full_sweep(
-        ev,
-        scenarios,
-        scenario_weights,
-        params,
-        &current,
-        &never_cut,
-        &mut stats,
-        &mut kit,
-    );
-
-    let mut best = current.clone();
-    let mut best_kfail = current_kfail.clone();
-    let mut best_normal = current_normal.clone();
-
-    if scenarios.is_empty() {
-        return MtrRobustOutput {
-            best,
-            best_kfail,
-            best_normal,
-            constraint_rejections,
-            trace,
-            stats,
-        };
+    if params.portfolio.replicas == 1 {
+        let mut ch = Chain::new(ev, scenarios, scenario_weights, *params, archive);
+        if scenarios.is_empty() {
+            return ch.into_output();
+        }
+        while !ch.done {
+            chain_sweep(ev, scenarios, scenario_weights, benchmark, &mut ch);
+        }
+        return ch.into_output();
     }
 
-    let mut stop = MtrStopRule::new(params.p2, params.c);
-    let mut reps = net.duplex_representatives();
-    let mut stale_sweeps = 0usize;
-    let mut spec = SpecBuffers::new();
+    // Portfolio search (parallel-search contract, `DETERMINISM.md`):
+    // every cross-replica step — seed derivation, elite collection,
+    // archive offers, the final winner pick and stat merge — happens in
+    // replica index order on the coordinating thread, so the output
+    // depends only on `(seed, replicas, rendezvous_period)`, never on
+    // thread count.
+    let replicas = params.portfolio.replicas;
+    let inner = MtrParams {
+        threads: (params.threads / replicas).max(1),
+        ..*params
+    };
+    let mut slots: Vec<Option<Chain>> = Vec::new();
+    slots.resize_with(replicas, || None);
+    dtr_core::parallel::scoped_fanout(
+        slots.iter_mut().enumerate().collect(),
+        |(r, slot): (usize, &mut Option<Chain>)| {
+            let p = MtrParams {
+                seed: replica_seed(params.seed, r),
+                ..inner
+            };
+            *slot = Some(Chain::new(ev, scenarios, scenario_weights, p, archive));
+        },
+    );
+    let mut chains: Vec<Chain> = slots
+        .into_iter()
+        .map(|s| s.expect("every replica slot is initialised"))
+        .collect();
 
-    while stats.iterations < params.max_iterations {
-        stats.iterations += 1;
-        reps.shuffle(&mut rng);
-        let mut improved = false;
-        let mut wasted = 0usize;
-
-        speculative_sweep(
-            &reps,
-            &mut rng,
-            params.speculation,
-            params.threads,
-            &mut current,
-            &mut spec,
-            &mut wasted,
-            |rng| {
-                (0..k)
-                    .map(|_| rng.gen_range(1..=params.wmax))
-                    .collect::<Vec<u32>>()
-            },
-            |w: &MtrWeightSetting, rep| (0..k).map(|c| w.get(c, rep)).collect::<Vec<u32>>(),
-            |w: &mut MtrWeightSetting, rep, m: &Vec<u32>| {
-                for (c, &v) in m.iter().enumerate() {
-                    w.set_duplex(net, c, rep, v);
-                }
-            },
-            |w| ev.cost(w, Scenario::Normal),
-            |cand_w, _rep, cand_normal: &VecCost| {
-                // Cheap constraint gate: one normal-conditions
-                // evaluation (speculated ahead of the replay cursor).
-                stats.evaluations += 1;
-                if !feasible(cand_normal, benchmark, specs) {
-                    constraint_rejections += 1;
-                    if params.record_trace {
-                        trace.push(MoveOutcome::ConstraintReject);
+    if !scenarios.is_empty() {
+        let mut elites: Vec<(MtrWeightSetting, VecCost)> = Vec::new();
+        while chains.iter().any(|c| !c.done) {
+            dtr_core::parallel::scoped_fanout(
+                chains.iter_mut().filter(|c| !c.done).collect(),
+                |ch: &mut Chain| {
+                    for _ in 0..params.portfolio.rendezvous_period {
+                        chain_sweep(ev, scenarios, scenario_weights, benchmark, ch);
+                        if ch.done {
+                            break;
+                        }
                     }
-                    return Decision::Reject;
-                }
-
-                stats.evaluations += scenarios.len();
-                let outcome = if params.cutoff {
-                    if let Some(cache) = kit.cache.as_mut() {
-                        ev.cache_begin(cache, cand_w);
-                    }
-                    parallel::sum_failure_costs_bounded(
-                        ev,
-                        cand_w,
-                        scenarios,
-                        scenario_weights,
-                        params.threads,
-                        &current_kfail,
-                        &kit.order,
-                        kit.floors.as_deref(),
-                        kit.cache.as_ref(),
-                        &mut kit.scratch,
-                    )
-                } else {
-                    MtrSweep::Complete(parallel::sum_failure_costs(
-                        ev,
-                        cand_w,
-                        scenarios,
-                        scenario_weights,
-                        params.threads,
-                    ))
-                };
-                if let Some(cache) = kit.cache.as_ref() {
-                    // Attribute plain-path (non-resident) evaluations of
-                    // this bounded sweep, counted over the deterministic
-                    // evaluation-order prefix (thread-invariant).
-                    let resident = cache.resident_scenarios();
-                    stats.cache_fallback_evals += match &outcome {
-                        MtrSweep::Complete(_) => scenarios.len() - resident,
-                        MtrSweep::Cut { evaluated, .. } => kit.order[..*evaluated]
-                            .iter()
-                            .filter(|&&p| p as usize >= resident)
-                            .count(),
-                    };
-                }
-                match outcome {
-                    MtrSweep::Complete(cand_kfail) if cand_kfail.better_than(&current_kfail) => {
-                        current_kfail = cand_kfail.clone();
-                        if params.cutoff {
-                            if let Some(cache) = kit.cache.as_mut() {
-                                // Accept path: re-point the delta-state
-                                // cache at the new incumbent (exact
-                                // coverage, no full rebuild needed).
-                                let mut ws = ev.acquire_workspace();
-                                ev.cache_refresh(&mut ws, cache, cand_w, |pos| scenarios[pos]);
-                                ev.release_workspace(ws);
-                            }
-                            refresh_order(
-                                &mut kit.order,
-                                &kit.scratch.costs,
-                                scenario_weights,
-                                kit.floors.as_deref(),
-                            );
-                        }
-                        current_normal = cand_normal.clone();
-                        improved = true;
-                        if cand_kfail.better_than(&best_kfail) {
-                            best.clone_from(cand_w);
-                            best_kfail = cand_kfail;
-                            best_normal = current_normal.clone();
-                        }
-                        if params.record_trace {
-                            trace.push(MoveOutcome::Accept);
-                        }
-                        Decision::Accept
-                    }
-                    MtrSweep::Complete(_) => {
-                        if params.record_trace {
-                            trace.push(MoveOutcome::Reject);
-                        }
-                        Decision::Reject
-                    }
-                    MtrSweep::Cut {
-                        evaluated,
-                        floor_cut,
-                    } => {
-                        let skips = scenarios.len() - evaluated;
-                        stats.scenario_evals_skipped += skips;
-                        if floor_cut {
-                            stats.skipped_floor += skips;
-                        } else if params.cache {
-                            // kit.cache exists iff cutoff && cache.
-                            stats.skipped_cache += skips;
-                        } else {
-                            stats.skipped_cutoff += skips;
-                        }
-                        if params.record_trace {
-                            trace.push(MoveOutcome::Reject);
-                        }
-                        Decision::Reject
-                    }
-                }
-            },
-        );
-        stats.speculative_wasted += wasted;
-
-        stale_sweeps = if improved { 0 } else { stale_sweeps + 1 };
-        if stale_sweeps >= params.div_interval_2 {
-            stats.diversifications += 1;
-            stale_sweeps = 0;
-            if stop.record(best_kfail.clone()) {
-                break;
-            }
-            // Diversify back to an archived (feasible-by-construction or
-            // near-feasible) setting.
-            let (w, c) = archive.sample(&mut rng).expect("non-empty archive");
-            current = w.clone();
-            current_normal = c.clone();
-            current_kfail = full_sweep(
-                ev,
-                scenarios,
-                scenario_weights,
-                params,
-                &current,
-                &never_cut,
-                &mut stats,
-                &mut kit,
+                },
             );
-            if feasible(&current_normal, benchmark, specs) && current_kfail.better_than(&best_kfail)
-            {
-                best = current.clone();
-                best_kfail = current_kfail.clone();
-                best_normal = current_normal.clone();
+            // Rendezvous: collect every replica's elite in index order,
+            // then offer the batch into every archive in that same
+            // order. `MtrArchive::offer` dedups by fingerprint, so
+            // repeat offers across rendezvous are no-ops and the merge
+            // is idempotent.
+            elites.clear();
+            elites.extend(
+                chains
+                    .iter()
+                    .map(|c| (c.best.clone(), c.best_normal.clone())),
+            );
+            for ch in chains.iter_mut() {
+                for (w, normal) in &elites {
+                    ch.archive.offer(w, normal.clone());
+                }
             }
         }
     }
 
+    // Winner: best compound failure cost, lowest replica index on ties.
+    let mut win = 0usize;
+    for r in 1..chains.len() {
+        if chains[r].best_kfail.better_than(&chains[win].best_kfail) {
+            win = r;
+        }
+    }
+    let mut stats = MtrSearchStats::default();
+    let mut constraint_rejections = 0usize;
+    for c in &chains {
+        stats.merge(&c.stats);
+        constraint_rejections += c.constraint_rejections;
+    }
+    let mut replica_traces: Vec<Vec<MoveOutcome>> = Vec::new();
+    if params.record_trace {
+        replica_traces.extend(chains.iter_mut().map(|c| std::mem::take(&mut c.trace)));
+    }
+    let trace = replica_traces.get(win).cloned().unwrap_or_default();
+    let winner = chains.swap_remove(win);
     MtrRobustOutput {
-        best,
-        best_kfail,
-        best_normal,
+        best: winner.best,
+        best_kfail: winner.best_kfail,
+        best_normal: winner.best_normal,
         constraint_rejections,
         trace,
+        replica_traces,
         stats,
     }
 }

@@ -64,6 +64,28 @@ pub struct MtrSearchStats {
     pub cache_fallback_evals: usize,
 }
 
+impl MtrSearchStats {
+    /// Fold `other` into `self`: counters sum, the cache-residency
+    /// gauge takes the max. Used by the portfolio search to merge
+    /// per-replica stats in replica index order (the parallel-search
+    /// contract in `DETERMINISM.md`), mirroring
+    /// `dtr_core::search::SearchStats::merge`.
+    pub fn merge(&mut self, other: &MtrSearchStats) {
+        self.iterations += other.iterations;
+        self.evaluations += other.evaluations;
+        self.diversifications += other.diversifications;
+        self.scenario_evals_skipped += other.scenario_evals_skipped;
+        self.skipped_floor += other.skipped_floor;
+        self.skipped_cache += other.skipped_cache;
+        self.skipped_cutoff += other.skipped_cutoff;
+        self.speculative_wasted += other.speculative_wasted;
+        self.cache_resident_scenarios = self
+            .cache_resident_scenarios
+            .max(other.cache_resident_scenarios);
+        self.cache_fallback_evals += other.cache_fallback_evals;
+    }
+}
+
 /// The `c%`-improvement stopping rule over a trailing window of
 /// diversifications, on k-vector costs.
 ///
@@ -326,6 +348,7 @@ pub fn regular(
             &mut rng,
             params.speculation,
             params.threads,
+            params.eager_min_batch,
             &mut current,
             &mut spec,
             &mut wasted,

@@ -196,6 +196,7 @@ fn steady_state_floored_bounded_sweep_allocates_nothing() {
             1,
             &never,
             &order,
+            &[],
             Some(floors),
             None,
             scratch,
@@ -211,6 +212,7 @@ fn steady_state_floored_bounded_sweep_allocates_nothing() {
             1,
             &LexCost::ZERO,
             &order,
+            &[],
             Some(floors),
             None,
             scratch,
@@ -239,6 +241,99 @@ fn steady_state_floored_bounded_sweep_allocates_nothing() {
         0,
         "steady-state floored bounded sweep of {} scenarios performed {} heap allocations",
         indices.len(),
+        after - before
+    );
+}
+
+/// The accept-path sharded cache refresh: after warm-up, re-pointing
+/// the delta-state cache at a new incumbent through the per-worker
+/// kernel sequence — serial `cache_refresh_begin`, then
+/// `cache_refresh_entry` for every resident entry on a pooled
+/// workspace, then `cache_refresh_finish` — performs **zero** heap
+/// allocations. The sharded refresh in `dtr_core::phase2` /
+/// `dtr_mtr::robust` runs exactly this per-entry kernel on each
+/// worker's chunk (position-disjoint entries, pooled workspaces), so
+/// an allocation-free serial pass proves each worker's steady state is
+/// allocation-free too (all three kernels are registered in
+/// crates/analysis/hot_paths.toml).
+#[test]
+fn steady_state_sharded_cache_refresh_allocates_nothing() {
+    use rand::Rng;
+
+    let (net, tm) = testbed();
+    let scenarios: Vec<Scenario> = {
+        let mut s: Vec<Scenario> = Scenario::all_link_failures(&net);
+        s.truncate(23);
+        s
+    };
+    let ev = Evaluator::new(&net, &tm, CostParams::default());
+    let mut rng = StdRng::seed_from_u64(13);
+    let inc = WeightSetting::random(net.num_links(), 20, &mut rng);
+
+    // Build the cache on the incumbent (allocates freely).
+    let mut ws = ev.acquire_workspace();
+    let mut cache = dtr::cost::ScenarioCache::new();
+    ev.cache_rebuild_begin(&mut ws, &mut cache, &inc, scenarios.len());
+    for (pos, &sc) in scenarios.iter().enumerate() {
+        ev.cost_capture(&mut ws, &inc, sc, &mut cache, pos);
+    }
+
+    // One-duplex-move candidates off the incumbent — the accept path
+    // re-points the cache at such a candidate after its winning sweep.
+    let reps = net.duplex_representatives();
+    let candidate = |rng: &mut StdRng| {
+        let rep = reps[rng.gen_range(0..reps.len())];
+        let mut cand = inc.clone();
+        dtr::core::search::set_duplex_weights(
+            &mut cand,
+            &net,
+            rep,
+            rng.gen_range(1..=20),
+            rng.gen_range(1..=20),
+        );
+        cand
+    };
+    let refresh = |ws: &mut dtr::cost::EvalWorkspace,
+                   cache: &mut dtr::cost::ScenarioCache,
+                   w: &WeightSetting| {
+        ev.cache_refresh_begin(ws, cache, w);
+        let (ctx, entries) = cache.refresh_split();
+        for (pos, entry) in entries.iter_mut().enumerate().take(scenarios.len()) {
+            ev.cache_refresh_entry(ws, w, &ctx, scenarios[pos], entry);
+        }
+        ev.cache_refresh_finish(cache, w);
+    };
+
+    // Warm: repeated accept cycles (candidate diff + refresh) over a
+    // fixed candidate sequence grow every buffer — refresh context,
+    // entry dirty sets, the pooled per-destination routing buffers
+    // newcomers draw from — to the high-water mark of every transition
+    // in the cycle. The pool hands buffers out LIFO, so a buffer's
+    // capacity history depends on which destinations it served;
+    // capacities only grow, which is why several rounds are needed
+    // before every pooled buffer covers its worst assignment.
+    let cands: Vec<WeightSetting> = (0..6).map(|_| candidate(&mut rng)).collect();
+    for _ in 0..16 {
+        for cand in &cands {
+            ev.cache_begin(&mut cache, cand);
+            refresh(&mut ws, &mut cache, cand);
+        }
+    }
+
+    // Steady state: repeating the warmed cycle must not allocate.
+    let before = ALLOCATIONS.load(Ordering::Relaxed);
+    for cand in &cands {
+        ev.cache_begin(&mut cache, cand);
+        refresh(&mut ws, &mut cache, cand);
+    }
+    let after = ALLOCATIONS.load(Ordering::Relaxed);
+    ev.release_workspace(ws);
+
+    assert_eq!(
+        after - before,
+        0,
+        "steady-state sharded cache refresh of {} entries performed {} heap allocations",
+        scenarios.len(),
         after - before
     );
 }

@@ -20,7 +20,7 @@
 
 use dtr::core::ext::probabilistic::FailureModel;
 use dtr::core::search::MoveOutcome;
-use dtr::core::{phase1, phase1b, phase2};
+use dtr::core::{phase1, phase1b, phase2, PortfolioParams};
 use dtr::mtr::{
     robust as mtr_robust, search as mtr_search, ClassSpec, MtrConfig, MtrEvaluator, MtrParams,
 };
@@ -261,6 +261,61 @@ fn phase2_slice_path_is_invariant_and_matches_the_set_path() {
     assert_phase2_equal(&anchor, &via_set, "slice == set");
 }
 
+/// The portfolio search must be bit-for-bit reproducible for a given
+/// `(seed, replicas, rendezvous_period)` at **any** thread count and
+/// speculation window — replica seeds derive only from `(seed, r)`,
+/// rendezvous merges run in replica index order, and each chain keeps
+/// the classic single-chain thread-invariance (the parallel-search
+/// contract in `DETERMINISM.md`). `threads = 1` runs the sharded cache
+/// refresh serially, `threads = 4` shards it, so the grid also pins the
+/// refresh-sharding on/off equivalence inside portfolio runs.
+#[test]
+fn phase2_portfolio_is_thread_invariant() {
+    let (net, tm) = testbed();
+    let ev = Evaluator::new(&net, &tm, CostParams::default());
+    let universe = FailureUniverse::of(&net);
+    let p1 = phase1::run(&ev, &universe, &params_for(37, CONFIGS[0]));
+    let all: Vec<usize> = (0..universe.len()).collect();
+    let run = |replicas: usize, threads: usize, speculation: usize| {
+        let params = Params {
+            portfolio: PortfolioParams {
+                replicas,
+                rendezvous_period: 4,
+            },
+            ..params_for(37, (speculation, threads, true, true))
+        };
+        phase2::run(&ev, &universe, &all, &params, &p1)
+    };
+
+    // replicas == 1 stays the classic search, bit for bit, and reports
+    // no per-replica traces.
+    let classic = phase2::run(
+        &ev,
+        &universe,
+        &all,
+        &params_for(37, (1, 1, true, true)),
+        &p1,
+    );
+    let single = run(1, 4, 8);
+    assert_phase2_equal(&classic, &single, "replicas=1 == classic");
+    assert!(single.replica_traces.is_empty());
+
+    // replicas == 3: identical output across the thread/speculation
+    // grid, including every replica's full accept/reject trace.
+    let anchor = run(3, 1, 1);
+    assert_eq!(anchor.replica_traces.len(), 3);
+    assert!(
+        anchor.replica_traces.contains(&anchor.trace),
+        "the reported trace must be the winning replica's"
+    );
+    for (threads, speculation) in [(1usize, 8usize), (4, 1), (4, 8)] {
+        let cfg = format!("portfolio threads={threads} K={speculation}");
+        let out = run(3, threads, speculation);
+        assert_phase2_equal(&anchor, &out, &cfg);
+        assert_eq!(anchor.replica_traces, out.replica_traces, "{cfg}");
+    }
+}
+
 fn mtr_testbed() -> (Network, Vec<TrafficMatrix>) {
     let (net, _) = testbed();
     let mut rng = StdRng::seed_from_u64(23);
@@ -374,4 +429,67 @@ fn mtr_robust_trajectory_is_invariant() {
         saw_skip,
         "the MTR cutoff never skipped a scenario evaluation"
     );
+}
+
+/// The MTR mirror of [`phase2_portfolio_is_thread_invariant`]: the
+/// robust portfolio run is bit-for-bit reproducible at any thread count
+/// and speculation window, with the sharded refresh on (`threads = 4`)
+/// or off (`threads = 1`).
+#[test]
+fn mtr_robust_portfolio_is_thread_invariant() {
+    let (net, tms) = mtr_testbed();
+    let ev = MtrEvaluator::new(&net, &tms, MtrConfig::dtr(25e-3, 0.2)).unwrap();
+    let universe = FailureUniverse::of(&net);
+    let reg = mtr_search::regular(&ev, &universe, &mtr_params_for(41, MTR_CONFIGS[0]));
+    let scenarios = universe.scenarios();
+    let run = |replicas: usize, threads: usize, speculation: usize| {
+        let params = MtrParams {
+            portfolio: PortfolioParams {
+                replicas,
+                rendezvous_period: 4,
+            },
+            ..mtr_params_for(41, (speculation, threads, true, true, true))
+        };
+        mtr_robust::run(&ev, &scenarios, &params, &reg.best_cost, &reg.archive, None)
+    };
+    let assert_same = |a: &dtr::mtr::robust::MtrRobustOutput,
+                       b: &dtr::mtr::robust::MtrRobustOutput,
+                       cfg: &str| {
+        assert_eq!(a.best, b.best, "{cfg}: best setting diverged");
+        assert_eq!(a.best_kfail, b.best_kfail, "{cfg}: kfail diverged");
+        assert_eq!(a.best_normal, b.best_normal, "{cfg}: normal cost diverged");
+        assert_eq!(a.constraint_rejections, b.constraint_rejections, "{cfg}");
+        assert_eq!(a.trace, b.trace, "{cfg}: accept/reject sequence diverged");
+        assert_eq!(a.replica_traces, b.replica_traces, "{cfg}");
+        assert_eq!(a.stats.iterations, b.stats.iterations, "{cfg}");
+        assert_eq!(a.stats.evaluations, b.stats.evaluations, "{cfg}");
+        assert_eq!(a.stats.diversifications, b.stats.diversifications, "{cfg}");
+    };
+
+    // replicas == 1 stays the classic robust search, bit for bit.
+    let classic = mtr_robust::run(
+        &ev,
+        &scenarios,
+        &mtr_params_for(41, (1, 1, true, true, true)),
+        &reg.best_cost,
+        &reg.archive,
+        None,
+    );
+    let single = run(1, 4, 8);
+    assert_same(&classic, &single, "replicas=1 == classic");
+    assert!(single.replica_traces.is_empty());
+
+    // replicas == 3: identical output across the thread/speculation
+    // grid, including every replica's full accept/reject trace.
+    let anchor = run(3, 1, 1);
+    assert_eq!(anchor.replica_traces.len(), 3);
+    assert!(
+        anchor.replica_traces.contains(&anchor.trace),
+        "the reported trace must be the winning replica's"
+    );
+    for (threads, speculation) in [(1usize, 8usize), (4, 1), (4, 8)] {
+        let cfg = format!("mtr portfolio threads={threads} K={speculation}");
+        let out = run(3, threads, speculation);
+        assert_same(&anchor, &out, &cfg);
+    }
 }
