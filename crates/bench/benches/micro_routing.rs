@@ -36,6 +36,12 @@
 //! records `"quick_mode": true` so `check_bench` knows which tiers to
 //! require.
 //!
+//! A `checkpoint_overhead` section records the crash-safety tax: the
+//! cutoff Phase-2 search run plain and with durable `FileSink`
+//! checkpoints every 2 sweeps, bit-identical results required, with the
+//! realized overhead ratio in the artifact. `check_bench` fails CI when
+//! the overhead exceeds 5% at the 50-node operating point.
+//!
 //! A `parallel_search` section records the search-level parallelism
 //! contract at the 500-node tier: the same 2-replica portfolio search
 //! run on 1 thread and on a real thread fan-out, byte-identical (the
@@ -173,6 +179,7 @@ fn bench_micro(c: &mut Criterion) {
     g.finish();
 
     let phase2_json = phase2_search_baseline(&net, &tm);
+    let checkpoint_json = checkpoint_overhead_baseline(&net, &tm);
     let mtr_json = mtr_robust_search_baseline(&net, &tm);
     let tiers_json = scale_tiers_baseline();
     let portfolio_json = parallel_search_baseline();
@@ -180,7 +187,7 @@ fn bench_micro(c: &mut Criterion) {
         &net,
         &tm,
         &w,
-        &format!("{phase2_json}{mtr_json}{tiers_json}{portfolio_json}"),
+        &format!("{phase2_json}{checkpoint_json}{mtr_json}{tiers_json}{portfolio_json}"),
     );
 }
 
@@ -507,6 +514,127 @@ fn phase2_search_baseline(net: &Network, tm: &ClassMatrices) -> String {
         combined_stats.skipped_cache,
         combined_stats.skipped_cutoff,
         combined_stats.speculative_wasted,
+    )
+}
+
+/// Durable-checkpoint tax at the 50-node operating point: the cutoff
+/// Phase-2 search run plain and with `checkpoint_every = 2` snapshots
+/// into a `FileSink` (atomic write-rename to a temp file — the honest
+/// cost, serialization plus filesystem). The contract is twofold: the
+/// checkpointed run returns the bit-identical result (snapshots are
+/// taken at sweep boundaries, outside every kernel), and the recorded
+/// `overhead` ratio stays within the 5% budget `check_bench` enforces.
+fn checkpoint_overhead_baseline(net: &Network, tm: &ClassMatrices) -> String {
+    use dtr_core::{FileSink, RunControl, Terminated};
+
+    // Same operating point as `phase2_search_baseline`.
+    let mut tm = tm.clone();
+    tm.scale(0.04);
+    let ev = Evaluator::new(net, &tm, CostParams::default());
+    let universe = dtr_core::FailureUniverse::of(net);
+    let crit = universe.target_size(0.15);
+    let indices: Vec<usize> = (0..crit).collect();
+    let plain = Params {
+        tau: 5,
+        p1: 1,
+        p2: 1,
+        div_interval_1: 4,
+        div_interval_2: 3,
+        archive_size: 4,
+        max_iterations: 3,
+        threads: 1,
+        speculation: 1,
+        cutoff: true,
+        phi_floors: false,
+        ..Params::paper_default(11)
+    };
+    let ckpt = Params {
+        checkpoint_every: 2,
+        ..plain
+    };
+    let p1 = phase1::run(&ev, &universe, &plain);
+    let path = std::env::temp_dir().join(format!("dtr_bench_ckpt_{}.snap", std::process::id()));
+    let _ = std::fs::remove_file(&path);
+
+    let reps = if criterion::Criterion::test_mode() {
+        3
+    } else {
+        7
+    };
+    // Interleaved reps, best-of minima — same discipline as
+    // `phase2_search`, which is what keeps a 5% gate CI-stable.
+    let mut plain_best = u128::MAX;
+    let mut ckpt_best = u128::MAX;
+    let mut plain_samples = Vec::new();
+    let mut ckpt_samples = Vec::new();
+    let mut plain_out = None;
+    let mut ckpt_out = None;
+    let mut stores = 0u64;
+    let mut snapshot_bytes = 0usize;
+    for _ in 0..reps {
+        let t0 = Instant::now();
+        let out = phase2::run(&ev, &universe, &indices, &plain, &p1);
+        let ns = t0.elapsed().as_nanos();
+        plain_samples.push(ns);
+        plain_best = plain_best.min(ns);
+        plain_out = Some(out);
+
+        let mut sink = FileSink::new(&path);
+        let t0 = Instant::now();
+        let out = phase2::run_controlled(
+            &ev,
+            &universe,
+            &indices,
+            &ckpt,
+            &p1,
+            &mut RunControl::with_sink(&mut sink),
+        )
+        .expect("file checkpointing failed");
+        let ns = t0.elapsed().as_nanos();
+        ckpt_samples.push(ns);
+        ckpt_best = ckpt_best.min(ns);
+        stores = sink.stores();
+        snapshot_bytes = sink.load().map(|s| s.len()).unwrap_or(0);
+        ckpt_out = Some(out);
+    }
+    let _ = std::fs::remove_file(&path);
+    let plain_out = plain_out.expect("at least one rep");
+    let ckpt_out = ckpt_out.expect("at least one rep");
+
+    // Checkpointing must be bit-for-bit invisible in the result.
+    assert_eq!(
+        plain_out.best, ckpt_out.best,
+        "checkpointing moved the best setting"
+    );
+    assert_eq!(plain_out.best_kfail, ckpt_out.best_kfail);
+    assert_eq!(plain_out.best_normal, ckpt_out.best_normal);
+    assert_eq!(
+        plain_out.stats, ckpt_out.stats,
+        "checkpointing perturbed the counters"
+    );
+    assert_eq!(ckpt_out.terminated, Terminated::Converged);
+    assert!(stores > 0, "cadence 2 must have checkpointed");
+    assert!(snapshot_bytes > 0, "no durable snapshot written");
+
+    let overhead = ckpt_best as f64 / plain_best as f64 - 1.0;
+    println!(
+        "micro/checkpoint_overhead_{NODES}n: plain {:.1} ms, checkpointed {:.1} ms \
+         ({:+.2}% for {stores} durable snapshots of {snapshot_bytes} bytes; \
+         identical result)",
+        plain_best as f64 / 1e6,
+        ckpt_best as f64 / 1e6,
+        overhead * 100.0,
+    );
+
+    format!(
+        "  \"checkpoint_overhead\": {{\n    \"checkpoint_every\": 2,\n    \
+         \"checkpoints_per_run\": {stores},\n    \
+         \"snapshot_bytes\": {snapshot_bytes},\n    \
+         \"plain_ns\": {plain_best},\n    \"checkpoint_ns\": {ckpt_best},\n    \
+         \"plain_ns_samples\": {},\n    \"checkpoint_ns_samples\": {},\n    \
+         \"overhead\": {overhead:.4},\n    \"identical_result\": true\n  }},\n",
+        json_u128_array(&plain_samples),
+        json_u128_array(&ckpt_samples),
     )
 }
 

@@ -17,6 +17,9 @@
 //!   `scenario_evals_skipped`, or
 //! * an identity flag (`identical_result`, `serial_equals_parallel`,
 //!   `bit_for_bit_identical`) is missing or false, or
+//! * the `checkpoint_overhead` entry is missing, recorded no durable
+//!   snapshots, lost the identical-result contract, or its `overhead`
+//!   exceeds the 5% budget, or
 //! * a per-rep sample array is empty (the variance record the artifact
 //!   promises), or
 //! * the `scale_tiers` section is missing a tier (`tier_500` always;
@@ -246,6 +249,54 @@ fn main() -> ExitCode {
                             errors.push(format!("`{name}` is missing per-rep sample array `{arr}`"))
                         }
                     }
+                }
+            }
+        }
+    }
+
+    // Crash-safety tax: the checkpointed search must return the
+    // identical result and the durable-checkpoint overhead must stay
+    // within its 5% budget at the 50-node operating point.
+    match section(&doc, "checkpoint_overhead") {
+        None => errors.push("missing `checkpoint_overhead` entry".into()),
+        Some(body) => {
+            check_flag(
+                &mut errors,
+                body,
+                "checkpoint_overhead",
+                "identical_result",
+                "checkpointing perturbed the search result",
+            );
+            match number(body, "overhead") {
+                None => errors.push("`checkpoint_overhead` is missing field `overhead`".into()),
+                Some(o) if o.is_nan() => {
+                    errors.push("`checkpoint_overhead` field `overhead` is NaN".into())
+                }
+                Some(o) if o > 0.05 => errors.push(format!(
+                    "`checkpoint_overhead` {:.2}% exceeds the 5% budget",
+                    o * 100.0
+                )),
+                _ => {}
+            }
+            match number(body, "checkpoints_per_run") {
+                None => errors
+                    .push("`checkpoint_overhead` is missing field `checkpoints_per_run`".into()),
+                Some(s) if s < 1.0 => errors.push(
+                    "`checkpoint_overhead` recorded no durable snapshots: \
+                     the measured run never checkpointed"
+                        .into(),
+                ),
+                _ => {}
+            }
+            for arr in ["plain_ns_samples", "checkpoint_ns_samples"] {
+                match array_state(body, arr) {
+                    ArrayState::NonEmpty => {}
+                    ArrayState::Empty => errors.push(format!(
+                        "`checkpoint_overhead` per-rep sample array `{arr}` is empty"
+                    )),
+                    ArrayState::Missing => errors.push(format!(
+                        "`checkpoint_overhead` is missing per-rep sample array `{arr}`"
+                    )),
                 }
             }
         }

@@ -108,6 +108,12 @@ mod universe;
 
 pub use baselines::Selector;
 pub use params::{replica_seed, Params, PortfolioParams};
+pub use phase2::RunControl;
 pub use pipeline::{RobustOptimizer, RobustOptimizerBuilder, RobustReport};
 pub use scenario::{DoubleLink, Probabilistic, ScenarioSet, SingleLink, SliceSet, Srlg};
+pub use search::Terminated;
 pub use universe::FailureUniverse;
+
+// Checkpoint/restore building blocks, re-exported so downstream callers
+// need no direct `dtr-persist` dependency.
+pub use dtr_persist::{CheckpointSink, FileSink, MemorySink, SnapshotError, TornWrite};

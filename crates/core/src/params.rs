@@ -154,6 +154,23 @@ pub struct Params {
     /// Hard safety cap on sweeps per phase — a termination backstop far
     /// above what the `c%` rule needs; never binding in practice.
     pub max_iterations: usize,
+    /// Wall-clock deadline for the robust phase in milliseconds
+    /// (`None` = run to convergence). Checked only at sweep (single
+    /// chain) or rendezvous (portfolio) boundaries, so the search
+    /// returns the best-so-far with
+    /// [`Terminated::Deadline`](crate::search::Terminated) and never a
+    /// half-applied accept. The deadline decides only *when* to stop,
+    /// never which move is accepted: every prefix of the trajectory is
+    /// the same as an undeadlined run's (see "The checkpoint contract"
+    /// in `DETERMINISM.md`).
+    pub deadline_ms: Option<u64>,
+    /// Checkpoint cadence for the robust phase, in boundaries (sweeps
+    /// for a single chain, rendezvous for a portfolio). `0` = never
+    /// checkpoint. Only read by the controlled entry points that were
+    /// given a checkpoint sink; the snapshot is encoded and stored at
+    /// the boundary, outside every sweep kernel, and has zero effect on
+    /// the trajectory.
+    pub checkpoint_every: usize,
     /// Master RNG seed.
     pub seed: u64,
 }
@@ -186,6 +203,8 @@ impl Params {
             portfolio: PortfolioParams::single(),
             cache_budget_bytes: usize::MAX,
             max_iterations: 100_000,
+            deadline_ms: None,
+            checkpoint_every: 0,
             seed,
         }
     }
@@ -244,8 +263,12 @@ impl Params {
         assert!(self.eager_min_batch >= 1, "eager batch threshold >= 1");
         self.portfolio.validate();
         assert!(self.max_iterations >= 1);
+        if let Some(ms) = self.deadline_ms {
+            assert!(ms >= 1, "deadline must be at least one millisecond");
+        }
         // Any cache_budget_bytes is valid: a budget below one entry just
         // means a fully non-resident cache (plain-path evaluations).
+        // Any checkpoint_every is valid: 0 simply disables checkpoints.
     }
 }
 

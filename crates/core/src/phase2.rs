@@ -54,8 +54,11 @@
 //! destinations re-run the SLA DP — for **every** scenario kind the set
 //! holds (link, node, SRLG, double-link, probabilistically weighted).
 
+use std::time::{Duration, Instant};
+
 use dtr_cost::{Evaluator, LexCost};
-use dtr_routing::{Scenario, WeightSetting};
+use dtr_persist::{CheckpointSink, SnapshotError};
+use dtr_routing::{Class, Scenario, WeightSetting};
 use rand::rngs::StdRng;
 use rand::seq::SliceRandom;
 use rand::SeedableRng;
@@ -68,7 +71,7 @@ use crate::phase1::Phase1Output;
 use crate::scenario::{ScenarioSet, SliceSet};
 use crate::search::{
     duplex_weights, random_weight_pair, set_duplex_weights, speculative_sweep, Archive, Decision,
-    MoveOutcome, SearchStats, SpecBuffers, StopRule,
+    MoveOutcome, SearchStats, SpecBuffers, StopRule, Terminated,
 };
 
 /// Result of the robust search.
@@ -94,6 +97,10 @@ pub struct Phase2Output {
     /// the parallel-search contract in `DETERMINISM.md`.
     pub replica_traces: Vec<Vec<MoveOutcome>>,
     pub stats: SearchStats,
+    /// Why the run returned (convergence, deadline/kill, or an
+    /// already-terminal restored snapshot). Never affects *what* is
+    /// returned — see "The checkpoint contract" in `DETERMINISM.md`.
+    pub terminated: Terminated,
 }
 
 /// Eq. (5)–(6) feasibility of a candidate's normal-conditions cost against
@@ -464,7 +471,7 @@ impl Chain {
     }
 
     /// Finish a single-chain run (no portfolio): the classic output.
-    fn into_output(self) -> Phase2Output {
+    fn into_output(self, terminated: Terminated) -> Phase2Output {
         Phase2Output {
             best: self.best,
             best_kfail: self.best_kfail,
@@ -473,8 +480,556 @@ impl Chain {
             trace: self.trace,
             replica_traces: Vec::new(),
             stats: self.stats,
+            terminated,
         }
     }
+}
+
+// ---------------------------------------------------------------------
+// Snapshot codec ("The checkpoint contract", DETERMINISM.md).
+//
+// A snapshot captures every bit of chain state the trajectory depends
+// on: the RNG stream position, current/best settings and costs, the
+// stop-rule trailing history, the shuffled representative order, the
+// replica-local archive, stats and trace. The delta-state scenario
+// cache is NOT serialized: its entries are a pure function of the
+// current incumbent, so restore rebuilds them with a capture sweep
+// that is bit-identical to the refreshed cache it replaces (pinned by
+// the cache equivalence suites); the per-position cost scratch and the
+// evaluation order fall out of the same sweep, and the floors are
+// weight-independent and recomputed.
+
+const SEC_CONFIG: u32 = 0x10;
+const SEC_CHAIN: u32 = 0x20;
+
+fn put_lex(enc: &mut dtr_persist::Encoder, c: &LexCost) {
+    enc.put_f64(c.lambda);
+    enc.put_f64(c.phi);
+}
+
+fn take_lex(rd: &mut dtr_persist::Decoder<'_>) -> Result<LexCost, SnapshotError> {
+    Ok(LexCost::new(rd.take_f64()?, rd.take_f64()?))
+}
+
+fn put_weights(enc: &mut dtr_persist::Encoder, w: &WeightSetting) {
+    enc.put_slice_u32(w.weights(Class::Delay));
+    enc.put_slice_u32(w.weights(Class::Throughput));
+}
+
+fn take_weights(
+    rd: &mut dtr_persist::Decoder<'_>,
+    wmax: u32,
+    num_links: usize,
+) -> Result<WeightSetting, SnapshotError> {
+    let delay = rd.take_vec_u32()?;
+    let throughput = rd.take_vec_u32()?;
+    if delay.len() != num_links || throughput.len() != num_links {
+        return Err(SnapshotError::Corrupt("weight vector length differs"));
+    }
+    if delay.iter().chain(&throughput).any(|&w| w < 1 || w > wmax) {
+        return Err(SnapshotError::Corrupt("weight outside [1, wmax]"));
+    }
+    Ok(WeightSetting::from_vecs(delay, throughput, wmax))
+}
+
+fn put_stats(enc: &mut dtr_persist::Encoder, s: &SearchStats) {
+    enc.put_usize(s.iterations);
+    enc.put_usize(s.evaluations);
+    enc.put_usize(s.diversifications);
+    enc.put_usize(s.scenario_evals_skipped);
+    enc.put_usize(s.skipped_floor);
+    enc.put_usize(s.skipped_cache);
+    enc.put_usize(s.skipped_cutoff);
+    enc.put_usize(s.speculative_wasted);
+    enc.put_usize(s.cache_rebuild_evals);
+    enc.put_usize(s.cache_resident_scenarios);
+    enc.put_usize(s.cache_fallback_evals);
+}
+
+fn take_stats(rd: &mut dtr_persist::Decoder<'_>) -> Result<SearchStats, SnapshotError> {
+    Ok(SearchStats {
+        iterations: rd.take_usize()?,
+        evaluations: rd.take_usize()?,
+        diversifications: rd.take_usize()?,
+        scenario_evals_skipped: rd.take_usize()?,
+        skipped_floor: rd.take_usize()?,
+        skipped_cache: rd.take_usize()?,
+        skipped_cutoff: rd.take_usize()?,
+        speculative_wasted: rd.take_usize()?,
+        cache_rebuild_evals: rd.take_usize()?,
+        cache_resident_scenarios: rd.take_usize()?,
+        cache_fallback_evals: rd.take_usize()?,
+    })
+}
+
+/// Serialize one chain into an open snapshot. Steady-state
+/// allocation-free: every write appends into the encoder's reusable
+/// buffer, which stops growing once it has seen the largest snapshot
+/// (registered in `crates/analysis/hot_paths.toml`, proven by
+/// `tests/alloc_free.rs`).
+fn encode_chain(enc: &mut dtr_persist::Encoder, ch: &Chain) {
+    enc.begin_section(SEC_CHAIN);
+    for word in ch.rng.state() {
+        enc.put_u64(word);
+    }
+    put_stats(enc, &ch.stats);
+    enc.put_usize(ch.constraint_rejections);
+    enc.put_usize(ch.trace.len());
+    for m in &ch.trace {
+        enc.put_u8(match m {
+            MoveOutcome::ConstraintReject => 0,
+            MoveOutcome::Reject => 1,
+            MoveOutcome::Accept => 2,
+        });
+    }
+    put_weights(enc, &ch.current);
+    put_lex(enc, &ch.current_kfail);
+    put_weights(enc, &ch.best);
+    put_lex(enc, &ch.best_kfail);
+    put_lex(enc, &ch.best_normal);
+    enc.put_usize(ch.stop.history().len());
+    for c in ch.stop.history() {
+        put_lex(enc, c);
+    }
+    enc.put_usize(ch.reps.len());
+    for r in &ch.reps {
+        enc.put_u32(r.index() as u32);
+    }
+    enc.put_usize(ch.stale_sweeps);
+    enc.put_usize(ch.archive.len());
+    for (w, normal) in ch.archive.entries() {
+        put_weights(enc, w);
+        put_lex(enc, normal);
+    }
+    enc.put_bool(ch.done);
+    enc.end_section();
+}
+
+/// Rebuild one chain from an open snapshot. `params` is the
+/// replica-local parameter block (derived seed, thread share) the
+/// resumed run would hand a fresh chain. Decoding allocates freely —
+/// restore runs once, outside every sweep kernel.
+fn decode_chain<S: ScenarioSet + Sync + ?Sized>(
+    rd: &mut dtr_persist::Decoder<'_>,
+    ev: &Evaluator<'_>,
+    set: &S,
+    indices: &[usize],
+    params: Params,
+) -> Result<Chain, SnapshotError> {
+    rd.section(SEC_CHAIN)?;
+    let mut state = [0u64; 4];
+    for word in &mut state {
+        *word = rd.take_u64()?;
+    }
+    let rng = StdRng::from_state(state);
+    let mut stats = take_stats(rd)?;
+    let constraint_rejections = rd.take_usize()?;
+    let trace_len = rd.take_len(1)?;
+    let mut trace = Vec::with_capacity(trace_len);
+    for _ in 0..trace_len {
+        trace.push(match rd.take_u8()? {
+            0 => MoveOutcome::ConstraintReject,
+            1 => MoveOutcome::Reject,
+            2 => MoveOutcome::Accept,
+            _ => return Err(SnapshotError::Corrupt("move outcome out of range")),
+        });
+    }
+    let num_links = ev.net().num_links();
+    let current = take_weights(rd, params.wmax, num_links)?;
+    let current_kfail = take_lex(rd)?;
+    let best = take_weights(rd, params.wmax, num_links)?;
+    let best_kfail = take_lex(rd)?;
+    let best_normal = take_lex(rd)?;
+    let hist_len = rd.take_len(16)?;
+    let mut history = Vec::with_capacity(hist_len);
+    for _ in 0..hist_len {
+        history.push(take_lex(rd)?);
+    }
+    let mut stop = StopRule::new(params.p2, params.c);
+    stop.restore_history(history);
+    let reps_len = rd.take_len(4)?;
+    let mut reps = Vec::with_capacity(reps_len);
+    for _ in 0..reps_len {
+        let x = rd.take_u32()? as usize;
+        if x >= num_links {
+            return Err(SnapshotError::Corrupt("representative link out of range"));
+        }
+        reps.push(LinkId::new(x));
+    }
+    let stale_sweeps = rd.take_usize()?;
+    let arch_len = rd.take_len(16)?;
+    let mut archive = Archive::new(params.archive_size);
+    for _ in 0..arch_len {
+        let w = take_weights(rd, params.wmax, num_links)?;
+        let normal = take_lex(rd)?;
+        // Entries were stored best-first, so re-offering in order
+        // reproduces the archive exactly (each entry appends; the
+        // fingerprints are recomputed).
+        archive.offer(&w, normal);
+    }
+    let done = rd.take_bool()?;
+
+    // Rebuild the evaluation-order state. The delta-state cache is a
+    // pure function of the restored incumbent: a capture sweep over
+    // `current` reproduces, bit for bit, the entries and per-position
+    // costs the refreshed cache held at the checkpoint, and the floors
+    // are weight-independent. The physical re-evaluations are
+    // attributed to `cache_rebuild_evals`, never to the logical
+    // `evaluations`.
+    let mut st = SweepState::new(ev, set, indices, &params);
+    if params.cutoff && !indices.is_empty() {
+        rebuild_cache(ev, set, indices, &current, params.threads, &mut st);
+        stats.cache_rebuild_evals += indices.len();
+        stats.cache_resident_scenarios = stats
+            .cache_resident_scenarios
+            .max(st.cache.resident_scenarios());
+        st.refresh(set, indices);
+    }
+    Ok(Chain {
+        params,
+        rng,
+        stats,
+        constraint_rejections,
+        trace,
+        st,
+        current,
+        current_kfail,
+        best,
+        best_kfail,
+        best_normal,
+        stop,
+        reps,
+        stale_sweeps,
+        spec: SpecBuffers::new(),
+        seed_prefix: Vec::new(),
+        archive,
+        done,
+    })
+}
+
+/// Write the whole run state (config fingerprint + every chain) into
+/// `enc`, leaving it ready for `finish()`. Steady-state
+/// allocation-free like [`encode_chain`].
+#[allow(clippy::too_many_arguments)]
+fn encode_snapshot(
+    enc: &mut dtr_persist::Encoder,
+    params: &Params,
+    indices_len: usize,
+    num_links: usize,
+    lambda_star: f64,
+    phi_star: f64,
+    boundary: u64,
+    chains: &[Chain],
+) {
+    enc.begin(dtr_persist::KIND_DTR_PHASE2);
+    enc.begin_section(SEC_CONFIG);
+    enc.put_u64(params.seed);
+    enc.put_usize(params.portfolio.replicas);
+    enc.put_usize(params.portfolio.rendezvous_period);
+    enc.put_usize(indices_len);
+    enc.put_usize(num_links);
+    enc.put_u32(params.wmax);
+    enc.put_f64(params.chi);
+    enc.put_usize(params.p2);
+    enc.put_f64(params.c);
+    enc.put_usize(params.div_interval_2);
+    enc.put_usize(params.max_iterations);
+    enc.put_usize(params.archive_size);
+    enc.put_f64(lambda_star);
+    enc.put_f64(phi_star);
+    enc.put_u64(boundary);
+    enc.put_usize(chains.len());
+    enc.end_section();
+    for ch in chains {
+        encode_chain(enc, ch);
+    }
+}
+
+/// Config fingerprint + Phase-1 benchmarks recovered from a snapshot.
+struct SnapshotHeader {
+    lambda_star: f64,
+    phi_star: f64,
+    boundary: u64,
+}
+
+/// Check the stored config fingerprint against the resuming run.
+/// Only trajectory-determining knobs are fingerprinted: `threads`,
+/// `speculation`, `cutoff`, the cache budget and the eager batch size
+/// may all legally differ between the saving and the resuming process —
+/// the determinism contract makes the continued trajectory identical
+/// regardless.
+fn decode_config(
+    rd: &mut dtr_persist::Decoder<'_>,
+    params: &Params,
+    indices_len: usize,
+    num_links: usize,
+) -> Result<SnapshotHeader, SnapshotError> {
+    rd.section(SEC_CONFIG)?;
+    if rd.take_u64()? != params.seed {
+        return Err(SnapshotError::Mismatch("seed differs"));
+    }
+    if rd.take_usize()? != params.portfolio.replicas {
+        return Err(SnapshotError::Mismatch("replica count differs"));
+    }
+    if rd.take_usize()? != params.portfolio.rendezvous_period {
+        return Err(SnapshotError::Mismatch("rendezvous period differs"));
+    }
+    if rd.take_usize()? != indices_len {
+        return Err(SnapshotError::Mismatch("critical-set size differs"));
+    }
+    if rd.take_usize()? != num_links {
+        return Err(SnapshotError::Mismatch("link count differs"));
+    }
+    if rd.take_u32()? != params.wmax {
+        return Err(SnapshotError::Mismatch("wmax differs"));
+    }
+    if rd.take_f64()?.to_bits() != params.chi.to_bits() {
+        return Err(SnapshotError::Mismatch("chi differs"));
+    }
+    if rd.take_usize()? != params.p2 {
+        return Err(SnapshotError::Mismatch("stop window differs"));
+    }
+    if rd.take_f64()?.to_bits() != params.c.to_bits() {
+        return Err(SnapshotError::Mismatch("stop threshold differs"));
+    }
+    if rd.take_usize()? != params.div_interval_2 {
+        return Err(SnapshotError::Mismatch("diversification interval differs"));
+    }
+    if rd.take_usize()? != params.max_iterations {
+        return Err(SnapshotError::Mismatch("iteration cap differs"));
+    }
+    if rd.take_usize()? != params.archive_size {
+        return Err(SnapshotError::Mismatch("archive size differs"));
+    }
+    let lambda_star = rd.take_f64()?;
+    let phi_star = rd.take_f64()?;
+    let boundary = rd.take_u64()?;
+    if rd.take_usize()? != params.portfolio.replicas {
+        return Err(SnapshotError::Corrupt("chain count differs from replicas"));
+    }
+    Ok(SnapshotHeader {
+        lambda_star,
+        phi_star,
+        boundary,
+    })
+}
+
+/// External control of a robust search run: an optional checkpoint
+/// sink fed every [`Params::checkpoint_every`] boundaries, and a
+/// deterministic kill-point for the fault-injection harness.
+///
+/// A *boundary* is one chain sweep for a single-chain run and one
+/// rendezvous (fan-out + elite merge) for a portfolio run — the only
+/// points where all chain state is consistent, hence the only points
+/// where snapshots are taken and termination is decided.
+pub struct RunControl<'a> {
+    /// Where checkpoints go. `None` disables checkpointing even when
+    /// `Params::checkpoint_every` is set.
+    pub sink: Option<&'a mut dyn CheckpointSink>,
+    /// Deterministic kill-point: stop (as if the deadline fired) once
+    /// this many boundaries have completed, counted across restores —
+    /// so a resumed run's kill indices stay globally aligned with an
+    /// uninterrupted run's.
+    pub kill_after: Option<u64>,
+}
+
+impl<'a> RunControl<'a> {
+    /// No checkpointing, no kill-point: plain [`run`] behaviour.
+    pub fn none() -> Self {
+        RunControl {
+            sink: None,
+            kill_after: None,
+        }
+    }
+
+    /// Checkpoint into `sink` every `Params::checkpoint_every`
+    /// boundaries.
+    pub fn with_sink(sink: &'a mut dyn CheckpointSink) -> Self {
+        RunControl {
+            sink: Some(sink),
+            kill_after: None,
+        }
+    }
+}
+
+/// Boundary bookkeeping shared by both drivers: checkpoint when the
+/// cadence is due, then decide whether the run ends here (injected
+/// kill-point or wall-clock deadline). The decision only reads *whether*
+/// to stop — never which move to accept — so every prefix of the
+/// trajectory matches an uncontrolled run's bit for bit.
+#[allow(clippy::too_many_arguments)]
+fn at_boundary(
+    enc: &mut dtr_persist::Encoder,
+    params: &Params,
+    indices_len: usize,
+    num_links: usize,
+    lambda_star: f64,
+    phi_star: f64,
+    boundary: u64,
+    chains: &[Chain],
+    deadline: Option<Instant>,
+    ctl: &mut RunControl<'_>,
+) -> Result<Option<Terminated>, SnapshotError> {
+    if params.checkpoint_every != 0 && boundary.is_multiple_of(params.checkpoint_every as u64) {
+        if let Some(sink) = ctl.sink.as_mut() {
+            encode_snapshot(
+                enc,
+                params,
+                indices_len,
+                num_links,
+                lambda_star,
+                phi_star,
+                boundary,
+                chains,
+            );
+            sink.store(enc.finish())?;
+        }
+    }
+    if ctl.kill_after.is_some_and(|k| boundary >= k) {
+        return Ok(Some(Terminated::Deadline));
+    }
+    if deadline.is_some_and(|d| Instant::now() >= d) {
+        return Ok(Some(Terminated::Deadline));
+    }
+    Ok(None)
+}
+
+/// Boundary-driven driver behind [`run`], [`run_controlled`] and
+/// [`resume`]: sweeps chains between boundaries, checkpoints and
+/// decides termination only at boundaries, and assembles the output.
+#[allow(clippy::too_many_arguments)]
+fn drive<S: ScenarioSet + Sync + ?Sized>(
+    ev: &Evaluator<'_>,
+    set: &S,
+    indices: &[usize],
+    params: &Params,
+    lambda_star: f64,
+    phi_star: f64,
+    mut chains: Vec<Chain>,
+    start_boundary: u64,
+    restored: bool,
+    ctl: &mut RunControl<'_>,
+) -> Result<Phase2Output, SnapshotError> {
+    let deadline = params
+        .deadline_ms
+        .map(|ms| Instant::now() + Duration::from_millis(ms));
+    let mut enc = dtr_persist::Encoder::new();
+    let num_links = ev.net().num_links();
+    let mut boundary = start_boundary;
+    let mut terminated = if restored && chains.iter().all(|c| c.done) {
+        Terminated::Restored
+    } else {
+        Terminated::Converged
+    };
+
+    if params.portfolio.replicas == 1 {
+        let mut ch = chains.pop().expect("exactly one chain");
+        if !indices.is_empty() {
+            while !ch.done {
+                chain_sweep(ev, set, indices, lambda_star, phi_star, &mut ch);
+                boundary += 1;
+                if let Some(t) = at_boundary(
+                    &mut enc,
+                    params,
+                    indices.len(),
+                    num_links,
+                    lambda_star,
+                    phi_star,
+                    boundary,
+                    std::slice::from_ref(&ch),
+                    deadline,
+                    ctl,
+                )? {
+                    terminated = t;
+                    break;
+                }
+            }
+        }
+        return Ok(ch.into_output(terminated));
+    }
+
+    // Portfolio search (parallel-search contract, `DETERMINISM.md`):
+    // independent chains from distinct derived seeds, each granted an
+    // equal share of the worker threads, exchanging archive elites at
+    // fixed rendezvous points. Every cross-replica step — elite
+    // collection, archive offers, the final winner pick and stat
+    // merge — happens in replica index order on the coordinating
+    // thread, so the output depends only on
+    // `(seed, replicas, rendezvous_period)`, never on thread count.
+    if !indices.is_empty() {
+        let mut elites: Vec<(WeightSetting, LexCost)> = Vec::new();
+        while chains.iter().any(|c| !c.done) {
+            parallel::scoped_fanout(
+                chains.iter_mut().filter(|c| !c.done).collect(),
+                |ch: &mut Chain| {
+                    for _ in 0..params.portfolio.rendezvous_period {
+                        chain_sweep(ev, set, indices, lambda_star, phi_star, ch);
+                        if ch.done {
+                            break;
+                        }
+                    }
+                },
+            );
+            // Rendezvous: collect every replica's elite in index order,
+            // then offer the batch into every archive in that same
+            // order. `Archive::offer` dedups by fingerprint, so repeat
+            // offers across rendezvous are no-ops and the merge is
+            // idempotent.
+            elites.clear();
+            elites.extend(chains.iter().map(|c| (c.best.clone(), c.best_normal)));
+            for ch in chains.iter_mut() {
+                for (w, normal) in &elites {
+                    ch.archive.offer(w, *normal);
+                }
+            }
+            boundary += 1;
+            if let Some(t) = at_boundary(
+                &mut enc,
+                params,
+                indices.len(),
+                num_links,
+                lambda_star,
+                phi_star,
+                boundary,
+                &chains,
+                deadline,
+                ctl,
+            )? {
+                terminated = t;
+                break;
+            }
+        }
+    }
+
+    // Winner: best k-failure cost, lowest replica index on ties.
+    let mut win = 0usize;
+    for r in 1..chains.len() {
+        if chains[r].best_kfail.better_than(&chains[win].best_kfail) {
+            win = r;
+        }
+    }
+    let mut stats = SearchStats::default();
+    let mut constraint_rejections = 0usize;
+    for c in &chains {
+        stats.merge(&c.stats);
+        constraint_rejections += c.constraint_rejections;
+    }
+    let mut replica_traces: Vec<Vec<MoveOutcome>> = Vec::new();
+    if params.record_trace {
+        replica_traces.extend(chains.iter_mut().map(|c| std::mem::take(&mut c.trace)));
+    }
+    let trace = replica_traces.get(win).cloned().unwrap_or_default();
+    let winner = chains.swap_remove(win);
+    Ok(Phase2Output {
+        best: winner.best,
+        best_kfail: winner.best_kfail,
+        best_normal: winner.best_normal,
+        constraint_rejections,
+        trace,
+        replica_traces,
+        stats,
+        terminated,
+    })
 }
 
 /// One sweep of one chain — the classic Phase-2 loop body (speculative
@@ -708,6 +1263,22 @@ pub fn run<S: ScenarioSet + Sync + ?Sized>(
     params: &Params,
     phase1: &Phase1Output,
 ) -> Phase2Output {
+    run_controlled(ev, set, indices, params, phase1, &mut RunControl::none())
+        .expect("without a checkpoint sink no snapshot i/o can fail")
+}
+
+/// [`run`] under external control: checkpoints into `ctl.sink` every
+/// `params.checkpoint_every` boundaries and honours `ctl.kill_after`
+/// and `params.deadline_ms`. The only fallible step is storing a
+/// snapshot, so with `RunControl::none()` this is exactly [`run`].
+pub fn run_controlled<S: ScenarioSet + Sync + ?Sized>(
+    ev: &Evaluator<'_>,
+    set: &S,
+    indices: &[usize],
+    params: &Params,
+    phase1: &Phase1Output,
+    ctl: &mut RunControl<'_>,
+) -> Result<Phase2Output, SnapshotError> {
     params.validate();
     if set.weighted() {
         for &i in indices {
@@ -720,28 +1291,90 @@ pub fn run<S: ScenarioSet + Sync + ?Sized>(
     }
     let lambda_star = phase1.best_cost.lambda;
     let phi_star = phase1.best_cost.phi;
+    let chains = build_chains(ev, set, indices, params, phase1);
+    drive(
+        ev,
+        set,
+        indices,
+        params,
+        lambda_star,
+        phi_star,
+        chains,
+        0,
+        false,
+        ctl,
+    )
+}
 
-    if params.portfolio.replicas == 1 {
-        let mut ch = Chain::new(ev, set, indices, *params, phase1);
-        // Degenerate but legal: nothing to optimize against.
-        if indices.is_empty() {
-            return ch.into_output();
-        }
-        while !ch.done {
-            chain_sweep(ev, set, indices, lambda_star, phi_star, &mut ch);
-        }
-        return ch.into_output();
-    }
-
-    // Portfolio search (parallel-search contract, `DETERMINISM.md`):
-    // `replicas` independent chains from distinct derived seeds, each
-    // granted an equal share of the worker threads, exchanging archive
-    // elites at fixed rendezvous points. Every cross-replica step —
-    // seed derivation, elite collection, archive offers, the final
-    // winner pick and stat merge — happens in replica index order on
-    // the coordinating thread, so the output depends only on
-    // `(seed, replicas, rendezvous_period)`, never on thread count.
+/// Restore a Phase-2 run from `snapshot` bytes and continue it under
+/// `ctl`. The evaluator, scenario set, critical indices and the
+/// trajectory-determining `params` knobs must match the saving run
+/// ([`SnapshotError::Mismatch`] otherwise); `threads`, `speculation`,
+/// `cutoff` and the cache budget may differ freely — the determinism
+/// contract keeps the continued trajectory bit-identical regardless.
+/// No `Phase1Output` is needed: the Λ*/Φ* benchmarks and the archive
+/// travel inside the snapshot.
+///
+/// The wall-clock deadline, when set, is a fresh budget for this call —
+/// time spent before the crash is not counted against it.
+pub fn resume<S: ScenarioSet + Sync + ?Sized>(
+    ev: &Evaluator<'_>,
+    set: &S,
+    indices: &[usize],
+    params: &Params,
+    snapshot: &[u8],
+    ctl: &mut RunControl<'_>,
+) -> Result<Phase2Output, SnapshotError> {
+    params.validate();
+    let mut rd = dtr_persist::open(snapshot, dtr_persist::KIND_DTR_PHASE2)?;
+    let hdr = decode_config(&mut rd, params, indices.len(), ev.net().num_links())?;
     let replicas = params.portfolio.replicas;
+    let mut chains = Vec::with_capacity(replicas);
+    if replicas == 1 {
+        chains.push(decode_chain(&mut rd, ev, set, indices, *params)?);
+    } else {
+        let inner = Params {
+            threads: (params.threads / replicas).max(1),
+            ..*params
+        };
+        for r in 0..replicas {
+            let p = Params {
+                seed: replica_seed(params.seed, r),
+                ..inner
+            };
+            chains.push(decode_chain(&mut rd, ev, set, indices, p)?);
+        }
+    }
+    rd.finish()?;
+    drive(
+        ev,
+        set,
+        indices,
+        params,
+        hdr.lambda_star,
+        hdr.phi_star,
+        chains,
+        hdr.boundary,
+        true,
+        ctl,
+    )
+}
+
+/// Build the chain vector [`drive`] runs: one classic chain, or
+/// `replicas` portfolio chains from distinct derived seeds, each with
+/// an equal share of the worker threads (initial full sweeps fan out
+/// across replicas exactly as before).
+fn build_chains<S: ScenarioSet + Sync + ?Sized>(
+    ev: &Evaluator<'_>,
+    set: &S,
+    indices: &[usize],
+    params: &Params,
+    phase1: &Phase1Output,
+) -> Vec<Chain> {
+    let replicas = params.portfolio.replicas;
+    if replicas == 1 {
+        return vec![Chain::new(ev, set, indices, *params, phase1)];
+    }
     let inner = Params {
         threads: (params.threads / replicas).max(1),
         ..*params
@@ -758,68 +1391,10 @@ pub fn run<S: ScenarioSet + Sync + ?Sized>(
             *slot = Some(Chain::new(ev, set, indices, p, phase1));
         },
     );
-    let mut chains: Vec<Chain> = slots
+    slots
         .into_iter()
         .map(|s| s.expect("every replica slot is initialised"))
-        .collect();
-
-    if !indices.is_empty() {
-        let mut elites: Vec<(WeightSetting, LexCost)> = Vec::new();
-        while chains.iter().any(|c| !c.done) {
-            parallel::scoped_fanout(
-                chains.iter_mut().filter(|c| !c.done).collect(),
-                |ch: &mut Chain| {
-                    for _ in 0..params.portfolio.rendezvous_period {
-                        chain_sweep(ev, set, indices, lambda_star, phi_star, ch);
-                        if ch.done {
-                            break;
-                        }
-                    }
-                },
-            );
-            // Rendezvous: collect every replica's elite in index order,
-            // then offer the batch into every archive in that same
-            // order. `Archive::offer` dedups by fingerprint, so repeat
-            // offers across rendezvous are no-ops and the merge is
-            // idempotent.
-            elites.clear();
-            elites.extend(chains.iter().map(|c| (c.best.clone(), c.best_normal)));
-            for ch in chains.iter_mut() {
-                for (w, normal) in &elites {
-                    ch.archive.offer(w, *normal);
-                }
-            }
-        }
-    }
-
-    // Winner: best k-failure cost, lowest replica index on ties.
-    let mut win = 0usize;
-    for r in 1..chains.len() {
-        if chains[r].best_kfail.better_than(&chains[win].best_kfail) {
-            win = r;
-        }
-    }
-    let mut stats = SearchStats::default();
-    let mut constraint_rejections = 0usize;
-    for c in &chains {
-        stats.merge(&c.stats);
-        constraint_rejections += c.constraint_rejections;
-    }
-    let mut replica_traces: Vec<Vec<MoveOutcome>> = Vec::new();
-    if params.record_trace {
-        replica_traces.extend(chains.iter_mut().map(|c| std::mem::take(&mut c.trace)));
-    }
-    let trace = replica_traces.get(win).cloned().unwrap_or_default();
-    let winner = chains.swap_remove(win);
-    Phase2Output {
-        best: winner.best,
-        best_kfail: winner.best_kfail,
-        best_normal: winner.best_normal,
-        constraint_rejections,
-        trace,
-        replica_traces,
-        stats,
-    }
+        .collect()
 }
 
 /// Run Phase 2 against an arbitrary scenario slice — e.g. all single node

@@ -72,6 +72,26 @@ pub fn random_symmetric_setting(net: &Network, wmax: u32, rng: &mut StdRng) -> W
     w
 }
 
+/// Why a robust search returned.
+///
+/// The reason never affects *what* is returned — `best`, costs, trace
+/// and stats are bit-identical functions of how many boundaries ran —
+/// only *why* the boundary loop ended. See "The checkpoint contract"
+/// in `DETERMINISM.md`.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum Terminated {
+    /// The stop rule fired (or the `max_iterations` backstop bound).
+    #[default]
+    Converged,
+    /// The wall-clock deadline (or an injected kill-point) ended the
+    /// run at a sweep/rendezvous boundary; the output is the
+    /// best-so-far, never a half-applied accept.
+    Deadline,
+    /// The restored snapshot was already terminal — every chain had
+    /// converged before the checkpoint was taken.
+    Restored,
+}
+
 /// Counters reported by each search phase.
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
 pub struct SearchStats {
@@ -421,6 +441,19 @@ impl StopRule {
         let reference = self.history[self.history.len() - 1 - self.window];
         let improvement = global_best.relative_improvement_over(&reference);
         improvement < self.c
+    }
+
+    /// Trailing history records, oldest first — exactly what a snapshot
+    /// must carry so a restored search makes the same stop decision as
+    /// an uninterrupted one (see "The checkpoint contract" in
+    /// `DETERMINISM.md`).
+    pub fn history(&self) -> &[LexCost] {
+        &self.history
+    }
+
+    /// Replace the trailing history (snapshot restore).
+    pub fn restore_history(&mut self, records: Vec<LexCost>) {
+        self.history = records;
     }
 }
 

@@ -96,6 +96,19 @@ pub struct MtrParams {
     /// bits — the trajectory is identical for every budget, only
     /// wall-clock and memory change. `usize::MAX` = unbounded.
     pub cache_budget_bytes: usize,
+    /// Wall-clock deadline for the robust phase in milliseconds
+    /// (`None` = run to convergence). Checked only at sweep/rendezvous
+    /// boundaries; the search returns best-so-far with
+    /// `Terminated::Deadline`, never a half-applied accept, and every
+    /// prefix of the trajectory matches an undeadlined run's (see "The
+    /// checkpoint contract" in `DETERMINISM.md`).
+    pub deadline_ms: Option<u64>,
+    /// Checkpoint cadence for the robust phase, in boundaries (sweeps
+    /// for a single chain, rendezvous for a portfolio). `0` = never
+    /// checkpoint. Only read by the controlled entry points that were
+    /// given a checkpoint sink; snapshots are encoded at the boundary,
+    /// outside every sweep kernel, with zero effect on the trajectory.
+    pub checkpoint_every: usize,
     /// Master RNG seed.
     pub seed: u64,
 }
@@ -128,6 +141,8 @@ impl MtrParams {
             eager_min_batch: dtr_core::search::EAGER_MIN_BATCH,
             portfolio: PortfolioParams::single(),
             cache_budget_bytes: usize::MAX,
+            deadline_ms: None,
+            checkpoint_every: 0,
             seed,
         }
     }
@@ -169,8 +184,12 @@ impl MtrParams {
         assert!(self.speculation >= 1, "speculation window K >= 1");
         assert!(self.eager_min_batch >= 1, "eager batch threshold >= 1");
         self.portfolio.validate();
+        if let Some(ms) = self.deadline_ms {
+            assert!(ms >= 1, "deadline must be at least one millisecond");
+        }
         // Any cache_budget_bytes is valid: a budget below one entry just
         // means a fully non-resident cache (plain-path evaluations).
+        // Any checkpoint_every is valid: 0 simply disables checkpoints.
     }
 }
 

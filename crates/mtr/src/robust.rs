@@ -19,9 +19,13 @@
 //!
 //! [`NormalConstraint`]: crate::class::NormalConstraint
 
+use std::time::{Duration, Instant};
+
 use dtr_core::params::replica_seed;
-use dtr_core::search::{speculative_sweep, Decision, MoveOutcome, SpecBuffers};
+use dtr_core::search::{speculative_sweep, Decision, MoveOutcome, SpecBuffers, Terminated};
+use dtr_core::RunControl;
 use dtr_net::LinkId;
+use dtr_persist::SnapshotError;
 use dtr_routing::Scenario;
 use rand::rngs::StdRng;
 use rand::seq::SliceRandom;
@@ -61,6 +65,10 @@ pub struct MtrRobustOutput {
     /// Effort spent (portfolio runs merge per-replica stats in replica
     /// index order via [`MtrSearchStats::merge`]).
     pub stats: MtrSearchStats,
+    /// Why the run returned (convergence, deadline/kill, or an
+    /// already-terminal restored snapshot). Never affects *what* is
+    /// returned — see "The checkpoint contract" in `DETERMINISM.md`.
+    pub terminated: Terminated,
 }
 
 /// Re-sort the sweep's evaluation order by the incumbent's per-scenario
@@ -433,7 +441,7 @@ impl Chain {
     }
 
     /// Finish a single-chain run (no portfolio): the classic output.
-    fn into_output(self) -> MtrRobustOutput {
+    fn into_output(self, terminated: Terminated) -> MtrRobustOutput {
         MtrRobustOutput {
             best: self.best,
             best_kfail: self.best_kfail,
@@ -442,8 +450,566 @@ impl Chain {
             trace: self.trace,
             replica_traces: Vec::new(),
             stats: self.stats,
+            terminated,
         }
     }
+}
+
+// ---------------------------------------------------------------------
+// Snapshot codec — the k-class mirror of `dtr_core::phase2`'s ("The
+// checkpoint contract", DETERMINISM.md).
+//
+// A snapshot captures every bit of chain state the trajectory depends
+// on: the RNG stream position, current/best settings and their k-vector
+// costs, the stop-rule trailing history, the shuffled representative
+// order, the replica-local archive, stats and trace. The delta-state
+// scenario cache is NOT serialized: its entries are a pure function of
+// the current incumbent, so restore rebuilds them with a capture sweep
+// that is bit-identical to the refreshed cache it replaces; the
+// per-position cost scratch and the evaluation order fall out of the
+// same sweep (cache-off cutoff runs refill the scratch through the
+// bounded kernel against the never-cut incumbent, exactly the
+// `full_sweep` path), and the floors are weight-independent and
+// recomputed.
+
+const SEC_CONFIG: u32 = 0x10;
+const SEC_CHAIN: u32 = 0x20;
+
+fn put_vec_cost(enc: &mut dtr_persist::Encoder, c: &VecCost) {
+    enc.put_slice_f64(c.components());
+}
+
+fn take_vec_cost(rd: &mut dtr_persist::Decoder<'_>, k: usize) -> Result<VecCost, SnapshotError> {
+    let v = rd.take_vec_f64()?;
+    if v.len() != k {
+        return Err(SnapshotError::Corrupt("cost vector length differs"));
+    }
+    Ok(VecCost::new(v))
+}
+
+fn put_weights(enc: &mut dtr_persist::Encoder, w: &MtrWeightSetting) {
+    for k in 0..w.num_classes() {
+        enc.put_slice_u32(w.weights(k));
+    }
+}
+
+fn take_weights(
+    rd: &mut dtr_persist::Decoder<'_>,
+    k: usize,
+    wmax: u32,
+    num_links: usize,
+) -> Result<MtrWeightSetting, SnapshotError> {
+    let mut per_class = Vec::with_capacity(k);
+    for _ in 0..k {
+        let v = rd.take_vec_u32()?;
+        if v.len() != num_links {
+            return Err(SnapshotError::Corrupt("weight vector length differs"));
+        }
+        if v.iter().any(|&w| w < 1 || w > wmax) {
+            return Err(SnapshotError::Corrupt("weight outside [1, wmax]"));
+        }
+        per_class.push(v);
+    }
+    Ok(MtrWeightSetting::from_vecs(per_class, wmax))
+}
+
+fn put_stats(enc: &mut dtr_persist::Encoder, s: &MtrSearchStats) {
+    enc.put_usize(s.iterations);
+    enc.put_usize(s.evaluations);
+    enc.put_usize(s.diversifications);
+    enc.put_usize(s.scenario_evals_skipped);
+    enc.put_usize(s.skipped_floor);
+    enc.put_usize(s.skipped_cache);
+    enc.put_usize(s.skipped_cutoff);
+    enc.put_usize(s.speculative_wasted);
+    enc.put_usize(s.cache_resident_scenarios);
+    enc.put_usize(s.cache_fallback_evals);
+}
+
+fn take_stats(rd: &mut dtr_persist::Decoder<'_>) -> Result<MtrSearchStats, SnapshotError> {
+    Ok(MtrSearchStats {
+        iterations: rd.take_usize()?,
+        evaluations: rd.take_usize()?,
+        diversifications: rd.take_usize()?,
+        scenario_evals_skipped: rd.take_usize()?,
+        skipped_floor: rd.take_usize()?,
+        skipped_cache: rd.take_usize()?,
+        skipped_cutoff: rd.take_usize()?,
+        speculative_wasted: rd.take_usize()?,
+        cache_resident_scenarios: rd.take_usize()?,
+        cache_fallback_evals: rd.take_usize()?,
+    })
+}
+
+/// Serialize one chain into an open snapshot. Steady-state
+/// allocation-free like `dtr_core::phase2::encode_chain`: every write
+/// appends into the encoder's reusable buffer (registered in
+/// `crates/analysis/hot_paths.toml`, proven by `tests/alloc_free.rs`).
+fn encode_chain(enc: &mut dtr_persist::Encoder, ch: &Chain) {
+    enc.begin_section(SEC_CHAIN);
+    for word in ch.rng.state() {
+        enc.put_u64(word);
+    }
+    put_stats(enc, &ch.stats);
+    enc.put_usize(ch.constraint_rejections);
+    enc.put_usize(ch.trace.len());
+    for m in &ch.trace {
+        enc.put_u8(match m {
+            MoveOutcome::ConstraintReject => 0,
+            MoveOutcome::Reject => 1,
+            MoveOutcome::Accept => 2,
+        });
+    }
+    put_weights(enc, &ch.current);
+    put_vec_cost(enc, &ch.current_normal);
+    put_vec_cost(enc, &ch.current_kfail);
+    put_weights(enc, &ch.best);
+    put_vec_cost(enc, &ch.best_kfail);
+    put_vec_cost(enc, &ch.best_normal);
+    enc.put_usize(ch.stop.history().len());
+    for c in ch.stop.history() {
+        put_vec_cost(enc, c);
+    }
+    enc.put_usize(ch.reps.len());
+    for r in &ch.reps {
+        enc.put_u32(r.index() as u32);
+    }
+    enc.put_usize(ch.stale_sweeps);
+    enc.put_usize(ch.archive.len());
+    for (w, cost) in ch.archive.entries() {
+        put_weights(enc, w);
+        put_vec_cost(enc, cost);
+    }
+    enc.put_bool(ch.done);
+    enc.end_section();
+}
+
+/// Rebuild one chain from an open snapshot. `params` is the
+/// replica-local parameter block (derived seed, thread share) the
+/// resumed run would hand a fresh chain. Decoding allocates freely —
+/// restore runs once, outside every sweep kernel.
+fn decode_chain(
+    rd: &mut dtr_persist::Decoder<'_>,
+    ev: &MtrEvaluator<'_>,
+    scenarios: &[Scenario],
+    scenario_weights: Option<&[f64]>,
+    params: MtrParams,
+) -> Result<Chain, SnapshotError> {
+    rd.section(SEC_CHAIN)?;
+    let mut state = [0u64; 4];
+    for word in &mut state {
+        *word = rd.take_u64()?;
+    }
+    let rng = StdRng::from_state(state);
+    let mut stats = take_stats(rd)?;
+    let constraint_rejections = rd.take_usize()?;
+    let trace_len = rd.take_len(1)?;
+    let mut trace = Vec::with_capacity(trace_len);
+    for _ in 0..trace_len {
+        trace.push(match rd.take_u8()? {
+            0 => MoveOutcome::ConstraintReject,
+            1 => MoveOutcome::Reject,
+            2 => MoveOutcome::Accept,
+            _ => return Err(SnapshotError::Corrupt("move outcome out of range")),
+        });
+    }
+    let k = ev.num_classes();
+    let num_links = ev.net().num_links();
+    let current = take_weights(rd, k, params.wmax, num_links)?;
+    let current_normal = take_vec_cost(rd, k)?;
+    let current_kfail = take_vec_cost(rd, k)?;
+    let best = take_weights(rd, k, params.wmax, num_links)?;
+    let best_kfail = take_vec_cost(rd, k)?;
+    let best_normal = take_vec_cost(rd, k)?;
+    let hist_len = rd.take_len(8)?;
+    let mut history = Vec::with_capacity(hist_len);
+    for _ in 0..hist_len {
+        history.push(take_vec_cost(rd, k)?);
+    }
+    let mut stop = MtrStopRule::new(params.p2, params.c);
+    stop.restore_history(history);
+    let reps_len = rd.take_len(4)?;
+    let mut reps = Vec::with_capacity(reps_len);
+    for _ in 0..reps_len {
+        let x = rd.take_u32()? as usize;
+        if x >= num_links {
+            return Err(SnapshotError::Corrupt("representative link out of range"));
+        }
+        reps.push(LinkId::new(x));
+    }
+    let stale_sweeps = rd.take_usize()?;
+    let arch_len = rd.take_len(8)?;
+    let mut archive = MtrArchive::new(params.archive_size);
+    for _ in 0..arch_len {
+        let w = take_weights(rd, k, params.wmax, num_links)?;
+        let cost = take_vec_cost(rd, k)?;
+        // Entries were stored best-first, so re-offering in order
+        // reproduces the archive exactly (each entry appends; the
+        // fingerprints are recomputed).
+        archive.offer(&w, cost);
+    }
+    let done = rd.take_bool()?;
+
+    // Rebuild the evaluation-order state. The delta-state cache is a
+    // pure function of the restored incumbent, so a capture sweep over
+    // `current` reproduces, bit for bit, the entries and per-position
+    // costs the refreshed cache held at the checkpoint; cache-off
+    // cutoff runs refill the scratch through the bounded kernel
+    // against the never-cut incumbent (the `full_sweep` path). The
+    // floors are weight-independent and recomputed by `SweepKit::new`.
+    // Neither rebuild touches the *logical* `evaluations` counter —
+    // the restored stats must match an uninterrupted run's (the
+    // residency gauge and fallback counter are attribution-only and
+    // masked by the equivalence suites).
+    let never_cut = VecCost::new(vec![f64::MAX; k]);
+    let mut kit = SweepKit::new(ev, scenarios, &params);
+    if params.cutoff && !scenarios.is_empty() {
+        if let Some(cache) = kit.cache.as_mut() {
+            rebuild_cache(
+                ev,
+                scenarios,
+                &current,
+                params.threads,
+                cache,
+                &mut kit.scratch,
+            );
+            stats.cache_resident_scenarios = stats
+                .cache_resident_scenarios
+                .max(cache.resident_scenarios());
+        } else {
+            match parallel::sum_failure_costs_bounded(
+                ev,
+                &current,
+                scenarios,
+                scenario_weights,
+                params.threads,
+                &never_cut,
+                &kit.order,
+                &[],
+                kit.floors.as_deref(),
+                None,
+                &mut kit.scratch,
+            ) {
+                MtrSweep::Complete(_) => {}
+                MtrSweep::Cut { .. } => unreachable!("nothing beats the never-cut incumbent"),
+            }
+        }
+        refresh_order(
+            &mut kit.order,
+            &kit.scratch.costs,
+            scenario_weights,
+            kit.floors.as_deref(),
+        );
+    }
+    Ok(Chain {
+        params,
+        rng,
+        stats,
+        constraint_rejections,
+        trace,
+        never_cut,
+        kit,
+        current,
+        current_normal,
+        current_kfail,
+        best,
+        best_kfail,
+        best_normal,
+        stop,
+        reps,
+        stale_sweeps,
+        spec: SpecBuffers::new(),
+        seed_prefix: Vec::new(),
+        archive,
+        done,
+    })
+}
+
+/// Write the whole run state (config fingerprint + every chain) into
+/// `enc`, leaving it ready for `finish()`. Steady-state
+/// allocation-free like [`encode_chain`].
+#[allow(clippy::too_many_arguments)]
+fn encode_snapshot(
+    enc: &mut dtr_persist::Encoder,
+    params: &MtrParams,
+    scenarios_len: usize,
+    num_links: usize,
+    k: usize,
+    benchmark: &VecCost,
+    boundary: u64,
+    chains: &[Chain],
+) {
+    enc.begin(dtr_persist::KIND_MTR_ROBUST);
+    enc.begin_section(SEC_CONFIG);
+    enc.put_u64(params.seed);
+    enc.put_usize(params.portfolio.replicas);
+    enc.put_usize(params.portfolio.rendezvous_period);
+    enc.put_usize(scenarios_len);
+    enc.put_usize(num_links);
+    enc.put_usize(k);
+    enc.put_u32(params.wmax);
+    enc.put_usize(params.p2);
+    enc.put_f64(params.c);
+    enc.put_usize(params.div_interval_2);
+    enc.put_usize(params.max_iterations);
+    enc.put_usize(params.archive_size);
+    enc.put_slice_f64(benchmark.components());
+    enc.put_u64(boundary);
+    enc.put_usize(chains.len());
+    enc.end_section();
+    for ch in chains {
+        encode_chain(enc, ch);
+    }
+}
+
+/// Check the stored config fingerprint against the resuming run and
+/// recover the boundary counter. Only trajectory-determining knobs are
+/// fingerprinted: `threads`, `speculation`, `cutoff`, `cache`,
+/// `phi_floors`, the cache budget and the eager batch size may all
+/// legally differ between the saving and the resuming process — the
+/// determinism contract makes the continued trajectory identical
+/// regardless.
+fn decode_config(
+    rd: &mut dtr_persist::Decoder<'_>,
+    params: &MtrParams,
+    scenarios_len: usize,
+    num_links: usize,
+    k: usize,
+    benchmark: &VecCost,
+) -> Result<u64, SnapshotError> {
+    rd.section(SEC_CONFIG)?;
+    if rd.take_u64()? != params.seed {
+        return Err(SnapshotError::Mismatch("seed differs"));
+    }
+    if rd.take_usize()? != params.portfolio.replicas {
+        return Err(SnapshotError::Mismatch("replica count differs"));
+    }
+    if rd.take_usize()? != params.portfolio.rendezvous_period {
+        return Err(SnapshotError::Mismatch("rendezvous period differs"));
+    }
+    if rd.take_usize()? != scenarios_len {
+        return Err(SnapshotError::Mismatch("scenario count differs"));
+    }
+    if rd.take_usize()? != num_links {
+        return Err(SnapshotError::Mismatch("link count differs"));
+    }
+    if rd.take_usize()? != k {
+        return Err(SnapshotError::Mismatch("class count differs"));
+    }
+    if rd.take_u32()? != params.wmax {
+        return Err(SnapshotError::Mismatch("wmax differs"));
+    }
+    if rd.take_usize()? != params.p2 {
+        return Err(SnapshotError::Mismatch("stop window differs"));
+    }
+    if rd.take_f64()?.to_bits() != params.c.to_bits() {
+        return Err(SnapshotError::Mismatch("stop threshold differs"));
+    }
+    if rd.take_usize()? != params.div_interval_2 {
+        return Err(SnapshotError::Mismatch("diversification interval differs"));
+    }
+    if rd.take_usize()? != params.max_iterations {
+        return Err(SnapshotError::Mismatch("iteration cap differs"));
+    }
+    if rd.take_usize()? != params.archive_size {
+        return Err(SnapshotError::Mismatch("archive size differs"));
+    }
+    let stored_bench = rd.take_vec_f64()?;
+    if stored_bench.len() != k
+        || stored_bench
+            .iter()
+            .zip(benchmark.components())
+            .any(|(a, b)| a.to_bits() != b.to_bits())
+    {
+        return Err(SnapshotError::Mismatch("benchmark differs"));
+    }
+    let boundary = rd.take_u64()?;
+    if rd.take_usize()? != params.portfolio.replicas {
+        return Err(SnapshotError::Corrupt("chain count differs from replicas"));
+    }
+    Ok(boundary)
+}
+
+/// Boundary bookkeeping shared by both drivers — the k-class mirror of
+/// `dtr_core::phase2`'s: checkpoint when the cadence is due, then
+/// decide whether the run ends here (injected kill-point or wall-clock
+/// deadline). The decision only reads *whether* to stop — never which
+/// move to accept — so every prefix of the trajectory matches an
+/// uncontrolled run's bit for bit.
+#[allow(clippy::too_many_arguments)]
+fn at_boundary(
+    enc: &mut dtr_persist::Encoder,
+    params: &MtrParams,
+    scenarios_len: usize,
+    num_links: usize,
+    k: usize,
+    benchmark: &VecCost,
+    boundary: u64,
+    chains: &[Chain],
+    deadline: Option<Instant>,
+    ctl: &mut RunControl<'_>,
+) -> Result<Option<Terminated>, SnapshotError> {
+    if params.checkpoint_every != 0 && boundary.is_multiple_of(params.checkpoint_every as u64) {
+        if let Some(sink) = ctl.sink.as_mut() {
+            encode_snapshot(
+                enc,
+                params,
+                scenarios_len,
+                num_links,
+                k,
+                benchmark,
+                boundary,
+                chains,
+            );
+            sink.store(enc.finish())?;
+        }
+    }
+    if ctl.kill_after.is_some_and(|kb| boundary >= kb) {
+        return Ok(Some(Terminated::Deadline));
+    }
+    if deadline.is_some_and(|d| Instant::now() >= d) {
+        return Ok(Some(Terminated::Deadline));
+    }
+    Ok(None)
+}
+
+/// Boundary-driven driver behind [`run`], [`run_controlled`] and
+/// [`resume`]: sweeps chains between boundaries, checkpoints and
+/// decides termination only at boundaries, and assembles the output.
+#[allow(clippy::too_many_arguments)]
+fn drive(
+    ev: &MtrEvaluator<'_>,
+    scenarios: &[Scenario],
+    scenario_weights: Option<&[f64]>,
+    benchmark: &VecCost,
+    params: &MtrParams,
+    mut chains: Vec<Chain>,
+    start_boundary: u64,
+    restored: bool,
+    ctl: &mut RunControl<'_>,
+) -> Result<MtrRobustOutput, SnapshotError> {
+    let deadline = params
+        .deadline_ms
+        .map(|ms| Instant::now() + Duration::from_millis(ms));
+    let mut enc = dtr_persist::Encoder::new();
+    let num_links = ev.net().num_links();
+    let k = ev.num_classes();
+    let mut boundary = start_boundary;
+    let mut terminated = if restored && chains.iter().all(|c| c.done) {
+        Terminated::Restored
+    } else {
+        Terminated::Converged
+    };
+
+    if params.portfolio.replicas == 1 {
+        let mut ch = chains.pop().expect("exactly one chain");
+        if !scenarios.is_empty() {
+            while !ch.done {
+                chain_sweep(ev, scenarios, scenario_weights, benchmark, &mut ch);
+                boundary += 1;
+                if let Some(t) = at_boundary(
+                    &mut enc,
+                    params,
+                    scenarios.len(),
+                    num_links,
+                    k,
+                    benchmark,
+                    boundary,
+                    std::slice::from_ref(&ch),
+                    deadline,
+                    ctl,
+                )? {
+                    terminated = t;
+                    break;
+                }
+            }
+        }
+        return Ok(ch.into_output(terminated));
+    }
+
+    // Portfolio search (parallel-search contract, `DETERMINISM.md`):
+    // every cross-replica step — elite collection, archive offers, the
+    // final winner pick and stat merge — happens in replica index
+    // order on the coordinating thread, so the output depends only on
+    // `(seed, replicas, rendezvous_period)`, never on thread count.
+    if !scenarios.is_empty() {
+        let mut elites: Vec<(MtrWeightSetting, VecCost)> = Vec::new();
+        while chains.iter().any(|c| !c.done) {
+            dtr_core::parallel::scoped_fanout(
+                chains.iter_mut().filter(|c| !c.done).collect(),
+                |ch: &mut Chain| {
+                    for _ in 0..params.portfolio.rendezvous_period {
+                        chain_sweep(ev, scenarios, scenario_weights, benchmark, ch);
+                        if ch.done {
+                            break;
+                        }
+                    }
+                },
+            );
+            // Rendezvous: collect every replica's elite in index order,
+            // then offer the batch into every archive in that same
+            // order. `MtrArchive::offer` dedups by fingerprint, so
+            // repeat offers across rendezvous are no-ops and the merge
+            // is idempotent.
+            elites.clear();
+            elites.extend(
+                chains
+                    .iter()
+                    .map(|c| (c.best.clone(), c.best_normal.clone())),
+            );
+            for ch in chains.iter_mut() {
+                for (w, normal) in &elites {
+                    ch.archive.offer(w, normal.clone());
+                }
+            }
+            boundary += 1;
+            if let Some(t) = at_boundary(
+                &mut enc,
+                params,
+                scenarios.len(),
+                num_links,
+                k,
+                benchmark,
+                boundary,
+                &chains,
+                deadline,
+                ctl,
+            )? {
+                terminated = t;
+                break;
+            }
+        }
+    }
+
+    // Winner: best compound failure cost, lowest replica index on ties.
+    let mut win = 0usize;
+    for r in 1..chains.len() {
+        if chains[r].best_kfail.better_than(&chains[win].best_kfail) {
+            win = r;
+        }
+    }
+    let mut stats = MtrSearchStats::default();
+    let mut constraint_rejections = 0usize;
+    for c in &chains {
+        stats.merge(&c.stats);
+        constraint_rejections += c.constraint_rejections;
+    }
+    let mut replica_traces: Vec<Vec<MoveOutcome>> = Vec::new();
+    if params.record_trace {
+        replica_traces.extend(chains.iter_mut().map(|c| std::mem::take(&mut c.trace)));
+    }
+    let trace = replica_traces.get(win).cloned().unwrap_or_default();
+    let winner = chains.swap_remove(win);
+    Ok(MtrRobustOutput {
+        best: winner.best,
+        best_kfail: winner.best_kfail,
+        best_normal: winner.best_normal,
+        constraint_rejections,
+        trace,
+        replica_traces,
+        stats,
+        terminated,
+    })
 }
 
 /// One sweep of one chain — the classic robust loop body (speculative
@@ -711,30 +1277,151 @@ pub fn run(
     archive: &MtrArchive,
     scenario_weights: Option<&[f64]>,
 ) -> MtrRobustOutput {
+    run_controlled(
+        ev,
+        scenarios,
+        params,
+        benchmark,
+        archive,
+        scenario_weights,
+        &mut RunControl::none(),
+    )
+    .expect("without a checkpoint sink no snapshot i/o can fail")
+}
+
+/// [`run`] under external control: checkpoints into `ctl.sink` every
+/// [`MtrParams::checkpoint_every`] boundaries and honours
+/// `ctl.kill_after` and [`MtrParams::deadline_ms`]. The only fallible
+/// step is storing a snapshot, so with
+/// [`RunControl::none`](dtr_core::RunControl::none) this is exactly
+/// [`run`].
+///
+/// # Panics
+/// Panics if the archive is empty or `scenario_weights` mismatches
+/// `scenarios` in length.
+pub fn run_controlled(
+    ev: &MtrEvaluator<'_>,
+    scenarios: &[Scenario],
+    params: &MtrParams,
+    benchmark: &VecCost,
+    archive: &MtrArchive,
+    scenario_weights: Option<&[f64]>,
+    ctl: &mut RunControl<'_>,
+) -> Result<MtrRobustOutput, SnapshotError> {
     params.validate();
     if let Some(sw) = scenario_weights {
         assert_eq!(sw.len(), scenarios.len(), "one weight per scenario");
         assert!(sw.iter().all(|&p| p >= 0.0 && p.is_finite()));
     }
+    let chains = build_chains(ev, scenarios, scenario_weights, params, archive);
+    drive(
+        ev,
+        scenarios,
+        scenario_weights,
+        benchmark,
+        params,
+        chains,
+        0,
+        false,
+        ctl,
+    )
+}
 
-    if params.portfolio.replicas == 1 {
-        let mut ch = Chain::new(ev, scenarios, scenario_weights, *params, archive);
-        if scenarios.is_empty() {
-            return ch.into_output();
-        }
-        while !ch.done {
-            chain_sweep(ev, scenarios, scenario_weights, benchmark, &mut ch);
-        }
-        return ch.into_output();
+/// Restore a robust-phase run from `snapshot` bytes and continue it
+/// under `ctl`. The evaluator, scenario slice, benchmark and the
+/// trajectory-determining `params` knobs must match the saving run
+/// ([`SnapshotError::Mismatch`] otherwise); `threads`, `speculation`,
+/// `cutoff`, `cache`, `phi_floors` and the cache budget may differ
+/// freely — the determinism contract keeps the continued trajectory
+/// bit-identical regardless. No regular-phase archive is needed: it
+/// travels inside the snapshot.
+///
+/// The wall-clock deadline, when set, is a fresh budget for this call —
+/// time spent before the crash is not counted against it.
+///
+/// # Panics
+/// Panics if `scenario_weights` mismatches `scenarios` in length.
+pub fn resume(
+    ev: &MtrEvaluator<'_>,
+    scenarios: &[Scenario],
+    params: &MtrParams,
+    benchmark: &VecCost,
+    scenario_weights: Option<&[f64]>,
+    snapshot: &[u8],
+    ctl: &mut RunControl<'_>,
+) -> Result<MtrRobustOutput, SnapshotError> {
+    params.validate();
+    if let Some(sw) = scenario_weights {
+        assert_eq!(sw.len(), scenarios.len(), "one weight per scenario");
+        assert!(sw.iter().all(|&p| p >= 0.0 && p.is_finite()));
     }
-
-    // Portfolio search (parallel-search contract, `DETERMINISM.md`):
-    // every cross-replica step — seed derivation, elite collection,
-    // archive offers, the final winner pick and stat merge — happens in
-    // replica index order on the coordinating thread, so the output
-    // depends only on `(seed, replicas, rendezvous_period)`, never on
-    // thread count.
+    let mut rd = dtr_persist::open(snapshot, dtr_persist::KIND_MTR_ROBUST)?;
+    let boundary = decode_config(
+        &mut rd,
+        params,
+        scenarios.len(),
+        ev.net().num_links(),
+        ev.num_classes(),
+        benchmark,
+    )?;
     let replicas = params.portfolio.replicas;
+    let mut chains = Vec::with_capacity(replicas);
+    if replicas == 1 {
+        chains.push(decode_chain(
+            &mut rd,
+            ev,
+            scenarios,
+            scenario_weights,
+            *params,
+        )?);
+    } else {
+        let inner = MtrParams {
+            threads: (params.threads / replicas).max(1),
+            ..*params
+        };
+        for r in 0..replicas {
+            let p = MtrParams {
+                seed: replica_seed(params.seed, r),
+                ..inner
+            };
+            chains.push(decode_chain(&mut rd, ev, scenarios, scenario_weights, p)?);
+        }
+    }
+    rd.finish()?;
+    drive(
+        ev,
+        scenarios,
+        scenario_weights,
+        benchmark,
+        params,
+        chains,
+        boundary,
+        true,
+        ctl,
+    )
+}
+
+/// Build the chain vector [`drive`] runs: one classic chain, or
+/// `replicas` portfolio chains from distinct derived seeds, each with
+/// an equal share of the worker threads (initial full sweeps fan out
+/// across replicas exactly as before).
+fn build_chains(
+    ev: &MtrEvaluator<'_>,
+    scenarios: &[Scenario],
+    scenario_weights: Option<&[f64]>,
+    params: &MtrParams,
+    archive: &MtrArchive,
+) -> Vec<Chain> {
+    let replicas = params.portfolio.replicas;
+    if replicas == 1 {
+        return vec![Chain::new(
+            ev,
+            scenarios,
+            scenario_weights,
+            *params,
+            archive,
+        )];
+    }
     let inner = MtrParams {
         threads: (params.threads / replicas).max(1),
         ..*params
@@ -751,72 +1438,10 @@ pub fn run(
             *slot = Some(Chain::new(ev, scenarios, scenario_weights, p, archive));
         },
     );
-    let mut chains: Vec<Chain> = slots
+    slots
         .into_iter()
         .map(|s| s.expect("every replica slot is initialised"))
-        .collect();
-
-    if !scenarios.is_empty() {
-        let mut elites: Vec<(MtrWeightSetting, VecCost)> = Vec::new();
-        while chains.iter().any(|c| !c.done) {
-            dtr_core::parallel::scoped_fanout(
-                chains.iter_mut().filter(|c| !c.done).collect(),
-                |ch: &mut Chain| {
-                    for _ in 0..params.portfolio.rendezvous_period {
-                        chain_sweep(ev, scenarios, scenario_weights, benchmark, ch);
-                        if ch.done {
-                            break;
-                        }
-                    }
-                },
-            );
-            // Rendezvous: collect every replica's elite in index order,
-            // then offer the batch into every archive in that same
-            // order. `MtrArchive::offer` dedups by fingerprint, so
-            // repeat offers across rendezvous are no-ops and the merge
-            // is idempotent.
-            elites.clear();
-            elites.extend(
-                chains
-                    .iter()
-                    .map(|c| (c.best.clone(), c.best_normal.clone())),
-            );
-            for ch in chains.iter_mut() {
-                for (w, normal) in &elites {
-                    ch.archive.offer(w, normal.clone());
-                }
-            }
-        }
-    }
-
-    // Winner: best compound failure cost, lowest replica index on ties.
-    let mut win = 0usize;
-    for r in 1..chains.len() {
-        if chains[r].best_kfail.better_than(&chains[win].best_kfail) {
-            win = r;
-        }
-    }
-    let mut stats = MtrSearchStats::default();
-    let mut constraint_rejections = 0usize;
-    for c in &chains {
-        stats.merge(&c.stats);
-        constraint_rejections += c.constraint_rejections;
-    }
-    let mut replica_traces: Vec<Vec<MoveOutcome>> = Vec::new();
-    if params.record_trace {
-        replica_traces.extend(chains.iter_mut().map(|c| std::mem::take(&mut c.trace)));
-    }
-    let trace = replica_traces.get(win).cloned().unwrap_or_default();
-    let winner = chains.swap_remove(win);
-    MtrRobustOutput {
-        best: winner.best,
-        best_kfail: winner.best_kfail,
-        best_normal: winner.best_normal,
-        constraint_rejections,
-        trace,
-        replica_traces,
-        stats,
-    }
+        .collect()
 }
 
 #[cfg(test)]

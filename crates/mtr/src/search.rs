@@ -128,6 +128,18 @@ impl MtrStopRule {
             .relative_improvement_over(reference);
         improvement < self.c
     }
+
+    /// Trailing history records, oldest first — what a snapshot must
+    /// carry so a restored search makes the same stop decision as an
+    /// uninterrupted one ("The checkpoint contract", `DETERMINISM.md`).
+    pub fn history(&self) -> &[VecCost] {
+        &self.history
+    }
+
+    /// Replace the trailing history (snapshot restore).
+    pub fn restore_history(&mut self, records: Vec<VecCost>) {
+        self.history = records;
+    }
 }
 
 /// Cheap 64-bit fingerprint of a k-class setting (FNV-1a over every

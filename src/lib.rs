@@ -58,6 +58,7 @@ pub use dtr_cost as cost;
 pub use dtr_eval as eval;
 pub use dtr_mtr as mtr;
 pub use dtr_net as net;
+pub use dtr_persist as persist;
 pub use dtr_routing as routing;
 pub use dtr_topogen as topogen;
 pub use dtr_traffic as traffic;
@@ -66,8 +67,9 @@ pub use dtr_traffic as traffic;
 pub mod prelude {
     pub use dtr_core::scenario::ScenarioSet;
     pub use dtr_core::{
-        DoubleLink, FailureUniverse, Params, Probabilistic, RobustOptimizer,
-        RobustOptimizerBuilder, RobustReport, Selector, SingleLink, SliceSet, Srlg,
+        CheckpointSink, DoubleLink, FailureUniverse, FileSink, MemorySink, Params, Probabilistic,
+        RobustOptimizer, RobustOptimizerBuilder, RobustReport, RunControl, Selector, SingleLink,
+        SliceSet, SnapshotError, Srlg, Terminated, TornWrite,
     };
     pub use dtr_cost::{CostParams, Evaluator, LexCost};
     pub use dtr_mtr::{MtrOptimizer, MtrParams};

@@ -338,6 +338,79 @@ fn steady_state_sharded_cache_refresh_allocates_nothing() {
     );
 }
 
+/// Checkpoint serialization: the search drivers encode a chain snapshot
+/// at every eligible sweep/rendezvous boundary into ONE reusable
+/// [`dtr::persist::Encoder`] whose buffer `begin()` clears but never
+/// shrinks. After the first encode has grown that buffer to the
+/// snapshot's size, re-encoding the same-shaped state — the steady
+/// state of a long checkpointed run, since a chain's snapshot size is
+/// fixed by the topology and archive capacity — performs **zero** heap
+/// allocations. This is the dynamic half of the `encode_chain` /
+/// `encode_snapshot` hot-path registrations in
+/// crates/analysis/hot_paths.toml (the static lint keeps allocation
+/// tokens out of their bodies; this proves the encoder they drive).
+#[test]
+fn steady_state_checkpoint_encoding_allocates_nothing() {
+    use dtr::persist::{Encoder, KIND_DTR_PHASE2};
+
+    // Chain-shaped payload at the paper-scale operating point: 300
+    // directed links, a 500-proposal trace, a 16-entry archive.
+    let weights: Vec<u32> = (0..300u32).map(|i| (i % 20) + 1).collect();
+    let trace: Vec<u8> = (0..500u32).map(|i| (i % 3) as u8).collect();
+    let history: Vec<f64> = (0..32).map(|i| 1.0 / (i as f64 + 1.0)).collect();
+
+    let mut enc = Encoder::new();
+    let encode = |enc: &mut Encoder| -> usize {
+        enc.begin(KIND_DTR_PHASE2);
+        enc.begin_section(0x10);
+        for v in 0..14u64 {
+            enc.put_u64(v); // config fingerprint scalars
+        }
+        enc.end_section();
+        enc.begin_section(0x20);
+        for v in 0..4u64 {
+            enc.put_u64(v); // rng state
+        }
+        for v in 0..11usize {
+            enc.put_usize(v); // stats counters
+        }
+        enc.put_usize(trace.len());
+        for &t in &trace {
+            enc.put_u8(t);
+        }
+        for _ in 0..4 {
+            enc.put_slice_u32(&weights); // current/best + archive-ish settings
+        }
+        for v in 0..6u64 {
+            enc.put_f64(v as f64); // lex costs
+        }
+        enc.put_slice_f64(&history); // stop-rule trailing window
+        for _ in 0..16 {
+            enc.put_slice_u32(&weights); // archive entries
+            enc.put_f64(1.5);
+            enc.put_f64(2.5);
+        }
+        enc.put_bool(false);
+        enc.end_section();
+        enc.finish().len()
+    };
+
+    // First encode grows the buffer to its high-water size.
+    let n1 = encode(&mut enc);
+
+    let before = ALLOCATIONS.load(Ordering::Relaxed);
+    let n2 = encode(&mut enc);
+    let after = ALLOCATIONS.load(Ordering::Relaxed);
+
+    assert_eq!(n1, n2, "same state must encode to the same size");
+    assert_eq!(
+        after - before,
+        0,
+        "steady-state checkpoint encode of {n2} bytes performed {} heap allocations",
+        after - before
+    );
+}
+
 /// The delta-state cached path: after warm-up (cache capture plus a few
 /// candidate sweeps that let every scratch buffer — fresh-routing slots,
 /// dirty sets, fresh-adds lists, pair assembly — reach its high-water

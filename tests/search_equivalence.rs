@@ -316,6 +316,213 @@ fn phase2_portfolio_is_thread_invariant() {
     }
 }
 
+/// Mask the attribution-only cache gauges that legitimately differ
+/// between a restored run and an uninterrupted one: restore rebuilds
+/// the delta-state cache with a capture sweep charged to
+/// `cache_rebuild_evals`, and the residency/fallback gauges track that
+/// physical work. Everything else — including the logical
+/// `evaluations` — must match bit for bit ("The checkpoint contract",
+/// `DETERMINISM.md`).
+fn masked_dtr_stats(s: &dtr::core::search::SearchStats) -> dtr::core::search::SearchStats {
+    let mut m = *s;
+    m.cache_rebuild_evals = 0;
+    m.cache_resident_scenarios = 0;
+    m.cache_fallback_evals = 0;
+    m
+}
+
+/// Kill-at-any-boundary / restore / continue must reproduce the
+/// uninterrupted Phase-2 run bit for bit: same best setting and costs,
+/// same full accept/reject trace, same logical stats — for cutoff and
+/// cache configurations on and off, at every checkpoint the cadence
+/// produced. The killed prefix must itself report a usable best-so-far
+/// with `Terminated::Deadline`.
+#[test]
+fn phase2_kill_restore_continue_is_bit_identical() {
+    let (net, tm) = testbed();
+    let ev = Evaluator::new(&net, &tm, CostParams::default());
+    let universe = FailureUniverse::of(&net);
+    let p1 = phase1::run(&ev, &universe, &params_for(43, CONFIGS[0]));
+    let all: Vec<usize> = (0..universe.len()).collect();
+
+    for cfg in [(1, 1, false, false), (1, 1, true, true), (8, 4, true, true)] {
+        let params = Params {
+            checkpoint_every: 1,
+            max_iterations: 30,
+            ..params_for(43, cfg)
+        };
+        let full = phase2::run(&ev, &universe, &all, &params, &p1);
+        assert_eq!(full.terminated, Terminated::Converged);
+
+        // Sweep the kill point across every boundary of the run.
+        let mut kill = 1u64;
+        loop {
+            let mut sink = MemorySink::new();
+            let mut ctl = RunControl {
+                sink: Some(&mut sink),
+                kill_after: Some(kill),
+            };
+            let killed = phase2::run_controlled(&ev, &universe, &all, &params, &p1, &mut ctl)
+                .expect("in-memory checkpointing cannot fail");
+            if killed.terminated == Terminated::Converged {
+                // The run outlived the kill grid: the uncut trajectory.
+                assert_eq!(killed.best, full.best, "{cfg:?}: converged-before-kill");
+                break;
+            }
+            assert_eq!(
+                killed.terminated,
+                Terminated::Deadline,
+                "{cfg:?} kill {kill}"
+            );
+            let snap = sink
+                .latest()
+                .expect("cadence 1 checkpoints every boundary")
+                .to_vec();
+            let resumed = phase2::resume(
+                &ev,
+                &universe,
+                &all,
+                &params,
+                &snap,
+                &mut RunControl::none(),
+            )
+            .expect("snapshot restores");
+            let label = format!("{cfg:?} kill {kill}");
+            // A kill landing on the final boundary snapshots an
+            // already-converged chain; resume then reports `Restored`.
+            assert!(
+                matches!(
+                    resumed.terminated,
+                    Terminated::Converged | Terminated::Restored
+                ),
+                "{label}: {:?}",
+                resumed.terminated
+            );
+            assert_phase2_equal(&full, &resumed, &label);
+            assert_eq!(
+                masked_dtr_stats(&full.stats),
+                masked_dtr_stats(&resumed.stats),
+                "{label}: full stats diverged beyond the rebuild gauges"
+            );
+            kill += 3;
+        }
+    }
+}
+
+/// Checkpoint byte streams are reproducible across a crash: with the
+/// cutoff off (no restore-time cache rebuild mutating the attribution
+/// gauges), every snapshot a resumed run writes is **byte-identical**
+/// to the one the uninterrupted run wrote at the same boundary — the
+/// encode ∘ decode round trip is the identity on live search state.
+#[test]
+fn phase2_resumed_checkpoints_are_byte_identical() {
+    let (net, tm) = testbed();
+    let ev = Evaluator::new(&net, &tm, CostParams::default());
+    let universe = FailureUniverse::of(&net);
+    let p1 = phase1::run(&ev, &universe, &params_for(47, CONFIGS[0]));
+    let all: Vec<usize> = (0..universe.len()).collect();
+    let params = Params {
+        checkpoint_every: 1,
+        max_iterations: 30,
+        ..params_for(47, (1, 1, false, false))
+    };
+
+    let mut full_sink = MemorySink::new();
+    let full = phase2::run_controlled(
+        &ev,
+        &universe,
+        &all,
+        &params,
+        &p1,
+        &mut RunControl::with_sink(&mut full_sink),
+    )
+    .unwrap();
+    assert!(full_sink.snapshots.len() >= 4, "run too short to straddle");
+
+    let kill = (full_sink.snapshots.len() / 2) as u64;
+    let mut sink = MemorySink::new();
+    let mut ctl = RunControl {
+        sink: Some(&mut sink),
+        kill_after: Some(kill),
+    };
+    phase2::run_controlled(&ev, &universe, &all, &params, &p1, &mut ctl).unwrap();
+    let snap = sink.latest().unwrap().to_vec();
+    let mut resume_sink = MemorySink::new();
+    let resumed = phase2::resume(
+        &ev,
+        &universe,
+        &all,
+        &params,
+        &snap,
+        &mut RunControl::with_sink(&mut resume_sink),
+    )
+    .unwrap();
+    assert_phase2_equal(&full, &resumed, "resumed");
+
+    // The resumed run re-emits boundaries kill+1.. — align the tails.
+    let tail = &full_sink.snapshots[kill as usize..];
+    assert_eq!(resume_sink.snapshots.len(), tail.len());
+    for (i, (a, b)) in tail.iter().zip(&resume_sink.snapshots).enumerate() {
+        assert_eq!(
+            a,
+            b,
+            "snapshot at boundary {} differs",
+            kill as usize + i + 1
+        );
+    }
+}
+
+/// The portfolio variant of the kill/restore equivalence: rendezvous
+/// boundaries, 3 replicas, elite merges and per-replica traces all
+/// survive the crash bit for bit.
+#[test]
+fn phase2_portfolio_kill_restore_continue_is_bit_identical() {
+    let (net, tm) = testbed();
+    let ev = Evaluator::new(&net, &tm, CostParams::default());
+    let universe = FailureUniverse::of(&net);
+    let p1 = phase1::run(&ev, &universe, &params_for(53, CONFIGS[0]));
+    let all: Vec<usize> = (0..universe.len()).collect();
+    let params = Params {
+        portfolio: PortfolioParams {
+            replicas: 3,
+            rendezvous_period: 4,
+        },
+        checkpoint_every: 1,
+        max_iterations: 30,
+        ..params_for(53, (8, 4, true, true))
+    };
+    let full = phase2::run(&ev, &universe, &all, &params, &p1);
+    assert_eq!(full.replica_traces.len(), 3);
+
+    for kill in [1u64, 2] {
+        let mut sink = MemorySink::new();
+        let mut ctl = RunControl {
+            sink: Some(&mut sink),
+            kill_after: Some(kill),
+        };
+        let killed = phase2::run_controlled(&ev, &universe, &all, &params, &p1, &mut ctl).unwrap();
+        assert_eq!(killed.terminated, Terminated::Deadline, "kill {kill}");
+        let snap = sink.latest().unwrap().to_vec();
+        let resumed = phase2::resume(
+            &ev,
+            &universe,
+            &all,
+            &params,
+            &snap,
+            &mut RunControl::none(),
+        )
+        .unwrap();
+        let label = format!("portfolio kill {kill}");
+        assert_phase2_equal(&full, &resumed, &label);
+        assert_eq!(full.replica_traces, resumed.replica_traces, "{label}");
+        assert_eq!(
+            masked_dtr_stats(&full.stats),
+            masked_dtr_stats(&resumed.stats),
+            "{label}"
+        );
+    }
+}
+
 fn mtr_testbed() -> (Network, Vec<TrafficMatrix>) {
     let (net, _) = testbed();
     let mut rng = StdRng::seed_from_u64(23);
@@ -491,5 +698,156 @@ fn mtr_robust_portfolio_is_thread_invariant() {
         let cfg = format!("mtr portfolio threads={threads} K={speculation}");
         let out = run(3, threads, speculation);
         assert_same(&anchor, &out, &cfg);
+    }
+}
+
+/// MTR mirror of the restore-gauge mask: the only counters a restore
+/// may disturb are the physical cache residency/fallback gauges touched
+/// while the scratch state is rebuilt from the snapshot's incumbent.
+fn masked_mtr_stats(s: &mtr_search::MtrSearchStats) -> mtr_search::MtrSearchStats {
+    let mut m = *s;
+    m.cache_resident_scenarios = 0;
+    m.cache_fallback_evals = 0;
+    m
+}
+
+/// Kill/restore/continue bit-identity for the MTR robust search, over
+/// the cache on/off × cutoff grid (the cache-off restore leg exercises
+/// the bounded-kernel scratch refill) and for a 3-replica portfolio
+/// killed at a rendezvous boundary.
+#[test]
+fn mtr_robust_kill_restore_continue_is_bit_identical() {
+    let (net, tms) = mtr_testbed();
+    let ev = MtrEvaluator::new(&net, &tms, MtrConfig::dtr(25e-3, 0.2)).unwrap();
+    let universe = FailureUniverse::of(&net);
+    let reg = mtr_search::regular(&ev, &universe, &mtr_params_for(37, MTR_CONFIGS[0]));
+    let scenarios = universe.scenarios();
+
+    for cfg in [
+        (1, 1, false, false, false),
+        (1, 1, true, false, true),
+        (8, 4, true, true, true),
+    ] {
+        let params = MtrParams {
+            checkpoint_every: 1,
+            ..mtr_params_for(37, cfg)
+        };
+        let full = mtr_robust::run(&ev, &scenarios, &params, &reg.best_cost, &reg.archive, None);
+        assert_eq!(full.terminated, Terminated::Converged);
+
+        for kill in [1u64, 4, 9] {
+            let mut sink = MemorySink::new();
+            let mut ctl = RunControl {
+                sink: Some(&mut sink),
+                kill_after: Some(kill),
+            };
+            let killed = mtr_robust::run_controlled(
+                &ev,
+                &scenarios,
+                &params,
+                &reg.best_cost,
+                &reg.archive,
+                None,
+                &mut ctl,
+            )
+            .unwrap();
+            let label = format!("{cfg:?} kill {kill}");
+            if killed.terminated == Terminated::Converged {
+                assert_eq!(killed.best, full.best, "{label}: converged-before-kill");
+                continue;
+            }
+            let snap = sink.latest().unwrap().to_vec();
+            let resumed = mtr_robust::resume(
+                &ev,
+                &scenarios,
+                &params,
+                &reg.best_cost,
+                None,
+                &snap,
+                &mut RunControl::none(),
+            )
+            .expect("snapshot restores");
+            assert!(
+                matches!(
+                    resumed.terminated,
+                    Terminated::Converged | Terminated::Restored
+                ),
+                "{label}: {:?}",
+                resumed.terminated
+            );
+            assert_eq!(full.best, resumed.best, "{label}: best setting diverged");
+            assert_eq!(full.best_kfail, resumed.best_kfail, "{label}");
+            assert_eq!(full.best_normal, resumed.best_normal, "{label}");
+            assert_eq!(
+                full.constraint_rejections, resumed.constraint_rejections,
+                "{label}"
+            );
+            assert_eq!(full.trace, resumed.trace, "{label}: accept/reject diverged");
+            assert_eq!(
+                masked_mtr_stats(&full.stats),
+                masked_mtr_stats(&resumed.stats),
+                "{label}: stats diverged beyond the cache gauges"
+            );
+        }
+    }
+}
+
+#[test]
+fn mtr_portfolio_kill_restore_continue_is_bit_identical() {
+    let (net, tms) = mtr_testbed();
+    let ev = MtrEvaluator::new(&net, &tms, MtrConfig::dtr(25e-3, 0.2)).unwrap();
+    let universe = FailureUniverse::of(&net);
+    let reg = mtr_search::regular(&ev, &universe, &mtr_params_for(43, MTR_CONFIGS[0]));
+    let scenarios = universe.scenarios();
+    let params = MtrParams {
+        portfolio: PortfolioParams {
+            replicas: 3,
+            rendezvous_period: 4,
+        },
+        checkpoint_every: 1,
+        ..mtr_params_for(43, (8, 4, true, true, true))
+    };
+    let full = mtr_robust::run(&ev, &scenarios, &params, &reg.best_cost, &reg.archive, None);
+    assert_eq!(full.replica_traces.len(), 3);
+
+    for kill in [1u64, 2] {
+        let mut sink = MemorySink::new();
+        let mut ctl = RunControl {
+            sink: Some(&mut sink),
+            kill_after: Some(kill),
+        };
+        let killed = mtr_robust::run_controlled(
+            &ev,
+            &scenarios,
+            &params,
+            &reg.best_cost,
+            &reg.archive,
+            None,
+            &mut ctl,
+        )
+        .unwrap();
+        assert_eq!(killed.terminated, Terminated::Deadline, "kill {kill}");
+        let snap = sink.latest().unwrap().to_vec();
+        let resumed = mtr_robust::resume(
+            &ev,
+            &scenarios,
+            &params,
+            &reg.best_cost,
+            None,
+            &snap,
+            &mut RunControl::none(),
+        )
+        .unwrap();
+        let label = format!("mtr portfolio kill {kill}");
+        assert_eq!(full.best, resumed.best, "{label}");
+        assert_eq!(full.best_kfail, resumed.best_kfail, "{label}");
+        assert_eq!(full.best_normal, resumed.best_normal, "{label}");
+        assert_eq!(full.trace, resumed.trace, "{label}");
+        assert_eq!(full.replica_traces, resumed.replica_traces, "{label}");
+        assert_eq!(
+            masked_mtr_stats(&full.stats),
+            masked_mtr_stats(&resumed.stats),
+            "{label}"
+        );
     }
 }

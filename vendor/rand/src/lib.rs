@@ -40,6 +40,28 @@ pub mod rngs {
         z ^ (z >> 31)
     }
 
+    impl StdRng {
+        /// Raw xoshiro256++ state, for snapshotting the stream position.
+        #[inline]
+        pub fn state(&self) -> [u64; 4] {
+            self.s
+        }
+
+        /// Rebuild a generator at an exact stream position previously
+        /// captured with [`StdRng::state`]. An all-zero state is a fixed
+        /// point of xoshiro256++ and is rejected by substituting the same
+        /// non-zero guard constant `seed_from_u64` uses.
+        #[inline]
+        pub fn from_state(s: [u64; 4]) -> Self {
+            if s == [0, 0, 0, 0] {
+                return StdRng {
+                    s: [0x9e37_79b9_7f4a_7c15, 0, 0, 0],
+                };
+            }
+            StdRng { s }
+        }
+    }
+
     impl SeedableRng for StdRng {
         fn seed_from_u64(seed: u64) -> Self {
             let mut sm = seed;
